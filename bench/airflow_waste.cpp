@@ -1,0 +1,73 @@
+// E12 — §3.2: Airflow's Kubernetes strategy "starts a big worker on every
+// node for the whole workflow execution ... the big containers will request
+// resources for the entire workflow execution time regardless of the actual
+// load. As many workflows have a merge point somewhere ... this strategy
+// leads to substantial resource wastage." Integrating the CWSI keeps the
+// workflow-aware scheduling while requesting resources per task.
+//
+// The three §3.2 integration styles (Nextflow+CWSI, Argo per-task FIFO,
+// Airflow big workers) run the same workflows on the same cluster;
+// reservation accounting exposes the wastage.
+#include <iostream>
+
+#include "cws/strategies.hpp"
+#include "cws/wms_adapters.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+#include "workflow/generators.hpp"
+
+using namespace hhc;
+
+int main() {
+  std::cout << "=== E12: WMS integration styles and resource wastage (paper 3.2) ===\n";
+  std::cout << "cluster: 12 nodes x 16 cores; tasks request 4 cores each\n\n";
+
+  sim::Simulation sim;
+  cluster::Cluster cl(cluster::homogeneous_cluster(12, 16, gib(64)));
+  cws::WorkflowRegistry registry;
+  cws::ProvenanceStore provenance;
+  cws::LotaruPredictor predictor;
+  cluster::ResourceManager rm(
+      sim, cl, cws::make_strategy("cws-rank", registry, predictor, provenance),
+      cluster::ResourceManagerConfig{.model_io = false});
+
+  cws::NextflowCwsiAdapter nextflow(sim, rm, registry, provenance, predictor);
+  cws::ArgoAdapter argo(sim, rm, provenance);
+  cws::AirflowBigWorkerAdapter airflow(sim, rm, registry, provenance, predictor);
+
+  wf::GenParams p;
+  p.cores_per_task = 4;
+  p.runtime_mean = 300;
+
+  TextTable t("Reserved vs used core-hours (same workflow, same cluster)");
+  t.header({"workflow", "WMS style", "makespan", "used core-h",
+            "reserved core-h", "wastage"});
+  OnlineStats airflow_waste;
+  const std::map<std::string, wf::Workflow> workflows{
+      {"forkjoin-48+merge", wf::make_fork_join(48, Rng(3), p)},
+      {"scattergather", wf::make_scatter_gather(3, 24, Rng(4), p)},
+      {"montage-24", wf::make_montage_like(24, Rng(5), p)},
+      {"lanes-12x5", wf::make_pipeline_lanes(12, 5, Rng(6), p)}};
+
+  for (const auto& [name, workflow] : workflows) {
+    for (cws::WmsAdapter* adapter :
+         std::initializer_list<cws::WmsAdapter*>{&nextflow, &argo, &airflow}) {
+      const cws::AdapterRunResult r = adapter->run(workflow);
+      if (adapter == &airflow) airflow_waste.add(r.wastage());
+      t.row({name, r.adapter, fmt_duration(r.workflow.makespan()),
+             fmt_fixed(r.used_core_seconds / 3600, 1),
+             fmt_fixed(r.reserved_core_seconds / 3600, 1), fmt_pct(r.wastage())});
+    }
+    t.rule();
+  }
+  std::cout << t.render() << "\n";
+
+  std::cout << "Average big-worker wastage: " << fmt_pct(airflow_waste.mean())
+            << " (Nextflow+CWSI and Argo request per task: 0%)\n\n";
+  std::cout << "Shape check: every workflow with a merge/funnel point leaves\n"
+               "most big workers idle during the tail, yet Airflow keeps their\n"
+               "nodes requested; per-task requests return that capacity -- the\n"
+               "paper's motivation for CWSI support in Airflow. Argo matches\n"
+               "Nextflow's accounting but loses workflow-aware ordering.\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+// E2 — reproduces paper Fig 5: concurrency of the 7875 EnTK tasks (UQ Stage
+// 3) in scheduling and running states, plus the measured initial slopes
+// (paper: 269 tasks/s scheduling, 51 tasks/s launching).
+#include <cstdio>
+#include <iostream>
+
+#include "entk/app_manager.hpp"
+#include "entk/exaam.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+using namespace hhc;
+
+int main() {
+  std::cout << "=== Fig 5: concurrency of 7875 EnTK tasks (UQ Stage 3) ===\n\n";
+
+  sim::Simulation sim;
+  cluster::Cluster pilot(cluster::frontier_like(8000));
+  entk::EntkConfig cfg;
+  cfg.scheduling_rate = 269.0;
+  cfg.launching_rate = 51.0;
+  cfg.bootstrap_overhead = 85.0;
+  entk::ExaamScale scale;
+  scale.exaconstit_tasks = 7875;
+  entk::AppManager app(sim, pilot, cfg, Rng(2023));
+  app.add_pipeline(entk::make_stage3(scale));
+  const entk::RunReport r = app.run();
+
+  // Initial slopes from the trace, as the paper measures them.
+  const auto scheduled = app.trace().filter("task", "scheduled");
+  const auto launched = app.trace().filter("task", "exec_start");
+  auto initial_rate = [](const std::vector<sim::TraceEvent>& events,
+                         double window) {
+    if (events.empty()) return 0.0;
+    const double t0 = events.front().time;
+    std::size_t n = 0;
+    for (const auto& e : events)
+      if (e.time <= t0 + window) ++n;
+    return static_cast<double>(n) / window;
+  };
+
+  TextTable rates("Throughput (paper: scheduling 269 tasks/s, launching 51 tasks/s)");
+  rates.header({"metric", "measured", "paper"});
+  rates.row({"scheduling throughput",
+             fmt_fixed(initial_rate(scheduled, 2.0), 0) + " tasks/s", "269 tasks/s"});
+  rates.row({"launching throughput",
+             fmt_fixed(initial_rate(launched, 5.0), 0) + " tasks/s", "51 tasks/s"});
+  rates.row({"peak concurrent executing",
+             fmt_fixed(r.executing_series.max_value(), 0),
+             "1000 (8000 nodes / 8 per task)"});
+  rates.row({"tasks completed", std::to_string(r.tasks_completed), "7875"});
+  std::cout << rates.render() << "\n";
+
+  // The two series of Fig 5, resampled onto a printable grid.
+  std::cout << "Time series (s = scheduled/pending launch, x = executing):\n";
+  const SimTime end = r.job_end;
+  const auto sched_grid = r.scheduled_series.resample(0, end, 24);
+  const auto exec_grid = r.executing_series.resample(0, end, 24);
+  const double smax = std::max(1.0, r.scheduled_series.max_value());
+  const double emax = std::max(1.0, r.executing_series.max_value());
+  std::printf("  %9s  %22s  %22s\n", "t", "scheduled(blue)", "executing(orange)");
+  for (std::size_t i = 0; i < sched_grid.size(); ++i) {
+    const auto [t, sv] = sched_grid[i];
+    const double ev = exec_grid[i].second;
+    std::printf("  %8.0fs  %6.0f %-15s  %6.0f %-15s\n", t, sv,
+                std::string(static_cast<std::size_t>(sv / smax * 15), 's').c_str(),
+                ev,
+                std::string(static_cast<std::size_t>(ev / emax * 15), 'x').c_str());
+  }
+  std::cout << "\nShape check: the blue curve spikes early (scheduling outruns\n"
+               "launching ~5x), then drains as waves of 1000 tasks execute;\n"
+               "the orange curve plateaus at the pilot's task capacity.\n";
+
+  // CSV export for plotting.
+  TextTable csv_table;
+  csv_table.header({"time_s", "scheduled", "executing"});
+  const auto sched_fine = r.scheduled_series.resample(0, end, 200);
+  const auto exec_fine = r.executing_series.resample(0, end, 200);
+  for (std::size_t i = 0; i < sched_fine.size(); ++i)
+    csv_table.row({fmt_fixed(sched_fine[i].first, 1),
+                   fmt_fixed(sched_fine[i].second, 0),
+                   fmt_fixed(exec_fine[i].second, 0)});
+  if (write_file("bench_results/fig5_concurrency.csv", csv_table.csv()))
+    std::cout << "\nwrote bench_results/fig5_concurrency.csv\n";
+  return 0;
+}

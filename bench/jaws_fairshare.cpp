@@ -1,0 +1,108 @@
+// E9 — §6.2 "Unconstrained Task Parallelism for Shared Cluster Resources":
+// one user's highly parallel scatter monopolizes a shared Cromwell service;
+// configuring fair share in the WMS bounds the other users' wait times.
+#include <iostream>
+
+#include "jaws/site.hpp"
+#include "jaws/wdl_parser.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+using namespace hhc;
+
+namespace {
+
+const char* kWdl = R"(
+task crunch {
+  input { String x }
+  command { crunch ${x} }
+  runtime { cpu: 4  memory: "8G"  container: "img:1"  minutes: 30 }
+  output { File out = "o" }
+}
+workflow heavy {
+  input { Array[String] xs }
+  scatter (x in xs) { call crunch { input: x = x } }
+}
+workflow small {
+  input { String item }
+  call crunch as one { input: x = item }
+}
+)";
+
+struct Outcome {
+  SimTime hog_makespan = 0;
+  SimTime polite_makespan = 0;
+};
+
+Outcome run_case(bool fair_share, std::size_t scatter_width) {
+  sim::Simulation sim;
+  jaws::JawsService service(sim);
+  jaws::SiteConfig site;
+  site.name = "shared";
+  site.cluster = cluster::homogeneous_cluster(4, 8, gib(64));  // 8 slots
+  site.fair_share = fair_share;
+  site.engine.call_cache = false;
+  site.engine.task_overhead = 0;
+  service.add_site(site);
+
+  const jaws::Document doc = jaws::parse_wdl(kWdl);
+  Outcome out;
+
+  jaws::JawsSubmission big;
+  big.doc = &doc;
+  big.workflow = "heavy";
+  Json arr = Json::array();
+  for (std::size_t i = 0; i < scatter_width; ++i)
+    arr.push_back("x" + std::to_string(i));
+  big.inputs.emplace("xs", std::move(arr));
+  big.site = "shared";
+  big.user = "hog";
+  service.submit(big, [&](jaws::JawsRunResult r) { out.hog_makespan = r.makespan(); });
+
+  // Three polite users arrive during the flood, each with one task.
+  OnlineStats polite;
+  for (int u = 0; u < 3; ++u) {
+    sim.schedule_in(120.0 * (u + 1), [&, u] {
+      jaws::JawsSubmission one;
+      one.doc = &doc;
+      one.workflow = "small";
+      one.inputs.emplace("item", Json("p" + std::to_string(u)));
+      one.site = "shared";
+      one.user = "polite" + std::to_string(u);
+      service.submit(one, [&](jaws::JawsRunResult r) { polite.add(r.makespan()); });
+    });
+  }
+  sim.run();
+  out.polite_makespan = polite.mean();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== E9: fair share vs scatter monopoly (paper section 6.2) ===\n";
+  std::cout << "shared site: 4 nodes x 8 cores = 8 concurrent 4-core tasks;\n"
+               "user 'hog' scatters N 30-min shards; three single-task users\n"
+               "arrive during the flood.\n\n";
+
+  TextTable t;
+  t.header({"scatter width", "policy", "polite user mean makespan",
+            "hog makespan"});
+  for (std::size_t width : {32u, 64u, 128u}) {
+    const Outcome fifo = run_case(false, width);
+    const Outcome fair = run_case(true, width);
+    t.row({std::to_string(width), "fifo (stock Cromwell)",
+           fmt_duration(fifo.polite_makespan), fmt_duration(fifo.hog_makespan)});
+    t.row({std::to_string(width), "WMS fair share",
+           fmt_duration(fair.polite_makespan), fmt_duration(fair.hog_makespan)});
+    t.rule();
+  }
+  std::cout << t.render() << "\n";
+
+  std::cout << "Shape check: without fair share, a polite user's single\n"
+               "30-min task waits behind the whole flood (hours, growing\n"
+               "with scatter width); with fair share the wait is bounded by\n"
+               "one wave regardless of width, while the hog's makespan is\n"
+               "barely affected.\n";
+  return 0;
+}

@@ -1,0 +1,195 @@
+// E10 — §2: LLM-driven workflow composition. Reproduces the behaviour of
+// the Phyloflow function-calling prototype and the proposed planner/
+// executor/debugger engine:
+//   (a) success rate vs injected model error rate, with and without error
+//       forwarding (limitation 1) and with the debugger agents,
+//   (b) token usage vs composed workflow length and where the budget breaks
+//       (limitation 2).
+#include <iostream>
+
+#include "llm/agents.hpp"
+#include "llm/conversation.hpp"
+#include "llm/hierarchy.hpp"
+#include "llm/phyloflow.hpp"
+#include "support/stats.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+using namespace hhc;
+
+namespace {
+
+struct Rates {
+  double prototype = 0;       ///< §2.1 loop, no error forwarding.
+  double forwarded = 0;       ///< §2.1 loop + error forwarding.
+  double agents = 0;          ///< §2.2 planner/executor/debugger.
+  double repairs_mean = 0;
+};
+
+Rates measure(double miscall, double malformed, int trials) {
+  Rates out;
+  int proto_ok = 0, fwd_ok = 0, agent_ok = 0;
+  OnlineStats repairs;
+  for (int i = 0; i < trials; ++i) {
+    const auto seed = static_cast<std::uint64_t>(i);
+    llm::ModelConfig mc;
+    mc.miscall_probability = miscall;
+    mc.malformed_args_probability = malformed;
+    mc.token_budget = 1u << 16;
+
+    // (1) prototype loop.
+    {
+      sim::Simulation sim;
+      llm::FutureStore futures;
+      llm::FunctionRegistry registry;
+      llm::register_phyloflow(registry, futures, sim, Rng(900 + seed));
+      llm::ModelStub stub(mc, Rng(100 + seed));
+      stub.add_recipe(llm::phyloflow_recipe());
+      llm::FunctionCallingLoop loop(sim, registry, stub, {});
+      bool ok = false;
+      loop.run("run phyloflow on tumor.vcf",
+               [&](llm::LoopOutcome o) { ok = o.success; });
+      sim.run();
+      if (ok && futures.failed_count() == 0) ++proto_ok;
+    }
+    // (2) loop with error forwarding.
+    {
+      sim::Simulation sim;
+      llm::FutureStore futures;
+      llm::FunctionRegistry registry;
+      llm::register_phyloflow(registry, futures, sim, Rng(900 + seed));
+      llm::ModelStub stub(mc, Rng(100 + seed));
+      stub.add_recipe(llm::phyloflow_recipe());
+      llm::LoopConfig lc;
+      lc.forward_errors = true;
+      llm::FunctionCallingLoop loop(sim, registry, stub, lc);
+      bool ok = false;
+      loop.run("run phyloflow on tumor.vcf",
+               [&](llm::LoopOutcome o) { ok = o.success; });
+      sim.run();
+      if (ok && futures.failed_count() == 0) ++fwd_ok;
+    }
+    // (3) agent system.
+    {
+      sim::Simulation sim;
+      llm::FutureStore futures;
+      llm::FunctionRegistry registry;
+      llm::register_phyloflow(registry, futures, sim, Rng(900 + seed));
+      llm::ModelStub stub(mc, Rng(100 + seed));
+      stub.add_recipe(llm::phyloflow_recipe());
+      llm::AgentConfig ac;
+      ac.human_fallback = false;
+      llm::AgentOrchestrator orchestrator(sim, registry, futures, stub, ac);
+      bool ok = false;
+      orchestrator.run("run phyloflow on tumor.vcf", [&](llm::AgentOutcome o) {
+        ok = o.success;
+        repairs.add(static_cast<double>(o.repairs));
+      });
+      sim.run();
+      if (ok) ++agent_ok;
+    }
+  }
+  out.prototype = static_cast<double>(proto_ok) / trials;
+  out.forwarded = static_cast<double>(fwd_ok) / trials;
+  out.agents = static_cast<double>(agent_ok) / trials;
+  out.repairs_mean = repairs.mean();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== E10: LLM-composed workflows (Phyloflow, paper section 2) ===\n\n";
+
+  std::cout << "--- (a) success rate vs injected model error rate (50 trials) ---\n";
+  TextTable t;
+  t.header({"miscall p", "malformed p", "prototype (2.1)", "+error fwd",
+            "agents (2.2)", "repairs/run"});
+  for (double p : {0.0, 0.1, 0.2, 0.4}) {
+    const Rates r = measure(p, p / 2, 50);
+    t.row({fmt_fixed(p, 2), fmt_fixed(p / 2, 2), fmt_pct(r.prototype),
+           fmt_pct(r.forwarded), fmt_pct(r.agents),
+           fmt_fixed(r.repairs_mean, 2)});
+  }
+  std::cout << t.render() << "\n";
+  std::cout << "Shape check: the 2.1 prototype cannot recover (limitation 1)\n"
+               "so its success collapses with the error rate; forwarding the\n"
+               "error restores most of it; the debugger agents stay near 100%.\n\n";
+
+  std::cout << "--- (b) token usage vs workflow length (limitation 2) ---\n";
+  TextTable tokens;
+  tokens.header({"chain steps", "peak prompt tokens", "fits 4k?", "fits 16k?"});
+  std::size_t break4 = 0, break16 = 0;
+  for (std::size_t steps : {2u, 4u, 8u, 16u, 32u, 64u}) {
+    sim::Simulation sim;
+    llm::FutureStore futures;
+    llm::FunctionRegistry registry;
+    llm::ModelStub stub(llm::ModelConfig{.token_budget = 1u << 24}, Rng(5));
+    stub.add_recipe(llm::register_long_chain(registry, futures, sim, Rng(3), steps));
+    llm::FunctionCallingLoop loop(sim, registry, stub, llm::LoopConfig{.max_rounds = 200});
+    std::size_t peak = 0;
+    bool ok = false;
+    loop.run("run longchain" + std::to_string(steps) + " on input.dat",
+             [&](llm::LoopOutcome o) {
+               peak = o.peak_prompt_tokens;
+               ok = o.success;
+             });
+    sim.run();
+    const bool fits4 = peak <= 4096, fits16 = peak <= 16384;
+    if (!fits4 && !break4) break4 = steps;
+    if (!fits16 && !break16) break16 = steps;
+    tokens.row({std::to_string(steps), std::to_string(peak),
+                fits4 ? "yes" : "NO", fits16 ? "yes" : "NO"});
+    if (!ok) std::cout << "  (chain " << steps << " did not finish)\n";
+  }
+  std::cout << tokens.render() << "\n";
+  if (break4)
+    std::cout << "A 4k-token context breaks at ~" << break4
+              << " composed steps; 16k at ~" << (break16 ? break16 : 0)
+              << " -- the paper's 'hierarchical schema for task\n"
+                 "decomposition' is needed beyond that.\n\n";
+
+  // --- (c) the hierarchical schema, implemented -----------------------------
+  std::cout << "--- (c) hierarchical decomposition (the paper's proposed fix) ---\n";
+  TextTable h;
+  h.header({"chain steps", "flat peak tokens", "hierarchical peak (seg=8)",
+            "hierarchical ok?"});
+  for (std::size_t steps : {16u, 32u, 64u, 128u}) {
+    // Flat peak (unbounded budget, measurement only).
+    std::size_t flat_peak = 0;
+    {
+      sim::Simulation sim;
+      llm::FutureStore futures;
+      llm::FunctionRegistry registry;
+      llm::ModelStub stub(llm::ModelConfig{.token_budget = 1u << 24}, Rng(5));
+      stub.add_recipe(llm::register_long_chain(registry, futures, sim, Rng(3), steps));
+      llm::FunctionCallingLoop loop(sim, registry, stub,
+                                    llm::LoopConfig{.max_rounds = 400});
+      loop.run("run longchain" + std::to_string(steps) + " on input.dat",
+               [&](llm::LoopOutcome o) { flat_peak = o.peak_prompt_tokens; });
+      sim.run();
+    }
+    // Hierarchical, under a hard 4k budget.
+    sim::Simulation sim;
+    llm::FutureStore futures;
+    llm::FunctionRegistry registry;
+    llm::ModelStub stub(llm::ModelConfig{.token_budget = 4096}, Rng(5));
+    const llm::Recipe flat =
+        llm::register_long_chain(registry, futures, sim, Rng(3), steps);
+    llm::HierarchyConfig hc;
+    hc.segment_size = 8;
+    llm::HierarchicalComposer composer(sim, registry, stub, hc);
+    llm::HierarchyOutcome outcome;
+    composer.run(flat, "input.dat",
+                 [&](llm::HierarchyOutcome o) { outcome = std::move(o); });
+    sim.run();
+    h.row({std::to_string(steps), std::to_string(flat_peak),
+           std::to_string(outcome.peak_prompt_tokens),
+           outcome.success ? "yes (4k budget)" : "NO: " + outcome.error});
+  }
+  std::cout << h.render() << "\n";
+  std::cout << "Segmented conversations with per-segment function selection\n"
+               "hold the peak prompt flat regardless of workflow length, so\n"
+               "arbitrarily long compositions fit a fixed context window.\n";
+  return 0;
+}

@@ -1,0 +1,116 @@
+// E11 — google-benchmark micro suites for the substrate: event-loop
+// throughput, cluster allocation, workflow analyses, scheduler passes.
+// These bound how large a simulated campaign the toolkit can replay.
+#include <benchmark/benchmark.h>
+
+#include "cluster/resource_manager.hpp"
+#include "cluster/schedulers.hpp"
+#include "cws/strategies.hpp"
+#include "cws/wms.hpp"
+#include "sim/simulation.hpp"
+#include "workflow/analysis.hpp"
+#include "workflow/generators.hpp"
+
+namespace {
+
+using namespace hhc;
+
+void BM_EventLoopScheduleFire(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    const auto n = static_cast<std::size_t>(state.range(0));
+    for (std::size_t i = 0; i < n; ++i)
+      sim.schedule_at(static_cast<double>(i % 97), [] {});
+    benchmark::DoNotOptimize(sim.run());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventLoopScheduleFire)->Arg(1000)->Arg(100000);
+
+void BM_EventLoopCascade(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    const auto n = static_cast<std::size_t>(state.range(0));
+    std::function<void(std::size_t)> chain = [&](std::size_t depth) {
+      if (depth > 0) sim.schedule_in(1.0, [&chain, depth] { chain(depth - 1); });
+    };
+    chain(n);
+    benchmark::DoNotOptimize(sim.run());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventLoopCascade)->Arg(10000);
+
+void BM_ClusterAllocate(benchmark::State& state) {
+  cluster::Cluster cl(
+      cluster::homogeneous_cluster(static_cast<std::size_t>(state.range(0)), 56,
+                                   gib(512), 1.0, 8));
+  wf::Resources req;
+  req.nodes = 8;
+  req.cores_per_node = 56;
+  req.gpus_per_node = 8;
+  for (auto _ : state) {
+    auto alloc = cl.find_allocation(req);
+    cl.claim(*alloc);
+    cl.release(*alloc);
+    benchmark::DoNotOptimize(alloc);
+  }
+}
+BENCHMARK(BM_ClusterAllocate)->Arg(1000)->Arg(8000);
+
+void BM_UpwardRank(benchmark::State& state) {
+  const wf::Workflow w = wf::make_random_layered(
+      16, static_cast<std::size_t>(state.range(0)), Rng(1));
+  for (auto _ : state) benchmark::DoNotOptimize(wf::upward_rank(w));
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(w.task_count()));
+}
+BENCHMARK(BM_UpwardRank)->Arg(16)->Arg(128);
+
+void BM_CriticalPath(benchmark::State& state) {
+  const wf::Workflow w = wf::make_random_layered(
+      16, static_cast<std::size_t>(state.range(0)), Rng(1));
+  for (auto _ : state) benchmark::DoNotOptimize(wf::critical_path(w));
+}
+BENCHMARK(BM_CriticalPath)->Arg(128);
+
+void BM_WorkflowExecution(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    cluster::Cluster cl(cluster::heterogeneous_cwsi_cluster(4));
+    cws::WorkflowRegistry registry;
+    cws::ProvenanceStore provenance;
+    cws::NullPredictor predictor;
+    cluster::ResourceManager rm(
+        sim, cl, cws::make_strategy("cws-rank", registry, predictor, provenance));
+    cws::WorkflowEngine engine(sim, rm, &registry, &provenance, &predictor);
+    const wf::Workflow w =
+        wf::make_montage_like(static_cast<std::size_t>(state.range(0)), Rng(7));
+    benchmark::DoNotOptimize(engine.run_to_completion(w).makespan());
+  }
+}
+BENCHMARK(BM_WorkflowExecution)->Arg(16)->Arg(64);
+
+void BM_SchedulerPassFifoFit(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulation sim;
+    cluster::Cluster cl(cluster::homogeneous_cluster(64, 16, gib(64)));
+    cluster::ResourceManager rm(sim, cl,
+                                std::make_unique<cluster::FifoFitScheduler>(),
+                                cluster::ResourceManagerConfig{.model_io = false});
+    for (int i = 0; i < state.range(0); ++i) {
+      cluster::JobRequest r;
+      r.name = "j";
+      r.resources.cores_per_node = 2;
+      r.runtime = 100;
+      rm.submit(r, {});
+    }
+    state.ResumeTiming();
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SchedulerPassFifoFit)->Arg(512);
+
+}  // namespace

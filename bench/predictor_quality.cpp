@@ -1,0 +1,145 @@
+// E7 — §3.4: task runtime prediction quality and its scheduling impact.
+// Compares the Lotaru-style predictor against an online mean, no predictor,
+// and the oracle, on (a) prediction error over a stream of heterogeneous
+// tasks and (b) narrow-job turnaround when feeding EASY backfill estimates.
+#include <iostream>
+
+#include "cws/strategies.hpp"
+#include "cws/wms.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+#include "workflow/generators.hpp"
+
+using namespace hhc;
+
+namespace {
+
+// Prediction error experiment: tasks arrive kind by kind with runtimes that
+// scale linearly with input size plus noise; predictors observe after each.
+void prediction_error_experiment() {
+  std::cout << "--- (a) online prediction error (MAPE, later half of stream) ---\n";
+  TextTable t;
+  t.header({"predictor", "MAPE", "coverage"});
+
+  for (const char* name : {"none", "online-mean", "lotaru", "oracle"}) {
+    auto predictor = cws::make_predictor(name);
+    Rng rng(31);
+    OnlineStats err;
+    std::size_t predicted = 0, total = 0;
+    const std::size_t n = 400;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::string kind = "tool" + std::to_string(i % 4);
+      const double slope = 2e-8 * static_cast<double>(1 + i % 4);
+      const auto input = static_cast<Bytes>(rng.uniform(1e8, 4e9));
+      const double truth =
+          30.0 + slope * static_cast<double>(input) + rng.normal(0, 5);
+
+      cluster::JobRequest req;
+      req.kind = kind;
+      req.input_bytes = input;
+      req.runtime = truth;
+      ++total;
+      if (const auto p = predictor->predict(req); p && i >= n / 2) {
+        err.add(std::abs(*p - truth) / truth);
+        ++predicted;
+      }
+
+      cws::TaskProvenance obs;
+      obs.kind = kind;
+      obs.input_bytes = input;
+      obs.start_time = 0;
+      obs.finish_time = truth;
+      obs.node_speed = 1.0;
+      predictor->observe(obs);
+    }
+    t.row({name, err.empty() ? "n/a" : fmt_pct(err.mean()),
+           fmt_pct(static_cast<double>(predicted) / (static_cast<double>(total) / 2))});
+  }
+  std::cout << t.render() << "\n";
+  std::cout << "Shape check: lotaru < online-mean in error (it models the\n"
+               "input-size dependence); oracle is 0 by construction.\n\n";
+}
+
+// Scheduling impact: EASY backfill is gated by walltime estimates, so the
+// predictor directly controls how much safe backfilling happens. Wide
+// 3-node blockers arrive every 500 s with narrow 1-node shorts behind them;
+// narrows can only jump a blocked wide head if their estimate proves they
+// finish inside the head job's shadow window. Metric: mean narrow-job
+// turnaround (submit -> finish), the quantity backfilling improves.
+void scheduling_impact_experiment() {
+  std::cout << "--- (b) narrow-job turnaround under easy-backfill per predictor ---\n";
+  TextTable t;
+  t.header({"predictor", "mean narrow turnaround", "vs none"});
+  double base = 0;
+  for (const char* name : {"none", "online-mean", "lotaru", "oracle"}) {
+    OnlineStats turnaround;
+    for (std::uint64_t seed : {3u, 17u, 29u}) {
+      sim::Simulation sim;
+      cluster::Cluster cl(cluster::homogeneous_cluster(4, 16, gib(64)));
+      auto predictor = cws::make_predictor(name);
+      cluster::ResourceManager rm(sim, cl,
+                                  std::make_unique<cluster::BackfillScheduler>(),
+                                  cluster::ResourceManagerConfig{.model_io = false});
+      Rng rng(seed);
+      std::size_t submitted = 0;
+
+      auto submit = [&](const std::string& kind, int nodes, double cores,
+                        Bytes input, double runtime) {
+        cluster::JobRequest r;
+        r.name = kind + std::to_string(submitted++);
+        r.kind = kind;
+        r.resources.nodes = nodes;
+        r.resources.cores_per_node = cores;
+        r.input_bytes = input;
+        r.runtime = runtime;
+        if (auto est = predictor->predict(r)) r.walltime_estimate = *est;
+        rm.submit(r, [&, kind](const cluster::JobRecord& rec) {
+          if (kind == "narrow")
+            turnaround.add(rec.finish_time - rec.submit_time);
+          cws::TaskProvenance obs;
+          obs.kind = rec.request.kind;
+          obs.input_bytes = rec.request.input_bytes;
+          obs.start_time = rec.start_time;
+          obs.finish_time = rec.finish_time;
+          obs.node_speed = rec.speed;
+          predictor->observe(obs);
+        });
+      };
+
+      // Rounds arrive over time so later submissions can carry estimates
+      // learned from earlier completions.
+      for (int round = 0; round < 40; ++round) {
+        sim.schedule_at(500.0 * round, [&, round] {
+          Rng r = rng.child(static_cast<std::uint64_t>(round));
+          const auto wide_in = static_cast<Bytes>(r.uniform(1e9, 3e9));
+          submit("wide", 3, 16, wide_in,
+                 450.0 + 1.5e-7 * static_cast<double>(wide_in));
+          for (int j = 0; j < 3; ++j) {
+            const auto narrow_in = static_cast<Bytes>(r.uniform(1e8, 5e8));
+            submit("narrow", 1, 8, narrow_in,
+                   30.0 + 1e-7 * static_cast<double>(narrow_in));
+          }
+        });
+      }
+      sim.run();
+      turnaround.count();
+    }
+    if (std::string(name) == "none") base = turnaround.mean();
+    t.row({name, fmt_duration(turnaround.mean()),
+           fmt_pct((base - turnaround.mean()) / base)});
+  }
+  std::cout << t.render() << "\n";
+  std::cout << "Shape check: without estimates nothing backfills (the\n"
+               "conservative EASY rule) and narrow jobs queue behind blocked\n"
+               "wide heads; learned estimates recover most of the oracle's\n"
+               "backfilling benefit after a warm-up.\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== E7: task runtime predictors (paper section 3.4) ===\n\n";
+  prediction_error_experiment();
+  scheduling_impact_experiment();
+  return 0;
+}

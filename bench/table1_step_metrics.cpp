@@ -1,0 +1,74 @@
+// E4 — reproduces paper Table 1: aggregated "instance-wide" metrics during
+// execution of each Transcriptomics Atlas pipeline step, for the 99-file
+// cloud experiment (EC2 autoscaling group, Salmon path).
+#include <iostream>
+
+#include "atlas/cloud_runner.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+using namespace hhc;
+
+int main() {
+  std::cout << "=== Table 1: per-step instance metrics (99 files, EC2 ASG) ===\n";
+  std::cout << "paper baseline memory ~300 MB; paper rows shown for reference\n\n";
+
+  atlas::CorpusParams params;
+  params.files = 99;
+  const auto corpus = atlas::make_corpus(params, Rng(99));
+
+  atlas::CloudRunConfig cfg;
+  cfg.asg.max_instances = 16;
+  cfg.asg.min_instances = 2;
+  const atlas::CloudRunResult result = atlas::run_on_cloud(corpus, cfg);
+
+  TextTable t("Aggregated instance-wide metrics per pipeline step");
+  t.header({"step", "CPU mean", "CPU max", "iowait mean", "iowait max",
+            "MEM mean", "MEM max"});
+  const char* paper_rows[4][7] = {
+      {"prefetch (paper)", "21%", "70%", "3.7%", "47%", "323MB", "410MB"},
+      {"fasterq-dump (paper)", "56%", "94%", "26%", "91%", "394MB", "760MB"},
+      {"salmon (paper)", "94%", "100%", "1.5%", "90%", "840MB", "2.8GB"},
+      {"deseq2 (paper)", "39%", "59%", "3.4%", "47%", "532MB", "1GB"}};
+  for (std::size_t i = 0; i < atlas::kStepCount; ++i) {
+    const auto& s = result.aggregate.steps[i];
+    t.row({atlas::step_name(static_cast<atlas::Step>(i)),
+           fmt_fixed(s.cpu_mean.mean(), 0) + "%",
+           fmt_fixed(s.cpu_max.max(), 0) + "%",
+           fmt_fixed(s.iowait_mean.mean(), 1) + "%",
+           fmt_fixed(s.iowait_max.max(), 0) + "%",
+           fmt_bytes(s.mem_mean.mean()), fmt_bytes(s.mem_max.max())});
+    t.row({paper_rows[i][0], paper_rows[i][1], paper_rows[i][2], paper_rows[i][3],
+           paper_rows[i][4], paper_rows[i][5], paper_rows[i][6]});
+    t.rule();
+  }
+  std::cout << t.render() << "\n";
+
+  TextTable run("Run summary (paper: all 99 files in ~2.7 h, zero failures)");
+  run.header({"metric", "value"});
+  run.row({"files processed", std::to_string(result.files.size())});
+  run.row({"makespan", fmt_duration(result.makespan)});
+  run.row({"peak fleet", fmt_fixed(result.peak_fleet, 0) + " instances"});
+  run.row({"instance-hours", fmt_fixed(result.instance_hours, 1)});
+  run.row({"estimated cost", "$" + fmt_fixed(result.cost_usd, 2)});
+  run.row({"results in S3", std::to_string(result.s3_objects)});
+  std::cout << run.render() << "\n";
+
+  std::cout << "Shape check: salmon is the CPU-bound step (mean ~94%), \n"
+               "fasterq-dump is the iowait-bound step (EBS conversion), and\n"
+               "no step's memory approaches the 8 GiB instance limit -- the\n"
+               "paper's argument for moving to c6a compute-optimized types.\n\n";
+
+  // The c6a cost comparison the paper suggests.
+  atlas::CloudRunConfig c6a_cfg = cfg;
+  c6a_cfg.instance = cloud::c6a_large();
+  const atlas::CloudRunResult c6a = atlas::run_on_cloud(corpus, c6a_cfg);
+  TextTable cmp("Instance-type comparison (paper: c6a.large may be more cost-efficient)");
+  cmp.header({"instance", "makespan", "instance-hours", "cost"});
+  cmp.row({"m5.large", fmt_duration(result.makespan),
+           fmt_fixed(result.instance_hours, 1), "$" + fmt_fixed(result.cost_usd, 2)});
+  cmp.row({"c6a.large", fmt_duration(c6a.makespan),
+           fmt_fixed(c6a.instance_hours, 1), "$" + fmt_fixed(c6a.cost_usd, 2)});
+  std::cout << cmp.render();
+  return 0;
+}

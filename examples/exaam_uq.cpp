@@ -1,0 +1,94 @@
+// ExaAM UQ pipeline on the EnTK ensemble manager (paper section 4),
+// scaled to run in seconds: stage 0 (TASMANIAN grid), stage 1
+// (AdditiveFOAM even/odd + ExaCA), stage 3 (ExaConstit ensemble), with a
+// node failure injected mid-run to show the fault-tolerance path.
+//
+//   $ ./exaam_uq [pilot_nodes] [exaconstit_tasks]
+#include <cstdlib>
+#include <iostream>
+
+#include "entk/app_manager.hpp"
+#include "entk/exaam.hpp"
+#include "support/strings.hpp"
+
+using namespace hhc;
+
+int main(int argc, char** argv) {
+  const std::size_t pilot_nodes =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 400;
+  entk::ExaamScale scale;
+  scale.meltpool_cases = 20;
+  scale.microstructure_cases = 60;
+  scale.exaconstit_tasks =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 300;
+
+  std::cout << "ExaAM UQ pipeline on a " << pilot_nodes
+            << "-node Frontier-like pilot\n";
+  std::cout << "  stage 1: " << scale.meltpool_cases << " AdditiveFOAM + "
+            << scale.microstructure_cases << " ExaCA cases\n";
+  std::cout << "  stage 3: " << scale.exaconstit_tasks << " ExaConstit tasks\n\n";
+
+  sim::Simulation sim;
+  cluster::Cluster pilot(cluster::frontier_like(pilot_nodes));
+  entk::EntkConfig config;
+  config.scheduling_rate = 269;
+  config.launching_rate = 51;
+  config.bootstrap_overhead = 85;
+  entk::AppManager app(sim, pilot, config, Rng(2023));
+  // Full UQ pipeline with the paper's two accepted last-step ExaConstit
+  // failures (too-large final time step for their loading condition/RVE).
+  entk::PipelineDesc pipeline;
+  pipeline.name = "uq-full";
+  for (auto part : {entk::make_stage0(scale), entk::make_stage1(scale),
+                    entk::make_stage3(scale, /*terminal_failures=*/2)})
+    for (auto& stage : part.stages) pipeline.stages.push_back(std::move(stage));
+  app.add_pipeline(std::move(pipeline));
+
+  // A hardware failure two simulated hours in: the tasks on that node fail
+  // and are resubmitted automatically (paper section 4.3).
+  app.fail_node_at(hours(2), pilot_nodes / 3);
+
+  // Dynamic workflow (paper section 4: EnTK can "create new workflow stages
+  // based on the status of previously executed stages"): if the ExaConstit
+  // ensemble finishes with accepted failures, append a refinement stage that
+  // reruns those cases with a smaller time step before the optimization.
+  std::size_t refinements = 0;
+  app.set_stage_hook([&](const entk::AppManager::StageStatus& status)
+                         -> std::vector<entk::StageDesc> {
+    if (status.stage_name != "exaconstit" || status.failed == 0) return {};
+    entk::StageDesc refine;
+    refine.name = "exaconstit-refined";
+    for (std::size_t i = 0; i < status.failed; ++i) {
+      entk::TaskDesc t;
+      t.name = "exaconstit-refined-" + std::to_string(i);
+      t.kind = "exaconstit";
+      t.resources.nodes = 8;
+      t.resources.cores_per_node = 56;
+      t.resources.gpus_per_node = 8;
+      t.runtime_min = minutes(20);  // smaller time step: longer run
+      t.runtime_max = minutes(50);
+      refine.tasks.push_back(std::move(t));
+    }
+    refinements = refine.tasks.size();
+    return {refine};
+  });
+
+  const entk::RunReport report = app.run();
+
+  std::cout << "tasks:          " << report.tasks_completed << "/"
+            << report.tasks_total << " completed\n";
+  std::cout << "failures:       " << report.task_failures << " ("
+            << report.resubmissions << " resubmitted)\n";
+  std::cout << "OVH:            " << fmt_duration(report.ovh) << "\n";
+  std::cout << "TTX:            " << fmt_duration(report.ttx) << "\n";
+  std::cout << "job runtime:    " << fmt_duration(report.job_runtime()) << "\n";
+  std::cout << "core util:      " << fmt_pct(report.core_utilization) << "\n";
+  std::cout << "gpu util:       " << fmt_pct(report.gpu_utilization) << "\n";
+  std::cout << "peak tasks:     " << report.executing_series.max_value() << "\n";
+  std::cout << "mean task time: " << fmt_duration(report.task_runtimes.mean())
+            << "\n";
+  if (refinements > 0)
+    std::cout << "dynamic stage:  appended exaconstit-refined with "
+              << refinements << " task(s) after accepted failures\n";
+  return 0;
+}

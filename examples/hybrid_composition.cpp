@@ -1,0 +1,100 @@
+// Hybrid cloud + HPC composition (the "hyper-heterogeneous" umbrella, and
+// the hybrid split §5.3 names as future work): the raw data lives in cloud
+// object storage, so ingest near the data is cheap, while the compute-heavy
+// quantification favours the faster HPC cores. Moving raw bytes across the
+// WAN is what an all-HPC placement pays; moving everything to the slower
+// elastic cores is what an all-cloud placement pays. The composite Toolkit
+// charges WAN transfers on environment-crossing edges automatically.
+//
+//   $ ./hybrid_composition
+#include <iostream>
+
+#include "core/toolkit.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+using namespace hhc;
+
+namespace {
+
+// Per sample: s3-source (pinned to the cloud: that is where the data is)
+// -> ingest (filter/compress, leaves a compact intermediate) -> quant
+// (CPU-heavy) -> one final aggregate.
+wf::Workflow make_ingest_compute(std::size_t samples, Rng rng) {
+  wf::Workflow w("ingest-compute");
+  std::vector<wf::TaskId> quantifies;
+  for (std::size_t i = 0; i < samples; ++i) {
+    wf::TaskSpec source;
+    source.name = "s3-object" + std::to_string(i);
+    source.kind = "s3-source";
+    source.base_runtime = 1.0;  // the object already exists
+    source.resources.cores_per_node = 0.1;
+    const auto t_src = w.add_task(source);
+
+    wf::TaskSpec ingest;
+    ingest.name = "ingest" + std::to_string(i);
+    ingest.kind = "ingest";
+    ingest.base_runtime = rng.uniform(minutes(1), minutes(3));
+    ingest.resources.cores_per_node = 1;
+    const auto t_in = w.add_task(ingest);
+    w.add_dependency(t_src, t_in, gib(8));  // the raw reads
+
+    wf::TaskSpec quant;
+    quant.name = "quant" + std::to_string(i);
+    quant.kind = "quant";
+    quant.base_runtime = rng.uniform(minutes(8), minutes(20));
+    quant.resources.cores_per_node = 4;
+    const auto t_q = w.add_task(quant);
+    w.add_dependency(t_in, t_q, mib(300));  // compact intermediate
+    quantifies.push_back(t_q);
+  }
+  wf::TaskSpec agg;
+  agg.name = "aggregate";
+  agg.kind = "aggregate";
+  agg.base_runtime = minutes(4);
+  const auto t_agg = w.add_task(agg);
+  for (auto q : quantifies) w.add_dependency(q, t_agg, mib(50));
+  return w;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t samples = 24;
+  TextTable t("All-cloud vs all-HPC vs hybrid placement (24 samples, 8 GiB raw each)");
+  t.header({"placement", "makespan", "WAN transfers", "WAN bytes", "WAN time"});
+
+  for (const std::string mode : {"all-cloud", "all-hpc", "hybrid"}) {
+    core::ToolkitConfig cfg;
+    cfg.wan_bandwidth = 12e6;  // a shared campus uplink
+    core::Toolkit toolkit(cfg);
+    const auto cloud = toolkit.add_cloud("ec2", 32, 4, gib(16), 0.9, 45.0);
+    const auto hpc = toolkit.add_hpc(
+        "cluster", cluster::homogeneous_cluster(8, 32, gib(128), 1.5), "cws-rank");
+
+    const wf::Workflow w = make_ingest_compute(samples, Rng(17));
+    std::vector<core::EnvironmentId> assignment(w.task_count(), hpc);
+    for (wf::TaskId i = 0; i < w.task_count(); ++i) {
+      const std::string& kind = w.task(i).kind;
+      if (kind == "s3-source") {
+        assignment[i] = cloud;  // the data lives there in every scenario
+      } else if (mode == "all-cloud") {
+        assignment[i] = cloud;
+      } else if (mode == "hybrid" && kind == "ingest") {
+        assignment[i] = cloud;
+      }
+    }
+    const core::CompositeReport r = toolkit.run(w, assignment);
+    t.row({mode, fmt_duration(r.makespan), std::to_string(r.cross_env_transfers),
+           fmt_bytes(static_cast<double>(r.cross_env_bytes)),
+           fmt_duration(r.transfer_seconds)});
+    if (!r.success) std::cout << mode << " FAILED: " << r.error << "\n";
+  }
+  std::cout << t.render() << "\n";
+  std::cout << "The hybrid split ingests next to the data and ships only the\n"
+               "compact intermediates across the WAN, so it beats all-HPC\n"
+               "(which pulls every raw object through the uplink) and\n"
+               "all-cloud (which runs the heavy quantification on slower,\n"
+               "boot-delayed elastic cores).\n";
+  return 0;
+}

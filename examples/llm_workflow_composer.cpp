@@ -1,0 +1,67 @@
+// Natural-language workflow composition (paper section 2): an instruction
+// drives the Phyloflow pipeline through the function-calling protocol, with
+// injected model errors handled by the planner/executor/debugger agents.
+//
+//   $ ./llm_workflow_composer "run phyloflow on tumor.vcf"
+#include <iostream>
+
+#include "llm/agents.hpp"
+#include "llm/phyloflow.hpp"
+#include "support/strings.hpp"
+
+using namespace hhc;
+
+int main(int argc, char** argv) {
+  const std::string instruction =
+      argc > 1 ? argv[1] : "run phyloflow on tumor.vcf";
+
+  sim::Simulation sim;
+  llm::FutureStore futures;
+  llm::FunctionRegistry registry;
+  llm::register_phyloflow(registry, futures, sim, Rng(7));
+
+  std::cout << "registered functions:\n";
+  for (const auto& name : registry.names()) std::cout << "  " << name << "\n";
+
+  llm::ModelConfig model_config;
+  model_config.miscall_probability = 0.25;  // a flaky model, on purpose
+  llm::ModelStub model(model_config, Rng(11));
+  model.add_recipe(llm::phyloflow_recipe());
+
+  llm::AgentOrchestrator orchestrator(sim, registry, futures, model);
+
+  std::cout << "\ninstruction: \"" << instruction << "\"\n";
+  const llm::Plan plan = orchestrator.plan(instruction);
+  if (plan.functions.empty()) {
+    std::cout << "planner: no plan for this instruction\n";
+    return 1;
+  }
+  std::cout << "planner produced " << plan.functions.size() << " steps on input '"
+            << plan.input << "':\n";
+  for (std::size_t i = 0; i < plan.functions.size(); ++i)
+    std::cout << "  " << i + 1 << ". " << plan.functions[i] << "\n";
+
+  bool success = false;
+  llm::AgentOutcome outcome;
+  orchestrator.run(instruction, [&](llm::AgentOutcome o) {
+    outcome = std::move(o);
+    success = outcome.success;
+  });
+  sim.run();
+
+  std::cout << "\nexecution " << (success ? "succeeded" : "failed") << " after "
+            << fmt_duration(sim.now()) << " simulated\n";
+  std::cout << "  steps executed:     " << outcome.steps_executed << "\n";
+  std::cout << "  debugger repairs:   " << outcome.repairs << "\n";
+  std::cout << "  human escalations:  " << outcome.escalations << "\n";
+  std::cout << "  app futures:        ";
+  for (const auto& id : outcome.future_ids) std::cout << id << " ";
+  std::cout << "\n";
+  if (!outcome.future_ids.empty()) {
+    const llm::AppFuture* last = futures.find(outcome.future_ids.back());
+    if (last && last->output.contains("file"))
+      std::cout << "  final artifact:     " << last->output.at("file").as_string()
+                << "\n";
+  }
+  return success ? 0 : 1;
+}

@@ -1,0 +1,114 @@
+// JAWS-style centralized workflow service (paper section 6): parse a
+// mini-WDL document, review it with the migration linter, apply the task
+// fusion the linter suggests, and run it at two different sites through the
+// central service (Globus-like staging included).
+//
+//   $ ./multisite_jaws
+#include <iostream>
+
+#include "jaws/engine.hpp"
+#include "jaws/linter.hpp"
+#include "jaws/site.hpp"
+#include "jaws/transforms.hpp"
+#include "jaws/wdl_parser.hpp"
+#include "support/strings.hpp"
+
+using namespace hhc;
+
+namespace {
+
+const char* kLegacyWorkflow = R"(
+# Legacy assembly pipeline migrated to WDL: per-sample chain of short steps.
+task filter_reads {
+  input { String sample }
+  command { seqkit fq-filter ${sample} }
+  runtime { cpu: 2  memory: "4G"  container: "seqkit:2.3"  minutes: 4 }
+  output { File clean = "clean.fq" }
+}
+task assemble {
+  input { File reads }
+  command { spades --careful ${reads} }
+  runtime { cpu: 2  memory: "8G"  container: "spades:3.15"  minutes: 6 }
+  output { File contigs = "contigs.fa" }
+}
+task annotate {
+  input { File contigs }
+  command { prokka ${contigs} }
+  runtime { cpu: 2  memory: "4G"  container: "prokka:1.14"  minutes: 5 }
+  output { File gff = "annot.gff" }
+}
+workflow assembly {
+  input { Array[String] samples }
+  scatter (s in samples) {
+    call filter_reads { input: sample = s }
+    call assemble { input: reads = filter_reads.clean }
+    call annotate { input: contigs = assemble.contigs }
+  }
+}
+)";
+
+}  // namespace
+
+int main() {
+  const jaws::Document doc = jaws::parse_wdl(kLegacyWorkflow);
+  jaws::check_document(doc);
+  std::cout << "parsed " << doc.tasks.size() << " tasks, "
+            << doc.workflows.size() << " workflow(s)\n\n";
+
+  std::cout << "--- migration review (linter) ---\n"
+            << jaws::render_findings(jaws::lint_document(doc)) << "\n";
+
+  jaws::FusionReport fusion;
+  const jaws::Document fused = jaws::fuse_linear_chains(doc, "assembly", &fusion);
+  std::cout << "fused " << fusion.chains_fused << " chain(s): "
+            << fusion.calls_before << " calls -> " << fusion.calls_after
+            << " per shard\n\n";
+
+  sim::Simulation sim;
+  jaws::JawsService service(sim);
+  jaws::SiteConfig perlmutter;
+  perlmutter.name = "perlmutter";
+  perlmutter.cluster = cluster::homogeneous_cluster(8, 32, gib(128), 1.4);
+  perlmutter.globus_bandwidth = 400e6;
+  service.add_site(perlmutter);
+  jaws::SiteConfig lawrencium;
+  lawrencium.name = "lawrencium";
+  lawrencium.cluster = cluster::homogeneous_cluster(4, 16, gib(64), 1.0);
+  lawrencium.globus_bandwidth = 120e6;
+  service.add_site(lawrencium);
+
+  Json samples = Json::array();
+  for (int i = 0; i < 16; ++i) samples.push_back("S" + std::to_string(i));
+
+  for (const std::string site : {"perlmutter", "lawrencium"}) {
+    jaws::JawsSubmission sub;
+    sub.doc = &fused;
+    sub.workflow = "assembly";
+    sub.inputs.emplace("samples", samples);
+    sub.site = site;
+    sub.user = "dcassol";
+    sub.stage_in_bytes = gib(12);  // raw reads shipped to the site
+    sub.stage_out_bytes = gib(1);
+    service.submit(sub, [site](jaws::JawsRunResult r) {
+      std::cout << site << ": " << (r.success ? "ok" : "FAILED") << ", "
+                << r.shards << " shards, makespan " << fmt_duration(r.makespan())
+                << " (incl. Globus transfers), " << r.cache_hits
+                << " cache hits\n";
+    });
+  }
+  sim.run();
+
+  // Resubmitting at the same site is nearly free thanks to call caching.
+  jaws::JawsSubmission again;
+  again.doc = &fused;
+  again.workflow = "assembly";
+  again.inputs.emplace("samples", samples);
+  again.site = "perlmutter";
+  again.user = "dcassol";
+  service.submit(again, [](jaws::JawsRunResult r) {
+    std::cout << "perlmutter (rerun): " << r.cache_hits << "/" << r.shards
+              << " cache hits, makespan " << fmt_duration(r.makespan()) << "\n";
+  });
+  sim.run();
+  return 0;
+}

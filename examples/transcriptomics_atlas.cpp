@@ -1,0 +1,52 @@
+// Transcriptomics Atlas pipeline, cloud vs HPC (paper section 5): generate
+// a synthetic SRA corpus, run the Salmon path on both deployments, and
+// print the per-step comparison.
+//
+//   $ ./transcriptomics_atlas [files]
+#include <cstdlib>
+#include <iostream>
+
+#include "atlas/cloud_runner.hpp"
+#include "atlas/hpc_runner.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+using namespace hhc;
+
+int main(int argc, char** argv) {
+  atlas::CorpusParams params;
+  params.files = argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 99;
+  const auto corpus = atlas::make_corpus(params, Rng(2023));
+  std::cout << "corpus: " << corpus.size() << " SRA files, "
+            << fmt_bytes(static_cast<double>(atlas::corpus_bytes(corpus)))
+            << " total\n\n";
+
+  std::cout << "running on EC2 autoscaling group (Fig 7 architecture)...\n";
+  atlas::CloudRunConfig cloud_cfg;
+  cloud_cfg.asg.max_instances = 16;
+  const auto cloud = atlas::run_on_cloud(corpus, cloud_cfg);
+
+  std::cout << "running on HPC cluster (Apptainer containers)...\n\n";
+  const auto hpc = atlas::run_on_hpc(corpus);
+
+  TextTable t("Per-step mean execution time");
+  t.header({"step", "cloud", "HPC", "winner"});
+  for (std::size_t i = 0; i < atlas::kStepCount; ++i) {
+    const double tc = cloud.aggregate.steps[i].durations.mean();
+    const double th = hpc.aggregate.steps[i].durations.mean();
+    std::string winner = "tie";
+    if (th < tc * 0.95) winner = "HPC";
+    if (tc < th * 0.95) winner = "cloud";
+    t.row({atlas::step_name(static_cast<atlas::Step>(i)), fmt_duration(tc),
+           fmt_duration(th), winner});
+  }
+  std::cout << t.render() << "\n";
+
+  std::cout << "cloud:  " << fmt_duration(cloud.makespan) << " makespan, peak "
+            << cloud.peak_fleet << " instances, $"
+            << fmt_fixed(cloud.cost_usd, 2) << "\n";
+  std::cout << "HPC:    " << fmt_duration(hpc.makespan)
+            << " makespan, job efficiency " << fmt_pct(hpc.job_efficiency)
+            << "\n";
+  return 0;
+}

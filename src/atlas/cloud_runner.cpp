@@ -1,0 +1,77 @@
+#include "atlas/cloud_runner.hpp"
+
+#include <map>
+#include <stdexcept>
+
+#include "sim/simulation.hpp"
+
+namespace hhc::atlas {
+
+CloudRunResult run_on_cloud(const std::vector<SraRecord>& corpus,
+                            const CloudRunConfig& config) {
+  sim::Simulation sim;
+  cloud::MessageQueue queue(sim);
+  cloud::ObjectStore s3(sim, config.s3);
+  Rng rng(config.seed);
+
+  // The environment an instance provides to the pipeline.
+  EnvProfile env = config.env;
+  env.cores = config.instance.vcpus;
+  env.cpu_speed = config.instance.cpu_speed;
+  env.disk_bandwidth = std::min(env.disk_bandwidth, config.instance.ebs_bandwidth);
+  env.download_bandwidth =
+      std::min(env.download_bandwidth, config.instance.network_bandwidth);
+  env.memory = config.instance.memory;
+
+  std::map<std::string, const SraRecord*> by_id;
+  for (const auto& r : corpus) by_id.emplace(r.id, &r);
+
+  CloudRunResult result;
+  result.files.reserve(corpus.size());
+  SimTime last_done = 0.0;
+
+  auto worker = [&](const cloud::InstanceState&, const cloud::QueueMessage& msg,
+                    std::function<void()> done) {
+    auto it = by_id.find(msg.body);
+    if (it == by_id.end()) throw std::logic_error("unknown SRA id " + msg.body);
+    Rng file_rng = rng.child(msg.body);
+    FileResult fr = model_file_run(env, *it->second, file_rng, config.path);
+    fr.start_time = sim.now();
+
+    // Sequence the four steps, then upload results to S3.
+    SimTime at = 0.0;
+    for (const auto& s : fr.steps) at += s.duration;
+    sim.schedule_in(at, [&, fr, done = std::move(done)]() mutable {
+      fr.finish_time = sim.now();
+      s3.put("results/" + fr.sra_id + ".quant", config.result_bytes,
+             [&, fr, done = std::move(done)]() mutable {
+               last_done = sim.now();
+               result.aggregate.add(fr);
+               result.files.push_back(std::move(fr));
+               done();
+             });
+    });
+  };
+
+  cloud::AutoScalingGroup asg(sim, queue, config.instance, worker, config.asg);
+  for (const auto& r : corpus) queue.send(r.id);
+  asg.start();
+  asg.drain_and_stop();
+  sim.run();
+
+  if (result.files.size() != corpus.size())
+    throw std::logic_error("cloud run lost files: " +
+                           std::to_string(result.files.size()) + "/" +
+                           std::to_string(corpus.size()));
+
+  result.aggregate.env_name = env.name;
+  result.aggregate.makespan = last_done;
+  result.makespan = last_done;
+  result.instance_hours = asg.instance_hours();
+  result.cost_usd = asg.cost_usd();
+  result.peak_fleet = asg.fleet_series().max_value();
+  result.s3_objects = s3.object_count();
+  return result;
+}
+
+}  // namespace hhc::atlas

@@ -1,0 +1,41 @@
+// Cloud deployment of the Atlas pipeline (paper Fig 7): SQS queue of SRA
+// ids, EC2 autoscaling group, one file start-to-finish per instance,
+// results uploaded to S3.
+#pragma once
+
+#include <vector>
+
+#include "atlas/pipeline.hpp"
+#include "atlas/sra.hpp"
+#include "cloud/autoscaler.hpp"
+#include "cloud/instance.hpp"
+#include "cloud/object_store.hpp"
+
+namespace hhc::atlas {
+
+struct CloudRunConfig {
+  cloud::InstanceType instance = cloud::m5_large();
+  cloud::AsgConfig asg;                 ///< Defaults: min 1 / max 16.
+  cloud::ObjectStoreConfig s3;
+  Bytes result_bytes = mib(50);         ///< Quantification output per file.
+  std::uint64_t seed = 42;
+  EnvProfile env = aws_cloud_env();     ///< Cores/speed overridden by instance.
+  AlignerPath path = AlignerPath::Salmon;  ///< Star needs a >= 250 GiB type.
+};
+
+struct CloudRunResult {
+  RunAggregate aggregate;
+  std::vector<FileResult> files;
+  SimTime makespan = 0.0;
+  double instance_hours = 0.0;
+  double cost_usd = 0.0;
+  double peak_fleet = 0.0;
+  std::size_t s3_objects = 0;
+};
+
+/// Runs the whole corpus through the cloud architecture on a private
+/// simulation; returns when the queue is drained.
+CloudRunResult run_on_cloud(const std::vector<SraRecord>& corpus,
+                            const CloudRunConfig& config = {});
+
+}  // namespace hhc::atlas

@@ -1,0 +1,65 @@
+#include "atlas/hpc_runner.hpp"
+
+#include <stdexcept>
+
+#include "cluster/resource_manager.hpp"
+#include "cluster/schedulers.hpp"
+#include "sim/simulation.hpp"
+
+namespace hhc::atlas {
+
+HpcRunResult run_on_hpc(const std::vector<SraRecord>& corpus,
+                        const HpcRunConfig& config) {
+  sim::Simulation sim;
+  // Step durations already include environment speed, so nodes are speed-1.
+  cluster::Cluster cl(cluster::homogeneous_cluster(
+      config.nodes, config.cores_per_node, config.memory_per_node, 1.0));
+  cluster::ResourceManagerConfig rm_config;
+  rm_config.model_io = false;  // the env profile models the I/O path
+  cluster::ResourceManager rm(sim, cl, std::make_unique<cluster::FifoFitScheduler>(),
+                              rm_config);
+  Rng rng(config.seed);
+
+  HpcRunResult result;
+  result.files.reserve(corpus.size());
+  SimTime last_done = 0.0;
+  double core_seconds = 0.0;
+
+  for (const auto& sra : corpus) {
+    Rng file_rng = rng.child(sra.id);
+    FileResult fr = model_file_run(config.env, sra, file_rng, config.path);
+
+    cluster::JobRequest req;
+    req.name = sra.id;
+    req.kind = "salmon-pipeline";
+    req.resources.nodes = 1;
+    req.resources.cores_per_node = config.cores_per_job;
+    req.resources.memory_per_node = config.memory_per_job;
+    req.runtime = fr.total_duration();
+
+    rm.submit(req, [&result, &last_done, &core_seconds, fr,
+                    cores = config.cores_per_job](const cluster::JobRecord& rec) mutable {
+      if (rec.state != cluster::JobState::Completed)
+        throw std::logic_error("atlas HPC job failed unexpectedly");
+      fr.start_time = rec.start_time;
+      fr.finish_time = rec.finish_time;
+      last_done = rec.finish_time;
+      core_seconds += (rec.finish_time - rec.start_time) * cores;
+      result.aggregate.add(fr);
+      result.files.push_back(std::move(fr));
+    });
+  }
+
+  sim.run();
+  if (result.files.size() != corpus.size())
+    throw std::logic_error("hpc run lost files");
+
+  result.aggregate.env_name = config.env.name;
+  result.aggregate.makespan = last_done;
+  result.makespan = last_done;
+  const double total_cores = config.cores_per_node * static_cast<double>(config.nodes);
+  if (last_done > 0) result.job_efficiency = core_seconds / (total_cores * last_done);
+  return result;
+}
+
+}  // namespace hhc::atlas

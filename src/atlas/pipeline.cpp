@@ -1,0 +1,214 @@
+#include "atlas/pipeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hhc::atlas {
+
+const char* to_string(AlignerPath p) noexcept {
+  return p == AlignerPath::Salmon ? "salmon" : "star";
+}
+
+const char* step_name(Step s) noexcept {
+  switch (s) {
+    case Step::Prefetch: return "prefetch";
+    case Step::FasterqDump: return "fasterq-dump";
+    case Step::Salmon: return "salmon";
+    case Step::Deseq2: return "deseq2";
+  }
+  return "?";
+}
+
+EnvProfile aws_cloud_env() {
+  EnvProfile env;
+  env.name = "aws-cloud";
+  env.cores = 2;
+  env.cpu_speed = 1.0;
+  env.download_bandwidth = 60e6;  // S3 via AWS backbone: prefetch is fast
+  env.disk_bandwidth = 85e6;      // gp2 EBS effective throughput (high iowait)
+  env.memory = gib(8);
+  env.container_startup = 0.0;
+  return env;
+}
+
+EnvProfile hpc_ares_env() {
+  EnvProfile env;
+  env.name = "hpc-ares";
+  env.cores = 2;
+  env.cpu_speed = 1.23;            // newer server CPUs: salmon ~19% faster
+  env.download_bandwidth = 17e6;   // WAN path to NCBI: prefetch much slower
+  env.disk_bandwidth = 125e6;      // Lustre scratch: fasterq ~30% faster
+  env.memory = gib(8);
+  env.container_startup = 8.0;     // Apptainer image start + bind mounts
+  return env;
+}
+
+namespace {
+
+// Lognormal multiplicative jitter with unit mean.
+double jitter(Rng& rng, double cv) {
+  if (cv <= 0) return 1.0;
+  const double sigma2 = std::log(1.0 + cv * cv);
+  return rng.lognormal(-0.5 * sigma2, std::sqrt(sigma2));
+}
+
+double clamp_pct(double v) { return std::clamp(v, 0.0, 100.0); }
+
+// Salmon work factor: seconds per fastq byte per (core x speed).
+constexpr double kSalmonWorkFactor = 1.63e-7;
+// STAR does full alignment: roughly 3x the pseudo-alignment work.
+constexpr double kStarWorkFactor = 4.9e-7;
+// DESeq2 is a near-constant R step on count matrices.
+constexpr double kDeseqBase = 9.0;
+constexpr double kDeseqPerByte = 4.0e-10;
+// Memory model anchors (Table 1: baseline memory approx 300 MB).
+constexpr double kBaselineMem = 300e6;
+
+StepMetrics prefetch_metrics(Rng& rng, double /*size_scale*/) {
+  StepMetrics m;
+  m.cpu_mean = clamp_pct(rng.truncated_normal(21, 6, 5, 60));
+  m.cpu_max = clamp_pct(std::max(m.cpu_mean, rng.truncated_normal(55, 8, 30, 71)));
+  m.iowait_mean = clamp_pct(rng.truncated_normal(3.7, 1.5, 0.5, 15));
+  m.iowait_max = clamp_pct(std::max(m.iowait_mean, rng.truncated_normal(34, 7, 5, 48)));
+  m.mem_mean = static_cast<Bytes>(rng.truncated_normal(323e6, 15e6, 300e6, 380e6));
+  m.mem_max = static_cast<Bytes>(
+      std::max<double>(static_cast<double>(m.mem_mean),
+                       rng.truncated_normal(380e6, 20e6, 330e6, 430e6)));
+  return m;
+}
+
+StepMetrics fasterq_metrics(Rng& rng, double size_scale) {
+  StepMetrics m;
+  m.cpu_mean = clamp_pct(rng.truncated_normal(56, 10, 25, 85));
+  m.cpu_max = clamp_pct(std::max(m.cpu_mean, rng.truncated_normal(87, 4, 60, 95)));
+  // The paper flags high CPU iowait here (EBS-bound conversion).
+  m.iowait_mean = clamp_pct(rng.truncated_normal(26, 8, 8, 60));
+  m.iowait_max = clamp_pct(std::max(m.iowait_mean, rng.truncated_normal(78, 8, 40, 92)));
+  m.mem_mean = static_cast<Bytes>(rng.truncated_normal(394e6, 40e6, 320e6, 520e6));
+  m.mem_max = static_cast<Bytes>(std::max<double>(
+      static_cast<double>(m.mem_mean),
+      kBaselineMem + 100e6 * size_scale + rng.normal(0, 20e6)));
+  return m;
+}
+
+StepMetrics salmon_metrics(Rng& rng, double size_scale) {
+  StepMetrics m;
+  m.cpu_mean = clamp_pct(rng.truncated_normal(94, 3, 80, 100));
+  m.cpu_max = 100.0;
+  m.iowait_mean = clamp_pct(rng.truncated_normal(1.5, 0.7, 0.1, 6));
+  m.iowait_max = clamp_pct(std::max(m.iowait_mean, rng.truncated_normal(45, 25, 2, 95)));
+  // Salmon memory scales with input; the biggest files hit ~2.8 GB while
+  // the mean file (size_scale ~ 1) sits near the paper's 840 MB mean.
+  const double mem = kBaselineMem + 540e6 * size_scale;
+  m.mem_mean = static_cast<Bytes>(std::max(420e6, mem + rng.normal(0, 30e6)));
+  m.mem_max = static_cast<Bytes>(static_cast<double>(m.mem_mean) *
+                                 rng.uniform(1.02, 1.10));
+  return m;
+}
+
+StepMetrics star_metrics(Rng& rng, double size_scale, const EnvProfile& env) {
+  StepMetrics m;
+  m.cpu_mean = clamp_pct(rng.truncated_normal(90, 4, 70, 100));
+  m.cpu_max = 100.0;
+  m.iowait_mean = clamp_pct(rng.truncated_normal(4.0, 1.5, 0.5, 12));
+  m.iowait_max = clamp_pct(std::max(m.iowait_mean, rng.truncated_normal(55, 20, 5, 95)));
+  // STAR holds the whole-genome index in memory plus per-read buffers.
+  const double mem = static_cast<double>(env.star_index_bytes) +
+                     30e9 * 0.12 * size_scale;
+  m.mem_mean = static_cast<Bytes>(mem * rng.uniform(0.92, 0.98));
+  m.mem_max = static_cast<Bytes>(mem * rng.uniform(1.0, 1.06));
+  return m;
+}
+
+StepMetrics deseq_metrics(Rng& rng, double size_scale) {
+  StepMetrics m;
+  m.cpu_mean = clamp_pct(rng.truncated_normal(39, 6, 20, 60));
+  m.cpu_max = clamp_pct(std::max(m.cpu_mean, rng.truncated_normal(52, 4, 35, 60)));
+  m.iowait_mean = clamp_pct(rng.truncated_normal(3.4, 1.2, 0.5, 10));
+  m.iowait_max = clamp_pct(std::max(m.iowait_mean, rng.truncated_normal(34, 7, 5, 48)));
+  m.mem_mean = static_cast<Bytes>(rng.truncated_normal(532e6, 50e6, 420e6, 700e6));
+  m.mem_max = static_cast<Bytes>(std::max<double>(
+      static_cast<double>(m.mem_mean),
+      kBaselineMem + 160e6 * size_scale + rng.normal(0, 40e6)));
+  return m;
+}
+
+}  // namespace
+
+FileResult model_file_run(const EnvProfile& env, const SraRecord& sra, Rng& rng,
+                          AlignerPath path) {
+  if (path == AlignerPath::Star && env.memory < env.star_memory_required)
+    throw EnvironmentError(
+        "STAR path needs " + std::to_string(env.star_memory_required / gib(1)) +
+        " GiB RAM; environment '" + env.name + "' has " +
+        std::to_string(env.memory / gib(1)) + " GiB");
+
+  FileResult out;
+  out.sra_id = sra.id;
+  out.sra_bytes = sra.sra_bytes;
+
+  const double sra_b = static_cast<double>(sra.sra_bytes);
+  const double fastq_b = static_cast<double>(sra.fastq_bytes());
+  // Size scale ~1.0 for the mean 2.2 GB file; drives memory envelopes.
+  const double size_scale = sra_b / 2.2e9;
+
+  // prefetch: bandwidth-bound download of the .sra file.
+  auto& pf = out.steps[0];
+  pf.step = Step::Prefetch;
+  pf.duration = env.container_startup +
+                sra_b / env.download_bandwidth * jitter(rng, env.runtime_jitter_cv);
+  pf.metrics = prefetch_metrics(rng, size_scale);
+
+  // fasterq-dump: disk-bound .sra -> .fastq conversion (reads + writes).
+  auto& fq = out.steps[1];
+  fq.step = Step::FasterqDump;
+  fq.duration = fastq_b / env.disk_bandwidth * jitter(rng, env.runtime_jitter_cv);
+  fq.metrics = fasterq_metrics(rng, size_scale);
+
+  // Alignment/quantification: Salmon (pseudo-alignment) or STAR (full
+  // alignment against the whole-genome index).
+  auto& sa = out.steps[2];
+  sa.step = Step::Salmon;
+  if (path == AlignerPath::Salmon) {
+    sa.duration = kSalmonWorkFactor * fastq_b /
+                  (static_cast<double>(env.cores) * env.cpu_speed) *
+                  jitter(rng, env.runtime_jitter_cv);
+    sa.metrics = salmon_metrics(rng, size_scale);
+  } else {
+    SimTime index_load = 0.0;
+    if (!env.star_index_resident)
+      index_load = static_cast<double>(env.star_index_bytes) / env.disk_bandwidth;
+    sa.duration = index_load +
+                  kStarWorkFactor * fastq_b /
+                      (static_cast<double>(env.cores) * env.cpu_speed) *
+                      jitter(rng, env.runtime_jitter_cv);
+    sa.metrics = star_metrics(rng, size_scale, env);
+  }
+
+  // DESeq2: near-constant count normalization.
+  auto& de = out.steps[3];
+  de.step = Step::Deseq2;
+  de.duration =
+      (kDeseqBase + kDeseqPerByte * sra_b) * jitter(rng, env.runtime_jitter_cv);
+  de.metrics = deseq_metrics(rng, size_scale);
+
+  return out;
+}
+
+void RunAggregate::add(const FileResult& fr) {
+  ++files;
+  file_durations.add(fr.total_duration());
+  for (std::size_t i = 0; i < kStepCount; ++i) {
+    auto& agg = steps[i];
+    const auto& s = fr.steps[i];
+    agg.durations.add(s.duration);
+    agg.cpu_mean.add(s.metrics.cpu_mean);
+    agg.cpu_max.add(s.metrics.cpu_max);
+    agg.iowait_mean.add(s.metrics.iowait_mean);
+    agg.iowait_max.add(s.metrics.iowait_max);
+    agg.mem_mean.add(static_cast<double>(s.metrics.mem_mean));
+    agg.mem_max.add(static_cast<double>(s.metrics.mem_max));
+  }
+}
+
+}  // namespace hhc::atlas

@@ -1,0 +1,123 @@
+// The Salmon-path Transcriptomics Atlas pipeline cost model (paper §5.1):
+//   prefetch -> fasterq-dump -> salmon -> DESeq2
+//
+// Durations and resource envelopes are parameterized by the execution
+// environment (cloud instance vs HPC container) and the input file size.
+// Calibration targets are the paper's Tables 1 and 2; see EXPERIMENTS.md
+// for paper-vs-measured values.
+#pragma once
+
+#include <array>
+#include <stdexcept>
+#include <string>
+
+#include "atlas/sra.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/units.hpp"
+
+namespace hhc::atlas {
+
+enum class Step { Prefetch = 0, FasterqDump = 1, Salmon = 2, Deseq2 = 3 };
+inline constexpr std::size_t kStepCount = 4;
+const char* step_name(Step s) noexcept;
+
+/// Which alignment path step 2 uses (paper §5.1): the fast pseudo-alignment
+/// Salmon path, or the accurate alignment STAR path the paper defers to
+/// future work (90 GB whole-genome index, > 250 GB RAM).
+enum class AlignerPath { Salmon, Star };
+const char* to_string(AlignerPath p) noexcept;
+
+/// Thrown when an environment cannot host a path (e.g. STAR on an 8 GiB
+/// instance: the index alone does not fit).
+class EnvironmentError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Where the pipeline runs; encodes the I/O and CPU characteristics that
+/// drive the cloud-vs-HPC differences of Table 2.
+struct EnvProfile {
+  std::string name = "aws-cloud";
+  int cores = 2;                      ///< Cores available to one pipeline.
+  double cpu_speed = 1.0;             ///< Relative single-core speed.
+  double download_bandwidth = 60e6;   ///< prefetch source bandwidth, bytes/s.
+  double disk_bandwidth = 85e6;       ///< Effective scratch/EBS bandwidth.
+  Bytes memory = gib(8);
+  SimTime container_startup = 0.0;    ///< Apptainer startup on HPC.
+  double runtime_jitter_cv = 0.08;    ///< Lognormal noise on each step.
+
+  // --- STAR path parameters (paper §5.1) ---
+  Bytes star_index_bytes = gib(90);   ///< Whole-genome index size.
+  Bytes star_memory_required = gib(250);  ///< Peak RAM to load the index.
+  /// True when the index is resident (pre-staged on SCRATCH and mounted, or
+  /// cached on the instance); false means every file pays the index load.
+  bool star_index_resident = false;
+};
+
+/// The EC2 deployment of the paper (m5.large-class, S3-backbone prefetch:
+/// "report-cloud-instance-identity" makes downloads come from S3 directly).
+EnvProfile aws_cloud_env();
+
+/// The Ares-cluster deployment: faster CPUs and scratch, WAN prefetch,
+/// Apptainer container startup cost.
+EnvProfile hpc_ares_env();
+
+/// Instance-wide metrics sampled while a step runs (Table 1's columns).
+struct StepMetrics {
+  double cpu_mean = 0.0;     ///< % of instance CPU.
+  double cpu_max = 0.0;
+  double iowait_mean = 0.0;  ///< % CPU iowait.
+  double iowait_max = 0.0;
+  Bytes mem_mean = 0;
+  Bytes mem_max = 0;
+};
+
+/// One step of one file: how long it took and what it consumed.
+struct StepResult {
+  Step step = Step::Prefetch;
+  SimTime duration = 0.0;
+  StepMetrics metrics;
+};
+
+/// A whole file's pipeline execution.
+struct FileResult {
+  std::string sra_id;
+  Bytes sra_bytes = 0;
+  std::array<StepResult, kStepCount> steps;
+  SimTime start_time = 0.0;
+  SimTime finish_time = 0.0;
+
+  SimTime total_duration() const noexcept {
+    SimTime t = 0;
+    for (const auto& s : steps) t += s.duration;
+    return t;
+  }
+};
+
+/// Computes the four step durations + metrics for one file in one
+/// environment. Pure model; the runners turn this into simulated time.
+/// Throws EnvironmentError if the path's memory floor exceeds env.memory
+/// (STAR on a small instance).
+FileResult model_file_run(const EnvProfile& env, const SraRecord& sra, Rng& rng,
+                          AlignerPath path = AlignerPath::Salmon);
+
+/// Aggregate of many FileResults, per step (Table 1 / Table 2 rows).
+struct StepAggregate {
+  Sample durations;
+  OnlineStats cpu_mean, cpu_max;
+  OnlineStats iowait_mean, iowait_max;
+  OnlineStats mem_mean, mem_max;
+};
+
+struct RunAggregate {
+  std::string env_name;
+  std::array<StepAggregate, kStepCount> steps;
+  Sample file_durations;
+  SimTime makespan = 0.0;
+  std::size_t files = 0;
+
+  void add(const FileResult& fr);
+};
+
+}  // namespace hhc::atlas

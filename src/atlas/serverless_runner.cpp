@@ -1,0 +1,78 @@
+#include "atlas/serverless_runner.hpp"
+
+#include <deque>
+
+#include "sim/simulation.hpp"
+
+namespace hhc::atlas {
+
+ServerlessRunResult run_on_serverless(const std::vector<SraRecord>& corpus,
+                                      const ServerlessConfig& config) {
+  if (config.path == AlignerPath::Star)
+    throw EnvironmentError(
+        "the STAR pipeline exceeds serverless limits (90 GB index, > 250 GB "
+        "RAM); only the Salmon path deploys to Fargate-like services");
+
+  sim::Simulation sim;
+  Rng rng(config.seed);
+
+  EnvProfile env = config.env;
+  env.name = "aws-serverless";
+  env.cores = static_cast<int>(config.vcpus);
+  env.disk_bandwidth = config.disk_bandwidth;
+  env.memory = config.memory;
+
+  ServerlessRunResult result;
+  result.files.reserve(corpus.size());
+  result.aggregate.env_name = env.name;
+
+  std::deque<const SraRecord*> pending;
+  for (const auto& sra : corpus) pending.push_back(&sra);
+  std::size_t in_flight = 0;
+  SimTime last_done = 0.0;
+  double task_seconds = 0.0;
+
+  // Launches tasks while the concurrency cap allows; each completion frees
+  // a slot and pulls the next file.
+  std::function<void()> pump = [&] {
+    while (in_flight < config.max_concurrency && !pending.empty()) {
+      const SraRecord* sra = pending.front();
+      pending.pop_front();
+
+      // Footprint check: .sra + .fastq must fit the ephemeral volume.
+      if (sra->sra_bytes + sra->fastq_bytes() > config.ephemeral_storage) {
+        ++result.rejected;
+        continue;
+      }
+
+      ++in_flight;
+      ++result.cold_starts;
+      Rng file_rng = rng.child(sra->id);
+      FileResult fr = model_file_run(env, *sra, file_rng, config.path);
+      fr.start_time = sim.now();
+      const SimTime duration = config.cold_start + fr.total_duration();
+      sim.schedule_in(duration, [&, fr, duration]() mutable {
+        fr.finish_time = sim.now();
+        last_done = sim.now();
+        task_seconds += duration;
+        result.aggregate.add(fr);
+        result.files.push_back(std::move(fr));
+        --in_flight;
+        pump();
+      });
+    }
+  };
+  pump();
+  sim.run();
+
+  result.makespan = last_done;
+  result.aggregate.makespan = last_done;
+  result.task_hours = task_seconds / 3600.0;
+  const double gb = static_cast<double>(config.memory) / 1e9;
+  result.cost_usd = result.task_hours *
+                    (config.vcpus * config.usd_per_vcpu_hour +
+                     gb * config.usd_per_gb_hour);
+  return result;
+}
+
+}  // namespace hhc::atlas

@@ -1,0 +1,47 @@
+// Serverless deployment of the Salmon pipeline (paper §5.3: "deploy Salmon
+// Pipeline to serverless computing services (e.g. AWS Elastic Container
+// Service with Fargate launch type)"). One task invocation per SRA file:
+// pull the container image (cold start), run the four steps on capped vCPU
+// and ephemeral storage, pay per vCPU-second and GB-second.
+//
+// The Salmon path fits serverless limits ("sufficient resource requirements
+// in contrary to the STAR Pipeline"); requesting the STAR path throws.
+#pragma once
+
+#include <vector>
+
+#include "atlas/pipeline.hpp"
+#include "atlas/sra.hpp"
+
+namespace hhc::atlas {
+
+struct ServerlessConfig {
+  double vcpus = 2.0;                 ///< Fargate task size.
+  Bytes memory = gib(8);
+  Bytes ephemeral_storage = gib(40);  ///< Must hold .sra + .fastq.
+  double disk_bandwidth = 60e6;       ///< Ephemeral storage is slower than EBS.
+  std::size_t max_concurrency = 100;  ///< Account-level task cap.
+  SimTime cold_start = 35.0;          ///< Image pull + sandbox start.
+  double usd_per_vcpu_hour = 0.04048;
+  double usd_per_gb_hour = 0.004445;
+  std::uint64_t seed = 42;
+  EnvProfile env = aws_cloud_env();   ///< Cores/disk overridden by task size.
+  AlignerPath path = AlignerPath::Salmon;
+};
+
+struct ServerlessRunResult {
+  RunAggregate aggregate;
+  std::vector<FileResult> files;
+  SimTime makespan = 0.0;
+  double task_hours = 0.0;       ///< Sum of task durations (incl. cold start).
+  double cost_usd = 0.0;
+  std::size_t cold_starts = 0;
+  std::size_t rejected = 0;      ///< Files whose footprint exceeded the limits.
+};
+
+/// Runs the corpus as independent serverless task invocations, bounded by
+/// the account concurrency cap. Throws EnvironmentError for the STAR path.
+ServerlessRunResult run_on_serverless(const std::vector<SraRecord>& corpus,
+                                      const ServerlessConfig& config = {});
+
+}  // namespace hhc::atlas

@@ -1,0 +1,33 @@
+#include "atlas/sra.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace hhc::atlas {
+
+std::vector<SraRecord> make_corpus(const CorpusParams& params, Rng rng) {
+  std::vector<SraRecord> corpus;
+  corpus.reserve(params.files);
+  const double sigma2 = std::log(1.0 + params.cv * params.cv);
+  const double mu = std::log(params.mean_bytes) - 0.5 * sigma2;
+  for (std::size_t i = 0; i < params.files; ++i) {
+    SraRecord r;
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "SRR%07zu", i + 1);
+    r.id = buf;
+    r.tissue = params.tissues.empty()
+                   ? "unknown"
+                   : params.tissues[i % params.tissues.size()];
+    r.sra_bytes = static_cast<Bytes>(rng.lognormal(mu, std::sqrt(sigma2)));
+    corpus.push_back(std::move(r));
+  }
+  return corpus;
+}
+
+Bytes corpus_bytes(const std::vector<SraRecord>& corpus) {
+  Bytes total = 0;
+  for (const auto& r : corpus) total += r.sra_bytes;
+  return total;
+}
+
+}  // namespace hhc::atlas

@@ -1,0 +1,40 @@
+// Synthetic SRA corpus (substitute for NCBI .sra downloads, DESIGN.md §2).
+//
+// The paper's experiment processes 99 SRA files; the atlas target is 20
+// human tissues / 8.6 TB. We generate reproducible corpora with lognormal
+// file sizes and tissue labels so experiments can sweep corpus composition.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/rng.hpp"
+#include "support/units.hpp"
+
+namespace hhc::atlas {
+
+struct SraRecord {
+  std::string id;        ///< e.g. "SRR0000042".
+  std::string tissue;    ///< e.g. "liver".
+  Bytes sra_bytes = 0;   ///< Compressed .sra size.
+
+  /// fasterq-dump output is a fixed expansion of the .sra input.
+  Bytes fastq_bytes() const noexcept {
+    return static_cast<Bytes>(static_cast<double>(sra_bytes) * 3.2);
+  }
+};
+
+struct CorpusParams {
+  std::size_t files = 99;              ///< Paper experiment: 99 files.
+  double mean_bytes = 2.2e9;           ///< Mean .sra size.
+  double cv = 0.8;                     ///< Size spread (lognormal).
+  std::vector<std::string> tissues = {"liver", "heart", "kidney", "lung", "brain"};
+};
+
+/// Generates a reproducible corpus.
+std::vector<SraRecord> make_corpus(const CorpusParams& params, Rng rng);
+
+/// Total size of a corpus.
+Bytes corpus_bytes(const std::vector<SraRecord>& corpus);
+
+}  // namespace hhc::atlas

@@ -1,0 +1,154 @@
+#include "cloud/autoscaler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "support/log.hpp"
+
+namespace hhc::cloud {
+
+AutoScalingGroup::AutoScalingGroup(sim::Simulation& sim, MessageQueue& queue,
+                                   InstanceType type, WorkerFn worker, AsgConfig config)
+    : sim_(sim), queue_(queue), type_(std::move(type)), worker_(std::move(worker)),
+      config_(config) {
+  if (!worker_) throw std::invalid_argument("AutoScalingGroup: null worker");
+  if (config_.min_instances > config_.max_instances)
+    throw std::invalid_argument("AutoScalingGroup: min > max");
+}
+
+void AutoScalingGroup::start() {
+  if (started_) throw std::logic_error("AutoScalingGroup: already started");
+  started_ = true;
+  for (std::size_t i = 0; i < config_.min_instances; ++i) launch_instance();
+  evaluate_scaling();
+}
+
+void AutoScalingGroup::drain_and_stop() { draining_ = true; }
+
+std::size_t AutoScalingGroup::ready_count() const {
+  std::size_t n = 0;
+  for (const auto& [id, inst] : instances_)
+    if (inst.ready && !inst.terminating) ++n;
+  return n;
+}
+
+std::size_t AutoScalingGroup::busy_count() const {
+  std::size_t n = 0;
+  for (const auto& [id, inst] : instances_)
+    if (inst.busy) ++n;
+  return n;
+}
+
+double AutoScalingGroup::instance_hours() const {
+  double secs = instance_seconds_;
+  for (const auto& [id, inst] : instances_) secs += sim_.now() - inst.launched_at;
+  return secs / 3600.0;
+}
+
+double AutoScalingGroup::cost_usd() const {
+  return instance_hours() * type_.hourly_cost_usd;
+}
+
+void AutoScalingGroup::launch_instance() {
+  const std::uint64_t id = next_id_++;
+  InstanceState inst;
+  inst.id = id;
+  inst.type = type_;
+  inst.launched_at = sim_.now();
+  inst.ready_at = sim_.now() + type_.boot_time;
+  instances_.emplace(id, inst);
+  fleet_level_.change(sim_.now(), 1.0);
+  sim_.schedule_in(type_.boot_time, [this, id] {
+    auto it = instances_.find(id);
+    if (it == instances_.end()) return;
+    it->second.ready = true;
+    idle_since_[id] = sim_.now();
+    worker_loop(id);
+  });
+}
+
+void AutoScalingGroup::terminate_instance(std::uint64_t id) {
+  auto it = instances_.find(id);
+  if (it == instances_.end()) return;
+  instance_seconds_ += sim_.now() - it->second.launched_at;
+  instances_.erase(it);
+  idle_since_.erase(id);
+  fleet_level_.change(sim_.now(), -1.0);
+}
+
+void AutoScalingGroup::worker_loop(std::uint64_t id) {
+  auto it = instances_.find(id);
+  if (it == instances_.end()) return;
+  InstanceState& inst = it->second;
+  if (!inst.ready || inst.busy || inst.terminating) return;
+
+  auto msg = queue_.receive();
+  if (!msg) {
+    idle_since_.try_emplace(id, sim_.now());
+    if (draining_ && queue_.empty()) {
+      terminate_instance(id);
+      if (instances_.empty()) stopped_ = true;
+      return;
+    }
+    sim_.schedule_in(config_.idle_poll, [this, id] { worker_loop(id); });
+    return;
+  }
+
+  idle_since_.erase(id);
+  inst.busy = true;
+  const std::uint64_t msg_id = msg->id;
+  worker_(inst, *msg, [this, id, msg_id] {
+    queue_.delete_message(msg_id);
+    ++processed_;
+    auto iit = instances_.find(id);
+    if (iit == instances_.end()) return;
+    iit->second.busy = false;
+    ++iit->second.messages_processed;
+    idle_since_[id] = sim_.now();
+    worker_loop(id);
+  });
+}
+
+void AutoScalingGroup::evaluate_scaling() {
+  if (stopped_) return;
+  if (draining_ && queue_.empty() && instances_.empty()) {
+    stopped_ = true;
+    return;
+  }
+
+  const double backlog = static_cast<double>(queue_.visible_count());
+  const std::size_t fleet = instances_.size();
+
+  // Scale out: want ceil(backlog / target) instances, bounded by max.
+  const auto desired = static_cast<std::size_t>(
+      std::max<double>(static_cast<double>(config_.min_instances),
+                       std::ceil(backlog / config_.backlog_per_instance)));
+  const std::size_t target = std::min(desired, config_.max_instances);
+  for (std::size_t i = fleet; i < target; ++i) launch_instance();
+
+  // Scale in: terminate instances idle beyond the threshold (never below
+  // min unless draining).
+  std::vector<std::uint64_t> to_kill;
+  const std::size_t floor = draining_ ? 0 : config_.min_instances;
+  std::size_t alive = instances_.size();
+  for (const auto& [id, since] : idle_since_) {
+    if (alive <= floor) break;
+    const auto& inst = instances_.at(id);
+    if (!inst.busy && sim_.now() - since >= config_.scale_in_idle) {
+      to_kill.push_back(id);
+      --alive;
+    }
+  }
+  for (auto id : to_kill) terminate_instance(id);
+  if (draining_ && queue_.empty()) {
+    // Workers self-terminate as they find the queue empty; do not keep the
+    // event loop alive with further evaluations.
+    stopped_ = instances_.empty();
+    return;
+  }
+
+  sim_.schedule_in(config_.evaluate_every, [this] { evaluate_scaling(); });
+}
+
+}  // namespace hhc::cloud

@@ -1,0 +1,77 @@
+// Auto-Scaling Group model: a fleet of worker instances consuming a message
+// queue, scaled on backlog (the paper's cloud architecture, Fig 7: SQS +
+// EC2 ASG, one SRA file processed per instance from start to finish).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "cloud/instance.hpp"
+#include "cloud/queue.hpp"
+#include "sim/simulation.hpp"
+#include "support/stats.hpp"
+
+namespace hhc::cloud {
+
+struct AsgConfig {
+  std::size_t min_instances = 1;
+  std::size_t max_instances = 16;
+  double backlog_per_instance = 2.0;  ///< Target visible messages per instance.
+  SimTime evaluate_every = 60.0;      ///< Scaling evaluation period.
+  SimTime idle_poll = 5.0;            ///< Worker poll period when queue empty.
+  SimTime scale_in_idle = 300.0;      ///< Terminate an idle worker after this.
+};
+
+/// Processes one message on one instance; call `done` when finished.
+using WorkerFn = std::function<void(const InstanceState& instance,
+                                    const QueueMessage& message,
+                                    std::function<void()> done)>;
+
+class AutoScalingGroup {
+ public:
+  AutoScalingGroup(sim::Simulation& sim, MessageQueue& queue, InstanceType type,
+                   WorkerFn worker, AsgConfig config = {});
+
+  /// Launches the minimum fleet and starts the scaling loop. The loop stops
+  /// evaluating once `drain()` has been requested and the queue is empty.
+  void start();
+
+  /// Tells the group to terminate everything once the queue fully drains.
+  void drain_and_stop();
+
+  std::size_t instance_count() const noexcept { return instances_.size(); }
+  std::size_t ready_count() const;
+  std::size_t busy_count() const;
+  bool stopped() const noexcept { return stopped_; }
+
+  /// Accumulated instance-hours (for cost accounting).
+  double instance_hours() const;
+  double cost_usd() const;
+  const StepSeries& fleet_series() const noexcept { return fleet_level_.series(); }
+  std::size_t messages_processed() const noexcept { return processed_; }
+
+ private:
+  void launch_instance();
+  void terminate_instance(std::uint64_t id);
+  void evaluate_scaling();
+  void worker_loop(std::uint64_t id);
+
+  sim::Simulation& sim_;
+  MessageQueue& queue_;
+  InstanceType type_;
+  WorkerFn worker_;
+  AsgConfig config_;
+
+  std::map<std::uint64_t, InstanceState> instances_;
+  std::map<std::uint64_t, SimTime> idle_since_;
+  std::uint64_t next_id_ = 1;
+  bool started_ = false;
+  bool draining_ = false;
+  bool stopped_ = false;
+  std::size_t processed_ = 0;
+  double instance_seconds_ = 0.0;  ///< Finalized on termination.
+  LevelTracker fleet_level_;
+};
+
+}  // namespace hhc::cloud

@@ -1,0 +1,41 @@
+#include "cloud/instance.hpp"
+
+namespace hhc::cloud {
+
+InstanceType m5_large() {
+  InstanceType t;
+  t.name = "m5.large";
+  t.vcpus = 2;
+  t.memory = gib(8);
+  t.cpu_speed = 1.0;
+  t.ebs_bandwidth = 150e6;
+  t.network_bandwidth = 600e6;
+  t.hourly_cost_usd = 0.096;
+  return t;
+}
+
+InstanceType c6a_large() {
+  InstanceType t;
+  t.name = "c6a.large";
+  t.vcpus = 2;
+  t.memory = gib(4);
+  t.cpu_speed = 1.1;
+  t.ebs_bandwidth = 150e6;
+  t.network_bandwidth = 780e6;
+  t.hourly_cost_usd = 0.0765;
+  return t;
+}
+
+InstanceType r5_8xlarge() {
+  InstanceType t;
+  t.name = "r5.8xlarge";
+  t.vcpus = 32;
+  t.memory = gib(256);
+  t.cpu_speed = 1.0;
+  t.ebs_bandwidth = 850e6;
+  t.network_bandwidth = 1250e6;
+  t.hourly_cost_usd = 2.016;
+  return t;
+}
+
+}  // namespace hhc::cloud

@@ -1,0 +1,49 @@
+// Cloud instance model (EC2-like), as used by the Transcriptomics Atlas
+// architecture (paper §5.1): each SRA file is processed start-to-finish on
+// one instance, so the instance's vCPU count, memory, EBS bandwidth and
+// network bandwidth bound every pipeline step.
+#pragma once
+
+#include <string>
+
+#include "support/units.hpp"
+
+namespace hhc::cloud {
+
+/// Static description of an instance type.
+struct InstanceType {
+  std::string name = "m5.large";
+  int vcpus = 2;
+  Bytes memory = gib(8);
+  double cpu_speed = 1.0;          ///< Relative single-core speed.
+  double ebs_bandwidth = 150e6;    ///< Instance <-> EBS volume, bytes/s.
+  double network_bandwidth = 600e6;///< Instance <-> S3/backbone, bytes/s.
+  double hourly_cost_usd = 0.096;
+  SimTime boot_time = 60.0;        ///< Launch-to-ready latency.
+};
+
+/// The m5.large-class general instance the paper's experiment used
+/// (2 vCPU, 8 GiB).
+InstanceType m5_large();
+
+/// The compute-optimized alternative Table 1's discussion suggests
+/// (c6a.large: 2 vCPU, 4 GiB, cheaper, slightly faster cores).
+InstanceType c6a_large();
+
+/// A bigger memory-optimized type (for the future STAR pipeline: the STAR
+/// index needs > 250 GB RAM, paper §5.1).
+InstanceType r5_8xlarge();
+
+/// Runtime state of one instance in an autoscaling group.
+struct InstanceState {
+  std::uint64_t id = 0;
+  InstanceType type;
+  SimTime launched_at = 0.0;
+  SimTime ready_at = 0.0;
+  bool ready = false;
+  bool busy = false;
+  bool terminating = false;
+  std::size_t messages_processed = 0;
+};
+
+}  // namespace hhc::cloud

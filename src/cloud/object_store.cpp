@@ -1,0 +1,45 @@
+#include "cloud/object_store.hpp"
+
+namespace hhc::cloud {
+
+SimTime ObjectStore::transfer_time(Bytes size, double client_bandwidth) const {
+  double bw = config_.per_connection_bandwidth;
+  if (client_bandwidth > 0) bw = std::min(bw, client_bandwidth);
+  return config_.request_latency + static_cast<double>(size) / bw;
+}
+
+void ObjectStore::put(const std::string& key, Bytes size, std::function<void()> done) {
+  ++puts_;
+  sim_.schedule_in(transfer_time(size), [this, key, size, done = std::move(done)] {
+    objects_[key] = size;
+    if (done) done();
+  });
+}
+
+void ObjectStore::get(const std::string& key,
+                      std::function<void(std::optional<Bytes>)> done) const {
+  ++gets_;
+  auto it = objects_.find(key);
+  if (it == objects_.end()) {
+    sim_.schedule_in(config_.request_latency,
+                     [done = std::move(done)] { done(std::nullopt); });
+    return;
+  }
+  const Bytes size = it->second;
+  sim_.schedule_in(transfer_time(size),
+                   [size, done = std::move(done)] { done(size); });
+}
+
+std::optional<Bytes> ObjectStore::size_of(const std::string& key) const {
+  auto it = objects_.find(key);
+  if (it == objects_.end()) return std::nullopt;
+  return it->second;
+}
+
+Bytes ObjectStore::total_bytes() const noexcept {
+  Bytes total = 0;
+  for (const auto& [k, v] : objects_) total += v;
+  return total;
+}
+
+}  // namespace hhc::cloud

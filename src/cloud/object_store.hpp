@@ -1,0 +1,56 @@
+// Object store model (S3-like): keyed blobs with per-connection bandwidth
+// and request latency. Used for result upload and for "prefetch via the AWS
+// backbone" (paper §5.2: prefetch is much faster from inside AWS).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "sim/simulation.hpp"
+#include "support/units.hpp"
+
+namespace hhc::cloud {
+
+struct ObjectStoreConfig {
+  double per_connection_bandwidth = 90e6;  ///< bytes/s for one GET/PUT.
+  SimTime request_latency = 0.05;          ///< Per-request fixed latency.
+};
+
+/// Simulated object store. Transfers complete asynchronously on the event
+/// loop; contents are sizes only (payloads never materialize).
+class ObjectStore {
+ public:
+  ObjectStore(sim::Simulation& sim, ObjectStoreConfig config = {})
+      : sim_(sim), config_(config) {}
+
+  /// Starts an upload; `done` fires when the object is durably stored.
+  void put(const std::string& key, Bytes size, std::function<void()> done);
+
+  /// Starts a download; `done` fires with the object size, or immediately
+  /// with nullopt if the key does not exist.
+  void get(const std::string& key,
+           std::function<void(std::optional<Bytes>)> done) const;
+
+  /// Transfer time for `size` bytes through one connection, capped by
+  /// `client_bandwidth` when positive.
+  SimTime transfer_time(Bytes size, double client_bandwidth = 0.0) const;
+
+  bool contains(const std::string& key) const { return objects_.count(key) > 0; }
+  std::optional<Bytes> size_of(const std::string& key) const;
+  std::size_t object_count() const noexcept { return objects_.size(); }
+  Bytes total_bytes() const noexcept;
+  std::uint64_t put_count() const noexcept { return puts_; }
+  std::uint64_t get_count() const noexcept { return gets_; }
+
+ private:
+  sim::Simulation& sim_;
+  ObjectStoreConfig config_;
+  std::map<std::string, Bytes> objects_;
+  std::uint64_t puts_ = 0;
+  mutable std::uint64_t gets_ = 0;
+};
+
+}  // namespace hhc::cloud

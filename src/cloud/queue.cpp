@@ -1,0 +1,43 @@
+#include "cloud/queue.hpp"
+
+namespace hhc::cloud {
+
+std::uint64_t MessageQueue::send(std::string body) {
+  QueueMessage m;
+  m.id = next_id_++;
+  m.body = std::move(body);
+  visible_.push_back(std::move(m));
+  return visible_.back().id;
+}
+
+std::optional<QueueMessage> MessageQueue::receive() {
+  if (visible_.empty()) return std::nullopt;
+  QueueMessage m = std::move(visible_.front());
+  visible_.pop_front();
+  const std::uint64_t id = m.id;
+  inflight_.emplace(id, m);
+  // Arm the visibility timeout: if still in flight by then, redeliver.
+  sim_.schedule_in(config_.visibility_timeout, [this, id] {
+    auto it = inflight_.find(id);
+    if (it == inflight_.end()) return;  // was deleted in time
+    visible_.push_back(std::move(it->second));
+    inflight_.erase(it);
+    ++redeliveries_;
+  });
+  return m;
+}
+
+void MessageQueue::delete_message(std::uint64_t id) {
+  inflight_.erase(id);
+  // If the visibility timeout already redelivered the message (the consumer
+  // outlived its lease), deleting by id must still retire it — otherwise a
+  // slow worker loops on its own redeliveries forever.
+  for (auto it = visible_.begin(); it != visible_.end(); ++it) {
+    if (it->id == id) {
+      visible_.erase(it);
+      break;
+    }
+  }
+}
+
+}  // namespace hhc::cloud

@@ -1,0 +1,58 @@
+// Message queue model (SQS-like). Producers push work-item messages; worker
+// instances poll. Visibility timeout + redelivery model failures of the
+// consuming instance (the Atlas pipeline listens on SQS, paper §5.1).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "sim/simulation.hpp"
+#include "support/units.hpp"
+
+namespace hhc::cloud {
+
+struct QueueMessage {
+  std::uint64_t id = 0;
+  std::string body;
+};
+
+struct MessageQueueConfig {
+  SimTime visibility_timeout = 3600.0;  ///< Redelivered if not deleted by then.
+};
+
+/// FIFO-ish message queue with visibility timeouts.
+class MessageQueue {
+ public:
+  MessageQueue(sim::Simulation& sim, MessageQueueConfig config = {})
+      : sim_(sim), config_(config) {}
+
+  /// Enqueues a message; returns its id.
+  std::uint64_t send(std::string body);
+
+  /// Non-blocking receive: takes the head message, making it invisible until
+  /// deleted or its visibility timeout expires. nullopt when empty.
+  std::optional<QueueMessage> receive();
+
+  /// Acknowledges (removes) a received message.
+  void delete_message(std::uint64_t id);
+
+  std::size_t visible_count() const noexcept { return visible_.size(); }
+  std::size_t inflight_count() const noexcept { return inflight_.size(); }
+  bool empty() const noexcept { return visible_.empty() && inflight_.empty(); }
+  std::uint64_t sent_total() const noexcept { return next_id_ - 1; }
+  std::uint64_t redeliveries() const noexcept { return redeliveries_; }
+
+ private:
+  sim::Simulation& sim_;
+  MessageQueueConfig config_;
+  std::deque<QueueMessage> visible_;
+  std::map<std::uint64_t, QueueMessage> inflight_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t redeliveries_ = 0;
+};
+
+}  // namespace hhc::cloud

@@ -1,0 +1,41 @@
+#include "cluster/failure.hpp"
+
+namespace hhc::cluster {
+
+FailureInjector::FailureInjector(sim::Simulation& sim, ResourceManager& rm,
+                                 FailureConfig config, Rng rng)
+    : sim_(sim), rm_(rm), config_(config), rng_(rng) {}
+
+void FailureInjector::start() {
+  if (config_.node_mtbf > 0.0) arm_next();
+}
+
+void FailureInjector::arm_next() {
+  // Cluster-wide failure rate = node count / MTBF.
+  const double nodes = static_cast<double>(rm_.cluster().node_count());
+  if (nodes == 0) return;
+  const double rate = nodes / config_.node_mtbf;
+  const SimTime gap = rng_.exponential(rate);
+  const SimTime when = sim_.now() + gap;
+  if (config_.horizon > 0.0 && when > config_.horizon) return;
+  sim_.schedule_in(gap, [this] {
+    const auto victim = static_cast<NodeId>(rng_.uniform_int(
+        0, static_cast<std::int64_t>(rm_.cluster().node_count()) - 1));
+    if (rm_.cluster().node(victim).up) {
+      rm_.fail_node(victim, config_.repair_time);
+      ++injected_;
+    }
+    arm_next();
+  });
+}
+
+void FailureInjector::fail_at(SimTime t, NodeId node) {
+  sim_.schedule_at(t, [this, node] {
+    if (rm_.cluster().node(node).up) {
+      rm_.fail_node(node, config_.repair_time);
+      ++injected_;
+    }
+  });
+}
+
+}  // namespace hhc::cluster

@@ -1,0 +1,41 @@
+// Stochastic node-failure injection. The Frontier run in the paper (§4.3)
+// saw one node failure that killed 8 tasks; this component generalizes that
+// to MTBF-driven injection so fault-tolerance paths get exercised at will.
+#pragma once
+
+#include "cluster/resource_manager.hpp"
+#include "support/rng.hpp"
+
+namespace hhc::cluster {
+
+struct FailureConfig {
+  double node_mtbf = 0.0;     ///< Mean time between failures per node (s); 0 = off.
+  SimTime repair_time = 600;  ///< Node returns after this long.
+  SimTime horizon = 0.0;      ///< Stop injecting after this time; 0 = forever.
+};
+
+/// Schedules exponential-interarrival node failures against a manager.
+class FailureInjector {
+ public:
+  FailureInjector(sim::Simulation& sim, ResourceManager& rm, FailureConfig config,
+                  Rng rng);
+
+  /// Starts injection (arms the first failure event).
+  void start();
+
+  /// Deterministically fails a specific node at a specific time.
+  void fail_at(SimTime t, NodeId node);
+
+  std::size_t injected() const noexcept { return injected_; }
+
+ private:
+  void arm_next();
+
+  sim::Simulation& sim_;
+  ResourceManager& rm_;
+  FailureConfig config_;
+  Rng rng_;
+  std::size_t injected_ = 0;
+};
+
+}  // namespace hhc::cluster

@@ -1,0 +1,182 @@
+#include "cluster/resource_manager.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "support/log.hpp"
+
+namespace hhc::cluster {
+
+const char* to_string(JobState s) noexcept {
+  switch (s) {
+    case JobState::Queued: return "queued";
+    case JobState::Running: return "running";
+    case JobState::Completed: return "completed";
+    case JobState::Failed: return "failed";
+    case JobState::Cancelled: return "cancelled";
+  }
+  return "?";
+}
+
+SimTime SchedulingContext::now() const { return rm_.sim_.now(); }
+const Cluster& SchedulingContext::cluster() const { return rm_.cluster_; }
+const std::vector<JobId>& SchedulingContext::queue() const { return rm_.queue_; }
+const JobRecord& SchedulingContext::job(JobId id) const { return rm_.jobs_.at(id); }
+std::vector<JobId> SchedulingContext::running() const { return rm_.running_; }
+
+bool SchedulingContext::try_place(JobId id) {
+  return rm_.place(id, [](NodeId) { return true; });
+}
+
+bool SchedulingContext::try_place_if(JobId id,
+                                     const std::function<bool(NodeId)>& pred) {
+  return rm_.place(id, pred);
+}
+
+ResourceManager::ResourceManager(sim::Simulation& sim, Cluster& cluster,
+                                 std::unique_ptr<Scheduler> scheduler,
+                                 ResourceManagerConfig config)
+    : sim_(sim), cluster_(cluster), scheduler_(std::move(scheduler)),
+      config_(config) {
+  if (!scheduler_) throw std::invalid_argument("ResourceManager: null scheduler");
+}
+
+JobId ResourceManager::submit(JobRequest request, CompletionCallback on_complete) {
+  const JobId id = next_id_++;
+  JobRecord rec;
+  rec.id = id;
+  rec.request = std::move(request);
+  rec.submit_time = sim_.now();
+  jobs_.emplace(id, std::move(rec));
+  if (on_complete) callbacks_.emplace(id, std::move(on_complete));
+  queue_.push_back(id);
+  kick();
+  return id;
+}
+
+bool ResourceManager::cancel(JobId id) {
+  auto it = std::find(queue_.begin(), queue_.end(), id);
+  if (it == queue_.end()) return false;
+  queue_.erase(it);
+  complete(jobs_.at(id), JobState::Cancelled, "cancelled by client");
+  return true;
+}
+
+void ResourceManager::kick() {
+  if (pass_pending_ || in_pass_) return;
+  pass_pending_ = true;
+  sim_.post([this] {
+    pass_pending_ = false;
+    run_scheduler_pass();
+  });
+}
+
+void ResourceManager::run_scheduler_pass() {
+  if (queue_.empty()) return;
+  in_pass_ = true;
+  SchedulingContext ctx(*this);
+  scheduler_->schedule(ctx);
+  in_pass_ = false;
+}
+
+bool ResourceManager::place(JobId id, const std::function<bool(NodeId)>& pred) {
+  auto qit = std::find(queue_.begin(), queue_.end(), id);
+  if (qit == queue_.end()) return false;
+  JobRecord& rec = jobs_.at(id);
+  auto alloc = cluster_.find_allocation_if(rec.request.resources, pred);
+  if (!alloc) return false;
+  queue_.erase(qit);
+  start_job(rec, std::move(*alloc));
+  return true;
+}
+
+SimTime ResourceManager::compute_duration(const JobRecord& rec) const {
+  SimTime t = rec.request.runtime / std::max(1e-9, rec.speed);
+  if (config_.model_io && !rec.allocation.empty()) {
+    // Stage-in/out through the first node's link, bounded by the shared FS.
+    const double bw = std::min(cluster_.node_io_bandwidth(rec.allocation.claims[0].node),
+                               cluster_.spec().shared_fs_bandwidth);
+    t += static_cast<double>(rec.request.input_bytes + rec.request.output_bytes) / bw;
+  }
+  return t;
+}
+
+void ResourceManager::start_job(JobRecord& rec, Allocation alloc) {
+  cluster_.claim(alloc);
+  rec.allocation = std::move(alloc);
+  rec.speed = cluster_.allocation_speed(rec.allocation);
+  rec.state = JobState::Running;
+  rec.start_time = sim_.now() + config_.scheduling_overhead;
+  const SimTime duration = compute_duration(rec);
+  rec.expected_finish = rec.start_time + duration;
+  running_.push_back(rec.id);
+  core_usage_.change(sim_.now(), rec.request.resources.total_cores());
+  const JobId id = rec.id;
+  completion_events_[id] =
+      sim_.schedule_at(rec.expected_finish, [this, id] { finish_job(id); });
+}
+
+void ResourceManager::finish_job(JobId id) {
+  JobRecord& rec = jobs_.at(id);
+  if (rec.state != JobState::Running) return;
+  cluster_.release(rec.allocation);
+  core_usage_.change(sim_.now(), -rec.request.resources.total_cores());
+  running_.erase(std::find(running_.begin(), running_.end(), id));
+  completion_events_.erase(id);
+  ++completed_;
+  complete(rec, JobState::Completed, {});
+  kick();
+}
+
+void ResourceManager::fail_running_job(JobId id, const std::string& reason) {
+  JobRecord& rec = jobs_.at(id);
+  if (rec.state != JobState::Running) return;
+  // Release claims on still-up nodes; the down node already zeroed itself.
+  cluster_.release(rec.allocation);
+  core_usage_.change(sim_.now(), -rec.request.resources.total_cores());
+  running_.erase(std::find(running_.begin(), running_.end(), id));
+  if (auto it = completion_events_.find(id); it != completion_events_.end()) {
+    it->second.cancel();
+    completion_events_.erase(it);
+  }
+  ++failed_;
+  complete(rec, JobState::Failed, reason);
+}
+
+void ResourceManager::complete(JobRecord& rec, JobState final_state,
+                               const std::string& reason) {
+  rec.state = final_state;
+  rec.finish_time = sim_.now();
+  rec.failure_reason = reason;
+  auto it = callbacks_.find(rec.id);
+  if (it != callbacks_.end()) {
+    auto cb = std::move(it->second);
+    callbacks_.erase(it);
+    cb(rec);
+  }
+}
+
+void ResourceManager::fail_node(NodeId node, SimTime repair_after) {
+  // Collect victims before mutating.
+  std::vector<JobId> victims;
+  for (JobId id : running_) {
+    const JobRecord& rec = jobs_.at(id);
+    for (const auto& c : rec.allocation.claims)
+      if (c.node == node) {
+        victims.push_back(id);
+        break;
+      }
+  }
+  cluster_.set_node_down(node);
+  for (JobId id : victims)
+    fail_running_job(id, "node " + std::to_string(node) + " failed");
+  if (repair_after > 0.0) {
+    sim_.schedule_in(repair_after, [this, node] {
+      cluster_.set_node_up(node);
+      kick();
+    });
+  }
+  kick();
+}
+
+}  // namespace hhc::cluster

@@ -1,0 +1,40 @@
+// Baseline (workflow-agnostic) scheduling policies. These model what stock
+// resource managers do (paper §3): strict FIFO, first-fit FIFO (Kubernetes-
+// style), and EASY backfill using walltime estimates.
+#pragma once
+
+#include <memory>
+
+#include "cluster/resource_manager.hpp"
+
+namespace hhc::cluster {
+
+/// Strict FIFO: stops at the first queued job that does not fit. Models a
+/// conservative batch scheduler without backfill.
+class FifoScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "fifo"; }
+  void schedule(SchedulingContext& ctx) override;
+};
+
+/// First-fit FIFO: scans the whole queue, placing everything that fits.
+/// Models Kubernetes-style bin packing without workflow awareness — the
+/// baseline the CWSI experiments compare against.
+class FifoFitScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "fifo-fit"; }
+  void schedule(SchedulingContext& ctx) override;
+};
+
+/// EASY backfill: head job gets a reservation based on running jobs'
+/// expected finish times; later jobs may jump the queue only if their
+/// walltime estimate says they finish before the reservation.
+class BackfillScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "easy-backfill"; }
+  void schedule(SchedulingContext& ctx) override;
+};
+
+std::unique_ptr<Scheduler> make_baseline_scheduler(const std::string& name);
+
+}  // namespace hhc::cluster

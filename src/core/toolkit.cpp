@@ -1,0 +1,176 @@
+#include "core/toolkit.hpp"
+
+#include <stdexcept>
+
+#include "cws/strategies.hpp"
+#include "workflow/analysis.hpp"
+
+namespace hhc::core {
+
+Toolkit::Toolkit(ToolkitConfig config)
+    : config_(config), rng_(config.seed),
+      predictor_(std::make_unique<cws::LotaruPredictor>()) {}
+
+Toolkit::~Toolkit() = default;
+
+EnvironmentId Toolkit::add_hpc(const std::string& name, cluster::ClusterSpec spec,
+                               const std::string& strategy) {
+  Environment env;
+  env.name = name;
+  env.kind = EnvironmentKind::Hpc;
+  env.cluster = std::make_unique<cluster::Cluster>(std::move(spec));
+  env.rm = std::make_unique<cluster::ResourceManager>(
+      sim_, *env.cluster,
+      cws::make_strategy(strategy, registry_, *predictor_, provenance_));
+  envs_.push_back(std::move(env));
+  return envs_.size() - 1;
+}
+
+EnvironmentId Toolkit::add_cloud(const std::string& name, std::size_t max_instances,
+                                 double cores, Bytes memory, double speed,
+                                 SimTime boot_overhead) {
+  Environment env;
+  env.name = name;
+  env.kind = EnvironmentKind::Cloud;
+  env.cluster = std::make_unique<cluster::Cluster>(
+      cluster::homogeneous_cluster(max_instances, cores, memory, speed));
+  cluster::ResourceManagerConfig rm_config;
+  rm_config.scheduling_overhead = boot_overhead;  // instance boot before start
+  env.rm = std::make_unique<cluster::ResourceManager>(
+      sim_, *env.cluster, std::make_unique<cluster::FifoFitScheduler>(), rm_config);
+  envs_.push_back(std::move(env));
+  return envs_.size() - 1;
+}
+
+const std::string& Toolkit::environment_name(EnvironmentId id) const {
+  return envs_.at(id).name;
+}
+
+CompositeReport Toolkit::run(const wf::Workflow& workflow, EnvironmentId env) {
+  return run(workflow,
+             std::vector<EnvironmentId>(workflow.task_count(), env));
+}
+
+CompositeReport Toolkit::run(const wf::Workflow& workflow,
+                             const std::vector<EnvironmentId>& assignment) {
+  workflow.validate();
+  if (assignment.size() != workflow.task_count())
+    throw std::invalid_argument("assignment size != task count");
+  for (EnvironmentId e : assignment)
+    if (e >= envs_.size()) throw std::out_of_range("bad environment id");
+
+  RunState state;
+  state.workflow = &workflow;
+  state.assignment = &assignment;
+  state.pending_preds.resize(workflow.task_count());
+  for (wf::TaskId t = 0; t < workflow.task_count(); ++t)
+    state.pending_preds[t] = workflow.predecessors(t).size();
+  state.remaining = workflow.task_count();
+  state.report.tasks = workflow.task_count();
+
+  const SimTime start = sim_.now();
+  for (auto& env : envs_) {
+    env.tasks_run = 0;
+    env.busy_core_seconds = 0.0;
+  }
+
+  if (workflow.empty()) {
+    state.report.success = true;
+    return state.report;
+  }
+
+  for (wf::TaskId t : workflow.sources()) dispatch(state, t);
+  sim_.run();
+
+  if (state.remaining != 0 && !state.failed)
+    throw std::logic_error("composite run drained with tasks pending");
+
+  state.report.success = !state.failed;
+  state.report.error = state.error;
+  state.report.makespan = sim_.now() - start;
+  for (const auto& env : envs_) {
+    EnvironmentReport er;
+    er.name = env.name;
+    er.kind = env.kind;
+    er.tasks_run = env.tasks_run;
+    er.busy_core_seconds = env.busy_core_seconds;
+    const double cores = env.cluster->total_cores();
+    if (state.report.makespan > 0 && cores > 0)
+      er.utilization = env.busy_core_seconds / (cores * state.report.makespan);
+    state.report.environments.push_back(er);
+  }
+  return state.report;
+}
+
+void Toolkit::dispatch(RunState& state, wf::TaskId task) {
+  const wf::Workflow& workflow = *state.workflow;
+  const EnvironmentId env_id = (*state.assignment)[task];
+  Environment& env = envs_[env_id];
+  const wf::TaskSpec& spec = workflow.task(task);
+
+  // Cross-environment inputs pay the WAN before the job is submitted.
+  Bytes cross_bytes = 0;
+  for (wf::TaskId p : workflow.predecessors(task))
+    if ((*state.assignment)[p] != env_id) cross_bytes += workflow.edge_bytes(p, task);
+
+  SimTime delay = 0.0;
+  if (cross_bytes > 0) {
+    delay = config_.wan_latency +
+            static_cast<double>(cross_bytes) / config_.wan_bandwidth;
+    ++state.report.cross_env_transfers;
+    state.report.cross_env_bytes += cross_bytes;
+    state.report.transfer_seconds += delay;
+  }
+
+  sim_.schedule_in(delay, [this, &state, task, &env, spec] {
+    cluster::JobRequest req;
+    req.name = spec.name;
+    req.kind = spec.kind;
+    req.resources = spec.resources;
+    req.runtime = spec.base_runtime;
+    req.input_bytes = state.workflow->total_input_bytes(task);
+    req.output_bytes = spec.output_bytes;
+    if (auto est = predictor_->predict(req)) req.walltime_estimate = *est;
+
+    env.rm->submit(req, [this, &state, task](const cluster::JobRecord& rec) {
+      on_complete(state, task, rec);
+    });
+  });
+}
+
+void Toolkit::on_complete(RunState& state, wf::TaskId task,
+                          const cluster::JobRecord& rec) {
+  Environment& env = envs_[(*state.assignment)[task]];
+
+  cws::TaskProvenance p;
+  p.task_id = task;
+  p.task_name = rec.request.name;
+  p.kind = rec.request.kind;
+  p.input_bytes = rec.request.input_bytes;
+  p.output_bytes = rec.request.output_bytes;
+  p.submit_time = rec.submit_time;
+  p.start_time = rec.start_time;
+  p.finish_time = rec.finish_time;
+  p.node_speed = rec.speed;
+  p.failed = rec.state != cluster::JobState::Completed;
+  if (!rec.allocation.empty())
+    p.node_class = env.cluster->node_class(rec.allocation.claims[0].node).name;
+  provenance_.record(p);
+  if (!p.failed) predictor_->observe(p);
+
+  if (rec.state != cluster::JobState::Completed) {
+    state.failed = true;
+    state.error = "task '" + rec.request.name + "' failed: " + rec.failure_reason;
+    return;
+  }
+
+  ++env.tasks_run;
+  env.busy_core_seconds +=
+      (rec.finish_time - rec.start_time) * rec.request.resources.total_cores();
+
+  --state.remaining;
+  for (wf::TaskId s : state.workflow->successors(task))
+    if (--state.pending_preds[s] == 0) dispatch(state, s);
+}
+
+}  // namespace hhc::core

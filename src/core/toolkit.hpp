@@ -1,0 +1,131 @@
+// The umbrella "composable workflows in hyper-heterogeneous environments"
+// API — the repository's public entry point.
+//
+// A Toolkit owns one simulation and any number of execution environments
+// (HPC clusters with selectable scheduling strategies, elastic cloud pools).
+// A workflow's tasks can be assigned per-task to environments; cross-
+// environment data dependencies pay a WAN transfer. This is the composition
+// capability the paper's title promises and each section approaches from a
+// different angle (CWSI scheduling, EnTK pilots, cloud-vs-HPC placement).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "cluster/resource_manager.hpp"
+#include "cws/cwsi.hpp"
+#include "cws/predictors.hpp"
+#include "sim/simulation.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "workflow/workflow.hpp"
+
+namespace hhc::core {
+
+using EnvironmentId = std::size_t;
+
+/// What kind of substrate an environment is backed by.
+enum class EnvironmentKind { Hpc, Cloud };
+
+/// Per-environment execution statistics for one composite run.
+struct EnvironmentReport {
+  std::string name;
+  EnvironmentKind kind = EnvironmentKind::Hpc;
+  std::size_t tasks_run = 0;
+  double busy_core_seconds = 0.0;
+  double utilization = 0.0;  ///< busy core-seconds / (cores x makespan).
+};
+
+/// Result of a composite (multi-environment) workflow run.
+struct CompositeReport {
+  bool success = false;
+  std::string error;
+  SimTime makespan = 0.0;
+  std::size_t tasks = 0;
+  std::size_t cross_env_transfers = 0;
+  Bytes cross_env_bytes = 0;
+  SimTime transfer_seconds = 0.0;  ///< Total cross-environment transfer time.
+  std::vector<EnvironmentReport> environments;
+};
+
+struct ToolkitConfig {
+  std::uint64_t seed = 42;
+  double wan_bandwidth = 50e6;  ///< Cross-environment link, bytes/s.
+  SimTime wan_latency = 2.0;
+};
+
+/// The facade. One instance per experiment; not thread-safe (clone per
+/// thread for sweeps — construction is cheap).
+class Toolkit {
+ public:
+  explicit Toolkit(ToolkitConfig config = {});
+  ~Toolkit();
+  Toolkit(const Toolkit&) = delete;
+  Toolkit& operator=(const Toolkit&) = delete;
+
+  sim::Simulation& simulation() noexcept { return sim_; }
+
+  /// Adds an HPC environment with one of the scheduler strategies from
+  /// cws::make_strategy ("fifo", "fifo-fit", "easy-backfill", "cws-rank",
+  /// "cws-filesize", "cws-heft", "cws-tarema").
+  EnvironmentId add_hpc(const std::string& name, cluster::ClusterSpec spec,
+                        const std::string& strategy = "fifo-fit");
+
+  /// Adds an elastic cloud pool: up to `max_instances` nodes of
+  /// `cores`/`memory`, each paying `boot_overhead` before a task starts.
+  EnvironmentId add_cloud(const std::string& name, std::size_t max_instances,
+                          double cores, Bytes memory, double speed = 1.0,
+                          SimTime boot_overhead = 60.0);
+
+  std::size_t environment_count() const noexcept { return envs_.size(); }
+  const std::string& environment_name(EnvironmentId id) const;
+
+  /// Runs a workflow with every task on one environment.
+  CompositeReport run(const wf::Workflow& workflow, EnvironmentId env);
+
+  /// Runs a workflow with a per-task assignment (size = task_count).
+  /// Cross-environment edges pay the WAN transfer before the consumer
+  /// becomes ready.
+  CompositeReport run(const wf::Workflow& workflow,
+                      const std::vector<EnvironmentId>& assignment);
+
+  /// Access to an environment's provenance (tasks it executed).
+  const cws::ProvenanceStore& provenance() const noexcept { return provenance_; }
+
+ private:
+  struct Environment {
+    std::string name;
+    EnvironmentKind kind = EnvironmentKind::Hpc;
+    std::unique_ptr<cluster::Cluster> cluster;
+    std::unique_ptr<cluster::ResourceManager> rm;
+    std::size_t tasks_run = 0;
+    double busy_core_seconds = 0.0;
+  };
+
+  struct RunState {
+    const wf::Workflow* workflow = nullptr;
+    const std::vector<EnvironmentId>* assignment = nullptr;
+    std::vector<std::size_t> pending_preds;
+    std::size_t remaining = 0;
+    bool failed = false;
+    std::string error;
+    CompositeReport report;
+  };
+
+  void dispatch(RunState& state, wf::TaskId task);
+  void on_complete(RunState& state, wf::TaskId task, const cluster::JobRecord& rec);
+
+  ToolkitConfig config_;
+  sim::Simulation sim_;
+  Rng rng_;
+  std::vector<Environment> envs_;
+  cws::WorkflowRegistry registry_;
+  cws::ProvenanceStore provenance_;
+  std::unique_ptr<cws::RuntimePredictor> predictor_;
+};
+
+}  // namespace hhc::core

@@ -1,0 +1,68 @@
+#include "cws/cwsi.hpp"
+
+#include <sstream>
+
+#include "workflow/analysis.hpp"
+
+namespace hhc::cws {
+
+void ProvenanceStore::record(TaskProvenance p) { records_.push_back(std::move(p)); }
+
+std::vector<const TaskProvenance*> ProvenanceStore::by_kind(
+    const std::string& kind) const {
+  std::vector<const TaskProvenance*> out;
+  for (const auto& r : records_)
+    if (r.kind == kind) out.push_back(&r);
+  return out;
+}
+
+std::vector<const TaskProvenance*> ProvenanceStore::by_workflow(int workflow_id) const {
+  std::vector<const TaskProvenance*> out;
+  for (const auto& r : records_)
+    if (r.workflow_id == workflow_id) out.push_back(&r);
+  return out;
+}
+
+std::string ProvenanceStore::csv() const {
+  std::ostringstream out;
+  out << "workflow_id,task_id,name,kind,input_bytes,output_bytes,"
+         "submit,start,finish,node_speed,node_class,failed\n";
+  for (const auto& r : records_) {
+    out << r.workflow_id << "," << r.task_id << "," << r.task_name << "," << r.kind
+        << "," << r.input_bytes << "," << r.output_bytes << "," << r.submit_time << ","
+        << r.start_time << "," << r.finish_time << "," << r.node_speed << ","
+        << r.node_class << "," << (r.failed ? 1 : 0) << "\n";
+  }
+  return out.str();
+}
+
+int WorkflowRegistry::register_workflow(const wf::Workflow& workflow) {
+  workflow.validate();
+  Entry e;
+  e.workflow = &workflow;
+  e.ranks = wf::upward_rank(workflow);
+  const int id = next_id_++;
+  workflows_.emplace(id, std::move(e));
+  return id;
+}
+
+void WorkflowRegistry::unregister_workflow(int id) { workflows_.erase(id); }
+
+const wf::Workflow* WorkflowRegistry::find(int id) const {
+  auto it = workflows_.find(id);
+  return it == workflows_.end() ? nullptr : it->second.workflow;
+}
+
+std::optional<double> WorkflowRegistry::rank(int workflow_id, wf::TaskId task) const {
+  auto it = workflows_.find(workflow_id);
+  if (it == workflows_.end() || task >= it->second.ranks.size()) return std::nullopt;
+  return it->second.ranks[task];
+}
+
+std::size_t WorkflowRegistry::successor_count(int workflow_id, wf::TaskId task) const {
+  auto it = workflows_.find(workflow_id);
+  if (it == workflows_.end() || task >= it->second.workflow->task_count()) return 0;
+  return it->second.workflow->successors(task).size();
+}
+
+}  // namespace hhc::cws

@@ -1,0 +1,95 @@
+// Common Workflow Scheduler Interface (CWSI), after Lehmann et al. (paper §3).
+//
+// The CWSI is the contract between a workflow management system and a
+// resource manager: the WMS registers its DAG and task metadata once, and
+// the resource-manager-resident scheduler (the CWS) becomes workflow-aware.
+// This header defines the registry the two sides share, plus the provenance
+// store the paper proposes centralizing in the CWS (§3.3).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/resource_manager.hpp"
+#include "support/units.hpp"
+#include "workflow/workflow.hpp"
+
+namespace hhc::cws {
+
+/// One finished task execution as recorded by the CWS (paper §3.3: the CWS
+/// sees both WMS-side metadata and resource-manager-side metrics).
+struct TaskProvenance {
+  int workflow_id = -1;
+  wf::TaskId task_id = wf::kInvalidTask;
+  std::string task_name;
+  std::string kind;
+  Bytes input_bytes = 0;
+  Bytes output_bytes = 0;
+  SimTime submit_time = 0.0;
+  SimTime start_time = 0.0;
+  SimTime finish_time = 0.0;
+  double node_speed = 1.0;       ///< Speed of the node(s) it ran on.
+  std::string node_class;
+  bool failed = false;
+
+  /// Observed wall-clock runtime.
+  SimTime runtime() const noexcept { return finish_time - start_time; }
+  /// Runtime normalized to a speed-1 reference node.
+  SimTime normalized_runtime() const noexcept { return runtime() * node_speed; }
+};
+
+/// Central provenance store (paper §3.3). Append-only.
+class ProvenanceStore {
+ public:
+  void record(TaskProvenance p);
+
+  const std::vector<TaskProvenance>& records() const noexcept { return records_; }
+  std::size_t size() const noexcept { return records_.size(); }
+
+  /// All records for one tool kind.
+  std::vector<const TaskProvenance*> by_kind(const std::string& kind) const;
+
+  /// All records for one workflow.
+  std::vector<const TaskProvenance*> by_workflow(int workflow_id) const;
+
+  /// CSV export (for the provenance interoperability story of §3.3).
+  std::string csv() const;
+
+ private:
+  std::vector<TaskProvenance> records_;
+};
+
+/// The registry half of the CWSI: workflow structure communicated from WMS
+/// to resource manager. Workflows are registered before their tasks are
+/// submitted; the registered graph must outlive the registration.
+class WorkflowRegistry {
+ public:
+  /// Registers a workflow; returns the id tasks must carry in JobRequest.
+  int register_workflow(const wf::Workflow& workflow);
+
+  /// Unregisters (e.g. when the workflow finishes).
+  void unregister_workflow(int id);
+
+  const wf::Workflow* find(int id) const;
+
+  /// Cached upward rank for a task of a registered workflow; nullopt for
+  /// unknown workflows.
+  std::optional<double> rank(int workflow_id, wf::TaskId task) const;
+
+  /// Number of direct successors (0 for unknown).
+  std::size_t successor_count(int workflow_id, wf::TaskId task) const;
+
+  std::size_t registered_count() const noexcept { return workflows_.size(); }
+
+ private:
+  struct Entry {
+    const wf::Workflow* workflow = nullptr;
+    std::vector<double> ranks;
+  };
+  std::map<int, Entry> workflows_;
+  int next_id_ = 1;
+};
+
+}  // namespace hhc::cws

@@ -1,0 +1,58 @@
+#include "cws/predictors.hpp"
+
+#include <stdexcept>
+
+namespace hhc::cws {
+
+void OnlineMeanPredictor::observe(const TaskProvenance& record) {
+  if (record.failed) return;
+  auto& ks = kinds_[record.kind];
+  ++ks.n;
+  ks.mean += (record.normalized_runtime() - ks.mean) / static_cast<double>(ks.n);
+}
+
+std::optional<double> OnlineMeanPredictor::predict(
+    const cluster::JobRequest& request) const {
+  auto it = kinds_.find(request.kind);
+  if (it == kinds_.end() || it->second.n == 0) return std::nullopt;
+  return it->second.mean;
+}
+
+void LotaruPredictor::observe(const TaskProvenance& record) {
+  if (record.failed) return;
+  auto& reg = kinds_[record.kind];
+  const double x = static_cast<double>(record.input_bytes);
+  const double y = record.normalized_runtime();
+  ++reg.n;
+  reg.sum_x += x;
+  reg.sum_y += y;
+  reg.sum_xx += x * x;
+  reg.sum_xy += x * y;
+}
+
+std::optional<double> LotaruPredictor::predict(
+    const cluster::JobRequest& request) const {
+  auto it = kinds_.find(request.kind);
+  if (it == kinds_.end() || it->second.n == 0) return std::nullopt;
+  const Regression& r = it->second;
+  if (r.n < min_samples_) return r.mean_y();
+
+  const double n = static_cast<double>(r.n);
+  const double denom = n * r.sum_xx - r.sum_x * r.sum_x;
+  if (denom <= 1e-12) return r.mean_y();  // constant input sizes
+  const double slope = (n * r.sum_xy - r.sum_x * r.sum_y) / denom;
+  const double intercept = (r.sum_y - slope * r.sum_x) / n;
+  const double pred = intercept + slope * static_cast<double>(request.input_bytes);
+  // Guard against wild extrapolation: never predict below 1% of the mean.
+  return pred > 0.01 * r.mean_y() ? pred : r.mean_y();
+}
+
+std::unique_ptr<RuntimePredictor> make_predictor(const std::string& name) {
+  if (name == "none") return std::make_unique<NullPredictor>();
+  if (name == "online-mean") return std::make_unique<OnlineMeanPredictor>();
+  if (name == "lotaru") return std::make_unique<LotaruPredictor>();
+  if (name == "oracle") return std::make_unique<OraclePredictor>();
+  throw std::invalid_argument("unknown predictor: " + name);
+}
+
+}  // namespace hhc::cws

@@ -1,0 +1,89 @@
+// Task runtime predictors (paper §3.4).
+//
+// The CWS provenance store feeds these; schedulers consult them for
+// walltime-aware decisions. The Lotaru-style predictor does a per-kind
+// linear regression of normalized runtime against input size, which is the
+// essence of Lotaru's local, uncertainty-tolerant estimation on
+// heterogeneous infrastructures.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "cluster/resource_manager.hpp"
+#include "cws/cwsi.hpp"
+
+namespace hhc::cws {
+
+/// Interface: observe finished tasks, predict runtimes of pending ones.
+/// Predictions are normalized to a speed-1 node; the caller divides by the
+/// speed of the candidate node.
+class RuntimePredictor {
+ public:
+  virtual ~RuntimePredictor() = default;
+  virtual std::string name() const = 0;
+  virtual void observe(const TaskProvenance& record) = 0;
+  /// nullopt = no prediction available (cold start).
+  virtual std::optional<double> predict(const cluster::JobRequest& request) const = 0;
+};
+
+/// Predicts nothing; the "no predictor" control.
+class NullPredictor final : public RuntimePredictor {
+ public:
+  std::string name() const override { return "none"; }
+  void observe(const TaskProvenance&) override {}
+  std::optional<double> predict(const cluster::JobRequest&) const override {
+    return std::nullopt;
+  }
+};
+
+/// Per-kind running mean of normalized runtime.
+class OnlineMeanPredictor final : public RuntimePredictor {
+ public:
+  std::string name() const override { return "online-mean"; }
+  void observe(const TaskProvenance& record) override;
+  std::optional<double> predict(const cluster::JobRequest& request) const override;
+
+ private:
+  struct KindStats {
+    std::size_t n = 0;
+    double mean = 0.0;
+  };
+  std::map<std::string, KindStats> kinds_;
+};
+
+/// Lotaru-style: per-kind online simple linear regression of normalized
+/// runtime on input bytes, with mean fallback below `min_samples`.
+class LotaruPredictor final : public RuntimePredictor {
+ public:
+  explicit LotaruPredictor(std::size_t min_samples = 3) : min_samples_(min_samples) {}
+
+  std::string name() const override { return "lotaru"; }
+  void observe(const TaskProvenance& record) override;
+  std::optional<double> predict(const cluster::JobRequest& request) const override;
+
+ private:
+  struct Regression {
+    std::size_t n = 0;
+    double sum_x = 0, sum_y = 0, sum_xx = 0, sum_xy = 0;
+    double mean_y() const { return n ? sum_y / static_cast<double>(n) : 0.0; }
+  };
+  std::size_t min_samples_;
+  std::map<std::string, Regression> kinds_;
+};
+
+/// Oracle: returns the true (hidden) runtime. Upper bound for E7.
+class OraclePredictor final : public RuntimePredictor {
+ public:
+  std::string name() const override { return "oracle"; }
+  void observe(const TaskProvenance&) override {}
+  std::optional<double> predict(const cluster::JobRequest& request) const override {
+    return request.runtime;
+  }
+};
+
+std::unique_ptr<RuntimePredictor> make_predictor(const std::string& name);
+
+}  // namespace hhc::cws

@@ -1,0 +1,138 @@
+#include "cws/provenance_analysis.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+namespace hhc::cws {
+
+std::vector<KindSummary> summarize_kinds(const ProvenanceStore& store,
+                                         int workflow_id) {
+  std::map<std::string, KindSummary> by_kind;
+  for (const auto& rec : store.records()) {
+    if (workflow_id >= 0 && rec.workflow_id != workflow_id) continue;
+    KindSummary& k = by_kind[rec.kind];
+    k.kind = rec.kind;
+    ++k.executions;
+    if (rec.failed) {
+      ++k.failures;
+      continue;
+    }
+    k.runtime.add(rec.runtime());
+    k.normalized_runtime.add(rec.normalized_runtime());
+    k.queue_wait.add(rec.start_time - rec.submit_time);
+    k.input_bytes.add(static_cast<double>(rec.input_bytes));
+  }
+  std::vector<KindSummary> out;
+  out.reserve(by_kind.size());
+  for (auto& [name, summary] : by_kind) out.push_back(std::move(summary));
+  return out;
+}
+
+WorkflowSummary summarize_workflow(const ProvenanceStore& store, int workflow_id) {
+  WorkflowSummary s;
+  s.workflow_id = workflow_id;
+  StepSeries concurrency;
+  std::vector<std::pair<SimTime, int>> edges;
+  bool first = true;
+  for (const auto& rec : store.records()) {
+    if (rec.workflow_id != workflow_id) continue;
+    ++s.tasks;
+    if (rec.failed) ++s.failures;
+    if (first || rec.submit_time < s.first_submit) s.first_submit = rec.submit_time;
+    if (first || rec.finish_time > s.last_finish) s.last_finish = rec.finish_time;
+    first = false;
+    s.queue_wait.add(rec.start_time - rec.submit_time);
+    edges.emplace_back(rec.start_time, +1);
+    edges.emplace_back(rec.finish_time, -1);
+  }
+  if (s.tasks == 0) return s;
+
+  std::sort(edges.begin(), edges.end());
+  int level = 0;
+  for (const auto& [t, d] : edges) {
+    level += d;
+    concurrency.record(t, level);
+  }
+  const double peak = concurrency.max_value();
+  if (peak > 0 && s.makespan() > 0)
+    s.busy_fraction = concurrency.average(s.first_submit, s.last_finish) / peak;
+  return s;
+}
+
+std::string render_kind_summary(const std::vector<KindSummary>& kinds) {
+  TextTable t("Per-kind provenance summary");
+  t.header({"kind", "runs", "fail", "runtime mean", "runtime max", "queue wait mean",
+            "input mean"});
+  for (const auto& k : kinds) {
+    t.row({k.kind, std::to_string(k.executions), std::to_string(k.failures),
+           k.runtime.empty() ? "-" : fmt_duration(k.runtime.mean()),
+           k.runtime.empty() ? "-" : fmt_duration(k.runtime.max()),
+           k.queue_wait.empty() ? "-" : fmt_duration(k.queue_wait.mean()),
+           k.input_bytes.empty() ? "-" : fmt_bytes(k.input_bytes.mean())});
+  }
+  return t.render();
+}
+
+std::string render_gantt(const ProvenanceStore& store, int workflow_id,
+                         std::size_t width, std::size_t max_rows) {
+  std::vector<const TaskProvenance*> records;
+  for (const auto& rec : store.records())
+    if (rec.workflow_id == workflow_id) records.push_back(&rec);
+  if (records.empty()) return "(no records for workflow)\n";
+
+  std::sort(records.begin(), records.end(),
+            [](const TaskProvenance* a, const TaskProvenance* b) {
+              return a->start_time < b->start_time;
+            });
+
+  SimTime t0 = records.front()->submit_time, t1 = 0;
+  for (const auto* r : records) {
+    t0 = std::min(t0, r->submit_time);
+    t1 = std::max(t1, r->finish_time);
+  }
+  const double span = std::max(1e-9, t1 - t0);
+
+  std::size_t label_width = 0;
+  for (const auto* r : records)
+    label_width = std::max(label_width, r->task_name.size());
+  label_width = std::min<std::size_t>(label_width, 18);
+
+  std::ostringstream out;
+  out << "Gantt (." << " = queued, # = running), span " << fmt_duration(span)
+      << ":\n";
+  std::size_t rows = 0;
+  for (const auto* r : records) {
+    if (rows++ >= max_rows) {
+      out << "  ... (" << records.size() - max_rows << " more tasks)\n";
+      break;
+    }
+    auto col = [&](SimTime t) {
+      return static_cast<std::size_t>((t - t0) / span * static_cast<double>(width));
+    };
+    const std::size_t submit = col(r->submit_time);
+    const std::size_t start = col(r->start_time);
+    const std::size_t finish = std::max(col(r->finish_time), start + 1);
+    std::string line(width + 1, ' ');
+    for (std::size_t i = submit; i < start && i < line.size(); ++i) line[i] = '.';
+    for (std::size_t i = start; i < finish && i < line.size(); ++i) line[i] = '#';
+    std::string label = r->task_name.substr(0, label_width);
+    label.resize(label_width, ' ');
+    out << "  " << label << " |" << line << "|\n";
+  }
+  return out.str();
+}
+
+std::vector<std::string> bottleneck_kinds(const ProvenanceStore& store,
+                                          double ratio) {
+  std::vector<std::string> out;
+  for (const auto& k : summarize_kinds(store)) {
+    if (k.runtime.empty() || k.queue_wait.empty()) continue;
+    if (k.queue_wait.mean() > ratio * k.runtime.mean()) out.push_back(k.kind);
+  }
+  return out;
+}
+
+}  // namespace hhc::cws

@@ -1,0 +1,62 @@
+// Provenance analysis (paper §3.3): "by gathering and storing all metrics
+// and task dependencies in a centralized manner, provenance becomes more
+// streamlined and manageable" — these are the queries that centralization
+// buys: per-tool summaries across WMSs, queue-wait diagnosis, workflow
+// timelines (Gantt), CSV interchange.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cws/cwsi.hpp"
+#include "support/stats.hpp"
+
+namespace hhc::cws {
+
+/// Aggregated behaviour of one tool kind across every recorded execution.
+struct KindSummary {
+  std::string kind;
+  std::size_t executions = 0;
+  std::size_t failures = 0;
+  OnlineStats runtime;             ///< Observed wall-clock runtimes.
+  OnlineStats normalized_runtime;  ///< Speed-1-equivalent runtimes.
+  OnlineStats queue_wait;          ///< submit -> start.
+  OnlineStats input_bytes;
+};
+
+/// Per-kind summaries over the whole store (or one workflow when
+/// `workflow_id` >= 0), sorted by kind name.
+std::vector<KindSummary> summarize_kinds(const ProvenanceStore& store,
+                                         int workflow_id = -1);
+
+/// Statistics of one workflow's execution derived purely from provenance.
+struct WorkflowSummary {
+  int workflow_id = -1;
+  std::size_t tasks = 0;
+  std::size_t failures = 0;
+  SimTime first_submit = 0.0;
+  SimTime last_finish = 0.0;
+  OnlineStats queue_wait;
+  double busy_fraction = 0.0;  ///< Mean concurrent tasks / peak concurrent.
+
+  SimTime makespan() const noexcept { return last_finish - first_submit; }
+};
+
+WorkflowSummary summarize_workflow(const ProvenanceStore& store, int workflow_id);
+
+/// Renders the per-kind summary as a text table.
+std::string render_kind_summary(const std::vector<KindSummary>& kinds);
+
+/// ASCII Gantt chart of one workflow's tasks (one row per task, time
+/// rescaled to `width` columns). Rows are ordered by start time; '.' marks
+/// queue wait, '#' marks execution.
+std::string render_gantt(const ProvenanceStore& store, int workflow_id,
+                         std::size_t width = 72, std::size_t max_rows = 40);
+
+/// Kinds whose queue wait dominates their runtime (wait > `ratio` x run):
+/// the tasks a better scheduler or more capacity would help most.
+std::vector<std::string> bottleneck_kinds(const ProvenanceStore& store,
+                                          double ratio = 1.0);
+
+}  // namespace hhc::cws

@@ -1,0 +1,172 @@
+#include "cws/strategies.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+namespace hhc::cws {
+
+void CwsSchedulerBase::schedule(cluster::SchedulingContext& ctx) {
+  // Stable sort by descending priority; ties keep submission order.
+  std::vector<cluster::JobId> order = ctx.queue();
+  std::vector<std::pair<double, cluster::JobId>> keyed;
+  keyed.reserve(order.size());
+  for (cluster::JobId id : order) keyed.emplace_back(priority(ctx, ctx.job(id)), id);
+  std::stable_sort(keyed.begin(), keyed.end(),
+                   [](const auto& a, const auto& b) { return a.first > b.first; });
+
+  for (const auto& [key, id] : keyed) {
+    const cluster::JobRecord& job = ctx.job(id);
+    auto filter = node_filter(ctx, job);
+    bool placed = filter ? ctx.try_place_if(id, filter) : ctx.try_place(id);
+    if (!placed && filter && allow_fallback()) ctx.try_place(id);
+  }
+}
+
+std::function<bool(cluster::NodeId)> CwsSchedulerBase::node_filter(
+    const cluster::SchedulingContext&, const cluster::JobRecord&) const {
+  return {};
+}
+
+double RankScheduler::priority(const cluster::SchedulingContext&,
+                               const cluster::JobRecord& job) const {
+  const auto r = registry().rank(job.request.workflow_id, job.request.task_id);
+  return r.value_or(0.0);
+}
+
+double FileSizeScheduler::priority(const cluster::SchedulingContext&,
+                                   const cluster::JobRecord& job) const {
+  const wf::Workflow* w = registry().find(job.request.workflow_id);
+  if (w && job.request.task_id < w->task_count())
+    return static_cast<double>(w->total_input_bytes(job.request.task_id));
+  return static_cast<double>(job.request.input_bytes);
+}
+
+double HeftScheduler::priority(const cluster::SchedulingContext&,
+                               const cluster::JobRecord& job) const {
+  const auto r = registry().rank(job.request.workflow_id, job.request.task_id);
+  return r.value_or(0.0);
+}
+
+std::function<bool(cluster::NodeId)> HeftScheduler::node_filter(
+    const cluster::SchedulingContext& ctx, const cluster::JobRecord& job) const {
+  // Pick the node class minimizing predicted finish time among classes where
+  // the job currently fits; restrict placement to that class.
+  const cluster::Cluster& cl = ctx.cluster();
+  const auto& classes = cl.spec().classes;
+
+  const auto predicted = predictor_->predict(job.request);
+  const double runtime = predicted.value_or(
+      job.request.walltime_estimate > 0 ? job.request.walltime_estimate : 60.0);
+
+  double best_eft = std::numeric_limits<double>::infinity();
+  std::size_t best_class = classes.size();
+  // Track per-class availability by checking any node of the class fits.
+  for (cluster::NodeId n = 0; n < cl.node_count(); ++n) {
+    const std::size_t ci = cl.node(n).class_index;
+    if (!cl.fits(n, job.request.resources)) continue;
+    const auto& c = classes[ci];
+    const double io = static_cast<double>(job.request.input_bytes +
+                                          job.request.output_bytes) /
+                      std::min(c.io_bandwidth, cl.spec().shared_fs_bandwidth);
+    const double eft = runtime / c.cpu_speed + io;
+    if (eft < best_eft) {
+      best_eft = eft;
+      best_class = ci;
+    }
+  }
+  if (best_class == classes.size()) return {};  // nothing fits; fall through
+  return [&cl, best_class](cluster::NodeId n) {
+    return cl.node(n).class_index == best_class;
+  };
+}
+
+double TaremaScheduler::priority(const cluster::SchedulingContext&,
+                                 const cluster::JobRecord& job) const {
+  const auto r = registry().rank(job.request.workflow_id, job.request.task_id);
+  return r.value_or(0.0);
+}
+
+std::function<bool(cluster::NodeId)> TaremaScheduler::node_filter(
+    const cluster::SchedulingContext& ctx, const cluster::JobRecord& job) const {
+  // Label task kinds by mean normalized runtime tertile across provenance;
+  // label node classes by speed tertile; match heavy -> fast.
+  const auto kind_records = provenance_->by_kind(job.request.kind);
+  if (kind_records.size() < 2) return {};  // cold start: no labelling yet
+
+  // Mean normalized runtime of this kind.
+  double kind_mean = 0;
+  for (const auto* r : kind_records) kind_mean += r->normalized_runtime();
+  kind_mean /= static_cast<double>(kind_records.size());
+
+  // Collect per-kind means across all kinds to find tertile boundaries.
+  std::map<std::string, std::pair<double, std::size_t>> sums;
+  for (const auto& r : provenance_->records()) {
+    if (r.failed) continue;
+    auto& [sum, n] = sums[r.kind];
+    sum += r.normalized_runtime();
+    ++n;
+  }
+  std::vector<double> means;
+  for (const auto& [k, sn] : sums)
+    if (sn.second > 0) means.push_back(sn.first / static_cast<double>(sn.second));
+  if (means.size() < 2) return {};
+  std::sort(means.begin(), means.end());
+  // Group by rank position among all kind means: bottom third -> slow
+  // nodes, middle -> medium, top third -> fast.
+  const auto rank_pos = static_cast<std::size_t>(
+      std::lower_bound(means.begin(), means.end(), kind_mean) - means.begin());
+  const int task_group =
+      static_cast<int>(std::min<std::size_t>(2, rank_pos * 3 / means.size()));
+
+  // Node classes sorted by speed -> groups 0 (slow) .. 2 (fast).
+  const cluster::Cluster& cl = ctx.cluster();
+  const auto& classes = cl.spec().classes;
+  std::vector<std::size_t> class_order(classes.size());
+  for (std::size_t i = 0; i < classes.size(); ++i) class_order[i] = i;
+  std::sort(class_order.begin(), class_order.end(), [&](std::size_t a, std::size_t b) {
+    return classes[a].cpu_speed < classes[b].cpu_speed;
+  });
+  // Map class index -> group in [0, 2].
+  std::vector<int> class_group(classes.size(), 1);
+  for (std::size_t pos = 0; pos < class_order.size(); ++pos) {
+    const int g = class_order.size() == 1
+                      ? 1
+                      : static_cast<int>(pos * 3 / class_order.size());
+    class_group[class_order[pos]] = g;
+  }
+
+  // Soft matching: the heaviest kinds are pinned to the fast group; the
+  // lightest kinds are kept *off* the fast group (protecting it for heavy
+  // work); the middle tertile places anywhere. Hard per-group pinning
+  // punishes serial workflows whose whole chain is "light".
+  if (task_group == 2) {
+    return [&cl, class_group](cluster::NodeId n) {
+      return class_group[cl.node(n).class_index] == 2;
+    };
+  }
+  if (task_group == 0) {
+    return [&cl, class_group](cluster::NodeId n) {
+      return class_group[cl.node(n).class_index] != 2;
+    };
+  }
+  return {};
+}
+
+std::unique_ptr<cluster::Scheduler> make_strategy(const std::string& name,
+                                                  const WorkflowRegistry& registry,
+                                                  const RuntimePredictor& predictor,
+                                                  const ProvenanceStore& provenance) {
+  if (name == "fifo" || name == "fifo-fit" || name == "easy-backfill")
+    return cluster::make_baseline_scheduler(name);
+  if (name == "cws-rank") return std::make_unique<RankScheduler>(registry);
+  if (name == "cws-filesize") return std::make_unique<FileSizeScheduler>(registry);
+  if (name == "cws-heft") return std::make_unique<HeftScheduler>(registry, predictor);
+  if (name == "cws-tarema")
+    return std::make_unique<TaremaScheduler>(registry, provenance);
+  throw std::invalid_argument("unknown strategy: " + name);
+}
+
+}  // namespace hhc::cws

@@ -1,0 +1,121 @@
+// Workflow-aware scheduling strategies hosted in the resource manager — the
+// CWS proper (paper §3.1, §3.4, §3.5).
+//
+// All strategies scan the whole ready queue each pass (keeping the cluster
+// busy like the fifo-fit baseline) — the benefit over the baseline comes
+// from *ordering* the queue with workflow knowledge and from *matching*
+// tasks to heterogeneous node classes.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "cluster/schedulers.hpp"
+#include "cws/cwsi.hpp"
+#include "cws/predictors.hpp"
+
+namespace hhc::cws {
+
+/// Shared base: orders the queue by a strategy-specific key (descending),
+/// then places greedily, optionally with a node filter per job.
+class CwsSchedulerBase : public cluster::Scheduler {
+ public:
+  CwsSchedulerBase(const WorkflowRegistry& registry) : registry_(&registry) {}
+
+  void schedule(cluster::SchedulingContext& ctx) override;
+
+ protected:
+  /// Priority key; larger = schedule earlier.
+  virtual double priority(const cluster::SchedulingContext& ctx,
+                          const cluster::JobRecord& job) const = 0;
+
+  /// Node filter for a job; default accepts all nodes.
+  virtual std::function<bool(cluster::NodeId)> node_filter(
+      const cluster::SchedulingContext& ctx, const cluster::JobRecord& job) const;
+
+  /// Whether a job that fails its filtered placement may fall back to any
+  /// node (keeps utilization up; Tarema does this).
+  virtual bool allow_fallback() const { return false; }
+
+  const WorkflowRegistry& registry() const { return *registry_; }
+
+ private:
+  const WorkflowRegistry* registry_;
+};
+
+/// Orders ready tasks by upward rank: tasks heading long chains first.
+/// The "rank" strategy in the paper's §3.5 result.
+class RankScheduler final : public CwsSchedulerBase {
+ public:
+  using CwsSchedulerBase::CwsSchedulerBase;
+  std::string name() const override { return "cws-rank"; }
+
+ protected:
+  double priority(const cluster::SchedulingContext& ctx,
+                  const cluster::JobRecord& job) const override;
+};
+
+/// Orders ready tasks by total input bytes, biggest first — data-heavy tasks
+/// start (and release their successors) earlier. The "file size" strategy.
+class FileSizeScheduler final : public CwsSchedulerBase {
+ public:
+  using CwsSchedulerBase::CwsSchedulerBase;
+  std::string name() const override { return "cws-filesize"; }
+
+ protected:
+  double priority(const cluster::SchedulingContext& ctx,
+                  const cluster::JobRecord& job) const override;
+};
+
+/// HEFT-style: rank ordering + per-task node-class selection minimizing
+/// predicted earliest finish time (needs a runtime predictor).
+class HeftScheduler final : public CwsSchedulerBase {
+ public:
+  HeftScheduler(const WorkflowRegistry& registry, const RuntimePredictor& predictor)
+      : CwsSchedulerBase(registry), predictor_(&predictor) {}
+
+  std::string name() const override { return "cws-heft"; }
+
+ protected:
+  double priority(const cluster::SchedulingContext& ctx,
+                  const cluster::JobRecord& job) const override;
+  std::function<bool(cluster::NodeId)> node_filter(
+      const cluster::SchedulingContext& ctx,
+      const cluster::JobRecord& job) const override;
+  bool allow_fallback() const override { return true; }
+
+ private:
+  const RuntimePredictor* predictor_;
+};
+
+/// Tarema-style: nodes are labelled into speed groups; task kinds are
+/// labelled by observed normalized runtime tertiles (via provenance);
+/// heavy kinds go to fast groups. Falls back to any node when the matched
+/// group is full.
+class TaremaScheduler final : public CwsSchedulerBase {
+ public:
+  TaremaScheduler(const WorkflowRegistry& registry, const ProvenanceStore& provenance)
+      : CwsSchedulerBase(registry), provenance_(&provenance) {}
+
+  std::string name() const override { return "cws-tarema"; }
+
+ protected:
+  double priority(const cluster::SchedulingContext& ctx,
+                  const cluster::JobRecord& job) const override;
+  std::function<bool(cluster::NodeId)> node_filter(
+      const cluster::SchedulingContext& ctx,
+      const cluster::JobRecord& job) const override;
+  bool allow_fallback() const override { return true; }
+
+ private:
+  const ProvenanceStore* provenance_;
+};
+
+/// Factory over baseline + CWS strategies (used by the E6 sweep).
+/// `registry`, `predictor` and `provenance` must outlive the scheduler.
+std::unique_ptr<cluster::Scheduler> make_strategy(const std::string& name,
+                                                  const WorkflowRegistry& registry,
+                                                  const RuntimePredictor& predictor,
+                                                  const ProvenanceStore& provenance);
+
+}  // namespace hhc::cws

@@ -1,0 +1,137 @@
+#include "cws/wms.hpp"
+
+#include <stdexcept>
+
+#include "support/log.hpp"
+
+namespace hhc::cws {
+
+WorkflowEngine::WorkflowEngine(sim::Simulation& sim, cluster::ResourceManager& rm,
+                               WorkflowRegistry* registry, ProvenanceStore* provenance,
+                               RuntimePredictor* predictor, WmsConfig config)
+    : sim_(sim), rm_(rm), registry_(registry), provenance_(provenance),
+      predictor_(predictor), config_(config) {}
+
+void WorkflowEngine::run(const wf::Workflow& workflow,
+                         std::function<void(const WorkflowResult&)> on_done) {
+  workflow.validate();
+  const std::size_t index = next_run_++;
+  Run& r = runs_[index];
+  r.workflow = &workflow;
+  r.pending_preds.resize(workflow.task_count());
+  r.attempts.assign(workflow.task_count(), 0);
+  for (wf::TaskId t = 0; t < workflow.task_count(); ++t)
+    r.pending_preds[t] = workflow.predecessors(t).size();
+  r.remaining = workflow.task_count();
+  r.result.workflow_name = workflow.name();
+  r.result.start_time = sim_.now();
+  r.result.tasks = workflow.task_count();
+  r.on_done = std::move(on_done);
+  if (config_.cwsi_enabled && registry_)
+    r.cwsi_id = registry_->register_workflow(workflow);
+
+  if (workflow.empty()) {
+    finish_run(index);
+    return;
+  }
+  for (wf::TaskId t : workflow.sources()) submit_task(index, t);
+}
+
+WorkflowResult WorkflowEngine::run_to_completion(const wf::Workflow& workflow) {
+  WorkflowResult out;
+  bool done = false;
+  run(workflow, [&](const WorkflowResult& r) {
+    out = r;
+    done = true;
+  });
+  sim_.run();
+  if (!done)
+    throw std::logic_error("run_to_completion: simulation drained before workflow end");
+  return out;
+}
+
+void WorkflowEngine::submit_task(std::size_t run_index, wf::TaskId task) {
+  Run& r = runs_.at(run_index);
+  const wf::TaskSpec& spec = r.workflow->task(task);
+
+  cluster::JobRequest req;
+  req.name = spec.name;
+  req.kind = spec.kind;
+  req.resources = spec.resources;
+  req.runtime = spec.base_runtime;
+  req.input_bytes = r.workflow->total_input_bytes(task);
+  req.output_bytes = spec.output_bytes;
+  if (config_.cwsi_enabled) {
+    req.workflow_id = r.cwsi_id;
+    req.task_id = task;
+  }
+  if (config_.estimate_walltimes && predictor_) {
+    if (auto est = predictor_->predict(req)) req.walltime_estimate = *est;
+  }
+
+  rm_.submit(std::move(req), [this, run_index, task](const cluster::JobRecord& rec) {
+    on_job_complete(run_index, task, rec);
+  });
+}
+
+void WorkflowEngine::on_job_complete(std::size_t run_index, wf::TaskId task,
+                                     const cluster::JobRecord& rec) {
+  auto it = runs_.find(run_index);
+  if (it == runs_.end()) return;  // run already finished/aborted
+  Run& r = it->second;
+
+  // Record provenance for every attempt (CWS sees RM-side metrics: §3.3).
+  if (provenance_) {
+    TaskProvenance p;
+    p.workflow_id = r.cwsi_id;
+    p.task_id = task;
+    p.task_name = rec.request.name;
+    p.kind = rec.request.kind;
+    p.input_bytes = rec.request.input_bytes;
+    p.output_bytes = rec.request.output_bytes;
+    p.submit_time = rec.submit_time;
+    p.start_time = rec.start_time;
+    p.finish_time = rec.finish_time;
+    p.node_speed = rec.speed;
+    if (!rec.allocation.empty())
+      p.node_class = rm_.cluster().node_class(rec.allocation.claims[0].node).name;
+    p.failed = rec.state != cluster::JobState::Completed;
+    provenance_->record(p);
+    if (predictor_ && !p.failed) predictor_->observe(p);
+  }
+
+  if (rec.state != cluster::JobState::Completed) {
+    ++r.result.task_failures;
+    if (r.attempts[task] < config_.max_retries) {
+      ++r.attempts[task];
+      ++r.result.retries;
+      HHC_LOG(Debug, "wms") << "retrying task " << rec.request.name << " (attempt "
+                            << r.attempts[task] + 1 << ")";
+      submit_task(run_index, task);
+      return;
+    }
+    r.aborted = true;
+    finish_run(run_index);
+    return;
+  }
+
+  if (--r.remaining == 0) {
+    finish_run(run_index);
+    return;
+  }
+  for (wf::TaskId s : r.workflow->successors(task))
+    if (--r.pending_preds[s] == 0) submit_task(run_index, s);
+}
+
+void WorkflowEngine::finish_run(std::size_t run_index) {
+  Run& r = runs_.at(run_index);
+  r.result.finish_time = sim_.now();
+  r.result.success = !r.aborted && r.remaining == 0;
+  if (r.cwsi_id >= 0 && registry_) registry_->unregister_workflow(r.cwsi_id);
+  auto on_done = std::move(r.on_done);
+  const WorkflowResult result = r.result;
+  runs_.erase(run_index);
+  if (on_done) on_done(result);
+}
+
+}  // namespace hhc::cws

@@ -1,0 +1,93 @@
+// Workflow engine (WMS) driver — the Nextflow/Airflow/Argo role in the
+// paper's architecture (§3.1-§3.2).
+//
+// The engine owns no scheduler (paper: "workflow engines with CWSI support
+// do not need their own scheduler component"): it submits ready tasks to the
+// resource manager as dependencies resolve, and — when CWSI support is
+// enabled — registers the DAG and attaches workflow metadata so the
+// resource-manager-resident CWS can schedule workflow-aware. Disabling CWSI
+// reproduces the baseline (metadata-free) behaviour.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/resource_manager.hpp"
+#include "cws/cwsi.hpp"
+#include "cws/predictors.hpp"
+#include "sim/simulation.hpp"
+#include "workflow/workflow.hpp"
+
+namespace hhc::cws {
+
+struct WmsConfig {
+  bool cwsi_enabled = true;   ///< Register DAG + attach task metadata.
+  int max_retries = 2;        ///< Resubmissions after task failure.
+  bool estimate_walltimes = true;  ///< Fill walltime_estimate from the predictor.
+};
+
+/// Outcome of one workflow execution.
+struct WorkflowResult {
+  std::string workflow_name;
+  SimTime start_time = 0.0;
+  SimTime finish_time = 0.0;
+  std::size_t tasks = 0;
+  std::size_t task_failures = 0;  ///< Failed attempts (retried or not).
+  std::size_t retries = 0;
+  bool success = false;           ///< All tasks eventually completed.
+
+  SimTime makespan() const noexcept { return finish_time - start_time; }
+};
+
+/// Drives workflows to completion against one ResourceManager.
+/// Supports many concurrent workflows (they share the RM queue).
+class WorkflowEngine {
+ public:
+  /// `registry`/`provenance`/`predictor` may be shared with the CWS
+  /// scheduler; they must outlive the engine. Any of them may be null
+  /// (then the corresponding integration is skipped).
+  WorkflowEngine(sim::Simulation& sim, cluster::ResourceManager& rm,
+                 WorkflowRegistry* registry, ProvenanceStore* provenance,
+                 RuntimePredictor* predictor, WmsConfig config = {});
+
+  /// Starts a workflow; `on_done` fires when every task completed or some
+  /// task exhausted its retries. The workflow must outlive the run.
+  void run(const wf::Workflow& workflow,
+           std::function<void(const WorkflowResult&)> on_done);
+
+  /// Convenience: run one workflow to completion on a fresh event loop
+  /// drain. Returns the result (asserts the simulation drains).
+  WorkflowResult run_to_completion(const wf::Workflow& workflow);
+
+  std::size_t active_workflows() const noexcept { return runs_.size(); }
+
+ private:
+  struct Run {
+    const wf::Workflow* workflow = nullptr;
+    int cwsi_id = -1;
+    std::vector<std::size_t> pending_preds;
+    std::vector<int> attempts;
+    std::size_t remaining = 0;
+    WorkflowResult result;
+    std::function<void(const WorkflowResult&)> on_done;
+    bool aborted = false;
+  };
+
+  void submit_task(std::size_t run_index, wf::TaskId task);
+  void on_job_complete(std::size_t run_index, wf::TaskId task,
+                       const cluster::JobRecord& rec);
+  void finish_run(std::size_t run_index);
+
+  sim::Simulation& sim_;
+  cluster::ResourceManager& rm_;
+  WorkflowRegistry* registry_;
+  ProvenanceStore* provenance_;
+  RuntimePredictor* predictor_;
+  WmsConfig config_;
+  std::map<std::size_t, Run> runs_;
+  std::size_t next_run_ = 0;
+};
+
+}  // namespace hhc::cws

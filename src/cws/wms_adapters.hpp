@@ -1,0 +1,97 @@
+// WMS integration styles (paper §3.2): how Nextflow, Argo and Airflow each
+// talk to a Kubernetes-like resource manager, and what CWSI support changes.
+//
+//   * Nextflow + CWSI — registers the DAG, attaches task metadata; the
+//     resource-manager-resident CWS schedules workflow-aware. (The plugin
+//     the paper ships.)
+//   * Argo — submits each task individually; "Kubernetes then schedules
+//     them in a FIFO manner". No workflow context at all.
+//   * Airflow — "starts a big worker on every node for the whole workflow
+//     execution and assigns tasks into these worker pods bypassing
+//     Kubernetes' task assignment logic". Workflow-aware, but the workers
+//     hold their nodes for the entire run regardless of load.
+//
+// All three run the same wf::Workflow on the same ResourceManager-backed
+// cluster; the difference is what they submit and what they reserve.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "cws/wms.hpp"
+
+namespace hhc::cws {
+
+/// How a run went, including the reservation accounting that separates the
+/// Airflow strategy from per-task requests.
+struct AdapterRunResult {
+  std::string adapter;
+  WorkflowResult workflow;
+  double used_core_seconds = 0.0;      ///< Cores actually running tasks.
+  double reserved_core_seconds = 0.0;  ///< Cores requested from the cluster.
+
+  double wastage() const noexcept {
+    return reserved_core_seconds > 0
+               ? 1.0 - used_core_seconds / reserved_core_seconds
+               : 0.0;
+  }
+};
+
+/// Common interface: run one workflow through this WMS's integration style.
+class WmsAdapter {
+ public:
+  virtual ~WmsAdapter() = default;
+  virtual std::string name() const = 0;
+  /// Runs to completion on a private simulation drain; the engine/RM are
+  /// owned by the caller and shared across runs.
+  virtual AdapterRunResult run(const wf::Workflow& workflow) = 0;
+};
+
+/// Nextflow with the CWSI plugin: full workflow context to the CWS.
+class NextflowCwsiAdapter final : public WmsAdapter {
+ public:
+  NextflowCwsiAdapter(sim::Simulation& sim, cluster::ResourceManager& rm,
+                      WorkflowRegistry& registry, ProvenanceStore& provenance,
+                      RuntimePredictor& predictor);
+  std::string name() const override { return "nextflow+cwsi"; }
+  AdapterRunResult run(const wf::Workflow& workflow) override;
+
+ private:
+  ProvenanceStore* provenance_;
+  WorkflowEngine engine_;
+};
+
+/// Argo: per-task FIFO submission, no workflow metadata. The provenance
+/// store is still populated (the resource-manager side can always observe
+/// its own jobs) but carries no workflow context.
+class ArgoAdapter final : public WmsAdapter {
+ public:
+  ArgoAdapter(sim::Simulation& sim, cluster::ResourceManager& rm,
+              ProvenanceStore& provenance);
+  std::string name() const override { return "argo"; }
+  AdapterRunResult run(const wf::Workflow& workflow) override;
+
+ private:
+  ProvenanceStore* provenance_;
+  WorkflowEngine engine_;
+};
+
+/// Airflow's Kubernetes strategy: big workers on every node for the whole
+/// run. Tasks execute inside the workers (so the makespan matches a
+/// workflow-aware schedule), but the reservation covers every worker node
+/// from first submission to last completion.
+class AirflowBigWorkerAdapter final : public WmsAdapter {
+ public:
+  AirflowBigWorkerAdapter(sim::Simulation& sim, cluster::ResourceManager& rm,
+                          WorkflowRegistry& registry, ProvenanceStore& provenance,
+                          RuntimePredictor& predictor);
+  std::string name() const override { return "airflow-big-workers"; }
+  AdapterRunResult run(const wf::Workflow& workflow) override;
+
+ private:
+  cluster::ResourceManager& rm_;
+  ProvenanceStore* provenance_;
+  WorkflowEngine engine_;
+};
+
+}  // namespace hhc::cws

@@ -1,0 +1,119 @@
+#include "entk/exaam.hpp"
+
+#include <string>
+
+namespace hhc::entk {
+namespace {
+
+TaskDesc task(std::string name, std::string kind, int nodes, double cores_per_node,
+              int gpus_per_node, SimTime rt_min, SimTime rt_max) {
+  TaskDesc t;
+  t.name = std::move(name);
+  t.kind = std::move(kind);
+  t.resources.nodes = nodes;
+  t.resources.cores_per_node = cores_per_node;
+  t.resources.gpus_per_node = gpus_per_node;
+  t.resources.memory_per_node = gib(64);
+  t.runtime_min = rt_min;
+  t.runtime_max = rt_max;
+  return t;
+}
+
+}  // namespace
+
+PipelineDesc make_stage0(const ExaamScale&) {
+  PipelineDesc p;
+  p.name = "uq-stage0";
+  StageDesc grid;
+  grid.name = "tasmanian-grid";
+  grid.tasks.push_back(task("tasmanian", "tasmanian", 1, 8, 0, 120, 300));
+  StageDesc prep;
+  prep.name = "input-prep";
+  prep.tasks.push_back(task("prep-inputs", "prep", 1, 4, 0, 60, 120));
+  p.stages = {grid, prep};
+  return p;
+}
+
+PipelineDesc make_stage1(const ExaamScale& scale) {
+  PipelineDesc p;
+  p.name = "uq-stage1";
+
+  // AdditiveFOAM pre-processing.
+  StageDesc pre;
+  pre.name = "additivefoam-pre";
+  pre.tasks.push_back(task("af-pre", "af-pre", 1, 8, 0, 120, 240));
+  p.stages.push_back(pre);
+
+  // Melt-pool thermal histories need even and odd runs (paper §4.2), each
+  // task 4 nodes x 56 cores, CPU-only. The campaign used 40 nodes for ~2 h.
+  StageDesc even;
+  even.name = "additivefoam-even";
+  StageDesc odd;
+  odd.name = "additivefoam-odd";
+  for (std::size_t i = 0; i < scale.meltpool_cases; ++i) {
+    auto& stage = (i % 2 == 0) ? even : odd;
+    stage.tasks.push_back(task("af-case" + std::to_string(i), "additivefoam", 4, 56, 0,
+                               minutes(40), minutes(70)));
+  }
+  p.stages.push_back(even);
+  p.stages.push_back(odd);
+
+  StageDesc post;
+  post.name = "additivefoam-post";
+  post.tasks.push_back(task("af-post", "af-post", 1, 8, 0, 120, 300));
+  p.stages.push_back(post);
+
+  // ExaCA: 1 node per task, 8 MPI ranks, 7 CPUs + 1 GPU decomposition.
+  StageDesc exaca;
+  exaca.name = "exaca";
+  for (std::size_t i = 0; i < scale.microstructure_cases; ++i)
+    exaca.tasks.push_back(task("exaca-case" + std::to_string(i), "exaca", 1, 56, 8,
+                               minutes(90), minutes(200)));
+  p.stages.push_back(exaca);
+
+  StageDesc analysis;
+  analysis.name = "exaca-analysis";
+  analysis.tasks.push_back(task("exaca-analysis", "exaca-analysis", 1, 16, 0, 180, 420));
+  p.stages.push_back(analysis);
+  return p;
+}
+
+PipelineDesc make_stage3(const ExaamScale& scale, std::size_t terminal_failures) {
+  PipelineDesc p;
+  p.name = "uq-stage3";
+
+  // The ExaConstit ensemble: every task 8 nodes, 8 ranks/node with the
+  // typical 7 CPU + 1 GPU decomposition, runtime ~10-25 min (paper §4.3).
+  StageDesc ensemble;
+  ensemble.name = "exaconstit";
+  for (std::size_t i = 0; i < scale.exaconstit_tasks; ++i) {
+    TaskDesc t = task("exaconstit-" + std::to_string(i), "exaconstit", 8, 56, 8,
+                      minutes(10), minutes(25));
+    t.failure_probability = scale.exaconstit_failure_rate;
+    if (i < terminal_failures) {
+      // Paper: two tasks hit a too-large final time step for their loading
+      // condition/RVE and were accepted without rerun.
+      t.failure_probability = 1.0;
+      t.terminal_failure = true;
+    }
+    ensemble.tasks.push_back(std::move(t));
+  }
+  p.stages.push_back(ensemble);
+
+  StageDesc optimize;
+  optimize.name = "optimize-material-model";
+  optimize.tasks.push_back(
+      task("optimize", "optimize", 1, 32, 0, minutes(5), minutes(15)));
+  p.stages.push_back(optimize);
+  return p;
+}
+
+PipelineDesc make_full_uq_pipeline(const ExaamScale& scale) {
+  PipelineDesc p;
+  p.name = "uq-full";
+  for (auto part : {make_stage0(scale), make_stage1(scale), make_stage3(scale)})
+    for (auto& s : part.stages) p.stages.push_back(std::move(s));
+  return p;
+}
+
+}  // namespace hhc::entk

@@ -1,0 +1,40 @@
+// ExaAM UQ pipeline workload factories (paper §4.2-§4.3).
+//
+// The numbers mirror the Frontier campaign: AdditiveFOAM melt-pool tasks
+// (4 nodes x 56 cores, CPU-only, even/odd runs + post-processing), ExaCA
+// microstructure tasks (1 node, 8 ranks, 7 CPU + 1 GPU each), and the
+// ExaConstit local-property ensemble (7875 tasks x 8 nodes, 10-25 min).
+#pragma once
+
+#include <cstddef>
+
+#include "entk/pst.hpp"
+#include "support/rng.hpp"
+
+namespace hhc::entk {
+
+/// Scale knobs; defaults match the paper's full Frontier run where stated.
+struct ExaamScale {
+  std::size_t meltpool_cases = 20;        ///< AdditiveFOAM tasks (even + odd).
+  std::size_t microstructure_cases = 250; ///< ExaCA tasks (thermal x UQ params).
+  std::size_t exaconstit_tasks = 7875;    ///< Paper: 7875 on 8000 nodes.
+  double exaconstit_failure_rate = 0.0;   ///< Random per-task failure chance.
+};
+
+/// UQ Stage 0: TASMANIAN grid generation + input-deck preparation.
+PipelineDesc make_stage0(const ExaamScale& scale = {});
+
+/// UQ Stage 1: AdditiveFOAM pre-processing, even runs, odd runs,
+/// post-processing, then ExaCA and ExaCA-analysis (paper §4.2).
+PipelineDesc make_stage1(const ExaamScale& scale = {});
+
+/// UQ Stage 3: the ExaConstit ensemble plus the final optimization script.
+/// `terminal_failures` marks that many tasks as failing on their last step
+/// without retry (the paper registered two such failures).
+PipelineDesc make_stage3(const ExaamScale& scale = {},
+                         std::size_t terminal_failures = 0);
+
+/// The full UQ pipeline: stages 0, 1 and 3 in sequence.
+PipelineDesc make_full_uq_pipeline(const ExaamScale& scale = {});
+
+}  // namespace hhc::entk

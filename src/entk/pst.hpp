@@ -1,0 +1,46 @@
+// The EnTK PST (Pipeline-Stage-Task) application model (paper §4.1):
+// a Pipeline is a sequence of Stages; a Stage is a set of independent Tasks;
+// stages within a pipeline run sequentially, tasks within a stage (and
+// pipelines among themselves) run concurrently.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/units.hpp"
+#include "workflow/workflow.hpp"
+
+namespace hhc::entk {
+
+/// Static description of one computing task (a batch job step).
+struct TaskDesc {
+  std::string name;
+  std::string kind;            ///< e.g. "additivefoam", "exaca", "exaconstit".
+  wf::Resources resources;     ///< Whole-node request (nodes, cores/node, gpus/node).
+  SimTime runtime_min = 60.0;  ///< Uniform runtime bounds on the pilot's nodes.
+  SimTime runtime_max = 60.0;
+  double failure_probability = 0.0;  ///< Chance the attempt ends in failure.
+  bool terminal_failure = false;     ///< If it fails, do not resubmit (paper:
+                                     ///< the two last-step ExaConstit failures
+                                     ///< were accepted, not retried).
+};
+
+/// A set of independent tasks; the stage completes when all complete.
+struct StageDesc {
+  std::string name;
+  std::vector<TaskDesc> tasks;
+};
+
+/// A sequence of stages.
+struct PipelineDesc {
+  std::string name;
+  std::vector<StageDesc> stages;
+
+  std::size_t task_count() const noexcept {
+    std::size_t n = 0;
+    for (const auto& s : stages) n += s.tasks.size();
+    return n;
+  }
+};
+
+}  // namespace hhc::entk

@@ -1,0 +1,393 @@
+#include "jaws/engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "jaws/wdl_parser.hpp"
+#include "support/log.hpp"
+
+namespace hhc::jaws {
+
+CromwellEngine::CromwellEngine(sim::Simulation& sim, cluster::ResourceManager& rm,
+                               EngineConfig config)
+    : sim_(sim), rm_(rm), config_(config) {}
+
+void CromwellEngine::set_file_size(const std::string& path, Bytes size) {
+  file_sizes_[path] = size;
+}
+
+Json CromwellEngine::eval_value_expr(const Expr& e, const Scope& scope) const {
+  switch (e.kind) {
+    case Expr::Kind::StringLit: return Json(e.text);
+    case Expr::Kind::NumberLit: return Json(e.number);
+    case Expr::Kind::BoolLit: return Json(e.boolean);
+    case Expr::Kind::ArrayLit: {
+      Json arr = Json::array();
+      for (const auto& el : e.elements) arr.push_back(eval_value_expr(*el, scope));
+      return arr;
+    }
+    case Expr::Kind::Identifier: {
+      auto it = scope.values.find(e.text);
+      if (it == scope.values.end())
+        throw WdlError("unbound identifier '" + e.text + "'");
+      return it->second;
+    }
+    case Expr::Kind::MemberAccess:
+      throw WdlError("member access '" + e.text + "." + e.member +
+                     "' is not a value here");
+  }
+  throw WdlError("bad expression");
+}
+
+std::optional<CromwellEngine::ValueRef> CromwellEngine::eval_ref_expr(
+    const Expr& e, const Scope& scope) const {
+  if (e.kind != Expr::Kind::MemberAccess) return std::nullopt;
+  auto it = scope.calls.find(e.text);
+  if (it == scope.calls.end())
+    throw WdlError("member access on unknown call '" + e.text + "'");
+  ValueRef ref;
+  ref.producers = it->second.instances;
+  ref.output = e.member;
+  ref.gather = it->second.scattered;
+  return ref;
+}
+
+void CromwellEngine::instantiate_items(const Document& doc,
+                                       const std::vector<WorkflowItem>& items,
+                                       Scope& scope, Run& run, bool in_scatter) {
+  for (const auto& item : items) {
+    if (item.call) {
+      const CallStmt& call = *item.call;
+      const TaskDef* task = doc.find_task(call.task_name);
+      if (!task) throw WdlError("call of unknown task '" + call.task_name + "'");
+
+      ConcreteTask ct;
+      ct.task = task;
+      const std::size_t id = run.tasks.size();
+      ct.call_name = call.effective_name();
+      if (in_scatter) {
+        // Disambiguate shards with the instance count of this alias so far.
+        std::size_t shard = 0;
+        if (auto bit = scope.calls.find(call.effective_name());
+            bit != scope.calls.end())
+          shard = bit->second.instances.size();
+        // The alias in the *parent* merged binding counts shards; here we
+        // use the id to stay unique across sibling scopes.
+        ct.call_name += "[" + std::to_string(id) + "]";
+        (void)shard;
+      }
+
+      // Bind declared inputs: explicit call bindings first, then defaults.
+      for (const auto& decl : task->inputs) {
+        PendingInput in;
+        in.name = decl.name;
+        const CallInput* bound = nullptr;
+        for (const auto& b : call.inputs)
+          if (b.name == decl.name) bound = &b;
+        if (bound) {
+          if (auto ref = eval_ref_expr(*bound->value, scope)) {
+            if (ref->producers.empty()) {
+              // Gather over an empty scatter: the value is an empty array.
+              in.value = Json::array();
+            } else {
+              in.ref = std::move(ref);
+              for (std::size_t p : in.ref->producers) ct.deps.push_back(p);
+            }
+          } else {
+            in.value = eval_value_expr(*bound->value, scope);
+          }
+        } else if (decl.default_value) {
+          in.value = eval_value_expr(*decl.default_value, scope);
+        }
+        ct.inputs.push_back(std::move(in));
+      }
+
+      // Deduplicate producer edges (one input may reference a producer that
+      // another input also references); pending-dep accounting decrements
+      // once per unique producer.
+      std::sort(ct.deps.begin(), ct.deps.end());
+      ct.deps.erase(std::unique(ct.deps.begin(), ct.deps.end()), ct.deps.end());
+
+      run.tasks.push_back(std::move(ct));
+      auto& binding = scope.calls[call.effective_name()];
+      binding.instances.push_back(id);
+      if (binding.instances.size() > 1) binding.scattered = true;
+    } else if (item.scatter) {
+      const ScatterStmt& sc = *item.scatter;
+      const Json collection = eval_value_expr(*sc.collection, scope);
+      if (!collection.is_array())
+        throw WdlError("scatter collection must evaluate to an array");
+
+      // An empty scatter still defines its aliases (gathers see empty
+      // arrays) so downstream references resolve.
+      if (collection.as_array().empty()) {
+        for (const auto& body_item : sc.body) {
+          if (!body_item.call) continue;
+          auto& binding = scope.calls[body_item.call->effective_name()];
+          binding.scattered = true;
+        }
+        continue;
+      }
+
+      // Each shard instantiates the body with the scatter variable bound.
+      std::vector<Scope> shard_scopes;
+      for (const auto& element : collection.as_array()) {
+        Scope shard = scope;  // copy: inherits outer values and call bindings
+        shard.values[sc.variable] = element;
+        // Clear *local* alias shadows so same-shard references bind locally:
+        // instantiate into the shard scope, then merge below.
+        instantiate_items(doc, sc.body, shard, run, /*in_scatter=*/true);
+        shard_scopes.push_back(std::move(shard));
+      }
+
+      // Merge: aliases created inside the scatter become gathered bindings.
+      for (const auto& shard : shard_scopes) {
+        for (const auto& [alias, binding] : shard.calls) {
+          auto outer = scope.calls.find(alias);
+          const bool is_new = outer == scope.calls.end();
+          auto& merged = scope.calls[alias];
+          if (is_new) {
+            merged.instances = binding.instances;
+          } else {
+            for (std::size_t i : binding.instances) {
+              bool known = false;
+              for (std::size_t j : merged.instances)
+                if (i == j) known = true;
+              if (!known) merged.instances.push_back(i);
+            }
+          }
+          merged.scattered = merged.instances.size() > 1;
+        }
+      }
+    }
+  }
+}
+
+Bytes CromwellEngine::file_bytes(const Json& value) const {
+  if (value.is_string()) {
+    auto it = file_sizes_.find(value.as_string());
+    return it == file_sizes_.end() ? config_.default_file_bytes : it->second;
+  }
+  if (value.is_array()) {
+    Bytes total = 0;
+    for (const auto& v : value.as_array()) total += file_bytes(v);
+    return total;
+  }
+  return 0;
+}
+
+Bytes CromwellEngine::input_file_bytes(const ConcreteTask& t) const {
+  Bytes total = 0;
+  for (std::size_t i = 0; i < t.inputs.size(); ++i) {
+    const auto& decl = t.task->inputs[i];
+    if (decl.type.base != BaseType::File) continue;
+    total += file_bytes(t.inputs[i].value);
+  }
+  return total;
+}
+
+std::string CromwellEngine::cache_key(const ConcreteTask& t) const {
+  Json inputs = Json::object();
+  for (const auto& in : t.inputs) inputs.set(in.name, in.value);
+  return t.task->name + "|" + inputs.dump();
+}
+
+void CromwellEngine::submit(const Document& doc, const std::string& workflow_name,
+                            const JsonObject& inputs,
+                            std::function<void(JawsRunResult)> done,
+                            std::string user) {
+  const WorkflowDef* wf = doc.find_workflow(workflow_name);
+  if (!wf) throw WdlError("no workflow named '" + workflow_name + "'");
+  check_document(doc);
+
+  const std::size_t run_id = next_run_++;
+  Run& run = runs_[run_id];
+  run.done = std::move(done);
+  run.user = user.empty() ? config_.user : std::move(user);
+  run.result.submit_time = sim_.now();
+
+  Scope scope;
+  for (const auto& decl : wf->inputs) {
+    auto it = inputs.find(decl.name);
+    if (it != inputs.end()) {
+      scope.values[decl.name] = it->second;
+    } else if (decl.default_value) {
+      scope.values[decl.name] = eval_value_expr(*decl.default_value, scope);
+    } else {
+      throw WdlError("missing workflow input '" + decl.name + "'");
+    }
+  }
+
+  try {
+    instantiate_items(doc, wf->body, scope, run, /*in_scatter=*/false);
+  } catch (const WdlError&) {
+    runs_.erase(run_id);
+    throw;
+  }
+
+  run.result.shards = run.tasks.size();
+  run.remaining = run.tasks.size();
+  for (auto& t : run.tasks) t.pending_deps = t.deps.size();
+
+  if (run.tasks.empty()) {
+    finish_run(run_id);
+    return;
+  }
+  start_ready(run_id);
+}
+
+void CromwellEngine::start_ready(std::size_t run_id) {
+  Run& run = runs_.at(run_id);
+  // Launch everything with no pending deps that hasn't been launched.
+  for (std::size_t i = 0; i < run.tasks.size(); ++i) {
+    ConcreteTask& t = run.tasks[i];
+    if (t.done || t.pending_deps != 0) continue;
+    t.pending_deps = static_cast<std::size_t>(-1);  // mark launched
+    launch_task(run_id, i);
+  }
+}
+
+void CromwellEngine::launch_task(std::size_t run_id, std::size_t task_id) {
+  Run& run = runs_.at(run_id);
+  ConcreteTask& t = run.tasks[task_id];
+
+  if (config_.call_cache) {
+    auto hit = cache_.find(cache_key(t));
+    if (hit != cache_.end()) {
+      ++run.result.cache_hits;
+      const auto outputs = hit->second;
+      sim_.post([this, run_id, task_id, outputs] {
+        Run& r = runs_.at(run_id);
+        r.tasks[task_id].outputs = outputs;
+        task_finished(run_id, task_id, /*ok=*/true, /*duration=*/0.0);
+      });
+      return;
+    }
+  }
+
+  cluster::JobRequest req;
+  req.name = t.call_name;
+  req.kind = t.task->name;
+  req.user = run.user;
+  req.resources.cores_per_node = t.task->runtime.cpu;
+  req.resources.memory_per_node = t.task->runtime.memory_bytes();
+  const double gb = static_cast<double>(input_file_bytes(t)) / (1024.0 * 1024.0 * 1024.0);
+  req.runtime = config_.task_overhead + t.task->runtime.minutes * 60.0 +
+                t.task->runtime.minutes_per_gb * 60.0 * gb;
+  req.input_bytes = input_file_bytes(t);
+
+  rm_.submit(req, [this, run_id, task_id](const cluster::JobRecord& rec) {
+    const bool ok = rec.state == cluster::JobState::Completed;
+    Run& r = runs_.at(run_id);
+    ConcreteTask& ct = r.tasks[task_id];
+    if (ok) {
+      // Materialize outputs: evaluate output decls in a task-local scope
+      // where inputs are bound; File outputs are namespaced by call name.
+      Scope local;
+      for (const auto& in : ct.inputs) local.values[in.name] = in.value;
+      for (const auto& out : ct.task->outputs) {
+        Json v;
+        if (out.default_value) {
+          v = eval_value_expr(*out.default_value, local);
+        } else {
+          v = Json(out.name);
+        }
+        if (out.type.base == BaseType::File && v.is_string()) {
+          const std::string path = ct.call_name + "/" + v.as_string();
+          file_sizes_[path] = config_.default_file_bytes;
+          v = Json(path);
+        }
+        ct.outputs[out.name] = std::move(v);
+      }
+      if (config_.call_cache) cache_[cache_key(ct)] = ct.outputs;
+    }
+    task_finished(run_id, task_id, ok, rec.finish_time - rec.start_time);
+  });
+}
+
+void CromwellEngine::task_finished(std::size_t run_id, std::size_t task_id, bool ok,
+                                   SimTime duration) {
+  auto rit = runs_.find(run_id);
+  if (rit == runs_.end()) return;
+  Run& run = rit->second;
+  ConcreteTask& t = run.tasks[task_id];
+  t.done = true;
+  ++run.result.executed;
+  if (duration > 0) run.result.task_durations.add(duration);
+  for (const auto& [name, value] : t.outputs)
+    run.result.call_outputs[t.call_name + "." + name] = value;
+
+  if (!ok) {
+    run.failed = true;
+    run.result.error = "task '" + t.call_name + "' failed";
+    finish_run(run_id);
+    return;
+  }
+
+  // Feed dependents.
+  for (std::size_t i = 0; i < run.tasks.size(); ++i) {
+    ConcreteTask& d = run.tasks[i];
+    if (d.done || d.pending_deps == static_cast<std::size_t>(-1)) continue;
+    bool depends = false;
+    for (std::size_t dep : d.deps)
+      if (dep == task_id) depends = true;
+    if (!depends) continue;
+    --d.pending_deps;
+    if (d.pending_deps == 0) {
+      // Resolve referenced inputs now that all producers finished.
+      for (auto& in : d.inputs) {
+        if (!in.ref) continue;
+        bool all_done = true;
+        for (std::size_t p : in.ref->producers)
+          if (!run.tasks[p].done) all_done = false;
+        if (!all_done) continue;
+        if (in.ref->gather) {
+          Json arr = Json::array();
+          for (std::size_t p : in.ref->producers) {
+            auto oit = run.tasks[p].outputs.find(in.ref->output);
+            arr.push_back(oit == run.tasks[p].outputs.end() ? Json() : oit->second);
+          }
+          in.value = std::move(arr);
+        } else {
+          const std::size_t p = in.ref->producers.front();
+          auto oit = run.tasks[p].outputs.find(in.ref->output);
+          in.value = oit == run.tasks[p].outputs.end() ? Json() : oit->second;
+        }
+        in.ref.reset();
+      }
+    }
+  }
+
+  if (--run.remaining == 0) {
+    finish_run(run_id);
+    return;
+  }
+  start_ready(run_id);
+}
+
+void CromwellEngine::finish_run(std::size_t run_id) {
+  Run& run = runs_.at(run_id);
+  run.result.finish_time = sim_.now();
+  run.result.success = !run.failed;
+  auto done = std::move(run.done);
+  const JawsRunResult result = run.result;
+  runs_.erase(run_id);
+  if (done) done(result);
+}
+
+JawsRunResult CromwellEngine::run_to_completion(const Document& doc,
+                                                const std::string& workflow_name,
+                                                const JsonObject& inputs) {
+  JawsRunResult out;
+  bool finished = false;
+  submit(doc, workflow_name, inputs, [&](JawsRunResult r) {
+    out = std::move(r);
+    finished = true;
+  });
+  sim_.run();
+  if (!finished)
+    throw std::logic_error("jaws: simulation drained before workflow finished");
+  return out;
+}
+
+}  // namespace hhc::jaws

@@ -1,0 +1,135 @@
+// Cromwell-like execution engine for the mini-WDL dialect (paper §6.3:
+// JAWS "leverag[es] the Cromwell engine for execution of WDLs").
+//
+// Features modelled because the paper's migration patterns depend on them:
+//   * scatter expansion into shards,
+//   * call caching ("detect when an identical task has been run in the past
+//     and avoid re-computing the results"),
+//   * a fixed per-task overhead (container start, staging, shard directory
+//     churn) — the quantity task fusion amortizes (§6.1),
+//   * per-user accounting for fair-share experiments (§6.2).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/resource_manager.hpp"
+#include "jaws/wdl_ast.hpp"
+#include "sim/simulation.hpp"
+#include "support/json.hpp"
+#include "support/stats.hpp"
+
+namespace hhc::jaws {
+
+struct EngineConfig {
+  bool call_cache = true;
+  /// Per-task fixed overhead: container start + stage-in/out + shard dir.
+  SimTime task_overhead = 45.0;
+  std::string user = "jaws";
+  Bytes default_file_bytes = gib(1);  ///< Size of files with no catalog entry.
+};
+
+/// Result of one workflow submission.
+struct JawsRunResult {
+  bool success = false;
+  std::string error;
+  SimTime submit_time = 0.0;
+  SimTime finish_time = 0.0;
+  std::size_t shards = 0;          ///< Concrete tasks instantiated.
+  std::size_t executed = 0;        ///< Actually run on the cluster.
+  std::size_t cache_hits = 0;
+  Sample task_durations;           ///< Wall time of executed tasks.
+  std::map<std::string, Json> call_outputs;  ///< "call[shard].output" -> value.
+
+  SimTime makespan() const noexcept { return finish_time - submit_time; }
+};
+
+/// The engine. Shares one call cache across submissions; drives jobs
+/// through the supplied resource manager.
+class CromwellEngine {
+ public:
+  CromwellEngine(sim::Simulation& sim, cluster::ResourceManager& rm,
+                 EngineConfig config = {});
+
+  /// Known sizes for input files (the "data catalog"); looked up by path.
+  void set_file_size(const std::string& path, Bytes size);
+
+  /// Submits a workflow; `done` fires when it finishes or fails.
+  /// `inputs` binds the workflow's input declarations. `user` overrides the
+  /// engine's default submitting user (fair-share accounting).
+  void submit(const Document& doc, const std::string& workflow_name,
+              const JsonObject& inputs, std::function<void(JawsRunResult)> done,
+              std::string user = {});
+
+  /// Convenience: submit + drain the simulation.
+  JawsRunResult run_to_completion(const Document& doc,
+                                  const std::string& workflow_name,
+                                  const JsonObject& inputs);
+
+  std::size_t cache_size() const noexcept { return cache_.size(); }
+
+ private:
+  struct ValueRef {
+    std::vector<std::size_t> producers;  ///< Concrete task ids.
+    std::string output;
+    bool gather = false;  ///< True = collect an array across producers.
+  };
+  struct PendingInput {
+    std::string name;
+    Json value;
+    std::optional<ValueRef> ref;
+  };
+  struct ConcreteTask {
+    const TaskDef* task = nullptr;
+    std::string call_name;  ///< e.g. "align[3]".
+    std::vector<PendingInput> inputs;
+    std::vector<std::size_t> deps;
+    std::size_t pending_deps = 0;
+    bool done = false;
+    std::map<std::string, Json> outputs;
+  };
+  struct Run {
+    std::vector<ConcreteTask> tasks;
+    std::size_t remaining = 0;
+    JawsRunResult result;
+    std::function<void(JawsRunResult)> done;
+    bool failed = false;
+    std::string user;
+  };
+
+  // Instantiation scope: value bindings + call alias -> producer ids.
+  struct CallBinding {
+    std::vector<std::size_t> instances;
+    bool scattered = false;
+  };
+  struct Scope {
+    std::map<std::string, Json> values;
+    std::map<std::string, CallBinding> calls;
+  };
+
+  void instantiate_items(const Document& doc, const std::vector<WorkflowItem>& items,
+                         Scope& scope, Run& run, bool in_scatter);
+  Json eval_value_expr(const Expr& e, const Scope& scope) const;
+  std::optional<ValueRef> eval_ref_expr(const Expr& e, const Scope& scope) const;
+  void start_ready(std::size_t run_id);
+  void launch_task(std::size_t run_id, std::size_t task_id);
+  void task_finished(std::size_t run_id, std::size_t task_id, bool ok,
+                     SimTime duration);
+  Bytes file_bytes(const Json& value) const;
+  Bytes input_file_bytes(const ConcreteTask& t) const;
+  std::string cache_key(const ConcreteTask& t) const;
+  void finish_run(std::size_t run_id);
+
+  sim::Simulation& sim_;
+  cluster::ResourceManager& rm_;
+  EngineConfig config_;
+  std::map<std::size_t, Run> runs_;
+  std::size_t next_run_ = 0;
+  std::map<std::string, std::map<std::string, Json>> cache_;  ///< key -> outputs.
+  std::map<std::string, Bytes> file_sizes_;
+};
+
+}  // namespace hhc::jaws

@@ -1,0 +1,143 @@
+#include "jaws/linter.hpp"
+
+#include <sstream>
+
+#include "support/strings.hpp"
+
+namespace hhc::jaws {
+
+const char* to_string(LintRule rule) noexcept {
+  switch (rule) {
+    case LintRule::MissingContainer: return "missing-container";
+    case LintRule::ShortScatterTask: return "short-scatter-task";
+    case LintRule::UnconstrainedParallelism: return "unconstrained-parallelism";
+    case LintRule::MonolithicTask: return "monolithic-task";
+    case LintRule::FusableChain: return "fusable-chain";
+    case LintRule::MissingOutputs: return "missing-outputs";
+  }
+  return "?";
+}
+
+namespace {
+
+// Counts distinct tool invocations in a command: statements separated by
+// '&&', ';', '|' or newlines that start with a word.
+std::size_t command_steps(const std::string& command) {
+  std::size_t steps = 0;
+  bool in_statement = false;
+  for (std::size_t i = 0; i < command.size(); ++i) {
+    const char c = command[i];
+    if (c == ';' || c == '|' || c == '\n' ||
+        (c == '&' && i + 1 < command.size() && command[i + 1] == '&')) {
+      in_statement = false;
+      continue;
+    }
+    if (!std::isspace(static_cast<unsigned char>(c)) && !in_statement) {
+      in_statement = true;
+      ++steps;
+    }
+  }
+  return steps;
+}
+
+// True when `call` references `prev_alias` in at least one input.
+bool references(const CallStmt& call, const std::string& prev_alias) {
+  for (const auto& in : call.inputs)
+    if (in.value && in.value->kind == Expr::Kind::MemberAccess &&
+        in.value->text == prev_alias)
+      return true;
+  return false;
+}
+
+void lint_items(const Document& doc, const std::vector<WorkflowItem>& items,
+                const LintOptions& opt, bool in_scatter,
+                std::vector<LintFinding>& out) {
+  // Chain detection inside scatters: consecutive short calls where each
+  // references the previous one.
+  if (in_scatter) {
+    std::vector<const CallStmt*> calls;
+    for (const auto& item : items)
+      if (item.call) calls.push_back(item.call.get());
+    std::size_t chain = 1;
+    for (std::size_t i = 1; i < calls.size(); ++i) {
+      const TaskDef* prev = doc.find_task(calls[i - 1]->task_name);
+      const TaskDef* curr = doc.find_task(calls[i]->task_name);
+      const bool short_pair = prev && curr &&
+                              prev->runtime.minutes < opt.fusable_chain_minutes &&
+                              curr->runtime.minutes < opt.fusable_chain_minutes;
+      if (short_pair && references(*calls[i], calls[i - 1]->effective_name())) {
+        ++chain;
+      } else {
+        chain = 1;
+      }
+      if (chain == 2) {  // report once per chain start
+        out.push_back({LintRule::FusableChain, calls[i - 1]->effective_name(),
+                       "chain of short tasks inside a scatter; fusing them avoids "
+                       "per-shard overhead (JGI saw -70% runtime, -71% shards)"});
+      }
+    }
+  }
+
+  for (const auto& item : items) {
+    if (item.call) {
+      const TaskDef* task = doc.find_task(item.call->task_name);
+      if (!task) continue;
+      if (in_scatter && task->runtime.minutes < opt.min_scatter_minutes) {
+        out.push_back({LintRule::ShortScatterTask, item.call->effective_name(),
+                       "scattered task runs " + fmt_fixed(task->runtime.minutes, 1) +
+                           " min; parallel jobs should run >= " +
+                           fmt_fixed(opt.min_scatter_minutes, 0) + " min"});
+      }
+    } else if (item.scatter) {
+      const Expr& coll = *item.scatter->collection;
+      if (coll.kind == Expr::Kind::ArrayLit &&
+          coll.elements.size() > opt.max_scatter_width) {
+        out.push_back({LintRule::UnconstrainedParallelism, item.scatter->variable,
+                       "scatter over " + std::to_string(coll.elements.size()) +
+                           " elements with no parallelism constraint; configure "
+                           "fair share in the WMS"});
+      } else if (coll.kind == Expr::Kind::Identifier ||
+                 coll.kind == Expr::Kind::MemberAccess) {
+        out.push_back({LintRule::UnconstrainedParallelism, item.scatter->variable,
+                       "scatter width depends on runtime input '" + coll.text +
+                           "'; review parallelism constraints for shared clusters"});
+      }
+      lint_items(doc, item.scatter->body, opt, /*in_scatter=*/true, out);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<LintFinding> lint_document(const Document& doc, const LintOptions& opt) {
+  std::vector<LintFinding> out;
+  for (const auto& task : doc.tasks) {
+    if (task.runtime.container.empty())
+      out.push_back({LintRule::MissingContainer, task.name,
+                     "no container image; environment is not encapsulated"});
+    if (task.outputs.empty())
+      out.push_back({LintRule::MissingOutputs, task.name,
+                     "no declared outputs; results cannot be traced or cached"});
+    if (command_steps(task.command) >= opt.monolithic_command_steps)
+      out.push_back({LintRule::MonolithicTask, task.name,
+                     "command chains " + std::to_string(command_steps(task.command)) +
+                         " tool invocations; consider modularizing for "
+                         "fault-tolerance and caching"});
+  }
+  for (const auto& wf : doc.workflows)
+    lint_items(doc, wf.body, opt, /*in_scatter=*/false, out);
+  return out;
+}
+
+std::string render_findings(const std::vector<LintFinding>& findings) {
+  std::ostringstream out;
+  if (findings.empty()) {
+    out << "no findings\n";
+    return out.str();
+  }
+  for (const auto& f : findings)
+    out << "[" << to_string(f.rule) << "] " << f.subject << ": " << f.message << "\n";
+  return out.str();
+}
+
+}  // namespace hhc::jaws

@@ -1,0 +1,43 @@
+// Migration linter: mechanizes the paper's §6.1 patterns and §6.2
+// anti-patterns as static checks over a WDL document, so a legacy-workflow
+// migration gets the review the paper recommends.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "jaws/wdl_ast.hpp"
+
+namespace hhc::jaws {
+
+enum class LintRule {
+  MissingContainer,         ///< §6.1 Containerization: no container image.
+  ShortScatterTask,         ///< §6.2 Inappropriate Parallelism: < 30 min shards.
+  UnconstrainedParallelism, ///< §6.2 Fair share: unbounded scatter width.
+  MonolithicTask,           ///< §6.2 Migrating Complex Workflows: huge command.
+  FusableChain,             ///< §6.1 Modularization inverse: fuse tiny chain.
+  MissingOutputs,           ///< Task with no declared outputs: untraceable.
+};
+
+const char* to_string(LintRule rule) noexcept;
+
+struct LintFinding {
+  LintRule rule;
+  std::string subject;   ///< Task or workflow element concerned.
+  std::string message;
+};
+
+struct LintOptions {
+  double min_scatter_minutes = 30.0;   ///< Paper: ">= 30 minutes per parallel job".
+  std::size_t max_scatter_width = 100; ///< Above this, flag fair-share risk.
+  std::size_t monolithic_command_steps = 4;  ///< Tool invocations per command.
+  double fusable_chain_minutes = 10.0; ///< Chain links shorter than this fuse.
+};
+
+std::vector<LintFinding> lint_document(const Document& doc,
+                                       const LintOptions& options = {});
+
+/// Renders findings as a human-readable report.
+std::string render_findings(const std::vector<LintFinding>& findings);
+
+}  // namespace hhc::jaws

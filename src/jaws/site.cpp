@@ -1,0 +1,117 @@
+#include "jaws/site.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "cluster/schedulers.hpp"
+
+namespace hhc::jaws {
+
+void FairShareScheduler::schedule(cluster::SchedulingContext& ctx) {
+  // Cores currently held per user.
+  std::map<std::string, double> held;
+  for (cluster::JobId id : ctx.running()) {
+    const auto& rec = ctx.job(id);
+    held[rec.request.user] += rec.request.resources.total_cores();
+  }
+
+  // Repeatedly pick the queued job of the least-loaded user; placing a job
+  // updates that user's share so heavy users interleave rather than
+  // monopolize (the paper's fair-share recommendation).
+  while (true) {
+    const auto& queue = ctx.queue();
+    if (queue.empty()) return;
+    cluster::JobId best = 0;
+    double best_held = 0;
+    bool found = false;
+    for (cluster::JobId id : queue) {
+      const auto& rec = ctx.job(id);
+      const double h = held[rec.request.user];
+      if (!found || h < best_held) {
+        best = id;
+        best_held = h;
+        found = true;
+      }
+    }
+    if (!found) return;
+    const auto req = ctx.job(best).request;
+    if (ctx.try_place(best)) {
+      held[req.user] += req.resources.total_cores();
+    } else {
+      // The fairest job does not fit; try the rest once in queue order, then
+      // stop (a second full pass cannot succeed this round).
+      bool placed_any = false;
+      const std::vector<cluster::JobId> snapshot = queue;
+      for (cluster::JobId id : snapshot) {
+        if (id == best) continue;
+        const auto r = ctx.job(id).request;
+        if (ctx.try_place(id)) {
+          held[r.user] += r.resources.total_cores();
+          placed_any = true;
+        }
+      }
+      if (!placed_any) return;
+    }
+  }
+}
+
+Site::Site(sim::Simulation& sim, SiteConfig config) : config_(std::move(config)) {
+  cluster_ = std::make_unique<cluster::Cluster>(config_.cluster);
+  std::unique_ptr<cluster::Scheduler> sched;
+  if (config_.fair_share)
+    sched = std::make_unique<FairShareScheduler>();
+  else
+    sched = std::make_unique<cluster::FifoFitScheduler>();
+  cluster::ResourceManagerConfig rm_config;
+  rm_config.model_io = false;  // the engine's overhead term covers staging
+  rm_ = std::make_unique<cluster::ResourceManager>(sim, *cluster_, std::move(sched),
+                                                   rm_config);
+  engine_ = std::make_unique<CromwellEngine>(sim, *rm_, config_.engine);
+}
+
+SimTime Site::transfer_time(Bytes bytes) const {
+  if (bytes == 0) return 0.0;
+  return config_.transfer_latency +
+         static_cast<double>(bytes) / config_.globus_bandwidth;
+}
+
+Site& JawsService::add_site(SiteConfig config) {
+  const std::string name = config.name;
+  auto [it, inserted] =
+      sites_.emplace(name, std::make_unique<Site>(sim_, std::move(config)));
+  if (!inserted) throw std::invalid_argument("duplicate site '" + name + "'");
+  return *it->second;
+}
+
+Site& JawsService::site(const std::string& name) {
+  auto it = sites_.find(name);
+  if (it == sites_.end()) throw std::invalid_argument("unknown site '" + name + "'");
+  return *it->second;
+}
+
+void JawsService::submit(const JawsSubmission& submission,
+                         std::function<void(JawsRunResult)> done) {
+  if (!submission.doc) throw std::invalid_argument("submission without document");
+  Site& s = site(submission.site);
+  const SimTime submit_time = sim_.now();
+  const SimTime stage_in = s.transfer_time(submission.stage_in_bytes);
+
+  // Globus stage-in, then engine execution at the site, then stage-out.
+  sim_.schedule_in(stage_in, [this, &s, submission, submit_time,
+                              done = std::move(done)]() mutable {
+    s.engine().submit(
+        *submission.doc, submission.workflow, submission.inputs,
+        [this, &s, submission, submit_time, done = std::move(done)](JawsRunResult r) {
+          const SimTime stage_out = s.transfer_time(submission.stage_out_bytes);
+          sim_.schedule_in(stage_out, [r = std::move(r), submit_time,
+                                       done = std::move(done), this]() mutable {
+            r.submit_time = submit_time;     // account transfers into makespan
+            r.finish_time = sim_.now();
+            done(std::move(r));
+          });
+        },
+        submission.user);
+  });
+}
+
+}  // namespace hhc::jaws

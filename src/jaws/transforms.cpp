@@ -1,0 +1,113 @@
+#include "jaws/transforms.hpp"
+
+#include <algorithm>
+
+#include "support/strings.hpp"
+#include "jaws/wdl_parser.hpp"
+
+// GCC 12's -Wrestrict fires a known false positive (PR 105329) on inlined
+// std::string assignments of short literals in this translation unit.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wrestrict"
+#endif
+
+namespace hhc::jaws {
+namespace {
+
+bool consumes(const CallStmt& call, const std::string& producer_alias) {
+  for (const auto& in : call.inputs)
+    if (in.value && in.value->kind == Expr::Kind::MemberAccess &&
+        in.value->text == producer_alias)
+      return true;
+  return false;
+}
+
+// True when the scatter body is a fusable linear chain of >= 2 calls.
+bool is_linear_chain(const Document& doc, const ScatterStmt& sc) {
+  if (sc.body.size() < 2) return false;
+  for (const auto& item : sc.body)
+    if (!item.call || !doc.find_task(item.call->task_name)) return false;
+  for (std::size_t i = 1; i < sc.body.size(); ++i)
+    if (!consumes(*sc.body[i].call, sc.body[i - 1].call->effective_name()))
+      return false;
+  return true;
+}
+
+// Synthesizes the fused task from a chain of task definitions.
+TaskDef fuse_tasks(const Document& doc, const ScatterStmt& sc) {
+  TaskDef fused;
+  std::vector<const TaskDef*> links;
+  for (const auto& item : sc.body) links.push_back(doc.find_task(item.call->task_name));
+
+  fused.runtime.minutes = 0.0;  // clear the TaskDef default before summing
+  fused.runtime.cpu = 0.0;
+  fused.runtime.memory = "0";
+  fused.runtime.container.clear();
+  std::vector<std::string> names, commands;
+  for (const TaskDef* link : links) {
+    names.push_back(link->name);
+    commands.push_back(link->command);
+    fused.runtime.minutes += link->runtime.minutes;
+    fused.runtime.minutes_per_gb += link->runtime.minutes_per_gb;
+    fused.runtime.cpu = std::max(fused.runtime.cpu, link->runtime.cpu);
+    if (link->runtime.memory_bytes() > fused.runtime.memory_bytes())
+      fused.runtime.memory = link->runtime.memory;
+    if (fused.runtime.container.empty())
+      fused.runtime.container = link->runtime.container;
+  }
+  fused.name = join(names, "_plus_");
+  fused.command = join(commands, " && ");
+
+  // Interface: first link's inputs, last link's outputs.
+  fused.inputs = links.front()->inputs;
+  fused.outputs = links.back()->outputs;
+  return fused;
+}
+
+}  // namespace
+
+Document fuse_linear_chains(const Document& doc, const std::string& workflow_name,
+                            FusionReport* report) {
+  Document out = doc;
+  WorkflowDef* wf = nullptr;
+  for (auto& w : out.workflows)
+    if (w.name == workflow_name) wf = &w;
+  if (!wf) throw WdlError("no workflow named '" + workflow_name + "'");
+
+  FusionReport local;
+  for (auto& item : wf->body) {
+    if (!item.scatter) continue;
+    if (!is_linear_chain(out, *item.scatter)) continue;
+    // WorkflowItem shares AST nodes via shared_ptr; deep-copy the scatter
+    // before mutating so the input document stays untouched.
+    item.scatter = std::make_shared<ScatterStmt>(*item.scatter);
+    ScatterStmt& sc = *item.scatter;
+
+    local.calls_before += sc.body.size();
+    ++local.chains_fused;
+
+    TaskDef fused = fuse_tasks(out, sc);
+    const std::string fused_name = fused.name;
+    // Register the fused task (skip if an identical fusion already ran).
+    if (!out.find_task(fused_name)) out.tasks.push_back(std::move(fused));
+
+    // Replace the chain with one call. Bindings come from the first link
+    // (the fused task inherits its inputs); the alias is the *last* link's,
+    // because downstream consumers reference the chain's final outputs.
+    auto fused_call = std::make_shared<CallStmt>();
+    fused_call->task_name = fused_name;
+    fused_call->alias = sc.body.back().call->effective_name();
+    fused_call->inputs = sc.body.front().call->inputs;
+
+    sc.body.clear();
+    WorkflowItem call_item;
+    call_item.call = std::move(fused_call);
+    sc.body.push_back(std::move(call_item));
+    local.calls_after += 1;
+  }
+
+  if (report) *report = local;
+  return out;
+}
+
+}  // namespace hhc::jaws

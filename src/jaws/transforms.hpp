@@ -1,0 +1,26 @@
+// Workflow transforms: the §6.1 task-fusion optimization ("by integrating
+// four separate tasks into a single task, we cut the execution time by 70%
+// and decreased the number of shards by 71%").
+#pragma once
+
+#include <string>
+
+#include "jaws/wdl_ast.hpp"
+
+namespace hhc::jaws {
+
+struct FusionReport {
+  std::size_t chains_fused = 0;
+  std::size_t calls_before = 0;   ///< Call statements in fused scatters (before).
+  std::size_t calls_after = 0;
+};
+
+/// Fuses every scatter body that forms a linear call chain (each call after
+/// the first consumes the previous call's output) into a single synthesized
+/// task per scatter. Commands are concatenated with '&&'; runtimes are
+/// summed; cpu/memory take the maximum; the container of the first
+/// containerized link is kept. Returns the transformed document.
+Document fuse_linear_chains(const Document& doc, const std::string& workflow_name,
+                            FusionReport* report = nullptr);
+
+}  // namespace hhc::jaws

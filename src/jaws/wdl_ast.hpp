@@ -1,0 +1,122 @@
+// AST for the mini-WDL dialect JAWS executes (paper §6: "leveraging the
+// Workflow Description Language to describe the workflow and containers to
+// encapsulate the environment").
+//
+// Supported subset: task/workflow documents, typed input/output decls,
+// command blocks with ${} interpolation, runtime attributes (cpu, memory,
+// container, plus simulation hooks minutes / minutes_per_gb), calls with
+// input bindings, scatter blocks, member access (call.output), arrays.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hhc::jaws {
+
+// ---------- types ----------
+
+enum class BaseType { File, String, Int, Float, Boolean };
+
+struct WdlType {
+  BaseType base = BaseType::String;
+  bool is_array = false;
+
+  std::string to_string() const;
+};
+
+// ---------- expressions ----------
+
+struct Expr;
+using ExprPtr = std::shared_ptr<Expr>;
+
+struct Expr {
+  enum class Kind { StringLit, NumberLit, BoolLit, Identifier, MemberAccess, ArrayLit };
+  Kind kind = Kind::StringLit;
+  std::string text;          ///< String literal value or identifier name.
+  double number = 0.0;
+  bool boolean = false;
+  std::string member;        ///< For MemberAccess: text.member.
+  std::vector<ExprPtr> elements;  ///< For ArrayLit.
+};
+
+// ---------- declarations ----------
+
+struct Decl {
+  WdlType type;
+  std::string name;
+  ExprPtr default_value;  ///< May be null.
+};
+
+// ---------- task ----------
+
+struct RuntimeAttrs {
+  double cpu = 1.0;
+  std::string memory = "2G";
+  std::string container;       ///< Empty = no containerization (lint finding).
+  double minutes = 1.0;        ///< Simulated base runtime.
+  double minutes_per_gb = 0.0; ///< Extra runtime per GiB of File inputs.
+
+  /// Parses "4G"/"512M" style memory strings into bytes.
+  std::uint64_t memory_bytes() const;
+};
+
+struct TaskDef {
+  std::string name;
+  std::vector<Decl> inputs;
+  std::string command;  ///< Raw command text with ${var} placeholders.
+  RuntimeAttrs runtime;
+  std::vector<Decl> outputs;
+};
+
+// ---------- workflow ----------
+
+struct CallStmt;
+struct ScatterStmt;
+
+struct WorkflowItem {
+  // Exactly one of these is set.
+  std::shared_ptr<CallStmt> call;
+  std::shared_ptr<ScatterStmt> scatter;
+};
+
+struct CallInput {
+  std::string name;
+  ExprPtr value;
+};
+
+struct CallStmt {
+  std::string task_name;
+  std::string alias;  ///< Defaults to task_name.
+  std::vector<CallInput> inputs;
+
+  const std::string& effective_name() const {
+    return alias.empty() ? task_name : alias;
+  }
+};
+
+struct ScatterStmt {
+  std::string variable;
+  ExprPtr collection;
+  std::vector<WorkflowItem> body;
+};
+
+struct WorkflowDef {
+  std::string name;
+  std::vector<Decl> inputs;
+  std::vector<WorkflowItem> body;
+  std::vector<Decl> outputs;
+};
+
+// ---------- document ----------
+
+struct Document {
+  std::vector<TaskDef> tasks;
+  std::vector<WorkflowDef> workflows;
+
+  const TaskDef* find_task(const std::string& name) const;
+  const WorkflowDef* find_workflow(const std::string& name) const;
+};
+
+}  // namespace hhc::jaws

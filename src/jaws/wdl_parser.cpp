@@ -1,0 +1,481 @@
+#include "jaws/wdl_parser.hpp"
+
+#include <cctype>
+#include <map>
+#include <set>
+
+namespace hhc::jaws {
+
+std::string WdlType::to_string() const {
+  const char* b = "String";
+  switch (base) {
+    case BaseType::File: b = "File"; break;
+    case BaseType::String: b = "String"; break;
+    case BaseType::Int: b = "Int"; break;
+    case BaseType::Float: b = "Float"; break;
+    case BaseType::Boolean: b = "Boolean"; break;
+  }
+  return is_array ? "Array[" + std::string(b) + "]" : b;
+}
+
+std::uint64_t RuntimeAttrs::memory_bytes() const {
+  if (memory.empty()) return 0;
+  char unit = memory.back();
+  std::string digits = memory;
+  double scale = 1.0;
+  if (!std::isdigit(static_cast<unsigned char>(unit))) {
+    digits = memory.substr(0, memory.size() - 1);
+    switch (std::toupper(static_cast<unsigned char>(unit))) {
+      case 'K': scale = 1024.0; break;
+      case 'M': scale = 1024.0 * 1024.0; break;
+      case 'G': scale = 1024.0 * 1024.0 * 1024.0; break;
+      case 'T': scale = 1024.0 * 1024.0 * 1024.0 * 1024.0; break;
+      default: scale = 1.0; break;
+    }
+  }
+  try {
+    return static_cast<std::uint64_t>(std::stod(digits) * scale);
+  } catch (...) {
+    return 0;
+  }
+}
+
+const TaskDef* Document::find_task(const std::string& name) const {
+  for (const auto& t : tasks)
+    if (t.name == name) return &t;
+  return nullptr;
+}
+
+const WorkflowDef* Document::find_workflow(const std::string& name) const {
+  for (const auto& w : workflows)
+    if (w.name == name) return &w;
+  return nullptr;
+}
+
+namespace {
+
+struct Token {
+  enum class Kind { Ident, String, Number, Punct, CommandBody, End };
+  Kind kind = Kind::End;
+  std::string text;
+  int line = 1;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  /// Lexes the next token. When `raw_command` is true, consumes a balanced
+  /// {...} block verbatim (for command sections).
+  Token next(bool raw_command = false) {
+    skip_ws_and_comments();
+    Token t;
+    t.line = line_;
+    if (pos_ >= src_.size()) return t;
+
+    if (raw_command && src_[pos_] == '{') {
+      ++pos_;
+      int depth = 1;
+      std::string body;
+      while (pos_ < src_.size() && depth > 0) {
+        const char c = src_[pos_++];
+        if (c == '{') ++depth;
+        if (c == '}') {
+          --depth;
+          if (depth == 0) break;
+        }
+        if (c == '\n') ++line_;
+        body += c;
+      }
+      if (depth != 0) fail("unterminated command block");
+      t.kind = Token::Kind::CommandBody;
+      t.text = std::move(body);
+      return t;
+    }
+
+    const char c = src_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = pos_;
+      while (pos_ < src_.size() &&
+             (std::isalnum(static_cast<unsigned char>(src_[pos_])) || src_[pos_] == '_'))
+        ++pos_;
+      t.kind = Token::Kind::Ident;
+      t.text = std::string(src_.substr(start, pos_ - start));
+      return t;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && pos_ + 1 < src_.size() &&
+         std::isdigit(static_cast<unsigned char>(src_[pos_ + 1])))) {
+      std::size_t start = pos_;
+      ++pos_;
+      while (pos_ < src_.size() &&
+             (std::isdigit(static_cast<unsigned char>(src_[pos_])) || src_[pos_] == '.'))
+        ++pos_;
+      t.kind = Token::Kind::Number;
+      t.text = std::string(src_.substr(start, pos_ - start));
+      return t;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      ++pos_;
+      std::string body;
+      while (pos_ < src_.size() && src_[pos_] != quote) {
+        if (src_[pos_] == '\n') ++line_;
+        body += src_[pos_++];
+      }
+      if (pos_ >= src_.size()) fail("unterminated string literal");
+      ++pos_;
+      t.kind = Token::Kind::String;
+      t.text = std::move(body);
+      return t;
+    }
+    // Punctuation (single char; '[' ']' '{' '}' '(' ')' ':' ',' '=' '.').
+    t.kind = Token::Kind::Punct;
+    t.text = std::string(1, c);
+    ++pos_;
+    return t;
+  }
+
+  int line() const noexcept { return line_; }
+
+  [[noreturn]] void fail(const std::string& why) const {
+    throw WdlError("wdl:" + std::to_string(line_) + ": " + why);
+  }
+
+ private:
+  void skip_ws_and_comments() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '#') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view src) : lexer_(src) { advance(); }
+
+  Document parse() {
+    Document doc;
+    while (cur_.kind != Token::Kind::End) {
+      if (is_ident("task")) {
+        doc.tasks.push_back(parse_task());
+      } else if (is_ident("workflow")) {
+        doc.workflows.push_back(parse_workflow());
+      } else {
+        lexer_.fail("expected 'task' or 'workflow', got '" + cur_.text + "'");
+      }
+    }
+    return doc;
+  }
+
+ private:
+  void advance(bool raw = false) { cur_ = lexer_.next(raw); }
+
+  bool is_ident(std::string_view s) const {
+    return cur_.kind == Token::Kind::Ident && cur_.text == s;
+  }
+  bool is_punct(char c) const {
+    return cur_.kind == Token::Kind::Punct && cur_.text.size() == 1 && cur_.text[0] == c;
+  }
+
+  std::string expect_ident() {
+    if (cur_.kind != Token::Kind::Ident)
+      lexer_.fail("expected identifier, got '" + cur_.text + "'");
+    std::string s = cur_.text;
+    advance();
+    return s;
+  }
+
+  void expect_punct(char c) {
+    if (!is_punct(c))
+      lexer_.fail(std::string("expected '") + c + "', got '" + cur_.text + "'");
+    advance();
+  }
+
+  WdlType parse_type() {
+    WdlType t;
+    const std::string name = expect_ident();
+    auto base_of = [&](const std::string& n) -> BaseType {
+      if (n == "File") return BaseType::File;
+      if (n == "String") return BaseType::String;
+      if (n == "Int") return BaseType::Int;
+      if (n == "Float") return BaseType::Float;
+      if (n == "Boolean") return BaseType::Boolean;
+      lexer_.fail("unknown type '" + n + "'");
+    };
+    if (name == "Array") {
+      expect_punct('[');
+      t.base = base_of(expect_ident());
+      t.is_array = true;
+      expect_punct(']');
+    } else {
+      t.base = base_of(name);
+    }
+    return t;
+  }
+
+  ExprPtr parse_expr() {
+    auto e = std::make_shared<Expr>();
+    if (cur_.kind == Token::Kind::String) {
+      e->kind = Expr::Kind::StringLit;
+      e->text = cur_.text;
+      advance();
+      return e;
+    }
+    if (cur_.kind == Token::Kind::Number) {
+      e->kind = Expr::Kind::NumberLit;
+      e->number = std::stod(cur_.text);
+      advance();
+      return e;
+    }
+    if (is_punct('[')) {
+      advance();
+      e->kind = Expr::Kind::ArrayLit;
+      if (!is_punct(']')) {
+        while (true) {
+          e->elements.push_back(parse_expr());
+          if (is_punct(',')) {
+            advance();
+            continue;
+          }
+          break;
+        }
+      }
+      expect_punct(']');
+      return e;
+    }
+    if (cur_.kind == Token::Kind::Ident) {
+      if (cur_.text == "true" || cur_.text == "false") {
+        e->kind = Expr::Kind::BoolLit;
+        e->boolean = cur_.text == "true";
+        advance();
+        return e;
+      }
+      e->kind = Expr::Kind::Identifier;
+      e->text = expect_ident();
+      if (is_punct('.')) {
+        advance();
+        e->kind = Expr::Kind::MemberAccess;
+        e->member = expect_ident();
+      }
+      return e;
+    }
+    lexer_.fail("expected expression, got '" + cur_.text + "'");
+  }
+
+  std::vector<Decl> parse_decl_block() {
+    // '{' (type name ('=' expr)?)* '}'
+    expect_punct('{');
+    std::vector<Decl> decls;
+    while (!is_punct('}')) {
+      Decl d;
+      d.type = parse_type();
+      d.name = expect_ident();
+      if (is_punct('=')) {
+        advance();
+        d.default_value = parse_expr();
+      }
+      decls.push_back(std::move(d));
+    }
+    expect_punct('}');
+    return decls;
+  }
+
+  RuntimeAttrs parse_runtime() {
+    expect_punct('{');
+    RuntimeAttrs rt;
+    while (!is_punct('}')) {
+      const std::string key = expect_ident();
+      expect_punct(':');
+      if (key == "cpu") {
+        if (cur_.kind != Token::Kind::Number) lexer_.fail("cpu wants a number");
+        rt.cpu = std::stod(cur_.text);
+        advance();
+      } else if (key == "memory") {
+        if (cur_.kind != Token::Kind::String) lexer_.fail("memory wants a string");
+        rt.memory = cur_.text;
+        advance();
+      } else if (key == "container" || key == "docker") {
+        if (cur_.kind != Token::Kind::String) lexer_.fail("container wants a string");
+        rt.container = cur_.text;
+        advance();
+      } else if (key == "minutes") {
+        if (cur_.kind != Token::Kind::Number) lexer_.fail("minutes wants a number");
+        rt.minutes = std::stod(cur_.text);
+        advance();
+      } else if (key == "minutes_per_gb") {
+        if (cur_.kind != Token::Kind::Number)
+          lexer_.fail("minutes_per_gb wants a number");
+        rt.minutes_per_gb = std::stod(cur_.text);
+        advance();
+      } else {
+        // Unknown attribute: accept and ignore its single-token value.
+        advance();
+      }
+    }
+    expect_punct('}');
+    return rt;
+  }
+
+  TaskDef parse_task() {
+    advance();  // 'task'
+    TaskDef t;
+    t.name = expect_ident();
+    expect_punct('{');
+    while (!is_punct('}')) {
+      if (is_ident("input")) {
+        advance();
+        t.inputs = parse_decl_block();
+      } else if (is_ident("command")) {
+        // Raw-consume the next balanced block.
+        advance(/*raw=*/true);
+        if (cur_.kind != Token::Kind::CommandBody) lexer_.fail("expected command block");
+        t.command = cur_.text;
+        advance();
+      } else if (is_ident("runtime")) {
+        advance();
+        t.runtime = parse_runtime();
+      } else if (is_ident("output")) {
+        advance();
+        t.outputs = parse_decl_block();
+      } else {
+        lexer_.fail("unexpected token in task: '" + cur_.text + "'");
+      }
+    }
+    expect_punct('}');
+    return t;
+  }
+
+  CallStmt parse_call() {
+    advance();  // 'call'
+    CallStmt c;
+    c.task_name = expect_ident();
+    if (is_ident("as")) {
+      advance();
+      c.alias = expect_ident();
+    }
+    if (is_punct('{')) {
+      advance();
+      if (is_ident("input")) {
+        advance();
+        expect_punct(':');
+        while (!is_punct('}')) {
+          CallInput in;
+          in.name = expect_ident();
+          expect_punct('=');
+          in.value = parse_expr();
+          c.inputs.push_back(std::move(in));
+          if (is_punct(',')) advance();
+        }
+      }
+      expect_punct('}');
+    }
+    return c;
+  }
+
+  ScatterStmt parse_scatter() {
+    advance();  // 'scatter'
+    ScatterStmt s;
+    expect_punct('(');
+    s.variable = expect_ident();
+    if (!is_ident("in")) lexer_.fail("expected 'in' inside scatter()");
+    advance();
+    s.collection = parse_expr();
+    expect_punct(')');
+    expect_punct('{');
+    while (!is_punct('}')) s.body.push_back(parse_workflow_item());
+    expect_punct('}');
+    return s;
+  }
+
+  WorkflowItem parse_workflow_item() {
+    WorkflowItem item;
+    if (is_ident("call")) {
+      item.call = std::make_shared<CallStmt>(parse_call());
+    } else if (is_ident("scatter")) {
+      item.scatter = std::make_shared<ScatterStmt>(parse_scatter());
+    } else {
+      lexer_.fail("expected 'call' or 'scatter', got '" + cur_.text + "'");
+    }
+    return item;
+  }
+
+  WorkflowDef parse_workflow() {
+    advance();  // 'workflow'
+    WorkflowDef w;
+    w.name = expect_ident();
+    expect_punct('{');
+    while (!is_punct('}')) {
+      if (is_ident("input")) {
+        advance();
+        w.inputs = parse_decl_block();
+      } else if (is_ident("output")) {
+        advance();
+        w.outputs = parse_decl_block();
+      } else {
+        w.body.push_back(parse_workflow_item());
+      }
+    }
+    expect_punct('}');
+    return w;
+  }
+
+  Lexer lexer_;
+  Token cur_;
+};
+
+void check_items(const Document& doc, const std::vector<WorkflowItem>& items,
+                 std::set<std::string>& names, const std::string& wf_name) {
+  for (const auto& item : items) {
+    if (item.call) {
+      const TaskDef* task = doc.find_task(item.call->task_name);
+      if (!task)
+        throw WdlError("workflow '" + wf_name + "': call of unknown task '" +
+                       item.call->task_name + "'");
+      const std::string& alias = item.call->effective_name();
+      if (!names.insert(alias).second)
+        throw WdlError("workflow '" + wf_name + "': duplicate call name '" + alias + "'");
+      for (const auto& in : item.call->inputs) {
+        bool declared = false;
+        for (const auto& d : task->inputs)
+          if (d.name == in.name) declared = true;
+        if (!declared)
+          throw WdlError("call '" + alias + "': task '" + task->name +
+                         "' has no input '" + in.name + "'");
+      }
+    } else if (item.scatter) {
+      check_items(doc, item.scatter->body, names, wf_name);
+    }
+  }
+}
+
+}  // namespace
+
+Document parse_wdl(std::string_view source) { return Parser(source).parse(); }
+
+void check_document(const Document& doc) {
+  std::set<std::string> task_names;
+  for (const auto& t : doc.tasks)
+    if (!task_names.insert(t.name).second)
+      throw WdlError("duplicate task '" + t.name + "'");
+  for (const auto& w : doc.workflows) {
+    std::set<std::string> call_names;
+    check_items(doc, w.body, call_names, w.name);
+  }
+}
+
+}  // namespace hhc::jaws

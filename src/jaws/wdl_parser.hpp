@@ -1,0 +1,26 @@
+// Recursive-descent parser for the mini-WDL dialect (see wdl_ast.hpp for
+// the supported subset). Errors carry line/column positions.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "jaws/wdl_ast.hpp"
+
+namespace hhc::jaws {
+
+class WdlError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Parses a complete document; throws WdlError on syntax problems.
+Document parse_wdl(std::string_view source);
+
+/// Structural checks beyond syntax: every call resolves to a task, call
+/// inputs name declared task inputs, member accesses name real outputs,
+/// no duplicate call aliases in one scope. Throws WdlError on violations.
+void check_document(const Document& doc);
+
+}  // namespace hhc::jaws

@@ -1,0 +1,205 @@
+#include "llm/agents.hpp"
+
+#include <memory>
+
+#include "support/log.hpp"
+
+namespace hhc::llm {
+
+AgentOrchestrator::AgentOrchestrator(sim::Simulation& sim,
+                                     const FunctionRegistry& functions,
+                                     FutureStore& futures, ModelStub& model,
+                                     AgentConfig config)
+    : sim_(sim), functions_(functions), futures_(futures), model_(model),
+      config_(config) {}
+
+Plan AgentOrchestrator::plan(const std::string& instruction) const {
+  Plan p;
+  p.instruction = instruction;
+  const Recipe* recipe = model_.find_recipe(instruction);
+  if (!recipe) return p;
+  p.input = extract_instruction_input(instruction);
+  for (std::size_t i = 0; i < recipe->steps.size(); ++i)
+    p.functions.push_back(
+        resolve_step_function(functions_, recipe->steps[i], i == 0, p.input));
+  return p;
+}
+
+void AgentOrchestrator::run(std::string instruction,
+                            std::function<void(AgentOutcome)> done) {
+  auto s = std::make_shared<Session>();
+  s->plan = plan(instruction);
+  s->done = std::move(done);
+  s->outcome.steps_planned = s->plan.functions.size();
+  if (s->plan.functions.empty()) {
+    // The planner could not interpret the description: straight to a human.
+    ++s->outcome.escalations;
+    s->outcome.error = "planner: no plan for instruction";
+    s->done(s->outcome);
+    return;
+  }
+  execute_step(std::move(s));
+}
+
+void AgentOrchestrator::execute_step(std::shared_ptr<Session> s) {
+  if (s->step >= s->plan.functions.size()) {
+    s->outcome.success = true;
+    s->done(s->outcome);
+    return;
+  }
+
+  // Executor agent: ask the model for the next call given current progress.
+  std::vector<Message> conversation;
+  conversation.push_back({Role::System, "execute the plan step by step", {}});
+  conversation.push_back({Role::User, s->plan.instruction, {}});
+  for (std::size_t i = 0; i < s->step; ++i)
+    conversation.push_back(
+        {Role::Function, "{\"future_id\": \"" + s->last_future + "\"}", {}});
+  const ModelReply reply = model_.chat(functions_, conversation);
+
+  const bool first = s->step == 0;
+  const std::string expected = s->plan.functions[s->step];
+
+  std::string fn = reply.function;
+  Json args = reply.arguments;
+  bool needs_repair = false;
+  std::string diagnosis;
+
+  if (!reply.error.empty()) {
+    needs_repair = true;
+    diagnosis = reply.error;
+  } else if (!reply.is_function_call) {
+    needs_repair = true;
+    diagnosis = "executor: expected a function call";
+  } else if (fn != expected) {
+    needs_repair = true;
+    diagnosis = "executor chose '" + fn + "', plan says '" + expected + "'";
+  } else if (!functions_.validate_args(fn, args).empty()) {
+    needs_repair = true;
+    diagnosis = functions_.validate_args(fn, args);
+  }
+
+  if (needs_repair) {
+    // Debugger agent: identify the issue so the task can be re-executed
+    // (Fig 1). The repair is deterministic: plan function + canonical args.
+    if (!config_.debugger_enabled ||
+        s->repairs_this_step >= config_.max_repairs_per_step) {
+      step_failed(s, diagnosis);
+      return;
+    }
+    ++s->repairs_this_step;
+    ++s->outcome.repairs;
+    HHC_LOG(Debug, "llm") << "debugger repaired step " << s->step << ": " << diagnosis;
+    fn = expected;
+    args = build_step_args(functions_, fn, first, s->plan.input, s->last_future);
+  }
+
+  const FunctionSpec* spec = functions_.find(fn);
+  if (!spec) {
+    step_failed(s, "unknown function " + fn);
+    return;
+  }
+  spec->handler(args, [this, s](FunctionResult result) {
+    if (!result.ok) {
+      // The call itself bounced: debugger re-executes, then escalates.
+      if (config_.debugger_enabled &&
+          s->repairs_this_step < config_.max_repairs_per_step) {
+        ++s->repairs_this_step;
+        ++s->outcome.repairs;
+        sim_.post([this, s] { execute_step(s); });
+        return;
+      }
+      step_failed(s, result.error);
+      return;
+    }
+    verify_outcome(s, result.value);
+  });
+}
+
+void AgentOrchestrator::verify_outcome(std::shared_ptr<Session> s,
+                                       const Json& value) {
+  const Json* fid = value.find("future_id");
+  if (!fid) {
+    // Nothing asynchronous to wait for; accept the value as the outcome.
+    step_succeeded(s, {});
+    return;
+  }
+  const std::string id = fid->as_string();
+  futures_.when_resolved(id, [this, s, id](const AppFuture& fut) {
+    if (fut.state == FutureState::Done) {
+      step_succeeded(s, id);
+      return;
+    }
+    // The app crashed after being accepted: debugger re-executes the step.
+    if (config_.debugger_enabled &&
+        s->repairs_this_step < config_.max_repairs_per_step) {
+      ++s->repairs_this_step;
+      ++s->outcome.repairs;
+      HHC_LOG(Debug, "llm") << "debugger re-running step " << s->step
+                            << " after crash: " << fut.error;
+      sim_.post([this, s] { execute_step(s); });
+      return;
+    }
+    step_failed(s, "step outcome failed: " + fut.error);
+  });
+}
+
+void AgentOrchestrator::step_succeeded(std::shared_ptr<Session> s,
+                                       const std::string& future_id) {
+  if (!future_id.empty()) {
+    s->last_future = future_id;
+    s->outcome.future_ids.push_back(future_id);
+  }
+  ++s->outcome.steps_executed;
+  ++s->step;
+  s->repairs_this_step = 0;
+  sim_.post([this, s] { execute_step(s); });
+}
+
+void AgentOrchestrator::step_failed(std::shared_ptr<Session> s,
+                                    const std::string& what) {
+  if (config_.human_fallback) {
+    // Human operator resolves the ambiguity (Fig 1), then execution resumes.
+    ++s->outcome.escalations;
+    HHC_LOG(Debug, "llm") << "escalating step " << s->step << " to human: " << what;
+    const bool first = s->step == 0;
+    const std::string fn = s->plan.functions[s->step];
+    sim_.schedule_in(config_.human_latency, [this, s, fn, first] {
+      const FunctionSpec* spec = functions_.find(fn);
+      if (!spec) {
+        s->outcome.error = "human could not resolve: unknown function " + fn;
+        s->done(s->outcome);
+        return;
+      }
+      const Json args =
+          build_step_args(functions_, fn, first, s->plan.input, s->last_future);
+      spec->handler(args, [this, s](FunctionResult result) {
+        if (!result.ok) {
+          s->outcome.error = "failed even after human intervention: " + result.error;
+          s->done(s->outcome);
+          return;
+        }
+        // Even the human's run is verified; a second crash ends the attempt.
+        const Json* fid = result.value.find("future_id");
+        if (!fid) {
+          step_succeeded(s, {});
+          return;
+        }
+        const std::string id = fid->as_string();
+        futures_.when_resolved(id, [this, s, id](const AppFuture& fut) {
+          if (fut.state == FutureState::Done) {
+            step_succeeded(s, id);
+          } else {
+            s->outcome.error = "failed even after human intervention: " + fut.error;
+            s->done(s->outcome);
+          }
+        });
+      });
+    });
+    return;
+  }
+  s->outcome.error = what;
+  s->done(s->outcome);
+}
+
+}  // namespace hhc::llm

@@ -1,0 +1,82 @@
+// The paper's proposed next-generation engine (§2.2, Fig 1): planner,
+// executor and debugger agents collaborating over a plan, with optional
+// human escalation when the debugger cannot repair a step.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "llm/conversation.hpp"
+#include "llm/functions.hpp"
+#include "llm/futures.hpp"
+#include "llm/model_stub.hpp"
+#include "sim/simulation.hpp"
+
+namespace hhc::llm {
+
+struct AgentConfig {
+  bool debugger_enabled = true;
+  int max_repairs_per_step = 2;   ///< Debugger attempts before escalation.
+  bool human_fallback = true;     ///< A human resolves what the debugger can't.
+  SimTime human_latency = 900.0;  ///< How long the human takes (15 min).
+};
+
+struct AgentOutcome {
+  bool success = false;
+  std::string error;
+  std::size_t steps_planned = 0;
+  std::size_t steps_executed = 0;
+  std::size_t repairs = 0;        ///< Debugger interventions that worked.
+  std::size_t escalations = 0;    ///< Steps handed to the human.
+  std::vector<std::string> future_ids;
+};
+
+/// Plan produced by the planner agent: resolved function per step.
+struct Plan {
+  std::string instruction;
+  std::string input;
+  std::vector<std::string> functions;
+};
+
+/// Orchestrates planner -> executor -> debugger (Fig 1). Unlike the §2.1
+/// prototype loop, the executor *verifies the outcome* of each step (waits
+/// for the AppFuture to resolve) before advancing — requirement (1) of the
+/// proposed engine: "the current step is executed as expected, free of
+/// errors, and produces the anticipated outcome".
+class AgentOrchestrator {
+ public:
+  AgentOrchestrator(sim::Simulation& sim, const FunctionRegistry& functions,
+                    FutureStore& futures, ModelStub& model,
+                    AgentConfig config = {});
+
+  /// Planner agent: translate the instruction into a plan. Empty plan =
+  /// instruction not understood.
+  Plan plan(const std::string& instruction) const;
+
+  /// Full pipeline: plan, then execute each step with debugging.
+  void run(std::string instruction, std::function<void(AgentOutcome)> done);
+
+ private:
+  struct Session {
+    Plan plan;
+    std::size_t step = 0;
+    int repairs_this_step = 0;
+    std::string last_future;
+    AgentOutcome outcome;
+    std::function<void(AgentOutcome)> done;
+  };
+
+  void execute_step(std::shared_ptr<Session> s);
+  void verify_outcome(std::shared_ptr<Session> s, const Json& value);
+  void step_succeeded(std::shared_ptr<Session> s, const std::string& future_id);
+  void step_failed(std::shared_ptr<Session> s, const std::string& what);
+
+  sim::Simulation& sim_;
+  const FunctionRegistry& functions_;
+  FutureStore& futures_;
+  ModelStub& model_;
+  AgentConfig config_;
+};
+
+}  // namespace hhc::llm

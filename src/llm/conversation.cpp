@@ -1,0 +1,98 @@
+#include "llm/conversation.hpp"
+
+#include <memory>
+
+namespace hhc::llm {
+
+FunctionCallingLoop::FunctionCallingLoop(sim::Simulation& sim,
+                                         const FunctionRegistry& functions,
+                                         ModelStub& model, LoopConfig config)
+    : sim_(sim), functions_(functions), model_(model), config_(config) {}
+
+void FunctionCallingLoop::run(std::string instruction,
+                              std::function<void(LoopOutcome)> done) {
+  auto s = std::make_shared<Session>();
+  s->done = std::move(done);
+  s->conversation.push_back(
+      {Role::System,
+       "You orchestrate scientific workflows by calling the provided functions "
+       "in order and reporting the returned AppFuture ids.",
+       {}});
+  s->conversation.push_back({Role::User, std::move(instruction), {}});
+  round(std::move(s));
+}
+
+void FunctionCallingLoop::round(std::shared_ptr<Session> s) {
+  if (s->outcome.rounds >= config_.max_rounds) {
+    s->outcome.error = "round limit reached";
+    s->done(s->outcome);
+    return;
+  }
+  ++s->outcome.rounds;
+
+  const ModelReply reply = model_.chat(functions_, s->conversation);
+  s->outcome.peak_prompt_tokens =
+      std::max(s->outcome.peak_prompt_tokens, reply.prompt_tokens);
+
+  if (!reply.error.empty()) {
+    s->outcome.error = reply.error;
+    s->done(s->outcome);
+    return;
+  }
+  if (reply.stop) {
+    s->outcome.success = true;
+    s->done(s->outcome);
+    return;
+  }
+  if (!reply.is_function_call) {
+    s->outcome.error = "model returned neither a call nor stop";
+    s->done(s->outcome);
+    return;
+  }
+
+  ++s->outcome.function_calls;
+
+  // Handles a failed call/execution per the configured recovery policy.
+  auto handle_error = [this, s](const std::string& what) {
+    ++s->outcome.call_errors;
+    if (!config_.forward_errors) {
+      // Paper limitation 1: "if the API executes a wrong function call, the
+      // program cannot recover from the failure".
+      s->outcome.error = what;
+      s->done(s->outcome);
+      return;
+    }
+    s->conversation.push_back({Role::Function, "ERROR: " + what, {}});
+    sim_.post([this, s] { round(s); });
+  };
+
+  const std::string invalid = functions_.validate_args(reply.function, reply.arguments);
+  if (!invalid.empty()) {
+    handle_error(invalid + " (function '" + reply.function + "')");
+    return;
+  }
+
+  const FunctionSpec* spec = functions_.find(reply.function);
+  // Echo the model's choice back into the context, as the paper's protocol
+  // does ("the section of the message with the choice of the function").
+  s->conversation.push_back(
+      {Role::Assistant, "call " + reply.function + " " + reply.arguments.dump(),
+       reply.function});
+
+  spec->handler(reply.arguments, [this, s, handle_error](FunctionResult result) {
+    if (!result.ok) {
+      handle_error(result.error);
+      return;
+    }
+    // Function result + the user message announcing the new AppFuture id.
+    s->conversation.push_back({Role::Function, result.value.dump(), {}});
+    if (const Json* fid = result.value.find("future_id")) {
+      s->outcome.future_ids.push_back(fid->as_string());
+      s->conversation.push_back(
+          {Role::User, "The newly executed app has id " + fid->as_string(), {}});
+    }
+    sim_.post([this, s] { round(s); });
+  });
+}
+
+}  // namespace hhc::llm

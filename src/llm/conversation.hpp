@@ -1,0 +1,61 @@
+// The §2.1 conversation loop: context + instruction -> model -> function
+// call -> execute -> append result + future-id messages -> repeat until the
+// stop flag. Reproduces the paper's prototype, including its two documented
+// limitations (no exception recovery unless error forwarding is enabled;
+// token budget growth with workflow length).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "llm/functions.hpp"
+#include "llm/model_stub.hpp"
+#include "sim/simulation.hpp"
+
+namespace hhc::llm {
+
+struct LoopConfig {
+  std::size_t max_rounds = 64;
+  /// Paper limitation 1: the prototype cannot recover from a bad call.
+  /// Enabling this forwards the error to the model ("optimally, the error
+  /// should be forwarded to the API so that it can propose alternatives").
+  bool forward_errors = false;
+};
+
+struct LoopOutcome {
+  bool success = false;
+  std::string error;
+  std::size_t rounds = 0;
+  std::size_t function_calls = 0;
+  std::size_t call_errors = 0;          ///< Invalid calls / failed executions.
+  std::size_t peak_prompt_tokens = 0;
+  std::vector<std::string> future_ids;  ///< Futures created along the way.
+};
+
+/// Drives one instruction through the function-calling protocol.
+class FunctionCallingLoop {
+ public:
+  FunctionCallingLoop(sim::Simulation& sim, const FunctionRegistry& functions,
+                      ModelStub& model, LoopConfig config = {});
+
+  /// Asynchronous: `done` fires (possibly after simulated time passes) when
+  /// the loop stops. Run the simulation afterwards to resolve futures.
+  void run(std::string instruction, std::function<void(LoopOutcome)> done);
+
+ private:
+  struct Session {
+    std::vector<Message> conversation;
+    LoopOutcome outcome;
+    std::function<void(LoopOutcome)> done;
+  };
+
+  void round(std::shared_ptr<Session> s);
+
+  sim::Simulation& sim_;
+  const FunctionRegistry& functions_;
+  ModelStub& model_;
+  LoopConfig config_;
+};
+
+}  // namespace hhc::llm

@@ -1,0 +1,48 @@
+#include "llm/functions.hpp"
+
+#include <stdexcept>
+
+namespace hhc::llm {
+
+void FunctionRegistry::add(FunctionSpec spec) {
+  if (spec.name.empty()) throw std::invalid_argument("function needs a name");
+  if (!spec.handler) throw std::invalid_argument("function needs a handler");
+  if (functions_.count(spec.name))
+    throw std::invalid_argument("duplicate function: " + spec.name);
+  order_.push_back(spec.name);
+  functions_.emplace(spec.name, std::move(spec));
+}
+
+const FunctionSpec* FunctionRegistry::find(const std::string& name) const {
+  auto it = functions_.find(name);
+  return it == functions_.end() ? nullptr : &it->second;
+}
+
+Json FunctionRegistry::descriptions() const {
+  Json arr = Json::array();
+  for (const auto& name : order_) {
+    const auto& spec = functions_.at(name);
+    Json d = Json::object();
+    d.set("name", spec.name);
+    d.set("description", spec.description);
+    d.set("parameters", spec.parameters);
+    arr.push_back(std::move(d));
+  }
+  return arr;
+}
+
+std::string FunctionRegistry::validate_args(const std::string& name,
+                                            const Json& args) const {
+  const FunctionSpec* spec = find(name);
+  if (!spec) return "unknown function: " + name;
+  if (!args.is_object()) return "arguments must be an object";
+  if (const Json* required = spec->parameters.find("required")) {
+    for (const auto& r : required->as_array()) {
+      if (!args.contains(r.as_string()))
+        return "missing required argument '" + r.as_string() + "'";
+    }
+  }
+  return {};
+}
+
+}  // namespace hhc::llm

@@ -1,0 +1,55 @@
+// Function-calling registry (paper §2.1): JSON-described functions exposed
+// to the model, mirroring OpenAI's function-calling specification.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/json.hpp"
+
+namespace hhc::llm {
+
+/// Outcome of invoking one registered function.
+struct FunctionResult {
+  bool ok = false;
+  Json value;          ///< On success (e.g. {"future_id": "fut-3"}).
+  std::string error;   ///< On failure.
+
+  static FunctionResult success(Json v) { return {true, std::move(v), {}}; }
+  static FunctionResult failure(std::string e) { return {false, {}, std::move(e)}; }
+};
+
+/// Handlers run asynchronously: they must call `done` exactly once.
+using FunctionHandler =
+    std::function<void(const Json& args, std::function<void(FunctionResult)> done)>;
+
+struct FunctionSpec {
+  std::string name;
+  std::string description;
+  Json parameters;     ///< JSON-schema-ish object: {"required": [...], ...}.
+  FunctionHandler handler;
+};
+
+class FunctionRegistry {
+ public:
+  void add(FunctionSpec spec);
+
+  const FunctionSpec* find(const std::string& name) const;
+  std::size_t size() const noexcept { return order_.size(); }
+  const std::vector<std::string>& names() const noexcept { return order_; }
+
+  /// The JSON function descriptions sent with every model request.
+  Json descriptions() const;
+
+  /// Validates `args` against the spec's required parameters; returns an
+  /// empty string when valid, else a diagnostic.
+  std::string validate_args(const std::string& name, const Json& args) const;
+
+ private:
+  std::map<std::string, FunctionSpec> functions_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace hhc::llm

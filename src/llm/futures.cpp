@@ -1,0 +1,85 @@
+#include "llm/futures.hpp"
+
+#include <stdexcept>
+
+namespace hhc::llm {
+
+const char* to_string(FutureState s) noexcept {
+  switch (s) {
+    case FutureState::Pending: return "pending";
+    case FutureState::Done: return "done";
+    case FutureState::Failed: return "failed";
+  }
+  return "?";
+}
+
+std::string FutureStore::create(SimTime now) {
+  AppFuture f;
+  f.id = "fut-" + std::to_string(next_id_++);
+  f.created_at = now;
+  const std::string id = f.id;
+  futures_.emplace(id, std::move(f));
+  return id;
+}
+
+const AppFuture* FutureStore::find(const std::string& id) const {
+  auto it = futures_.find(id);
+  return it == futures_.end() ? nullptr : &it->second;
+}
+
+void FutureStore::complete(const std::string& id, Json output, SimTime now) {
+  auto it = futures_.find(id);
+  if (it == futures_.end()) throw std::logic_error("unknown future " + id);
+  if (it->second.state != FutureState::Pending)
+    throw std::logic_error("future " + id + " already resolved");
+  it->second.state = FutureState::Done;
+  it->second.output = std::move(output);
+  it->second.resolved_at = now;
+  notify(it->second);
+}
+
+void FutureStore::fail(const std::string& id, std::string error, SimTime now) {
+  auto it = futures_.find(id);
+  if (it == futures_.end()) throw std::logic_error("unknown future " + id);
+  if (it->second.state != FutureState::Pending)
+    throw std::logic_error("future " + id + " already resolved");
+  it->second.state = FutureState::Failed;
+  it->second.error = std::move(error);
+  it->second.resolved_at = now;
+  notify(it->second);
+}
+
+void FutureStore::when_resolved(const std::string& id,
+                                std::function<void(const AppFuture&)> cb) {
+  auto it = futures_.find(id);
+  if (it == futures_.end()) throw std::logic_error("unknown future " + id);
+  if (it->second.state != FutureState::Pending) {
+    cb(it->second);
+    return;
+  }
+  waiters_[id].push_back(std::move(cb));
+}
+
+void FutureStore::notify(const AppFuture& f) {
+  auto it = waiters_.find(f.id);
+  if (it == waiters_.end()) return;
+  auto cbs = std::move(it->second);
+  waiters_.erase(it);
+  for (auto& cb : cbs) cb(f);
+}
+
+std::size_t FutureStore::pending_count() const {
+  std::size_t n = 0;
+  for (const auto& [id, f] : futures_)
+    if (f.state == FutureState::Pending) ++n;
+  return n;
+}
+
+std::size_t FutureStore::failed_count() const {
+  std::size_t n = 0;
+  for (const auto& [id, f] : futures_)
+    if (f.state == FutureState::Failed) ++n;
+  return n;
+}
+
+}  // namespace hhc::llm

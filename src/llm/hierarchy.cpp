@@ -1,0 +1,95 @@
+#include "llm/hierarchy.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+namespace hhc::llm {
+
+HierarchicalComposer::HierarchicalComposer(sim::Simulation& sim,
+                                           const FunctionRegistry& functions,
+                                           ModelStub& model, HierarchyConfig config)
+    : sim_(sim), functions_(functions), model_(model), config_(config) {
+  if (config_.segment_size == 0)
+    throw std::invalid_argument("HierarchicalComposer: segment_size must be >= 1");
+}
+
+void HierarchicalComposer::run(const Recipe& recipe, const std::string& input,
+                               std::function<void(HierarchyOutcome)> done) {
+  auto s = std::make_shared<Session>();
+  s->done = std::move(done);
+  s->carry = input;
+
+  // Planner level of the hierarchy: split the flat plan into segment
+  // recipes the model can drive one conversation at a time.
+  for (std::size_t start = 0; start < recipe.steps.size();
+       start += config_.segment_size) {
+    Recipe segment;
+    segment.keyword =
+        recipe.keyword + "/seg" + std::to_string(s->segment_keywords.size());
+    const std::size_t end =
+        std::min(recipe.steps.size(), start + config_.segment_size);
+    segment.steps.assign(recipe.steps.begin() + static_cast<std::ptrdiff_t>(start),
+                         recipe.steps.begin() + static_cast<std::ptrdiff_t>(end));
+    s->segment_keywords.push_back(segment.keyword);
+
+    // Function selection: a segment's conversation only ships descriptions
+    // of the functions it can actually call.
+    FunctionRegistry selected;
+    if (config_.select_functions) {
+      for (const auto& step : segment.steps)
+        for (const char* suffix : {"_from_file", "_from_futures", ""}) {
+          if (const FunctionSpec* spec = functions_.find(step + suffix))
+            if (!selected.find(spec->name)) selected.add(*spec);
+        }
+    }
+    s->segment_registries.push_back(std::move(selected));
+
+    model_.add_recipe(std::move(segment));
+  }
+  s->outcome.segments = s->segment_keywords.size();
+
+  if (s->segment_keywords.empty()) {
+    s->outcome.success = true;
+    s->done(s->outcome);
+    return;
+  }
+  run_segment(std::move(s));
+}
+
+void HierarchicalComposer::run_segment(std::shared_ptr<Session> s) {
+  if (s->next_segment >= s->segment_keywords.size()) {
+    s->outcome.success = true;
+    s->done(s->outcome);
+    return;
+  }
+  const std::size_t index = s->next_segment++;
+  const std::string keyword = s->segment_keywords[index];
+  const FunctionRegistry& registry =
+      config_.select_functions ? s->segment_registries[index] : functions_;
+
+  // Fresh conversation per segment: the context carries only the segment's
+  // own rounds plus the one future id handed over from the previous one,
+  // and only the segment's own function descriptions.
+  auto loop = std::make_shared<FunctionCallingLoop>(sim_, registry, model_,
+                                                    config_.loop);
+  loop->run("run " + keyword + " on " + s->carry,
+            [this, s, loop](LoopOutcome outcome) {
+              s->outcome.total_function_calls += outcome.function_calls;
+              s->outcome.peak_prompt_tokens = std::max(
+                  s->outcome.peak_prompt_tokens, outcome.peak_prompt_tokens);
+              for (const auto& id : outcome.future_ids)
+                s->outcome.future_ids.push_back(id);
+              if (!outcome.success) {
+                s->outcome.error = "segment '" +
+                                   s->segment_keywords[s->next_segment - 1] +
+                                   "' failed: " + outcome.error;
+                s->done(s->outcome);
+                return;
+              }
+              if (!outcome.future_ids.empty()) s->carry = outcome.future_ids.back();
+              sim_.post([this, s] { run_segment(s); });
+            });
+}
+
+}  // namespace hhc::llm

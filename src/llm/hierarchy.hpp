@@ -1,0 +1,72 @@
+// Hierarchical task decomposition — the remedy the paper names for its
+// token-limit limitation (§2.1: "composing more complex workflows will
+// eventually hit the token limit ... we would need to invent a hierarchical
+// schema for task decomposition").
+//
+// A long flat recipe is split into segments; each segment runs in its OWN
+// conversation (so context never grows past one segment's worth of rounds),
+// and the AppFuture id produced by a segment's last step seeds the next
+// segment's instruction ("run <segment> on fut-N"). The peak prompt size is
+// thus bounded by the segment length, not the workflow length.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "llm/conversation.hpp"
+#include "llm/functions.hpp"
+#include "llm/model_stub.hpp"
+#include "sim/simulation.hpp"
+
+namespace hhc::llm {
+
+struct HierarchyConfig {
+  std::size_t segment_size = 8;  ///< Steps per sub-conversation.
+  LoopConfig loop;               ///< Settings for each segment's loop.
+  /// Send each segment only its own function descriptions (function
+  /// selection). This is what actually bounds the prompt: descriptions are
+  /// re-sent every round, so a flat registry grows with workflow length.
+  bool select_functions = true;
+};
+
+struct HierarchyOutcome {
+  bool success = false;
+  std::string error;
+  std::size_t segments = 0;
+  std::size_t total_function_calls = 0;
+  std::size_t peak_prompt_tokens = 0;  ///< Across all sub-conversations.
+  std::vector<std::string> future_ids;
+};
+
+/// Decomposes a flat recipe into segments and executes them sequentially,
+/// each via its own FunctionCallingLoop conversation.
+class HierarchicalComposer {
+ public:
+  HierarchicalComposer(sim::Simulation& sim, const FunctionRegistry& functions,
+                       ModelStub& model, HierarchyConfig config = {});
+
+  /// Runs `recipe` on `input`. Registers the per-segment recipes on the
+  /// model stub (keyword "<recipe>/segK"); `done` fires at the end.
+  void run(const Recipe& recipe, const std::string& input,
+           std::function<void(HierarchyOutcome)> done);
+
+ private:
+  struct Session {
+    std::vector<std::string> segment_keywords;
+    std::vector<FunctionRegistry> segment_registries;  ///< Selected functions.
+    std::string carry;  ///< Input for the next segment (path, then futures).
+    std::size_t next_segment = 0;
+    HierarchyOutcome outcome;
+    std::function<void(HierarchyOutcome)> done;
+  };
+
+  void run_segment(std::shared_ptr<Session> s);
+
+  sim::Simulation& sim_;
+  const FunctionRegistry& functions_;
+  ModelStub& model_;
+  HierarchyConfig config_;
+};
+
+}  // namespace hhc::llm

@@ -1,0 +1,164 @@
+#include "llm/model_stub.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "support/strings.hpp"
+
+namespace hhc::llm {
+
+std::size_t estimate_tokens(const std::string& text) {
+  return text.size() / 4 + 1;
+}
+
+void ModelStub::add_recipe(Recipe recipe) { recipes_.push_back(std::move(recipe)); }
+
+const Recipe* ModelStub::match_recipe(const std::string& instruction) const {
+  // Longest matching keyword wins, so "pipeline/seg10" is not shadowed by
+  // "pipeline/seg1".
+  const std::string lower = to_lower(instruction);
+  const Recipe* best = nullptr;
+  for (const auto& r : recipes_) {
+    if (lower.find(to_lower(r.keyword)) == std::string::npos) continue;
+    if (!best || r.keyword.size() > best->keyword.size()) best = &r;
+  }
+  return best;
+}
+
+std::string extract_instruction_input(const std::string& instruction) {
+  const auto words = split_ws(instruction);
+  for (std::size_t i = 0; i + 1 < words.size(); ++i)
+    if (to_lower(words[i]) == "on") return words[i + 1];
+  for (const auto& w : words)
+    if (w.find('.') != std::string::npos || w.find('/') != std::string::npos) return w;
+  return "input.dat";
+}
+
+namespace {
+
+// First required parameter name of a function, or a fallback.
+std::string first_required_param(const FunctionRegistry& fns, const std::string& name,
+                                 const std::string& fallback) {
+  const FunctionSpec* spec = fns.find(name);
+  if (!spec) return fallback;
+  if (const Json* req = spec->parameters.find("required"))
+    if (req->is_array() && !req->as_array().empty())
+      return req->as_array().front().as_string();
+  return fallback;
+}
+
+}  // namespace
+
+namespace {
+
+// An input that names an AppFuture chains instead of reading a file — this
+// is what lets a *segment* of a hierarchically decomposed workflow pick up
+// where the previous segment's conversation left off.
+bool is_future_ref(std::string_view input) {
+  return input.substr(0, 4) == "fut-";
+}
+
+}  // namespace
+
+std::string resolve_step_function(const FunctionRegistry& functions,
+                                  const std::string& step, bool first,
+                                  const std::string& input) {
+  const bool from_file = first && !is_future_ref(input);
+  const std::string variant =
+      from_file ? step + "_from_file" : step + "_from_futures";
+  if (functions.find(variant)) return variant;
+  return step;
+}
+
+Json build_step_args(const FunctionRegistry& functions, const std::string& function,
+                     bool first, const std::string& input,
+                     const std::string& last_future) {
+  Json args = Json::object();
+  if (first && !is_future_ref(input))
+    args.set(first_required_param(functions, function, "path"), input);
+  else if (first)
+    args.set(first_required_param(functions, function, "future_id"), input);
+  else
+    args.set(first_required_param(functions, function, "future_id"), last_future);
+  return args;
+}
+
+ModelReply ModelStub::chat(const FunctionRegistry& functions,
+                           const std::vector<Message>& conversation) {
+  ModelReply reply;
+
+  // Token accounting: descriptions are resent with every request (§2.1),
+  // plus the full conversation so far — this is why long workflows
+  // "eventually hit the token limit".
+  std::size_t tokens = estimate_tokens(functions.descriptions().dump());
+  for (const auto& m : conversation) tokens += estimate_tokens(m.content) + 4;
+  reply.prompt_tokens = tokens;
+  if (tokens > config_.token_budget) {
+    reply.error = "token budget exceeded (" + std::to_string(tokens) + " > " +
+                  std::to_string(config_.token_budget) + ")";
+    return reply;
+  }
+
+  // Latest user instruction that names a recipe.
+  const Recipe* recipe = nullptr;
+  std::string instruction;
+  for (const auto& m : conversation) {
+    if (m.role != Role::User) continue;
+    if (const Recipe* r = match_recipe(m.content)) {
+      recipe = r;
+      instruction = m.content;
+    }
+  }
+  if (!recipe) {
+    reply.stop = true;  // nothing actionable: finish politely
+    return reply;
+  }
+
+  // Progress = successful function results so far; the last announced
+  // future id feeds the next call's arguments.
+  std::size_t done_steps = 0;
+  std::string last_future;
+  for (const auto& m : conversation) {
+    if (m.role == Role::Function) {
+      if (m.content.find("ERROR") == std::string::npos) ++done_steps;
+    }
+    const auto pos = m.content.rfind("fut-");
+    if (pos != std::string::npos) {
+      std::size_t end = pos + 4;
+      while (end < m.content.size() &&
+             std::isdigit(static_cast<unsigned char>(m.content[end])))
+        ++end;
+      last_future = m.content.substr(pos, end - pos);
+    }
+  }
+
+  if (done_steps >= recipe->steps.size()) {
+    reply.stop = true;
+    return reply;
+  }
+
+  const bool first = done_steps == 0;
+  const std::string input = extract_instruction_input(instruction);
+  std::string fn =
+      resolve_step_function(functions, recipe->steps[done_steps], first, input);
+
+  // Injectable model pathologies (paper limitation 1).
+  if (!functions.names().empty() && rng_.chance(config_.miscall_probability)) {
+    const auto& names = functions.names();
+    auto it = std::find(names.begin(), names.end(), fn);
+    const std::size_t idx =
+        it == names.end() ? 0 : static_cast<std::size_t>(it - names.begin());
+    fn = names[(idx + 1) % names.size()];
+  }
+
+  reply.is_function_call = true;
+  reply.function = fn;
+  if (rng_.chance(config_.malformed_args_probability)) {
+    reply.arguments = Json::object();  // required argument dropped
+  } else {
+    reply.arguments = build_step_args(functions, fn, first, input, last_future);
+  }
+  return reply;
+}
+
+}  // namespace hhc::llm

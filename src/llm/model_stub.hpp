@@ -1,0 +1,100 @@
+// Deterministic stand-in for the OpenAI function-calling API (DESIGN.md §2).
+//
+// The protocol of paper §2.1 is: send function descriptions + conversation;
+// the model replies with either a function call (name + arguments) or a stop
+// flag. This stub reproduces that contract with a recipe table instead of a
+// neural network: a "recipe" maps an instruction keyword to the ordered list
+// of functions that implement it. Two failure modes of real models are
+// injectable — calling the wrong function and emitting malformed arguments —
+// plus the hard token budget the paper names as its second limitation.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "llm/functions.hpp"
+#include "support/rng.hpp"
+
+namespace hhc::llm {
+
+enum class Role { System, User, Assistant, Function };
+
+struct Message {
+  Role role = Role::User;
+  std::string content;          ///< Free text (User/System/Function results).
+  std::string function_name;    ///< Set on Assistant function-call echoes.
+};
+
+/// Rough token estimate: 1 token per 4 characters (OpenAI rule of thumb).
+std::size_t estimate_tokens(const std::string& text);
+
+struct ModelConfig {
+  std::size_t token_budget = 4096;        ///< Hard context limit.
+  double miscall_probability = 0.0;       ///< P(call the wrong function).
+  double malformed_args_probability = 0.0;///< P(drop a required argument).
+};
+
+struct ModelReply {
+  bool is_function_call = false;
+  std::string function;
+  Json arguments;
+  bool stop = false;           ///< The paper's stop flag.
+  std::string error;           ///< e.g. token budget exceeded.
+  std::size_t prompt_tokens = 0;
+};
+
+/// One named workflow the stub knows how to drive.
+struct Recipe {
+  std::string keyword;               ///< Matched against the user instruction.
+  std::vector<std::string> steps;    ///< Function names, in execution order.
+};
+
+/// Resolves the registered function implementing a recipe step: the
+/// "_from_file" variant for a first step reading a physical file,
+/// "_from_futures" afterwards or when the input itself is an AppFuture id
+/// (§2.1's adapter naming), falling back to the bare step name.
+std::string resolve_step_function(const FunctionRegistry& functions,
+                                  const std::string& step, bool first,
+                                  const std::string& input = {});
+
+/// Builds the canonical arguments for a step call: the function's first
+/// required parameter bound to the input path (first step) or to the last
+/// announced future id.
+Json build_step_args(const FunctionRegistry& functions, const std::string& function,
+                     bool first, const std::string& input,
+                     const std::string& last_future);
+
+/// Extracts the input path from an instruction ("run X on <path>").
+std::string extract_instruction_input(const std::string& instruction);
+
+class ModelStub {
+ public:
+  ModelStub(ModelConfig config, Rng rng) : config_(config), rng_(rng) {}
+
+  void add_recipe(Recipe recipe);
+  const ModelConfig& config() const noexcept { return config_; }
+
+  /// The recipe the given instruction matches, or nullptr. Exposed for the
+  /// planner agent (§2.2), which turns instructions into explicit plans.
+  const Recipe* find_recipe(const std::string& instruction) const {
+    return match_recipe(instruction);
+  }
+
+  /// One chat-completion round: examines the conversation, decides the next
+  /// function call (or stop). Progress is inferred from Function-role
+  /// messages, mirroring how a real model reads its own past tool results.
+  /// Error messages in Function results trigger a corrected re-emission —
+  /// the behaviour the paper says error forwarding *should* enable.
+  ModelReply chat(const FunctionRegistry& functions,
+                  const std::vector<Message>& conversation);
+
+ private:
+  const Recipe* match_recipe(const std::string& instruction) const;
+
+  ModelConfig config_;
+  Rng rng_;
+  std::vector<Recipe> recipes_;
+};
+
+}  // namespace hhc::llm

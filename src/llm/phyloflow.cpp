@@ -1,0 +1,186 @@
+#include "llm/phyloflow.hpp"
+
+#include <memory>
+
+namespace hhc::llm {
+namespace {
+
+struct AppParams {
+  std::string base;         ///< e.g. "pyclone_vi".
+  std::string description;
+  std::string output_name;  ///< Produced artifact name.
+  SimTime runtime_min;
+  SimTime runtime_max;
+};
+
+// Shared state for one registered app pair.
+struct AppContext {
+  FutureStore* futures;
+  sim::Simulation* sim;
+  Rng rng;
+  PhyloflowConfig config;
+  AppParams params;
+};
+
+// Starts the app body: creates the future, schedules its resolution, and
+// immediately reports the id (the §2.1 protocol: run the ParslApp, index the
+// AppFuture, return the ID).
+FunctionResult start_app(const std::shared_ptr<AppContext>& ctx) {
+  const std::string id = ctx->futures->create(ctx->sim->now());
+  const SimTime runtime = ctx->rng.uniform(ctx->params.runtime_min,
+                                           ctx->params.runtime_max) *
+                          ctx->config.runtime_scale;
+  const bool fails = ctx->rng.chance(ctx->config.task_failure_probability);
+  ctx->sim->schedule_in(runtime, [ctx, id, fails] {
+    if (fails) {
+      ctx->futures->fail(id, ctx->params.base + " crashed", ctx->sim->now());
+    } else {
+      Json out = Json::object();
+      out.set("file", ctx->params.output_name);
+      ctx->futures->complete(id, std::move(out), ctx->sim->now());
+    }
+  });
+  Json v = Json::object();
+  v.set("future_id", id);
+  return FunctionResult::success(std::move(v));
+}
+
+Json schema_with_required(const std::string& param, const std::string& type_desc) {
+  Json props = Json::object();
+  Json p = Json::object();
+  p.set("type", "string");
+  p.set("description", type_desc);
+  props.set(param, std::move(p));
+  Json schema = Json::object();
+  schema.set("type", "object");
+  schema.set("properties", std::move(props));
+  Json required = Json::array();
+  required.push_back(param);
+  schema.set("required", std::move(required));
+  return schema;
+}
+
+void register_app(FunctionRegistry& registry, FutureStore& futures,
+                  sim::Simulation& sim, Rng rng, const PhyloflowConfig& config,
+                  AppParams params) {
+  auto ctx = std::make_shared<AppContext>();
+  ctx->futures = &futures;
+  ctx->sim = &sim;
+  ctx->rng = rng.child(params.base);
+  ctx->config = config;
+  ctx->params = params;
+
+  // *_from_file: takes a physical path and starts immediately.
+  FunctionSpec from_file;
+  from_file.name = params.base + "_from_file";
+  from_file.description = params.description + " (reads a physical input file)";
+  from_file.parameters = schema_with_required("path", "path to the input file");
+  from_file.handler = [ctx](const Json& args, std::function<void(FunctionResult)> done) {
+    if (!args.contains("path")) {
+      done(FunctionResult::failure("missing required argument 'path'"));
+      return;
+    }
+    done(start_app(ctx));
+  };
+  registry.add(std::move(from_file));
+
+  // *_from_futures: takes an AppFuture id; the app starts once the
+  // dependency resolves, and fails if the dependency failed.
+  FunctionSpec from_futures;
+  from_futures.name = params.base + "_from_futures";
+  from_futures.description =
+      params.description + " (consumes the output of a previous AppFuture)";
+  from_futures.parameters =
+      schema_with_required("future_id", "id of the AppFuture this app depends on");
+  from_futures.handler = [ctx](const Json& args,
+                               std::function<void(FunctionResult)> done) {
+    const Json* fid = args.find("future_id");
+    if (!fid || !fid->is_string()) {
+      done(FunctionResult::failure("missing required argument 'future_id'"));
+      return;
+    }
+    const AppFuture* parent = ctx->futures->find(fid->as_string());
+    if (!parent) {
+      done(FunctionResult::failure("no AppFuture with id '" + fid->as_string() + "'"));
+      return;
+    }
+    if (parent->state == FutureState::Failed) {
+      done(FunctionResult::failure("dependency " + parent->id + " failed: " +
+                                   parent->error));
+      return;
+    }
+    // Chain on the dependency: the own future exists now, work starts when
+    // the parent's data future materializes.
+    const std::string id = ctx->futures->create(ctx->sim->now());
+    ctx->futures->when_resolved(fid->as_string(), [ctx, id](const AppFuture& dep) {
+      if (dep.state == FutureState::Failed) {
+        ctx->futures->fail(id, "dependency " + dep.id + " failed", ctx->sim->now());
+        return;
+      }
+      const SimTime runtime = ctx->rng.uniform(ctx->params.runtime_min,
+                                               ctx->params.runtime_max) *
+                              ctx->config.runtime_scale;
+      const bool fails = ctx->rng.chance(ctx->config.task_failure_probability);
+      ctx->sim->schedule_in(runtime, [ctx, id, fails] {
+        if (fails) {
+          ctx->futures->fail(id, ctx->params.base + " crashed", ctx->sim->now());
+        } else {
+          Json out = Json::object();
+          out.set("file", ctx->params.output_name);
+          ctx->futures->complete(id, std::move(out), ctx->sim->now());
+        }
+      });
+    });
+    Json v = Json::object();
+    v.set("future_id", id);
+    done(FunctionResult::success(std::move(v)));
+  };
+  registry.add(std::move(from_futures));
+}
+
+}  // namespace
+
+void register_phyloflow(FunctionRegistry& registry, FutureStore& futures,
+                        sim::Simulation& sim, Rng rng, PhyloflowConfig config) {
+  register_app(registry, futures, sim, rng, config,
+               {"vcf_transform",
+                "Extract mutation data from a VCF file and emit the pyclone-vi "
+                "input TSV",
+                "pyclone_input.tsv", 20, 40});
+  register_app(registry, futures, sim, rng, config,
+               {"pyclone_vi",
+                "Cluster mutations that share evolutionary relationships",
+                "clusters.tsv", 300, 900});
+  register_app(registry, futures, sim, rng, config,
+               {"spruce_format",
+                "Reformat cluster data for SPRUCE phylogeny reconstruction",
+                "spruce_input.tsv", 10, 30});
+  register_app(registry, futures, sim, rng, config,
+               {"spruce_phylogeny",
+                "Enumerate somatic phylogenies and emit the tumor-evolution JSON",
+                "phylogeny.json", 600, 1800});
+}
+
+Recipe phyloflow_recipe() {
+  return Recipe{"phyloflow",
+                {"vcf_transform", "pyclone_vi", "spruce_format", "spruce_phylogeny"}};
+}
+
+Recipe register_long_chain(FunctionRegistry& registry, FutureStore& futures,
+                           sim::Simulation& sim, Rng rng, std::size_t steps,
+                           PhyloflowConfig config) {
+  Recipe r;
+  r.keyword = "longchain" + std::to_string(steps);
+  for (std::size_t i = 0; i < steps; ++i) {
+    const std::string base = "chain" + std::to_string(steps) + "_step" + std::to_string(i);
+    register_app(registry, futures, sim, rng, config,
+                 {base,
+                  "Synthetic analysis step " + std::to_string(i) +
+                      " of a long composed workflow",
+                  base + ".out", 30, 90});
+    r.steps.push_back(base);
+  }
+  return r;
+}
+
+}  // namespace hhc::llm

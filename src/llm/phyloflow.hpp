@@ -1,0 +1,35 @@
+// The Phyloflow function set (paper §2.1): vcf-transform -> pyclone-vi ->
+// SPRUCE reformat -> spruce-phylogeny, each exposed as a pair of adapters —
+// *_from_file (physical inputs) and *_from_futures (AppFuture ids) — exactly
+// the adapter scheme built around the Parsl apps.
+#pragma once
+
+#include "llm/functions.hpp"
+#include "llm/futures.hpp"
+#include "llm/model_stub.hpp"
+#include "sim/simulation.hpp"
+#include "support/rng.hpp"
+
+namespace hhc::llm {
+
+struct PhyloflowConfig {
+  double task_failure_probability = 0.0;  ///< Per-app chance of failing.
+  double runtime_scale = 1.0;             ///< Stretch/shrink all app runtimes.
+};
+
+/// Registers the eight Phyloflow adapter functions. The registry, store and
+/// simulation must outlive any use of the registered handlers.
+void register_phyloflow(FunctionRegistry& registry, FutureStore& futures,
+                        sim::Simulation& sim, Rng rng, PhyloflowConfig config = {});
+
+/// The recipe that drives the full pipeline from one instruction.
+Recipe phyloflow_recipe();
+
+/// A longer synthetic recipe of `steps` chained generic apps, used to probe
+/// the token-limit behaviour (paper limitation 2). Registers the functions
+/// and returns the recipe.
+Recipe register_long_chain(FunctionRegistry& registry, FutureStore& futures,
+                           sim::Simulation& sim, Rng rng, std::size_t steps,
+                           PhyloflowConfig config = {});
+
+}  // namespace hhc::llm

@@ -1,0 +1,56 @@
+#include "sim/simulation.hpp"
+
+#include <stdexcept>
+
+namespace hhc::sim {
+
+EventHandle Simulation::schedule_at(SimTime t, std::function<void()> fn) {
+  if (t < now_) throw std::logic_error("Simulation::schedule_at: time in the past");
+  auto flag = std::make_shared<bool>(false);
+  queue_.push(Event{t, next_seq_++, std::move(fn), flag});
+  ++live_events_;
+  return EventHandle(std::move(flag));
+}
+
+bool Simulation::pop_next(Event& out) {
+  while (!queue_.empty()) {
+    // priority_queue::top is const; move is safe because we pop immediately.
+    out = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    --live_events_;
+    if (!*out.cancelled) return true;
+  }
+  return false;
+}
+
+std::size_t Simulation::run(std::size_t max_events) {
+  stop_requested_ = false;
+  std::size_t n = 0;
+  Event ev;
+  while (n < max_events && !stop_requested_ && pop_next(ev)) {
+    now_ = ev.time;
+    ev.fn();
+    ++fired_;
+    ++n;
+  }
+  return n;
+}
+
+std::size_t Simulation::run_until(SimTime t_end) {
+  stop_requested_ = false;
+  std::size_t n = 0;
+  while (!stop_requested_ && !queue_.empty()) {
+    if (queue_.top().time > t_end) break;
+    Event ev;
+    if (!pop_next(ev)) break;
+    now_ = ev.time;
+    ev.fn();
+    ++fired_;
+    ++n;
+  }
+  if (now_ < t_end && queue_.empty()) now_ = t_end;
+  if (now_ < t_end && !queue_.empty() && queue_.top().time > t_end) now_ = t_end;
+  return n;
+}
+
+}  // namespace hhc::sim

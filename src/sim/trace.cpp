@@ -1,0 +1,36 @@
+#include "sim/trace.hpp"
+
+#include <sstream>
+
+namespace hhc::sim {
+
+void Trace::emit(SimTime time, std::string category, std::string subject,
+                 std::string state) {
+  events_.push_back(TraceEvent{time, std::move(category), std::move(subject),
+                               std::move(state)});
+}
+
+std::vector<TraceEvent> Trace::filter(const std::string& category,
+                                      const std::string& state) const {
+  std::vector<TraceEvent> out;
+  for (const auto& e : events_)
+    if (e.category == category && e.state == state) out.push_back(e);
+  return out;
+}
+
+std::size_t Trace::count(const std::string& category, const std::string& state) const {
+  std::size_t n = 0;
+  for (const auto& e : events_)
+    if (e.category == category && e.state == state) ++n;
+  return n;
+}
+
+std::string Trace::csv() const {
+  std::ostringstream out;
+  out << "time,category,subject,state\n";
+  for (const auto& e : events_)
+    out << e.time << "," << e.category << "," << e.subject << "," << e.state << "\n";
+  return out.str();
+}
+
+}  // namespace hhc::sim

@@ -1,0 +1,44 @@
+// Event tracing: a typed, append-only record of what happened during a run.
+// Benchmarks replay traces to compute figures (e.g. paper Fig 5 concurrency).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/units.hpp"
+
+namespace hhc::sim {
+
+/// One trace record: time, category (e.g. "task"), subject id, state label.
+struct TraceEvent {
+  SimTime time = 0.0;
+  std::string category;
+  std::string subject;
+  std::string state;
+};
+
+/// Append-only trace with simple filtered queries. Records are kept in
+/// emission order, which is also time order (the kernel is deterministic).
+class Trace {
+ public:
+  void emit(SimTime time, std::string category, std::string subject, std::string state);
+
+  const std::vector<TraceEvent>& events() const noexcept { return events_; }
+  std::size_t size() const noexcept { return events_.size(); }
+  void clear() { events_.clear(); }
+
+  /// All events with the given category and state, in time order.
+  std::vector<TraceEvent> filter(const std::string& category,
+                                 const std::string& state) const;
+
+  /// Count of events with the given category/state.
+  std::size_t count(const std::string& category, const std::string& state) const;
+
+  /// Renders as CSV (time,category,subject,state).
+  std::string csv() const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace hhc::sim

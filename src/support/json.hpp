@@ -1,0 +1,99 @@
+// Minimal JSON value type with parser and serializer.
+//
+// Used for the LLM function-calling protocol (function schemas, messages —
+// paper §2) and for mini-WDL workflow inputs (paper §6). Supports the full
+// JSON grammar except \u escapes beyond the BMP-ASCII subset we need.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hhc {
+
+class Json;
+using JsonArray = std::vector<Json>;
+using JsonObject = std::map<std::string, Json, std::less<>>;
+
+/// Thrown on parse errors and type mismatches.
+class JsonError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Immutable-ish JSON value (null, bool, number, string, array, object).
+class Json {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  Json() : type_(Type::Null) {}
+  Json(std::nullptr_t) : type_(Type::Null) {}
+  Json(bool b) : type_(Type::Bool), bool_(b) {}
+  Json(double d) : type_(Type::Number), num_(d) {}
+  Json(int i) : type_(Type::Number), num_(i) {}
+  Json(std::int64_t i) : type_(Type::Number), num_(static_cast<double>(i)) {}
+  Json(std::size_t i) : type_(Type::Number), num_(static_cast<double>(i)) {}
+  Json(const char* s) : type_(Type::String), str_(s) {}
+  Json(std::string s) : type_(Type::String), str_(std::move(s)) {}
+  Json(std::string_view s) : type_(Type::String), str_(s) {}
+  Json(JsonArray a) : type_(Type::Array), arr_(std::move(a)) {}
+  Json(JsonObject o) : type_(Type::Object), obj_(std::move(o)) {}
+
+  static Json array() { return Json(JsonArray{}); }
+  static Json object() { return Json(JsonObject{}); }
+
+  Type type() const noexcept { return type_; }
+  bool is_null() const noexcept { return type_ == Type::Null; }
+  bool is_bool() const noexcept { return type_ == Type::Bool; }
+  bool is_number() const noexcept { return type_ == Type::Number; }
+  bool is_string() const noexcept { return type_ == Type::String; }
+  bool is_array() const noexcept { return type_ == Type::Array; }
+  bool is_object() const noexcept { return type_ == Type::Object; }
+
+  bool as_bool() const;
+  double as_number() const;
+  std::int64_t as_int() const;
+  const std::string& as_string() const;
+  const JsonArray& as_array() const;
+  JsonArray& as_array();
+  const JsonObject& as_object() const;
+  JsonObject& as_object();
+
+  /// Object field access; throws JsonError if not an object / key missing.
+  const Json& at(std::string_view key) const;
+  /// Object field access returning nullptr when absent.
+  const Json* find(std::string_view key) const;
+  /// Inserts/overwrites an object field (value must be an object).
+  void set(std::string key, Json value);
+  /// Appends to an array (value must be an array).
+  void push_back(Json value);
+
+  std::size_t size() const;
+  bool contains(std::string_view key) const { return find(key) != nullptr; }
+
+  /// Compact serialization.
+  std::string dump() const;
+  /// Pretty serialization with 2-space indent.
+  std::string dump_pretty() const;
+
+  /// Parses a complete JSON document; throws JsonError with position info.
+  static Json parse(std::string_view text);
+
+  friend bool operator==(const Json& a, const Json& b);
+
+ private:
+  void write(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  JsonArray arr_;
+  JsonObject obj_;
+};
+
+}  // namespace hhc

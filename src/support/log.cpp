@@ -1,0 +1,34 @@
+#include "support/log.hpp"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace hhc {
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+std::mutex g_mutex;
+
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void log_line(LogLevel level, const std::string& component, const std::string& message) {
+  if (level < log_level()) return;
+  std::scoped_lock lock(g_mutex);
+  std::cerr << "[" << level_name(level) << "] " << component << ": " << message << "\n";
+}
+
+}  // namespace hhc

@@ -1,0 +1,46 @@
+// Minimal leveled logger. Thread-safe; defaults to Warn so simulations stay
+// quiet unless a test or tool turns verbosity up.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace hhc {
+
+enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+/// Sets the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one line to stderr if `level` passes the threshold. Thread-safe.
+void log_line(LogLevel level, const std::string& component, const std::string& message);
+
+namespace detail {
+class LogStream {
+ public:
+  LogStream(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)) {}
+  ~LogStream() { log_line(level_, component_, stream_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+/// Usage: HHC_LOG(Info, "entk") << "pilot up, nodes=" << n;
+#define HHC_LOG(level, component)                                  \
+  if (::hhc::log_level() <= ::hhc::LogLevel::level)                \
+  ::hhc::detail::LogStream(::hhc::LogLevel::level, (component))
+
+}  // namespace hhc

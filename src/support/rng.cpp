@@ -1,0 +1,107 @@
+#include "support/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace hhc {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+// FNV-1a over a label, used to derive independent child seeds.
+std::uint64_t fnv1a(std::string_view s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept : seed_(seed) {
+  std::uint64_t sm = seed;
+  for (auto& w : state_) w = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() noexcept {
+  // 53 random mantissa bits -> uniform in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return lo + static_cast<std::int64_t>(next_u64());  // full range
+  return lo + static_cast<std::int64_t>(next_u64() % span);
+}
+
+double Rng::normal() noexcept {
+  // Box-Muller; discard the second value to keep stream position predictable.
+  double u1 = uniform();
+  const double u2 = uniform();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::normal(double mean, double stddev) noexcept {
+  return mean + stddev * normal();
+}
+
+double Rng::truncated_normal(double mean, double stddev, double lo, double hi) noexcept {
+  for (int i = 0; i < 64; ++i) {
+    const double v = normal(mean, stddev);
+    if (v >= lo && v <= hi) return v;
+  }
+  const double v = normal(mean, stddev);
+  return v < lo ? lo : (v > hi ? hi : v);
+}
+
+double Rng::lognormal(double mu, double sigma) noexcept {
+  return std::exp(normal(mu, sigma));
+}
+
+double Rng::exponential(double rate) noexcept {
+  double u = uniform();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -std::log(u) / rate;
+}
+
+bool Rng::chance(double p) noexcept { return uniform() < p; }
+
+Rng Rng::child(std::string_view label) const noexcept {
+  return Rng(seed_ ^ rotl(fnv1a(label), 13));
+}
+
+Rng Rng::child(std::uint64_t index) const noexcept {
+  std::uint64_t mix = seed_ + 0x632be59bd9b4e019ULL * (index + 1);
+  return Rng(splitmix64(mix));
+}
+
+}  // namespace hhc

@@ -1,0 +1,64 @@
+// Deterministic random-number generation for reproducible simulations.
+//
+// Every stochastic component of the toolkit takes an explicit Rng (or a seed
+// from which it derives child streams), so a run is bit-reproducible given
+// its top-level seed. The generator is SplitMix64-seeded xoshiro256**, small
+// enough to copy by value and fast enough for event-loop use.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace hhc {
+
+/// Counter-based deterministic RNG with named child-stream derivation.
+class Rng {
+ public:
+  /// Seeds the four xoshiro words via SplitMix64 from `seed`.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Standard normal via Box-Muller (one value per call; no caching so the
+  /// stream position is a pure function of call count).
+  double normal() noexcept;
+
+  /// Normal with the given mean/stddev.
+  double normal(double mean, double stddev) noexcept;
+
+  /// Normal truncated (by resampling, max 64 tries then clamped) to [lo, hi].
+  double truncated_normal(double mean, double stddev, double lo, double hi) noexcept;
+
+  /// Log-normal with the given *underlying* mu/sigma.
+  double lognormal(double mu, double sigma) noexcept;
+
+  /// Exponential with the given rate (mean = 1/rate). Requires rate > 0.
+  double exponential(double rate) noexcept;
+
+  /// Bernoulli trial.
+  bool chance(double p) noexcept;
+
+  /// Derives an independent child stream from this RNG's seed and a label.
+  /// Children with distinct labels are statistically independent; the parent
+  /// stream is not advanced.
+  [[nodiscard]] Rng child(std::string_view label) const noexcept;
+
+  /// Derives an independent child stream from an integer index.
+  [[nodiscard]] Rng child(std::uint64_t index) const noexcept;
+
+ private:
+  std::uint64_t state_[4];
+  std::uint64_t seed_;  // retained for child derivation
+};
+
+}  // namespace hhc

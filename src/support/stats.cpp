@@ -1,0 +1,186 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace hhc {
+
+void OnlineStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void OnlineStats::merge(const OnlineStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double OnlineStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double Sample::mean() const noexcept {
+  if (values_.empty()) return 0.0;
+  return std::accumulate(values_.begin(), values_.end(), 0.0) /
+         static_cast<double>(values_.size());
+}
+
+void Sample::ensure_sorted() const {
+  if (dirty_) {
+    sorted_ = values_;
+    std::sort(sorted_.begin(), sorted_.end());
+    dirty_ = false;
+  }
+}
+
+double Sample::min() const {
+  ensure_sorted();
+  if (sorted_.empty()) throw std::logic_error("Sample::min on empty sample");
+  return sorted_.front();
+}
+
+double Sample::max() const {
+  ensure_sorted();
+  if (sorted_.empty()) throw std::logic_error("Sample::max on empty sample");
+  return sorted_.back();
+}
+
+double Sample::percentile(double p) const {
+  ensure_sorted();
+  if (sorted_.empty()) throw std::logic_error("Sample::percentile on empty sample");
+  if (p <= 0.0) return sorted_.front();
+  if (p >= 100.0) return sorted_.back();
+  const double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= sorted_.size()) return sorted_.back();
+  return sorted_[lo] * (1.0 - frac) + sorted_[lo + 1] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (bins == 0) throw std::invalid_argument("Histogram needs >= 1 bin");
+  if (!(lo < hi)) throw std::invalid_argument("Histogram needs lo < hi");
+}
+
+void Histogram::add(double x) noexcept {
+  const double t = (x - lo_) / (hi_ - lo_);
+  auto idx = static_cast<std::ptrdiff_t>(t * static_cast<double>(counts_.size()));
+  idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) / static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t i) const { return bin_lo(i + 1); }
+
+std::string Histogram::render(std::size_t width) const {
+  std::ostringstream out;
+  const std::size_t peak = counts_.empty()
+                               ? 0
+                               : *std::max_element(counts_.begin(), counts_.end());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const std::size_t bar =
+        peak ? counts_[i] * width / peak : 0;
+    out << "[" << bin_lo(i) << ", " << bin_hi(i) << ") "
+        << std::string(bar, '#') << " " << counts_[i] << "\n";
+  }
+  return out.str();
+}
+
+void StepSeries::record(SimTime t, double value) {
+  if (!points_.empty() && t < points_.back().first)
+    throw std::logic_error("StepSeries::record: time went backwards");
+  if (!points_.empty() && points_.back().first == t) {
+    points_.back().second = value;
+    return;
+  }
+  if (!points_.empty() && points_.back().second == value) return;  // no-op step
+  points_.emplace_back(t, value);
+}
+
+double StepSeries::value_at(SimTime t) const {
+  if (points_.empty() || t < points_.front().first) return 0.0;
+  // Last point with time <= t.
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), t,
+      [](SimTime q, const auto& p) { return q < p.first; });
+  return std::prev(it)->second;
+}
+
+double StepSeries::max_value() const {
+  double m = 0.0;
+  for (const auto& [t, v] : points_) m = std::max(m, v);
+  return m;
+}
+
+double StepSeries::integral(SimTime t0, SimTime t1) const {
+  if (points_.empty() || t1 <= t0) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    const SimTime seg_start = std::max(t0, points_[i].first);
+    const SimTime seg_end =
+        std::min(t1, i + 1 < points_.size() ? points_[i + 1].first : t1);
+    if (seg_end > seg_start) acc += points_[i].second * (seg_end - seg_start);
+  }
+  return acc;
+}
+
+double StepSeries::average(SimTime t0, SimTime t1) const {
+  if (t1 <= t0) return 0.0;
+  return integral(t0, t1) / (t1 - t0);
+}
+
+std::vector<std::pair<SimTime, double>> StepSeries::resample(SimTime t0, SimTime t1,
+                                                             std::size_t n) const {
+  std::vector<std::pair<SimTime, double>> out;
+  if (n == 0) return out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const SimTime t =
+        n == 1 ? t0 : t0 + (t1 - t0) * static_cast<double>(i) / static_cast<double>(n - 1);
+    out.emplace_back(t, value_at(t));
+  }
+  return out;
+}
+
+void LevelTracker::change(SimTime t, double delta) {
+  level_ += delta;
+  series_.record(t, level_);
+}
+
+void LevelTracker::set(SimTime t, double value) {
+  level_ = value;
+  series_.record(t, level_);
+}
+
+}  // namespace hhc

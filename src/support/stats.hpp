@@ -1,0 +1,119 @@
+// Streaming and batch statistics used by metric collection and benchmarks.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "support/units.hpp"
+
+namespace hhc {
+
+/// Welford online mean/variance with min/max tracking.
+class OnlineStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const OnlineStats& other) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  bool empty() const noexcept { return n_ == 0; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double variance() const noexcept;  ///< Sample variance (n-1 denominator).
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double sum() const noexcept { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch sample container with percentile queries (copies then sorts lazily).
+class Sample {
+ public:
+  void add(double x) { values_.push_back(x); dirty_ = true; }
+  void reserve(std::size_t n) { values_.reserve(n); }
+
+  std::size_t count() const noexcept { return values_.size(); }
+  bool empty() const noexcept { return values_.empty(); }
+  double mean() const noexcept;
+  double min() const;
+  double max() const;
+  /// Linear-interpolated percentile; `p` in [0, 100]. Requires non-empty.
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+  const std::vector<double>& values() const noexcept { return values_; }
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> values_;
+  mutable std::vector<double> sorted_;
+  mutable bool dirty_ = true;
+};
+
+/// Fixed-bin histogram over [lo, hi); out-of-range values clamp to edge bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t bins() const noexcept { return counts_.size(); }
+  std::size_t total() const noexcept { return total_; }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+  /// Renders a compact ASCII sparkline-style dump (one line per bin).
+  std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Piecewise-constant time series: record (t, value) steps, query integrals.
+/// Used for utilization and concurrency traces (paper Figs 4 and 5).
+class StepSeries {
+ public:
+  /// Records that the series takes `value` from time `t` onwards.
+  /// Times must be non-decreasing.
+  void record(SimTime t, double value);
+
+  bool empty() const noexcept { return points_.empty(); }
+  std::size_t size() const noexcept { return points_.size(); }
+  double value_at(SimTime t) const;  ///< Value in effect at time t (0 before first point).
+  double max_value() const;
+  /// Integral of the series over [t0, t1].
+  double integral(SimTime t0, SimTime t1) const;
+  /// Time-average over [t0, t1].
+  double average(SimTime t0, SimTime t1) const;
+  const std::vector<std::pair<SimTime, double>>& points() const noexcept { return points_; }
+
+  /// Resamples onto a uniform grid of `n` points across [t0, t1].
+  std::vector<std::pair<SimTime, double>> resample(SimTime t0, SimTime t1,
+                                                   std::size_t n) const;
+
+ private:
+  std::vector<std::pair<SimTime, double>> points_;
+};
+
+/// Convenience counter that tracks a level (e.g. number of running tasks)
+/// and records every change into a StepSeries.
+class LevelTracker {
+ public:
+  void change(SimTime t, double delta);
+  void set(SimTime t, double value);
+  double level() const noexcept { return level_; }
+  const StepSeries& series() const noexcept { return series_; }
+
+ private:
+  double level_ = 0.0;
+  StepSeries series_;
+};
+
+}  // namespace hhc

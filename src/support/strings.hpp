@@ -1,0 +1,32 @@
+// Small string utilities shared by parsers and report renderers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hhc {
+
+/// Splits on a single character; empty fields are preserved.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Splits on any whitespace run; empty fields are dropped.
+std::vector<std::string> split_ws(std::string_view s);
+
+std::string_view trim(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+std::string to_lower(std::string_view s);
+
+/// Joins items with a separator.
+std::string join(const std::vector<std::string>& items, std::string_view sep);
+
+/// printf-style double formatting helpers for report tables.
+std::string fmt_fixed(double v, int decimals);
+std::string fmt_pct(double fraction, int decimals = 1);   ///< 0.25 -> "25.0%"
+std::string fmt_duration(double seconds);                 ///< "2.7h", "9.6min", "36s"
+std::string fmt_bytes(double bytes);                      ///< "840MB", "2.8GB"
+
+}  // namespace hhc

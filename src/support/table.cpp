@@ -1,0 +1,99 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "support/log.hpp"
+
+namespace hhc {
+
+void TextTable::header(std::vector<std::string> cells) { header_ = std::move(cells); }
+
+void TextTable::row(std::vector<std::string> cells) {
+  rows_.push_back({std::move(cells), pending_rule_});
+  pending_rule_ = false;
+}
+
+void TextTable::rule() { pending_rule_ = true; }
+
+std::string TextTable::render() const {
+  std::size_t cols = header_.size();
+  for (const auto& r : rows_) cols = std::max(cols, r.cells.size());
+  if (cols == 0) return title_.empty() ? std::string() : title_ + "\n";
+
+  std::vector<std::size_t> widths(cols, 0);
+  auto measure = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      widths[i] = std::max(widths[i], cells[i].size());
+  };
+  measure(header_);
+  for (const auto& r : rows_) measure(r.cells);
+
+  auto hline = [&](char fill) {
+    std::string s = "+";
+    for (auto w : widths) s += std::string(w + 2, fill) + "+";
+    return s + "\n";
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    std::string s = "|";
+    for (std::size_t i = 0; i < cols; ++i) {
+      const std::string& c = i < cells.size() ? cells[i] : std::string();
+      s += " " + c + std::string(widths[i] - c.size(), ' ') + " |";
+    }
+    return s + "\n";
+  };
+
+  std::ostringstream out;
+  if (!title_.empty()) out << title_ << "\n";
+  out << hline('-');
+  if (!header_.empty()) {
+    out << line(header_);
+    out << hline('=');
+  }
+  for (const auto& r : rows_) {
+    if (r.rule_before) out << hline('-');
+    out << line(r.cells);
+  }
+  out << hline('-');
+  return out.str();
+}
+
+std::string TextTable::csv() const {
+  auto escape = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"') out += "\"\"";
+      else out += c;
+    }
+    return out + "\"";
+  };
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i) out << ",";
+      out << escape(cells[i]);
+    }
+    out << "\n";
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& r : rows_) emit(r.cells);
+  return out.str();
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::error_code ec;
+  const auto parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) {
+    HHC_LOG(Warn, "support") << "cannot open for write: " << path;
+    return false;
+  }
+  f << content;
+  return static_cast<bool>(f);
+}
+
+}  // namespace hhc

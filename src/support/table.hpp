@@ -1,0 +1,48 @@
+// Text table rendering for benchmark reports (the paper's Tables 1 and 2
+// are regenerated through this) plus CSV export for plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hhc {
+
+/// Column-aligned ASCII table with an optional title and header row.
+class TextTable {
+ public:
+  explicit TextTable(std::string title = {}) : title_(std::move(title)) {}
+
+  /// Sets the header row (defines the column count).
+  void header(std::vector<std::string> cells);
+
+  /// Appends a body row; short rows are padded with empty cells.
+  void row(std::vector<std::string> cells);
+
+  /// Inserts a horizontal rule before the next appended row.
+  void rule();
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Renders with box-drawing characters suitable for terminal output.
+  std::string render() const;
+
+  /// Renders as CSV (title omitted; header first if present).
+  std::string csv() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule_before = false;
+  };
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+  bool pending_rule_ = false;
+};
+
+/// Writes `content` to `path`, creating parent directories when needed.
+/// Returns false (and logs) on failure instead of throwing: report export is
+/// best-effort and must not kill a finished experiment.
+bool write_file(const std::string& path, const std::string& content);
+
+}  // namespace hhc

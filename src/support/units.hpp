@@ -1,0 +1,34 @@
+// Units and small value types shared across the toolkit.
+//
+// Simulated time is a plain double in seconds (DES convention); helpers here
+// make call sites read naturally (minutes(10), gib(4)).
+#pragma once
+
+#include <cstdint>
+
+namespace hhc {
+
+/// Simulated time, in seconds since simulation start.
+using SimTime = double;
+
+/// Data sizes are bytes held in a 64-bit unsigned integer.
+using Bytes = std::uint64_t;
+
+constexpr SimTime seconds(double s) noexcept { return s; }
+constexpr SimTime minutes(double m) noexcept { return m * 60.0; }
+constexpr SimTime hours(double h) noexcept { return h * 3600.0; }
+
+constexpr Bytes kib(double k) noexcept { return static_cast<Bytes>(k * 1024.0); }
+constexpr Bytes mib(double m) noexcept { return static_cast<Bytes>(m * 1024.0 * 1024.0); }
+constexpr Bytes gib(double g) noexcept {
+  return static_cast<Bytes>(g * 1024.0 * 1024.0 * 1024.0);
+}
+
+constexpr double as_mib(Bytes b) noexcept {
+  return static_cast<double>(b) / (1024.0 * 1024.0);
+}
+constexpr double as_gib(Bytes b) noexcept {
+  return static_cast<double>(b) / (1024.0 * 1024.0 * 1024.0);
+}
+
+}  // namespace hhc

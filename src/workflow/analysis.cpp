@@ -1,0 +1,111 @@
+#include "workflow/analysis.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <stdexcept>
+
+namespace hhc::wf {
+
+std::vector<TaskId> topological_order(const Workflow& wf) {
+  const auto n = static_cast<TaskId>(wf.task_count());
+  std::vector<std::size_t> in_degree(n, 0);
+  for (TaskId i = 0; i < n; ++i) in_degree[i] = wf.predecessors(i).size();
+
+  std::deque<TaskId> ready;
+  for (TaskId i = 0; i < n; ++i)
+    if (in_degree[i] == 0) ready.push_back(i);
+
+  std::vector<TaskId> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    const TaskId t = ready.front();
+    ready.pop_front();
+    order.push_back(t);
+    for (TaskId s : wf.successors(t))
+      if (--in_degree[s] == 0) ready.push_back(s);
+  }
+  return order;
+}
+
+std::vector<int> task_levels(const Workflow& wf) {
+  const auto order = topological_order(wf);
+  if (order.size() != wf.task_count())
+    throw std::invalid_argument("task_levels: workflow is cyclic");
+  std::vector<int> level(wf.task_count(), 0);
+  for (TaskId t : order)
+    for (TaskId s : wf.successors(t)) level[s] = std::max(level[s], level[t] + 1);
+  return level;
+}
+
+CriticalPath critical_path(const Workflow& wf) {
+  const auto order = topological_order(wf);
+  if (order.size() != wf.task_count())
+    throw std::invalid_argument("critical_path: workflow is cyclic");
+  CriticalPath cp;
+  if (wf.empty()) return cp;
+
+  // dist[t]: longest runtime sum of a path ending at (and including) t.
+  std::vector<SimTime> dist(wf.task_count(), 0.0);
+  std::vector<TaskId> best_pred(wf.task_count(), kInvalidTask);
+  for (TaskId t : order) {
+    SimTime best = 0.0;
+    for (TaskId p : wf.predecessors(t)) {
+      if (dist[p] > best) {
+        best = dist[p];
+        best_pred[t] = p;
+      }
+    }
+    dist[t] = best + wf.task(t).base_runtime;
+  }
+
+  TaskId end = 0;
+  for (TaskId i = 1; i < wf.task_count(); ++i)
+    if (dist[i] > dist[end]) end = i;
+
+  cp.length = dist[end];
+  for (TaskId t = end; t != kInvalidTask; t = best_pred[t]) cp.tasks.push_back(t);
+  std::reverse(cp.tasks.begin(), cp.tasks.end());
+  return cp;
+}
+
+std::vector<double> upward_rank(const Workflow& wf, double speed,
+                                double bandwidth_bytes_per_sec) {
+  auto order = topological_order(wf);
+  if (order.size() != wf.task_count())
+    throw std::invalid_argument("upward_rank: workflow is cyclic");
+  if (speed <= 0) throw std::invalid_argument("upward_rank: speed must be > 0");
+
+  std::vector<double> rank(wf.task_count(), 0.0);
+  // Process in reverse topological order so successors are done first.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const TaskId t = *it;
+    double best_succ = 0.0;
+    for (TaskId s : wf.successors(t)) {
+      double comm = 0.0;
+      if (bandwidth_bytes_per_sec > 0)
+        comm = static_cast<double>(wf.edge_bytes(t, s)) / bandwidth_bytes_per_sec;
+      best_succ = std::max(best_succ, comm + rank[s]);
+    }
+    rank[t] = wf.task(t).base_runtime / speed + best_succ;
+  }
+  return rank;
+}
+
+SimTime total_work(const Workflow& wf) {
+  SimTime total = 0.0;
+  for (TaskId i = 0; i < wf.task_count(); ++i) total += wf.task(i).base_runtime;
+  return total;
+}
+
+std::size_t max_level_width(const Workflow& wf) {
+  if (wf.empty()) return 0;
+  const auto levels = task_levels(wf);
+  std::map<int, std::size_t> width;
+  for (int l : levels) ++width[l];
+  std::size_t best = 0;
+  for (const auto& [l, w] : width) best = std::max(best, w);
+  return best;
+}
+
+}  // namespace hhc::wf

@@ -1,0 +1,42 @@
+// Graph analyses on workflows: topological order, levels, critical path,
+// upward rank (the HEFT/rank scheduling priority of paper §3.4).
+#pragma once
+
+#include <vector>
+
+#include "workflow/workflow.hpp"
+
+namespace hhc::wf {
+
+/// Kahn topological order. If the graph is cyclic the result is shorter
+/// than task_count() (callers use that as the cycle test).
+std::vector<TaskId> topological_order(const Workflow& wf);
+
+/// Level (longest hop distance from any source) per task; sources are 0.
+/// Requires acyclic.
+std::vector<int> task_levels(const Workflow& wf);
+
+/// Result of the critical-path analysis.
+struct CriticalPath {
+  std::vector<TaskId> tasks;  ///< Source-to-sink path of maximum total runtime.
+  SimTime length = 0.0;       ///< Sum of base runtimes along the path.
+};
+
+/// Critical path using base runtimes (communication ignored). Requires acyclic.
+CriticalPath critical_path(const Workflow& wf);
+
+/// Upward rank per task: rank(t) = runtime(t)/speed + max over successors of
+/// (edge_bytes/bandwidth + rank(succ)). The classic HEFT priority; with
+/// bandwidth = infinity this is the pure computation upward rank.
+/// `speed` scales runtimes; `bandwidth_bytes_per_sec` <= 0 disables the
+/// communication term. Requires acyclic.
+std::vector<double> upward_rank(const Workflow& wf, double speed = 1.0,
+                                double bandwidth_bytes_per_sec = 0.0);
+
+/// Sum of all task base runtimes (serial work).
+SimTime total_work(const Workflow& wf);
+
+/// Maximum width: the largest number of tasks in any single level.
+std::size_t max_level_width(const Workflow& wf);
+
+}  // namespace hhc::wf

@@ -1,0 +1,217 @@
+#include "workflow/generators.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hhc::wf {
+namespace {
+
+// Lognormal parameterized by mean and coefficient of variation.
+double sample_lognormal(Rng& rng, double mean, double cv) {
+  if (mean <= 0) return 0.0;
+  if (cv <= 0) return mean;
+  const double sigma2 = std::log(1.0 + cv * cv);
+  const double mu = std::log(mean) - 0.5 * sigma2;
+  return rng.lognormal(mu, std::sqrt(sigma2));
+}
+
+TaskSpec make_task(Rng& rng, const GenParams& p, std::string name, std::string kind,
+                   double runtime_scale = 1.0) {
+  TaskSpec spec;
+  spec.name = std::move(name);
+  spec.kind = std::move(kind);
+  spec.base_runtime = sample_lognormal(rng, p.runtime_mean * runtime_scale, p.runtime_cv);
+  spec.resources.cores_per_node = p.cores_per_task;
+  spec.resources.memory_per_node = p.memory_per_task;
+  spec.output_bytes = static_cast<Bytes>(
+      sample_lognormal(rng, static_cast<double>(p.data_mean), p.data_cv));
+  return spec;
+}
+
+Bytes sample_data(Rng& rng, const GenParams& p) {
+  return static_cast<Bytes>(
+      sample_lognormal(rng, static_cast<double>(p.data_mean), p.data_cv));
+}
+
+}  // namespace
+
+Workflow make_chain(std::size_t n, Rng rng, const GenParams& p) {
+  if (n == 0) throw std::invalid_argument("make_chain: n must be >= 1");
+  Workflow wf("chain-" + std::to_string(n));
+  TaskId prev = kInvalidTask;
+  for (std::size_t i = 0; i < n; ++i) {
+    const TaskId t = wf.add_task(
+        make_task(rng, p, "stage" + std::to_string(i), "chain-stage" + std::to_string(i)));
+    if (prev != kInvalidTask) wf.add_dependency(prev, t, sample_data(rng, p));
+    prev = t;
+  }
+  return wf;
+}
+
+Workflow make_fork_join(std::size_t width, Rng rng, const GenParams& p) {
+  if (width == 0) throw std::invalid_argument("make_fork_join: width must be >= 1");
+  Workflow wf("forkjoin-" + std::to_string(width));
+  const TaskId src = wf.add_task(make_task(rng, p, "split", "split", 0.3));
+  const TaskId sink = wf.add_task(make_task(rng, p, "merge", "merge", 0.5));
+  for (std::size_t i = 0; i < width; ++i) {
+    const TaskId t = wf.add_task(make_task(rng, p, "work" + std::to_string(i), "work"));
+    wf.add_dependency(src, t, sample_data(rng, p));
+    wf.add_dependency(t, sink, sample_data(rng, p));
+  }
+  return wf;
+}
+
+Workflow make_scatter_gather(std::size_t stages, std::size_t width, Rng rng,
+                             const GenParams& p) {
+  if (stages == 0 || width == 0)
+    throw std::invalid_argument("make_scatter_gather: stages/width must be >= 1");
+  Workflow wf("scattergather-" + std::to_string(stages) + "x" + std::to_string(width));
+  TaskId barrier = kInvalidTask;
+  for (std::size_t s = 0; s < stages; ++s) {
+    std::vector<TaskId> stage_tasks;
+    stage_tasks.reserve(width);
+    const std::string kind = "stage" + std::to_string(s);
+    for (std::size_t i = 0; i < width; ++i) {
+      const TaskId t = wf.add_task(
+          make_task(rng, p, kind + "-t" + std::to_string(i), kind));
+      if (barrier != kInvalidTask) wf.add_dependency(barrier, t, sample_data(rng, p));
+      stage_tasks.push_back(t);
+    }
+    const TaskId gather =
+        wf.add_task(make_task(rng, p, "gather" + std::to_string(s), "gather", 0.2));
+    for (TaskId t : stage_tasks) wf.add_dependency(t, gather, sample_data(rng, p));
+    barrier = gather;
+  }
+  return wf;
+}
+
+Workflow make_diamond(Rng rng, const GenParams& p) {
+  Workflow wf("diamond");
+  const TaskId a = wf.add_task(make_task(rng, p, "source", "source"));
+  const TaskId b = wf.add_task(make_task(rng, p, "left", "branch"));
+  const TaskId c = wf.add_task(make_task(rng, p, "right", "branch"));
+  const TaskId d = wf.add_task(make_task(rng, p, "sink", "sink"));
+  wf.add_dependency(a, b, sample_data(rng, p));
+  wf.add_dependency(a, c, sample_data(rng, p));
+  wf.add_dependency(b, d, sample_data(rng, p));
+  wf.add_dependency(c, d, sample_data(rng, p));
+  return wf;
+}
+
+Workflow make_montage_like(std::size_t degree, Rng rng, const GenParams& p) {
+  if (degree < 2) throw std::invalid_argument("make_montage_like: degree must be >= 2");
+  Workflow wf("montage-" + std::to_string(degree));
+
+  // Level 1: mProject, one per input image (CPU-light).
+  std::vector<TaskId> project;
+  for (std::size_t i = 0; i < degree; ++i)
+    project.push_back(
+        wf.add_task(make_task(rng, p, "mProject" + std::to_string(i), "mProject", 0.8)));
+
+  // Level 2: mDiffFit for each adjacent pair of images.
+  std::vector<TaskId> diff;
+  for (std::size_t i = 0; i + 1 < degree; ++i) {
+    const TaskId t =
+        wf.add_task(make_task(rng, p, "mDiffFit" + std::to_string(i), "mDiffFit", 0.3));
+    wf.add_dependency(project[i], t, sample_data(rng, p));
+    wf.add_dependency(project[i + 1], t, sample_data(rng, p));
+    diff.push_back(t);
+  }
+
+  // Level 3: mConcatFit funnel.
+  const TaskId concat = wf.add_task(make_task(rng, p, "mConcatFit", "mConcatFit", 0.5));
+  for (TaskId t : diff) wf.add_dependency(t, concat, sample_data(rng, p));
+
+  // Level 4: mBgModel then per-image mBackground.
+  const TaskId bgmodel = wf.add_task(make_task(rng, p, "mBgModel", "mBgModel", 0.6));
+  wf.add_dependency(concat, bgmodel, sample_data(rng, p));
+  std::vector<TaskId> background;
+  for (std::size_t i = 0; i < degree; ++i) {
+    const TaskId t = wf.add_task(
+        make_task(rng, p, "mBackground" + std::to_string(i), "mBackground", 0.4));
+    wf.add_dependency(bgmodel, t, sample_data(rng, p));
+    wf.add_dependency(project[i], t, sample_data(rng, p));
+    background.push_back(t);
+  }
+
+  // Level 5: mImgtbl + mAdd co-add (heavier).
+  const TaskId imgtbl = wf.add_task(make_task(rng, p, "mImgtbl", "mImgtbl", 0.3));
+  for (TaskId t : background) wf.add_dependency(t, imgtbl, sample_data(rng, p));
+  const TaskId madd = wf.add_task(make_task(rng, p, "mAdd", "mAdd", 2.0));
+  wf.add_dependency(imgtbl, madd, sample_data(rng, p));
+  return wf;
+}
+
+Workflow make_pipeline_lanes(std::size_t lanes, std::size_t depth, Rng rng,
+                             const GenParams& p) {
+  if (lanes == 0 || depth == 0)
+    throw std::invalid_argument("make_pipeline_lanes: lanes/depth must be >= 1");
+  Workflow wf("lanes-" + std::to_string(lanes) + "x" + std::to_string(depth));
+  std::vector<TaskId> lane_tails;
+  for (std::size_t l = 0; l < lanes; ++l) {
+    TaskId prev = kInvalidTask;
+    for (std::size_t d = 0; d < depth; ++d) {
+      // Same depth position -> same kind; kinds differ in typical runtime so
+      // per-kind predictors have signal to learn.
+      const double scale = 0.5 + 0.5 * static_cast<double>(d % 4);
+      const TaskId t = wf.add_task(make_task(
+          rng, p, "lane" + std::to_string(l) + "-step" + std::to_string(d),
+          "step" + std::to_string(d), scale));
+      if (prev != kInvalidTask) wf.add_dependency(prev, t, sample_data(rng, p));
+      prev = t;
+    }
+    lane_tails.push_back(prev);
+  }
+  const TaskId merge = wf.add_task(make_task(rng, p, "merge", "merge", 0.7));
+  for (TaskId t : lane_tails) wf.add_dependency(t, merge, sample_data(rng, p));
+  const TaskId report = wf.add_task(make_task(rng, p, "report", "report", 0.2));
+  wf.add_dependency(merge, report, sample_data(rng, p));
+  return wf;
+}
+
+Workflow make_random_layered(std::size_t levels, std::size_t max_width, Rng rng,
+                             const GenParams& p) {
+  if (levels == 0 || max_width == 0)
+    throw std::invalid_argument("make_random_layered: levels/max_width must be >= 1");
+  Workflow wf("random-" + std::to_string(levels) + "x" + std::to_string(max_width));
+  std::vector<TaskId> prev_layer;
+  for (std::size_t l = 0; l < levels; ++l) {
+    const auto width = static_cast<std::size_t>(
+        rng.uniform_int(1, static_cast<std::int64_t>(max_width)));
+    std::vector<TaskId> layer;
+    for (std::size_t i = 0; i < width; ++i) {
+      const TaskId t = wf.add_task(make_task(
+          rng, p, "L" + std::to_string(l) + "-" + std::to_string(i),
+          "level" + std::to_string(l)));
+      if (!prev_layer.empty()) {
+        const auto max_preds =
+            std::min<std::size_t>(3, prev_layer.size());
+        const auto n_preds = static_cast<std::size_t>(
+            rng.uniform_int(1, static_cast<std::int64_t>(max_preds)));
+        for (std::size_t k = 0; k < n_preds; ++k) {
+          const auto pi = static_cast<std::size_t>(rng.uniform_int(
+              0, static_cast<std::int64_t>(prev_layer.size()) - 1));
+          // add_dependency merges duplicates, so collisions are harmless.
+          wf.add_dependency(prev_layer[pi], t, sample_data(rng, p));
+        }
+      }
+      layer.push_back(t);
+    }
+    prev_layer = std::move(layer);
+  }
+  return wf;
+}
+
+std::vector<SuiteEntry> make_cwsi_suite(Rng rng, const GenParams& p) {
+  std::vector<SuiteEntry> suite;
+  suite.push_back({"chain", make_chain(20, rng.child("chain"), p)});
+  suite.push_back({"forkjoin", make_fork_join(48, rng.child("forkjoin"), p)});
+  suite.push_back(
+      {"scattergather", make_scatter_gather(4, 24, rng.child("scattergather"), p)});
+  suite.push_back({"montage", make_montage_like(32, rng.child("montage"), p)});
+  suite.push_back({"lanes", make_pipeline_lanes(16, 6, rng.child("lanes"), p)});
+  suite.push_back({"random", make_random_layered(8, 24, rng.child("random"), p)});
+  return suite;
+}
+
+}  // namespace hhc::wf

@@ -1,0 +1,66 @@
+// Synthetic workflow generators.
+//
+// The CWSI experiments (paper §3) are run over a suite of workflow shapes;
+// real traces are not available offline, so these generators produce the
+// classic scientific-workflow topologies (chain, fork-join, diamond,
+// Montage-like multi-level, random layered DAG) with randomized but
+// reproducible task runtimes and data sizes.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "support/rng.hpp"
+#include "workflow/workflow.hpp"
+
+namespace hhc::wf {
+
+/// Parameters shared by the generators.
+struct GenParams {
+  double runtime_mean = 120.0;    ///< Mean task runtime (s).
+  double runtime_cv = 0.5;        ///< Coefficient of variation (lognormal).
+  Bytes data_mean = mib(256);     ///< Mean edge data size.
+  double data_cv = 1.0;           ///< Data size coefficient of variation.
+  double cores_per_task = 2.0;
+  Bytes memory_per_task = gib(4);
+};
+
+/// Linear chain of `n` tasks.
+Workflow make_chain(std::size_t n, Rng rng, const GenParams& p = {});
+
+/// One source fanning out to `width` parallel tasks joined by one sink.
+Workflow make_fork_join(std::size_t width, Rng rng, const GenParams& p = {});
+
+/// `stages` sequential scatter stages of `width` tasks with full barriers
+/// (gather task) between them — the EnTK PST shape (paper §4).
+Workflow make_scatter_gather(std::size_t stages, std::size_t width, Rng rng,
+                             const GenParams& p = {});
+
+/// Diamond: source -> {a, b} -> sink.
+Workflow make_diamond(Rng rng, const GenParams& p = {});
+
+/// Montage-like mosaicking shape: wide project level, pairwise diff level,
+/// fit/concat funnel, background correction level, final co-add. The classic
+/// heterogeneous-width DAG used across scheduling literature.
+Workflow make_montage_like(std::size_t degree, Rng rng, const GenParams& p = {});
+
+/// Epigenomics-like deep pipeline: `lanes` parallel chains of `depth` tasks
+/// that merge into a short tail. Tasks in the same position share a kind, so
+/// per-kind runtime predictors (Lotaru, paper §3.4) have structure to learn.
+Workflow make_pipeline_lanes(std::size_t lanes, std::size_t depth, Rng rng,
+                             const GenParams& p = {});
+
+/// Random layered DAG: `levels` layers of random width in [1, max_width];
+/// every task gets 1..3 predecessors from the previous layer.
+Workflow make_random_layered(std::size_t levels, std::size_t max_width, Rng rng,
+                             const GenParams& p = {});
+
+/// Named suite of the above, as used by the CWSI makespan experiment (E6).
+struct SuiteEntry {
+  std::string name;
+  Workflow workflow;
+};
+std::vector<SuiteEntry> make_cwsi_suite(Rng rng, const GenParams& p = {});
+
+}  // namespace hhc::wf

@@ -1,0 +1,90 @@
+#include "workflow/workflow.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "workflow/analysis.hpp"
+
+namespace hhc::wf {
+
+TaskId Workflow::add_task(TaskSpec spec) {
+  if (spec.resources.nodes < 1)
+    throw std::invalid_argument("task '" + spec.name + "': nodes must be >= 1");
+  if (spec.base_runtime < 0)
+    throw std::invalid_argument("task '" + spec.name + "': negative runtime");
+  const auto id = static_cast<TaskId>(tasks_.size());
+  tasks_.push_back(std::move(spec));
+  preds_.emplace_back();
+  succs_.emplace_back();
+  return id;
+}
+
+void Workflow::add_dependency(TaskId from, TaskId to, Bytes data_bytes) {
+  if (from >= tasks_.size() || to >= tasks_.size())
+    throw std::out_of_range("add_dependency: task id out of range");
+  if (from == to) throw std::invalid_argument("add_dependency: self edge");
+  for (auto& e : edges_) {
+    if (e.from == from && e.to == to) {
+      e.data_bytes += data_bytes;
+      return;
+    }
+  }
+  edges_.push_back(Edge{from, to, data_bytes});
+  succs_[from].push_back(to);
+  preds_[to].push_back(from);
+}
+
+Bytes Workflow::edge_bytes(TaskId from, TaskId to) const {
+  for (const auto& e : edges_)
+    if (e.from == from && e.to == to) return e.data_bytes;
+  return 0;
+}
+
+std::vector<TaskId> Workflow::sources() const {
+  std::vector<TaskId> out;
+  for (TaskId i = 0; i < tasks_.size(); ++i)
+    if (preds_[i].empty()) out.push_back(i);
+  return out;
+}
+
+std::vector<TaskId> Workflow::sinks() const {
+  std::vector<TaskId> out;
+  for (TaskId i = 0; i < tasks_.size(); ++i)
+    if (succs_[i].empty()) out.push_back(i);
+  return out;
+}
+
+Bytes Workflow::total_input_bytes(TaskId id) const {
+  Bytes total = tasks_.at(id).input_bytes;
+  for (TaskId p : preds_.at(id)) total += edge_bytes(p, id);
+  return total;
+}
+
+bool Workflow::is_acyclic() const {
+  return topological_order(*this).size() == tasks_.size();
+}
+
+void Workflow::validate() const {
+  if (!is_acyclic())
+    throw std::invalid_argument("workflow '" + name_ + "' contains a cycle");
+}
+
+std::string Workflow::dot() const {
+  std::ostringstream out;
+  out << "digraph \"" << name_ << "\" {\n  rankdir=TB;\n";
+  for (TaskId i = 0; i < tasks_.size(); ++i) {
+    out << "  t" << i << " [label=\"" << tasks_[i].name;
+    if (!tasks_[i].kind.empty()) out << "\\n(" << tasks_[i].kind << ")";
+    out << "\"];\n";
+  }
+  for (const auto& e : edges_) {
+    out << "  t" << e.from << " -> t" << e.to;
+    if (e.data_bytes) out << " [label=\"" << e.data_bytes << "B\"]";
+    out << ";\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace hhc::wf

@@ -1,0 +1,107 @@
+// Workflow DAG model.
+//
+// A Workflow is a directed acyclic graph of Tasks. Edges carry the size of
+// the data handed from producer to consumer — the file-size-aware CWS
+// strategies (paper §3) and the transfer cost models need it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/units.hpp"
+
+namespace hhc::wf {
+
+/// Index of a task within its workflow.
+using TaskId = std::uint32_t;
+inline constexpr TaskId kInvalidTask = static_cast<TaskId>(-1);
+
+/// Per-task resource request. Tasks smaller than a node set nodes = 1 and
+/// fractional usage via cores/memory; multi-node (MPI) tasks set nodes > 1
+/// and per-node figures (the ExaAM tasks of paper §4 are 4- and 8-node).
+struct Resources {
+  int nodes = 1;                 ///< Number of whole nodes (>= 1).
+  double cores_per_node = 1.0;   ///< Cores used on each node.
+  int gpus_per_node = 0;         ///< GPUs used on each node.
+  Bytes memory_per_node = 0;     ///< Peak resident memory per node.
+
+  double total_cores() const noexcept { return cores_per_node * nodes; }
+  int total_gpus() const noexcept { return gpus_per_node * nodes; }
+};
+
+/// Static description of one task.
+struct TaskSpec {
+  std::string name;
+  std::string kind;             ///< Tool/step label, e.g. "salmon", "exaconstit".
+  Resources resources;
+  SimTime base_runtime = 1.0;   ///< Reference runtime on a speed-1.0 node.
+  Bytes input_bytes = 0;        ///< External input read (beyond edge data).
+  Bytes output_bytes = 0;       ///< Output written to shared storage.
+  std::map<std::string, std::string> params;  ///< Tool-specific parameters.
+};
+
+/// One dependency edge; `data_bytes` is what consumer reads from producer.
+struct Edge {
+  TaskId from = kInvalidTask;
+  TaskId to = kInvalidTask;
+  Bytes data_bytes = 0;
+};
+
+/// Directed acyclic graph of tasks. Mutation is append-only; validate()
+/// checks acyclicity and index sanity.
+class Workflow {
+ public:
+  explicit Workflow(std::string name = "workflow") : name_(std::move(name)) {}
+
+  const std::string& name() const noexcept { return name_; }
+
+  /// Adds a task, returning its id.
+  TaskId add_task(TaskSpec spec);
+
+  /// Adds a dependency edge from -> to. Duplicate edges are merged
+  /// (data sizes added). Self-edges are rejected.
+  void add_dependency(TaskId from, TaskId to, Bytes data_bytes = 0);
+
+  std::size_t task_count() const noexcept { return tasks_.size(); }
+  std::size_t edge_count() const noexcept { return edges_.size(); }
+  bool empty() const noexcept { return tasks_.empty(); }
+
+  const TaskSpec& task(TaskId id) const { return tasks_.at(id); }
+  TaskSpec& task(TaskId id) { return tasks_.at(id); }
+
+  const std::vector<TaskId>& predecessors(TaskId id) const { return preds_.at(id); }
+  const std::vector<TaskId>& successors(TaskId id) const { return succs_.at(id); }
+  const std::vector<Edge>& edges() const noexcept { return edges_; }
+
+  /// Bytes flowing across edge from->to (0 when no such edge).
+  Bytes edge_bytes(TaskId from, TaskId to) const;
+
+  /// Tasks with no predecessors / successors.
+  std::vector<TaskId> sources() const;
+  std::vector<TaskId> sinks() const;
+
+  /// Sum over tasks of edge input bytes + external input bytes. Used by the
+  /// file-size scheduling strategy.
+  Bytes total_input_bytes(TaskId id) const;
+
+  /// Throws std::invalid_argument if the graph has a cycle.
+  void validate() const;
+
+  /// True when the graph is acyclic.
+  bool is_acyclic() const;
+
+  /// Graphviz DOT rendering (tasks labelled name/kind).
+  std::string dot() const;
+
+ private:
+  std::string name_;
+  std::vector<TaskSpec> tasks_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<TaskId>> preds_;
+  std::vector<std::vector<TaskId>> succs_;
+};
+
+}  // namespace hhc::wf

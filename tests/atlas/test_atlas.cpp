@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include "atlas/cloud_runner.hpp"
+#include "atlas/hpc_runner.hpp"
+#include "atlas/pipeline.hpp"
+#include "atlas/sra.hpp"
+
+namespace hhc::atlas {
+namespace {
+
+TEST(SraCorpus, GeneratesRequestedFiles) {
+  CorpusParams params;
+  params.files = 99;
+  const auto corpus = make_corpus(params, Rng(1));
+  EXPECT_EQ(corpus.size(), 99u);
+  EXPECT_EQ(corpus[0].id, "SRR0000001");
+  for (const auto& r : corpus) {
+    EXPECT_GT(r.sra_bytes, 0u);
+    EXPECT_FALSE(r.tissue.empty());
+  }
+}
+
+TEST(SraCorpus, ReproducibleAndSeedSensitive) {
+  CorpusParams params;
+  const auto a = make_corpus(params, Rng(1));
+  const auto b = make_corpus(params, Rng(1));
+  const auto c = make_corpus(params, Rng(2));
+  EXPECT_EQ(a[0].sra_bytes, b[0].sra_bytes);
+  EXPECT_NE(a[0].sra_bytes, c[0].sra_bytes);
+}
+
+TEST(SraCorpus, MeanSizeApproximatelyCalibrated) {
+  CorpusParams params;
+  params.files = 2000;
+  const auto corpus = make_corpus(params, Rng(3));
+  const double mean = static_cast<double>(corpus_bytes(corpus)) /
+                      static_cast<double>(corpus.size());
+  EXPECT_NEAR(mean, params.mean_bytes, params.mean_bytes * 0.1);
+}
+
+TEST(SraCorpus, FastqExpansion) {
+  SraRecord r;
+  r.sra_bytes = 1000;
+  EXPECT_EQ(r.fastq_bytes(), 3200u);
+}
+
+TEST(PipelineModel, StepDurationsScaleWithFileSize) {
+  const EnvProfile env = aws_cloud_env();
+  Rng rng(1);
+  SraRecord small{"s", "liver", static_cast<Bytes>(1e9)};
+  SraRecord large{"l", "liver", static_cast<Bytes>(8e9)};
+  Rng r1 = rng.child("a"), r2 = rng.child("b");
+  const FileResult fs = model_file_run(env, small, r1);
+  const FileResult fl = model_file_run(env, large, r2);
+  for (std::size_t i = 0; i < 3; ++i)  // deseq2 is near-constant; skip it
+    EXPECT_GT(fl.steps[i].duration, fs.steps[i].duration);
+}
+
+TEST(PipelineModel, SalmonDominatesCompute) {
+  const EnvProfile env = aws_cloud_env();
+  Rng rng(2);
+  SraRecord r{"x", "liver", static_cast<Bytes>(2.2e9)};
+  const FileResult f = model_file_run(env, r, rng);
+  // Salmon is the longest step (Table 1/2 shape).
+  EXPECT_GT(f.steps[2].duration, f.steps[0].duration);
+  EXPECT_GT(f.steps[2].duration, f.steps[1].duration);
+  EXPECT_GT(f.steps[2].duration, f.steps[3].duration);
+  // Salmon pegs the CPU; fasterq-dump has the worst iowait.
+  EXPECT_GT(f.steps[2].metrics.cpu_mean, 80.0);
+  EXPECT_GT(f.steps[1].metrics.iowait_mean, f.steps[2].metrics.iowait_mean);
+}
+
+TEST(PipelineModel, HpcPrefetchSlowerSalmonFaster) {
+  Rng rng(3);
+  SraRecord r{"x", "liver", static_cast<Bytes>(2.2e9)};
+  Rng r1 = rng.child("c"), r2 = rng.child("c");  // same stream: same jitter
+  const FileResult cloud = model_file_run(aws_cloud_env(), r, r1);
+  const FileResult hpc = model_file_run(hpc_ares_env(), r, r2);
+  EXPECT_GT(hpc.steps[0].duration, cloud.steps[0].duration);   // prefetch
+  EXPECT_LT(hpc.steps[1].duration, cloud.steps[1].duration);   // fasterq
+  EXPECT_LT(hpc.steps[2].duration, cloud.steps[2].duration);   // salmon
+  EXPECT_NEAR(hpc.steps[3].duration, cloud.steps[3].duration,  // deseq2
+              cloud.steps[3].duration * 0.5);
+}
+
+TEST(PipelineModel, MetricsWithinPhysicalBounds) {
+  Rng rng(4);
+  const EnvProfile env = aws_cloud_env();
+  for (int i = 0; i < 50; ++i) {
+    Rng child = rng.child(static_cast<std::uint64_t>(i));
+    SraRecord r{"x", "liver", static_cast<Bytes>(child.uniform(5e8, 9e9))};
+    const FileResult f = model_file_run(env, r, child);
+    for (const auto& s : f.steps) {
+      EXPECT_GE(s.metrics.cpu_mean, 0.0);
+      EXPECT_LE(s.metrics.cpu_max, 100.0);
+      EXPECT_LE(s.metrics.cpu_mean, s.metrics.cpu_max);
+      EXPECT_LE(s.metrics.iowait_mean, s.metrics.iowait_max);
+      EXPECT_LE(s.metrics.mem_mean, s.metrics.mem_max);
+      EXPECT_GT(s.duration, 0.0);
+    }
+  }
+}
+
+TEST(RunAggregate, AccumulatesPerStep) {
+  RunAggregate agg;
+  Rng rng(5);
+  const EnvProfile env = aws_cloud_env();
+  SraRecord r{"x", "liver", static_cast<Bytes>(2e9)};
+  for (int i = 0; i < 10; ++i) {
+    Rng child = rng.child(static_cast<std::uint64_t>(i));
+    agg.add(model_file_run(env, r, child));
+  }
+  EXPECT_EQ(agg.files, 10u);
+  EXPECT_EQ(agg.file_durations.count(), 10u);
+  for (const auto& s : agg.steps) EXPECT_EQ(s.durations.count(), 10u);
+}
+
+TEST(CloudRunner, ProcessesWholeCorpus) {
+  CorpusParams params;
+  params.files = 30;
+  const auto corpus = make_corpus(params, Rng(10));
+  CloudRunConfig cfg;
+  cfg.asg.max_instances = 8;
+  const CloudRunResult result = run_on_cloud(corpus, cfg);
+  EXPECT_EQ(result.files.size(), 30u);
+  EXPECT_GT(result.makespan, 0.0);
+  EXPECT_EQ(result.s3_objects, 30u);
+  EXPECT_GT(result.cost_usd, 0.0);
+  EXPECT_LE(result.peak_fleet, 8.0);
+  EXPECT_EQ(result.aggregate.files, 30u);
+}
+
+TEST(CloudRunner, MoreInstancesShortenMakespan) {
+  CorpusParams params;
+  params.files = 24;
+  const auto corpus = make_corpus(params, Rng(11));
+  CloudRunConfig one;
+  one.asg.max_instances = 1;
+  CloudRunConfig many;
+  many.asg.max_instances = 12;
+  const auto r1 = run_on_cloud(corpus, one);
+  const auto r12 = run_on_cloud(corpus, many);
+  EXPECT_LT(r12.makespan, r1.makespan * 0.5);
+}
+
+TEST(HpcRunner, ProcessesWholeCorpus) {
+  CorpusParams params;
+  params.files = 30;
+  const auto corpus = make_corpus(params, Rng(10));
+  const HpcRunResult result = run_on_hpc(corpus);
+  EXPECT_EQ(result.files.size(), 30u);
+  EXPECT_GT(result.makespan, 0.0);
+  EXPECT_GT(result.job_efficiency, 0.0);
+  EXPECT_LE(result.job_efficiency, 1.0);
+}
+
+TEST(Runners, CloudVsHpcShapeMatchesPaper) {
+  // The Table 2 shape: prefetch much slower on HPC; fasterq and salmon
+  // faster on HPC; deseq2 roughly equal.
+  CorpusParams params;
+  params.files = 40;
+  const auto corpus = make_corpus(params, Rng(12));
+  const auto cloud = run_on_cloud(corpus, {});
+  const auto hpc = run_on_hpc(corpus);
+  const auto& cs = cloud.aggregate.steps;
+  const auto& hs = hpc.aggregate.steps;
+  EXPECT_GT(hs[0].durations.mean(), cs[0].durations.mean() * 1.5);
+  EXPECT_LT(hs[1].durations.mean(), cs[1].durations.mean());
+  EXPECT_LT(hs[2].durations.mean(), cs[2].durations.mean());
+  EXPECT_NEAR(hs[3].durations.mean(), cs[3].durations.mean(),
+              cs[3].durations.mean() * 0.35);
+}
+
+TEST(StepNames, AllDistinct) {
+  EXPECT_STREQ(step_name(Step::Prefetch), "prefetch");
+  EXPECT_STREQ(step_name(Step::FasterqDump), "fasterq-dump");
+  EXPECT_STREQ(step_name(Step::Salmon), "salmon");
+  EXPECT_STREQ(step_name(Step::Deseq2), "deseq2");
+}
+
+}  // namespace
+}  // namespace hhc::atlas

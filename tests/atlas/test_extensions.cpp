@@ -1,0 +1,122 @@
+// Tests for the §5.3 future-work implementations: the STAR path and the
+// serverless deployment.
+#include <gtest/gtest.h>
+
+#include "atlas/cloud_runner.hpp"
+#include "atlas/hpc_runner.hpp"
+#include "atlas/serverless_runner.hpp"
+
+namespace hhc::atlas {
+namespace {
+
+std::vector<SraRecord> small_corpus(std::size_t n = 12) {
+  CorpusParams params;
+  params.files = n;
+  return make_corpus(params, Rng(5));
+}
+
+TEST(StarPath, RejectsSmallMemoryEnvironments) {
+  Rng rng(1);
+  SraRecord sra{"SRR1", "liver", static_cast<Bytes>(2e9)};
+  EnvProfile small = aws_cloud_env();  // 8 GiB
+  EXPECT_THROW(model_file_run(small, sra, rng, AlignerPath::Star),
+               EnvironmentError);
+}
+
+TEST(StarPath, RunsOnBigMemoryEnvironment) {
+  Rng rng(1);
+  SraRecord sra{"SRR1", "liver", static_cast<Bytes>(2e9)};
+  EnvProfile big = aws_cloud_env();
+  big.memory = gib(256);
+  big.star_memory_required = gib(250);
+  const FileResult fr = model_file_run(big, sra, rng, AlignerPath::Star);
+  // STAR holds the 90 GB index in RAM: memory envelope reflects it.
+  EXPECT_GT(fr.steps[2].metrics.mem_max, gib(80));
+  EXPECT_GT(fr.steps[2].duration, 0.0);
+}
+
+TEST(StarPath, SlowerThanSalmonAndIndexResidencyHelps) {
+  Rng rng(2);
+  SraRecord sra{"SRR1", "liver", static_cast<Bytes>(2.2e9)};
+  EnvProfile env = hpc_ares_env();
+  env.memory = gib(384);
+
+  Rng r1 = rng.child("a"), r2 = rng.child("a"), r3 = rng.child("a");
+  const FileResult salmon = model_file_run(env, sra, r1, AlignerPath::Salmon);
+  env.star_index_resident = false;
+  const FileResult star_cold = model_file_run(env, sra, r2, AlignerPath::Star);
+  env.star_index_resident = true;
+  const FileResult star_warm = model_file_run(env, sra, r3, AlignerPath::Star);
+
+  EXPECT_GT(star_warm.steps[2].duration, salmon.steps[2].duration);
+  // The cold path additionally pays the 90 GB index load.
+  const double index_load =
+      static_cast<double>(env.star_index_bytes) / env.disk_bandwidth;
+  EXPECT_NEAR(star_cold.steps[2].duration - star_warm.steps[2].duration,
+              index_load, 1.0);
+}
+
+TEST(StarPath, CloudRunnerEnforcesInstanceMemory) {
+  CloudRunConfig cfg;
+  cfg.path = AlignerPath::Star;  // default m5.large: must throw
+  EXPECT_THROW(run_on_cloud(small_corpus(), cfg), EnvironmentError);
+
+  cfg.instance = cloud::r5_8xlarge();
+  cfg.env.star_memory_required = gib(250);
+  const CloudRunResult r = run_on_cloud(small_corpus(), cfg);
+  EXPECT_EQ(r.files.size(), 12u);
+}
+
+TEST(Serverless, ProcessesCorpus) {
+  ServerlessConfig cfg;
+  const ServerlessRunResult r = run_on_serverless(small_corpus(), cfg);
+  EXPECT_EQ(r.files.size() + r.rejected, 12u);
+  EXPECT_GT(r.makespan, 0.0);
+  EXPECT_GT(r.cost_usd, 0.0);
+  EXPECT_EQ(r.cold_starts, r.files.size());
+}
+
+TEST(Serverless, ConcurrencyCapSerializes) {
+  ServerlessConfig unlimited;
+  unlimited.max_concurrency = 100;
+  unlimited.ephemeral_storage = gib(200);
+  ServerlessConfig capped = unlimited;
+  capped.max_concurrency = 2;
+  const auto fast = run_on_serverless(small_corpus(), unlimited);
+  const auto slow = run_on_serverless(small_corpus(), capped);
+  EXPECT_GT(slow.makespan, fast.makespan * 2);
+}
+
+TEST(Serverless, RejectsOversizedFiles) {
+  std::vector<SraRecord> corpus = small_corpus(4);
+  corpus.push_back({"SRRBIG", "liver", gib(30)});  // 30 + 96 GiB > 40 GiB disk
+  ServerlessConfig cfg;
+  cfg.ephemeral_storage = gib(40);
+  const auto r = run_on_serverless(corpus, cfg);
+  EXPECT_EQ(r.rejected, 1u);
+  EXPECT_EQ(r.files.size(), 4u);
+}
+
+TEST(Serverless, StarPathRefused) {
+  ServerlessConfig cfg;
+  cfg.path = AlignerPath::Star;
+  EXPECT_THROW(run_on_serverless(small_corpus(), cfg), EnvironmentError);
+}
+
+TEST(Serverless, ColdStartDelaysShowInMakespan) {
+  ServerlessConfig with_cold;
+  with_cold.cold_start = 120;
+  ServerlessConfig no_cold = with_cold;
+  no_cold.cold_start = 0;
+  const auto a = run_on_serverless(small_corpus(1), with_cold);
+  const auto b = run_on_serverless(small_corpus(1), no_cold);
+  EXPECT_NEAR(a.makespan - b.makespan, 120.0, 1e-6);
+}
+
+TEST(AlignerPath, Names) {
+  EXPECT_STREQ(to_string(AlignerPath::Salmon), "salmon");
+  EXPECT_STREQ(to_string(AlignerPath::Star), "star");
+}
+
+}  // namespace
+}  // namespace hhc::atlas

@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include "cloud/autoscaler.hpp"
+#include "cloud/instance.hpp"
+#include "cloud/object_store.hpp"
+#include "cloud/queue.hpp"
+
+namespace hhc::cloud {
+namespace {
+
+TEST(InstanceTypes, CataloguePlausible) {
+  EXPECT_EQ(m5_large().vcpus, 2);
+  EXPECT_EQ(m5_large().memory, gib(8));
+  EXPECT_EQ(c6a_large().memory, gib(4));
+  EXPECT_LT(c6a_large().hourly_cost_usd, m5_large().hourly_cost_usd);
+  EXPECT_GE(r5_8xlarge().memory, gib(256));
+}
+
+TEST(ObjectStore, PutThenGet) {
+  sim::Simulation sim;
+  ObjectStore s3(sim);
+  bool stored = false;
+  s3.put("results/a", mib(10), [&] { stored = true; });
+  EXPECT_FALSE(s3.contains("results/a"));  // not durable until transfer ends
+  sim.run();
+  EXPECT_TRUE(stored);
+  EXPECT_TRUE(s3.contains("results/a"));
+  EXPECT_EQ(*s3.size_of("results/a"), mib(10));
+
+  std::optional<Bytes> got;
+  s3.get("results/a", [&](std::optional<Bytes> size) { got = size; });
+  sim.run();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, mib(10));
+}
+
+TEST(ObjectStore, GetMissingReturnsNullopt) {
+  sim::Simulation sim;
+  ObjectStore s3(sim);
+  bool called = false;
+  s3.get("nope", [&](std::optional<Bytes> size) {
+    called = true;
+    EXPECT_FALSE(size.has_value());
+  });
+  sim.run();
+  EXPECT_TRUE(called);
+}
+
+TEST(ObjectStore, TransferTimeModel) {
+  sim::Simulation sim;
+  ObjectStoreConfig cfg;
+  cfg.per_connection_bandwidth = 100e6;
+  cfg.request_latency = 0.1;
+  ObjectStore s3(sim, cfg);
+  EXPECT_NEAR(s3.transfer_time(static_cast<Bytes>(100e6)), 1.1, 1e-9);
+  // Client bandwidth caps the rate.
+  EXPECT_NEAR(s3.transfer_time(static_cast<Bytes>(100e6), 50e6), 2.1, 1e-9);
+  // A faster client does not beat the per-connection limit.
+  EXPECT_NEAR(s3.transfer_time(static_cast<Bytes>(100e6), 1e9), 1.1, 1e-9);
+}
+
+TEST(ObjectStore, CountsAndTotals) {
+  sim::Simulation sim;
+  ObjectStore s3(sim);
+  s3.put("a", 100, {});
+  s3.put("b", 200, {});
+  sim.run();
+  EXPECT_EQ(s3.object_count(), 2u);
+  EXPECT_EQ(s3.total_bytes(), 300u);
+  EXPECT_EQ(s3.put_count(), 2u);
+}
+
+TEST(MessageQueue, FifoDelivery) {
+  sim::Simulation sim;
+  MessageQueue q(sim);
+  q.send("first");
+  q.send("second");
+  EXPECT_EQ(q.visible_count(), 2u);
+  auto m1 = q.receive();
+  ASSERT_TRUE(m1);
+  EXPECT_EQ(m1->body, "first");
+  EXPECT_EQ(q.visible_count(), 1u);
+  EXPECT_EQ(q.inflight_count(), 1u);
+  q.delete_message(m1->id);
+  EXPECT_EQ(q.inflight_count(), 0u);
+}
+
+TEST(MessageQueue, EmptyReceive) {
+  sim::Simulation sim;
+  MessageQueue q(sim);
+  EXPECT_FALSE(q.receive().has_value());
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(MessageQueue, VisibilityTimeoutRedelivers) {
+  sim::Simulation sim;
+  MessageQueueConfig cfg;
+  cfg.visibility_timeout = 100;
+  MessageQueue q(sim, cfg);
+  q.send("work");
+  auto m = q.receive();
+  ASSERT_TRUE(m);
+  // Never deleted: after the timeout it becomes visible again.
+  sim.run();
+  EXPECT_EQ(q.visible_count(), 1u);
+  EXPECT_EQ(q.redeliveries(), 1u);
+  auto again = q.receive();
+  ASSERT_TRUE(again);
+  EXPECT_EQ(again->body, "work");
+  q.delete_message(again->id);
+  sim.run();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(MessageQueue, DeleteBeforeTimeoutPreventsRedelivery) {
+  sim::Simulation sim;
+  MessageQueueConfig cfg;
+  cfg.visibility_timeout = 100;
+  MessageQueue q(sim, cfg);
+  q.send("work");
+  auto m = q.receive();
+  q.delete_message(m->id);
+  sim.run();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.redeliveries(), 0u);
+}
+
+struct AsgFixture : ::testing::Test {
+  sim::Simulation sim;
+  MessageQueue queue{sim};
+
+  AsgConfig quick_config() {
+    AsgConfig c;
+    c.min_instances = 1;
+    c.max_instances = 8;
+    c.backlog_per_instance = 1.0;
+    c.evaluate_every = 30;
+    c.idle_poll = 1;
+    c.scale_in_idle = 120;
+    return c;
+  }
+};
+
+TEST_F(AsgFixture, ProcessesAllMessages) {
+  std::size_t processed = 0;
+  auto worker = [&](const InstanceState&, const QueueMessage&,
+                    std::function<void()> done) {
+    sim.schedule_in(10, [&processed, done = std::move(done)] {
+      ++processed;
+      done();
+    });
+  };
+  AutoScalingGroup asg(sim, queue, m5_large(), worker, quick_config());
+  for (int i = 0; i < 20; ++i) queue.send("job" + std::to_string(i));
+  asg.start();
+  asg.drain_and_stop();
+  sim.run();
+  EXPECT_EQ(processed, 20u);
+  EXPECT_EQ(asg.messages_processed(), 20u);
+  EXPECT_TRUE(asg.stopped());
+  EXPECT_EQ(asg.instance_count(), 0u);
+}
+
+TEST_F(AsgFixture, ScalesOutUnderBacklog) {
+  auto worker = [&](const InstanceState&, const QueueMessage&,
+                    std::function<void()> done) {
+    sim.schedule_in(500, std::move(done));  // slow work forces scale-out
+  };
+  AutoScalingGroup asg(sim, queue, m5_large(), worker, quick_config());
+  for (int i = 0; i < 16; ++i) queue.send("x");
+  asg.start();
+  asg.drain_and_stop();
+  sim.run();
+  EXPECT_GT(asg.fleet_series().max_value(), 4.0);
+  EXPECT_LE(asg.fleet_series().max_value(), 8.0);  // capped at max
+}
+
+TEST_F(AsgFixture, SingleInstanceForTinyQueue) {
+  auto worker = [&](const InstanceState&, const QueueMessage&,
+                    std::function<void()> done) {
+    sim.schedule_in(1, std::move(done));
+  };
+  AutoScalingGroup asg(sim, queue, m5_large(), worker, quick_config());
+  queue.send("only");
+  asg.start();
+  asg.drain_and_stop();
+  sim.run();
+  EXPECT_EQ(asg.fleet_series().max_value(), 1.0);
+}
+
+TEST_F(AsgFixture, AccumulatesCost) {
+  auto worker = [&](const InstanceState&, const QueueMessage&,
+                    std::function<void()> done) {
+    sim.schedule_in(3600, std::move(done));  // one hour of work
+  };
+  AutoScalingGroup asg(sim, queue, m5_large(), worker, quick_config());
+  queue.send("x");
+  asg.start();
+  asg.drain_and_stop();
+  sim.run();
+  EXPECT_GT(asg.instance_hours(), 0.9);
+  EXPECT_NEAR(asg.cost_usd(), asg.instance_hours() * 0.096, 1e-9);
+}
+
+TEST_F(AsgFixture, RejectsBadConfig) {
+  auto worker = [](const InstanceState&, const QueueMessage&,
+                   std::function<void()>) {};
+  AsgConfig bad = quick_config();
+  bad.min_instances = 9;
+  bad.max_instances = 4;
+  EXPECT_THROW(AutoScalingGroup(sim, queue, m5_large(), worker, bad),
+               std::invalid_argument);
+  EXPECT_THROW(AutoScalingGroup(sim, queue, m5_large(), nullptr, quick_config()),
+               std::invalid_argument);
+}
+
+TEST_F(AsgFixture, BootTimeDelaysFirstWork) {
+  SimTime first_work = -1;
+  auto worker = [&](const InstanceState&, const QueueMessage&,
+                    std::function<void()> done) {
+    if (first_work < 0) first_work = sim.now();
+    sim.schedule_in(1, std::move(done));
+  };
+  InstanceType slow_boot = m5_large();
+  slow_boot.boot_time = 120;
+  AutoScalingGroup asg(sim, queue, slow_boot, worker, quick_config());
+  queue.send("x");
+  asg.start();
+  asg.drain_and_stop();
+  sim.run();
+  EXPECT_GE(first_work, 120.0);
+}
+
+}  // namespace
+}  // namespace hhc::cloud

@@ -1,0 +1,150 @@
+#include "cluster/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hhc::cluster {
+namespace {
+
+TEST(Cluster, BuildsNodesFromSpec) {
+  Cluster c(heterogeneous_cwsi_cluster(4));
+  EXPECT_EQ(c.node_count(), 12u);
+  EXPECT_EQ(c.up_nodes(), 12u);
+  EXPECT_DOUBLE_EQ(c.total_cores(), 4 * (8 + 16 + 32));
+  EXPECT_EQ(c.node_class(0).name, "slow");
+  EXPECT_EQ(c.node_class(11).name, "fast");
+}
+
+TEST(Cluster, EmptySpecThrows) {
+  ClusterSpec spec;
+  EXPECT_THROW(Cluster{spec}, std::invalid_argument);
+}
+
+TEST(Cluster, FitsChecksAllDimensions) {
+  Cluster c(homogeneous_cluster(1, 8, gib(16), 1.0, 2));
+  wf::Resources r;
+  r.cores_per_node = 8;
+  r.memory_per_node = gib(16);
+  r.gpus_per_node = 2;
+  EXPECT_TRUE(c.fits(0, r));
+  r.cores_per_node = 9;
+  EXPECT_FALSE(c.fits(0, r));
+  r.cores_per_node = 8;
+  r.memory_per_node = gib(17);
+  EXPECT_FALSE(c.fits(0, r));
+  r.memory_per_node = gib(16);
+  r.gpus_per_node = 3;
+  EXPECT_FALSE(c.fits(0, r));
+}
+
+TEST(Cluster, FindAllocationMultiNode) {
+  Cluster c(homogeneous_cluster(4, 8, gib(16)));
+  wf::Resources r;
+  r.nodes = 3;
+  r.cores_per_node = 8;
+  const auto alloc = c.find_allocation(r);
+  ASSERT_TRUE(alloc.has_value());
+  EXPECT_EQ(alloc->node_count(), 3u);
+}
+
+TEST(Cluster, FindAllocationFailsWhenShort) {
+  Cluster c(homogeneous_cluster(2, 8, gib(16)));
+  wf::Resources r;
+  r.nodes = 3;
+  EXPECT_FALSE(c.find_allocation(r).has_value());
+}
+
+TEST(Cluster, ClaimReducesCapacityReleaseRestores) {
+  Cluster c(homogeneous_cluster(2, 8, gib(16)));
+  wf::Resources r;
+  r.nodes = 2;
+  r.cores_per_node = 5;
+  r.memory_per_node = gib(8);
+  auto alloc = c.find_allocation(r);
+  ASSERT_TRUE(alloc);
+  c.claim(*alloc);
+  EXPECT_DOUBLE_EQ(c.used_cores(), 10.0);
+  EXPECT_DOUBLE_EQ(c.node(0).free_cores, 3.0);
+  // A second identical allocation no longer fits (5 > 3 free).
+  EXPECT_FALSE(c.find_allocation(r).has_value());
+  c.release(*alloc);
+  EXPECT_DOUBLE_EQ(c.used_cores(), 0.0);
+  EXPECT_TRUE(c.find_allocation(r).has_value());
+}
+
+TEST(Cluster, DoubleClaimThrowsAndLeavesStateIntact) {
+  Cluster c(homogeneous_cluster(1, 4, gib(8)));
+  wf::Resources r;
+  r.cores_per_node = 3;
+  auto alloc = c.find_allocation(r);
+  ASSERT_TRUE(alloc);
+  c.claim(*alloc);
+  EXPECT_THROW(c.claim(*alloc), std::logic_error);
+  EXPECT_DOUBLE_EQ(c.used_cores(), 3.0);  // unchanged by the failed claim
+}
+
+TEST(Cluster, FractionalCores) {
+  Cluster c(homogeneous_cluster(1, 2, gib(4)));
+  wf::Resources r;
+  r.cores_per_node = 0.5;
+  auto a1 = c.find_allocation(r);
+  c.claim(*a1);
+  auto a2 = c.find_allocation(r);
+  c.claim(*a2);
+  EXPECT_DOUBLE_EQ(c.node(0).free_cores, 1.0);
+  EXPECT_EQ(c.node(0).running_jobs, 2u);
+}
+
+TEST(Cluster, NodeDownRemovesCapacity) {
+  Cluster c(homogeneous_cluster(2, 8, gib(16)));
+  c.set_node_down(0);
+  EXPECT_EQ(c.up_nodes(), 1u);
+  EXPECT_DOUBLE_EQ(c.total_cores(), 8.0);
+  wf::Resources r;
+  r.nodes = 2;
+  EXPECT_FALSE(c.find_allocation(r).has_value());
+  c.set_node_up(0);
+  EXPECT_TRUE(c.find_allocation(r).has_value());
+}
+
+TEST(Cluster, ReleaseAfterNodeDownIsSafe) {
+  Cluster c(homogeneous_cluster(2, 8, gib(16)));
+  wf::Resources r;
+  r.nodes = 2;
+  r.cores_per_node = 4;
+  auto alloc = c.find_allocation(r);
+  c.claim(*alloc);
+  c.set_node_down(0);
+  c.release(*alloc);  // must not underflow or resurrect the down node
+  EXPECT_FALSE(c.node(0).up);
+  EXPECT_DOUBLE_EQ(c.node(1).free_cores, 8.0);
+}
+
+TEST(Cluster, AllocationSpeedIsSlowestNode) {
+  Cluster c(heterogeneous_cwsi_cluster(1));  // nodes: slow(0.6), medium(1.0), fast(1.6)
+  Allocation a;
+  a.claims.push_back({0, 1, 0, 0});
+  a.claims.push_back({2, 1, 0, 0});
+  EXPECT_DOUBLE_EQ(c.allocation_speed(a), 0.6);
+  Allocation empty;
+  EXPECT_DOUBLE_EQ(c.allocation_speed(empty), 1.0);
+}
+
+TEST(Cluster, FindAllocationIfFilters) {
+  Cluster c(heterogeneous_cwsi_cluster(2));
+  wf::Resources r;
+  r.cores_per_node = 1;
+  const auto alloc = c.find_allocation_if(
+      r, [&](NodeId n) { return c.node_class(n).name == "fast"; });
+  ASSERT_TRUE(alloc);
+  EXPECT_EQ(c.node_class(alloc->claims[0].node).name, "fast");
+}
+
+TEST(Cluster, FrontierLikeSpec) {
+  const auto spec = frontier_like(100);
+  EXPECT_EQ(spec.total_nodes(), 100u);
+  EXPECT_DOUBLE_EQ(spec.classes[0].cores, 56.0);
+  EXPECT_EQ(spec.classes[0].gpus, 8);
+}
+
+}  // namespace
+}  // namespace hhc::cluster

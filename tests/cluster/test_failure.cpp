@@ -1,0 +1,75 @@
+#include "cluster/failure.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/schedulers.hpp"
+
+namespace hhc::cluster {
+namespace {
+
+TEST(FailureInjector, DeterministicFailAt) {
+  sim::Simulation sim;
+  Cluster cl(homogeneous_cluster(2, 4, gib(16)));
+  ResourceManager rm(sim, cl, std::make_unique<FifoFitScheduler>(),
+                     ResourceManagerConfig{.model_io = false});
+  FailureInjector injector(sim, rm, FailureConfig{.repair_time = 50}, Rng(1));
+
+  std::size_t failures = 0;
+  JobRequest r;
+  r.name = "victim";
+  r.resources.nodes = 2;
+  r.resources.cores_per_node = 4;
+  r.runtime = 100;
+  rm.submit(r, [&](const JobRecord& rec) {
+    if (rec.state == JobState::Failed) ++failures;
+  });
+  injector.fail_at(10, 0);
+  sim.run();
+  EXPECT_EQ(failures, 1u);
+  EXPECT_EQ(injector.injected(), 1u);
+  EXPECT_TRUE(cl.node(0).up);  // repaired
+}
+
+TEST(FailureInjector, FailAtSkipsDownNode) {
+  sim::Simulation sim;
+  Cluster cl(homogeneous_cluster(1, 4, gib(16)));
+  ResourceManager rm(sim, cl, std::make_unique<FifoFitScheduler>(),
+                     ResourceManagerConfig{.model_io = false});
+  FailureInjector injector(sim, rm, FailureConfig{.repair_time = 1000}, Rng(1));
+  injector.fail_at(10, 0);
+  injector.fail_at(20, 0);  // node still down: not counted again
+  sim.run_until(30);
+  EXPECT_EQ(injector.injected(), 1u);
+}
+
+TEST(FailureInjector, MtbfInjectsRoughlyExpectedCount) {
+  sim::Simulation sim;
+  Cluster cl(homogeneous_cluster(10, 4, gib(16)));
+  ResourceManager rm(sim, cl, std::make_unique<FifoFitScheduler>(),
+                     ResourceManagerConfig{.model_io = false});
+  // 10 nodes, MTBF 1000 s -> rate 0.01/s; over 10000 s expect ~100 failures.
+  FailureConfig cfg;
+  cfg.node_mtbf = 1000;
+  cfg.repair_time = 1;  // come back fast so most picks hit an up node
+  cfg.horizon = 10000;
+  FailureInjector injector(sim, rm, cfg, Rng(7));
+  injector.start();
+  sim.run();
+  EXPECT_GT(injector.injected(), 50u);
+  EXPECT_LT(injector.injected(), 200u);
+}
+
+TEST(FailureInjector, DisabledWhenMtbfZero) {
+  sim::Simulation sim;
+  Cluster cl(homogeneous_cluster(2, 4, gib(16)));
+  ResourceManager rm(sim, cl, std::make_unique<FifoFitScheduler>(),
+                     ResourceManagerConfig{.model_io = false});
+  FailureInjector injector(sim, rm, FailureConfig{}, Rng(3));
+  injector.start();
+  sim.run();
+  EXPECT_EQ(injector.injected(), 0u);
+  EXPECT_EQ(sim.fired_events(), 0u);
+}
+
+}  // namespace
+}  // namespace hhc::cluster

@@ -1,0 +1,182 @@
+#include "cluster/resource_manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/schedulers.hpp"
+
+namespace hhc::cluster {
+namespace {
+
+struct RmFixture : ::testing::Test {
+  sim::Simulation sim;
+  Cluster cl{homogeneous_cluster(2, 4, gib(16))};
+  ResourceManager rm{sim, cl, std::make_unique<FifoFitScheduler>(),
+                     ResourceManagerConfig{.model_io = false}};
+
+  JobRequest job(const std::string& name, double cores, SimTime runtime) {
+    JobRequest r;
+    r.name = name;
+    r.resources.cores_per_node = cores;
+    r.runtime = runtime;
+    return r;
+  }
+};
+
+TEST_F(RmFixture, RunsSingleJobToCompletion) {
+  std::vector<JobState> states;
+  rm.submit(job("a", 2, 100), [&](const JobRecord& rec) {
+    states.push_back(rec.state);
+    EXPECT_EQ(rec.start_time, 0.0);
+    EXPECT_EQ(rec.finish_time, 100.0);
+  });
+  sim.run();
+  ASSERT_EQ(states.size(), 1u);
+  EXPECT_EQ(states[0], JobState::Completed);
+  EXPECT_EQ(rm.completed_jobs(), 1u);
+}
+
+TEST_F(RmFixture, ParallelJobsShareCluster) {
+  // 2 nodes x 4 cores; four 2-core jobs run concurrently.
+  SimTime last_finish = 0;
+  for (int i = 0; i < 4; ++i)
+    rm.submit(job("j" + std::to_string(i), 2, 50),
+              [&](const JobRecord& rec) { last_finish = rec.finish_time; });
+  sim.run();
+  EXPECT_EQ(last_finish, 50.0);
+}
+
+TEST_F(RmFixture, ExcessJobsQueue) {
+  // 8 cores total; five 2-core jobs: four run, the fifth waits.
+  std::vector<SimTime> finishes;
+  for (int i = 0; i < 5; ++i)
+    rm.submit(job("j" + std::to_string(i), 2, 50),
+              [&](const JobRecord& rec) { finishes.push_back(rec.finish_time); });
+  sim.run();
+  ASSERT_EQ(finishes.size(), 5u);
+  EXPECT_EQ(finishes.back(), 100.0);
+}
+
+TEST_F(RmFixture, RuntimeScalesWithNodeSpeed) {
+  Cluster fast_cl(homogeneous_cluster(1, 4, gib(8), 2.0));
+  ResourceManager fast_rm(sim, fast_cl, std::make_unique<FifoFitScheduler>(),
+                          ResourceManagerConfig{.model_io = false});
+  SimTime finish = 0;
+  fast_rm.submit(job("a", 1, 100),
+                 [&](const JobRecord& rec) { finish = rec.finish_time; });
+  sim.run();
+  EXPECT_DOUBLE_EQ(finish, 50.0);
+}
+
+TEST_F(RmFixture, IoModelAddsTransferTime) {
+  Cluster io_cl(homogeneous_cluster(1, 4, gib(8)));
+  ResourceManager io_rm(sim, io_cl, std::make_unique<FifoFitScheduler>(),
+                        ResourceManagerConfig{.model_io = true});
+  JobRequest r = job("a", 1, 100);
+  r.input_bytes = static_cast<Bytes>(200e6);  // node io bw = 200e6 B/s -> +1 s
+  SimTime finish = 0;
+  io_rm.submit(r, [&](const JobRecord& rec) { finish = rec.finish_time; });
+  sim.run();
+  EXPECT_NEAR(finish, 101.0, 1e-9);
+}
+
+TEST_F(RmFixture, CancelQueuedJob) {
+  rm.submit(job("big", 4, 1000), {});
+  rm.submit(job("big2", 4, 1000), {});
+  // Third job queues behind (needs 4 cores, both nodes busy).
+  JobState state = JobState::Queued;
+  const JobId id = rm.submit(job("c", 4, 10),
+                             [&](const JobRecord& rec) { state = rec.state; });
+  sim.run(2);  // let the scheduler pass happen
+  EXPECT_TRUE(rm.cancel(id));
+  EXPECT_EQ(state, JobState::Cancelled);
+  EXPECT_FALSE(rm.cancel(id));  // already gone
+  sim.run();
+}
+
+TEST_F(RmFixture, CannotCancelRunningJob) {
+  const JobId id = rm.submit(job("a", 1, 100), {});
+  sim.run(1);  // the scheduler pass only; completion stays pending
+  EXPECT_EQ(rm.job(id).state, JobState::Running);
+  EXPECT_FALSE(rm.cancel(id));
+  sim.run();
+  EXPECT_EQ(rm.job(id).state, JobState::Completed);
+}
+
+TEST_F(RmFixture, NodeFailureFailsRunningJobs) {
+  std::string failure;
+  rm.submit(job("victim", 4, 1000),
+            [&](const JobRecord& rec) { failure = rec.failure_reason; });
+  sim.run(1);
+  rm.fail_node(0, 0.0);
+  sim.run();
+  EXPECT_EQ(rm.failed_jobs(), 1u);
+  EXPECT_NE(failure.find("node 0"), std::string::npos);
+}
+
+TEST_F(RmFixture, NodeRepairsAndRunsAgain) {
+  // One-node cluster: kill it, verify a later job runs after repair.
+  Cluster one(homogeneous_cluster(1, 4, gib(8)));
+  ResourceManager one_rm(sim, one, std::make_unique<FifoFitScheduler>(),
+                         ResourceManagerConfig{.model_io = false});
+  one_rm.submit(job("a", 4, 100), {});
+  sim.run(1);
+  one_rm.fail_node(0, 60.0);
+  JobState state = JobState::Queued;
+  SimTime start = -1;
+  one_rm.submit(job("b", 4, 10), [&](const JobRecord& rec) {
+    state = rec.state;
+    start = rec.start_time;
+  });
+  sim.run();
+  EXPECT_EQ(state, JobState::Completed);
+  EXPECT_GE(start, 60.0);
+}
+
+TEST_F(RmFixture, MultiNodeJobOccupiesAllNodes) {
+  JobRequest r = job("mpi", 4, 100);
+  r.resources.nodes = 2;
+  SimTime finish_small = 0;
+  rm.submit(r, {});
+  rm.submit(job("small", 1, 10),
+            [&](const JobRecord& rec) { finish_small = rec.finish_time; });
+  sim.run();
+  // Small job had to wait for the 2-node job to release everything.
+  EXPECT_EQ(finish_small, 110.0);
+}
+
+TEST_F(RmFixture, CoreUsageSeriesTracksLoad) {
+  rm.submit(job("a", 3, 100), {});
+  rm.submit(job("b", 2, 50), {});
+  sim.run();
+  const auto& series = rm.core_usage();
+  EXPECT_DOUBLE_EQ(series.value_at(10), 5.0);
+  EXPECT_DOUBLE_EQ(series.value_at(75), 3.0);
+  EXPECT_DOUBLE_EQ(series.value_at(150), 0.0);
+}
+
+TEST_F(RmFixture, SchedulingOverheadDelaysStart) {
+  Cluster c2(homogeneous_cluster(1, 4, gib(8)));
+  ResourceManager rm2(sim, c2, std::make_unique<FifoFitScheduler>(),
+                      ResourceManagerConfig{.model_io = false,
+                                            .scheduling_overhead = 5.0});
+  SimTime start = -1;
+  rm2.submit(job("a", 1, 10), [&](const JobRecord& rec) { start = rec.start_time; });
+  sim.run();
+  EXPECT_DOUBLE_EQ(start, 5.0);
+}
+
+TEST_F(RmFixture, NullSchedulerRejected) {
+  Cluster c2(homogeneous_cluster(1, 1, gib(1)));
+  EXPECT_THROW(ResourceManager(sim, c2, nullptr), std::invalid_argument);
+}
+
+TEST_F(RmFixture, WalltimeEstimatePreserved) {
+  JobRequest r = job("a", 1, 50);
+  r.walltime_estimate = 60;
+  const JobId id = rm.submit(r, {});
+  EXPECT_DOUBLE_EQ(rm.job(id).request.walltime_estimate, 60.0);
+  sim.run();
+}
+
+}  // namespace
+}  // namespace hhc::cluster

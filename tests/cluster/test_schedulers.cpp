@@ -1,0 +1,98 @@
+#include "cluster/schedulers.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hhc::cluster {
+namespace {
+
+JobRequest job(const std::string& name, double cores, SimTime runtime,
+               SimTime estimate = 0) {
+  JobRequest r;
+  r.name = name;
+  r.resources.cores_per_node = cores;
+  r.runtime = runtime;
+  r.walltime_estimate = estimate;
+  return r;
+}
+
+TEST(FifoScheduler, StrictHeadOfLineBlocking) {
+  sim::Simulation sim;
+  Cluster cl(homogeneous_cluster(1, 4, gib(16)));
+  ResourceManager rm(sim, cl, std::make_unique<FifoScheduler>(),
+                     ResourceManagerConfig{.model_io = false});
+  std::map<std::string, SimTime> starts;
+  auto cb = [&](const JobRecord& rec) { starts[rec.request.name] = rec.start_time; };
+  rm.submit(job("big1", 3, 100), cb);
+  rm.submit(job("big2", 3, 100), cb);   // blocks: only 1 core free
+  rm.submit(job("tiny", 1, 10), cb);    // would fit now, but FIFO waits
+  sim.run();
+  EXPECT_EQ(starts["big1"], 0.0);
+  EXPECT_EQ(starts["big2"], 100.0);
+  EXPECT_GE(starts["tiny"], 100.0);  // strict FIFO: no jumping the queue
+}
+
+TEST(FifoFitScheduler, SkipsBlockedJobs) {
+  sim::Simulation sim;
+  Cluster cl(homogeneous_cluster(1, 4, gib(16)));
+  ResourceManager rm(sim, cl, std::make_unique<FifoFitScheduler>(),
+                     ResourceManagerConfig{.model_io = false});
+  std::map<std::string, SimTime> starts;
+  auto cb = [&](const JobRecord& rec) { starts[rec.request.name] = rec.start_time; };
+  rm.submit(job("big1", 3, 100), cb);
+  rm.submit(job("big2", 3, 100), cb);
+  rm.submit(job("tiny", 1, 10), cb);
+  sim.run();
+  EXPECT_EQ(starts["tiny"], 0.0);  // fits in the leftover core immediately
+}
+
+TEST(BackfillScheduler, BackfillsOnlyWithSafeEstimates) {
+  sim::Simulation sim;
+  Cluster cl(homogeneous_cluster(2, 4, gib(16)));
+  ResourceManager rm(sim, cl, std::make_unique<BackfillScheduler>(),
+                     ResourceManagerConfig{.model_io = false});
+  std::map<std::string, SimTime> starts;
+  auto cb = [&](const JobRecord& rec) { starts[rec.request.name] = rec.start_time; };
+  // Fill one node until t=100; the other node is a backfill hole.
+  rm.submit(job("block1", 4, 100, 100), cb);
+  // Head job needs both nodes -> reservation at t=100.
+  JobRequest head = job("head", 4, 50, 50);
+  head.resources.nodes = 2;
+  rm.submit(head, cb);
+  // Short job with an estimate finishing before the reservation: backfills.
+  rm.submit(job("shortie", 4, 20, 20), cb);
+  // Job without estimate: conservative, no backfill.
+  rm.submit(job("noest", 4, 20, 0), cb);
+  sim.run();
+  EXPECT_EQ(starts["head"], 100.0);
+  EXPECT_LT(starts["shortie"], 100.0);
+  EXPECT_GE(starts["noest"], 100.0);
+}
+
+TEST(BackfillScheduler, LongEstimateDoesNotBackfill) {
+  sim::Simulation sim;
+  Cluster cl(homogeneous_cluster(2, 4, gib(16)));
+  ResourceManager rm(sim, cl, std::make_unique<BackfillScheduler>(),
+                     ResourceManagerConfig{.model_io = false});
+  std::map<std::string, SimTime> starts;
+  auto cb = [&](const JobRecord& rec) { starts[rec.request.name] = rec.start_time; };
+  rm.submit(job("block1", 4, 100, 100), cb);
+  JobRequest head = job("head", 4, 50, 50);
+  head.resources.nodes = 2;
+  rm.submit(head, cb);
+  // Estimate 500 > shadow(100): starting it on the free node would delay
+  // the head job's reservation, so it must wait despite fitting right now.
+  rm.submit(job("greedy", 4, 500, 500), cb);
+  sim.run();
+  EXPECT_EQ(starts["head"], 100.0);
+  EXPECT_GE(starts["greedy"], 150.0);
+}
+
+TEST(SchedulerFactory, KnownAndUnknownNames) {
+  EXPECT_EQ(make_baseline_scheduler("fifo")->name(), "fifo");
+  EXPECT_EQ(make_baseline_scheduler("fifo-fit")->name(), "fifo-fit");
+  EXPECT_EQ(make_baseline_scheduler("easy-backfill")->name(), "easy-backfill");
+  EXPECT_THROW(make_baseline_scheduler("nope"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hhc::cluster

@@ -1,0 +1,118 @@
+#include "core/toolkit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workflow/generators.hpp"
+
+namespace hhc::core {
+namespace {
+
+TEST(Toolkit, RunsWorkflowOnSingleHpcEnvironment) {
+  Toolkit tk;
+  const auto hpc = tk.add_hpc("cluster", cluster::homogeneous_cluster(4, 16, gib(64)));
+  const wf::Workflow w = wf::make_fork_join(8, Rng(1));
+  const CompositeReport r = tk.run(w, hpc);
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(r.tasks, w.task_count());
+  EXPECT_EQ(r.cross_env_transfers, 0u);
+  ASSERT_EQ(r.environments.size(), 1u);
+  EXPECT_EQ(r.environments[0].tasks_run, w.task_count());
+  EXPECT_GT(r.environments[0].utilization, 0.0);
+}
+
+TEST(Toolkit, RunsWorkflowOnCloudEnvironment) {
+  Toolkit tk;
+  const auto cloud = tk.add_cloud("ec2", 8, 2, gib(8), 1.0, 60.0);
+  const wf::Workflow w = wf::make_chain(4, Rng(2));
+  const CompositeReport r = tk.run(w, cloud);
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(r.environments[0].kind, EnvironmentKind::Cloud);
+  // Boot overhead applies per task: makespan >= work + 4 x 60.
+  double work = 0;
+  for (wf::TaskId t = 0; t < w.task_count(); ++t) work += w.task(t).base_runtime;
+  EXPECT_GE(r.makespan, work + 4 * 60.0 - 1e-6);
+}
+
+TEST(Toolkit, SplitAssignmentPaysWanTransfers) {
+  ToolkitConfig cfg;
+  cfg.wan_bandwidth = 10e6;
+  cfg.wan_latency = 1.0;
+  Toolkit tk(cfg);
+  const auto hpc = tk.add_hpc("hpc", cluster::homogeneous_cluster(4, 16, gib(64)));
+  const auto cloud = tk.add_cloud("cloud", 4, 4, gib(16), 1.0, 0.0);
+
+  wf::GenParams p;
+  p.data_mean = mib(100);
+  const wf::Workflow w = wf::make_chain(6, Rng(3), p);
+  // Alternate environments along the chain: every edge crosses.
+  std::vector<EnvironmentId> assignment;
+  for (wf::TaskId t = 0; t < w.task_count(); ++t)
+    assignment.push_back(t % 2 == 0 ? hpc : cloud);
+  const CompositeReport r = tk.run(w, assignment);
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(r.cross_env_transfers, 5u);
+  EXPECT_GT(r.cross_env_bytes, 0u);
+  EXPECT_GT(r.transfer_seconds, 5.0);  // at least latency per edge
+  EXPECT_EQ(r.environments[0].tasks_run + r.environments[1].tasks_run,
+            w.task_count());
+}
+
+TEST(Toolkit, SameEnvironmentAvoidsTransfers) {
+  Toolkit tk;
+  const auto hpc = tk.add_hpc("hpc", cluster::homogeneous_cluster(4, 16, gib(64)));
+  (void)tk.add_cloud("cloud", 4, 4, gib(16));
+  const wf::Workflow w = wf::make_chain(6, Rng(3));
+  const CompositeReport r = tk.run(w, hpc);
+  EXPECT_EQ(r.cross_env_transfers, 0u);
+  EXPECT_EQ(r.transfer_seconds, 0.0);
+}
+
+TEST(Toolkit, ValidatesAssignment) {
+  Toolkit tk;
+  const auto hpc = tk.add_hpc("hpc", cluster::homogeneous_cluster(2, 8, gib(32)));
+  const wf::Workflow w = wf::make_diamond(Rng(4));
+  EXPECT_THROW(tk.run(w, std::vector<EnvironmentId>{hpc}), std::invalid_argument);
+  EXPECT_THROW(tk.run(w, std::vector<EnvironmentId>(w.task_count(), 99)),
+               std::out_of_range);
+}
+
+TEST(Toolkit, StrategySelectionAffectsScheduling) {
+  for (const char* strategy : {"fifo", "cws-rank", "cws-heft"}) {
+    Toolkit tk;
+    const auto env =
+        tk.add_hpc("hpc", cluster::heterogeneous_cwsi_cluster(4), strategy);
+    const wf::Workflow w = wf::make_montage_like(12, Rng(5));
+    const CompositeReport r = tk.run(w, env);
+    EXPECT_TRUE(r.success) << strategy;
+  }
+}
+
+TEST(Toolkit, ProvenanceAccumulatesAcrossRuns) {
+  Toolkit tk;
+  const auto hpc = tk.add_hpc("hpc", cluster::homogeneous_cluster(2, 8, gib(32)));
+  const wf::Workflow w = wf::make_diamond(Rng(6));
+  (void)tk.run(w, hpc);
+  (void)tk.run(w, hpc);
+  EXPECT_EQ(tk.provenance().size(), 2 * w.task_count());
+}
+
+TEST(Toolkit, EnvironmentNames) {
+  Toolkit tk;
+  const auto a = tk.add_hpc("alpha", cluster::homogeneous_cluster(1, 4, gib(8)));
+  const auto b = tk.add_cloud("beta", 2, 2, gib(4));
+  EXPECT_EQ(tk.environment_name(a), "alpha");
+  EXPECT_EQ(tk.environment_name(b), "beta");
+  EXPECT_EQ(tk.environment_count(), 2u);
+}
+
+TEST(Toolkit, EmptyWorkflow) {
+  Toolkit tk;
+  const auto hpc = tk.add_hpc("hpc", cluster::homogeneous_cluster(1, 4, gib(8)));
+  wf::Workflow w("empty");
+  const CompositeReport r = tk.run(w, hpc);
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(r.tasks, 0u);
+}
+
+}  // namespace
+}  // namespace hhc::core

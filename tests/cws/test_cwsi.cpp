@@ -1,0 +1,95 @@
+#include "cws/cwsi.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workflow/generators.hpp"
+
+namespace hhc::cws {
+namespace {
+
+TEST(ProvenanceStore, RecordsAndQueries) {
+  ProvenanceStore store;
+  TaskProvenance p;
+  p.workflow_id = 1;
+  p.kind = "salmon";
+  p.start_time = 10;
+  p.finish_time = 40;
+  p.node_speed = 2.0;
+  store.record(p);
+  p.workflow_id = 2;
+  p.kind = "star";
+  store.record(p);
+
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.by_kind("salmon").size(), 1u);
+  EXPECT_EQ(store.by_kind("nope").size(), 0u);
+  EXPECT_EQ(store.by_workflow(2).size(), 1u);
+  EXPECT_DOUBLE_EQ(store.records()[0].runtime(), 30.0);
+  EXPECT_DOUBLE_EQ(store.records()[0].normalized_runtime(), 60.0);
+}
+
+TEST(ProvenanceStore, CsvExport) {
+  ProvenanceStore store;
+  TaskProvenance p;
+  p.workflow_id = 3;
+  p.task_name = "align";
+  p.kind = "bwa";
+  p.failed = true;
+  store.record(p);
+  const std::string csv = store.csv();
+  EXPECT_NE(csv.find("workflow_id,task_id,name,kind"), std::string::npos);
+  EXPECT_NE(csv.find("align"), std::string::npos);
+  EXPECT_NE(csv.find(",1\n"), std::string::npos);  // failed flag
+}
+
+TEST(WorkflowRegistry, RegisterAndQuery) {
+  WorkflowRegistry reg;
+  const wf::Workflow w = wf::make_chain(5, Rng(1));
+  const int id = reg.register_workflow(w);
+  EXPECT_EQ(reg.registered_count(), 1u);
+  EXPECT_EQ(reg.find(id), &w);
+  EXPECT_EQ(reg.find(id + 100), nullptr);
+
+  // Chain ranks decrease along the chain.
+  auto r0 = reg.rank(id, 0);
+  auto r4 = reg.rank(id, 4);
+  ASSERT_TRUE(r0 && r4);
+  EXPECT_GT(*r0, *r4);
+  EXPECT_FALSE(reg.rank(id, 99).has_value());
+  EXPECT_FALSE(reg.rank(id + 1, 0).has_value());
+
+  EXPECT_EQ(reg.successor_count(id, 0), 1u);
+  EXPECT_EQ(reg.successor_count(id, 4), 0u);
+  EXPECT_EQ(reg.successor_count(id + 1, 0), 0u);
+}
+
+TEST(WorkflowRegistry, UnregisterRemoves) {
+  WorkflowRegistry reg;
+  const wf::Workflow w = wf::make_chain(3, Rng(1));
+  const int id = reg.register_workflow(w);
+  reg.unregister_workflow(id);
+  EXPECT_EQ(reg.registered_count(), 0u);
+  EXPECT_EQ(reg.find(id), nullptr);
+}
+
+TEST(WorkflowRegistry, DistinctIds) {
+  WorkflowRegistry reg;
+  const wf::Workflow a = wf::make_chain(2, Rng(1));
+  const wf::Workflow b = wf::make_chain(2, Rng(2));
+  EXPECT_NE(reg.register_workflow(a), reg.register_workflow(b));
+}
+
+TEST(WorkflowRegistry, RejectsCyclicWorkflow) {
+  WorkflowRegistry reg;
+  wf::Workflow w;
+  wf::TaskSpec spec;
+  spec.name = "t";
+  const auto a = w.add_task(spec);
+  const auto b = w.add_task(spec);
+  w.add_dependency(a, b);
+  w.add_dependency(b, a);
+  EXPECT_THROW(reg.register_workflow(w), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hhc::cws

@@ -1,0 +1,130 @@
+#include "cws/predictors.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hhc::cws {
+namespace {
+
+TaskProvenance obs(const std::string& kind, Bytes input, double runtime,
+                   double speed = 1.0, bool failed = false) {
+  TaskProvenance p;
+  p.kind = kind;
+  p.input_bytes = input;
+  p.start_time = 0;
+  p.finish_time = runtime;
+  p.node_speed = speed;
+  p.failed = failed;
+  return p;
+}
+
+cluster::JobRequest req(const std::string& kind, Bytes input) {
+  cluster::JobRequest r;
+  r.kind = kind;
+  r.input_bytes = input;
+  return r;
+}
+
+TEST(NullPredictor, NeverPredicts) {
+  NullPredictor p;
+  p.observe(obs("a", 100, 10));
+  EXPECT_FALSE(p.predict(req("a", 100)).has_value());
+}
+
+TEST(OnlineMeanPredictor, ColdStartIsEmpty) {
+  OnlineMeanPredictor p;
+  EXPECT_FALSE(p.predict(req("salmon", 100)).has_value());
+}
+
+TEST(OnlineMeanPredictor, LearnsPerKindMean) {
+  OnlineMeanPredictor p;
+  p.observe(obs("salmon", 100, 10));
+  p.observe(obs("salmon", 100, 20));
+  p.observe(obs("star", 100, 1000));
+  const auto pred = p.predict(req("salmon", 100));
+  ASSERT_TRUE(pred);
+  EXPECT_DOUBLE_EQ(*pred, 15.0);
+  EXPECT_DOUBLE_EQ(*p.predict(req("star", 100)), 1000.0);
+}
+
+TEST(OnlineMeanPredictor, NormalizesBySpeed) {
+  OnlineMeanPredictor p;
+  // 10 s on a 2x node = 20 s normalized.
+  p.observe(obs("a", 100, 10, 2.0));
+  EXPECT_DOUBLE_EQ(*p.predict(req("a", 100)), 20.0);
+}
+
+TEST(OnlineMeanPredictor, IgnoresFailedRecords) {
+  OnlineMeanPredictor p;
+  p.observe(obs("a", 100, 10, 1.0, /*failed=*/true));
+  EXPECT_FALSE(p.predict(req("a", 100)).has_value());
+}
+
+TEST(LotaruPredictor, MeanFallbackBelowMinSamples) {
+  LotaruPredictor p(3);
+  p.observe(obs("a", 100, 10));
+  p.observe(obs("a", 200, 20));
+  const auto pred = p.predict(req("a", 1000));
+  ASSERT_TRUE(pred);
+  EXPECT_DOUBLE_EQ(*pred, 15.0);  // mean, not extrapolated
+}
+
+TEST(LotaruPredictor, LearnsLinearScaling) {
+  LotaruPredictor p(3);
+  // runtime = 2 + 0.01 * input.
+  for (Bytes b : {100u, 200u, 300u, 400u, 500u})
+    p.observe(obs("a", b, 2.0 + 0.01 * static_cast<double>(b)));
+  const auto pred = p.predict(req("a", 1000));
+  ASSERT_TRUE(pred);
+  EXPECT_NEAR(*pred, 12.0, 1e-6);
+}
+
+TEST(LotaruPredictor, ConstantInputsFallBackToMean) {
+  LotaruPredictor p(2);
+  p.observe(obs("a", 100, 10));
+  p.observe(obs("a", 100, 30));
+  p.observe(obs("a", 100, 20));
+  EXPECT_DOUBLE_EQ(*p.predict(req("a", 100)), 20.0);
+}
+
+TEST(LotaruPredictor, GuardsAgainstNegativeExtrapolation) {
+  LotaruPredictor p(2);
+  // Strong negative slope; huge input would extrapolate below zero.
+  p.observe(obs("a", 100, 100));
+  p.observe(obs("a", 200, 50));
+  p.observe(obs("a", 300, 1));
+  const auto pred = p.predict(req("a", 100000));
+  ASSERT_TRUE(pred);
+  EXPECT_GT(*pred, 0.0);
+}
+
+TEST(LotaruPredictor, NormalizesAcrossHeterogeneousNodes) {
+  LotaruPredictor p(3);
+  // Same work observed on nodes of different speeds: normalized runtimes
+  // line up, so predictions are speed-neutral. Normalized: (100,20),
+  // (200,40), (300,60), (400,80) -> slope 0.2, intercept 0.
+  p.observe(obs("a", 100, 20, 1.0));
+  p.observe(obs("a", 200, 20, 2.0));
+  p.observe(obs("a", 300, 60, 1.0));
+  p.observe(obs("a", 400, 40, 2.0));
+  const auto pred = p.predict(req("a", 500));
+  ASSERT_TRUE(pred);
+  EXPECT_NEAR(*pred, 100.0, 1.0);
+}
+
+TEST(OraclePredictor, ReturnsTrueRuntime) {
+  OraclePredictor p;
+  cluster::JobRequest r = req("whatever", 5);
+  r.runtime = 123.0;
+  EXPECT_DOUBLE_EQ(*p.predict(r), 123.0);
+}
+
+TEST(PredictorFactory, AllNamesAndUnknown) {
+  EXPECT_EQ(make_predictor("none")->name(), "none");
+  EXPECT_EQ(make_predictor("online-mean")->name(), "online-mean");
+  EXPECT_EQ(make_predictor("lotaru")->name(), "lotaru");
+  EXPECT_EQ(make_predictor("oracle")->name(), "oracle");
+  EXPECT_THROW(make_predictor("gpt5"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hhc::cws

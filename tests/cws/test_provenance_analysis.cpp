@@ -1,0 +1,135 @@
+#include "cws/provenance_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/schedulers.hpp"
+#include "cws/strategies.hpp"
+#include "cws/wms.hpp"
+#include "workflow/generators.hpp"
+
+namespace hhc::cws {
+namespace {
+
+TaskProvenance record(int wf_id, const std::string& kind, SimTime submit,
+                      SimTime start, SimTime finish, bool failed = false) {
+  TaskProvenance p;
+  p.workflow_id = wf_id;
+  p.kind = kind;
+  p.task_name = kind + "-task";
+  p.submit_time = submit;
+  p.start_time = start;
+  p.finish_time = finish;
+  p.node_speed = 1.0;
+  p.failed = failed;
+  return p;
+}
+
+TEST(ProvenanceAnalysis, SummarizeKindsAggregates) {
+  ProvenanceStore store;
+  store.record(record(1, "align", 0, 5, 25));
+  store.record(record(1, "align", 0, 10, 40));
+  store.record(record(1, "sort", 0, 2, 7));
+  store.record(record(1, "align", 0, 1, 2, /*failed=*/true));
+
+  const auto kinds = summarize_kinds(store);
+  ASSERT_EQ(kinds.size(), 2u);
+  const auto& align = kinds[0];
+  EXPECT_EQ(align.kind, "align");
+  EXPECT_EQ(align.executions, 3u);
+  EXPECT_EQ(align.failures, 1u);
+  EXPECT_DOUBLE_EQ(align.runtime.mean(), (20.0 + 30.0) / 2);
+  EXPECT_DOUBLE_EQ(align.queue_wait.mean(), 7.5);
+  EXPECT_EQ(kinds[1].kind, "sort");
+}
+
+TEST(ProvenanceAnalysis, SummarizeKindsFiltersByWorkflow) {
+  ProvenanceStore store;
+  store.record(record(1, "align", 0, 1, 2));
+  store.record(record(2, "align", 0, 1, 2));
+  EXPECT_EQ(summarize_kinds(store, 1)[0].executions, 1u);
+  EXPECT_EQ(summarize_kinds(store)[0].executions, 2u);
+}
+
+TEST(ProvenanceAnalysis, WorkflowSummaryTimeline) {
+  ProvenanceStore store;
+  store.record(record(7, "a", 0, 0, 10));
+  store.record(record(7, "b", 0, 0, 10));   // concurrent with a
+  store.record(record(7, "c", 10, 12, 20)); // serial tail
+  const WorkflowSummary s = summarize_workflow(store, 7);
+  EXPECT_EQ(s.tasks, 3u);
+  EXPECT_DOUBLE_EQ(s.makespan(), 20.0);
+  // Peak concurrency 2; average over [0,20] = (2*10 + 1*8)/20 / 2 = 0.7.
+  EXPECT_NEAR(s.busy_fraction, 0.7, 1e-9);
+  EXPECT_DOUBLE_EQ(s.queue_wait.mean(), 2.0 / 3.0);
+}
+
+TEST(ProvenanceAnalysis, EmptyWorkflowSummary) {
+  ProvenanceStore store;
+  const WorkflowSummary s = summarize_workflow(store, 3);
+  EXPECT_EQ(s.tasks, 0u);
+  EXPECT_EQ(s.makespan(), 0.0);
+}
+
+TEST(ProvenanceAnalysis, GanttRendersRows) {
+  ProvenanceStore store;
+  store.record(record(1, "prep", 0, 0, 50));
+  store.record(record(1, "run", 0, 50, 100));
+  const std::string gantt = render_gantt(store, 1, 40);
+  EXPECT_NE(gantt.find("prep"), std::string::npos);
+  EXPECT_NE(gantt.find("#"), std::string::npos);
+  EXPECT_NE(gantt.find("."), std::string::npos);  // "run" queued half the span
+  EXPECT_EQ(render_gantt(store, 99), "(no records for workflow)\n");
+}
+
+TEST(ProvenanceAnalysis, GanttTruncatesRows) {
+  ProvenanceStore store;
+  for (int i = 0; i < 50; ++i)
+    store.record(record(1, "t" + std::to_string(i), 0, i, i + 1));
+  const std::string gantt = render_gantt(store, 1, 40, 10);
+  EXPECT_NE(gantt.find("more tasks"), std::string::npos);
+}
+
+TEST(ProvenanceAnalysis, BottleneckKinds) {
+  ProvenanceStore store;
+  // "starved": waits 100, runs 10. "smooth": waits 1, runs 10.
+  store.record(record(1, "starved", 0, 100, 110));
+  store.record(record(1, "smooth", 0, 1, 11));
+  const auto bottlenecks = bottleneck_kinds(store, 1.0);
+  ASSERT_EQ(bottlenecks.size(), 1u);
+  EXPECT_EQ(bottlenecks[0], "starved");
+}
+
+TEST(ProvenanceAnalysis, RenderKindSummaryTable) {
+  ProvenanceStore store;
+  store.record(record(1, "align", 0, 5, 25));
+  const std::string table = render_kind_summary(summarize_kinds(store));
+  EXPECT_NE(table.find("align"), std::string::npos);
+  EXPECT_NE(table.find("runtime mean"), std::string::npos);
+}
+
+TEST(ProvenanceAnalysis, EndToEndWithRealRun) {
+  // Provenance from a real engine run supports all the queries (§3.3:
+  // provenance available "across different WMS").
+  sim::Simulation sim;
+  cluster::Cluster cl(cluster::heterogeneous_cwsi_cluster(2));
+  WorkflowRegistry registry;
+  ProvenanceStore provenance;
+  LotaruPredictor predictor;
+  cluster::ResourceManager rm(
+      sim, cl, make_strategy("cws-rank", registry, predictor, provenance));
+  WorkflowEngine engine(sim, rm, &registry, &provenance, &predictor);
+  const wf::Workflow w = wf::make_montage_like(8, Rng(3));
+  ASSERT_TRUE(engine.run_to_completion(w).success);
+
+  const int wf_id = provenance.records().front().workflow_id;
+  const auto kinds = summarize_kinds(provenance, wf_id);
+  EXPECT_GT(kinds.size(), 3u);  // montage has several task kinds
+  const WorkflowSummary s = summarize_workflow(provenance, wf_id);
+  EXPECT_EQ(s.tasks, w.task_count());
+  EXPECT_GT(s.busy_fraction, 0.0);
+  EXPECT_LE(s.busy_fraction, 1.0);
+  EXPECT_FALSE(render_gantt(provenance, wf_id).empty());
+}
+
+}  // namespace
+}  // namespace hhc::cws

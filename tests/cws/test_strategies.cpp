@@ -1,0 +1,224 @@
+#include "cws/strategies.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cws/wms.hpp"
+#include "workflow/generators.hpp"
+
+namespace hhc::cws {
+namespace {
+
+/// Runs one workflow on a fresh simulated cluster under the given strategy;
+/// returns the makespan.
+SimTime run_strategy(const std::string& strategy, std::uint64_t seed,
+                     bool cwsi_enabled = true) {
+  sim::Simulation sim;
+  cluster::Cluster cl(cluster::heterogeneous_cwsi_cluster(4));
+  WorkflowRegistry registry;
+  ProvenanceStore provenance;
+  LotaruPredictor predictor;
+  cluster::ResourceManager rm(
+      sim, cl, make_strategy(strategy, registry, predictor, provenance),
+      cluster::ResourceManagerConfig{.model_io = true});
+  WmsConfig config;
+  config.cwsi_enabled = cwsi_enabled;
+  WorkflowEngine engine(sim, rm, &registry, &provenance, &predictor, config);
+  const wf::Workflow w = wf::make_montage_like(24, Rng(seed));
+  const auto result = engine.run_to_completion(w);
+  EXPECT_TRUE(result.success) << strategy;
+  return result.makespan();
+}
+
+TEST(Strategies, AllStrategiesCompleteWorkflows) {
+  for (const char* name :
+       {"fifo", "fifo-fit", "easy-backfill", "cws-rank", "cws-filesize",
+        "cws-heft", "cws-tarema"}) {
+    const SimTime makespan = run_strategy(name, 11);
+    EXPECT_GT(makespan, 0.0) << name;
+  }
+}
+
+TEST(Strategies, FactoryRejectsUnknown) {
+  WorkflowRegistry registry;
+  ProvenanceStore provenance;
+  NullPredictor predictor;
+  EXPECT_THROW(make_strategy("quantum", registry, predictor, provenance),
+               std::invalid_argument);
+}
+
+TEST(Strategies, FactoryNamesMatch) {
+  WorkflowRegistry registry;
+  ProvenanceStore provenance;
+  NullPredictor predictor;
+  for (const char* name : {"cws-rank", "cws-filesize", "cws-heft", "cws-tarema"})
+    EXPECT_EQ(make_strategy(name, registry, predictor, provenance)->name(), name);
+}
+
+TEST(Strategies, RankOrdersCriticalTaskFirst) {
+  // Two ready tasks, capacity for one: rank strategy must start the one
+  // heading the long chain, FIFO the one submitted first.
+  sim::Simulation sim;
+  cluster::Cluster cl(cluster::homogeneous_cluster(1, 2, gib(8)));
+  WorkflowRegistry registry;
+  ProvenanceStore provenance;
+  NullPredictor predictor;
+  cluster::ResourceManager rm(
+      sim, cl, make_strategy("cws-rank", registry, predictor, provenance),
+      cluster::ResourceManagerConfig{.model_io = false});
+
+  // Build: short task "quick" (submitted first), and "head" -> long chain.
+  wf::Workflow w("ranked");
+  wf::TaskSpec quick;
+  quick.name = "quick";
+  quick.base_runtime = 10;
+  quick.resources.cores_per_node = 2;
+  const auto q = w.add_task(quick);
+  wf::TaskSpec head = quick;
+  head.name = "head";
+  const auto h = w.add_task(head);
+  wf::TaskSpec tail = quick;
+  tail.name = "tail";
+  tail.base_runtime = 1000;  // makes head's upward rank dominate
+  const auto t = w.add_task(tail);
+  w.add_dependency(h, t);
+  (void)q;
+
+  const int id = registry.register_workflow(w);
+  std::map<std::string, SimTime> starts;
+  auto submit = [&](const std::string& name, wf::TaskId task) {
+    cluster::JobRequest r;
+    r.name = name;
+    r.kind = name;
+    r.resources.cores_per_node = 2;
+    r.runtime = 10;
+    r.workflow_id = id;
+    r.task_id = task;
+    rm.submit(r, [&starts](const cluster::JobRecord& rec) {
+      starts[rec.request.name] = rec.start_time;
+    });
+  };
+  submit("quick", 0);
+  submit("head", 1);
+  sim.run();
+  EXPECT_LT(starts["head"], starts["quick"]);
+}
+
+TEST(Strategies, FileSizeOrdersBigInputsFirst) {
+  sim::Simulation sim;
+  cluster::Cluster cl(cluster::homogeneous_cluster(1, 2, gib(8)));
+  WorkflowRegistry registry;
+  ProvenanceStore provenance;
+  NullPredictor predictor;
+  cluster::ResourceManager rm(
+      sim, cl, make_strategy("cws-filesize", registry, predictor, provenance),
+      cluster::ResourceManagerConfig{.model_io = false});
+
+  std::map<std::string, SimTime> starts;
+  auto submit = [&](const std::string& name, Bytes input) {
+    cluster::JobRequest r;
+    r.name = name;
+    r.kind = name;
+    r.resources.cores_per_node = 2;
+    r.runtime = 10;
+    r.input_bytes = input;  // no workflow attached: falls back to request
+    rm.submit(r, [&starts](const cluster::JobRecord& rec) {
+      starts[rec.request.name] = rec.start_time;
+    });
+  };
+  submit("small", 100);
+  submit("large", 10000);
+  sim.run();
+  EXPECT_LT(starts["large"], starts["small"]);
+}
+
+TEST(Strategies, HeftPrefersFastNodesWhenFree) {
+  sim::Simulation sim;
+  cluster::Cluster cl(cluster::heterogeneous_cwsi_cluster(2));
+  WorkflowRegistry registry;
+  ProvenanceStore provenance;
+  OraclePredictor predictor;
+  cluster::ResourceManager rm(
+      sim, cl, make_strategy("cws-heft", registry, predictor, provenance),
+      cluster::ResourceManagerConfig{.model_io = false});
+
+  std::string node_class;
+  cluster::JobRequest r;
+  r.name = "compute";
+  r.kind = "compute";
+  r.resources.cores_per_node = 2;
+  r.runtime = 1000;  // long: speed dominates the EFT
+  rm.submit(r, [&](const cluster::JobRecord& rec) {
+    node_class = cl.node_class(rec.allocation.claims[0].node).name;
+  });
+  sim.run();
+  EXPECT_EQ(node_class, "fast");
+}
+
+TEST(Strategies, TaremaMatchesHeavyKindsToFastNodes) {
+  sim::Simulation sim;
+  cluster::Cluster cl(cluster::heterogeneous_cwsi_cluster(2));
+  WorkflowRegistry registry;
+  ProvenanceStore provenance;
+  NullPredictor predictor;
+  cluster::ResourceManager rm(
+      sim, cl, make_strategy("cws-tarema", registry, predictor, provenance),
+      cluster::ResourceManagerConfig{.model_io = false});
+
+  // Seed provenance: "heavy" tasks ran long, "light" short, "mid" medium.
+  auto seed = [&](const std::string& kind, double runtime) {
+    TaskProvenance p;
+    p.kind = kind;
+    p.start_time = 0;
+    p.finish_time = runtime;
+    p.node_speed = 1.0;
+    provenance.record(p);
+    provenance.record(p);
+  };
+  seed("light", 5);
+  seed("mid", 100);
+  seed("heavy", 5000);
+
+  std::map<std::string, std::string> placed;
+  auto submit = [&](const std::string& kind) {
+    cluster::JobRequest r;
+    r.name = kind;
+    r.kind = kind;
+    r.resources.cores_per_node = 2;
+    r.runtime = 10;
+    rm.submit(r, [&placed, &cl, kind](const cluster::JobRecord& rec) {
+      placed[kind] = cl.node_class(rec.allocation.claims[0].node).name;
+    });
+  };
+  submit("heavy");
+  submit("light");
+  sim.run();
+  EXPECT_EQ(placed["heavy"], "fast");
+  // Light kinds are kept off the fast group (which is protected for heavy
+  // work); among the remaining groups the least-loaded node wins.
+  EXPECT_NE(placed["light"], "fast");
+}
+
+TEST(Strategies, TaremaColdStartStillPlaces) {
+  sim::Simulation sim;
+  cluster::Cluster cl(cluster::heterogeneous_cwsi_cluster(1));
+  WorkflowRegistry registry;
+  ProvenanceStore provenance;  // empty: cold start
+  NullPredictor predictor;
+  cluster::ResourceManager rm(
+      sim, cl, make_strategy("cws-tarema", registry, predictor, provenance),
+      cluster::ResourceManagerConfig{.model_io = false});
+  bool completed = false;
+  cluster::JobRequest r;
+  r.name = "first";
+  r.kind = "first";
+  r.resources.cores_per_node = 1;
+  r.runtime = 10;
+  rm.submit(r, [&](const cluster::JobRecord& rec) {
+    completed = rec.state == cluster::JobState::Completed;
+  });
+  sim.run();
+  EXPECT_TRUE(completed);
+}
+
+}  // namespace
+}  // namespace hhc::cws

@@ -1,0 +1,152 @@
+#include "cws/wms.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/schedulers.hpp"
+#include "workflow/analysis.hpp"
+#include "workflow/generators.hpp"
+
+namespace hhc::cws {
+namespace {
+
+struct WmsFixture : ::testing::Test {
+  sim::Simulation sim;
+  cluster::Cluster cl{cluster::homogeneous_cluster(4, 16, gib(64))};
+  cluster::ResourceManager rm{sim, cl,
+                              std::make_unique<cluster::FifoFitScheduler>(),
+                              cluster::ResourceManagerConfig{.model_io = false}};
+  WorkflowRegistry registry;
+  ProvenanceStore provenance;
+  OnlineMeanPredictor predictor;
+};
+
+TEST_F(WmsFixture, RunsChainToCompletion) {
+  WorkflowEngine engine(sim, rm, &registry, &provenance, &predictor);
+  const wf::Workflow w = wf::make_chain(8, Rng(1));
+  const auto result = engine.run_to_completion(w);
+  EXPECT_TRUE(result.success);
+  EXPECT_EQ(result.tasks, 8u);
+  EXPECT_EQ(result.task_failures, 0u);
+  // A chain is serial: makespan >= total work (no IO modelled).
+  EXPECT_GE(result.makespan(), wf::total_work(w) - 1e-6);
+  EXPECT_EQ(provenance.size(), 8u);
+}
+
+TEST_F(WmsFixture, ParallelTasksOverlap) {
+  WorkflowEngine engine(sim, rm, &registry, &provenance, &predictor);
+  const wf::Workflow w = wf::make_fork_join(8, Rng(2));
+  const auto result = engine.run_to_completion(w);
+  EXPECT_TRUE(result.success);
+  // 8 x 2-core workers fit on 64 cores at once: makespan well below serial.
+  EXPECT_LT(result.makespan(), wf::total_work(w));
+}
+
+TEST_F(WmsFixture, RegistersAndUnregistersWorkflow) {
+  WorkflowEngine engine(sim, rm, &registry, &provenance, &predictor);
+  const wf::Workflow w = wf::make_diamond(Rng(3));
+  bool checked = false;
+  engine.run(w, [&](const WorkflowResult&) {
+    checked = true;
+  });
+  EXPECT_EQ(registry.registered_count(), 1u);
+  sim.run();
+  EXPECT_TRUE(checked);
+  EXPECT_EQ(registry.registered_count(), 0u);  // cleaned up at finish
+}
+
+TEST_F(WmsFixture, CwsiDisabledOmitsMetadata) {
+  WmsConfig config;
+  config.cwsi_enabled = false;
+  WorkflowEngine engine(sim, rm, &registry, &provenance, &predictor, config);
+  const wf::Workflow w = wf::make_diamond(Rng(4));
+  const auto result = engine.run_to_completion(w);
+  EXPECT_TRUE(result.success);
+  EXPECT_EQ(registry.registered_count(), 0u);
+  // Provenance records carry no workflow id.
+  for (const auto& rec : provenance.records()) EXPECT_EQ(rec.workflow_id, -1);
+}
+
+TEST_F(WmsFixture, PredictorSeedsWalltimeEstimates) {
+  WorkflowEngine engine(sim, rm, &registry, &provenance, &predictor);
+  // Two identical chains: the second run has learned estimates.
+  const wf::Workflow w1 = wf::make_chain(4, Rng(5));
+  (void)engine.run_to_completion(w1);
+  EXPECT_GT(provenance.size(), 0u);
+  cluster::JobRequest probe;
+  probe.kind = w1.task(0).kind;
+  EXPECT_TRUE(predictor.predict(probe).has_value());
+}
+
+TEST_F(WmsFixture, ConcurrentWorkflowsBothFinish) {
+  WorkflowEngine engine(sim, rm, &registry, &provenance, &predictor);
+  const wf::Workflow a = wf::make_chain(4, Rng(6));
+  const wf::Workflow b = wf::make_fork_join(4, Rng(7));
+  int done = 0;
+  engine.run(a, [&](const WorkflowResult& r) {
+    EXPECT_TRUE(r.success);
+    ++done;
+  });
+  engine.run(b, [&](const WorkflowResult& r) {
+    EXPECT_TRUE(r.success);
+    ++done;
+  });
+  EXPECT_EQ(engine.active_workflows(), 2u);
+  sim.run();
+  EXPECT_EQ(done, 2);
+  EXPECT_EQ(engine.active_workflows(), 0u);
+}
+
+TEST_F(WmsFixture, RetriesFailedTasks) {
+  WorkflowEngine engine(sim, rm, &registry, &provenance, &predictor);
+  wf::Workflow w;
+  wf::TaskSpec spec;
+  spec.name = "victim";
+  spec.kind = "victim";
+  spec.base_runtime = 1000;
+  spec.resources.nodes = 4;  // spans the whole cluster
+  spec.resources.cores_per_node = 16;
+  w.add_task(spec);
+
+  WorkflowResult result;
+  engine.run(w, [&](const WorkflowResult& r) { result = r; });
+  sim.run(1);  // scheduler pass: task starts
+  rm.fail_node(0, /*repair_after=*/10.0);
+  sim.run();
+  EXPECT_TRUE(result.success);       // retried and completed
+  EXPECT_EQ(result.task_failures, 1u);
+  EXPECT_EQ(result.retries, 1u);
+}
+
+TEST_F(WmsFixture, GivesUpAfterMaxRetries) {
+  WmsConfig config;
+  config.max_retries = 1;
+  WorkflowEngine engine(sim, rm, &registry, &provenance, &predictor, config);
+  wf::Workflow w;
+  wf::TaskSpec spec;
+  spec.name = "victim";
+  spec.base_runtime = 1000;
+  spec.resources.nodes = 4;
+  spec.resources.cores_per_node = 16;
+  w.add_task(spec);
+
+  WorkflowResult result;
+  engine.run(w, [&](const WorkflowResult& r) { result = r; });
+  // Fail the whole cluster repeatedly so every attempt dies.
+  sim.run(1);
+  rm.fail_node(0, 5.0);
+  sim.schedule_in(50, [&] { rm.fail_node(0, 5.0); });
+  sim.run();
+  EXPECT_FALSE(result.success);
+  EXPECT_EQ(result.task_failures, 2u);  // original + one retry
+}
+
+TEST_F(WmsFixture, EmptyWorkflowSucceedsImmediately) {
+  WorkflowEngine engine(sim, rm, &registry, &provenance, &predictor);
+  wf::Workflow w("empty");
+  const auto result = engine.run_to_completion(w);
+  EXPECT_TRUE(result.success);
+  EXPECT_EQ(result.makespan(), 0.0);
+}
+
+}  // namespace
+}  // namespace hhc::cws

@@ -1,0 +1,257 @@
+#include "entk/app_manager.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hhc::entk {
+namespace {
+
+TaskDesc tiny_task(const std::string& name, int nodes = 1, SimTime rt = 60,
+                   double fail_prob = 0.0) {
+  TaskDesc t;
+  t.name = name;
+  t.kind = "tiny";
+  t.resources.nodes = nodes;
+  t.resources.cores_per_node = 4;
+  t.runtime_min = rt;
+  t.runtime_max = rt;
+  t.failure_probability = fail_prob;
+  return t;
+}
+
+PipelineDesc one_stage(std::size_t tasks, int nodes_per_task = 1, SimTime rt = 60) {
+  PipelineDesc p;
+  p.name = "p";
+  StageDesc s;
+  s.name = "s0";
+  for (std::size_t i = 0; i < tasks; ++i)
+    s.tasks.push_back(tiny_task("t" + std::to_string(i), nodes_per_task, rt));
+  p.stages.push_back(s);
+  return p;
+}
+
+EntkConfig fast_config() {
+  EntkConfig c;
+  c.scheduling_rate = 1000;
+  c.launching_rate = 1000;
+  c.bootstrap_overhead = 10;
+  return c;
+}
+
+TEST(AppManager, RunsAllTasks) {
+  sim::Simulation sim;
+  cluster::Cluster pilot(cluster::homogeneous_cluster(4, 4, gib(16)));
+  AppManager app(sim, pilot, fast_config(), Rng(1));
+  app.add_pipeline(one_stage(10));
+  const RunReport r = app.run();
+  EXPECT_EQ(r.tasks_total, 10u);
+  EXPECT_EQ(r.tasks_completed, 10u);
+  EXPECT_EQ(r.task_failures, 0u);
+  EXPECT_TRUE(app.finished());
+}
+
+TEST(AppManager, BootstrapDelaysFirstExecution) {
+  sim::Simulation sim;
+  cluster::Cluster pilot(cluster::homogeneous_cluster(1, 4, gib(16)));
+  EntkConfig cfg = fast_config();
+  cfg.bootstrap_overhead = 85;
+  AppManager app(sim, pilot, cfg, Rng(1));
+  app.add_pipeline(one_stage(1));
+  const RunReport r = app.run();
+  EXPECT_DOUBLE_EQ(r.ovh, 85.0);
+  const auto starts = app.trace().filter("task", "exec_start");
+  ASSERT_EQ(starts.size(), 1u);
+  EXPECT_GT(starts[0].time, 85.0);
+}
+
+TEST(AppManager, StagesRunSequentially) {
+  sim::Simulation sim;
+  cluster::Cluster pilot(cluster::homogeneous_cluster(8, 4, gib(16)));
+  AppManager app(sim, pilot, fast_config(), Rng(1));
+  PipelineDesc p;
+  StageDesc s1;
+  s1.name = "first";
+  s1.tasks = {tiny_task("a0"), tiny_task("a1")};
+  StageDesc s2;
+  s2.name = "second";
+  s2.tasks = {tiny_task("b0")};
+  p.stages = {s1, s2};
+  app.add_pipeline(p);
+  (void)app.run();
+
+  SimTime a_end = 0, b_start = 0;
+  for (const auto& e : app.trace().events()) {
+    if (e.state == "done" && e.subject[0] == 'a') a_end = std::max(a_end, e.time);
+    if (e.state == "exec_start" && e.subject[0] == 'b') b_start = e.time;
+  }
+  EXPECT_GE(b_start, a_end);
+}
+
+TEST(AppManager, PipelinesRunConcurrently) {
+  sim::Simulation sim;
+  cluster::Cluster pilot(cluster::homogeneous_cluster(4, 4, gib(16)));
+  AppManager app(sim, pilot, fast_config(), Rng(1));
+  app.add_pipeline(one_stage(2));
+  app.add_pipeline(one_stage(2));
+  const RunReport r = app.run();
+  EXPECT_EQ(r.tasks_completed, 4u);
+  // With capacity for all 4 at once, both pipelines' tasks overlap:
+  EXPECT_GT(r.executing_series.max_value(), 2.0);
+}
+
+TEST(AppManager, ConcurrencyBoundedByPilotCapacity) {
+  sim::Simulation sim;
+  // 4 nodes; each task takes one node: at most 4 executing.
+  cluster::Cluster pilot(cluster::homogeneous_cluster(4, 4, gib(16)));
+  AppManager app(sim, pilot, fast_config(), Rng(1));
+  app.add_pipeline(one_stage(20));
+  const RunReport r = app.run();
+  EXPECT_LE(r.executing_series.max_value(), 4.0);
+  EXPECT_EQ(r.tasks_completed, 20u);
+}
+
+TEST(AppManager, LaunchRateBoundsRampUp) {
+  sim::Simulation sim;
+  cluster::Cluster pilot(cluster::homogeneous_cluster(100, 4, gib(16)));
+  EntkConfig cfg;
+  cfg.scheduling_rate = 1000;
+  cfg.launching_rate = 2;  // 2 tasks/s
+  cfg.bootstrap_overhead = 0;
+  AppManager app(sim, pilot, cfg, Rng(1));
+  app.add_pipeline(one_stage(20, 1, 1000));
+  (void)app.run();
+  // 20 tasks at 2/s: the last exec_start is ~10 s in.
+  const auto starts = app.trace().filter("task", "exec_start");
+  ASSERT_EQ(starts.size(), 20u);
+  EXPECT_NEAR(starts.back().time - starts.front().time, 9.5, 1.0);
+}
+
+TEST(AppManager, UtilizationAccountsCores) {
+  sim::Simulation sim;
+  cluster::Cluster pilot(cluster::homogeneous_cluster(2, 4, gib(16)));
+  EntkConfig cfg = fast_config();
+  cfg.bootstrap_overhead = 0;
+  AppManager app(sim, pilot, cfg, Rng(1));
+  app.add_pipeline(one_stage(2, 1, 100));  // 2 tasks x 4 cores x 100 s
+  const RunReport r = app.run();
+  // 800 core-seconds over (8 cores x ~100 s) ~= 1.0 minus launch gaps.
+  EXPECT_GT(r.core_utilization, 0.9);
+  EXPECT_LE(r.core_utilization, 1.0 + 1e-9);
+}
+
+TEST(AppManager, RandomFailuresAreResubmittedAndComplete) {
+  sim::Simulation sim;
+  cluster::Cluster pilot(cluster::homogeneous_cluster(8, 4, gib(16)));
+  EntkConfig cfg = fast_config();
+  cfg.max_resubmissions = 10;
+  AppManager app(sim, pilot, cfg, Rng(42));
+  PipelineDesc p = one_stage(20);
+  for (auto& t : p.stages[0].tasks) t.failure_probability = 0.3;
+  app.add_pipeline(p);
+  const RunReport r = app.run();
+  EXPECT_EQ(r.tasks_completed, 20u);
+  EXPECT_GT(r.task_failures, 0u);
+  EXPECT_EQ(r.resubmissions, r.task_failures);
+  EXPECT_EQ(r.terminal_failures, 0u);
+}
+
+TEST(AppManager, TerminalFailureDoesNotRetry) {
+  sim::Simulation sim;
+  cluster::Cluster pilot(cluster::homogeneous_cluster(4, 4, gib(16)));
+  AppManager app(sim, pilot, fast_config(), Rng(1));
+  PipelineDesc p = one_stage(3);
+  p.stages[0].tasks[0].failure_probability = 1.0;
+  p.stages[0].tasks[0].terminal_failure = true;
+  app.add_pipeline(p);
+  const RunReport r = app.run();
+  EXPECT_EQ(r.tasks_completed, 2u);
+  EXPECT_EQ(r.terminal_failures, 1u);
+  EXPECT_EQ(r.resubmissions, 0u);
+  EXPECT_TRUE(app.finished());  // stage completed despite the accepted failure
+}
+
+TEST(AppManager, DetectedNodeFailureKillsOneTaskThenAvoidsNode) {
+  sim::Simulation sim;
+  cluster::Cluster pilot(cluster::homogeneous_cluster(4, 4, gib(16)));
+  EntkConfig cfg = fast_config();
+  cfg.bootstrap_overhead = 0;
+  AppManager app(sim, pilot, cfg, Rng(1));
+  app.add_pipeline(one_stage(8, 1, 100));
+  app.fail_node_at(50, 0);
+  const RunReport r = app.run();
+  EXPECT_EQ(r.tasks_completed, 8u);  // failed task resubmitted elsewhere
+  EXPECT_GE(r.task_failures, 1u);
+}
+
+TEST(AppManager, CursedNodeFailsEveryWaveUntilDeferred) {
+  sim::Simulation sim;
+  cluster::Cluster pilot(cluster::homogeneous_cluster(2, 4, gib(16)));
+  EntkConfig cfg = fast_config();
+  cfg.bootstrap_overhead = 0;
+  cfg.resubmit_in_run = false;  // collect failures for the next batch job
+  AppManager app(sim, pilot, cfg, Rng(1));
+  // 6 waves of 2 tasks across 2 nodes; node 0 goes silently bad early.
+  app.add_pipeline(one_stage(12, 1, 100));
+  app.curse_node_at(10, 0);
+  const RunReport r = app.run();
+  EXPECT_GT(r.deferred, 2u);  // several waves hit the cursed node
+  EXPECT_EQ(r.tasks_completed + r.deferred, 12u);
+
+  // The consecutive batch job reruns the deferred tasks successfully.
+  sim::Simulation sim2;
+  cluster::Cluster pilot2(cluster::homogeneous_cluster(2, 4, gib(16)));
+  AppManager rerun(sim2, pilot2, fast_config(), Rng(2));
+  PipelineDesc next;
+  StageDesc stage;
+  stage.name = "rerun";
+  stage.tasks = app.deferred_tasks();
+  next.stages.push_back(stage);
+  rerun.add_pipeline(next);
+  const RunReport r2 = rerun.run();
+  EXPECT_EQ(r2.tasks_completed, r.deferred);
+  EXPECT_EQ(r2.task_failures, 0u);
+}
+
+TEST(AppManager, EmptyPipelineFinishesImmediately) {
+  sim::Simulation sim;
+  cluster::Cluster pilot(cluster::homogeneous_cluster(1, 4, gib(16)));
+  AppManager app(sim, pilot, fast_config(), Rng(1));
+  const RunReport r = app.run();
+  EXPECT_TRUE(app.finished());
+  EXPECT_EQ(r.tasks_total, 0u);
+}
+
+TEST(AppManager, RejectsBadConfigAndLateMutation) {
+  sim::Simulation sim;
+  cluster::Cluster pilot(cluster::homogeneous_cluster(1, 4, gib(16)));
+  EntkConfig bad;
+  bad.scheduling_rate = 0;
+  EXPECT_THROW(AppManager(sim, pilot, bad, Rng(1)), std::invalid_argument);
+
+  AppManager app(sim, pilot, fast_config(), Rng(1));
+  app.start();
+  EXPECT_THROW(app.add_pipeline(one_stage(1)), std::logic_error);
+  EXPECT_THROW(app.start(), std::logic_error);
+  sim.run();
+}
+
+TEST(AppManager, TaskRuntimesWithinBounds) {
+  sim::Simulation sim;
+  cluster::Cluster pilot(cluster::homogeneous_cluster(8, 4, gib(16)));
+  AppManager app(sim, pilot, fast_config(), Rng(9));
+  PipelineDesc p;
+  StageDesc s;
+  for (int i = 0; i < 30; ++i) {
+    TaskDesc t = tiny_task("t" + std::to_string(i));
+    t.runtime_min = 100;
+    t.runtime_max = 200;
+    s.tasks.push_back(t);
+  }
+  p.stages.push_back(s);
+  app.add_pipeline(p);
+  const RunReport r = app.run();
+  EXPECT_GE(r.task_runtimes.min(), 100.0);
+  EXPECT_LE(r.task_runtimes.max(), 200.0);
+}
+
+}  // namespace
+}  // namespace hhc::entk

@@ -1,0 +1,134 @@
+// Dynamic workflows (paper §4: EnTK can "create a new workflow stages based
+// on the status of previously executed stages").
+#include <gtest/gtest.h>
+
+#include "entk/app_manager.hpp"
+
+namespace hhc::entk {
+namespace {
+
+TaskDesc task(const std::string& name, double fail_prob = 0.0,
+              bool terminal = false) {
+  TaskDesc t;
+  t.name = name;
+  t.kind = "t";
+  t.resources.cores_per_node = 4;
+  t.runtime_min = t.runtime_max = 50;
+  t.failure_probability = fail_prob;
+  t.terminal_failure = terminal;
+  return t;
+}
+
+PipelineDesc seed_pipeline() {
+  PipelineDesc p;
+  StageDesc s;
+  s.name = "stage0";
+  s.tasks = {task("a0"), task("a1")};
+  p.stages.push_back(s);
+  return p;
+}
+
+EntkConfig fast() {
+  EntkConfig c;
+  c.scheduling_rate = 1000;
+  c.launching_rate = 1000;
+  c.bootstrap_overhead = 0;
+  return c;
+}
+
+TEST(DynamicStages, HookAppendsStagesUntilConverged) {
+  sim::Simulation sim;
+  cluster::Cluster pilot(cluster::homogeneous_cluster(4, 8, gib(32)));
+  AppManager app(sim, pilot, fast(), Rng(1));
+  app.add_pipeline(seed_pipeline());
+
+  // Adaptive refinement: after each stage, add a follow-up stage with one
+  // more task, until three rounds have run.
+  int rounds = 0;
+  app.set_stage_hook([&](const AppManager::StageStatus& status)
+                         -> std::vector<StageDesc> {
+    if (rounds >= 3) return {};
+    ++rounds;
+    StageDesc next;
+    next.name = "refine" + std::to_string(rounds);
+    for (int i = 0; i <= rounds; ++i)
+      next.tasks.push_back(task(next.name + "-t" + std::to_string(i)));
+    EXPECT_EQ(status.failed, 0u);
+    return {next};
+  });
+
+  const RunReport r = app.run();
+  // stage0 (2) + refine1 (2) + refine2 (3) + refine3 (4) = 11 tasks.
+  EXPECT_EQ(r.tasks_completed, 11u);
+  EXPECT_EQ(rounds, 3);
+  EXPECT_EQ(app.trace().count("stage", "appended"), 3u);
+}
+
+TEST(DynamicStages, HookSeesFailureCounts) {
+  sim::Simulation sim;
+  cluster::Cluster pilot(cluster::homogeneous_cluster(4, 8, gib(32)));
+  AppManager app(sim, pilot, fast(), Rng(1));
+  PipelineDesc p;
+  StageDesc s;
+  s.name = "flaky";
+  s.tasks = {task("good"), task("bad", 1.0, /*terminal=*/true)};
+  p.stages.push_back(s);
+  app.add_pipeline(p);
+
+  // Repair logic: rerun a fresh task for every accepted failure.
+  bool repaired = false;
+  app.set_stage_hook([&](const AppManager::StageStatus& status)
+                         -> std::vector<StageDesc> {
+    if (status.stage_name != "flaky" || status.failed == 0) return {};
+    repaired = true;
+    EXPECT_EQ(status.failed, 1u);
+    EXPECT_EQ(status.completed, 1u);
+    StageDesc retry;
+    retry.name = "repair";
+    for (std::size_t i = 0; i < status.failed; ++i)
+      retry.tasks.push_back(task("repair-t" + std::to_string(i)));
+    return {retry};
+  });
+
+  const RunReport r = app.run();
+  EXPECT_TRUE(repaired);
+  EXPECT_EQ(r.tasks_completed, 2u);  // "good" + the repair task
+  EXPECT_EQ(r.terminal_failures, 1u);
+}
+
+TEST(DynamicStages, NoHookBehavesAsBefore) {
+  sim::Simulation sim;
+  cluster::Cluster pilot(cluster::homogeneous_cluster(4, 8, gib(32)));
+  AppManager app(sim, pilot, fast(), Rng(1));
+  app.add_pipeline(seed_pipeline());
+  const RunReport r = app.run();
+  EXPECT_EQ(r.tasks_completed, 2u);
+}
+
+TEST(DynamicStages, PipelineFinishedFlagOnLastStage) {
+  sim::Simulation sim;
+  cluster::Cluster pilot(cluster::homogeneous_cluster(4, 8, gib(32)));
+  AppManager app(sim, pilot, fast(), Rng(1));
+  PipelineDesc p;
+  StageDesc s1;
+  s1.name = "first";
+  s1.tasks = {task("x")};
+  StageDesc s2;
+  s2.name = "second";
+  s2.tasks = {task("y")};
+  p.stages = {s1, s2};
+  app.add_pipeline(p);
+
+  std::map<std::string, bool> finished_flags;
+  app.set_stage_hook([&](const AppManager::StageStatus& status)
+                         -> std::vector<StageDesc> {
+    finished_flags[status.stage_name] = status.pipeline_finished;
+    return {};
+  });
+  (void)app.run();
+  EXPECT_FALSE(finished_flags.at("first"));
+  EXPECT_TRUE(finished_flags.at("second"));
+}
+
+}  // namespace
+}  // namespace hhc::entk

@@ -1,0 +1,111 @@
+#include "entk/exaam.hpp"
+
+#include <gtest/gtest.h>
+
+#include "entk/app_manager.hpp"
+
+namespace hhc::entk {
+namespace {
+
+TEST(Exaam, Stage0Shape) {
+  const PipelineDesc p = make_stage0();
+  EXPECT_EQ(p.stages.size(), 2u);
+  EXPECT_EQ(p.task_count(), 2u);
+  EXPECT_EQ(p.stages[0].tasks[0].kind, "tasmanian");
+}
+
+TEST(Exaam, Stage1Shape) {
+  ExaamScale scale;
+  scale.meltpool_cases = 10;
+  scale.microstructure_cases = 20;
+  const PipelineDesc p = make_stage1(scale);
+  // pre, even, odd, post, exaca, analysis.
+  ASSERT_EQ(p.stages.size(), 6u);
+  EXPECT_EQ(p.stages[1].tasks.size() + p.stages[2].tasks.size(), 10u);
+  EXPECT_EQ(p.stages[4].tasks.size(), 20u);
+  // AdditiveFOAM tasks: 4 nodes x 56 cores, CPU-only (paper §4.3).
+  const TaskDesc& af = p.stages[1].tasks[0];
+  EXPECT_EQ(af.resources.nodes, 4);
+  EXPECT_DOUBLE_EQ(af.resources.cores_per_node, 56.0);
+  EXPECT_EQ(af.resources.gpus_per_node, 0);
+  // ExaCA tasks: 1 node with GPUs.
+  const TaskDesc& ca = p.stages[4].tasks[0];
+  EXPECT_EQ(ca.resources.nodes, 1);
+  EXPECT_EQ(ca.resources.gpus_per_node, 8);
+}
+
+TEST(Exaam, Stage3Shape) {
+  ExaamScale scale;
+  scale.exaconstit_tasks = 100;
+  const PipelineDesc p = make_stage3(scale, 2);
+  ASSERT_EQ(p.stages.size(), 2u);
+  EXPECT_EQ(p.stages[0].tasks.size(), 100u);
+  // ExaConstit: 8 nodes per task, 10-25 min runtimes.
+  const TaskDesc& t = p.stages[0].tasks[50];
+  EXPECT_EQ(t.resources.nodes, 8);
+  EXPECT_DOUBLE_EQ(t.runtime_min, minutes(10));
+  EXPECT_DOUBLE_EQ(t.runtime_max, minutes(25));
+  // Exactly two terminal failures marked.
+  std::size_t terminal = 0;
+  for (const auto& task : p.stages[0].tasks)
+    if (task.terminal_failure) ++terminal;
+  EXPECT_EQ(terminal, 2u);
+}
+
+TEST(Exaam, FullPipelineConcatenatesStages) {
+  ExaamScale scale;
+  scale.meltpool_cases = 4;
+  scale.microstructure_cases = 4;
+  scale.exaconstit_tasks = 4;
+  const PipelineDesc p = make_full_uq_pipeline(scale);
+  EXPECT_EQ(p.stages.size(), 2u + 6u + 2u);
+  EXPECT_EQ(p.task_count(), 2u + (1 + 4 + 1 + 4 + 1) + (4 + 1));
+}
+
+TEST(Exaam, SmallStage3RunsOnSmallPilot) {
+  // A scaled-down UQ Stage 3: 50 tasks x 8 nodes on a 400-node pilot.
+  sim::Simulation sim;
+  cluster::Cluster pilot(cluster::frontier_like(400));
+  EntkConfig cfg;
+  cfg.scheduling_rate = 269;
+  cfg.launching_rate = 51;
+  cfg.bootstrap_overhead = 85;
+  ExaamScale scale;
+  scale.exaconstit_tasks = 50;
+  AppManager app(sim, pilot, cfg, Rng(3));
+  app.add_pipeline(make_stage3(scale));
+  const RunReport r = app.run();
+  EXPECT_EQ(r.tasks_completed, 51u);  // 50 + optimization task
+  // All 50 fit at once (50 x 8 = 400 nodes): high utilization during TTX.
+  EXPECT_EQ(r.executing_series.max_value(), 50.0);
+  EXPECT_GT(r.ttx, 0.0);
+}
+
+TEST(Exaam, Stage1RespectsEvenOddBarriers) {
+  sim::Simulation sim;
+  cluster::Cluster pilot(cluster::frontier_like(50));
+  EntkConfig cfg;
+  cfg.scheduling_rate = 1000;
+  cfg.launching_rate = 1000;
+  cfg.bootstrap_overhead = 0;
+  ExaamScale scale;
+  scale.meltpool_cases = 8;
+  scale.microstructure_cases = 8;
+  AppManager app(sim, pilot, cfg, Rng(4));
+  app.add_pipeline(make_stage1(scale));
+  const RunReport r = app.run();
+  EXPECT_EQ(r.tasks_completed, 1u + 8u + 1u + 8u + 1u);
+
+  // No odd-run task may start before every even-run task ended.
+  SimTime last_even_end = 0, first_odd_start = 1e18;
+  for (const auto& rec : app.task_records()) {
+    const bool even = rec.kind == "additivefoam" && rec.stage == 1;
+    const bool odd = rec.kind == "additivefoam" && rec.stage == 2;
+    if (even) last_even_end = std::max(last_even_end, rec.end_time);
+    if (odd) first_odd_start = std::min(first_odd_start, rec.start_time);
+  }
+  EXPECT_GE(first_odd_start, last_even_end);
+}
+
+}  // namespace
+}  // namespace hhc::entk

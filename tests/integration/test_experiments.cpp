@@ -1,0 +1,214 @@
+// Integration tests: scaled-down versions of the paper experiments (the
+// full-scale versions live in bench/). Each test asserts the *shape* the
+// paper reports, per EXPERIMENTS.md.
+#include <gtest/gtest.h>
+
+#include "atlas/cloud_runner.hpp"
+#include "atlas/hpc_runner.hpp"
+#include "cws/strategies.hpp"
+#include "cws/wms.hpp"
+#include "entk/app_manager.hpp"
+#include "entk/exaam.hpp"
+#include "llm/agents.hpp"
+#include "llm/phyloflow.hpp"
+#include "support/thread_pool.hpp"
+#include "workflow/generators.hpp"
+
+namespace hhc {
+namespace {
+
+// ---- E1/E2 (Figs 4 and 5), scaled 1:10 ------------------------------------
+
+TEST(Experiments, EntkUtilizationShape) {
+  sim::Simulation sim;
+  cluster::Cluster pilot(cluster::frontier_like(800));
+  entk::EntkConfig cfg;
+  cfg.scheduling_rate = 269;
+  cfg.launching_rate = 51;
+  cfg.bootstrap_overhead = 85;
+  entk::ExaamScale scale;
+  scale.exaconstit_tasks = 787;  // 1:10 of the paper's 7875
+  entk::AppManager app(sim, pilot, cfg, Rng(1));
+  app.add_pipeline(entk::make_stage3(scale, 2));
+  const entk::RunReport r = app.run();
+
+  EXPECT_EQ(r.tasks_completed + r.terminal_failures, 788u);
+  EXPECT_EQ(r.terminal_failures, 2u);
+  // Fig 4 shape: OVH is a sliver, utilization high.
+  EXPECT_LT(r.ovh, 0.05 * r.job_runtime());
+  EXPECT_GT(r.core_utilization, 0.7);
+  EXPECT_GT(r.gpu_utilization, 0.7);
+  EXPECT_GT(r.ttx, 0.0);
+  // Fig 5 shape: peak concurrency bounded by pilot capacity (800/8 = 100).
+  EXPECT_LE(r.executing_series.max_value(), 100.0);
+  EXPECT_GT(r.executing_series.max_value(), 90.0);
+}
+
+TEST(Experiments, EntkSchedulingFasterThanLaunching) {
+  sim::Simulation sim;
+  cluster::Cluster pilot(cluster::frontier_like(400));
+  entk::EntkConfig cfg;
+  cfg.scheduling_rate = 269;
+  cfg.launching_rate = 51;
+  cfg.bootstrap_overhead = 0;
+  entk::ExaamScale scale;
+  scale.exaconstit_tasks = 300;
+  entk::AppManager app(sim, pilot, cfg, Rng(2));
+  app.add_pipeline(entk::make_stage3(scale));
+  (void)app.run();
+
+  // Measure the initial slopes from the trace (first 0.5 s window).
+  const auto scheduled = app.trace().filter("task", "scheduled");
+  const auto launched = app.trace().filter("task", "exec_start");
+  auto rate_of = [](const std::vector<sim::TraceEvent>& events, double window) {
+    std::size_t n = 0;
+    const double t0 = events.front().time;
+    for (const auto& e : events)
+      if (e.time <= t0 + window) ++n;
+    return static_cast<double>(n) / window;
+  };
+  const double sched_rate = rate_of(scheduled, 0.5);
+  const double launch_rate = rate_of(launched, 0.5);
+  EXPECT_NEAR(sched_rate, 269.0, 30.0);
+  EXPECT_NEAR(launch_rate, 51.0, 10.0);
+  EXPECT_GT(sched_rate, 3.0 * launch_rate);
+}
+
+// ---- E6 (CWSI makespan reduction), small suite -----------------------------
+
+SimTime cwsi_makespan(const std::string& strategy, const wf::Workflow& w) {
+  sim::Simulation sim;
+  cluster::Cluster cl(cluster::heterogeneous_cwsi_cluster(4));
+  cws::WorkflowRegistry registry;
+  cws::ProvenanceStore provenance;
+  cws::LotaruPredictor predictor;
+  cluster::ResourceManager rm(
+      sim, cl, cws::make_strategy(strategy, registry, predictor, provenance));
+  cws::WorkflowEngine engine(sim, rm, &registry, &provenance, &predictor);
+  const auto result = engine.run_to_completion(w);
+  EXPECT_TRUE(result.success);
+  return result.makespan();
+}
+
+TEST(Experiments, CwsiStrategiesBeatBaselineOnAverage) {
+  Rng rng(42);
+  wf::GenParams params;
+  params.cores_per_task = 4;
+  const auto suite = wf::make_cwsi_suite(rng, params);
+  double baseline_total = 0, best_total = 0;
+  for (const auto& entry : suite) {
+    const SimTime base = cwsi_makespan("fifo-fit", entry.workflow);
+    SimTime best = base;
+    for (const char* s : {"cws-rank", "cws-filesize", "cws-heft", "cws-tarema"})
+      best = std::min(best, cwsi_makespan(s, entry.workflow));
+    baseline_total += base;
+    best_total += best;
+  }
+  // Workflow-aware scheduling helps on aggregate (paper: avg 10.8%).
+  EXPECT_LT(best_total, baseline_total);
+}
+
+// ---- E4/E5 (Tables 1 and 2), 1:3 corpus ------------------------------------
+
+TEST(Experiments, AtlasCloudVsHpcTableShape) {
+  atlas::CorpusParams params;
+  params.files = 33;
+  const auto corpus = atlas::make_corpus(params, Rng(7));
+  const auto cloud = atlas::run_on_cloud(corpus, {});
+  const auto hpc = atlas::run_on_hpc(corpus);
+
+  // Table 1 shape (cloud metrics).
+  const auto& salmon = cloud.aggregate.steps[2];
+  EXPECT_GT(salmon.cpu_mean.mean(), 85.0);          // paper: 94%
+  const auto& fasterq = cloud.aggregate.steps[1];
+  EXPECT_GT(fasterq.iowait_mean.mean(), 15.0);      // paper: 26%
+  EXPECT_LT(salmon.iowait_mean.mean(), 5.0);        // paper: 1.5%
+  EXPECT_GT(salmon.mem_max.max(), 1.5e9);           // paper: up to 2.8 GB
+
+  // Table 2 shape (relative performance).
+  EXPECT_GT(hpc.aggregate.steps[0].durations.mean(),
+            2 * cloud.aggregate.steps[0].durations.mean());  // prefetch
+  EXPECT_LT(hpc.aggregate.steps[2].durations.mean(),
+            cloud.aggregate.steps[2].durations.mean());      // salmon
+}
+
+// ---- E10 (LLM composition) --------------------------------------------------
+
+TEST(Experiments, DebuggerLiftsSuccessRateUnderInjectedErrors) {
+  auto success_rate = [&](bool debugger, double miscall) {
+    int ok = 0;
+    const int trials = 20;
+    for (int i = 0; i < trials; ++i) {
+      sim::Simulation sim;
+      llm::FutureStore futures;
+      llm::FunctionRegistry registry;
+      llm::register_phyloflow(registry, futures, sim,
+                              Rng(100 + static_cast<std::uint64_t>(i)));
+      llm::ModelConfig mc;
+      mc.miscall_probability = miscall;
+      llm::ModelStub stub(mc, Rng(200 + static_cast<std::uint64_t>(i)));
+      stub.add_recipe(llm::phyloflow_recipe());
+      llm::AgentConfig ac;
+      ac.debugger_enabled = debugger;
+      ac.human_fallback = false;
+      llm::AgentOrchestrator orchestrator(sim, registry, futures, stub, ac);
+      bool success = false;
+      orchestrator.run("run phyloflow on tumor.vcf",
+                       [&](llm::AgentOutcome o) { success = o.success; });
+      sim.run();
+      if (success) ++ok;
+    }
+    return static_cast<double>(ok) / trials;
+  };
+  const double with_debugger = success_rate(true, 0.3);
+  const double without_debugger = success_rate(false, 0.3);
+  EXPECT_GT(with_debugger, 0.9);
+  EXPECT_LT(without_debugger, 0.5);
+}
+
+// ---- Determinism across the stack -------------------------------------------
+
+TEST(Experiments, EndToEndRunsAreDeterministic) {
+  auto one_run = [] {
+    sim::Simulation sim;
+    cluster::Cluster pilot(cluster::frontier_like(100));
+    entk::EntkConfig cfg;
+    cfg.bootstrap_overhead = 10;
+    entk::ExaamScale scale;
+    scale.exaconstit_tasks = 40;
+    entk::AppManager app(sim, pilot, cfg, Rng(77));
+    app.add_pipeline(entk::make_stage3(scale));
+    return app.run();
+  };
+  const entk::RunReport a = one_run();
+  const entk::RunReport b = one_run();
+  EXPECT_EQ(a.job_end, b.job_end);
+  EXPECT_EQ(a.core_utilization, b.core_utilization);
+  EXPECT_EQ(a.task_runtimes.mean(), b.task_runtimes.mean());
+}
+
+TEST(Experiments, ParallelReplicasMatchSerialReplicas) {
+  // Experiment sweeps run replicas on a thread pool; each replica owns its
+  // simulation, so parallel results must equal serial ones bit-for-bit.
+  auto replica = [](std::uint64_t seed) {
+    sim::Simulation sim;
+    cluster::Cluster cl(cluster::heterogeneous_cwsi_cluster(2));
+    cws::WorkflowRegistry registry;
+    cws::ProvenanceStore provenance;
+    cws::NullPredictor predictor;
+    cluster::ResourceManager rm(
+        sim, cl, cws::make_strategy("cws-rank", registry, predictor, provenance));
+    cws::WorkflowEngine engine(sim, rm, &registry, &provenance, &predictor);
+    const wf::Workflow w = wf::make_montage_like(12, Rng(seed));
+    return engine.run_to_completion(w).makespan();
+  };
+
+  std::vector<double> serial(8), parallel(8);
+  for (std::size_t i = 0; i < 8; ++i) serial[i] = replica(i);
+  ThreadPool pool(4);
+  pool.parallel_for(8, [&](std::size_t i) { parallel[i] = replica(i); });
+  EXPECT_EQ(serial, parallel);
+}
+
+}  // namespace
+}  // namespace hhc

@@ -1,0 +1,195 @@
+#include "jaws/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/schedulers.hpp"
+#include "jaws/wdl_parser.hpp"
+
+namespace hhc::jaws {
+namespace {
+
+const char* kPipelineWdl = R"(
+task stepA {
+  input { String sample }
+  command { a ${sample} }
+  runtime { cpu: 1  memory: "2G"  container: "img:1"  minutes: 5 }
+  output { File out = "a.out" }
+}
+task stepB {
+  input { File data }
+  command { b ${data} }
+  runtime { cpu: 1  memory: "2G"  container: "img:1"  minutes: 5 }
+  output { File out = "b.out" }
+}
+task merge {
+  input { Array[File] parts }
+  command { cat ${parts} }
+  runtime { cpu: 1  memory: "2G"  container: "img:1"  minutes: 2 }
+  output { File out = "merged.out" }
+}
+workflow pipe {
+  input { Array[String] samples }
+  scatter (s in samples) {
+    call stepA { input: sample = s }
+    call stepB { input: data = stepA.out }
+  }
+  call merge { input: parts = stepB.out }
+}
+)";
+
+struct EngineFixture : ::testing::Test {
+  sim::Simulation sim;
+  cluster::Cluster cl{cluster::homogeneous_cluster(4, 16, gib(64))};
+  cluster::ResourceManager rm{sim, cl,
+                              std::make_unique<cluster::FifoFitScheduler>(),
+                              cluster::ResourceManagerConfig{.model_io = false}};
+
+  JsonObject samples(int n) {
+    Json arr = Json::array();
+    for (int i = 0; i < n; ++i) arr.push_back("s" + std::to_string(i));
+    JsonObject inputs;
+    inputs.emplace("samples", std::move(arr));
+    return inputs;
+  }
+};
+
+TEST_F(EngineFixture, RunsScatteredPipeline) {
+  CromwellEngine engine(sim, rm, EngineConfig{.call_cache = false});
+  const Document doc = parse_wdl(kPipelineWdl);
+  const JawsRunResult r = engine.run_to_completion(doc, "pipe", samples(4));
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(r.shards, 4u * 2u + 1u);
+  EXPECT_EQ(r.executed, 9u);
+  EXPECT_EQ(r.cache_hits, 0u);
+  EXPECT_GT(r.makespan(), 0.0);
+}
+
+TEST_F(EngineFixture, DependenciesOrderExecution) {
+  CromwellEngine engine(sim, rm, EngineConfig{.call_cache = false});
+  const Document doc = parse_wdl(kPipelineWdl);
+  const JawsRunResult r = engine.run_to_completion(doc, "pipe", samples(2));
+  EXPECT_TRUE(r.success);
+  // merge consumed a gathered array of both stepB outputs.
+  const Json& parts = r.call_outputs.at("merge.out");
+  EXPECT_TRUE(parts.is_string());
+  bool found_gather = false;
+  for (const auto& [key, value] : r.call_outputs)
+    if (key.rfind("stepB", 0) == 0) found_gather = true;
+  EXPECT_TRUE(found_gather);
+}
+
+TEST_F(EngineFixture, CallCachingSkipsRepeatedWork) {
+  CromwellEngine engine(sim, rm, EngineConfig{.call_cache = true});
+  const Document doc = parse_wdl(kPipelineWdl);
+  const JawsRunResult first = engine.run_to_completion(doc, "pipe", samples(3));
+  EXPECT_EQ(first.cache_hits, 0u);
+  EXPECT_GT(engine.cache_size(), 0u);
+  const JawsRunResult second = engine.run_to_completion(doc, "pipe", samples(3));
+  EXPECT_TRUE(second.success);
+  EXPECT_EQ(second.cache_hits, second.shards);
+  EXPECT_LT(second.makespan(), first.makespan() * 0.1);
+}
+
+TEST_F(EngineFixture, PartialCacheHit) {
+  CromwellEngine engine(sim, rm, EngineConfig{.call_cache = true});
+  const Document doc = parse_wdl(kPipelineWdl);
+  (void)engine.run_to_completion(doc, "pipe", samples(2));
+  // A third, new sample: only its own shard-chain misses.
+  const JawsRunResult r = engine.run_to_completion(doc, "pipe", samples(3));
+  EXPECT_TRUE(r.success);
+  EXPECT_GE(r.cache_hits, 4u);  // the two old shard-chains
+  EXPECT_LT(r.cache_hits, r.shards);
+}
+
+TEST_F(EngineFixture, TaskOverheadExtendsRuntime) {
+  const Document doc = parse_wdl(kPipelineWdl);
+  EngineConfig no_ovh;
+  no_ovh.call_cache = false;
+  no_ovh.task_overhead = 0;
+  EngineConfig big_ovh;
+  big_ovh.call_cache = false;
+  big_ovh.task_overhead = 120;
+  CromwellEngine fast_engine(sim, rm, no_ovh);
+  const auto fast = fast_engine.run_to_completion(doc, "pipe", samples(2));
+  CromwellEngine slow_engine(sim, rm, big_ovh);
+  const auto slow = slow_engine.run_to_completion(doc, "pipe", samples(2));
+  // Chain depth 3 (A -> B -> merge): at least 3 x 120 s longer.
+  EXPECT_GE(slow.makespan(), fast.makespan() + 3 * 120.0 - 1e-6);
+}
+
+TEST_F(EngineFixture, MinutesPerGbUsesCatalogSizes) {
+  const char* wdl = R"(
+task big {
+  input { File data }
+  command { crunch ${data} }
+  runtime { cpu: 1  memory: "2G"  container: "i"  minutes: 1  minutes_per_gb: 10 }
+  output { File out = "o" }
+}
+workflow w {
+  input { File blob }
+  call big { input: data = blob }
+}
+)";
+  const Document doc = parse_wdl(wdl);
+  EngineConfig cfg;
+  cfg.call_cache = false;
+  cfg.task_overhead = 0;
+  CromwellEngine engine(sim, rm, cfg);
+  engine.set_file_size("/data/blob.bin", gib(4));
+  JsonObject inputs;
+  inputs.emplace("blob", Json("/data/blob.bin"));
+  const JawsRunResult r = engine.run_to_completion(doc, "w", inputs);
+  // 1 min base + 10 min/GiB x 4 GiB = 41 minutes.
+  EXPECT_NEAR(r.makespan(), 41 * 60.0, 1.0);
+}
+
+TEST_F(EngineFixture, MissingWorkflowInputThrows) {
+  CromwellEngine engine(sim, rm);
+  const Document doc = parse_wdl(kPipelineWdl);
+  EXPECT_THROW(engine.run_to_completion(doc, "pipe", {}), WdlError);
+  EXPECT_THROW(engine.run_to_completion(doc, "nope", samples(1)), WdlError);
+}
+
+TEST_F(EngineFixture, WorkflowInputDefaultsApply) {
+  const char* wdl = R"(
+task t {
+  input { String x }
+  command { echo ${x} }
+  runtime { container: "i"  minutes: 1 }
+  output { File out = "o" }
+}
+workflow w {
+  input { Array[String] xs = ["one", "two"] }
+  scatter (x in xs) { call t { input: x = x } }
+}
+)";
+  CromwellEngine engine(sim, rm, EngineConfig{.call_cache = false});
+  const JawsRunResult r = engine.run_to_completion(parse_wdl(wdl), "w", {});
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(r.shards, 2u);
+}
+
+TEST_F(EngineFixture, EmptyScatterCompletesInstantly) {
+  CromwellEngine engine(sim, rm);
+  const Document doc = parse_wdl(kPipelineWdl);
+  const JawsRunResult r = engine.run_to_completion(doc, "pipe", samples(0));
+  // Only the merge call remains (gather over nothing).
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(r.shards, 1u);
+}
+
+TEST_F(EngineFixture, OutputsAreNamespacedByCall) {
+  CromwellEngine engine(sim, rm, EngineConfig{.call_cache = false});
+  const Document doc = parse_wdl(kPipelineWdl);
+  const JawsRunResult r = engine.run_to_completion(doc, "pipe", samples(1));
+  bool saw_namespaced = false;
+  for (const auto& [key, value] : r.call_outputs) {
+    if (value.is_string() &&
+        value.as_string().find('/') != std::string::npos)
+      saw_namespaced = true;
+  }
+  EXPECT_TRUE(saw_namespaced);
+}
+
+}  // namespace
+}  // namespace hhc::jaws

@@ -1,0 +1,146 @@
+#include "jaws/linter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "jaws/wdl_parser.hpp"
+
+namespace hhc::jaws {
+namespace {
+
+bool has_rule(const std::vector<LintFinding>& findings, LintRule rule,
+              const std::string& subject = {}) {
+  for (const auto& f : findings)
+    if (f.rule == rule && (subject.empty() || f.subject == subject)) return true;
+  return false;
+}
+
+TEST(Linter, CleanDocumentHasNoFindings) {
+  const Document doc = parse_wdl(R"(
+task good {
+  input { String x }
+  command { tool ${x} }
+  runtime { cpu: 1  memory: "2G"  container: "img:sha256"  minutes: 45 }
+  output { File out = "o" }
+}
+workflow w {
+  input { Array[String] xs = ["a"] }
+  scatter (x in xs) { call good { input: x = x } }
+}
+)");
+  const auto findings = lint_document(doc);
+  // The scatter width is runtime-dependent only when the collection is an
+  // identifier; here it's a default literal bound at workflow level, which
+  // still reads as an identifier reference inside the scatter.
+  for (const auto& f : findings)
+    EXPECT_EQ(f.rule, LintRule::UnconstrainedParallelism) << render_findings(findings);
+}
+
+TEST(Linter, FlagsMissingContainer) {
+  const Document doc = parse_wdl(R"(
+task naked { command { x } output { File o = "o" } }
+)");
+  const auto findings = lint_document(doc);
+  EXPECT_TRUE(has_rule(findings, LintRule::MissingContainer, "naked"));
+}
+
+TEST(Linter, FlagsMissingOutputs) {
+  const Document doc = parse_wdl(R"(
+task sink { command { x } runtime { container: "i" } }
+)");
+  EXPECT_TRUE(has_rule(lint_document(doc), LintRule::MissingOutputs, "sink"));
+}
+
+TEST(Linter, FlagsShortScatterTasks) {
+  const Document doc = parse_wdl(R"(
+task tiny {
+  input { String x }
+  command { t ${x} }
+  runtime { container: "i"  minutes: 2 }
+  output { File o = "o" }
+}
+workflow w {
+  scatter (x in ["a", "b"]) { call tiny { input: x = x } }
+}
+)");
+  const auto findings = lint_document(doc);
+  EXPECT_TRUE(has_rule(findings, LintRule::ShortScatterTask, "tiny"));
+}
+
+TEST(Linter, NoShortTaskFindingOutsideScatter) {
+  const Document doc = parse_wdl(R"(
+task tiny {
+  command { t }
+  runtime { container: "i"  minutes: 2 }
+  output { File o = "o" }
+}
+workflow w { call tiny }
+)");
+  EXPECT_FALSE(has_rule(lint_document(doc), LintRule::ShortScatterTask));
+}
+
+TEST(Linter, FlagsWideStaticScatter) {
+  std::string wdl = R"(
+task t { input { String x } command { t } runtime { container: "i"  minutes: 45 } output { File o = "o" } }
+workflow w { scatter (x in [)";
+  for (int i = 0; i < 150; ++i) wdl += (i ? ", \"s\"" : "\"s\"");
+  wdl += "]) { call t { input: x = x } } }";
+  const auto findings = lint_document(parse_wdl(wdl));
+  EXPECT_TRUE(has_rule(findings, LintRule::UnconstrainedParallelism));
+}
+
+TEST(Linter, FlagsRuntimeDependentScatterWidth) {
+  const Document doc = parse_wdl(R"(
+task t { input { String x } command { t } runtime { container: "i"  minutes: 45 } output { File o = "o" } }
+workflow w {
+  input { Array[String] xs }
+  scatter (x in xs) { call t { input: x = x } }
+}
+)");
+  EXPECT_TRUE(has_rule(lint_document(doc), LintRule::UnconstrainedParallelism));
+}
+
+TEST(Linter, FlagsMonolithicCommand) {
+  const Document doc = parse_wdl(R"(
+task kitchen_sink {
+  command { prefetch x && fasterq-dump y && salmon quant z && Rscript deseq.R }
+  runtime { container: "i"  minutes: 60 }
+  output { File o = "o" }
+}
+)");
+  EXPECT_TRUE(has_rule(lint_document(doc), LintRule::MonolithicTask, "kitchen_sink"));
+}
+
+TEST(Linter, FlagsFusableChains) {
+  const Document doc = parse_wdl(R"(
+task a { input { String x } command { a } runtime { container: "i"  minutes: 2 } output { File o = "o" } }
+task b { input { File i } command { b } runtime { container: "i"  minutes: 2 } output { File o = "o" } }
+task c { input { File i } command { c } runtime { container: "i"  minutes: 2 } output { File o = "o" } }
+workflow w {
+  scatter (x in ["s1", "s2"]) {
+    call a { input: x = x }
+    call b { input: i = a.o }
+    call c { input: i = b.o }
+  }
+}
+)");
+  const auto findings = lint_document(doc);
+  EXPECT_TRUE(has_rule(findings, LintRule::FusableChain));
+}
+
+TEST(Linter, RenderFindingsReadable) {
+  std::vector<LintFinding> findings{
+      {LintRule::MissingContainer, "t", "no container image"}};
+  const std::string text = render_findings(findings);
+  EXPECT_NE(text.find("missing-container"), std::string::npos);
+  EXPECT_NE(text.find("t:"), std::string::npos);
+  EXPECT_EQ(render_findings({}), "no findings\n");
+}
+
+TEST(Linter, RuleNamesDistinct) {
+  EXPECT_STREQ(to_string(LintRule::MissingContainer), "missing-container");
+  EXPECT_STREQ(to_string(LintRule::ShortScatterTask), "short-scatter-task");
+  EXPECT_STREQ(to_string(LintRule::FusableChain), "fusable-chain");
+}
+
+}  // namespace
+}  // namespace hhc::jaws

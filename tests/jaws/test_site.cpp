@@ -1,0 +1,186 @@
+#include "jaws/site.hpp"
+
+#include <gtest/gtest.h>
+
+#include "jaws/wdl_parser.hpp"
+
+namespace hhc::jaws {
+namespace {
+
+const char* kScatterWdl = R"(
+task crunch {
+  input { String x }
+  command { crunch ${x} }
+  runtime { cpu: 4  memory: "8G"  container: "img:1"  minutes: 30 }
+  output { File out = "o" }
+}
+workflow heavy {
+  input { Array[String] xs }
+  scatter (x in xs) { call crunch { input: x = x } }
+}
+task quick {
+  input { String x }
+  command { quick ${x} }
+  runtime { cpu: 4  memory: "8G"  container: "img:1"  minutes: 5 }
+  output { File out = "o" }
+}
+workflow small {
+  input { String item }
+  call quick { input: x = item }
+}
+)";
+
+SiteConfig small_site(bool fair_share) {
+  SiteConfig cfg;
+  cfg.name = "perlmutter";
+  cfg.cluster = cluster::homogeneous_cluster(2, 8, gib(64));
+  cfg.fair_share = fair_share;
+  cfg.engine.call_cache = false;
+  cfg.engine.task_overhead = 0;
+  return cfg;
+}
+
+JsonObject many(int n) {
+  Json arr = Json::array();
+  for (int i = 0; i < n; ++i) arr.push_back("x" + std::to_string(i));
+  JsonObject inputs;
+  inputs.emplace("xs", std::move(arr));
+  return inputs;
+}
+
+TEST(Site, TransferTimeModel) {
+  sim::Simulation sim;
+  SiteConfig cfg = small_site(true);
+  cfg.globus_bandwidth = 100e6;
+  cfg.transfer_latency = 5;
+  Site site(sim, cfg);
+  EXPECT_NEAR(site.transfer_time(static_cast<Bytes>(1e9)), 15.0, 1e-9);
+  EXPECT_EQ(site.transfer_time(0), 0.0);
+}
+
+TEST(JawsService, SubmitsAcrossSites) {
+  sim::Simulation sim;
+  JawsService service(sim);
+  service.add_site(small_site(true));
+  SiteConfig other = small_site(true);
+  other.name = "tahoma";
+  service.add_site(other);
+  EXPECT_EQ(service.site_count(), 2u);
+  EXPECT_THROW(service.add_site(small_site(true)), std::invalid_argument);
+  EXPECT_THROW(service.site("dori"), std::invalid_argument);
+
+  const Document doc = parse_wdl(kScatterWdl);
+  JawsSubmission sub;
+  sub.doc = &doc;
+  sub.workflow = "small";
+  sub.inputs.emplace("item", Json("a"));
+  sub.site = "tahoma";
+  sub.user = "alice";
+  JawsRunResult result;
+  bool done = false;
+  service.submit(sub, [&](JawsRunResult r) {
+    result = std::move(r);
+    done = true;
+  });
+  sim.run();
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(result.success);
+}
+
+TEST(JawsService, TransfersExtendMakespan) {
+  sim::Simulation sim;
+  JawsService service(sim);
+  SiteConfig cfg = small_site(true);
+  cfg.globus_bandwidth = 100e6;
+  cfg.transfer_latency = 0;
+  service.add_site(cfg);
+
+  const Document doc = parse_wdl(kScatterWdl);
+  auto run_with_bytes = [&](Bytes stage_in) {
+    JawsSubmission sub;
+    sub.doc = &doc;
+    sub.workflow = "small";
+    sub.inputs.emplace("item", Json("a"));
+    sub.site = "perlmutter";
+    sub.stage_in_bytes = stage_in;
+    SimTime makespan = 0;
+    bool done = false;
+    service.submit(sub, [&](JawsRunResult r) {
+      makespan = r.makespan();
+      done = true;
+    });
+    sim.run();
+    EXPECT_TRUE(done);
+    return makespan;
+  };
+  const SimTime bare = run_with_bytes(0);
+  const SimTime heavy = run_with_bytes(static_cast<Bytes>(10e9));  // +100 s
+  EXPECT_NEAR(heavy - bare, 100.0, 1.0);
+}
+
+TEST(FairShare, PreventsScatterMonopoly) {
+  // User A's 40-shard scatter floods the queue, then user B submits one
+  // quick task. Without fair share B waits for most of A's shards; with
+  // fair share B's task starts at the next slot.
+  auto run_case = [&](bool fair) {
+    sim::Simulation sim;
+    JawsService service(sim);
+    service.add_site(small_site(fair));
+    const Document doc = parse_wdl(kScatterWdl);
+
+    JawsSubmission big;
+    big.doc = &doc;
+    big.workflow = "heavy";
+    big.inputs = many(40);
+    big.site = "perlmutter";
+    big.user = "hog";
+    service.submit(big, [](JawsRunResult r) { EXPECT_TRUE(r.success); });
+
+    SimTime b_makespan = 0;
+    // B arrives shortly after A's flood.
+    sim.schedule_in(60, [&] {
+      JawsSubmission small_sub;
+      small_sub.doc = &doc;
+      small_sub.workflow = "small";
+      small_sub.inputs.emplace("item", Json("b"));
+      small_sub.site = "perlmutter";
+      small_sub.user = "polite";
+      service.submit(small_sub, [&](JawsRunResult r) {
+        EXPECT_TRUE(r.success);
+        b_makespan = r.makespan();
+      });
+    });
+    sim.run();
+    return b_makespan;
+  };
+
+  const SimTime with_fair = run_case(true);
+  const SimTime without_fair = run_case(false);
+  // 2 nodes x 8 cores / 4 cores per task = 4 slots; 40 shards x 30 min.
+  // FIFO makes B wait ~10 waves; fair share bounds the wait to ~1 wave.
+  EXPECT_LT(with_fair, without_fair * 0.25);
+}
+
+TEST(FairShareScheduler, NameAndBasicPlacement) {
+  sim::Simulation sim;
+  cluster::Cluster cl(cluster::homogeneous_cluster(1, 4, gib(16)));
+  cluster::ResourceManager rm(sim, cl, std::make_unique<FairShareScheduler>(),
+                              cluster::ResourceManagerConfig{.model_io = false});
+  EXPECT_EQ(rm.scheduler().name(), "fair-share");
+  int completed = 0;
+  for (int i = 0; i < 3; ++i) {
+    cluster::JobRequest r;
+    r.name = "t";
+    r.user = "u" + std::to_string(i % 2);
+    r.resources.cores_per_node = 2;
+    r.runtime = 10;
+    rm.submit(r, [&](const cluster::JobRecord& rec) {
+      if (rec.state == cluster::JobState::Completed) ++completed;
+    });
+  }
+  sim.run();
+  EXPECT_EQ(completed, 3);
+}
+
+}  // namespace
+}  // namespace hhc::jaws

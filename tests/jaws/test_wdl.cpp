@@ -1,0 +1,193 @@
+#include "jaws/wdl_parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/units.hpp"
+
+namespace hhc::jaws {
+using hhc::gib;
+using hhc::mib;
+namespace {
+
+const char* kAtlasWdl = R"(
+# Salmon-path transcriptomics pipeline (paper section 5) in mini-WDL.
+task prefetch {
+  input { String id }
+  command { prefetch ${id} }
+  runtime { cpu: 1  memory: "2G"  container: "sra-tools:3.0"  minutes: 2 }
+  output { File sra = "out.sra" }
+}
+task fasterq {
+  input { File sra }
+  command { fasterq-dump ${sra} }
+  runtime { cpu: 2  memory: "4G"  container: "sra-tools:3.0"  minutes: 3 }
+  output { File fastq = "out.fastq" }
+}
+task salmon {
+  input { File fastq }
+  command { salmon quant -i index -r ${fastq} }
+  runtime { cpu: 2  memory: "8G"  container: "salmon:1.9"  minutes: 10  minutes_per_gb: 2 }
+  output { File quant = "quant.sf" }
+}
+workflow atlas {
+  input { Array[String] samples }
+  scatter (s in samples) {
+    call prefetch { input: id = s }
+    call fasterq { input: sra = prefetch.sra }
+    call salmon { input: fastq = fasterq.fastq }
+  }
+}
+)";
+
+TEST(WdlParser, ParsesTasksAndWorkflow) {
+  const Document doc = parse_wdl(kAtlasWdl);
+  EXPECT_EQ(doc.tasks.size(), 3u);
+  ASSERT_EQ(doc.workflows.size(), 1u);
+  EXPECT_NE(doc.find_task("salmon"), nullptr);
+  EXPECT_EQ(doc.find_task("star"), nullptr);
+  EXPECT_NE(doc.find_workflow("atlas"), nullptr);
+  EXPECT_NO_THROW(check_document(doc));
+}
+
+TEST(WdlParser, TaskSections) {
+  const Document doc = parse_wdl(kAtlasWdl);
+  const TaskDef* salmon = doc.find_task("salmon");
+  ASSERT_NE(salmon, nullptr);
+  ASSERT_EQ(salmon->inputs.size(), 1u);
+  EXPECT_EQ(salmon->inputs[0].name, "fastq");
+  EXPECT_EQ(salmon->inputs[0].type.base, BaseType::File);
+  EXPECT_NE(salmon->command.find("salmon quant"), std::string::npos);
+  EXPECT_DOUBLE_EQ(salmon->runtime.cpu, 2.0);
+  EXPECT_EQ(salmon->runtime.container, "salmon:1.9");
+  EXPECT_DOUBLE_EQ(salmon->runtime.minutes, 10.0);
+  EXPECT_DOUBLE_EQ(salmon->runtime.minutes_per_gb, 2.0);
+  ASSERT_EQ(salmon->outputs.size(), 1u);
+  EXPECT_EQ(salmon->outputs[0].name, "quant");
+}
+
+TEST(WdlParser, MemoryStringParsing) {
+  RuntimeAttrs rt;
+  rt.memory = "4G";
+  EXPECT_EQ(rt.memory_bytes(), gib(4));
+  rt.memory = "512M";
+  EXPECT_EQ(rt.memory_bytes(), mib(512));
+  rt.memory = "1024";
+  EXPECT_EQ(rt.memory_bytes(), 1024u);
+  rt.memory = "junk";
+  EXPECT_EQ(rt.memory_bytes(), 0u);
+}
+
+TEST(WdlParser, WorkflowStructure) {
+  const Document doc = parse_wdl(kAtlasWdl);
+  const WorkflowDef& wf = doc.workflows[0];
+  ASSERT_EQ(wf.inputs.size(), 1u);
+  EXPECT_TRUE(wf.inputs[0].type.is_array);
+  ASSERT_EQ(wf.body.size(), 1u);
+  ASSERT_NE(wf.body[0].scatter, nullptr);
+  const ScatterStmt& sc = *wf.body[0].scatter;
+  EXPECT_EQ(sc.variable, "s");
+  EXPECT_EQ(sc.body.size(), 3u);
+  EXPECT_EQ(sc.body[1].call->task_name, "fasterq");
+  ASSERT_EQ(sc.body[1].call->inputs.size(), 1u);
+  EXPECT_EQ(sc.body[1].call->inputs[0].value->kind, Expr::Kind::MemberAccess);
+  EXPECT_EQ(sc.body[1].call->inputs[0].value->text, "prefetch");
+  EXPECT_EQ(sc.body[1].call->inputs[0].value->member, "sra");
+}
+
+TEST(WdlParser, CallAlias) {
+  const Document doc = parse_wdl(R"(
+task t { command { x } output { File o = "o" } }
+workflow w {
+  call t as first
+  call t as second { input: }
+}
+)");
+  const WorkflowDef& wf = doc.workflows[0];
+  EXPECT_EQ(wf.body[0].call->effective_name(), "first");
+  EXPECT_EQ(wf.body[1].call->effective_name(), "second");
+  EXPECT_NO_THROW(check_document(doc));
+}
+
+TEST(WdlParser, ArrayLiteralsAndDefaults) {
+  const Document doc = parse_wdl(R"(
+workflow w {
+  input { Array[String] xs = ["a", "b", "c"]  Int n = 3 }
+}
+)");
+  const WorkflowDef& wf = doc.workflows[0];
+  ASSERT_EQ(wf.inputs.size(), 2u);
+  ASSERT_NE(wf.inputs[0].default_value, nullptr);
+  EXPECT_EQ(wf.inputs[0].default_value->kind, Expr::Kind::ArrayLit);
+  EXPECT_EQ(wf.inputs[0].default_value->elements.size(), 3u);
+  EXPECT_DOUBLE_EQ(wf.inputs[1].default_value->number, 3.0);
+}
+
+TEST(WdlParser, CommentsIgnored) {
+  const Document doc = parse_wdl(R"(
+# full-line comment
+task t {  # trailing comment
+  command { run }  # another
+}
+)");
+  EXPECT_EQ(doc.tasks.size(), 1u);
+}
+
+TEST(WdlParser, NestedBracesInCommand) {
+  const Document doc = parse_wdl(R"(
+task t { command { awk '{print $1}' | sort } }
+)");
+  EXPECT_NE(doc.tasks[0].command.find("{print $1}"), std::string::npos);
+}
+
+TEST(WdlParser, SyntaxErrorsCarryLineNumbers) {
+  try {
+    parse_wdl("task {\n}");
+    FAIL() << "expected WdlError";
+  } catch (const WdlError& e) {
+    EXPECT_NE(std::string(e.what()).find("wdl:1"), std::string::npos);
+  }
+  EXPECT_THROW(parse_wdl("task t { command { unterminated"), WdlError);
+  EXPECT_THROW(parse_wdl("bogus top level"), WdlError);
+  EXPECT_THROW(parse_wdl("task t { input { Unknown x } }"), WdlError);
+  EXPECT_THROW(parse_wdl("workflow w { scatter (x of y) { } }"), WdlError);
+}
+
+TEST(WdlChecker, RejectsUnknownTaskCalls) {
+  const Document doc = parse_wdl("workflow w { call ghost }");
+  EXPECT_THROW(check_document(doc), WdlError);
+}
+
+TEST(WdlChecker, RejectsDuplicateAliases) {
+  const Document doc = parse_wdl(R"(
+task t { command { x } }
+workflow w { call t call t }
+)");
+  EXPECT_THROW(check_document(doc), WdlError);
+}
+
+TEST(WdlChecker, RejectsUnknownCallInput) {
+  const Document doc = parse_wdl(R"(
+task t { input { String a } command { x } }
+workflow w { call t { input: b = "v" } }
+)");
+  EXPECT_THROW(check_document(doc), WdlError);
+}
+
+TEST(WdlChecker, RejectsDuplicateTasks) {
+  const Document doc = parse_wdl(R"(
+task t { command { x } }
+task t { command { y } }
+)");
+  EXPECT_THROW(check_document(doc), WdlError);
+}
+
+TEST(WdlType, ToString) {
+  WdlType t;
+  t.base = BaseType::File;
+  EXPECT_EQ(t.to_string(), "File");
+  t.is_array = true;
+  EXPECT_EQ(t.to_string(), "Array[File]");
+}
+
+}  // namespace
+}  // namespace hhc::jaws

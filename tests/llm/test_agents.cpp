@@ -1,0 +1,119 @@
+#include "llm/agents.hpp"
+
+#include <gtest/gtest.h>
+
+#include "llm/phyloflow.hpp"
+
+namespace hhc::llm {
+namespace {
+
+struct AgentsFixture : ::testing::Test {
+  sim::Simulation sim;
+  FutureStore futures;
+  FunctionRegistry registry;
+
+  AgentOutcome run_agents(ModelConfig model_config, AgentConfig agent_config,
+                          double task_failure = 0.0,
+                          const std::string& instruction =
+                              "run phyloflow on tumor.vcf") {
+    PhyloflowConfig pf;
+    pf.task_failure_probability = task_failure;
+    register_phyloflow(registry, futures, sim, Rng(7), pf);
+    ModelStub stub(model_config, Rng(5));
+    stub.add_recipe(phyloflow_recipe());
+    AgentOrchestrator orchestrator(sim, registry, futures, stub, agent_config);
+    AgentOutcome outcome;
+    bool finished = false;
+    orchestrator.run(instruction, [&](AgentOutcome o) {
+      outcome = std::move(o);
+      finished = true;
+    });
+    sim.run();
+    EXPECT_TRUE(finished);
+    return outcome;
+  }
+};
+
+TEST_F(AgentsFixture, PlannerProducesResolvedPlan) {
+  register_phyloflow(registry, futures, sim, Rng(7));
+  ModelStub stub(ModelConfig{}, Rng(5));
+  stub.add_recipe(phyloflow_recipe());
+  AgentOrchestrator orchestrator(sim, registry, futures, stub);
+  const Plan plan = orchestrator.plan("run phyloflow on tumor.vcf");
+  ASSERT_EQ(plan.functions.size(), 4u);
+  EXPECT_EQ(plan.functions[0], "vcf_transform_from_file");
+  EXPECT_EQ(plan.functions[1], "pyclone_vi_from_futures");
+  EXPECT_EQ(plan.input, "tumor.vcf");
+}
+
+TEST_F(AgentsFixture, HappyPathNoRepairs) {
+  const AgentOutcome o = run_agents({}, {});
+  EXPECT_TRUE(o.success);
+  EXPECT_EQ(o.steps_executed, 4u);
+  EXPECT_EQ(o.repairs, 0u);
+  EXPECT_EQ(o.escalations, 0u);
+}
+
+TEST_F(AgentsFixture, DebuggerRepairsMiscalls) {
+  ModelConfig mc;
+  mc.miscall_probability = 0.5;
+  const AgentOutcome o = run_agents(mc, {});
+  EXPECT_TRUE(o.success);
+  EXPECT_EQ(o.steps_executed, 4u);
+  EXPECT_GT(o.repairs, 0u);
+}
+
+TEST_F(AgentsFixture, DebuggerDisabledEscalatesToHuman) {
+  ModelConfig mc;
+  mc.miscall_probability = 1.0;
+  AgentConfig ac;
+  ac.debugger_enabled = false;
+  ac.human_fallback = true;
+  const AgentOutcome o = run_agents(mc, ac);
+  EXPECT_TRUE(o.success);       // the human fixes every step...
+  EXPECT_EQ(o.escalations, 4u); // ...but is needed four times
+  EXPECT_EQ(o.repairs, 0u);
+}
+
+TEST_F(AgentsFixture, NoDebuggerNoHumanFails) {
+  ModelConfig mc;
+  mc.miscall_probability = 1.0;
+  AgentConfig ac;
+  ac.debugger_enabled = false;
+  ac.human_fallback = false;
+  const AgentOutcome o = run_agents(mc, ac);
+  EXPECT_FALSE(o.success);
+  EXPECT_FALSE(o.error.empty());
+}
+
+TEST_F(AgentsFixture, HumanLatencyShowsInMakespan) {
+  ModelConfig mc;
+  mc.miscall_probability = 1.0;
+  AgentConfig ac;
+  ac.debugger_enabled = false;
+  ac.human_fallback = true;
+  ac.human_latency = 900;
+  (void)run_agents(mc, ac);
+  // 4 escalations x 900 s of human time, plus app runtimes.
+  EXPECT_GE(sim.now(), 4 * 900.0);
+}
+
+TEST_F(AgentsFixture, UnplannableInstructionEscalates) {
+  const AgentOutcome o = run_agents({}, {}, 0.0, "fold the laundry");
+  EXPECT_FALSE(o.success);
+  EXPECT_EQ(o.steps_planned, 0u);
+  EXPECT_EQ(o.escalations, 1u);
+}
+
+TEST_F(AgentsFixture, TaskCrashRetriedByDebugger) {
+  // Every app attempt fails; debugger retries then hands to the human, who
+  // also fails (task_failure = 1.0) -> overall failure with repairs counted.
+  AgentConfig ac;
+  ac.max_repairs_per_step = 2;
+  const AgentOutcome o = run_agents({}, ac, /*task_failure=*/1.0);
+  EXPECT_FALSE(o.success);
+  EXPECT_GT(o.repairs, 0u);
+}
+
+}  // namespace
+}  // namespace hhc::llm

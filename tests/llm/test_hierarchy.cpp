@@ -1,0 +1,130 @@
+#include "llm/hierarchy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "llm/phyloflow.hpp"
+
+namespace hhc::llm {
+namespace {
+
+struct HierarchyFixture : ::testing::Test {
+  sim::Simulation sim;
+  FutureStore futures;
+  FunctionRegistry registry;
+
+  HierarchyOutcome run_chain(std::size_t steps, std::size_t segment_size,
+                             std::size_t token_budget) {
+    ModelConfig mc;
+    mc.token_budget = token_budget;
+    ModelStub stub(mc, Rng(5));
+    const Recipe flat = register_long_chain(registry, futures, sim, Rng(3), steps);
+    HierarchyConfig cfg;
+    cfg.segment_size = segment_size;
+    HierarchicalComposer composer(sim, registry, stub, cfg);
+    HierarchyOutcome outcome;
+    bool finished = false;
+    composer.run(flat, "input.dat", [&](HierarchyOutcome o) {
+      outcome = std::move(o);
+      finished = true;
+    });
+    sim.run();
+    EXPECT_TRUE(finished);
+    return outcome;
+  }
+};
+
+TEST_F(HierarchyFixture, ExecutesAllStepsAcrossSegments) {
+  const HierarchyOutcome o = run_chain(16, 4, 1u << 20);
+  EXPECT_TRUE(o.success) << o.error;
+  EXPECT_EQ(o.segments, 4u);
+  EXPECT_EQ(o.total_function_calls, 16u);
+  EXPECT_EQ(o.future_ids.size(), 16u);
+  EXPECT_EQ(futures.pending_count(), 0u);
+  EXPECT_EQ(futures.failed_count(), 0u);
+}
+
+TEST_F(HierarchyFixture, SegmentsChainThroughFutures) {
+  const HierarchyOutcome o = run_chain(8, 4, 1u << 20);
+  ASSERT_TRUE(o.success);
+  // Future ids are created in order; the 5th app (first of segment 2)
+  // depends on the 4th app's future — all resolved Done means the chain
+  // actually linked (a broken link fails the dependent).
+  for (const auto& id : o.future_ids) {
+    const AppFuture* f = futures.find(id);
+    ASSERT_NE(f, nullptr);
+    EXPECT_EQ(f->state, FutureState::Done);
+  }
+}
+
+TEST_F(HierarchyFixture, BoundsPromptTokensBySegment) {
+  // Flat 32-step chains blow a 4k context (see test_llm); segmented ones
+  // stay within it because each conversation holds one segment only.
+  const HierarchyOutcome o = run_chain(32, 4, 1u << 20);
+  ASSERT_TRUE(o.success);
+  EXPECT_LT(o.peak_prompt_tokens, 4096u);
+}
+
+TEST_F(HierarchyFixture, SucceedsUnderBudgetWhereFlatFails) {
+  // Same 48-step chain, 4k budget: flat fails on tokens, segmented passes.
+  ModelConfig mc;
+  mc.token_budget = 4096;
+  ModelStub stub(mc, Rng(5));
+  const Recipe flat = register_long_chain(registry, futures, sim, Rng(3), 48);
+
+  bool flat_ok = true;
+  std::string flat_error;
+  FunctionCallingLoop loop(sim, registry, stub, LoopConfig{.max_rounds = 100});
+  loop.run("run " + flat.keyword + " on input.dat", [&](LoopOutcome o) {
+    flat_ok = o.success;
+    flat_error = o.error;
+  });
+  sim.run();
+  EXPECT_FALSE(flat_ok);
+  EXPECT_NE(flat_error.find("token budget"), std::string::npos);
+
+  HierarchyConfig seg8;
+  seg8.segment_size = 8;
+  HierarchicalComposer composer(sim, registry, stub, seg8);
+  HierarchyOutcome outcome;
+  composer.run(flat, "input.dat", [&](HierarchyOutcome o) { outcome = std::move(o); });
+  sim.run();
+  EXPECT_TRUE(outcome.success) << outcome.error;
+  EXPECT_EQ(outcome.segments, 6u);
+}
+
+TEST_F(HierarchyFixture, SegmentSizeOneDegeneratesGracefully) {
+  const HierarchyOutcome o = run_chain(5, 1, 1u << 20);
+  EXPECT_TRUE(o.success);
+  EXPECT_EQ(o.segments, 5u);
+}
+
+TEST_F(HierarchyFixture, RejectsZeroSegmentSize) {
+  ModelStub stub(ModelConfig{}, Rng(5));
+  HierarchyConfig zero;
+  zero.segment_size = 0;
+  EXPECT_THROW(HierarchicalComposer(sim, registry, stub, zero),
+               std::invalid_argument);
+}
+
+TEST_F(HierarchyFixture, PropagatesSegmentFailure) {
+  ModelConfig mc;
+  mc.miscall_probability = 1.0;  // every call wrong; no error forwarding
+  ModelStub stub(mc, Rng(5));
+  const Recipe flat = register_long_chain(registry, futures, sim, Rng(3), 8);
+  HierarchyConfig seg4;
+  seg4.segment_size = 4;
+  HierarchicalComposer composer(sim, registry, stub, seg4);
+  HierarchyOutcome outcome;
+  bool finished = false;
+  composer.run(flat, "input.dat", [&](HierarchyOutcome o) {
+    outcome = std::move(o);
+    finished = true;
+  });
+  sim.run();
+  ASSERT_TRUE(finished);
+  EXPECT_FALSE(outcome.success);
+  EXPECT_NE(outcome.error.find("segment"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hhc::llm

@@ -1,0 +1,288 @@
+#include <gtest/gtest.h>
+
+#include "llm/conversation.hpp"
+#include "llm/functions.hpp"
+#include "llm/futures.hpp"
+#include "llm/model_stub.hpp"
+#include "llm/phyloflow.hpp"
+
+namespace hhc::llm {
+namespace {
+
+TEST(FutureStore, LifecycleAndWaiters) {
+  FutureStore store;
+  const std::string id = store.create(0);
+  EXPECT_EQ(id, "fut-1");
+  const AppFuture* f = store.find(id);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->state, FutureState::Pending);
+  EXPECT_EQ(store.pending_count(), 1u);
+
+  bool notified = false;
+  store.when_resolved(id, [&](const AppFuture& fut) {
+    notified = true;
+    EXPECT_EQ(fut.state, FutureState::Done);
+  });
+  Json out = Json::object();
+  out.set("file", "x.tsv");
+  store.complete(id, std::move(out), 5);
+  EXPECT_TRUE(notified);
+  EXPECT_EQ(store.pending_count(), 0u);
+  EXPECT_EQ(store.find(id)->resolved_at, 5.0);
+}
+
+TEST(FutureStore, ImmediateCallbackOnResolved) {
+  FutureStore store;
+  const std::string id = store.create(0);
+  store.fail(id, "boom", 1);
+  bool called = false;
+  store.when_resolved(id, [&](const AppFuture& fut) {
+    called = true;
+    EXPECT_EQ(fut.state, FutureState::Failed);
+    EXPECT_EQ(fut.error, "boom");
+  });
+  EXPECT_TRUE(called);
+  EXPECT_EQ(store.failed_count(), 1u);
+}
+
+TEST(FutureStore, DoubleResolveThrows) {
+  FutureStore store;
+  const std::string id = store.create(0);
+  store.complete(id, Json::object(), 1);
+  EXPECT_THROW(store.complete(id, Json::object(), 2), std::logic_error);
+  EXPECT_THROW(store.fail(id, "late", 2), std::logic_error);
+  EXPECT_THROW(store.complete("fut-99", Json::object(), 2), std::logic_error);
+}
+
+TEST(FunctionRegistry, AddFindValidate) {
+  FunctionRegistry reg;
+  FunctionSpec spec;
+  spec.name = "align";
+  spec.description = "aligns reads";
+  Json required = Json::array();
+  required.push_back("path");
+  Json params = Json::object();
+  params.set("required", std::move(required));
+  spec.parameters = std::move(params);
+  spec.handler = [](const Json&, std::function<void(FunctionResult)> done) {
+    done(FunctionResult::success(Json::object()));
+  };
+  reg.add(spec);
+
+  EXPECT_EQ(reg.size(), 1u);
+  EXPECT_NE(reg.find("align"), nullptr);
+  EXPECT_EQ(reg.find("nope"), nullptr);
+  Json good = Json::object();
+  good.set("path", "in.vcf");
+  EXPECT_TRUE(reg.validate_args("align", good).empty());
+  EXPECT_FALSE(reg.validate_args("align", Json::object()).empty());
+  EXPECT_FALSE(reg.validate_args("missing_fn", good).empty());
+  EXPECT_FALSE(reg.validate_args("align", Json(3)).empty());
+  EXPECT_THROW(reg.add(spec), std::invalid_argument);  // duplicate
+}
+
+TEST(FunctionRegistry, DescriptionsMatchOpenAiShape) {
+  sim::Simulation sim;
+  FutureStore futures;
+  FunctionRegistry reg;
+  register_phyloflow(reg, futures, sim, Rng(1));
+  const Json desc = reg.descriptions();
+  ASSERT_TRUE(desc.is_array());
+  EXPECT_EQ(desc.size(), 8u);  // 4 apps x 2 adapters
+  for (const auto& d : desc.as_array()) {
+    EXPECT_TRUE(d.contains("name"));
+    EXPECT_TRUE(d.contains("description"));
+    EXPECT_TRUE(d.at("parameters").contains("required"));
+  }
+}
+
+TEST(ModelStub, EstimatesTokens) {
+  EXPECT_EQ(estimate_tokens(""), 1u);
+  EXPECT_EQ(estimate_tokens("abcdefgh"), 3u);
+}
+
+struct StubFixture : ::testing::Test {
+  sim::Simulation sim;
+  FutureStore futures;
+  FunctionRegistry registry;
+
+  ModelStub make_stub(ModelConfig config = {}) {
+    register_phyloflow(registry, futures, sim, Rng(7));
+    ModelStub stub(config, Rng(5));
+    stub.add_recipe(phyloflow_recipe());
+    return stub;
+  }
+};
+
+TEST_F(StubFixture, EmitsFirstStepFromFile) {
+  ModelStub stub = make_stub();
+  std::vector<Message> conv{{Role::User, "run phyloflow on tumor.vcf", {}}};
+  const ModelReply reply = stub.chat(registry, conv);
+  EXPECT_TRUE(reply.is_function_call);
+  EXPECT_EQ(reply.function, "vcf_transform_from_file");
+  EXPECT_EQ(reply.arguments.at("path").as_string(), "tumor.vcf");
+}
+
+TEST_F(StubFixture, ChainsOnAnnouncedFuture) {
+  ModelStub stub = make_stub();
+  std::vector<Message> conv{
+      {Role::User, "run phyloflow on tumor.vcf", {}},
+      {Role::Function, R"({"future_id": "fut-1"})", {}},
+      {Role::User, "The newly executed app has id fut-1", {}}};
+  const ModelReply reply = stub.chat(registry, conv);
+  EXPECT_TRUE(reply.is_function_call);
+  EXPECT_EQ(reply.function, "pyclone_vi_from_futures");
+  EXPECT_EQ(reply.arguments.at("future_id").as_string(), "fut-1");
+}
+
+TEST_F(StubFixture, StopsWhenAllStepsDone) {
+  ModelStub stub = make_stub();
+  std::vector<Message> conv{{Role::User, "run phyloflow on tumor.vcf", {}}};
+  for (int i = 1; i <= 4; ++i)
+    conv.push_back({Role::Function,
+                    "{\"future_id\": \"fut-" + std::to_string(i) + "\"}",
+                    {}});
+  const ModelReply reply = stub.chat(registry, conv);
+  EXPECT_TRUE(reply.stop);
+}
+
+TEST_F(StubFixture, RetriesStepAfterErrorResult) {
+  ModelStub stub = make_stub();
+  std::vector<Message> conv{
+      {Role::User, "run phyloflow on tumor.vcf", {}},
+      {Role::Function, "ERROR: missing required argument 'path'", {}}};
+  const ModelReply reply = stub.chat(registry, conv);
+  EXPECT_TRUE(reply.is_function_call);
+  EXPECT_EQ(reply.function, "vcf_transform_from_file");  // same step again
+}
+
+TEST_F(StubFixture, TokenBudgetExceeded) {
+  ModelConfig config;
+  config.token_budget = 10;
+  ModelStub stub = make_stub(config);
+  std::vector<Message> conv{{Role::User, "run phyloflow on tumor.vcf", {}}};
+  const ModelReply reply = stub.chat(registry, conv);
+  EXPECT_FALSE(reply.is_function_call);
+  EXPECT_NE(reply.error.find("token budget"), std::string::npos);
+}
+
+TEST_F(StubFixture, UnknownInstructionStops) {
+  ModelStub stub = make_stub();
+  std::vector<Message> conv{{Role::User, "what is the weather", {}}};
+  EXPECT_TRUE(stub.chat(registry, conv).stop);
+}
+
+TEST(ModelStubHelpers, ExtractInput) {
+  EXPECT_EQ(extract_instruction_input("run phyloflow on tumor.vcf"), "tumor.vcf");
+  EXPECT_EQ(extract_instruction_input("process data/sample.bam please"),
+            "data/sample.bam");
+  EXPECT_EQ(extract_instruction_input("no path here"), "input.dat");
+}
+
+struct LoopFixture : ::testing::Test {
+  sim::Simulation sim;
+  FutureStore futures;
+  FunctionRegistry registry;
+
+  LoopOutcome run_loop(ModelConfig model_config, LoopConfig loop_config,
+                       double task_failure = 0.0) {
+    PhyloflowConfig pf;
+    pf.task_failure_probability = task_failure;
+    register_phyloflow(registry, futures, sim, Rng(7), pf);
+    ModelStub stub(model_config, Rng(5));
+    stub.add_recipe(phyloflow_recipe());
+    FunctionCallingLoop loop(sim, registry, stub, loop_config);
+    LoopOutcome outcome;
+    bool finished = false;
+    loop.run("run phyloflow on tumor.vcf", [&](LoopOutcome o) {
+      outcome = std::move(o);
+      finished = true;
+    });
+    sim.run();
+    EXPECT_TRUE(finished);
+    return outcome;
+  }
+};
+
+TEST_F(LoopFixture, HappyPathExecutesFourApps) {
+  const LoopOutcome o = run_loop({}, {});
+  EXPECT_TRUE(o.success);
+  EXPECT_EQ(o.function_calls, 4u);
+  EXPECT_EQ(o.future_ids.size(), 4u);
+  EXPECT_EQ(o.call_errors, 0u);
+  // All futures resolved successfully after the event loop drained.
+  EXPECT_EQ(futures.pending_count(), 0u);
+  EXPECT_EQ(futures.failed_count(), 0u);
+}
+
+TEST_F(LoopFixture, MiscallWithoutForwardingAborts) {
+  ModelConfig mc;
+  mc.miscall_probability = 1.0;  // always call the wrong function
+  const LoopOutcome o = run_loop(mc, {});
+  EXPECT_FALSE(o.success);
+  EXPECT_EQ(o.call_errors, 1u);
+  EXPECT_FALSE(o.error.empty());
+}
+
+TEST_F(LoopFixture, MalformedArgsWithForwardingRecovers) {
+  ModelConfig mc;
+  mc.malformed_args_probability = 0.35;
+  LoopConfig lc;
+  lc.forward_errors = true;
+  const LoopOutcome o = run_loop(mc, lc);
+  EXPECT_TRUE(o.success);
+  EXPECT_EQ(o.future_ids.size(), 4u);
+}
+
+TEST_F(LoopFixture, TokenBudgetAbortsLongConversations) {
+  ModelConfig mc;
+  mc.token_budget = 700;  // enough for ~1-2 rounds with 8 descriptions
+  const LoopOutcome o = run_loop(mc, {});
+  EXPECT_FALSE(o.success);
+  EXPECT_NE(o.error.find("token budget"), std::string::npos);
+}
+
+TEST_F(LoopFixture, RoundLimitGuards) {
+  ModelConfig mc;
+  mc.malformed_args_probability = 1.0;  // never a valid call
+  LoopConfig lc;
+  lc.forward_errors = true;
+  lc.max_rounds = 5;
+  const LoopOutcome o = run_loop(mc, lc);
+  EXPECT_FALSE(o.success);
+  EXPECT_EQ(o.rounds, 5u);
+}
+
+TEST_F(LoopFixture, DependencyFailurePropagates) {
+  // Task failures poison downstream futures; the dependent app's future
+  // fails even though its call was accepted.
+  const LoopOutcome o = run_loop({}, {}, /*task_failure=*/1.0);
+  EXPECT_TRUE(futures.failed_count() > 0);
+  (void)o;
+}
+
+TEST(LongChain, TokenLimitHitsLongerWorkflows) {
+  // The paper's limitation 2: longer composed workflows exhaust the budget.
+  auto tokens_needed = [](std::size_t steps) {
+    sim::Simulation sim;
+    FutureStore futures;
+    FunctionRegistry registry;
+    ModelStub stub(ModelConfig{.token_budget = 1u << 20}, Rng(5));
+    stub.add_recipe(register_long_chain(registry, futures, sim, Rng(3), steps));
+    FunctionCallingLoop loop(sim, registry, stub, {});
+    std::size_t peak = 0;
+    loop.run("run longchain" + std::to_string(steps) + " on input.dat",
+             [&](LoopOutcome o) {
+               EXPECT_TRUE(o.success);
+               peak = o.peak_prompt_tokens;
+             });
+    sim.run();
+    return peak;
+  };
+  const std::size_t t4 = tokens_needed(4);
+  const std::size_t t16 = tokens_needed(16);
+  EXPECT_GT(t16, t4 * 2);  // super-linear context growth with workflow length
+}
+
+}  // namespace
+}  // namespace hhc::llm

@@ -1,0 +1,48 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hhc::sim {
+namespace {
+
+TEST(Trace, RecordsInOrder) {
+  Trace t;
+  t.emit(1, "task", "a", "start");
+  t.emit(2, "task", "a", "end");
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.events()[0].state, "start");
+  EXPECT_EQ(t.events()[1].time, 2.0);
+}
+
+TEST(Trace, FilterByCategoryAndState) {
+  Trace t;
+  t.emit(1, "task", "a", "start");
+  t.emit(2, "node", "n0", "down");
+  t.emit(3, "task", "b", "start");
+  t.emit(4, "task", "a", "end");
+  const auto starts = t.filter("task", "start");
+  ASSERT_EQ(starts.size(), 2u);
+  EXPECT_EQ(starts[0].subject, "a");
+  EXPECT_EQ(starts[1].subject, "b");
+  EXPECT_EQ(t.count("task", "end"), 1u);
+  EXPECT_EQ(t.count("node", "down"), 1u);
+  EXPECT_EQ(t.count("task", "down"), 0u);
+}
+
+TEST(Trace, CsvHasHeaderAndRows) {
+  Trace t;
+  t.emit(1.5, "task", "x", "done");
+  const std::string csv = t.csv();
+  EXPECT_NE(csv.find("time,category,subject,state"), std::string::npos);
+  EXPECT_NE(csv.find("1.5,task,x,done"), std::string::npos);
+}
+
+TEST(Trace, ClearEmpties) {
+  Trace t;
+  t.emit(1, "a", "b", "c");
+  t.clear();
+  EXPECT_EQ(t.size(), 0u);
+}
+
+}  // namespace
+}  // namespace hhc::sim

@@ -1,0 +1,141 @@
+#include "support/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hhc {
+namespace {
+
+TEST(Json, ScalarRoundTrips) {
+  EXPECT_EQ(Json::parse("null").type(), Json::Type::Null);
+  EXPECT_EQ(Json::parse("true").as_bool(), true);
+  EXPECT_EQ(Json::parse("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(Json::parse("3.5").as_number(), 3.5);
+  EXPECT_DOUBLE_EQ(Json::parse("-17").as_number(), -17.0);
+  EXPECT_EQ(Json::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, ExponentNumbers) {
+  EXPECT_DOUBLE_EQ(Json::parse("1e3").as_number(), 1000.0);
+  EXPECT_DOUBLE_EQ(Json::parse("2.5e-2").as_number(), 0.025);
+}
+
+TEST(Json, ArraysAndObjects) {
+  const Json v = Json::parse(R"({"a": [1, 2, 3], "b": {"c": "d"}})");
+  EXPECT_EQ(v.at("a").size(), 3u);
+  EXPECT_DOUBLE_EQ(v.at("a").as_array()[1].as_number(), 2.0);
+  EXPECT_EQ(v.at("b").at("c").as_string(), "d");
+}
+
+TEST(Json, EmptyContainers) {
+  EXPECT_EQ(Json::parse("[]").size(), 0u);
+  EXPECT_EQ(Json::parse("{}").size(), 0u);
+  EXPECT_EQ(Json::parse("[ ]").size(), 0u);
+  EXPECT_EQ(Json::parse("{ }").size(), 0u);
+}
+
+TEST(Json, StringEscapes) {
+  const Json v = Json::parse(R"("a\"b\\c\nd\te")");
+  EXPECT_EQ(v.as_string(), "a\"b\\c\nd\te");
+}
+
+TEST(Json, UnicodeEscape) {
+  EXPECT_EQ(Json::parse(R"("A")").as_string(), "A");
+  EXPECT_EQ(Json::parse(R"("é")").as_string(), "\xc3\xa9");  // é in UTF-8
+}
+
+TEST(Json, DumpParseRoundTrip) {
+  Json obj = Json::object();
+  obj.set("name", "bench");
+  obj.set("count", 42);
+  obj.set("ratio", 0.5);
+  obj.set("flag", true);
+  Json arr = Json::array();
+  arr.push_back(1);
+  arr.push_back("two");
+  obj.set("items", std::move(arr));
+  const Json back = Json::parse(obj.dump());
+  EXPECT_EQ(back, obj);
+}
+
+TEST(Json, PrettyPrintIsParseable) {
+  Json obj = Json::object();
+  obj.set("a", 1);
+  Json inner = Json::object();
+  inner.set("b", "c");
+  obj.set("nested", std::move(inner));
+  EXPECT_EQ(Json::parse(obj.dump_pretty()), obj);
+}
+
+TEST(Json, IntegersDumpWithoutDecimalPoint) {
+  EXPECT_EQ(Json(42).dump(), "42");
+  EXPECT_EQ(Json(-7).dump(), "-7");
+  EXPECT_EQ(Json(2.5).dump(), "2.5");
+}
+
+TEST(Json, ParseErrors) {
+  EXPECT_THROW(Json::parse(""), JsonError);
+  EXPECT_THROW(Json::parse("{"), JsonError);
+  EXPECT_THROW(Json::parse("[1,"), JsonError);
+  EXPECT_THROW(Json::parse("tru"), JsonError);
+  EXPECT_THROW(Json::parse("\"unterminated"), JsonError);
+  EXPECT_THROW(Json::parse("{\"a\":1} x"), JsonError);
+  EXPECT_THROW(Json::parse("{a: 1}"), JsonError);
+}
+
+TEST(Json, TypeMismatchThrows) {
+  const Json v = Json::parse("[1]");
+  EXPECT_THROW(v.as_object(), JsonError);
+  EXPECT_THROW(v.as_string(), JsonError);
+  EXPECT_THROW(v.at("k"), JsonError);
+  EXPECT_THROW(Json(1.0).as_bool(), JsonError);
+}
+
+TEST(Json, FindAndContains) {
+  const Json v = Json::parse(R"({"x": 1})");
+  EXPECT_NE(v.find("x"), nullptr);
+  EXPECT_EQ(v.find("y"), nullptr);
+  EXPECT_TRUE(v.contains("x"));
+  EXPECT_FALSE(v.contains("y"));
+  EXPECT_FALSE(Json(3).contains("x"));
+}
+
+TEST(Json, SetOverwrites) {
+  Json obj = Json::object();
+  obj.set("k", 1);
+  obj.set("k", 2);
+  EXPECT_EQ(obj.at("k").as_int(), 2);
+  EXPECT_EQ(obj.size(), 1u);
+}
+
+TEST(Json, MutationGuards) {
+  Json arr = Json::array();
+  EXPECT_THROW(arr.set("k", 1), JsonError);
+  Json obj = Json::object();
+  EXPECT_THROW(obj.push_back(1), JsonError);
+}
+
+TEST(Json, EqualityIsDeep) {
+  EXPECT_EQ(Json::parse(R"({"a":[1,{"b":2}]})"), Json::parse(R"({"a":[1,{"b":2}]})"));
+  EXPECT_FALSE(Json::parse("[1,2]") == Json::parse("[2,1]"));
+  EXPECT_FALSE(Json(1) == Json("1"));
+}
+
+TEST(Json, AsIntRounds) {
+  EXPECT_EQ(Json(2.6).as_int(), 3);
+  EXPECT_EQ(Json(-2.6).as_int(), -3);
+}
+
+TEST(Json, WhitespaceTolerant) {
+  const Json v = Json::parse("  {\n\t\"a\" :\r [ 1 , 2 ]\n}  ");
+  EXPECT_EQ(v.at("a").size(), 2u);
+}
+
+TEST(Json, ControlCharactersEscapedOnDump) {
+  const Json v(std::string("a\x01") + "b");
+  const std::string dumped = v.dump();
+  EXPECT_NE(dumped.find("\\u0001"), std::string::npos);
+  EXPECT_EQ(Json::parse(dumped), v);
+}
+
+}  // namespace
+}  // namespace hhc

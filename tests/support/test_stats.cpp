@@ -1,0 +1,187 @@
+#include "support/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+
+namespace hhc {
+namespace {
+
+TEST(OnlineStats, EmptyDefaults) {
+  OnlineStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, SingleValue) {
+  OnlineStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, KnownMoments) {
+  OnlineStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStats, MergeMatchesSequential) {
+  Rng rng(5);
+  OnlineStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.normal(3, 2);
+    all.add(v);
+    (i % 2 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a, b;
+  a.add(1.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_EQ(b.mean(), 1.0);
+}
+
+TEST(Sample, PercentileInterpolates) {
+  Sample s;
+  for (double v : {10.0, 20.0, 30.0, 40.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 40.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 25.0);
+  EXPECT_DOUBLE_EQ(s.median(), 25.0);
+}
+
+TEST(Sample, PercentileAfterMoreAdds) {
+  Sample s;
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.median(), 1.0);
+  s.add(3.0);  // dirties the sorted cache
+  EXPECT_DOUBLE_EQ(s.median(), 2.0);
+}
+
+TEST(Sample, EmptyThrows) {
+  Sample s;
+  EXPECT_THROW(s.percentile(50), std::logic_error);
+  EXPECT_THROW(s.min(), std::logic_error);
+  EXPECT_THROW(s.max(), std::logic_error);
+  EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram h(0, 10, 5);
+  h.add(-100);  // clamps to first bin
+  h.add(0.5);
+  h.add(9.5);
+  h.add(100);  // clamps to last bin
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(4), 2u);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(0, 10, 5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 8.0);
+}
+
+TEST(Histogram, InvalidConstruction) {
+  EXPECT_THROW(Histogram(0, 10, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(10, 10, 4), std::invalid_argument);
+}
+
+TEST(StepSeries, ValueAtSteps) {
+  StepSeries s;
+  s.record(0, 1.0);
+  s.record(10, 3.0);
+  s.record(20, 0.0);
+  EXPECT_EQ(s.value_at(-1), 0.0);
+  EXPECT_EQ(s.value_at(0), 1.0);
+  EXPECT_EQ(s.value_at(9.99), 1.0);
+  EXPECT_EQ(s.value_at(10), 3.0);
+  EXPECT_EQ(s.value_at(25), 0.0);
+}
+
+TEST(StepSeries, IntegralPiecewise) {
+  StepSeries s;
+  s.record(0, 2.0);
+  s.record(10, 4.0);
+  // [0,10): 2*10 = 20; [10,20): 4*10 = 40.
+  EXPECT_DOUBLE_EQ(s.integral(0, 20), 60.0);
+  EXPECT_DOUBLE_EQ(s.integral(5, 15), 2.0 * 5 + 4.0 * 5);
+  EXPECT_DOUBLE_EQ(s.average(0, 20), 3.0);
+}
+
+TEST(StepSeries, IntegralEmptyAndDegenerate) {
+  StepSeries s;
+  EXPECT_EQ(s.integral(0, 10), 0.0);
+  s.record(0, 5.0);
+  EXPECT_EQ(s.integral(10, 10), 0.0);
+  EXPECT_EQ(s.integral(10, 5), 0.0);
+}
+
+TEST(StepSeries, RejectsTimeTravel) {
+  StepSeries s;
+  s.record(10, 1.0);
+  EXPECT_THROW(s.record(5, 2.0), std::logic_error);
+}
+
+TEST(StepSeries, CoalescesSameTimeAndValue) {
+  StepSeries s;
+  s.record(0, 1.0);
+  s.record(0, 2.0);  // same time overwrites
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.value_at(0), 2.0);
+  s.record(5, 2.0);  // same value: no-op step
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(StepSeries, MaxValue) {
+  StepSeries s;
+  s.record(0, 1.0);
+  s.record(1, 7.0);
+  s.record(2, 3.0);
+  EXPECT_EQ(s.max_value(), 7.0);
+}
+
+TEST(StepSeries, Resample) {
+  StepSeries s;
+  s.record(0, 1.0);
+  s.record(10, 2.0);
+  const auto grid = s.resample(0, 20, 5);
+  ASSERT_EQ(grid.size(), 5u);
+  EXPECT_EQ(grid[0].second, 1.0);
+  EXPECT_EQ(grid[4].second, 2.0);
+  EXPECT_DOUBLE_EQ(grid[4].first, 20.0);
+}
+
+TEST(LevelTracker, TracksLevelChanges) {
+  LevelTracker t;
+  t.change(0, 2);
+  t.change(5, 3);
+  t.change(10, -5);
+  EXPECT_EQ(t.level(), 0.0);
+  EXPECT_EQ(t.series().value_at(7), 5.0);
+  EXPECT_DOUBLE_EQ(t.series().integral(0, 10), 2 * 5 + 5 * 5);
+}
+
+}  // namespace
+}  // namespace hhc

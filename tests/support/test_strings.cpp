@@ -1,0 +1,72 @@
+#include "support/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hhc {
+namespace {
+
+TEST(Strings, SplitPreservesEmptyFields) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(Strings, SplitWsDropsEmpty) {
+  EXPECT_EQ(split_ws("  a \t b\nc  "), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(split_ws("   ").empty());
+  EXPECT_TRUE(split_ws("").empty());
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  hi  "), "hi");
+  EXPECT_EQ(trim("hi"), "hi");
+  EXPECT_EQ(trim(" \t\n "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("workflow", "work"));
+  EXPECT_FALSE(starts_with("work", "workflow"));
+  EXPECT_TRUE(ends_with("file.wdl", ".wdl"));
+  EXPECT_FALSE(ends_with("wdl", "file.wdl"));
+  EXPECT_TRUE(starts_with("x", ""));
+  EXPECT_TRUE(ends_with("x", ""));
+}
+
+TEST(Strings, ToLower) {
+  EXPECT_EQ(to_lower("MiXeD 123"), "mixed 123");
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(Strings, FmtFixed) {
+  EXPECT_EQ(fmt_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_fixed(3.0, 0), "3");
+}
+
+TEST(Strings, FmtPct) {
+  EXPECT_EQ(fmt_pct(0.25), "25.0%");
+  EXPECT_EQ(fmt_pct(0.9, 0), "90%");
+  EXPECT_EQ(fmt_pct(1.08, 1), "108.0%");
+}
+
+TEST(Strings, FmtDuration) {
+  EXPECT_EQ(fmt_duration(36), "36s");
+  EXPECT_EQ(fmt_duration(9.6 * 60), "9.6min");
+  EXPECT_EQ(fmt_duration(2.7 * 3600), "2.7h");
+  EXPECT_EQ(fmt_duration(5.5), "5.5s");
+}
+
+TEST(Strings, FmtBytes) {
+  EXPECT_EQ(fmt_bytes(512), "512B");
+  EXPECT_EQ(fmt_bytes(840e6), "801MB");
+  EXPECT_EQ(fmt_bytes(2.8e9), "2.6GB");
+}
+
+}  // namespace
+}  // namespace hhc

@@ -1,0 +1,86 @@
+#include "support/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace hhc {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t("My Table");
+  t.header({"step", "mean", "max"});
+  t.row({"salmon", "9.6min", "43min"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("My Table"), std::string::npos);
+  EXPECT_NE(out.find("salmon"), std::string::npos);
+  EXPECT_NE(out.find("9.6min"), std::string::npos);
+  EXPECT_NE(out.find("step"), std::string::npos);
+}
+
+TEST(TextTable, PadsShortRows) {
+  TextTable t;
+  t.header({"a", "b", "c"});
+  t.row({"only"});
+  const std::string out = t.render();
+  // Every rendered line between rules has the same length.
+  std::size_t expected = 0;
+  for (std::size_t start = 0; start < out.size();) {
+    const auto end = out.find('\n', start);
+    const std::string line = out.substr(start, end - start);
+    if (!line.empty()) {
+      if (!expected) expected = line.size();
+      EXPECT_EQ(line.size(), expected) << line;
+    }
+    start = end + 1;
+  }
+}
+
+TEST(TextTable, CsvEscapesSpecials) {
+  TextTable t;
+  t.header({"name", "note"});
+  t.row({"a,b", "say \"hi\""});
+  const std::string csv = t.csv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(TextTable, EmptyTableRenders) {
+  TextTable t;
+  EXPECT_EQ(t.render(), "");
+  TextTable titled("only title");
+  EXPECT_EQ(titled.render(), "only title\n");
+}
+
+TEST(TextTable, RuleInsertsSeparator) {
+  TextTable t;
+  t.header({"x"});
+  t.row({"1"});
+  t.rule();
+  t.row({"2"});
+  const std::string out = t.render();
+  // 5 horizontal lines: top, under header, rule, bottom... count '+' lines.
+  std::size_t lines = 0;
+  for (std::size_t start = 0; start < out.size();) {
+    const auto end = out.find('\n', start);
+    if (out[start] == '+') ++lines;
+    start = end + 1;
+  }
+  EXPECT_EQ(lines, 4u);
+}
+
+TEST(WriteFile, CreatesParentDirectories) {
+  const auto dir = std::filesystem::temp_directory_path() / "hhc_test_write";
+  std::filesystem::remove_all(dir);
+  const auto path = dir / "nested" / "out.txt";
+  ASSERT_TRUE(write_file(path.string(), "hello"));
+  std::ifstream in(path);
+  std::string content;
+  std::getline(in, content);
+  EXPECT_EQ(content, "hello");
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace hhc

@@ -1,0 +1,131 @@
+#include "workflow/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace hhc::wf {
+namespace {
+
+TaskSpec task(const std::string& name, double runtime) {
+  TaskSpec t;
+  t.name = name;
+  t.base_runtime = runtime;
+  return t;
+}
+
+Workflow diamond() {
+  // a -> {b(5), c(20)} -> d
+  Workflow w;
+  const TaskId a = w.add_task(task("a", 10));
+  const TaskId b = w.add_task(task("b", 5));
+  const TaskId c = w.add_task(task("c", 20));
+  const TaskId d = w.add_task(task("d", 1));
+  w.add_dependency(a, b, 100);
+  w.add_dependency(a, c, 100);
+  w.add_dependency(b, d, 100);
+  w.add_dependency(c, d, 100);
+  return w;
+}
+
+TEST(Analysis, TopologicalOrderRespectsEdges) {
+  const Workflow w = diamond();
+  const auto order = topological_order(w);
+  ASSERT_EQ(order.size(), 4u);
+  auto pos = [&](TaskId t) {
+    return std::find(order.begin(), order.end(), t) - order.begin();
+  };
+  for (const auto& e : w.edges()) EXPECT_LT(pos(e.from), pos(e.to));
+}
+
+TEST(Analysis, TopologicalOrderDetectsCycle) {
+  Workflow w;
+  const TaskId a = w.add_task(task("a", 1));
+  const TaskId b = w.add_task(task("b", 1));
+  w.add_dependency(a, b);
+  w.add_dependency(b, a);
+  EXPECT_LT(topological_order(w).size(), w.task_count());
+  EXPECT_THROW(task_levels(w), std::invalid_argument);
+  EXPECT_THROW(critical_path(w), std::invalid_argument);
+  EXPECT_THROW(upward_rank(w), std::invalid_argument);
+}
+
+TEST(Analysis, TaskLevels) {
+  const Workflow w = diamond();
+  const auto levels = task_levels(w);
+  EXPECT_EQ(levels[0], 0);
+  EXPECT_EQ(levels[1], 1);
+  EXPECT_EQ(levels[2], 1);
+  EXPECT_EQ(levels[3], 2);
+}
+
+TEST(Analysis, CriticalPathPicksLongBranch) {
+  const Workflow w = diamond();
+  const auto cp = critical_path(w);
+  EXPECT_DOUBLE_EQ(cp.length, 10 + 20 + 1);
+  ASSERT_EQ(cp.tasks.size(), 3u);
+  EXPECT_EQ(cp.tasks[0], 0u);
+  EXPECT_EQ(cp.tasks[1], 2u);  // the 20s branch
+  EXPECT_EQ(cp.tasks[2], 3u);
+}
+
+TEST(Analysis, CriticalPathEmptyWorkflow) {
+  Workflow w;
+  const auto cp = critical_path(w);
+  EXPECT_EQ(cp.length, 0.0);
+  EXPECT_TRUE(cp.tasks.empty());
+}
+
+TEST(Analysis, CriticalPathSingleTask) {
+  Workflow w;
+  w.add_task(task("only", 42));
+  const auto cp = critical_path(w);
+  EXPECT_DOUBLE_EQ(cp.length, 42.0);
+  EXPECT_EQ(cp.tasks.size(), 1u);
+}
+
+TEST(Analysis, UpwardRankDecreasesAlongEdges) {
+  const Workflow w = diamond();
+  const auto rank = upward_rank(w);
+  for (const auto& e : w.edges()) EXPECT_GT(rank[e.from], rank[e.to]);
+}
+
+TEST(Analysis, UpwardRankValues) {
+  const Workflow w = diamond();
+  const auto rank = upward_rank(w);
+  // rank(d) = 1; rank(c) = 20 + 1; rank(b) = 5 + 1; rank(a) = 10 + 21.
+  EXPECT_DOUBLE_EQ(rank[3], 1.0);
+  EXPECT_DOUBLE_EQ(rank[2], 21.0);
+  EXPECT_DOUBLE_EQ(rank[1], 6.0);
+  EXPECT_DOUBLE_EQ(rank[0], 31.0);
+}
+
+TEST(Analysis, UpwardRankSpeedScales) {
+  const Workflow w = diamond();
+  const auto r1 = upward_rank(w, 1.0);
+  const auto r2 = upward_rank(w, 2.0);
+  for (std::size_t i = 0; i < r1.size(); ++i) EXPECT_NEAR(r2[i], r1[i] / 2.0, 1e-9);
+  EXPECT_THROW(upward_rank(w, 0.0), std::invalid_argument);
+}
+
+TEST(Analysis, UpwardRankWithCommunication) {
+  const Workflow w = diamond();
+  // 100 bytes / 10 B/s = 10 s per edge.
+  const auto rank = upward_rank(w, 1.0, 10.0);
+  EXPECT_DOUBLE_EQ(rank[3], 1.0);
+  EXPECT_DOUBLE_EQ(rank[2], 20.0 + 10.0 + 1.0);
+  EXPECT_DOUBLE_EQ(rank[0], 10.0 + 10.0 + 31.0);
+}
+
+TEST(Analysis, TotalWork) {
+  EXPECT_DOUBLE_EQ(total_work(diamond()), 36.0);
+}
+
+TEST(Analysis, MaxLevelWidth) {
+  EXPECT_EQ(max_level_width(diamond()), 2u);
+  Workflow w;
+  EXPECT_EQ(max_level_width(w), 0u);
+}
+
+}  // namespace
+}  // namespace hhc::wf

@@ -1,0 +1,120 @@
+#include "workflow/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workflow/analysis.hpp"
+
+namespace hhc::wf {
+namespace {
+
+TEST(Generators, ChainShape) {
+  const Workflow w = make_chain(10, Rng(1));
+  EXPECT_EQ(w.task_count(), 10u);
+  EXPECT_EQ(w.edge_count(), 9u);
+  EXPECT_EQ(w.sources().size(), 1u);
+  EXPECT_EQ(w.sinks().size(), 1u);
+  EXPECT_NO_THROW(w.validate());
+  EXPECT_EQ(critical_path(w).tasks.size(), 10u);
+}
+
+TEST(Generators, ForkJoinShape) {
+  const Workflow w = make_fork_join(16, Rng(2));
+  EXPECT_EQ(w.task_count(), 18u);
+  EXPECT_EQ(w.edge_count(), 32u);
+  EXPECT_EQ(w.sources().size(), 1u);
+  EXPECT_EQ(w.sinks().size(), 1u);
+  EXPECT_EQ(max_level_width(w), 16u);
+}
+
+TEST(Generators, ScatterGatherShape) {
+  const Workflow w = make_scatter_gather(3, 8, Rng(3));
+  // 3 stages x (8 + 1 gather) = 27 tasks.
+  EXPECT_EQ(w.task_count(), 27u);
+  EXPECT_NO_THROW(w.validate());
+  // Levels alternate wide/narrow: max width 8.
+  EXPECT_EQ(max_level_width(w), 8u);
+  EXPECT_EQ(w.sinks().size(), 1u);
+}
+
+TEST(Generators, DiamondShape) {
+  const Workflow w = make_diamond(Rng(4));
+  EXPECT_EQ(w.task_count(), 4u);
+  EXPECT_EQ(w.edge_count(), 4u);
+}
+
+TEST(Generators, MontageShape) {
+  const Workflow w = make_montage_like(8, Rng(5));
+  // 8 project + 7 diff + concat + bgmodel + 8 background + imgtbl + madd.
+  EXPECT_EQ(w.task_count(), 8u + 7u + 1u + 1u + 8u + 1u + 1u);
+  EXPECT_NO_THROW(w.validate());
+  EXPECT_EQ(w.sinks().size(), 1u);
+  EXPECT_THROW(make_montage_like(1, Rng(5)), std::invalid_argument);
+}
+
+TEST(Generators, PipelineLanesShape) {
+  const Workflow w = make_pipeline_lanes(4, 5, Rng(6));
+  EXPECT_EQ(w.task_count(), 4u * 5u + 2u);
+  EXPECT_EQ(w.sources().size(), 4u);
+  EXPECT_EQ(w.sinks().size(), 1u);
+  // Same-position tasks share kinds.
+  EXPECT_EQ(w.task(0).kind, "step0");
+  EXPECT_EQ(w.task(5).kind, "step0");
+}
+
+TEST(Generators, RandomLayeredIsAcyclicAndConnectedDown) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const Workflow w = make_random_layered(6, 10, Rng(seed));
+    EXPECT_NO_THROW(w.validate());
+    // Every non-source task has at least one predecessor.
+    const auto levels = task_levels(w);
+    for (TaskId t = 0; t < w.task_count(); ++t) {
+      if (levels[t] > 0) {
+        EXPECT_FALSE(w.predecessors(t).empty());
+      }
+    }
+  }
+}
+
+TEST(Generators, ReproducibleWithSameSeed) {
+  const Workflow a = make_random_layered(5, 8, Rng(77));
+  const Workflow b = make_random_layered(5, 8, Rng(77));
+  ASSERT_EQ(a.task_count(), b.task_count());
+  ASSERT_EQ(a.edge_count(), b.edge_count());
+  for (TaskId t = 0; t < a.task_count(); ++t)
+    EXPECT_DOUBLE_EQ(a.task(t).base_runtime, b.task(t).base_runtime);
+}
+
+TEST(Generators, RuntimesArePositiveAndMeanIsSane) {
+  GenParams p;
+  p.runtime_mean = 100;
+  const Workflow w = make_fork_join(200, Rng(9), p);
+  double sum = 0;
+  for (TaskId t = 0; t < w.task_count(); ++t) {
+    EXPECT_GT(w.task(t).base_runtime, 0.0);
+    sum += w.task(t).base_runtime;
+  }
+  const double mean = sum / static_cast<double>(w.task_count());
+  EXPECT_GT(mean, 40.0);
+  EXPECT_LT(mean, 250.0);
+}
+
+TEST(Generators, SuiteHasAllShapes) {
+  const auto suite = make_cwsi_suite(Rng(10));
+  EXPECT_EQ(suite.size(), 6u);
+  for (const auto& entry : suite) {
+    EXPECT_FALSE(entry.name.empty());
+    EXPECT_GT(entry.workflow.task_count(), 0u);
+    EXPECT_NO_THROW(entry.workflow.validate());
+  }
+}
+
+TEST(Generators, InvalidParamsThrow) {
+  EXPECT_THROW(make_chain(0, Rng(1)), std::invalid_argument);
+  EXPECT_THROW(make_fork_join(0, Rng(1)), std::invalid_argument);
+  EXPECT_THROW(make_scatter_gather(0, 4, Rng(1)), std::invalid_argument);
+  EXPECT_THROW(make_pipeline_lanes(2, 0, Rng(1)), std::invalid_argument);
+  EXPECT_THROW(make_random_layered(0, 4, Rng(1)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hhc::wf

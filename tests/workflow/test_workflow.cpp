@@ -1,0 +1,130 @@
+#include "workflow/workflow.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hhc::wf {
+namespace {
+
+TaskSpec simple_task(const std::string& name, double runtime = 10.0) {
+  TaskSpec t;
+  t.name = name;
+  t.kind = name;
+  t.base_runtime = runtime;
+  return t;
+}
+
+TEST(Workflow, AddTasksAndEdges) {
+  Workflow w("test");
+  const TaskId a = w.add_task(simple_task("a"));
+  const TaskId b = w.add_task(simple_task("b"));
+  w.add_dependency(a, b, 100);
+  EXPECT_EQ(w.task_count(), 2u);
+  EXPECT_EQ(w.edge_count(), 1u);
+  EXPECT_EQ(w.edge_bytes(a, b), 100u);
+  EXPECT_EQ(w.edge_bytes(b, a), 0u);
+  EXPECT_EQ(w.successors(a), std::vector<TaskId>{b});
+  EXPECT_EQ(w.predecessors(b), std::vector<TaskId>{a});
+}
+
+TEST(Workflow, DuplicateEdgesMerge) {
+  Workflow w;
+  const TaskId a = w.add_task(simple_task("a"));
+  const TaskId b = w.add_task(simple_task("b"));
+  w.add_dependency(a, b, 100);
+  w.add_dependency(a, b, 50);
+  EXPECT_EQ(w.edge_count(), 1u);
+  EXPECT_EQ(w.edge_bytes(a, b), 150u);
+  EXPECT_EQ(w.successors(a).size(), 1u);
+}
+
+TEST(Workflow, RejectsSelfEdgesAndBadIds) {
+  Workflow w;
+  const TaskId a = w.add_task(simple_task("a"));
+  EXPECT_THROW(w.add_dependency(a, a), std::invalid_argument);
+  EXPECT_THROW(w.add_dependency(a, 99), std::out_of_range);
+}
+
+TEST(Workflow, RejectsInvalidTaskSpecs) {
+  Workflow w;
+  TaskSpec bad_nodes = simple_task("x");
+  bad_nodes.resources.nodes = 0;
+  EXPECT_THROW(w.add_task(bad_nodes), std::invalid_argument);
+  TaskSpec bad_runtime = simple_task("y");
+  bad_runtime.base_runtime = -1;
+  EXPECT_THROW(w.add_task(bad_runtime), std::invalid_argument);
+}
+
+TEST(Workflow, SourcesAndSinks) {
+  Workflow w;
+  const TaskId a = w.add_task(simple_task("a"));
+  const TaskId b = w.add_task(simple_task("b"));
+  const TaskId c = w.add_task(simple_task("c"));
+  w.add_dependency(a, b);
+  w.add_dependency(b, c);
+  EXPECT_EQ(w.sources(), std::vector<TaskId>{a});
+  EXPECT_EQ(w.sinks(), std::vector<TaskId>{c});
+}
+
+TEST(Workflow, TotalInputBytesSumsEdgesAndExternal) {
+  Workflow w;
+  TaskSpec spec = simple_task("c");
+  spec.input_bytes = 10;
+  const TaskId a = w.add_task(simple_task("a"));
+  const TaskId b = w.add_task(simple_task("b"));
+  const TaskId c = w.add_task(spec);
+  w.add_dependency(a, c, 100);
+  w.add_dependency(b, c, 200);
+  EXPECT_EQ(w.total_input_bytes(c), 310u);
+}
+
+TEST(Workflow, ValidateAcceptsDag) {
+  Workflow w;
+  const TaskId a = w.add_task(simple_task("a"));
+  const TaskId b = w.add_task(simple_task("b"));
+  w.add_dependency(a, b);
+  EXPECT_NO_THROW(w.validate());
+  EXPECT_TRUE(w.is_acyclic());
+}
+
+TEST(Workflow, ValidateRejectsCycle) {
+  Workflow w;
+  const TaskId a = w.add_task(simple_task("a"));
+  const TaskId b = w.add_task(simple_task("b"));
+  const TaskId c = w.add_task(simple_task("c"));
+  w.add_dependency(a, b);
+  w.add_dependency(b, c);
+  w.add_dependency(c, a);
+  EXPECT_FALSE(w.is_acyclic());
+  EXPECT_THROW(w.validate(), std::invalid_argument);
+}
+
+TEST(Workflow, DotContainsTasksAndEdges) {
+  Workflow w("viz");
+  const TaskId a = w.add_task(simple_task("first"));
+  const TaskId b = w.add_task(simple_task("second"));
+  w.add_dependency(a, b, 42);
+  const std::string dot = w.dot();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("first"), std::string::npos);
+  EXPECT_NE(dot.find("t0 -> t1"), std::string::npos);
+  EXPECT_NE(dot.find("42B"), std::string::npos);
+}
+
+TEST(Resources, Totals) {
+  Resources r;
+  r.nodes = 4;
+  r.cores_per_node = 56;
+  r.gpus_per_node = 8;
+  EXPECT_DOUBLE_EQ(r.total_cores(), 224.0);
+  EXPECT_EQ(r.total_gpus(), 32);
+}
+
+TEST(Workflow, EmptyWorkflowBehaviour) {
+  Workflow w;
+  EXPECT_TRUE(w.empty());
+  EXPECT_TRUE(w.sources().empty());
+  EXPECT_NO_THROW(w.validate());
+}
+
+}  // namespace
+}  // namespace hhc::wf
