@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/airflow_waste.dir/airflow_waste.cpp.o"
+  "CMakeFiles/airflow_waste.dir/airflow_waste.cpp.o.d"
+  "airflow_waste"
+  "airflow_waste.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/airflow_waste.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atlas_extensions.dir/atlas_extensions.cpp.o"
+  "CMakeFiles/atlas_extensions.dir/atlas_extensions.cpp.o.d"
+  "atlas_extensions"
+  "atlas_extensions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atlas_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cwsi_makespan.dir/cwsi_makespan.cpp.o"
+  "CMakeFiles/cwsi_makespan.dir/cwsi_makespan.cpp.o.d"
+  "cwsi_makespan"
+  "cwsi_makespan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cwsi_makespan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

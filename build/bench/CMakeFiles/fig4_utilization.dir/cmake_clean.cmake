@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_utilization.dir/fig4_utilization.cpp.o"
+  "CMakeFiles/fig4_utilization.dir/fig4_utilization.cpp.o.d"
+  "fig4_utilization"
+  "fig4_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

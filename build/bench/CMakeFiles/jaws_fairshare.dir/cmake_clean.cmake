@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jaws_fairshare.dir/jaws_fairshare.cpp.o"
+  "CMakeFiles/jaws_fairshare.dir/jaws_fairshare.cpp.o.d"
+  "jaws_fairshare"
+  "jaws_fairshare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jaws_fairshare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jaws_fusion.dir/jaws_fusion.cpp.o"
+  "CMakeFiles/jaws_fusion.dir/jaws_fusion.cpp.o.d"
+  "jaws_fusion"
+  "jaws_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jaws_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

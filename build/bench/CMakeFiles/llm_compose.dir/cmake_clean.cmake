@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llm_compose.dir/llm_compose.cpp.o"
+  "CMakeFiles/llm_compose.dir/llm_compose.cpp.o.d"
+  "llm_compose"
+  "llm_compose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llm_compose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predictor_quality.dir/predictor_quality.cpp.o"
+  "CMakeFiles/predictor_quality.dir/predictor_quality.cpp.o.d"
+  "predictor_quality"
+  "predictor_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predictor_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

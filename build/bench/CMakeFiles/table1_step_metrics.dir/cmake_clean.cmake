@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_step_metrics.dir/table1_step_metrics.cpp.o"
+  "CMakeFiles/table1_step_metrics.dir/table1_step_metrics.cpp.o.d"
+  "table1_step_metrics"
+  "table1_step_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_step_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

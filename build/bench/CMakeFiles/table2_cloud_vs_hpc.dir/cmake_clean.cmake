@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_cloud_vs_hpc.dir/table2_cloud_vs_hpc.cpp.o"
+  "CMakeFiles/table2_cloud_vs_hpc.dir/table2_cloud_vs_hpc.cpp.o.d"
+  "table2_cloud_vs_hpc"
+  "table2_cloud_vs_hpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_cloud_vs_hpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

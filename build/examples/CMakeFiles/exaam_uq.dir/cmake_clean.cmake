@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exaam_uq.dir/exaam_uq.cpp.o"
+  "CMakeFiles/exaam_uq.dir/exaam_uq.cpp.o.d"
+  "exaam_uq"
+  "exaam_uq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exaam_uq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exaam_uq.
+# This may be replaced when dependencies are built.

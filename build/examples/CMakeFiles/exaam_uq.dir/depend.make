@@ -1,0 +1,2 @@
+# Empty dependencies file for exaam_uq.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_composition.dir/hybrid_composition.cpp.o"
+  "CMakeFiles/hybrid_composition.dir/hybrid_composition.cpp.o.d"
+  "hybrid_composition"
+  "hybrid_composition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_composition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

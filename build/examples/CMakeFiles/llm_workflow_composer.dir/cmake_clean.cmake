@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llm_workflow_composer.dir/llm_workflow_composer.cpp.o"
+  "CMakeFiles/llm_workflow_composer.dir/llm_workflow_composer.cpp.o.d"
+  "llm_workflow_composer"
+  "llm_workflow_composer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llm_workflow_composer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

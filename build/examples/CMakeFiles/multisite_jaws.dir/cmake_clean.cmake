@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multisite_jaws.dir/multisite_jaws.cpp.o"
+  "CMakeFiles/multisite_jaws.dir/multisite_jaws.cpp.o.d"
+  "multisite_jaws"
+  "multisite_jaws.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multisite_jaws.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/atlas/cloud_runner.cpp" "src/atlas/CMakeFiles/hhc_atlas.dir/cloud_runner.cpp.o" "gcc" "src/atlas/CMakeFiles/hhc_atlas.dir/cloud_runner.cpp.o.d"
+  "/root/repo/src/atlas/hpc_runner.cpp" "src/atlas/CMakeFiles/hhc_atlas.dir/hpc_runner.cpp.o" "gcc" "src/atlas/CMakeFiles/hhc_atlas.dir/hpc_runner.cpp.o.d"
+  "/root/repo/src/atlas/pipeline.cpp" "src/atlas/CMakeFiles/hhc_atlas.dir/pipeline.cpp.o" "gcc" "src/atlas/CMakeFiles/hhc_atlas.dir/pipeline.cpp.o.d"
+  "/root/repo/src/atlas/serverless_runner.cpp" "src/atlas/CMakeFiles/hhc_atlas.dir/serverless_runner.cpp.o" "gcc" "src/atlas/CMakeFiles/hhc_atlas.dir/serverless_runner.cpp.o.d"
+  "/root/repo/src/atlas/sra.cpp" "src/atlas/CMakeFiles/hhc_atlas.dir/sra.cpp.o" "gcc" "src/atlas/CMakeFiles/hhc_atlas.dir/sra.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cloud/CMakeFiles/hhc_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/hhc_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hhc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hhc_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/workflow/CMakeFiles/hhc_workflow.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

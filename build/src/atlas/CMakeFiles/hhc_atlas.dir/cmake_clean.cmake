@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hhc_atlas.dir/cloud_runner.cpp.o"
+  "CMakeFiles/hhc_atlas.dir/cloud_runner.cpp.o.d"
+  "CMakeFiles/hhc_atlas.dir/hpc_runner.cpp.o"
+  "CMakeFiles/hhc_atlas.dir/hpc_runner.cpp.o.d"
+  "CMakeFiles/hhc_atlas.dir/pipeline.cpp.o"
+  "CMakeFiles/hhc_atlas.dir/pipeline.cpp.o.d"
+  "CMakeFiles/hhc_atlas.dir/serverless_runner.cpp.o"
+  "CMakeFiles/hhc_atlas.dir/serverless_runner.cpp.o.d"
+  "CMakeFiles/hhc_atlas.dir/sra.cpp.o"
+  "CMakeFiles/hhc_atlas.dir/sra.cpp.o.d"
+  "libhhc_atlas.a"
+  "libhhc_atlas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hhc_atlas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

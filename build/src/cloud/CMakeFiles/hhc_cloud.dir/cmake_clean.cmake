@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hhc_cloud.dir/autoscaler.cpp.o"
+  "CMakeFiles/hhc_cloud.dir/autoscaler.cpp.o.d"
+  "CMakeFiles/hhc_cloud.dir/instance.cpp.o"
+  "CMakeFiles/hhc_cloud.dir/instance.cpp.o.d"
+  "CMakeFiles/hhc_cloud.dir/object_store.cpp.o"
+  "CMakeFiles/hhc_cloud.dir/object_store.cpp.o.d"
+  "CMakeFiles/hhc_cloud.dir/queue.cpp.o"
+  "CMakeFiles/hhc_cloud.dir/queue.cpp.o.d"
+  "libhhc_cloud.a"
+  "libhhc_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hhc_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cluster.cpp" "src/cluster/CMakeFiles/hhc_cluster.dir/cluster.cpp.o" "gcc" "src/cluster/CMakeFiles/hhc_cluster.dir/cluster.cpp.o.d"
+  "/root/repo/src/cluster/failure.cpp" "src/cluster/CMakeFiles/hhc_cluster.dir/failure.cpp.o" "gcc" "src/cluster/CMakeFiles/hhc_cluster.dir/failure.cpp.o.d"
+  "/root/repo/src/cluster/resource_manager.cpp" "src/cluster/CMakeFiles/hhc_cluster.dir/resource_manager.cpp.o" "gcc" "src/cluster/CMakeFiles/hhc_cluster.dir/resource_manager.cpp.o.d"
+  "/root/repo/src/cluster/schedulers.cpp" "src/cluster/CMakeFiles/hhc_cluster.dir/schedulers.cpp.o" "gcc" "src/cluster/CMakeFiles/hhc_cluster.dir/schedulers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/hhc_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hhc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workflow/CMakeFiles/hhc_workflow.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hhc_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/hhc_cluster.dir/cluster.cpp.o.d"
+  "CMakeFiles/hhc_cluster.dir/failure.cpp.o"
+  "CMakeFiles/hhc_cluster.dir/failure.cpp.o.d"
+  "CMakeFiles/hhc_cluster.dir/resource_manager.cpp.o"
+  "CMakeFiles/hhc_cluster.dir/resource_manager.cpp.o.d"
+  "CMakeFiles/hhc_cluster.dir/schedulers.cpp.o"
+  "CMakeFiles/hhc_cluster.dir/schedulers.cpp.o.d"
+  "libhhc_cluster.a"
+  "libhhc_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hhc_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/toolkit.cpp" "src/core/CMakeFiles/hhc_core.dir/toolkit.cpp.o" "gcc" "src/core/CMakeFiles/hhc_core.dir/toolkit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cws/CMakeFiles/hhc_cws.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/hhc_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/workflow/CMakeFiles/hhc_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hhc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hhc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

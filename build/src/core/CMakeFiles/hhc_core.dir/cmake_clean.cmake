@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hhc_core.dir/toolkit.cpp.o"
+  "CMakeFiles/hhc_core.dir/toolkit.cpp.o.d"
+  "libhhc_core.a"
+  "libhhc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hhc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cws/cwsi.cpp" "src/cws/CMakeFiles/hhc_cws.dir/cwsi.cpp.o" "gcc" "src/cws/CMakeFiles/hhc_cws.dir/cwsi.cpp.o.d"
+  "/root/repo/src/cws/predictors.cpp" "src/cws/CMakeFiles/hhc_cws.dir/predictors.cpp.o" "gcc" "src/cws/CMakeFiles/hhc_cws.dir/predictors.cpp.o.d"
+  "/root/repo/src/cws/provenance_analysis.cpp" "src/cws/CMakeFiles/hhc_cws.dir/provenance_analysis.cpp.o" "gcc" "src/cws/CMakeFiles/hhc_cws.dir/provenance_analysis.cpp.o.d"
+  "/root/repo/src/cws/strategies.cpp" "src/cws/CMakeFiles/hhc_cws.dir/strategies.cpp.o" "gcc" "src/cws/CMakeFiles/hhc_cws.dir/strategies.cpp.o.d"
+  "/root/repo/src/cws/wms.cpp" "src/cws/CMakeFiles/hhc_cws.dir/wms.cpp.o" "gcc" "src/cws/CMakeFiles/hhc_cws.dir/wms.cpp.o.d"
+  "/root/repo/src/cws/wms_adapters.cpp" "src/cws/CMakeFiles/hhc_cws.dir/wms_adapters.cpp.o" "gcc" "src/cws/CMakeFiles/hhc_cws.dir/wms_adapters.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/hhc_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/workflow/CMakeFiles/hhc_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hhc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hhc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

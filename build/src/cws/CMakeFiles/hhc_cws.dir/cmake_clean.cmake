@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hhc_cws.dir/cwsi.cpp.o"
+  "CMakeFiles/hhc_cws.dir/cwsi.cpp.o.d"
+  "CMakeFiles/hhc_cws.dir/predictors.cpp.o"
+  "CMakeFiles/hhc_cws.dir/predictors.cpp.o.d"
+  "CMakeFiles/hhc_cws.dir/provenance_analysis.cpp.o"
+  "CMakeFiles/hhc_cws.dir/provenance_analysis.cpp.o.d"
+  "CMakeFiles/hhc_cws.dir/strategies.cpp.o"
+  "CMakeFiles/hhc_cws.dir/strategies.cpp.o.d"
+  "CMakeFiles/hhc_cws.dir/wms.cpp.o"
+  "CMakeFiles/hhc_cws.dir/wms.cpp.o.d"
+  "CMakeFiles/hhc_cws.dir/wms_adapters.cpp.o"
+  "CMakeFiles/hhc_cws.dir/wms_adapters.cpp.o.d"
+  "libhhc_cws.a"
+  "libhhc_cws.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hhc_cws.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

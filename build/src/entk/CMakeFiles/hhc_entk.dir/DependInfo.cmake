@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/entk/app_manager.cpp" "src/entk/CMakeFiles/hhc_entk.dir/app_manager.cpp.o" "gcc" "src/entk/CMakeFiles/hhc_entk.dir/app_manager.cpp.o.d"
+  "/root/repo/src/entk/exaam.cpp" "src/entk/CMakeFiles/hhc_entk.dir/exaam.cpp.o" "gcc" "src/entk/CMakeFiles/hhc_entk.dir/exaam.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/hhc_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hhc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hhc_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/workflow/CMakeFiles/hhc_workflow.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hhc_entk.dir/app_manager.cpp.o"
+  "CMakeFiles/hhc_entk.dir/app_manager.cpp.o.d"
+  "CMakeFiles/hhc_entk.dir/exaam.cpp.o"
+  "CMakeFiles/hhc_entk.dir/exaam.cpp.o.d"
+  "libhhc_entk.a"
+  "libhhc_entk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hhc_entk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

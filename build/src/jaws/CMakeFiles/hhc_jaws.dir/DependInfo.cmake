@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/jaws/engine.cpp" "src/jaws/CMakeFiles/hhc_jaws.dir/engine.cpp.o" "gcc" "src/jaws/CMakeFiles/hhc_jaws.dir/engine.cpp.o.d"
+  "/root/repo/src/jaws/linter.cpp" "src/jaws/CMakeFiles/hhc_jaws.dir/linter.cpp.o" "gcc" "src/jaws/CMakeFiles/hhc_jaws.dir/linter.cpp.o.d"
+  "/root/repo/src/jaws/site.cpp" "src/jaws/CMakeFiles/hhc_jaws.dir/site.cpp.o" "gcc" "src/jaws/CMakeFiles/hhc_jaws.dir/site.cpp.o.d"
+  "/root/repo/src/jaws/transforms.cpp" "src/jaws/CMakeFiles/hhc_jaws.dir/transforms.cpp.o" "gcc" "src/jaws/CMakeFiles/hhc_jaws.dir/transforms.cpp.o.d"
+  "/root/repo/src/jaws/wdl_parser.cpp" "src/jaws/CMakeFiles/hhc_jaws.dir/wdl_parser.cpp.o" "gcc" "src/jaws/CMakeFiles/hhc_jaws.dir/wdl_parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/hhc_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hhc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hhc_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/workflow/CMakeFiles/hhc_workflow.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hhc_jaws.dir/engine.cpp.o"
+  "CMakeFiles/hhc_jaws.dir/engine.cpp.o.d"
+  "CMakeFiles/hhc_jaws.dir/linter.cpp.o"
+  "CMakeFiles/hhc_jaws.dir/linter.cpp.o.d"
+  "CMakeFiles/hhc_jaws.dir/site.cpp.o"
+  "CMakeFiles/hhc_jaws.dir/site.cpp.o.d"
+  "CMakeFiles/hhc_jaws.dir/transforms.cpp.o"
+  "CMakeFiles/hhc_jaws.dir/transforms.cpp.o.d"
+  "CMakeFiles/hhc_jaws.dir/wdl_parser.cpp.o"
+  "CMakeFiles/hhc_jaws.dir/wdl_parser.cpp.o.d"
+  "libhhc_jaws.a"
+  "libhhc_jaws.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hhc_jaws.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hhc_jaws.
+# This may be replaced when dependencies are built.

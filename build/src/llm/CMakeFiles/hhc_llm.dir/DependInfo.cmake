@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/llm/agents.cpp" "src/llm/CMakeFiles/hhc_llm.dir/agents.cpp.o" "gcc" "src/llm/CMakeFiles/hhc_llm.dir/agents.cpp.o.d"
+  "/root/repo/src/llm/conversation.cpp" "src/llm/CMakeFiles/hhc_llm.dir/conversation.cpp.o" "gcc" "src/llm/CMakeFiles/hhc_llm.dir/conversation.cpp.o.d"
+  "/root/repo/src/llm/functions.cpp" "src/llm/CMakeFiles/hhc_llm.dir/functions.cpp.o" "gcc" "src/llm/CMakeFiles/hhc_llm.dir/functions.cpp.o.d"
+  "/root/repo/src/llm/futures.cpp" "src/llm/CMakeFiles/hhc_llm.dir/futures.cpp.o" "gcc" "src/llm/CMakeFiles/hhc_llm.dir/futures.cpp.o.d"
+  "/root/repo/src/llm/hierarchy.cpp" "src/llm/CMakeFiles/hhc_llm.dir/hierarchy.cpp.o" "gcc" "src/llm/CMakeFiles/hhc_llm.dir/hierarchy.cpp.o.d"
+  "/root/repo/src/llm/model_stub.cpp" "src/llm/CMakeFiles/hhc_llm.dir/model_stub.cpp.o" "gcc" "src/llm/CMakeFiles/hhc_llm.dir/model_stub.cpp.o.d"
+  "/root/repo/src/llm/phyloflow.cpp" "src/llm/CMakeFiles/hhc_llm.dir/phyloflow.cpp.o" "gcc" "src/llm/CMakeFiles/hhc_llm.dir/phyloflow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hhc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hhc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

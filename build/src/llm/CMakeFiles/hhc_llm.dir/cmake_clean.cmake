@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hhc_llm.dir/agents.cpp.o"
+  "CMakeFiles/hhc_llm.dir/agents.cpp.o.d"
+  "CMakeFiles/hhc_llm.dir/conversation.cpp.o"
+  "CMakeFiles/hhc_llm.dir/conversation.cpp.o.d"
+  "CMakeFiles/hhc_llm.dir/functions.cpp.o"
+  "CMakeFiles/hhc_llm.dir/functions.cpp.o.d"
+  "CMakeFiles/hhc_llm.dir/futures.cpp.o"
+  "CMakeFiles/hhc_llm.dir/futures.cpp.o.d"
+  "CMakeFiles/hhc_llm.dir/hierarchy.cpp.o"
+  "CMakeFiles/hhc_llm.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/hhc_llm.dir/model_stub.cpp.o"
+  "CMakeFiles/hhc_llm.dir/model_stub.cpp.o.d"
+  "CMakeFiles/hhc_llm.dir/phyloflow.cpp.o"
+  "CMakeFiles/hhc_llm.dir/phyloflow.cpp.o.d"
+  "libhhc_llm.a"
+  "libhhc_llm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hhc_llm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hhc_sim.dir/simulation.cpp.o"
+  "CMakeFiles/hhc_sim.dir/simulation.cpp.o.d"
+  "CMakeFiles/hhc_sim.dir/trace.cpp.o"
+  "CMakeFiles/hhc_sim.dir/trace.cpp.o.d"
+  "libhhc_sim.a"
+  "libhhc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hhc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hhc_support.dir/json.cpp.o"
+  "CMakeFiles/hhc_support.dir/json.cpp.o.d"
+  "CMakeFiles/hhc_support.dir/log.cpp.o"
+  "CMakeFiles/hhc_support.dir/log.cpp.o.d"
+  "CMakeFiles/hhc_support.dir/rng.cpp.o"
+  "CMakeFiles/hhc_support.dir/rng.cpp.o.d"
+  "CMakeFiles/hhc_support.dir/stats.cpp.o"
+  "CMakeFiles/hhc_support.dir/stats.cpp.o.d"
+  "CMakeFiles/hhc_support.dir/strings.cpp.o"
+  "CMakeFiles/hhc_support.dir/strings.cpp.o.d"
+  "CMakeFiles/hhc_support.dir/table.cpp.o"
+  "CMakeFiles/hhc_support.dir/table.cpp.o.d"
+  "CMakeFiles/hhc_support.dir/thread_pool.cpp.o"
+  "CMakeFiles/hhc_support.dir/thread_pool.cpp.o.d"
+  "libhhc_support.a"
+  "libhhc_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hhc_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

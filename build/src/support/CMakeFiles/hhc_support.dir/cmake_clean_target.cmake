@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhhc_support.a"
+)

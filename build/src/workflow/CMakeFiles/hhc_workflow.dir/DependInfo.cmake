@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workflow/analysis.cpp" "src/workflow/CMakeFiles/hhc_workflow.dir/analysis.cpp.o" "gcc" "src/workflow/CMakeFiles/hhc_workflow.dir/analysis.cpp.o.d"
+  "/root/repo/src/workflow/generators.cpp" "src/workflow/CMakeFiles/hhc_workflow.dir/generators.cpp.o" "gcc" "src/workflow/CMakeFiles/hhc_workflow.dir/generators.cpp.o.d"
+  "/root/repo/src/workflow/workflow.cpp" "src/workflow/CMakeFiles/hhc_workflow.dir/workflow.cpp.o" "gcc" "src/workflow/CMakeFiles/hhc_workflow.dir/workflow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/hhc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

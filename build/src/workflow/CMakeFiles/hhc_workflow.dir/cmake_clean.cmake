@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hhc_workflow.dir/analysis.cpp.o"
+  "CMakeFiles/hhc_workflow.dir/analysis.cpp.o.d"
+  "CMakeFiles/hhc_workflow.dir/generators.cpp.o"
+  "CMakeFiles/hhc_workflow.dir/generators.cpp.o.d"
+  "CMakeFiles/hhc_workflow.dir/workflow.cpp.o"
+  "CMakeFiles/hhc_workflow.dir/workflow.cpp.o.d"
+  "libhhc_workflow.a"
+  "libhhc_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hhc_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_toolkit.cpp" "tests/CMakeFiles/test_core.dir/core/test_toolkit.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_toolkit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hhc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/jaws/CMakeFiles/hhc_jaws.dir/DependInfo.cmake"
+  "/root/repo/build/src/llm/CMakeFiles/hhc_llm.dir/DependInfo.cmake"
+  "/root/repo/build/src/atlas/CMakeFiles/hhc_atlas.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/hhc_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/entk/CMakeFiles/hhc_entk.dir/DependInfo.cmake"
+  "/root/repo/build/src/cws/CMakeFiles/hhc_cws.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/hhc_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/workflow/CMakeFiles/hhc_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hhc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hhc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

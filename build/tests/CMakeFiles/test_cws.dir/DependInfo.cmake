@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cws/test_cwsi.cpp" "tests/CMakeFiles/test_cws.dir/cws/test_cwsi.cpp.o" "gcc" "tests/CMakeFiles/test_cws.dir/cws/test_cwsi.cpp.o.d"
+  "/root/repo/tests/cws/test_predictors.cpp" "tests/CMakeFiles/test_cws.dir/cws/test_predictors.cpp.o" "gcc" "tests/CMakeFiles/test_cws.dir/cws/test_predictors.cpp.o.d"
+  "/root/repo/tests/cws/test_provenance_analysis.cpp" "tests/CMakeFiles/test_cws.dir/cws/test_provenance_analysis.cpp.o" "gcc" "tests/CMakeFiles/test_cws.dir/cws/test_provenance_analysis.cpp.o.d"
+  "/root/repo/tests/cws/test_strategies.cpp" "tests/CMakeFiles/test_cws.dir/cws/test_strategies.cpp.o" "gcc" "tests/CMakeFiles/test_cws.dir/cws/test_strategies.cpp.o.d"
+  "/root/repo/tests/cws/test_wms.cpp" "tests/CMakeFiles/test_cws.dir/cws/test_wms.cpp.o" "gcc" "tests/CMakeFiles/test_cws.dir/cws/test_wms.cpp.o.d"
+  "/root/repo/tests/cws/test_wms_adapters.cpp" "tests/CMakeFiles/test_cws.dir/cws/test_wms_adapters.cpp.o" "gcc" "tests/CMakeFiles/test_cws.dir/cws/test_wms_adapters.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hhc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/jaws/CMakeFiles/hhc_jaws.dir/DependInfo.cmake"
+  "/root/repo/build/src/llm/CMakeFiles/hhc_llm.dir/DependInfo.cmake"
+  "/root/repo/build/src/atlas/CMakeFiles/hhc_atlas.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/hhc_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/entk/CMakeFiles/hhc_entk.dir/DependInfo.cmake"
+  "/root/repo/build/src/cws/CMakeFiles/hhc_cws.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/hhc_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/workflow/CMakeFiles/hhc_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hhc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hhc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

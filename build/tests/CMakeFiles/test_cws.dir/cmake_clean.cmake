@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cws.dir/cws/test_cwsi.cpp.o"
+  "CMakeFiles/test_cws.dir/cws/test_cwsi.cpp.o.d"
+  "CMakeFiles/test_cws.dir/cws/test_predictors.cpp.o"
+  "CMakeFiles/test_cws.dir/cws/test_predictors.cpp.o.d"
+  "CMakeFiles/test_cws.dir/cws/test_provenance_analysis.cpp.o"
+  "CMakeFiles/test_cws.dir/cws/test_provenance_analysis.cpp.o.d"
+  "CMakeFiles/test_cws.dir/cws/test_strategies.cpp.o"
+  "CMakeFiles/test_cws.dir/cws/test_strategies.cpp.o.d"
+  "CMakeFiles/test_cws.dir/cws/test_wms.cpp.o"
+  "CMakeFiles/test_cws.dir/cws/test_wms.cpp.o.d"
+  "CMakeFiles/test_cws.dir/cws/test_wms_adapters.cpp.o"
+  "CMakeFiles/test_cws.dir/cws/test_wms_adapters.cpp.o.d"
+  "test_cws"
+  "test_cws.pdb"
+  "test_cws[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cws.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

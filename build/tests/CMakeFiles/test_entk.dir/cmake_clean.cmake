@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_entk.dir/entk/test_app_manager.cpp.o"
+  "CMakeFiles/test_entk.dir/entk/test_app_manager.cpp.o.d"
+  "CMakeFiles/test_entk.dir/entk/test_dynamic_stages.cpp.o"
+  "CMakeFiles/test_entk.dir/entk/test_dynamic_stages.cpp.o.d"
+  "CMakeFiles/test_entk.dir/entk/test_exaam.cpp.o"
+  "CMakeFiles/test_entk.dir/entk/test_exaam.cpp.o.d"
+  "test_entk"
+  "test_entk.pdb"
+  "test_entk[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_entk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_jaws.dir/jaws/test_engine.cpp.o"
+  "CMakeFiles/test_jaws.dir/jaws/test_engine.cpp.o.d"
+  "CMakeFiles/test_jaws.dir/jaws/test_linter.cpp.o"
+  "CMakeFiles/test_jaws.dir/jaws/test_linter.cpp.o.d"
+  "CMakeFiles/test_jaws.dir/jaws/test_site.cpp.o"
+  "CMakeFiles/test_jaws.dir/jaws/test_site.cpp.o.d"
+  "CMakeFiles/test_jaws.dir/jaws/test_transforms.cpp.o"
+  "CMakeFiles/test_jaws.dir/jaws/test_transforms.cpp.o.d"
+  "CMakeFiles/test_jaws.dir/jaws/test_wdl.cpp.o"
+  "CMakeFiles/test_jaws.dir/jaws/test_wdl.cpp.o.d"
+  "test_jaws"
+  "test_jaws.pdb"
+  "test_jaws[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_jaws.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

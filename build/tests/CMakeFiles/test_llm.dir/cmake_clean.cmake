@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_llm.dir/llm/test_agents.cpp.o"
+  "CMakeFiles/test_llm.dir/llm/test_agents.cpp.o.d"
+  "CMakeFiles/test_llm.dir/llm/test_hierarchy.cpp.o"
+  "CMakeFiles/test_llm.dir/llm/test_hierarchy.cpp.o.d"
+  "CMakeFiles/test_llm.dir/llm/test_llm.cpp.o"
+  "CMakeFiles/test_llm.dir/llm/test_llm.cpp.o.d"
+  "test_llm"
+  "test_llm.pdb"
+  "test_llm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_llm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

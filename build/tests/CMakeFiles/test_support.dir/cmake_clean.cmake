@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_support.dir/support/test_json.cpp.o"
+  "CMakeFiles/test_support.dir/support/test_json.cpp.o.d"
+  "CMakeFiles/test_support.dir/support/test_rng.cpp.o"
+  "CMakeFiles/test_support.dir/support/test_rng.cpp.o.d"
+  "CMakeFiles/test_support.dir/support/test_stats.cpp.o"
+  "CMakeFiles/test_support.dir/support/test_stats.cpp.o.d"
+  "CMakeFiles/test_support.dir/support/test_strings.cpp.o"
+  "CMakeFiles/test_support.dir/support/test_strings.cpp.o.d"
+  "CMakeFiles/test_support.dir/support/test_table.cpp.o"
+  "CMakeFiles/test_support.dir/support/test_table.cpp.o.d"
+  "CMakeFiles/test_support.dir/support/test_thread_pool.cpp.o"
+  "CMakeFiles/test_support.dir/support/test_thread_pool.cpp.o.d"
+  "test_support"
+  "test_support.pdb"
+  "test_support[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

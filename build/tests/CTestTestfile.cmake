@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_support[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_workflow[1]_include.cmake")
+include("/root/repo/build/tests/test_cluster[1]_include.cmake")
+include("/root/repo/build/tests/test_cws[1]_include.cmake")
+include("/root/repo/build/tests/test_entk[1]_include.cmake")
+include("/root/repo/build/tests/test_cloud[1]_include.cmake")
+include("/root/repo/build/tests/test_atlas[1]_include.cmake")
+include("/root/repo/build/tests/test_llm[1]_include.cmake")
+include("/root/repo/build/tests/test_jaws[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
