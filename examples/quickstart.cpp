@@ -1,11 +1,14 @@
 // Quickstart: build a workflow, run it on a simulated heterogeneous HPC
-// cluster with a workflow-aware scheduler, inspect the report.
+// cluster with a workflow-aware scheduler, inspect the report — then dump
+// the run's observability data (metrics + a Perfetto-loadable trace).
 //
 //   $ ./quickstart
 #include <iostream>
 
 #include "core/toolkit.hpp"
+#include "obs/exporters.hpp"
 #include "support/strings.hpp"
+#include "support/table.hpp"
 #include "workflow/analysis.hpp"
 
 using namespace hhc;
@@ -73,5 +76,15 @@ int main() {
 
   // 4. Provenance gathered by the CWS is available for later predictions.
   std::cout << "\nprovenance records: " << toolkit.provenance().size() << "\n";
+
+  // 5. Observability: every run records metrics and a span hierarchy
+  //    (workflow -> task, plus kernel health gauges). The snapshot travels
+  //    with the report; the trace loads in https://ui.perfetto.dev.
+  std::cout << "\n"
+            << obs::metrics_table(report.metrics, "Run metrics").render();
+  if (write_file("quickstart.trace.json",
+                 obs::chrome_trace_json(toolkit.observer().spans(),
+                                        "quickstart")))
+    std::cout << "\nwrote quickstart.trace.json — open in Perfetto\n";
   return report.success ? 0 : 1;
 }

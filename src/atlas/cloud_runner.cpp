@@ -3,6 +3,7 @@
 #include <map>
 #include <stdexcept>
 
+#include "obs/observer.hpp"
 #include "sim/simulation.hpp"
 
 namespace hhc::atlas {
@@ -30,22 +31,50 @@ CloudRunResult run_on_cloud(const std::vector<SraRecord>& corpus,
   result.files.reserve(corpus.size());
   SimTime last_done = 0.0;
 
-  auto worker = [&](const cloud::InstanceState&, const cloud::QueueMessage& msg,
-                    std::function<void()> done) {
+  obs::Observer* ob = config.observer;
+  auto worker = [&, ob](const cloud::InstanceState& inst,
+                        const cloud::QueueMessage& msg,
+                        std::function<void()> done) {
     auto it = by_id.find(msg.body);
     if (it == by_id.end()) throw std::logic_error("unknown SRA id " + msg.body);
     Rng file_rng = rng.child(msg.body);
     FileResult fr = model_file_run(env, *it->second, file_rng, config.path);
     fr.start_time = sim.now();
 
+    // Span per file, child span per step. Step boundaries are known up
+    // front (the model is pure), so the spans are laid out immediately.
+    obs::SpanId fspan = obs::kNoSpan;
+    if (ob && ob->on()) {
+      fspan = ob->begin_span(sim.now(), "file", fr.sra_id);
+      ob->span_attr(fspan, "bytes", static_cast<double>(fr.sra_bytes));
+      ob->span_attr(fspan, "instance",
+                    static_cast<std::int64_t>(inst.id));
+      SimTime t = sim.now();
+      for (const auto& s : fr.steps) {
+        const obs::SpanId ss =
+            ob->begin_span(t, "step", step_name(s.step), fspan);
+        ob->end_span(t + s.duration, ss);
+        ob->metrics()
+            .histogram("atlas.step_s", step_name(s.step), 1e-2, 1e6, 4)
+            .observe(s.duration);
+        t += s.duration;
+      }
+    }
+
     // Sequence the four steps, then upload results to S3.
     SimTime at = 0.0;
     for (const auto& s : fr.steps) at += s.duration;
-    sim.schedule_in(at, [&, fr, done = std::move(done)]() mutable {
+    sim.schedule_in(at, [&, ob, fspan, fr, done = std::move(done)]() mutable {
       fr.finish_time = sim.now();
       s3.put("results/" + fr.sra_id + ".quant", config.result_bytes,
-             [&, fr, done = std::move(done)]() mutable {
+             [&, ob, fspan, fr, done = std::move(done)]() mutable {
                last_done = sim.now();
+               if (ob && ob->on()) {
+                 ob->end_span(sim.now(), fspan);
+                 ob->count(sim.now(), "atlas.files_processed", env.name);
+                 ob->observe("atlas.file_duration_s", fr.total_duration(),
+                             env.name);
+               }
                result.aggregate.add(fr);
                result.files.push_back(std::move(fr));
                done();
@@ -54,6 +83,7 @@ CloudRunResult run_on_cloud(const std::vector<SraRecord>& corpus,
   };
 
   cloud::AutoScalingGroup asg(sim, queue, config.instance, worker, config.asg);
+  if (ob) asg.set_observer(ob, env.name);
   for (const auto& r : corpus) queue.send(r.id);
   asg.start();
   asg.drain_and_stop();

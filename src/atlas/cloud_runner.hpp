@@ -11,6 +11,10 @@
 #include "cloud/instance.hpp"
 #include "cloud/object_store.hpp"
 
+namespace hhc::obs {
+class Observer;
+}
+
 namespace hhc::atlas {
 
 struct CloudRunConfig {
@@ -21,6 +25,9 @@ struct CloudRunConfig {
   std::uint64_t seed = 42;
   EnvProfile env = aws_cloud_env();     ///< Cores/speed overridden by instance.
   AlignerPath path = AlignerPath::Salmon;  ///< Star needs a >= 250 GiB type.
+  /// Optional observability sink (must outlive the run): per-file/per-step
+  /// spans, ASG fleet metrics, atlas.* counters and histograms.
+  obs::Observer* observer = nullptr;
 };
 
 struct CloudRunResult {

@@ -4,6 +4,7 @@
 
 #include "cluster/resource_manager.hpp"
 #include "cluster/schedulers.hpp"
+#include "obs/observer.hpp"
 #include "sim/simulation.hpp"
 
 namespace hhc::atlas {
@@ -18,6 +19,8 @@ HpcRunResult run_on_hpc(const std::vector<SraRecord>& corpus,
   rm_config.model_io = false;  // the env profile models the I/O path
   cluster::ResourceManager rm(sim, cl, std::make_unique<cluster::FifoFitScheduler>(),
                               rm_config);
+  obs::Observer* ob = config.observer;
+  if (ob) rm.set_observer(ob, config.env.name);
   Rng rng(config.seed);
 
   HpcRunResult result;
@@ -37,7 +40,7 @@ HpcRunResult run_on_hpc(const std::vector<SraRecord>& corpus,
     req.resources.memory_per_node = config.memory_per_job;
     req.runtime = fr.total_duration();
 
-    rm.submit(req, [&result, &last_done, &core_seconds, fr,
+    rm.submit(req, [&result, &last_done, &core_seconds, &config, ob, fr,
                     cores = config.cores_per_job](const cluster::JobRecord& rec) mutable {
       if (rec.state != cluster::JobState::Completed)
         throw std::logic_error("atlas HPC job failed unexpectedly");
@@ -45,6 +48,27 @@ HpcRunResult run_on_hpc(const std::vector<SraRecord>& corpus,
       fr.finish_time = rec.finish_time;
       last_done = rec.finish_time;
       core_seconds += (rec.finish_time - rec.start_time) * cores;
+      if (ob && ob->on()) {
+        // Retroactive per-file/per-step spans: the batch job's placement
+        // decided the real interval, so lay the spans over [start, finish].
+        const obs::SpanId fspan =
+            ob->begin_span(rec.start_time, "file", fr.sra_id);
+        ob->span_attr(fspan, "bytes", static_cast<double>(fr.sra_bytes));
+        SimTime t = rec.start_time;
+        for (const auto& s : fr.steps) {
+          const obs::SpanId ss =
+              ob->begin_span(t, "step", step_name(s.step), fspan);
+          ob->end_span(t + s.duration, ss);
+          ob->metrics()
+              .histogram("atlas.step_s", step_name(s.step), 1e-2, 1e6, 4)
+              .observe(s.duration);
+          t += s.duration;
+        }
+        ob->end_span(rec.finish_time, fspan);
+        ob->count(rec.finish_time, "atlas.files_processed", config.env.name);
+        ob->observe("atlas.file_duration_s", fr.total_duration(),
+                    config.env.name);
+      }
       result.aggregate.add(fr);
       result.files.push_back(std::move(fr));
     });

@@ -9,6 +9,10 @@
 #include "atlas/sra.hpp"
 #include "support/units.hpp"
 
+namespace hhc::obs {
+class Observer;
+}
+
 namespace hhc::atlas {
 
 struct HpcRunConfig {
@@ -25,6 +29,9 @@ struct HpcRunConfig {
   /// into every container (the paper's suggested approach), so set
   /// env.star_index_resident before choosing AlignerPath::Star.
   AlignerPath path = AlignerPath::Salmon;
+  /// Optional observability sink (must outlive the run): per-file/per-step
+  /// spans, resource-manager metrics, atlas.* counters and histograms.
+  obs::Observer* observer = nullptr;
 };
 
 struct HpcRunResult {

@@ -4,7 +4,12 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/observer.hpp"
 #include "support/log.hpp"
+
+namespace {
+constexpr const char* kFleetSampler = "cloud.fleet_size";
+}  // namespace
 
 namespace hhc::cloud {
 
@@ -17,9 +22,20 @@ AutoScalingGroup::AutoScalingGroup(sim::Simulation& sim, MessageQueue& queue,
     throw std::invalid_argument("AutoScalingGroup: min > max");
 }
 
+void AutoScalingGroup::set_observer(obs::Observer* obs, std::string label) {
+  obs_ = obs;
+  obs_label_ = std::move(label);
+}
+
 void AutoScalingGroup::start() {
   if (started_) throw std::logic_error("AutoScalingGroup: already started");
   started_ = true;
+  if (obs_ && obs_->on() && config_.sample_period > 0) {
+    obs_->sample(sim_, obs_label_.empty() ? kFleetSampler
+                                          : kFleetSampler + ("." + obs_label_),
+                 config_.sample_period,
+                 [this] { return static_cast<double>(instances_.size()); });
+  }
   for (std::size_t i = 0; i < config_.min_instances; ++i) launch_instance();
   evaluate_scaling();
 }
@@ -59,6 +75,15 @@ void AutoScalingGroup::launch_instance() {
   inst.ready_at = sim_.now() + type_.boot_time;
   instances_.emplace(id, inst);
   fleet_level_.change(sim_.now(), 1.0);
+  if (obs_ && obs_->on()) {
+    obs_->count(sim_.now(), "cloud.instances_launched", obs_label_);
+    obs_->gauge_set(sim_.now(), "cloud.fleet_size",
+                    static_cast<double>(instances_.size()), obs_label_);
+    const obs::SpanId span = obs_->begin_span(
+        sim_.now(), "instance", type_.name + " #" + std::to_string(id));
+    obs_->span_attr(span, "vcpus", static_cast<std::int64_t>(type_.vcpus));
+    instance_spans_.emplace(id, span);
+  }
   sim_.schedule_in(type_.boot_time, [this, id] {
     auto it = instances_.find(id);
     if (it == instances_.end()) return;
@@ -75,6 +100,15 @@ void AutoScalingGroup::terminate_instance(std::uint64_t id) {
   instances_.erase(it);
   idle_since_.erase(id);
   fleet_level_.change(sim_.now(), -1.0);
+  if (obs_ && obs_->on()) {
+    obs_->count(sim_.now(), "cloud.instances_terminated", obs_label_);
+    obs_->gauge_set(sim_.now(), "cloud.fleet_size",
+                    static_cast<double>(instances_.size()), obs_label_);
+    if (auto sit = instance_spans_.find(id); sit != instance_spans_.end()) {
+      obs_->end_span(sim_.now(), sit->second);
+      instance_spans_.erase(sit);
+    }
+  }
 }
 
 void AutoScalingGroup::worker_loop(std::uint64_t id) {
@@ -88,7 +122,7 @@ void AutoScalingGroup::worker_loop(std::uint64_t id) {
     idle_since_.try_emplace(id, sim_.now());
     if (draining_ && queue_.empty()) {
       terminate_instance(id);
-      if (instances_.empty()) stopped_ = true;
+      if (instances_.empty()) on_stopped();
       return;
     }
     sim_.schedule_in(config_.idle_poll, [this, id] { worker_loop(id); });
@@ -101,6 +135,8 @@ void AutoScalingGroup::worker_loop(std::uint64_t id) {
   worker_(inst, *msg, [this, id, msg_id] {
     queue_.delete_message(msg_id);
     ++processed_;
+    if (obs_ && obs_->on())
+      obs_->count(sim_.now(), "cloud.messages_processed", obs_label_);
     auto iit = instances_.find(id);
     if (iit == instances_.end()) return;
     iit->second.busy = false;
@@ -110,15 +146,28 @@ void AutoScalingGroup::worker_loop(std::uint64_t id) {
   });
 }
 
+void AutoScalingGroup::on_stopped() {
+  stopped_ = true;
+  if (obs_ && obs_->on()) {
+    obs_->samplers().stop(obs_label_.empty() ? kFleetSampler
+                                             : kFleetSampler + ("." + obs_label_));
+    obs_->gauge_set(sim_.now(), "cloud.fleet_size", 0.0, obs_label_);
+  }
+}
+
 void AutoScalingGroup::evaluate_scaling() {
   if (stopped_) return;
   if (draining_ && queue_.empty() && instances_.empty()) {
-    stopped_ = true;
+    on_stopped();
     return;
   }
 
   const double backlog = static_cast<double>(queue_.visible_count());
   const std::size_t fleet = instances_.size();
+  if (obs_ && obs_->on()) {
+    obs_->count(sim_.now(), "cloud.scaling_evaluations", obs_label_);
+    obs_->gauge_set(sim_.now(), "cloud.queue_visible", backlog, obs_label_);
+  }
 
   // Scale out: want ceil(backlog / target) instances, bounded by max.
   const auto desired = static_cast<std::size_t>(
@@ -144,7 +193,7 @@ void AutoScalingGroup::evaluate_scaling() {
   if (draining_ && queue_.empty()) {
     // Workers self-terminate as they find the queue empty; do not keep the
     // event loop alive with further evaluations.
-    stopped_ = instances_.empty();
+    if (instances_.empty()) on_stopped();
     return;
   }
 

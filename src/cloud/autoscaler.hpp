@@ -9,8 +9,13 @@
 
 #include "cloud/instance.hpp"
 #include "cloud/queue.hpp"
+#include "obs/spans.hpp"
 #include "sim/simulation.hpp"
 #include "support/stats.hpp"
+
+namespace hhc::obs {
+class Observer;
+}
 
 namespace hhc::cloud {
 
@@ -21,6 +26,9 @@ struct AsgConfig {
   SimTime evaluate_every = 60.0;      ///< Scaling evaluation period.
   SimTime idle_poll = 5.0;            ///< Worker poll period when queue empty.
   SimTime scale_in_idle = 300.0;      ///< Terminate an idle worker after this.
+  /// Cadence of the fleet-size time-series sampler; 0 disables. The sampler
+  /// stops when the group stops (after drain_and_stop()).
+  SimTime sample_period = 0.0;
 };
 
 /// Processes one message on one instance; call `done` when finished.
@@ -51,11 +59,18 @@ class AutoScalingGroup {
   const StepSeries& fleet_series() const noexcept { return fleet_level_.series(); }
   std::size_t messages_processed() const noexcept { return processed_; }
 
+  /// Attaches an observability sink: instance lifecycle spans, scaling
+  /// counters/gauges and (with AsgConfig::sample_period > 0) the fleet-size
+  /// sampler. Metrics are labeled with `label` so several groups can share
+  /// one observer. Call before start(); null detaches.
+  void set_observer(obs::Observer* obs, std::string label = {});
+
  private:
   void launch_instance();
   void terminate_instance(std::uint64_t id);
   void evaluate_scaling();
   void worker_loop(std::uint64_t id);
+  void on_stopped();
 
   sim::Simulation& sim_;
   MessageQueue& queue_;
@@ -72,6 +87,9 @@ class AutoScalingGroup {
   std::size_t processed_ = 0;
   double instance_seconds_ = 0.0;  ///< Finalized on termination.
   LevelTracker fleet_level_;
+  obs::Observer* obs_ = nullptr;
+  std::string obs_label_;
+  std::map<std::uint64_t, obs::SpanId> instance_spans_;
 };
 
 }  // namespace hhc::cloud

@@ -17,6 +17,10 @@
 #include "support/stats.hpp"
 #include "workflow/workflow.hpp"
 
+namespace hhc::obs {
+class Observer;
+}
+
 namespace hhc::cluster {
 
 using JobId = std::uint64_t;
@@ -92,6 +96,9 @@ class Scheduler {
   /// Called on every scheduling opportunity (submission, completion,
   /// node recovery). Place as many queued jobs as the policy wants.
   virtual void schedule(SchedulingContext& ctx) = 0;
+  /// Optional observability sink; strategies that instrument per-decision
+  /// metrics override this. Default ignores the observer.
+  virtual void set_observer(obs::Observer*) {}
 };
 
 /// Tunables for the execution model.
@@ -136,6 +143,11 @@ class ResourceManager {
   /// Forces a scheduling pass soon (coalesced).
   void kick();
 
+  /// Attaches an observability sink. Metrics are labeled with `label`
+  /// (typically the environment name) so several managers can share one
+  /// observer. Passes the observer through to the scheduler. Null detaches.
+  void set_observer(obs::Observer* obs, std::string label = {});
+
  private:
   friend class SchedulingContext;
 
@@ -163,6 +175,8 @@ class ResourceManager {
   std::size_t completed_ = 0;
   std::size_t failed_ = 0;
   LevelTracker core_usage_;
+  obs::Observer* obs_ = nullptr;
+  std::string obs_label_;
 };
 
 }  // namespace hhc::cluster

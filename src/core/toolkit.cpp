@@ -22,6 +22,7 @@ EnvironmentId Toolkit::add_hpc(const std::string& name, cluster::ClusterSpec spe
   env.rm = std::make_unique<cluster::ResourceManager>(
       sim_, *env.cluster,
       cws::make_strategy(strategy, registry_, *predictor_, provenance_));
+  env.rm->set_observer(&obs_, name);
   envs_.push_back(std::move(env));
   return envs_.size() - 1;
 }
@@ -38,6 +39,7 @@ EnvironmentId Toolkit::add_cloud(const std::string& name, std::size_t max_instan
   rm_config.scheduling_overhead = boot_overhead;  // instance boot before start
   env.rm = std::make_unique<cluster::ResourceManager>(
       sim_, *env.cluster, std::make_unique<cluster::FifoFitScheduler>(), rm_config);
+  env.rm->set_observer(&obs_, name);
   envs_.push_back(std::move(env));
   return envs_.size() - 1;
 }
@@ -76,7 +78,23 @@ CompositeReport Toolkit::run(const wf::Workflow& workflow,
 
   if (workflow.empty()) {
     state.report.success = true;
+    state.report.metrics = obs_.snapshot();
     return state.report;
+  }
+
+  if (obs_.on()) {
+    state.workflow_span = obs_.begin_span(start, "workflow", workflow.name());
+    obs_.span_attr(state.workflow_span, "tasks",
+                   static_cast<std::int64_t>(workflow.task_count()));
+    if (config_.sample_period > 0) {
+      for (auto& env : envs_) {
+        const cluster::Cluster* cl = env.cluster.get();
+        obs_.sample(sim_, "util." + env.name, config_.sample_period, [cl] {
+          const double total = cl->total_cores();
+          return total > 0 ? cl->used_cores() / total : 0.0;
+        });
+      }
+    }
   }
 
   for (wf::TaskId t : workflow.sources()) dispatch(state, t);
@@ -88,6 +106,10 @@ CompositeReport Toolkit::run(const wf::Workflow& workflow,
   state.report.success = !state.failed;
   state.report.error = state.error;
   state.report.makespan = sim_.now() - start;
+  if (obs_.on()) {
+    obs::record_kernel_metrics(obs_, sim_);
+    state.report.metrics = obs_.snapshot();
+  }
   for (const auto& env : envs_) {
     EnvironmentReport er;
     er.name = env.name;
@@ -120,6 +142,16 @@ void Toolkit::dispatch(RunState& state, wf::TaskId task) {
     ++state.report.cross_env_transfers;
     state.report.cross_env_bytes += cross_bytes;
     state.report.transfer_seconds += delay;
+  }
+
+  if (obs_.on() && cross_bytes > 0) {
+    // Transfer span: the WAN leg is deterministic, so lay it out now.
+    const obs::SpanId ts = obs_.begin_span(sim_.now(), "transfer",
+                                           spec.name + " stage-in",
+                                           state.workflow_span);
+    obs_.span_attr(ts, "bytes", static_cast<double>(cross_bytes));
+    obs_.end_span(sim_.now() + delay, ts);
+    obs_.count(sim_.now(), "toolkit.cross_env_transfers");
   }
 
   sim_.schedule_in(delay, [this, &state, task, &env, spec] {
@@ -158,9 +190,22 @@ void Toolkit::on_complete(RunState& state, wf::TaskId task,
   provenance_.record(p);
   if (!p.failed) predictor_->observe(p);
 
+  if (obs_.on()) {
+    // Retroactive task span: the job record bounds the real interval.
+    const obs::SpanId span =
+        obs_.begin_span(rec.start_time, "task", rec.request.name,
+                        state.workflow_span);
+    obs_.span_attr(span, "kind", rec.request.kind);
+    obs_.span_attr(span, "env", env.name);
+    obs_.end_span(rec.finish_time, span);
+    obs_.count(sim_.now(),
+               p.failed ? "toolkit.tasks_failed" : "toolkit.tasks_completed");
+  }
+
   if (rec.state != cluster::JobState::Completed) {
     state.failed = true;
     state.error = "task '" + rec.request.name + "' failed: " + rec.failure_reason;
+    finish_run_observation(state);
     return;
   }
 
@@ -169,8 +214,18 @@ void Toolkit::on_complete(RunState& state, wf::TaskId task,
       (rec.finish_time - rec.start_time) * rec.request.resources.total_cores();
 
   --state.remaining;
+  if (state.remaining == 0) finish_run_observation(state);
   for (wf::TaskId s : state.workflow->successors(task))
     if (--state.pending_preds[s] == 0) dispatch(state, s);
+}
+
+void Toolkit::finish_run_observation(RunState& state) {
+  if (!obs_.on()) return;
+  // The run is over (or doomed): close the workflow span and stop the
+  // utilization samplers so their reschedule chain doesn't hold the event
+  // loop open.
+  obs_.end_span(sim_.now(), state.workflow_span);
+  for (const auto& env : envs_) obs_.samplers().stop("util." + env.name);
 }
 
 }  // namespace hhc::core

@@ -19,6 +19,7 @@
 #include "cluster/resource_manager.hpp"
 #include "cws/cwsi.hpp"
 #include "cws/predictors.hpp"
+#include "obs/observer.hpp"
 #include "sim/simulation.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
@@ -50,12 +51,19 @@ struct CompositeReport {
   Bytes cross_env_bytes = 0;
   SimTime transfer_seconds = 0.0;  ///< Total cross-environment transfer time.
   std::vector<EnvironmentReport> environments;
+  /// Snapshot of every metric the run recorded (rm.*, cws.*, toolkit.*,
+  /// sim.*). Additive across runs of the same Toolkit; MetricsSnapshot::merge
+  /// folds snapshots from per-thread Toolkit clones in sweeps.
+  obs::MetricsSnapshot metrics;
 };
 
 struct ToolkitConfig {
   std::uint64_t seed = 42;
   double wan_bandwidth = 50e6;  ///< Cross-environment link, bytes/s.
   SimTime wan_latency = 2.0;
+  /// Cadence of per-environment core-utilization samplers during run();
+  /// 0 disables. Samplers stop when the run's last task finishes.
+  SimTime sample_period = 0.0;
 };
 
 /// The facade. One instance per experiment; not thread-safe (clone per
@@ -96,6 +104,12 @@ class Toolkit {
   /// Access to an environment's provenance (tasks it executed).
   const cws::ProvenanceStore& provenance() const noexcept { return provenance_; }
 
+  /// The toolkit-wide observability sink: metrics from every environment's
+  /// resource manager and scheduler, workflow/task/transfer spans, and the
+  /// utilization samplers. Disable before run() to measure uninstrumented.
+  obs::Observer& observer() noexcept { return obs_; }
+  const obs::Observer& observer() const noexcept { return obs_; }
+
  private:
   struct Environment {
     std::string name;
@@ -114,14 +128,18 @@ class Toolkit {
     bool failed = false;
     std::string error;
     CompositeReport report;
+    obs::SpanId workflow_span = obs::kNoSpan;
   };
 
   void dispatch(RunState& state, wf::TaskId task);
   void on_complete(RunState& state, wf::TaskId task, const cluster::JobRecord& rec);
 
+  void finish_run_observation(RunState& state);
+
   ToolkitConfig config_;
   sim::Simulation sim_;
   Rng rng_;
+  obs::Observer obs_;
   std::vector<Environment> envs_;
   cws::WorkflowRegistry registry_;
   cws::ProvenanceStore provenance_;

@@ -1,10 +1,13 @@
 #include "cws/strategies.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 #include <map>
 #include <stdexcept>
 #include <vector>
+
+#include "obs/observer.hpp"
 
 namespace hhc::cws {
 
@@ -17,11 +20,29 @@ void CwsSchedulerBase::schedule(cluster::SchedulingContext& ctx) {
   std::stable_sort(keyed.begin(), keyed.end(),
                    [](const auto& a, const auto& b) { return a.first > b.first; });
 
+  const bool instrumented = obs_ && obs_->on();
+  obs::LogHistogram* decision_us = nullptr;
+  if (instrumented)
+    decision_us = &obs_->metrics().histogram("cws.decision_us", name(),
+                                             1e-2, 1e6, 4);
   for (const auto& [key, id] : keyed) {
+    const auto wall0 = std::chrono::steady_clock::now();
     const cluster::JobRecord& job = ctx.job(id);
     auto filter = node_filter(ctx, job);
     bool placed = filter ? ctx.try_place_if(id, filter) : ctx.try_place(id);
-    if (!placed && filter && allow_fallback()) ctx.try_place(id);
+    bool fell_back = false;
+    if (!placed && filter && allow_fallback()) {
+      placed = ctx.try_place(id);
+      fell_back = placed;
+    }
+    if (instrumented) {
+      decision_us->observe(std::chrono::duration<double, std::micro>(
+                               std::chrono::steady_clock::now() - wall0)
+                               .count());
+      obs_->count(ctx.now(), "cws.decisions", name());
+      if (placed) obs_->count(ctx.now(), "cws.placements", name());
+      if (fell_back) obs_->count(ctx.now(), "cws.fallback_placements", name());
+    }
   }
 }
 

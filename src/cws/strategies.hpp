@@ -18,11 +18,18 @@ namespace hhc::cws {
 
 /// Shared base: orders the queue by a strategy-specific key (descending),
 /// then places greedily, optionally with a node filter per job.
+///
+/// When an observer is attached (cluster::Scheduler::set_observer), every
+/// placement decision records wall-clock latency and outcome counters under
+/// the strategy's name: the scheduler is the sweep's hot path, so its real
+/// cost is a first-class metric (paper Fig 5's 269-vs-51 asymmetry is
+/// exactly a scheduling-vs-launching throughput story).
 class CwsSchedulerBase : public cluster::Scheduler {
  public:
   CwsSchedulerBase(const WorkflowRegistry& registry) : registry_(&registry) {}
 
   void schedule(cluster::SchedulingContext& ctx) override;
+  void set_observer(obs::Observer* obs) override { obs_ = obs; }
 
  protected:
   /// Priority key; larger = schedule earlier.
@@ -41,6 +48,7 @@ class CwsSchedulerBase : public cluster::Scheduler {
 
  private:
   const WorkflowRegistry* registry_;
+  obs::Observer* obs_ = nullptr;
 };
 
 /// Orders ready tasks by upward rank: tasks heading long chains first.

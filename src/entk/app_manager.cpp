@@ -7,6 +7,10 @@
 
 namespace hhc::entk {
 
+namespace {
+constexpr const char* kOccupancySampler = "entk.pilot_occupancy";
+}  // namespace
+
 AppManager::AppManager(sim::Simulation& sim, cluster::Cluster& pilot,
                        EntkConfig config, Rng rng)
     : sim_(sim), pilot_(pilot), config_(config), rng_(rng) {
@@ -19,12 +23,46 @@ void AppManager::add_pipeline(PipelineDesc pipeline) {
   pipelines_.push_back(std::move(pipeline));
 }
 
+void AppManager::use_observer(obs::Observer* obs) {
+  if (started_) throw std::logic_error("AppManager: attach observer before start");
+  obs_ = obs ? obs : &own_obs_;
+}
+
+const sim::Trace& AppManager::trace() const {
+  const obs::SpanTracker& spans = obs_->spans();
+  if (trace_cache_version_ != spans.version()) {
+    trace_cache_ = spans.replay_trace();
+    trace_cache_version_ = spans.version();
+  }
+  return trace_cache_;
+}
+
 void AppManager::start() {
   if (started_) throw std::logic_error("AppManager: already started");
   started_ = true;
   current_stage_.assign(pipelines_.size(), 0);
   stage_remaining_.assign(pipelines_.size(), 0);
   stage_failed_.assign(pipelines_.size(), 0);
+  pipeline_spans_.assign(pipelines_.size(), obs::kNoSpan);
+  stage_spans_.assign(pipelines_.size(), obs::kNoSpan);
+  if (obs_->on()) {
+    app_span_ = obs_->begin_span(sim_.now(), "app", "appmanager");
+    obs_->span_attr(app_span_, "pipelines",
+                    static_cast<std::int64_t>(pipelines_.size()));
+    obs::Registry& m = obs_->metrics();
+    ctr_scheduled_ = &m.counter("entk.tasks_scheduled");
+    ctr_launched_ = &m.counter("entk.tasks_launched");
+    ctr_completed_ = &m.counter("entk.tasks_completed");
+    ctr_failed_ = &m.counter("entk.task_failures");
+    g_sched_depth_ = &m.gauge("entk.launch_queue_depth");
+    g_executing_ = &m.gauge("entk.executing_tasks");
+    if (config_.sample_period > 0) {
+      obs_->sample(sim_, kOccupancySampler, config_.sample_period, [this] {
+        const double total = pilot_.total_cores();
+        return total > 0 ? cores_level_.level() / total : 0.0;
+      });
+    }
+  }
   // Bootstrap EnTK/RP components (the OVH slice of Fig 4), then submit the
   // first stage of every pipeline (pipelines run concurrently).
   sim_.schedule_in(config_.bootstrap_overhead, [this] {
@@ -44,9 +82,22 @@ void AppManager::submit_stage(std::size_t pipeline, std::size_t stage) {
   auto& pl = pipelines_[pipeline];
   while (stage < pl.stages.size() && pl.stages[stage].tasks.empty()) ++stage;
   current_stage_[pipeline] = stage;
-  if (stage >= pl.stages.size()) return;  // pipeline done
+  if (stage >= pl.stages.size()) {
+    // Pipeline done (end_span is a no-op for kNoSpan / already-closed spans).
+    obs_->end_span(sim_.now(), pipeline_spans_[pipeline]);
+    return;
+  }
 
   auto& st = pl.stages[stage];
+  if (obs_->on()) {
+    if (pipeline_spans_[pipeline] == obs::kNoSpan)
+      pipeline_spans_[pipeline] =
+          obs_->begin_span(sim_.now(), "pipeline", pl.name, app_span_);
+    stage_spans_[pipeline] = obs_->begin_span(
+        sim_.now(), "stage", pl.name + "/" + st.name, pipeline_spans_[pipeline]);
+    obs_->span_attr(stage_spans_[pipeline], "tasks",
+                    static_cast<std::int64_t>(st.tasks.size()));
+  }
   stage_remaining_[pipeline] = st.tasks.size();
   stage_failed_[pipeline] = 0;
   for (const auto& task : st.tasks) {
@@ -61,7 +112,8 @@ void AppManager::submit_stage(std::size_t pipeline, std::size_t stage) {
     records_.push_back(std::move(rec));
     record_desc_.push_back(&task);
     submitted_.push_back(index);
-    trace_.emit(sim_.now(), "task", records_[index].name, "submitted");
+    obs_->instant(sim_.now(), "task", records_[index].name, "submitted",
+                  stage_spans_[pipeline]);
   }
   pump_scheduler();
 }
@@ -77,7 +129,13 @@ void AppManager::pump_scheduler() {
     rec.schedule_time = sim_.now();
     scheduled_.push_back(index);
     scheduled_level_.change(sim_.now(), 1.0);
-    trace_.emit(sim_.now(), "task", rec.name, "scheduled");
+    if (ctr_scheduled_ && obs_->on()) {
+      // Fig 5's scheduling curve: cumulative tasks entering the launch queue.
+      ctr_scheduled_->add(sim_.now());
+      g_sched_depth_->set(sim_.now(), static_cast<double>(scheduled_.size()));
+    }
+    obs_->instant(sim_.now(), "task", rec.name, "scheduled",
+                  stage_spans_[rec.pipeline]);
     scheduler_busy_ = false;
     pump_scheduler();
     pump_launcher();
@@ -105,6 +163,8 @@ void AppManager::pump_launcher() {
   const std::size_t index = scheduled_[pick];
   scheduled_.erase(scheduled_.begin() + static_cast<std::ptrdiff_t>(pick));
   scheduled_level_.change(sim_.now(), -1.0);
+  if (g_sched_depth_ && obs_->on())
+    g_sched_depth_->set(sim_.now(), static_cast<double>(scheduled_.size()));
   pilot_.claim(*alloc);
 
   launcher_busy_ = true;
@@ -130,12 +190,26 @@ void AppManager::pump_launcher() {
     executing_level_.change(sim_.now(), 1.0);
     cores_level_.change(sim_.now(), desc.resources.total_cores());
     gpus_level_.change(sim_.now(), desc.resources.total_gpus());
-    trace_.emit(sim_.now(), "task", rec.name, "exec_start");
 
     LiveTask live;
     live.record_index = index;
     live.desc = &desc;
     live.allocation = std::move(alloc);
+    if (obs_->on()) {
+      if (ctr_launched_) {
+        // Fig 5's launching curve: cumulative tasks placed and exec'd.
+        ctr_launched_->add(sim_.now());
+        g_executing_->set(sim_.now(), executing_level_.level());
+      }
+      live.span = obs_->begin_span(sim_.now(), "task", rec.name,
+                                   stage_spans_[rec.pipeline]);
+      obs_->span_attr(live.span, "kind", desc.kind);
+      obs_->span_attr(live.span, "attempt",
+                      static_cast<std::int64_t>(rec.attempts));
+      obs_->span_attr(live.span, "cores",
+                      static_cast<double>(desc.resources.total_cores()));
+    }
+    obs_->instant(sim_.now(), "task", rec.name, "exec_start", live.span);
 
     const SimTime runtime = rng_.uniform(desc.runtime_min, desc.runtime_max);
     const bool fails = !nodes_up || rng_.chance(desc.failure_probability);
@@ -163,11 +237,17 @@ void AppManager::on_task_end(std::size_t record_index, bool failed) {
   gpus_level_.change(sim_.now(), -desc.resources.total_gpus());
   pilot_.release(live.allocation);
   last_exec_end_ = sim_.now();
+  if (obs_->on()) {
+    if (g_executing_) g_executing_->set(sim_.now(), executing_level_.level());
+    obs_->span_attr(live.span, "failed", failed);
+    obs_->end_span(sim_.now(), live.span);
+  }
 
   if (failed) {
     ++failures_;
     rec.state = TaskState::Failed;
-    trace_.emit(sim_.now(), "task", rec.name, "failed");
+    if (ctr_failed_ && obs_->on()) ctr_failed_->add(sim_.now());
+    obs_->instant(sim_.now(), "task", rec.name, "failed", live.span);
     if (desc.terminal_failure) {
       // Paper §4.3: two last-step failures were accepted as good enough for
       // the material model; the stage completes without rerunning them.
@@ -178,7 +258,7 @@ void AppManager::on_task_end(std::size_t record_index, bool failed) {
     } else if (!config_.resubmit_in_run) {
       // Collect for the consecutive batch job (paper §4.2 failure handling).
       deferred_.push_back(record_index);
-      trace_.emit(sim_.now(), "task", rec.name, "deferred");
+      obs_->instant(sim_.now(), "task", rec.name, "deferred", live.span);
       ++stage_failed_[rec.pipeline];
       if (--stage_remaining_[rec.pipeline] == 0) stage_completed(rec.pipeline);
     } else if (rec.attempts <= config_.max_resubmissions) {
@@ -194,7 +274,8 @@ void AppManager::on_task_end(std::size_t record_index, bool failed) {
     rec.state = TaskState::Done;
     ++completed_;
     task_runtimes_.add(rec.end_time - rec.start_time);
-    trace_.emit(sim_.now(), "task", rec.name, "done");
+    if (ctr_completed_ && obs_->on()) ctr_completed_->add(sim_.now());
+    obs_->instant(sim_.now(), "task", rec.name, "done", live.span);
     if (--stage_remaining_[rec.pipeline] == 0) stage_completed(rec.pipeline);
   }
 
@@ -205,6 +286,7 @@ void AppManager::on_task_end(std::size_t record_index, bool failed) {
 void AppManager::stage_completed(std::size_t pipeline) {
   auto& pl = pipelines_[pipeline];
   const std::size_t stage = current_stage_[pipeline];
+  obs_->end_span(sim_.now(), stage_spans_[pipeline]);
 
   if (stage_hook_) {
     // Dynamic workflows (paper §4): the application inspects the finished
@@ -219,7 +301,8 @@ void AppManager::stage_completed(std::size_t pipeline) {
                            : 0;
     status.pipeline_finished = stage + 1 >= pl.stages.size();
     for (auto& extra : stage_hook_(status)) {
-      trace_.emit(sim_.now(), "stage", extra.name, "appended");
+      obs_->instant(sim_.now(), "stage", extra.name, "appended",
+                    pipeline_spans_[pipeline]);
       pl.stages.push_back(std::move(extra));
     }
   }
@@ -235,7 +318,9 @@ void AppManager::resubmit(std::size_t record_index) {
   // Resubmissions go to the head of the queue so original stage order is
   // preserved (paper §4.2).
   submitted_.insert(submitted_.begin(), record_index);
-  trace_.emit(sim_.now(), "task", rec.name, "resubmitted");
+  obs_->count(sim_.now(), "entk.resubmissions");
+  obs_->instant(sim_.now(), "task", rec.name, "resubmitted",
+                stage_spans_[rec.pipeline]);
   pump_scheduler();
 }
 
@@ -251,7 +336,8 @@ void AppManager::fail_node_at(SimTime t, cluster::NodeId node) {
           break;
         }
     pilot_.set_node_down(node);
-    trace_.emit(sim_.now(), "node", std::to_string(node), "down");
+    obs_->count(sim_.now(), "entk.node_failures");
+    obs_->instant(sim_.now(), "node", std::to_string(node), "down", app_span_);
     for (std::size_t index : victims) {
       executing_.at(index).end_event.cancel();
       on_task_end(index, /*failed=*/true);
@@ -262,7 +348,8 @@ void AppManager::fail_node_at(SimTime t, cluster::NodeId node) {
 void AppManager::curse_node_at(SimTime t, cluster::NodeId node) {
   sim_.schedule_at(t, [this, node] {
     cursed_.push_back(node);
-    trace_.emit(sim_.now(), "node", std::to_string(node), "cursed");
+    obs_->count(sim_.now(), "entk.cursed_nodes");
+    obs_->instant(sim_.now(), "node", std::to_string(node), "cursed", app_span_);
     // Tasks currently running on it fail once their (shortened) span ends —
     // we model immediate crash of the current occupants.
     std::vector<std::size_t> victims;
@@ -297,7 +384,14 @@ void AppManager::maybe_finish() {
   for (std::size_t p = 0; p < pipelines_.size(); ++p)
     if (current_stage_[p] < pipelines_[p].stages.size()) return;
   finished_ = true;
-  trace_.emit(sim_.now(), "app", "appmanager", "finished");
+  obs_->instant(sim_.now(), "app", "appmanager", "finished", app_span_);
+  if (obs_->on()) {
+    obs_->end_span(sim_.now(), app_span_);
+    // Stop only our sampler (the observer may be shared), else its reschedule
+    // chain keeps the event loop alive forever.
+    obs_->samplers().stop(kOccupancySampler);
+    obs::record_kernel_metrics(*obs_, sim_);
+  }
 }
 
 RunReport AppManager::report() const {

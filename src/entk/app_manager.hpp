@@ -19,6 +19,7 @@
 
 #include "cluster/cluster.hpp"
 #include "entk/pst.hpp"
+#include "obs/observer.hpp"
 #include "sim/simulation.hpp"
 #include "sim/trace.hpp"
 #include "support/rng.hpp"
@@ -36,6 +37,10 @@ struct EntkConfig {
   /// job; the caller reruns them as a consecutive batch job (the paper's
   /// §4.2 re-submission model for hardware failures).
   bool resubmit_in_run = true;
+  /// Cadence of the pilot-occupancy time-series sampler (core fraction in
+  /// use, executing tasks). 0 disables sampling; the sampler stops itself
+  /// when the application finishes.
+  SimTime sample_period = 0.0;
 };
 
 enum class TaskState { Waiting, Submitted, Scheduled, Executing, Done, Failed };
@@ -123,7 +128,22 @@ class AppManager {
   bool finished() const noexcept { return finished_; }
   RunReport report() const;
   const std::vector<TaskRecord>& task_records() const noexcept { return records_; }
-  const sim::Trace& trace() const noexcept { return trace_; }
+
+  /// The observability sink: hierarchical spans (app -> pipeline -> stage ->
+  /// task), metric counters (entk.tasks_scheduled / entk.tasks_launched are
+  /// Fig 5's two curves as cumulative series) and the pilot-occupancy
+  /// sampler. Owned internally unless use_observer() attached a shared one.
+  obs::Observer& observer() noexcept { return *obs_; }
+  const obs::Observer& observer() const noexcept { return *obs_; }
+
+  /// Shares an external observer (e.g. a sweep-wide one). Call before
+  /// start(); pass nullptr to return to the internal observer.
+  void use_observer(obs::Observer* obs);
+
+  /// Legacy flat trace, replayed from the observer's span/instant log. The
+  /// record stream is identical to what pre-observability AppManager
+  /// emitted. Empty when the observer is disabled.
+  const sim::Trace& trace() const;
 
   /// Descriptions of tasks whose failures were deferred (resubmit_in_run ==
   /// false). Feed these to a fresh AppManager as the consecutive batch job.
@@ -135,6 +155,7 @@ class AppManager {
     const TaskDesc* desc = nullptr;
     cluster::Allocation allocation;
     sim::EventHandle end_event;
+    obs::SpanId span = obs::kNoSpan;
   };
 
   void submit_stage(std::size_t pipeline, std::size_t stage);
@@ -180,7 +201,23 @@ class AppManager {
   std::size_t terminal_failures_ = 0;
   SimTime first_exec_start_ = -1.0;
   SimTime last_exec_end_ = -1.0;
-  sim::Trace trace_;
+
+  // --- observability ---
+  obs::Observer own_obs_;
+  obs::Observer* obs_ = &own_obs_;
+  obs::SpanId app_span_ = obs::kNoSpan;
+  std::vector<obs::SpanId> pipeline_spans_;  ///< Per pipeline.
+  std::vector<obs::SpanId> stage_spans_;     ///< Current stage span, per pipeline.
+  // Hot-path metric handles, resolved once at start() (registry lookups are
+  // keyed by string; the launcher fires thousands of times per run).
+  obs::Counter* ctr_scheduled_ = nullptr;
+  obs::Counter* ctr_launched_ = nullptr;
+  obs::Counter* ctr_completed_ = nullptr;
+  obs::Counter* ctr_failed_ = nullptr;
+  obs::Gauge* g_sched_depth_ = nullptr;
+  obs::Gauge* g_executing_ = nullptr;
+  mutable sim::Trace trace_cache_;
+  mutable std::uint64_t trace_cache_version_ = static_cast<std::uint64_t>(-1);
 };
 
 }  // namespace hhc::entk

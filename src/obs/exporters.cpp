@@ -1,0 +1,237 @@
+#include "obs/exporters.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "obs/observer.hpp"
+#include "support/json.hpp"
+#include "support/strings.hpp"
+
+namespace hhc::obs {
+
+namespace {
+
+Json attr_json(const AttrValue& v) {
+  if (const auto* s = std::get_if<std::string>(&v)) return Json(*s);
+  if (const auto* d = std::get_if<double>(&v)) return Json(*d);
+  if (const auto* i = std::get_if<std::int64_t>(&v)) return Json(*i);
+  return Json(std::get<bool>(v));
+}
+
+struct TrackEvent {
+  double ts = 0.0;
+  Json event;
+};
+
+}  // namespace
+
+std::string chrome_trace_json(const SpanTracker& tracker,
+                              const std::string& process_name) {
+  constexpr double kUs = 1e6;  // seconds -> microseconds
+
+  // Latest timestamp anywhere, used to close still-open spans.
+  SimTime t_max = 0.0;
+  for (const auto& s : tracker.spans()) {
+    t_max = std::max(t_max, s.start);
+    if (!s.open()) t_max = std::max(t_max, s.end);
+  }
+  for (const auto& e : tracker.instants()) t_max = std::max(t_max, e.time);
+
+  // Group spans by category, then greedily pack each category's spans into
+  // lanes so no two slices on a lane overlap (Chrome's format requires
+  // non-overlapping "X" events per tid).
+  std::map<std::string, std::vector<const Span*>> by_category;
+  for (const auto& s : tracker.spans()) by_category[s.category].push_back(&s);
+
+  JsonArray events;
+  int next_tid = 1;
+  auto add_thread_meta = [&](int tid, const std::string& name) {
+    JsonObject meta;
+    meta["name"] = Json("thread_name");
+    meta["ph"] = Json("M");
+    meta["pid"] = Json(1);
+    meta["tid"] = Json(tid);
+    JsonObject args;
+    args["name"] = Json(name);
+    meta["args"] = Json(std::move(args));
+    events.push_back(Json(std::move(meta)));
+  };
+
+  {
+    JsonObject meta;
+    meta["name"] = Json("process_name");
+    meta["ph"] = Json("M");
+    meta["pid"] = Json(1);
+    JsonObject args;
+    args["name"] = Json(process_name);
+    meta["args"] = Json(std::move(args));
+    events.push_back(Json(std::move(meta)));
+  }
+
+  for (auto& [category, spans] : by_category) {
+    std::sort(spans.begin(), spans.end(), [](const Span* a, const Span* b) {
+      if (a->start != b->start) return a->start < b->start;
+      return a->id < b->id;
+    });
+    std::vector<double> lane_end;           // per-lane last slice end (s)
+    std::vector<double> lane_end_us;        // per-lane last emitted ts+dur (µs)
+    std::vector<std::vector<TrackEvent>> lane_events;
+    for (const Span* s : spans) {
+      const double start = s->start;
+      const double end = s->open() ? std::max(t_max, s->start) : s->end;
+      std::size_t lane = lane_end.size();
+      for (std::size_t i = 0; i < lane_end.size(); ++i)
+        if (lane_end[i] <= start) {
+          lane = i;
+          break;
+        }
+      if (lane == lane_end.size()) {
+        lane_end.push_back(0.0);
+        lane_end_us.push_back(0.0);
+        lane_events.emplace_back();
+      }
+      lane_end[lane] = end;
+
+      // Unit conversion can round abutting slices into a picosecond overlap;
+      // clamp so ts >= previous ts + dur holds exactly in the emitted µs.
+      const double ts = std::max(start * kUs, lane_end_us[lane]);
+      const double dur = std::max(0.0, end * kUs - ts);
+      lane_end_us[lane] = ts + dur;
+
+      JsonObject ev;
+      ev["name"] = Json(s->name);
+      ev["cat"] = Json(s->category);
+      ev["ph"] = Json("X");
+      ev["ts"] = Json(ts);
+      ev["dur"] = Json(dur);
+      ev["pid"] = Json(1);
+      JsonObject args;
+      args["span_id"] = Json(static_cast<std::int64_t>(s->id));
+      if (s->parent != kNoSpan)
+        args["parent"] = Json(static_cast<std::int64_t>(s->parent));
+      for (const auto& [key, value] : s->attrs) args[key] = attr_json(value);
+      ev["args"] = Json(std::move(args));
+      lane_events[lane].push_back(TrackEvent{ts, Json(std::move(ev))});
+    }
+    for (std::size_t lane = 0; lane < lane_events.size(); ++lane) {
+      const int tid = next_tid++;
+      add_thread_meta(tid, lane == 0 ? category
+                                     : category + " #" + std::to_string(lane + 1));
+      // Sorted by construction (spans sorted by start, lanes fill forward),
+      // so each track's ts sequence is monotone.
+      for (auto& te : lane_events[lane]) {
+        te.event.set("tid", Json(tid));
+        events.push_back(std::move(te.event));
+      }
+    }
+  }
+
+  // Instants: one extra track per category, already in emission (= time)
+  // order; sort defensively so the monotone-per-track guarantee holds even
+  // if a caller recorded out of order.
+  std::map<std::string, std::vector<const InstantEvent*>> instants_by_category;
+  for (const auto& e : tracker.instants())
+    instants_by_category[e.category].push_back(&e);
+  for (auto& [category, list] : instants_by_category) {
+    std::stable_sort(list.begin(), list.end(),
+                     [](const InstantEvent* a, const InstantEvent* b) {
+                       return a->time < b->time;
+                     });
+    const int tid = next_tid++;
+    add_thread_meta(tid, category + " events");
+    for (const InstantEvent* e : list) {
+      JsonObject ev;
+      ev["name"] = Json(e->subject + ": " + e->state);
+      ev["cat"] = Json(e->category);
+      ev["ph"] = Json("i");
+      ev["s"] = Json("t");
+      ev["ts"] = Json(e->time * kUs);
+      ev["pid"] = Json(1);
+      ev["tid"] = Json(tid);
+      JsonObject args;
+      args["subject"] = Json(e->subject);
+      args["state"] = Json(e->state);
+      if (e->parent != kNoSpan)
+        args["parent"] = Json(static_cast<std::int64_t>(e->parent));
+      ev["args"] = Json(std::move(args));
+      events.push_back(Json(std::move(ev)));
+    }
+  }
+
+  JsonObject top;
+  top["traceEvents"] = Json(std::move(events));
+  top["displayTimeUnit"] = Json("ms");
+  return Json(std::move(top)).dump();
+}
+
+std::string metrics_csv(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  out << "kind,name,label,value,count,mean,p50,p95,p99\n";
+  for (const auto& c : snapshot.counters)
+    out << "counter," << csv_escape(c.name) << "," << csv_escape(c.label) << ","
+        << c.value << ",,,,,\n";
+  for (const auto& g : snapshot.gauges)
+    out << "gauge," << csv_escape(g.name) << "," << csv_escape(g.label) << ","
+        << g.value << ",,,,,\n";
+  for (const auto& h : snapshot.histograms)
+    out << "histogram," << csv_escape(h.name) << "," << csv_escape(h.label)
+        << "," << h.sum << "," << h.total << "," << h.mean << "," << h.p50
+        << "," << h.p95 << "," << h.p99 << "\n";
+  return out.str();
+}
+
+std::string samplers_csv(const SamplerSet& samplers) {
+  std::ostringstream out;
+  out << "sampler,time_s,value\n";
+  for (const auto& s : samplers.samplers())
+    for (const auto& [t, v] : s->series().points())
+      out << csv_escape(s->name()) << "," << t << "," << v << "\n";
+  return out.str();
+}
+
+std::string spans_csv(const SpanTracker& tracker) {
+  std::ostringstream out;
+  out << "id,parent,category,name,start_s,end_s,duration_s\n";
+  for (const auto& s : tracker.spans()) {
+    out << s.id << ",";
+    if (s.parent != kNoSpan) out << s.parent;
+    out << "," << csv_escape(s.category) << "," << csv_escape(s.name) << ","
+        << s.start << ",";
+    if (!s.open()) out << s.end;
+    out << "," << s.duration() << "\n";
+  }
+  return out.str();
+}
+
+TextTable metrics_table(const MetricsSnapshot& snapshot, const std::string& title) {
+  auto fmt_value = [](double v) {
+    return fmt_fixed(v, v == std::floor(v) && std::abs(v) < 1e15 ? 0 : 2);
+  };
+  TextTable table(title);
+  table.header({"metric", "label", "value"});
+  for (const auto& c : snapshot.counters)
+    table.row({c.name, c.label, fmt_value(c.value)});
+  for (const auto& g : snapshot.gauges)
+    table.row({g.name, g.label, fmt_value(g.value)});
+  if (!snapshot.histograms.empty()) table.rule();
+  for (const auto& h : snapshot.histograms)
+    table.row({h.name, h.label,
+               "n=" + std::to_string(h.total) + " mean=" + fmt_fixed(h.mean, 3) +
+                   " p50=" + fmt_fixed(h.p50, 3) + " p95=" + fmt_fixed(h.p95, 3)});
+  return table;
+}
+
+std::size_t export_all(const Observer& obs, const std::string& prefix) {
+  std::size_t written = 0;
+  if (write_file(prefix + ".trace.json", chrome_trace_json(obs.spans())))
+    ++written;
+  if (write_file(prefix + ".metrics.csv", metrics_csv(obs.metrics().snapshot())))
+    ++written;
+  if (write_file(prefix + ".samplers.csv", samplers_csv(obs.samplers())))
+    ++written;
+  return written;
+}
+
+}  // namespace hhc::obs

@@ -1,0 +1,43 @@
+// Exporters: Chrome trace-event JSON (loadable in Perfetto / about:tracing),
+// CSV dumps for plotting, and human-readable summary tables.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/samplers.hpp"
+#include "obs/spans.hpp"
+#include "support/table.hpp"
+
+namespace hhc::obs {
+
+class Observer;
+
+/// Renders spans + instants as Chrome trace-event JSON ("X" complete slices
+/// and "i" instants). One track (tid) per category lane; overlapping spans
+/// of a category are split across lanes so slices never overlap within a
+/// track, and each track's events are emitted with monotone `ts`. Open spans
+/// are closed at the latest timestamp seen. Timestamps are microseconds of
+/// simulated time.
+std::string chrome_trace_json(const SpanTracker& spans,
+                              const std::string& process_name = "hhc");
+
+/// CSV of one snapshot: kind,name,label,value plus histogram summaries.
+std::string metrics_csv(const MetricsSnapshot& snapshot);
+
+/// CSV of every sampler point: sampler,time_s,value.
+std::string samplers_csv(const SamplerSet& samplers);
+
+/// CSV of spans: id,parent,category,name,start_s,end_s,duration_s.
+std::string spans_csv(const SpanTracker& spans);
+
+/// Counters, gauges and histogram summaries as a support/table TextTable.
+TextTable metrics_table(const MetricsSnapshot& snapshot,
+                        const std::string& title = "Metrics");
+
+/// One-call export: writes <prefix>.trace.json, <prefix>.metrics.csv and
+/// <prefix>.samplers.csv (best-effort, via support/table's write_file).
+/// Returns the number of files written.
+std::size_t export_all(const Observer& obs, const std::string& prefix);
+
+}  // namespace hhc::obs

@@ -1,0 +1,252 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace hhc::obs {
+
+double Counter::initial_rate(SimTime window) const {
+  if (series_.empty() || window <= 0.0) return 0.0;
+  const SimTime t0 = series_.points().front().first;
+  return series_.value_at(t0 + window) / window;
+}
+
+LogHistogram::LogHistogram(double lo, double hi, std::size_t per_decade)
+    : lo_(lo), hi_(hi), per_decade_(per_decade) {
+  if (lo <= 0.0 || hi <= lo || per_decade == 0)
+    throw std::invalid_argument("LogHistogram: need 0 < lo < hi, per_decade > 0");
+  const double decades = std::log10(hi_ / lo_);
+  inner_buckets_ = static_cast<std::size_t>(
+      std::ceil(decades * static_cast<double>(per_decade_) - 1e-9));
+  counts_.assign(inner_buckets_ + 2, 0);  // + underflow + overflow
+}
+
+std::size_t LogHistogram::bucket_index(double v) const noexcept {
+  if (!(v >= lo_)) return 0;  // underflow (also catches NaN)
+  if (v >= hi_) return inner_buckets_ + 1;
+  const double pos = std::log10(v / lo_) * static_cast<double>(per_decade_);
+  auto i = static_cast<std::size_t>(pos);
+  if (i >= inner_buckets_) i = inner_buckets_ - 1;  // fp round-off at hi edge
+  return i + 1;
+}
+
+void LogHistogram::observe(double v) noexcept {
+  ++counts_[bucket_index(v)];
+  ++total_;
+  sum_ += v;
+  if (total_ == 1) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  if (other.lo_ != lo_ || other.hi_ != hi_ || other.per_decade_ != per_decade_)
+    throw std::invalid_argument("LogHistogram::merge: bucket shapes differ");
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  if (other.total_ > 0) {
+    if (total_ == 0) {
+      min_ = other.min_;
+      max_ = other.max_;
+    } else {
+      min_ = std::min(min_, other.min_);
+      max_ = std::max(max_, other.max_);
+    }
+  }
+  total_ += other.total_;
+  sum_ += other.sum_;
+}
+
+double LogHistogram::bucket_lo(std::size_t bucket) const {
+  if (bucket == 0) return 0.0;
+  if (bucket > inner_buckets_) return hi_;
+  return lo_ * std::pow(10.0, static_cast<double>(bucket - 1) /
+                                  static_cast<double>(per_decade_));
+}
+
+double LogHistogram::bucket_hi(std::size_t bucket) const {
+  if (bucket == 0) return lo_;
+  if (bucket > inner_buckets_) return std::numeric_limits<double>::infinity();
+  if (bucket == inner_buckets_) return hi_;
+  return lo_ * std::pow(10.0, static_cast<double>(bucket) /
+                                  static_cast<double>(per_decade_));
+}
+
+double LogHistogram::quantile(double q) const {
+  if (total_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_);
+  double seen = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const double next = seen + static_cast<double>(counts_[i]);
+    if (next >= target) {
+      // Interpolate within the bucket; clamp open-ended edges to observations.
+      const double blo = std::max(bucket_lo(i), min_);
+      const double bhi = std::min(bucket_hi(i), max_);
+      const double frac =
+          (target - seen) / static_cast<double>(counts_[i]);
+      return blo + (bhi - blo) * frac;
+    }
+    seen = next;
+  }
+  return max_;
+}
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  auto fold = [](std::vector<MetricEntry>& into,
+                 const std::vector<MetricEntry>& from) {
+    for (const auto& e : from) {
+      auto it = std::find_if(into.begin(), into.end(), [&](const MetricEntry& m) {
+        return m.name == e.name && m.label == e.label;
+      });
+      if (it == into.end())
+        into.push_back(e);
+      else
+        it->value += e.value;
+    }
+  };
+  fold(counters, other.counters);
+  fold(gauges, other.gauges);
+  for (const auto& h : other.histograms) {
+    auto it = std::find_if(histograms.begin(), histograms.end(),
+                           [&](const HistogramEntry& m) {
+                             return m.name == h.name && m.label == h.label;
+                           });
+    if (it == histograms.end()) {
+      histograms.push_back(h);
+      continue;
+    }
+    if (it->lo != h.lo || it->hi != h.hi || it->per_decade != h.per_decade ||
+        it->counts.size() != h.counts.size())
+      throw std::invalid_argument("MetricsSnapshot::merge: histogram shapes differ");
+    for (std::size_t i = 0; i < it->counts.size(); ++i)
+      it->counts[i] += h.counts[i];
+    it->total += h.total;
+    it->sum += h.sum;
+    it->mean = it->total ? it->sum / static_cast<double>(it->total) : 0.0;
+    // Percentiles are not re-derivable from merged buckets alone with full
+    // fidelity; recompute the bucket-interpolated estimates.
+    LogHistogram rebuilt(it->lo, it->hi, it->per_decade);
+    for (std::size_t i = 0; i < it->counts.size(); ++i) {
+      const double mid = 0.5 * (std::max(rebuilt.bucket_lo(i), it->lo * 0.5) +
+                                std::min(rebuilt.bucket_hi(i), it->hi * 2.0));
+      for (std::size_t n = 0; n < it->counts[i]; ++n) rebuilt.observe(mid);
+    }
+    it->p50 = rebuilt.quantile(0.50);
+    it->p95 = rebuilt.quantile(0.95);
+    it->p99 = rebuilt.quantile(0.99);
+  }
+}
+
+namespace {
+const MetricEntry* find_entry(const std::vector<MetricEntry>& v,
+                              const std::string& name, const std::string& label) {
+  for (const auto& e : v)
+    if (e.name == name && e.label == label) return &e;
+  return nullptr;
+}
+}  // namespace
+
+const MetricEntry* MetricsSnapshot::find_counter(const std::string& name,
+                                                 const std::string& label) const {
+  return find_entry(counters, name, label);
+}
+
+const MetricEntry* MetricsSnapshot::find_gauge(const std::string& name,
+                                               const std::string& label) const {
+  return find_entry(gauges, name, label);
+}
+
+const HistogramEntry* MetricsSnapshot::find_histogram(
+    const std::string& name, const std::string& label) const {
+  for (const auto& h : histograms)
+    if (h.name == name && h.label == label) return &h;
+  return nullptr;
+}
+
+Counter& Registry::counter(const std::string& name, const std::string& label) {
+  auto& slot = counters_[{name, label}];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name, const std::string& label) {
+  auto& slot = gauges_[{name, label}];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+LogHistogram& Registry::histogram(const std::string& name, const std::string& label,
+                                  double lo, double hi, std::size_t per_decade) {
+  auto& slot = histograms_[{name, label}];
+  if (!slot) slot = std::make_unique<LogHistogram>(lo, hi, per_decade);
+  return *slot;
+}
+
+const Counter* Registry::find_counter(const std::string& name,
+                                      const std::string& label) const {
+  auto it = counters_.find({name, label});
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Gauge* Registry::find_gauge(const std::string& name,
+                                  const std::string& label) const {
+  auto it = gauges_.find({name, label});
+  return it == gauges_.end() ? nullptr : it->second.get();
+}
+
+const LogHistogram* Registry::find_histogram(const std::string& name,
+                                             const std::string& label) const {
+  auto it = histograms_.find({name, label});
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::pair<std::string, const Counter*>> Registry::counter_family(
+    const std::string& name) const {
+  std::vector<std::pair<std::string, const Counter*>> out;
+  for (const auto& [key, ctr] : counters_)
+    if (key.first == name) out.emplace_back(key.second, ctr.get());
+  return out;
+}
+
+void Registry::clear() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [key, ctr] : counters_)
+    snap.counters.push_back({key.first, key.second, ctr->value()});
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [key, g] : gauges_)
+    snap.gauges.push_back({key.first, key.second, g->value()});
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [key, h] : histograms_) {
+    HistogramEntry e;
+    e.name = key.first;
+    e.label = key.second;
+    e.lo = h->lo();
+    e.hi = h->hi();
+    e.per_decade = h->per_decade();
+    e.counts.reserve(h->buckets());
+    for (std::size_t i = 0; i < h->buckets(); ++i) e.counts.push_back(h->count(i));
+    e.total = h->total();
+    e.sum = h->sum();
+    e.mean = h->mean();
+    e.p50 = h->quantile(0.50);
+    e.p95 = h->quantile(0.95);
+    e.p99 = h->quantile(0.99);
+    snap.histograms.push_back(std::move(e));
+  }
+  return snap;
+}
+
+}  // namespace hhc::obs

@@ -1,0 +1,177 @@
+// Metrics registry: counters, gauges and log-scale histograms with labeled
+// families, all keyed to simulated time so benchmarks can read figures (e.g.
+// paper Fig 5's scheduling/launching rates) directly from metric series
+// instead of re-scanning traces.
+//
+// Snapshots are plain data and mergeable, so per-thread sweeps can each run
+// a private Registry and fold the results together at the end.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/stats.hpp"
+#include "support/units.hpp"
+
+namespace hhc::obs {
+
+/// Monotone counter. Every increment is stamped with simulated time, so the
+/// cumulative count is also a StepSeries and rates fall out as slopes.
+class Counter {
+ public:
+  void add(SimTime t, double delta = 1.0) {
+    value_ += delta;
+    series_.record(t, value_);
+  }
+
+  double value() const noexcept { return value_; }
+  const StepSeries& series() const noexcept { return series_; }
+
+  /// Slope over the first `window` seconds after the first increment — the
+  /// paper's "initial throughput" measurement (Fig 5: events in
+  /// [t0, t0 + window] divided by window). Zero when nothing was counted.
+  double initial_rate(SimTime window) const;
+
+ private:
+  double value_ = 0.0;
+  StepSeries series_;
+};
+
+/// Instantaneous value (queue depth, fleet size). Records every change.
+class Gauge {
+ public:
+  void set(SimTime t, double value) {
+    value_ = value;
+    series_.record(t, value_);
+  }
+  void add(SimTime t, double delta) { set(t, value_ + delta); }
+
+  double value() const noexcept { return value_; }
+  const StepSeries& series() const noexcept { return series_; }
+
+ private:
+  double value_ = 0.0;
+  StepSeries series_;
+};
+
+/// Histogram over fixed log-scale buckets: `per_decade` buckets per factor
+/// of 10 between `lo` and `hi`, plus underflow/overflow buckets. Bucket
+/// boundaries depend only on (lo, hi, per_decade), so two histograms with
+/// the same shape merge bucket-by-bucket (per-thread sweeps).
+class LogHistogram {
+ public:
+  LogHistogram(double lo = 1e-3, double hi = 1e6, std::size_t per_decade = 4);
+
+  void observe(double v) noexcept;
+  void merge(const LogHistogram& other);
+
+  std::size_t total() const noexcept { return total_; }
+  double sum() const noexcept { return sum_; }
+  double mean() const noexcept { return total_ ? sum_ / static_cast<double>(total_) : 0.0; }
+  double observed_min() const noexcept { return total_ ? min_ : 0.0; }
+  double observed_max() const noexcept { return total_ ? max_ : 0.0; }
+
+  /// Bucket count including underflow (index 0) and overflow (last index).
+  std::size_t buckets() const noexcept { return counts_.size(); }
+  std::size_t count(std::size_t bucket) const { return counts_.at(bucket); }
+  /// Lower/upper bound of a bucket. Underflow spans (0, lo); overflow spans
+  /// (hi, +inf).
+  double bucket_lo(std::size_t bucket) const;
+  double bucket_hi(std::size_t bucket) const;
+
+  /// Bucket-interpolated quantile estimate; `q` in [0, 1]. Zero when empty.
+  double quantile(double q) const;
+
+  double lo() const noexcept { return lo_; }
+  double hi() const noexcept { return hi_; }
+  std::size_t per_decade() const noexcept { return per_decade_; }
+
+ private:
+  std::size_t bucket_index(double v) const noexcept;
+
+  double lo_, hi_;
+  std::size_t per_decade_;
+  std::size_t inner_buckets_ = 0;
+  std::vector<std::size_t> counts_;  ///< [under, b0..bn-1, over]
+  std::size_t total_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// One metric in a snapshot: family name + optional label (family member).
+struct MetricEntry {
+  std::string name;
+  std::string label;
+  double value = 0.0;
+};
+
+/// Histogram snapshot: boundaries + counts, mergeable when shapes match.
+struct HistogramEntry {
+  std::string name;
+  std::string label;
+  double lo = 0.0, hi = 0.0;
+  std::size_t per_decade = 0;
+  std::vector<std::size_t> counts;
+  std::size_t total = 0;
+  double sum = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+};
+
+/// Plain-data view of a Registry at one instant. Counters/gauges/histogram
+/// buckets merge additively across snapshots (per-thread sweep folding).
+struct MetricsSnapshot {
+  std::vector<MetricEntry> counters;
+  std::vector<MetricEntry> gauges;
+  std::vector<HistogramEntry> histograms;
+
+  void merge(const MetricsSnapshot& other);
+  const MetricEntry* find_counter(const std::string& name,
+                                  const std::string& label = {}) const;
+  const MetricEntry* find_gauge(const std::string& name,
+                                const std::string& label = {}) const;
+  const HistogramEntry* find_histogram(const std::string& name,
+                                       const std::string& label = {}) const;
+};
+
+/// Owns metric families. Accessors create on first use; references stay
+/// valid for the registry's lifetime (node-based storage), so hot paths can
+/// resolve a metric once and increment through the reference.
+class Registry {
+ public:
+  Counter& counter(const std::string& name, const std::string& label = {});
+  Gauge& gauge(const std::string& name, const std::string& label = {});
+  LogHistogram& histogram(const std::string& name, const std::string& label = {},
+                          double lo = 1e-3, double hi = 1e6,
+                          std::size_t per_decade = 4);
+
+  const Counter* find_counter(const std::string& name,
+                              const std::string& label = {}) const;
+  const Gauge* find_gauge(const std::string& name,
+                          const std::string& label = {}) const;
+  const LogHistogram* find_histogram(const std::string& name,
+                                     const std::string& label = {}) const;
+
+  /// All members of a counter family, label -> counter, in label order.
+  std::vector<std::pair<std::string, const Counter*>> counter_family(
+      const std::string& name) const;
+
+  std::size_t size() const noexcept {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+  void clear();
+
+  MetricsSnapshot snapshot() const;
+
+ private:
+  using Key = std::pair<std::string, std::string>;  // (name, label)
+  std::map<Key, std::unique_ptr<Counter>> counters_;
+  std::map<Key, std::unique_ptr<Gauge>> gauges_;
+  std::map<Key, std::unique_ptr<LogHistogram>> histograms_;
+};
+
+}  // namespace hhc::obs

@@ -1,0 +1,20 @@
+#include "obs/observer.hpp"
+
+#include "sim/simulation.hpp"
+
+namespace hhc::obs {
+
+void record_kernel_metrics(Observer& obs, const sim::Simulation& sim) {
+  if (!obs.on()) return;
+  const SimTime now = sim.now();
+  Registry& m = obs.metrics();
+  m.gauge("sim.events_fired").set(now, static_cast<double>(sim.fired_events()));
+  m.gauge("sim.events_cancelled")
+      .set(now, static_cast<double>(sim.cancelled_events()));
+  m.gauge("sim.queue_high_water")
+      .set(now, static_cast<double>(sim.queue_high_water()));
+  m.gauge("sim.pending_events")
+      .set(now, static_cast<double>(sim.pending_events()));
+}
+
+}  // namespace hhc::obs

@@ -1,0 +1,93 @@
+// Observer: the one handle a subsystem needs to be observable.
+//
+// Bundles the three pillars — metrics Registry, SpanTracker, SamplerSet —
+// behind a single enable/disable switch. Instrumentation sites guard with
+// `if (obs.on())`, so a compiled-in-but-disabled observer costs one branch
+// per site (~0 overhead, measured by bench/obs_overhead).
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/samplers.hpp"
+#include "obs/spans.hpp"
+
+namespace hhc::sim {
+class Simulation;
+}
+
+namespace hhc::obs {
+
+class Observer {
+ public:
+  Observer() = default;
+  Observer(const Observer&) = delete;
+  Observer& operator=(const Observer&) = delete;
+
+  /// The master switch. Disabling stops new recordings; existing data stays.
+  bool on() const noexcept { return enabled_; }
+  void set_enabled(bool enabled) noexcept { enabled_ = enabled; }
+
+  Registry& metrics() noexcept { return metrics_; }
+  const Registry& metrics() const noexcept { return metrics_; }
+  SpanTracker& spans() noexcept { return spans_; }
+  const SpanTracker& spans() const noexcept { return spans_; }
+  SamplerSet& samplers() noexcept { return samplers_; }
+  const SamplerSet& samplers() const noexcept { return samplers_; }
+
+  // --- guarded conveniences (no-ops while disabled) ---
+
+  void count(SimTime t, const std::string& name, const std::string& label = {},
+             double delta = 1.0) {
+    if (enabled_) metrics_.counter(name, label).add(t, delta);
+  }
+  void gauge_set(SimTime t, const std::string& name, double value,
+                 const std::string& label = {}) {
+    if (enabled_) metrics_.gauge(name, label).set(t, value);
+  }
+  void observe(const std::string& name, double value,
+               const std::string& label = {}) {
+    if (enabled_) metrics_.histogram(name, label).observe(value);
+  }
+  SpanId begin_span(SimTime t, std::string category, std::string name,
+                    SpanId parent = kNoSpan) {
+    if (!enabled_) return kNoSpan;
+    return spans_.begin(t, std::move(category), std::move(name), parent);
+  }
+  void end_span(SimTime t, SpanId id) {
+    if (enabled_) spans_.end(t, id);
+  }
+  void span_attr(SpanId id, std::string key, AttrValue value) {
+    if (enabled_ && id != kNoSpan)
+      spans_.attr(id, std::move(key), std::move(value));
+  }
+  void instant(SimTime t, std::string category, std::string subject,
+               std::string state, SpanId parent = kNoSpan) {
+    if (enabled_)
+      spans_.instant(t, std::move(category), std::move(subject),
+                     std::move(state), parent);
+  }
+  /// Starts a sampler when enabled; returns whether it was started.
+  bool sample(sim::Simulation& sim, std::string name, SimTime period,
+              std::function<double()> probe) {
+    if (!enabled_) return false;
+    samplers_.add(sim, std::move(name), period, std::move(probe));
+    return true;
+  }
+  void stop_samplers() { samplers_.stop_all(); }
+
+  MetricsSnapshot snapshot() const { return metrics_.snapshot(); }
+
+ private:
+  bool enabled_ = true;
+  Registry metrics_;
+  SpanTracker spans_;
+  SamplerSet samplers_;
+};
+
+/// Folds a Simulation's kernel statistics (events fired/cancelled, queue
+/// high-water mark, pending events) into gauges, so kernel health shows up
+/// in snapshots and exports alongside domain metrics.
+void record_kernel_metrics(Observer& obs, const sim::Simulation& sim);
+
+}  // namespace hhc::obs

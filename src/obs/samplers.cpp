@@ -1,0 +1,48 @@
+#include "obs/samplers.hpp"
+
+#include <stdexcept>
+
+namespace hhc::obs {
+
+void Sampler::tick(sim::Simulation& sim) {
+  if (!running_) return;
+  series_.record(sim.now(), probe_());
+  // Weak: a pending sampler tick must never keep the simulation running —
+  // once only sampler ticks remain, the kernel discards them and drains.
+  next_ = sim.schedule_weak_in(period_, [this, &sim] { tick(sim); });
+}
+
+Sampler& SamplerSet::add(sim::Simulation& sim, std::string name, SimTime period,
+                         std::function<double()> probe) {
+  if (period <= 0.0) throw std::invalid_argument("SamplerSet::add: period <= 0");
+  if (!probe) throw std::invalid_argument("SamplerSet::add: null probe");
+  samplers_.push_back(
+      std::make_unique<Sampler>(std::move(name), period, std::move(probe)));
+  Sampler& s = *samplers_.back();
+  s.running_ = true;
+  s.tick(sim);
+  return s;
+}
+
+void SamplerSet::stop(const std::string& name) {
+  for (auto& s : samplers_)
+    if (s->name_ == name && s->running_) {
+      s->running_ = false;
+      s->next_.cancel();
+    }
+}
+
+void SamplerSet::stop_all() {
+  for (auto& s : samplers_) {
+    s->running_ = false;
+    s->next_.cancel();
+  }
+}
+
+const Sampler* SamplerSet::find(const std::string& name) const {
+  for (const auto& s : samplers_)
+    if (s->name() == name) return s.get();
+  return nullptr;
+}
+
+}  // namespace hhc::obs

@@ -1,0 +1,68 @@
+// Time-series samplers: periodic probes a sim::Simulation drives on a
+// configurable cadence (cluster core utilization, queue depth, active cloud
+// instances, EnTK pilot occupancy). Each sampler evaluates a callback and
+// records the value into a StepSeries stamped with simulated time.
+//
+// Ticks are scheduled as *weak* events: they fire alongside regular work but
+// never keep the simulation alive by themselves, so a sampler cannot extend
+// (or hang) a run whose real events have drained. Owners still stop their
+// samplers when a run completes (AppManager/Toolkit/ASG do) so repeated runs
+// on one simulation don't sample each other's quiet periods.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/simulation.hpp"
+#include "support/stats.hpp"
+
+namespace hhc::obs {
+
+/// One periodic probe and its recorded series.
+class Sampler {
+ public:
+  Sampler(std::string name, SimTime period, std::function<double()> probe)
+      : name_(std::move(name)), period_(period), probe_(std::move(probe)) {}
+
+  const std::string& name() const noexcept { return name_; }
+  SimTime period() const noexcept { return period_; }
+  const StepSeries& series() const noexcept { return series_; }
+  bool running() const noexcept { return running_; }
+
+ private:
+  friend class SamplerSet;
+  void tick(sim::Simulation& sim);
+
+  std::string name_;
+  SimTime period_;
+  std::function<double()> probe_;
+  StepSeries series_;
+  sim::EventHandle next_;
+  bool running_ = false;
+};
+
+/// Owns samplers; pointers stay valid for the set's lifetime.
+class SamplerSet {
+ public:
+  /// Registers and starts a sampler on `sim`: it samples immediately (at
+  /// sim.now()) and then every `period` seconds until stopped.
+  Sampler& add(sim::Simulation& sim, std::string name, SimTime period,
+               std::function<double()> probe);
+
+  /// Cancels a sampler's next tick. Recorded series are kept.
+  void stop(const std::string& name);
+  void stop_all();
+
+  const Sampler* find(const std::string& name) const;
+  const std::vector<std::unique_ptr<Sampler>>& samplers() const noexcept {
+    return samplers_;
+  }
+  std::size_t size() const noexcept { return samplers_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Sampler>> samplers_;
+};
+
+}  // namespace hhc::obs

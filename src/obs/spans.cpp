@@ -1,0 +1,59 @@
+#include "obs/spans.hpp"
+
+#include <stdexcept>
+
+namespace hhc::obs {
+
+SpanId SpanTracker::begin(SimTime t, std::string category, std::string name,
+                          SpanId parent) {
+  if (parent != kNoSpan && parent >= spans_.size())
+    throw std::out_of_range("SpanTracker::begin: bad parent id");
+  const auto id = static_cast<SpanId>(spans_.size());
+  Span s;
+  s.id = id;
+  s.parent = parent;
+  s.category = std::move(category);
+  s.name = std::move(name);
+  s.start = t;
+  spans_.push_back(std::move(s));
+  ++open_;
+  ++version_;
+  return id;
+}
+
+void SpanTracker::end(SimTime t, SpanId id) {
+  if (id == kNoSpan) return;
+  Span& s = spans_.at(id);
+  if (!s.open()) return;
+  s.end = t < s.start ? s.start : t;
+  --open_;
+  ++version_;
+}
+
+void SpanTracker::attr(SpanId id, std::string key, AttrValue value) {
+  if (id == kNoSpan) return;
+  spans_.at(id).attrs.emplace_back(std::move(key), std::move(value));
+  ++version_;
+}
+
+void SpanTracker::instant(SimTime t, std::string category, std::string subject,
+                          std::string state, SpanId parent) {
+  instants_.push_back(InstantEvent{t, std::move(category), std::move(subject),
+                                   std::move(state), parent});
+  ++version_;
+}
+
+void SpanTracker::clear() {
+  spans_.clear();
+  instants_.clear();
+  open_ = 0;
+  ++version_;
+}
+
+sim::Trace SpanTracker::replay_trace() const {
+  sim::Trace t;
+  for (const auto& e : instants_) t.emit(e.time, e.category, e.subject, e.state);
+  return t;
+}
+
+}  // namespace hhc::obs

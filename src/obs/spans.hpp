@@ -1,0 +1,86 @@
+// Hierarchical spans keyed to simulated time.
+//
+// A span is a named interval with a category (its display track), an
+// optional parent, and typed attributes: the paper's execution hierarchy —
+// workflow -> pipeline/stage -> task -> transfer — maps one span per level.
+// Point-in-time happenings (a task changing state, a node going down) are
+// instant events, optionally attached to a span.
+//
+// The tracker supersedes the flat sim::Trace: legacy emission sites now
+// record instants here, and replay_trace() reconstructs a byte-identical
+// Trace for callers of the old API.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "sim/trace.hpp"
+#include "support/units.hpp"
+
+namespace hhc::obs {
+
+using SpanId = std::uint32_t;
+inline constexpr SpanId kNoSpan = static_cast<SpanId>(-1);
+
+/// Typed span attribute value.
+using AttrValue = std::variant<std::string, double, std::int64_t, bool>;
+
+struct Span {
+  SpanId id = kNoSpan;
+  SpanId parent = kNoSpan;
+  std::string category;  ///< Display track ("workflow", "stage", "task", ...).
+  std::string name;
+  SimTime start = 0.0;
+  SimTime end = -1.0;  ///< < 0 while the span is open.
+  std::vector<std::pair<std::string, AttrValue>> attrs;
+
+  bool open() const noexcept { return end < start; }
+  SimTime duration() const noexcept { return open() ? 0.0 : end - start; }
+};
+
+/// A point event (legacy Trace record shape, plus an optional parent span).
+struct InstantEvent {
+  SimTime time = 0.0;
+  std::string category;
+  std::string subject;
+  std::string state;
+  SpanId parent = kNoSpan;
+};
+
+/// Append-only span/instant store. Not thread-safe (one per simulation).
+class SpanTracker {
+ public:
+  SpanId begin(SimTime t, std::string category, std::string name,
+               SpanId parent = kNoSpan);
+  /// Closes a span. Idempotent for already-closed spans; kNoSpan is a no-op.
+  void end(SimTime t, SpanId id);
+  void attr(SpanId id, std::string key, AttrValue value);
+
+  void instant(SimTime t, std::string category, std::string subject,
+               std::string state, SpanId parent = kNoSpan);
+
+  const std::vector<Span>& spans() const noexcept { return spans_; }
+  const std::vector<InstantEvent>& instants() const noexcept { return instants_; }
+  const Span& span(SpanId id) const { return spans_.at(id); }
+  std::size_t open_count() const noexcept { return open_; }
+
+  /// Bumped on every mutation; lets Trace-shim caches invalidate cheaply.
+  std::uint64_t version() const noexcept { return version_; }
+
+  void clear();
+
+  /// Rebuilds the legacy flat Trace from the instant log, in emission order.
+  /// Call sites that used to emit into a Trace now emit instants, so the
+  /// replay is record-for-record identical to what the old code produced.
+  sim::Trace replay_trace() const;
+
+ private:
+  std::vector<Span> spans_;
+  std::vector<InstantEvent> instants_;
+  std::size_t open_ = 0;
+  std::uint64_t version_ = 0;
+};
+
+}  // namespace hhc::obs

@@ -2,14 +2,47 @@
 
 #include <stdexcept>
 
+#include "support/log.hpp"
+
 namespace hhc::sim {
 
-EventHandle Simulation::schedule_at(SimTime t, std::function<void()> fn) {
+namespace {
+// RAII: publish the running simulation's clock to this thread's logger (the
+// hook lives in support/log so support does not depend on sim). Nested
+// run() calls restore the outer pointer on exit.
+class CurrentSimScope {
+ public:
+  explicit CurrentSimScope(const SimTime* now) : prev_(detail::log_sim_time()) {
+    detail::set_log_sim_time(now);
+  }
+  ~CurrentSimScope() { detail::set_log_sim_time(prev_); }
+  CurrentSimScope(const CurrentSimScope&) = delete;
+  CurrentSimScope& operator=(const CurrentSimScope&) = delete;
+
+ private:
+  const SimTime* prev_;
+};
+}  // namespace
+
+const SimTime* current_sim_time() noexcept { return detail::log_sim_time(); }
+
+EventHandle Simulation::schedule_impl(SimTime t, std::function<void()> fn,
+                                      bool weak) {
   if (t < now_) throw std::logic_error("Simulation::schedule_at: time in the past");
   auto flag = std::make_shared<bool>(false);
-  queue_.push(Event{t, next_seq_++, std::move(fn), flag});
+  queue_.push(Event{t, next_seq_++, std::move(fn), flag, weak});
   ++live_events_;
+  if (!weak) ++strong_live_;
+  if (live_events_ > queue_high_water_) queue_high_water_ = live_events_;
   return EventHandle(std::move(flag));
+}
+
+EventHandle Simulation::schedule_at(SimTime t, std::function<void()> fn) {
+  return schedule_impl(t, std::move(fn), /*weak=*/false);
+}
+
+EventHandle Simulation::schedule_weak_at(SimTime t, std::function<void()> fn) {
+  return schedule_impl(t, std::move(fn), /*weak=*/true);
 }
 
 bool Simulation::pop_next(Event& out) {
@@ -18,12 +51,22 @@ bool Simulation::pop_next(Event& out) {
     out = std::move(const_cast<Event&>(queue_.top()));
     queue_.pop();
     --live_events_;
-    if (!*out.cancelled) return true;
+    if (!out.weak) --strong_live_;
+    if (*out.cancelled) {
+      ++cancelled_;
+      continue;
+    }
+    // A weak event with no strong work left would run the simulation for the
+    // observer's sake alone; discard it (and everything after it — only weak
+    // or cancelled events can remain).
+    if (out.weak && strong_live_ == 0) continue;
+    return true;
   }
   return false;
 }
 
 std::size_t Simulation::run(std::size_t max_events) {
+  CurrentSimScope scope(&now_);
   stop_requested_ = false;
   std::size_t n = 0;
   Event ev;
@@ -37,6 +80,7 @@ std::size_t Simulation::run(std::size_t max_events) {
 }
 
 std::size_t Simulation::run_until(SimTime t_end) {
+  CurrentSimScope scope(&now_);
   stop_requested_ = false;
   std::size_t n = 0;
   while (!stop_requested_ && !queue_.empty()) {

@@ -57,6 +57,15 @@ class Simulation {
   /// Schedules `fn` at the current time, after already-queued same-time events.
   EventHandle post(std::function<void()> fn) { return schedule_at(now_, std::move(fn)); }
 
+  /// Schedules a *weak* event: it fires like a normal event while regular
+  /// work is pending, but never keeps the simulation alive by itself — once
+  /// only weak events remain, run()/run_until() discard them and drain.
+  /// For observers (periodic samplers) that must not extend a run.
+  EventHandle schedule_weak_at(SimTime t, std::function<void()> fn);
+  EventHandle schedule_weak_in(SimTime dt, std::function<void()> fn) {
+    return schedule_weak_at(now_ + dt, std::move(fn));
+  }
+
   /// Runs until the queue is empty or `max_events` fire. Returns events fired.
   std::size_t run(std::size_t max_events = SIZE_MAX);
 
@@ -70,12 +79,19 @@ class Simulation {
   std::size_t pending_events() const noexcept { return live_events_; }
   std::size_t fired_events() const noexcept { return fired_; }
 
+  // Kernel health counters for the observability layer (obs::Observer).
+  /// Events that were cancelled before firing (observed at pop time).
+  std::size_t cancelled_events() const noexcept { return cancelled_; }
+  /// Largest number of simultaneously queued live events ever reached.
+  std::size_t queue_high_water() const noexcept { return queue_high_water_; }
+
  private:
   struct Event {
     SimTime time;
     std::uint64_t seq;
     std::function<void()> fn;
     std::shared_ptr<bool> cancelled;
+    bool weak = false;
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const noexcept {
@@ -84,6 +100,7 @@ class Simulation {
     }
   };
 
+  EventHandle schedule_impl(SimTime t, std::function<void()> fn, bool weak);
   bool pop_next(Event& out);
 
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
@@ -91,7 +108,17 @@ class Simulation {
   std::uint64_t next_seq_ = 0;
   std::size_t fired_ = 0;
   std::size_t live_events_ = 0;
+  /// Queued strong (non-weak) events, counting cancelled ones until popped.
+  /// When it hits zero, remaining weak events are discarded instead of fired.
+  std::size_t strong_live_ = 0;
+  std::size_t cancelled_ = 0;
+  std::size_t queue_high_water_ = 0;
   bool stop_requested_ = false;
 };
+
+/// While a Simulation is inside run()/run_until() on this thread, points at
+/// its clock so lower layers (hhc::log_line) can stamp output with simulated
+/// time without depending on the sim library. Null otherwise.
+const SimTime* current_sim_time() noexcept;
 
 }  // namespace hhc::sim

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "support/strings.hpp"
+
 namespace hhc::sim {
 
 void Trace::emit(SimTime time, std::string category, std::string subject,
@@ -13,6 +15,7 @@ void Trace::emit(SimTime time, std::string category, std::string subject,
 std::vector<TraceEvent> Trace::filter(const std::string& category,
                                       const std::string& state) const {
   std::vector<TraceEvent> out;
+  out.reserve(count(category, state));
   for (const auto& e : events_)
     if (e.category == category && e.state == state) out.push_back(e);
   return out;
@@ -29,7 +32,8 @@ std::string Trace::csv() const {
   std::ostringstream out;
   out << "time,category,subject,state\n";
   for (const auto& e : events_)
-    out << e.time << "," << e.category << "," << e.subject << "," << e.state << "\n";
+    out << e.time << "," << csv_escape(e.category) << ","
+        << csv_escape(e.subject) << "," << csv_escape(e.state) << "\n";
   return out.str();
 }
 

@@ -5,6 +5,15 @@
 #include <mutex>
 
 namespace hhc {
+namespace detail {
+namespace {
+thread_local const double* t_sim_now = nullptr;
+}  // namespace
+
+void set_log_sim_time(const double* now) noexcept { t_sim_now = now; }
+const double* log_sim_time() noexcept { return t_sim_now; }
+}  // namespace detail
+
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::Warn};
 std::mutex g_mutex;
@@ -27,8 +36,11 @@ LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void log_line(LogLevel level, const std::string& component, const std::string& message) {
   if (level < log_level()) return;
+  const double* sim_now = detail::log_sim_time();
   std::scoped_lock lock(g_mutex);
-  std::cerr << "[" << level_name(level) << "] " << component << ": " << message << "\n";
+  std::cerr << "[" << level_name(level) << "] ";
+  if (sim_now) std::cerr << "[t=" << *sim_now << "s] ";
+  std::cerr << component << ": " << message << "\n";
 }
 
 }  // namespace hhc

@@ -14,7 +14,18 @@ void set_log_level(LogLevel level);
 LogLevel log_level();
 
 /// Emits one line to stderr if `level` passes the threshold. Thread-safe.
+/// When a simulation is running on this thread (see detail::set_log_sim_time)
+/// the line carries the simulated timestamp, so interleaved logs from
+/// multi-replica sweeps stay attributable to a point in simulated time.
 void log_line(LogLevel level, const std::string& component, const std::string& message);
+
+namespace detail {
+/// Thread-local hook: points at the running simulation's clock while inside
+/// Simulation::run()/run_until(); null otherwise. Installed by the sim
+/// kernel (which depends on support, not vice versa).
+void set_log_sim_time(const double* now) noexcept;
+const double* log_sim_time() noexcept;
+}  // namespace detail
 
 namespace detail {
 class LogStream {

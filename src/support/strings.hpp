@@ -23,6 +23,11 @@ std::string to_lower(std::string_view s);
 /// Joins items with a separator.
 std::string join(const std::vector<std::string>& items, std::string_view sep);
 
+/// RFC 4180 CSV field escaping: fields containing commas, double quotes,
+/// CR or LF are wrapped in quotes with embedded quotes doubled; everything
+/// else passes through unchanged.
+std::string csv_escape(std::string_view field);
+
 /// printf-style double formatting helpers for report tables.
 std::string fmt_fixed(double v, int decimals);
 std::string fmt_pct(double fraction, int decimals = 1);   ///< 0.25 -> "25.0%"

@@ -1,0 +1,219 @@
+// Golden regression for the sim::Trace compatibility shim: AppManager now
+// records instants into obs::SpanTracker, and trace() replays them into a
+// legacy Trace. This pins the replay byte-for-byte against the CSV the
+// pre-observability AppManager emitted for a small deterministic ExaAM run
+// (frontier_like(64), Rng(2023), failure injection at t=900) — any change
+// to emission order, formatting, or event content breaks this test.
+#include <gtest/gtest.h>
+
+#include <utility>
+
+#include "entk/app_manager.hpp"
+#include "entk/exaam.hpp"
+
+namespace hhc::entk {
+namespace {
+
+constexpr const char* kGoldenCsv =
+    "time,category,subject,state\n"
+    "85,task,tasmanian,submitted\n"
+    "85.0037,task,tasmanian,scheduled\n"
+    "85.0233,task,tasmanian,exec_start\n"
+    "305.293,task,tasmanian,done\n"
+    "305.293,task,prep-inputs,submitted\n"
+    "305.297,task,prep-inputs,scheduled\n"
+    "305.317,task,prep-inputs,exec_start\n"
+    "389.731,task,prep-inputs,done\n"
+    "389.731,task,af-pre,submitted\n"
+    "389.735,task,af-pre,scheduled\n"
+    "389.755,task,af-pre,exec_start\n"
+    "556.917,task,af-pre,done\n"
+    "556.917,task,af-case0,submitted\n"
+    "556.917,task,af-case2,submitted\n"
+    "556.921,task,af-case0,scheduled\n"
+    "556.925,task,af-case2,scheduled\n"
+    "556.941,task,af-case0,exec_start\n"
+    "556.96,task,af-case2,exec_start\n"
+    "900,node,3,down\n"
+    "900,task,af-case0,failed\n"
+    "900,task,af-case0,resubmitted\n"
+    "900.004,task,af-case0,scheduled\n"
+    "900.023,task,af-case0,exec_start\n"
+    "3554.59,task,af-case2,done\n"
+    "4206.07,task,af-case0,done\n"
+    "4206.07,task,af-case1,submitted\n"
+    "4206.07,task,af-case3,submitted\n"
+    "4206.08,task,af-case1,scheduled\n"
+    "4206.08,task,af-case3,scheduled\n"
+    "4206.1,task,af-case1,exec_start\n"
+    "4206.12,task,af-case3,exec_start\n"
+    "6611.64,task,af-case3,done\n"
+    "7528.67,task,af-case1,done\n"
+    "7528.67,task,af-post,submitted\n"
+    "7528.68,task,af-post,scheduled\n"
+    "7528.7,task,af-post,exec_start\n"
+    "7685.34,task,af-post,done\n"
+    "7685.34,task,exaca-case0,submitted\n"
+    "7685.34,task,exaca-case1,submitted\n"
+    "7685.34,task,exaca-case2,submitted\n"
+    "7685.34,task,exaca-case3,submitted\n"
+    "7685.34,task,exaca-case4,submitted\n"
+    "7685.34,task,exaca-case5,submitted\n"
+    "7685.34,task,exaca-case0,scheduled\n"
+    "7685.35,task,exaca-case1,scheduled\n"
+    "7685.35,task,exaca-case2,scheduled\n"
+    "7685.35,task,exaca-case3,scheduled\n"
+    "7685.36,task,exaca-case4,scheduled\n"
+    "7685.36,task,exaca-case5,scheduled\n"
+    "7685.36,task,exaca-case0,exec_start\n"
+    "7685.38,task,exaca-case1,exec_start\n"
+    "7685.4,task,exaca-case2,exec_start\n"
+    "7685.42,task,exaca-case3,exec_start\n"
+    "7685.44,task,exaca-case4,exec_start\n"
+    "7685.46,task,exaca-case5,exec_start\n"
+    "13300.3,task,exaca-case1,done\n"
+    "13965.2,task,exaca-case5,done\n"
+    "16678.1,task,exaca-case0,done\n"
+    "17016.4,task,exaca-case2,done\n"
+    "17140.7,task,exaca-case4,done\n"
+    "18485.7,task,exaca-case3,done\n"
+    "18485.7,task,exaca-analysis,submitted\n"
+    "18485.7,task,exaca-analysis,scheduled\n"
+    "18485.7,task,exaca-analysis,exec_start\n"
+    "18839.1,task,exaca-analysis,done\n"
+    "18839.1,task,exaconstit-0,submitted\n"
+    "18839.1,task,exaconstit-1,submitted\n"
+    "18839.1,task,exaconstit-2,submitted\n"
+    "18839.1,task,exaconstit-3,submitted\n"
+    "18839.1,task,exaconstit-4,submitted\n"
+    "18839.1,task,exaconstit-5,submitted\n"
+    "18839.1,task,exaconstit-6,submitted\n"
+    "18839.1,task,exaconstit-7,submitted\n"
+    "18839.1,task,exaconstit-8,submitted\n"
+    "18839.1,task,exaconstit-9,submitted\n"
+    "18839.1,task,exaconstit-10,submitted\n"
+    "18839.1,task,exaconstit-11,submitted\n"
+    "18839.1,task,exaconstit-0,scheduled\n"
+    "18839.1,task,exaconstit-1,scheduled\n"
+    "18839.1,task,exaconstit-2,scheduled\n"
+    "18839.1,task,exaconstit-3,scheduled\n"
+    "18839.1,task,exaconstit-4,scheduled\n"
+    "18839.1,task,exaconstit-5,scheduled\n"
+    "18839.1,task,exaconstit-0,exec_start\n"
+    "18839.2,task,exaconstit-6,scheduled\n"
+    "18839.2,task,exaconstit-7,scheduled\n"
+    "18839.2,task,exaconstit-8,scheduled\n"
+    "18839.2,task,exaconstit-9,scheduled\n"
+    "18839.2,task,exaconstit-10,scheduled\n"
+    "18839.2,task,exaconstit-1,exec_start\n"
+    "18839.2,task,exaconstit-11,scheduled\n"
+    "18839.2,task,exaconstit-2,exec_start\n"
+    "18839.2,task,exaconstit-3,exec_start\n"
+    "18839.2,task,exaconstit-4,exec_start\n"
+    "18839.2,task,exaconstit-5,exec_start\n"
+    "18839.3,task,exaconstit-6,exec_start\n"
+    "19233.5,task,exaconstit-0,failed\n"
+    "19233.6,task,exaconstit-7,exec_start\n"
+    "19489.8,task,exaconstit-5,done\n"
+    "19489.8,task,exaconstit-8,exec_start\n"
+    "19921.3,task,exaconstit-3,done\n"
+    "19921.3,task,exaconstit-9,exec_start\n"
+    "19996.7,task,exaconstit-2,done\n"
+    "19996.7,task,exaconstit-10,exec_start\n"
+    "20009.7,task,exaconstit-1,done\n"
+    "20009.7,task,exaconstit-11,exec_start\n"
+    "20033.4,task,exaconstit-7,done\n"
+    "20100.3,task,exaconstit-4,done\n"
+    "20205.3,task,exaconstit-6,done\n"
+    "20237.8,task,exaconstit-10,failed\n"
+    "20237.8,task,exaconstit-10,resubmitted\n"
+    "20237.8,task,exaconstit-10,scheduled\n"
+    "20237.9,task,exaconstit-10,exec_start\n"
+    "20452.3,task,exaconstit-11,failed\n"
+    "20452.3,task,exaconstit-11,resubmitted\n"
+    "20452.3,task,exaconstit-11,scheduled\n"
+    "20452.3,task,exaconstit-11,exec_start\n"
+    "20798.9,task,exaconstit-8,done\n"
+    "20877.1,task,exaconstit-9,done\n"
+    "20961.5,task,exaconstit-10,done\n"
+    "21309.4,task,exaconstit-11,done\n"
+    "21309.4,task,optimize,submitted\n"
+    "21309.4,task,optimize,scheduled\n"
+    "21309.4,task,optimize,exec_start\n"
+    "21895.4,task,optimize,done\n"
+    "21895.4,app,appmanager,finished\n";
+
+TEST(TraceShim, ReplayMatchesGoldenCsvByteForByte) {
+  sim::Simulation sim;
+  cluster::Cluster pilot(cluster::frontier_like(64));
+  EntkConfig cfg;
+  cfg.scheduling_rate = 269.0;
+  cfg.launching_rate = 51.0;
+  cfg.bootstrap_overhead = 85.0;
+  ExaamScale scale;
+  scale.meltpool_cases = 4;
+  scale.microstructure_cases = 6;
+  scale.exaconstit_tasks = 12;
+  scale.exaconstit_failure_rate = 0.2;  // exercise failure/resubmit states
+  AppManager app(sim, pilot, cfg, Rng(2023));
+  PipelineDesc pipeline;
+  pipeline.name = "uq-small";
+  for (auto part : {make_stage0(scale), make_stage1(scale),
+                    make_stage3(scale, /*terminal_failures=*/1)})
+    for (auto& stage : part.stages) pipeline.stages.push_back(std::move(stage));
+  app.add_pipeline(std::move(pipeline));
+  app.fail_node_at(900.0, 3);
+  const RunReport r = app.run();
+
+  EXPECT_EQ(r.tasks_total, 28u);
+  EXPECT_EQ(r.tasks_completed, 27u);
+  EXPECT_EQ(r.task_failures, 4u);
+  EXPECT_EQ(app.trace().size(), 126u);
+  EXPECT_EQ(app.trace().csv(), kGoldenCsv);
+
+  // The shim is cached on the tracker's version counter: a second call must
+  // hand back the same object without replaying.
+  const sim::Trace* first = &app.trace();
+  EXPECT_EQ(first, &app.trace());
+}
+
+TEST(TraceShim, SpansCoverTheRunHierarchy) {
+  // Same run, inspected through the span API instead of the flat trace.
+  sim::Simulation sim;
+  cluster::Cluster pilot(cluster::frontier_like(64));
+  EntkConfig cfg;
+  cfg.bootstrap_overhead = 85.0;
+  ExaamScale scale;
+  scale.meltpool_cases = 2;
+  scale.microstructure_cases = 2;
+  scale.exaconstit_tasks = 4;
+  AppManager app(sim, pilot, cfg, Rng(7));
+  PipelineDesc uq = make_full_uq_pipeline(scale);
+  const std::size_t want_stages = uq.stages.size();
+  const std::size_t want_tasks = uq.task_count();
+  app.add_pipeline(std::move(uq));
+  app.run();
+
+  const obs::SpanTracker& spans = app.observer().spans();
+  EXPECT_EQ(spans.open_count(), 0u);  // everything closed at run end
+  std::size_t apps = 0, pipelines = 0, stages = 0, tasks = 0;
+  for (const auto& s : spans.spans()) {
+    if (s.category == "app") ++apps;
+    else if (s.category == "pipeline") ++pipelines;
+    else if (s.category == "stage") ++stages;
+    else if (s.category == "task") ++tasks;
+    // Children start within their parent's interval.
+    if (s.parent != obs::kNoSpan) {
+      const obs::Span& p = spans.span(s.parent);
+      EXPECT_GE(s.start, p.start);
+      EXPECT_LE(s.end, p.end);
+    }
+  }
+  EXPECT_EQ(apps, 1u);
+  EXPECT_EQ(pipelines, 1u);
+  EXPECT_EQ(stages, want_stages);
+  EXPECT_GE(tasks, want_tasks);  // resubmitted attempts add task spans
+}
+
+}  // namespace
+}  // namespace hhc::entk

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+
+namespace hhc::obs {
+namespace {
+
+TEST(Counter, AccumulatesIntoSeries) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0.0);
+  c.add(1.0);
+  c.add(2.0, 3.0);
+  EXPECT_EQ(c.value(), 4.0);
+  EXPECT_EQ(c.series().value_at(1.5), 1.0);
+  EXPECT_EQ(c.series().value_at(2.0), 4.0);
+}
+
+TEST(Counter, InitialRateMatchesWindowCount) {
+  // 5 events in the first 2 s after t0 = 10, then a straggler.
+  Counter c;
+  for (double t : {10.0, 10.5, 11.0, 11.5, 12.0}) c.add(t);
+  c.add(50.0);
+  EXPECT_DOUBLE_EQ(c.initial_rate(2.0), 5.0 / 2.0);
+  // The full horizon picks up the straggler.
+  EXPECT_DOUBLE_EQ(c.initial_rate(40.0), 6.0 / 40.0);
+}
+
+TEST(Counter, InitialRateEmptyOrBadWindow) {
+  Counter c;
+  EXPECT_EQ(c.initial_rate(5.0), 0.0);
+  c.add(0.0);
+  EXPECT_EQ(c.initial_rate(0.0), 0.0);
+}
+
+TEST(Gauge, SetAndAdd) {
+  Gauge g;
+  g.set(1.0, 10.0);
+  g.add(2.0, -4.0);
+  EXPECT_EQ(g.value(), 6.0);
+  EXPECT_EQ(g.series().value_at(1.5), 10.0);
+  EXPECT_EQ(g.series().value_at(3.0), 6.0);
+}
+
+TEST(LogHistogram, BucketBoundariesTile) {
+  LogHistogram h(1e-3, 1e6, 4);
+  // 9 decades x 4 buckets + underflow + overflow.
+  EXPECT_EQ(h.buckets(), 9u * 4u + 2u);
+  EXPECT_EQ(h.bucket_lo(0), 0.0);
+  EXPECT_EQ(h.bucket_hi(0), 1e-3);
+  // Adjacent buckets share a boundary, and each spans 10^(1/4).
+  for (std::size_t b = 1; b + 1 < h.buckets(); ++b) {
+    EXPECT_DOUBLE_EQ(h.bucket_hi(b), h.bucket_lo(b + 1)) << "bucket " << b;
+    EXPECT_NEAR(h.bucket_hi(b) / h.bucket_lo(b), std::pow(10.0, 0.25), 1e-9);
+  }
+  EXPECT_EQ(h.bucket_lo(h.buckets() - 1), 1e6);
+  EXPECT_TRUE(std::isinf(h.bucket_hi(h.buckets() - 1)));
+}
+
+TEST(LogHistogram, ObservationsLandInTheirBucket) {
+  LogHistogram h(1.0, 1e3, 1);  // buckets: under, [1,10), [10,100), [100,1e3), over
+  h.observe(0.5);    // underflow
+  h.observe(1.0);    // exactly lo -> first inner bucket
+  h.observe(9.99);
+  h.observe(10.0);
+  h.observe(999.0);
+  h.observe(1e3);    // exactly hi -> overflow
+  h.observe(5e4);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 2u);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_EQ(h.count(3), 1u);
+  EXPECT_EQ(h.count(4), 2u);
+  EXPECT_EQ(h.total(), 7u);
+  EXPECT_EQ(h.observed_min(), 0.5);
+  EXPECT_EQ(h.observed_max(), 5e4);
+}
+
+TEST(LogHistogram, NanGoesToUnderflow) {
+  LogHistogram h(1.0, 10.0, 1);
+  h.observe(std::nan(""));
+  EXPECT_EQ(h.count(0), 1u);
+}
+
+TEST(LogHistogram, QuantileInterpolates) {
+  LogHistogram h(1.0, 1e4, 2);
+  for (int i = 0; i < 100; ++i) h.observe(5.0);
+  const double p50 = h.quantile(0.5);
+  // All mass sits in 5.0's bucket; the estimate stays inside it and inside
+  // the observed range.
+  EXPECT_GE(p50, h.observed_min());
+  EXPECT_LE(p50, h.observed_max());
+  EXPECT_EQ(h.quantile(0.0), h.observed_min());
+}
+
+TEST(LogHistogram, MergeAddsCountsAndTracksExtremes) {
+  LogHistogram a(1.0, 1e3, 2), b(1.0, 1e3, 2);
+  a.observe(2.0);
+  b.observe(500.0);
+  b.observe(0.1);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 3u);
+  EXPECT_EQ(a.observed_min(), 0.1);
+  EXPECT_EQ(a.observed_max(), 500.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 502.1);
+}
+
+TEST(LogHistogram, MergeRejectsShapeMismatch) {
+  LogHistogram a(1.0, 1e3, 2), b(1.0, 1e3, 4), c(1.0, 1e4, 2);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+  EXPECT_THROW(a.merge(c), std::invalid_argument);
+}
+
+TEST(LogHistogram, RejectsBadShape) {
+  EXPECT_THROW(LogHistogram(0.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(LogHistogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(LogHistogram(1.0, 10.0, 0), std::invalid_argument);
+}
+
+TEST(Registry, CreateOnUseAndStableReferences) {
+  Registry r;
+  Counter& c = r.counter("jobs", "envA");
+  c.add(1.0);
+  // Same key -> same object; new label -> new family member.
+  EXPECT_EQ(&r.counter("jobs", "envA"), &c);
+  r.counter("jobs", "envB").add(1.0, 2.0);
+  EXPECT_EQ(r.find_counter("jobs", "envA")->value(), 1.0);
+  EXPECT_EQ(r.find_counter("jobs", "envB")->value(), 2.0);
+  EXPECT_EQ(r.find_counter("jobs", "envC"), nullptr);
+
+  const auto family = r.counter_family("jobs");
+  ASSERT_EQ(family.size(), 2u);
+  EXPECT_EQ(family[0].first, "envA");
+  EXPECT_EQ(family[1].first, "envB");
+}
+
+TEST(Registry, SnapshotRoundTrip) {
+  Registry r;
+  r.counter("done").add(1.0, 5.0);
+  r.gauge("depth", "q1").set(2.0, 7.0);
+  r.histogram("lat", "", 1e-3, 1e3, 4).observe(0.5);
+
+  const MetricsSnapshot snap = r.snapshot();
+  ASSERT_NE(snap.find_counter("done"), nullptr);
+  EXPECT_EQ(snap.find_counter("done")->value, 5.0);
+  ASSERT_NE(snap.find_gauge("depth", "q1"), nullptr);
+  EXPECT_EQ(snap.find_gauge("depth", "q1")->value, 7.0);
+  const HistogramEntry* h = snap.find_histogram("lat");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->total, 1u);
+  EXPECT_EQ(h->per_decade, 4u);
+}
+
+TEST(MetricsSnapshot, MergeIsAdditive) {
+  Registry r1, r2;
+  r1.counter("done").add(1.0, 3.0);
+  r1.histogram("lat").observe(1.0);
+  r2.counter("done").add(1.0, 4.0);
+  r2.counter("extra").add(1.0);
+  r2.histogram("lat").observe(100.0);
+
+  MetricsSnapshot snap = r1.snapshot();
+  snap.merge(r2.snapshot());
+  EXPECT_EQ(snap.find_counter("done")->value, 7.0);
+  EXPECT_EQ(snap.find_counter("extra")->value, 1.0);
+  const HistogramEntry* h = snap.find_histogram("lat");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->total, 2u);
+  EXPECT_DOUBLE_EQ(h->sum, 101.0);
+}
+
+TEST(MetricsSnapshot, MergeRejectsHistogramShapeMismatch) {
+  Registry r1, r2;
+  r1.histogram("lat", "", 1e-3, 1e3, 4).observe(1.0);
+  r2.histogram("lat", "", 1e-3, 1e6, 4).observe(1.0);
+  MetricsSnapshot snap = r1.snapshot();
+  EXPECT_THROW(snap.merge(r2.snapshot()), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hhc::obs

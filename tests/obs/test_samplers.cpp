@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "obs/observer.hpp"
+#include "obs/samplers.hpp"
+#include "sim/simulation.hpp"
+
+namespace hhc::obs {
+namespace {
+
+TEST(Sampler, CadenceFollowsSimClock) {
+  sim::Simulation sim;
+  SamplerSet set;
+  // Probe the sim clock itself: every tick then records a distinct value
+  // (StepSeries coalesces equal-value steps), so the points are exactly the
+  // sample times.
+  Sampler& s = set.add(sim, "clock", 10.0, [&] { return sim.now(); });
+  sim.schedule_at(95.0, [&] { set.stop("clock"); });
+  sim.run();
+
+  // Immediate sample at t=0, then every 10 s until stopped at 95:
+  // 0,10,...,90 -> 10 points.
+  const auto& pts = s.series().points();
+  ASSERT_EQ(pts.size(), 10u);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_DOUBLE_EQ(pts[i].first, 10.0 * static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(pts[i].second, pts[i].first);  // sampled at tick time
+  }
+  EXPECT_FALSE(s.running());
+  EXPECT_EQ(sim.now(), 95.0);
+}
+
+TEST(Sampler, StepSeriesCoalescesUnchangedValues) {
+  sim::Simulation sim;
+  SamplerSet set;
+  double level = 0.0;
+  Sampler& s = set.add(sim, "util", 10.0, [&] { return level; });
+  sim.schedule_at(25.0, [&] { level = 3.0; });
+  sim.schedule_at(95.0, [&] { set.stop("util"); });
+  sim.run();
+  // Only the value changes survive: (0, 0) and the first sample after the
+  // level moved, (30, 3).
+  ASSERT_EQ(s.series().points().size(), 2u);
+  EXPECT_EQ(s.series().value_at(20.0), 0.0);
+  EXPECT_EQ(s.series().value_at(30.0), 3.0);
+}
+
+TEST(Sampler, FirstSampleIsImmediateAtCurrentTime) {
+  sim::Simulation sim;
+  SamplerSet set;
+  // Start the sampler from inside an event at t=42: the first sample must
+  // land at 42, not at the next period boundary.
+  const Sampler* s = nullptr;
+  int samples = 0;
+  sim.schedule_at(42.0, [&] {
+    s = &set.add(sim, "late", 5.0, [&] { return double(++samples); });
+  });
+  sim.schedule_at(53.0, [&] { set.stop_all(); });
+  sim.run();
+  ASSERT_NE(s, nullptr);
+  const auto& pts = s->series().points();
+  ASSERT_EQ(pts.size(), 3u);  // 42, 47, 52
+  EXPECT_DOUBLE_EQ(pts[0].first, 42.0);
+  EXPECT_DOUBLE_EQ(pts[2].first, 52.0);
+}
+
+TEST(Sampler, StopHaltsAndKeepsSeries) {
+  sim::Simulation sim;
+  SamplerSet set;
+  int n = 0;
+  set.add(sim, "a", 1.0, [&] { return double(++n); });
+  sim.schedule_at(3.5, [&] { set.stop("a"); });
+  sim.run();  // would never drain if stop() left the tick scheduled
+  const Sampler* a = set.find("a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_FALSE(a->running());
+  EXPECT_EQ(a->series().points().size(), 4u);  // 0,1,2,3
+  EXPECT_EQ(a->series().value_at(2.0), 3.0);  // third sample, at t=2
+}
+
+TEST(Sampler, StopByNameStopsEveryMatch) {
+  // Repeated runs register a same-named sampler each time; stop(name) must
+  // halt all running instances, not just the first registered one.
+  sim::Simulation sim;
+  SamplerSet set;
+  set.add(sim, "dup", 1.0, [] { return 1.0; });
+  set.add(sim, "dup", 1.0, [] { return 2.0; });
+  sim.schedule_at(2.5, [&] { set.stop("dup"); });
+  sim.run();
+  ASSERT_EQ(set.size(), 2u);
+  for (const auto& s : set.samplers()) EXPECT_FALSE(s->running());
+}
+
+TEST(Sampler, AddRejectsBadArguments) {
+  sim::Simulation sim;
+  SamplerSet set;
+  EXPECT_THROW(set.add(sim, "x", 0.0, [] { return 0.0; }),
+               std::invalid_argument);
+  EXPECT_THROW(set.add(sim, "x", -1.0, [] { return 0.0; }),
+               std::invalid_argument);
+  EXPECT_THROW(set.add(sim, "x", 1.0, nullptr), std::invalid_argument);
+}
+
+TEST(Sampler, NeverExtendsARunOnItsOwn) {
+  // A sampler that its owner forgot to stop (e.g. the observed run can never
+  // finish) must not keep the simulation alive: ticks are weak events, so
+  // once real work drains, run() returns instead of looping forever.
+  sim::Simulation sim;
+  SamplerSet set;
+  int n = 0;
+  Sampler& s = set.add(sim, "orphan", 10.0, [&] { return double(++n); });
+  sim.schedule_at(35.0, [] {});  // last piece of real work
+  sim.run();
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_EQ(sim.now(), 35.0);
+  // Samples at 0,10,20,30 (the immediate one plus ticks up to the last
+  // strong event); the tick at 40 was discarded, series is intact.
+  EXPECT_EQ(s.series().points().size(), 4u);
+}
+
+TEST(Sampler, FindUnknownReturnsNull) {
+  SamplerSet set;
+  EXPECT_EQ(set.find("nope"), nullptr);
+}
+
+TEST(Observer, SampleIsGuardedByEnableSwitch) {
+  sim::Simulation sim;
+  Observer obs;
+  obs.set_enabled(false);
+  EXPECT_FALSE(obs.sample(sim, "off", 1.0, [] { return 0.0; }));
+  EXPECT_EQ(obs.samplers().size(), 0u);
+  obs.set_enabled(true);
+  EXPECT_TRUE(obs.sample(sim, "on", 1.0, [] { return 0.0; }));
+  sim.schedule_at(0.5, [&] { obs.stop_samplers(); });
+  sim.run();
+  EXPECT_EQ(obs.samplers().size(), 1u);
+}
+
+}  // namespace
+}  // namespace hhc::obs

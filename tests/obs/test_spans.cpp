@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/exporters.hpp"
+#include "obs/observer.hpp"
+#include "obs/spans.hpp"
+#include "support/json.hpp"
+
+namespace hhc::obs {
+namespace {
+
+TEST(SpanTracker, ParentChildHierarchy) {
+  SpanTracker st;
+  const SpanId wf = st.begin(0.0, "workflow", "run");
+  const SpanId stage = st.begin(1.0, "stage", "s0", wf);
+  const SpanId task = st.begin(2.0, "task", "t0", stage);
+  EXPECT_EQ(st.span(task).parent, stage);
+  EXPECT_EQ(st.span(stage).parent, wf);
+  EXPECT_EQ(st.span(wf).parent, kNoSpan);
+  EXPECT_EQ(st.open_count(), 3u);
+
+  st.end(5.0, task);
+  st.end(6.0, stage);
+  st.end(7.0, wf);
+  EXPECT_EQ(st.open_count(), 0u);
+  EXPECT_EQ(st.span(task).duration(), 3.0);
+  EXPECT_FALSE(st.span(wf).open());
+}
+
+TEST(SpanTracker, EndIsIdempotentAndNoSpanIsNoop) {
+  SpanTracker st;
+  const SpanId s = st.begin(0.0, "task", "t");
+  st.end(3.0, s);
+  st.end(9.0, s);  // second end must not move the close time
+  EXPECT_EQ(st.span(s).end, 3.0);
+  EXPECT_EQ(st.open_count(), 0u);
+  st.end(1.0, kNoSpan);  // must not throw or record anything
+  EXPECT_TRUE(st.spans().size() == 1u);
+}
+
+TEST(SpanTracker, VersionBumpsOnEveryMutation) {
+  SpanTracker st;
+  const std::uint64_t v0 = st.version();
+  const SpanId s = st.begin(0.0, "task", "t");
+  EXPECT_GT(st.version(), v0);
+  const std::uint64_t v1 = st.version();
+  st.attr(s, "cores", std::int64_t{8});
+  EXPECT_GT(st.version(), v1);
+  const std::uint64_t v2 = st.version();
+  st.instant(1.0, "task", "t", "running", s);
+  EXPECT_GT(st.version(), v2);
+  const std::uint64_t v3 = st.version();
+  st.end(2.0, s);
+  EXPECT_GT(st.version(), v3);
+}
+
+TEST(SpanTracker, AttrsAreTyped) {
+  SpanTracker st;
+  const SpanId s = st.begin(0.0, "task", "t");
+  st.attr(s, "kind", std::string("exaconstit"));
+  st.attr(s, "cores", std::int64_t{448});
+  st.attr(s, "failed", true);
+  const Span& span = st.span(s);
+  ASSERT_EQ(span.attrs.size(), 3u);
+  EXPECT_EQ(std::get<std::string>(span.attrs[0].second), "exaconstit");
+  EXPECT_EQ(std::get<std::int64_t>(span.attrs[1].second), 448);
+  EXPECT_EQ(std::get<bool>(span.attrs[2].second), true);
+}
+
+TEST(SpanTracker, ReplayTraceMatchesLegacyEmission) {
+  // The same emission sequence through the legacy Trace and through
+  // instants must render identical CSV.
+  sim::Trace legacy;
+  SpanTracker st;
+  const SpanId s = st.begin(0.0, "task", "alpha");
+  const std::vector<std::tuple<SimTime, std::string, std::string, std::string>>
+      seq = {{0.0, "task", "alpha", "submitted"},
+             {1.5, "task", "alpha", "exec_start"},
+             {1.5, "node", "n3", "down"},
+             {8.25, "task", "alpha", "done"}};
+  for (const auto& [t, cat, subj, state] : seq) {
+    legacy.emit(t, cat, subj, state);
+    st.instant(t, cat, subj, state, cat == "task" ? s : kNoSpan);
+  }
+  const sim::Trace replay = st.replay_trace();
+  ASSERT_EQ(replay.size(), legacy.size());
+  EXPECT_EQ(replay.csv(), legacy.csv());
+  EXPECT_EQ(replay.count("task", "done"), 1u);
+}
+
+TEST(SpanTracker, ClearResetsEverything) {
+  SpanTracker st;
+  st.begin(0.0, "task", "t");
+  st.instant(1.0, "task", "t", "x");
+  st.clear();
+  EXPECT_TRUE(st.spans().empty());
+  EXPECT_TRUE(st.instants().empty());
+  EXPECT_EQ(st.open_count(), 0u);
+  EXPECT_EQ(st.replay_trace().size(), 0u);
+}
+
+TEST(Observer, DisabledObserverRecordsNothing) {
+  Observer obs;
+  obs.set_enabled(false);
+  obs.count(1.0, "c");
+  obs.gauge_set(1.0, "g", 5.0);
+  obs.observe("h", 1.0);
+  const SpanId s = obs.begin_span(0.0, "task", "t");
+  EXPECT_EQ(s, kNoSpan);
+  obs.end_span(1.0, s);
+  obs.span_attr(s, "k", 1.0);
+  obs.instant(1.0, "task", "t", "x");
+  EXPECT_EQ(obs.metrics().size(), 0u);
+  EXPECT_TRUE(obs.spans().spans().empty());
+  EXPECT_TRUE(obs.spans().instants().empty());
+}
+
+// --- Chrome trace-event JSON (Perfetto) well-formedness ---
+
+class ChromeTraceTest : public ::testing::Test {
+ protected:
+  // Build a tracker with overlapping same-category spans (forces lane
+  // splitting), nesting, an instant, and one span left open.
+  SpanTracker st_;
+  void SetUp() override {
+    const SpanId wf = st_.begin(0.0, "workflow", "run");
+    const SpanId a = st_.begin(10.0, "task", "a", wf);
+    const SpanId b = st_.begin(12.0, "task", "b", wf);  // overlaps a
+    st_.instant(13.0, "task", "a", "checkpoint", a);
+    st_.end(20.0, a);
+    st_.end(25.0, b);
+    st_.begin(30.0, "task", "open-tail", wf);  // never ended
+    st_.end(40.0, wf);
+  }
+};
+
+TEST_F(ChromeTraceTest, ParsesAsJsonWithExpectedShape) {
+  const std::string json = chrome_trace_json(st_, "test-proc");
+  const Json doc = Json::parse(json);  // throws JsonError on malformed output
+  const Json& events = doc.at("traceEvents");
+  ASSERT_GT(events.size(), 0u);
+
+  std::size_t slices = 0, instants = 0;
+  for (const Json& e : events.as_array()) {
+    const std::string& ph = e.at("ph").as_string();
+    if (ph == "M") continue;  // metadata (process/thread names)
+    EXPECT_TRUE(e.contains("ts"));
+    EXPECT_TRUE(e.contains("pid"));
+    EXPECT_TRUE(e.contains("tid"));
+    if (ph == "X") {
+      ++slices;
+      EXPECT_GE(e.at("dur").as_number(), 0.0);
+    } else if (ph == "i") {
+      ++instants;
+    }
+  }
+  EXPECT_EQ(slices, 4u);  // workflow + a + b + open-tail
+  EXPECT_EQ(instants, 1u);
+}
+
+TEST_F(ChromeTraceTest, TracksHaveMonotoneTsAndDisjointSlices) {
+  const Json doc = Json::parse(chrome_trace_json(st_));
+  struct Track {
+    double last_ts = -1.0;
+    double last_slice_end = -1.0;
+  };
+  std::map<std::pair<double, double>, Track> tracks;
+  for (const Json& e : doc.at("traceEvents").as_array()) {
+    const std::string& ph = e.at("ph").as_string();
+    if (ph == "M") continue;
+    const double ts = e.at("ts").as_number();
+    Track& tr =
+        tracks[{e.at("pid").as_number(), e.at("tid").as_number()}];
+    EXPECT_GE(ts, tr.last_ts) << "ts must be monotone within a track";
+    tr.last_ts = ts;
+    if (ph == "X") {
+      EXPECT_GE(ts, tr.last_slice_end)
+          << "complete slices on one track must not overlap";
+      tr.last_slice_end = ts + e.at("dur").as_number();
+    }
+  }
+  // Overlapping task spans were split across at least two task lanes.
+  EXPECT_GE(tracks.size(), 3u);
+}
+
+TEST_F(ChromeTraceTest, TimestampsAreMicrosecondsOfSimTime) {
+  const Json doc = Json::parse(chrome_trace_json(st_));
+  bool saw_task_a = false;
+  for (const Json& e : doc.at("traceEvents").as_array()) {
+    if (e.at("ph").as_string() != "X") continue;
+    if (e.at("name").as_string() == "a") {
+      saw_task_a = true;
+      EXPECT_DOUBLE_EQ(e.at("ts").as_number(), 10.0 * 1e6);
+      EXPECT_DOUBLE_EQ(e.at("dur").as_number(), 10.0 * 1e6);
+    }
+  }
+  EXPECT_TRUE(saw_task_a);
+}
+
+TEST(Exporters, SpansCsvListsEverySpan) {
+  SpanTracker st;
+  const SpanId a = st.begin(1.0, "task", "with,comma");
+  st.end(2.5, a);
+  const std::string csv = spans_csv(st);
+  EXPECT_NE(csv.find("id,parent,category,name,start_s,end_s,duration_s"),
+            std::string::npos);
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hhc::obs

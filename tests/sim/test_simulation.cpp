@@ -166,5 +166,48 @@ TEST(Simulation, ManyEventsStressOrdering) {
   EXPECT_TRUE(monotone);
 }
 
+TEST(Simulation, WeakEventsFireAlongsideStrongWork) {
+  Simulation sim;
+  int weak_fired = 0;
+  std::function<void()> retick = [&] {
+    ++weak_fired;
+    sim.schedule_weak_in(1.0, retick);
+  };
+  sim.schedule_weak_at(0.0, retick);
+  sim.schedule_at(3.5, [] {});  // strong work until t=3.5
+  sim.run();
+  // Ticks at 0,1,2,3 fire (strong event still pending); the tick at 4 is
+  // discarded, so the run drains instead of looping forever.
+  EXPECT_EQ(weak_fired, 4);
+  EXPECT_EQ(sim.now(), 3.5);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulation, WeakEventsAloneNeverRun) {
+  Simulation sim;
+  bool fired = false;
+  sim.schedule_weak_at(1.0, [&] { fired = true; });
+  EXPECT_EQ(sim.run(), 0u);
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.now(), 0.0);  // discarded events do not advance the clock
+}
+
+TEST(Simulation, WeakEventsDoNotOutliveCancelledStrongWork) {
+  Simulation sim;
+  int weak_fired = 0;
+  std::function<void()> retick = [&] {
+    ++weak_fired;
+    sim.schedule_weak_in(1.0, retick);
+  };
+  sim.schedule_weak_at(0.0, retick);
+  EventHandle h = sim.schedule_at(100.0, [] {});
+  h.cancel();
+  sim.run();
+  // The cancelled strong event holds the queue open only until it is popped
+  // at t=100; the weak ticks before it fire, then everything drains.
+  EXPECT_LE(weak_fired, 101);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
 }  // namespace
 }  // namespace hhc::sim

@@ -37,6 +37,36 @@ TEST(Trace, CsvHasHeaderAndRows) {
   EXPECT_NE(csv.find("1.5,task,x,done"), std::string::npos);
 }
 
+TEST(Trace, CsvEscapesSpecialFields) {
+  // RFC 4180: fields with commas, quotes, CR or LF are quoted, embedded
+  // quotes doubled. Subjects like "ExaConstit[3,7]" must stay one field.
+  Trace t;
+  t.emit(1, "task", "case[3,7]", "done");
+  t.emit(2, "task", "say \"hi\"", "start");
+  t.emit(3, "task", "two\nlines", "start");
+  const std::string csv = t.csv();
+  EXPECT_NE(csv.find("1,task,\"case[3,7]\",done"), std::string::npos);
+  EXPECT_NE(csv.find("2,task,\"say \"\"hi\"\"\",start"), std::string::npos);
+  EXPECT_NE(csv.find("3,task,\"two\nlines\",start"), std::string::npos);
+}
+
+TEST(Trace, CsvLeavesPlainFieldsUnquoted) {
+  Trace t;
+  t.emit(1.5, "task", "plain_subject-1", "exec_start");
+  EXPECT_NE(t.csv().find("1.5,task,plain_subject-1,exec_start"),
+            std::string::npos);
+}
+
+TEST(Trace, FilterReservesExactCount) {
+  // filter() pre-counts matches; result capacity should equal its size.
+  Trace t;
+  for (int i = 0; i < 100; ++i)
+    t.emit(i, i % 2 ? "task" : "node", "s", "x");
+  const auto out = t.filter("task", "x");
+  EXPECT_EQ(out.size(), 50u);
+  EXPECT_EQ(out.capacity(), 50u);
+}
+
 TEST(Trace, ClearEmpties) {
   Trace t;
   t.emit(1, "a", "b", "c");

@@ -1,0 +1,70 @@
+#include "support/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulation.hpp"
+
+namespace hhc {
+namespace {
+
+// Restores the global log level and the sim-time hook after each test.
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override { set_log_level(LogLevel::Info); }
+  void TearDown() override {
+    set_log_level(LogLevel::Warn);
+    detail::set_log_sim_time(nullptr);
+  }
+};
+
+TEST_F(LogTest, PlainLineWithoutSimClock) {
+  detail::set_log_sim_time(nullptr);
+  testing::internal::CaptureStderr();
+  log_line(LogLevel::Info, "entk", "pilot up");
+  const std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("[INFO] entk: pilot up"), std::string::npos);
+  EXPECT_EQ(out.find("[t="), std::string::npos);
+}
+
+TEST_F(LogTest, CarriesSimulatedTimestampWhileHookInstalled) {
+  double now = 1234.5;
+  detail::set_log_sim_time(&now);
+  testing::internal::CaptureStderr();
+  log_line(LogLevel::Warn, "cloud", "scaling out");
+  const std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("[t=1234.5s] cloud: scaling out"), std::string::npos);
+
+  // The hook reads the clock live — no re-install needed as time advances.
+  now = 2000.0;
+  testing::internal::CaptureStderr();
+  log_line(LogLevel::Warn, "cloud", "scaling in");
+  EXPECT_NE(testing::internal::GetCapturedStderr().find("[t=2000s]"),
+            std::string::npos);
+}
+
+TEST_F(LogTest, BelowThresholdDropsLine) {
+  set_log_level(LogLevel::Error);
+  double now = 1.0;
+  detail::set_log_sim_time(&now);
+  testing::internal::CaptureStderr();
+  log_line(LogLevel::Info, "x", "dropped");
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+}
+
+TEST_F(LogTest, SimulationRunInstallsTheHook) {
+  // Inside Simulation::run() the kernel points the hook at its clock, so
+  // HHC_LOG lines from event handlers are stamped with simulated time.
+  sim::Simulation sim;
+  sim.schedule_at(77.25, [] { HHC_LOG(Info, "test") << "mid-run"; });
+  testing::internal::CaptureStderr();
+  sim.run();
+  HHC_LOG(Info, "test") << "after-run";
+  const std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("[t=77.25s] test: mid-run"), std::string::npos);
+  // Once run() returns, the hook is uninstalled again.
+  EXPECT_NE(out.find("[INFO] test: after-run"), std::string::npos);
+  EXPECT_EQ(out.find("[t=77.25s] test: after-run"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hhc
