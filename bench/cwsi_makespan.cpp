@@ -77,8 +77,8 @@ int main() {
 
   const std::vector<std::string> shapes = {"chain", "forkjoin", "scattergather",
                                            "montage", "lanes", "random"};
-  const std::vector<std::string> strategies = {"cws-rank", "cws-filesize",
-                                               "cws-heft", "cws-tarema"};
+  const std::vector<std::string> strategies = {
+      "cws-rank", "cws-filesize", "cws-heft", "cws-tarema", "cws-datalocality"};
   const std::vector<std::uint64_t> seeds = {11, 23, 37};
 
   struct Case {

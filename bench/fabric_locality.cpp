@@ -1,0 +1,200 @@
+// Data fabric: locality-aware staging vs stage-from-origin.
+//
+// A reference bundle published at the origin feeds a 24-consumer scatter
+// spread across two sites. Without the fabric every consumer re-pulls the
+// bundle over its site's WAN link (the pre-fabric behavior of every
+// subsystem here); with site caches and peer staging the bundle crosses
+// the WAN once per site at most, later consumers hit locally, and the
+// second site prefers the fast inter-site link over the contended WAN.
+//
+// Three readouts:
+//   1. scatter staging — WAN bytes and makespan, fabric vs origin-only;
+//   2. link contention — two transfers on one link vs disjoint links;
+//   3. fusion-vs-fabric — E8 cut per-task overhead by rewriting the DAG;
+//      the fabric attacks the staging share of that overhead without
+//      touching the workflow.
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "fabric/staging.hpp"
+#include "obs/observer.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+using namespace hhc;
+
+namespace {
+
+struct ScatterOutcome {
+  Bytes wan_bytes = 0;        ///< Bytes carried by the two origin links.
+  SimTime makespan = 0;       ///< Last consumer ready (arrival + stage).
+  double stage_seconds = 0;   ///< Sum of per-consumer stage waits.
+  std::uint64_t transfers = 0;
+  std::uint64_t local_hits = 0;
+  std::uint64_t coalesced = 0;
+  double hit_ratio_a = 0;     ///< site-a cache hit ratio.
+  double wan_utilization = 0; ///< Busiest origin link, from the obs gauge.
+};
+
+// 24 consumers arrive in four waves of six, 30 s apart, each wave on the
+// other site; every consumer needs the same `bundle_bytes` reference
+// dataset staged before it can start. `cache_capacity` = 0 models the
+// pre-fabric world: nothing is retained, every wave re-pulls the bundle
+// over its site's WAN link. With caches the first wave pays the WAN once,
+// the second site pulls from its peer over the fast inter-site link, and
+// the later waves hit locally.
+ScatterOutcome run_scatter(Bytes bundle_bytes, Bytes cache_capacity) {
+  sim::Simulation sim;
+  obs::Observer obs;
+  fabric::DataCatalog catalog;
+  fabric::Topology topology(sim, &obs);
+  // WAN: 100 MB/s + 1 s setup per site. Inter-site: 1 GB/s research fabric.
+  topology.add_link("origin", "site-a", {100e6, 1.0});
+  topology.add_link("origin", "site-b", {100e6, 1.0});
+  topology.add_link("site-a", "site-b", {1e9, 0.2});
+  fabric::TransferScheduler staging(sim, topology, catalog, &obs);
+  fabric::ReplicaCache cache_a("site-a", {cache_capacity}, &catalog);
+  fabric::ReplicaCache cache_b("site-b", {cache_capacity}, &catalog);
+  staging.attach_cache("site-a", cache_a);
+  staging.attach_cache("site-b", cache_b);
+
+  const auto bundle = fabric::content_hash("refdata/bundle", bundle_bytes);
+  staging.publish(bundle, bundle_bytes, "origin");
+
+  const int waves = 4, per_wave = 6;
+  ScatterOutcome out;
+  for (int w = 0; w < waves; ++w) {
+    const SimTime arrival = 30.0 * w;
+    const std::string site = w % 2 == 0 ? "site-a" : "site-b";
+    for (int i = 0; i < per_wave; ++i) {
+      sim.schedule_in(arrival, [&, arrival, site] {
+        staging.stage(bundle, site, [&, arrival](const fabric::StageResult& r) {
+          out.stage_seconds += r.elapsed;
+          out.makespan = std::max(out.makespan, arrival + r.elapsed);
+        });
+      });
+    }
+  }
+  sim.run();
+
+  out.wan_bytes = topology.link_between("origin", "site-a").bytes_carried() +
+                  topology.link_between("origin", "site-b").bytes_carried();
+  out.transfers = staging.transfers_started();
+  out.local_hits = staging.local_hits();
+  out.coalesced = staging.coalesced_hits();
+  out.hit_ratio_a = cache_a.hit_ratio();
+  // Read utilization back through the obs registry, as a dashboard would.
+  for (const char* site : {"site-a", "site-b"}) {
+    auto& link = topology.link_between("origin", site);
+    obs.gauge_set(sim.now(), "fabric.link_utilization",
+                  link.utilization(sim.now()), link.name());
+  }
+  const auto snap = obs.snapshot();
+  for (const char* site : {"site-a", "site-b"}) {
+    const auto* g = snap.find_gauge("fabric.link_utilization",
+                                    topology.link_between("origin", site).name());
+    if (g != nullptr) out.wan_utilization = std::max(out.wan_utilization, g->value);
+  }
+  return out;
+}
+
+// One link shared by two transfers vs two disjoint links.
+std::pair<SimTime, SimTime> contention_demo(Bytes bytes) {
+  auto run = [&](bool shared) {
+    sim::Simulation sim;
+    fabric::Topology topology(sim);
+    topology.add_link("src", "dst", {100e6, 1.0});
+    topology.add_link("src2", "dst2", {100e6, 1.0});
+    SimTime last = 0;
+    auto done = [&](SimTime) { last = std::max(last, sim.now()); };
+    topology.transfer("src", "dst", bytes, done);
+    if (shared)
+      topology.transfer("src", "dst", bytes, done);
+    else
+      topology.transfer("src2", "dst2", bytes, done);
+    sim.run();
+    return last;
+  };
+  return {run(true), run(false)};
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Data fabric: locality-aware staging vs stage-from-origin ===\n";
+  std::cout << "origin --100MB/s WAN--> {site-a, site-b} --1GB/s peer link--\n"
+               "4 waves x 6 consumers, 30 s apart, alternating sites,\n"
+               "one shared 2 GiB reference bundle\n\n";
+
+  const Bytes bundle = gib(2);
+  const ScatterOutcome fabric = run_scatter(bundle, gib(64));
+  const ScatterOutcome origin_only = run_scatter(bundle, 0);
+
+  const double wan_cut = 1.0 - static_cast<double>(fabric.wan_bytes) /
+                                   static_cast<double>(origin_only.wan_bytes);
+  const double makespan_cut = 1.0 - fabric.makespan / origin_only.makespan;
+
+  TextTable t("Scatter staging: site caches + peer links vs origin-only");
+  t.header({"metric", "stage-from-origin", "fabric", "reduction"});
+  t.row({"WAN bytes", fmt_bytes(static_cast<double>(origin_only.wan_bytes)),
+         fmt_bytes(static_cast<double>(fabric.wan_bytes)), fmt_pct(wan_cut)});
+  t.row({"makespan", fmt_duration(origin_only.makespan),
+         fmt_duration(fabric.makespan), fmt_pct(makespan_cut)});
+  t.row({"staging seconds (sum)", fmt_duration(origin_only.stage_seconds),
+         fmt_duration(fabric.stage_seconds),
+         fmt_pct(1.0 - fabric.stage_seconds / origin_only.stage_seconds)});
+  t.row({"transfers started", std::to_string(origin_only.transfers),
+         std::to_string(fabric.transfers), ""});
+  t.row({"local cache hits", std::to_string(origin_only.local_hits),
+         std::to_string(fabric.local_hits), ""});
+  t.row({"coalesced", std::to_string(origin_only.coalesced),
+         std::to_string(fabric.coalesced), ""});
+  t.row({"site-a hit ratio", fmt_pct(origin_only.hit_ratio_a),
+         fmt_pct(fabric.hit_ratio_a), ""});
+  t.row({"busiest WAN link utilization", fmt_pct(origin_only.wan_utilization),
+         fmt_pct(fabric.wan_utilization), ""});
+  std::cout << t.render() << "\n";
+
+  // Contention: the acceptance check, as a number rather than a test.
+  const auto [shared, disjoint] = contention_demo(gib(1));
+  TextTable c("Two concurrent 1 GiB transfers (100 MB/s links)");
+  c.header({"placement", "both done at"});
+  c.row({"one shared link", fmt_duration(shared)});
+  c.row({"two disjoint links", fmt_duration(disjoint)});
+  std::cout << c.render() << "\n";
+
+  // E8 comparison: fusion rewrote the DAG to cut per-task overhead ~70%;
+  // the fabric cuts the *staging* share of that overhead with the DAG
+  // untouched — the two compose rather than compete.
+  TextTable e8("Overhead attack, fabric vs E8 task fusion");
+  e8.header({"approach", "mechanism", "reduction"});
+  e8.row({"task fusion (E8)", "merge chain tasks, fewer shards",
+          "-70% exec time (paper)"});
+  e8.row({"data fabric", "cache + peer staging, same DAG",
+          fmt_pct(1.0 - fabric.stage_seconds / origin_only.stage_seconds) +
+              " staging time"});
+  std::cout << e8.render() << "\n";
+
+  TextTable csv;
+  csv.header({"mode", "wan_bytes", "makespan_s", "stage_seconds", "transfers",
+              "local_hits", "coalesced", "hit_ratio_a", "wan_utilization"});
+  const auto csv_row = [&](const char* mode, const ScatterOutcome& o) {
+    csv.row({mode, std::to_string(o.wan_bytes), fmt_fixed(o.makespan, 3),
+             fmt_fixed(o.stage_seconds, 3), std::to_string(o.transfers),
+             std::to_string(o.local_hits), std::to_string(o.coalesced),
+             fmt_fixed(o.hit_ratio_a, 4), fmt_fixed(o.wan_utilization, 4)});
+  };
+  csv_row("origin-only", origin_only);
+  csv_row("fabric", fabric);
+  if (write_file("bench_results/fabric_locality.csv", csv.csv()))
+    std::cout << "wrote bench_results/fabric_locality.csv\n";
+
+  std::cout << "\nShape check: the bundle crosses the WAN once instead of once\n"
+               "per wave (the second site fills from its peer), the last wave\n"
+               "starts from cache instead of waiting out a fresh WAN pull, and\n"
+               "the shared-link pair finishes about twice as late as the\n"
+               "disjoint pair -- contention is modelled, not ignored.\n";
+  return wan_cut >= 0.5 && makespan_cut > 0.0 ? 0 : 1;
+}

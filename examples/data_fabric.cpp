@@ -1,0 +1,101 @@
+// Data fabric walkthrough: the replica catalog, contended links, and site
+// caches that every cross-environment transfer now flows through.
+//
+// A producer on the HPC side feeds a sequential sweep of cloud consumers.
+// Every step needs the same 1 GiB intermediate, so the pre-fabric model
+// would have charged one full WAN copy per step. The fabric moves it once:
+// the first step pays the WAN, and every later step finds the replica in
+// the cloud site's cache. Re-running with the cache disabled (capacity 0)
+// recreates the old per-edge staging bill.
+//
+//   $ ./data_fabric
+#include <iostream>
+
+#include "core/toolkit.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+using namespace hhc;
+
+namespace {
+
+// One producer, `fanout` consumers, every edge carrying the same bytes --
+// content addressing makes those edges one dataset in the catalog. The
+// consumers are chained by zero-byte gating edges (a sequential sweep over
+// the same reference data), so each one dispatches only after the previous
+// finished: without a cache every step re-pulls the dataset; with one the
+// replica from the first pull serves all the rest.
+wf::Workflow make_sweep(std::size_t fanout, Bytes edge_bytes) {
+  wf::Workflow w("sweep");
+  wf::TaskSpec spec;
+  spec.name = "producer";
+  spec.base_runtime = minutes(2);
+  spec.resources.cores_per_node = 1;
+  const auto p = w.add_task(spec);
+  wf::TaskId prev = p;
+  for (std::size_t i = 0; i < fanout; ++i) {
+    spec.name = "consumer" + std::to_string(i);
+    spec.base_runtime = minutes(5);
+    const auto c = w.add_task(spec);
+    w.add_dependency(p, c, edge_bytes);
+    if (prev != p) w.add_dependency(prev, c);  // serialize the sweep
+    prev = c;
+  }
+  return w;
+}
+
+core::CompositeReport run_once(Bytes cache_capacity) {
+  core::ToolkitConfig cfg;
+  cfg.wan_bandwidth = 50e6;
+  cfg.wan_latency = 1.0;
+  cfg.env_cache_capacity = cache_capacity;
+  core::Toolkit toolkit(cfg);
+  const auto hpc = toolkit.add_hpc(
+      "cluster", cluster::homogeneous_cluster(4, 16, gib(64)), "cws-datalocality");
+  const auto cloud = toolkit.add_cloud("ec2", 8, 4, gib(16), 1.0, 0.0);
+
+  const wf::Workflow w = make_sweep(8, gib(1));
+  std::vector<core::EnvironmentId> assignment(w.task_count(), cloud);
+  assignment[0] = hpc;  // producer on HPC, consumers in the cloud
+  return toolkit.run(w, assignment);
+}
+
+}  // namespace
+
+int main() {
+  const core::CompositeReport with_cache = run_once(gib(64));
+  const core::CompositeReport no_cache = run_once(0);
+
+  TextTable t("8-step cross-environment sweep, 1 GiB intermediate, 50 MB/s WAN");
+  t.header({"metric", "fabric (64 GiB cache)", "cache disabled"});
+  t.row({"WAN transfers", std::to_string(with_cache.cross_env_transfers),
+         std::to_string(no_cache.cross_env_transfers)});
+  t.row({"WAN bytes", fmt_bytes(static_cast<double>(with_cache.cross_env_bytes)),
+         fmt_bytes(static_cast<double>(no_cache.cross_env_bytes))});
+  t.row({"cache/coalesce hits", std::to_string(with_cache.cross_env_cache_hits),
+         std::to_string(no_cache.cross_env_cache_hits)});
+  t.row({"bytes saved", fmt_bytes(static_cast<double>(with_cache.cross_env_bytes_saved)),
+         fmt_bytes(static_cast<double>(no_cache.cross_env_bytes_saved))});
+  t.row({"time in transfers", fmt_duration(with_cache.transfer_seconds),
+         fmt_duration(no_cache.transfer_seconds)});
+  t.row({"makespan", fmt_duration(with_cache.makespan),
+         fmt_duration(no_cache.makespan)});
+  std::cout << t.render() << "\n";
+
+  // The same numbers read back off the observability registry -- what a
+  // dashboard scraping the fabric would see.
+  const auto* moved = with_cache.metrics.find_counter("fabric.bytes_moved");
+  const auto* saved = with_cache.metrics.find_counter("fabric.bytes_saved");
+  if (moved != nullptr && saved != nullptr)
+    std::cout << "obs registry: fabric.bytes_moved=" << fmt_bytes(moved->value)
+              << "  fabric.bytes_saved=" << fmt_bytes(saved->value) << "\n";
+
+  std::cout << "\nThe producer's single output is one content-addressed\n"
+               "dataset; the fabric ships it across the WAN once and serves\n"
+               "every later sweep step from the cloud site's replica cache.\n"
+               "Disabling the cache recreates the old per-edge staging bill,\n"
+               "visible in both the WAN byte count and the makespan. The HPC\n"
+               "side runs the cws-datalocality strategy, which steers tasks\n"
+               "toward nodes already holding their inputs via the catalog.\n";
+  return with_cache.success && no_cache.success ? 0 : 1;
+}

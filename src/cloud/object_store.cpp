@@ -3,16 +3,40 @@
 namespace hhc::cloud {
 
 SimTime ObjectStore::transfer_time(Bytes size, double client_bandwidth) const {
+  // client_bandwidth <= 0 is the "unlimited client" sentinel: only the
+  // store's per-connection bandwidth applies.
   double bw = config_.per_connection_bandwidth;
   if (client_bandwidth > 0) bw = std::min(bw, client_bandwidth);
   return config_.request_latency + static_cast<double>(size) / bw;
 }
 
+void ObjectStore::admit(std::function<void()> op) const {
+  if (config_.max_connections == 0 || active_ < config_.max_connections) {
+    ++active_;
+    op();
+  } else {
+    waiting_.push_back(std::move(op));
+  }
+}
+
+void ObjectStore::release() const {
+  --active_;
+  if (!waiting_.empty()) {
+    auto op = std::move(waiting_.front());
+    waiting_.pop_front();
+    ++active_;
+    op();
+  }
+}
+
 void ObjectStore::put(const std::string& key, Bytes size, std::function<void()> done) {
   ++puts_;
-  sim_.schedule_in(transfer_time(size), [this, key, size, done = std::move(done)] {
-    objects_[key] = size;
-    if (done) done();
+  admit([this, key, size, done = std::move(done)]() mutable {
+    sim_.schedule_in(transfer_time(size), [this, key, size, done = std::move(done)] {
+      objects_[key] = size;
+      release();
+      if (done) done();
+    });
   });
 }
 
@@ -21,13 +45,18 @@ void ObjectStore::get(const std::string& key,
   ++gets_;
   auto it = objects_.find(key);
   if (it == objects_.end()) {
+    // Metadata miss: one request latency, no transfer connection consumed.
     sim_.schedule_in(config_.request_latency,
                      [done = std::move(done)] { done(std::nullopt); });
     return;
   }
   const Bytes size = it->second;
-  sim_.schedule_in(transfer_time(size),
-                   [size, done = std::move(done)] { done(size); });
+  admit([this, size, done = std::move(done)]() mutable {
+    sim_.schedule_in(transfer_time(size), [this, size, done = std::move(done)] {
+      release();
+      done(size);
+    });
+  });
 }
 
 std::optional<Bytes> ObjectStore::size_of(const std::string& key) const {

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <optional>
@@ -17,6 +18,10 @@ namespace hhc::cloud {
 struct ObjectStoreConfig {
   double per_connection_bandwidth = 90e6;  ///< bytes/s for one GET/PUT.
   SimTime request_latency = 0.05;          ///< Per-request fixed latency.
+  /// Maximum simultaneous GET/PUT transfers the store serves; additional
+  /// requests queue FIFO until a connection frees up. 0 is the documented
+  /// "unlimited" sentinel (every request starts immediately).
+  std::size_t max_connections = 0;
 };
 
 /// Simulated object store. Transfers complete asynchronously on the event
@@ -27,16 +32,24 @@ class ObjectStore {
       : sim_(sim), config_(config) {}
 
   /// Starts an upload; `done` fires when the object is durably stored.
+  /// Waits for a free connection first when `max_connections` is set.
   void put(const std::string& key, Bytes size, std::function<void()> done);
 
-  /// Starts a download; `done` fires with the object size, or immediately
-  /// with nullopt if the key does not exist.
+  /// Starts a download; `done` fires with the object size, or after one
+  /// request latency with nullopt if the key does not exist (the miss is a
+  /// metadata round-trip and does not consume a transfer connection).
   void get(const std::string& key,
            std::function<void(std::optional<Bytes>)> done) const;
 
-  /// Transfer time for `size` bytes through one connection, capped by
-  /// `client_bandwidth` when positive.
+  /// Transfer time for `size` bytes through one connection.
+  /// `client_bandwidth <= 0.0` is the explicit "unlimited client" sentinel
+  /// (the connection runs at the store's per-connection bandwidth);
+  /// positive values cap the rate at min(per-connection, client).
   SimTime transfer_time(Bytes size, double client_bandwidth = 0.0) const;
+
+  /// Transfers currently holding a connection / waiting for one.
+  std::size_t active_connections() const noexcept { return active_; }
+  std::size_t queued_requests() const noexcept { return waiting_.size(); }
 
   bool contains(const std::string& key) const { return objects_.count(key) > 0; }
   std::optional<Bytes> size_of(const std::string& key) const;
@@ -46,11 +59,18 @@ class ObjectStore {
   std::uint64_t get_count() const noexcept { return gets_; }
 
  private:
+  /// Runs `op` when a connection is free (immediately when unlimited).
+  void admit(std::function<void()> op) const;
+  /// Releases a connection and starts the next queued request, if any.
+  void release() const;
+
   sim::Simulation& sim_;
   ObjectStoreConfig config_;
   std::map<std::string, Bytes> objects_;
   std::uint64_t puts_ = 0;
   mutable std::uint64_t gets_ = 0;
+  mutable std::size_t active_ = 0;
+  mutable std::deque<std::function<void()>> waiting_;
 };
 
 }  // namespace hhc::cloud

@@ -8,10 +8,27 @@
 namespace hhc::core {
 
 Toolkit::Toolkit(ToolkitConfig config)
-    : config_(config), rng_(config.seed),
+    : config_(config), rng_(config.seed), topology_(sim_, &obs_),
+      staging_(sim_, topology_, catalog_, &obs_),
       predictor_(std::make_unique<cws::LotaruPredictor>()) {}
 
 Toolkit::~Toolkit() = default;
+
+std::string Toolkit::env_location(EnvironmentId id) const {
+  return "env" + std::to_string(id) + ":" + envs_.at(id).name;
+}
+
+void Toolkit::join_fabric(EnvironmentId id) {
+  const std::string loc = env_location(id);
+  topology_.add_node(loc);
+  for (EnvironmentId other = 0; other < id; ++other)
+    topology_.add_link(env_location(other), loc,
+                       fabric::LinkConfig{config_.wan_bandwidth, config_.wan_latency});
+  caches_.push_back(std::make_unique<fabric::ReplicaCache>(
+      loc, fabric::CacheConfig{config_.env_cache_capacity, config_.env_cache_policy},
+      &catalog_));
+  staging_.attach_cache(loc, *caches_.back());
+}
 
 EnvironmentId Toolkit::add_hpc(const std::string& name, cluster::ClusterSpec spec,
                                const std::string& strategy) {
@@ -24,6 +41,7 @@ EnvironmentId Toolkit::add_hpc(const std::string& name, cluster::ClusterSpec spe
       cws::make_strategy(strategy, registry_, *predictor_, provenance_));
   env.rm->set_observer(&obs_, name);
   envs_.push_back(std::move(env));
+  join_fabric(envs_.size() - 1);
   return envs_.size() - 1;
 }
 
@@ -41,6 +59,7 @@ EnvironmentId Toolkit::add_cloud(const std::string& name, std::size_t max_instan
       sim_, *env.cluster, std::make_unique<cluster::FifoFitScheduler>(), rm_config);
   env.rm->set_observer(&obs_, name);
   envs_.push_back(std::move(env));
+  join_fabric(envs_.size() - 1);
   return envs_.size() - 1;
 }
 
@@ -75,12 +94,20 @@ CompositeReport Toolkit::run(const wf::Workflow& workflow,
     env.tasks_run = 0;
     env.busy_core_seconds = 0.0;
   }
+  // Fresh fabric state per run: caches first (they unwind their catalog
+  // replicas), then any replicas registered outside a cache.
+  for (auto& cache : caches_) cache->clear();
+  catalog_.clear();
 
   if (workflow.empty()) {
     state.report.success = true;
     state.report.metrics = obs_.snapshot();
     return state.report;
   }
+
+  // Register the workflow so environment schedulers (cws-rank, cws-heft,
+  // cws-datalocality, ...) see graph context for the tasks we submit.
+  state.wf_id = registry_.register_workflow(workflow);
 
   if (obs_.on()) {
     state.workflow_span = obs_.begin_span(start, "workflow", workflow.name());
@@ -100,6 +127,8 @@ CompositeReport Toolkit::run(const wf::Workflow& workflow,
   for (wf::TaskId t : workflow.sources()) dispatch(state, t);
   sim_.run();
 
+  registry_.unregister_workflow(state.wf_id);
+
   if (state.remaining != 0 && !state.failed)
     throw std::logic_error("composite run drained with tasks pending");
 
@@ -107,6 +136,12 @@ CompositeReport Toolkit::run(const wf::Workflow& workflow,
   state.report.error = state.error;
   state.report.makespan = sim_.now() - start;
   if (obs_.on()) {
+    for (fabric::Link* link : topology_.links())
+      obs_.gauge_set(sim_.now(), "fabric.link_utilization",
+                     link->utilization(sim_.now()), link->name());
+    for (EnvironmentId e = 0; e < caches_.size(); ++e)
+      obs_.gauge_set(sim_.now(), "fabric.cache_hit_ratio",
+                     caches_[e]->hit_ratio(), env_location(e));
     obs::record_kernel_metrics(obs_, sim_);
     state.report.metrics = obs_.snapshot();
   }
@@ -127,46 +162,62 @@ CompositeReport Toolkit::run(const wf::Workflow& workflow,
 void Toolkit::dispatch(RunState& state, wf::TaskId task) {
   const wf::Workflow& workflow = *state.workflow;
   const EnvironmentId env_id = (*state.assignment)[task];
-  Environment& env = envs_[env_id];
-  const wf::TaskSpec& spec = workflow.task(task);
 
-  // Cross-environment inputs pay the WAN before the job is submitted.
-  Bytes cross_bytes = 0;
-  for (wf::TaskId p : workflow.predecessors(task))
-    if ((*state.assignment)[p] != env_id) cross_bytes += workflow.edge_bytes(p, task);
-
-  SimTime delay = 0.0;
-  if (cross_bytes > 0) {
-    delay = config_.wan_latency +
-            static_cast<double>(cross_bytes) / config_.wan_bandwidth;
-    ++state.report.cross_env_transfers;
-    state.report.cross_env_bytes += cross_bytes;
-    state.report.transfer_seconds += delay;
+  // Cross-environment inputs stage through the fabric before the job is
+  // submitted. Each edge is a content-addressed dataset: the scheduler
+  // resolves cache hits, coalesces with in-flight copies, and otherwise
+  // picks the cheapest replica under current link contention.
+  std::vector<std::pair<wf::TaskId, Bytes>> cross;
+  for (wf::TaskId p : workflow.predecessors(task)) {
+    const Bytes bytes = workflow.edge_bytes(p, task);
+    if (bytes > 0 && (*state.assignment)[p] != env_id) cross.emplace_back(p, bytes);
   }
 
-  if (obs_.on() && cross_bytes > 0) {
-    // Transfer span: the WAN leg is deterministic, so lay it out now.
-    const obs::SpanId ts = obs_.begin_span(sim_.now(), "transfer",
-                                           spec.name + " stage-in",
-                                           state.workflow_span);
-    obs_.span_attr(ts, "bytes", static_cast<double>(cross_bytes));
-    obs_.end_span(sim_.now() + delay, ts);
-    obs_.count(sim_.now(), "toolkit.cross_env_transfers");
+  if (cross.empty()) {
+    // Preserve the pre-fabric event ordering: submission happens on the
+    // next event, never inline from the completion callback.
+    sim_.post([this, &state, task] { submit_task(state, task); });
+    return;
   }
 
-  sim_.schedule_in(delay, [this, &state, task, &env, spec] {
-    cluster::JobRequest req;
-    req.name = spec.name;
-    req.kind = spec.kind;
-    req.resources = spec.resources;
-    req.runtime = spec.base_runtime;
-    req.input_bytes = state.workflow->total_input_bytes(task);
-    req.output_bytes = spec.output_bytes;
-    if (auto est = predictor_->predict(req)) req.walltime_estimate = *est;
-
-    env.rm->submit(req, [this, &state, task](const cluster::JobRecord& rec) {
-      on_complete(state, task, rec);
+  const std::string dest = env_location(env_id);
+  auto pending = std::make_shared<std::size_t>(cross.size());
+  for (const auto& [producer, bytes] : cross) {
+    const auto id = cws::edge_dataset_id(state.wf_id, producer, bytes);
+    staging_.stage(id, dest, [this, &state, task, pending](
+                                 const fabric::StageResult& r) {
+      if (r.source == fabric::StageSource::Local ||
+          r.source == fabric::StageSource::Coalesced) {
+        ++state.report.cross_env_cache_hits;
+        state.report.cross_env_bytes_saved += r.bytes;
+      } else {
+        ++state.report.cross_env_transfers;
+        state.report.cross_env_bytes += r.bytes;
+        state.report.transfer_seconds += r.elapsed;
+        obs_.count(sim_.now(), "toolkit.cross_env_transfers");
+      }
+      if (--*pending == 0) submit_task(state, task);
     });
+  }
+}
+
+void Toolkit::submit_task(RunState& state, wf::TaskId task) {
+  Environment& env = envs_[(*state.assignment)[task]];
+  const wf::TaskSpec& spec = state.workflow->task(task);
+
+  cluster::JobRequest req;
+  req.name = spec.name;
+  req.kind = spec.kind;
+  req.resources = spec.resources;
+  req.runtime = spec.base_runtime;
+  req.workflow_id = state.wf_id;
+  req.task_id = task;
+  req.input_bytes = state.workflow->total_input_bytes(task);
+  req.output_bytes = spec.output_bytes;
+  if (auto est = predictor_->predict(req)) req.walltime_estimate = *est;
+
+  env.rm->submit(req, [this, &state, task](const cluster::JobRecord& rec) {
+    on_complete(state, task, rec);
   });
 }
 
@@ -212,6 +263,16 @@ void Toolkit::on_complete(RunState& state, wf::TaskId task,
   ++env.tasks_run;
   env.busy_core_seconds +=
       (rec.finish_time - rec.start_time) * rec.request.resources.total_cores();
+
+  // The task's outputs now exist at its environment: publish each out-edge
+  // dataset so consumers (wherever they run) can stage from here — and so
+  // same-sized scatter edges resolve to one dataset with one replica.
+  const std::string loc = env_location((*state.assignment)[task]);
+  for (wf::TaskId s : state.workflow->successors(task)) {
+    const Bytes bytes = state.workflow->edge_bytes(task, s);
+    if (bytes > 0)
+      staging_.publish(cws::edge_dataset_id(state.wf_id, task, bytes), bytes, loc);
+  }
 
   --state.remaining;
   if (state.remaining == 0) finish_run_observation(state);

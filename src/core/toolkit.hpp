@@ -19,6 +19,7 @@
 #include "cluster/resource_manager.hpp"
 #include "cws/cwsi.hpp"
 #include "cws/predictors.hpp"
+#include "fabric/staging.hpp"
 #include "obs/observer.hpp"
 #include "sim/simulation.hpp"
 #include "support/rng.hpp"
@@ -50,6 +51,11 @@ struct CompositeReport {
   std::size_t cross_env_transfers = 0;
   Bytes cross_env_bytes = 0;
   SimTime transfer_seconds = 0.0;  ///< Total cross-environment transfer time.
+  /// Cross-environment edges satisfied without a WAN copy: the dataset was
+  /// already resident at the consumer's environment (replica cache hit) or
+  /// a transfer of it was already in flight there (coalesced).
+  std::size_t cross_env_cache_hits = 0;
+  Bytes cross_env_bytes_saved = 0;
   std::vector<EnvironmentReport> environments;
   /// Snapshot of every metric the run recorded (rm.*, cws.*, toolkit.*,
   /// sim.*). Additive across runs of the same Toolkit; MetricsSnapshot::merge
@@ -61,6 +67,13 @@ struct ToolkitConfig {
   std::uint64_t seed = 42;
   double wan_bandwidth = 50e6;  ///< Cross-environment link, bytes/s.
   SimTime wan_latency = 2.0;
+  /// Per-environment replica cache capacity. Cross-environment edges stage
+  /// through the data fabric: staged datasets land in the consumer
+  /// environment's cache, so repeat consumers (a scatter) hit locally
+  /// instead of re-paying the WAN. 0 disables caching — every dataset is
+  /// too big to cache, so every cross-environment edge re-stages.
+  Bytes env_cache_capacity = gib(64);
+  fabric::EvictionPolicy env_cache_policy = fabric::EvictionPolicy::LRU;
   /// Cadence of per-environment core-utilization samplers during run();
   /// 0 disables. Samplers stop when the run's last task finishes.
   SimTime sample_period = 0.0;
@@ -79,7 +92,7 @@ class Toolkit {
 
   /// Adds an HPC environment with one of the scheduler strategies from
   /// cws::make_strategy ("fifo", "fifo-fit", "easy-backfill", "cws-rank",
-  /// "cws-filesize", "cws-heft", "cws-tarema").
+  /// "cws-filesize", "cws-heft", "cws-tarema", "cws-datalocality").
   EnvironmentId add_hpc(const std::string& name, cluster::ClusterSpec spec,
                         const std::string& strategy = "fifo-fit");
 
@@ -110,6 +123,16 @@ class Toolkit {
   obs::Observer& observer() noexcept { return obs_; }
   const obs::Observer& observer() const noexcept { return obs_; }
 
+  /// The data fabric carrying cross-environment edges: one contended WAN
+  /// link per environment pair, a replica catalog, and per-environment
+  /// caches. Exposed for inspection (link utilization, cache hit ratios).
+  fabric::Topology& topology() noexcept { return topology_; }
+  fabric::TransferScheduler& staging() noexcept { return staging_; }
+  const fabric::ReplicaCache& cache(EnvironmentId id) const { return *caches_.at(id); }
+
+  /// Fabric location name of an environment ("env<i>:<name>").
+  std::string env_location(EnvironmentId id) const;
+
  private:
   struct Environment {
     std::string name;
@@ -125,13 +148,19 @@ class Toolkit {
     const std::vector<EnvironmentId>* assignment = nullptr;
     std::vector<std::size_t> pending_preds;
     std::size_t remaining = 0;
+    int wf_id = -1;  ///< Registry id for this run (CWSI workflow context).
     bool failed = false;
     std::string error;
     CompositeReport report;
     obs::SpanId workflow_span = obs::kNoSpan;
   };
 
+  /// Registers the environment in the fabric: a location, a bounded replica
+  /// cache, and a WAN link to every existing environment (full mesh).
+  void join_fabric(EnvironmentId id);
+
   void dispatch(RunState& state, wf::TaskId task);
+  void submit_task(RunState& state, wf::TaskId task);
   void on_complete(RunState& state, wf::TaskId task, const cluster::JobRecord& rec);
 
   void finish_run_observation(RunState& state);
@@ -140,6 +169,10 @@ class Toolkit {
   sim::Simulation sim_;
   Rng rng_;
   obs::Observer obs_;
+  fabric::DataCatalog catalog_;
+  fabric::Topology topology_;
+  fabric::TransferScheduler staging_;
+  std::vector<std::unique_ptr<fabric::ReplicaCache>> caches_;  // per env
   std::vector<Environment> envs_;
   cws::WorkflowRegistry registry_;
   cws::ProvenanceStore provenance_;

@@ -35,6 +35,7 @@ void CwsSchedulerBase::schedule(cluster::SchedulingContext& ctx) {
       placed = ctx.try_place(id);
       fell_back = placed;
     }
+    if (placed) on_placed(ctx, job);
     if (instrumented) {
       decision_us->observe(std::chrono::duration<double, std::micro>(
                                std::chrono::steady_clock::now() - wall0)
@@ -50,6 +51,9 @@ std::function<bool(cluster::NodeId)> CwsSchedulerBase::node_filter(
     const cluster::SchedulingContext&, const cluster::JobRecord&) const {
   return {};
 }
+
+void CwsSchedulerBase::on_placed(const cluster::SchedulingContext&,
+                                 const cluster::JobRecord&) {}
 
 double RankScheduler::priority(const cluster::SchedulingContext&,
                                const cluster::JobRecord& job) const {
@@ -176,6 +180,84 @@ std::function<bool(cluster::NodeId)> TaremaScheduler::node_filter(
   return {};
 }
 
+fabric::DatasetId edge_dataset_id(int workflow_id, wf::TaskId producer,
+                                  Bytes bytes) {
+  return fabric::content_hash(
+      "wf" + std::to_string(workflow_id) + "/t" + std::to_string(producer), bytes);
+}
+
+std::string DataLocalityScheduler::node_location(cluster::NodeId n) {
+  return "node" + std::to_string(n);
+}
+
+double DataLocalityScheduler::priority(const cluster::SchedulingContext&,
+                                       const cluster::JobRecord& job) const {
+  // Data-heavy tasks first (same key as FileSize): they pin the most bytes
+  // and release the most locality for their successors.
+  const wf::Workflow* w = registry().find(job.request.workflow_id);
+  if (w && job.request.task_id < w->task_count())
+    return static_cast<double>(w->total_input_bytes(job.request.task_id));
+  return static_cast<double>(job.request.input_bytes);
+}
+
+Bytes DataLocalityScheduler::resident_input_bytes(const cluster::JobRecord& job,
+                                                  cluster::NodeId n) const {
+  const wf::Workflow* w = registry().find(job.request.workflow_id);
+  if (!w || job.request.task_id >= w->task_count()) return 0;
+  const std::string loc = node_location(n);
+  Bytes resident = 0;
+  for (wf::TaskId pred : w->predecessors(job.request.task_id)) {
+    const Bytes bytes = w->edge_bytes(pred, job.request.task_id);
+    if (bytes == 0) continue;
+    const auto id = edge_dataset_id(job.request.workflow_id, pred, bytes);
+    if (catalog_.has_replica(id, loc)) resident += bytes;
+  }
+  return resident;
+}
+
+std::function<bool(cluster::NodeId)> DataLocalityScheduler::node_filter(
+    const cluster::SchedulingContext& ctx, const cluster::JobRecord& job) const {
+  // Steer to the node(s) holding the most of this task's input bytes. With
+  // nothing resident anywhere (cold start) there is no signal: accept all.
+  const cluster::Cluster& cl = ctx.cluster();
+  Bytes best = 0;
+  std::vector<Bytes> per_node(cl.node_count(), 0);
+  for (cluster::NodeId n = 0; n < cl.node_count(); ++n) {
+    per_node[n] = resident_input_bytes(job, n);
+    best = std::max(best, per_node[n]);
+  }
+  if (best == 0) return {};
+  return [per_node = std::move(per_node), best](cluster::NodeId n) {
+    return per_node[n] == best;
+  };
+}
+
+void DataLocalityScheduler::on_placed(const cluster::SchedulingContext&,
+                                      const cluster::JobRecord& job) {
+  const wf::Workflow* w = registry().find(job.request.workflow_id);
+  if (!w || job.request.task_id >= w->task_count()) return;
+  if (job.allocation.claims.empty()) return;
+  const std::string loc = node_location(job.allocation.claims[0].node);
+  // The task reads its inputs here and will write its outputs here: both
+  // become replicas at the chosen node, so the next scheduling pass sees
+  // siblings' shared inputs and this task's consumers as local.
+  const wf::TaskId t = job.request.task_id;
+  for (wf::TaskId pred : w->predecessors(t)) {
+    const Bytes bytes = w->edge_bytes(pred, t);
+    if (bytes == 0) continue;
+    const auto id = edge_dataset_id(job.request.workflow_id, pred, bytes);
+    catalog_.register_dataset(id, bytes);
+    catalog_.add_replica(id, loc);
+  }
+  for (wf::TaskId succ : w->successors(t)) {
+    const Bytes bytes = w->edge_bytes(t, succ);
+    if (bytes == 0) continue;
+    const auto id = edge_dataset_id(job.request.workflow_id, t, bytes);
+    catalog_.register_dataset(id, bytes);
+    catalog_.add_replica(id, loc);
+  }
+}
+
 std::unique_ptr<cluster::Scheduler> make_strategy(const std::string& name,
                                                   const WorkflowRegistry& registry,
                                                   const RuntimePredictor& predictor,
@@ -187,6 +269,8 @@ std::unique_ptr<cluster::Scheduler> make_strategy(const std::string& name,
   if (name == "cws-heft") return std::make_unique<HeftScheduler>(registry, predictor);
   if (name == "cws-tarema")
     return std::make_unique<TaremaScheduler>(registry, provenance);
+  if (name == "cws-datalocality")
+    return std::make_unique<DataLocalityScheduler>(registry);
   throw std::invalid_argument("unknown strategy: " + name);
 }
 

@@ -13,6 +13,7 @@
 #include "cluster/schedulers.hpp"
 #include "cws/cwsi.hpp"
 #include "cws/predictors.hpp"
+#include "fabric/catalog.hpp"
 
 namespace hhc::cws {
 
@@ -43,6 +44,12 @@ class CwsSchedulerBase : public cluster::Scheduler {
   /// Whether a job that fails its filtered placement may fall back to any
   /// node (keeps utilization up; Tarema does this).
   virtual bool allow_fallback() const { return false; }
+
+  /// Called after a job is successfully placed (its allocation is final).
+  /// Strategies that track placement state — e.g. DataLocality's replica
+  /// catalog — hook in here. Default does nothing.
+  virtual void on_placed(const cluster::SchedulingContext& ctx,
+                         const cluster::JobRecord& job);
 
   const WorkflowRegistry& registry() const { return *registry_; }
 
@@ -119,8 +126,58 @@ class TaremaScheduler final : public CwsSchedulerBase {
   const ProvenanceStore* provenance_;
 };
 
+/// Content address of the data a workflow edge carries: everything
+/// identity-relevant (workflow instance, producer task, payload size) goes
+/// into the hash, so every consumer of the same producer output computes
+/// the same id. Shared by DataLocalityScheduler and core::Toolkit.
+fabric::DatasetId edge_dataset_id(int workflow_id, wf::TaskId producer,
+                                  Bytes bytes);
+
+/// Locality-aware strategy (TaskVine-style): tracks which cluster node holds
+/// which edge dataset in a content-addressed replica catalog, scores ready
+/// tasks by total input bytes (data-heavy first, like FileSize), and steers
+/// each task to the node where the most of its input bytes are already
+/// resident. Placement registers the task's inputs and future outputs as
+/// replicas on the chosen node, so siblings of a scatter converge on the
+/// data instead of re-staging it. Falls back to any node when nothing is
+/// resident (cold start) or the preferred node is full.
+class DataLocalityScheduler final : public CwsSchedulerBase {
+ public:
+  explicit DataLocalityScheduler(const WorkflowRegistry& registry)
+      : CwsSchedulerBase(registry) {}
+
+  std::string name() const override { return "cws-datalocality"; }
+
+  /// Location name a cluster node gets in the catalog ("node<i>").
+  static std::string node_location(cluster::NodeId n);
+
+  /// The replica catalog (resident datasets per node). Exposed for tests
+  /// and for pre-seeding from an external fabric.
+  fabric::DataCatalog& catalog() noexcept { return catalog_; }
+  const fabric::DataCatalog& catalog() const noexcept { return catalog_; }
+
+ protected:
+  double priority(const cluster::SchedulingContext& ctx,
+                  const cluster::JobRecord& job) const override;
+  std::function<bool(cluster::NodeId)> node_filter(
+      const cluster::SchedulingContext& ctx,
+      const cluster::JobRecord& job) const override;
+  bool allow_fallback() const override { return true; }
+  void on_placed(const cluster::SchedulingContext& ctx,
+                 const cluster::JobRecord& job) override;
+
+ private:
+  /// Input bytes of `job` already resident on node `n`.
+  Bytes resident_input_bytes(const cluster::JobRecord& job,
+                             cluster::NodeId n) const;
+
+  fabric::DataCatalog catalog_;
+};
+
 /// Factory over baseline + CWS strategies (used by the E6 sweep).
 /// `registry`, `predictor` and `provenance` must outlive the scheduler.
+/// Names: "fifo", "fifo-fit", "easy-backfill", "cws-rank", "cws-filesize",
+/// "cws-heft", "cws-tarema", "cws-datalocality".
 std::unique_ptr<cluster::Scheduler> make_strategy(const std::string& name,
                                                   const WorkflowRegistry& registry,
                                                   const RuntimePredictor& predictor,

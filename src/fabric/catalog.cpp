@@ -1,0 +1,95 @@
+#include "fabric/catalog.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hhc::fabric {
+
+DatasetId content_hash(std::string_view logical_name, Bytes size) {
+  // FNV-1a over the logical name, then the size bytes.
+  std::uint64_t h = 14695981039346656037ull;
+  const auto mix = [&h](unsigned char c) {
+    h ^= c;
+    h *= 1099511628211ull;
+  };
+  for (const char c : logical_name) mix(static_cast<unsigned char>(c));
+  for (int i = 0; i < 8; ++i) mix(static_cast<unsigned char>(size >> (8 * i)));
+
+  static const char* hex = "0123456789abcdef";
+  DatasetId out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = hex[h & 0xf];
+    h >>= 4;
+  }
+  return out;
+}
+
+void DataCatalog::register_dataset(const DatasetId& id, Bytes size) {
+  auto [it, inserted] = datasets_.try_emplace(id);
+  if (inserted) {
+    it->second.size = size;
+  } else if (it->second.size != size) {
+    throw std::invalid_argument("dataset '" + id + "' re-registered with size " +
+                                std::to_string(size) + " != " +
+                                std::to_string(it->second.size));
+  }
+}
+
+bool DataCatalog::known(const DatasetId& id) const noexcept {
+  return datasets_.count(id) > 0;
+}
+
+Bytes DataCatalog::size_of(const DatasetId& id) const {
+  auto it = datasets_.find(id);
+  if (it == datasets_.end())
+    throw std::out_of_range("unknown dataset '" + id + "'");
+  return it->second.size;
+}
+
+void DataCatalog::add_replica(const DatasetId& id, const std::string& location) {
+  auto it = datasets_.find(id);
+  if (it == datasets_.end())
+    throw std::out_of_range("add_replica on unknown dataset '" + id + "'");
+  auto& reps = it->second.replicas;
+  auto pos = std::lower_bound(reps.begin(), reps.end(), location);
+  if (pos == reps.end() || *pos != location) reps.insert(pos, location);
+}
+
+bool DataCatalog::remove_replica(const DatasetId& id, const std::string& location) {
+  auto it = datasets_.find(id);
+  if (it == datasets_.end()) return false;
+  auto& reps = it->second.replicas;
+  auto pos = std::lower_bound(reps.begin(), reps.end(), location);
+  if (pos == reps.end() || *pos != location) return false;
+  reps.erase(pos);
+  return true;
+}
+
+bool DataCatalog::has_replica(const DatasetId& id,
+                              const std::string& location) const noexcept {
+  auto it = datasets_.find(id);
+  if (it == datasets_.end()) return false;
+  const auto& reps = it->second.replicas;
+  return std::binary_search(reps.begin(), reps.end(), location);
+}
+
+const std::vector<std::string>& DataCatalog::replicas(const DatasetId& id) const {
+  static const std::vector<std::string> kEmpty;
+  auto it = datasets_.find(id);
+  return it == datasets_.end() ? kEmpty : it->second.replicas;
+}
+
+std::size_t DataCatalog::replica_count(const DatasetId& id) const noexcept {
+  auto it = datasets_.find(id);
+  return it == datasets_.end() ? 0 : it->second.replicas.size();
+}
+
+Bytes DataCatalog::resident_bytes(const std::string& location) const {
+  Bytes total = 0;
+  for (const auto& [id, info] : datasets_)
+    if (std::binary_search(info.replicas.begin(), info.replicas.end(), location))
+      total += info.size;
+  return total;
+}
+
+}  // namespace hhc::fabric

@@ -1,0 +1,164 @@
+#include "fabric/staging.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "obs/observer.hpp"
+
+namespace hhc::fabric {
+
+const char* to_string(StageSource s) noexcept {
+  switch (s) {
+    case StageSource::Local: return "local";
+    case StageSource::Coalesced: return "coalesced";
+    case StageSource::Peer: return "peer";
+    case StageSource::Origin: return "origin";
+  }
+  return "?";
+}
+
+TransferScheduler::TransferScheduler(sim::Simulation& sim, Topology& topology,
+                                     DataCatalog& catalog, obs::Observer* obs)
+    : sim_(sim), topology_(topology), catalog_(catalog), obs_(obs) {}
+
+void TransferScheduler::attach_cache(const std::string& location,
+                                     ReplicaCache& cache) {
+  caches_[location] = &cache;
+}
+
+ReplicaCache* TransferScheduler::cache_at(const std::string& location) noexcept {
+  auto it = caches_.find(location);
+  return it == caches_.end() ? nullptr : it->second;
+}
+
+void TransferScheduler::publish(const DatasetId& id, Bytes size,
+                                const std::string& location) {
+  // A published replica is the producer's authoritative local output, not a
+  // staged copy: it bypasses the location's cache (and its eviction) so the
+  // dataset always stays reachable from at least one location.
+  catalog_.register_dataset(id, size);
+  catalog_.add_replica(id, location);
+}
+
+void TransferScheduler::finish_local(const DatasetId& id, const std::string& dest,
+                                     Bytes size,
+                                     std::function<void(const StageResult&)> done) {
+  ++local_hits_;
+  bytes_saved_ += size;
+  if (ReplicaCache* cache = cache_at(dest)) cache->touch(id);  // hit accounting
+  if (obs_) {
+    obs_->count(sim_.now(), "fabric.cache_hits");
+    obs_->count(sim_.now(), "fabric.bytes_saved", {}, static_cast<double>(size));
+  }
+  StageResult r;
+  r.source = StageSource::Local;
+  r.from = dest;
+  r.bytes = size;
+  r.elapsed = 0.0;
+  sim_.post([r, done = std::move(done)] {
+    if (done) done(r);
+  });
+}
+
+void TransferScheduler::stage(const DatasetId& id, const std::string& dest,
+                              std::function<void(const StageResult&)> done) {
+  ++requests_;
+  if (!catalog_.known(id))
+    throw std::invalid_argument("stage of unknown dataset '" + id + "'");
+  const Bytes size = catalog_.size_of(id);
+
+  // 1. Already resident at the destination.
+  if (catalog_.has_replica(id, dest)) {
+    finish_local(id, dest, size, std::move(done));
+    return;
+  }
+  if (ReplicaCache* cache = cache_at(dest)) cache->touch(id);  // miss accounting
+  if (obs_) obs_->count(sim_.now(), "fabric.cache_misses");
+
+  // 2. Same dataset already on its way here: piggyback on that transfer.
+  const auto flight_key = std::make_pair(id, dest);
+  if (auto it = in_flight_.find(flight_key); it != in_flight_.end()) {
+    ++coalesced_;
+    bytes_saved_ += size;
+    if (obs_) {
+      obs_->count(sim_.now(), "fabric.coalesced");
+      obs_->count(sim_.now(), "fabric.bytes_saved", {}, static_cast<double>(size));
+    }
+    it->second.waiters.push_back(Waiter{sim_.now(), std::move(done)});
+    return;
+  }
+
+  // 3. Cheapest reachable replica, by contention-aware link estimate.
+  //    Replica lists are sorted, so ties resolve deterministically.
+  std::string best_source;
+  const Link* best_link = nullptr;
+  SimTime best_cost = std::numeric_limits<SimTime>::infinity();
+  for (const std::string& loc : catalog_.replicas(id)) {
+    const Link* link = topology_.find_link(loc, dest);
+    if (!link) continue;
+    const SimTime cost = link->estimate(size);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_source = loc;
+      best_link = link;
+    }
+  }
+  if (!best_link)
+    throw std::runtime_error("no replica of '" + id + "' reachable from '" +
+                             dest + "'");
+
+  const StageSource source_kind =
+      best_source == origin_ ? StageSource::Origin : StageSource::Peer;
+  ++transfers_;
+  in_flight_[flight_key];  // open the coalescing window
+
+  obs::SpanId span = obs::kNoSpan;
+  if (obs_) {
+    span = obs_->begin_span(sim_.now(), "transfer", id + " -> " + dest);
+    obs_->span_attr(span, "bytes", static_cast<double>(size));
+    obs_->span_attr(span, "from", best_source);
+    obs_->span_attr(span, "source", to_string(source_kind));
+    obs_->count(sim_.now(), "fabric.transfers", to_string(source_kind));
+  }
+
+  topology_.transfer(
+      best_source, dest, size,
+      [this, id, dest, size, best_source, source_kind, span, flight_key,
+       done = std::move(done)](SimTime elapsed) mutable {
+        bytes_moved_ += size;
+        if (obs_) {
+          obs_->count(sim_.now(), "fabric.bytes_moved", {},
+                      static_cast<double>(size));
+          obs_->end_span(sim_.now(), span);
+        }
+        // Register the new replica before waking consumers, so their next
+        // lookups see it.
+        if (ReplicaCache* cache = cache_at(dest)) {
+          cache->insert(id, size);
+        } else {
+          catalog_.add_replica(id, dest);
+        }
+
+        StageResult r;
+        r.source = source_kind;
+        r.from = best_source;
+        r.bytes = size;
+        r.elapsed = elapsed;
+        if (done) done(r);
+
+        // Wake piggybacked waiters with their own (coalesced) result.
+        auto it = in_flight_.find(flight_key);
+        if (it != in_flight_.end()) {
+          auto waiters = std::move(it->second.waiters);
+          in_flight_.erase(it);
+          StageResult cr = r;
+          cr.source = StageSource::Coalesced;
+          for (auto& w : waiters) {
+            cr.elapsed = sim_.now() - w.begin;  // each waiter's own wait
+            if (w.done) w.done(cr);
+          }
+        }
+      });
+}
+
+}  // namespace hhc::fabric

@@ -1,0 +1,112 @@
+// TransferScheduler: locality-aware staging over catalog + topology +
+// caches (TaskVine-style).
+//
+// `stage(dataset, dest)` resolves the cheapest way to make a dataset
+// resident at `dest`:
+//   1. already resident (cache/replica at dest)      -> free, counted saved;
+//   2. the same dataset is mid-flight to dest        -> piggyback (coalesce);
+//   3. else the reachable replica (peer or origin) whose contention-aware
+//      link estimate is lowest                       -> real transfer.
+// Completed transfers register the new replica — in the destination's
+// ReplicaCache when one is attached (so capacity/eviction apply), directly
+// in the catalog otherwise — which is what turns a scatter of N consumers
+// into one WAN copy plus N-1 local hits.
+//
+// Everything is instrumented through obs:: — bytes moved vs saved, hit/miss
+// counters, per-transfer spans — so "how much did locality buy" reads off
+// the registry.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fabric/cache.hpp"
+#include "fabric/catalog.hpp"
+#include "fabric/topology.hpp"
+#include "sim/simulation.hpp"
+
+namespace hhc::fabric {
+
+/// How one stage request was satisfied.
+enum class StageSource {
+  Local,      ///< Already resident at the destination.
+  Coalesced,  ///< Joined a transfer already in flight to the destination.
+  Peer,       ///< Copied from a non-origin replica.
+  Origin      ///< Copied from the configured origin location.
+};
+
+const char* to_string(StageSource s) noexcept;
+
+struct StageResult {
+  StageSource source = StageSource::Origin;
+  std::string from;        ///< Source location (== dest for Local).
+  Bytes bytes = 0;
+  SimTime elapsed = 0.0;   ///< 0 for Local; full wait for Coalesced.
+};
+
+class TransferScheduler {
+ public:
+  TransferScheduler(sim::Simulation& sim, Topology& topology,
+                    DataCatalog& catalog, obs::Observer* obs = nullptr);
+
+  /// Location treated as the authoritative store (classified as Origin in
+  /// results; also the fallback source of last resort). Default "origin".
+  void set_origin(std::string location) { origin_ = std::move(location); }
+  const std::string& origin() const noexcept { return origin_; }
+
+  /// Attaches a cache for `location`. Staged replicas then insert through
+  /// it (bounded, evicting) instead of growing the catalog without bound.
+  /// The cache must outlive this scheduler.
+  void attach_cache(const std::string& location, ReplicaCache& cache);
+  ReplicaCache* cache_at(const std::string& location) noexcept;
+
+  /// Registers a dataset produced at `location`. The replica is pinned
+  /// directly in the catalog — it is the authoritative copy, so it bypasses
+  /// the location's cache and can never be evicted. Idempotent.
+  void publish(const DatasetId& id, Bytes size, const std::string& location);
+
+  /// Makes `id` resident at `dest`; `done` fires (on the event loop) once
+  /// it is. Throws std::invalid_argument for unknown datasets and
+  /// std::runtime_error when no replica is reachable from `dest`.
+  void stage(const DatasetId& id, const std::string& dest,
+             std::function<void(const StageResult&)> done);
+
+  // --- fabric-wide accounting (also exported through obs) ---
+  Bytes bytes_moved() const noexcept { return bytes_moved_; }
+  Bytes bytes_saved() const noexcept { return bytes_saved_; }
+  std::uint64_t stage_requests() const noexcept { return requests_; }
+  std::uint64_t transfers_started() const noexcept { return transfers_; }
+  std::uint64_t local_hits() const noexcept { return local_hits_; }
+  std::uint64_t coalesced_hits() const noexcept { return coalesced_; }
+
+ private:
+  struct Waiter {
+    SimTime begin = 0.0;
+    std::function<void(const StageResult&)> done;
+  };
+  struct InFlight {
+    std::vector<Waiter> waiters;
+  };
+
+  void finish_local(const DatasetId& id, const std::string& dest, Bytes size,
+                    std::function<void(const StageResult&)> done);
+
+  sim::Simulation& sim_;
+  Topology& topology_;
+  DataCatalog& catalog_;
+  obs::Observer* obs_ = nullptr;
+  std::string origin_ = "origin";
+  std::map<std::string, ReplicaCache*> caches_;
+  std::map<std::pair<DatasetId, std::string>, InFlight> in_flight_;
+  Bytes bytes_moved_ = 0;
+  Bytes bytes_saved_ = 0;
+  std::uint64_t requests_ = 0;
+  std::uint64_t transfers_ = 0;
+  std::uint64_t local_hits_ = 0;
+  std::uint64_t coalesced_ = 0;
+};
+
+}  // namespace hhc::fabric

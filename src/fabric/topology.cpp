@@ -1,0 +1,173 @@
+#include "fabric/topology.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "obs/observer.hpp"
+
+namespace hhc::fabric {
+
+Link::Link(sim::Simulation& sim, std::string name, LinkConfig config,
+           obs::Observer* obs)
+    : sim_(sim), name_(std::move(name)), config_(config), obs_(obs),
+      last_update_(sim.now()), created_(sim.now()) {
+  if (!(config_.bandwidth > 0.0))
+    throw std::invalid_argument("link '" + name_ + "': bandwidth must be > 0 (got " +
+                                std::to_string(config_.bandwidth) + ")");
+  if (config_.latency < 0.0)
+    throw std::invalid_argument("link '" + name_ + "': latency must be >= 0");
+}
+
+void Link::transfer(Bytes bytes, std::function<void(SimTime)> done) {
+  Active a;
+  a.id = next_id_++;
+  a.remaining = static_cast<double>(bytes);
+  a.total = bytes;
+  a.begin = sim_.now();
+  a.done = std::move(done);
+
+  if (bytes == 0) {
+    // Pure-latency connection (metadata, empty file): no bandwidth phase.
+    sim_.schedule_in(config_.latency, [this, begin = a.begin,
+                                       done = std::move(a.done)]() mutable {
+      ++completed_;
+      if (done) done(sim_.now() - begin);
+    });
+    return;
+  }
+
+  ++connecting_;
+  // The latency phase models connection setup; bandwidth sharing starts
+  // only once the transfer joins the active set.
+  sim_.schedule_in(config_.latency, [this, a = std::move(a)]() mutable {
+    --connecting_;
+    join(std::move(a));
+  });
+}
+
+SimTime Link::estimate(Bytes bytes) const noexcept {
+  const double share =
+      config_.bandwidth / static_cast<double>(active_.size() + 1);
+  return config_.latency + static_cast<double>(bytes) / share;
+}
+
+SimTime Link::busy_seconds(SimTime now) const noexcept {
+  return busy_accum_ + (active_.empty() ? 0.0 : now - last_update_);
+}
+
+double Link::utilization(SimTime now) const noexcept {
+  const SimTime lifetime = now - created_;
+  if (lifetime <= 0.0) return 0.0;
+  return std::min(1.0, busy_seconds(now) / lifetime);
+}
+
+void Link::join(Active a) {
+  advance_progress();
+  active_.push_back(std::move(a));
+  rebalance();
+}
+
+void Link::advance_progress() {
+  const SimTime now = sim_.now();
+  const SimTime dt = now - last_update_;
+  if (dt > 0.0 && !active_.empty()) {
+    const double share = config_.bandwidth / static_cast<double>(active_.size());
+    for (Active& a : active_) a.remaining = std::max(0.0, a.remaining - share * dt);
+    busy_accum_ += dt;
+  }
+  last_update_ = now;
+}
+
+void Link::rebalance() {
+  if (!active_.empty()) {
+    const double share = config_.bandwidth / static_cast<double>(active_.size());
+    for (Active& a : active_) {
+      a.completion.cancel();
+      a.completion = sim_.schedule_in(a.remaining / share,
+                                      [this, id = a.id] { finish(id); });
+    }
+  }
+  if (obs_)
+    obs_->gauge_set(sim_.now(), "fabric.link_active",
+                    static_cast<double>(active_.size()), name_);
+}
+
+void Link::finish(std::uint64_t id) {
+  advance_progress();
+  auto it = std::find_if(active_.begin(), active_.end(),
+                         [id](const Active& a) { return a.id == id; });
+  if (it == active_.end()) return;  // cancelled/raced; cannot happen normally
+  const SimTime elapsed = sim_.now() - it->begin;
+  bytes_carried_ += it->total;
+  ++completed_;
+  auto done = std::move(it->done);
+  const Bytes total = it->total;
+  active_.erase(it);
+  rebalance();
+  if (obs_) {
+    obs_->count(sim_.now(), "fabric.link_bytes", name_,
+                static_cast<double>(total));
+    obs_->count(sim_.now(), "fabric.link_transfers", name_);
+  }
+  if (done) done(elapsed);
+}
+
+void Topology::add_node(const std::string& name) { nodes_[name] = true; }
+
+bool Topology::has_node(const std::string& name) const noexcept {
+  return nodes_.count(name) > 0;
+}
+
+Topology::Key Topology::key(const std::string& a, const std::string& b) {
+  return a < b ? Key{a, b} : Key{b, a};
+}
+
+Link& Topology::add_link(const std::string& a, const std::string& b,
+                         LinkConfig config) {
+  if (a == b) throw std::invalid_argument("self-link at '" + a + "'");
+  add_node(a);
+  add_node(b);
+  const Key k = key(a, b);
+  auto [it, inserted] = links_.emplace(
+      k, std::make_unique<Link>(sim_, k.first + "<->" + k.second, config, obs_));
+  if (!inserted)
+    throw std::invalid_argument("duplicate link " + a + " <-> " + b);
+  return *it->second;
+}
+
+Link* Topology::find_link(const std::string& a, const std::string& b) noexcept {
+  auto it = links_.find(key(a, b));
+  return it == links_.end() ? nullptr : it->second.get();
+}
+
+const Link* Topology::find_link(const std::string& a,
+                                const std::string& b) const noexcept {
+  auto it = links_.find(key(a, b));
+  return it == links_.end() ? nullptr : it->second.get();
+}
+
+Link& Topology::link_between(const std::string& a, const std::string& b) {
+  Link* l = find_link(a, b);
+  if (!l) throw std::out_of_range("no link between '" + a + "' and '" + b + "'");
+  return *l;
+}
+
+void Topology::transfer(const std::string& from, const std::string& to,
+                        Bytes bytes, std::function<void(SimTime)> done) {
+  if (from == to) {
+    sim_.post([done = std::move(done)] {
+      if (done) done(0.0);
+    });
+    return;
+  }
+  link_between(from, to).transfer(bytes, std::move(done));
+}
+
+std::vector<Link*> Topology::links() {
+  std::vector<Link*> out;
+  out.reserve(links_.size());
+  for (auto& [k, l] : links_) out.push_back(l.get());
+  return out;
+}
+
+}  // namespace hhc::fabric

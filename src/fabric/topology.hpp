@@ -1,0 +1,145 @@
+// Network model for the data fabric: named locations joined by Links whose
+// bandwidth is *shared* by concurrent transfers.
+//
+// Prior to the fabric every subsystem priced a transfer as an independent
+// `latency + bytes / bandwidth`, so ten concurrent copies on one WAN each
+// ran at full speed. A fabric Link is progress-based and event-driven on
+// the sim kernel instead: at any instant the `n` active transfers each
+// proceed at `bandwidth / n`; whenever a transfer joins or leaves, every
+// remaining transfer's completion event is re-laid from the bytes it still
+// has outstanding. One transfer on an idle link therefore costs exactly the
+// classic formula, while contention emerges instead of being ignored.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/simulation.hpp"
+#include "support/units.hpp"
+
+namespace hhc::obs {
+class Observer;
+}
+
+namespace hhc::fabric {
+
+struct LinkConfig {
+  double bandwidth = 100e6;  ///< Aggregate capacity, bytes/s. Must be > 0.
+  SimTime latency = 1.0;     ///< Per-transfer connection setup cost.
+};
+
+/// One duplex-agnostic pipe between two locations. Both directions share
+/// the same capacity (a deliberate simplification — Globus/WAN budgets are
+/// usually quoted as one aggregate figure).
+class Link {
+ public:
+  /// Throws std::invalid_argument when config.bandwidth <= 0 or
+  /// config.latency < 0 — invalid capacity must fail loudly rather than
+  /// divide by zero at transfer time.
+  Link(sim::Simulation& sim, std::string name, LinkConfig config,
+       obs::Observer* obs = nullptr);
+
+  const std::string& name() const noexcept { return name_; }
+  const LinkConfig& config() const noexcept { return config_; }
+
+  /// Starts a transfer of `bytes`; `done(elapsed)` fires on the event loop
+  /// when the last byte lands (elapsed includes the latency phase). Zero
+  /// bytes pay latency only.
+  void transfer(Bytes bytes, std::function<void(SimTime)> done);
+
+  /// Transfers currently in their bandwidth phase.
+  std::size_t active() const noexcept { return active_.size(); }
+  /// Transfers still in their latency (setup) phase.
+  std::size_t connecting() const noexcept { return connecting_; }
+
+  /// Completion-time estimate for a transfer admitted *now*, accounting for
+  /// present contention (but not future arrivals/departures). The scheduler
+  /// uses this to rank candidate sources.
+  SimTime estimate(Bytes bytes) const noexcept;
+
+  Bytes bytes_carried() const noexcept { return bytes_carried_; }
+  std::uint64_t completed_transfers() const noexcept { return completed_; }
+
+  /// Seconds (up to `now`) during which at least one transfer was active.
+  SimTime busy_seconds(SimTime now) const noexcept;
+  /// busy_seconds / lifetime, in [0, 1]; 0 before any time elapses.
+  double utilization(SimTime now) const noexcept;
+
+ private:
+  struct Active {
+    std::uint64_t id = 0;
+    double remaining = 0.0;  ///< Bytes still to move.
+    Bytes total = 0;
+    SimTime begin = 0.0;     ///< When transfer() was called.
+    std::function<void(SimTime)> done;
+    sim::EventHandle completion;
+  };
+
+  void join(Active a);
+  void finish(std::uint64_t id);
+  /// Settles progress since last_update_ and re-lays completion events.
+  void rebalance();
+  void advance_progress();
+
+  sim::Simulation& sim_;
+  std::string name_;
+  LinkConfig config_;
+  obs::Observer* obs_ = nullptr;
+  std::vector<Active> active_;
+  std::size_t connecting_ = 0;
+  SimTime last_update_ = 0.0;
+  SimTime created_ = 0.0;
+  SimTime busy_accum_ = 0.0;
+  std::uint64_t next_id_ = 0;
+  Bytes bytes_carried_ = 0;
+  std::uint64_t completed_ = 0;
+};
+
+/// Locations + links. Links are symmetric: add_link(a, b) serves transfers
+/// in both directions through one shared-capacity Link.
+class Topology {
+ public:
+  explicit Topology(sim::Simulation& sim, obs::Observer* obs = nullptr)
+      : sim_(sim), obs_(obs) {}
+
+  /// Declares a location (idempotent).
+  void add_node(const std::string& name);
+  bool has_node(const std::string& name) const noexcept;
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+
+  /// Creates the a<->b link (both endpoints added implicitly). Throws
+  /// std::invalid_argument on a == b or a duplicate link.
+  Link& add_link(const std::string& a, const std::string& b, LinkConfig config);
+
+  /// The link between two locations, or null when none exists. Symmetric.
+  Link* find_link(const std::string& a, const std::string& b) noexcept;
+  const Link* find_link(const std::string& a, const std::string& b) const noexcept;
+
+  /// As find_link but throws std::out_of_range when absent.
+  Link& link_between(const std::string& a, const std::string& b);
+
+  /// Moves bytes from `from` to `to`. Local moves (from == to) complete on
+  /// the next event at zero cost. Throws std::out_of_range when the two
+  /// locations are not linked.
+  void transfer(const std::string& from, const std::string& to, Bytes bytes,
+                std::function<void(SimTime)> done);
+
+  std::size_t link_count() const noexcept { return links_.size(); }
+  /// Every link, in deterministic (endpoint-sorted) order.
+  std::vector<Link*> links();
+
+ private:
+  using Key = std::pair<std::string, std::string>;  // normalized: first < second
+  static Key key(const std::string& a, const std::string& b);
+
+  sim::Simulation& sim_;
+  obs::Observer* obs_ = nullptr;
+  std::map<std::string, bool> nodes_;
+  std::map<Key, std::unique_ptr<Link>> links_;
+};
+
+}  // namespace hhc::fabric

@@ -187,9 +187,13 @@ Bytes CromwellEngine::input_file_bytes(const ConcreteTask& t) const {
 }
 
 std::string CromwellEngine::cache_key(const ConcreteTask& t) const {
+  // Inputs go through a Json object (sorted by name), so the key is
+  // insensitive to input-map insertion order. The container image is part
+  // of the key: the same command in a different image is a different
+  // computation (real Cromwell hashes the docker image too).
   Json inputs = Json::object();
   for (const auto& in : t.inputs) inputs.set(in.name, in.value);
-  return t.task->name + "|" + inputs.dump();
+  return t.task->name + "|" + t.task->runtime.container + "|" + inputs.dump();
 }
 
 void CromwellEngine::submit(const Document& doc, const std::string& workflow_name,
@@ -259,7 +263,8 @@ void CromwellEngine::launch_task(std::size_t run_id, std::size_t task_id) {
       sim_.post([this, run_id, task_id, outputs] {
         Run& r = runs_.at(run_id);
         r.tasks[task_id].outputs = outputs;
-        task_finished(run_id, task_id, /*ok=*/true, /*duration=*/0.0);
+        task_finished(run_id, task_id, /*ok=*/true, /*duration=*/0.0,
+                      /*from_cache=*/true);
       });
       return;
     }
@@ -306,13 +311,13 @@ void CromwellEngine::launch_task(std::size_t run_id, std::size_t task_id) {
 }
 
 void CromwellEngine::task_finished(std::size_t run_id, std::size_t task_id, bool ok,
-                                   SimTime duration) {
+                                   SimTime duration, bool from_cache) {
   auto rit = runs_.find(run_id);
   if (rit == runs_.end()) return;
   Run& run = rit->second;
   ConcreteTask& t = run.tasks[task_id];
   t.done = true;
-  ++run.result.executed;
+  if (!from_cache) ++run.result.executed;
   if (duration > 0) run.result.task_durations.add(duration);
   for (const auto& [name, value] : t.outputs)
     run.result.call_outputs[t.call_name + "." + name] = value;

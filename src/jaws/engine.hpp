@@ -117,7 +117,7 @@ class CromwellEngine {
   void start_ready(std::size_t run_id);
   void launch_task(std::size_t run_id, std::size_t task_id);
   void task_finished(std::size_t run_id, std::size_t task_id, bool ok,
-                     SimTime duration);
+                     SimTime duration, bool from_cache = false);
   Bytes file_bytes(const Json& value) const;
   Bytes input_file_bytes(const ConcreteTask& t) const;
   std::string cache_key(const ConcreteTask& t) const;

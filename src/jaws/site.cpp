@@ -56,6 +56,13 @@ void FairShareScheduler::schedule(cluster::SchedulingContext& ctx) {
 }
 
 Site::Site(sim::Simulation& sim, SiteConfig config) : config_(std::move(config)) {
+  if (!(config_.globus_bandwidth > 0.0))
+    throw std::invalid_argument(
+        "site '" + config_.name + "': globus_bandwidth must be > 0 (got " +
+        std::to_string(config_.globus_bandwidth) + ")");
+  if (config_.transfer_latency < 0.0)
+    throw std::invalid_argument("site '" + config_.name +
+                                "': transfer_latency must be >= 0");
   cluster_ = std::make_unique<cluster::Cluster>(config_.cluster);
   std::unique_ptr<cluster::Scheduler> sched;
   if (config_.fair_share)
@@ -71,15 +78,22 @@ Site::Site(sim::Simulation& sim, SiteConfig config) : config_(std::move(config))
 
 SimTime Site::transfer_time(Bytes bytes) const {
   if (bytes == 0) return 0.0;
+  if (!(config_.globus_bandwidth > 0.0))  // ctor rejects this; stay loud
+    throw std::logic_error("site '" + config_.name + "' has no bandwidth");
   return config_.transfer_latency +
          static_cast<double>(bytes) / config_.globus_bandwidth;
 }
 
 Site& JawsService::add_site(SiteConfig config) {
   const std::string name = config.name;
+  if (name == kCenter)
+    throw std::invalid_argument("site name '" + name + "' is reserved");
   auto [it, inserted] =
       sites_.emplace(name, std::make_unique<Site>(sim_, std::move(config)));
   if (!inserted) throw std::invalid_argument("duplicate site '" + name + "'");
+  const SiteConfig& cfg = it->second->config();
+  topology_.add_link(kCenter, name,
+                     fabric::LinkConfig{cfg.globus_bandwidth, cfg.transfer_latency});
   return *it->second;
 }
 
@@ -94,21 +108,33 @@ void JawsService::submit(const JawsSubmission& submission,
   if (!submission.doc) throw std::invalid_argument("submission without document");
   Site& s = site(submission.site);
   const SimTime submit_time = sim_.now();
-  const SimTime stage_in = s.transfer_time(submission.stage_in_bytes);
+
+  // Moves `bytes` over the site's fabric link (shared with every other
+  // concurrent transfer to/from that site). Zero bytes cost nothing, as in
+  // the pre-fabric model.
+  auto stage = [this, &s](Bytes bytes, std::function<void()> then) {
+    if (bytes == 0) {
+      sim_.post(std::move(then));
+      return;
+    }
+    link_to(s.name()).transfer(bytes,
+                               [then = std::move(then)](SimTime) { then(); });
+  };
 
   // Globus stage-in, then engine execution at the site, then stage-out.
-  sim_.schedule_in(stage_in, [this, &s, submission, submit_time,
-                              done = std::move(done)]() mutable {
+  stage(submission.stage_in_bytes, [this, &s, submission, submit_time, stage,
+                                    done = std::move(done)]() mutable {
     s.engine().submit(
         *submission.doc, submission.workflow, submission.inputs,
-        [this, &s, submission, submit_time, done = std::move(done)](JawsRunResult r) {
-          const SimTime stage_out = s.transfer_time(submission.stage_out_bytes);
-          sim_.schedule_in(stage_out, [r = std::move(r), submit_time,
-                                       done = std::move(done), this]() mutable {
-            r.submit_time = submit_time;     // account transfers into makespan
-            r.finish_time = sim_.now();
-            done(std::move(r));
-          });
+        [submission, submit_time, stage = std::move(stage),
+         done = std::move(done), this](JawsRunResult r) mutable {
+          stage(submission.stage_out_bytes,
+                [r = std::move(r), submit_time, done = std::move(done),
+                 this]() mutable {
+                  r.submit_time = submit_time;  // account transfers in makespan
+                  r.finish_time = sim_.now();
+                  done(std::move(r));
+                });
         },
         submission.user);
   });

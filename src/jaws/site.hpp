@@ -12,6 +12,7 @@
 
 #include "cluster/cluster.hpp"
 #include "cluster/resource_manager.hpp"
+#include "fabric/topology.hpp"
 #include "jaws/engine.hpp"
 #include "sim/simulation.hpp"
 
@@ -39,6 +40,9 @@ struct SiteConfig {
 /// One compute site: its cluster, resource manager and Cromwell engine.
 class Site {
  public:
+  /// Throws std::invalid_argument when config.globus_bandwidth is zero or
+  /// negative — a site with no usable transfer capacity is a configuration
+  /// error, not an infinitely slow link.
   Site(sim::Simulation& sim, SiteConfig config);
 
   const std::string& name() const noexcept { return config_.name; }
@@ -46,7 +50,10 @@ class Site {
   cluster::ResourceManager& rm() noexcept { return *rm_; }
   CromwellEngine& engine() noexcept { return *engine_; }
 
-  /// Time to move `bytes` between the central store and this site.
+  /// *Uncontended* time to move `bytes` between the central store and this
+  /// site — the classic latency + bytes/bandwidth estimate. Actual staging
+  /// in JawsService goes through the fabric link, which shares bandwidth
+  /// between concurrent transfers.
   SimTime transfer_time(Bytes bytes) const;
 
  private:
@@ -66,10 +73,20 @@ struct JawsSubmission {
   Bytes stage_out_bytes = 0;   ///< Results shipped back afterwards.
 };
 
-/// Central workflow service over many sites.
+/// Central workflow service over many sites. All Globus-like staging runs
+/// over the data fabric: each site hangs off the central store by one
+/// fabric::Link (bandwidth = SiteConfig::globus_bandwidth), so concurrent
+/// transfers to the same site share that link's capacity instead of each
+/// enjoying the full bandwidth.
 class JawsService {
  public:
-  explicit JawsService(sim::Simulation& sim) : sim_(sim) {}
+  /// Name of the central store node in the service's topology.
+  static constexpr const char* kCenter = "jaws-center";
+
+  explicit JawsService(sim::Simulation& sim, obs::Observer* obs = nullptr)
+      : sim_(sim), topology_(sim, obs) {
+    topology_.add_node(kCenter);
+  }
 
   Site& add_site(SiteConfig config);
   Site& site(const std::string& name);
@@ -81,8 +98,17 @@ class JawsService {
   void submit(const JawsSubmission& submission,
               std::function<void(JawsRunResult)> done);
 
+  /// The transfer substrate (center <-> site links), e.g. for inspecting
+  /// link utilization or injecting competing transfers.
+  fabric::Topology& topology() noexcept { return topology_; }
+  /// The central-store link serving one site.
+  fabric::Link& link_to(const std::string& site_name) {
+    return topology_.link_between(kCenter, site_name);
+  }
+
  private:
   sim::Simulation& sim_;
+  fabric::Topology topology_;
   std::map<std::string, std::unique_ptr<Site>> sites_;
 };
 

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "cloud/autoscaler.hpp"
 #include "cloud/instance.hpp"
 #include "cloud/object_store.hpp"
@@ -57,6 +59,87 @@ TEST(ObjectStore, TransferTimeModel) {
   EXPECT_NEAR(s3.transfer_time(static_cast<Bytes>(100e6), 50e6), 2.1, 1e-9);
   // A faster client does not beat the per-connection limit.
   EXPECT_NEAR(s3.transfer_time(static_cast<Bytes>(100e6), 1e9), 1.1, 1e-9);
+}
+
+TEST(ObjectStore, ZeroClientBandwidthIsTheUnlimitedSentinel) {
+  sim::Simulation sim;
+  ObjectStoreConfig cfg;
+  cfg.per_connection_bandwidth = 100e6;
+  cfg.request_latency = 0.1;
+  ObjectStore s3(sim, cfg);
+  // 0.0 (and any non-positive value) means "no client-side cap": the
+  // per-connection bandwidth alone applies.
+  EXPECT_DOUBLE_EQ(s3.transfer_time(static_cast<Bytes>(100e6), 0.0),
+                   s3.transfer_time(static_cast<Bytes>(100e6)));
+  EXPECT_DOUBLE_EQ(s3.transfer_time(static_cast<Bytes>(100e6), -1.0),
+                   s3.transfer_time(static_cast<Bytes>(100e6), 0.0));
+}
+
+TEST(ObjectStore, ConnectionCapSerializesTransfers) {
+  sim::Simulation sim;
+  ObjectStoreConfig cfg;
+  cfg.per_connection_bandwidth = 100e6;
+  cfg.request_latency = 0.0;
+  cfg.max_connections = 1;
+  ObjectStore s3(sim, cfg);
+  s3.put("a", static_cast<Bytes>(100e6), {});  // 1 s
+  s3.put("b", static_cast<Bytes>(100e6), {});  // queued behind a
+  sim.run();
+
+  // Two concurrent 1-second GETs through one connection: the second waits.
+  std::vector<SimTime> done_at;
+  s3.get("a", [&](std::optional<Bytes>) { done_at.push_back(sim.now()); });
+  s3.get("b", [&](std::optional<Bytes>) { done_at.push_back(sim.now()); });
+  EXPECT_EQ(s3.active_connections(), 1u);
+  EXPECT_EQ(s3.queued_requests(), 1u);
+  const SimTime start = sim.now();
+  sim.run();
+  ASSERT_EQ(done_at.size(), 2u);
+  EXPECT_DOUBLE_EQ(done_at[0] - start, 1.0);
+  EXPECT_DOUBLE_EQ(done_at[1] - start, 2.0);  // serialized, not parallel
+  EXPECT_EQ(s3.active_connections(), 0u);
+}
+
+TEST(ObjectStore, UnlimitedConnectionsRunConcurrently) {
+  sim::Simulation sim;
+  ObjectStoreConfig cfg;
+  cfg.per_connection_bandwidth = 100e6;
+  cfg.request_latency = 0.0;
+  ObjectStore s3(sim, cfg);  // max_connections = 0: unlimited
+  s3.put("a", static_cast<Bytes>(100e6), {});
+  s3.put("b", static_cast<Bytes>(100e6), {});
+  sim.run();
+  std::vector<SimTime> done_at;
+  s3.get("a", [&](std::optional<Bytes>) { done_at.push_back(sim.now()); });
+  s3.get("b", [&](std::optional<Bytes>) { done_at.push_back(sim.now()); });
+  const SimTime start = sim.now();
+  sim.run();
+  ASSERT_EQ(done_at.size(), 2u);
+  EXPECT_DOUBLE_EQ(done_at[0] - start, 1.0);
+  EXPECT_DOUBLE_EQ(done_at[1] - start, 1.0);  // both at full speed
+}
+
+TEST(ObjectStore, MissDoesNotConsumeAConnection) {
+  sim::Simulation sim;
+  ObjectStoreConfig cfg;
+  cfg.per_connection_bandwidth = 100e6;
+  cfg.request_latency = 0.5;
+  cfg.max_connections = 1;
+  ObjectStore s3(sim, cfg);
+  s3.put("a", static_cast<Bytes>(100e6), {});
+  sim.run();
+  // A long GET holds the single connection; a missing-key GET still answers
+  // after one request latency (metadata only).
+  SimTime hit_done = -1, miss_done = -1;
+  s3.get("a", [&](std::optional<Bytes>) { hit_done = sim.now(); });
+  s3.get("nope", [&](std::optional<Bytes> size) {
+    EXPECT_FALSE(size.has_value());
+    miss_done = sim.now();
+  });
+  const SimTime start = sim.now();
+  sim.run();
+  EXPECT_DOUBLE_EQ(miss_done - start, 0.5);
+  EXPECT_GT(hit_done, miss_done);
 }
 
 TEST(ObjectStore, CountsAndTotals) {

@@ -105,6 +105,109 @@ TEST(Toolkit, EnvironmentNames) {
   EXPECT_EQ(tk.environment_count(), 2u);
 }
 
+// A scatter crossing environments: the producer's one output feeds three
+// consumers on the other side. The fabric moves it across the WAN once.
+wf::Workflow make_cross_scatter(Bytes edge_bytes) {
+  wf::Workflow w("scatter");
+  wf::TaskSpec spec;
+  spec.name = "producer";
+  spec.base_runtime = 10;
+  spec.resources.cores_per_node = 1;
+  const auto p = w.add_task(spec);
+  for (int i = 0; i < 3; ++i) {
+    spec.name = "consumer" + std::to_string(i);
+    const auto c = w.add_task(spec);
+    w.add_dependency(p, c, edge_bytes);
+  }
+  return w;
+}
+
+TEST(Toolkit, ScatterAcrossEnvironmentsMovesTheDataOnce) {
+  Toolkit tk;
+  const auto hpc = tk.add_hpc("hpc", cluster::homogeneous_cluster(4, 16, gib(64)));
+  const auto cloud = tk.add_cloud("cloud", 4, 4, gib(16), 1.0, 0.0);
+  const wf::Workflow w = make_cross_scatter(mib(200));
+  std::vector<EnvironmentId> assignment(w.task_count(), cloud);
+  assignment[0] = hpc;  // producer on HPC, consumers in the cloud
+  const CompositeReport r = tk.run(w, assignment);
+  EXPECT_TRUE(r.success);
+  // One WAN copy; the sibling consumers coalesced onto it.
+  EXPECT_EQ(r.cross_env_transfers, 1u);
+  EXPECT_EQ(r.cross_env_bytes, mib(200));
+  EXPECT_EQ(r.cross_env_cache_hits, 2u);
+  EXPECT_EQ(r.cross_env_bytes_saved, 2 * mib(200));
+}
+
+TEST(Toolkit, DisablingTheCacheRestagesEveryEdge) {
+  // A diamond where the second cloud consumer starts only after the first
+  // finished: with a cache the producer's dataset is already resident; with
+  // caching disabled it must cross the WAN again.
+  auto run = [](Bytes cache_capacity) {
+    ToolkitConfig cfg;
+    cfg.env_cache_capacity = cache_capacity;
+    Toolkit tk(cfg);
+    const auto hpc = tk.add_hpc("hpc", cluster::homogeneous_cluster(4, 16, gib(64)));
+    const auto cloud = tk.add_cloud("cloud", 4, 4, gib(16), 1.0, 0.0);
+    wf::Workflow w("diamond");
+    wf::TaskSpec spec;
+    spec.name = "producer";
+    spec.base_runtime = 10;
+    spec.resources.cores_per_node = 1;
+    const auto a = w.add_task(spec);
+    spec.name = "first";
+    const auto b = w.add_task(spec);
+    spec.name = "second";
+    const auto c = w.add_task(spec);
+    w.add_dependency(a, b, mib(100));
+    w.add_dependency(a, c, mib(100));  // same payload: same dataset
+    w.add_dependency(b, c);            // serializes the consumers
+    const CompositeReport r =
+        tk.run(w, std::vector<EnvironmentId>{hpc, cloud, cloud});
+    EXPECT_TRUE(r.success);
+    return r;
+  };
+  const CompositeReport cached = run(gib(64));
+  EXPECT_EQ(cached.cross_env_transfers, 1u);
+  EXPECT_EQ(cached.cross_env_cache_hits, 1u);
+  const CompositeReport uncached = run(0);
+  EXPECT_EQ(uncached.cross_env_transfers, 2u);
+  EXPECT_EQ(uncached.cross_env_cache_hits, 0u);
+  EXPECT_GT(uncached.transfer_seconds, cached.transfer_seconds);
+}
+
+TEST(Toolkit, ExportsFabricMetrics) {
+  Toolkit tk;
+  const auto hpc = tk.add_hpc("hpc", cluster::homogeneous_cluster(4, 16, gib(64)));
+  const auto cloud = tk.add_cloud("cloud", 4, 4, gib(16), 1.0, 0.0);
+  const wf::Workflow w = make_cross_scatter(mib(200));
+  std::vector<EnvironmentId> assignment(w.task_count(), cloud);
+  assignment[0] = hpc;
+  const CompositeReport r = tk.run(w, assignment);
+  ASSERT_TRUE(r.success);
+  const std::string link = tk.topology().links().at(0)->name();
+  const auto* util = r.metrics.find_gauge("fabric.link_utilization", link);
+  ASSERT_NE(util, nullptr);
+  EXPECT_GT(util->value, 0.0);
+  ASSERT_NE(r.metrics.find_gauge("fabric.cache_hit_ratio",
+                                 tk.env_location(cloud)),
+            nullptr);
+  const auto* moved = r.metrics.find_counter("fabric.bytes_moved");
+  ASSERT_NE(moved, nullptr);
+  EXPECT_DOUBLE_EQ(moved->value, static_cast<double>(mib(200)));
+  const auto* saved = r.metrics.find_counter("fabric.bytes_saved");
+  ASSERT_NE(saved, nullptr);
+  EXPECT_DOUBLE_EQ(saved->value, 2.0 * static_cast<double>(mib(200)));
+}
+
+TEST(Toolkit, DataLocalityStrategyRunsUnderTheToolkit) {
+  Toolkit tk;
+  const auto env = tk.add_hpc("hpc", cluster::heterogeneous_cwsi_cluster(4),
+                              "cws-datalocality");
+  const wf::Workflow w = wf::make_montage_like(12, Rng(7));
+  const CompositeReport r = tk.run(w, env);
+  EXPECT_TRUE(r.success);
+}
+
 TEST(Toolkit, EmptyWorkflow) {
   Toolkit tk;
   const auto hpc = tk.add_hpc("hpc", cluster::homogeneous_cluster(1, 4, gib(8)));

@@ -32,7 +32,7 @@ SimTime run_strategy(const std::string& strategy, std::uint64_t seed,
 TEST(Strategies, AllStrategiesCompleteWorkflows) {
   for (const char* name :
        {"fifo", "fifo-fit", "easy-backfill", "cws-rank", "cws-filesize",
-        "cws-heft", "cws-tarema"}) {
+        "cws-heft", "cws-tarema", "cws-datalocality"}) {
     const SimTime makespan = run_strategy(name, 11);
     EXPECT_GT(makespan, 0.0) << name;
   }
@@ -50,7 +50,8 @@ TEST(Strategies, FactoryNamesMatch) {
   WorkflowRegistry registry;
   ProvenanceStore provenance;
   NullPredictor predictor;
-  for (const char* name : {"cws-rank", "cws-filesize", "cws-heft", "cws-tarema"})
+  for (const char* name : {"cws-rank", "cws-filesize", "cws-heft", "cws-tarema",
+                           "cws-datalocality"})
     EXPECT_EQ(make_strategy(name, registry, predictor, provenance)->name(), name);
 }
 
@@ -211,6 +212,130 @@ TEST(Strategies, TaremaColdStartStillPlaces) {
   cluster::JobRequest r;
   r.name = "first";
   r.kind = "first";
+  r.resources.cores_per_node = 1;
+  r.runtime = 10;
+  rm.submit(r, [&](const cluster::JobRecord& rec) {
+    completed = rec.state == cluster::JobState::Completed;
+  });
+  sim.run();
+  EXPECT_TRUE(completed);
+}
+
+TEST(Strategies, EdgeDatasetIdIsStableAndDiscriminating) {
+  const auto id = edge_dataset_id(7, 3, 1000);
+  EXPECT_EQ(id, edge_dataset_id(7, 3, 1000));
+  EXPECT_NE(id, edge_dataset_id(8, 3, 1000));  // workflow matters
+  EXPECT_NE(id, edge_dataset_id(7, 4, 1000));  // producer matters
+  EXPECT_NE(id, edge_dataset_id(7, 3, 1001));  // payload matters
+}
+
+TEST(Strategies, DataLocalitySteersToTheNodeHoldingTheInputs) {
+  sim::Simulation sim;
+  cluster::Cluster cl(cluster::homogeneous_cluster(4, 8, gib(32)));
+  WorkflowRegistry registry;
+
+  wf::Workflow w("local");
+  wf::TaskSpec producer;
+  producer.name = "producer";
+  producer.base_runtime = 10;
+  producer.resources.cores_per_node = 2;
+  const auto p = w.add_task(producer);
+  wf::TaskSpec consumer = producer;
+  consumer.name = "consumer";
+  const auto c = w.add_task(consumer);
+  w.add_dependency(p, c, 5000);
+  const int id = registry.register_workflow(w);
+
+  auto strategy = std::make_unique<DataLocalityScheduler>(registry);
+  DataLocalityScheduler* locality = strategy.get();
+  cluster::ResourceManager rm(
+      sim, cl, std::move(strategy),
+      cluster::ResourceManagerConfig{.model_io = false});
+
+  // Seed: the producer's output already lives on node 2.
+  const auto dataset = edge_dataset_id(id, p, 5000);
+  locality->catalog().register_dataset(dataset, 5000);
+  locality->catalog().add_replica(dataset, DataLocalityScheduler::node_location(2));
+
+  cluster::JobRequest r;
+  r.name = "consumer";
+  r.kind = "consumer";
+  r.resources.cores_per_node = 2;
+  r.runtime = 10;
+  r.workflow_id = id;
+  r.task_id = c;
+  cluster::NodeId placed = 99;
+  rm.submit(r, [&](const cluster::JobRecord& rec) {
+    placed = rec.allocation.claims[0].node;
+  });
+  sim.run();
+  EXPECT_EQ(placed, 2u);
+}
+
+TEST(Strategies, DataLocalityPlacementRegistersReplicas) {
+  sim::Simulation sim;
+  cluster::Cluster cl(cluster::homogeneous_cluster(4, 8, gib(32)));
+  WorkflowRegistry registry;
+
+  wf::Workflow w("chainlet");
+  wf::TaskSpec producer;
+  producer.name = "producer";
+  producer.base_runtime = 10;
+  producer.resources.cores_per_node = 2;
+  const auto p = w.add_task(producer);
+  wf::TaskSpec consumer = producer;
+  consumer.name = "consumer";
+  const auto c = w.add_task(consumer);
+  w.add_dependency(p, c, 5000);
+  const int id = registry.register_workflow(w);
+
+  auto strategy = std::make_unique<DataLocalityScheduler>(registry);
+  DataLocalityScheduler* locality = strategy.get();
+  cluster::ResourceManager rm(
+      sim, cl, std::move(strategy),
+      cluster::ResourceManagerConfig{.model_io = false});
+
+  auto submit = [&](const std::string& name, wf::TaskId task,
+                    cluster::NodeId* placed) {
+    cluster::JobRequest r;
+    r.name = name;
+    r.kind = name;
+    r.resources.cores_per_node = 2;
+    r.runtime = 10;
+    r.workflow_id = id;
+    r.task_id = task;
+    rm.submit(r, [placed](const cluster::JobRecord& rec) {
+      *placed = rec.allocation.claims[0].node;
+    });
+  };
+
+  cluster::NodeId producer_node = 99;
+  submit("producer", p, &producer_node);
+  sim.run();
+  ASSERT_NE(producer_node, 99u);
+  // Placing the producer registered its future output on its node.
+  const auto dataset = edge_dataset_id(id, p, 5000);
+  EXPECT_TRUE(locality->catalog().has_replica(
+      dataset, DataLocalityScheduler::node_location(producer_node)));
+
+  // The consumer follows the data to that node.
+  cluster::NodeId consumer_node = 99;
+  submit("consumer", c, &consumer_node);
+  sim.run();
+  EXPECT_EQ(consumer_node, producer_node);
+}
+
+TEST(Strategies, DataLocalityColdStartStillPlaces) {
+  sim::Simulation sim;
+  cluster::Cluster cl(cluster::homogeneous_cluster(2, 4, gib(16)));
+  WorkflowRegistry registry;
+  cluster::ResourceManager rm(
+      sim, cl, std::make_unique<DataLocalityScheduler>(registry),
+      cluster::ResourceManagerConfig{.model_io = false});
+  bool completed = false;
+  cluster::JobRequest r;
+  r.name = "orphan";  // no workflow context at all
+  r.kind = "orphan";
   r.resources.cores_per_node = 1;
   r.runtime = 10;
   rm.submit(r, [&](const cluster::JobRecord& rec) {

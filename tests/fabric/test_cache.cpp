@@ -1,0 +1,90 @@
+#include "fabric/cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hhc::fabric {
+namespace {
+
+TEST(ReplicaCache, InsertAndTouchAccounting) {
+  ReplicaCache cache("site", {100, EvictionPolicy::LRU});
+  EXPECT_FALSE(cache.touch("a"));  // miss
+  EXPECT_TRUE(cache.insert("a", 60));
+  EXPECT_TRUE(cache.touch("a"));  // hit
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_DOUBLE_EQ(cache.hit_ratio(), 0.5);
+  EXPECT_EQ(cache.used(), 60u);
+}
+
+TEST(ReplicaCache, OversizedDatasetIsRejected) {
+  ReplicaCache cache("site", {100, EvictionPolicy::LRU});
+  EXPECT_TRUE(cache.insert("small", 100));
+  EXPECT_FALSE(cache.insert("big", 101));
+  EXPECT_TRUE(cache.contains("small"));  // rejection evicted nothing
+  EXPECT_FALSE(cache.contains("big"));
+}
+
+TEST(ReplicaCache, ZeroCapacityCachesNothing) {
+  ReplicaCache cache("site", {0, EvictionPolicy::LRU});
+  EXPECT_FALSE(cache.insert("a", 1));
+  EXPECT_EQ(cache.entry_count(), 0u);
+}
+
+TEST(ReplicaCache, LruEvictsLeastRecentlyUsed) {
+  ReplicaCache cache("site", {100, EvictionPolicy::LRU});
+  cache.insert("a", 40);
+  cache.insert("b", 40);
+  cache.touch("a");          // b is now least recently used
+  cache.insert("c", 40);     // needs an eviction
+  EXPECT_TRUE(cache.contains("a"));
+  EXPECT_FALSE(cache.contains("b"));
+  EXPECT_TRUE(cache.contains("c"));
+  EXPECT_EQ(cache.evictions(), 1u);
+}
+
+TEST(ReplicaCache, LfuEvictsLeastFrequentlyUsed) {
+  ReplicaCache cache("site", {100, EvictionPolicy::LFU});
+  cache.insert("a", 40);
+  cache.insert("b", 40);
+  cache.touch("b");
+  cache.touch("b");
+  cache.touch("a");           // a: 2 uses, b: 3 uses
+  cache.insert("c", 40);      // evicts a (fewest uses)
+  EXPECT_FALSE(cache.contains("a"));
+  EXPECT_TRUE(cache.contains("b"));
+  EXPECT_TRUE(cache.contains("c"));
+}
+
+TEST(ReplicaCache, EvictionCascadesUntilItFits) {
+  ReplicaCache cache("site", {100, EvictionPolicy::LRU});
+  cache.insert("a", 30);
+  cache.insert("b", 30);
+  cache.insert("c", 30);
+  EXPECT_TRUE(cache.insert("d", 90));  // must evict all three
+  EXPECT_EQ(cache.entry_count(), 1u);
+  EXPECT_TRUE(cache.contains("d"));
+  EXPECT_EQ(cache.evictions(), 3u);
+}
+
+TEST(ReplicaCache, SyncsAttachedCatalog) {
+  DataCatalog cat;
+  ReplicaCache cache("site", {100, EvictionPolicy::LRU}, &cat);
+  cache.insert("a", 60);
+  EXPECT_TRUE(cat.has_replica("a", "site"));
+  cache.insert("b", 60);  // evicts a
+  EXPECT_FALSE(cat.has_replica("a", "site"));
+  EXPECT_TRUE(cat.has_replica("b", "site"));
+  cache.clear();
+  EXPECT_FALSE(cat.has_replica("b", "site"));
+}
+
+TEST(ReplicaCache, ExplicitEvict) {
+  ReplicaCache cache("site", {100, EvictionPolicy::LRU});
+  cache.insert("a", 10);
+  EXPECT_TRUE(cache.evict("a"));
+  EXPECT_FALSE(cache.evict("a"));
+  EXPECT_EQ(cache.used(), 0u);
+}
+
+}  // namespace
+}  // namespace hhc::fabric

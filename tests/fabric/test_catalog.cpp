@@ -1,0 +1,84 @@
+#include "fabric/catalog.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hhc::fabric {
+namespace {
+
+TEST(ContentHash, DeterministicAndDiscriminating) {
+  const DatasetId a = content_hash("wf1/t0", 100);
+  EXPECT_EQ(a, content_hash("wf1/t0", 100));
+  EXPECT_EQ(a.size(), 16u);  // 64-bit digest as hex
+  EXPECT_NE(a, content_hash("wf1/t1", 100));  // name matters
+  EXPECT_NE(a, content_hash("wf1/t0", 101));  // size matters
+}
+
+TEST(DataCatalog, RegisterIsIdempotentButSizeIsImmutable) {
+  DataCatalog cat;
+  const auto id = content_hash("d", 10);
+  cat.register_dataset(id, 10);
+  cat.register_dataset(id, 10);  // fine
+  EXPECT_EQ(cat.dataset_count(), 1u);
+  EXPECT_EQ(cat.size_of(id), 10u);
+  EXPECT_THROW(cat.register_dataset(id, 11), std::invalid_argument);
+}
+
+TEST(DataCatalog, ReplicaSetIsSortedAndUnique) {
+  DataCatalog cat;
+  const auto id = content_hash("d", 10);
+  cat.register_dataset(id, 10);
+  cat.add_replica(id, "zeta");
+  cat.add_replica(id, "alpha");
+  cat.add_replica(id, "zeta");  // duplicate ignored
+  EXPECT_EQ(cat.replica_count(id), 2u);
+  EXPECT_EQ(cat.replicas(id), (std::vector<std::string>{"alpha", "zeta"}));
+  EXPECT_TRUE(cat.has_replica(id, "alpha"));
+  EXPECT_FALSE(cat.has_replica(id, "beta"));
+}
+
+TEST(DataCatalog, RemoveReplica) {
+  DataCatalog cat;
+  const auto id = content_hash("d", 10);
+  cat.register_dataset(id, 10);
+  cat.add_replica(id, "a");
+  EXPECT_TRUE(cat.remove_replica(id, "a"));
+  EXPECT_FALSE(cat.remove_replica(id, "a"));  // already gone
+  EXPECT_FALSE(cat.remove_replica("nonexistent", "a"));
+  EXPECT_EQ(cat.replica_count(id), 0u);
+}
+
+TEST(DataCatalog, UnknownDatasets) {
+  DataCatalog cat;
+  EXPECT_FALSE(cat.known("nope"));
+  EXPECT_THROW(cat.size_of("nope"), std::out_of_range);
+  EXPECT_THROW(cat.add_replica("nope", "a"), std::out_of_range);
+  EXPECT_TRUE(cat.replicas("nope").empty());
+  EXPECT_EQ(cat.replica_count("nope"), 0u);
+}
+
+TEST(DataCatalog, ResidentBytesSumsPerLocation) {
+  DataCatalog cat;
+  const auto a = content_hash("a", 100);
+  const auto b = content_hash("b", 50);
+  cat.register_dataset(a, 100);
+  cat.register_dataset(b, 50);
+  cat.add_replica(a, "site");
+  cat.add_replica(b, "site");
+  cat.add_replica(b, "other");
+  EXPECT_EQ(cat.resident_bytes("site"), 150u);
+  EXPECT_EQ(cat.resident_bytes("other"), 50u);
+  EXPECT_EQ(cat.resident_bytes("empty"), 0u);
+}
+
+TEST(DataCatalog, ClearDropsEverything) {
+  DataCatalog cat;
+  const auto id = content_hash("d", 10);
+  cat.register_dataset(id, 10);
+  cat.add_replica(id, "a");
+  cat.clear();
+  EXPECT_EQ(cat.dataset_count(), 0u);
+  EXPECT_FALSE(cat.known(id));
+}
+
+}  // namespace
+}  // namespace hhc::fabric

@@ -1,0 +1,138 @@
+#include "fabric/staging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulation.hpp"
+
+namespace hhc::fabric {
+namespace {
+
+struct StagingFixture : ::testing::Test {
+  sim::Simulation sim;
+  Topology topo{sim};
+  DataCatalog catalog;
+  TransferScheduler staging{sim, topo, catalog};
+
+  void SetUp() override {
+    // origin --- siteA --- (and) --- siteB, full mesh at 100 B/s, 1 s.
+    topo.add_link("origin", "siteA", {100.0, 1.0});
+    topo.add_link("origin", "siteB", {100.0, 1.0});
+    topo.add_link("siteA", "siteB", {100.0, 1.0});
+  }
+};
+
+TEST_F(StagingFixture, StageUnknownDatasetThrows) {
+  EXPECT_THROW(staging.stage("nope", "siteA", [](const StageResult&) {}),
+               std::invalid_argument);
+}
+
+TEST_F(StagingFixture, StagesFromOriginWhenOnlyReplica) {
+  staging.publish("d", 200, "origin");
+  StageResult result;
+  staging.stage("d", "siteA", [&](const StageResult& r) { result = r; });
+  sim.run();
+  EXPECT_EQ(result.source, StageSource::Origin);
+  EXPECT_EQ(result.from, "origin");
+  EXPECT_EQ(result.bytes, 200u);
+  EXPECT_DOUBLE_EQ(result.elapsed, 3.0);
+  EXPECT_EQ(staging.bytes_moved(), 200u);
+  // The transfer registered a replica at the destination.
+  EXPECT_TRUE(catalog.has_replica("d", "siteA"));
+}
+
+TEST_F(StagingFixture, LocalReplicaIsFree) {
+  staging.publish("d", 200, "siteA");
+  StageResult result;
+  staging.stage("d", "siteA", [&](const StageResult& r) { result = r; });
+  sim.run();
+  EXPECT_EQ(result.source, StageSource::Local);
+  EXPECT_DOUBLE_EQ(result.elapsed, 0.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  EXPECT_EQ(staging.bytes_moved(), 0u);
+  EXPECT_EQ(staging.bytes_saved(), 200u);
+  EXPECT_EQ(staging.local_hits(), 1u);
+}
+
+TEST_F(StagingFixture, PrefersIdlePeerOverContendedOrigin) {
+  staging.publish("d", 500, "origin");
+  staging.publish("d", 500, "siteB");  // peer replica
+  // Saturate origin->siteA so the peer's estimate wins. Stage once the
+  // saturating transfer is past its latency phase and visibly active.
+  topo.link_between("origin", "siteA").transfer(10000, [](SimTime) {});
+  StageResult result;
+  sim.schedule_in(2.0, [&] {
+    staging.stage("d", "siteA", [&](const StageResult& r) { result = r; });
+  });
+  sim.run();
+  EXPECT_EQ(result.source, StageSource::Peer);
+  EXPECT_EQ(result.from, "siteB");
+}
+
+TEST_F(StagingFixture, CoalescesConcurrentRequestsForTheSameDataset) {
+  staging.publish("d", 500, "origin");
+  std::vector<StageResult> results;
+  staging.stage("d", "siteA", [&](const StageResult& r) { results.push_back(r); });
+  staging.stage("d", "siteA", [&](const StageResult& r) { results.push_back(r); });
+  sim.run();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].source, StageSource::Origin);
+  EXPECT_EQ(results[1].source, StageSource::Coalesced);
+  // One physical copy; the duplicate request moved nothing.
+  EXPECT_EQ(staging.transfers_started(), 1u);
+  EXPECT_EQ(staging.bytes_moved(), 500u);
+  EXPECT_EQ(staging.bytes_saved(), 500u);
+  EXPECT_EQ(staging.coalesced_hits(), 1u);
+  // Both waited the same wall-clock span here (requests were simultaneous).
+  EXPECT_DOUBLE_EQ(results[0].elapsed, results[1].elapsed);
+}
+
+TEST_F(StagingFixture, SequentialRequestsHitTheNewReplica) {
+  staging.publish("d", 500, "origin");
+  std::vector<StageSource> sources;
+  staging.stage("d", "siteA", [&](const StageResult& r) {
+    sources.push_back(r.source);
+    // Re-request after the first copy completed: now resident.
+    staging.stage("d", "siteA",
+                  [&](const StageResult& r2) { sources.push_back(r2.source); });
+  });
+  sim.run();
+  ASSERT_EQ(sources.size(), 2u);
+  EXPECT_EQ(sources[0], StageSource::Origin);
+  EXPECT_EQ(sources[1], StageSource::Local);
+}
+
+TEST_F(StagingFixture, UnreachableReplicaThrows) {
+  topo.add_node("island");
+  staging.publish("d", 100, "island");
+  EXPECT_THROW(staging.stage("d", "siteA", [](const StageResult&) {}),
+               std::runtime_error);
+}
+
+TEST_F(StagingFixture, AttachedCacheBoundsStagedReplicas) {
+  ReplicaCache cache("siteA", {600, EvictionPolicy::LRU}, &catalog);
+  staging.attach_cache("siteA", cache);
+  staging.publish("big", 400, "origin");
+  staging.publish("huge", 400, "origin");
+  staging.stage("big", "siteA", [](const StageResult&) {});
+  sim.run();
+  staging.stage("huge", "siteA", [](const StageResult&) {});
+  sim.run();
+  // 800 bytes staged through a 600-byte cache: the first dataset was evicted.
+  EXPECT_FALSE(catalog.has_replica("big", "siteA"));
+  EXPECT_TRUE(catalog.has_replica("huge", "siteA"));
+  EXPECT_EQ(cache.evictions(), 1u);
+  // Published (authoritative) replicas never route through the cache.
+  EXPECT_TRUE(catalog.has_replica("big", "origin"));
+}
+
+TEST_F(StagingFixture, PublishIsIdempotent) {
+  staging.publish("d", 100, "origin");
+  staging.publish("d", 100, "origin");
+  EXPECT_EQ(catalog.replica_count("d"), 1u);
+  EXPECT_THROW(staging.publish("d", 999, "origin"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hhc::fabric

@@ -1,0 +1,153 @@
+#include "fabric/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulation.hpp"
+
+namespace hhc::fabric {
+namespace {
+
+TEST(Link, RejectsInvalidConfig) {
+  sim::Simulation sim;
+  EXPECT_THROW(Link(sim, "l", {0.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Link(sim, "l", {-5.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Link(sim, "l", {100.0, -1.0}), std::invalid_argument);
+}
+
+TEST(Link, SingleTransferCostsLatencyPlusBytesOverBandwidth) {
+  sim::Simulation sim;
+  Link link(sim, "l", {100.0, 2.0});  // 100 B/s, 2 s latency
+  SimTime elapsed = -1.0;
+  link.transfer(500, [&](SimTime e) { elapsed = e; });
+  sim.run();
+  EXPECT_DOUBLE_EQ(elapsed, 2.0 + 5.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 7.0);
+  EXPECT_EQ(link.bytes_carried(), 500u);
+  EXPECT_EQ(link.completed_transfers(), 1u);
+}
+
+TEST(Link, ZeroBytesPaysLatencyOnly) {
+  sim::Simulation sim;
+  Link link(sim, "l", {100.0, 2.0});
+  SimTime elapsed = -1.0;
+  link.transfer(0, [&](SimTime e) { elapsed = e; });
+  sim.run();
+  EXPECT_DOUBLE_EQ(elapsed, 2.0);
+}
+
+// The acceptance check for contention: the same two transfers demonstrably
+// finish later when they share one link than when they ride disjoint links.
+TEST(Link, ConcurrentTransfersShareBandwidth) {
+  const Bytes bytes = 1000;
+
+  // Shared: both on one 100 B/s link, started together.
+  sim::Simulation shared_sim;
+  Link shared(shared_sim, "l", {100.0, 1.0});
+  std::vector<SimTime> shared_done;
+  shared.transfer(bytes, [&](SimTime) { shared_done.push_back(shared_sim.now()); });
+  shared.transfer(bytes, [&](SimTime) { shared_done.push_back(shared_sim.now()); });
+  shared_sim.run();
+
+  // Disjoint: same transfers, one per link.
+  sim::Simulation disjoint_sim;
+  Link a(disjoint_sim, "a", {100.0, 1.0});
+  Link b(disjoint_sim, "b", {100.0, 1.0});
+  std::vector<SimTime> disjoint_done;
+  a.transfer(bytes, [&](SimTime) { disjoint_done.push_back(disjoint_sim.now()); });
+  b.transfer(bytes, [&](SimTime) { disjoint_done.push_back(disjoint_sim.now()); });
+  disjoint_sim.run();
+
+  ASSERT_EQ(shared_done.size(), 2u);
+  ASSERT_EQ(disjoint_done.size(), 2u);
+  // Disjoint: each finishes at 1 + 10 = 11 s. Shared: each proceeds at
+  // 50 B/s once both are active, so both land at 1 + 20 = 21 s.
+  EXPECT_DOUBLE_EQ(disjoint_done[0], 11.0);
+  EXPECT_DOUBLE_EQ(disjoint_done[1], 11.0);
+  EXPECT_DOUBLE_EQ(shared_done[0], 21.0);
+  EXPECT_DOUBLE_EQ(shared_done[1], 21.0);
+  EXPECT_GT(shared_done[0], disjoint_done[0]);
+}
+
+TEST(Link, LateArrivalSlowsTheFirstTransferDown) {
+  sim::Simulation sim;
+  Link link(sim, "l", {100.0, 0.0});
+  std::vector<std::pair<int, SimTime>> done;
+  link.transfer(1000, [&](SimTime) { done.emplace_back(0, sim.now()); });
+  // Second transfer joins at t = 5, when the first has 500 bytes left.
+  sim.schedule_in(5.0, [&] {
+    link.transfer(250, [&](SimTime) { done.emplace_back(1, sim.now()); });
+  });
+  sim.run();
+  ASSERT_EQ(done.size(), 2u);
+  // From t=5 both run at 50 B/s. The small one finishes at 5 + 5 = 10;
+  // the big one then speeds back up: 250 bytes left at t=10, done at 12.5.
+  EXPECT_EQ(done[0].first, 1);
+  EXPECT_DOUBLE_EQ(done[0].second, 10.0);
+  EXPECT_EQ(done[1].first, 0);
+  EXPECT_DOUBLE_EQ(done[1].second, 12.5);
+}
+
+TEST(Link, EstimateAccountsForPresentContention) {
+  sim::Simulation sim;
+  Link link(sim, "l", {100.0, 1.0});
+  EXPECT_DOUBLE_EQ(link.estimate(100), 1.0 + 1.0);  // idle: full bandwidth
+  link.transfer(1000, [](SimTime) {});
+  sim.schedule_in(1.5, [&] {
+    // One active transfer: a new one would run at 50 B/s.
+    EXPECT_EQ(link.active(), 1u);
+    EXPECT_DOUBLE_EQ(link.estimate(100), 1.0 + 2.0);
+  });
+  sim.run();
+}
+
+TEST(Link, UtilizationTracksBusyTime) {
+  sim::Simulation sim;
+  Link link(sim, "l", {100.0, 0.0});
+  link.transfer(500, [](SimTime) {});  // busy for 5 s
+  sim.run();
+  sim.schedule_in(5.0, [] {});  // idle 5 more seconds
+  sim.run();
+  EXPECT_DOUBLE_EQ(link.busy_seconds(sim.now()), 5.0);
+  EXPECT_DOUBLE_EQ(link.utilization(sim.now()), 0.5);
+}
+
+TEST(Topology, LinksAreSymmetricAndValidated) {
+  sim::Simulation sim;
+  Topology topo(sim);
+  Link& l = topo.add_link("a", "b", {100.0, 1.0});
+  EXPECT_EQ(topo.find_link("a", "b"), &l);
+  EXPECT_EQ(topo.find_link("b", "a"), &l);
+  EXPECT_EQ(topo.find_link("a", "c"), nullptr);
+  EXPECT_THROW(topo.add_link("a", "a", {100.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(topo.add_link("b", "a", {100.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(topo.link_between("a", "c"), std::out_of_range);
+  EXPECT_EQ(topo.node_count(), 2u);
+  EXPECT_EQ(topo.link_count(), 1u);
+}
+
+TEST(Topology, LocalTransferIsFree) {
+  sim::Simulation sim;
+  Topology topo(sim);
+  topo.add_node("a");
+  SimTime elapsed = -1.0;
+  topo.transfer("a", "a", 1000, [&](SimTime e) { elapsed = e; });
+  sim.run();
+  EXPECT_DOUBLE_EQ(elapsed, 0.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+}
+
+TEST(Topology, TransferRoutesThroughTheLink) {
+  sim::Simulation sim;
+  Topology topo(sim);
+  topo.add_link("a", "b", {100.0, 1.0});
+  SimTime elapsed = -1.0;
+  topo.transfer("b", "a", 200, [&](SimTime e) { elapsed = e; });
+  sim.run();
+  EXPECT_DOUBLE_EQ(elapsed, 3.0);
+  EXPECT_THROW(topo.transfer("a", "c", 1, [](SimTime) {}), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace hhc::fabric

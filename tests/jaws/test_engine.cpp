@@ -178,6 +178,76 @@ TEST_F(EngineFixture, EmptyScatterCompletesInstantly) {
   EXPECT_EQ(r.shards, 1u);
 }
 
+// --- call-cache key semantics, exercised behaviorally through cache_hits ---
+
+const char* kTwoInputWdl = R"(
+task work {
+  input { String x  String y }
+  command { w ${x} ${y} }
+  runtime { cpu: 1  memory: "1G"  container: "img:1"  minutes: 1 }
+  output { File out = "w.out" }
+}
+workflow two {
+  input { String p  String q }
+  call work { input: x = p, y = q }
+}
+)";
+
+JsonObject two_inputs(const char* p, const char* q, bool q_first = false) {
+  JsonObject inputs;
+  if (q_first) {
+    inputs.emplace("q", Json(q));
+    inputs.emplace("p", Json(p));
+  } else {
+    inputs.emplace("p", Json(p));
+    inputs.emplace("q", Json(q));
+  }
+  return inputs;
+}
+
+TEST_F(EngineFixture, CacheKeyIgnoresInputInsertionOrder) {
+  CromwellEngine engine(sim, rm, EngineConfig{.call_cache = true});
+  const Document doc = parse_wdl(kTwoInputWdl);
+  const auto first = engine.run_to_completion(doc, "two", two_inputs("1", "2"));
+  EXPECT_EQ(first.cache_hits, 0u);
+  // Same values, inputs populated in the opposite order: still a hit.
+  const auto second =
+      engine.run_to_completion(doc, "two", two_inputs("1", "2", true));
+  EXPECT_EQ(second.cache_hits, 1u);
+  EXPECT_EQ(second.executed, 0u);
+}
+
+TEST_F(EngineFixture, CacheKeyDependsOnEveryInputValue) {
+  CromwellEngine engine(sim, rm, EngineConfig{.call_cache = true});
+  const Document doc = parse_wdl(kTwoInputWdl);
+  (void)engine.run_to_completion(doc, "two", two_inputs("1", "2"));
+  // Changing either input value alone must miss.
+  const auto vary_p = engine.run_to_completion(doc, "two", two_inputs("9", "2"));
+  EXPECT_EQ(vary_p.cache_hits, 0u);
+  const auto vary_q = engine.run_to_completion(doc, "two", two_inputs("1", "9"));
+  EXPECT_EQ(vary_q.cache_hits, 0u);
+  // And the original combination still hits (misses did not clobber it).
+  const auto again = engine.run_to_completion(doc, "two", two_inputs("1", "2"));
+  EXPECT_EQ(again.cache_hits, 1u);
+}
+
+TEST_F(EngineFixture, CacheKeyDependsOnContainerImage) {
+  // Identical task/workflow/inputs except for the runtime container.
+  std::string other_image = kTwoInputWdl;
+  const auto pos = other_image.find("img:1");
+  ASSERT_NE(pos, std::string::npos);
+  other_image.replace(pos, 5, "img:2");
+
+  CromwellEngine engine(sim, rm, EngineConfig{.call_cache = true});
+  (void)engine.run_to_completion(parse_wdl(kTwoInputWdl), "two",
+                                 two_inputs("1", "2"));
+  // Same call, same inputs, different image: a rebuilt container must rerun.
+  const auto r = engine.run_to_completion(parse_wdl(other_image), "two",
+                                          two_inputs("1", "2"));
+  EXPECT_EQ(r.cache_hits, 0u);
+  EXPECT_EQ(r.executed, 1u);
+}
+
 TEST_F(EngineFixture, OutputsAreNamespacedByCall) {
   CromwellEngine engine(sim, rm, EngineConfig{.call_cache = false});
   const Document doc = parse_wdl(kPipelineWdl);

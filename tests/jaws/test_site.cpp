@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "jaws/wdl_parser.hpp"
 
 namespace hhc::jaws {
@@ -56,6 +59,56 @@ TEST(Site, TransferTimeModel) {
   Site site(sim, cfg);
   EXPECT_NEAR(site.transfer_time(static_cast<Bytes>(1e9)), 15.0, 1e-9);
   EXPECT_EQ(site.transfer_time(0), 0.0);
+}
+
+TEST(Site, RejectsInvalidTransferConfig) {
+  sim::Simulation sim;
+  SiteConfig zero_bw = small_site(true);
+  zero_bw.globus_bandwidth = 0.0;
+  EXPECT_THROW(Site(sim, zero_bw), std::invalid_argument);
+  SiteConfig negative_bw = small_site(true);
+  negative_bw.globus_bandwidth = -1.0;
+  EXPECT_THROW(Site(sim, negative_bw), std::invalid_argument);
+  SiteConfig negative_latency = small_site(true);
+  negative_latency.transfer_latency = -1.0;
+  EXPECT_THROW(Site(sim, negative_latency), std::invalid_argument);
+}
+
+TEST(JawsService, StageInsToOneSiteContendOnItsLink) {
+  // Two concurrent submissions to the same site share its Globus link, so
+  // their stage-ins take about twice as long as one alone would.
+  const Bytes stage_bytes = static_cast<Bytes>(10e9);  // 100 s alone
+  auto run = [&](int concurrent) {
+    sim::Simulation sim;
+    JawsService service(sim);
+    SiteConfig cfg = small_site(true);
+    cfg.globus_bandwidth = 100e6;
+    cfg.transfer_latency = 0;
+    cfg.cluster = cluster::homogeneous_cluster(4, 8, gib(64));
+    service.add_site(cfg);
+    const Document doc = parse_wdl(kScatterWdl);
+    std::vector<SimTime> makespans;
+    for (int i = 0; i < concurrent; ++i) {
+      JawsSubmission sub;
+      sub.doc = &doc;
+      sub.workflow = "small";
+      sub.inputs.emplace("item", Json("a"));
+      sub.site = "perlmutter";
+      sub.user = "u" + std::to_string(i);
+      sub.stage_in_bytes = stage_bytes;
+      service.submit(sub, [&](JawsRunResult r) { makespans.push_back(r.makespan()); });
+    }
+    sim.run();
+    EXPECT_EQ(makespans.size(), static_cast<std::size_t>(concurrent));
+    SimTime worst = 0;
+    for (SimTime m : makespans) worst = std::max(worst, m);
+    return worst;
+  };
+  const SimTime alone = run(1);
+  const SimTime contended = run(2);
+  // Alone: ~100 s of staging. Together: both stage at half bandwidth, so
+  // the staging phase stretches to ~200 s.
+  EXPECT_GT(contended, alone + 90.0);
 }
 
 TEST(JawsService, SubmitsAcrossSites) {
