@@ -21,17 +21,20 @@
 using namespace hhc;
 
 int main() {
+  // CI smoke runs shrink the pilot/task counts; the committed figures come
+  // from the full-scale default.
+  const bool smoke = env_flag("HHC_BENCH_SMOKE");
   std::cout << "=== Fig 5: concurrency of 7875 EnTK tasks (UQ Stage 3) ===\n\n";
 
   sim::Simulation sim;
-  cluster::Cluster pilot(cluster::frontier_like(8000));
+  cluster::Cluster pilot(cluster::frontier_like(smoke ? 512 : 8000));
   entk::EntkConfig cfg;
   cfg.scheduling_rate = 269.0;
   cfg.launching_rate = 51.0;
   cfg.bootstrap_overhead = 85.0;
   cfg.sample_period = 30.0;  // pilot-occupancy time series alongside Fig 5
   entk::ExaamScale scale;
-  scale.exaconstit_tasks = 7875;
+  scale.exaconstit_tasks = smoke ? 500 : 7875;
   entk::AppManager app(sim, pilot, cfg, Rng(2023));
   app.add_pipeline(entk::make_stage3(scale));
   const entk::RunReport r = app.run();
@@ -113,13 +116,16 @@ int main() {
     csv_table.row({fmt_fixed(sched_fine[i].first, 1),
                    fmt_fixed(sched_fine[i].second, 0),
                    fmt_fixed(exec_fine[i].second, 0)});
-  if (write_file("bench_results/fig5_concurrency.csv", csv_table.csv()))
-    std::cout << "\nwrote bench_results/fig5_concurrency.csv\n";
+  // Smoke runs must not clobber the committed full-scale figures.
+  if (!smoke) {
+    if (write_file("bench_results/fig5_concurrency.csv", csv_table.csv()))
+      std::cout << "\nwrote bench_results/fig5_concurrency.csv\n";
 
-  // Full observability dump: Perfetto trace + metrics + sampler CSVs.
-  const std::size_t written =
-      obs::export_all(app.observer(), "bench_results/fig5");
-  std::cout << "wrote " << written << " observability files (bench_results/"
-            << "fig5.trace.json, .metrics.csv, .samplers.csv)\n";
+    // Full observability dump: Perfetto trace + metrics + sampler CSVs.
+    const std::size_t written =
+        obs::export_all(app.observer(), "bench_results/fig5");
+    std::cout << "wrote " << written << " observability files (bench_results/"
+              << "fig5.trace.json, .metrics.csv, .samplers.csv)\n";
+  }
   return 0;
 }

@@ -27,16 +27,16 @@ struct RunStats {
   SimTime job_end = 0.0;
 };
 
-RunStats run_stage3(bool observe, bool sampled) {
+RunStats run_stage3(bool observe, bool sampled, bool smoke) {
   sim::Simulation sim;
-  cluster::Cluster pilot(cluster::frontier_like(8000));
+  cluster::Cluster pilot(cluster::frontier_like(smoke ? 512 : 8000));
   entk::EntkConfig cfg;
   cfg.scheduling_rate = 269.0;
   cfg.launching_rate = 51.0;
   cfg.bootstrap_overhead = 85.0;
   cfg.sample_period = sampled ? 30.0 : 0.0;
   entk::ExaamScale scale;
-  scale.exaconstit_tasks = 7875;
+  scale.exaconstit_tasks = smoke ? 500 : 7875;
   entk::AppManager app(sim, pilot, cfg, Rng(2023));
   app.observer().set_enabled(observe);
   app.add_pipeline(entk::make_stage3(scale));
@@ -53,10 +53,10 @@ RunStats run_stage3(bool observe, bool sampled) {
   return s;
 }
 
-RunStats best_of(int reps, bool observe, bool sampled) {
-  RunStats best = run_stage3(observe, sampled);
+RunStats best_of(int reps, bool observe, bool sampled, bool smoke) {
+  RunStats best = run_stage3(observe, sampled, smoke);
   for (int i = 1; i < reps; ++i) {
-    RunStats s = run_stage3(observe, sampled);
+    RunStats s = run_stage3(observe, sampled, smoke);
     if (s.wall_s < best.wall_s) best = s;
   }
   return best;
@@ -65,13 +65,17 @@ RunStats best_of(int reps, bool observe, bool sampled) {
 }  // namespace
 
 int main() {
+  // CI smoke: one small-scale rep each — enough to exercise the code paths
+  // and the inertness check; the overhead budget is only judged at full
+  // scale where timing noise is small.
+  const bool smoke = env_flag("HHC_BENCH_SMOKE");
   std::cout << "=== Observability overhead: 7875-task ExaAM Stage 3, "
                "8000-node pilot ===\n\n";
-  const int reps = 3;
+  const int reps = smoke ? 1 : 3;
 
-  const RunStats off = best_of(reps, /*observe=*/false, /*sampled=*/false);
-  const RunStats on = best_of(reps, /*observe=*/true, /*sampled=*/false);
-  const RunStats full = best_of(reps, /*observe=*/true, /*sampled=*/true);
+  const RunStats off = best_of(reps, /*observe=*/false, /*sampled=*/false, smoke);
+  const RunStats on = best_of(reps, /*observe=*/true, /*sampled=*/false, smoke);
+  const RunStats full = best_of(reps, /*observe=*/true, /*sampled=*/true, smoke);
 
   // Disabled-observer runs must be simulation-identical to enabled ones
   // (instrumentation reads state, never changes it). The sampled run adds
@@ -97,7 +101,7 @@ int main() {
   std::printf("simulation: %zu tasks completed, %zu events, job_end=%.0fs\n",
               off.completed, off.events, off.job_end);
 
-  if (pct(on.wall_s) >= 10.0) {
+  if (!smoke && pct(on.wall_s) >= 10.0) {
     std::cerr << "FAIL: enabled-observer overhead exceeds 10%\n";
     return 1;
   }

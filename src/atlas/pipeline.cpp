@@ -195,6 +195,47 @@ FileResult model_file_run(const EnvProfile& env, const SraRecord& sra, Rng& rng,
   return out;
 }
 
+wf::Workflow corpus_workflow(const std::vector<SraRecord>& corpus,
+                             int salmon_cores) {
+  // Reference speed-1 bandwidths: between the cloud and HPC profiles, so
+  // neither environment is favoured by construction — relative performance
+  // comes from node speed, capacity and queueing in the simulation.
+  constexpr double kRefDownloadBw = 40e6;
+  constexpr double kRefDiskBw = 100e6;
+  wf::Workflow w("sra-corpus");
+  for (const auto& sra : corpus) {
+    const double sra_b = static_cast<double>(sra.sra_bytes);
+    const double fastq_b = static_cast<double>(sra.fastq_bytes());
+
+    wf::TaskSpec pf;
+    pf.name = "prefetch-" + sra.id;
+    pf.kind = "prefetch";
+    pf.base_runtime = sra_b / kRefDownloadBw;
+    pf.resources.cores_per_node = 1;
+    pf.input_bytes = sra.sra_bytes;
+    const auto t_pf = w.add_task(pf);
+
+    wf::TaskSpec fq;
+    fq.name = "fasterq-" + sra.id;
+    fq.kind = "fasterq-dump";
+    fq.base_runtime = fastq_b / kRefDiskBw;
+    fq.resources.cores_per_node = 1;
+    const auto t_fq = w.add_task(fq);
+    w.add_dependency(t_pf, t_fq, sra.sra_bytes);
+
+    wf::TaskSpec sa;
+    sa.name = "salmon-" + sra.id;
+    sa.kind = "salmon";
+    sa.base_runtime =
+        kSalmonWorkFactor * fastq_b / static_cast<double>(salmon_cores);
+    sa.resources.cores_per_node = salmon_cores;
+    sa.resources.memory_per_node = gib(2);
+    const auto t_sa = w.add_task(sa);
+    w.add_dependency(t_fq, t_sa, sra.fastq_bytes());
+  }
+  return w;
+}
+
 void RunAggregate::add(const FileResult& fr) {
   ++files;
   file_durations.add(fr.total_duration());

@@ -15,6 +15,7 @@
 #include "support/rng.hpp"
 #include "support/stats.hpp"
 #include "support/units.hpp"
+#include "workflow/workflow.hpp"
 
 namespace hhc::atlas {
 
@@ -101,6 +102,15 @@ struct FileResult {
 /// (STAR on a small instance).
 FileResult model_file_run(const EnvProfile& env, const SraRecord& sra, Rng& rng,
                           AlignerPath path = AlignerPath::Salmon);
+
+/// The corpus as one composite DAG for placement experiments (E14): per
+/// file a prefetch -> fasterq-dump -> salmon chain whose edges carry the
+/// .sra and expanded .fastq bytes, so environment-crossing placements pay
+/// real WAN staging. Runtimes are the jitter-free speed-1 cost model of
+/// model_file_run (bandwidth-, disk- and CPU-bound respectively): the same
+/// corpus always builds the identical DAG, which placement sweeps need.
+wf::Workflow corpus_workflow(const std::vector<SraRecord>& corpus,
+                             int salmon_cores = 2);
 
 /// Aggregate of many FileResults, per step (Table 1 / Table 2 rows).
 struct StepAggregate {

@@ -1,5 +1,6 @@
 #include "core/toolkit.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "cws/strategies.hpp"
@@ -67,6 +68,29 @@ const std::string& Toolkit::environment_name(EnvironmentId id) const {
   return envs_.at(id).name;
 }
 
+federation::SiteDescriptor Toolkit::describe_environment(
+    EnvironmentId id, double cost_per_core_hour) const {
+  const Environment& env = envs_.at(id);
+  const cluster::ClusterSpec& spec = env.cluster->spec();
+  federation::SiteDescriptor site;
+  site.name = env.name;
+  site.environment = id;
+  site.nodes = spec.total_nodes();
+  site.cores_per_node = 0.0;
+  site.gpus_per_node = 0;
+  site.memory_per_node = 0;
+  site.cpu_speed = 0.0;
+  for (const auto& c : spec.classes) {
+    site.cores_per_node = std::max(site.cores_per_node, c.cores);
+    site.gpus_per_node = std::max(site.gpus_per_node, c.gpus);
+    site.memory_per_node = std::max(site.memory_per_node, c.memory);
+    site.cpu_speed = std::max(site.cpu_speed, c.cpu_speed);
+  }
+  site.cost_per_core_hour = cost_per_core_hour;
+  site.location = env_location(id);
+  return site;
+}
+
 CompositeReport Toolkit::run(const wf::Workflow& workflow, EnvironmentId env) {
   return run(workflow,
              std::vector<EnvironmentId>(workflow.task_count(), env));
@@ -79,15 +103,44 @@ CompositeReport Toolkit::run(const wf::Workflow& workflow,
     throw std::invalid_argument("assignment size != task count");
   for (EnvironmentId e : assignment)
     if (e >= envs_.size()) throw std::out_of_range("bad environment id");
+  return run_impl(workflow, &assignment, nullptr);
+}
 
+CompositeReport Toolkit::run(const wf::Workflow& workflow,
+                             federation::Broker& broker) {
+  workflow.validate();
+  if (broker.site_count() == 0)
+    throw std::invalid_argument("broker has no sites");
+  for (federation::SiteId s = 0; s < broker.site_count(); ++s) {
+    const federation::SiteDescriptor& site = broker.site(s);
+    if (site.environment >= envs_.size())
+      throw std::out_of_range("broker site '" + site.name +
+                              "' references unknown environment");
+    if (site.location.empty()) broker.set_site_location(s, env_location(site.environment));
+  }
+  broker.bind_fabric(&catalog_, &topology_);
+  broker.bind_predictor(predictor_.get());
+  broker.set_observer(&obs_);
+  return run_impl(workflow, nullptr, &broker);
+}
+
+CompositeReport Toolkit::run_impl(const wf::Workflow& workflow,
+                                  const std::vector<EnvironmentId>* assignment,
+                                  federation::Broker* broker) {
   RunState state;
   state.workflow = &workflow;
-  state.assignment = &assignment;
-  state.pending_preds.resize(workflow.task_count());
-  for (wf::TaskId t = 0; t < workflow.task_count(); ++t)
+  state.assignment = assignment;
+  state.broker = broker;
+  const std::size_t n = workflow.task_count();
+  state.placement.assign(n, kInvalidEnvironment);
+  state.site_of.assign(n, federation::kInvalidSite);
+  state.retries.assign(n, 0);
+  state.job_of.assign(n, 0);
+  state.pending_preds.resize(n);
+  for (wf::TaskId t = 0; t < n; ++t)
     state.pending_preds[t] = workflow.predecessors(t).size();
-  state.remaining = workflow.task_count();
-  state.report.tasks = workflow.task_count();
+  state.remaining = n;
+  state.report.tasks = n;
 
   const SimTime start = sim_.now();
   for (auto& env : envs_) {
@@ -108,6 +161,7 @@ CompositeReport Toolkit::run(const wf::Workflow& workflow,
   // Register the workflow so environment schedulers (cws-rank, cws-heft,
   // cws-datalocality, ...) see graph context for the tasks we submit.
   state.wf_id = registry_.register_workflow(workflow);
+  if (broker) broker->begin_run(workflow, state.wf_id);
 
   if (obs_.on()) {
     state.workflow_span = obs_.begin_span(start, "workflow", workflow.name());
@@ -124,8 +178,11 @@ CompositeReport Toolkit::run(const wf::Workflow& workflow,
     }
   }
 
+  active_run_ = &state;
   for (wf::TaskId t : workflow.sources()) dispatch(state, t);
   sim_.run();
+  active_run_ = nullptr;
+  if (broker) broker->end_run();
 
   registry_.unregister_workflow(state.wf_id);
 
@@ -161,7 +218,28 @@ CompositeReport Toolkit::run(const wf::Workflow& workflow,
 
 void Toolkit::dispatch(RunState& state, wf::TaskId task) {
   const wf::Workflow& workflow = *state.workflow;
-  const EnvironmentId env_id = (*state.assignment)[task];
+  EnvironmentId env_id;
+  if (state.broker) {
+    federation::SiteId site;
+    try {
+      site = state.broker->place(task, sim_.now());
+    } catch (const federation::BrokerError& e) {
+      // No capable healthy site left (everything drained/unhealthy): the
+      // run cannot make progress on this task.
+      state.failed = true;
+      state.error = e.what();
+      finish_run_observation(state);
+      return;
+    }
+    env_id = state.broker->site(site).environment;
+    if (state.placement[task] != kInvalidEnvironment &&
+        state.placement[task] != env_id)
+      ++state.report.tasks_rerouted;
+    state.site_of[task] = site;
+  } else {
+    env_id = (*state.assignment)[task];
+  }
+  state.placement[task] = env_id;
 
   // Cross-environment inputs stage through the fabric before the job is
   // submitted. Each edge is a content-addressed dataset: the scheduler
@@ -170,7 +248,7 @@ void Toolkit::dispatch(RunState& state, wf::TaskId task) {
   std::vector<std::pair<wf::TaskId, Bytes>> cross;
   for (wf::TaskId p : workflow.predecessors(task)) {
     const Bytes bytes = workflow.edge_bytes(p, task);
-    if (bytes > 0 && (*state.assignment)[p] != env_id) cross.emplace_back(p, bytes);
+    if (bytes > 0 && state.placement[p] != env_id) cross.emplace_back(p, bytes);
   }
 
   if (cross.empty()) {
@@ -202,7 +280,14 @@ void Toolkit::dispatch(RunState& state, wf::TaskId task) {
 }
 
 void Toolkit::submit_task(RunState& state, wf::TaskId task) {
-  Environment& env = envs_[(*state.assignment)[task]];
+  if (state.broker &&
+      !state.broker->available(state.site_of[task], sim_.now())) {
+    // The site drained or crashed while this task's inputs were staging:
+    // re-broker instead of submitting into a queue that will never run it.
+    dispatch(state, task);
+    return;
+  }
+  Environment& env = envs_[state.placement[task]];
   const wf::TaskSpec& spec = state.workflow->task(task);
 
   cluster::JobRequest req;
@@ -216,44 +301,73 @@ void Toolkit::submit_task(RunState& state, wf::TaskId task) {
   req.output_bytes = spec.output_bytes;
   if (auto est = predictor_->predict(req)) req.walltime_estimate = *est;
 
-  env.rm->submit(req, [this, &state, task](const cluster::JobRecord& rec) {
-    on_complete(state, task, rec);
-  });
+  state.job_of[task] =
+      env.rm->submit(req, [this, &state, task](const cluster::JobRecord& rec) {
+        on_complete(state, task, rec);
+      });
 }
 
 void Toolkit::on_complete(RunState& state, wf::TaskId task,
                           const cluster::JobRecord& rec) {
-  Environment& env = envs_[(*state.assignment)[task]];
+  Environment& env = envs_[state.placement[task]];
+  state.job_of[task] = 0;
 
-  cws::TaskProvenance p;
-  p.task_id = task;
-  p.task_name = rec.request.name;
-  p.kind = rec.request.kind;
-  p.input_bytes = rec.request.input_bytes;
-  p.output_bytes = rec.request.output_bytes;
-  p.submit_time = rec.submit_time;
-  p.start_time = rec.start_time;
-  p.finish_time = rec.finish_time;
-  p.node_speed = rec.speed;
-  p.failed = rec.state != cluster::JobState::Completed;
-  if (!rec.allocation.empty())
-    p.node_class = env.cluster->node_class(rec.allocation.claims[0].node).name;
-  provenance_.record(p);
-  if (!p.failed) predictor_->observe(p);
+  // Cancelled jobs never ran: a drain pulled them out of the queue so the
+  // broker can re-place them. They leave no provenance, no span, and no
+  // queue-wait observation — only the failure/reroute accounting below.
+  const bool cancelled = rec.state == cluster::JobState::Cancelled;
+  if (!cancelled) {
+    cws::TaskProvenance p;
+    p.task_id = task;
+    p.task_name = rec.request.name;
+    p.kind = rec.request.kind;
+    p.input_bytes = rec.request.input_bytes;
+    p.output_bytes = rec.request.output_bytes;
+    p.submit_time = rec.submit_time;
+    p.start_time = rec.start_time;
+    p.finish_time = rec.finish_time;
+    p.node_speed = rec.speed;
+    p.failed = rec.state != cluster::JobState::Completed;
+    p.environment = env.name;
+    if (!rec.allocation.empty())
+      p.node_class = env.cluster->node_class(rec.allocation.claims[0].node).name;
+    provenance_.record(p);
+    if (!p.failed) predictor_->observe(p);
 
-  if (obs_.on()) {
-    // Retroactive task span: the job record bounds the real interval.
-    const obs::SpanId span =
-        obs_.begin_span(rec.start_time, "task", rec.request.name,
-                        state.workflow_span);
-    obs_.span_attr(span, "kind", rec.request.kind);
-    obs_.span_attr(span, "env", env.name);
-    obs_.end_span(rec.finish_time, span);
-    obs_.count(sim_.now(),
-               p.failed ? "toolkit.tasks_failed" : "toolkit.tasks_completed");
+    if (obs_.on()) {
+      // Retroactive task span: the job record bounds the real interval.
+      const obs::SpanId span =
+          obs_.begin_span(rec.start_time, "task", rec.request.name,
+                          state.workflow_span);
+      obs_.span_attr(span, "kind", rec.request.kind);
+      obs_.span_attr(span, "env", env.name);
+      obs_.end_span(rec.finish_time, span);
+      obs_.count(sim_.now(),
+                 p.failed ? "toolkit.tasks_failed" : "toolkit.tasks_completed");
+    }
+
+    if (state.broker)
+      state.broker->task_started(state.site_of[task],
+                                 rec.start_time - rec.submit_time, sim_.now());
   }
+  if (state.broker) state.broker->task_finished(task);
 
   if (rec.state != cluster::JobState::Completed) {
+    ++state.report.task_failures;
+    if (state.broker) {
+      if (rec.state == cluster::JobState::Failed)
+        state.broker->report_failure(state.site_of[task], sim_.now());
+      if (state.retries[task] < state.broker->config().max_task_retries) {
+        ++state.retries[task];
+        ++state.report.task_resubmissions;
+        if (obs_.on())
+          obs_.count(sim_.now(), "federation.task_resubmissions", env.name);
+        // Re-broker on the next event: by then report_failure's hold-down
+        // has excluded the failing site, so the placement lands elsewhere.
+        sim_.post([this, &state, task] { dispatch(state, task); });
+        return;
+      }
+    }
     state.failed = true;
     state.error = "task '" + rec.request.name + "' failed: " + rec.failure_reason;
     finish_run_observation(state);
@@ -267,7 +381,7 @@ void Toolkit::on_complete(RunState& state, wf::TaskId task,
   // The task's outputs now exist at its environment: publish each out-edge
   // dataset so consumers (wherever they run) can stage from here — and so
   // same-sized scatter edges resolve to one dataset with one replica.
-  const std::string loc = env_location((*state.assignment)[task]);
+  const std::string loc = env_location(state.placement[task]);
   for (wf::TaskId s : state.workflow->successors(task)) {
     const Bytes bytes = state.workflow->edge_bytes(task, s);
     if (bytes > 0)
@@ -278,6 +392,25 @@ void Toolkit::on_complete(RunState& state, wf::TaskId task,
   if (state.remaining == 0) finish_run_observation(state);
   for (wf::TaskId s : state.workflow->successors(task))
     if (--state.pending_preds[s] == 0) dispatch(state, s);
+}
+
+void Toolkit::drain_site(EnvironmentId id, bool kill_running) {
+  Environment& env = envs_.at(id);
+  RunState* state = active_run_;
+  if (state && state->broker) {
+    const federation::SiteId site = state->broker->site_for_environment(id);
+    if (site != federation::kInvalidSite) state->broker->drain(site);
+    if (obs_.on()) obs_.count(sim_.now(), "federation.site_drains", env.name);
+    // Pull queued federated jobs back out so they re-broker immediately;
+    // cancel() fires their callbacks synchronously, which post re-dispatch.
+    for (wf::TaskId t = 0; t < state->workflow->task_count(); ++t)
+      if (state->placement[t] == id && state->job_of[t] != 0)
+        env.rm->cancel(state->job_of[t]);
+  }
+  if (kill_running)
+    for (cluster::NodeId n = 0;
+         n < static_cast<cluster::NodeId>(env.cluster->node_count()); ++n)
+      if (env.cluster->node(n).up) env.rm->fail_node(n);
 }
 
 void Toolkit::finish_run_observation(RunState& state) {

@@ -20,6 +20,7 @@
 #include "cws/cwsi.hpp"
 #include "cws/predictors.hpp"
 #include "fabric/staging.hpp"
+#include "federation/broker.hpp"
 #include "obs/observer.hpp"
 #include "sim/simulation.hpp"
 #include "support/rng.hpp"
@@ -29,6 +30,7 @@
 namespace hhc::core {
 
 using EnvironmentId = std::size_t;
+inline constexpr EnvironmentId kInvalidEnvironment = static_cast<EnvironmentId>(-1);
 
 /// What kind of substrate an environment is backed by.
 enum class EnvironmentKind { Hpc, Cloud };
@@ -56,6 +58,17 @@ struct CompositeReport {
   /// a transfer of it was already in flight there (coalesced).
   std::size_t cross_env_cache_hits = 0;
   Bytes cross_env_bytes_saved = 0;
+  /// EnTK-style failure accounting, surfaced composite-wide instead of
+  /// staying buried in subsystem-local records. `task_failures` counts every
+  /// non-Completed job outcome (node failures, drains/cancellations);
+  /// `task_resubmissions` the retries a federated broker issued;
+  /// `tasks_rerouted` the resubmissions that landed on a *different*
+  /// environment than the failed attempt. A failure with no retry budget
+  /// left is terminal (success = false). Static-pin runs never retry, so a
+  /// single failure there is terminal, exactly as before.
+  std::size_t task_failures = 0;
+  std::size_t task_resubmissions = 0;
+  std::size_t tasks_rerouted = 0;
   std::vector<EnvironmentReport> environments;
   /// Snapshot of every metric the run recorded (rm.*, cws.*, toolkit.*,
   /// sim.*). Additive across runs of the same Toolkit; MetricsSnapshot::merge
@@ -110,9 +123,36 @@ class Toolkit {
 
   /// Runs a workflow with a per-task assignment (size = task_count).
   /// Cross-environment edges pay the WAN transfer before the consumer
-  /// becomes ready.
+  /// becomes ready. This is the static-pin path, preserved byte-identically
+  /// for experiments that hand-tune placements.
   CompositeReport run(const wf::Workflow& workflow,
                       const std::vector<EnvironmentId>& assignment);
+
+  /// Runs a workflow with placement delegated to a federation broker: each
+  /// task is brokered to a site as it becomes ready (capability matching +
+  /// the broker's policy), failed tasks are re-brokered with hysteresis up
+  /// to the broker's retry budget, and reroute/failure counts land in the
+  /// report. The broker's sites must reference this Toolkit's environments;
+  /// fabric, predictor, observer, and site locations are bound
+  /// automatically. This is the default placement path for composite runs —
+  /// reach for the assignment overload only to pin by hand.
+  CompositeReport run(const wf::Workflow& workflow, federation::Broker& broker);
+
+  /// A broker-ready descriptor of one environment: capacity and speed from
+  /// the cluster spec (per-node figures are the max across node classes, so
+  /// capability matching answers "can any node host this"), fabric location
+  /// bound, cost as given. Tune the queue-wait prior and cost on the result
+  /// before Broker::add_site.
+  federation::SiteDescriptor describe_environment(
+      EnvironmentId id, double cost_per_core_hour = 0.0) const;
+
+  /// Takes an environment out of service. During a federated run the broker
+  /// stops placing there, queued federated jobs are cancelled and
+  /// re-brokered, and (when `kill_running`) every node is failed so running
+  /// jobs die and re-broker too — the site-crash scenario. With
+  /// `kill_running` false this is a graceful drain: running work finishes,
+  /// nothing new lands. No-op on the static path except the node failures.
+  void drain_site(EnvironmentId id, bool kill_running = true);
 
   /// Access to an environment's provenance (tasks it executed).
   const cws::ProvenanceStore& provenance() const noexcept { return provenance_; }
@@ -145,7 +185,15 @@ class Toolkit {
 
   struct RunState {
     const wf::Workflow* workflow = nullptr;
-    const std::vector<EnvironmentId>* assignment = nullptr;
+    const std::vector<EnvironmentId>* assignment = nullptr;  ///< Static path.
+    federation::Broker* broker = nullptr;                    ///< Federated path.
+    /// Where each task actually runs; filled at dispatch (static path copies
+    /// the assignment, federated path records the broker's choice — which
+    /// can change on re-broker).
+    std::vector<EnvironmentId> placement;
+    std::vector<federation::SiteId> site_of;   ///< Broker site per task.
+    std::vector<std::uint32_t> retries;        ///< Resubmissions so far.
+    std::vector<cluster::JobId> job_of;        ///< Outstanding job (0 = none).
     std::vector<std::size_t> pending_preds;
     std::size_t remaining = 0;
     int wf_id = -1;  ///< Registry id for this run (CWSI workflow context).
@@ -158,6 +206,10 @@ class Toolkit {
   /// Registers the environment in the fabric: a location, a bounded replica
   /// cache, and a WAN link to every existing environment (full mesh).
   void join_fabric(EnvironmentId id);
+
+  CompositeReport run_impl(const wf::Workflow& workflow,
+                           const std::vector<EnvironmentId>* assignment,
+                           federation::Broker* broker);
 
   void dispatch(RunState& state, wf::TaskId task);
   void submit_task(RunState& state, wf::TaskId task);
@@ -177,6 +229,7 @@ class Toolkit {
   cws::WorkflowRegistry registry_;
   cws::ProvenanceStore provenance_;
   std::unique_ptr<cws::RuntimePredictor> predictor_;
+  RunState* active_run_ = nullptr;  ///< Set while run() drives the sim.
 };
 
 }  // namespace hhc::core

@@ -32,6 +32,10 @@ struct TaskProvenance {
   SimTime finish_time = 0.0;
   double node_speed = 1.0;       ///< Speed of the node(s) it ran on.
   std::string node_class;
+  /// Execution site / Toolkit environment name; empty for records written
+  /// by single-environment components (site-level queries fall back to
+  /// node_class for those).
+  std::string environment;
   bool failed = false;
 
   /// Observed wall-clock runtime.

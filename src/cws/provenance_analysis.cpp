@@ -125,6 +125,17 @@ std::string render_gantt(const ProvenanceStore& store, int workflow_id,
   return out.str();
 }
 
+std::map<std::string, OnlineStats> queue_waits_by_site(const ProvenanceStore& store) {
+  std::map<std::string, OnlineStats> waits;
+  for (const auto& rec : store.records()) {
+    if (rec.failed) continue;
+    const std::string& site = rec.environment.empty() ? rec.node_class : rec.environment;
+    if (site.empty()) continue;
+    waits[site].add(rec.start_time - rec.submit_time);
+  }
+  return waits;
+}
+
 std::vector<std::string> bottleneck_kinds(const ProvenanceStore& store,
                                           double ratio) {
   std::vector<std::string> out;

@@ -59,4 +59,12 @@ std::string render_gantt(const ProvenanceStore& store, int workflow_id,
 std::vector<std::string> bottleneck_kinds(const ProvenanceStore& store,
                                           double ratio = 1.0);
 
+/// Queue-wait (submit -> start) statistics grouped by execution site:
+/// records carrying a TaskProvenance::environment label group under it,
+/// older records fall back to their node_class. Failed executions are
+/// excluded, matching summarize_kinds. This is what a
+/// federation::QueueWaitModel bootstraps from instead of cold-starting on
+/// its prior alone.
+std::map<std::string, OnlineStats> queue_waits_by_site(const ProvenanceStore& store);
+
 }  // namespace hhc::cws

@@ -33,6 +33,10 @@ bool ReplicaCache::insert(const DatasetId& id, Bytes size) {
     ++it->second.uses;
     return true;
   }
+  // Capacity 0 is "caching disabled": reject everything, even zero-byte
+  // datasets — otherwise a disabled cache would still publish catalog
+  // replicas and data-gravity placement would see phantom residency.
+  if (config_.capacity == 0) return false;
   if (size > config_.capacity) return false;  // can never fit; stage to scratch
   while (used_ + size > config_.capacity) evict_one();
   entries_[id] = Entry{size, ++tick_, 1};

@@ -1,0 +1,370 @@
+#include "federation/broker.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "cws/strategies.hpp"  // edge_dataset_id: the fabric's edge addressing
+
+namespace hhc::federation {
+
+namespace {
+
+// --- policies -------------------------------------------------------------
+
+/// Today's behaviour: every task goes where the hand-written assignment
+/// says. Falls back to the first healthy candidate only when the pinned
+/// site is unavailable (that fallback is what makes static pins survivable
+/// under drains).
+class StaticPinPolicy final : public PlacementPolicy {
+ public:
+  std::string name() const override { return "static-pin"; }
+  SiteId choose(const PlacementQuery& q,
+                const std::vector<SiteId>& candidates) override {
+    const auto& assign = q.broker->static_assignment();
+    if (q.task >= assign.size())
+      throw BrokerError("static-pin policy: no assignment for task " +
+                        std::to_string(q.task) +
+                        " (call Broker::set_static_assignment)");
+    const SiteId pinned = q.broker->site_for_environment(assign[q.task]);
+    for (SiteId c : candidates)
+      if (c == pinned) return c;
+    return candidates.front();
+  }
+};
+
+/// Lowest cost-per-core-hour capable site; ties broken by speed, then id.
+class CheapestPolicy final : public PlacementPolicy {
+ public:
+  std::string name() const override { return "cheapest"; }
+  SiteId choose(const PlacementQuery& q,
+                const std::vector<SiteId>& candidates) override {
+    SiteId best = candidates.front();
+    for (SiteId c : candidates) {
+      const SiteDescriptor& d = q.broker->site(c);
+      const SiteDescriptor& b = q.broker->site(best);
+      if (d.cost_per_core_hour < b.cost_per_core_hour ||
+          (d.cost_per_core_hour == b.cost_per_core_hour &&
+           d.cpu_speed > b.cpu_speed))
+        best = c;
+    }
+    return best;
+  }
+};
+
+/// Follow the bytes: most resident input bytes first; among equals, the
+/// cheapest contention-aware staging estimate for what is missing, then the
+/// lightest backlog, then id.
+class DataGravityPolicy final : public PlacementPolicy {
+ public:
+  std::string name() const override { return "data-gravity"; }
+  SiteId choose(const PlacementQuery& q,
+                const std::vector<SiteId>& candidates) override {
+    struct Score {
+      Bytes resident = 0;
+      double staging = 0.0;
+      double backlog = 0.0;
+    };
+    SiteId best = candidates.front();
+    Score best_score{q.broker->resident_input_bytes(q, best),
+                     q.broker->staging_estimate(q, best),
+                     q.broker->backlog_estimate(best)};
+    for (std::size_t i = 1; i < candidates.size(); ++i) {
+      const SiteId c = candidates[i];
+      const Score s{q.broker->resident_input_bytes(q, c),
+                    q.broker->staging_estimate(q, c),
+                    q.broker->backlog_estimate(c)};
+      const bool better =
+          s.resident != best_score.resident ? s.resident > best_score.resident
+          : s.staging != best_score.staging ? s.staging < best_score.staging
+                                            : s.backlog < best_score.backlog;
+      if (better) {
+        best = c;
+        best_score = s;
+      }
+    }
+    return best;
+  }
+};
+
+/// HEFT lifted from nodes to sites: earliest estimated finish time, where
+/// finish = expected queue wait + staging + execution + backlog drain.
+class HeftSitesPolicy final : public PlacementPolicy {
+ public:
+  std::string name() const override { return "heft-sites"; }
+  SiteId choose(const PlacementQuery& q,
+                const std::vector<SiteId>& candidates) override {
+    SiteId best = candidates.front();
+    double best_eft = eft(q, best);
+    for (std::size_t i = 1; i < candidates.size(); ++i) {
+      const double e = eft(q, candidates[i]);
+      if (e < best_eft) {
+        best = candidates[i];
+        best_eft = e;
+      }
+    }
+    return best;
+  }
+
+ private:
+  static double eft(const PlacementQuery& q, SiteId s) {
+    return q.broker->queue_estimate(s) + q.broker->staging_estimate(q, s) +
+           q.broker->execution_estimate(q, s) + q.broker->backlog_estimate(s);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<PlacementPolicy> make_policy(const std::string& name) {
+  if (name == "static-pin") return std::make_unique<StaticPinPolicy>();
+  if (name == "cheapest") return std::make_unique<CheapestPolicy>();
+  if (name == "data-gravity") return std::make_unique<DataGravityPolicy>();
+  if (name == "heft-sites") return std::make_unique<HeftSitesPolicy>();
+  throw std::invalid_argument("unknown federation policy: " + name);
+}
+
+// --- broker ---------------------------------------------------------------
+
+Broker::Broker(BrokerConfig config)
+    : config_(std::move(config)), policy_(make_policy(config_.policy)) {}
+
+Broker::~Broker() = default;
+
+SiteId Broker::add_site(SiteDescriptor site) {
+  SiteState state;
+  state.queue = QueueWaitModel(site.queue);
+  state.desc = std::move(site);
+  sites_.push_back(std::move(state));
+  return sites_.size() - 1;
+}
+
+SiteId Broker::site_for_environment(EnvironmentId env) const noexcept {
+  for (SiteId s = 0; s < sites_.size(); ++s)
+    if (sites_[s].desc.environment == env) return s;
+  return kInvalidSite;
+}
+
+void Broker::set_site_location(SiteId id, std::string location) {
+  sites_.at(id).desc.location = std::move(location);
+}
+
+void Broker::pin_kind(std::string kind, SiteId site) {
+  if (site >= sites_.size()) throw std::out_of_range("pin_kind: bad site id");
+  kind_pins_[std::move(kind)] = site;
+}
+
+void Broker::set_policy(const std::string& name) { policy_ = make_policy(name); }
+
+void Broker::set_policy(std::unique_ptr<PlacementPolicy> policy) {
+  if (!policy) throw std::invalid_argument("null placement policy");
+  policy_ = std::move(policy);
+}
+
+std::string Broker::policy_name() const { return policy_->name(); }
+
+void Broker::set_static_assignment(std::vector<EnvironmentId> assignment) {
+  static_assignment_ = std::move(assignment);
+}
+
+void Broker::bind_fabric(const fabric::DataCatalog* catalog,
+                         fabric::Topology* topology) {
+  catalog_ = catalog;
+  topology_ = topology;
+}
+
+void Broker::bind_predictor(const cws::RuntimePredictor* predictor) {
+  predictor_ = predictor;
+}
+
+void Broker::begin_run(const wf::Workflow& workflow, int workflow_id) {
+  workflow_ = &workflow;
+  workflow_id_ = workflow_id;
+  placement_.assign(workflow.task_count(), kInvalidSite);
+  backlog_contrib_.assign(workflow.task_count(), 0.0);
+  for (auto& s : sites_) s.backlog_core_seconds = 0.0;
+}
+
+void Broker::end_run() {
+  workflow_ = nullptr;
+  workflow_id_ = -1;
+  placement_.clear();
+  backlog_contrib_.clear();
+  for (auto& s : sites_) s.backlog_core_seconds = 0.0;
+}
+
+SiteId Broker::place(wf::TaskId task, SimTime now) {
+  if (!workflow_) throw BrokerError("Broker::place called outside a run");
+  if (sites_.empty()) throw BrokerError("broker has no sites");
+  const wf::TaskSpec& spec = workflow_->task(task);
+
+  std::vector<SiteId> candidates;
+  const auto pin = kind_pins_.find(spec.kind);
+  for (SiteId s = 0; s < sites_.size(); ++s) {
+    if (!available(s, now)) continue;
+    if (pin != kind_pins_.end()) {
+      if (s == pin->second) candidates.push_back(s);
+      continue;
+    }
+    if (site_supports(sites_[s].desc, spec)) candidates.push_back(s);
+  }
+  if (candidates.empty()) {
+    std::string msg = "no capable site for task '" + spec.name + "':";
+    for (const auto& s : sites_) {
+      msg += " [" + s.desc.name + ": ";
+      if (s.drained)
+        msg += "drained";
+      else if (s.unhealthy_until > now)
+        msg += "unhealthy";
+      else if (pin != kind_pins_.end())
+        msg += "kind pinned elsewhere";
+      else
+        msg += unsupported_reason(s.desc, spec);
+      msg += "]";
+    }
+    throw BrokerError(msg);
+  }
+
+  PlacementQuery q;
+  q.task = task;
+  q.now = now;
+  q.workflow = workflow_;
+  q.workflow_id = workflow_id_;
+  q.broker = this;
+
+  const SiteId chosen = policy_->choose(q, candidates);
+  const bool reroute = placement_[task] != kInvalidSite;
+  task_finished(task);  // release any backlog held by a failed prior placement
+  placement_[task] = chosen;
+  ++placements_;
+  if (reroute) ++reroutes_;
+  const double est =
+      execution_estimate(q, chosen) * spec.resources.total_cores();
+  sites_[chosen].backlog_core_seconds += est;
+  backlog_contrib_[task] = est;
+  if (obs_ && obs_->on()) {
+    obs_->count(now, "federation.placements", sites_[chosen].desc.name);
+    if (reroute) obs_->count(now, "federation.reroutes", sites_[chosen].desc.name);
+  }
+  return chosen;
+}
+
+SiteId Broker::placement_of(wf::TaskId task) const noexcept {
+  return task < placement_.size() ? placement_[task] : kInvalidSite;
+}
+
+void Broker::task_started(SiteId site, SimTime queue_wait, SimTime now) {
+  sites_.at(site).queue.observe(queue_wait);
+  if (obs_ && obs_->on()) {
+    obs_->observe("federation.queue_wait", queue_wait, sites_[site].desc.name);
+    obs_->gauge_set(now, "federation.expected_queue_wait",
+                    sites_[site].queue.expected_wait(), sites_[site].desc.name);
+  }
+}
+
+void Broker::task_finished(wf::TaskId task) {
+  if (task >= placement_.size() || placement_[task] == kInvalidSite) return;
+  SiteState& s = sites_[placement_[task]];
+  s.backlog_core_seconds =
+      std::max(0.0, s.backlog_core_seconds - backlog_contrib_[task]);
+  backlog_contrib_[task] = 0.0;
+}
+
+void Broker::report_failure(SiteId site, SimTime now) {
+  SiteState& s = sites_.at(site);
+  s.unhealthy_until = std::max(s.unhealthy_until, now + config_.failure_holddown);
+  ++failures_reported_;
+  if (obs_ && obs_->on())
+    obs_->count(now, "federation.site_failures", s.desc.name);
+}
+
+void Broker::drain(SiteId site) { sites_.at(site).drained = true; }
+
+void Broker::undrain(SiteId site) { sites_.at(site).drained = false; }
+
+bool Broker::available(SiteId site, SimTime now) const {
+  const SiteState& s = sites_.at(site);
+  return !s.drained && s.unhealthy_until <= now;
+}
+
+void Broker::bootstrap_queue_waits(
+    const std::map<std::string, OnlineStats>& by_site) {
+  for (auto& s : sites_) {
+    const auto it = by_site.find(s.desc.name);
+    if (it != by_site.end()) s.queue.bootstrap(it->second);
+  }
+}
+
+double Broker::execution_estimate(const PlacementQuery& q, SiteId site) const {
+  const wf::TaskSpec& spec = q.workflow->task(q.task);
+  double normalized = spec.base_runtime;
+  if (predictor_) {
+    cluster::JobRequest req;
+    req.name = spec.name;
+    req.kind = spec.kind;
+    req.resources = spec.resources;
+    req.runtime = spec.base_runtime;
+    req.workflow_id = q.workflow_id;
+    req.task_id = q.task;
+    req.input_bytes = q.workflow->total_input_bytes(q.task);
+    req.output_bytes = spec.output_bytes;
+    if (const auto est = predictor_->predict(req)) normalized = *est;
+  }
+  const double speed = std::max(sites_.at(site).desc.cpu_speed, 1e-9);
+  return normalized / speed;
+}
+
+double Broker::link_estimate(const std::string& from, const std::string& to,
+                             Bytes bytes) const {
+  if (from == to) return 0.0;
+  if (topology_ && !from.empty() && !to.empty())
+    if (const fabric::Link* link = topology_->find_link(from, to))
+      return link->estimate(bytes);
+  return config_.default_wan_latency +
+         static_cast<double>(bytes) / config_.default_wan_bandwidth;
+}
+
+double Broker::staging_estimate(const PlacementQuery& q, SiteId site) const {
+  const SiteDescriptor& dest = sites_.at(site).desc;
+  double total = 0.0;
+  for (wf::TaskId p : q.workflow->predecessors(q.task)) {
+    const Bytes bytes = q.workflow->edge_bytes(p, q.task);
+    if (bytes == 0) continue;
+    const auto id = cws::edge_dataset_id(q.workflow_id, p, bytes);
+    if (catalog_ && catalog_->has_replica(id, dest.location)) continue;
+    double cheapest = -1.0;
+    if (catalog_) {
+      for (const std::string& replica : catalog_->replicas(id)) {
+        const double est = link_estimate(replica, dest.location, bytes);
+        if (cheapest < 0 || est < cheapest) cheapest = est;
+      }
+    }
+    if (cheapest < 0) {
+      // No catalog knowledge: fall back to the producer's placement.
+      const SiteId ps = placement_of(p);
+      if (ps == kInvalidSite || ps == site) continue;
+      cheapest = link_estimate(sites_[ps].desc.location, dest.location, bytes);
+    }
+    total += cheapest;
+  }
+  return total;
+}
+
+Bytes Broker::resident_input_bytes(const PlacementQuery& q, SiteId site) const {
+  if (!catalog_) return 0;
+  const SiteDescriptor& dest = sites_.at(site).desc;
+  if (dest.location.empty()) return 0;
+  Bytes resident = 0;
+  for (wf::TaskId p : q.workflow->predecessors(q.task)) {
+    const Bytes bytes = q.workflow->edge_bytes(p, q.task);
+    if (bytes == 0) continue;
+    const auto id = cws::edge_dataset_id(q.workflow_id, p, bytes);
+    if (catalog_->has_replica(id, dest.location)) resident += bytes;
+  }
+  return resident;
+}
+
+double Broker::backlog_estimate(SiteId site) const {
+  const SiteState& s = sites_.at(site);
+  return s.backlog_core_seconds / std::max(1.0, s.desc.total_cores());
+}
+
+}  // namespace hhc::federation

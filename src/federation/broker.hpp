@@ -1,0 +1,221 @@
+// Multi-site meta-scheduling broker.
+//
+// The broker sits above per-environment resource managers: given a
+// composite DAG and a set of SiteDescriptors it decides, task by task as
+// tasks become ready, which site each one runs on. Policies are pluggable:
+//
+//   static-pin     today's hand-tuned per-task assignment (regression parity);
+//   cheapest       lowest cost-per-core-hour capable site;
+//   data-gravity   follow the bytes: sites are scored by resident input
+//                  bytes (fabric DataCatalog replicas) and the
+//                  contention-aware Topology link estimate for whatever is
+//                  missing;
+//   heft-sites     HEFT lifted from nodes to sites: earliest estimated
+//                  finish = expected queue wait (QueueWaitModel) + staging
+//                  estimate + predicted runtime / site speed + backlog.
+//
+// The broker is also the federation's health authority: site failures are
+// reported to it and excluded with hysteresis (a hold-down window), drains
+// stop new placements immediately, and re-placing an already-placed task
+// counts as a reroute. core::Toolkit drives all of this during federated
+// runs; the broker itself stays simulation-agnostic (it only ever sees
+// timestamps) so it is unit-testable without an event loop.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cws/predictors.hpp"
+#include "fabric/catalog.hpp"
+#include "fabric/topology.hpp"
+#include "federation/queue_model.hpp"
+#include "federation/site.hpp"
+#include "obs/observer.hpp"
+#include "workflow/workflow.hpp"
+
+namespace hhc::federation {
+
+/// Thrown when no capable, healthy site exists for a task.
+class BrokerError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct BrokerConfig {
+  /// Placement policy name: "static-pin", "cheapest", "data-gravity",
+  /// "heft-sites".
+  std::string policy = "heft-sites";
+  /// Hysteresis: after a reported failure a site is excluded from placement
+  /// until failure time + holddown, so rerouted work does not flap back
+  /// onto a site that is still dying.
+  SimTime failure_holddown = 900.0;
+  /// Per-task resubmission budget during federated runs; exceeding it makes
+  /// the failure terminal.
+  std::size_t max_task_retries = 3;
+  /// Link estimate fallback when no Topology is bound (bytes/s, seconds).
+  double default_wan_bandwidth = 50e6;
+  SimTime default_wan_latency = 2.0;
+};
+
+/// Everything a policy may consult when choosing among candidate sites.
+/// Fabric/predictor pointers are null when not bound (policies degrade to
+/// static knowledge: speed, cost, base runtimes).
+class Broker;
+struct PlacementQuery {
+  wf::TaskId task = wf::kInvalidTask;
+  SimTime now = 0.0;
+  const wf::Workflow* workflow = nullptr;
+  int workflow_id = -1;
+  const Broker* broker = nullptr;
+};
+
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+  virtual std::string name() const = 0;
+  /// Chooses among `candidates` (non-empty, already capability- and
+  /// health-filtered, ascending SiteId order). Must be deterministic.
+  virtual SiteId choose(const PlacementQuery& q,
+                        const std::vector<SiteId>& candidates) = 0;
+};
+
+/// Factory over the built-in policies (names listed on BrokerConfig).
+/// Throws std::invalid_argument for unknown names.
+std::unique_ptr<PlacementPolicy> make_policy(const std::string& name);
+
+class Broker {
+ public:
+  explicit Broker(BrokerConfig config = {});
+  ~Broker();
+  Broker(const Broker&) = delete;
+  Broker& operator=(const Broker&) = delete;
+
+  const BrokerConfig& config() const noexcept { return config_; }
+
+  // --- sites ---
+  SiteId add_site(SiteDescriptor site);
+  std::size_t site_count() const noexcept { return sites_.size(); }
+  const SiteDescriptor& site(SiteId id) const { return sites_.at(id).desc; }
+  /// The site bound to an environment id; kInvalidSite when none.
+  SiteId site_for_environment(EnvironmentId env) const noexcept;
+  /// Binds a site's fabric location name (data-gravity and staging
+  /// estimates key replicas/links on it). core::Toolkit fills any empty
+  /// location at run start.
+  void set_site_location(SiteId id, std::string location);
+
+  /// Forces every task of `kind` onto `site` (e.g. "s3-source" lives where
+  /// the bucket is), bypassing policy scoring but not health: a drained
+  /// pinned site makes its tasks unplaceable.
+  void pin_kind(std::string kind, SiteId site);
+
+  // --- policy ---
+  void set_policy(const std::string& name);
+  void set_policy(std::unique_ptr<PlacementPolicy> policy);
+  std::string policy_name() const;
+  /// Static per-task environment assignment used by the "static-pin" policy.
+  void set_static_assignment(std::vector<EnvironmentId> assignment);
+  const std::vector<EnvironmentId>& static_assignment() const noexcept {
+    return static_assignment_;
+  }
+
+  // --- wiring (done by core::Toolkit before a federated run) ---
+  void bind_fabric(const fabric::DataCatalog* catalog, fabric::Topology* topology);
+  void bind_predictor(const cws::RuntimePredictor* predictor);
+  void set_observer(obs::Observer* obs) { obs_ = obs; }
+
+  /// Starts a run: clears per-run placement/backlog state (site health and
+  /// learned queue waits persist across runs). The workflow must outlive
+  /// the run.
+  void begin_run(const wf::Workflow& workflow, int workflow_id);
+  void end_run();
+
+  /// Chooses a site for a ready task at time `now`. Re-placing a task that
+  /// already holds a placement counts as a reroute. Throws BrokerError when
+  /// no capable healthy site exists (the message names each site's reason).
+  SiteId place(wf::TaskId task, SimTime now);
+
+  /// Site a task was last placed on; kInvalidSite when unplaced.
+  SiteId placement_of(wf::TaskId task) const noexcept;
+
+  // --- runtime feedback (drives queue-wait learning and HEFT backlog) ---
+  /// A placed task started executing after `queue_wait` seconds in queue.
+  void task_started(SiteId site, SimTime queue_wait, SimTime now);
+  /// A placed task finished (successfully or not): releases its estimated
+  /// backlog contribution.
+  void task_finished(wf::TaskId task);
+
+  // --- health ---
+  /// A job/node failure happened at `site`: excluded until
+  /// now + failure_holddown (hysteresis).
+  void report_failure(SiteId site, SimTime now);
+  /// Drain: no new placements until undrain().
+  void drain(SiteId site);
+  void undrain(SiteId site);
+  bool available(SiteId site, SimTime now) const;
+
+  // --- queue-wait models ---
+  QueueWaitModel& queue_model(SiteId site) { return sites_.at(site).queue; }
+  const QueueWaitModel& queue_model(SiteId site) const { return sites_.at(site).queue; }
+  /// Warm-starts each site's queue model from provenance statistics keyed
+  /// by site/environment name (see cws::queue_waits_by_site). Sites without
+  /// an entry keep their prior.
+  void bootstrap_queue_waits(const std::map<std::string, OnlineStats>& by_site);
+
+  // --- estimation helpers (shared by policies; public for tests) ---
+  /// Predicted speed-1 runtime of `task` divided by the site's speed.
+  double execution_estimate(const PlacementQuery& q, SiteId site) const;
+  /// Contention-aware estimate of staging the task's not-yet-resident input
+  /// bytes to the site (0 when everything is already resident there).
+  double staging_estimate(const PlacementQuery& q, SiteId site) const;
+  /// Input bytes already resident at the site per the bound catalog.
+  Bytes resident_input_bytes(const PlacementQuery& q, SiteId site) const;
+  /// Estimated wait for placed-but-unfinished work ahead of a new task:
+  /// outstanding estimated core-seconds / site cores.
+  double backlog_estimate(SiteId site) const;
+  /// Expected batch-queue wait at the site.
+  double queue_estimate(SiteId site) const { return sites_.at(site).queue.expected_wait(); }
+
+  // --- accounting ---
+  std::size_t placements() const noexcept { return placements_; }
+  std::size_t reroutes() const noexcept { return reroutes_; }
+  std::size_t failures_reported() const noexcept { return failures_reported_; }
+
+ private:
+  struct SiteState {
+    SiteDescriptor desc;
+    QueueWaitModel queue;
+    bool drained = false;
+    SimTime unhealthy_until = 0.0;
+    double backlog_core_seconds = 0.0;
+  };
+
+  double link_estimate(const std::string& from, const std::string& to,
+                       Bytes bytes) const;
+
+  BrokerConfig config_;
+  std::unique_ptr<PlacementPolicy> policy_;
+  std::vector<SiteState> sites_;
+  std::map<std::string, SiteId> kind_pins_;
+  std::vector<EnvironmentId> static_assignment_;
+
+  const fabric::DataCatalog* catalog_ = nullptr;
+  fabric::Topology* topology_ = nullptr;
+  const cws::RuntimePredictor* predictor_ = nullptr;
+  obs::Observer* obs_ = nullptr;
+
+  // per-run state
+  const wf::Workflow* workflow_ = nullptr;
+  int workflow_id_ = -1;
+  std::vector<SiteId> placement_;          ///< Per task; kInvalidSite unplaced.
+  std::vector<double> backlog_contrib_;    ///< Core-seconds charged per task.
+
+  std::size_t placements_ = 0;
+  std::size_t reroutes_ = 0;
+  std::size_t failures_reported_ = 0;
+
+  friend struct PlacementQuery;
+};
+
+}  // namespace hhc::federation

@@ -1,0 +1,66 @@
+#include "federation/queue_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hhc::federation {
+
+namespace {
+constexpr double kMinWait = 1e-3;  // floor so ln() of an instant start is finite
+}
+
+QueueWaitModel::QueueWaitModel(QueueWaitPrior prior) : prior_(prior) {}
+
+void QueueWaitModel::observe(SimTime wait) {
+  const double x = std::log(std::max(wait, kMinWait));
+  n_ += 1.0;
+  const double d = x - mean_;
+  mean_ += d / n_;
+  m2_ += d * (x - mean_);
+  ++count_;
+}
+
+void QueueWaitModel::bootstrap(const OnlineStats& stats) {
+  if (stats.empty()) return;
+  const double m = std::max(stats.mean(), kMinWait);
+  const double v = std::max(stats.variance(), 0.0);
+  // Moment-match a log-normal: sigma^2 = ln(1 + v/m^2), mu = ln m - sigma^2/2.
+  const double s2 = std::log(1.0 + v / (m * m));
+  const double mu_b = std::log(m) - 0.5 * s2;
+  const double n_b = static_cast<double>(stats.count());
+  // Parallel Welford merge of (n_, mean_, m2_) with (n_b, mu_b, n_b * s2).
+  const double d = mu_b - mean_;
+  const double n_total = n_ + n_b;
+  mean_ += d * n_b / n_total;
+  m2_ += n_b * s2 + d * d * n_ * n_b / n_total;
+  n_ = n_total;
+  count_ += stats.count();
+}
+
+double QueueWaitModel::mu() const noexcept {
+  const double w0 = has_prior() ? prior_.weight : 0.0;
+  if (w0 + n_ <= 0) return 0.0;
+  const double mu0 = has_prior() ? std::log(prior_.median) : 0.0;
+  return (w0 * mu0 + n_ * mean_) / (w0 + n_);
+}
+
+double QueueWaitModel::sigma2() const noexcept {
+  const double w0 = has_prior() ? prior_.weight : 0.0;
+  if (w0 + n_ <= 0) return 0.0;
+  const double s0 = has_prior() ? prior_.sigma * prior_.sigma : 0.0;
+  // m2_ is the sum of squared log-domain deviations (≈ n * variance), so
+  // the blend is a weight-proportional mixture of prior and observed spread.
+  return (w0 * s0 + m2_) / (w0 + n_);
+}
+
+SimTime QueueWaitModel::expected_wait() const noexcept {
+  if (!has_prior() && n_ <= 0) return 0.0;
+  return std::exp(mu() + 0.5 * sigma2());
+}
+
+SimTime QueueWaitModel::median_wait() const noexcept {
+  if (!has_prior() && n_ <= 0) return 0.0;
+  return std::exp(mu());
+}
+
+}  // namespace hhc::federation

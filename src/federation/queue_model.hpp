@@ -1,0 +1,58 @@
+// Per-site batch-queue wait model: a log-normal prior blended with online
+// observations of submit->start waits.
+//
+// Batch queue waits are famously heavy-tailed, so the model works in the
+// log domain: the prior contributes `weight` pseudo-observations at
+// (ln median, sigma^2), each observed wait contributes ln(wait), and the
+// blended parameters give the expected wait E[W] = exp(mu + sigma^2 / 2).
+// The model can also be bootstrapped in bulk from provenance queue-wait
+// statistics (cws::queue_waits_by_site) via moment matching, so a broker
+// warm-starts from history instead of trusting the prior alone.
+#pragma once
+
+#include <cstddef>
+
+#include "federation/site.hpp"
+#include "support/stats.hpp"
+
+namespace hhc::federation {
+
+class QueueWaitModel {
+ public:
+  explicit QueueWaitModel(QueueWaitPrior prior = {});
+
+  /// Folds one observed submit->start wait (seconds, clamped to >= 1 ms so
+  /// immediate starts stay finite in the log domain).
+  void observe(SimTime wait);
+
+  /// Bulk-loads linear-domain wait statistics (e.g. provenance history) by
+  /// matching a log-normal to their mean/variance and folding them in as
+  /// `stats.count()` observations. Empty stats are a no-op.
+  void bootstrap(const OnlineStats& stats);
+
+  /// Expected wait of the blended log-normal; 0 when there is neither a
+  /// prior (median == 0) nor any observation.
+  SimTime expected_wait() const noexcept;
+
+  /// Median (exp mu) of the blended distribution; 0 as above.
+  SimTime median_wait() const noexcept;
+
+  /// Observations folded in so far (observe + bootstrap counts).
+  std::size_t observations() const noexcept { return count_; }
+
+  /// Blended log-domain parameters (exposed for tests and diagnostics).
+  double mu() const noexcept;
+  double sigma2() const noexcept;
+
+ private:
+  bool has_prior() const noexcept { return prior_.median > 0 && prior_.weight > 0; }
+
+  QueueWaitPrior prior_;
+  // Welford accumulator over ln(wait) observations.
+  double n_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace hhc::federation

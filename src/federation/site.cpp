@@ -1,0 +1,30 @@
+#include "federation/site.hpp"
+
+#include "support/strings.hpp"
+
+namespace hhc::federation {
+
+bool site_supports(const SiteDescriptor& site, const wf::TaskSpec& task) {
+  return unsupported_reason(site, task).empty();
+}
+
+std::string unsupported_reason(const SiteDescriptor& site, const wf::TaskSpec& task) {
+  const wf::Resources& r = task.resources;
+  if (static_cast<std::size_t>(r.nodes) > site.nodes)
+    return "needs " + std::to_string(r.nodes) + " nodes, site has " +
+           std::to_string(site.nodes);
+  if (r.cores_per_node > site.cores_per_node)
+    return "needs " + fmt_fixed(r.cores_per_node, 1) + " cores/node, site has " +
+           fmt_fixed(site.cores_per_node, 1);
+  if (r.gpus_per_node > site.gpus_per_node)
+    return "needs " + std::to_string(r.gpus_per_node) + " GPUs/node, site has " +
+           std::to_string(site.gpus_per_node);
+  if (site.memory_per_node > 0 && r.memory_per_node > site.memory_per_node)
+    return "needs " + fmt_bytes(static_cast<double>(r.memory_per_node)) +
+           "/node, site has " + fmt_bytes(static_cast<double>(site.memory_per_node));
+  if (!site.container_support && task.params.count(kContainerParam))
+    return "task requires a container runtime the site lacks";
+  return {};
+}
+
+}  // namespace hhc::federation

@@ -1,0 +1,70 @@
+// Site descriptors for the federation layer (paper §5.3's hybrid
+// cloud/HPC future work, and the cross-facility brokering the Workflows
+// Community Summit report calls the missing layer).
+//
+// A SiteDescriptor is the broker's static view of one execution
+// environment: capacity (nodes x cores/GPUs/memory), relative speed,
+// container support, accounting cost, and the batch-queue behaviour
+// captured as a log-normal queue-wait prior. Capability matching answers
+// "can this site run this task at all" before any policy scores it.
+#pragma once
+
+#include <string>
+
+#include "support/units.hpp"
+#include "workflow/workflow.hpp"
+
+namespace hhc::federation {
+
+/// Index of a site within its Broker.
+using SiteId = std::size_t;
+inline constexpr SiteId kInvalidSite = static_cast<SiteId>(-1);
+
+/// Mirrors core::EnvironmentId without depending on core (core depends on
+/// federation, not the reverse).
+using EnvironmentId = std::size_t;
+
+/// Log-normal prior over submit->start queue wait at a site. `median` is the
+/// prior's median wait in seconds (0 = no batch queue: cloud pools and
+/// interactive allocations start immediately); `sigma` the log-domain spread;
+/// `weight` how many observations the prior is worth when blending with
+/// online measurements.
+struct QueueWaitPrior {
+  SimTime median = 0.0;
+  double sigma = 0.75;
+  double weight = 4.0;
+};
+
+/// The broker's static description of one execution site.
+struct SiteDescriptor {
+  std::string name;             ///< Should match the Toolkit environment name.
+  EnvironmentId environment = 0;///< core::EnvironmentId this site executes on.
+  std::size_t nodes = 1;
+  double cores_per_node = 1.0;
+  int gpus_per_node = 0;
+  Bytes memory_per_node = gib(8);
+  double cpu_speed = 1.0;       ///< Relative speed (1.0 = reference core).
+  bool container_support = true;///< Can run containerised tasks.
+  double cost_per_core_hour = 0.0;  ///< Accounting cost (0 = allocation-free).
+  QueueWaitPrior queue;         ///< Batch-queue policy prior.
+  std::string location;         ///< Fabric location name (set when bound).
+
+  double total_cores() const noexcept {
+    return static_cast<double>(nodes) * cores_per_node;
+  }
+};
+
+/// Task parameter key that marks a task as requiring container support
+/// (`params["container"]` non-empty names the image).
+inline constexpr const char* kContainerParam = "container";
+
+/// Capability matching: can `site` run `task` at all? Checks node count,
+/// per-node cores/GPUs/memory, and container support. Policies only score
+/// sites that pass this gate.
+bool site_supports(const SiteDescriptor& site, const wf::TaskSpec& task);
+
+/// Why `site` cannot run `task`; empty string when it can. Used for
+/// diagnosable "no capable site" errors.
+std::string unsupported_reason(const SiteDescriptor& site, const wf::TaskSpec& task);
+
+}  // namespace hhc::federation

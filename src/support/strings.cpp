@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace hhc {
 
@@ -75,6 +76,11 @@ std::string csv_escape(std::string_view field) {
   }
   out += '"';
   return out;
+}
+
+bool env_flag(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
 }
 
 std::string fmt_fixed(double v, int decimals) {

@@ -28,6 +28,10 @@ std::string join(const std::vector<std::string>& items, std::string_view sep);
 /// else passes through unchanged.
 std::string csv_escape(std::string_view field);
 
+/// True when environment variable `name` is set to a non-empty value other
+/// than "0". Benches use HHC_BENCH_SMOKE to shrink to CI-sized parameters.
+bool env_flag(const char* name);
+
 /// printf-style double formatting helpers for report tables.
 std::string fmt_fixed(double v, int decimals);
 std::string fmt_pct(double fraction, int decimals = 1);   ///< 0.25 -> "25.0%"

@@ -217,5 +217,218 @@ TEST(Toolkit, EmptyWorkflow) {
   EXPECT_EQ(r.tasks, 0u);
 }
 
+// --- federation ------------------------------------------------------------
+
+TEST(Toolkit, DescribeEnvironmentReflectsClusterSpec) {
+  Toolkit tk;
+  const auto hpc = tk.add_hpc("ares", cluster::homogeneous_cluster(4, 16, gib(64)));
+  const federation::SiteDescriptor site = tk.describe_environment(hpc, 0.05);
+  EXPECT_EQ(site.name, "ares");
+  EXPECT_EQ(site.environment, hpc);
+  EXPECT_EQ(site.nodes, 4u);
+  EXPECT_DOUBLE_EQ(site.cores_per_node, 16.0);
+  EXPECT_EQ(site.memory_per_node, gib(64));
+  EXPECT_DOUBLE_EQ(site.cost_per_core_hour, 0.05);
+  EXPECT_EQ(site.location, tk.env_location(hpc));
+}
+
+// The placement-parity regression the federation layer must honour: running
+// through a static-pin broker produces the same figures as the pre-existing
+// assignment API, down to the last byte moved.
+TEST(Toolkit, StaticPinBrokerMatchesAssignmentRun) {
+  ToolkitConfig cfg;
+  cfg.wan_bandwidth = 10e6;
+  cfg.wan_latency = 1.0;
+
+  wf::GenParams p;
+  p.data_mean = mib(100);
+  const wf::Workflow w = wf::make_chain(6, Rng(3), p);
+
+  auto setup = [&cfg](Toolkit& tk) {
+    (void)tk.add_hpc("hpc", cluster::homogeneous_cluster(4, 16, gib(64)));
+    (void)tk.add_cloud("cloud", 4, 4, gib(16), 1.0, 0.0);
+    (void)cfg;
+  };
+  std::vector<EnvironmentId> assignment;
+  for (wf::TaskId t = 0; t < w.task_count(); ++t)
+    assignment.push_back(t % 2);  // alternate: every edge crosses the WAN
+
+  Toolkit tk_static(cfg);
+  setup(tk_static);
+  const CompositeReport via_assignment = tk_static.run(w, assignment);
+
+  Toolkit tk_broker(cfg);
+  setup(tk_broker);
+  federation::BrokerConfig bc;
+  bc.policy = "static-pin";
+  federation::Broker broker(bc);
+  broker.add_site(tk_broker.describe_environment(0));
+  broker.add_site(tk_broker.describe_environment(1));
+  broker.set_static_assignment(assignment);
+  const CompositeReport via_broker = tk_broker.run(w, broker);
+
+  ASSERT_TRUE(via_assignment.success);
+  ASSERT_TRUE(via_broker.success);
+  EXPECT_DOUBLE_EQ(via_broker.makespan, via_assignment.makespan);
+  EXPECT_EQ(via_broker.cross_env_transfers, via_assignment.cross_env_transfers);
+  EXPECT_EQ(via_broker.cross_env_bytes, via_assignment.cross_env_bytes);
+  EXPECT_DOUBLE_EQ(via_broker.transfer_seconds, via_assignment.transfer_seconds);
+  EXPECT_EQ(via_broker.cross_env_cache_hits, via_assignment.cross_env_cache_hits);
+  ASSERT_EQ(via_broker.environments.size(), via_assignment.environments.size());
+  for (std::size_t e = 0; e < via_broker.environments.size(); ++e) {
+    EXPECT_EQ(via_broker.environments[e].tasks_run,
+              via_assignment.environments[e].tasks_run);
+    EXPECT_DOUBLE_EQ(via_broker.environments[e].busy_core_seconds,
+                     via_assignment.environments[e].busy_core_seconds);
+    EXPECT_DOUBLE_EQ(via_broker.environments[e].utilization,
+                     via_assignment.environments[e].utilization);
+  }
+  EXPECT_EQ(via_broker.task_failures, 0u);
+  EXPECT_EQ(via_broker.tasks_rerouted, 0u);
+}
+
+TEST(Toolkit, HeftBrokerBalancesAcrossIdenticalEnvironments) {
+  Toolkit tk;
+  (void)tk.add_hpc("a", cluster::homogeneous_cluster(1, 4, gib(32)));
+  (void)tk.add_hpc("b", cluster::homogeneous_cluster(1, 4, gib(32)));
+
+  wf::Workflow w("fanout");
+  wf::TaskSpec spec;
+  spec.base_runtime = 100.0;
+  spec.resources.cores_per_node = 4;
+  for (int i = 0; i < 6; ++i) {
+    spec.name = "t" + std::to_string(i);
+    w.add_task(spec);
+  }
+
+  federation::Broker broker;  // heft-sites
+  broker.add_site(tk.describe_environment(0));
+  broker.add_site(tk.describe_environment(1));
+  const CompositeReport r = tk.run(w, broker);
+  ASSERT_TRUE(r.success) << r.error;
+  EXPECT_EQ(r.environments[0].tasks_run, 3u);
+  EXPECT_EQ(r.environments[1].tasks_run, 3u);
+  EXPECT_EQ(broker.placements(), 6u);
+  ASSERT_NE(r.metrics.find_counter("federation.placements", "a"), nullptr);
+  // The broker learned queue waits from the run.
+  EXPECT_GT(broker.queue_model(0).observations(), 0u);
+}
+
+// The site-failure scenario from the federation issue: drain a site mid-run,
+// in-flight work is killed, re-brokered elsewhere under hysteresis, and the
+// run still completes — with the disruption visible in the report.
+TEST(Toolkit, MidRunDrainReroutesAndCompletes) {
+  Toolkit tk;
+  const auto a = tk.add_hpc("a", cluster::homogeneous_cluster(1, 4, gib(32)));
+  (void)tk.add_hpc("b", cluster::homogeneous_cluster(1, 4, gib(32)));
+
+  wf::Workflow w("fanout");
+  wf::TaskSpec spec;
+  spec.base_runtime = 100.0;
+  spec.resources.cores_per_node = 1;
+  for (int i = 0; i < 12; ++i) {
+    spec.name = "t" + std::to_string(i);
+    w.add_task(spec);
+  }
+
+  federation::Broker broker;
+  broker.add_site(tk.describe_environment(a));
+  broker.add_site(tk.describe_environment(1));
+
+  // Site a crashes while its second wave is running.
+  tk.simulation().schedule_at(150.0, [&] { tk.drain_site(a); });
+
+  const CompositeReport r = tk.run(w, broker);
+  ASSERT_TRUE(r.success) << r.error;
+  ASSERT_EQ(r.environments[0].tasks_run + r.environments[1].tasks_run
+                + r.task_failures - r.task_resubmissions,
+            w.task_count());
+  EXPECT_GT(r.task_failures, 0u);
+  EXPECT_GT(r.task_resubmissions, 0u);
+  EXPECT_GT(r.tasks_rerouted, 0u);
+  EXPECT_EQ(r.task_resubmissions, r.task_failures);  // every failure rescued
+  EXPECT_EQ(broker.reroutes(), r.tasks_rerouted);
+  // Nothing ran on a after the drain: its tasks all finished elsewhere.
+  EXPECT_EQ(r.environments[1].tasks_run,
+            w.task_count() - r.environments[0].tasks_run);
+  // The disruption is visible through the observability layer too.
+  EXPECT_NE(r.metrics.find_counter("federation.site_drains", "a"), nullptr);
+  EXPECT_NE(r.metrics.find_counter("federation.site_failures", "a"), nullptr);
+  EXPECT_NE(r.metrics.find_counter("federation.reroutes", "b"), nullptr);
+  EXPECT_NE(r.metrics.find_counter("federation.task_resubmissions", "a"), nullptr);
+}
+
+TEST(Toolkit, DrainingEverySiteFailsTheRunGracefully) {
+  Toolkit tk;
+  const auto a = tk.add_hpc("a", cluster::homogeneous_cluster(1, 4, gib(32)));
+
+  wf::Workflow w("chain");
+  wf::TaskSpec spec;
+  spec.base_runtime = 100.0;
+  spec.resources.cores_per_node = 1;
+  const auto t0 = w.add_task(spec);
+  spec.name = "t1";
+  const auto t1 = w.add_task(spec);
+  w.add_dependency(t0, t1);
+
+  federation::Broker broker;
+  broker.add_site(tk.describe_environment(a));
+  tk.simulation().schedule_at(50.0, [&] { tk.drain_site(a); });
+
+  const CompositeReport r = tk.run(w, broker);
+  EXPECT_FALSE(r.success);
+  EXPECT_NE(r.error.find("no capable site"), std::string::npos);
+  EXPECT_GT(r.task_failures, 0u);
+}
+
+TEST(Toolkit, DataGravityBrokerWithCacheDisabledStillFollowsProducers) {
+  // Capacity-0 caches mean staged copies never become replicas: the only
+  // catalog entries are producers' published outputs, so data-gravity keeps
+  // scoring consumers toward their producer's environment.
+  ToolkitConfig cfg;
+  cfg.env_cache_capacity = 0;
+  Toolkit tk(cfg);
+  const auto hpc = tk.add_hpc("hpc", cluster::homogeneous_cluster(4, 16, gib(64)));
+  (void)tk.add_cloud("cloud", 4, 4, gib(16), 1.0, 0.0);
+
+  wf::Workflow w("scatter");
+  wf::TaskSpec spec;
+  spec.name = "producer";
+  spec.base_runtime = 10;
+  spec.resources.cores_per_node = 1;
+  const auto p = w.add_task(spec);
+  for (int i = 0; i < 3; ++i) {
+    spec.name = "consumer" + std::to_string(i);
+    const auto c = w.add_task(spec);
+    w.add_dependency(p, c, mib(200));
+  }
+
+  federation::BrokerConfig bc;
+  bc.policy = "data-gravity";
+  federation::Broker broker(bc);
+  broker.add_site(tk.describe_environment(hpc));
+  broker.add_site(tk.describe_environment(1));
+  const CompositeReport r = tk.run(w, broker);
+  ASSERT_TRUE(r.success) << r.error;
+  // Consumers landed with the producer: no WAN crossings at all.
+  EXPECT_EQ(r.cross_env_transfers, 0u);
+  EXPECT_EQ(r.environments[0].tasks_run, w.task_count());
+}
+
+TEST(Toolkit, BrokerRunValidatesSites) {
+  Toolkit tk;
+  (void)tk.add_hpc("hpc", cluster::homogeneous_cluster(1, 4, gib(8)));
+  const wf::Workflow w = wf::make_diamond(Rng(4));
+
+  federation::Broker empty;
+  EXPECT_THROW(tk.run(w, empty), std::invalid_argument);
+
+  federation::Broker dangling;
+  federation::SiteDescriptor site = tk.describe_environment(0);
+  site.environment = 7;  // no such environment
+  dangling.add_site(site);
+  EXPECT_THROW(tk.run(w, dangling), std::out_of_range);
+}
+
 }  // namespace
 }  // namespace hhc::core

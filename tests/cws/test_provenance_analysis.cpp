@@ -5,6 +5,7 @@
 #include "cluster/schedulers.hpp"
 #include "cws/strategies.hpp"
 #include "cws/wms.hpp"
+#include "federation/queue_model.hpp"
 #include "workflow/generators.hpp"
 
 namespace hhc::cws {
@@ -129,6 +130,58 @@ TEST(ProvenanceAnalysis, EndToEndWithRealRun) {
   EXPECT_GT(s.busy_fraction, 0.0);
   EXPECT_LE(s.busy_fraction, 1.0);
   EXPECT_FALSE(render_gantt(provenance, wf_id).empty());
+}
+
+TEST(ProvenanceAnalysis, QueueWaitsBySiteGroupsAndFallsBack) {
+  ProvenanceStore store;
+  auto rec = [&](const std::string& env, const std::string& node_class,
+                 SimTime submit, SimTime start, bool failed = false) {
+    TaskProvenance p;
+    p.task_name = "t";
+    p.kind = "k";
+    p.environment = env;
+    p.node_class = node_class;
+    p.submit_time = submit;
+    p.start_time = start;
+    p.finish_time = start + 10;
+    p.failed = failed;
+    store.record(p);
+  };
+  rec("ares", "cpu", 0, 120);
+  rec("ares", "cpu", 0, 180);
+  rec("aws", "m5", 0, 5);
+  rec("", "gpu-node", 0, 60);   // pre-federation record: node_class fallback
+  rec("ares", "cpu", 0, 900, /*failed=*/true);  // excluded
+  rec("", "", 0, 42);           // unlabeled: dropped
+
+  const auto waits = queue_waits_by_site(store);
+  ASSERT_EQ(waits.size(), 3u);
+  ASSERT_TRUE(waits.count("ares"));
+  EXPECT_EQ(waits.at("ares").count(), 2u);
+  EXPECT_DOUBLE_EQ(waits.at("ares").mean(), 150.0);
+  EXPECT_DOUBLE_EQ(waits.at("aws").mean(), 5.0);
+  EXPECT_DOUBLE_EQ(waits.at("gpu-node").mean(), 60.0);
+}
+
+TEST(ProvenanceAnalysis, QueueWaitsBySiteFeedAQueueModel) {
+  // The bootstrap round-trip the federation broker relies on: composite-run
+  // provenance -> per-site stats -> warm-started QueueWaitModel.
+  ProvenanceStore store;
+  for (int i = 0; i < 40; ++i) {
+    TaskProvenance p;
+    p.task_name = "t";
+    p.kind = "k";
+    p.environment = "ares";
+    p.submit_time = 0;
+    p.start_time = 300.0 + i;
+    p.finish_time = p.start_time + 10;
+    store.record(p);
+  }
+  const auto waits = queue_waits_by_site(store);
+  federation::QueueWaitModel model;
+  model.bootstrap(waits.at("ares"));
+  EXPECT_EQ(model.observations(), 40u);
+  EXPECT_NEAR(model.median_wait(), 320.0, 20.0);
 }
 
 }  // namespace

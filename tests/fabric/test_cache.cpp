@@ -86,5 +86,26 @@ TEST(ReplicaCache, ExplicitEvict) {
   EXPECT_EQ(cache.used(), 0u);
 }
 
+// Capacity 0 is the "caching disabled" configuration core::Toolkit exposes:
+// nothing is ever admitted, so the attached catalog never gains a replica at
+// this location — which is exactly what federation data-gravity scoring
+// sees (resident_input_bytes stays 0 for staged-only datasets).
+TEST(ReplicaCache, ZeroCapacityNeverAdmitsOrPublishes) {
+  DataCatalog cat;
+  cat.register_dataset("a", 10);
+  ReplicaCache cache("site", {0, EvictionPolicy::LRU}, &cat);
+  EXPECT_FALSE(cache.insert("a", 10));
+  EXPECT_FALSE(cache.insert("b", 0));  // even zero-byte datasets are rejected
+  EXPECT_FALSE(cache.contains("a"));
+  EXPECT_EQ(cache.used(), 0u);
+  EXPECT_FALSE(cat.has_replica("a", "site"));
+  // Lookups always miss; the hit ratio reports the disabled cache honestly.
+  EXPECT_FALSE(cache.touch("a"));
+  EXPECT_FALSE(cache.touch("a"));
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_DOUBLE_EQ(cache.hit_ratio(), 0.0);
+  EXPECT_EQ(cache.evictions(), 0u);
+}
+
 }  // namespace
 }  // namespace hhc::fabric

@@ -149,5 +149,56 @@ TEST(Topology, TransferRoutesThroughTheLink) {
   EXPECT_THROW(topo.transfer("a", "c", 1, [](SimTime) {}), std::out_of_range);
 }
 
+// --- estimate vs actual under churn ----------------------------------------
+// Link::estimate is what the federation broker ranks sites with, so its
+// failure modes matter: it is exact on a quiet link, optimistic when later
+// arrivals join, and pessimistic when sharers leave early.
+
+TEST(Link, EstimateIsExactWithoutChurn) {
+  sim::Simulation sim;
+  Link link(sim, "l", {100.0, 2.0});
+  const SimTime estimated = link.estimate(1000);
+  EXPECT_DOUBLE_EQ(estimated, 2.0 + 10.0);
+  SimTime actual = -1.0;
+  link.transfer(1000, [&](SimTime e) { actual = e; });
+  sim.run();
+  EXPECT_DOUBLE_EQ(actual, estimated);
+}
+
+TEST(Link, LateJoinerMakesTheEstimateOptimistic) {
+  sim::Simulation sim;
+  Link link(sim, "l", {100.0, 0.0});
+  const SimTime estimated = link.estimate(1000);  // quiet link: 10 s
+  SimTime actual = -1.0;
+  link.transfer(1000, [&](SimTime e) { actual = e; });
+  // Halfway through, a second transfer joins and halves the share.
+  sim.schedule_at(5.0, [&] { link.transfer(1000, [](SimTime) {}); });
+  sim.run();
+  EXPECT_GT(actual, estimated);
+  // 500 bytes at 100 B/s, then 500 at 50 B/s: 15 s total.
+  EXPECT_DOUBLE_EQ(actual, 15.0);
+}
+
+TEST(Link, EarlyLeaverMakesTheEstimatePessimistic) {
+  sim::Simulation sim;
+  Link link(sim, "l", {100.0, 0.0});
+  // A short transfer is in flight when the long one is admitted: the
+  // estimate assumes the 50/50 share lasts forever.
+  link.transfer(200, [](SimTime) {});
+  SimTime estimated = 0.0;
+  SimTime actual = -1.0;
+  sim.schedule_at(0.0, [&] {  // after the short transfer is admitted
+    ASSERT_EQ(link.active(), 1u);
+    estimated = link.estimate(1000);
+    EXPECT_DOUBLE_EQ(estimated, 20.0);
+    link.transfer(1000, [&](SimTime e) { actual = e; });
+  });
+  sim.run();
+  // The short transfer leaves after 4 s (200 B at a 50 B/s share); the long
+  // one then runs alone: 4 s for 200 B + 8 s for the remaining 800 B.
+  EXPECT_LT(actual, estimated);
+  EXPECT_DOUBLE_EQ(actual, 12.0);
+}
+
 }  // namespace
 }  // namespace hhc::fabric

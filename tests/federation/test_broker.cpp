@@ -1,0 +1,340 @@
+#include "federation/broker.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cws/strategies.hpp"
+#include "support/units.hpp"
+
+namespace hhc::federation {
+namespace {
+
+SiteDescriptor make_site(const std::string& name, EnvironmentId env,
+                         std::size_t nodes = 4, double cores = 16.0,
+                         double speed = 1.0, double cost = 0.0) {
+  SiteDescriptor s;
+  s.name = name;
+  s.environment = env;
+  s.nodes = nodes;
+  s.cores_per_node = cores;
+  s.cpu_speed = speed;
+  s.cost_per_core_hour = cost;
+  s.memory_per_node = gib(64);
+  s.location = "loc:" + name;
+  return s;
+}
+
+wf::Workflow single_task_workflow(wf::TaskSpec spec = {}) {
+  wf::Workflow w("one");
+  if (spec.name.empty()) spec.name = "t0";
+  if (spec.base_runtime <= 0) spec.base_runtime = 100.0;
+  w.add_task(spec);
+  return w;
+}
+
+// --- capability matching ---------------------------------------------------
+
+TEST(SiteSupports, ChecksCapacityDimensions) {
+  SiteDescriptor s = make_site("hpc", 0, /*nodes=*/2, /*cores=*/8);
+  s.gpus_per_node = 0;
+  s.memory_per_node = gib(16);
+
+  wf::TaskSpec t;
+  t.name = "fits";
+  EXPECT_TRUE(site_supports(s, t));
+  EXPECT_EQ(unsupported_reason(s, t), "");
+
+  t.resources.nodes = 3;
+  EXPECT_FALSE(site_supports(s, t));
+  EXPECT_NE(unsupported_reason(s, t).find("node"), std::string::npos);
+
+  t.resources.nodes = 1;
+  t.resources.cores_per_node = 9;
+  EXPECT_FALSE(site_supports(s, t));
+
+  t.resources.cores_per_node = 4;
+  t.resources.gpus_per_node = 1;
+  EXPECT_FALSE(site_supports(s, t));
+  EXPECT_NE(unsupported_reason(s, t).find("GPU"), std::string::npos);
+
+  t.resources.gpus_per_node = 0;
+  t.resources.memory_per_node = gib(32);
+  EXPECT_FALSE(site_supports(s, t));
+}
+
+TEST(SiteSupports, ContainerTasksNeedContainerSupport) {
+  SiteDescriptor s = make_site("bare-metal", 0);
+  s.container_support = false;
+  wf::TaskSpec t;
+  t.name = "containerised";
+  t.params[kContainerParam] = "quay.io/biocontainers/salmon";
+  EXPECT_FALSE(site_supports(s, t));
+  EXPECT_NE(unsupported_reason(s, t).find("container"), std::string::npos);
+  s.container_support = true;
+  EXPECT_TRUE(site_supports(s, t));
+}
+
+// --- placement policies ----------------------------------------------------
+
+TEST(Broker, NoCapableSiteThrowsWithPerSiteReasons) {
+  Broker broker;
+  broker.add_site(make_site("small", 0, /*nodes=*/1, /*cores=*/2));
+  wf::TaskSpec big;
+  big.name = "wide";
+  big.resources.cores_per_node = 64;
+  const wf::Workflow w = single_task_workflow(big);
+  broker.begin_run(w, 1);
+  try {
+    broker.place(0, 0.0);
+    FAIL() << "expected BrokerError";
+  } catch (const BrokerError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("wide"), std::string::npos);
+    EXPECT_NE(msg.find("small"), std::string::npos);
+  }
+}
+
+TEST(Broker, CheapestPolicyPicksLowestCostThenSpeed) {
+  BrokerConfig cfg;
+  cfg.policy = "cheapest";
+  Broker broker(cfg);
+  const SiteId pricey = broker.add_site(make_site("pricey", 0, 4, 16, 2.0, 0.10));
+  const SiteId cheap = broker.add_site(make_site("cheap", 1, 4, 16, 1.0, 0.02));
+  const SiteId cheap_fast = broker.add_site(make_site("cheap-fast", 2, 4, 16, 1.5, 0.02));
+  (void)pricey;
+  (void)cheap;
+  const wf::Workflow w = single_task_workflow();
+  broker.begin_run(w, 1);
+  EXPECT_EQ(broker.place(0, 0.0), cheap_fast);
+  EXPECT_EQ(broker.policy_name(), "cheapest");
+}
+
+TEST(Broker, StaticPinFollowsAssignmentAndSurvivesDrains) {
+  BrokerConfig cfg;
+  cfg.policy = "static-pin";
+  Broker broker(cfg);
+  const SiteId a = broker.add_site(make_site("a", 0));
+  const SiteId b = broker.add_site(make_site("b", 1));
+  broker.set_static_assignment({1});  // env 1 = site b
+  const wf::Workflow w = single_task_workflow();
+  broker.begin_run(w, 1);
+  EXPECT_EQ(broker.place(0, 0.0), b);
+  // Pinned site drained: the pin falls back to a healthy candidate.
+  broker.drain(b);
+  EXPECT_EQ(broker.place(0, 0.0), a);
+  EXPECT_EQ(broker.reroutes(), 1u);
+}
+
+TEST(Broker, StaticPinWithoutAssignmentThrows) {
+  BrokerConfig cfg;
+  cfg.policy = "static-pin";
+  Broker broker(cfg);
+  broker.add_site(make_site("a", 0));
+  const wf::Workflow w = single_task_workflow();
+  broker.begin_run(w, 1);
+  EXPECT_THROW(broker.place(0, 0.0), BrokerError);
+}
+
+TEST(Broker, KindPinForcesSiteAndRespectsHealth) {
+  Broker broker;
+  broker.add_site(make_site("hpc", 0, 8, 32, 2.0));
+  const SiteId cloud = broker.add_site(make_site("cloud", 1, 4, 8, 0.8));
+  broker.pin_kind("s3-source", cloud);
+  wf::TaskSpec t;
+  t.name = "fetch";
+  t.kind = "s3-source";
+  const wf::Workflow w = single_task_workflow(t);
+  broker.begin_run(w, 1);
+  // HEFT would prefer the faster HPC site; the pin overrides it.
+  EXPECT_EQ(broker.place(0, 0.0), cloud);
+  // A drained pinned site makes its tasks unplaceable (pins bypass scoring,
+  // not health).
+  broker.drain(cloud);
+  EXPECT_THROW(broker.place(0, 0.0), BrokerError);
+}
+
+TEST(Broker, UnknownPolicyNameThrows) {
+  Broker broker;
+  EXPECT_THROW(broker.set_policy("round-robin"), std::invalid_argument);
+  EXPECT_THROW(make_policy(""), std::invalid_argument);
+}
+
+// --- data gravity ----------------------------------------------------------
+
+TEST(Broker, DataGravityFollowsResidentBytes) {
+  BrokerConfig cfg;
+  cfg.policy = "data-gravity";
+  Broker broker(cfg);
+  const SiteId a = broker.add_site(make_site("a", 0));
+  const SiteId b = broker.add_site(make_site("b", 1));
+  (void)a;
+
+  wf::Workflow w("gravity");
+  wf::TaskSpec spec;
+  spec.name = "producer";
+  spec.base_runtime = 10;
+  const auto p = w.add_task(spec);
+  spec.name = "consumer";
+  const auto c = w.add_task(spec);
+  w.add_dependency(p, c, mib(500));
+
+  fabric::DataCatalog catalog;
+  broker.bind_fabric(&catalog, nullptr);
+  broker.begin_run(w, 7);
+
+  // The producer's output dataset is resident at site b only.
+  const auto id = cws::edge_dataset_id(7, p, mib(500));
+  catalog.register_dataset(id, mib(500));
+  catalog.add_replica(id, "loc:b");
+
+  EXPECT_EQ(broker.place(c, 0.0), b);
+  PlacementQuery q;
+  q.task = c;
+  q.workflow = &w;
+  q.workflow_id = 7;
+  q.broker = &broker;
+  EXPECT_EQ(broker.resident_input_bytes(q, b), mib(500));
+  EXPECT_EQ(broker.resident_input_bytes(q, a), 0u);
+  EXPECT_EQ(broker.staging_estimate(q, b), 0.0);
+  EXPECT_GT(broker.staging_estimate(q, a), 0.0);
+}
+
+TEST(Broker, DataGravityWithEmptyCatalogFallsBackToProducerPlacement) {
+  // Capacity-0 caches leave the catalog without replicas (nothing is ever
+  // resident); data-gravity then scores by the staging estimate from the
+  // producer's placement instead of resident bytes.
+  BrokerConfig cfg;
+  cfg.policy = "data-gravity";
+  Broker broker(cfg);
+  const SiteId a = broker.add_site(make_site("a", 0));
+  const SiteId b = broker.add_site(make_site("b", 1));
+  (void)b;
+
+  wf::Workflow w("gravity");
+  wf::TaskSpec spec;
+  spec.name = "producer";
+  spec.base_runtime = 10;
+  const auto p = w.add_task(spec);
+  spec.name = "consumer";
+  const auto c = w.add_task(spec);
+  w.add_dependency(p, c, mib(500));
+
+  fabric::DataCatalog catalog;  // stays empty: no replicas anywhere
+  broker.bind_fabric(&catalog, nullptr);
+  broker.begin_run(w, 7);
+
+  ASSERT_EQ(broker.place(p, 0.0), a);  // first site wins on a blank slate
+  PlacementQuery q;
+  q.task = c;
+  q.workflow = &w;
+  q.workflow_id = 7;
+  q.broker = &broker;
+  EXPECT_EQ(broker.resident_input_bytes(q, a), 0u);
+  // Same site as the producer: nothing to move. Other site: WAN estimate.
+  EXPECT_EQ(broker.staging_estimate(q, a), 0.0);
+  EXPECT_GT(broker.staging_estimate(q, b), 0.0);
+  EXPECT_EQ(broker.place(c, 0.0), a);
+}
+
+// --- HEFT over sites -------------------------------------------------------
+
+TEST(Broker, HeftSpreadsLoadViaBacklog) {
+  Broker broker;  // default policy: heft-sites
+  const SiteId a = broker.add_site(make_site("a", 0, 1, 4.0));
+  const SiteId b = broker.add_site(make_site("b", 1, 1, 4.0));
+
+  wf::Workflow w("fanout");
+  wf::TaskSpec spec;
+  spec.base_runtime = 100.0;
+  spec.resources.cores_per_node = 4;
+  for (int i = 0; i < 4; ++i) {
+    spec.name = "t" + std::to_string(i);
+    w.add_task(spec);
+  }
+  broker.begin_run(w, 1);
+  std::size_t on_a = 0, on_b = 0;
+  for (wf::TaskId t = 0; t < w.task_count(); ++t) {
+    const SiteId s = broker.place(t, 0.0);
+    (s == a ? on_a : on_b) += 1;
+  }
+  // Identical sites: backlog charging alternates placements.
+  EXPECT_EQ(on_a, 2u);
+  EXPECT_EQ(on_b, 2u);
+  EXPECT_EQ(broker.placements(), 4u);
+  // Finishing releases backlog.
+  for (wf::TaskId t = 0; t < w.task_count(); ++t) broker.task_finished(t);
+  EXPECT_EQ(broker.backlog_estimate(a), 0.0);
+  EXPECT_EQ(broker.backlog_estimate(b), 0.0);
+}
+
+TEST(Broker, HeftAvoidsLongBatchQueues) {
+  Broker broker;
+  SiteDescriptor busy = make_site("busy", 0, 8, 32, 2.0);
+  busy.queue.median = 3600.0;  // an hour of expected queueing
+  const SiteId slow_but_idle = broker.add_site(make_site("idle", 1, 8, 32, 1.0));
+  broker.add_site(busy);
+  const wf::Workflow w = single_task_workflow();  // 100 s of work
+  broker.begin_run(w, 1);
+  // 100 s on the fast site after ~an hour in queue loses to 100 s now.
+  EXPECT_EQ(broker.place(0, 0.0), slow_but_idle);
+}
+
+// --- health, hysteresis, reroutes -----------------------------------------
+
+TEST(Broker, FailureHolddownExcludesSiteUntilExpiry) {
+  BrokerConfig cfg;
+  cfg.failure_holddown = 500.0;
+  Broker broker(cfg);
+  const SiteId a = broker.add_site(make_site("a", 0, 8, 32, 2.0));
+  const SiteId b = broker.add_site(make_site("b", 1, 8, 32, 1.0));
+  const wf::Workflow w = single_task_workflow();
+  broker.begin_run(w, 1);
+  ASSERT_EQ(broker.place(0, 100.0), a);  // faster site wins while healthy
+
+  broker.report_failure(a, 100.0);
+  EXPECT_FALSE(broker.available(a, 100.0));
+  EXPECT_FALSE(broker.available(a, 599.0));  // hysteresis holds
+  EXPECT_TRUE(broker.available(a, 600.0));
+  EXPECT_EQ(broker.failures_reported(), 1u);
+
+  // Re-placing during the hold-down reroutes to the surviving site.
+  EXPECT_EQ(broker.place(0, 101.0), b);
+  EXPECT_EQ(broker.reroutes(), 1u);
+  // After expiry, placement may return.
+  EXPECT_EQ(broker.place(0, 601.0), a);
+}
+
+TEST(Broker, DrainAndUndrain) {
+  Broker broker;
+  const SiteId a = broker.add_site(make_site("a", 0));
+  broker.drain(a);
+  EXPECT_FALSE(broker.available(a, 0.0));
+  broker.undrain(a);
+  EXPECT_TRUE(broker.available(a, 0.0));
+}
+
+TEST(Broker, SiteForEnvironmentLookup) {
+  Broker broker;
+  broker.add_site(make_site("a", 3));
+  const SiteId b = broker.add_site(make_site("b", 5));
+  EXPECT_EQ(broker.site_for_environment(5), b);
+  EXPECT_EQ(broker.site_for_environment(4), kInvalidSite);
+}
+
+// --- queue-wait bootstrap --------------------------------------------------
+
+TEST(Broker, BootstrapQueueWaitsMatchesByName) {
+  Broker broker;
+  const SiteId a = broker.add_site(make_site("ares", 0));
+  const SiteId b = broker.add_site(make_site("aws", 1));
+  std::map<std::string, OnlineStats> by_site;
+  for (int i = 0; i < 30; ++i) by_site["ares"].add(240.0);
+  broker.bootstrap_queue_waits(by_site);
+  EXPECT_EQ(broker.queue_model(a).observations(), 30u);
+  EXPECT_EQ(broker.queue_model(b).observations(), 0u);
+  EXPECT_NEAR(broker.queue_model(a).median_wait(), 240.0, 30.0);
+  // The warm-started model now steers HEFT away from the queued site.
+  EXPECT_GT(broker.queue_estimate(a), broker.queue_estimate(b));
+}
+
+}  // namespace
+}  // namespace hhc::federation

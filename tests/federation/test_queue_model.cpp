@@ -1,0 +1,110 @@
+#include "federation/queue_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/rng.hpp"
+
+namespace hhc::federation {
+namespace {
+
+TEST(QueueWaitModel, NoPriorNoObservationsIsZero) {
+  QueueWaitModel m;  // default prior median 0 = no batch queue
+  EXPECT_EQ(m.expected_wait(), 0.0);
+  EXPECT_EQ(m.median_wait(), 0.0);
+  EXPECT_EQ(m.observations(), 0u);
+}
+
+TEST(QueueWaitModel, PriorAloneGivesLogNormalExpectation) {
+  QueueWaitPrior prior;
+  prior.median = 600.0;
+  prior.sigma = 0.75;
+  QueueWaitModel m(prior);
+  // E[W] = exp(mu + sigma^2/2) with mu = ln median.
+  const double expected = 600.0 * std::exp(0.75 * 0.75 / 2.0);
+  EXPECT_NEAR(m.expected_wait(), expected, 1e-9);
+  EXPECT_NEAR(m.median_wait(), 600.0, 1e-9);
+}
+
+TEST(QueueWaitModel, ObservationsPullTheBlendTowardReality) {
+  QueueWaitPrior prior;
+  prior.median = 600.0;
+  prior.weight = 4.0;
+  QueueWaitModel m(prior);
+  const double before = m.expected_wait();
+  // The queue is actually much faster than the prior claims.
+  for (int i = 0; i < 50; ++i) m.observe(30.0);
+  EXPECT_LT(m.expected_wait(), before);
+  EXPECT_GT(m.expected_wait(), 0.0);
+  // 50 identical observations against 4 pseudo-observations: the median
+  // should sit near 30s, not 600s.
+  EXPECT_LT(m.median_wait(), 60.0);
+  EXPECT_EQ(m.observations(), 50u);
+}
+
+TEST(QueueWaitModel, ManyObservationsDominateThePrior) {
+  QueueWaitPrior prior;
+  prior.median = 3600.0;
+  QueueWaitModel m(prior);
+  Rng rng(11);
+  for (int i = 0; i < 2000; ++i)
+    m.observe(std::exp(rng.normal(std::log(120.0), 0.3)));
+  // mu converges to ln 120 despite the hour-long prior.
+  EXPECT_NEAR(m.median_wait(), 120.0, 25.0);
+}
+
+TEST(QueueWaitModel, ImmediateStartsStayFinite) {
+  QueueWaitModel m;
+  m.observe(0.0);  // clamped to 1 ms in the log domain
+  EXPECT_GT(m.expected_wait(), 0.0);
+  EXPECT_LT(m.expected_wait(), 1.0);
+  EXPECT_TRUE(std::isfinite(m.mu()));
+}
+
+TEST(QueueWaitModel, BootstrapMatchesEquivalentObservations) {
+  // Bootstrapping from linear-domain statistics should land close to having
+  // observed the same (log-normal) waits directly.
+  Rng rng(7);
+  std::vector<double> waits;
+  for (int i = 0; i < 500; ++i)
+    waits.push_back(std::exp(rng.normal(std::log(200.0), 0.5)));
+
+  QueueWaitModel observed;
+  OnlineStats stats;
+  for (double w : waits) {
+    observed.observe(w);
+    stats.add(w);
+  }
+  QueueWaitModel bootstrapped;
+  bootstrapped.bootstrap(stats);
+
+  EXPECT_EQ(bootstrapped.observations(), stats.count());
+  // Moment matching vs direct log-domain accumulation: same ballpark.
+  EXPECT_NEAR(bootstrapped.mu(), observed.mu(), 0.15);
+  EXPECT_NEAR(bootstrapped.expected_wait() / observed.expected_wait(), 1.0, 0.25);
+}
+
+TEST(QueueWaitModel, EmptyBootstrapIsANoOp) {
+  QueueWaitPrior prior;
+  prior.median = 600.0;
+  QueueWaitModel m(prior);
+  const double before = m.expected_wait();
+  m.bootstrap(OnlineStats{});
+  EXPECT_EQ(m.expected_wait(), before);
+  EXPECT_EQ(m.observations(), 0u);
+}
+
+TEST(QueueWaitModel, BootstrapThenObserveKeepsLearning) {
+  OnlineStats history;
+  for (int i = 0; i < 20; ++i) history.add(300.0 + 10.0 * i);
+  QueueWaitModel m;
+  m.bootstrap(history);
+  const double after_bootstrap = m.median_wait();
+  for (int i = 0; i < 200; ++i) m.observe(50.0);
+  EXPECT_LT(m.median_wait(), after_bootstrap);
+  EXPECT_EQ(m.observations(), 220u);
+}
+
+}  // namespace
+}  // namespace hhc::federation
