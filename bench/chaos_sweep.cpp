@@ -1,0 +1,349 @@
+// E15 — chaos sweep: the resilience plane vs a cross-layer fault storm.
+//
+// Three pinned scenarios, all driven through the composite Toolkit:
+//
+//   1. Fault sweep. A Montage-like DAG split across an HPC site and a spot
+//      cloud pool runs under increasing chaos intensity — node crashes
+//      (MTBF), spot preemptions, link degrades/partitions on the WAN, a
+//      mid-run site outage, and a 5% straggler rate — once with every
+//      resilience policy off (the pre-resilience Toolkit contract) and once
+//      with the default policies on (retry budget + exponential backoff,
+//      hedging, timeout rescue, lineage recovery). The bar: the resilient
+//      run completes at EVERY intensity; the exposed run fails or degrades
+//      strictly worse at every non-zero intensity.
+//   2. Paper §4.3 pinned scenario. One node crash under a 40-member
+//      ensemble kills exactly the 10 tasks packed onto node 0; the retry
+//      plane must auto-recover at least 8 of the 10.
+//   3. Hedging A/B. Identical tasks with a 5% injected straggler rate
+//      (8x slowdown), hedging on vs off, same chaos seed. The bar: >= 10%
+//      makespan reduction with the wasted core-seconds reported.
+//
+// HHC_BENCH_SMOKE=1 shrinks the sweep workload for CI smoke runs.
+// HHC_CHAOS_TRACE=<path> additionally exports the span trace of the
+// heaviest resilient run — the CI determinism job runs the bench twice and
+// diffs the two exports byte-for-byte (same seed => identical trace).
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/toolkit.hpp"
+#include "obs/exporters.hpp"
+#include "resilience/chaos.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+#include "workflow/generators.hpp"
+
+using namespace hhc;
+
+namespace {
+
+wf::TaskId add_task(wf::Workflow& w, const std::string& name, SimTime runtime,
+                    const std::string& kind, double cores) {
+  wf::TaskSpec t;
+  t.name = name;
+  t.kind = kind;
+  t.base_runtime = runtime;
+  t.resources.cores_per_node = cores;
+  return w.add_task(t);
+}
+
+struct Row {
+  std::string scenario;
+  std::string mode;
+  core::CompositeReport report;
+};
+
+double busy_core_seconds(const core::CompositeReport& r) {
+  double busy = 0.0;
+  for (const auto& e : r.environments) busy += e.busy_core_seconds;
+  return busy;
+}
+
+/// Useful work / total work: busy core-seconds over busy + wasted (failed
+/// attempts, hedge losers, timed-out attempts).
+double goodput(const core::CompositeReport& r) {
+  const double busy = busy_core_seconds(r);
+  const double total = busy + r.wasted_core_seconds;
+  return total > 0 ? busy / total : 1.0;
+}
+
+// --- 1. the fault sweep ----------------------------------------------------
+
+struct FaultLevel {
+  const char* name;
+  double node_mtbf;   ///< Per-HPC-node crash MTBF; 0 = off.
+  double spot_mtbf;   ///< Per-cloud-instance reclaim MTBF; 0 = off.
+  double link_mtbf;   ///< Per-WAN-link degrade/partition MTBF; 0 = off.
+  double straggler;   ///< P(attempt straggles at 8x).
+  bool site_outage;   ///< 300 s HPC-site outage starting at t=150.
+};
+
+constexpr FaultLevel kLevels[] = {
+    {"none", 0, 0, 0, 0.0, false},
+    {"light", 20000, 15000, 12000, 0.05, true},
+    {"moderate", 8000, 10000, 6000, 0.05, true},
+    {"heavy", 3500, 8000, 3000, 0.05, true},
+};
+
+core::CompositeReport run_sweep(const FaultLevel& lvl, bool resilient,
+                                bool smoke, std::string* trace_out) {
+  core::ToolkitConfig cfg;
+  // No replica caching: every cross-environment edge re-stages, so link
+  // chaos keeps hurting after the warm-up run has staged everything once.
+  cfg.env_cache_capacity = 0;
+  if (resilient) {
+    cfg.resilience.static_task_retries = 10;
+    cfg.resilience.backoff.base_delay = 15.0;
+    cfg.resilience.backoff.multiplier = 2.0;
+    cfg.resilience.backoff.max_delay = 120.0;
+    cfg.resilience.backoff.decorrelated_jitter = false;
+    cfg.resilience.hedging.enabled = true;
+    cfg.resilience.hedging.quantile = 90.0;
+    cfg.resilience.hedging.slack = 1.3;
+    cfg.resilience.hedging.min_samples = 8;
+    cfg.resilience.timeout_factor = 4.0;
+    cfg.resilience.lineage_recovery = true;
+  }
+  core::Toolkit tk(cfg);
+  const auto hpc =
+      tk.add_hpc("hpc", cluster::homogeneous_cluster(4, 16, gib(64)));
+  const auto cloud = tk.add_cloud("cloud", 12, 4, gib(16), 0.9, 30.0);
+
+  const wf::Workflow w = wf::make_montage_like(smoke ? 8 : 20, Rng(7));
+  std::vector<core::EnvironmentId> assignment(w.task_count(), hpc);
+  for (std::size_t i = 0; i < w.task_count(); ++i)
+    if (i % 3 == 0) assignment[i] = cloud;
+
+  // Clean warm-up run: the runtime predictor and the straggler detector's
+  // per-kind quantiles persist across runs, so the chaotic run's watchdogs
+  // and hedge thresholds are live from its first task.
+  (void)tk.run(w, assignment);
+
+  resilience::ChaosConfig ccfg;
+  ccfg.seed = 1177;
+  ccfg.horizon = smoke ? 2500.0 : 4000.0;
+  ccfg.node_mtbf = lvl.node_mtbf;
+  ccfg.spot_mtbf = lvl.spot_mtbf;
+  ccfg.link_mtbf = lvl.link_mtbf;
+  ccfg.task.straggler_rate = lvl.straggler;
+  ccfg.task.straggler_factor = 8.0;
+  resilience::ChaosEngine chaos(ccfg);
+  tk.attach_chaos(&chaos);
+  if (lvl.site_outage) {
+    // Delivered through the Toolkit's own drain/restore (strong events) so
+    // the restore cannot be starved when the other site happens to go idle.
+    const SimTime t0 = tk.simulation().now();
+    tk.simulation().schedule_at(t0 + 150.0, [&tk, hpc] { tk.drain_site(hpc); });
+    tk.simulation().schedule_at(t0 + 450.0,
+                                [&tk, hpc] { tk.restore_site(hpc); });
+  }
+  core::CompositeReport r = tk.run(w, assignment);
+  if (trace_out) *trace_out = obs::spans_csv(tk.observer().spans());
+  return r;
+}
+
+// --- 2. the §4.3 pinned scenario -------------------------------------------
+
+core::CompositeReport run_pinned(bool resilient) {
+  core::ToolkitConfig cfg;
+  if (resilient) {
+    cfg.resilience.static_task_retries = 3;
+    cfg.resilience.backoff.base_delay = 5.0;
+    cfg.resilience.backoff.decorrelated_jitter = false;
+  }
+  core::Toolkit tk(cfg);
+  // 4 nodes x 10 cores; 40 one-core members => first-fit packs members 0-9
+  // onto node 0. Crashing node 0 mid-run kills exactly 10 tasks.
+  const auto hpc =
+      tk.add_hpc("hpc", cluster::homogeneous_cluster(4, 10, gib(64)));
+  wf::Workflow w("ensemble");
+  for (int i = 0; i < 40; ++i)
+    add_task(w, "member" + std::to_string(i), 200.0, "member", 1.0);
+
+  resilience::ChaosConfig ccfg;
+  resilience::ChaosEvent crash;
+  crash.time = 50.0;
+  crash.kind = resilience::ChaosKind::NodeCrash;
+  crash.env = hpc;
+  crash.node = 0;
+  crash.duration = 600.0;
+  ccfg.scheduled = {crash};
+  resilience::ChaosEngine chaos(ccfg);
+  tk.attach_chaos(&chaos);
+  return tk.run(w, hpc);
+}
+
+// --- 3. the hedging A/B ----------------------------------------------------
+
+core::CompositeReport run_hedge_ab(bool hedging_on) {
+  core::ToolkitConfig cfg;
+  cfg.resilience.static_task_retries = 4;
+  if (hedging_on) {
+    cfg.resilience.hedging.enabled = true;
+    cfg.resilience.hedging.quantile = 90.0;
+    cfg.resilience.hedging.slack = 1.2;
+    cfg.resilience.hedging.min_samples = 8;
+  }
+  core::Toolkit tk(cfg);
+  const auto hpc =
+      tk.add_hpc("hpc", cluster::homogeneous_cluster(8, 16, gib(64)));
+  wf::Workflow w("stress");
+  for (int i = 0; i < 60; ++i)
+    add_task(w, "stress" + std::to_string(i), 100.0, "stress", 4.0);
+
+  (void)tk.run(w, hpc);  // warm the detector's quantile from a clean run
+
+  resilience::ChaosConfig ccfg;
+  ccfg.seed = 2;  // 6 of 60 primaries straggle; every hedge runs clean
+  ccfg.task.straggler_rate = 0.05;
+  ccfg.task.straggler_factor = 8.0;
+  resilience::ChaosEngine chaos(ccfg);
+  tk.attach_chaos(&chaos);
+  return tk.run(w, hpc);
+}
+
+std::string outcome(const core::CompositeReport& r) {
+  return r.success ? "ok" : "FAILED";
+}
+
+}  // namespace
+
+int main() {
+  const bool smoke = env_flag("HHC_BENCH_SMOKE");
+
+  std::cout << "=== E15: chaos sweep (resilience plane vs fault storm) ===\n";
+  std::cout << "Montage-like DAG split hpc 4x16 @1.0 / spot cloud 12x4 @0.9,\n"
+               "chaos: node MTBF + spot reclaim + WAN degrade/partition +\n"
+               "300 s site outage + 5% stragglers at 8x; exposed = every\n"
+               "resilience policy off, resilient = defaults on\n\n";
+
+  std::vector<Row> rows;
+  std::string heavy_trace;
+  std::vector<std::pair<core::CompositeReport, core::CompositeReport>> sweep;
+  for (const FaultLevel& lvl : kLevels) {
+    const bool last = std::string(lvl.name) == "heavy";
+    core::CompositeReport exposed = run_sweep(lvl, false, smoke, nullptr);
+    core::CompositeReport resilient =
+        run_sweep(lvl, true, smoke, last ? &heavy_trace : nullptr);
+    rows.push_back({std::string("sweep-") + lvl.name, "exposed", exposed});
+    rows.push_back({std::string("sweep-") + lvl.name, "resilient", resilient});
+    sweep.emplace_back(std::move(exposed), std::move(resilient));
+  }
+
+  TextTable t("Fault sweep: exposed vs resilient");
+  t.header({"level", "mode", "outcome", "makespan", "failures", "resubs",
+            "hedged(won)", "recomputed", "wasted core-s", "goodput"});
+  for (std::size_t i = 0; i < std::size(kLevels); ++i) {
+    for (const auto* r : {&sweep[i].first, &sweep[i].second}) {
+      t.row({kLevels[i].name, r == &sweep[i].first ? "exposed" : "resilient",
+             outcome(*r), fmt_duration(r->makespan),
+             std::to_string(r->task_failures),
+             std::to_string(r->task_resubmissions),
+             std::to_string(r->tasks_hedged) + "(" +
+                 std::to_string(r->hedges_won) + ")",
+             std::to_string(r->recovery_recomputed_tasks),
+             fmt_fixed(r->wasted_core_seconds, 0), fmt_pct(goodput(*r), 1)});
+    }
+  }
+  std::cout << t.render() << "\n";
+
+  // --- §4.3 pinned: one node crash, 10 victims, >= 8 auto-recovered --------
+  const core::CompositeReport pin_exposed = run_pinned(false);
+  const core::CompositeReport pin_resilient = run_pinned(true);
+  rows.push_back({"pinned-4.3", "exposed", pin_exposed});
+  rows.push_back({"pinned-4.3", "resilient", pin_resilient});
+  const std::size_t recovered =
+      pin_resilient.success
+          ? std::min(pin_resilient.task_failures,
+                     pin_resilient.task_resubmissions)
+          : 0;
+
+  TextTable p("Paper §4.3: node 0 crashes at t=50 under a 40-member ensemble");
+  p.header({"mode", "outcome", "makespan", "failures", "auto-recovered"});
+  p.row({"exposed", outcome(pin_exposed), fmt_duration(pin_exposed.makespan),
+         std::to_string(pin_exposed.task_failures), "0"});
+  p.row({"resilient", outcome(pin_resilient),
+         fmt_duration(pin_resilient.makespan),
+         std::to_string(pin_resilient.task_failures),
+         std::to_string(recovered) + " of " +
+             std::to_string(pin_resilient.task_failures)});
+  std::cout << p.render() << "\n";
+
+  // --- hedging A/B at the 5% straggler rate --------------------------------
+  const core::CompositeReport hedge_off = run_hedge_ab(false);
+  const core::CompositeReport hedge_on = run_hedge_ab(true);
+  rows.push_back({"hedging-5pct", "hedging-off", hedge_off});
+  rows.push_back({"hedging-5pct", "hedging-on", hedge_on});
+  const double hedge_cut =
+      hedge_off.makespan > 0 ? 1.0 - hedge_on.makespan / hedge_off.makespan
+                             : 0.0;
+
+  TextTable h("Hedging A/B: 60 identical tasks, 5% stragglers at 8x");
+  h.header({"mode", "outcome", "makespan", "hedged(won)", "wasted core-s",
+            "goodput"});
+  for (const auto* r : {&hedge_off, &hedge_on})
+    h.row({r == &hedge_off ? "hedging-off" : "hedging-on", outcome(*r),
+           fmt_duration(r->makespan),
+           std::to_string(r->tasks_hedged) + "(" +
+               std::to_string(r->hedges_won) + ")",
+           fmt_fixed(r->wasted_core_seconds, 0), fmt_pct(goodput(*r), 1)});
+  std::cout << h.render();
+  std::cout << "hedging makespan cut: " << fmt_pct(hedge_cut, 1) << "\n\n";
+
+  TextTable csv;
+  csv.header({"scenario", "mode", "success", "makespan_s", "tasks",
+              "task_failures", "task_resubmissions", "tasks_hedged",
+              "hedges_won", "recovery_recomputed_tasks", "wasted_core_s",
+              "goodput"});
+  for (const Row& row : rows)
+    csv.row({row.scenario, row.mode, row.report.success ? "1" : "0",
+             fmt_fixed(row.report.makespan, 3),
+             std::to_string(row.report.tasks),
+             std::to_string(row.report.task_failures),
+             std::to_string(row.report.task_resubmissions),
+             std::to_string(row.report.tasks_hedged),
+             std::to_string(row.report.hedges_won),
+             std::to_string(row.report.recovery_recomputed_tasks),
+             fmt_fixed(row.report.wasted_core_seconds, 1),
+             fmt_fixed(goodput(row.report), 4)});
+  if (write_file("bench_results/chaos_sweep.csv", csv.csv()))
+    std::cout << "wrote bench_results/chaos_sweep.csv\n";
+
+  if (const char* trace_path = std::getenv("HHC_CHAOS_TRACE")) {
+    if (write_file(trace_path, heavy_trace))
+      std::cout << "wrote chaos trace to " << trace_path << "\n";
+  }
+
+  // --- acceptance ----------------------------------------------------------
+  bool resilient_all_ok = true;
+  bool exposed_strictly_worse = true;
+  for (std::size_t i = 0; i < std::size(kLevels); ++i) {
+    const auto& exposed = sweep[i].first;
+    const auto& resilient = sweep[i].second;
+    resilient_all_ok = resilient_all_ok && resilient.success;
+    if (std::string(kLevels[i].name) != "none")
+      exposed_strictly_worse =
+          exposed_strictly_worse &&
+          (!exposed.success || exposed.makespan > resilient.makespan);
+  }
+  const bool pinned_ok = pin_resilient.success &&
+                         pin_resilient.task_failures == 10 && recovered >= 8;
+  const bool hedging_ok = hedge_off.success && hedge_on.success &&
+                          hedge_on.tasks_hedged > 0 && hedge_on.hedges_won > 0 &&
+                          hedge_on.wasted_core_seconds > 0 && hedge_cut >= 0.10;
+
+  std::cout << "\nShape check: resilient completes at every fault level ("
+            << (resilient_all_ok ? "yes" : "NO")
+            << "),\nexposed fails or degrades strictly worse at every "
+               "non-zero level ("
+            << (exposed_strictly_worse ? "yes" : "NO")
+            << "),\n§4.3 auto-recovers >= 8 of 10 ("
+            << (pinned_ok ? "yes" : "NO")
+            << "), hedging cuts makespan >= 10% at 5% stragglers ("
+            << (hedging_ok ? "yes" : "NO") << ").\n";
+  return resilient_all_ok && exposed_strictly_worse && pinned_ok && hedging_ok
+             ? 0
+             : 1;
+}

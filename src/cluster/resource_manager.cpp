@@ -49,7 +49,8 @@ void ResourceManager::set_observer(obs::Observer* obs, std::string label) {
   scheduler_->set_observer(obs);
 }
 
-JobId ResourceManager::submit(JobRequest request, CompletionCallback on_complete) {
+JobId ResourceManager::submit(JobRequest request, CompletionCallback on_complete,
+                              StartCallback on_start) {
   const JobId id = next_id_++;
   JobRecord rec;
   rec.id = id;
@@ -57,6 +58,7 @@ JobId ResourceManager::submit(JobRequest request, CompletionCallback on_complete
   rec.submit_time = sim_.now();
   jobs_.emplace(id, std::move(rec));
   if (on_complete) callbacks_.emplace(id, std::move(on_complete));
+  if (on_start) start_callbacks_.emplace(id, std::move(on_start));
   queue_.push_back(id);
   if (obs_ && obs_->on()) {
     obs_->count(sim_.now(), "rm.jobs_submitted", obs_label_);
@@ -157,6 +159,11 @@ void ResourceManager::start_job(JobRecord& rec, Allocation alloc) {
   const JobId id = rec.id;
   completion_events_[id] =
       sim_.schedule_at(rec.expected_finish, [this, id] { finish_job(id); });
+  if (auto sit = start_callbacks_.find(id); sit != start_callbacks_.end()) {
+    auto cb = std::move(sit->second);
+    start_callbacks_.erase(sit);
+    cb(rec);
+  }
 }
 
 void ResourceManager::finish_job(JobId id) {
@@ -201,11 +208,41 @@ void ResourceManager::fail_running_job(JobId id, const std::string& reason) {
   complete(rec, JobState::Failed, reason);
 }
 
+bool ResourceManager::kill(JobId id, const std::string& reason) {
+  auto jit = jobs_.find(id);
+  if (jit == jobs_.end()) return false;
+  JobRecord& rec = jit->second;
+  if (rec.state == JobState::Queued) {
+    queue_.erase(std::find(queue_.begin(), queue_.end(), id));
+    complete(rec, JobState::Cancelled, reason);
+    return true;
+  }
+  if (rec.state != JobState::Running) return false;
+  cluster_.release(rec.allocation);
+  core_usage_.change(sim_.now(), -rec.request.resources.total_cores());
+  running_.erase(std::find(running_.begin(), running_.end(), id));
+  if (auto it = completion_events_.find(id); it != completion_events_.end()) {
+    it->second.cancel();
+    completion_events_.erase(it);
+  }
+  ++killed_;
+  if (obs_ && obs_->on()) {
+    obs_->count(sim_.now(), "rm.jobs_killed", obs_label_);
+    obs_->gauge_set(sim_.now(), "rm.running_jobs",
+                    static_cast<double>(running_.size()), obs_label_);
+    obs_->gauge_set(sim_.now(), "rm.cores_busy", core_usage_.level(), obs_label_);
+  }
+  complete(rec, JobState::Cancelled, reason);
+  kick();
+  return true;
+}
+
 void ResourceManager::complete(JobRecord& rec, JobState final_state,
                                const std::string& reason) {
   rec.state = final_state;
   rec.finish_time = sim_.now();
   rec.failure_reason = reason;
+  start_callbacks_.erase(rec.id);  // never started / no longer relevant
   auto it = callbacks_.find(rec.id);
   if (it != callbacks_.end()) {
     auto cb = std::move(it->second);
@@ -214,7 +251,8 @@ void ResourceManager::complete(JobRecord& rec, JobState final_state,
   }
 }
 
-void ResourceManager::fail_node(NodeId node, SimTime repair_after) {
+void ResourceManager::fail_node(NodeId node, SimTime repair_after,
+                                const std::string& reason) {
   // Collect victims before mutating.
   std::vector<JobId> victims;
   for (JobId id : running_) {
@@ -226,8 +264,9 @@ void ResourceManager::fail_node(NodeId node, SimTime repair_after) {
       }
   }
   cluster_.set_node_down(node);
-  for (JobId id : victims)
-    fail_running_job(id, "node " + std::to_string(node) + " failed");
+  const std::string why =
+      reason.empty() ? "node " + std::to_string(node) + " failed" : reason;
+  for (JobId id : victims) fail_running_job(id, why);
   if (repair_after > 0.0) {
     sim_.schedule_in(repair_after, [this, node] {
       cluster_.set_node_up(node);

@@ -61,6 +61,9 @@ struct JobRecord {
 };
 
 using CompletionCallback = std::function<void(const JobRecord&)>;
+/// Fires when the job leaves the queue and starts running. The record's
+/// start_time/speed are set — enough to arm straggler watchdogs.
+using StartCallback = std::function<void(const JobRecord&)>;
 
 class ResourceManager;
 
@@ -115,20 +118,33 @@ class ResourceManager {
                   std::unique_ptr<Scheduler> scheduler,
                   ResourceManagerConfig config = {});
 
-  /// Submits a job; `on_complete` fires on Completed/Failed/Cancelled.
-  JobId submit(JobRequest request, CompletionCallback on_complete = {});
+  /// Submits a job; `on_complete` fires on Completed/Failed/Cancelled,
+  /// `on_start` (optional) when the job begins running.
+  JobId submit(JobRequest request, CompletionCallback on_complete = {},
+               StartCallback on_start = {});
 
-  /// Cancels a queued job (running jobs are not preemptable in this model).
+  /// Cancels a queued job (running jobs are not preemptable in this model —
+  /// use kill() for the resilience paths that need it).
   /// Returns false if the job is not queued.
   bool cancel(JobId id);
+
+  /// Kills a queued *or running* job: frees its allocation and completes it
+  /// as Cancelled with `reason`. This is the hedge-loser / timeout path —
+  /// unlike fail_node it is surgical (one job) and counts neither as a
+  /// completion nor a failure. Returns false when the job is already done.
+  bool kill(JobId id, const std::string& reason = "killed by client");
 
   const JobRecord& job(JobId id) const { return jobs_.at(id); }
   std::size_t queued_count() const noexcept { return queue_.size(); }
   std::size_t running_count() const noexcept { return running_.size(); }
 
   /// Takes a node down now; jobs running on it fail. If repair_after > 0 the
-  /// node comes back after that delay and scheduling resumes on it.
-  void fail_node(NodeId id, SimTime repair_after = 0.0);
+  /// node comes back after that delay and scheduling resumes on it. `reason`
+  /// overrides the failure_reason on the victims' records (classification
+  /// wire format — e.g. spot preemptions say "preempted"); empty keeps the
+  /// default "node N failed".
+  void fail_node(NodeId id, SimTime repair_after = 0.0,
+                 const std::string& reason = {});
 
   const Cluster& cluster() const noexcept { return cluster_; }
   sim::Simulation& simulation() noexcept { return sim_; }
@@ -139,6 +155,7 @@ class ResourceManager {
   /// Count of completed / failed jobs so far.
   std::size_t completed_jobs() const noexcept { return completed_; }
   std::size_t failed_jobs() const noexcept { return failed_; }
+  std::size_t killed_jobs() const noexcept { return killed_; }
 
   /// Forces a scheduling pass soon (coalesced).
   void kick();
@@ -166,6 +183,7 @@ class ResourceManager {
 
   std::map<JobId, JobRecord> jobs_;
   std::map<JobId, CompletionCallback> callbacks_;
+  std::map<JobId, StartCallback> start_callbacks_;
   std::vector<JobId> queue_;            ///< Submission order.
   std::map<JobId, sim::EventHandle> completion_events_;
   std::vector<JobId> running_;
@@ -174,6 +192,7 @@ class ResourceManager {
   bool in_pass_ = false;
   std::size_t completed_ = 0;
   std::size_t failed_ = 0;
+  std::size_t killed_ = 0;
   LevelTracker core_usage_;
   obs::Observer* obs_ = nullptr;
   std::string obs_label_;

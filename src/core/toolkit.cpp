@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "cws/strategies.hpp"
+#include "resilience/lineage.hpp"
 #include "workflow/analysis.hpp"
 
 namespace hhc::core {
@@ -11,7 +12,8 @@ namespace hhc::core {
 Toolkit::Toolkit(ToolkitConfig config)
     : config_(config), rng_(config.seed), topology_(sim_, &obs_),
       staging_(sim_, topology_, catalog_, &obs_),
-      predictor_(std::make_unique<cws::LotaruPredictor>()) {}
+      predictor_(std::make_unique<cws::LotaruPredictor>()),
+      detector_(config.resilience.hedging) {}
 
 Toolkit::~Toolkit() = default;
 
@@ -136,6 +138,17 @@ CompositeReport Toolkit::run_impl(const wf::Workflow& workflow,
   state.site_of.assign(n, federation::kInvalidSite);
   state.retries.assign(n, 0);
   state.job_of.assign(n, 0);
+  state.retry = resilience::RetryPolicy(config_.resilience.backoff, config_.seed);
+  state.completed.assign(n, 0);
+  state.ever_completed.assign(n, 0);
+  state.in_recovery.assign(n, 0);
+  state.hedged.assign(n, 0);
+  state.hedge_job_of.assign(n, 0);
+  state.hedge_env.assign(n, kInvalidEnvironment);
+  state.hedge_site.assign(n, federation::kInvalidSite);
+  state.hedge_check.assign(n, {});
+  state.timeout_check.assign(n, {});
+  state.hedge_timeout_check.assign(n, {});
   state.pending_preds.resize(n);
   for (wf::TaskId t = 0; t < n; ++t)
     state.pending_preds[t] = workflow.predecessors(t).size();
@@ -178,6 +191,18 @@ CompositeReport Toolkit::run_impl(const wf::Workflow& workflow,
     }
   }
 
+  if (chaos_) {
+    std::vector<resilience::ChaosTarget> targets;
+    for (EnvironmentId e = 0; e < envs_.size(); ++e)
+      targets.push_back({e, envs_[e].cluster->node_count(),
+                         envs_[e].kind == EnvironmentKind::Cloud});
+    std::vector<std::pair<std::string, std::string>> links;
+    for (EnvironmentId a = 0; a < envs_.size(); ++a)
+      for (EnvironmentId b = a + 1; b < envs_.size(); ++b)
+        links.emplace_back(env_location(a), env_location(b));
+    chaos_->arm(sim_, targets, links, obs_.on() ? &obs_ : nullptr);
+  }
+
   active_run_ = &state;
   for (wf::TaskId t : workflow.sources()) dispatch(state, t);
   sim_.run();
@@ -186,8 +211,16 @@ CompositeReport Toolkit::run_impl(const wf::Workflow& workflow,
 
   registry_.unregister_workflow(state.wf_id);
 
-  if (state.remaining != 0 && !state.failed)
-    throw std::logic_error("composite run drained with tasks pending");
+  if (state.remaining != 0 && !state.failed) {
+    // The event queue drained with tasks still pending: under chaos this is
+    // a livelock (e.g. a permanently partitioned link parked the staging
+    // transfers a task is waiting on). Report it as a run failure instead of
+    // crashing the embedding experiment.
+    state.failed = true;
+    state.error = "deadlock: " + std::to_string(state.remaining) +
+                  " task(s) pending with no runnable events";
+    finish_run_observation(state);
+  }
 
   state.report.success = !state.failed;
   state.report.error = state.error;
@@ -217,7 +250,6 @@ CompositeReport Toolkit::run_impl(const wf::Workflow& workflow,
 }
 
 void Toolkit::dispatch(RunState& state, wf::TaskId task) {
-  const wf::Workflow& workflow = *state.workflow;
   EnvironmentId env_id;
   if (state.broker) {
     federation::SiteId site;
@@ -241,6 +273,20 @@ void Toolkit::dispatch(RunState& state, wf::TaskId task) {
   }
   state.placement[task] = env_id;
 
+  stage_inputs(state, task, env_id,
+               [this, &state, task](bool ok, const std::string& error) {
+                 if (ok)
+                   submit_task(state, task);
+                 else
+                   on_staging_failed(state, task, error);
+               });
+}
+
+void Toolkit::stage_inputs(RunState& state, wf::TaskId task,
+                           EnvironmentId env_id,
+                           std::function<void(bool, const std::string&)> done) {
+  const wf::Workflow& workflow = *state.workflow;
+
   // Cross-environment inputs stage through the fabric before the job is
   // submitted. Each edge is a content-addressed dataset: the scheduler
   // resolves cache hits, coalesces with in-flight copies, and otherwise
@@ -254,18 +300,32 @@ void Toolkit::dispatch(RunState& state, wf::TaskId task) {
   if (cross.empty()) {
     // Preserve the pre-fabric event ordering: submission happens on the
     // next event, never inline from the completion callback.
-    sim_.post([this, &state, task] { submit_task(state, task); });
+    sim_.post([done = std::move(done)] { done(true, {}); });
     return;
   }
 
+  // Join: the attempt proceeds only when every input arrived; a single
+  // failed edge (no reachable replica, aborted transfer) fails the join and
+  // routes into the resilience plane instead of throwing mid-simulation.
+  struct Join {
+    std::size_t pending = 0;
+    bool failed = false;
+    std::string error;
+    std::function<void(bool, const std::string&)> done;
+  };
+  auto join = std::make_shared<Join>();
+  join->pending = cross.size();
+  join->done = std::move(done);
+
   const std::string dest = env_location(env_id);
-  auto pending = std::make_shared<std::size_t>(cross.size());
   for (const auto& [producer, bytes] : cross) {
     const auto id = cws::edge_dataset_id(state.wf_id, producer, bytes);
-    staging_.stage(id, dest, [this, &state, task, pending](
-                                 const fabric::StageResult& r) {
-      if (r.source == fabric::StageSource::Local ||
-          r.source == fabric::StageSource::Coalesced) {
+    staging_.stage(id, dest, [this, &state, join](const fabric::StageResult& r) {
+      if (!r.ok) {
+        join->failed = true;
+        if (join->error.empty()) join->error = r.error;
+      } else if (r.source == fabric::StageSource::Local ||
+                 r.source == fabric::StageSource::Coalesced) {
         ++state.report.cross_env_cache_hits;
         state.report.cross_env_bytes_saved += r.bytes;
       } else {
@@ -274,7 +334,7 @@ void Toolkit::dispatch(RunState& state, wf::TaskId task) {
         state.report.transfer_seconds += r.elapsed;
         obs_.count(sim_.now(), "toolkit.cross_env_transfers");
       }
-      if (--*pending == 0) submit_task(state, task);
+      if (--join->pending == 0) join->done(!join->failed, join->error);
     });
   }
 }
@@ -287,7 +347,12 @@ void Toolkit::submit_task(RunState& state, wf::TaskId task) {
     dispatch(state, task);
     return;
   }
-  Environment& env = envs_[state.placement[task]];
+  submit_attempt(state, task, state.placement[task], /*hedge=*/false);
+}
+
+void Toolkit::submit_attempt(RunState& state, wf::TaskId task,
+                             EnvironmentId env_id, bool hedge) {
+  Environment& env = envs_[env_id];
   const wf::TaskSpec& spec = state.workflow->task(task);
 
   cluster::JobRequest req;
@@ -301,21 +366,135 @@ void Toolkit::submit_task(RunState& state, wf::TaskId task) {
   req.output_bytes = spec.output_bytes;
   if (auto est = predictor_->predict(req)) req.walltime_estimate = *est;
 
-  state.job_of[task] =
-      env.rm->submit(req, [this, &state, task](const cluster::JobRecord& rec) {
-        on_complete(state, task, rec);
+  if (chaos_) {
+    const std::uint32_t attempt =
+        (hedge ? 100000u : 0u) + state.retries[task];
+    const resilience::TaskFault fault = chaos_->task_fault(task, attempt);
+    if (fault.hang) {
+      // Never finishes on its own; the timeout watchdog is the rescue.
+      req.runtime *= 1e6;
+    } else if (fault.runtime_factor != 1.0) {
+      req.runtime *= fault.runtime_factor;
+    }
+  }
+
+  const cluster::JobId jid = env.rm->submit(
+      req,
+      [this, &state, task, hedge](const cluster::JobRecord& rec) {
+        on_attempt_complete(state, task, rec, hedge);
+      },
+      [this, &state, task, hedge](const cluster::JobRecord& rec) {
+        arm_watchdogs(state, task, rec, hedge);
       });
+  (hedge ? state.hedge_job_of : state.job_of)[task] = jid;
 }
 
-void Toolkit::on_complete(RunState& state, wf::TaskId task,
-                          const cluster::JobRecord& rec) {
-  Environment& env = envs_[state.placement[task]];
-  state.job_of[task] = 0;
+void Toolkit::arm_watchdogs(RunState& state, wf::TaskId task,
+                            const cluster::JobRecord& rec, bool hedge) {
+  const cluster::JobId jid = rec.id;
+  const double speed = std::max(1e-9, rec.speed);
+  const double est = rec.request.walltime_estimate;
+  const EnvironmentId env_id =
+      hedge ? state.hedge_env[task] : state.placement[task];
 
-  // Cancelled jobs never ran: a drain pulled them out of the queue so the
-  // broker can re-place them. They leave no provenance, no span, and no
-  // queue-wait observation — only the failure/reroute accounting below.
+  // Timeout watchdog: a hung (or chaos-slowed beyond reason) attempt is
+  // killed once it exceeds timeout_factor x the predictor's estimate.
+  if (config_.resilience.timeout_factor > 0.0 && est > 0.0) {
+    const SimTime deadline =
+        rec.start_time + config_.resilience.timeout_factor * est / speed;
+    auto handle = sim_.schedule_at(
+        deadline, [this, &state, task, jid, env_id, hedge] {
+          const cluster::JobId current =
+              hedge ? state.hedge_job_of[task] : state.job_of[task];
+          if (current != jid || state.completed[task]) return;
+          if (obs_.on())
+            obs_.count(sim_.now(), "resilience.timeout_kills",
+                       envs_[env_id].name);
+          envs_[env_id].rm->kill(
+              jid, "timeout: attempt exceeded " +
+                       std::to_string(config_.resilience.timeout_factor) +
+                       "x walltime estimate");
+        });
+    (hedge ? state.hedge_timeout_check : state.timeout_check)[task] = handle;
+  }
+
+  // Straggler watchdog (primary attempts only): once the attempt's
+  // normalized elapsed time clears the detector's threshold, race a
+  // speculative copy against it.
+  if (!hedge && config_.resilience.hedging.enabled && !state.hedged[task]) {
+    const auto threshold = detector_.threshold(
+        rec.request.kind,
+        est > 0.0 ? std::optional<double>(est) : std::nullopt);
+    if (threshold) {
+      state.hedge_check[task] = sim_.schedule_at(
+          rec.start_time + *threshold / speed, [this, &state, task, jid] {
+            if (state.job_of[task] != jid || state.completed[task] ||
+                state.hedged[task])
+              return;
+            launch_hedge(state, task);
+          });
+    }
+  }
+}
+
+void Toolkit::launch_hedge(RunState& state, wf::TaskId task) {
+  if (state.failed || state.completed[task] || state.hedged[task] ||
+      state.job_of[task] == 0)
+    return;
+  EnvironmentId env_id;
+  federation::SiteId site = federation::kInvalidSite;
+  if (state.broker) {
+    site = state.broker->place_hedge(task, sim_.now(), state.site_of[task]);
+    if (site == federation::kInvalidSite) return;  // nowhere to hedge
+    env_id = state.broker->site(site).environment;
+  } else {
+    env_id = state.placement[task];  // same env, different node/slot
+  }
+  state.hedged[task] = 1;
+  state.hedge_env[task] = env_id;
+  state.hedge_site[task] = site;
+  ++state.report.tasks_hedged;
+  if (obs_.on())
+    obs_.count(sim_.now(), "resilience.hedges_launched", envs_[env_id].name);
+
+  stage_inputs(state, task, env_id,
+               [this, &state, task, env_id](bool ok, const std::string&) {
+                 // The primary may have settled (or failed into a retry)
+                 // while the hedge's inputs staged; abandon quietly.
+                 if (state.completed[task] || state.failed ||
+                     state.job_of[task] == 0) {
+                   state.hedged[task] = 0;
+                   return;
+                 }
+                 if (!ok) {
+                   state.hedged[task] = 0;  // hedge unreachable, primary lives
+                   return;
+                 }
+                 submit_attempt(state, task, env_id, /*hedge=*/true);
+               });
+}
+
+void Toolkit::on_attempt_complete(RunState& state, wf::TaskId task,
+                                  const cluster::JobRecord& rec, bool hedge) {
+  const EnvironmentId env_id =
+      hedge ? state.hedge_env[task] : state.placement[task];
+  Environment& env = envs_[env_id];
+  if (hedge) {
+    state.hedge_job_of[task] = 0;
+    state.hedge_timeout_check[task].cancel();
+  } else {
+    state.job_of[task] = 0;
+    state.hedge_check[task].cancel();
+    state.timeout_check[task].cancel();
+  }
+
+  // Cancelled jobs either never ran (a drain pulled them out of the queue so
+  // the broker can re-place them) or were killed mid-run (hedge loser,
+  // timeout). Neither leaves provenance, a span, or a queue-wait
+  // observation — only the failure/reroute/waste accounting below.
   const bool cancelled = rec.state == cluster::JobState::Cancelled;
+  const bool superseded =
+      cancelled && rec.failure_reason.find("superseded") != std::string::npos;
   if (!cancelled) {
     cws::TaskProvenance p;
     p.task_id = task;
@@ -346,52 +525,231 @@ void Toolkit::on_complete(RunState& state, wf::TaskId task,
                  p.failed ? "toolkit.tasks_failed" : "toolkit.tasks_completed");
     }
 
-    if (state.broker)
-      state.broker->task_started(state.site_of[task],
-                                 rec.start_time - rec.submit_time, sim_.now());
+    if (state.broker) {
+      const federation::SiteId site =
+          hedge ? state.hedge_site[task] : state.site_of[task];
+      if (site != federation::kInvalidSite)
+        state.broker->task_started(site, rec.start_time - rec.submit_time,
+                                   sim_.now());
+    }
   }
   if (state.broker) state.broker->task_finished(task);
 
-  if (rec.state != cluster::JobState::Completed) {
-    ++state.report.task_failures;
-    if (state.broker) {
-      if (rec.state == cluster::JobState::Failed)
-        state.broker->report_failure(state.site_of[task], sim_.now());
-      if (state.retries[task] < state.broker->config().max_task_retries) {
-        ++state.retries[task];
-        ++state.report.task_resubmissions;
-        if (obs_.on())
-          obs_.count(sim_.now(), "federation.task_resubmissions", env.name);
-        // Re-broker on the next event: by then report_failure's hold-down
-        // has excluded the failing site, so the placement lands elsewhere.
-        sim_.post([this, &state, task] { dispatch(state, task); });
-        return;
-      }
-    }
-    state.failed = true;
-    state.error = "task '" + rec.request.name + "' failed: " + rec.failure_reason;
-    finish_run_observation(state);
+  if (superseded) {
+    // The race's loser: the other copy already won. Its partial execution is
+    // the price of hedging — account it and stop.
+    if (!rec.allocation.empty())
+      state.report.wasted_core_seconds +=
+          (rec.finish_time - rec.start_time) *
+          rec.request.resources.total_cores();
     return;
   }
 
-  ++env.tasks_run;
-  env.busy_core_seconds +=
-      (rec.finish_time - rec.start_time) * rec.request.resources.total_cores();
-
-  // The task's outputs now exist at its environment: publish each out-edge
-  // dataset so consumers (wherever they run) can stage from here — and so
-  // same-sized scatter edges resolve to one dataset with one replica.
-  const std::string loc = env_location(state.placement[task]);
-  for (wf::TaskId s : state.workflow->successors(task)) {
-    const Bytes bytes = state.workflow->edge_bytes(task, s);
-    if (bytes > 0)
-      staging_.publish(cws::edge_dataset_id(state.wf_id, task, bytes), bytes, loc);
+  // Chaos corrupt-output fault: the attempt completed, but its output fails
+  // validation at stage-out, so downstream must not consume it.
+  bool success = rec.state == cluster::JobState::Completed;
+  std::string reason = rec.failure_reason;
+  bool corrupt = false;
+  if (success && chaos_) {
+    const std::uint32_t attempt =
+        (hedge ? 100000u : 0u) + state.retries[task];
+    if (chaos_->task_fault(task, attempt).corrupt) {
+      success = false;
+      corrupt = true;
+      reason = "corrupt output detected at stage-out";
+      if (obs_.on())
+        obs_.count(sim_.now(), "resilience.corrupt_outputs", env.name);
+    }
   }
 
-  --state.remaining;
-  if (state.remaining == 0) finish_run_observation(state);
-  for (wf::TaskId s : state.workflow->successors(task))
-    if (--state.pending_preds[s] == 0) dispatch(state, s);
+  if (success) {
+    if (state.completed[task]) return;  // belt and braces: race already won
+    const bool recompute = state.ever_completed[task] != 0;
+    state.completed[task] = 1;
+    state.ever_completed[task] = 1;
+    state.in_recovery[task] = 0;
+    state.retry.reset(task);
+    detector_.observe(rec.request.kind,
+                      (rec.finish_time - rec.start_time) * rec.speed);
+
+    // Settle the race: kill the outstanding copy, if any.
+    if (hedge) {
+      ++state.report.hedges_won;
+      if (obs_.on()) obs_.count(sim_.now(), "resilience.hedges_won", env.name);
+      if (state.job_of[task] != 0)
+        envs_[state.placement[task]].rm->kill(state.job_of[task],
+                                              "superseded by hedge");
+    } else if (state.hedge_job_of[task] != 0) {
+      envs_[state.hedge_env[task]].rm->kill(state.hedge_job_of[task],
+                                            "superseded by primary");
+    }
+
+    ++env.tasks_run;
+    env.busy_core_seconds +=
+        (rec.finish_time - rec.start_time) * rec.request.resources.total_cores();
+
+    // The task's outputs now exist at the winner's environment: publish each
+    // out-edge dataset so consumers (wherever they run) can stage from here —
+    // and so same-sized scatter edges resolve to one dataset with one replica.
+    const std::string loc = env_location(env_id);
+    for (wf::TaskId s : state.workflow->successors(task)) {
+      const Bytes bytes = state.workflow->edge_bytes(task, s);
+      if (bytes > 0)
+        staging_.publish(cws::edge_dataset_id(state.wf_id, task, bytes), bytes,
+                         loc);
+    }
+
+    --state.remaining;
+    if (state.remaining == 0) finish_run_observation(state);
+    for (wf::TaskId s : state.workflow->successors(task)) {
+      if (state.completed[s]) continue;
+      // A recompute only releases successors that are part of a recovery:
+      // everyone else's pending count already credits this task's first
+      // completion.
+      if (recompute && !state.in_recovery[s]) continue;
+      if (state.pending_preds[s] > 0 && --state.pending_preds[s] == 0)
+        dispatch(state, s);
+    }
+    return;
+  }
+
+  // Failure path.
+  ++state.report.task_failures;
+  if (!rec.allocation.empty())
+    state.report.wasted_core_seconds +=
+        (rec.finish_time - rec.start_time) * rec.request.resources.total_cores();
+
+  // If the other copy of a hedge race is still in flight, the task is not
+  // lost yet — let the survivor decide the outcome.
+  if (hedge) {
+    if (state.job_of[task] != 0) return;
+  } else if (state.hedge_job_of[task] != 0) {
+    return;
+  }
+
+  if (state.broker && rec.state == cluster::JobState::Failed) {
+    const federation::SiteId site =
+        hedge ? state.hedge_site[task] : state.site_of[task];
+    if (site != federation::kInvalidSite)
+      state.broker->report_failure(site, sim_.now());
+  }
+
+  const resilience::FailureClass cls = corrupt
+                                           ? resilience::FailureClass::CorruptOutput
+                                           : resilience::classify(rec);
+  handle_task_failure(state, task, cls,
+                      "task '" + rec.request.name + "' failed: " + reason);
+}
+
+std::size_t Toolkit::retry_budget(const RunState& state,
+                                  resilience::FailureClass cls) const {
+  const auto& per = config_.resilience.backoff.per_class_attempts;
+  if (const auto it = per.find(cls); it != per.end()) return it->second;
+  // Federated runs keep the broker's budget (the pre-resilience contract);
+  // the static path gets the resilience config's budget (default 0, i.e.
+  // terminal on first failure, exactly as before).
+  if (state.broker) return state.broker->config().max_task_retries;
+  return config_.resilience.static_task_retries;
+}
+
+void Toolkit::handle_task_failure(RunState& state, wf::TaskId task,
+                                  resilience::FailureClass cls,
+                                  const std::string& error) {
+  if (state.completed[task]) return;  // a raced copy already succeeded
+  if (state.retries[task] < retry_budget(state, cls)) {
+    ++state.retries[task];
+    ++state.report.task_resubmissions;
+    state.hedged[task] = 0;  // the next attempt may hedge again
+    if (obs_.on()) {
+      if (state.broker)
+        obs_.count(sim_.now(), "federation.task_resubmissions",
+                   envs_[state.placement[task]].name);
+      obs_.count(sim_.now(), "resilience.task_retries",
+                 resilience::to_string(cls));
+    }
+    const SimTime delay = state.retry.next_delay(task);
+    if (delay <= 0.0) {
+      // Legacy cadence: re-broker/resubmit on the next event — by then
+      // report_failure's hold-down has excluded the failing site, so a
+      // federated placement lands elsewhere.
+      sim_.post([this, &state, task] { dispatch(state, task); });
+    } else {
+      if (obs_.on())
+        obs_.count(sim_.now(), "resilience.backoff_waits",
+                   resilience::to_string(cls));
+      sim_.schedule_in(delay, [this, &state, task] {
+        if (!state.failed && !state.completed[task]) dispatch(state, task);
+      });
+    }
+    return;
+  }
+  state.failed = true;
+  state.error = error;
+  finish_run_observation(state);
+}
+
+void Toolkit::on_staging_failed(RunState& state, wf::TaskId task,
+                                const std::string& error) {
+  if (state.failed || state.completed[task]) return;
+  ++state.report.task_failures;
+  if (obs_.on())
+    obs_.count(sim_.now(), "resilience.staging_failures",
+               envs_[state.placement[task]].name);
+  if (config_.resilience.lineage_recovery) {
+    const auto cone = resilience::recovery_cone(
+        *state.workflow, state.wf_id, task,
+        [this](const fabric::DatasetId& id) {
+          return catalog_.replica_count(id) > 0;
+        });
+    if (!cone.empty()) {
+      trigger_recovery(state, task, cone);
+      return;
+    }
+  }
+  handle_task_failure(state, task, resilience::FailureClass::Staging,
+                      "task '" + state.workflow->task(task).name +
+                          "' failed: " + error);
+}
+
+void Toolkit::trigger_recovery(RunState& state, wf::TaskId task,
+                               const std::vector<wf::TaskId>& cone) {
+  const wf::Workflow& workflow = *state.workflow;
+
+  // Mark the cone for re-execution. Members already mid-recompute (an
+  // overlapping recovery claimed them) keep their in-flight state.
+  std::vector<wf::TaskId> fresh;
+  for (wf::TaskId c : cone) {
+    if (state.in_recovery[c] && !state.completed[c]) continue;
+    state.in_recovery[c] = 1;
+    state.completed[c] = 0;
+    fresh.push_back(c);
+  }
+  state.in_recovery[task] = 1;  // the starved task rides the same episode
+  state.remaining += fresh.size();
+  state.report.recovery_recomputed_tasks += fresh.size();
+  if (obs_.on()) {
+    obs_.count(sim_.now(), "resilience.recovery_cones");
+    obs_.count(sim_.now(), "resilience.recovery_tasks", {},
+               static_cast<double>(fresh.size()));
+  }
+
+  // Dependency counts within the episode: a predecessor gates re-execution
+  // iff it has not (or no longer) completed — resident ancestors outside the
+  // cone stay done, which is the whole point of lineage-minimal recovery.
+  const auto pending_of = [&](wf::TaskId t) {
+    std::size_t pending = 0;
+    for (wf::TaskId p : workflow.predecessors(t))
+      if (!state.completed[p]) ++pending;
+    return pending;
+  };
+  for (wf::TaskId c : fresh) state.pending_preds[c] = pending_of(c);
+  state.pending_preds[task] = pending_of(task);
+
+  for (wf::TaskId c : fresh)
+    if (state.pending_preds[c] == 0)
+      sim_.post([this, &state, c] { dispatch(state, c); });
+  if (state.pending_preds[task] == 0)
+    sim_.post([this, &state, task] { dispatch(state, task); });
 }
 
 void Toolkit::drain_site(EnvironmentId id, bool kill_running) {
@@ -403,14 +761,80 @@ void Toolkit::drain_site(EnvironmentId id, bool kill_running) {
     if (obs_.on()) obs_.count(sim_.now(), "federation.site_drains", env.name);
     // Pull queued federated jobs back out so they re-broker immediately;
     // cancel() fires their callbacks synchronously, which post re-dispatch.
-    for (wf::TaskId t = 0; t < state->workflow->task_count(); ++t)
+    for (wf::TaskId t = 0; t < state->workflow->task_count(); ++t) {
       if (state->placement[t] == id && state->job_of[t] != 0)
         env.rm->cancel(state->job_of[t]);
+      if (state->hedge_env[t] == id && state->hedge_job_of[t] != 0)
+        env.rm->cancel(state->hedge_job_of[t]);
+    }
   }
   if (kill_running)
     for (cluster::NodeId n = 0;
          n < static_cast<cluster::NodeId>(env.cluster->node_count()); ++n)
       if (env.cluster->node(n).up) env.rm->fail_node(n);
+}
+
+void Toolkit::restore_site(EnvironmentId id) {
+  Environment& env = envs_.at(id);
+  for (cluster::NodeId n = 0;
+       n < static_cast<cluster::NodeId>(env.cluster->node_count()); ++n)
+    if (!env.cluster->node(n).up) env.cluster->set_node_up(n);
+  RunState* state = active_run_;
+  if (state && state->broker) {
+    const federation::SiteId site = state->broker->site_for_environment(id);
+    if (site != federation::kInvalidSite) state->broker->undrain(site);
+  }
+  if (obs_.on()) obs_.count(sim_.now(), "federation.site_restores", env.name);
+  env.rm->kick();
+}
+
+void Toolkit::attach_chaos(resilience::ChaosEngine* chaos) {
+  chaos_ = chaos;
+  if (chaos_) install_chaos_hooks();
+}
+
+void Toolkit::install_chaos_hooks() {
+  resilience::ChaosHooks hooks;
+  hooks.fail_node = [this](std::size_t env, std::size_t node,
+                           SimTime repair_after) {
+    if (env >= envs_.size() || node >= envs_[env].cluster->node_count()) return;
+    if (!envs_[env].cluster->node(static_cast<cluster::NodeId>(node)).up) return;
+    envs_[env].rm->fail_node(static_cast<cluster::NodeId>(node), repair_after);
+  };
+  hooks.preempt_node = [this](std::size_t env, std::size_t node) {
+    if (env >= envs_.size() || node >= envs_[env].cluster->node_count()) return;
+    if (!envs_[env].cluster->node(static_cast<cluster::NodeId>(node)).up) return;
+    envs_[env].rm->fail_node(
+        static_cast<cluster::NodeId>(node), 0.0,
+        "spot instance preempted (node " + std::to_string(node) + ")");
+  };
+  hooks.set_link_factor = [this](const std::string& a, const std::string& b,
+                                 double factor, SimTime restore_after) {
+    fabric::Link* link = topology_.find_link(a, b);
+    if (!link) return;
+    link->set_rate_factor(factor);
+    // Weak event: a restore after the workflow's last task must not keep the
+    // simulation alive just to heal an unused link.
+    if (restore_after > 0.0)
+      sim_.schedule_weak_in(restore_after,
+                            [link] { link->set_rate_factor(1.0); });
+  };
+  hooks.site_outage = [this](std::size_t env, SimTime restore_after) {
+    if (env >= envs_.size()) return;
+    drain_site(env, /*kill_running=*/true);
+    // The site's storage goes dark with it: purge its cached replicas and
+    // every catalog entry pointing at it. Downstream consumers whose only
+    // replica lived here now fail staging — the lineage-recovery trigger.
+    caches_[env]->clear();
+    catalog_.drop_location(env_location(env));
+    if (restore_after > 0.0)
+      sim_.schedule_weak_in(restore_after,
+                            [this, env] { restore_site(env); });
+  };
+  hooks.abort_transfers = [this] {
+    staging_.abort_in_flight("transfer aborted by chaos");
+  };
+  chaos_->set_hooks(std::move(hooks));
 }
 
 void Toolkit::finish_run_observation(RunState& state) {

@@ -22,6 +22,9 @@
 #include "fabric/staging.hpp"
 #include "federation/broker.hpp"
 #include "obs/observer.hpp"
+#include "resilience/chaos.hpp"
+#include "resilience/hedging.hpp"
+#include "resilience/retry.hpp"
 #include "sim/simulation.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
@@ -69,6 +72,16 @@ struct CompositeReport {
   std::size_t task_failures = 0;
   std::size_t task_resubmissions = 0;
   std::size_t tasks_rerouted = 0;
+  /// Resilience-plane accounting. `tasks_hedged` counts speculative copies
+  /// launched against suspected stragglers, `hedges_won` the races the copy
+  /// won (the primary was killed). `recovery_recomputed_tasks` counts
+  /// ancestor re-executions issued by lineage recovery after replica loss.
+  /// `wasted_core_seconds` is the work thrown away: failed attempts, killed
+  /// hedge losers, and timed-out attempts, at elapsed x allocated cores.
+  std::size_t tasks_hedged = 0;
+  std::size_t hedges_won = 0;
+  std::size_t recovery_recomputed_tasks = 0;
+  double wasted_core_seconds = 0.0;
   std::vector<EnvironmentReport> environments;
   /// Snapshot of every metric the run recorded (rm.*, cws.*, toolkit.*,
   /// sim.*). Additive across runs of the same Toolkit; MetricsSnapshot::merge
@@ -90,6 +103,28 @@ struct ToolkitConfig {
   /// Cadence of per-environment core-utilization samplers during run();
   /// 0 disables. Samplers stop when the run's last task finishes.
   SimTime sample_period = 0.0;
+
+  /// Resilience plane for composite runs (DESIGN.md §10). The defaults
+  /// preserve pre-resilience behaviour exactly: no static-path retries, no
+  /// backoff (retries fire on the next event), no hedging, no timeouts, no
+  /// lineage recovery.
+  struct ResilienceConfig {
+    /// Retry budget for tasks on the static-assignment path. Federated runs
+    /// keep using the broker's max_task_retries; 0 here preserves the
+    /// static path's terminal-on-first-failure contract.
+    std::size_t static_task_retries = 0;
+    /// Backoff between retries on both paths (base_delay 0 = next event).
+    resilience::RetryBackoff backoff;
+    /// Straggler detection + speculative re-execution (off by default).
+    resilience::HedgeConfig hedging;
+    /// Kill attempts running longer than timeout_factor x the predictor's
+    /// walltime estimate — the hung-task rescue. 0 disables.
+    double timeout_factor = 0.0;
+    /// When a task's input has no live replica anywhere, re-execute the
+    /// minimal upstream cone instead of failing the task.
+    bool lineage_recovery = false;
+  };
+  ResilienceConfig resilience;
 };
 
 /// The facade. One instance per experiment; not thread-safe (clone per
@@ -154,6 +189,25 @@ class Toolkit {
   /// nothing new lands. No-op on the static path except the node failures.
   void drain_site(EnvironmentId id, bool kill_running = true);
 
+  /// Reverses drain_site: brings every down node back up, undrains the
+  /// broker site (federated runs), and kicks the scheduler. Site-outage
+  /// chaos events call this to end the outage.
+  void restore_site(EnvironmentId id);
+
+  /// Arms `chaos` against this toolkit: installs delivery hooks that route
+  /// node crashes / preemptions into the right resource manager, link
+  /// faults into the fabric topology, site outages through
+  /// drain_site/restore_site (with replica invalidation — the lineage
+  /// trigger), and transfer aborts into the staging scheduler. Task faults
+  /// (straggler/hang/corrupt) are consulted at submit time. The engine is
+  /// armed at the start of every subsequent run(); pass nullptr to detach.
+  void attach_chaos(resilience::ChaosEngine* chaos);
+
+  /// The cross-run straggler detector feeding hedge thresholds.
+  const resilience::StragglerDetector& straggler_detector() const noexcept {
+    return detector_;
+  }
+
   /// Access to an environment's provenance (tasks it executed).
   const cws::ProvenanceStore& provenance() const noexcept { return provenance_; }
 
@@ -195,6 +249,21 @@ class Toolkit {
     std::vector<std::uint32_t> retries;        ///< Resubmissions so far.
     std::vector<cluster::JobId> job_of;        ///< Outstanding job (0 = none).
     std::vector<std::size_t> pending_preds;
+    /// Resilience plane: unified backoff for this run's retries, plus the
+    /// per-task flags the hedging race and lineage recovery need.
+    resilience::RetryPolicy retry;
+    std::vector<std::uint8_t> completed;       ///< Task has a settled success.
+    std::vector<std::uint8_t> ever_completed;  ///< Completed at least once.
+    std::vector<std::uint8_t> in_recovery;     ///< Part of a lineage recovery.
+    std::vector<std::uint8_t> hedged;          ///< Hedge launched this attempt.
+    std::vector<cluster::JobId> hedge_job_of;  ///< Outstanding hedge (0 = none).
+    std::vector<EnvironmentId> hedge_env;
+    std::vector<federation::SiteId> hedge_site;
+    /// Watchdog events, cancelled when their attempt settles so a no-op
+    /// check never extends the run.
+    std::vector<sim::EventHandle> hedge_check;
+    std::vector<sim::EventHandle> timeout_check;
+    std::vector<sim::EventHandle> hedge_timeout_check;
     std::size_t remaining = 0;
     int wf_id = -1;  ///< Registry id for this run (CWSI workflow context).
     bool failed = false;
@@ -212,8 +281,35 @@ class Toolkit {
                            federation::Broker* broker);
 
   void dispatch(RunState& state, wf::TaskId task);
+  /// Stages `task`'s cross-environment inputs toward `env_id`, then calls
+  /// `done(ok, error)` — ok=false when any input could not be staged.
+  void stage_inputs(RunState& state, wf::TaskId task, EnvironmentId env_id,
+                    std::function<void(bool, const std::string&)> done);
   void submit_task(RunState& state, wf::TaskId task);
-  void on_complete(RunState& state, wf::TaskId task, const cluster::JobRecord& rec);
+  /// Submits one attempt (primary or hedge) of `task` to `env_id`, applying
+  /// chaos task faults and arming straggler/timeout watchdogs at job start.
+  void submit_attempt(RunState& state, wf::TaskId task, EnvironmentId env_id,
+                      bool hedge);
+  void arm_watchdogs(RunState& state, wf::TaskId task,
+                     const cluster::JobRecord& rec, bool hedge);
+  void launch_hedge(RunState& state, wf::TaskId task);
+  void on_attempt_complete(RunState& state, wf::TaskId task,
+                           const cluster::JobRecord& rec, bool hedge);
+  /// Failure path shared by job failures and staging failures: classify,
+  /// consult budget + backoff, retry or end the run.
+  void handle_task_failure(RunState& state, wf::TaskId task,
+                           resilience::FailureClass cls,
+                           const std::string& reason);
+  void on_staging_failed(RunState& state, wf::TaskId task,
+                         const std::string& error);
+  /// Lineage recovery: re-executes the upstream cone whose outputs lost
+  /// every live replica, then re-dispatches `task`.
+  void trigger_recovery(RunState& state, wf::TaskId task,
+                        const std::vector<wf::TaskId>& cone);
+  std::size_t retry_budget(const RunState& state,
+                           resilience::FailureClass cls) const;
+  void fail_run(RunState& state, std::string error);
+  void install_chaos_hooks();
 
   void finish_run_observation(RunState& state);
 
@@ -229,6 +325,8 @@ class Toolkit {
   cws::WorkflowRegistry registry_;
   cws::ProvenanceStore provenance_;
   std::unique_ptr<cws::RuntimePredictor> predictor_;
+  resilience::StragglerDetector detector_;  ///< Persists across runs.
+  resilience::ChaosEngine* chaos_ = nullptr;
   RunState* active_run_ = nullptr;  ///< Set while run() drives the sim.
 };
 

@@ -13,7 +13,8 @@ constexpr const char* kOccupancySampler = "entk.pilot_occupancy";
 
 AppManager::AppManager(sim::Simulation& sim, cluster::Cluster& pilot,
                        EntkConfig config, Rng rng)
-    : sim_(sim), pilot_(pilot), config_(config), rng_(rng) {
+    : sim_(sim), pilot_(pilot), config_(config), rng_(rng),
+      retry_(config.retry) {
   if (config_.scheduling_rate <= 0 || config_.launching_rate <= 0)
     throw std::invalid_argument("AppManager: rates must be positive");
 }
@@ -311,6 +312,24 @@ void AppManager::stage_completed(std::size_t pipeline) {
 }
 
 void AppManager::resubmit(std::size_t record_index) {
+  // Zero backoff (the default) re-queues synchronously — the historical
+  // behaviour, preserved byte-for-byte in the trace. A positive delay holds
+  // the task out of the queue; its stage cannot complete meanwhile, so the
+  // run never finishes from under a pending retry.
+  const SimTime delay = retry_.next_delay(record_index);
+  if (delay <= 0.0) {
+    enqueue_resubmit(record_index);
+    return;
+  }
+  obs_->count(sim_.now(), "resilience.backoff_waits");
+  obs_->instant(sim_.now(), "task", records_[record_index].name, "backoff",
+                stage_spans_[records_[record_index].pipeline]);
+  sim_.schedule_in(delay, [this, record_index] {
+    enqueue_resubmit(record_index);
+  });
+}
+
+void AppManager::enqueue_resubmit(std::size_t record_index) {
   TaskRecord& rec = records_[record_index];
   ++resubmissions_;
   rec.state = TaskState::Submitted;

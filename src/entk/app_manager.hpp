@@ -20,6 +20,7 @@
 #include "cluster/cluster.hpp"
 #include "entk/pst.hpp"
 #include "obs/observer.hpp"
+#include "resilience/retry.hpp"
 #include "sim/simulation.hpp"
 #include "sim/trace.hpp"
 #include "support/rng.hpp"
@@ -41,6 +42,12 @@ struct EntkConfig {
   /// use, executing tasks). 0 disables sampling; the sampler stops itself
   /// when the application finishes.
   SimTime sample_period = 0.0;
+  /// Backoff between resubmissions of a failed task. The default
+  /// (base_delay 0) resubmits synchronously at the head of the queue — the
+  /// historical EnTK behaviour, byte-identical traces — while a positive
+  /// base delay spaces retries out with decorrelated jitter so a sick node
+  /// is not hammered in a tight loop.
+  resilience::RetryBackoff retry;
 };
 
 enum class TaskState { Waiting, Submitted, Scheduled, Executing, Done, Failed };
@@ -164,12 +171,14 @@ class AppManager {
   void pump_launcher();
   void on_task_end(std::size_t record_index, bool failed);
   void resubmit(std::size_t record_index);
+  void enqueue_resubmit(std::size_t record_index);
   void maybe_finish();
 
   sim::Simulation& sim_;
   cluster::Cluster& pilot_;
   EntkConfig config_;
   Rng rng_;
+  resilience::RetryPolicy retry_;
 
   std::vector<PipelineDesc> pipelines_;
   std::vector<std::size_t> current_stage_;     ///< Per pipeline.

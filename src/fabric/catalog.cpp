@@ -84,6 +84,19 @@ std::size_t DataCatalog::replica_count(const DatasetId& id) const noexcept {
   return it == datasets_.end() ? 0 : it->second.replicas.size();
 }
 
+std::size_t DataCatalog::drop_location(const std::string& location) {
+  std::size_t dropped = 0;
+  for (auto& [id, info] : datasets_) {
+    auto& reps = info.replicas;
+    auto pos = std::lower_bound(reps.begin(), reps.end(), location);
+    if (pos != reps.end() && *pos == location) {
+      reps.erase(pos);
+      ++dropped;
+    }
+  }
+  return dropped;
+}
+
 Bytes DataCatalog::resident_bytes(const std::string& location) const {
   Bytes total = 0;
   for (const auto& [id, info] : datasets_)

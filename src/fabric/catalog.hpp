@@ -64,6 +64,11 @@ class DataCatalog {
   /// Total bytes resident at `location` across all datasets.
   Bytes resident_bytes(const std::string& location) const;
 
+  /// Removes `location` from every replica set (site outage / storage loss).
+  /// Returns the number of replicas dropped. Datasets whose last replica
+  /// lived there become unreachable — lineage recovery's trigger.
+  std::size_t drop_location(const std::string& location);
+
   /// Drops every dataset and replica (fresh run).
   void clear() noexcept { datasets_.clear(); }
 

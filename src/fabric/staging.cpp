@@ -89,13 +89,14 @@ void TransferScheduler::stage(const DatasetId& id, const std::string& dest,
   }
 
   // 3. Cheapest reachable replica, by contention-aware link estimate.
-  //    Replica lists are sorted, so ties resolve deterministically.
+  //    Replica lists are sorted, so ties resolve deterministically. A
+  //    partitioned link estimates infinity and is therefore never chosen.
   std::string best_source;
-  const Link* best_link = nullptr;
+  Link* best_link = nullptr;
   SimTime best_cost = std::numeric_limits<SimTime>::infinity();
   for (const std::string& loc : catalog_.replicas(id)) {
-    const Link* link = topology_.find_link(loc, dest);
-    if (!link) continue;
+    Link* link = topology_.find_link(loc, dest);
+    if (!link || !link->up()) continue;
     const SimTime cost = link->estimate(size);
     if (cost < best_cost) {
       best_cost = cost;
@@ -103,14 +104,20 @@ void TransferScheduler::stage(const DatasetId& id, const std::string& dest,
       best_link = link;
     }
   }
-  if (!best_link)
-    throw std::runtime_error("no replica of '" + id + "' reachable from '" +
-                             dest + "'");
+  if (!best_link) {
+    // Unreachable is an *operational* failure (replicas lost, links down or
+    // partitioned), not a programming error: surface it through the result
+    // so the caller can fail the task, reroute or recompute upstream.
+    fail_stage(id, dest, size,
+               "staging: no replica of '" + id + "' reachable from '" + dest +
+                   "'",
+               std::move(done));
+    return;
+  }
 
   const StageSource source_kind =
       best_source == origin_ ? StageSource::Origin : StageSource::Peer;
   ++transfers_;
-  in_flight_[flight_key];  // open the coalescing window
 
   obs::SpanId span = obs::kNoSpan;
   if (obs_) {
@@ -121,44 +128,103 @@ void TransferScheduler::stage(const DatasetId& id, const std::string& dest,
     obs_->count(sim_.now(), "fabric.transfers", to_string(source_kind));
   }
 
-  topology_.transfer(
-      best_source, dest, size,
-      [this, id, dest, size, best_source, source_kind, span, flight_key,
-       done = std::move(done)](SimTime elapsed) mutable {
-        bytes_moved_ += size;
-        if (obs_) {
-          obs_->count(sim_.now(), "fabric.bytes_moved", {},
-                      static_cast<double>(size));
-          obs_->end_span(sim_.now(), span);
-        }
-        // Register the new replica before waking consumers, so their next
-        // lookups see it.
-        if (ReplicaCache* cache = cache_at(dest)) {
-          cache->insert(id, size);
-        } else {
-          catalog_.add_replica(id, dest);
-        }
-
-        StageResult r;
-        r.source = source_kind;
-        r.from = best_source;
-        r.bytes = size;
-        r.elapsed = elapsed;
-        if (done) done(r);
-
-        // Wake piggybacked waiters with their own (coalesced) result.
-        auto it = in_flight_.find(flight_key);
-        if (it != in_flight_.end()) {
-          auto waiters = std::move(it->second.waiters);
-          in_flight_.erase(it);
-          StageResult cr = r;
-          cr.source = StageSource::Coalesced;
-          for (auto& w : waiters) {
-            cr.elapsed = sim_.now() - w.begin;  // each waiter's own wait
-            if (w.done) w.done(cr);
-          }
-        }
+  // Open the coalescing window. The initiator waits like any other consumer
+  // ([0] keeps its true source kind); keeping all waiters here means an
+  // abort can notify everyone without the Link knowing about staging.
+  InFlight& fl = in_flight_[flight_key];
+  fl.waiters.push_back(Waiter{sim_.now(), std::move(done)});
+  fl.link = best_link;
+  fl.from = best_source;
+  fl.kind = source_kind;
+  fl.size = size;
+  fl.span = span;
+  fl.transfer_id = best_link->transfer(
+      size, [this, flight_key](SimTime elapsed) {
+        complete_flight(flight_key, elapsed);
       });
+}
+
+void TransferScheduler::fail_stage(const DatasetId& id, const std::string& dest,
+                                   Bytes size, std::string reason,
+                                   std::function<void(const StageResult&)> done) {
+  ++stage_failures_;
+  if (obs_) obs_->count(sim_.now(), "fabric.stage_failures");
+  StageResult r;
+  r.ok = false;
+  r.from = {};
+  r.bytes = size;
+  r.error = std::move(reason);
+  (void)id;
+  (void)dest;
+  sim_.post([r = std::move(r), done = std::move(done)] {
+    if (done) done(r);
+  });
+}
+
+void TransferScheduler::complete_flight(
+    const std::pair<DatasetId, std::string>& key, SimTime elapsed) {
+  auto it = in_flight_.find(key);
+  if (it == in_flight_.end()) return;  // aborted just before completion
+  InFlight fl = std::move(it->second);
+  in_flight_.erase(it);
+  const auto& [id, dest] = key;
+
+  bytes_moved_ += fl.size;
+  if (obs_) {
+    obs_->count(sim_.now(), "fabric.bytes_moved", {},
+                static_cast<double>(fl.size));
+    obs_->end_span(sim_.now(), fl.span);
+  }
+  // Register the new replica before waking consumers, so their next
+  // lookups see it.
+  if (ReplicaCache* cache = cache_at(dest)) {
+    cache->insert(id, fl.size);
+  } else {
+    catalog_.add_replica(id, dest);
+  }
+
+  StageResult r;
+  r.source = fl.kind;
+  r.from = fl.from;
+  r.bytes = fl.size;
+  r.elapsed = elapsed;
+  bool first = true;
+  for (auto& w : fl.waiters) {
+    if (!first) {
+      r.source = StageSource::Coalesced;
+      r.elapsed = sim_.now() - w.begin;  // each waiter's own wait
+    }
+    first = false;
+    if (w.done) w.done(r);
+  }
+}
+
+std::size_t TransferScheduler::abort_in_flight(const std::string& reason) {
+  if (in_flight_.empty()) return 0;
+  // Detach first: waiter callbacks may start new stages re-entrantly.
+  std::map<std::pair<DatasetId, std::string>, InFlight> doomed;
+  doomed.swap(in_flight_);
+  std::size_t n = 0;
+  for (auto& [key, fl] : doomed) {
+    if (fl.link) fl.link->abort(fl.transfer_id);
+    ++n;
+    ++aborted_;
+    if (obs_) {
+      obs_->count(sim_.now(), "fabric.transfers_aborted");
+      obs_->end_span(sim_.now(), fl.span);
+    }
+    StageResult r;
+    r.ok = false;
+    r.from = fl.from;
+    r.bytes = fl.size;
+    r.elapsed = 0.0;
+    r.error = "staging: " + reason;
+    for (auto& w : fl.waiters) {
+      r.elapsed = sim_.now() - w.begin;
+      if (w.done) w.done(r);
+    }
+  }
+  return n;
 }
 
 }  // namespace hhc::fabric

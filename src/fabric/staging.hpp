@@ -41,10 +41,12 @@ enum class StageSource {
 const char* to_string(StageSource s) noexcept;
 
 struct StageResult {
+  bool ok = true;          ///< False: no reachable replica / transfer aborted.
   StageSource source = StageSource::Origin;
   std::string from;        ///< Source location (== dest for Local).
   Bytes bytes = 0;
   SimTime elapsed = 0.0;   ///< 0 for Local; full wait for Coalesced.
+  std::string error;       ///< Failure reason when !ok (prefix "staging:").
 };
 
 class TransferScheduler {
@@ -69,10 +71,18 @@ class TransferScheduler {
   void publish(const DatasetId& id, Bytes size, const std::string& location);
 
   /// Makes `id` resident at `dest`; `done` fires (on the event loop) once
-  /// it is. Throws std::invalid_argument for unknown datasets and
-  /// std::runtime_error when no replica is reachable from `dest`.
+  /// it is. Throws std::invalid_argument for unknown datasets (a programming
+  /// error); when no replica is reachable from `dest` — no link, or every
+  /// candidate link partitioned — `done` fires with `ok = false` so the
+  /// caller can fail the task, reroute or retry rather than unwind the run.
   void stage(const DatasetId& id, const std::string& dest,
              std::function<void(const StageResult&)> done);
+
+  /// Aborts every transfer currently in flight (chaos: WAN connection
+  /// reset). All waiters — primary and coalesced — get `ok = false` with
+  /// `error` = "staging: " + reason; nothing is registered in the catalog.
+  /// Returns the number of transfers aborted.
+  std::size_t abort_in_flight(const std::string& reason);
 
   // --- fabric-wide accounting (also exported through obs) ---
   Bytes bytes_moved() const noexcept { return bytes_moved_; }
@@ -81,6 +91,8 @@ class TransferScheduler {
   std::uint64_t transfers_started() const noexcept { return transfers_; }
   std::uint64_t local_hits() const noexcept { return local_hits_; }
   std::uint64_t coalesced_hits() const noexcept { return coalesced_; }
+  std::uint64_t stage_failures() const noexcept { return stage_failures_; }
+  std::uint64_t transfers_aborted() const noexcept { return aborted_; }
 
  private:
   struct Waiter {
@@ -88,11 +100,22 @@ class TransferScheduler {
     std::function<void(const StageResult&)> done;
   };
   struct InFlight {
-    std::vector<Waiter> waiters;
+    std::vector<Waiter> waiters;  ///< [0] is the transfer's initiator.
+    Link* link = nullptr;
+    std::uint64_t transfer_id = 0;
+    std::string from;
+    StageSource kind = StageSource::Origin;
+    Bytes size = 0;
+    std::uint64_t span = 0;  ///< obs::SpanId of the transfer span.
   };
 
   void finish_local(const DatasetId& id, const std::string& dest, Bytes size,
                     std::function<void(const StageResult&)> done);
+  void fail_stage(const DatasetId& id, const std::string& dest, Bytes size,
+                  std::string reason,
+                  std::function<void(const StageResult&)> done);
+  void complete_flight(const std::pair<DatasetId, std::string>& key,
+                       SimTime elapsed);
 
   sim::Simulation& sim_;
   Topology& topology_;
@@ -107,6 +130,8 @@ class TransferScheduler {
   std::uint64_t transfers_ = 0;
   std::uint64_t local_hits_ = 0;
   std::uint64_t coalesced_ = 0;
+  std::uint64_t stage_failures_ = 0;
+  std::uint64_t aborted_ = 0;
 };
 
 }  // namespace hhc::fabric

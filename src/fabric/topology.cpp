@@ -1,6 +1,7 @@
 #include "fabric/topology.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 #include "obs/observer.hpp"
@@ -18,22 +19,24 @@ Link::Link(sim::Simulation& sim, std::string name, LinkConfig config,
     throw std::invalid_argument("link '" + name_ + "': latency must be >= 0");
 }
 
-void Link::transfer(Bytes bytes, std::function<void(SimTime)> done) {
+std::uint64_t Link::transfer(Bytes bytes, std::function<void(SimTime)> done) {
   Active a;
   a.id = next_id_++;
   a.remaining = static_cast<double>(bytes);
   a.total = bytes;
   a.begin = sim_.now();
   a.done = std::move(done);
+  const std::uint64_t id = a.id;
 
   if (bytes == 0) {
     // Pure-latency connection (metadata, empty file): no bandwidth phase.
-    sim_.schedule_in(config_.latency, [this, begin = a.begin,
+    sim_.schedule_in(config_.latency, [this, id, begin = a.begin,
                                        done = std::move(a.done)]() mutable {
+      if (drop_if_aborted(id)) return;
       ++completed_;
       if (done) done(sim_.now() - begin);
     });
-    return;
+    return id;
   }
 
   ++connecting_;
@@ -41,13 +44,57 @@ void Link::transfer(Bytes bytes, std::function<void(SimTime)> done) {
   // only once the transfer joins the active set.
   sim_.schedule_in(config_.latency, [this, a = std::move(a)]() mutable {
     --connecting_;
+    if (drop_if_aborted(a.id)) return;
     join(std::move(a));
   });
+  return id;
+}
+
+bool Link::abort(std::uint64_t id) {
+  auto it = std::find_if(active_.begin(), active_.end(),
+                         [id](const Active& a) { return a.id == id; });
+  if (it != active_.end()) {
+    advance_progress();
+    // advance_progress does not invalidate iterators, but re-find for clarity.
+    it = std::find_if(active_.begin(), active_.end(),
+                      [id](const Active& a) { return a.id == id; });
+    it->completion.cancel();
+    active_.erase(it);
+    rebalance();
+    return true;
+  }
+  if (id < next_id_) {
+    // Could still be in its latency phase; mark so join()/zero-byte
+    // completion drops it. Ids of finished transfers are marked too, which
+    // is harmless — nothing looks them up again.
+    aborted_connecting_.push_back(id);
+    return true;
+  }
+  return false;
+}
+
+bool Link::drop_if_aborted(std::uint64_t id) {
+  auto it = std::find(aborted_connecting_.begin(), aborted_connecting_.end(), id);
+  if (it == aborted_connecting_.end()) return false;
+  aborted_connecting_.erase(it);
+  return true;
+}
+
+void Link::set_rate_factor(double factor) {
+  if (factor < 0.0) factor = 0.0;
+  if (factor == rate_factor_) return;
+  // Settle progress made at the old rate before switching.
+  advance_progress();
+  rate_factor_ = factor;
+  rebalance();
+  if (obs_)
+    obs_->gauge_set(sim_.now(), "fabric.link_rate_factor", rate_factor_, name_);
 }
 
 SimTime Link::estimate(Bytes bytes) const noexcept {
+  if (!up()) return std::numeric_limits<SimTime>::infinity();
   const double share =
-      config_.bandwidth / static_cast<double>(active_.size() + 1);
+      config_.bandwidth * rate_factor_ / static_cast<double>(active_.size() + 1);
   return config_.latency + static_cast<double>(bytes) / share;
 }
 
@@ -70,8 +117,9 @@ void Link::join(Active a) {
 void Link::advance_progress() {
   const SimTime now = sim_.now();
   const SimTime dt = now - last_update_;
-  if (dt > 0.0 && !active_.empty()) {
-    const double share = config_.bandwidth / static_cast<double>(active_.size());
+  if (dt > 0.0 && !active_.empty() && up()) {
+    const double share =
+        config_.bandwidth * rate_factor_ / static_cast<double>(active_.size());
     for (Active& a : active_) a.remaining = std::max(0.0, a.remaining - share * dt);
     busy_accum_ += dt;
   }
@@ -79,8 +127,13 @@ void Link::advance_progress() {
 }
 
 void Link::rebalance() {
-  if (!active_.empty()) {
-    const double share = config_.bandwidth / static_cast<double>(active_.size());
+  if (!active_.empty() && !up()) {
+    // Partitioned: park every active transfer (progress kept, no completion
+    // until the factor comes back up).
+    for (Active& a : active_) a.completion.cancel();
+  } else if (!active_.empty()) {
+    const double share =
+        config_.bandwidth * rate_factor_ / static_cast<double>(active_.size());
     for (Active& a : active_) {
       a.completion.cancel();
       a.completion = sim_.schedule_in(a.remaining / share,

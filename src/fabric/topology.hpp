@@ -48,8 +48,22 @@ class Link {
 
   /// Starts a transfer of `bytes`; `done(elapsed)` fires on the event loop
   /// when the last byte lands (elapsed includes the latency phase). Zero
-  /// bytes pay latency only.
-  void transfer(Bytes bytes, std::function<void(SimTime)> done);
+  /// bytes pay latency only. Returns a transfer id usable with abort().
+  std::uint64_t transfer(Bytes bytes, std::function<void(SimTime)> done);
+
+  /// Cancels an in-flight transfer. Its `done` callback is dropped (never
+  /// invoked) — the caller owns failure notification. Returns false when the
+  /// id is unknown or already finished.
+  bool abort(std::uint64_t id);
+
+  /// Degrades (0 < f < 1), restores (f = 1) or partitions (f = 0) the link.
+  /// Active transfers keep the progress already made; at factor 0 they park
+  /// (completion events cancelled) and resume when the factor comes back up.
+  void set_rate_factor(double factor);
+  double rate_factor() const noexcept { return rate_factor_; }
+  /// False while partitioned (rate factor 0): estimates become infinite and
+  /// staging treats the link as unreachable.
+  bool up() const noexcept { return rate_factor_ > 0.0; }
 
   /// Transfers currently in their bandwidth phase.
   std::size_t active() const noexcept { return active_.size(); }
@@ -81,6 +95,7 @@ class Link {
 
   void join(Active a);
   void finish(std::uint64_t id);
+  bool drop_if_aborted(std::uint64_t id);
   /// Settles progress since last_update_ and re-lays completion events.
   void rebalance();
   void advance_progress();
@@ -89,7 +104,9 @@ class Link {
   std::string name_;
   LinkConfig config_;
   obs::Observer* obs_ = nullptr;
+  double rate_factor_ = 1.0;
   std::vector<Active> active_;
+  std::vector<std::uint64_t> aborted_connecting_;
   std::size_t connecting_ = 0;
   SimTime last_update_ = 0.0;
   SimTime created_ = 0.0;

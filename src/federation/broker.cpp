@@ -191,14 +191,12 @@ void Broker::end_run() {
   for (auto& s : sites_) s.backlog_core_seconds = 0.0;
 }
 
-SiteId Broker::place(wf::TaskId task, SimTime now) {
-  if (!workflow_) throw BrokerError("Broker::place called outside a run");
-  if (sites_.empty()) throw BrokerError("broker has no sites");
-  const wf::TaskSpec& spec = workflow_->task(task);
-
+std::vector<SiteId> Broker::candidates_for(const wf::TaskSpec& spec,
+                                           SimTime now, SiteId exclude) const {
   std::vector<SiteId> candidates;
   const auto pin = kind_pins_.find(spec.kind);
   for (SiteId s = 0; s < sites_.size(); ++s) {
+    if (s == exclude) continue;
     if (!available(s, now)) continue;
     if (pin != kind_pins_.end()) {
       if (s == pin->second) candidates.push_back(s);
@@ -206,7 +204,17 @@ SiteId Broker::place(wf::TaskId task, SimTime now) {
     }
     if (site_supports(sites_[s].desc, spec)) candidates.push_back(s);
   }
+  return candidates;
+}
+
+SiteId Broker::place(wf::TaskId task, SimTime now) {
+  if (!workflow_) throw BrokerError("Broker::place called outside a run");
+  if (sites_.empty()) throw BrokerError("broker has no sites");
+  const wf::TaskSpec& spec = workflow_->task(task);
+
+  std::vector<SiteId> candidates = candidates_for(spec, now, kInvalidSite);
   if (candidates.empty()) {
+    const auto pin = kind_pins_.find(spec.kind);
     std::string msg = "no capable site for task '" + spec.name + "':";
     for (const auto& s : sites_) {
       msg += " [" + s.desc.name + ": ";
@@ -249,6 +257,33 @@ SiteId Broker::place(wf::TaskId task, SimTime now) {
 
 SiteId Broker::placement_of(wf::TaskId task) const noexcept {
   return task < placement_.size() ? placement_[task] : kInvalidSite;
+}
+
+SiteId Broker::place_hedge(wf::TaskId task, SimTime now, SiteId exclude) {
+  if (!workflow_) throw BrokerError("Broker::place_hedge called outside a run");
+  if (sites_.empty()) return kInvalidSite;
+  const wf::TaskSpec& spec = workflow_->task(task);
+
+  std::vector<SiteId> candidates = candidates_for(spec, now, exclude);
+  if (candidates.empty()) {
+    // Fall back to the primary's own site: a same-site hedge still dodges a
+    // slow *node*, just not a slow site.
+    candidates = candidates_for(spec, now, kInvalidSite);
+    if (candidates.empty()) return kInvalidSite;
+  }
+
+  PlacementQuery q;
+  q.task = task;
+  q.now = now;
+  q.workflow = workflow_;
+  q.workflow_id = workflow_id_;
+  q.broker = this;
+
+  const SiteId chosen = policy_->choose(q, candidates);
+  ++hedge_placements_;
+  if (obs_ && obs_->on())
+    obs_->count(now, "broker.hedge_placements", sites_[chosen].desc.name);
+  return chosen;
 }
 
 void Broker::task_started(SiteId site, SimTime queue_wait, SimTime now) {

@@ -33,6 +33,7 @@
 #include "federation/queue_model.hpp"
 #include "federation/site.hpp"
 #include "obs/observer.hpp"
+#include "resilience/retry.hpp"
 #include "workflow/workflow.hpp"
 
 namespace hhc::federation {
@@ -54,6 +55,10 @@ struct BrokerConfig {
   /// Per-task resubmission budget during federated runs; exceeding it makes
   /// the failure terminal.
   std::size_t max_task_retries = 3;
+  /// Backoff between federated resubmissions. The default (base_delay 0)
+  /// retries on the next event — the pre-resilience behaviour — so existing
+  /// traces are unchanged unless a delay is configured.
+  resilience::RetryBackoff retry;
   /// Link estimate fallback when no Topology is bound (bytes/s, seconds).
   double default_wan_bandwidth = 50e6;
   SimTime default_wan_latency = 2.0;
@@ -139,6 +144,14 @@ class Broker {
   /// Site a task was last placed on; kInvalidSite when unplaced.
   SiteId placement_of(wf::TaskId task) const noexcept;
 
+  /// Chooses a site for a *speculative* copy of `task`, excluding the
+  /// primary's site when another candidate exists. Unlike place() this never
+  /// touches placement/backlog/reroute bookkeeping (the primary stays the
+  /// task's placement of record) and returns kInvalidSite instead of
+  /// throwing when no healthy site remains — no hedge is not an error.
+  SiteId place_hedge(wf::TaskId task, SimTime now, SiteId exclude);
+  std::size_t hedge_placements() const noexcept { return hedge_placements_; }
+
   // --- runtime feedback (drives queue-wait learning and HEFT backlog) ---
   /// A placed task started executing after `queue_wait` seconds in queue.
   void task_started(SiteId site, SimTime queue_wait, SimTime now);
@@ -193,6 +206,8 @@ class Broker {
 
   double link_estimate(const std::string& from, const std::string& to,
                        Bytes bytes) const;
+  std::vector<SiteId> candidates_for(const wf::TaskSpec& spec, SimTime now,
+                                     SiteId exclude) const;
 
   BrokerConfig config_;
   std::unique_ptr<PlacementPolicy> policy_;
@@ -214,6 +229,7 @@ class Broker {
   std::size_t placements_ = 0;
   std::size_t reroutes_ = 0;
   std::size_t failures_reported_ = 0;
+  std::size_t hedge_placements_ = 0;
 
   friend struct PlacementQuery;
 };

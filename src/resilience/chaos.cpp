@@ -1,0 +1,189 @@
+#include "resilience/chaos.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+namespace hhc::resilience {
+
+const char* to_string(ChaosKind k) noexcept {
+  switch (k) {
+    case ChaosKind::NodeCrash: return "node-crash";
+    case ChaosKind::SpotPreemption: return "spot-preemption";
+    case ChaosKind::LinkDegrade: return "link-degrade";
+    case ChaosKind::LinkPartition: return "link-partition";
+    case ChaosKind::SiteOutage: return "site-outage";
+    case ChaosKind::TransferAbort: return "transfer-abort";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Exponential-interarrival event times over [0, horizon].
+template <typename Emit>
+void draw_poisson(Rng rng, double rate, SimTime horizon, Emit emit) {
+  if (rate <= 0.0 || horizon <= 0.0) return;
+  SimTime t = 0.0;
+  for (;;) {
+    t += rng.exponential(rate);
+    if (t > horizon) return;
+    emit(t, rng);
+  }
+}
+
+bool plan_order(const ChaosEvent& a, const ChaosEvent& b) {
+  return std::tie(a.time, a.kind, a.env, a.node, a.link_a, a.link_b) <
+         std::tie(b.time, b.kind, b.env, b.node, b.link_a, b.link_b);
+}
+
+}  // namespace
+
+ChaosPlan make_plan(const ChaosConfig& config,
+                    const std::vector<ChaosTarget>& targets,
+                    const std::vector<std::pair<std::string, std::string>>& links) {
+  ChaosPlan plan = config.scheduled;
+  const Rng root(config.seed);
+
+  for (const ChaosTarget& t : targets) {
+    if (t.nodes == 0) continue;
+    if (t.cloud) {
+      // Spot reclaims: fleet rate = instances / MTBF, victim uniform.
+      draw_poisson(root.child("spot").child(t.env),
+                   static_cast<double>(t.nodes) / std::max(1e-9, config.spot_mtbf),
+                   config.spot_mtbf > 0 ? config.horizon : 0.0,
+                   [&](SimTime when, Rng& rng) {
+                     ChaosEvent ev;
+                     ev.time = when;
+                     ev.kind = ChaosKind::SpotPreemption;
+                     ev.env = t.env;
+                     ev.node = static_cast<std::size_t>(rng.uniform_int(
+                         0, static_cast<std::int64_t>(t.nodes) - 1));
+                     plan.push_back(ev);
+                   });
+    } else {
+      // Node crashes: same cluster-wide rate the FailureInjector uses.
+      draw_poisson(root.child("node").child(t.env),
+                   static_cast<double>(t.nodes) / std::max(1e-9, config.node_mtbf),
+                   config.node_mtbf > 0 ? config.horizon : 0.0,
+                   [&](SimTime when, Rng& rng) {
+                     ChaosEvent ev;
+                     ev.time = when;
+                     ev.kind = ChaosKind::NodeCrash;
+                     ev.env = t.env;
+                     ev.node = static_cast<std::size_t>(rng.uniform_int(
+                         0, static_cast<std::int64_t>(t.nodes) - 1));
+                     ev.duration = config.node_repair;
+                     plan.push_back(ev);
+                   });
+    }
+  }
+
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    draw_poisson(root.child("link").child(i),
+                 1.0 / std::max(1e-9, config.link_mtbf),
+                 config.link_mtbf > 0 ? config.horizon : 0.0,
+                 [&](SimTime when, Rng& rng) {
+                   ChaosEvent ev;
+                   ev.time = when;
+                   const bool partition = rng.chance(config.partition_share);
+                   ev.kind = partition ? ChaosKind::LinkPartition
+                                       : ChaosKind::LinkDegrade;
+                   ev.link_a = links[i].first;
+                   ev.link_b = links[i].second;
+                   ev.factor = partition ? 0.0 : config.link_degrade_factor;
+                   ev.duration = config.link_outage;
+                   plan.push_back(ev);
+                 });
+  }
+
+  draw_poisson(root.child("abort"),
+               1.0 / std::max(1e-9, config.transfer_abort_mtbf),
+               config.transfer_abort_mtbf > 0 ? config.horizon : 0.0,
+               [&](SimTime when, Rng&) {
+                 ChaosEvent ev;
+                 ev.time = when;
+                 ev.kind = ChaosKind::TransferAbort;
+                 plan.push_back(ev);
+               });
+
+  std::sort(plan.begin(), plan.end(), plan_order);
+  return plan;
+}
+
+ChaosEngine::ChaosEngine(ChaosConfig config) : config_(std::move(config)) {}
+
+void ChaosEngine::wrap_injector(std::size_t env,
+                                cluster::FailureInjector* injector) {
+  if (injector)
+    injectors_[env] = injector;
+  else
+    injectors_.erase(env);
+}
+
+void ChaosEngine::arm(sim::Simulation& sim,
+                      const std::vector<ChaosTarget>& targets,
+                      const std::vector<std::pair<std::string, std::string>>& links,
+                      obs::Observer* obs) {
+  obs_ = obs;
+  plan_ = make_plan(config_, targets, links);
+  // Weak events: chaos perturbs work that is already running, it must never
+  // keep the simulation alive (or stretch the measured makespan) by itself.
+  for (const ChaosEvent& ev : plan_)
+    sim.schedule_weak_in(ev.time, [this, ev, &sim] { deliver(ev, sim); });
+}
+
+void ChaosEngine::deliver(const ChaosEvent& ev, sim::Simulation& sim) {
+  switch (ev.kind) {
+    case ChaosKind::NodeCrash:
+      if (auto it = injectors_.find(ev.env); it != injectors_.end())
+        it->second->fail_at(sim.now(), static_cast<cluster::NodeId>(ev.node));
+      else if (hooks_.fail_node)
+        hooks_.fail_node(ev.env, ev.node, ev.duration);
+      else
+        return;
+      break;
+    case ChaosKind::SpotPreemption:
+      if (!hooks_.preempt_node) return;
+      hooks_.preempt_node(ev.env, ev.node);
+      break;
+    case ChaosKind::LinkDegrade:
+    case ChaosKind::LinkPartition:
+      if (!hooks_.set_link_factor) return;
+      hooks_.set_link_factor(ev.link_a, ev.link_b, ev.factor, ev.duration);
+      break;
+    case ChaosKind::SiteOutage:
+      if (!hooks_.site_outage) return;
+      hooks_.site_outage(ev.env, ev.duration);
+      break;
+    case ChaosKind::TransferAbort:
+      if (!hooks_.abort_transfers) return;
+      hooks_.abort_transfers();
+      break;
+  }
+  ++injected_;
+  ++by_kind_[ev.kind];
+  if (obs_)
+    obs_->count(sim.now(), "resilience.faults_injected", to_string(ev.kind));
+}
+
+TaskFault ChaosEngine::task_fault(std::uint64_t task,
+                                  std::uint32_t attempt) const {
+  TaskFault f;
+  const TaskFaultRates& r = config_.task;
+  if (r.straggler_rate <= 0 && r.hang_rate <= 0 && r.corrupt_rate <= 0)
+    return f;
+  // Pure function of (seed, task, attempt): draws happen in a fixed order so
+  // the answer is independent of when (or whether) other faults are queried.
+  Rng rng = Rng(config_.seed).child("task").child(task).child(attempt);
+  if (rng.chance(r.straggler_rate)) f.runtime_factor = r.straggler_factor;
+  if (rng.chance(r.hang_rate)) f.hang = true;
+  if (rng.chance(r.corrupt_rate)) f.corrupt = true;
+  return f;
+}
+
+std::size_t ChaosEngine::injected(ChaosKind kind) const {
+  const auto it = by_kind_.find(kind);
+  return it == by_kind_.end() ? 0 : it->second;
+}
+
+}  // namespace hhc::resilience

@@ -1,0 +1,167 @@
+// ChaosEngine: scheduled + stochastic fault injection across every layer,
+// driven from one seeded plan.
+//
+// The cluster layer's FailureInjector (paper §4.3's one-node-crash scenario)
+// only exercises node failures inside a single resource manager. The stack
+// now loses work in many more places: fabric links degrade or partition,
+// transfers abort, federation sites go dark, cloud spot instances are
+// reclaimed, and individual tasks straggle, hang, or produce corrupt output.
+// The ChaosEngine generates ALL of those faults from one seed:
+//
+//   * make_plan() expands a ChaosConfig against the shape of the system
+//     (environments, node counts, links) into a deterministic, inspectable
+//     ChaosPlan — a time-sorted list of ChaosEvents. Same seed + same shape
+//     => byte-identical plan, which is what makes chaotic runs replayable.
+//   * arm() schedules the plan on the simulation; each event fires through a
+//     hook the embedder (core::Toolkit) installs. Node crashes are delivered
+//     through the existing cluster::FailureInjector so repair bookkeeping
+//     stays in one place.
+//   * task_fault() resolves per-(task, attempt) faults — straggler slowdown,
+//     hang, corrupt output — as a pure function of the seed, so the answer
+//     never depends on query order.
+//
+// Injections are counted per kind under resilience.faults_injected.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cluster/failure.hpp"
+#include "obs/observer.hpp"
+#include "sim/simulation.hpp"
+#include "support/rng.hpp"
+#include "support/units.hpp"
+
+namespace hhc::resilience {
+
+enum class ChaosKind {
+  NodeCrash,       ///< Detected node failure (repairs after `duration`).
+  SpotPreemption,  ///< Cloud instance reclaimed (no repair within the run).
+  LinkDegrade,     ///< Link bandwidth scaled by `factor` for `duration`.
+  LinkPartition,   ///< Link fully down for `duration` (factor 0).
+  SiteOutage,      ///< Whole environment dark for `duration`.
+  TransferAbort    ///< Every in-flight fabric transfer killed.
+};
+
+const char* to_string(ChaosKind k) noexcept;
+
+struct ChaosEvent {
+  SimTime time = 0.0;  ///< Relative to arm().
+  ChaosKind kind = ChaosKind::NodeCrash;
+  std::size_t env = 0;        ///< NodeCrash / SpotPreemption / SiteOutage.
+  std::size_t node = 0;       ///< NodeCrash / SpotPreemption.
+  std::string link_a, link_b; ///< LinkDegrade / LinkPartition endpoints.
+  double factor = 1.0;        ///< LinkDegrade bandwidth multiplier.
+  SimTime duration = 0.0;     ///< Repair/restore delay; 0 = permanent.
+};
+
+/// Per-(task, attempt) fault, resolved deterministically from the seed.
+struct TaskFault {
+  double runtime_factor = 1.0;  ///< > 1 = straggler slowdown.
+  bool hang = false;            ///< Attempt never finishes (watchdog rescues).
+  bool corrupt = false;         ///< Output fails validation at stage-out.
+
+  bool any() const noexcept { return runtime_factor != 1.0 || hang || corrupt; }
+};
+
+struct TaskFaultRates {
+  double straggler_rate = 0.0;   ///< P(attempt is a straggler).
+  double straggler_factor = 8.0; ///< Straggler runtime multiplier.
+  double hang_rate = 0.0;        ///< P(attempt hangs forever).
+  double corrupt_rate = 0.0;     ///< P(output corrupt at stage-out).
+};
+
+/// Shape of one environment as the plan generator sees it.
+struct ChaosTarget {
+  std::size_t env = 0;
+  std::size_t nodes = 0;
+  bool cloud = false;  ///< Cloud targets draw spot preemptions, not crashes.
+};
+
+struct ChaosConfig {
+  std::uint64_t seed = 42;
+  /// Stochastic faults are drawn over [0, horizon] seconds after arm().
+  SimTime horizon = 0.0;
+  double node_mtbf = 0.0;       ///< Per-node MTBF on non-cloud envs; 0 = off.
+  SimTime node_repair = 600.0;
+  double spot_mtbf = 0.0;       ///< Per-instance reclaim MTBF on cloud envs.
+  double link_mtbf = 0.0;       ///< Per-link fault MTBF; 0 = off.
+  SimTime link_outage = 300.0;  ///< Duration of link faults.
+  double link_degrade_factor = 0.25;
+  double partition_share = 0.5; ///< Fraction of link faults that partition.
+  double transfer_abort_mtbf = 0.0;  ///< Global transfer-abort MTBF; 0 = off.
+  TaskFaultRates task;
+  /// Hand-pinned events (e.g. "site 1 dark at t=800 for 600 s"), merged into
+  /// the generated plan.
+  std::vector<ChaosEvent> scheduled;
+};
+
+using ChaosPlan = std::vector<ChaosEvent>;
+
+/// Expands config + system shape into the deterministic fault plan, sorted
+/// by (time, kind, env, node, link).
+ChaosPlan make_plan(const ChaosConfig& config,
+                    const std::vector<ChaosTarget>& targets,
+                    const std::vector<std::pair<std::string, std::string>>& links);
+
+/// Delivery hooks the embedder installs. Unset hooks skip their events.
+struct ChaosHooks {
+  /// Detected node crash; `repair_after` 0 = stays down.
+  std::function<void(std::size_t env, std::size_t node, SimTime repair_after)>
+      fail_node;
+  /// Spot reclaim: node goes away, classified as preemption.
+  std::function<void(std::size_t env, std::size_t node)> preempt_node;
+  /// Scale a link's bandwidth (0 = partition); restore after `restore_after`.
+  std::function<void(const std::string& a, const std::string& b, double factor,
+                     SimTime restore_after)>
+      set_link_factor;
+  /// Whole environment dark; restore after `restore_after` (0 = permanent).
+  std::function<void(std::size_t env, SimTime restore_after)> site_outage;
+  /// Abort every in-flight fabric transfer.
+  std::function<void()> abort_transfers;
+};
+
+class ChaosEngine {
+ public:
+  explicit ChaosEngine(ChaosConfig config = {});
+
+  const ChaosConfig& config() const noexcept { return config_; }
+  void set_hooks(ChaosHooks hooks) { hooks_ = std::move(hooks); }
+
+  /// Routes an environment's NodeCrash events through an existing
+  /// FailureInjector (the §4.3 component) instead of the fail_node hook, so
+  /// its injected() count and repair bookkeeping stay authoritative.
+  void wrap_injector(std::size_t env, cluster::FailureInjector* injector);
+
+  /// Builds the plan (make_plan) and schedules every event on `sim` at
+  /// sim.now() + event.time. Call once per run.
+  void arm(sim::Simulation& sim, const std::vector<ChaosTarget>& targets,
+           const std::vector<std::pair<std::string, std::string>>& links,
+           obs::Observer* obs = nullptr);
+
+  /// The armed plan (empty before arm()).
+  const ChaosPlan& plan() const noexcept { return plan_; }
+
+  /// Fault of a task attempt; pure function of (seed, task, attempt).
+  TaskFault task_fault(std::uint64_t task, std::uint32_t attempt) const;
+
+  std::size_t injected() const noexcept { return injected_; }
+  std::size_t injected(ChaosKind kind) const;
+
+ private:
+  void deliver(const ChaosEvent& ev, sim::Simulation& sim);
+
+  ChaosConfig config_;
+  ChaosHooks hooks_;
+  ChaosPlan plan_;
+  std::map<std::size_t, cluster::FailureInjector*> injectors_;
+  std::map<ChaosKind, std::size_t> by_kind_;
+  std::size_t injected_ = 0;
+  obs::Observer* obs_ = nullptr;
+};
+
+}  // namespace hhc::resilience

@@ -1,0 +1,27 @@
+#include "resilience/hedging.hpp"
+
+namespace hhc::resilience {
+
+StragglerDetector::StragglerDetector(HedgeConfig config)
+    : config_(std::move(config)) {}
+
+void StragglerDetector::observe(const std::string& kind,
+                                double normalized_runtime) {
+  kinds_[kind].add(normalized_runtime);
+}
+
+std::optional<double> StragglerDetector::threshold(
+    const std::string& kind, std::optional<double> estimate) const {
+  const auto it = kinds_.find(kind);
+  if (it != kinds_.end() && it->second.count() >= config_.min_samples)
+    return config_.slack * it->second.percentile(config_.quantile);
+  if (estimate && *estimate > 0) return config_.fallback_factor * *estimate;
+  return std::nullopt;
+}
+
+std::size_t StragglerDetector::samples(const std::string& kind) const {
+  const auto it = kinds_.find(kind);
+  return it == kinds_.end() ? 0 : it->second.count();
+}
+
+}  // namespace hhc::resilience

@@ -1,0 +1,58 @@
+// Straggler detection + speculative re-execution support.
+//
+// The §4.3 tail problem: one slow attempt (bad node, contended I/O, injected
+// chaos slowdown) holds an entire stage. The classic cure — MapReduce-style
+// speculative execution — needs a *threshold*: how long is "too long"?
+// StragglerDetector learns per-kind runtime distributions from completed
+// attempts (normalized to a speed-1 node, the same convention the cws
+// predictors use) and flags an attempt once its elapsed time clears the
+// p95 (configurable quantile) with a slack factor. Before enough samples
+// exist it falls back to `fallback_factor` times the predictor's estimate.
+//
+// The detector only answers "is this straggling / when should I check";
+// launching the hedge copy, racing it against the primary, and cancelling
+// the loser is the embedder's job (core::Toolkit for composite runs).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "support/stats.hpp"
+#include "support/units.hpp"
+
+namespace hhc::resilience {
+
+struct HedgeConfig {
+  bool enabled = false;
+  double quantile = 95.0;        ///< Percentile of observed runtimes.
+  std::size_t min_samples = 8;   ///< Per-kind samples before the quantile is used.
+  double slack = 1.1;            ///< Threshold = slack * quantile.
+  /// Cold-start fallback: threshold = fallback_factor * predicted runtime.
+  double fallback_factor = 3.0;
+  std::size_t max_hedges = 1;    ///< Speculative copies per task.
+};
+
+class StragglerDetector {
+ public:
+  explicit StragglerDetector(HedgeConfig config = {});
+
+  const HedgeConfig& config() const noexcept { return config_; }
+
+  /// Records a successful attempt's normalized (speed-1) runtime.
+  void observe(const std::string& kind, double normalized_runtime);
+
+  /// Normalized elapsed time above which an attempt of `kind` counts as a
+  /// straggler. Uses the learned quantile when warm, `fallback_factor *
+  /// estimate` when cold, nullopt when cold with no estimate (no hedging).
+  std::optional<double> threshold(const std::string& kind,
+                                  std::optional<double> estimate) const;
+
+  std::size_t samples(const std::string& kind) const;
+
+ private:
+  HedgeConfig config_;
+  std::map<std::string, Sample> kinds_;
+};
+
+}  // namespace hhc::resilience

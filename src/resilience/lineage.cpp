@@ -1,0 +1,33 @@
+#include "resilience/lineage.hpp"
+
+#include <algorithm>
+
+#include "cws/strategies.hpp"  // edge_dataset_id: the fabric's edge addressing
+
+namespace hhc::resilience {
+
+std::vector<wf::TaskId> recovery_cone(const wf::Workflow& workflow,
+                                      int workflow_id, wf::TaskId task,
+                                      const ResidencyProbe& is_resident) {
+  std::vector<wf::TaskId> cone;
+  std::vector<std::uint8_t> in_cone(workflow.task_count(), 0);
+  // DFS through lost producers only; resident datasets cut the walk.
+  std::vector<wf::TaskId> frontier{task};
+  while (!frontier.empty()) {
+    const wf::TaskId t = frontier.back();
+    frontier.pop_back();
+    for (wf::TaskId p : workflow.predecessors(t)) {
+      if (in_cone[p]) continue;
+      const Bytes bytes = workflow.edge_bytes(p, t);
+      if (bytes == 0) continue;  // ordering-only edge: nothing to restage
+      if (is_resident(cws::edge_dataset_id(workflow_id, p, bytes))) continue;
+      in_cone[p] = 1;
+      cone.push_back(p);
+      frontier.push_back(p);
+    }
+  }
+  std::sort(cone.begin(), cone.end());
+  return cone;
+}
+
+}  // namespace hhc::resilience

@@ -1,0 +1,33 @@
+// Lineage-based recovery: recompute only what was actually lost.
+//
+// When a task cannot stage an input because every replica of that dataset is
+// gone (site outage purged the producer's environment, caches evicted the
+// staged copies), blind resubmission of the whole upstream subgraph wastes
+// core-hours: most ancestors' outputs are still resident somewhere in the
+// fabric. recovery_cone() walks the workflow's lineage backwards from the
+// starved task and returns the *minimal* set of ancestors to re-execute —
+// a producer enters the cone only if its edge dataset has no live replica,
+// and the walk recurses only through producers that entered.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "fabric/catalog.hpp"
+#include "workflow/workflow.hpp"
+
+namespace hhc::resilience {
+
+/// Answers "does this dataset still have at least one live replica?".
+using ResidencyProbe = std::function<bool(const fabric::DatasetId&)>;
+
+/// Minimal ancestor set of `task` whose re-execution makes every input of
+/// `task` stageable again, in ascending TaskId order. Zero-byte edges carry
+/// no data and never pull their producer in. `task` itself is not included.
+/// Dataset ids follow the fabric's edge addressing
+/// (cws::edge_dataset_id(workflow_id, producer, bytes)).
+std::vector<wf::TaskId> recovery_cone(const wf::Workflow& workflow,
+                                      int workflow_id, wf::TaskId task,
+                                      const ResidencyProbe& is_resident);
+
+}  // namespace hhc::resilience

@@ -1,0 +1,77 @@
+#include "resilience/retry.hpp"
+
+#include <algorithm>
+
+namespace hhc::resilience {
+
+const char* to_string(FailureClass c) noexcept {
+  switch (c) {
+    case FailureClass::NodeFailure: return "node-failure";
+    case FailureClass::Preemption: return "preemption";
+    case FailureClass::Cancellation: return "cancellation";
+    case FailureClass::Timeout: return "timeout";
+    case FailureClass::Staging: return "staging";
+    case FailureClass::CorruptOutput: return "corrupt-output";
+    case FailureClass::SiteOutage: return "site-outage";
+    case FailureClass::Unknown: return "unknown";
+  }
+  return "?";
+}
+
+FailureClass classify(const cluster::JobRecord& record) noexcept {
+  // The cluster layer's reason strings are the classification wire format;
+  // resilience injectors and watchdogs use these substrings deliberately.
+  // Reasons outrank the job state: a watchdog kill ends Cancelled but with a
+  // "timeout" reason, and the timeout is what retry budgets care about.
+  const std::string& r = record.failure_reason;
+  if (r.find("preempt") != std::string::npos) return FailureClass::Preemption;
+  if (r.find("timeout") != std::string::npos) return FailureClass::Timeout;
+  if (r.find("corrupt") != std::string::npos) return FailureClass::CorruptOutput;
+  if (r.find("site") != std::string::npos) return FailureClass::SiteOutage;
+  if (r.find("node") != std::string::npos) return FailureClass::NodeFailure;
+  if (r.find("stag") != std::string::npos) return FailureClass::Staging;
+  if (record.state == cluster::JobState::Cancelled)
+    return FailureClass::Cancellation;
+  return FailureClass::Unknown;
+}
+
+RetryPolicy::RetryPolicy(RetryBackoff config, std::uint64_t seed)
+    : config_(std::move(config)), seed_(seed) {}
+
+std::size_t RetryPolicy::budget(FailureClass c) const noexcept {
+  const auto it = config_.per_class_attempts.find(c);
+  return it == config_.per_class_attempts.end() ? config_.max_attempts
+                                                : it->second;
+}
+
+bool RetryPolicy::should_retry(FailureClass c,
+                               std::size_t attempts_so_far) const noexcept {
+  return attempts_so_far < budget(c);
+}
+
+SimTime RetryPolicy::next_delay(std::uint64_t key) {
+  if (config_.base_delay <= 0.0) return 0.0;
+  KeyState& st = keys_[key];
+  SimTime delay;
+  if (config_.decorrelated_jitter) {
+    // AWS decorrelated jitter: sleep = min(cap, U(base, prev * mult)).
+    // The RNG stream is a pure function of (seed, key, draw index), so the
+    // sequence never depends on how other keys interleave.
+    const SimTime prev = st.prev > 0.0 ? st.prev : config_.base_delay;
+    Rng rng = Rng(seed_).child(key).child(st.draws);
+    const SimTime hi = std::max(config_.base_delay, prev * config_.multiplier);
+    delay = rng.uniform(config_.base_delay, hi);
+  } else {
+    delay = config_.base_delay;
+    for (std::uint64_t i = 0; i < st.draws; ++i) delay *= config_.multiplier;
+  }
+  delay = std::min(delay, config_.max_delay);
+  st.prev = delay;
+  ++st.draws;
+  total_backoff_ += delay;
+  return delay;
+}
+
+void RetryPolicy::reset(std::uint64_t key) { keys_.erase(key); }
+
+}  // namespace hhc::resilience

@@ -1,0 +1,101 @@
+// Unified retry/backoff policy for every layer that re-executes failed work.
+//
+// Before the resilience plane each retry path was ad hoc: entk::AppManager
+// re-queued immediately, federation re-brokering fired on the next event,
+// and staging failures simply aborted the run. RetryPolicy centralizes the
+// three decisions every retry path must make:
+//
+//   1. classification — what kind of failure was this (node crash, timeout,
+//      preemption, staging, corrupt output, ...)?
+//   2. budget        — are attempts left for this failure kind?
+//   3. backoff       — how long to wait before the next attempt
+//                      (exponential with optional decorrelated jitter,
+//                      capped; deterministic given the policy's seed).
+//
+// Backoff state is kept per retry key (typically the task id), so the
+// decorrelated-jitter recurrence sleep = U(base, prev * mult) matches the
+// classic AWS formulation while staying bit-reproducible: the RNG stream is
+// derived from the policy seed and the key, never from global state.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "cluster/resource_manager.hpp"
+#include "support/rng.hpp"
+#include "support/units.hpp"
+
+namespace hhc::resilience {
+
+/// Failure taxonomy shared across layers. Classification drives per-kind
+/// retry budgets and the resilience.* metric labels.
+enum class FailureClass {
+  NodeFailure,    ///< A node died under the task (detected crash).
+  Preemption,     ///< Spot/preemptible instance reclaimed.
+  Cancellation,   ///< Drained/cancelled before running (no work lost).
+  Timeout,        ///< Watchdog killed a hung or runaway attempt.
+  Staging,        ///< Input data could not be staged (link/replica loss).
+  CorruptOutput,  ///< Completed but failed output validation at stage-out.
+  SiteOutage,     ///< The whole site went away mid-run.
+  Unknown
+};
+
+const char* to_string(FailureClass c) noexcept;
+
+/// Maps a finished job record onto the taxonomy (by state and the
+/// failure_reason strings the cluster layer emits).
+FailureClass classify(const cluster::JobRecord& record) noexcept;
+
+struct RetryBackoff {
+  SimTime base_delay = 0.0;   ///< First-retry delay; 0 = immediate (legacy).
+  SimTime max_delay = 300.0;  ///< Cap on any single delay.
+  double multiplier = 2.0;    ///< Exponential growth factor.
+  /// Decorrelated jitter: delay = U(base, prev * multiplier) instead of the
+  /// deterministic ladder. Ignored while base_delay == 0.
+  bool decorrelated_jitter = true;
+  /// Default attempt budget (retries, not counting the first attempt).
+  std::size_t max_attempts = 3;
+  /// Per-failure-class overrides of max_attempts (e.g. cancellations free,
+  /// corrupt outputs only once).
+  std::map<FailureClass, std::size_t> per_class_attempts;
+};
+
+/// One policy instance per run (construction is cheap). Not thread-safe.
+class RetryPolicy {
+ public:
+  explicit RetryPolicy(RetryBackoff config = {}, std::uint64_t seed = 42);
+
+  const RetryBackoff& config() const noexcept { return config_; }
+
+  /// Attempt budget for a failure class (override or default).
+  std::size_t budget(FailureClass c) const noexcept;
+
+  /// True while `attempts_so_far` (retries already issued) leaves budget.
+  bool should_retry(FailureClass c, std::size_t attempts_so_far) const noexcept;
+
+  /// Delay before the next attempt of `key` and advances that key's backoff
+  /// state. Deterministic: same seed, same key, same call count => same
+  /// delay sequence, regardless of interleaving with other keys.
+  SimTime next_delay(std::uint64_t key);
+
+  /// Forgets a key's backoff state (call on success so later failures of a
+  /// reused key restart from base_delay).
+  void reset(std::uint64_t key);
+
+  /// Total backoff seconds handed out (for resilience.backoff_seconds).
+  double total_backoff() const noexcept { return total_backoff_; }
+
+ private:
+  struct KeyState {
+    SimTime prev = 0.0;
+    std::uint64_t draws = 0;
+  };
+
+  RetryBackoff config_;
+  std::uint64_t seed_;
+  std::map<std::uint64_t, KeyState> keys_;
+  double total_backoff_ = 0.0;
+};
+
+}  // namespace hhc::resilience

@@ -178,5 +178,74 @@ TEST_F(RmFixture, WalltimeEstimatePreserved) {
   sim.run();
 }
 
+// --- resilience-plane primitives: kill, start callbacks, tagged failures ----
+
+TEST_F(RmFixture, KillRunningJobFreesTheAllocationImmediately) {
+  std::vector<std::pair<JobState, std::string>> ends;
+  const JobId victim = rm.submit(job("victim", 4, 1000), [&](const JobRecord& rec) {
+    ends.emplace_back(rec.state, rec.failure_reason);
+  });
+  rm.submit(job("victim2", 4, 1000), {});  // fills the second node
+  // Queued behind the victims; runnable as soon as one is killed.
+  SimTime start = -1;
+  rm.submit(job("heir", 4, 10),
+            [&](const JobRecord& rec) { start = rec.start_time; });
+  sim.schedule_at(5.0, [&] {
+    EXPECT_EQ(rm.job(victim).state, JobState::Running);
+    EXPECT_TRUE(rm.kill(victim, "superseded by hedge"));
+  });
+  sim.run();
+  ASSERT_GE(ends.size(), 1u);
+  EXPECT_EQ(ends[0].first, JobState::Cancelled);
+  EXPECT_EQ(ends[0].second, "superseded by hedge");
+  EXPECT_EQ(rm.killed_jobs(), 1u);
+  EXPECT_EQ(rm.failed_jobs(), 0u);  // a kill is not a failure
+  EXPECT_GE(start, 0.0);            // the heir got the freed node
+  EXPECT_LT(start, 1000.0);
+}
+
+TEST_F(RmFixture, KillQueuedJobAndDoubleKill) {
+  rm.submit(job("a", 4, 100), {});
+  rm.submit(job("b", 4, 100), {});
+  JobState state = JobState::Queued;
+  const JobId id = rm.submit(job("waiting", 4, 10),
+                             [&](const JobRecord& rec) { state = rec.state; });
+  sim.schedule_at(5.0, [&] {
+    EXPECT_EQ(rm.job(id).state, JobState::Queued);
+    EXPECT_TRUE(rm.kill(id, "timeout: gave up waiting"));
+    EXPECT_EQ(state, JobState::Cancelled);
+    EXPECT_FALSE(rm.kill(id));  // already settled
+  });
+  sim.run();
+}
+
+TEST_F(RmFixture, StartCallbackFiresWithTheLiveRecord) {
+  rm.submit(job("blocker", 4, 50), {});
+  rm.submit(job("blocker2", 4, 50), {});
+  SimTime started_at = -1.0;
+  double speed = 0.0;
+  rm.submit(
+      job("late", 4, 10), {},
+      [&](const JobRecord& rec) {
+        EXPECT_EQ(rec.state, JobState::Running);
+        started_at = rec.start_time;
+        speed = rec.speed;
+      });
+  sim.run();
+  EXPECT_DOUBLE_EQ(started_at, 50.0);  // waited out the blockers
+  EXPECT_GT(speed, 0.0);
+}
+
+TEST_F(RmFixture, FailNodeCustomReasonReachesTheVictims) {
+  std::string reason;
+  rm.submit(job("victim", 4, 1000),
+            [&](const JobRecord& rec) { reason = rec.failure_reason; });
+  sim.run(1);
+  rm.fail_node(0, 0.0, "spot instance preempted (node 0)");
+  sim.run();
+  EXPECT_EQ(reason, "spot instance preempted (node 0)");
+  EXPECT_EQ(rm.failed_jobs(), 1u);
+}
+
 }  // namespace
 }  // namespace hhc::cluster

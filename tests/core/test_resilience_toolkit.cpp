@@ -1,0 +1,317 @@
+// End-to-end resilience-plane tests: chaos injection, retry/backoff,
+// straggler hedging, timeout rescue, and lineage recovery, driven through
+// the composite Toolkit exactly the way experiments drive it.
+#include <gtest/gtest.h>
+
+#include "core/toolkit.hpp"
+#include "obs/exporters.hpp"
+#include "workflow/generators.hpp"
+
+namespace hhc::core {
+namespace {
+
+wf::TaskId add_task(wf::Workflow& w, const std::string& name, SimTime runtime,
+                    const std::string& kind = "step", double cores = 1.0) {
+  wf::TaskSpec t;
+  t.name = name;
+  t.kind = kind;
+  t.base_runtime = runtime;
+  t.resources.cores_per_node = cores;
+  return w.add_task(t);
+}
+
+/// producer (env a) --100 MiB--> consumer (env b): the minimal workflow whose
+/// only cross-environment edge rides the a<->b WAN link.
+wf::Workflow split_chain(wf::TaskId& producer, wf::TaskId& consumer) {
+  wf::Workflow w("split");
+  producer = add_task(w, "producer", 100.0);
+  consumer = add_task(w, "consumer", 10.0);
+  w.add_dependency(producer, consumer, mib(100));
+  return w;
+}
+
+// --- satellite 1 regression: replica loss is a task failure, not a crash ---
+
+TEST(ResilienceToolkit, PartitionedReplicaLinkFailsTheTaskNotTheProcess) {
+  Toolkit tk;
+  const auto a = tk.add_hpc("a", cluster::homogeneous_cluster(2, 8, gib(32)));
+  const auto b = tk.add_hpc("b", cluster::homogeneous_cluster(2, 8, gib(32)));
+  wf::TaskId producer, consumer;
+  const wf::Workflow w = split_chain(producer, consumer);
+  // Partition the only replica's link while the producer is still running:
+  // by the time the consumer tries to stage, nothing is reachable.
+  tk.simulation().schedule_at(50.0, [&] {
+    tk.topology()
+        .find_link(tk.env_location(a), tk.env_location(b))
+        ->set_rate_factor(0.0);
+  });
+  CompositeReport r;
+  ASSERT_NO_THROW(r = tk.run(w, std::vector<EnvironmentId>{a, b}));
+  EXPECT_FALSE(r.success);
+  EXPECT_NE(r.error.find("consumer"), std::string::npos);
+  EXPECT_EQ(r.task_failures, 1u);
+  const auto* failures = r.metrics.find_counter("resilience.staging_failures", "b");
+  ASSERT_NE(failures, nullptr);
+  EXPECT_EQ(failures->value, 1.0);
+  // The producer's work is still accounted; the run ended in order.
+  EXPECT_EQ(r.environments[0].tasks_run, 1u);
+}
+
+TEST(ResilienceToolkit, BackoffRetriesRideOutALinkOutage) {
+  ToolkitConfig cfg;
+  cfg.resilience.static_task_retries = 5;
+  cfg.resilience.backoff.base_delay = 30.0;
+  cfg.resilience.backoff.multiplier = 2.0;
+  cfg.resilience.backoff.max_delay = 120.0;
+  cfg.resilience.backoff.decorrelated_jitter = false;
+  Toolkit tk(cfg);
+  const auto a = tk.add_hpc("a", cluster::homogeneous_cluster(2, 8, gib(32)));
+  const auto b = tk.add_hpc("b", cluster::homogeneous_cluster(2, 8, gib(32)));
+  wf::TaskId producer, consumer;
+  const wf::Workflow w = split_chain(producer, consumer);
+  fabric::Link* link = nullptr;
+  tk.simulation().schedule_at(50.0, [&] {
+    link = tk.topology().find_link(tk.env_location(a), tk.env_location(b));
+    link->set_rate_factor(0.0);
+  });
+  tk.simulation().schedule_at(300.0, [&] { link->set_rate_factor(1.0); });
+  const CompositeReport r = tk.run(w, std::vector<EnvironmentId>{a, b});
+  EXPECT_TRUE(r.success) << r.error;
+  // The consumer failed staging at ~100 s, then walked the 30/60/120 ladder
+  // until the link came back at 300 s.
+  EXPECT_GE(r.task_failures, 2u);
+  EXPECT_GE(r.task_resubmissions, 2u);
+  EXPECT_GT(r.makespan, 300.0);
+  const auto* waits = r.metrics.find_counter("resilience.backoff_waits", "staging");
+  ASSERT_NE(waits, nullptr);
+  EXPECT_GE(waits->value, 2.0);
+}
+
+// --- chaos node crashes on the static path ---------------------------------
+
+TEST(ResilienceToolkit, RetriesSurviveAChaosNodeCrash) {
+  ToolkitConfig cfg;
+  cfg.resilience.static_task_retries = 3;
+  Toolkit tk(cfg);
+  const auto hpc = tk.add_hpc("hpc", cluster::homogeneous_cluster(4, 16, gib(64)));
+
+  resilience::ChaosConfig ccfg;
+  resilience::ChaosEvent crash;
+  crash.time = 50.0;
+  crash.kind = resilience::ChaosKind::NodeCrash;
+  crash.env = hpc;
+  crash.node = 0;
+  crash.duration = 200.0;
+  ccfg.scheduled = {crash};
+  resilience::ChaosEngine chaos(ccfg);
+  tk.attach_chaos(&chaos);
+
+  wf::Workflow w("wide");
+  for (int i = 0; i < 8; ++i)
+    add_task(w, "t" + std::to_string(i), 100.0, "step", 16.0);  // one per node
+  const CompositeReport r = tk.run(w, hpc);
+  EXPECT_TRUE(r.success) << r.error;
+  EXPECT_EQ(chaos.injected(resilience::ChaosKind::NodeCrash), 1u);
+  EXPECT_GE(r.task_failures, 1u);
+  EXPECT_GE(r.task_resubmissions, 1u);
+  EXPECT_GT(r.wasted_core_seconds, 0.0);  // the killed attempt's work
+  const auto* retries = r.metrics.find_counter("resilience.task_retries",
+                                               "node-failure");
+  ASSERT_NE(retries, nullptr);
+  EXPECT_GE(retries->value, 1.0);
+}
+
+// --- straggler hedging -----------------------------------------------------
+
+// One clean run warms the per-kind straggler detector and runtime predictor
+// (both persist across runs of a Toolkit); the second run injects stragglers
+// and must hedge around them.
+TEST(ResilienceToolkit, HedgingRacesOutInjectedStragglers) {
+  auto make_workflow = [] {
+    wf::Workflow w("stress");
+    for (int i = 0; i < 12; ++i)
+      w.add_task([&] {
+        wf::TaskSpec t;
+        t.name = "s" + std::to_string(i);
+        t.kind = "stress";
+        t.base_runtime = 100.0;
+        t.resources.cores_per_node = 4.0;
+        return t;
+      }());
+    return w;
+  };
+
+  auto run_chaotic = [&](bool hedging) {
+    ToolkitConfig cfg;
+    cfg.resilience.hedging.enabled = hedging;
+    cfg.resilience.hedging.min_samples = 8;
+    cfg.resilience.hedging.quantile = 90.0;
+    cfg.resilience.hedging.slack = 1.2;
+    Toolkit tk(cfg);
+    const auto hpc =
+        tk.add_hpc("hpc", cluster::homogeneous_cluster(8, 16, gib(64)));
+    const CompositeReport warm = tk.run(make_workflow(), hpc);
+    EXPECT_TRUE(warm.success);
+    EXPECT_EQ(warm.tasks_hedged, 0u);  // uniform runtimes: nothing to hedge
+
+    resilience::ChaosConfig ccfg;
+    ccfg.seed = 19;  // 4 of 12 primaries straggle; all of their hedges are clean
+    ccfg.task.straggler_rate = 0.4;
+    ccfg.task.straggler_factor = 8.0;
+    resilience::ChaosEngine chaos(ccfg);
+    tk.attach_chaos(&chaos);
+    return tk.run(make_workflow(), hpc);
+  };
+
+  const CompositeReport hedged = run_chaotic(true);
+  const CompositeReport exposed = run_chaotic(false);
+  EXPECT_TRUE(hedged.success) << hedged.error;
+  EXPECT_TRUE(exposed.success) << exposed.error;
+  EXPECT_GT(hedged.tasks_hedged, 0u);
+  EXPECT_GT(hedged.hedges_won, 0u);
+  EXPECT_GT(hedged.wasted_core_seconds, 0.0);  // killed losers are accounted
+  EXPECT_EQ(exposed.tasks_hedged, 0u);
+  // The whole point: racing a fresh copy beats waiting out an 8x straggler.
+  EXPECT_LT(hedged.makespan, exposed.makespan);
+}
+
+// --- timeout watchdogs -----------------------------------------------------
+
+TEST(ResilienceToolkit, TimeoutWatchdogRescuesHungTasks) {
+  ToolkitConfig cfg;
+  cfg.resilience.static_task_retries = 5;
+  cfg.resilience.timeout_factor = 3.0;
+  Toolkit tk(cfg);
+  const auto hpc = tk.add_hpc("hpc", cluster::homogeneous_cluster(4, 16, gib(64)));
+
+  auto make_workflow = [] {
+    wf::Workflow w("hangprone");
+    for (int i = 0; i < 10; ++i) add_task(w, "h" + std::to_string(i), 100.0);
+    return w;
+  };
+  // Warm the predictor so walltime estimates (and thus watchdogs) exist.
+  EXPECT_TRUE(tk.run(make_workflow(), hpc).success);
+
+  resilience::ChaosConfig ccfg;
+  ccfg.seed = 5;
+  ccfg.task.hang_rate = 0.3;
+  resilience::ChaosEngine chaos(ccfg);
+  tk.attach_chaos(&chaos);
+  const CompositeReport r = tk.run(make_workflow(), hpc);
+  EXPECT_TRUE(r.success) << r.error;
+  const auto* kills = r.metrics.find_counter("resilience.timeout_kills", "hpc");
+  ASSERT_NE(kills, nullptr);
+  EXPECT_GE(kills->value, 1.0);
+  EXPECT_GE(r.task_failures, 1u);
+  // Hung attempts inflate runtime a million-fold; the watchdog caps the
+  // damage at timeout_factor x estimate per attempt.
+  EXPECT_LT(r.makespan, 10000.0);
+  EXPECT_GT(r.wasted_core_seconds, 0.0);
+}
+
+// --- lineage recovery ------------------------------------------------------
+
+TEST(ResilienceToolkit, SiteOutageTriggersLineageRecovery) {
+  ToolkitConfig cfg;
+  cfg.resilience.lineage_recovery = true;
+  Toolkit tk(cfg);
+  const auto a = tk.add_hpc("a", cluster::homogeneous_cluster(2, 8, gib(32)));
+  const auto b = tk.add_hpc("b", cluster::homogeneous_cluster(2, 8, gib(32)));
+
+  // producer(a) -> consumer(b) carries data; barrier(b) -> consumer is a
+  // zero-byte ordering edge that delays the consumer until t=300, past the
+  // outage that destroys the producer's only replica. longtail(b) keeps the
+  // simulation busy across the outage window so the weak restore can fire.
+  wf::Workflow w("lineage");
+  const auto producer = add_task(w, "producer", 100.0);
+  const auto consumer = add_task(w, "consumer", 10.0);
+  const auto barrier = add_task(w, "barrier", 300.0);
+  add_task(w, "longtail", 1000.0);
+  w.add_dependency(producer, consumer, mib(100));
+  w.add_dependency(barrier, consumer);
+
+  resilience::ChaosConfig ccfg;
+  resilience::ChaosEvent outage;
+  outage.time = 150.0;  // after the producer finished, before the consumer
+  outage.kind = resilience::ChaosKind::SiteOutage;
+  outage.env = a;
+  outage.duration = 400.0;  // site back at t=550
+  ccfg.scheduled = {outage};
+  resilience::ChaosEngine chaos(ccfg);
+  tk.attach_chaos(&chaos);
+
+  const CompositeReport r =
+      tk.run(w, std::vector<EnvironmentId>{a, b, b, b});
+  EXPECT_TRUE(r.success) << r.error;
+  EXPECT_EQ(r.recovery_recomputed_tasks, 1u);  // exactly the producer
+  const auto* cones = r.metrics.find_counter("resilience.recovery_cones");
+  ASSERT_NE(cones, nullptr);
+  EXPECT_EQ(cones->value, 1.0);
+  // The producer ran twice on site a; everything else ran once on b.
+  EXPECT_EQ(r.environments[0].tasks_run, 2u);
+  EXPECT_EQ(r.environments[1].tasks_run, 3u);
+  EXPECT_EQ(chaos.injected(resilience::ChaosKind::SiteOutage), 1u);
+}
+
+// --- federated drain/undrain racing a queued retry -------------------------
+
+TEST(ResilienceToolkit, UndrainRacesAQueuedFederatedRetry) {
+  ToolkitConfig cfg;
+  cfg.resilience.backoff.base_delay = 50.0;
+  cfg.resilience.backoff.decorrelated_jitter = false;
+  Toolkit tk(cfg);
+  const auto a = tk.add_hpc("a", cluster::homogeneous_cluster(4, 16, gib(64)));
+  const auto b = tk.add_hpc("b", cluster::homogeneous_cluster(4, 16, gib(64)));
+  federation::Broker broker;
+  broker.add_site(tk.describe_environment(a));
+  broker.add_site(tk.describe_environment(b));
+
+  // Site a dies at t=50 (killing its running tasks), and comes back at t=80
+  // — before the 50 s backoff on the first retry has elapsed. The queued
+  // retries must re-place cleanly whichever site they land on.
+  tk.simulation().schedule_at(50.0, [&] { tk.drain_site(a); });
+  tk.simulation().schedule_at(80.0, [&] { tk.restore_site(a); });
+
+  const wf::Workflow w = wf::make_fork_join(12, Rng(3));
+  CompositeReport r;
+  ASSERT_NO_THROW(r = tk.run(w, broker));
+  EXPECT_TRUE(r.success) << r.error;
+  EXPECT_GE(r.task_failures, 1u);
+  EXPECT_GE(r.task_resubmissions, 1u);
+  const auto* restores = r.metrics.find_counter("federation.site_restores", "a");
+  ASSERT_NE(restores, nullptr);
+  EXPECT_EQ(restores->value, 1.0);
+}
+
+// --- determinism -----------------------------------------------------------
+
+// Same seeds, same config: two independent toolkits must produce the same
+// story down to the byte, even under stochastic chaos. This is what makes
+// chaos-found bugs replayable.
+TEST(ResilienceToolkit, ChaoticRunsAreByteIdenticalPerSeed) {
+  auto run_once = [] {
+    ToolkitConfig cfg;
+    cfg.seed = 1234;
+    cfg.resilience.static_task_retries = 5;
+    cfg.resilience.backoff.base_delay = 10.0;
+    Toolkit tk(cfg);
+    const auto hpc =
+        tk.add_hpc("hpc", cluster::homogeneous_cluster(4, 16, gib(64)));
+    resilience::ChaosConfig ccfg;
+    ccfg.seed = 77;
+    ccfg.horizon = 2000.0;
+    ccfg.node_mtbf = 800.0;
+    ccfg.task.straggler_rate = 0.1;
+    resilience::ChaosEngine chaos(ccfg);
+    tk.attach_chaos(&chaos);
+    const CompositeReport r = tk.run(wf::make_montage_like(16, Rng(9)), hpc);
+    return std::make_pair(r.makespan, obs::spans_csv(tk.observer().spans()));
+  };
+  const auto [makespan_a, spans_a] = run_once();
+  const auto [makespan_b, spans_b] = run_once();
+  EXPECT_DOUBLE_EQ(makespan_a, makespan_b);
+  EXPECT_EQ(spans_a, spans_b);
+}
+
+}  // namespace
+}  // namespace hhc::core

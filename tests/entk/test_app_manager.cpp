@@ -211,6 +211,41 @@ TEST(AppManager, CursedNodeFailsEveryWaveUntilDeferred) {
   EXPECT_EQ(r2.task_failures, 0u);
 }
 
+TEST(AppManager, BackoffDelaysResubmissionsButStillCompletes) {
+  // Same failing workload twice; the only difference is the backoff ladder.
+  // The run with delays must finish strictly later and match the immediate
+  // run's completion counts — backoff trades latency, never correctness.
+  auto run_with = [](resilience::RetryBackoff retry) {
+    sim::Simulation sim;
+    cluster::Cluster pilot(cluster::homogeneous_cluster(4, 4, gib(16)));
+    EntkConfig cfg;
+    cfg.scheduling_rate = 1000;
+    cfg.launching_rate = 1000;
+    cfg.bootstrap_overhead = 10;
+    cfg.max_resubmissions = 10;
+    cfg.retry = retry;
+    AppManager app(sim, pilot, cfg, Rng(42));
+    PipelineDesc p = one_stage(10);
+    for (auto& t : p.stages[0].tasks) t.failure_probability = 0.4;
+    app.add_pipeline(p);
+    return app.run();
+  };
+
+  const RunReport immediate = run_with({});  // base_delay 0: legacy path
+  resilience::RetryBackoff slow;
+  slow.base_delay = 30.0;
+  slow.multiplier = 2.0;
+  slow.max_delay = 120.0;
+  slow.decorrelated_jitter = false;  // keep the two runs' RNG streams aligned
+  const RunReport delayed = run_with(slow);
+
+  EXPECT_EQ(immediate.tasks_completed, 10u);
+  EXPECT_EQ(delayed.tasks_completed, 10u);
+  EXPECT_GT(immediate.task_failures, 0u);
+  EXPECT_EQ(delayed.task_failures, immediate.task_failures);
+  EXPECT_GT(delayed.job_runtime(), immediate.job_runtime());
+}
+
 TEST(AppManager, EmptyPipelineFinishesImmediately) {
   sim::Simulation sim;
   cluster::Cluster pilot(cluster::homogeneous_cluster(1, 4, gib(16)));

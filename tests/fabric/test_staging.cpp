@@ -103,11 +103,47 @@ TEST_F(StagingFixture, SequentialRequestsHitTheNewReplica) {
   EXPECT_EQ(sources[1], StageSource::Local);
 }
 
-TEST_F(StagingFixture, UnreachableReplicaThrows) {
+TEST_F(StagingFixture, UnreachableReplicaFailsAsynchronously) {
+  // Pre-resilience this threw std::runtime_error out of stage(), crashing
+  // the embedding run from deep inside an event callback. Now it delivers a
+  // failed StageResult so the caller's retry/recovery policy decides.
   topo.add_node("island");
   staging.publish("d", 100, "island");
-  EXPECT_THROW(staging.stage("d", "siteA", [](const StageResult&) {}),
-               std::runtime_error);
+  std::vector<StageResult> results;
+  staging.stage("d", "siteA",
+                [&](const StageResult& r) { results.push_back(r); });
+  sim.run();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_FALSE(results[0].ok);
+  EXPECT_NE(results[0].error.find("staging:"), std::string::npos);
+  EXPECT_NE(results[0].error.find("no replica"), std::string::npos);
+  EXPECT_EQ(staging.stage_failures(), 1u);
+}
+
+TEST_F(StagingFixture, AbortInFlightFailsEveryWaiter) {
+  staging.publish("d", 500, "origin");
+  std::vector<StageResult> results;
+  staging.stage("d", "siteA", [&](const StageResult& r) { results.push_back(r); });
+  staging.stage("d", "siteA", [&](const StageResult& r) { results.push_back(r); });
+  sim.schedule_at(2.0, [&] {
+    EXPECT_EQ(staging.abort_in_flight("transfer aborted by chaos"), 1u);
+  });
+  sim.run();
+  ASSERT_EQ(results.size(), 2u);
+  for (const StageResult& r : results) {
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("aborted by chaos"), std::string::npos);
+  }
+  EXPECT_EQ(staging.transfers_aborted(), 1u);
+  EXPECT_EQ(staging.bytes_moved(), 0u);
+  // The aborted copy never registered a replica at the destination.
+  EXPECT_FALSE(catalog.has_replica("d", "siteA"));
+  // A later request starts cleanly from the origin again.
+  StageResult retry;
+  staging.stage("d", "siteA", [&](const StageResult& r) { retry = r; });
+  sim.run();
+  EXPECT_TRUE(retry.ok);
+  EXPECT_EQ(retry.source, StageSource::Origin);
 }
 
 TEST_F(StagingFixture, AttachedCacheBoundsStagedReplicas) {

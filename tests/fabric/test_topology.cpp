@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
 #include "sim/simulation.hpp"
@@ -198,6 +199,76 @@ TEST(Link, EarlyLeaverMakesTheEstimatePessimistic) {
   // one then runs alone: 4 s for 200 B + 8 s for the remaining 800 B.
   EXPECT_LT(actual, estimated);
   EXPECT_DOUBLE_EQ(actual, 12.0);
+}
+
+// --- chaos controls: rate factors, partitions, aborts -----------------------
+
+TEST(Link, DegradeMidTransferSlowsTheRemainder) {
+  sim::Simulation sim;
+  Link link(sim, "l", {100.0, 0.0});
+  SimTime done_at = -1.0;
+  link.transfer(1000, [&](SimTime) { done_at = sim.now(); });
+  // Halfway through, chaos halves the link: 500 bytes left at 50 B/s.
+  sim.schedule_at(5.0, [&] { link.set_rate_factor(0.5); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(done_at, 15.0);
+  EXPECT_DOUBLE_EQ(link.rate_factor(), 0.5);
+  EXPECT_EQ(link.completed_transfers(), 1u);
+}
+
+TEST(Link, PartitionParksTransfersAndRestoreResumesThem) {
+  sim::Simulation sim;
+  Link link(sim, "l", {100.0, 0.0});
+  SimTime done_at = -1.0;
+  link.transfer(1000, [&](SimTime) { done_at = sim.now(); });
+  sim.schedule_at(5.0, [&] {
+    link.set_rate_factor(0.0);
+    EXPECT_FALSE(link.up());
+    // A ranked estimate across a partitioned link must be "never".
+    EXPECT_TRUE(std::isinf(link.estimate(100)));
+  });
+  sim.schedule_at(20.0, [&] { link.set_rate_factor(1.0); });
+  sim.run();
+  // 500 bytes done before the cut, 15 s of darkness, 500 bytes after.
+  EXPECT_DOUBLE_EQ(done_at, 25.0);
+  EXPECT_TRUE(link.up());
+}
+
+TEST(Link, AbortMidTransferDropsTheCompletion) {
+  sim::Simulation sim;
+  Link link(sim, "l", {100.0, 0.0});
+  bool completed = false;
+  const std::uint64_t id = link.transfer(1000, [&](SimTime) { completed = true; });
+  sim.schedule_at(5.0, [&] { EXPECT_TRUE(link.abort(id)); });
+  sim.run();
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(link.active(), 0u);
+  EXPECT_EQ(link.completed_transfers(), 0u);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);  // the abort freed the link immediately
+  EXPECT_FALSE(link.abort(999));     // unknown id
+}
+
+TEST(Link, AbortDuringLatencyPhaseDropsTheJoin) {
+  sim::Simulation sim;
+  Link link(sim, "l", {100.0, 2.0});
+  bool completed = false;
+  const std::uint64_t id = link.transfer(500, [&](SimTime) { completed = true; });
+  sim.schedule_at(1.0, [&] { EXPECT_TRUE(link.abort(id)); });
+  sim.run();
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(link.active(), 0u);
+}
+
+TEST(Link, AbortReleasesBandwidthToSurvivors) {
+  sim::Simulation sim;
+  Link link(sim, "l", {100.0, 0.0});
+  SimTime survivor_done = -1.0;
+  link.transfer(1000, [&](SimTime) { survivor_done = sim.now(); });
+  const std::uint64_t victim = link.transfer(1000, [](SimTime) {});
+  sim.schedule_at(5.0, [&] { link.abort(victim); });
+  sim.run();
+  // 5 s at a 50 B/s share (250 B), then full rate for the remaining 750 B.
+  EXPECT_DOUBLE_EQ(survivor_done, 12.5);
 }
 
 }  // namespace

@@ -303,6 +303,55 @@ TEST(Broker, FailureHolddownExcludesSiteUntilExpiry) {
   EXPECT_EQ(broker.place(0, 601.0), a);
 }
 
+TEST(Broker, PlaceHedgePrefersADifferentSite) {
+  Broker broker;
+  const SiteId a = broker.add_site(make_site("a", 0, 8, 32, 2.0));
+  const SiteId b = broker.add_site(make_site("b", 1, 8, 32, 1.0));
+  const wf::Workflow w = single_task_workflow();
+  broker.begin_run(w, 1);
+  ASSERT_EQ(broker.place(0, 0.0), a);
+  // The hedge dodges the (possibly slow) primary site.
+  EXPECT_EQ(broker.place_hedge(0, 1.0, a), b);
+  EXPECT_EQ(broker.hedge_placements(), 1u);
+}
+
+TEST(Broker, PlaceHedgeFallsBackToThePrimarySite) {
+  Broker broker;
+  const SiteId only = broker.add_site(make_site("only", 0));
+  const wf::Workflow w = single_task_workflow();
+  broker.begin_run(w, 1);
+  ASSERT_EQ(broker.place(0, 0.0), only);
+  // No alternative site exists: a same-site hedge still dodges a slow node.
+  EXPECT_EQ(broker.place_hedge(0, 1.0, only), only);
+}
+
+TEST(Broker, PlaceHedgeWithNoLiveSiteGivesInvalid) {
+  Broker broker;
+  const SiteId only = broker.add_site(make_site("only", 0));
+  const wf::Workflow w = single_task_workflow();
+  broker.begin_run(w, 1);
+  broker.drain(only);
+  EXPECT_EQ(broker.place_hedge(0, 1.0, only), kInvalidSite);
+  EXPECT_THROW((void)Broker().place_hedge(0, 0.0, kInvalidSite), BrokerError);
+}
+
+TEST(Broker, PlaceHedgeSkipsSitesInsideTheirHolddown) {
+  BrokerConfig cfg;
+  cfg.failure_holddown = 500.0;
+  Broker broker(cfg);
+  const SiteId a = broker.add_site(make_site("a", 0, 8, 32, 2.0));
+  const SiteId b = broker.add_site(make_site("b", 1, 8, 32, 1.0));
+  const SiteId c = broker.add_site(make_site("c", 2, 8, 32, 0.5));
+  const wf::Workflow w = single_task_workflow();
+  broker.begin_run(w, 1);
+  ASSERT_EQ(broker.place(0, 0.0), a);
+  broker.report_failure(b, 10.0);
+  // b is faster than c but held down: the hedge lands on c.
+  EXPECT_EQ(broker.place_hedge(0, 11.0, a), c);
+  // After the hold-down expires b is eligible again.
+  EXPECT_EQ(broker.place_hedge(0, 511.0, a), b);
+}
+
 TEST(Broker, DrainAndUndrain) {
   Broker broker;
   const SiteId a = broker.add_site(make_site("a", 0));

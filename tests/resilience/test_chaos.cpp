@@ -1,0 +1,227 @@
+#include "resilience/chaos.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "cluster/failure.hpp"
+#include "cluster/schedulers.hpp"
+
+namespace hhc::resilience {
+namespace {
+
+ChaosConfig stochastic_config() {
+  ChaosConfig cfg;
+  cfg.seed = 7;
+  cfg.horizon = 10000.0;
+  cfg.node_mtbf = 2000.0;
+  cfg.spot_mtbf = 3000.0;
+  cfg.link_mtbf = 1500.0;
+  cfg.transfer_abort_mtbf = 4000.0;
+  return cfg;
+}
+
+const std::vector<ChaosTarget> kTargets = {{0, 4, false}, {1, 8, true}};
+const std::vector<std::pair<std::string, std::string>> kLinks = {
+    {"env0:a", "env1:b"}};
+
+TEST(ChaosPlan, SameSeedSameShapeIsByteIdentical) {
+  const ChaosPlan a = make_plan(stochastic_config(), kTargets, kLinks);
+  const ChaosPlan b = make_plan(stochastic_config(), kTargets, kLinks);
+  ASSERT_FALSE(a.empty());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].time, b[i].time);
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].env, b[i].env);
+    EXPECT_EQ(a[i].node, b[i].node);
+  }
+}
+
+TEST(ChaosPlan, DifferentSeedsDiverge) {
+  ChaosConfig other = stochastic_config();
+  other.seed = 8;
+  const ChaosPlan a = make_plan(stochastic_config(), kTargets, kLinks);
+  const ChaosPlan b = make_plan(other, kTargets, kLinks);
+  bool differs = a.size() != b.size();
+  for (std::size_t i = 0; !differs && i < a.size(); ++i)
+    differs = a[i].time != b[i].time || a[i].kind != b[i].kind;
+  EXPECT_TRUE(differs);
+}
+
+TEST(ChaosPlan, IsSortedAndCoversEveryEnabledKind) {
+  const ChaosPlan plan = make_plan(stochastic_config(), kTargets, kLinks);
+  bool crash = false, spot = false, link = false, abort_seen = false;
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    if (i > 0) {
+      EXPECT_LE(plan[i - 1].time, plan[i].time);
+    }
+    crash |= plan[i].kind == ChaosKind::NodeCrash;
+    spot |= plan[i].kind == ChaosKind::SpotPreemption;
+    link |= plan[i].kind == ChaosKind::LinkDegrade ||
+            plan[i].kind == ChaosKind::LinkPartition;
+    abort_seen |= plan[i].kind == ChaosKind::TransferAbort;
+  }
+  EXPECT_TRUE(crash);
+  EXPECT_TRUE(spot);
+  EXPECT_TRUE(link);
+  EXPECT_TRUE(abort_seen);
+  // Crashes only target the HPC env, spot reclaims only the cloud env.
+  for (const ChaosEvent& ev : plan) {
+    if (ev.kind == ChaosKind::NodeCrash) {
+      EXPECT_EQ(ev.env, 0u);
+    }
+    if (ev.kind == ChaosKind::SpotPreemption) {
+      EXPECT_EQ(ev.env, 1u);
+    }
+  }
+}
+
+TEST(ChaosPlan, ScheduledEventsAreMergedInTimeOrder) {
+  ChaosConfig cfg;  // no stochastic faults
+  ChaosEvent outage;
+  outage.time = 800.0;
+  outage.kind = ChaosKind::SiteOutage;
+  outage.env = 1;
+  outage.duration = 600.0;
+  ChaosEvent abort_ev;
+  abort_ev.time = 100.0;
+  abort_ev.kind = ChaosKind::TransferAbort;
+  cfg.scheduled = {outage, abort_ev};
+  const ChaosPlan plan = make_plan(cfg, kTargets, kLinks);
+  ASSERT_EQ(plan.size(), 2u);
+  EXPECT_EQ(plan[0].kind, ChaosKind::TransferAbort);
+  EXPECT_EQ(plan[1].kind, ChaosKind::SiteOutage);
+}
+
+TEST(ChaosEngine, DeliversScheduledEventsThroughHooks) {
+  sim::Simulation sim;
+  ChaosConfig cfg;
+  ChaosEvent degrade;
+  degrade.time = 5.0;
+  degrade.kind = ChaosKind::LinkDegrade;
+  degrade.link_a = "env0:a";
+  degrade.link_b = "env1:b";
+  degrade.factor = 0.25;
+  degrade.duration = 50.0;
+  ChaosEvent outage;
+  outage.time = 9.0;
+  outage.kind = ChaosKind::SiteOutage;
+  outage.env = 1;
+  cfg.scheduled = {degrade, outage};
+
+  ChaosEngine engine(cfg);
+  std::vector<std::string> log;
+  ChaosHooks hooks;
+  hooks.set_link_factor = [&](const std::string& a, const std::string& b,
+                              double factor, SimTime restore) {
+    log.push_back("link " + a + "-" + b + " x" + std::to_string(factor) +
+                  " restore " + std::to_string(restore));
+  };
+  hooks.site_outage = [&](std::size_t env, SimTime) {
+    log.push_back("outage env" + std::to_string(env));
+  };
+  engine.set_hooks(std::move(hooks));
+  engine.arm(sim, kTargets, kLinks);
+  // Chaos events are weak: alone they never fire. Anchor with strong work.
+  sim.schedule_at(20.0, [] {});
+  sim.run();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_NE(log[0].find("x0.25"), std::string::npos);
+  EXPECT_EQ(log[1], "outage env1");
+  EXPECT_EQ(engine.injected(), 2u);
+  EXPECT_EQ(engine.injected(ChaosKind::LinkDegrade), 1u);
+  EXPECT_EQ(engine.injected(ChaosKind::SiteOutage), 1u);
+  EXPECT_EQ(engine.injected(ChaosKind::NodeCrash), 0u);
+}
+
+TEST(ChaosEngine, UnsetHooksSkipTheirEventsWithoutCounting) {
+  sim::Simulation sim;
+  ChaosConfig cfg;
+  ChaosEvent ev;
+  ev.time = 1.0;
+  ev.kind = ChaosKind::TransferAbort;
+  cfg.scheduled = {ev};
+  ChaosEngine engine(cfg);  // no hooks installed
+  engine.arm(sim, {}, {});
+  sim.schedule_at(2.0, [] {});
+  sim.run();
+  EXPECT_EQ(engine.injected(), 0u);
+}
+
+TEST(ChaosEngine, WeakEventsNeverKeepTheSimulationAlive) {
+  sim::Simulation sim;
+  ChaosConfig cfg;
+  ChaosEvent ev;
+  ev.time = 1000.0;  // far beyond the last piece of real work
+  ev.kind = ChaosKind::SiteOutage;
+  ev.env = 0;
+  cfg.scheduled = {ev};
+  ChaosEngine engine(cfg);
+  bool fired = false;
+  ChaosHooks hooks;
+  hooks.site_outage = [&](std::size_t, SimTime) { fired = true; };
+  engine.set_hooks(std::move(hooks));
+  engine.arm(sim, kTargets, kLinks);
+  sim.schedule_at(10.0, [] {});
+  sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);  // chaos did not stretch the run
+}
+
+TEST(ChaosEngine, NodeCrashRoutesThroughAWrappedInjector) {
+  sim::Simulation sim;
+  cluster::Cluster cl(cluster::homogeneous_cluster(4, 8, gib(32)));
+  cluster::ResourceManager rm(sim, cl, std::make_unique<cluster::FifoScheduler>());
+  cluster::FailureInjector injector(sim, rm, {}, Rng(1));
+
+  ChaosConfig cfg;
+  ChaosEvent crash;
+  crash.time = 3.0;
+  crash.kind = ChaosKind::NodeCrash;
+  crash.env = 0;
+  crash.node = 2;
+  cfg.scheduled = {crash};
+  ChaosEngine engine(cfg);
+  engine.wrap_injector(0, &injector);
+  engine.arm(sim, {{0, 4, false}}, {});
+  bool down_at_4 = false;
+  sim.schedule_at(4.0, [&] { down_at_4 = !cl.node(2).up; });
+  sim.run();
+  EXPECT_EQ(injector.injected(), 1u);
+  EXPECT_TRUE(down_at_4);
+  EXPECT_TRUE(cl.node(2).up);  // the strong repair event brought it back
+  EXPECT_EQ(engine.injected(ChaosKind::NodeCrash), 1u);
+}
+
+TEST(ChaosEngine, TaskFaultsArePureFunctionsOfSeedTaskAttempt) {
+  ChaosConfig cfg;
+  cfg.seed = 21;
+  cfg.task.straggler_rate = 0.3;
+  cfg.task.straggler_factor = 6.0;
+  cfg.task.hang_rate = 0.1;
+  cfg.task.corrupt_rate = 0.1;
+  const ChaosEngine a(cfg), b(cfg);
+  bool any = false;
+  for (std::uint64_t task = 0; task < 50; ++task)
+    for (std::uint32_t attempt = 0; attempt < 3; ++attempt) {
+      const TaskFault fa = a.task_fault(task, attempt);
+      const TaskFault fb = b.task_fault(task, attempt);
+      EXPECT_DOUBLE_EQ(fa.runtime_factor, fb.runtime_factor);
+      EXPECT_EQ(fa.hang, fb.hang);
+      EXPECT_EQ(fa.corrupt, fb.corrupt);
+      any |= fa.any();
+      if (fa.runtime_factor != 1.0) {
+        EXPECT_DOUBLE_EQ(fa.runtime_factor, 6.0);
+      }
+    }
+  EXPECT_TRUE(any);
+}
+
+TEST(ChaosEngine, ZeroRatesMeanNoTaskFaults) {
+  const ChaosEngine engine{ChaosConfig{}};
+  for (std::uint64_t task = 0; task < 20; ++task)
+    EXPECT_FALSE(engine.task_fault(task, 0).any());
+}
+
+}  // namespace
+}  // namespace hhc::resilience

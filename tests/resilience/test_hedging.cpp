@@ -1,0 +1,72 @@
+#include "resilience/hedging.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hhc::resilience {
+namespace {
+
+TEST(StragglerDetector, ColdWithNoEstimateCannotJudge) {
+  StragglerDetector detector;
+  EXPECT_FALSE(detector.threshold("blast", std::nullopt).has_value());
+}
+
+TEST(StragglerDetector, ColdFallsBackToScaledEstimate) {
+  HedgeConfig cfg;
+  cfg.fallback_factor = 3.0;
+  StragglerDetector detector(cfg);
+  const auto t = detector.threshold("blast", 40.0);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_DOUBLE_EQ(*t, 120.0);
+}
+
+TEST(StragglerDetector, WarmUsesTheLearnedQuantileWithSlack) {
+  HedgeConfig cfg;
+  cfg.quantile = 95.0;
+  cfg.min_samples = 8;
+  cfg.slack = 1.1;
+  StragglerDetector detector(cfg);
+  for (int i = 0; i < 100; ++i) detector.observe("blast", 10.0);
+  EXPECT_EQ(detector.samples("blast"), 100u);
+  const auto t = detector.threshold("blast", 40.0);
+  ASSERT_TRUE(t.has_value());
+  // p95 of a constant distribution is the constant; threshold = slack * p95.
+  EXPECT_NEAR(*t, 11.0, 0.2);
+  // The estimate is ignored once the detector is warm.
+  const auto t2 = detector.threshold("blast", 1000.0);
+  ASSERT_TRUE(t2.has_value());
+  EXPECT_DOUBLE_EQ(*t, *t2);
+}
+
+TEST(StragglerDetector, BelowMinSamplesStaysOnTheFallback) {
+  HedgeConfig cfg;
+  cfg.min_samples = 8;
+  cfg.fallback_factor = 2.0;
+  StragglerDetector detector(cfg);
+  for (int i = 0; i < 7; ++i) detector.observe("blast", 10.0);
+  const auto t = detector.threshold("blast", 50.0);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_DOUBLE_EQ(*t, 100.0);  // still 2 x estimate, not the quantile
+}
+
+TEST(StragglerDetector, KindsAreIndependent) {
+  StragglerDetector detector;
+  for (int i = 0; i < 20; ++i) detector.observe("fast", 1.0);
+  EXPECT_EQ(detector.samples("fast"), 20u);
+  EXPECT_EQ(detector.samples("slow"), 0u);
+  EXPECT_FALSE(detector.threshold("slow", std::nullopt).has_value());
+  const auto fast = detector.threshold("fast", std::nullopt);
+  ASSERT_TRUE(fast.has_value());
+  EXPECT_LT(*fast, 2.0);
+}
+
+TEST(StragglerDetector, SkewedTailRaisesTheThreshold) {
+  StragglerDetector detector;
+  for (int i = 0; i < 95; ++i) detector.observe("mix", 10.0);
+  for (int i = 0; i < 5; ++i) detector.observe("mix", 100.0);
+  const auto t = detector.threshold("mix", std::nullopt);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_GT(*t, 11.0);  // the tail pushed p95 above the typical runtime
+}
+
+}  // namespace
+}  // namespace hhc::resilience

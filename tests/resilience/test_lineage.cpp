@@ -1,0 +1,98 @@
+#include "resilience/lineage.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cws/strategies.hpp"
+
+namespace hhc::resilience {
+namespace {
+
+constexpr int kWf = 5;
+
+wf::TaskId add(wf::Workflow& w, const std::string& name) {
+  wf::TaskSpec spec;
+  spec.name = name;
+  spec.base_runtime = 10;
+  spec.resources.cores_per_node = 1;
+  return w.add_task(spec);
+}
+
+/// Probe backed by a set of resident (producer, bytes) datasets.
+ResidencyProbe resident(const wf::Workflow& w,
+                        std::set<wf::TaskId> producers_with_live_outputs) {
+  return [&w, producers = std::move(producers_with_live_outputs)](
+             const fabric::DatasetId& id) {
+    for (wf::TaskId p : producers)
+      for (wf::TaskId s : w.successors(p))
+        if (w.edge_bytes(p, s) > 0 &&
+            cws::edge_dataset_id(kWf, p, w.edge_bytes(p, s)) == id)
+          return true;
+    return false;
+  };
+}
+
+TEST(RecoveryCone, OnlyTheLostProducerIsRecomputed) {
+  wf::Workflow w("chain");
+  const auto a = add(w, "a"), b = add(w, "b"), c = add(w, "c");
+  w.add_dependency(a, b, 100);
+  w.add_dependency(b, c, 100);
+  // b's output is gone, a's is still resident: recompute b alone.
+  const auto cone = recovery_cone(w, kWf, c, resident(w, {a}));
+  EXPECT_EQ(cone, std::vector<wf::TaskId>{b});
+}
+
+TEST(RecoveryCone, CascadesThroughLostAncestors) {
+  wf::Workflow w("chain");
+  const auto a = add(w, "a"), b = add(w, "b"), c = add(w, "c"), d = add(w, "d");
+  w.add_dependency(a, b, 100);
+  w.add_dependency(b, c, 100);
+  w.add_dependency(c, d, 100);
+  // Everything upstream of d is lost: the whole ancestry re-executes.
+  const auto cone = recovery_cone(w, kWf, d, resident(w, {}));
+  EXPECT_EQ(cone, (std::vector<wf::TaskId>{a, b, c}));
+}
+
+TEST(RecoveryCone, ResidentDatasetCutsTheWalk) {
+  wf::Workflow w("chain");
+  const auto a = add(w, "a"), b = add(w, "b"), c = add(w, "c"), d = add(w, "d");
+  w.add_dependency(a, b, 100);
+  w.add_dependency(b, c, 100);
+  w.add_dependency(c, d, 100);
+  // c's output lost but b's survives: c re-runs from b's replica; a untouched.
+  const auto cone = recovery_cone(w, kWf, d, resident(w, {a, b}));
+  EXPECT_EQ(cone, std::vector<wf::TaskId>{c});
+}
+
+TEST(RecoveryCone, OrderingOnlyEdgesNeverPullTheirProducer) {
+  wf::Workflow w("ordered");
+  const auto a = add(w, "a"), b = add(w, "b"), c = add(w, "c");
+  w.add_dependency(a, c, 100);
+  w.add_dependency(b, c);  // zero-byte: pure ordering, no data to restage
+  const auto cone = recovery_cone(w, kWf, c, resident(w, {}));
+  EXPECT_EQ(cone, std::vector<wf::TaskId>{a});
+}
+
+TEST(RecoveryCone, DiamondSharedAncestorAppearsOnce) {
+  wf::Workflow w("diamond");
+  const auto a = add(w, "a"), b = add(w, "b"), c = add(w, "c"), d = add(w, "d");
+  w.add_dependency(a, b, 100);
+  w.add_dependency(a, c, 200);
+  w.add_dependency(b, d, 100);
+  w.add_dependency(c, d, 100);
+  const auto cone = recovery_cone(w, kWf, d, resident(w, {}));
+  EXPECT_EQ(cone, (std::vector<wf::TaskId>{a, b, c}));  // a once, sorted
+}
+
+TEST(RecoveryCone, NothingLostMeansNothingToRecover) {
+  wf::Workflow w("chain");
+  const auto a = add(w, "a"), b = add(w, "b");
+  w.add_dependency(a, b, 100);
+  EXPECT_TRUE(recovery_cone(w, kWf, b, resident(w, {a})).empty());
+  // A source task has no lineage at all.
+  EXPECT_TRUE(recovery_cone(w, kWf, a, resident(w, {})).empty());
+}
+
+}  // namespace
+}  // namespace hhc::resilience

@@ -1,0 +1,141 @@
+#include "resilience/retry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hhc::resilience {
+namespace {
+
+cluster::JobRecord record(cluster::JobState state, const std::string& reason) {
+  cluster::JobRecord rec;
+  rec.state = state;
+  rec.failure_reason = reason;
+  return rec;
+}
+
+TEST(Classify, ReasonSubstringsMapOntoTheTaxonomy) {
+  using S = cluster::JobState;
+  EXPECT_EQ(classify(record(S::Failed, "node 3 failed")),
+            FailureClass::NodeFailure);
+  EXPECT_EQ(classify(record(S::Failed, "spot instance preempted (node 1)")),
+            FailureClass::Preemption);
+  EXPECT_EQ(classify(record(S::Failed, "staging: no replica of 'd' reachable")),
+            FailureClass::Staging);
+  EXPECT_EQ(classify(record(S::Failed, "corrupt output detected at stage-out")),
+            FailureClass::CorruptOutput);
+  EXPECT_EQ(classify(record(S::Failed, "site outage")), FailureClass::SiteOutage);
+  EXPECT_EQ(classify(record(S::Failed, "something exploded")),
+            FailureClass::Unknown);
+}
+
+TEST(Classify, ReasonOutranksJobState) {
+  // A watchdog kill ends Cancelled but carries a timeout reason: the retry
+  // budget cares about the timeout, not the mechanism of the kill.
+  EXPECT_EQ(classify(record(cluster::JobState::Cancelled,
+                            "timeout: attempt exceeded 3x walltime estimate")),
+            FailureClass::Timeout);
+  EXPECT_EQ(classify(record(cluster::JobState::Cancelled, "cancelled by client")),
+            FailureClass::Cancellation);
+  EXPECT_EQ(classify(record(cluster::JobState::Cancelled, "")),
+            FailureClass::Cancellation);
+}
+
+TEST(Classify, EveryClassHasAName) {
+  for (FailureClass c :
+       {FailureClass::NodeFailure, FailureClass::Preemption,
+        FailureClass::Cancellation, FailureClass::Timeout, FailureClass::Staging,
+        FailureClass::CorruptOutput, FailureClass::SiteOutage,
+        FailureClass::Unknown})
+    EXPECT_STRNE(to_string(c), "?");
+}
+
+TEST(RetryPolicy, BudgetHonoursPerClassOverrides) {
+  RetryBackoff cfg;
+  cfg.max_attempts = 3;
+  cfg.per_class_attempts[FailureClass::CorruptOutput] = 1;
+  cfg.per_class_attempts[FailureClass::Cancellation] = 10;
+  RetryPolicy policy(cfg);
+  EXPECT_EQ(policy.budget(FailureClass::NodeFailure), 3u);
+  EXPECT_EQ(policy.budget(FailureClass::CorruptOutput), 1u);
+  EXPECT_EQ(policy.budget(FailureClass::Cancellation), 10u);
+  EXPECT_TRUE(policy.should_retry(FailureClass::NodeFailure, 2));
+  EXPECT_FALSE(policy.should_retry(FailureClass::NodeFailure, 3));
+  EXPECT_FALSE(policy.should_retry(FailureClass::CorruptOutput, 1));
+}
+
+TEST(RetryPolicy, ZeroBaseDelayIsTheLegacyImmediatePath) {
+  RetryPolicy policy(RetryBackoff{});  // base_delay defaults to 0
+  for (int i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(policy.next_delay(7), 0.0);
+  EXPECT_DOUBLE_EQ(policy.total_backoff(), 0.0);
+}
+
+TEST(RetryPolicy, ExponentialLadderWithoutJitter) {
+  RetryBackoff cfg;
+  cfg.base_delay = 10.0;
+  cfg.multiplier = 2.0;
+  cfg.max_delay = 35.0;
+  cfg.decorrelated_jitter = false;
+  RetryPolicy policy(cfg);
+  EXPECT_DOUBLE_EQ(policy.next_delay(1), 10.0);
+  EXPECT_DOUBLE_EQ(policy.next_delay(1), 20.0);
+  EXPECT_DOUBLE_EQ(policy.next_delay(1), 35.0);  // 40 capped
+  EXPECT_DOUBLE_EQ(policy.next_delay(1), 35.0);
+  EXPECT_DOUBLE_EQ(policy.total_backoff(), 100.0);
+}
+
+TEST(RetryPolicy, DecorrelatedJitterStaysWithinBounds) {
+  RetryBackoff cfg;
+  cfg.base_delay = 1.0;
+  cfg.multiplier = 3.0;
+  cfg.max_delay = 60.0;
+  RetryPolicy policy(cfg, 7);
+  SimTime prev = cfg.base_delay;
+  for (int i = 0; i < 20; ++i) {
+    const SimTime d = policy.next_delay(42);
+    EXPECT_GE(d, cfg.base_delay);
+    EXPECT_LE(d, std::min(cfg.max_delay, prev * cfg.multiplier) + 1e-9);
+    prev = d;
+  }
+}
+
+TEST(RetryPolicy, DelaySequenceIsDeterministicPerSeedAndKey) {
+  RetryBackoff cfg;
+  cfg.base_delay = 2.0;
+  RetryPolicy a(cfg, 99), b(cfg, 99), c(cfg, 100);
+  bool any_differs = false;
+  for (int i = 0; i < 8; ++i) {
+    const SimTime da = a.next_delay(5);
+    EXPECT_DOUBLE_EQ(da, b.next_delay(5));
+    if (da != c.next_delay(5)) any_differs = true;
+  }
+  EXPECT_TRUE(any_differs);  // a different seed gives a different schedule
+}
+
+TEST(RetryPolicy, KeysDoNotPerturbEachOther) {
+  RetryBackoff cfg;
+  cfg.base_delay = 2.0;
+  RetryPolicy solo(cfg, 11), interleaved(cfg, 11);
+  std::vector<SimTime> expected;
+  for (int i = 0; i < 6; ++i) expected.push_back(solo.next_delay(1));
+  // Interleave draws for other keys between key 1's draws: key 1's sequence
+  // must be identical — that is what makes chaotic runs replayable.
+  for (int i = 0; i < 6; ++i) {
+    (void)interleaved.next_delay(2);
+    EXPECT_DOUBLE_EQ(interleaved.next_delay(1), expected[static_cast<std::size_t>(i)]);
+    (void)interleaved.next_delay(3);
+  }
+}
+
+TEST(RetryPolicy, ResetRestartsTheBackoffLadder) {
+  RetryBackoff cfg;
+  cfg.base_delay = 5.0;
+  cfg.multiplier = 4.0;
+  cfg.decorrelated_jitter = false;
+  RetryPolicy policy(cfg);
+  EXPECT_DOUBLE_EQ(policy.next_delay(3), 5.0);
+  EXPECT_DOUBLE_EQ(policy.next_delay(3), 20.0);
+  policy.reset(3);
+  EXPECT_DOUBLE_EQ(policy.next_delay(3), 5.0);
+}
+
+}  // namespace
+}  // namespace hhc::resilience
