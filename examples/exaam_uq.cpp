@@ -3,9 +3,9 @@
 // (AdditiveFOAM even/odd + ExaCA), stage 3 (ExaConstit ensemble), with a
 // node failure injected mid-run to show the fault-tolerance path.
 //
-// Writes exaam_uq.trace.json, a Chrome trace-event file of the run's span
-// hierarchy (app -> pipeline -> stage -> task) — open it in Perfetto
-// (https://ui.perfetto.dev) or chrome://tracing.
+// Writes bench_results/traces/exaam_uq.trace.json, a Chrome trace-event
+// file of the run's span hierarchy (app -> pipeline -> stage -> task) —
+// open it in Perfetto (https://ui.perfetto.dev) or chrome://tracing.
 //
 //   $ ./exaam_uq [pilot_nodes] [exaconstit_tasks]
 #include <cstdlib>
@@ -101,9 +101,9 @@ int main(int argc, char** argv) {
 
   // Observability dump: the run's full span hierarchy as a Perfetto-loadable
   // Chrome trace, plus the metric counters the numbers above came from.
-  if (write_file("exaam_uq.trace.json",
+  if (write_file("bench_results/traces/exaam_uq.trace.json",
                  obs::chrome_trace_json(app.observer().spans(), "exaam_uq")))
-    std::cout << "\nwrote exaam_uq.trace.json ("
+    std::cout << "\nwrote bench_results/traces/exaam_uq.trace.json ("
               << app.observer().spans().spans().size()
               << " spans) — open in https://ui.perfetto.dev\n";
   std::cout << "\n"

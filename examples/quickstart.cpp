@@ -82,9 +82,10 @@ int main() {
   //    with the report; the trace loads in https://ui.perfetto.dev.
   std::cout << "\n"
             << obs::metrics_table(report.metrics, "Run metrics").render();
-  if (write_file("quickstart.trace.json",
+  if (write_file("bench_results/traces/quickstart.trace.json",
                  obs::chrome_trace_json(toolkit.observer().spans(),
                                         "quickstart")))
-    std::cout << "\nwrote quickstart.trace.json — open in Perfetto\n";
+    std::cout << "\nwrote bench_results/traces/quickstart.trace.json — "
+                 "open in Perfetto\n";
   return report.success ? 0 : 1;
 }

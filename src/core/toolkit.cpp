@@ -149,6 +149,8 @@ CompositeReport Toolkit::run_impl(const wf::Workflow& workflow,
   state.hedge_check.assign(n, {});
   state.timeout_check.assign(n, {});
   state.hedge_timeout_check.assign(n, {});
+  state.ledger_of.assign(n, obs::forensics::kNoAttempt);
+  state.hedge_ledger_of.assign(n, obs::forensics::kNoAttempt);
   state.pending_preds.resize(n);
   for (wf::TaskId t = 0; t < n; ++t)
     state.pending_preds[t] = workflow.predecessors(t).size();
@@ -165,9 +167,22 @@ CompositeReport Toolkit::run_impl(const wf::Workflow& workflow,
   for (auto& cache : caches_) cache->clear();
   catalog_.clear();
 
+  if (config_.forensics.enabled)
+    ledger_.begin_run(start, workflow.name(), n);
+  else
+    ledger_.clear();
+  // Federated runs with advisory holddowns on get the monitor's alerts
+  // routed into the broker; everyone else just accumulates the AlertLog.
+  const bool advisory = broker && broker->config().advisory_alerts;
+  if (advisory)
+    monitor_.set_sink(
+        [this, broker](const obs::Alert& a) { broker->advise(a, sim_.now()); });
+
   if (workflow.empty()) {
     state.report.success = true;
     state.report.metrics = obs_.snapshot();
+    if (config_.forensics.enabled) ledger_.end_run(sim_.now(), true);
+    if (advisory) monitor_.set_sink(nullptr);
     return state.report;
   }
 
@@ -204,10 +219,14 @@ CompositeReport Toolkit::run_impl(const wf::Workflow& workflow,
   }
 
   active_run_ = &state;
-  for (wf::TaskId t : workflow.sources()) dispatch(state, t);
+  for (wf::TaskId t : workflow.sources())
+    dispatch(state, t,
+             {obs::forensics::CauseKind::RunStart, obs::forensics::kNoAttempt,
+              start, 0.0});
   sim_.run();
   active_run_ = nullptr;
   if (broker) broker->end_run();
+  if (advisory) monitor_.set_sink(nullptr);
 
   registry_.unregister_workflow(state.wf_id);
 
@@ -225,6 +244,8 @@ CompositeReport Toolkit::run_impl(const wf::Workflow& workflow,
   state.report.success = !state.failed;
   state.report.error = state.error;
   state.report.makespan = sim_.now() - start;
+  if (config_.forensics.enabled)
+    ledger_.end_run(sim_.now(), state.report.success);
   if (obs_.on()) {
     for (fabric::Link* link : topology_.links())
       obs_.gauge_set(sim_.now(), "fabric.link_utilization",
@@ -249,7 +270,8 @@ CompositeReport Toolkit::run_impl(const wf::Workflow& workflow,
   return state.report;
 }
 
-void Toolkit::dispatch(RunState& state, wf::TaskId task) {
+void Toolkit::dispatch(RunState& state, wf::TaskId task,
+                       obs::forensics::Cause cause) {
   EnvironmentId env_id;
   if (state.broker) {
     federation::SiteId site;
@@ -273,17 +295,28 @@ void Toolkit::dispatch(RunState& state, wf::TaskId task) {
   }
   state.placement[task] = env_id;
 
-  stage_inputs(state, task, env_id,
-               [this, &state, task](bool ok, const std::string& error) {
-                 if (ok)
+  obs::forensics::AttemptId led = obs::forensics::kNoAttempt;
+  if (config_.forensics.enabled) {
+    led = ledger_.open_attempt(task, state.workflow->task(task).name,
+                               state.retries[task], /*hedge=*/false, cause,
+                               sim_.now(), envs_[env_id].name);
+    state.ledger_of[task] = led;
+  }
+
+  stage_inputs(state, task, env_id, led,
+               [this, &state, task, led](bool ok, const std::string& error) {
+                 if (ok) {
+                   ledger_.staged(led, sim_.now());
                    submit_task(state, task);
-                 else
+                 } else {
                    on_staging_failed(state, task, error);
+                 }
                });
 }
 
 void Toolkit::stage_inputs(RunState& state, wf::TaskId task,
                            EnvironmentId env_id,
+                           obs::forensics::AttemptId led,
                            std::function<void(bool, const std::string&)> done) {
   const wf::Workflow& workflow = *state.workflow;
 
@@ -318,9 +351,11 @@ void Toolkit::stage_inputs(RunState& state, wf::TaskId task,
   join->done = std::move(done);
 
   const std::string dest = env_location(env_id);
+  const std::string& env_name = envs_[env_id].name;
   for (const auto& [producer, bytes] : cross) {
     const auto id = cws::edge_dataset_id(state.wf_id, producer, bytes);
-    staging_.stage(id, dest, [this, &state, join](const fabric::StageResult& r) {
+    staging_.stage(id, dest, [this, &state, join, led,
+                              env_name](const fabric::StageResult& r) {
       if (!r.ok) {
         join->failed = true;
         if (join->error.empty()) join->error = r.error;
@@ -328,11 +363,19 @@ void Toolkit::stage_inputs(RunState& state, wf::TaskId task,
                  r.source == fabric::StageSource::Coalesced) {
         ++state.report.cross_env_cache_hits;
         state.report.cross_env_bytes_saved += r.bytes;
+        ledger_.add_staged(led, 0);
       } else {
         ++state.report.cross_env_transfers;
         state.report.cross_env_bytes += r.bytes;
         state.report.transfer_seconds += r.elapsed;
         obs_.count(sim_.now(), "toolkit.cross_env_transfers");
+        ledger_.add_staged(led, r.bytes);
+        // Streaming anomaly feed: effective WAN throughput into the
+        // destination environment. A degraded inbound link shows up here
+        // before any job ever fails.
+        if (r.elapsed > 0)
+          monitor_.observe("stage_throughput", env_name, sim_.now(),
+                           static_cast<double>(r.bytes) / r.elapsed);
       }
       if (--join->pending == 0) join->done(!join->failed, join->error);
     });
@@ -344,7 +387,16 @@ void Toolkit::submit_task(RunState& state, wf::TaskId task) {
       !state.broker->available(state.site_of[task], sim_.now())) {
     // The site drained or crashed while this task's inputs were staging:
     // re-broker instead of submitting into a queue that will never run it.
-    dispatch(state, task);
+    const obs::forensics::AttemptId prev = state.ledger_of[task];
+    if (prev != obs::forensics::kNoAttempt) {
+      obs::forensics::TaskLedger::Settle s;
+      s.finish = sim_.now();
+      s.outcome = obs::forensics::AttemptOutcome::Rerouted;
+      s.detail = "site unavailable at submit";
+      ledger_.close(prev, s);
+    }
+    dispatch(state, task,
+             {obs::forensics::CauseKind::Reroute, prev, sim_.now(), 0.0});
     return;
   }
   submit_attempt(state, task, state.placement[task], /*hedge=*/false);
@@ -387,10 +439,14 @@ void Toolkit::submit_attempt(RunState& state, wf::TaskId task,
         arm_watchdogs(state, task, rec, hedge);
       });
   (hedge ? state.hedge_job_of : state.job_of)[task] = jid;
+  ledger_.submitted((hedge ? state.hedge_ledger_of : state.ledger_of)[task],
+                    sim_.now());
 }
 
 void Toolkit::arm_watchdogs(RunState& state, wf::TaskId task,
                             const cluster::JobRecord& rec, bool hedge) {
+  ledger_.started((hedge ? state.hedge_ledger_of : state.ledger_of)[task],
+                  rec.start_time, rec.request.resources.total_cores());
   const cluster::JobId jid = rec.id;
   const double speed = std::max(1e-9, rec.speed);
   const double est = rec.request.walltime_estimate;
@@ -457,19 +513,40 @@ void Toolkit::launch_hedge(RunState& state, wf::TaskId task) {
   if (obs_.on())
     obs_.count(sim_.now(), "resilience.hedges_launched", envs_[env_id].name);
 
-  stage_inputs(state, task, env_id,
-               [this, &state, task, env_id](bool ok, const std::string&) {
+  obs::forensics::AttemptId led = obs::forensics::kNoAttempt;
+  if (config_.forensics.enabled) {
+    led = ledger_.open_attempt(
+        task, state.workflow->task(task).name, state.retries[task],
+        /*hedge=*/true,
+        {obs::forensics::CauseKind::Hedge, state.ledger_of[task], sim_.now(),
+         0.0},
+        sim_.now(), envs_[env_id].name);
+    state.hedge_ledger_of[task] = led;
+  }
+
+  stage_inputs(state, task, env_id, led,
+               [this, &state, task, env_id, led](bool ok, const std::string&) {
+                 const auto stand_down = [&](const char* why) {
+                   state.hedged[task] = 0;
+                   if (led == obs::forensics::kNoAttempt) return;
+                   obs::forensics::TaskLedger::Settle s;
+                   s.finish = sim_.now();
+                   s.outcome = obs::forensics::AttemptOutcome::Abandoned;
+                   s.detail = why;
+                   ledger_.close(led, s);
+                 };
                  // The primary may have settled (or failed into a retry)
                  // while the hedge's inputs staged; abandon quietly.
                  if (state.completed[task] || state.failed ||
                      state.job_of[task] == 0) {
-                   state.hedged[task] = 0;
+                   stand_down("primary settled before hedge staged");
                    return;
                  }
                  if (!ok) {
-                   state.hedged[task] = 0;  // hedge unreachable, primary lives
+                   stand_down("hedge staging failed; primary lives");
                    return;
                  }
+                 ledger_.staged(led, sim_.now());
                  submit_attempt(state, task, env_id, /*hedge=*/true);
                });
 }
@@ -487,6 +564,27 @@ void Toolkit::on_attempt_complete(RunState& state, wf::TaskId task,
     state.hedge_check[task].cancel();
     state.timeout_check[task].cancel();
   }
+
+  const obs::forensics::AttemptId led =
+      (hedge ? state.hedge_ledger_of : state.ledger_of)[task];
+  const auto settle_ledger = [&](obs::forensics::AttemptOutcome outcome,
+                                 bool winner, const std::string& detail) {
+    if (led == obs::forensics::kNoAttempt) return;
+    obs::forensics::TaskLedger::Settle s;
+    s.outcome = outcome;
+    s.winner = winner;
+    s.ran = !rec.allocation.empty();
+    // Ran attempts carry the job record's authoritative interval (the waste
+    // mirror depends on it); queue-cancelled ones settle at the cancel time.
+    s.finish = s.ran ? rec.finish_time : sim_.now();
+    s.submit = rec.submit_time;
+    if (s.ran) {
+      s.start = rec.start_time;
+      s.cores = rec.request.resources.total_cores();
+    }
+    s.detail = detail;
+    ledger_.close(led, s);
+  };
 
   // Cancelled jobs either never ran (a drain pulled them out of the queue so
   // the broker can re-place them) or were killed mid-run (hedge loser,
@@ -532,6 +630,9 @@ void Toolkit::on_attempt_complete(RunState& state, wf::TaskId task,
         state.broker->task_started(site, rec.start_time - rec.submit_time,
                                    sim_.now());
     }
+    // Streaming anomaly feed: per-attempt batch-queue wait by environment.
+    monitor_.observe("queue_wait", env.name, sim_.now(),
+                     rec.start_time - rec.submit_time);
   }
   if (state.broker) state.broker->task_finished(task);
 
@@ -542,6 +643,8 @@ void Toolkit::on_attempt_complete(RunState& state, wf::TaskId task,
       state.report.wasted_core_seconds +=
           (rec.finish_time - rec.start_time) *
           rec.request.resources.total_cores();
+    settle_ledger(obs::forensics::AttemptOutcome::Superseded, false,
+                  rec.failure_reason);
     return;
   }
 
@@ -563,7 +666,13 @@ void Toolkit::on_attempt_complete(RunState& state, wf::TaskId task,
   }
 
   if (success) {
-    if (state.completed[task]) return;  // belt and braces: race already won
+    if (state.completed[task]) {
+      // Belt and braces: race already won. A completion that arrives after
+      // the winner settled counts toward neither busy nor waste.
+      settle_ledger(obs::forensics::AttemptOutcome::Completed, false, {});
+      return;
+    }
+    settle_ledger(obs::forensics::AttemptOutcome::Completed, true, {});
     const bool recompute = state.ever_completed[task] != 0;
     state.completed[task] = 1;
     state.ever_completed[task] = 1;
@@ -608,7 +717,8 @@ void Toolkit::on_attempt_complete(RunState& state, wf::TaskId task,
       // completion.
       if (recompute && !state.in_recovery[s]) continue;
       if (state.pending_preds[s] > 0 && --state.pending_preds[s] == 0)
-        dispatch(state, s);
+        dispatch(state, s,
+                 {obs::forensics::CauseKind::Dependency, led, sim_.now(), 0.0});
     }
     return;
   }
@@ -618,6 +728,9 @@ void Toolkit::on_attempt_complete(RunState& state, wf::TaskId task,
   if (!rec.allocation.empty())
     state.report.wasted_core_seconds +=
         (rec.finish_time - rec.start_time) * rec.request.resources.total_cores();
+  settle_ledger(cancelled ? obs::forensics::AttemptOutcome::Cancelled
+                          : obs::forensics::AttemptOutcome::Failed,
+                false, reason);
 
   // If the other copy of a hedge race is still in flight, the task is not
   // lost yet — let the survivor decide the outcome.
@@ -638,7 +751,7 @@ void Toolkit::on_attempt_complete(RunState& state, wf::TaskId task,
                                            ? resilience::FailureClass::CorruptOutput
                                            : resilience::classify(rec);
   handle_task_failure(state, task, cls,
-                      "task '" + rec.request.name + "' failed: " + reason);
+                      "task '" + rec.request.name + "' failed: " + reason, led);
 }
 
 std::size_t Toolkit::retry_budget(const RunState& state,
@@ -654,7 +767,8 @@ std::size_t Toolkit::retry_budget(const RunState& state,
 
 void Toolkit::handle_task_failure(RunState& state, wf::TaskId task,
                                   resilience::FailureClass cls,
-                                  const std::string& error) {
+                                  const std::string& error,
+                                  obs::forensics::AttemptId from) {
   if (state.completed[task]) return;  // a raced copy already succeeded
   if (state.retries[task] < retry_budget(state, cls)) {
     ++state.retries[task];
@@ -667,18 +781,24 @@ void Toolkit::handle_task_failure(RunState& state, wf::TaskId task,
       obs_.count(sim_.now(), "resilience.task_retries",
                  resilience::to_string(cls));
     }
+    const SimTime failed_at = sim_.now();
     const SimTime delay = state.retry.next_delay(task);
     if (delay <= 0.0) {
       // Legacy cadence: re-broker/resubmit on the next event — by then
       // report_failure's hold-down has excluded the failing site, so a
       // federated placement lands elsewhere.
-      sim_.post([this, &state, task] { dispatch(state, task); });
+      sim_.post([this, &state, task, from, failed_at] {
+        dispatch(state, task,
+                 {obs::forensics::CauseKind::Retry, from, failed_at, 0.0});
+      });
     } else {
       if (obs_.on())
         obs_.count(sim_.now(), "resilience.backoff_waits",
                    resilience::to_string(cls));
-      sim_.schedule_in(delay, [this, &state, task] {
-        if (!state.failed && !state.completed[task]) dispatch(state, task);
+      sim_.schedule_in(delay, [this, &state, task, from, failed_at, delay] {
+        if (!state.failed && !state.completed[task])
+          dispatch(state, task,
+                   {obs::forensics::CauseKind::Retry, from, failed_at, delay});
       });
     }
     return;
@@ -695,6 +815,14 @@ void Toolkit::on_staging_failed(RunState& state, wf::TaskId task,
   if (obs_.on())
     obs_.count(sim_.now(), "resilience.staging_failures",
                envs_[state.placement[task]].name);
+  const obs::forensics::AttemptId from = state.ledger_of[task];
+  if (from != obs::forensics::kNoAttempt) {
+    obs::forensics::TaskLedger::Settle s;
+    s.finish = sim_.now();
+    s.outcome = obs::forensics::AttemptOutcome::StagingFailed;
+    s.detail = error;
+    ledger_.close(from, s);
+  }
   if (config_.resilience.lineage_recovery) {
     const auto cone = resilience::recovery_cone(
         *state.workflow, state.wf_id, task,
@@ -702,17 +830,19 @@ void Toolkit::on_staging_failed(RunState& state, wf::TaskId task,
           return catalog_.replica_count(id) > 0;
         });
     if (!cone.empty()) {
-      trigger_recovery(state, task, cone);
+      trigger_recovery(state, task, cone, from);
       return;
     }
   }
   handle_task_failure(state, task, resilience::FailureClass::Staging,
                       "task '" + state.workflow->task(task).name +
-                          "' failed: " + error);
+                          "' failed: " + error,
+                      from);
 }
 
 void Toolkit::trigger_recovery(RunState& state, wf::TaskId task,
-                               const std::vector<wf::TaskId>& cone) {
+                               const std::vector<wf::TaskId>& cone,
+                               obs::forensics::AttemptId from) {
   const wf::Workflow& workflow = *state.workflow;
 
   // Mark the cone for re-execution. Members already mid-recompute (an
@@ -745,11 +875,19 @@ void Toolkit::trigger_recovery(RunState& state, wf::TaskId task,
   for (wf::TaskId c : fresh) state.pending_preds[c] = pending_of(c);
   state.pending_preds[task] = pending_of(task);
 
+  const SimTime triggered_at = sim_.now();
   for (wf::TaskId c : fresh)
     if (state.pending_preds[c] == 0)
-      sim_.post([this, &state, c] { dispatch(state, c); });
+      sim_.post([this, &state, c, from, triggered_at] {
+        dispatch(state, c,
+                 {obs::forensics::CauseKind::Recovery, from, triggered_at,
+                  0.0});
+      });
   if (state.pending_preds[task] == 0)
-    sim_.post([this, &state, task] { dispatch(state, task); });
+    sim_.post([this, &state, task, from, triggered_at] {
+      dispatch(state, task,
+               {obs::forensics::CauseKind::Recovery, from, triggered_at, 0.0});
+    });
 }
 
 void Toolkit::drain_site(EnvironmentId id, bool kill_running) {

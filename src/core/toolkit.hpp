@@ -21,6 +21,8 @@
 #include "cws/predictors.hpp"
 #include "fabric/staging.hpp"
 #include "federation/broker.hpp"
+#include "obs/forensics/anomaly.hpp"
+#include "obs/forensics/ledger.hpp"
 #include "obs/observer.hpp"
 #include "resilience/chaos.hpp"
 #include "resilience/hedging.hpp"
@@ -125,6 +127,16 @@ struct ToolkitConfig {
     bool lineage_recovery = false;
   };
   ResilienceConfig resilience;
+
+  /// Forensics plane (DESIGN.md §11): per-attempt lifecycle ledger plus the
+  /// streaming anomaly monitor. Recording is passive — no simulation
+  /// events, no Rng draws, no extra spans — so enabling it cannot change a
+  /// run's behaviour; disabling it only skips the bookkeeping (and clears
+  /// the ledger at run start).
+  struct ForensicsConfig {
+    bool enabled = true;
+  };
+  ForensicsConfig forensics;
 };
 
 /// The facade. One instance per experiment; not thread-safe (clone per
@@ -208,6 +220,25 @@ class Toolkit {
     return detector_;
   }
 
+  /// The forensics ledger for the most recent run: one AttemptRecord per
+  /// attempt with lifecycle milestones and the causal edge that made it
+  /// ready. Feed it to obs::forensics::critical_path for the makespan blame
+  /// report, or keep a copy across runs for obs::forensics::diff_runs.
+  const obs::forensics::TaskLedger& ledger() const noexcept { return ledger_; }
+
+  /// The streaming anomaly monitor. Configure watchers before run() (e.g.
+  /// watch_zscore("stage_throughput", env_name)); during runs the Toolkit
+  /// feeds it per-attempt queue waits ("queue_wait", keyed by environment
+  /// name) and per-edge staging throughput ("stage_throughput", keyed by
+  /// destination environment name). During federated runs whose broker has
+  /// advisory_alerts on, fired alerts are forwarded to Broker::advise.
+  obs::forensics::AnomalyMonitor& anomaly_monitor() noexcept { return monitor_; }
+  const obs::forensics::AnomalyMonitor& anomaly_monitor() const noexcept {
+    return monitor_;
+  }
+  /// Alerts raised so far (all runs since the last monitor reset).
+  const obs::AlertLog& alerts() const noexcept { return monitor_.alerts(); }
+
   /// Access to an environment's provenance (tasks it executed).
   const cws::ProvenanceStore& provenance() const noexcept { return provenance_; }
 
@@ -264,6 +295,10 @@ class Toolkit {
     std::vector<sim::EventHandle> hedge_check;
     std::vector<sim::EventHandle> timeout_check;
     std::vector<sim::EventHandle> hedge_timeout_check;
+    /// Forensics: ledger record of the task's current primary/hedge attempt
+    /// (kNoAttempt when forensics is off or no attempt is open).
+    std::vector<obs::forensics::AttemptId> ledger_of;
+    std::vector<obs::forensics::AttemptId> hedge_ledger_of;
     std::size_t remaining = 0;
     int wf_id = -1;  ///< Registry id for this run (CWSI workflow context).
     bool failed = false;
@@ -280,10 +315,15 @@ class Toolkit {
                            const std::vector<EnvironmentId>* assignment,
                            federation::Broker* broker);
 
-  void dispatch(RunState& state, wf::TaskId task);
+  /// Places and launches one attempt of `task`. `cause` is the forensics
+  /// edge explaining why the task became ready now (dependency completion,
+  /// retry after the linked attempt, recovery episode, ...).
+  void dispatch(RunState& state, wf::TaskId task, obs::forensics::Cause cause);
   /// Stages `task`'s cross-environment inputs toward `env_id`, then calls
   /// `done(ok, error)` — ok=false when any input could not be staged.
+  /// `led` is the ledger record credited with the staged bytes.
   void stage_inputs(RunState& state, wf::TaskId task, EnvironmentId env_id,
+                    obs::forensics::AttemptId led,
                     std::function<void(bool, const std::string&)> done);
   void submit_task(RunState& state, wf::TaskId task);
   /// Submits one attempt (primary or hedge) of `task` to `env_id`, applying
@@ -296,16 +336,20 @@ class Toolkit {
   void on_attempt_complete(RunState& state, wf::TaskId task,
                            const cluster::JobRecord& rec, bool hedge);
   /// Failure path shared by job failures and staging failures: classify,
-  /// consult budget + backoff, retry or end the run.
+  /// consult budget + backoff, retry or end the run. `from` is the ledger
+  /// record of the attempt whose failure triggered this (the retry's cause).
   void handle_task_failure(RunState& state, wf::TaskId task,
                            resilience::FailureClass cls,
-                           const std::string& reason);
+                           const std::string& reason,
+                           obs::forensics::AttemptId from);
   void on_staging_failed(RunState& state, wf::TaskId task,
                          const std::string& error);
   /// Lineage recovery: re-executes the upstream cone whose outputs lost
-  /// every live replica, then re-dispatches `task`.
+  /// every live replica, then re-dispatches `task`. `from` is the starved
+  /// attempt's ledger record (the recovery episode's cause).
   void trigger_recovery(RunState& state, wf::TaskId task,
-                        const std::vector<wf::TaskId>& cone);
+                        const std::vector<wf::TaskId>& cone,
+                        obs::forensics::AttemptId from);
   std::size_t retry_budget(const RunState& state,
                            resilience::FailureClass cls) const;
   void fail_run(RunState& state, std::string error);
@@ -326,6 +370,8 @@ class Toolkit {
   cws::ProvenanceStore provenance_;
   std::unique_ptr<cws::RuntimePredictor> predictor_;
   resilience::StragglerDetector detector_;  ///< Persists across runs.
+  obs::forensics::TaskLedger ledger_;       ///< Most recent run's attempts.
+  obs::forensics::AnomalyMonitor monitor_;  ///< Persists across runs.
   resilience::ChaosEngine* chaos_ = nullptr;
   RunState* active_run_ = nullptr;  ///< Set while run() drives the sim.
 };

@@ -53,6 +53,7 @@ void TransferScheduler::finish_local(const DatasetId& id, const std::string& des
   StageResult r;
   r.source = StageSource::Local;
   r.from = dest;
+  r.dest = dest;
   r.bytes = size;
   r.elapsed = 0.0;
   sim_.post([r, done = std::move(done)] {
@@ -152,10 +153,10 @@ void TransferScheduler::fail_stage(const DatasetId& id, const std::string& dest,
   StageResult r;
   r.ok = false;
   r.from = {};
+  r.dest = dest;
   r.bytes = size;
   r.error = std::move(reason);
   (void)id;
-  (void)dest;
   sim_.post([r = std::move(r), done = std::move(done)] {
     if (done) done(r);
   });
@@ -186,6 +187,7 @@ void TransferScheduler::complete_flight(
   StageResult r;
   r.source = fl.kind;
   r.from = fl.from;
+  r.dest = dest;
   r.bytes = fl.size;
   r.elapsed = elapsed;
   bool first = true;
@@ -216,6 +218,7 @@ std::size_t TransferScheduler::abort_in_flight(const std::string& reason) {
     StageResult r;
     r.ok = false;
     r.from = fl.from;
+    r.dest = key.second;
     r.bytes = fl.size;
     r.elapsed = 0.0;
     r.error = "staging: " + reason;

@@ -44,6 +44,7 @@ struct StageResult {
   bool ok = true;          ///< False: no reachable replica / transfer aborted.
   StageSource source = StageSource::Origin;
   std::string from;        ///< Source location (== dest for Local).
+  std::string dest;        ///< Destination location the stage targeted.
   Bytes bytes = 0;
   SimTime elapsed = 0.0;   ///< 0 for Local; full wait for Coalesced.
   std::string error;       ///< Failure reason when !ok (prefix "staging:").

@@ -311,6 +311,20 @@ void Broker::report_failure(SiteId site, SimTime now) {
     obs_->count(now, "federation.site_failures", s.desc.name);
 }
 
+void Broker::advise(const obs::Alert& alert, SimTime now) {
+  if (!config_.advisory_alerts) return;
+  for (SiteState& s : sites_) {
+    if (s.desc.name != alert.subject && s.desc.location != alert.subject)
+      continue;
+    s.unhealthy_until =
+        std::max(s.unhealthy_until, now + config_.advisory_holddown);
+    ++advisory_holddowns_;
+    if (obs_ && obs_->on())
+      obs_->count(now, "federation.advisory_holddowns", s.desc.name);
+    return;
+  }
+}
+
 void Broker::drain(SiteId site) { sites_.at(site).drained = true; }
 
 void Broker::undrain(SiteId site) { sites_.at(site).drained = false; }

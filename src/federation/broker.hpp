@@ -32,6 +32,7 @@
 #include "fabric/topology.hpp"
 #include "federation/queue_model.hpp"
 #include "federation/site.hpp"
+#include "obs/alerts.hpp"
 #include "obs/observer.hpp"
 #include "resilience/retry.hpp"
 #include "workflow/workflow.hpp"
@@ -62,6 +63,14 @@ struct BrokerConfig {
   /// Link estimate fallback when no Topology is bound (bytes/s, seconds).
   double default_wan_bandwidth = 50e6;
   SimTime default_wan_latency = 2.0;
+  /// Advisory holddowns: when true, advise() acts on streaming-anomaly
+  /// alerts (obs::forensics) by excluding the named site for
+  /// `advisory_holddown` seconds — a softer, earlier signal than the
+  /// failure-count holddown, which needs a job to actually die first.
+  /// Default off: with the flag off advise() is a no-op and runs are
+  /// byte-identical to a broker without it.
+  bool advisory_alerts = false;
+  SimTime advisory_holddown = 300.0;
 };
 
 /// Everything a policy may consult when choosing among candidate sites.
@@ -163,6 +172,13 @@ class Broker {
   /// A job/node failure happened at `site`: excluded until
   /// now + failure_holddown (hysteresis).
   void report_failure(SiteId site, SimTime now);
+  /// An anomaly alert arrived (core::Toolkit forwards the AnomalyMonitor's
+  /// findings here during federated runs). When config().advisory_alerts is
+  /// on and alert.subject names a site (by name or fabric location), the
+  /// site is excluded until now + advisory_holddown — placement steers away
+  /// from a degrading site before anything has failed there. No-op when the
+  /// flag is off or the subject matches no site.
+  void advise(const obs::Alert& alert, SimTime now);
   /// Drain: no new placements until undrain().
   void drain(SiteId site);
   void undrain(SiteId site);
@@ -194,6 +210,7 @@ class Broker {
   std::size_t placements() const noexcept { return placements_; }
   std::size_t reroutes() const noexcept { return reroutes_; }
   std::size_t failures_reported() const noexcept { return failures_reported_; }
+  std::size_t advisory_holddowns() const noexcept { return advisory_holddowns_; }
 
  private:
   struct SiteState {
@@ -230,6 +247,7 @@ class Broker {
   std::size_t reroutes_ = 0;
   std::size_t failures_reported_ = 0;
   std::size_t hedge_placements_ = 0;
+  std::size_t advisory_holddowns_ = 0;
 
   friend struct PlacementQuery;
 };

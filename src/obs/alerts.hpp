@@ -1,0 +1,65 @@
+// Structured alerts: what a streaming anomaly detector raises when a
+// telemetry series departs from its own recent history.
+//
+// Alerts are plain data, deliberately free of any detector internals, so a
+// consumer (the federation Broker's advisory holddown, a test assertion, a
+// report renderer) can act on them without knowing which detector fired.
+// Producers append to an AlertLog and optionally push through a sink
+// callback; neither path schedules simulation events, so alerting is
+// observation-only unless a consumer explicitly opts in to acting on it.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "support/units.hpp"
+
+namespace hhc::obs {
+
+/// One anomaly finding at a point in simulated time.
+struct Alert {
+  SimTime time = 0.0;
+  std::string detector;  ///< Detector family ("sliding-zscore", "quantile-drift").
+  std::string series;    ///< Series family watched ("queue_wait", "stage_throughput").
+  std::string subject;   ///< Series member: site / environment / link name.
+  double value = 0.0;    ///< The offending observation.
+  double baseline = 0.0; ///< What the detector expected (window mean / reference quantile).
+  double score = 0.0;    ///< Detector-native severity (z-score, drift ratio).
+  std::string message;   ///< Human-readable one-liner.
+};
+
+/// Callback invoked as alerts fire (e.g. the Toolkit routing alerts into a
+/// federation Broker as an advisory placement signal).
+using AlertSink = std::function<void(const Alert&)>;
+
+/// Append-only record of alerts raised, in firing order.
+class AlertLog {
+ public:
+  void add(Alert alert) { alerts_.push_back(std::move(alert)); }
+
+  const std::vector<Alert>& alerts() const noexcept { return alerts_; }
+  std::size_t size() const noexcept { return alerts_.size(); }
+  bool empty() const noexcept { return alerts_.empty(); }
+  void clear() { alerts_.clear(); }
+
+  /// First alert naming `subject`; nullptr when none fired.
+  const Alert* first_for(const std::string& subject) const {
+    for (const Alert& a : alerts_)
+      if (a.subject == subject) return &a;
+    return nullptr;
+  }
+
+  /// All alerts naming `subject`, in firing order.
+  std::vector<const Alert*> for_subject(const std::string& subject) const {
+    std::vector<const Alert*> out;
+    for (const Alert& a : alerts_)
+      if (a.subject == subject) out.push_back(&a);
+    return out;
+  }
+
+ private:
+  std::vector<Alert> alerts_;
+};
+
+}  // namespace hhc::obs

@@ -1,0 +1,190 @@
+#include "obs/forensics/anomaly.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/strings.hpp"
+
+namespace hhc::obs::forensics {
+
+// --- SlidingZScore ----------------------------------------------------------
+
+SlidingZScore::SlidingZScore(Config cfg) : cfg_(cfg) {
+  if (cfg_.window == 0) cfg_.window = 1;
+  ring_.reserve(cfg_.window);
+}
+
+double SlidingZScore::mean() const {
+  if (ring_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : ring_) sum += v;
+  return sum / static_cast<double>(ring_.size());
+}
+
+double SlidingZScore::stddev() const {
+  if (ring_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double v : ring_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(ring_.size() - 1));
+}
+
+bool SlidingZScore::observe(SimTime now, double value, Alert& out) {
+  bool fired = false;
+  if (seen_ >= cfg_.min_samples && !ring_.empty()) {
+    const double m = mean();
+    const double sigma = std::max(stddev(), cfg_.min_sigma);
+    const double z = (value - m) / sigma;
+    const bool direction_ok = cfg_.direction == 0 ||
+                              (cfg_.direction > 0 && z > 0) ||
+                              (cfg_.direction < 0 && z < 0);
+    const bool cooled =
+        last_alert_ < 0 || now - last_alert_ >= cfg_.cooldown;
+    if (std::abs(z) >= cfg_.threshold && direction_ok && cooled) {
+      out.time = now;
+      out.detector = "sliding-zscore";
+      out.value = value;
+      out.baseline = m;
+      out.score = z;
+      out.message = "value " + fmt_fixed(value, 3) + " is " +
+                    fmt_fixed(z, 2) + " sigma from window mean " +
+                    fmt_fixed(m, 3);
+      last_alert_ = now;
+      fired = true;
+    }
+  }
+  // Window update after the verdict: a step change is judged against
+  // pre-step history, then absorbed (cooldown limits repeat alerts while
+  // the window adapts to the new regime).
+  if (ring_.size() < cfg_.window) {
+    ring_.push_back(value);
+  } else {
+    ring_[next_] = value;
+    next_ = (next_ + 1) % cfg_.window;
+  }
+  ++seen_;
+  return fired;
+}
+
+void SlidingZScore::reset() {
+  ring_.clear();
+  next_ = 0;
+  seen_ = 0;
+  last_alert_ = -1.0;
+}
+
+// --- QuantileDrift ----------------------------------------------------------
+
+QuantileDrift::QuantileDrift(const LogHistogram& reference, Config cfg)
+    : cfg_(cfg) {
+  if (cfg_.window == 0) cfg_.window = 1;
+  if (cfg_.ratio < 1.0) cfg_.ratio = 1.0;
+  ref_q_ = std::max(reference.quantile(cfg_.q), cfg_.floor);
+  ring_.reserve(cfg_.window);
+}
+
+double QuantileDrift::recent_quantile() const {
+  if (ring_.empty()) return 0.0;
+  std::vector<double> sorted(ring_);
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = cfg_.q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+bool QuantileDrift::observe(SimTime now, double value, Alert& out) {
+  if (ring_.size() < cfg_.window) {
+    ring_.push_back(value);
+  } else {
+    ring_[next_] = value;
+    next_ = (next_ + 1) % cfg_.window;
+  }
+  ++seen_;
+
+  if (seen_ < cfg_.min_samples) return false;
+  const double rq = recent_quantile();
+  const double ratio = rq / ref_q_;
+  const bool high = ratio >= cfg_.ratio;
+  const bool low = ratio <= 1.0 / cfg_.ratio;
+  const bool tripped = (cfg_.direction >= 0 && high) ||
+                       (cfg_.direction <= 0 && low);
+  const bool cooled = last_alert_ < 0 || now - last_alert_ >= cfg_.cooldown;
+  if (!tripped || !cooled) return false;
+
+  out.time = now;
+  out.detector = "quantile-drift";
+  out.value = value;
+  out.baseline = ref_q_;
+  out.score = ratio;
+  out.message = "recent p" + fmt_fixed(cfg_.q * 100.0, 0) + " " +
+                fmt_fixed(rq, 3) + " vs reference " + fmt_fixed(ref_q_, 3) +
+                " (x" + fmt_fixed(ratio, 2) + ")";
+  last_alert_ = now;
+  return true;
+}
+
+void QuantileDrift::reset() {
+  ring_.clear();
+  next_ = 0;
+  seen_ = 0;
+  last_alert_ = -1.0;
+}
+
+// --- AnomalyMonitor ---------------------------------------------------------
+
+void AnomalyMonitor::watch_zscore(const std::string& series,
+                                  const std::string& subject,
+                                  SlidingZScore::Config cfg) {
+  Watcher& w = watchers_[{series, subject}];
+  w.zscore = std::make_unique<SlidingZScore>(cfg);
+  w.drift.reset();
+}
+
+void AnomalyMonitor::watch_drift(const std::string& series,
+                                 const std::string& subject,
+                                 const LogHistogram& reference,
+                                 QuantileDrift::Config cfg) {
+  Watcher& w = watchers_[{series, subject}];
+  w.drift = std::make_unique<QuantileDrift>(reference, cfg);
+  w.zscore.reset();
+}
+
+void AnomalyMonitor::observe(const std::string& series,
+                             const std::string& subject, SimTime now,
+                             double value) {
+  const auto it = watchers_.find({series, subject});
+  if (it == watchers_.end()) return;
+  Alert alert;
+  bool fired = false;
+  if (it->second.zscore)
+    fired = it->second.zscore->observe(now, value, alert);
+  else if (it->second.drift)
+    fired = it->second.drift->observe(now, value, alert);
+  if (!fired) return;
+  alert.series = series;
+  alert.subject = subject;
+  log_.add(alert);
+  if (sink_) sink_(alert);
+}
+
+bool AnomalyMonitor::watching(const std::string& series,
+                              const std::string& subject) const {
+  return watchers_.count({series, subject}) > 0;
+}
+
+void AnomalyMonitor::reset() {
+  watchers_.clear();
+  log_.clear();
+}
+
+void AnomalyMonitor::reset_history() {
+  for (auto& [key, w] : watchers_) {
+    if (w.zscore) w.zscore->reset();
+    if (w.drift) w.drift->reset();
+  }
+  log_.clear();
+}
+
+}  // namespace hhc::obs::forensics

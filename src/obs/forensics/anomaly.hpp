@@ -1,0 +1,142 @@
+// Streaming anomaly detection over telemetry series.
+//
+// Two detector families, both O(1) memory per watched subject and both free
+// of simulation side effects (no events, no Rng draws — detection is pure
+// observation, so enabling it cannot change a run):
+//
+//  - SlidingZScore: keeps a ring of the last W observations; flags a value
+//    whose z-score against the window mean/stddev exceeds a threshold. Good
+//    for "this site's stage-in throughput just fell off a cliff".
+//  - QuantileDrift: compares recent observations against a reference
+//    LogHistogram (e.g. the warm-up run's queue-wait distribution); flags
+//    when the recent quantile drifts beyond a ratio. Good for slow rot that
+//    never trips a point z-score.
+//
+// AnomalyMonitor multiplexes detectors per (series, subject) key, appends
+// findings to an AlertLog, and forwards them through an optional AlertSink —
+// which is how core::Toolkit feeds federation::Broker::advise() when the
+// advisory-holddown flag is on (default off; byte-identical runs when off).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/alerts.hpp"
+#include "obs/metrics.hpp"
+#include "support/units.hpp"
+
+namespace hhc::obs::forensics {
+
+/// Sliding-window z-score detector over one scalar series.
+class SlidingZScore {
+ public:
+  struct Config {
+    std::size_t window = 32;       ///< Ring size (history the mean is over).
+    std::size_t min_samples = 8;   ///< No verdicts until this many seen.
+    double threshold = 3.0;        ///< |z| that trips the detector.
+    double min_sigma = 1e-9;       ///< Stddev floor (constant series guard).
+    SimTime cooldown = 60.0;       ///< Min simulated seconds between alerts.
+    int direction = 0;             ///< -1: low only, +1: high only, 0: both.
+  };
+
+  SlidingZScore() : SlidingZScore(Config()) {}
+  explicit SlidingZScore(Config cfg);
+
+  /// Feeds one observation; returns true (and fills `out`) when it trips.
+  /// The offending value is NOT added to the window until after the verdict,
+  /// so a step change is judged against pre-step history.
+  bool observe(SimTime now, double value, Alert& out);
+
+  std::size_t samples() const noexcept { return seen_; }
+  double mean() const;
+  double stddev() const;
+  void reset();
+
+ private:
+  Config cfg_;
+  std::vector<double> ring_;
+  std::size_t next_ = 0;
+  std::size_t seen_ = 0;
+  SimTime last_alert_ = -1.0;
+};
+
+/// Quantile-drift detector: recent window quantile vs a frozen reference
+/// distribution.
+class QuantileDrift {
+ public:
+  struct Config {
+    double q = 0.9;              ///< Quantile compared.
+    std::size_t window = 64;     ///< Recent observations kept.
+    std::size_t min_samples = 16;
+    double ratio = 2.0;          ///< Trips when recent_q > ratio * ref_q
+                                 ///< (or < ref_q / ratio, per direction).
+    double floor = 1e-9;         ///< Reference floor to avoid 0-division.
+    SimTime cooldown = 120.0;
+    int direction = +1;          ///< +1: upward drift, -1: downward, 0: both.
+  };
+
+  /// Snapshots the reference distribution (copied; later reference updates
+  /// are not seen — drift is judged against the distribution as captured).
+  explicit QuantileDrift(const LogHistogram& reference)
+      : QuantileDrift(reference, Config()) {}
+  QuantileDrift(const LogHistogram& reference, Config cfg);
+
+  bool observe(SimTime now, double value, Alert& out);
+
+  double reference_quantile() const noexcept { return ref_q_; }
+  double recent_quantile() const;
+  std::size_t samples() const noexcept { return seen_; }
+  void reset();
+
+ private:
+  Config cfg_;
+  double ref_q_ = 0.0;
+  std::vector<double> ring_;
+  std::size_t next_ = 0;
+  std::size_t seen_ = 0;
+  SimTime last_alert_ = -1.0;
+};
+
+/// Per-(series, subject) detector registry plus alert fan-out.
+class AnomalyMonitor {
+ public:
+  /// Watches `series`/`subject` with a z-score detector. Re-watching the same
+  /// key replaces the detector (fresh history).
+  void watch_zscore(const std::string& series, const std::string& subject,
+                    SlidingZScore::Config cfg = SlidingZScore::Config());
+  /// Watches with a quantile-drift detector against `reference`.
+  void watch_drift(const std::string& series, const std::string& subject,
+                   const LogHistogram& reference,
+                   QuantileDrift::Config cfg = QuantileDrift::Config());
+
+  /// Feeds an observation to the watcher for (series, subject), if any.
+  /// Fired alerts are stamped with series/subject, appended to the log, and
+  /// forwarded to the sink. Unwatched keys are ignored (zero-cost opt-in).
+  void observe(const std::string& series, const std::string& subject,
+               SimTime now, double value);
+
+  bool watching(const std::string& series, const std::string& subject) const;
+
+  void set_sink(AlertSink sink) { sink_ = std::move(sink); }
+  const AlertLog& alerts() const noexcept { return log_; }
+  AlertLog& alerts() noexcept { return log_; }
+
+  /// Drops all detectors and alerts (sink is kept).
+  void reset();
+  /// Clears detector history and alerts, keeping the watch list and configs.
+  void reset_history();
+
+ private:
+  struct Watcher {
+    std::unique_ptr<SlidingZScore> zscore;
+    std::unique_ptr<QuantileDrift> drift;
+  };
+  std::map<std::pair<std::string, std::string>, Watcher> watchers_;
+  AlertLog log_;
+  AlertSink sink_;
+};
+
+}  // namespace hhc::obs::forensics

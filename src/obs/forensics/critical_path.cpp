@@ -1,0 +1,406 @@
+#include "obs/forensics/critical_path.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+#include "support/strings.hpp"
+
+namespace hhc::obs::forensics {
+
+const char* to_string(BlamePhase p) noexcept {
+  switch (p) {
+    case BlamePhase::Compute: return "compute";
+    case BlamePhase::QueueWait: return "queue-wait";
+    case BlamePhase::StageIn: return "stage-in";
+    case BlamePhase::Backoff: return "backoff";
+    case BlamePhase::RetryWaste: return "retry-waste";
+    case BlamePhase::Overhead: return "overhead";
+    case BlamePhase::Drain: return "drain";
+  }
+  return "?";
+}
+
+double BlameReport::total() const {
+  double sum = 0.0;
+  for (const PathSegment& s : segments) sum += s.duration();
+  return sum;
+}
+
+double BlameReport::closure_error() const {
+  return std::abs(total() - makespan);
+}
+
+double BlameReport::phase_seconds(BlamePhase p) const {
+  double sum = 0.0;
+  for (const PathSegment& s : segments)
+    if (s.phase == p) sum += s.duration();
+  return sum;
+}
+
+std::vector<PhaseBlame> BlameReport::by_phase() const {
+  constexpr BlamePhase kAll[] = {
+      BlamePhase::Compute,   BlamePhase::QueueWait, BlamePhase::StageIn,
+      BlamePhase::Backoff,   BlamePhase::RetryWaste, BlamePhase::Overhead,
+      BlamePhase::Drain};
+  std::vector<PhaseBlame> out;
+  for (BlamePhase p : kAll) {
+    PhaseBlame b;
+    b.phase = p;
+    b.seconds = phase_seconds(p);
+    b.share = makespan > 0 ? b.seconds / makespan : 0.0;
+    out.push_back(b);
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> BlameReport::by_environment() const {
+  std::map<std::string, double> acc;
+  for (const PathSegment& s : segments) acc[s.environment] += s.duration();
+  return {acc.begin(), acc.end()};
+}
+
+std::vector<std::pair<std::string, double>> BlameReport::by_task() const {
+  std::map<std::string, double> acc;
+  for (const PathSegment& s : segments)
+    if (s.task != kNoTask) acc[s.name] += s.duration();
+  std::vector<std::pair<std::string, double>> out(acc.begin(), acc.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+namespace {
+
+/// Reverse-order segment builder: the walk runs from run end to run start,
+/// so segments are pushed latest-first and reversed at the end.
+struct Builder {
+  std::vector<PathSegment> reversed;
+
+  void emit(SimTime lo, SimTime hi, BlamePhase phase,
+            const AttemptRecord* rec) {
+    if (!(hi > lo)) return;  // zero-length hops carry no blame
+    PathSegment seg;
+    seg.begin = lo;
+    seg.end = hi;
+    seg.phase = phase;
+    if (rec) {
+      seg.attempt = rec->id;
+      seg.task = rec->task;
+      seg.name = rec->name;
+      seg.environment = rec->environment;
+    }
+    reversed.push_back(std::move(seg));
+  }
+};
+
+/// Emits a path attempt's own lifecycle phases, clipped to `cursor`, tiling
+/// [rec.ready, cursor] exactly. Missing milestones collapse onto their
+/// predecessor, so an attempt that was still queued at `cursor` contributes
+/// queue-wait up to the clip point and nothing after.
+void emit_phases(Builder& b, const AttemptRecord& rec, SimTime cursor) {
+  const SimTime r = rec.ready;
+  const SimTime s = rec.staged >= 0 ? rec.staged : r;
+  const SimTime sub = rec.submitted >= 0 ? std::max(rec.submitted, s) : s;
+  const SimTime st = rec.started >= 0 ? std::max(rec.started, sub) : sub;
+  const SimTime fin = rec.finished >= 0 ? std::max(rec.finished, st) : cursor;
+
+  const SimTime p1 = std::min(s, cursor);
+  const SimTime p2 = std::min(sub, cursor);
+  const SimTime p3 = std::min(st, cursor);
+  const SimTime p4 = std::min(fin, cursor);
+  // Latest-first: compute, queue, dispatch hop, stage-in.
+  b.emit(p3, p4, BlamePhase::Compute, &rec);
+  b.emit(p2, p3, BlamePhase::QueueWait, &rec);
+  b.emit(p1, p2, BlamePhase::Overhead, &rec);
+  b.emit(std::min(r, cursor), p1, BlamePhase::StageIn, &rec);
+}
+
+}  // namespace
+
+BlameReport critical_path(const TaskLedger& ledger) {
+  BlameReport report;
+  report.run_start = ledger.run_start();
+  report.run_end = ledger.run_end();
+  report.makespan = ledger.makespan();
+  report.run_success = ledger.run_success();
+  report.workflow = ledger.workflow();
+
+  Builder b;
+  SimTime cursor = report.run_end;
+  const SimTime start = report.run_start;
+
+  AttemptId cur = ledger.last_settled();
+  if (cur == kNoAttempt) {
+    // Nothing ever dispatched (empty workflow / instant failure): the whole
+    // interval is event-loop drain.
+    b.emit(start, cursor, BlamePhase::Drain, nullptr);
+    report.segments = std::move(b.reversed);
+    return report;
+  }
+
+  // Stray events (no-op backoff retries, in-flight hedge staging) can keep
+  // the simulation alive past the final completion; that tail is drain.
+  {
+    const AttemptRecord& term = ledger.attempt(cur);
+    const SimTime settle =
+        term.finished >= 0 ? std::min(term.finished, cursor) : cursor;
+    b.emit(settle, cursor, BlamePhase::Drain, nullptr);
+    cursor = settle;
+  }
+
+  bool useful = true;  // false while traversing a failed prior attempt
+  const std::size_t limit = 4 * ledger.size() + 8;
+  for (std::size_t iter = 0; cur != kNoAttempt && iter < limit; ++iter) {
+    const AttemptRecord& rec = ledger.attempt(cur);
+
+    if (useful)
+      emit_phases(b, rec, cursor);
+    else
+      // The whole lifecycle of a failed/rerouted prior attempt — its
+      // staging, queueing and execution all had to be redone.
+      b.emit(std::max(start, std::min(rec.ready, cursor)), cursor,
+             BlamePhase::RetryWaste, &rec);
+    cursor = std::max(start, std::min(rec.ready, cursor));
+
+    const Cause& cause = rec.cause;
+    const SimTime ct = std::max(start, std::min(cause.time, cursor));
+    // Gap between the cause firing and this attempt becoming ready: a
+    // deliberate backoff wait when one was configured, a scheduler hop
+    // otherwise.
+    b.emit(ct, cursor,
+           cause.backoff > 0 ? BlamePhase::Backoff : BlamePhase::Overhead,
+           &rec);
+    cursor = ct;
+
+    if (cause.kind == CauseKind::RunStart || cause.attempt == kNoAttempt ||
+        cause.attempt >= ledger.size()) {
+      b.emit(start, cursor, BlamePhase::Overhead, nullptr);
+      cursor = start;
+      cur = kNoAttempt;
+      break;
+    }
+    cur = cause.attempt;
+    // Dependency and hedge edges continue along genuinely useful work; the
+    // resilience plane's edges (retry, reroute, recovery) pass through an
+    // attempt whose time was ultimately thrown away.
+    useful = cause.kind == CauseKind::Dependency || cause.kind == CauseKind::Hedge;
+  }
+  // Loop-guard fallback: never leave the tiling open (closure over clarity —
+  // an unattributed head beats a hole in the accounting).
+  b.emit(start, cursor, BlamePhase::Overhead, nullptr);
+
+  std::reverse(b.reversed.begin(), b.reversed.end());
+  report.segments = std::move(b.reversed);
+  return report;
+}
+
+// --- exports ----------------------------------------------------------------
+
+TextTable blame_table(const BlameReport& report, const std::string& title) {
+  TextTable t(title + " — " + report.workflow + ", makespan " +
+              fmt_duration(report.makespan));
+  t.header({"phase", "seconds", "share"});
+  for (const PhaseBlame& p : report.by_phase())
+    t.row({to_string(p.phase), fmt_fixed(p.seconds, 3), fmt_pct(p.share, 1)});
+  t.rule();
+  t.row({"total (= makespan)", fmt_fixed(report.total(), 3),
+         fmt_pct(report.makespan > 0 ? report.total() / report.makespan : 0.0,
+                 1)});
+  return t;
+}
+
+TextTable environment_table(const BlameReport& report,
+                            const std::string& title) {
+  TextTable t(title);
+  t.header({"environment", "seconds", "share"});
+  for (const auto& [env, seconds] : report.by_environment())
+    t.row({env.empty() ? "(run-level)" : env, fmt_fixed(seconds, 3),
+           fmt_pct(report.makespan > 0 ? seconds / report.makespan : 0.0, 1)});
+  return t;
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string blame_csv(const BlameReport& report) {
+  std::ostringstream os;
+  os << "phase,seconds,share\n";
+  for (const PhaseBlame& p : report.by_phase())
+    os << to_string(p.phase) << ',' << fmt_fixed(p.seconds, 6) << ','
+       << fmt_fixed(p.share, 6) << '\n';
+  os << "makespan," << fmt_fixed(report.makespan, 6) << ",1.000000\n";
+  return os.str();
+}
+
+std::string path_csv(const BlameReport& report) {
+  std::ostringstream os;
+  os << "begin_s,end_s,duration_s,phase,task,name,environment\n";
+  for (const PathSegment& s : report.segments) {
+    os << fmt_fixed(s.begin, 6) << ',' << fmt_fixed(s.end, 6) << ','
+       << fmt_fixed(s.duration(), 6) << ',' << to_string(s.phase) << ',';
+    if (s.task != kNoTask) os << s.task;
+    os << ',' << csv_escape(s.name) << ',' << csv_escape(s.environment)
+       << '\n';
+  }
+  return os.str();
+}
+
+std::string critical_path_trace_json(const TaskLedger& ledger,
+                                     const BlameReport& report,
+                                     const std::string& process_name) {
+  struct Event {
+    double ts;
+    int order;
+    std::string body;
+  };
+  std::vector<Event> events;
+  // Timestamps rounded to the printed precision (0.001 us) BEFORE durations
+  // are formed, so a slice's ts + dur lands exactly on the next slice's ts
+  // in the emitted decimal — consecutive path segments chain gap-free for
+  // any consumer that checks track monotonicity.
+  const auto us = [](SimTime t) { return std::round(t * 1e9) / 1e3; };
+
+  // Track 1: the critical path itself; tracks 2..: per-environment execution
+  // lanes for the attempts the path touches. Attempts in one environment can
+  // genuinely overlap in time (a hedge racing its primary on the same site,
+  // a timed-out attempt's kill racing its retry), and Chrome complete events
+  // on one tid must not overlap — so each environment gets as many sub-lanes
+  // as its maximum concurrency, assigned greedily below.
+  struct Lane {
+    const AttemptRecord* rec;
+    int lane = 0;
+  };
+  std::map<std::string, std::vector<Lane>> env_lanes;
+  {
+    std::vector<std::uint8_t> on_path(ledger.size(), 0);
+    for (const PathSegment& s : report.segments)
+      if (s.attempt != kNoAttempt) on_path[s.attempt] = 1;
+    for (AttemptId id = 0; id < ledger.size(); ++id) {
+      if (!on_path[id]) continue;
+      const AttemptRecord& rec = ledger.attempt(id);
+      if (!(rec.ran && rec.started >= 0 && rec.finished >= rec.started))
+        continue;
+      env_lanes[rec.environment].push_back({&rec});
+    }
+  }
+  std::map<std::string, int> env_tid;  // env -> first tid of its lane block
+  int next_tid = 2;
+  for (auto& [env, lanes] : env_lanes) {
+    std::stable_sort(lanes.begin(), lanes.end(), [](const Lane& a, const Lane& b) {
+      return a.rec->started < b.rec->started;
+    });
+    std::vector<SimTime> lane_end;  // finish time of each sub-lane's last slice
+    for (Lane& l : lanes) {
+      int lane = -1;
+      for (std::size_t i = 0; i < lane_end.size(); ++i)
+        if (lane_end[i] <= l.rec->started) { lane = static_cast<int>(i); break; }
+      if (lane < 0) {
+        lane = static_cast<int>(lane_end.size());
+        lane_end.push_back(0.0);
+      }
+      lane_end[lane] = l.rec->finished;
+      l.lane = lane;
+    }
+    env_tid.emplace(env, next_tid);
+    next_tid += static_cast<int>(lane_end.empty() ? 1 : lane_end.size());
+  }
+
+  std::ostringstream meta;
+  std::uint64_t flow = 0;
+  for (std::size_t i = 0; i < report.segments.size(); ++i) {
+    const PathSegment& s = report.segments[i];
+    std::ostringstream e;
+    e << "{\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":" << fmt_fixed(us(s.begin), 3)
+      << ",\"dur\":" << fmt_fixed(us(s.end) - us(s.begin), 3)
+      << ",\"cat\":\"critical-path\",\"name\":\""
+      << json_escape(std::string(to_string(s.phase)) +
+                     (s.name.empty() ? "" : " " + s.name))
+      << "\",\"args\":{\"environment\":\"" << json_escape(s.environment)
+      << "\",\"task\":" << (s.task == kNoTask ? -1 : static_cast<long long>(s.task))
+      << "}}";
+    events.push_back({us(s.begin), 1, e.str()});
+    // Flow arrows chain consecutive segments so Perfetto draws the causal
+    // path as one connected line.
+    if (i + 1 < report.segments.size()) {
+      ++flow;
+      std::ostringstream fs, ff;
+      fs << "{\"ph\":\"s\",\"pid\":1,\"tid\":1,\"ts\":" << fmt_fixed(us(s.end), 3)
+         << ",\"id\":" << flow << ",\"cat\":\"critical-path\",\"name\":\"cp\"}";
+      ff << "{\"ph\":\"f\",\"bp\":\"e\",\"pid\":1,\"tid\":1,\"ts\":"
+         << fmt_fixed(us(report.segments[i + 1].begin), 3) << ",\"id\":" << flow
+         << ",\"cat\":\"critical-path\",\"name\":\"cp\"}";
+      events.push_back({us(s.end), 2, fs.str()});
+      events.push_back({us(report.segments[i + 1].begin), 3, ff.str()});
+    }
+  }
+
+  // Environment lanes: the executed intervals of every attempt on the path.
+  for (const auto& [env, lanes] : env_lanes) {
+    const int base = env_tid.at(env);
+    for (const Lane& l : lanes) {
+      const AttemptRecord& rec = *l.rec;
+      std::ostringstream e;
+      e << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << base + l.lane
+        << ",\"ts\":" << fmt_fixed(us(rec.started), 3)
+        << ",\"dur\":" << fmt_fixed(us(rec.finished) - us(rec.started), 3)
+        << ",\"cat\":\"attempt\",\"name\":\"" << json_escape(rec.name)
+        << "\",\"args\":{\"outcome\":\"" << to_string(rec.outcome)
+        << "\",\"attempt\":" << rec.attempt << ",\"hedge\":"
+        << (rec.hedge ? "true" : "false") << "}}";
+      events.push_back({us(rec.started), 4, e.str()});
+    }
+  }
+
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& a, const Event& b) { return a.ts < b.ts; });
+
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  os << "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\",\"args\":{\"name\":\""
+     << json_escape(process_name) << "\"}}";
+  os << ",{\"ph\":\"M\",\"pid\":1,\"tid\":1,\"name\":\"thread_name\","
+        "\"args\":{\"name\":\"critical-path\"}}";
+  for (const auto& [env, lanes] : env_lanes) {
+    int lane_count = 1;
+    for (const Lane& l : lanes) lane_count = std::max(lane_count, l.lane + 1);
+    for (int lane = 0; lane < lane_count; ++lane)
+      os << ",{\"ph\":\"M\",\"pid\":1,\"tid\":" << env_tid.at(env) + lane
+         << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+         << json_escape("attempts:" + env +
+                        (lane ? " #" + std::to_string(lane + 1) : ""))
+         << "\"}}";
+  }
+  for (const Event& e : events) os << ',' << e.body;
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace hhc::obs::forensics

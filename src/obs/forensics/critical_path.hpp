@@ -1,0 +1,112 @@
+// Critical-path engine: turns a TaskLedger into a causal blame report.
+//
+// The engine walks backward from the attempt whose completion ended the run,
+// following each attempt's cause edge — dependency completions, retry/backoff
+// chains, reroutes, hedge launches, lineage-recovery episodes — and emits a
+// contiguous sequence of PathSegments that tiles [run_start, run_end]
+// exactly. Because the segments tile the interval by construction, their
+// durations provably sum to the makespan (closure_error() ~ 0, asserted at
+// 1e-6 by the integration tests and bench/forensics_blame); every second of
+// wall-clock is attributed to exactly one phase on exactly one environment.
+//
+// This is the quantitative answer to the paper's "where did the time go"
+// questions (EnTK's OVH vs TTX split, CWSI's makespan deltas, the Atlas
+// cloud-vs-HPC step table): not averages over all tasks, but the phases of
+// the one causal chain that determined the makespan.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/forensics/ledger.hpp"
+#include "support/table.hpp"
+
+namespace hhc::obs::forensics {
+
+/// What a slice of the makespan was spent on.
+enum class BlamePhase {
+  Compute,    ///< A path attempt was executing.
+  QueueWait,  ///< A path attempt sat in a batch queue (incl. boot overhead).
+  StageIn,    ///< WAN staging of a path attempt's inputs.
+  Backoff,    ///< Deliberate retry backoff wait.
+  RetryWaste, ///< A failed/rerouted prior attempt's whole lifecycle: work
+              ///< (and waiting) that had to be thrown away and redone.
+  Overhead,   ///< Scheduler/event hops between causes (usually ~0).
+  Drain       ///< Post-completion event-queue drain (stray watchdog/backoff
+              ///< events firing after the last task finished).
+};
+
+const char* to_string(BlamePhase p) noexcept;
+
+/// One contiguous slice of the critical path.
+struct PathSegment {
+  SimTime begin = 0.0;
+  SimTime end = 0.0;
+  BlamePhase phase = BlamePhase::Overhead;
+  AttemptId attempt = kNoAttempt;  ///< The attempt the slice belongs to.
+  std::size_t task = kNoTask;
+  std::string name;                ///< Task name ("" for run-level slices).
+  std::string environment;         ///< "" for run-level slices.
+
+  SimTime duration() const noexcept { return end - begin; }
+};
+
+/// Aggregated blame for one phase across the whole path.
+struct PhaseBlame {
+  BlamePhase phase = BlamePhase::Compute;
+  double seconds = 0.0;
+  double share = 0.0;  ///< seconds / makespan.
+};
+
+/// The critical path plus its aggregations. `segments` are in time order and
+/// tile [run_start, run_end] without gaps or overlaps.
+struct BlameReport {
+  SimTime run_start = 0.0;
+  SimTime run_end = 0.0;
+  double makespan = 0.0;
+  bool run_success = false;
+  std::string workflow;
+  std::vector<PathSegment> segments;
+
+  double total() const;
+  /// |sum of segment durations - makespan| — the closure invariant.
+  double closure_error() const;
+  /// Per-phase totals in enum order, zero-second phases included.
+  std::vector<PhaseBlame> by_phase() const;
+  double phase_seconds(BlamePhase p) const;
+  /// Critical-path residency per environment (name -> seconds), name order;
+  /// run-level slices (Drain, unattributed Overhead) under "".
+  std::vector<std::pair<std::string, double>> by_environment() const;
+  /// Critical-path residency per task name (name -> seconds), descending
+  /// seconds then name — the "which tasks should I look at" ranking.
+  std::vector<std::pair<std::string, double>> by_task() const;
+};
+
+/// Walks the ledger's cause edges from the final completion back to the run
+/// start. Deterministic: ties in the terminal attempt break toward the later
+/// record, and every edge was recorded explicitly at execution time.
+BlameReport critical_path(const TaskLedger& ledger);
+
+// --- exports ---
+
+/// Human-readable blame table: phase, seconds, share of makespan.
+TextTable blame_table(const BlameReport& report,
+                      const std::string& title = "Makespan blame");
+/// Per-environment residency table.
+TextTable environment_table(const BlameReport& report,
+                            const std::string& title =
+                                "Critical-path residency by environment");
+/// CSV: phase,seconds,share (deterministic; fixed precision).
+std::string blame_csv(const BlameReport& report);
+/// CSV of every path segment: begin_s,end_s,duration_s,phase,task,name,env.
+std::string path_csv(const BlameReport& report);
+/// Chrome trace-event JSON of the critical path: one "critical-path" track
+/// of complete slices (one per segment) chained with flow events ("s"/"f"),
+/// plus a lane per environment carrying the path attempts' execution slices.
+/// Load alongside (or instead of) obs::chrome_trace_json output in Perfetto.
+std::string critical_path_trace_json(const TaskLedger& ledger,
+                                     const BlameReport& report,
+                                     const std::string& process_name = "hhc");
+
+}  // namespace hhc::obs::forensics

@@ -1,0 +1,131 @@
+#include "obs/forensics/ledger.hpp"
+
+#include <algorithm>
+
+namespace hhc::obs::forensics {
+
+const char* to_string(CauseKind k) noexcept {
+  switch (k) {
+    case CauseKind::RunStart: return "run-start";
+    case CauseKind::Dependency: return "dependency";
+    case CauseKind::Retry: return "retry";
+    case CauseKind::Reroute: return "reroute";
+    case CauseKind::Hedge: return "hedge";
+    case CauseKind::Recovery: return "recovery";
+  }
+  return "?";
+}
+
+const char* to_string(AttemptOutcome o) noexcept {
+  switch (o) {
+    case AttemptOutcome::Open: return "open";
+    case AttemptOutcome::Completed: return "completed";
+    case AttemptOutcome::Failed: return "failed";
+    case AttemptOutcome::StagingFailed: return "staging-failed";
+    case AttemptOutcome::Superseded: return "superseded";
+    case AttemptOutcome::Cancelled: return "cancelled";
+    case AttemptOutcome::Rerouted: return "rerouted";
+    case AttemptOutcome::Abandoned: return "abandoned";
+  }
+  return "?";
+}
+
+void TaskLedger::begin_run(SimTime t, std::string workflow, std::size_t tasks) {
+  clear();
+  workflow_ = std::move(workflow);
+  task_count_ = tasks;
+  run_start_ = t;
+  run_end_ = t;
+  run_open_ = true;
+  // Headroom for a typical retry/hedge population: growing by reallocation
+  // would copy every record (strings included) and dominate recording cost.
+  attempts_.reserve(tasks + tasks / 2 + 8);
+}
+
+void TaskLedger::end_run(SimTime t, bool success) {
+  run_end_ = t;
+  run_success_ = success;
+  run_open_ = false;
+}
+
+AttemptId TaskLedger::open_attempt(std::size_t task, std::string name,
+                                   std::uint32_t attempt, bool hedge,
+                                   Cause cause, SimTime ready,
+                                   std::string environment) {
+  // Constructed in place (no temporary + move of a ~250-byte record): this
+  // runs once per attempt inside the simulator's dispatch path.
+  AttemptRecord& rec = attempts_.emplace_back();
+  rec.id = attempts_.size() - 1;
+  rec.task = task;
+  rec.name = std::move(name);
+  rec.attempt = attempt;
+  rec.hedge = hedge;
+  rec.cause = cause;
+  rec.ready = ready;
+  rec.environment = std::move(environment);
+  return rec.id;
+}
+
+void TaskLedger::close(AttemptId id, const Settle& settle) {
+  if (id == kNoAttempt) return;
+  AttemptRecord& rec = attempts_[id];
+  rec.finished = settle.finish;
+  rec.outcome = settle.outcome;
+  rec.winner = settle.winner;
+  rec.ran = settle.ran;
+  if (settle.submit >= 0) rec.submitted = settle.submit;
+  if (settle.start >= 0) rec.started = settle.start;
+  if (settle.cores > 0) rec.cores = settle.cores;
+  rec.detail = settle.detail;
+}
+
+AttemptId TaskLedger::winner_of(std::size_t task) const noexcept {
+  AttemptId found = kNoAttempt;
+  for (const AttemptRecord& rec : attempts_)
+    if (rec.task == task && rec.winner) found = rec.id;
+  return found;
+}
+
+AttemptId TaskLedger::last_settled() const noexcept {
+  AttemptId best = kNoAttempt;
+  for (const AttemptRecord& rec : attempts_)
+    if (rec.winner &&
+        (best == kNoAttempt || rec.finished >= attempts_[best].finished))
+      best = rec.id;
+  if (best != kNoAttempt) return best;
+  for (const AttemptRecord& rec : attempts_)
+    if (rec.settled() &&
+        (best == kNoAttempt || rec.finished >= attempts_[best].finished))
+      best = rec.id;
+  return best;
+}
+
+double TaskLedger::wasted_core_seconds() const {
+  double waste = 0.0;
+  for (const AttemptRecord& rec : attempts_)
+    if (rec.settled() && rec.ran &&
+        !(rec.outcome == AttemptOutcome::Completed))
+      waste += rec.execution() * rec.cores;
+  return waste;
+}
+
+double TaskLedger::busy_core_seconds(const std::string& environment) const {
+  double busy = 0.0;
+  for (const AttemptRecord& rec : attempts_)
+    if (rec.winner && rec.outcome == AttemptOutcome::Completed &&
+        (environment.empty() || rec.environment == environment))
+      busy += rec.execution() * rec.cores;
+  return busy;
+}
+
+void TaskLedger::clear() {
+  attempts_.clear();
+  workflow_.clear();
+  task_count_ = 0;
+  run_start_ = 0.0;
+  run_end_ = 0.0;
+  run_success_ = false;
+  run_open_ = false;
+}
+
+}  // namespace hhc::obs::forensics

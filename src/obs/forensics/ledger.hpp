@@ -1,0 +1,206 @@
+// Task lifecycle ledger: the forensics layer's source of truth.
+//
+// The spans/metrics pillars (PR 1) record *what happened*; the ledger records
+// *why each attempt ran when it did*. core::Toolkit appends one AttemptRecord
+// per attempt — primary, hedge, retry, reroute, recovery recompute — with the
+// full lifecycle timeline (ready -> staged -> submitted -> started ->
+// finished) and, crucially, a causal edge: the event that made the attempt
+// ready (run start, a predecessor's winning completion, a failed prior
+// attempt plus its backoff, a hedge launch, a lineage-recovery episode).
+// Those cause edges ARE the executed DAG, including the resilience plane's
+// retry/hedge/recovery edges, which is what lets the critical-path engine
+// walk from the final completion back to the run start and account every
+// second of the makespan to a phase.
+//
+// Recording is passive: no simulation events, no Rng draws, no span/instant
+// emission — a run with the ledger on is behaviourally byte-identical to one
+// with it off (bench/forensics_blame enforces < 2% CPU overhead).
+// The ledger deliberately depends only on support/ types (task ids are plain
+// integers, environments plain strings) so it sits in obs:: below every
+// domain layer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/units.hpp"
+
+namespace hhc::obs::forensics {
+
+using AttemptId = std::size_t;
+inline constexpr AttemptId kNoAttempt = static_cast<AttemptId>(-1);
+inline constexpr std::size_t kNoTask = static_cast<std::size_t>(-1);
+
+/// Why an attempt became ready when it did.
+enum class CauseKind {
+  RunStart,    ///< Source task: ready when the run began.
+  Dependency,  ///< Released by the linked attempt's (winning) completion.
+  Retry,       ///< Re-dispatched after the linked attempt failed.
+  Reroute,     ///< Re-brokered after the linked attempt's site went away.
+  Hedge,       ///< Speculative copy raced against the linked (primary) attempt.
+  Recovery     ///< Lineage recompute triggered by the linked attempt's
+               ///< staging failure (its inputs lost every live replica).
+};
+
+const char* to_string(CauseKind k) noexcept;
+
+struct Cause {
+  CauseKind kind = CauseKind::RunStart;
+  AttemptId attempt = kNoAttempt;  ///< The linked attempt (kNoAttempt for RunStart).
+  SimTime time = 0.0;              ///< When the cause fired (cause.time <= ready).
+  SimTime backoff = 0.0;           ///< Deliberate wait inserted before ready
+                                   ///< (retry backoff); 0 = dispatched at once.
+};
+
+/// How an attempt settled.
+enum class AttemptOutcome {
+  Open,           ///< Not settled (still in flight when the run ended).
+  Completed,      ///< Ran to completion (winner says whether it counted).
+  Failed,         ///< Job failure, including corrupt output at stage-out.
+  StagingFailed,  ///< An input could not be staged to the attempt's site.
+  Superseded,     ///< Killed because the raced copy (hedge/primary) won.
+  Cancelled,      ///< Killed or pulled from queue (drain, timeout watchdog).
+  Rerouted,       ///< Closed unrun: the site went away while inputs staged.
+  Abandoned       ///< Hedge stood down before submission (primary settled).
+};
+
+const char* to_string(AttemptOutcome o) noexcept;
+
+/// One attempt's lifecycle. Timestamps are simulated seconds; -1 marks a
+/// milestone the attempt never reached. Invariant when present:
+/// cause.time <= ready <= staged <= submitted <= started <= finished.
+struct AttemptRecord {
+  AttemptId id = kNoAttempt;
+  std::size_t task = kNoTask;
+  std::string name;          ///< Task name (for reports).
+  std::uint32_t attempt = 0; ///< Retry index (0 = first try).
+  bool hedge = false;
+  Cause cause;
+  std::string environment;   ///< Environment/site the attempt targeted.
+
+  SimTime ready = -1.0;      ///< Dispatched (placement decided).
+  SimTime staged = -1.0;     ///< All cross-environment inputs resident.
+  SimTime submitted = -1.0;  ///< Handed to the environment's batch queue.
+  SimTime started = -1.0;    ///< Left the queue, began executing.
+  SimTime finished = -1.0;   ///< Settled (completion, failure, kill, close).
+
+  double cores = 0.0;        ///< Cores the attempt held while running.
+  Bytes staged_bytes = 0;    ///< Cross-env bytes actually moved for it.
+  std::size_t staged_inputs = 0;  ///< Cross-env edges staged (incl. cache hits).
+  bool ran = false;          ///< Held an allocation (start/finish are real).
+
+  AttemptOutcome outcome = AttemptOutcome::Open;
+  bool winner = false;       ///< The completion that settled the task.
+  std::string detail;        ///< Failure reason / kill message.
+
+  bool settled() const noexcept { return outcome != AttemptOutcome::Open; }
+  /// Stage-in wait: dispatch to inputs-resident (0 when nothing staged).
+  SimTime stage_in() const noexcept {
+    return (staged >= 0 && ready >= 0) ? staged - ready : 0.0;
+  }
+  /// Batch-queue wait: submission to start.
+  SimTime queue_wait() const noexcept {
+    return (started >= 0 && submitted >= 0) ? started - submitted : 0.0;
+  }
+  /// Execution time (0 when the attempt never held an allocation).
+  SimTime execution() const noexcept {
+    return (ran && finished >= 0 && started >= 0) ? finished - started : 0.0;
+  }
+};
+
+/// Per-run, append-only attempt store. One per Toolkit; cleared at run start.
+/// Copyable plain data, so callers can keep a pre-run snapshot for run-diff.
+class TaskLedger {
+ public:
+  // --- recording (core::Toolkit drives these) ---
+  void begin_run(SimTime t, std::string workflow, std::size_t tasks);
+  void end_run(SimTime t, bool success);
+
+  AttemptId open_attempt(std::size_t task, std::string name,
+                         std::uint32_t attempt, bool hedge, Cause cause,
+                         SimTime ready, std::string environment);
+  // The milestone setters sit on the simulator's hot path (five calls per
+  // attempt), so they are inline and index unchecked: every live id was
+  // minted by open_attempt and kNoAttempt (recording off) short-circuits.
+  /// Accumulates one staged cross-environment input (moved or cache-hit).
+  void add_staged(AttemptId id, Bytes bytes_moved) {
+    if (id == kNoAttempt) return;
+    AttemptRecord& rec = attempts_[id];
+    ++rec.staged_inputs;
+    rec.staged_bytes += bytes_moved;
+  }
+  /// All inputs resident at `t`; the attempt proceeds to submission.
+  void staged(AttemptId id, SimTime t) {
+    if (id == kNoAttempt) return;
+    attempts_[id].staged = t;
+  }
+  void submitted(AttemptId id, SimTime t) {
+    if (id == kNoAttempt) return;
+    attempts_[id].submitted = t;
+  }
+  void started(AttemptId id, SimTime t, double cores) {
+    if (id == kNoAttempt) return;
+    AttemptRecord& rec = attempts_[id];
+    rec.started = t;
+    rec.cores = cores;
+  }
+
+  struct Settle {
+    SimTime finish = 0.0;
+    AttemptOutcome outcome = AttemptOutcome::Failed;
+    bool winner = false;
+    bool ran = false;          ///< Attempt held an allocation.
+    SimTime submit = -1.0;     ///< Authoritative job-record times (< 0 = keep
+    SimTime start = -1.0;      ///< whatever the milestone calls recorded).
+    double cores = 0.0;        ///< 0 = keep recorded value.
+    std::string detail;
+  };
+  void close(AttemptId id, const Settle& settle);
+
+  // --- run metadata ---
+  SimTime run_start() const noexcept { return run_start_; }
+  SimTime run_end() const noexcept { return run_end_; }
+  SimTime makespan() const noexcept { return run_end_ - run_start_; }
+  bool run_success() const noexcept { return run_success_; }
+  bool run_open() const noexcept { return run_open_; }
+  const std::string& workflow() const noexcept { return workflow_; }
+  std::size_t task_count() const noexcept { return task_count_; }
+
+  // --- queries ---
+  const std::vector<AttemptRecord>& attempts() const noexcept { return attempts_; }
+  const AttemptRecord& attempt(AttemptId id) const { return attempts_.at(id); }
+  std::size_t size() const noexcept { return attempts_.size(); }
+  bool empty() const noexcept { return attempts_.empty(); }
+
+  /// The attempt whose completion settled `task` (last winner when lineage
+  /// recovery recomputed it); kNoAttempt when the task never completed.
+  AttemptId winner_of(std::size_t task) const noexcept;
+  /// The winner with the latest finish time — the attempt whose completion
+  /// ended the workflow. Ties break toward the later record (deterministic).
+  /// Falls back to the latest settled attempt when no winner exists (failed
+  /// runs); kNoAttempt on an empty ledger.
+  AttemptId last_settled() const noexcept;
+
+  // --- derived accounting (the ledger/report consistency contract) ---
+  /// Work thrown away, in core-seconds: every settled, ran attempt that is
+  /// not a winning completion — failed attempts, hedge losers, timed-out or
+  /// drained-while-running kills. Mirrors CompositeReport::wasted_core_seconds.
+  double wasted_core_seconds() const;
+  /// Work kept: winning completions' execution x cores, optionally filtered
+  /// by environment. Mirrors EnvironmentReport::busy_core_seconds.
+  double busy_core_seconds(const std::string& environment = {}) const;
+
+  void clear();
+
+ private:
+  std::vector<AttemptRecord> attempts_;
+  std::string workflow_;
+  std::size_t task_count_ = 0;
+  SimTime run_start_ = 0.0;
+  SimTime run_end_ = 0.0;
+  bool run_success_ = false;
+  bool run_open_ = false;
+};
+
+}  // namespace hhc::obs::forensics

@@ -1,0 +1,146 @@
+#include "obs/forensics/rundiff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "support/strings.hpp"
+
+namespace hhc::obs::forensics {
+
+double RunDiff::attributed_delta() const {
+  double sum = 0.0;
+  for (const PhaseDelta& p : phases) sum += p.delta();
+  return sum;
+}
+
+const PhaseDelta* RunDiff::dominant_phase() const {
+  const PhaseDelta* best = nullptr;
+  for (const PhaseDelta& p : phases)
+    if (!best || std::abs(p.delta()) > std::abs(best->delta())) best = &p;
+  return best;
+}
+
+bool RunDiff::regression(double tolerance, double rel_tolerance) const {
+  const double d = makespan_delta();
+  return d > tolerance && d > rel_tolerance * makespan_before;
+}
+
+namespace {
+
+CensusDelta census_of(const TaskLedger& ledger) {
+  CensusDelta c;
+  c.attempts = static_cast<long long>(ledger.size());
+  for (const AttemptRecord& rec : ledger.attempts()) {
+    if (rec.attempt > 0) ++c.retries;
+    if (rec.hedge) ++c.hedges;
+  }
+  c.wasted_core_seconds = ledger.wasted_core_seconds();
+  return c;
+}
+
+std::vector<ResidencyDelta> residency_diff(
+    const std::vector<std::pair<std::string, double>>& before,
+    const std::vector<std::pair<std::string, double>>& after, bool rank) {
+  std::map<std::string, ResidencyDelta> acc;
+  for (const auto& [name, seconds] : before) {
+    acc[name].name = name;
+    acc[name].before = seconds;
+  }
+  for (const auto& [name, seconds] : after) {
+    acc[name].name = name;
+    acc[name].after = seconds;
+  }
+  std::vector<ResidencyDelta> out;
+  for (auto& [name, d] : acc) {
+    if (rank && d.delta() == 0.0) continue;
+    out.push_back(std::move(d));
+  }
+  if (rank)
+    std::sort(out.begin(), out.end(),
+              [](const ResidencyDelta& a, const ResidencyDelta& b) {
+                const double da = std::abs(a.delta()), db = std::abs(b.delta());
+                if (da != db) return da > db;
+                return a.name < b.name;
+              });
+  return out;
+}
+
+}  // namespace
+
+RunDiff diff_reports(const TaskLedger& baseline, const BlameReport& before,
+                     const TaskLedger& candidate, const BlameReport& after,
+                     std::string baseline_label, std::string candidate_label) {
+  RunDiff diff;
+  diff.baseline_label = std::move(baseline_label);
+  diff.candidate_label = std::move(candidate_label);
+  diff.makespan_before = before.makespan;
+  diff.makespan_after = after.makespan;
+
+  const auto pb = before.by_phase();
+  const auto pa = after.by_phase();
+  for (std::size_t i = 0; i < pb.size() && i < pa.size(); ++i) {
+    PhaseDelta d;
+    d.phase = pb[i].phase;
+    d.before = pb[i].seconds;
+    d.after = pa[i].seconds;
+    diff.phases.push_back(d);
+  }
+  diff.environments =
+      residency_diff(before.by_environment(), after.by_environment(), false);
+  diff.tasks = residency_diff(before.by_task(), after.by_task(), true);
+
+  const CensusDelta cb = census_of(baseline);
+  const CensusDelta ca = census_of(candidate);
+  diff.census.attempts = ca.attempts - cb.attempts;
+  diff.census.retries = ca.retries - cb.retries;
+  diff.census.hedges = ca.hedges - cb.hedges;
+  diff.census.wasted_core_seconds =
+      ca.wasted_core_seconds - cb.wasted_core_seconds;
+  return diff;
+}
+
+RunDiff diff_runs(const TaskLedger& baseline, const TaskLedger& candidate,
+                  std::string baseline_label, std::string candidate_label) {
+  return diff_reports(baseline, critical_path(baseline), candidate,
+                      critical_path(candidate), std::move(baseline_label),
+                      std::move(candidate_label));
+}
+
+namespace {
+
+std::string fmt_signed(double v, int decimals) {
+  return (v >= 0 ? "+" : "") + fmt_fixed(v, decimals);
+}
+
+}  // namespace
+
+TextTable diff_table(const RunDiff& diff, const std::string& title) {
+  TextTable t(title + " — " + diff.baseline_label + " vs " +
+              diff.candidate_label);
+  t.header({"phase", diff.baseline_label + " (s)",
+            diff.candidate_label + " (s)", "delta (s)"});
+  for (const PhaseDelta& p : diff.phases)
+    t.row({to_string(p.phase), fmt_fixed(p.before, 3), fmt_fixed(p.after, 3),
+           fmt_signed(p.delta(), 3)});
+  t.rule();
+  t.row({"makespan", fmt_fixed(diff.makespan_before, 3),
+         fmt_fixed(diff.makespan_after, 3),
+         fmt_signed(diff.makespan_delta(), 3)});
+  return t;
+}
+
+std::string diff_csv(const RunDiff& diff) {
+  std::ostringstream os;
+  os << "phase,before_s,after_s,delta_s\n";
+  for (const PhaseDelta& p : diff.phases)
+    os << to_string(p.phase) << ',' << fmt_fixed(p.before, 6) << ','
+       << fmt_fixed(p.after, 6) << ',' << fmt_fixed(p.delta(), 6) << '\n';
+  os << "makespan," << fmt_fixed(diff.makespan_before, 6) << ','
+     << fmt_fixed(diff.makespan_after, 6) << ','
+     << fmt_fixed(diff.makespan_delta(), 6) << '\n';
+  return os.str();
+}
+
+}  // namespace hhc::obs::forensics

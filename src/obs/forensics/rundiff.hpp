@@ -1,0 +1,85 @@
+// Run-diff: phase-attributed regression detection between two runs.
+//
+// Given two ledgers (a baseline and a candidate — different seed, different
+// policy, a new code revision), the differ produces per-phase critical-path
+// deltas that sum exactly to the makespan delta, because each side's blame
+// report closes over its own makespan. That turns "the run got 412 s slower"
+// into "queue wait +391 s on the cloud site, stage-in +48 s, compute -27 s" —
+// the regression report the paper's composability story asks for.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/forensics/critical_path.hpp"
+
+namespace hhc::obs::forensics {
+
+/// One phase's contribution to the makespan delta.
+struct PhaseDelta {
+  BlamePhase phase = BlamePhase::Compute;
+  double before = 0.0;  ///< Seconds on the baseline critical path.
+  double after = 0.0;   ///< Seconds on the candidate critical path.
+  double delta() const noexcept { return after - before; }
+};
+
+/// One task's (or environment's) critical-path residency shift.
+struct ResidencyDelta {
+  std::string name;
+  double before = 0.0;
+  double after = 0.0;
+  double delta() const noexcept { return after - before; }
+};
+
+/// Ledger-level counting deltas (attempt census, not path attribution).
+struct CensusDelta {
+  long long attempts = 0;        ///< Total attempts opened.
+  long long retries = 0;         ///< Attempts with attempt index > 0.
+  long long hedges = 0;          ///< Speculative copies launched.
+  double wasted_core_seconds = 0.0;
+};
+
+struct RunDiff {
+  std::string baseline_label;
+  std::string candidate_label;
+  double makespan_before = 0.0;
+  double makespan_after = 0.0;
+  /// Per-phase deltas in enum order; their delta() values sum to
+  /// makespan_delta() to within float noise (the closure invariant, twice).
+  std::vector<PhaseDelta> phases;
+  /// Per-environment critical-path residency shifts, name order.
+  std::vector<ResidencyDelta> environments;
+  /// Per-task shifts, descending |delta| then name; zero-delta tasks dropped.
+  std::vector<ResidencyDelta> tasks;
+  CensusDelta census;
+
+  double makespan_delta() const noexcept {
+    return makespan_after - makespan_before;
+  }
+  /// Sum of phase deltas — equals makespan_delta() when both reports close.
+  double attributed_delta() const;
+  /// The phase that moved the makespan most (largest |delta|).
+  const PhaseDelta* dominant_phase() const;
+  /// True when the candidate is slower by more than `tolerance` (absolute
+  /// seconds) and `rel_tolerance` (fraction of the baseline makespan).
+  bool regression(double tolerance = 1.0, double rel_tolerance = 0.02) const;
+};
+
+/// Diffs two completed runs. Labels are free-form ("baseline", "pr-1234").
+RunDiff diff_runs(const TaskLedger& baseline, const TaskLedger& candidate,
+                  std::string baseline_label = "baseline",
+                  std::string candidate_label = "candidate");
+
+/// Same, when the blame reports were already computed.
+RunDiff diff_reports(const TaskLedger& baseline, const BlameReport& before,
+                     const TaskLedger& candidate, const BlameReport& after,
+                     std::string baseline_label = "baseline",
+                     std::string candidate_label = "candidate");
+
+/// Human-readable diff table: phase, before, after, delta.
+TextTable diff_table(const RunDiff& diff,
+                     const std::string& title = "Run diff");
+/// CSV: phase,before_s,after_s,delta_s (deterministic; fixed precision).
+std::string diff_csv(const RunDiff& diff);
+
+}  // namespace hhc::obs::forensics

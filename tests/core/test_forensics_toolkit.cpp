@@ -1,0 +1,353 @@
+// End-to-end forensics tests: the ledger recorded by core::Toolkit, the
+// critical-path closure invariant on real runs (static, federated, chaotic),
+// the ledger/report accounting contract, run-diff regression detection, and
+// the streaming-anomaly -> broker advisory holddown loop.
+#include <gtest/gtest.h>
+
+#include "core/toolkit.hpp"
+#include "obs/exporters.hpp"
+#include "obs/forensics/critical_path.hpp"
+#include "obs/forensics/rundiff.hpp"
+#include "workflow/generators.hpp"
+
+namespace hhc::core {
+namespace {
+
+namespace fx = obs::forensics;
+
+wf::TaskId add_task(wf::Workflow& w, const std::string& name, SimTime runtime,
+                    const std::string& kind = "step", double cores = 1.0) {
+  wf::TaskSpec t;
+  t.name = name;
+  t.kind = kind;
+  t.base_runtime = runtime;
+  t.resources.cores_per_node = cores;
+  return w.add_task(t);
+}
+
+// Every second of the makespan lands in exactly one phase on the critical
+// path; repeated below for each run style the toolkit supports.
+void expect_closure(const fx::BlameReport& blame, const CompositeReport& r) {
+  EXPECT_LT(blame.closure_error(), 1e-6);
+  EXPECT_NEAR(blame.makespan, r.makespan, 1e-9);
+  double phases = 0.0;
+  for (const auto& p : blame.by_phase()) phases += p.seconds;
+  EXPECT_NEAR(phases, blame.makespan, 1e-6);
+  // Segments tile [run_start, run_end] contiguously.
+  SimTime cursor = blame.run_start;
+  for (const auto& s : blame.segments) {
+    EXPECT_NEAR(s.begin, cursor, 1e-9);
+    EXPECT_GE(s.end, s.begin);
+    cursor = s.end;
+  }
+  EXPECT_NEAR(cursor, blame.run_end, 1e-9);
+}
+
+TEST(ForensicsToolkit, SingleSiteRunClosesAndAccountsCompute) {
+  Toolkit tk;
+  const auto hpc = tk.add_hpc("hpc", cluster::homogeneous_cluster(2, 8, gib(32)));
+  wf::Workflow w("chain");
+  const auto a = add_task(w, "a", 30.0);
+  const auto b = add_task(w, "b", 50.0);
+  const auto c = add_task(w, "c", 20.0);
+  w.add_dependency(a, b);
+  w.add_dependency(b, c);
+
+  const CompositeReport r = tk.run(w, hpc);
+  ASSERT_TRUE(r.success) << r.error;
+
+  const fx::TaskLedger& ledger = tk.ledger();
+  EXPECT_EQ(ledger.size(), 3u);
+  for (const auto& rec : ledger.attempts()) {
+    EXPECT_TRUE(rec.settled());
+    EXPECT_TRUE(rec.winner);
+    EXPECT_EQ(rec.environment, "hpc");
+  }
+  // Winning execution time mirrors the environment's busy accounting.
+  EXPECT_NEAR(ledger.busy_core_seconds("hpc"),
+              r.environments[0].busy_core_seconds, 1e-6);
+  EXPECT_NEAR(ledger.wasted_core_seconds(), r.wasted_core_seconds, 1e-6);
+
+  const fx::BlameReport blame = fx::critical_path(ledger);
+  expect_closure(blame, r);
+  // A clean serial chain is compute-dominated.
+  EXPECT_GT(blame.phase_seconds(fx::BlamePhase::Compute), 99.0);
+  EXPECT_EQ(blame.by_task().front().first, "b");
+}
+
+TEST(ForensicsToolkit, FederatedRunCloses) {
+  Toolkit tk;
+  const auto a = tk.add_hpc("a", cluster::homogeneous_cluster(4, 16, gib(64)));
+  const auto b = tk.add_hpc("b", cluster::homogeneous_cluster(4, 16, gib(64)));
+  federation::Broker broker;
+  broker.add_site(tk.describe_environment(a));
+  broker.add_site(tk.describe_environment(b));
+
+  const wf::Workflow w = wf::make_fork_join(12, Rng(3));
+  const CompositeReport r = tk.run(w, broker);
+  ASSERT_TRUE(r.success) << r.error;
+
+  const fx::BlameReport blame = fx::critical_path(tk.ledger());
+  expect_closure(blame, r);
+  // The path spends real time somewhere concrete, not in unattributed gaps.
+  EXPECT_LT(blame.phase_seconds(fx::BlamePhase::Overhead), r.makespan * 0.5);
+}
+
+// --- satellite: ledger accounting must mirror the composite report ---------
+
+TEST(ForensicsToolkit, LedgerWasteMatchesReportUnderChaosRetries) {
+  ToolkitConfig cfg;
+  cfg.resilience.static_task_retries = 3;
+  Toolkit tk(cfg);
+  const auto hpc = tk.add_hpc("hpc", cluster::homogeneous_cluster(4, 16, gib(64)));
+
+  resilience::ChaosConfig ccfg;
+  resilience::ChaosEvent crash;
+  crash.time = 50.0;
+  crash.kind = resilience::ChaosKind::NodeCrash;
+  crash.env = hpc;
+  crash.node = 0;
+  crash.duration = 200.0;
+  ccfg.scheduled = {crash};
+  resilience::ChaosEngine chaos(ccfg);
+  tk.attach_chaos(&chaos);
+
+  wf::Workflow w("wide");
+  for (int i = 0; i < 8; ++i)
+    add_task(w, "t" + std::to_string(i), 100.0, "step", 16.0);
+  const CompositeReport r = tk.run(w, hpc);
+  ASSERT_TRUE(r.success) << r.error;
+  ASSERT_GE(r.task_failures, 1u);
+
+  const fx::TaskLedger& ledger = tk.ledger();
+  EXPECT_GT(ledger.wasted_core_seconds(), 0.0);
+  EXPECT_NEAR(ledger.wasted_core_seconds(), r.wasted_core_seconds, 1e-6);
+  EXPECT_NEAR(ledger.busy_core_seconds("hpc"),
+              r.environments[0].busy_core_seconds, 1e-6);
+  // Retry attempts carry their causal edge back to the failed attempt.
+  bool saw_retry_edge = false;
+  for (const auto& rec : ledger.attempts())
+    if (rec.cause.kind == fx::CauseKind::Retry) {
+      saw_retry_edge = true;
+      EXPECT_NE(rec.cause.attempt, fx::kNoAttempt);
+      EXPECT_EQ(ledger.attempt(rec.cause.attempt).task, rec.task);
+    }
+  EXPECT_TRUE(saw_retry_edge);
+  expect_closure(fx::critical_path(ledger), r);
+}
+
+TEST(ForensicsToolkit, LedgerWasteMatchesReportUnderHedging) {
+  ToolkitConfig cfg;
+  cfg.resilience.hedging.enabled = true;
+  cfg.resilience.hedging.min_samples = 8;
+  cfg.resilience.hedging.quantile = 90.0;
+  cfg.resilience.hedging.slack = 1.2;
+  Toolkit tk(cfg);
+  const auto hpc = tk.add_hpc("hpc", cluster::homogeneous_cluster(8, 16, gib(64)));
+
+  auto make_workflow = [] {
+    wf::Workflow w("stress");
+    for (int i = 0; i < 12; ++i)
+      add_task(w, "s" + std::to_string(i), 100.0, "stress", 4.0);
+    return w;
+  };
+  ASSERT_TRUE(tk.run(make_workflow(), hpc).success);  // warm the detector
+
+  resilience::ChaosConfig ccfg;
+  ccfg.seed = 19;
+  ccfg.task.straggler_rate = 0.4;
+  ccfg.task.straggler_factor = 8.0;
+  resilience::ChaosEngine chaos(ccfg);
+  tk.attach_chaos(&chaos);
+  const CompositeReport r = tk.run(make_workflow(), hpc);
+  ASSERT_TRUE(r.success) << r.error;
+  ASSERT_GT(r.hedges_won, 0u);
+
+  const fx::TaskLedger& ledger = tk.ledger();
+  // Hedge losers (and killed stragglers) are the waste on both sides.
+  EXPECT_NEAR(ledger.wasted_core_seconds(), r.wasted_core_seconds, 1e-6);
+  EXPECT_NEAR(ledger.busy_core_seconds("hpc"),
+              r.environments[0].busy_core_seconds, 1e-6);
+  std::size_t hedges = 0;
+  for (const auto& rec : ledger.attempts())
+    if (rec.hedge) {
+      ++hedges;
+      EXPECT_EQ(rec.cause.kind, fx::CauseKind::Hedge);
+    }
+  EXPECT_EQ(hedges, r.tasks_hedged);
+  expect_closure(fx::critical_path(ledger), r);
+}
+
+// --- forensics is observation-only ------------------------------------------
+
+TEST(ForensicsToolkit, DisablingForensicsChangesNothingButTheLedger) {
+  auto run_once = [](bool forensics) {
+    ToolkitConfig cfg;
+    cfg.seed = 1234;
+    cfg.forensics.enabled = forensics;
+    cfg.resilience.static_task_retries = 5;
+    cfg.resilience.backoff.base_delay = 10.0;
+    Toolkit tk(cfg);
+    const auto hpc =
+        tk.add_hpc("hpc", cluster::homogeneous_cluster(4, 16, gib(64)));
+    resilience::ChaosConfig ccfg;
+    ccfg.seed = 77;
+    ccfg.horizon = 2000.0;
+    ccfg.node_mtbf = 800.0;
+    ccfg.task.straggler_rate = 0.1;
+    resilience::ChaosEngine chaos(ccfg);
+    tk.attach_chaos(&chaos);
+    const CompositeReport r = tk.run(wf::make_montage_like(16, Rng(9)), hpc);
+    return std::make_tuple(r.makespan, obs::spans_csv(tk.observer().spans()),
+                           tk.ledger().size());
+  };
+  const auto [makespan_on, spans_on, attempts_on] = run_once(true);
+  const auto [makespan_off, spans_off, attempts_off] = run_once(false);
+  // Recording is passive: the simulated story is byte-identical either way.
+  EXPECT_DOUBLE_EQ(makespan_on, makespan_off);
+  EXPECT_EQ(spans_on, spans_off);
+  EXPECT_GT(attempts_on, 0u);
+  EXPECT_EQ(attempts_off, 0u);
+}
+
+// --- run-diff regression detection ------------------------------------------
+
+TEST(ForensicsToolkit, RunDiffBlamesADegradedLinkOnStageIn) {
+  auto run_once = [](double rate_factor, fx::TaskLedger& out) {
+    Toolkit tk;
+    const auto a = tk.add_hpc("a", cluster::homogeneous_cluster(2, 8, gib(32)));
+    const auto b = tk.add_hpc("b", cluster::homogeneous_cluster(2, 8, gib(32)));
+    wf::Workflow w("split");
+    const auto producer = add_task(w, "producer", 100.0);
+    const auto consumer = add_task(w, "consumer", 10.0);
+    w.add_dependency(producer, consumer, mib(500));
+    if (rate_factor != 1.0)
+      tk.simulation().schedule_at(0.0, [&tk, &a, &b, rate_factor] {
+        tk.topology()
+            .find_link(tk.env_location(a), tk.env_location(b))
+            ->set_rate_factor(rate_factor);
+      });
+    const CompositeReport r = tk.run(w, std::vector<EnvironmentId>{a, b});
+    EXPECT_TRUE(r.success) << r.error;
+    out = tk.ledger();
+    return r.makespan;
+  };
+
+  fx::TaskLedger clean, degraded;
+  const double clean_makespan = run_once(1.0, clean);
+  const double slow_makespan = run_once(0.1, degraded);
+  ASSERT_GT(slow_makespan, clean_makespan + 5.0);
+
+  const fx::RunDiff diff = fx::diff_runs(clean, degraded, "clean", "slow-wan");
+  EXPECT_NEAR(diff.makespan_delta(), slow_makespan - clean_makespan, 1e-9);
+  // Both sides close, so the per-phase deltas attribute the whole shift.
+  EXPECT_NEAR(diff.attributed_delta(), diff.makespan_delta(), 1e-6);
+  ASSERT_NE(diff.dominant_phase(), nullptr);
+  EXPECT_EQ(diff.dominant_phase()->phase, fx::BlamePhase::StageIn);
+  EXPECT_TRUE(diff.regression(1.0, 0.02));
+  // And the diff renders without blowing up.
+  EXPECT_NE(fx::diff_csv(diff).find("stage-in"), std::string::npos);
+}
+
+// --- streaming anomaly -> advisory broker holddown --------------------------
+
+// A WAN link into site b degrades 25x mid-run. The stage-throughput z-score
+// watcher must flag the site while every job is still succeeding — i.e.
+// before the broker's failure-count holddown could possibly engage — and,
+// with advisory_alerts on, the broker must act on the alert.
+TEST(ForensicsToolkit, AnomalyAlertFlagsDegradedSiteBeforeAnyFailure) {
+  ToolkitConfig cfg;
+  Toolkit tk(cfg);
+  const auto a = tk.add_hpc("a", cluster::homogeneous_cluster(1, 16, gib(64)));
+  const auto b = tk.add_hpc("b", cluster::homogeneous_cluster(1, 16, gib(64)));
+
+  federation::BrokerConfig bcfg;
+  bcfg.advisory_alerts = true;
+  bcfg.policy = "static-pin";
+  federation::Broker broker(bcfg);
+  broker.add_site(tk.describe_environment(a));
+  broker.add_site(tk.describe_environment(b));
+
+  // Watch the effective inbound throughput of each site; only drops matter.
+  fx::SlidingZScore::Config zcfg;
+  zcfg.window = 32;
+  zcfg.min_samples = 8;
+  zcfg.threshold = 3.0;
+  zcfg.direction = -1;
+  tk.anomaly_monitor().watch_zscore("stage_throughput", "a", zcfg);
+  tk.anomaly_monitor().watch_zscore("stage_throughput", "b", zcfg);
+
+  // Staggered producers on a feed one consumer each on b: a steady train of
+  // a->b transfers, ~10 s apart, each ~6 s healthy.
+  wf::Workflow w("train");
+  std::vector<EnvironmentId> assignment;
+  for (int i = 0; i < 12; ++i) {
+    const auto src =
+        add_task(w, "src" + std::to_string(i), 10.0 * (i + 1), "source");
+    const auto dst = add_task(w, "dst" + std::to_string(i), 5.0, "sink");
+    w.add_dependency(src, dst, mib(200));
+    (void)src;
+    (void)dst;
+    assignment.push_back(a);  // src_i
+    assignment.push_back(b);  // dst_i
+  }
+  broker.set_static_assignment(assignment);
+
+  // Chaos link degrade after eleven healthy transfers; the twelfth crawls.
+  resilience::ChaosConfig ccfg;
+  resilience::ChaosEvent degrade;
+  degrade.time = 118.0;
+  degrade.kind = resilience::ChaosKind::LinkDegrade;
+  degrade.link_a = tk.env_location(a);
+  degrade.link_b = tk.env_location(b);
+  degrade.factor = 0.04;
+  ccfg.scheduled = {degrade};
+  resilience::ChaosEngine chaos(ccfg);
+  tk.attach_chaos(&chaos);
+
+  const CompositeReport r = tk.run(w, broker);
+  ASSERT_TRUE(r.success) << r.error;
+
+  // The detector saw the collapse...
+  const obs::Alert* alert = tk.alerts().first_for("b");
+  ASSERT_NE(alert, nullptr);
+  EXPECT_EQ(alert->series, "stage_throughput");
+  EXPECT_EQ(alert->detector, "sliding-zscore");
+  EXPECT_LT(alert->score, -3.0);
+  EXPECT_GT(alert->time, degrade.time);
+  // ...the broker acted on the advisory...
+  EXPECT_GE(broker.advisory_holddowns(), 1u);
+  const auto* advisories =
+      r.metrics.find_counter("federation.advisory_holddowns", "b");
+  ASSERT_NE(advisories, nullptr);
+  EXPECT_GE(advisories->value, 1.0);
+  // ...and it fired while nothing had failed anywhere: the failure-count
+  // holddown (which needs a dead job first) never engaged.
+  EXPECT_EQ(r.task_failures, 0u);
+  EXPECT_EQ(r.metrics.find_counter("federation.site_failures", "a"), nullptr);
+  EXPECT_EQ(r.metrics.find_counter("federation.site_failures", "b"), nullptr);
+  // The holddown steered the slow transfer's own consumer off the degraded
+  // site: its submission found b excluded and rerouted onto a, where the
+  // inputs are already resident.
+  bool rerouted_to_a = false;
+  for (const auto& rec : tk.ledger().attempts())
+    if (rec.cause.kind == fx::CauseKind::Reroute && rec.environment == "a")
+      rerouted_to_a = true;
+  EXPECT_TRUE(rerouted_to_a);
+
+  expect_closure(fx::critical_path(tk.ledger()), r);
+}
+
+// With the flag off (the default) the same alert is recorded but acted on by
+// nobody: advise() is a no-op and the placement story is untouched.
+TEST(ForensicsToolkit, AdvisoryAlertsAreIgnoredWhenFlagOff) {
+  federation::Broker broker;  // default config: advisory_alerts = false
+  EXPECT_FALSE(broker.config().advisory_alerts);
+  obs::Alert alert;
+  alert.subject = "anywhere";
+  broker.advise(alert, 10.0);
+  EXPECT_EQ(broker.advisory_holddowns(), 0u);
+}
+
+}  // namespace
+}  // namespace hhc::core

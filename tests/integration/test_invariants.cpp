@@ -6,10 +6,12 @@
 
 #include <cmath>
 
+#include "core/toolkit.hpp"
 #include "cws/strategies.hpp"
 #include "cws/wms.hpp"
 #include "entk/app_manager.hpp"
 #include "entk/exaam.hpp"
+#include "obs/forensics/critical_path.hpp"
 #include "workflow/analysis.hpp"
 #include "workflow/generators.hpp"
 
@@ -216,7 +218,87 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 // ---------------------------------------------------------------------------
-// Sweep 4: RNG distribution properties across seeds (statistical sanity).
+// Sweep 4: forensics closure — for ANY shape, seed and chaos level, the
+// critical path tiles the makespan (closure error ~ 0) and the ledger's
+// waste/busy accounting mirrors the composite report exactly.
+// ---------------------------------------------------------------------------
+
+struct ShapeChaosCase {
+  std::string shape;
+  std::uint64_t seed;
+  bool chaotic;
+};
+
+class ForensicsClosure : public ::testing::TestWithParam<ShapeChaosCase> {};
+
+TEST_P(ForensicsClosure, CriticalPathSumsToMakespanAndAccountingMirrors) {
+  const auto& param = GetParam();
+  core::ToolkitConfig cfg;
+  cfg.seed = param.seed;
+  cfg.resilience.static_task_retries = 5;
+  core::Toolkit tk(cfg);
+  const auto hpc =
+      tk.add_hpc("hpc", cluster::homogeneous_cluster(4, 16, gib(64)));
+  const auto cloud = tk.add_cloud("cloud", 8, 8.0, gib(32), 0.9, 45.0);
+
+  resilience::ChaosEngine chaos([&] {
+    resilience::ChaosConfig ccfg;
+    ccfg.seed = param.seed * 31 + 7;
+    if (param.chaotic) {
+      ccfg.horizon = 4000.0;
+      ccfg.node_mtbf = 1200.0;
+      ccfg.task.straggler_rate = 0.1;
+    }
+    return ccfg;
+  }());
+  if (param.chaotic) tk.attach_chaos(&chaos);
+
+  const wf::Workflow w = make_shape(param.shape, param.seed);
+  std::vector<core::EnvironmentId> assignment;
+  for (wf::TaskId t = 0; t < w.task_count(); ++t)
+    assignment.push_back(t % 3 == 2 ? cloud : hpc);
+  const core::CompositeReport r = tk.run(w, assignment);
+
+  // Closure holds whether or not the run succeeded: the walk attributes
+  // every second between run start and the last settled attempt's finish.
+  const auto blame = obs::forensics::critical_path(tk.ledger());
+  EXPECT_LT(blame.closure_error(), 1e-6);
+  EXPECT_NEAR(blame.makespan, r.makespan, 1e-9);
+  SimTime cursor = blame.run_start;
+  for (const auto& s : blame.segments) {
+    EXPECT_NEAR(s.begin, cursor, 1e-9);
+    EXPECT_GE(s.end, s.begin - 1e-12);
+    cursor = s.end;
+  }
+  EXPECT_NEAR(cursor, blame.run_end, 1e-9);
+
+  // Accounting contract, on both the waste and the busy side.
+  EXPECT_NEAR(tk.ledger().wasted_core_seconds(), r.wasted_core_seconds, 1e-6);
+  for (const auto& env : r.environments)
+    EXPECT_NEAR(tk.ledger().busy_core_seconds(env.name), env.busy_core_seconds,
+                1e-6)
+        << env.name;
+}
+
+std::vector<ShapeChaosCase> forensics_cases() {
+  std::vector<ShapeChaosCase> cases;
+  for (const char* shape :
+       {"chain", "forkjoin", "scattergather", "montage", "lanes", "random"})
+    for (bool chaotic : {false, true})
+      cases.push_back({shape, 3u, chaotic});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(ShapesCalmAndChaotic, ForensicsClosure,
+                         ::testing::ValuesIn(forensics_cases()),
+                         [](const auto& param_info) {
+                           return param_info.param.shape +
+                                  (param_info.param.chaotic ? "_chaotic"
+                                                            : "_calm");
+                         });
+
+// ---------------------------------------------------------------------------
+// Sweep 5: RNG distribution properties across seeds (statistical sanity).
 // ---------------------------------------------------------------------------
 
 class RngDistributions : public ::testing::TestWithParam<std::uint64_t> {};
@@ -238,7 +320,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, RngDistributions,
                          ::testing::Values(1u, 42u, 1337u, 0xdeadbeefu));
 
 // ---------------------------------------------------------------------------
-// Sweep 5: generated workflows are valid DAGs for any shape and seed.
+// Sweep 6: generated workflows are valid DAGs for any shape and seed.
 // ---------------------------------------------------------------------------
 
 struct ShapeSeed {

@@ -1,0 +1,325 @@
+// Unit tests for the forensics ledger, the critical-path engine's closure
+// invariant on hand-built attempt histories, and the run differ.
+#include <gtest/gtest.h>
+
+#include "obs/forensics/critical_path.hpp"
+#include "obs/forensics/ledger.hpp"
+#include "obs/forensics/rundiff.hpp"
+
+namespace f = hhc::obs::forensics;
+using hhc::SimTime;
+
+namespace {
+
+// Opens an attempt and walks it through the full lifecycle in one call.
+f::AttemptId completed_attempt(f::TaskLedger& ledger, std::size_t task,
+                               const std::string& name, f::Cause cause,
+                               SimTime ready, SimTime staged, SimTime submit,
+                               SimTime start, SimTime finish, double cores,
+                               const std::string& env = "hpc",
+                               bool winner = true) {
+  const f::AttemptId id =
+      ledger.open_attempt(task, name, 0, false, cause, ready, env);
+  ledger.staged(id, staged);
+  ledger.submitted(id, submit);
+  ledger.started(id, start, cores);
+  f::TaskLedger::Settle s;
+  s.finish = finish;
+  s.outcome = f::AttemptOutcome::Completed;
+  s.winner = winner;
+  s.ran = true;
+  ledger.close(id, s);
+  return id;
+}
+
+}  // namespace
+
+TEST(TaskLedger, RecordsLifecycleMilestones) {
+  f::TaskLedger ledger;
+  ledger.begin_run(0.0, "wf", 2);
+  const f::AttemptId id = ledger.open_attempt(
+      0, "prep", 0, false, {f::CauseKind::RunStart, f::kNoAttempt, 0.0, 0.0},
+      0.0, "hpc");
+  ledger.add_staged(id, 1000);
+  ledger.add_staged(id, 0);  // cache hit: counted, no bytes
+  ledger.staged(id, 5.0);
+  ledger.submitted(id, 5.0);
+  ledger.started(id, 12.0, 4.0);
+  f::TaskLedger::Settle s;
+  s.finish = 30.0;
+  s.outcome = f::AttemptOutcome::Completed;
+  s.winner = true;
+  s.ran = true;
+  ledger.close(id, s);
+  ledger.end_run(30.0, true);
+
+  const f::AttemptRecord& rec = ledger.attempt(id);
+  EXPECT_EQ(rec.staged_inputs, 2u);
+  EXPECT_EQ(rec.staged_bytes, 1000u);
+  EXPECT_DOUBLE_EQ(rec.stage_in(), 5.0);
+  EXPECT_DOUBLE_EQ(rec.queue_wait(), 7.0);
+  EXPECT_DOUBLE_EQ(rec.execution(), 18.0);
+  EXPECT_TRUE(rec.settled());
+  EXPECT_TRUE(rec.winner);
+  EXPECT_EQ(ledger.winner_of(0), id);
+  EXPECT_EQ(ledger.winner_of(1), f::kNoAttempt);
+  EXPECT_DOUBLE_EQ(ledger.makespan(), 30.0);
+}
+
+TEST(TaskLedger, WasteAndBusyDerivations) {
+  f::TaskLedger ledger;
+  ledger.begin_run(0.0, "wf", 3);
+
+  // Winner: busy, not waste.
+  completed_attempt(ledger, 0, "a",
+                    {f::CauseKind::RunStart, f::kNoAttempt, 0.0, 0.0}, 0, 0, 0,
+                    0, 10, 2.0, "hpc");
+  // Failed after running 5 s on 4 cores: waste 20.
+  const f::AttemptId failed = ledger.open_attempt(
+      1, "b", 0, false, {f::CauseKind::RunStart, f::kNoAttempt, 0.0, 0.0}, 0.0,
+      "cloud");
+  ledger.submitted(failed, 0.0);
+  ledger.started(failed, 1.0, 4.0);
+  f::TaskLedger::Settle fs;
+  fs.finish = 6.0;
+  fs.outcome = f::AttemptOutcome::Failed;
+  fs.ran = true;
+  ledger.close(failed, fs);
+  // Cancelled while queued: neither.
+  const f::AttemptId queued = ledger.open_attempt(
+      2, "c", 0, false, {f::CauseKind::RunStart, f::kNoAttempt, 0.0, 0.0}, 0.0,
+      "cloud");
+  ledger.submitted(queued, 0.0);
+  f::TaskLedger::Settle qs;
+  qs.finish = 4.0;
+  qs.outcome = f::AttemptOutcome::Cancelled;
+  qs.ran = false;
+  ledger.close(queued, qs);
+  ledger.end_run(10.0, false);
+
+  EXPECT_DOUBLE_EQ(ledger.wasted_core_seconds(), 20.0);
+  EXPECT_DOUBLE_EQ(ledger.busy_core_seconds(), 20.0);
+  EXPECT_DOUBLE_EQ(ledger.busy_core_seconds("hpc"), 20.0);
+  EXPECT_DOUBLE_EQ(ledger.busy_core_seconds("cloud"), 0.0);
+}
+
+TEST(CriticalPath, ChainClosesOverMakespan) {
+  f::TaskLedger ledger;
+  ledger.begin_run(0.0, "chain", 3);
+  const auto a = completed_attempt(
+      ledger, 0, "a", {f::CauseKind::RunStart, f::kNoAttempt, 0.0, 0.0}, 0.0,
+      2.0, 2.0, 5.0, 15.0, 1.0);
+  const auto b = completed_attempt(
+      ledger, 1, "b", {f::CauseKind::Dependency, a, 15.0, 0.0}, 15.0, 15.0,
+      16.0, 20.0, 40.0, 1.0);
+  completed_attempt(ledger, 2, "c", {f::CauseKind::Dependency, b, 40.0, 0.0},
+                    40.0, 45.0, 45.0, 45.0, 60.0, 1.0);
+  ledger.end_run(60.0, true);
+
+  const f::BlameReport report = f::critical_path(ledger);
+  EXPECT_LT(report.closure_error(), 1e-9);
+  EXPECT_DOUBLE_EQ(report.makespan, 60.0);
+  // Segments tile [0, 60] contiguously.
+  ASSERT_FALSE(report.segments.empty());
+  EXPECT_DOUBLE_EQ(report.segments.front().begin, 0.0);
+  EXPECT_DOUBLE_EQ(report.segments.back().end, 60.0);
+  for (std::size_t i = 1; i < report.segments.size(); ++i)
+    EXPECT_DOUBLE_EQ(report.segments[i].begin, report.segments[i - 1].end);
+  // Phase totals: compute 10+20+15, queue 3+4+0, stage-in 2+0+5, overhead 1.
+  EXPECT_DOUBLE_EQ(report.phase_seconds(f::BlamePhase::Compute), 45.0);
+  EXPECT_DOUBLE_EQ(report.phase_seconds(f::BlamePhase::QueueWait), 7.0);
+  EXPECT_DOUBLE_EQ(report.phase_seconds(f::BlamePhase::StageIn), 7.0);
+  EXPECT_DOUBLE_EQ(report.phase_seconds(f::BlamePhase::Overhead), 1.0);
+  EXPECT_DOUBLE_EQ(report.phase_seconds(f::BlamePhase::RetryWaste), 0.0);
+}
+
+TEST(CriticalPath, RetryChainAttributesWasteAndBackoff) {
+  f::TaskLedger ledger;
+  ledger.begin_run(0.0, "retry", 1);
+  // First attempt fails at t=10 after running [2, 10].
+  const f::AttemptId first = ledger.open_attempt(
+      0, "t", 0, false, {f::CauseKind::RunStart, f::kNoAttempt, 0.0, 0.0}, 0.0,
+      "hpc");
+  ledger.submitted(first, 0.0);
+  ledger.started(first, 2.0, 1.0);
+  f::TaskLedger::Settle fs;
+  fs.finish = 10.0;
+  fs.outcome = f::AttemptOutcome::Failed;
+  fs.ran = true;
+  ledger.close(first, fs);
+  // Retry with 5 s backoff: ready at 15, runs [15, 25].
+  completed_attempt(ledger, 0, "t", {f::CauseKind::Retry, first, 10.0, 5.0},
+                    15.0, 15.0, 15.0, 15.0, 25.0, 1.0);
+  ledger.end_run(25.0, true);
+
+  const f::BlameReport report = f::critical_path(ledger);
+  EXPECT_LT(report.closure_error(), 1e-9);
+  EXPECT_DOUBLE_EQ(report.phase_seconds(f::BlamePhase::Compute), 10.0);
+  EXPECT_DOUBLE_EQ(report.phase_seconds(f::BlamePhase::Backoff), 5.0);
+  // The failed attempt's whole lifecycle [0, 10] is retry waste.
+  EXPECT_DOUBLE_EQ(report.phase_seconds(f::BlamePhase::RetryWaste), 10.0);
+}
+
+TEST(CriticalPath, HedgeWinnerWalksThroughPrimary) {
+  f::TaskLedger ledger;
+  ledger.begin_run(0.0, "hedge", 1);
+  // Primary straggles: starts at 1, still running when the hedge launches
+  // at t=20 and wins at t=30; primary superseded at 30.
+  const f::AttemptId primary = ledger.open_attempt(
+      0, "t", 0, false, {f::CauseKind::RunStart, f::kNoAttempt, 0.0, 0.0}, 0.0,
+      "hpc");
+  ledger.submitted(primary, 0.0);
+  ledger.started(primary, 1.0, 1.0);
+  const f::AttemptId hedge = ledger.open_attempt(
+      0, "t", 0, true, {f::CauseKind::Hedge, primary, 20.0, 0.0}, 20.0,
+      "cloud");
+  ledger.staged(hedge, 21.0);
+  ledger.submitted(hedge, 21.0);
+  ledger.started(hedge, 22.0, 1.0);
+  f::TaskLedger::Settle hs;
+  hs.finish = 30.0;
+  hs.outcome = f::AttemptOutcome::Completed;
+  hs.winner = true;
+  hs.ran = true;
+  ledger.close(hedge, hs);
+  f::TaskLedger::Settle ps;
+  ps.finish = 30.0;
+  ps.outcome = f::AttemptOutcome::Superseded;
+  ps.ran = true;
+  ledger.close(primary, ps);
+  ledger.end_run(30.0, true);
+
+  const f::BlameReport report = f::critical_path(ledger);
+  EXPECT_LT(report.closure_error(), 1e-9);
+  // Path: primary [0, 20] (its queue+compute up to the hedge launch), then
+  // the hedge [20, 30]. The superseded primary is never RetryWaste — its
+  // pre-launch time was the genuine path.
+  EXPECT_DOUBLE_EQ(report.phase_seconds(f::BlamePhase::RetryWaste), 0.0);
+  EXPECT_DOUBLE_EQ(report.phase_seconds(f::BlamePhase::Compute),
+                   19.0 + 8.0);  // primary [1,20] + hedge [22,30]
+  // Both environments appear on the path.
+  const auto envs = report.by_environment();
+  ASSERT_EQ(envs.size(), 2u);
+  EXPECT_EQ(envs[0].first, "cloud");
+  EXPECT_EQ(envs[1].first, "hpc");
+}
+
+TEST(CriticalPath, DrainTailAndFailedRun) {
+  f::TaskLedger ledger;
+  ledger.begin_run(0.0, "drain", 2);
+  completed_attempt(ledger, 0, "a",
+                    {f::CauseKind::RunStart, f::kNoAttempt, 0.0, 0.0}, 0, 0, 0,
+                    0, 10, 1.0);
+  // Run ends at 18: 8 s of post-completion event drain.
+  ledger.end_run(18.0, false);
+
+  const f::BlameReport report = f::critical_path(ledger);
+  EXPECT_LT(report.closure_error(), 1e-9);
+  EXPECT_FALSE(report.run_success);
+  EXPECT_DOUBLE_EQ(report.phase_seconds(f::BlamePhase::Drain), 8.0);
+  EXPECT_DOUBLE_EQ(report.segments.back().end, 18.0);
+}
+
+TEST(CriticalPath, EmptyLedgerStillCloses) {
+  f::TaskLedger ledger;
+  ledger.begin_run(5.0, "empty", 0);
+  ledger.end_run(9.0, true);
+  const f::BlameReport report = f::critical_path(ledger);
+  EXPECT_LT(report.closure_error(), 1e-9);
+  EXPECT_DOUBLE_EQ(report.makespan, 4.0);
+}
+
+TEST(CriticalPath, ExportsAreDeterministic) {
+  f::TaskLedger ledger;
+  ledger.begin_run(0.0, "exports", 1);
+  completed_attempt(ledger, 0, "only",
+                    {f::CauseKind::RunStart, f::kNoAttempt, 0.0, 0.0}, 0, 1, 1,
+                    3, 9, 2.0);
+  ledger.end_run(9.0, true);
+  const f::BlameReport report = f::critical_path(ledger);
+
+  const std::string csv = f::blame_csv(report);
+  EXPECT_EQ(csv, f::blame_csv(report));
+  EXPECT_NE(csv.find("phase,seconds,share"), std::string::npos);
+  EXPECT_NE(csv.find("makespan,9.000000,1.000000"), std::string::npos);
+
+  const std::string path = f::path_csv(report);
+  EXPECT_NE(path.find("compute"), std::string::npos);
+
+  const std::string trace = f::critical_path_trace_json(ledger, report);
+  EXPECT_EQ(trace.front(), '{');
+  EXPECT_EQ(trace.back(), '}');
+  EXPECT_NE(trace.find("\"critical-path\""), std::string::npos);
+  EXPECT_EQ(trace, f::critical_path_trace_json(ledger, report));
+
+  EXPECT_GT(f::blame_table(report).rows(), 0u);
+  EXPECT_GT(f::environment_table(report).rows(), 0u);
+}
+
+TEST(RunDiff, PhaseDeltasSumToMakespanDelta) {
+  f::TaskLedger before;
+  before.begin_run(0.0, "wf", 1);
+  completed_attempt(before, 0, "t",
+                    {f::CauseKind::RunStart, f::kNoAttempt, 0.0, 0.0}, 0, 0, 0,
+                    2, 12, 1.0);
+  before.end_run(12.0, true);
+
+  f::TaskLedger after;
+  after.begin_run(0.0, "wf", 1);
+  // Same compute, but 8 s extra queue wait.
+  completed_attempt(after, 0, "t",
+                    {f::CauseKind::RunStart, f::kNoAttempt, 0.0, 0.0}, 0, 0, 0,
+                    10, 20, 1.0);
+  after.end_run(20.0, true);
+
+  const f::RunDiff diff = f::diff_runs(before, after);
+  EXPECT_DOUBLE_EQ(diff.makespan_delta(), 8.0);
+  EXPECT_NEAR(diff.attributed_delta(), diff.makespan_delta(), 1e-9);
+  ASSERT_NE(diff.dominant_phase(), nullptr);
+  EXPECT_EQ(diff.dominant_phase()->phase, f::BlamePhase::QueueWait);
+  EXPECT_TRUE(diff.regression(1.0, 0.02));
+  EXPECT_FALSE(diff.regression(10.0, 0.02));
+
+  const std::string csv = f::diff_csv(diff);
+  EXPECT_NE(csv.find("phase,before_s,after_s,delta_s"), std::string::npos);
+  EXPECT_GT(f::diff_table(diff).rows(), 0u);
+}
+
+TEST(RunDiff, CensusCountsRetriesAndHedges) {
+  f::TaskLedger before;
+  before.begin_run(0.0, "wf", 1);
+  completed_attempt(before, 0, "t",
+                    {f::CauseKind::RunStart, f::kNoAttempt, 0.0, 0.0}, 0, 0, 0,
+                    0, 5, 1.0);
+  before.end_run(5.0, true);
+
+  f::TaskLedger after;
+  after.begin_run(0.0, "wf", 1);
+  const f::AttemptId first = after.open_attempt(
+      0, "t", 0, false, {f::CauseKind::RunStart, f::kNoAttempt, 0.0, 0.0}, 0.0,
+      "hpc");
+  after.submitted(first, 0.0);
+  after.started(first, 0.0, 2.0);
+  f::TaskLedger::Settle fs;
+  fs.finish = 3.0;
+  fs.outcome = f::AttemptOutcome::Failed;
+  fs.ran = true;
+  after.close(first, fs);
+  const f::AttemptId retry = after.open_attempt(
+      0, "t", 1, false, {f::CauseKind::Retry, first, 3.0, 0.0}, 3.0, "hpc");
+  after.submitted(retry, 3.0);
+  after.started(retry, 3.0, 2.0);
+  f::TaskLedger::Settle rs;
+  rs.finish = 8.0;
+  rs.outcome = f::AttemptOutcome::Completed;
+  rs.winner = true;
+  rs.ran = true;
+  after.close(retry, rs);
+  after.end_run(8.0, true);
+
+  const f::RunDiff diff = f::diff_runs(before, after);
+  EXPECT_EQ(diff.census.attempts, 1);
+  EXPECT_EQ(diff.census.retries, 1);
+  EXPECT_EQ(diff.census.hedges, 0);
+  EXPECT_DOUBLE_EQ(diff.census.wasted_core_seconds, 6.0);
+}

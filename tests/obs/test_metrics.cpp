@@ -95,6 +95,47 @@ TEST(LogHistogram, QuantileInterpolates) {
   EXPECT_EQ(h.quantile(0.0), h.observed_min());
 }
 
+TEST(LogHistogram, QuantileIsMonotoneAndBracketsMass) {
+  LogHistogram h(1e-3, 1e6, 8);
+  // Bimodal: 90 observations near 2, 10 near 400.
+  for (int i = 0; i < 90; ++i) h.observe(2.0 + 0.01 * (i % 7));
+  for (int i = 0; i < 10; ++i) h.observe(400.0 + i);
+  double prev = h.quantile(0.0);
+  for (double q = 0.05; q <= 1.0 + 1e-12; q += 0.05) {
+    const double v = h.quantile(q);
+    EXPECT_GE(v, prev) << "quantile must be monotone in q (q=" << q << ")";
+    prev = v;
+  }
+  // p50 sits in the low mode's bucket; p99 in the high mode's.
+  EXPECT_LT(h.quantile(0.5), 10.0);
+  EXPECT_GT(h.quantile(0.99), 100.0);
+  // Endpoints pin to the observed extremes.
+  EXPECT_EQ(h.quantile(0.0), h.observed_min());
+  EXPECT_LE(h.quantile(1.0), h.observed_max() * std::pow(10.0, 1.0 / 8.0));
+}
+
+TEST(LogHistogram, QuantileBucketAccuracy) {
+  // With fine buckets the estimate lands within one bucket width of truth.
+  LogHistogram h(1e-3, 1e6, 16);
+  for (int i = 1; i <= 1000; ++i) h.observe(static_cast<double>(i));
+  const double width = std::pow(10.0, 1.0 / 16.0);
+  EXPECT_NEAR(h.quantile(0.5), 500.0, 500.0 * (width - 1.0) + 1.0);
+  EXPECT_NEAR(h.quantile(0.9), 900.0, 900.0 * (width - 1.0) + 1.0);
+}
+
+TEST(LogHistogram, QuantileEdgeCases) {
+  LogHistogram empty(1.0, 1e3, 4);
+  EXPECT_EQ(empty.quantile(0.5), 0.0);  // no data -> 0 by convention
+  LogHistogram h(1.0, 1e3, 4);
+  h.observe(0.5);   // underflow
+  h.observe(2e3);   // overflow
+  // Mass in the open-ended buckets still yields finite, ordered answers.
+  const double lo = h.quantile(0.25), hi = h.quantile(0.95);
+  EXPECT_TRUE(std::isfinite(lo));
+  EXPECT_TRUE(std::isfinite(hi));
+  EXPECT_LE(lo, hi);
+}
+
 TEST(LogHistogram, MergeAddsCountsAndTracksExtremes) {
   LogHistogram a(1.0, 1e3, 2), b(1.0, 1e3, 2);
   a.observe(2.0);
