@@ -1,13 +1,24 @@
 // E11 — google-benchmark micro suites for the substrate: event-loop
 // throughput, cluster allocation, workflow analyses, scheduler passes.
 // These bound how large a simulated campaign the toolkit can replay.
+//
+// The event-loop suites also report kernel self-profiler counters
+// (sim.events_fired/scheduled, allocs per run) from one untimed
+// profiler-enabled pass, so E11 items/sec can be cross-checked against the
+// E17 kernel_throughput events/sec trajectory measuring the same loop.
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "cluster/resource_manager.hpp"
 #include "cluster/schedulers.hpp"
 #include "cws/strategies.hpp"
 #include "cws/wms.hpp"
+#include "obs/prof/prof.hpp"
 #include "sim/simulation.hpp"
+#include "support/strings.hpp"
 #include "workflow/analysis.hpp"
 #include "workflow/generators.hpp"
 
@@ -15,29 +26,52 @@ namespace {
 
 using namespace hhc;
 
+// One untimed, profiler-enabled execution of `body`; publishes the kernel
+// tallies and heap traffic it generated as benchmark counters.
+template <typename Body>
+void attach_prof_counters(benchmark::State& state, Body&& body) {
+  if (!obs::prof::compiled()) return;
+  obs::prof::set_enabled(true);
+  const std::uint64_t fired0 = obs::prof::counter_value("sim.events_fired");
+  const std::uint64_t sched0 = obs::prof::counter_value("sim.events_scheduled");
+  const obs::prof::AllocCounters a0 = obs::prof::thread_allocs();
+  body();
+  const obs::prof::AllocCounters a1 = obs::prof::thread_allocs();
+  obs::prof::set_enabled(false);
+  state.counters["prof_events_fired"] = static_cast<double>(
+      obs::prof::counter_value("sim.events_fired") - fired0);
+  state.counters["prof_events_scheduled"] = static_cast<double>(
+      obs::prof::counter_value("sim.events_scheduled") - sched0);
+  state.counters["prof_allocs"] = static_cast<double>(a1.count - a0.count);
+}
+
 void BM_EventLoopScheduleFire(benchmark::State& state) {
-  for (auto _ : state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto run_once = [n] {
     sim::Simulation sim;
-    const auto n = static_cast<std::size_t>(state.range(0));
     for (std::size_t i = 0; i < n; ++i)
       sim.schedule_at(static_cast<double>(i % 97), [] {});
     benchmark::DoNotOptimize(sim.run());
-  }
+  };
+  for (auto _ : state) run_once();
   state.SetItemsProcessed(state.iterations() * state.range(0));
+  attach_prof_counters(state, run_once);
 }
 BENCHMARK(BM_EventLoopScheduleFire)->Arg(1000)->Arg(100000);
 
 void BM_EventLoopCascade(benchmark::State& state) {
-  for (auto _ : state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto run_once = [n] {
     sim::Simulation sim;
-    const auto n = static_cast<std::size_t>(state.range(0));
     std::function<void(std::size_t)> chain = [&](std::size_t depth) {
       if (depth > 0) sim.schedule_in(1.0, [&chain, depth] { chain(depth - 1); });
     };
     chain(n);
     benchmark::DoNotOptimize(sim.run());
-  }
+  };
+  for (auto _ : state) run_once();
   state.SetItemsProcessed(state.iterations() * state.range(0));
+  attach_prof_counters(state, run_once);
 }
 BENCHMARK(BM_EventLoopCascade)->Arg(10000);
 
@@ -116,3 +150,24 @@ void BM_SchedulerPassFifoFit(benchmark::State& state) {
 BENCHMARK(BM_SchedulerPassFifoFit)->Arg(512);
 
 }  // namespace
+
+// Custom main instead of benchmark_main: HHC_BENCH_SMOKE=1 caps the
+// measurement time per suite (same switch every other bench binary honors),
+// so CI can run this binary through the common smoke loop. Explicit
+// --benchmark_min_time on the command line still wins.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  static char min_time[] = "--benchmark_min_time=0.01";
+  bool has_min_time = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strncmp(argv[i], "--benchmark_min_time", 20) == 0)
+      has_min_time = true;
+  if (hhc::env_flag("HHC_BENCH_SMOKE") && !has_min_time)
+    args.push_back(min_time);
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

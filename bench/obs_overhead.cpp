@@ -13,6 +13,7 @@
 
 #include "entk/app_manager.hpp"
 #include "entk/exaam.hpp"
+#include "support/host.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"
 
@@ -100,6 +101,8 @@ int main() {
   std::cout << t.render() << "\n";
   std::printf("simulation: %zu tasks completed, %zu events, job_end=%.0fs\n",
               off.completed, off.events, off.job_end);
+  std::printf("host: peak RSS %s across all configurations\n",
+              fmt_bytes(static_cast<double>(peak_rss_bytes())).c_str());
 
   if (!smoke && pct(on.wall_s) >= 10.0) {
     std::cerr << "FAIL: enabled-observer overhead exceeds 10%\n";

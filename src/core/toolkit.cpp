@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "cws/strategies.hpp"
+#include "obs/prof/prof.hpp"
 #include "resilience/lineage.hpp"
 #include "workflow/analysis.hpp"
 
@@ -129,6 +130,7 @@ CompositeReport Toolkit::run(const wf::Workflow& workflow,
 CompositeReport Toolkit::run_impl(const wf::Workflow& workflow,
                                   const std::vector<EnvironmentId>* assignment,
                                   federation::Broker* broker) {
+  HHC_PROF_SCOPE("toolkit.run");
   RunState state;
   state.workflow = &workflow;
   state.assignment = assignment;
@@ -272,6 +274,7 @@ CompositeReport Toolkit::run_impl(const wf::Workflow& workflow,
 
 void Toolkit::dispatch(RunState& state, wf::TaskId task,
                        obs::forensics::Cause cause) {
+  HHC_PROF_SCOPE("toolkit.dispatch");
   EnvironmentId env_id;
   if (state.broker) {
     federation::SiteId site;
@@ -318,6 +321,7 @@ void Toolkit::stage_inputs(RunState& state, wf::TaskId task,
                            EnvironmentId env_id,
                            obs::forensics::AttemptId led,
                            std::function<void(bool, const std::string&)> done) {
+  HHC_PROF_SCOPE("toolkit.stage_inputs");
   const wf::Workflow& workflow = *state.workflow;
 
   // Cross-environment inputs stage through the fabric before the job is
@@ -404,6 +408,7 @@ void Toolkit::submit_task(RunState& state, wf::TaskId task) {
 
 void Toolkit::submit_attempt(RunState& state, wf::TaskId task,
                              EnvironmentId env_id, bool hedge) {
+  HHC_PROF_SCOPE("toolkit.submit_attempt");
   Environment& env = envs_[env_id];
   const wf::TaskSpec& spec = state.workflow->task(task);
 
@@ -553,6 +558,7 @@ void Toolkit::launch_hedge(RunState& state, wf::TaskId task) {
 
 void Toolkit::on_attempt_complete(RunState& state, wf::TaskId task,
                                   const cluster::JobRecord& rec, bool hedge) {
+  HHC_PROF_SCOPE("toolkit.on_attempt_complete");
   const EnvironmentId env_id =
       hedge ? state.hedge_env[task] : state.placement[task];
   Environment& env = envs_[env_id];
@@ -769,6 +775,7 @@ void Toolkit::handle_task_failure(RunState& state, wf::TaskId task,
                                   resilience::FailureClass cls,
                                   const std::string& error,
                                   obs::forensics::AttemptId from) {
+  HHC_PROF_SCOPE("toolkit.handle_task_failure");
   if (state.completed[task]) return;  // a raced copy already succeeded
   if (state.retries[task] < retry_budget(state, cls)) {
     ++state.retries[task];

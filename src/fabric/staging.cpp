@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "obs/observer.hpp"
+#include "obs/prof/prof.hpp"
 
 namespace hhc::fabric {
 
@@ -63,6 +64,8 @@ void TransferScheduler::finish_local(const DatasetId& id, const std::string& des
 
 void TransferScheduler::stage(const DatasetId& id, const std::string& dest,
                               std::function<void(const StageResult&)> done) {
+  HHC_PROF_SCOPE("fabric.stage");
+  HHC_PROF_COUNT("fabric.stage_requests", 1);
   ++requests_;
   if (!catalog_.known(id))
     throw std::invalid_argument("stage of unknown dataset '" + id + "'");
@@ -164,6 +167,7 @@ void TransferScheduler::fail_stage(const DatasetId& id, const std::string& dest,
 
 void TransferScheduler::complete_flight(
     const std::pair<DatasetId, std::string>& key, SimTime elapsed) {
+  HHC_PROF_SCOPE("fabric.complete_flight");
   auto it = in_flight_.find(key);
   if (it == in_flight_.end()) return;  // aborted just before completion
   InFlight fl = std::move(it->second);

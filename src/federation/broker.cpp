@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "cws/strategies.hpp"  // edge_dataset_id: the fabric's edge addressing
+#include "obs/prof/prof.hpp"
 
 namespace hhc::federation {
 
@@ -208,6 +209,8 @@ std::vector<SiteId> Broker::candidates_for(const wf::TaskSpec& spec,
 }
 
 SiteId Broker::place(wf::TaskId task, SimTime now) {
+  HHC_PROF_SCOPE("federation.place");
+  HHC_PROF_COUNT("federation.placements", 1);
   if (!workflow_) throw BrokerError("Broker::place called outside a run");
   if (sites_.empty()) throw BrokerError("broker has no sites");
   const wf::TaskSpec& spec = workflow_->task(task);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/prof/prof.hpp"
+
 namespace hhc::obs::forensics {
 
 const char* to_string(CauseKind k) noexcept {
@@ -54,6 +56,7 @@ AttemptId TaskLedger::open_attempt(std::size_t task, std::string name,
                                    std::string environment) {
   // Constructed in place (no temporary + move of a ~250-byte record): this
   // runs once per attempt inside the simulator's dispatch path.
+  HHC_PROF_COUNT("forensics.ledger_appends", 1);
   AttemptRecord& rec = attempts_.emplace_back();
   rec.id = attempts_.size() - 1;
   rec.task = task;

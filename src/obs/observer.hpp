@@ -9,6 +9,7 @@
 #include <string>
 
 #include "obs/metrics.hpp"
+#include "obs/prof/prof.hpp"
 #include "obs/samplers.hpp"
 #include "obs/spans.hpp"
 
@@ -39,19 +40,29 @@ class Observer {
 
   void count(SimTime t, const std::string& name, const std::string& label = {},
              double delta = 1.0) {
-    if (enabled_) metrics_.counter(name, label).add(t, delta);
+    if (enabled_) {
+      HHC_PROF_COUNT("obs.metric_records", 1);
+      metrics_.counter(name, label).add(t, delta);
+    }
   }
   void gauge_set(SimTime t, const std::string& name, double value,
                  const std::string& label = {}) {
-    if (enabled_) metrics_.gauge(name, label).set(t, value);
+    if (enabled_) {
+      HHC_PROF_COUNT("obs.metric_records", 1);
+      metrics_.gauge(name, label).set(t, value);
+    }
   }
   void observe(const std::string& name, double value,
                const std::string& label = {}) {
-    if (enabled_) metrics_.histogram(name, label).observe(value);
+    if (enabled_) {
+      HHC_PROF_COUNT("obs.metric_records", 1);
+      metrics_.histogram(name, label).observe(value);
+    }
   }
   SpanId begin_span(SimTime t, std::string category, std::string name,
                     SpanId parent = kNoSpan) {
     if (!enabled_) return kNoSpan;
+    HHC_PROF_COUNT("obs.span_records", 1);
     return spans_.begin(t, std::move(category), std::move(name), parent);
   }
   void end_span(SimTime t, SpanId id) {

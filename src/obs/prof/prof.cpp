@@ -1,0 +1,398 @@
+#include "obs/prof/prof.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <new>
+#include <unordered_map>
+
+namespace hhc::obs::prof {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+// Process-wide tallies, indexed by RegionId. Fixed capacity so counter_add
+// is a single relaxed fetch_add with no locking; the name table caps intern
+// at the same bound.
+constexpr std::size_t kMaxRegions = 1024;
+std::atomic<std::uint64_t> g_counters[kMaxRegions];
+
+struct NameTable {
+  std::mutex mu;
+  std::vector<std::string> names;
+  std::unordered_map<std::string, RegionId> ids;
+};
+NameTable& name_table() {
+  static NameTable t;
+  return t;
+}
+
+// Per-thread call tree. nodes[0] is the synthetic root; children are found
+// by linear scan (fan-out per node is small — a handful of regions).
+struct Node {
+  RegionId region = kNoRegion;
+  std::uint64_t calls = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t alloc_count = 0;
+  std::uint64_t alloc_bytes = 0;
+  std::vector<std::pair<RegionId, std::uint32_t>> children;  // region -> index
+};
+
+struct Frame {
+  std::uint32_t node = 0;
+  std::uint64_t t0 = 0;
+  std::uint64_t alloc_count0 = 0;
+  std::uint64_t alloc_bytes0 = 0;
+};
+
+struct ThreadProfile {
+  std::vector<Node> nodes{1};  // [0] = root
+  std::vector<Frame> stack;
+};
+
+struct ThreadRegistry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<ThreadProfile>> threads;
+};
+ThreadRegistry& thread_registry() {
+  static ThreadRegistry r;
+  return r;
+}
+
+thread_local ThreadProfile* t_profile = nullptr;
+// Cumulative allocation tallies for this thread, advanced by the
+// operator-new hook below. Trivially-constructed PODs: safe to touch from
+// allocations during static init and thread start-up.
+// One struct, not two variables: the hook pays a single TLS address
+// computation per allocation instead of two.
+thread_local AllocCounters t_allocs;
+
+ThreadProfile& thread_profile() {
+  if (t_profile == nullptr) {
+    auto p = std::make_unique<ThreadProfile>();
+    t_profile = p.get();
+    std::lock_guard<std::mutex> lock(thread_registry().mu);
+    thread_registry().threads.push_back(std::move(p));
+  }
+  return *t_profile;
+}
+
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+bool enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) noexcept {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void reset() noexcept {
+  for (auto& c : g_counters) c.store(0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(thread_registry().mu);
+  for (auto& tp : thread_registry().threads) {
+    tp->nodes.assign(1, Node{});
+    tp->stack.clear();
+  }
+}
+
+RegionId intern(const char* name) {
+  NameTable& t = name_table();
+  std::lock_guard<std::mutex> lock(t.mu);
+  auto it = t.ids.find(name);
+  if (it != t.ids.end()) return it->second;
+  if (t.names.size() >= kMaxRegions) return kNoRegion;  // table full: drop
+  const RegionId id = static_cast<RegionId>(t.names.size());
+  t.names.emplace_back(name);
+  t.ids.emplace(name, id);
+  return id;
+}
+
+const std::string& region_name(RegionId id) {
+  static const std::string unknown = "?";
+  NameTable& t = name_table();
+  std::lock_guard<std::mutex> lock(t.mu);
+  return id < t.names.size() ? t.names[id] : unknown;
+}
+
+void counter_add(RegionId id, std::uint64_t delta) noexcept {
+  if (!enabled() || id >= kMaxRegions) return;
+  g_counters[id].fetch_add(delta, std::memory_order_relaxed);
+}
+
+void counter_max(RegionId id, std::uint64_t value) noexcept {
+  if (!enabled() || id >= kMaxRegions) return;
+  std::uint64_t cur = g_counters[id].load(std::memory_order_relaxed);
+  while (cur < value && !g_counters[id].compare_exchange_weak(
+                            cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t counter_value(RegionId id) noexcept {
+  return id < kMaxRegions ? g_counters[id].load(std::memory_order_relaxed) : 0;
+}
+
+std::uint64_t counter_value(const char* name) noexcept {
+  NameTable& t = name_table();
+  std::lock_guard<std::mutex> lock(t.mu);
+  auto it = t.ids.find(name);
+  return it == t.ids.end() ? 0 : counter_value(it->second);
+}
+
+AllocCounters thread_allocs() noexcept {
+  return t_allocs;
+}
+
+void Scope::enter(RegionId id) noexcept {
+  ThreadProfile& tp = thread_profile();
+  const std::uint32_t parent = tp.stack.empty() ? 0 : tp.stack.back().node;
+  std::uint32_t node = 0;
+  for (const auto& [r, idx] : tp.nodes[parent].children) {
+    if (r == id) {
+      node = idx;
+      break;
+    }
+  }
+  if (node == 0) {
+    node = static_cast<std::uint32_t>(tp.nodes.size());
+    Node n;
+    n.region = id;
+    tp.nodes.push_back(std::move(n));
+    tp.nodes[parent].children.emplace_back(id, node);
+  }
+  tp.stack.push_back(Frame{node, now_ns(), t_allocs.count, t_allocs.bytes});
+}
+
+void Scope::leave() noexcept {
+  ThreadProfile& tp = thread_profile();
+  if (tp.stack.empty()) return;  // reset() raced an open scope; drop it
+  const Frame f = tp.stack.back();
+  tp.stack.pop_back();
+  Node& n = tp.nodes[f.node];
+  ++n.calls;
+  n.total_ns += now_ns() - f.t0;
+  n.alloc_count += t_allocs.count - f.alloc_count0;
+  n.alloc_bytes += t_allocs.bytes - f.alloc_bytes0;
+}
+
+std::vector<FlatRegion> ProfileReport::flat() const {
+  std::map<std::string, FlatRegion> by_name;
+  for (const StackNode& n : nodes) {
+    FlatRegion& f = by_name[n.stack.back()];
+    f.name = n.stack.back();
+    f.calls += n.calls;
+    f.total_ns += n.total_ns;
+    f.self_ns += n.self_ns;
+    f.alloc_count += n.alloc_count;
+    f.alloc_bytes += n.alloc_bytes;
+  }
+  std::vector<FlatRegion> out;
+  out.reserve(by_name.size());
+  for (auto& [name, f] : by_name) out.push_back(std::move(f));
+  std::stable_sort(out.begin(), out.end(),
+                   [](const FlatRegion& a, const FlatRegion& b) {
+                     if (a.self_ns != b.self_ns) return a.self_ns > b.self_ns;
+                     return a.name < b.name;
+                   });
+  return out;
+}
+
+const CounterValue* ProfileReport::find_counter(const std::string& name) const {
+  for (const CounterValue& c : counters)
+    if (c.name == name) return &c;
+  return nullptr;
+}
+
+ProfileReport report() {
+  ProfileReport out;
+
+  // Merge every thread's call tree by stack path. Aggregation is keyed on
+  // the path of region names so per-thread sweeps fold together.
+  struct Agg {
+    std::uint64_t calls = 0, total_ns = 0, child_ns = 0;
+    std::uint64_t alloc_count = 0, alloc_bytes = 0;
+  };
+  std::map<std::vector<std::string>, Agg> merged;
+  {
+    std::lock_guard<std::mutex> lock(thread_registry().mu);
+    for (const auto& tp : thread_registry().threads) {
+      // DFS with explicit stack of (node index, depth).
+      std::vector<std::pair<std::uint32_t, std::size_t>> work;
+      std::vector<std::string> path;
+      work.emplace_back(0u, 0u);
+      while (!work.empty()) {
+        const auto [idx, depth] = work.back();
+        work.pop_back();
+        path.resize(depth);
+        const Node& n = tp->nodes[idx];
+        std::uint64_t child_total = 0;
+        for (const auto& [r, c] : n.children)
+          child_total += tp->nodes[c].total_ns;
+        if (idx != 0) {
+          path.push_back(region_name(n.region));
+          Agg& a = merged[path];
+          a.calls += n.calls;
+          a.total_ns += n.total_ns;
+          a.child_ns += child_total;
+          a.alloc_count += n.alloc_count;
+          a.alloc_bytes += n.alloc_bytes;
+        }
+        for (const auto& [r, c] : n.children)
+          work.emplace_back(c, path.size());
+      }
+    }
+  }
+  out.nodes.reserve(merged.size());
+  for (auto& [path, a] : merged) {
+    StackNode n;
+    n.stack = path;
+    n.calls = a.calls;
+    n.total_ns = a.total_ns;
+    n.self_ns = a.total_ns > a.child_ns ? a.total_ns - a.child_ns : 0;
+    n.alloc_count = a.alloc_count;
+    n.alloc_bytes = a.alloc_bytes;
+    out.nodes.push_back(std::move(n));
+  }
+
+  {
+    NameTable& t = name_table();
+    std::lock_guard<std::mutex> lock(t.mu);
+    for (RegionId id = 0; id < t.names.size(); ++id) {
+      const std::uint64_t v = g_counters[id].load(std::memory_order_relaxed);
+      if (v != 0) out.counters.push_back(CounterValue{t.names[id], v});
+    }
+  }
+  std::sort(out.counters.begin(), out.counters.end(),
+            [](const CounterValue& a, const CounterValue& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+}  // namespace hhc::obs::prof
+
+#if HHC_PROFILING
+
+// ---------------------------------------------------------------------------
+// Heap counting hook: global operator new/delete replacements that tally
+// allocation count and bytes into the calling thread's profiler counters.
+//
+// Deliberately in this translation unit: any binary that references a prof
+// symbol pulls this object file from the archive, so the hook and the
+// profiler are always installed (or omitted) together. While profiling is
+// disabled the hook costs one relaxed atomic load per allocation.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void* hhc_prof_malloc(std::size_t n) {
+  if (n == 0) n = 1;
+  for (;;) {
+    if (void* p = std::malloc(n)) {
+      if (hhc::obs::prof::enabled()) {
+        hhc::obs::prof::AllocCounters& a = hhc::obs::prof::t_allocs;
+        ++a.count;
+        a.bytes += n;
+      }
+      return p;
+    }
+    std::new_handler h = std::get_new_handler();
+    if (h == nullptr) throw std::bad_alloc();
+    h();
+  }
+}
+
+void* hhc_prof_aligned(std::size_t n, std::size_t align) {
+  if (n == 0) n = 1;
+  for (;;) {
+    void* p = nullptr;
+    if (posix_memalign(&p, std::max(align, sizeof(void*)), n) == 0) {
+      if (hhc::obs::prof::enabled()) {
+        hhc::obs::prof::AllocCounters& a = hhc::obs::prof::t_allocs;
+        ++a.count;
+        a.bytes += n;
+      }
+      return p;
+    }
+    std::new_handler h = std::get_new_handler();
+    if (h == nullptr) throw std::bad_alloc();
+    h();
+  }
+}
+
+}  // namespace
+
+void* operator new(std::size_t n) { return hhc_prof_malloc(n); }
+void* operator new[](std::size_t n) { return hhc_prof_malloc(n); }
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  try {
+    return hhc_prof_malloc(n);
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  try {
+    return hhc_prof_malloc(n);
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new(std::size_t n, std::align_val_t al) {
+  return hhc_prof_aligned(n, static_cast<std::size_t>(al));
+}
+void* operator new[](std::size_t n, std::align_val_t al) {
+  return hhc_prof_aligned(n, static_cast<std::size_t>(al));
+}
+void* operator new(std::size_t n, std::align_val_t al,
+                   const std::nothrow_t&) noexcept {
+  try {
+    return hhc_prof_aligned(n, static_cast<std::size_t>(al));
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new[](std::size_t n, std::align_val_t al,
+                     const std::nothrow_t&) noexcept {
+  try {
+    return hhc_prof_aligned(n, static_cast<std::size_t>(al));
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+#endif  // HHC_PROFILING

@@ -1,0 +1,168 @@
+// Self-profiler for the simulator's own host-side hot paths (DESIGN.md §12).
+//
+// Every other observability pillar records the *simulated* system; this one
+// records the *simulator*: where host wall-clock goes (scoped region timers
+// with nested attribution), how much the hot paths allocate (a global
+// operator-new counting hook), and kernel tallies (events scheduled / fired
+// / cancelled, queue peak, ledger appends, metric records).
+//
+// Cost contract, enforced by bench/kernel_throughput (E17):
+//   * compiled out (cmake -DHHC_PROFILING=OFF): every macro is a no-op and
+//     the allocation hook is not installed — zero cost, byte-identical
+//     binaries as far as simulation behaviour is concerned;
+//   * compiled in but disabled (the default at startup): one relaxed atomic
+//     load per site; enabled overhead on the kernel-throughput workload
+//     stays under 3%.
+//
+// Profiling is *host-side only*: it never touches simulated time, never
+// consumes Rng draws, never schedules events — a run with profiling on is
+// behaviourally byte-identical to one with it off (pinned by
+// tests/obs/test_prof.cpp and the E17 gate).
+//
+// Threading: regions aggregate into per-thread call trees (per-thread sweeps
+// profile independently); report() merges all threads. reset() and report()
+// must not race with open scopes on other threads.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#ifndef HHC_PROFILING
+#define HHC_PROFILING 0
+#endif
+
+namespace hhc::obs::prof {
+
+/// Whether the profiler was compiled in (cmake option HHC_PROFILING).
+constexpr bool compiled() noexcept { return HHC_PROFILING != 0; }
+
+/// The master runtime switch; off at startup. Relaxed-atomic, checked at
+/// every instrumentation site.
+bool enabled() noexcept;
+void set_enabled(bool on) noexcept;
+
+/// Clears all recorded regions and counters (all threads). Call only while
+/// no scope is open and no other thread is actively profiling.
+void reset() noexcept;
+
+/// Interned id of a region or counter name. Stable for the process
+/// lifetime; intended to be resolved once per site via a static local
+/// (which is what HHC_PROF_SCOPE / HHC_PROF_COUNT do).
+using RegionId = std::uint32_t;
+inline constexpr RegionId kNoRegion = static_cast<RegionId>(-1);
+RegionId intern(const char* name);
+const std::string& region_name(RegionId id);
+
+/// Adds to a process-wide tally (relaxed atomic). No-op while disabled.
+void counter_add(RegionId id, std::uint64_t delta) noexcept;
+/// Raises a process-wide high-water tally to at least `value`.
+void counter_max(RegionId id, std::uint64_t value) noexcept;
+/// Current value of a tally (0 for unknown ids).
+std::uint64_t counter_value(RegionId id) noexcept;
+std::uint64_t counter_value(const char* name) noexcept;
+
+/// Cumulative heap allocations observed on the calling thread by the
+/// operator-new counting hook. Only advances while enabled() (and only when
+/// compiled in); deltas around a workload give allocs/event.
+struct AllocCounters {
+  std::uint64_t count = 0;
+  std::uint64_t bytes = 0;
+};
+AllocCounters thread_allocs() noexcept;
+
+/// RAII region timer. Inert when profiling is disabled at construction.
+/// Use through HHC_PROF_SCOPE so the name is interned once per site.
+class Scope {
+ public:
+  explicit Scope(RegionId id) noexcept {
+#if HHC_PROFILING
+    if (enabled() && id != kNoRegion) {
+      active_ = true;
+      enter(id);
+    }
+#else
+    (void)id;
+#endif
+  }
+  ~Scope() {
+    if (active_) leave();
+  }
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+
+ private:
+  static void enter(RegionId id) noexcept;
+  static void leave() noexcept;
+  bool active_ = false;
+};
+
+/// One unique call-stack path (root-first) with inclusive attribution.
+struct StackNode {
+  std::vector<std::string> stack;
+  std::uint64_t calls = 0;
+  std::uint64_t total_ns = 0;  ///< Inclusive wall time.
+  std::uint64_t self_ns = 0;   ///< total_ns minus profiled children.
+  std::uint64_t alloc_count = 0;  ///< Inclusive heap allocations.
+  std::uint64_t alloc_bytes = 0;
+};
+
+/// Per-region totals folded over every stack path ending in the region.
+/// total_ns double-counts recursive regions (the usual inclusive-time
+/// caveat); self_ns always tiles.
+struct FlatRegion {
+  std::string name;
+  std::uint64_t calls = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t self_ns = 0;
+  std::uint64_t alloc_count = 0;
+  std::uint64_t alloc_bytes = 0;
+  double ns_per_call() const noexcept {
+    return calls ? static_cast<double>(total_ns) / static_cast<double>(calls)
+                 : 0.0;
+  }
+};
+
+struct CounterValue {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+/// Plain-data snapshot of everything recorded so far, merged across
+/// threads. Node order is deterministic (lexicographic by stack path),
+/// counter order is by name — exporters on top of it golden-test cleanly.
+struct ProfileReport {
+  std::vector<StackNode> nodes;
+  std::vector<CounterValue> counters;
+
+  std::vector<FlatRegion> flat() const;  ///< By region, self-time descending.
+  const CounterValue* find_counter(const std::string& name) const;
+};
+
+ProfileReport report();
+
+}  // namespace hhc::obs::prof
+
+#define HHC_PROF_CAT2(a, b) a##b
+#define HHC_PROF_CAT(a, b) HHC_PROF_CAT2(a, b)
+
+#if HHC_PROFILING
+/// Times the rest of the enclosing block as profiling region `name` (a
+/// string literal; interned once per site).
+#define HHC_PROF_SCOPE(name)                                               \
+  static const ::hhc::obs::prof::RegionId HHC_PROF_CAT(                    \
+      hhc_prof_rid_, __LINE__) = ::hhc::obs::prof::intern(name);           \
+  const ::hhc::obs::prof::Scope HHC_PROF_CAT(hhc_prof_scope_, __LINE__)(   \
+      HHC_PROF_CAT(hhc_prof_rid_, __LINE__))
+/// Adds `delta` to process-wide tally `name` (no-op while disabled).
+#define HHC_PROF_COUNT(name, delta)                                        \
+  do {                                                                     \
+    static const ::hhc::obs::prof::RegionId HHC_PROF_CAT(                  \
+        hhc_prof_cid_, __LINE__) = ::hhc::obs::prof::intern(name);         \
+    ::hhc::obs::prof::counter_add(HHC_PROF_CAT(hhc_prof_cid_, __LINE__),   \
+                                  delta);                                  \
+  } while (0)
+#else
+#define HHC_PROF_SCOPE(name) ((void)0)
+#define HHC_PROF_COUNT(name, delta) ((void)0)
+#endif

@@ -1,0 +1,105 @@
+#include "obs/prof/prof_export.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/json.hpp"
+#include "support/strings.hpp"
+
+namespace hhc::obs::prof {
+
+TextTable self_time_table(const ProfileReport& report,
+                          const std::string& title) {
+  TextTable t(title);
+  t.header({"region", "calls", "total ms", "self ms", "ns/call", "allocs",
+            "alloc bytes"});
+  for (const FlatRegion& r : report.flat()) {
+    t.row({r.name, std::to_string(r.calls),
+           fmt_fixed(static_cast<double>(r.total_ns) / 1e6, 3),
+           fmt_fixed(static_cast<double>(r.self_ns) / 1e6, 3),
+           fmt_fixed(r.ns_per_call(), 0), std::to_string(r.alloc_count),
+           fmt_bytes(static_cast<double>(r.alloc_bytes))});
+  }
+  if (!report.counters.empty()) t.rule();
+  for (const CounterValue& c : report.counters)
+    t.row({c.name, std::to_string(c.value), "-", "-", "-", "-", "-"});
+  return t;
+}
+
+std::string folded_stacks(const ProfileReport& report) {
+  std::ostringstream out;
+  for (const StackNode& n : report.nodes) {
+    out << join(n.stack, ";") << " " << n.self_ns << "\n";
+  }
+  return out.str();
+}
+
+std::string prof_trace_json(const ProfileReport& report,
+                            const std::string& process_name) {
+  // The report's nodes are lexicographic by path; rebuilding parent/child
+  // relations from path prefixes lets us pack children left-first inside
+  // their parent on a synthetic inclusive-time axis.
+  JsonArray events;
+  {
+    JsonObject meta;
+    meta["name"] = Json("process_name");
+    meta["ph"] = Json("M");
+    meta["pid"] = Json(2);
+    JsonObject args;
+    args["name"] = Json(process_name);
+    meta["args"] = Json(std::move(args));
+    events.push_back(Json(std::move(meta)));
+  }
+
+  // start offset (ns) available for the next child of each open path depth.
+  std::vector<std::uint64_t> cursor;  // cursor[d] = next free offset at depth d
+  cursor.push_back(0);
+
+  auto emit_slice = [&events](const StackNode& n, std::uint64_t start_ns) {
+    JsonObject e;
+    e["name"] = Json(n.stack.back());
+    e["cat"] = Json("prof");
+    e["ph"] = Json("X");
+    e["pid"] = Json(2);
+    e["tid"] = Json(1);
+    e["ts"] = Json(static_cast<double>(start_ns) / 1e3);   // ns -> µs
+    e["dur"] = Json(static_cast<double>(n.total_ns) / 1e3);
+    JsonObject args;
+    args["calls"] = Json(n.calls);
+    args["self_ns"] = Json(n.self_ns);
+    args["allocs"] = Json(n.alloc_count);
+    args["alloc_bytes"] = Json(n.alloc_bytes);
+    e["args"] = Json(std::move(args));
+    events.push_back(Json(std::move(e)));
+  };
+
+  // Nodes arrive in DFS preorder (lexicographic paths), so a stack of
+  // per-depth cursors is enough to place every slice inside its parent.
+  for (const StackNode& n : report.nodes) {
+    const std::size_t depth = n.stack.size();  // 1-based depth of this node
+    while (cursor.size() > depth) cursor.pop_back();
+    const std::uint64_t start = cursor.back();
+    emit_slice(n, start);
+    cursor.back() = start + n.total_ns;  // next sibling starts after us
+    cursor.push_back(start);             // children pack from our own start
+  }
+
+  for (const CounterValue& c : report.counters) {
+    JsonObject e;
+    e["name"] = Json(c.name);
+    e["ph"] = Json("C");
+    e["pid"] = Json(2);
+    e["ts"] = Json(0);
+    JsonObject args;
+    args["value"] = Json(c.value);
+    e["args"] = Json(std::move(args));
+    events.push_back(Json(std::move(e)));
+  }
+
+  JsonObject root;
+  root["traceEvents"] = Json(std::move(events));
+  root["displayTimeUnit"] = Json("ms");
+  return Json(std::move(root)).dump();
+}
+
+}  // namespace hhc::obs::prof

@@ -1,0 +1,33 @@
+// Exporters for the self-profiler: a human-readable self-time table, folded
+// stacks consumable by flamegraph.pl, and a Perfetto/Chrome trace with one
+// slice track for the merged call tree plus counter tracks for the tallies.
+// All take a plain ProfileReport so they are deterministic given the report
+// (golden-tested in tests/obs/test_prof.cpp).
+#pragma once
+
+#include <string>
+
+#include "obs/prof/prof.hpp"
+#include "support/table.hpp"
+
+namespace hhc::obs::prof {
+
+/// Per-region table (self-time descending): calls, total/self ms, ns/call,
+/// allocations and allocated bytes.
+TextTable self_time_table(const ProfileReport& report,
+                          const std::string& title = "Self-profile");
+
+/// flamegraph.pl input: one line per unique stack path,
+/// "root;child;leaf <self_ns>\n", lexicographic by path. Zero-self paths
+/// are kept (they carry structure); feed through flamegraph.pl as-is:
+///   ./kernel_throughput ... > prof.folded && flamegraph.pl prof.folded
+std::string folded_stacks(const ProfileReport& report);
+
+/// Chrome trace-event JSON on a dedicated "hhc-prof" process: the merged
+/// call tree rendered as nested "X" slices (synthetic timeline in
+/// microseconds of profiled wall time, children packed left-first inside
+/// their parent) and one "C" counter event per tally.
+std::string prof_trace_json(const ProfileReport& report,
+                            const std::string& process_name = "hhc-prof");
+
+}  // namespace hhc::obs::prof

@@ -78,6 +78,10 @@ class Simulation {
 
   std::size_t pending_events() const noexcept { return live_events_; }
   std::size_t fired_events() const noexcept { return fired_; }
+  /// Events ever scheduled on this simulation (fired or not).
+  std::size_t scheduled_events() const noexcept {
+    return static_cast<std::size_t>(next_seq_);
+  }
 
   // Kernel health counters for the observability layer (obs::Observer).
   /// Events that were cancelled before firing (observed at pop time).

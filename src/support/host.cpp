@@ -1,0 +1,49 @@
+#include "support/host.hpp"
+
+#include <chrono>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#define HHC_HAVE_GETRUSAGE 1
+#else
+#define HHC_HAVE_GETRUSAGE 0
+#endif
+
+namespace hhc {
+
+std::uint64_t peak_rss_bytes() {
+#if HHC_HAVE_GETRUSAGE
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+#if defined(__APPLE__)
+  // macOS: ru_maxrss is already bytes.
+  return static_cast<std::uint64_t>(ru.ru_maxrss);
+#else
+  // Linux (and the BSDs): ru_maxrss is kilobytes.
+  return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024u;
+#endif
+#else
+  return 0;
+#endif
+}
+
+double process_cpu_seconds() {
+#if HHC_HAVE_GETRUSAGE
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0.0;
+  auto tv = [](const timeval& t) {
+    return static_cast<double>(t.tv_sec) + static_cast<double>(t.tv_usec) * 1e-6;
+  };
+  return tv(ru.ru_utime) + tv(ru.ru_stime);
+#else
+  return 0.0;
+#endif
+}
+
+double host_wall_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace hhc

@@ -1,0 +1,25 @@
+// Host (wall-clock world) resource capture for the toolkit's own process:
+// peak RSS and CPU time. Everything else in the repo measures the *simulated*
+// system; these helpers measure the simulator, for the self-profiler
+// (obs/prof) and the kernel benchmarks (bench/kernel_throughput,
+// bench/obs_overhead).
+#pragma once
+
+#include <cstdint>
+
+namespace hhc {
+
+/// Peak resident set size of this process, in bytes. Portable over the
+/// getrusage(RUSAGE_SELF) ru_maxrss unit discrepancy: Linux reports
+/// kilobytes, macOS reports bytes. Returns 0 when the platform has no
+/// getrusage.
+std::uint64_t peak_rss_bytes();
+
+/// CPU time (user + system) consumed by this process, in seconds.
+double process_cpu_seconds();
+
+/// Monotonic wall clock, in seconds since an arbitrary epoch. Differences
+/// are meaningful; absolute values are not.
+double host_wall_seconds();
+
+}  // namespace hhc

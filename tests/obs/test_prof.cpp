@@ -1,0 +1,232 @@
+#include "obs/prof/prof.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/toolkit.hpp"
+#include "obs/exporters.hpp"
+#include "obs/prof/prof_export.hpp"
+#include "sim/simulation.hpp"
+#include "workflow/generators.hpp"
+
+namespace hhc::obs::prof {
+namespace {
+
+// Every test leaves the profiler disabled and empty, the state the rest of
+// the suite (and production code) expects.
+class ProfTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    reset();
+    set_enabled(false);
+  }
+  void TearDown() override {
+    set_enabled(false);
+    reset();
+  }
+};
+
+const StackNode* find_stack(const ProfileReport& rep,
+                            const std::vector<std::string>& stack) {
+  for (const StackNode& n : rep.nodes)
+    if (n.stack == stack) return &n;
+  return nullptr;
+}
+
+void leaf_region() {
+  HHC_PROF_SCOPE("leaf");
+  volatile int sink = 0;
+  for (int i = 0; i < 1000; ++i) sink = sink + i;
+  (void)sink;
+}
+
+void mid_region() {
+  HHC_PROF_SCOPE("mid");
+  leaf_region();
+  leaf_region();
+}
+
+void recursive_region(int depth) {
+  HHC_PROF_SCOPE("rec");
+  if (depth > 0) recursive_region(depth - 1);
+}
+
+TEST_F(ProfTest, InternIsStableAndNamed) {
+  const RegionId a = intern("test.alpha");
+  const RegionId b = intern("test.beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, intern("test.alpha"));
+  EXPECT_EQ(region_name(a), "test.alpha");
+  EXPECT_EQ(region_name(b), "test.beta");
+}
+
+TEST_F(ProfTest, CountersAddMaxAndReset) {
+  set_enabled(true);  // counter mutation is gated on the master switch
+  const RegionId c = intern("test.counter");
+  counter_add(c, 3);
+  counter_add(c, 4);
+  EXPECT_EQ(counter_value(c), 7u);
+  EXPECT_EQ(counter_value("test.counter"), 7u);
+
+  const RegionId m = intern("test.peak");
+  counter_max(m, 10);
+  counter_max(m, 4);  // lower value must not regress a max counter
+  counter_max(m, 12);
+  EXPECT_EQ(counter_value(m), 12u);
+
+  reset();
+  EXPECT_EQ(counter_value(c), 0u);
+  EXPECT_EQ(counter_value(m), 0u);
+  EXPECT_EQ(counter_value("test.never_interned"), 0u);
+
+  // While disabled, counter mutation is a no-op.
+  set_enabled(false);
+  counter_add(c, 5);
+  counter_max(m, 5);
+  EXPECT_EQ(counter_value(c), 0u);
+  EXPECT_EQ(counter_value(m), 0u);
+}
+
+TEST_F(ProfTest, NestedScopesBuildTheRegionStack) {
+  if (!compiled()) GTEST_SKIP() << "profiler compiled out";
+  set_enabled(true);
+  mid_region();
+  leaf_region();  // a *root-level* leaf: distinct stack from mid;leaf
+  set_enabled(false);
+
+  const ProfileReport rep = report();
+  const StackNode* mid = find_stack(rep, {"mid"});
+  const StackNode* nested = find_stack(rep, {"mid", "leaf"});
+  const StackNode* top = find_stack(rep, {"leaf"});
+  ASSERT_NE(mid, nullptr);
+  ASSERT_NE(nested, nullptr);
+  ASSERT_NE(top, nullptr);
+  EXPECT_EQ(mid->calls, 1u);
+  EXPECT_EQ(nested->calls, 2u);
+  EXPECT_EQ(top->calls, 1u);
+  // Self time excludes children; totals include them.
+  EXPECT_GE(mid->total_ns, nested->total_ns);
+  EXPECT_EQ(mid->self_ns, mid->total_ns - nested->total_ns);
+
+  // The flat view folds both "leaf" stacks into one region.
+  for (const FlatRegion& f : rep.flat()) {
+    if (f.name == "leaf") {
+      EXPECT_EQ(f.calls, 3u);
+    }
+  }
+}
+
+TEST_F(ProfTest, RecursionNestsOneStackLevelPerCall) {
+  if (!compiled()) GTEST_SKIP() << "profiler compiled out";
+  set_enabled(true);
+  recursive_region(2);
+  set_enabled(false);
+
+  const ProfileReport rep = report();
+  EXPECT_NE(find_stack(rep, {"rec"}), nullptr);
+  EXPECT_NE(find_stack(rep, {"rec", "rec"}), nullptr);
+  EXPECT_NE(find_stack(rep, {"rec", "rec", "rec"}), nullptr);
+  EXPECT_EQ(find_stack(rep, {"rec"})->calls, 1u);
+}
+
+TEST_F(ProfTest, DisabledScopesRecordNothing) {
+  mid_region();  // enabled() is false: must not touch the call tree
+  const ProfileReport rep = report();
+  EXPECT_TRUE(rep.nodes.empty());
+}
+
+TEST_F(ProfTest, AllocCountersTrackHeapTraffic) {
+  if (!compiled()) GTEST_SKIP() << "profiler compiled out";
+  set_enabled(true);
+  const AllocCounters before = thread_allocs();
+  auto* v = new std::vector<char>(4096, 'x');
+  const AllocCounters after = thread_allocs();
+  delete v;
+  set_enabled(false);
+
+  EXPECT_GT(after.count, before.count);
+  EXPECT_GE(after.bytes - before.bytes, 4096u);
+}
+
+TEST_F(ProfTest, SimulationKernelCountersMatchHandCount) {
+  if (!compiled()) GTEST_SKIP() << "profiler compiled out";
+  sim::Simulation sim;
+  sim::EventHandle doomed;
+  // Hand-counted plan, all scheduled *during* run() (the kernel tallies
+  // deltas across a run): the seed event adds three more, one of which is
+  // cancelled before its due time and observed cancelled at pop.
+  sim.schedule_at(0.0, [&] {
+    sim.schedule_in(1.0, [] {});
+    doomed = sim.schedule_in(2.0, [] {});
+    sim.schedule_in(1.5, [&] { doomed.cancel(); });
+  });
+
+  set_enabled(true);
+  sim.run();
+  set_enabled(false);
+
+  EXPECT_EQ(counter_value("sim.events_scheduled"), 3u);
+  EXPECT_EQ(counter_value("sim.events_fired"), 3u);
+  EXPECT_EQ(counter_value("sim.events_cancelled"), 1u);
+  // Right after the seed event fires, the queue holds its three children —
+  // the deepest it ever gets.
+  EXPECT_EQ(counter_value("sim.queue_peak"), 3u);
+  EXPECT_EQ(sim.queue_high_water(), 3u);
+}
+
+TEST_F(ProfTest, FoldedStacksGolden) {
+  ProfileReport rep;
+  StackNode a;
+  a.stack = {"a"};
+  a.calls = 2;
+  a.total_ns = 300;
+  a.self_ns = 100;
+  StackNode ab;
+  ab.stack = {"a", "b"};
+  ab.calls = 5;
+  ab.total_ns = 200;
+  ab.self_ns = 200;
+  rep.nodes.push_back(std::move(a));
+  rep.nodes.push_back(std::move(ab));
+
+  // flamegraph.pl folded format: semicolon-joined stack, space, self time.
+  EXPECT_EQ(folded_stacks(rep), "a 100\na;b 200\n");
+}
+
+TEST_F(ProfTest, ProfTraceJsonNestsSlicesByStack) {
+  if (!compiled()) GTEST_SKIP() << "profiler compiled out";
+  set_enabled(true);
+  mid_region();
+  set_enabled(false);
+
+  const std::string json = prof_trace_json(report());
+  EXPECT_NE(json.find("\"mid\""), std::string::npos);
+  EXPECT_NE(json.find("\"leaf\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+}
+
+// The profiler must be a pure observer: a simulation traced with it
+// enabled exports byte-for-byte the same chrome trace as one without.
+TEST_F(ProfTest, ToolkitTraceIsByteIdenticalWithProfilerOn) {
+  auto traced = [](bool profile) {
+    reset();
+    set_enabled(profile);
+    core::Toolkit tk;
+    const auto hpc =
+        tk.add_hpc("hpc", cluster::homogeneous_cluster(4, 16, gib(64)));
+    const wf::Workflow w = wf::make_fork_join(8, Rng(11));
+    const core::CompositeReport r = tk.run(w, hpc);
+    set_enabled(false);
+    EXPECT_TRUE(r.success);
+    return obs::chrome_trace_json(tk.observer().spans());
+  };
+  const std::string off = traced(false);
+  const std::string on = traced(true);
+  EXPECT_FALSE(off.empty());
+  EXPECT_EQ(off, on);
+}
+
+}  // namespace
+}  // namespace hhc::obs::prof

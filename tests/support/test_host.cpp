@@ -1,0 +1,46 @@
+#include "support/host.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+namespace hhc {
+namespace {
+
+TEST(Host, PeakRssIsPositiveAndMonotone) {
+  const std::uint64_t before = peak_rss_bytes();
+  EXPECT_GT(before, 0u) << "a running process must have a resident set";
+
+  // Touch 32 MiB so the high-water mark cannot move down; getrusage
+  // reports a *peak*, so it can only grow.
+  std::vector<char> ballast(32u << 20, 1);
+  const std::uint64_t after = peak_rss_bytes();
+  EXPECT_GE(after, before);
+  // Keep the ballast alive past the measurement.
+  EXPECT_EQ(std::accumulate(ballast.begin(), ballast.begin() + 8, 0), 8);
+}
+
+TEST(Host, PeakRssLooksLikeBytesNotKilobytes) {
+  // A C++ test binary's peak RSS is megabytes at minimum. If the Linux
+  // ru_maxrss kilobyte scaling were dropped, this would read ~3000.
+  EXPECT_GT(peak_rss_bytes(), 1u << 20);
+}
+
+TEST(Host, CpuAndWallClocksAdvance) {
+  const double cpu0 = process_cpu_seconds();
+  const double wall0 = host_wall_seconds();
+  ASSERT_GE(cpu0, 0.0);
+
+  // Burn a little CPU; both clocks must move forward, never backward.
+  volatile double sink = 0.0;
+  for (int i = 0; i < 2'000'000; ++i)
+    sink = sink + static_cast<double>(i) * 1e-9;
+  EXPECT_GT(sink, 0.0);
+
+  EXPECT_GE(process_cpu_seconds(), cpu0);
+  EXPECT_GE(host_wall_seconds(), wall0);
+}
+
+}  // namespace
+}  // namespace hhc
