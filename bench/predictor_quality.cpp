@@ -3,6 +3,7 @@
 // and the oracle, on (a) prediction error over a stream of heterogeneous
 // tasks and (b) narrow-job turnaround when feeding EASY backfill estimates.
 #include <iostream>
+#include <vector>
 
 #include "cws/strategies.hpp"
 #include "cws/wms.hpp"
@@ -16,7 +17,7 @@ namespace {
 
 // Prediction error experiment: tasks arrive kind by kind with runtimes that
 // scale linearly with input size plus noise; predictors observe after each.
-void prediction_error_experiment() {
+void prediction_error_experiment(bool smoke) {
   std::cout << "--- (a) online prediction error (MAPE, later half of stream) ---\n";
   TextTable t;
   t.header({"predictor", "MAPE", "coverage"});
@@ -26,7 +27,7 @@ void prediction_error_experiment() {
     Rng rng(31);
     OnlineStats err;
     std::size_t predicted = 0, total = 0;
-    const std::size_t n = 400;
+    const std::size_t n = smoke ? 160 : 400;
     for (std::size_t i = 0; i < n; ++i) {
       const std::string kind = "tool" + std::to_string(i % 4);
       const double slope = 2e-8 * static_cast<double>(1 + i % 4);
@@ -66,14 +67,17 @@ void prediction_error_experiment() {
 // narrows can only jump a blocked wide head if their estimate proves they
 // finish inside the head job's shadow window. Metric: mean narrow-job
 // turnaround (submit -> finish), the quantity backfilling improves.
-void scheduling_impact_experiment() {
+void scheduling_impact_experiment(bool smoke) {
   std::cout << "--- (b) narrow-job turnaround under easy-backfill per predictor ---\n";
   TextTable t;
   t.header({"predictor", "mean narrow turnaround", "vs none"});
   double base = 0;
   for (const char* name : {"none", "online-mean", "lotaru", "oracle"}) {
     OnlineStats turnaround;
-    for (std::uint64_t seed : {3u, 17u, 29u}) {
+    const std::vector<std::uint64_t> seeds =
+        smoke ? std::vector<std::uint64_t>{3, 17}
+              : std::vector<std::uint64_t>{3, 17, 29};
+    for (const std::uint64_t seed : seeds) {
       sim::Simulation sim;
       cluster::Cluster cl(cluster::homogeneous_cluster(4, 16, gib(64)));
       auto predictor = cws::make_predictor(name);
@@ -108,7 +112,8 @@ void scheduling_impact_experiment() {
 
       // Rounds arrive over time so later submissions can carry estimates
       // learned from earlier completions.
-      for (int round = 0; round < 40; ++round) {
+      const int rounds = smoke ? 12 : 40;
+      for (int round = 0; round < rounds; ++round) {
         sim.schedule_at(500.0 * round, [&, round] {
           Rng r = rng.child(static_cast<std::uint64_t>(round));
           const auto wide_in = static_cast<Bytes>(r.uniform(1e9, 3e9));
@@ -138,8 +143,10 @@ void scheduling_impact_experiment() {
 }  // namespace
 
 int main() {
+  // HHC_BENCH_SMOKE=1 shrinks the stream and the backfill rounds for CI.
+  const bool smoke = env_flag("HHC_BENCH_SMOKE");
   std::cout << "=== E7: task runtime predictors (paper section 3.4) ===\n\n";
-  prediction_error_experiment();
-  scheduling_impact_experiment();
+  prediction_error_experiment(smoke);
+  scheduling_impact_experiment(smoke);
   return 0;
 }

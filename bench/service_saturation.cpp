@@ -1,0 +1,439 @@
+// E18 — multi-tenant service saturation (bench/service_saturation).
+//
+// Drives src/service/'s WorkflowService — seeded Poisson arrival streams
+// from a heavy tenant (85% of offered load) and a light tenant (15%) over
+// one shared 64-core federation — across offered loads of 0.6x, 0.9x and
+// 1.2x core saturation, under both the FIFO baseline and the weighted
+// fair-share inter-workflow policy, plus an admission-controlled point past
+// saturation. Two claims are gated:
+//
+//   (a) fairness: past saturation the fair-share policy improves the light
+//       tenant's p95 makespan stretch versus FIFO — the light tenant is no
+//       longer buried behind the heavy tenant's backlog;
+//   (b) stability: per-tenant admission bounds (queue depth <= 12) keep the
+//       queue bounded at 1.2x saturation, where the unbounded run's queue
+//       grows with the horizon; excess arrivals are shed, admitted work
+//       completes.
+//
+// Offered load is calibrated, not guessed: a low-rate pre-pass through the
+// same service measures each tenant's mean per-workflow work (core-seconds)
+// and arrival rates are set to share * load * capacity / work.
+//
+// Everything is deterministic in the config seeds — CI runs the smoke mode
+// twice and byte-diffs bench_results/service_saturation.csv. Results also
+// land in BENCH_service.json (committed at the repo root from a full run;
+// CI validates its schema and gate booleans via `--validate`).
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "service/service.hpp"
+#include "support/json.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+using namespace hhc;
+
+namespace {
+
+constexpr int kSchemaVersion = 1;
+constexpr double kCapacityCores = 64.0;  // 2 sites x 2 nodes x 16 cores
+constexpr std::size_t kQueueBound = 12;
+constexpr int kLoadsPct[] = {60, 90, 120};
+constexpr double kHeavyShare = 0.85;
+
+struct Harness {
+  std::unique_ptr<core::Toolkit> toolkit;
+  std::unique_ptr<federation::Broker> broker;
+};
+
+Harness make_harness() {
+  Harness h;
+  h.toolkit = std::make_unique<core::Toolkit>();
+  (void)h.toolkit->add_hpc("alpha",
+                           cluster::homogeneous_cluster(2, 16, gib(64)));
+  (void)h.toolkit->add_hpc("beta",
+                           cluster::homogeneous_cluster(2, 16, gib(64)));
+  federation::BrokerConfig bc;
+  bc.policy = "heft-sites";
+  h.broker = std::make_unique<federation::Broker>(bc);
+  h.broker->add_site(h.toolkit->describe_environment(0));
+  h.broker->add_site(h.toolkit->describe_environment(1));
+  return h;
+}
+
+service::TenantConfig heavy_tenant() {
+  service::TenantConfig t;
+  t.name = "heavy";
+  t.workload.shapes = {"chain", "fork-join", "layered", "montage"};
+  t.workload.scale = 6;
+  t.workload.params.runtime_mean = 120.0;
+  t.workload.params.data_mean = mib(8);
+  return t;
+}
+
+service::TenantConfig light_tenant() {
+  service::TenantConfig t;
+  t.name = "light";
+  t.workload.shapes = {"chain", "fork-join"};
+  t.workload.scale = 3;
+  t.workload.params.runtime_mean = 60.0;
+  t.workload.params.data_mean = mib(4);
+  return t;
+}
+
+/// Mean per-workflow work (core-seconds) per tenant, measured through the
+/// service's own generator path at a rate too low for load to matter.
+std::map<std::string, double> calibrate_work(std::size_t samples) {
+  Harness h = make_harness();
+  service::ServiceConfig cfg;
+  cfg.seed = 1234;
+  cfg.horizon = 1e9;
+  cfg.policy = "fifo";
+  cfg.run_slots = 16;
+  for (service::TenantConfig t : {heavy_tenant(), light_tenant()}) {
+    t.arrivals.rate = 1.0 / 60.0;
+    t.max_submissions = samples;
+    cfg.tenants.push_back(std::move(t));
+  }
+  service::WorkflowService svc(*h.toolkit, *h.broker, cfg);
+  (void)svc.run();
+
+  std::map<std::string, double> sum, count;
+  for (const service::Submission& sub : svc.submissions()) {
+    sum[sub.tenant] += sub.est_work;
+    count[sub.tenant] += 1.0;
+  }
+  std::map<std::string, double> mean;
+  for (const auto& [tenant, s] : sum) mean[tenant] = s / count[tenant];
+  return mean;
+}
+
+/// One per-tenant row of the sweep; the flattened unit of the CSV/JSON.
+struct Point {
+  int load_pct = 0;
+  std::string policy;
+  bool admission = false;
+  service::TenantReport tenant;
+  SimTime service_makespan = 0.0;
+};
+
+service::ServiceReport run_point(int load_pct, const std::string& policy,
+                                 bool bounded, SimTime horizon,
+                                 const std::map<std::string, double>& work,
+                                 std::vector<Point>& out) {
+  Harness h = make_harness();
+  service::ServiceConfig cfg;
+  cfg.seed = 42;
+  cfg.horizon = horizon;
+  cfg.policy = policy;
+  cfg.run_slots = 64;  // cores bind, not slots: load is a core-work ratio
+  if (bounded) cfg.admission.max_queue_per_tenant = kQueueBound;
+  const double offered =
+      static_cast<double>(load_pct) / 100.0 * kCapacityCores;
+  for (service::TenantConfig t : {heavy_tenant(), light_tenant()}) {
+    const double share = t.name == "heavy" ? kHeavyShare : 1.0 - kHeavyShare;
+    t.arrivals.rate = share * offered / work.at(t.name);
+    cfg.tenants.push_back(std::move(t));
+  }
+  service::WorkflowService svc(*h.toolkit, *h.broker, cfg);
+  const service::ServiceReport report = svc.run();
+  for (const service::TenantReport& tr : report.tenants) {
+    Point p;
+    p.load_pct = load_pct;
+    p.policy = policy;
+    p.admission = bounded;
+    p.tenant = tr;
+    p.service_makespan = report.makespan;
+    out.push_back(std::move(p));
+  }
+  return report;
+}
+
+const Point* find_point(const std::vector<Point>& points, int load_pct,
+                        const std::string& policy, bool admission,
+                        const std::string& tenant) {
+  for (const Point& p : points)
+    if (p.load_pct == load_pct && p.policy == policy &&
+        p.admission == admission && p.tenant.tenant == tenant)
+      return &p;
+  return nullptr;
+}
+
+// --- gates ---------------------------------------------------------------
+
+bool fairness_gate(const std::vector<Point>& points) {
+  const Point* fifo = find_point(points, 120, "fifo", false, "light");
+  const Point* fair = find_point(points, 120, "fair-share", false, "light");
+  if (!fifo || !fair) return false;
+  std::printf(
+      "fairness: light-tenant stretch p95 at 1.2x saturation: fifo %.2f, "
+      "fair-share %.2f (gate: fair-share < fifo)\n",
+      fifo->tenant.stretch_p95, fair->tenant.stretch_p95);
+  if (!(fair->tenant.stretch_p95 < fifo->tenant.stretch_p95)) {
+    std::fprintf(stderr,
+                 "FAIL: fair-share did not improve the light tenant's p95 "
+                 "stretch past saturation\n");
+    return false;
+  }
+  return true;
+}
+
+bool stability_gate(const std::vector<Point>& points) {
+  const Point* open_heavy = find_point(points, 120, "fifo", false, "heavy");
+  bool ok = true;
+  std::size_t bounded_depth = 0, bounded_shed = 0, bounded_completed = 0;
+  for (const std::string tenant : {"heavy", "light"}) {
+    const Point* p = find_point(points, 120, "fair-share", true, tenant);
+    if (!p) return false;
+    bounded_depth = std::max(bounded_depth, p->tenant.max_queue_depth);
+    bounded_shed += p->tenant.shed;
+    bounded_completed += p->tenant.completed;
+  }
+  std::printf(
+      "stability: at 1.2x saturation max queue depth %zu unbounded vs %zu "
+      "with admission (bound %zu); %zu shed, %zu completed\n",
+      open_heavy ? open_heavy->tenant.max_queue_depth : 0, bounded_depth,
+      kQueueBound, bounded_shed, bounded_completed);
+  if (bounded_depth > kQueueBound) {
+    std::fprintf(stderr, "FAIL: admission did not bound the queue depth\n");
+    ok = false;
+  }
+  if (!open_heavy || open_heavy->tenant.max_queue_depth <= kQueueBound) {
+    std::fprintf(stderr,
+                 "FAIL: unbounded queue never exceeded the bound — the "
+                 "sweep is not actually past saturation\n");
+    ok = false;
+  }
+  if (bounded_shed == 0 || bounded_completed == 0) {
+    std::fprintf(stderr,
+                 "FAIL: admission point must shed some work and complete "
+                 "the rest\n");
+    ok = false;
+  }
+  return ok;
+}
+
+// --- output --------------------------------------------------------------
+
+std::string points_csv(const std::vector<Point>& points) {
+  std::ostringstream out;
+  out << "load_pct,policy,admission,tenant,submitted,admitted,shed,"
+         "completed,failed,max_queue_depth,queue_time_mean,queue_time_p95,"
+         "stretch_mean,stretch_p95,goodput_core_seconds,service_makespan\n";
+  for (const Point& p : points) {
+    const service::TenantReport& t = p.tenant;
+    out << p.load_pct << ',' << p.policy << ','
+        << (p.admission ? "bounded" : "open") << ',' << t.tenant << ','
+        << t.submitted << ',' << t.admitted << ',' << t.shed << ','
+        << t.completed << ',' << t.failed << ',' << t.max_queue_depth << ','
+        << fmt_fixed(t.queue_time_mean, 3) << ','
+        << fmt_fixed(t.queue_time_p95, 3) << ','
+        << fmt_fixed(t.stretch_mean, 4) << ',' << fmt_fixed(t.stretch_p95, 4)
+        << ',' << fmt_fixed(t.goodput_core_seconds, 1) << ','
+        << fmt_fixed(p.service_makespan, 3) << '\n';
+  }
+  return out.str();
+}
+
+Json points_json(const std::vector<Point>& points, bool smoke,
+                 bool fairness_ok, bool stability_ok) {
+  Json arr = Json::array();
+  for (const Point& p : points) {
+    const service::TenantReport& t = p.tenant;
+    Json o = Json::object();
+    o.set("load_pct", static_cast<double>(p.load_pct));
+    o.set("policy", p.policy);
+    o.set("admission", p.admission);
+    o.set("tenant", t.tenant);
+    o.set("submitted", static_cast<double>(t.submitted));
+    o.set("admitted", static_cast<double>(t.admitted));
+    o.set("shed", static_cast<double>(t.shed));
+    o.set("completed", static_cast<double>(t.completed));
+    o.set("failed", static_cast<double>(t.failed));
+    o.set("max_queue_depth", static_cast<double>(t.max_queue_depth));
+    o.set("queue_time_mean", t.queue_time_mean);
+    o.set("queue_time_p95", t.queue_time_p95);
+    o.set("stretch_mean", t.stretch_mean);
+    o.set("stretch_p95", t.stretch_p95);
+    o.set("goodput_core_seconds", t.goodput_core_seconds);
+    o.set("service_makespan", p.service_makespan);
+    arr.push_back(std::move(o));
+  }
+  Json gates = Json::object();
+  gates.set("fairshare_improves_light_p95", fairness_ok);
+  gates.set("admission_bounds_queue", stability_ok);
+  Json doc = Json::object();
+  doc.set("schema_version", static_cast<double>(kSchemaVersion));
+  doc.set("bench", "service_saturation");
+  doc.set("mode", smoke ? "smoke" : "full");
+  doc.set("capacity_cores", kCapacityCores);
+  doc.set("queue_bound", static_cast<double>(kQueueBound));
+  doc.set("gates", std::move(gates));
+  doc.set("points", std::move(arr));
+  return doc;
+}
+
+// --- --validate: CI schema check over the committed BENCH_service.json ---
+
+int validate(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "validate: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  Json doc;
+  try {
+    doc = Json::parse(buf.str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "validate: %s: %s\n", path.c_str(), e.what());
+    return 1;
+  }
+
+  auto fail = [&](const std::string& why) {
+    std::fprintf(stderr, "validate: %s: %s\n", path.c_str(), why.c_str());
+    return 1;
+  };
+  if (!doc.contains("schema_version") ||
+      static_cast<int>(doc.at("schema_version").as_number()) !=
+          kSchemaVersion)
+    return fail("schema_version missing or stale (expected " +
+                std::to_string(kSchemaVersion) +
+                ") — regenerate with a full run and commit the result");
+  if (!doc.contains("bench") ||
+      doc.at("bench").as_string() != "service_saturation")
+    return fail("bench name mismatch");
+  if (!doc.contains("mode") || doc.at("mode").as_string() != "full")
+    return fail("committed results must come from a full run, not smoke");
+  if (!doc.contains("gates") || !doc.at("gates").is_object())
+    return fail("gates object missing");
+  for (const char* gate :
+       {"fairshare_improves_light_p95", "admission_bounds_queue"}) {
+    if (!doc.at("gates").contains(gate) ||
+        !doc.at("gates").at(gate).as_bool())
+      return fail(std::string("gate '") + gate +
+                  "' missing or false — the committed run must pass both "
+                  "E18 acceptance gates");
+  }
+  if (!doc.contains("points") || !doc.at("points").is_array())
+    return fail("points array missing");
+
+  auto find = [&](int load, const std::string& policy, bool admission,
+                  const std::string& tenant) -> const Json* {
+    for (const Json& p : doc.at("points").as_array()) {
+      if (p.contains("load_pct") && p.contains("policy") &&
+          p.contains("admission") && p.contains("tenant") &&
+          static_cast<int>(p.at("load_pct").as_number()) == load &&
+          p.at("policy").as_string() == policy &&
+          p.at("admission").as_bool() == admission &&
+          p.at("tenant").as_string() == tenant)
+        return &p;
+    }
+    return nullptr;
+  };
+  static const char* kKeys[] = {
+      "submitted",      "admitted",        "shed",
+      "completed",      "max_queue_depth", "queue_time_p95",
+      "stretch_p95",    "goodput_core_seconds"};
+  auto check = [&](int load, const std::string& policy, bool admission,
+                   const std::string& tenant) -> std::string {
+    const std::string label = policy + " @ " + std::to_string(load) + "% " +
+                              (admission ? "bounded " : "open ") + tenant;
+    const Json* p = find(load, policy, admission, tenant);
+    if (!p) return "missing point " + label;
+    for (const char* key : kKeys)
+      if (!p->contains(key) || !p->at(key).is_number())
+        return "point " + label + " lacks numeric '" + key + "'";
+    if (p->at("completed").as_number() > 0 &&
+        p->at("stretch_p95").as_number() <= 0)
+      return "point " + label + " completed work but has stretch_p95 <= 0";
+    return "";
+  };
+  for (const int load : kLoadsPct)
+    for (const std::string policy : {"fifo", "fair-share"})
+      for (const std::string tenant : {"heavy", "light"})
+        if (std::string why = check(load, policy, false, tenant); !why.empty())
+          return fail(why);
+  for (const std::string tenant : {"heavy", "light"})
+    if (std::string why = check(120, "fair-share", true, tenant); !why.empty())
+      return fail(why);
+
+  std::printf("validate: %s OK (schema v%d, %zu points, gates pass)\n",
+              path.c_str(), kSchemaVersion,
+              doc.at("points").as_array().size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 3 && std::string(argv[1]) == "--validate")
+    return validate(argv[2]);
+  if (argc != 1) {
+    std::fprintf(stderr, "usage: %s [--validate BENCH_service.json]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  const bool smoke = env_flag("HHC_BENCH_SMOKE");
+  const SimTime horizon = smoke ? 3600.0 : 4 * 3600.0;
+
+  std::cout << "=== E18 service saturation: two tenants, fifo vs fair-share, "
+               "admission past saturation ===\n\n";
+
+  const std::map<std::string, double> work =
+      calibrate_work(/*samples=*/smoke ? 20 : 40);
+  std::printf(
+      "calibration: mean work heavy %.0f core-s, light %.0f core-s "
+      "(capacity %.0f cores, heavy share %.0f%%)\n\n",
+      work.at("heavy"), work.at("light"), kCapacityCores, kHeavyShare * 100);
+
+  std::vector<Point> points;
+  for (const int load : kLoadsPct)
+    for (const char* policy : {"fifo", "fair-share"})
+      (void)run_point(load, policy, /*bounded=*/false, horizon, work, points);
+  // The stability point: same overload, queue depth bounded by admission.
+  (void)run_point(120, "fair-share", /*bounded=*/true, horizon, work, points);
+
+  TextTable t("Service saturation sweep (per tenant)");
+  t.header({"load", "policy", "admission", "tenant", "submitted", "shed",
+            "completed", "max depth", "queue p95", "stretch p95"});
+  for (const Point& p : points)
+    t.row({std::to_string(p.load_pct) + "%", p.policy,
+           p.admission ? "bounded" : "open", p.tenant.tenant,
+           std::to_string(p.tenant.submitted), std::to_string(p.tenant.shed),
+           std::to_string(p.tenant.completed),
+           std::to_string(p.tenant.max_queue_depth),
+           fmt_duration(p.tenant.queue_time_p95),
+           fmt_fixed(p.tenant.stretch_p95, 2)});
+  std::cout << t.render() << "\n";
+
+  const bool fairness_ok = fairness_gate(points);
+  const bool stability_ok = stability_gate(points);
+  std::cout << "\n";
+
+  write_file("bench_results/service_saturation.csv", points_csv(points));
+  const std::string json =
+      points_json(points, smoke, fairness_ok, stability_ok).dump_pretty() +
+      "\n";
+  write_file("bench_results/BENCH_service.json", json);
+  std::cout << "wrote bench_results/service_saturation.csv, "
+               "bench_results/BENCH_service.json";
+  if (!smoke) {
+    // The committed per-tenant SLO snapshot at the repo root; CI validates.
+    write_file("BENCH_service.json", json);
+    std::cout << " and ./BENCH_service.json";
+  }
+  std::cout << "\n";
+
+  if (!fairness_ok || !stability_ok) return 1;
+  std::cout << "PASS: fair-share and admission gates hold\n";
+  return 0;
+}

@@ -109,9 +109,7 @@ CompositeReport Toolkit::run(const wf::Workflow& workflow,
   return run_impl(workflow, &assignment, nullptr);
 }
 
-CompositeReport Toolkit::run(const wf::Workflow& workflow,
-                             federation::Broker& broker) {
-  workflow.validate();
+void Toolkit::bind_broker(federation::Broker& broker) {
   if (broker.site_count() == 0)
     throw std::invalid_argument("broker has no sites");
   for (federation::SiteId s = 0; s < broker.site_count(); ++s) {
@@ -124,14 +122,20 @@ CompositeReport Toolkit::run(const wf::Workflow& workflow,
   broker.bind_fabric(&catalog_, &topology_);
   broker.bind_predictor(predictor_.get());
   broker.set_observer(&obs_);
+}
+
+CompositeReport Toolkit::run(const wf::Workflow& workflow,
+                             federation::Broker& broker) {
+  workflow.validate();
+  bind_broker(broker);
   return run_impl(workflow, nullptr, &broker);
 }
 
-CompositeReport Toolkit::run_impl(const wf::Workflow& workflow,
-                                  const std::vector<EnvironmentId>* assignment,
-                                  federation::Broker* broker) {
-  HHC_PROF_SCOPE("toolkit.run");
-  RunState state;
+Toolkit::RunState& Toolkit::make_run_state(
+    const wf::Workflow& workflow, const std::vector<EnvironmentId>* assignment,
+    federation::Broker* broker) {
+  runs_.push_back(std::make_unique<RunState>());
+  RunState& state = *runs_.back();
   state.workflow = &workflow;
   state.assignment = assignment;
   state.broker = broker;
@@ -158,19 +162,41 @@ CompositeReport Toolkit::run_impl(const wf::Workflow& workflow,
     state.pending_preds[t] = workflow.predecessors(t).size();
   state.remaining = n;
   state.report.tasks = n;
+  state.env_tasks_run.assign(envs_.size(), 0);
+  state.env_busy_core_seconds.assign(envs_.size(), 0.0);
+  state.start = sim_.now();
+  return state;
+}
 
-  const SimTime start = sim_.now();
-  for (auto& env : envs_) {
-    env.tasks_run = 0;
-    env.busy_core_seconds = 0.0;
+void Toolkit::build_env_reports(RunState& state) {
+  for (EnvironmentId e = 0; e < envs_.size(); ++e) {
+    const Environment& env = envs_[e];
+    EnvironmentReport er;
+    er.name = env.name;
+    er.kind = env.kind;
+    er.tasks_run = state.env_tasks_run[e];
+    er.busy_core_seconds = state.env_busy_core_seconds[e];
+    const double cores = env.cluster->total_cores();
+    if (state.report.makespan > 0 && cores > 0)
+      er.utilization = er.busy_core_seconds / (cores * state.report.makespan);
+    state.report.environments.push_back(er);
   }
+}
+
+CompositeReport Toolkit::run_impl(const wf::Workflow& workflow,
+                                  const std::vector<EnvironmentId>* assignment,
+                                  federation::Broker* broker) {
+  HHC_PROF_SCOPE("toolkit.run");
+  RunState& state = make_run_state(workflow, assignment, broker);
+  state.record_forensics = config_.forensics.enabled;
+  const SimTime start = state.start;
   // Fresh fabric state per run: caches first (they unwind their catalog
   // replicas), then any replicas registered outside a cache.
   for (auto& cache : caches_) cache->clear();
   catalog_.clear();
 
   if (config_.forensics.enabled)
-    ledger_.begin_run(start, workflow.name(), n);
+    ledger_.begin_run(start, workflow.name(), workflow.task_count());
   else
     ledger_.clear();
   // Federated runs with advisory holddowns on get the monitor's alerts
@@ -185,7 +211,9 @@ CompositeReport Toolkit::run_impl(const wf::Workflow& workflow,
     state.report.metrics = obs_.snapshot();
     if (config_.forensics.enabled) ledger_.end_run(sim_.now(), true);
     if (advisory) monitor_.set_sink(nullptr);
-    return state.report;
+    const CompositeReport report = state.report;
+    runs_.pop_back();  // nothing could have captured the state
+    return report;
   }
 
   // Register the workflow so environment schedulers (cws-rank, cws-heft,
@@ -220,14 +248,12 @@ CompositeReport Toolkit::run_impl(const wf::Workflow& workflow,
     chaos_->arm(sim_, targets, links, obs_.on() ? &obs_ : nullptr);
   }
 
-  active_run_ = &state;
   for (wf::TaskId t : workflow.sources())
     dispatch(state, t,
              {obs::forensics::CauseKind::RunStart, obs::forensics::kNoAttempt,
               start, 0.0});
   sim_.run();
-  active_run_ = nullptr;
-  if (broker) broker->end_run();
+  if (broker) broker->end_run(state.wf_id);
   if (advisory) monitor_.set_sink(nullptr);
 
   registry_.unregister_workflow(state.wf_id);
@@ -258,34 +284,111 @@ CompositeReport Toolkit::run_impl(const wf::Workflow& workflow,
     obs::record_kernel_metrics(obs_, sim_);
     state.report.metrics = obs_.snapshot();
   }
-  for (const auto& env : envs_) {
-    EnvironmentReport er;
-    er.name = env.name;
-    er.kind = env.kind;
-    er.tasks_run = env.tasks_run;
-    er.busy_core_seconds = env.busy_core_seconds;
-    const double cores = env.cluster->total_cores();
-    if (state.report.makespan > 0 && cores > 0)
-      er.utilization = env.busy_core_seconds / (cores * state.report.makespan);
-    state.report.environments.push_back(er);
+  build_env_reports(state);
+  state.settled = true;
+  const CompositeReport report = state.report;
+  // A clean run left nothing that could reference its state (the queue
+  // drained, every job settled); reclaim it. Failed/deadlocked runs keep
+  // theirs — parked callbacks in the resource managers still point at it.
+  if (state.remaining == 0 && runs_.back().get() == &state) runs_.pop_back();
+  return report;
+}
+
+void Toolkit::start_run(const wf::Workflow& workflow, federation::Broker& broker,
+                        std::function<void(const CompositeReport&)> done) {
+  workflow.validate();
+  bind_broker(broker);
+  RunState& state = make_run_state(workflow, nullptr, &broker);
+  state.async = true;
+  state.done = std::move(done);
+  if (workflow.empty()) {
+    settle_async(state);  // remaining == 0: delivers a success report
+    return;
   }
-  return state.report;
+  state.wf_id = registry_.register_workflow(workflow);
+  broker.begin_run(workflow, state.wf_id);
+  if (obs_.on()) {
+    state.workflow_span =
+        obs_.begin_span(state.start, "workflow", workflow.name());
+    obs_.span_attr(state.workflow_span, "tasks",
+                   static_cast<std::int64_t>(workflow.task_count()));
+  }
+  for (wf::TaskId t : workflow.sources())
+    dispatch(state, t,
+             {obs::forensics::CauseKind::RunStart, obs::forensics::kNoAttempt,
+              state.start, 0.0});
+}
+
+void Toolkit::settle_async(RunState& state) {
+  if (!state.async || state.settled || state.settle_pending) return;
+  state.settle_pending = true;
+  // One event later, so synchronous hedge-loser kills and queue cancellations
+  // land their waste accounting in the report before it is delivered.
+  sim_.post([this, &state] {
+    state.settle_pending = false;
+    if (state.settled) return;
+    if (!state.failed && state.remaining != 0) return;  // recovery revived it
+    finalize_async(state);
+  });
+}
+
+void Toolkit::finalize_async(RunState& state) {
+  state.settled = true;
+  if (state.wf_id >= 0) {
+    if (state.broker) state.broker->end_run(state.wf_id);
+    registry_.unregister_workflow(state.wf_id);
+  }
+  state.report.success = !state.failed;
+  state.report.error = state.error;
+  state.report.makespan = sim_.now() - state.start;
+  if (obs_.on()) state.report.metrics = obs_.snapshot();
+  build_env_reports(state);
+  if (state.done) {
+    const auto done = std::move(state.done);
+    done(state.report);
+  }
+}
+
+std::size_t Toolkit::fail_unsettled_runs() {
+  std::size_t settled = 0;
+  for (const auto& run : runs_) {
+    RunState& state = *run;
+    if (!state.async || state.settled) continue;
+    if (!state.failed) {
+      state.failed = true;
+      state.error = "deadlock: " + std::to_string(state.remaining) +
+                    " task(s) pending with no runnable events";
+      finish_run_observation(state);
+    }
+    finalize_async(state);
+    ++settled;
+  }
+  return settled;
+}
+
+std::size_t Toolkit::active_run_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& run : runs_)
+    if (run->async && !run->settled) ++n;
+  return n;
 }
 
 void Toolkit::dispatch(RunState& state, wf::TaskId task,
                        obs::forensics::Cause cause) {
   HHC_PROF_SCOPE("toolkit.dispatch");
+  if (state.settled) return;  // straggler event from an already-delivered run
   EnvironmentId env_id;
   if (state.broker) {
     federation::SiteId site;
     try {
-      site = state.broker->place(task, sim_.now());
+      site = state.broker->place(state.wf_id, task, sim_.now());
     } catch (const federation::BrokerError& e) {
       // No capable healthy site left (everything drained/unhealthy): the
       // run cannot make progress on this task.
       state.failed = true;
       state.error = e.what();
       finish_run_observation(state);
+      settle_async(state);
       return;
     }
     env_id = state.broker->site(site).environment;
@@ -299,7 +402,7 @@ void Toolkit::dispatch(RunState& state, wf::TaskId task,
   state.placement[task] = env_id;
 
   obs::forensics::AttemptId led = obs::forensics::kNoAttempt;
-  if (config_.forensics.enabled) {
+  if (state.record_forensics) {
     led = ledger_.open_attempt(task, state.workflow->task(task).name,
                                state.retries[task], /*hedge=*/false, cause,
                                sim_.now(), envs_[env_id].name);
@@ -499,13 +602,14 @@ void Toolkit::arm_watchdogs(RunState& state, wf::TaskId task,
 }
 
 void Toolkit::launch_hedge(RunState& state, wf::TaskId task) {
-  if (state.failed || state.completed[task] || state.hedged[task] ||
-      state.job_of[task] == 0)
+  if (state.settled || state.failed || state.completed[task] ||
+      state.hedged[task] || state.job_of[task] == 0)
     return;
   EnvironmentId env_id;
   federation::SiteId site = federation::kInvalidSite;
   if (state.broker) {
-    site = state.broker->place_hedge(task, sim_.now(), state.site_of[task]);
+    site = state.broker->place_hedge(state.wf_id, task, sim_.now(),
+                                     state.site_of[task]);
     if (site == federation::kInvalidSite) return;  // nowhere to hedge
     env_id = state.broker->site(site).environment;
   } else {
@@ -519,7 +623,7 @@ void Toolkit::launch_hedge(RunState& state, wf::TaskId task) {
     obs_.count(sim_.now(), "resilience.hedges_launched", envs_[env_id].name);
 
   obs::forensics::AttemptId led = obs::forensics::kNoAttempt;
-  if (config_.forensics.enabled) {
+  if (state.record_forensics) {
     led = ledger_.open_attempt(
         task, state.workflow->task(task).name, state.retries[task],
         /*hedge=*/true,
@@ -640,7 +744,7 @@ void Toolkit::on_attempt_complete(RunState& state, wf::TaskId task,
     monitor_.observe("queue_wait", env.name, sim_.now(),
                      rec.start_time - rec.submit_time);
   }
-  if (state.broker) state.broker->task_finished(task);
+  if (state.broker) state.broker->task_finished(state.wf_id, task);
 
   if (superseded) {
     // The race's loser: the other copy already won. Its partial execution is
@@ -699,8 +803,8 @@ void Toolkit::on_attempt_complete(RunState& state, wf::TaskId task,
                                             "superseded by primary");
     }
 
-    ++env.tasks_run;
-    env.busy_core_seconds +=
+    ++state.env_tasks_run[env_id];
+    state.env_busy_core_seconds[env_id] +=
         (rec.finish_time - rec.start_time) * rec.request.resources.total_cores();
 
     // The task's outputs now exist at the winner's environment: publish each
@@ -715,7 +819,10 @@ void Toolkit::on_attempt_complete(RunState& state, wf::TaskId task,
     }
 
     --state.remaining;
-    if (state.remaining == 0) finish_run_observation(state);
+    if (state.remaining == 0) {
+      finish_run_observation(state);
+      settle_async(state);
+    }
     for (wf::TaskId s : state.workflow->successors(task)) {
       if (state.completed[s]) continue;
       // A recompute only releases successors that are part of a recovery:
@@ -776,6 +883,7 @@ void Toolkit::handle_task_failure(RunState& state, wf::TaskId task,
                                   const std::string& error,
                                   obs::forensics::AttemptId from) {
   HHC_PROF_SCOPE("toolkit.handle_task_failure");
+  if (state.settled) return;          // run already delivered its report
   if (state.completed[task]) return;  // a raced copy already succeeded
   if (state.retries[task] < retry_budget(state, cls)) {
     ++state.retries[task];
@@ -813,11 +921,12 @@ void Toolkit::handle_task_failure(RunState& state, wf::TaskId task,
   state.failed = true;
   state.error = error;
   finish_run_observation(state);
+  settle_async(state);
 }
 
 void Toolkit::on_staging_failed(RunState& state, wf::TaskId task,
                                 const std::string& error) {
-  if (state.failed || state.completed[task]) return;
+  if (state.settled || state.failed || state.completed[task]) return;
   ++state.report.task_failures;
   if (obs_.on())
     obs_.count(sim_.now(), "resilience.staging_failures",
@@ -899,18 +1008,23 @@ void Toolkit::trigger_recovery(RunState& state, wf::TaskId task,
 
 void Toolkit::drain_site(EnvironmentId id, bool kill_running) {
   Environment& env = envs_.at(id);
-  RunState* state = active_run_;
-  if (state && state->broker) {
-    const federation::SiteId site = state->broker->site_for_environment(id);
-    if (site != federation::kInvalidSite) state->broker->drain(site);
-    if (obs_.on()) obs_.count(sim_.now(), "federation.site_drains", env.name);
+  federation::Broker* drained = nullptr;  // one broker usually serves all runs
+  for (const auto& run : runs_) {
+    RunState& state = *run;
+    if (state.settled || !state.broker) continue;
+    if (state.broker != drained) {
+      const federation::SiteId site = state.broker->site_for_environment(id);
+      if (site != federation::kInvalidSite) state.broker->drain(site);
+      if (obs_.on()) obs_.count(sim_.now(), "federation.site_drains", env.name);
+      drained = state.broker;
+    }
     // Pull queued federated jobs back out so they re-broker immediately;
     // cancel() fires their callbacks synchronously, which post re-dispatch.
-    for (wf::TaskId t = 0; t < state->workflow->task_count(); ++t) {
-      if (state->placement[t] == id && state->job_of[t] != 0)
-        env.rm->cancel(state->job_of[t]);
-      if (state->hedge_env[t] == id && state->hedge_job_of[t] != 0)
-        env.rm->cancel(state->hedge_job_of[t]);
+    for (wf::TaskId t = 0; t < state.workflow->task_count(); ++t) {
+      if (state.placement[t] == id && state.job_of[t] != 0)
+        env.rm->cancel(state.job_of[t]);
+      if (state.hedge_env[t] == id && state.hedge_job_of[t] != 0)
+        env.rm->cancel(state.hedge_job_of[t]);
     }
   }
   if (kill_running)
@@ -924,10 +1038,13 @@ void Toolkit::restore_site(EnvironmentId id) {
   for (cluster::NodeId n = 0;
        n < static_cast<cluster::NodeId>(env.cluster->node_count()); ++n)
     if (!env.cluster->node(n).up) env.cluster->set_node_up(n);
-  RunState* state = active_run_;
-  if (state && state->broker) {
-    const federation::SiteId site = state->broker->site_for_environment(id);
-    if (site != federation::kInvalidSite) state->broker->undrain(site);
+  federation::Broker* undrained = nullptr;
+  for (const auto& run : runs_) {
+    RunState& state = *run;
+    if (state.settled || !state.broker || state.broker == undrained) continue;
+    const federation::SiteId site = state.broker->site_for_environment(id);
+    if (site != federation::kInvalidSite) state.broker->undrain(site);
+    undrained = state.broker;
   }
   if (obs_.on()) obs_.count(sim_.now(), "federation.site_restores", env.name);
   env.rm->kick();

@@ -9,6 +9,7 @@
 // different angle (CWSI scheduling, EnTK pilots, cloud-vs-HPC placement).
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -185,6 +186,29 @@ class Toolkit {
   /// reach for the assignment overload only to pin by hand.
   CompositeReport run(const wf::Workflow& workflow, federation::Broker& broker);
 
+  /// Starts a federated run WITHOUT driving the simulation — the caller owns
+  /// the event loop (schedules arrivals, then calls simulation().run()). Any
+  /// number of runs may be in flight at once; they share the broker's sites,
+  /// the fabric and the WAN, so each run's backlog is exactly the contention
+  /// the others' placement policies see. `done` fires once, from inside the
+  /// simulation, when the run settles (every task done, or terminal failure);
+  /// its report carries per-run environment usage, failure counts and
+  /// makespan, tagged to this run only. `workflow` must stay alive until
+  /// `done` fires. Global observation planes that assume one run at a time —
+  /// utilization samplers, chaos arming, the forensics ledger — stay with the
+  /// synchronous run() overloads and are not engaged here.
+  void start_run(const wf::Workflow& workflow, federation::Broker& broker,
+                 std::function<void(const CompositeReport&)> done);
+
+  /// Settles every still-active start_run() as failed after the caller's
+  /// simulation().run() drained with tasks pending (livelock under chaos, or
+  /// a wedged federation). Invokes their done callbacks with the deadlock
+  /// error; returns how many runs were settled.
+  std::size_t fail_unsettled_runs();
+
+  /// Runs begun with start_run() whose report has not yet been delivered.
+  std::size_t active_run_count() const noexcept;
+
   /// A broker-ready descriptor of one environment: capacity and speed from
   /// the cluster spec (per-node figures are the max across node classes, so
   /// capability matching answers "can any node host this"), fabric location
@@ -264,8 +288,6 @@ class Toolkit {
     EnvironmentKind kind = EnvironmentKind::Hpc;
     std::unique_ptr<cluster::Cluster> cluster;
     std::unique_ptr<cluster::ResourceManager> rm;
-    std::size_t tasks_run = 0;
-    double busy_core_seconds = 0.0;
   };
 
   struct RunState {
@@ -305,6 +327,16 @@ class Toolkit {
     std::string error;
     CompositeReport report;
     obs::SpanId workflow_span = obs::kNoSpan;
+    /// Per-environment execution accounting for THIS run (indexed by
+    /// EnvironmentId) — concurrent runs' reports stay independent.
+    std::vector<std::size_t> env_tasks_run;
+    std::vector<double> env_busy_core_seconds;
+    SimTime start = 0.0;
+    bool async = false;             ///< Begun via start_run (caller-driven sim).
+    bool settled = false;           ///< Report delivered; ignore stragglers.
+    bool settle_pending = false;    ///< Async settlement event already posted.
+    bool record_forensics = false;  ///< This run writes the shared ledger.
+    std::function<void(const CompositeReport&)> done;  ///< Async completion.
   };
 
   /// Registers the environment in the fabric: a location, a bounded replica
@@ -314,6 +346,23 @@ class Toolkit {
   CompositeReport run_impl(const wf::Workflow& workflow,
                            const std::vector<EnvironmentId>* assignment,
                            federation::Broker* broker);
+
+  /// Allocates a RunState (kept alive in runs_ — outstanding callbacks and
+  /// watchdog events capture it by reference) and sizes its per-task and
+  /// per-environment vectors.
+  RunState& make_run_state(const wf::Workflow& workflow,
+                           const std::vector<EnvironmentId>* assignment,
+                           federation::Broker* broker);
+  /// Checks + binds a broker the way the synchronous overload does (site
+  /// environments, locations, fabric, predictor, observer).
+  void bind_broker(federation::Broker& broker);
+  /// Schedules an async run's settlement one event later (so synchronous
+  /// hedge-loser kills and cancellations account first), then delivers.
+  void settle_async(RunState& state);
+  /// Assembles the final report for an async run and fires done().
+  void finalize_async(RunState& state);
+  /// Fills report.environments/utilization from the run's own accounting.
+  void build_env_reports(RunState& state);
 
   /// Places and launches one attempt of `task`. `cause` is the forensics
   /// edge explaining why the task became ready now (dependency completion,
@@ -352,7 +401,6 @@ class Toolkit {
                         obs::forensics::AttemptId from);
   std::size_t retry_budget(const RunState& state,
                            resilience::FailureClass cls) const;
-  void fail_run(RunState& state, std::string error);
   void install_chaos_hooks();
 
   void finish_run_observation(RunState& state);
@@ -373,7 +421,12 @@ class Toolkit {
   obs::forensics::TaskLedger ledger_;       ///< Most recent run's attempts.
   obs::forensics::AnomalyMonitor monitor_;  ///< Persists across runs.
   resilience::ChaosEngine* chaos_ = nullptr;
-  RunState* active_run_ = nullptr;  ///< Set while run() drives the sim.
+  /// Every run this toolkit has begun, synchronous and async. States stay
+  /// alive as long as anything may still reference them: clean synchronous
+  /// runs are reclaimed when run() returns with the event queue drained;
+  /// failed/deadlocked and async runs are kept for the toolkit's lifetime
+  /// (straggler completions and parked callbacks hold references).
+  std::vector<std::unique_ptr<RunState>> runs_;
 };
 
 }  // namespace hhc::core

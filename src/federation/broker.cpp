@@ -177,19 +177,64 @@ void Broker::bind_predictor(const cws::RuntimePredictor* predictor) {
 }
 
 void Broker::begin_run(const wf::Workflow& workflow, int workflow_id) {
-  workflow_ = &workflow;
-  workflow_id_ = workflow_id;
-  placement_.assign(workflow.task_count(), kInvalidSite);
-  backlog_contrib_.assign(workflow.task_count(), 0.0);
-  for (auto& s : sites_) s.backlog_core_seconds = 0.0;
+  // Legacy hygiene: the first run to start on an idle broker clears any
+  // backlog dust a previous run left behind. With other runs active their
+  // backlog *is* the contention signal — leave it alone.
+  if (runs_.empty())
+    for (auto& s : sites_) s.backlog_core_seconds = 0.0;
+  RunCtx& ctx = runs_[workflow_id];
+  if (ctx.workflow) release_backlog(ctx);  // re-begun id: drop stale charges
+  ctx.workflow = &workflow;
+  ctx.placement.assign(workflow.task_count(), kInvalidSite);
+  ctx.backlog_contrib.assign(workflow.task_count(), 0.0);
+}
+
+void Broker::end_run(int workflow_id) {
+  const auto it = runs_.find(workflow_id);
+  if (it == runs_.end()) return;
+  release_backlog(it->second);
+  runs_.erase(it);
+  // Idle broker: restore the exact-zero backlog a fresh broker has, so
+  // float dust from add/release cycles cannot leak into the next run.
+  if (runs_.empty())
+    for (auto& s : sites_) s.backlog_core_seconds = 0.0;
 }
 
 void Broker::end_run() {
-  workflow_ = nullptr;
-  workflow_id_ = -1;
-  placement_.clear();
-  backlog_contrib_.clear();
-  for (auto& s : sites_) s.backlog_core_seconds = 0.0;
+  if (runs_.empty()) return;
+  end_run(sole_run_id("Broker::end_run"));
+}
+
+void Broker::release_backlog(RunCtx& ctx) {
+  for (wf::TaskId t = 0; t < ctx.placement.size(); ++t) {
+    if (ctx.placement[t] == kInvalidSite) continue;
+    SiteState& s = sites_[ctx.placement[t]];
+    s.backlog_core_seconds =
+        std::max(0.0, s.backlog_core_seconds - ctx.backlog_contrib[t]);
+    ctx.backlog_contrib[t] = 0.0;
+  }
+}
+
+Broker::RunCtx& Broker::run_ctx(int workflow_id, const char* caller) {
+  const auto it = runs_.find(workflow_id);
+  if (it == runs_.end())
+    throw BrokerError(std::string(caller) + ": workflow " +
+                      std::to_string(workflow_id) + " has no active run");
+  return it->second;
+}
+
+const Broker::RunCtx* Broker::find_run(int workflow_id) const noexcept {
+  const auto it = runs_.find(workflow_id);
+  return it == runs_.end() ? nullptr : &it->second;
+}
+
+int Broker::sole_run_id(const char* caller) const {
+  if (runs_.size() == 1) return runs_.begin()->first;
+  if (!caller) return -1;
+  throw BrokerError(std::string(caller) + (runs_.empty()
+                        ? ": called outside a run"
+                        : ": ambiguous with several active runs — pass the "
+                          "workflow id"));
 }
 
 std::vector<SiteId> Broker::candidates_for(const wf::TaskSpec& spec,
@@ -209,11 +254,15 @@ std::vector<SiteId> Broker::candidates_for(const wf::TaskSpec& spec,
 }
 
 SiteId Broker::place(wf::TaskId task, SimTime now) {
+  return place(sole_run_id("Broker::place"), task, now);
+}
+
+SiteId Broker::place(int workflow_id, wf::TaskId task, SimTime now) {
   HHC_PROF_SCOPE("federation.place");
   HHC_PROF_COUNT("federation.placements", 1);
-  if (!workflow_) throw BrokerError("Broker::place called outside a run");
   if (sites_.empty()) throw BrokerError("broker has no sites");
-  const wf::TaskSpec& spec = workflow_->task(task);
+  RunCtx& ctx = run_ctx(workflow_id, "Broker::place");
+  const wf::TaskSpec& spec = ctx.workflow->task(task);
 
   std::vector<SiteId> candidates = candidates_for(spec, now, kInvalidSite);
   if (candidates.empty()) {
@@ -237,20 +286,21 @@ SiteId Broker::place(wf::TaskId task, SimTime now) {
   PlacementQuery q;
   q.task = task;
   q.now = now;
-  q.workflow = workflow_;
-  q.workflow_id = workflow_id_;
+  q.workflow = ctx.workflow;
+  q.workflow_id = workflow_id;
   q.broker = this;
 
   const SiteId chosen = policy_->choose(q, candidates);
-  const bool reroute = placement_[task] != kInvalidSite;
-  task_finished(task);  // release any backlog held by a failed prior placement
-  placement_[task] = chosen;
+  const bool reroute = ctx.placement[task] != kInvalidSite;
+  // Release any backlog held by a failed prior placement.
+  task_finished(workflow_id, task);
+  ctx.placement[task] = chosen;
   ++placements_;
   if (reroute) ++reroutes_;
   const double est =
       execution_estimate(q, chosen) * spec.resources.total_cores();
   sites_[chosen].backlog_core_seconds += est;
-  backlog_contrib_[task] = est;
+  ctx.backlog_contrib[task] = est;
   if (obs_ && obs_->on()) {
     obs_->count(now, "federation.placements", sites_[chosen].desc.name);
     if (reroute) obs_->count(now, "federation.reroutes", sites_[chosen].desc.name);
@@ -259,13 +309,25 @@ SiteId Broker::place(wf::TaskId task, SimTime now) {
 }
 
 SiteId Broker::placement_of(wf::TaskId task) const noexcept {
-  return task < placement_.size() ? placement_[task] : kInvalidSite;
+  const int id = sole_run_id(nullptr);
+  return id == -1 ? kInvalidSite : placement_of(id, task);
+}
+
+SiteId Broker::placement_of(int workflow_id, wf::TaskId task) const noexcept {
+  const RunCtx* ctx = find_run(workflow_id);
+  if (!ctx || task >= ctx->placement.size()) return kInvalidSite;
+  return ctx->placement[task];
 }
 
 SiteId Broker::place_hedge(wf::TaskId task, SimTime now, SiteId exclude) {
-  if (!workflow_) throw BrokerError("Broker::place_hedge called outside a run");
+  return place_hedge(sole_run_id("Broker::place_hedge"), task, now, exclude);
+}
+
+SiteId Broker::place_hedge(int workflow_id, wf::TaskId task, SimTime now,
+                           SiteId exclude) {
   if (sites_.empty()) return kInvalidSite;
-  const wf::TaskSpec& spec = workflow_->task(task);
+  RunCtx& ctx = run_ctx(workflow_id, "Broker::place_hedge");
+  const wf::TaskSpec& spec = ctx.workflow->task(task);
 
   std::vector<SiteId> candidates = candidates_for(spec, now, exclude);
   if (candidates.empty()) {
@@ -278,8 +340,8 @@ SiteId Broker::place_hedge(wf::TaskId task, SimTime now, SiteId exclude) {
   PlacementQuery q;
   q.task = task;
   q.now = now;
-  q.workflow = workflow_;
-  q.workflow_id = workflow_id_;
+  q.workflow = ctx.workflow;
+  q.workflow_id = workflow_id;
   q.broker = this;
 
   const SiteId chosen = policy_->choose(q, candidates);
@@ -299,11 +361,20 @@ void Broker::task_started(SiteId site, SimTime queue_wait, SimTime now) {
 }
 
 void Broker::task_finished(wf::TaskId task) {
-  if (task >= placement_.size() || placement_[task] == kInvalidSite) return;
-  SiteState& s = sites_[placement_[task]];
+  const int id = sole_run_id(nullptr);
+  if (id != -1) task_finished(id, task);
+}
+
+void Broker::task_finished(int workflow_id, wf::TaskId task) {
+  const auto it = runs_.find(workflow_id);
+  if (it == runs_.end()) return;  // straggler after its run ended
+  RunCtx& ctx = it->second;
+  if (task >= ctx.placement.size() || ctx.placement[task] == kInvalidSite)
+    return;
+  SiteState& s = sites_[ctx.placement[task]];
   s.backlog_core_seconds =
-      std::max(0.0, s.backlog_core_seconds - backlog_contrib_[task]);
-  backlog_contrib_[task] = 0.0;
+      std::max(0.0, s.backlog_core_seconds - ctx.backlog_contrib[task]);
+  ctx.backlog_contrib[task] = 0.0;
 }
 
 void Broker::report_failure(SiteId site, SimTime now) {

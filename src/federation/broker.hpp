@@ -139,18 +139,32 @@ class Broker {
   void bind_predictor(const cws::RuntimePredictor* predictor);
   void set_observer(obs::Observer* obs) { obs_ = obs; }
 
-  /// Starts a run: clears per-run placement/backlog state (site health and
-  /// learned queue waits persist across runs). The workflow must outlive
-  /// the run.
+  /// Starts a run, keyed by `workflow_id`: allocates that run's placement
+  /// and backlog bookkeeping (site health and learned queue waits persist
+  /// across runs). Any number of runs may be active concurrently — the
+  /// multi-tenant service brokers every admitted workflow through one
+  /// Broker, so site backlog aggregates across runs and placement sees the
+  /// federation's true contention. The workflow must outlive the run.
   void begin_run(const wf::Workflow& workflow, int workflow_id);
+  /// Ends one run, releasing whatever backlog it still held. The
+  /// zero-argument form ends the sole active run (legacy single-run API).
+  void end_run(int workflow_id);
   void end_run();
 
-  /// Chooses a site for a ready task at time `now`. Re-placing a task that
-  /// already holds a placement counts as a reroute. Throws BrokerError when
-  /// no capable healthy site exists (the message names each site's reason).
+  /// Runs currently active (begun and not yet ended).
+  std::size_t active_runs() const noexcept { return runs_.size(); }
+
+  /// Chooses a site for a ready task of run `workflow_id` at time `now`.
+  /// Re-placing a task that already holds a placement counts as a reroute.
+  /// Throws BrokerError when no capable healthy site exists (the message
+  /// names each site's reason). The zero-workflow-id overload addresses the
+  /// sole active run and throws when none or several are active.
+  SiteId place(int workflow_id, wf::TaskId task, SimTime now);
   SiteId place(wf::TaskId task, SimTime now);
 
-  /// Site a task was last placed on; kInvalidSite when unplaced.
+  /// Site a task was last placed on; kInvalidSite when unplaced (or when
+  /// the single-run overload finds no unambiguous run).
+  SiteId placement_of(int workflow_id, wf::TaskId task) const noexcept;
   SiteId placement_of(wf::TaskId task) const noexcept;
 
   /// Chooses a site for a *speculative* copy of `task`, excluding the
@@ -158,6 +172,8 @@ class Broker {
   /// touches placement/backlog/reroute bookkeeping (the primary stays the
   /// task's placement of record) and returns kInvalidSite instead of
   /// throwing when no healthy site remains — no hedge is not an error.
+  SiteId place_hedge(int workflow_id, wf::TaskId task, SimTime now,
+                     SiteId exclude);
   SiteId place_hedge(wf::TaskId task, SimTime now, SiteId exclude);
   std::size_t hedge_placements() const noexcept { return hedge_placements_; }
 
@@ -165,7 +181,9 @@ class Broker {
   /// A placed task started executing after `queue_wait` seconds in queue.
   void task_started(SiteId site, SimTime queue_wait, SimTime now);
   /// A placed task finished (successfully or not): releases its estimated
-  /// backlog contribution.
+  /// backlog contribution. Unknown workflow ids are tolerated (a straggling
+  /// completion can land after its run ended).
+  void task_finished(int workflow_id, wf::TaskId task);
   void task_finished(wf::TaskId task);
 
   // --- health ---
@@ -221,10 +239,24 @@ class Broker {
     double backlog_core_seconds = 0.0;
   };
 
+  /// One active run's bookkeeping: the workflow, where each of its tasks is
+  /// placed, and the backlog core-seconds each placement charged its site.
+  struct RunCtx {
+    const wf::Workflow* workflow = nullptr;
+    std::vector<SiteId> placement;       ///< Per task; kInvalidSite unplaced.
+    std::vector<double> backlog_contrib; ///< Core-seconds charged per task.
+  };
+
   double link_estimate(const std::string& from, const std::string& to,
                        Bytes bytes) const;
   std::vector<SiteId> candidates_for(const wf::TaskSpec& spec, SimTime now,
                                      SiteId exclude) const;
+  RunCtx& run_ctx(int workflow_id, const char* caller);
+  const RunCtx* find_run(int workflow_id) const noexcept;
+  /// Resolves the legacy single-run API: the sole active run's id. Throws
+  /// (when `caller` is non-null) or returns -1 on none/ambiguous.
+  int sole_run_id(const char* caller) const;
+  void release_backlog(RunCtx& ctx);
 
   BrokerConfig config_;
   std::unique_ptr<PlacementPolicy> policy_;
@@ -237,11 +269,8 @@ class Broker {
   const cws::RuntimePredictor* predictor_ = nullptr;
   obs::Observer* obs_ = nullptr;
 
-  // per-run state
-  const wf::Workflow* workflow_ = nullptr;
-  int workflow_id_ = -1;
-  std::vector<SiteId> placement_;          ///< Per task; kInvalidSite unplaced.
-  std::vector<double> backlog_contrib_;    ///< Core-seconds charged per task.
+  // per-run state, keyed by workflow id (many runs active under the service)
+  std::map<int, RunCtx> runs_;
 
   std::size_t placements_ = 0;
   std::size_t reroutes_ = 0;

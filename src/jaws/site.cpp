@@ -4,39 +4,34 @@
 #include <stdexcept>
 
 #include "cluster/schedulers.hpp"
+#include "support/fairshare.hpp"
 
 namespace hhc::jaws {
 
 void FairShareScheduler::schedule(cluster::SchedulingContext& ctx) {
-  // Cores currently held per user.
-  std::map<std::string, double> held;
+  // Cores currently held per user, in the shared fair-share ledger — the
+  // same policy math the service-level scheduler uses across tenants.
+  FairShareLedger shares;
   for (cluster::JobId id : ctx.running()) {
     const auto& rec = ctx.job(id);
-    held[rec.request.user] += rec.request.resources.total_cores();
+    shares.charge(rec.request.user, rec.request.resources.total_cores());
   }
 
   // Repeatedly pick the queued job of the least-loaded user; placing a job
   // updates that user's share so heavy users interleave rather than
-  // monopolize (the paper's fair-share recommendation).
+  // monopolize (the paper's fair-share recommendation). Ties keep queue
+  // order, so equally-loaded users are served FIFO.
   while (true) {
     const auto& queue = ctx.queue();
     if (queue.empty()) return;
-    cluster::JobId best = 0;
-    double best_held = 0;
-    bool found = false;
-    for (cluster::JobId id : queue) {
-      const auto& rec = ctx.job(id);
-      const double h = held[rec.request.user];
-      if (!found || h < best_held) {
-        best = id;
-        best_held = h;
-        found = true;
-      }
-    }
-    if (!found) return;
+    const auto it = shares.pick_min(
+        queue.begin(), queue.end(),
+        [&ctx](cluster::JobId id) { return ctx.job(id).request.user; });
+    if (it == queue.end()) return;
+    const cluster::JobId best = *it;
     const auto req = ctx.job(best).request;
     if (ctx.try_place(best)) {
-      held[req.user] += req.resources.total_cores();
+      shares.charge(req.user, req.resources.total_cores());
     } else {
       // The fairest job does not fit; try the rest once in queue order, then
       // stop (a second full pass cannot succeed this round).
@@ -46,7 +41,7 @@ void FairShareScheduler::schedule(cluster::SchedulingContext& ctx) {
         if (id == best) continue;
         const auto r = ctx.job(id).request;
         if (ctx.try_place(id)) {
-          held[r.user] += r.resources.total_cores();
+          shares.charge(r.user, r.resources.total_cores());
           placed_any = true;
         }
       }

@@ -1,0 +1,42 @@
+#include "service/admission.hpp"
+
+#include <stdexcept>
+
+namespace hhc::service {
+
+AdmissionController::AdmissionController(AdmissionConfig config)
+    : config_(config) {
+  if (config_.defer_high_watermark > 0.0 &&
+      config_.defer_low_watermark > config_.defer_high_watermark)
+    throw std::invalid_argument(
+        "defer_low_watermark must not exceed defer_high_watermark");
+  if (config_.defer_high_watermark > 0.0 && !(config_.defer_delay > 0.0))
+    throw std::invalid_argument("defer_delay must be > 0 when deferring");
+}
+
+AdmissionDecision AdmissionController::admit(std::size_t tenant_queued,
+                                             std::size_t total_queued,
+                                             double backlog_seconds,
+                                             std::size_t defers) {
+  // Hard depth bounds first: a full queue sheds regardless of backpressure
+  // state (deferring would only delay the same verdict).
+  if (config_.max_queue_per_tenant > 0 &&
+      tenant_queued >= config_.max_queue_per_tenant)
+    return AdmissionDecision::Shed;
+  if (config_.max_total_queue > 0 && total_queued >= config_.max_total_queue)
+    return AdmissionDecision::Shed;
+
+  if (config_.defer_high_watermark > 0.0) {
+    if (!deferring_ && backlog_seconds >= config_.defer_high_watermark)
+      deferring_ = true;
+    else if (deferring_ && backlog_seconds <= config_.defer_low_watermark)
+      deferring_ = false;
+    if (deferring_) {
+      if (defers >= config_.max_defers) return AdmissionDecision::Shed;
+      return AdmissionDecision::Defer;
+    }
+  }
+  return AdmissionDecision::Accept;
+}
+
+}  // namespace hhc::service

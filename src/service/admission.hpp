@@ -1,0 +1,65 @@
+// Admission control and backpressure for the multi-tenant service.
+//
+// Past saturation an open arrival stream grows queues without bound; the
+// admission controller keeps the service stable by bounding what it accepts:
+//
+//   Shed   — reject outright when the submitting tenant's queue (or the
+//            service-wide queue) is at its depth bound. Bounded queues are
+//            the hard stability guarantee.
+//   Defer  — backpressure: when the service's work backlog crosses the high
+//            watermark, new submissions are pushed back and re-offered after
+//            `defer_delay`. The controller leaves the deferring state only
+//            when the backlog falls below the low watermark (hysteresis, so
+//            it does not flap around one threshold). A submission deferred
+//            more than `max_defers` times is shed.
+//   Accept — everything else.
+//
+// The backlog measure is work-seconds: (queued + in-flight estimated
+// core-seconds) / federation core capacity, i.e. "how many seconds of fully
+// parallel work are already committed".
+#pragma once
+
+#include <cstddef>
+
+#include "support/units.hpp"
+
+namespace hhc::service {
+
+enum class AdmissionDecision { Accept, Defer, Shed };
+
+struct AdmissionConfig {
+  /// Per-tenant queued-submission bound; 0 = unbounded (no shedding).
+  std::size_t max_queue_per_tenant = 0;
+  /// Service-wide queued-submission bound; 0 = unbounded.
+  std::size_t max_total_queue = 0;
+  /// Backlog watermarks in work-seconds; 0 disables deferral.
+  double defer_high_watermark = 0.0;
+  double defer_low_watermark = 0.0;
+  /// How long a deferred submission waits before re-offering itself.
+  SimTime defer_delay = 120.0;
+  /// Deferrals before a submission is shed instead.
+  std::size_t max_defers = 4;
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionConfig config);
+
+  /// Decision for one submission. `tenant_queued`/`total_queued` are current
+  /// queue depths (excluding this submission); `backlog_seconds` is the
+  /// committed work over capacity; `defers` is how often this submission was
+  /// already deferred.
+  AdmissionDecision admit(std::size_t tenant_queued, std::size_t total_queued,
+                          double backlog_seconds, std::size_t defers);
+
+  /// Currently pushing back (between the watermarks' hysteresis)?
+  bool deferring() const noexcept { return deferring_; }
+
+  const AdmissionConfig& config() const noexcept { return config_; }
+
+ private:
+  AdmissionConfig config_;
+  bool deferring_ = false;
+};
+
+}  // namespace hhc::service

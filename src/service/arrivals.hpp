@@ -1,0 +1,58 @@
+// Stochastic arrival streams for the multi-tenant workflow service.
+//
+// Each tenant submits workflows according to a seeded arrival process:
+// Poisson (the open-system baseline), burst (a two-phase Markov-modulated
+// process — calm/burst dwell alternation, the "campaign" pattern of real
+// facility traces), or diurnal (a sinusoidally thinned Poisson process with
+// a configurable period — the day/night load swing). All draws come from the
+// Rng handed in, so two services built from the same seed produce identical
+// arrival schedules.
+#pragma once
+
+#include "support/rng.hpp"
+#include "support/units.hpp"
+
+namespace hhc::service {
+
+enum class ArrivalModel { Poisson, Burst, Diurnal };
+
+struct ArrivalConfig {
+  ArrivalModel model = ArrivalModel::Poisson;
+  /// Long-run mean arrival rate (workflows per second). The burst and
+  /// diurnal models are calibrated so their time-average equals this.
+  double rate = 1.0 / 600.0;
+
+  // --- burst (MMPP-2) ---
+  double burst_factor = 8.0;    ///< Rate multiplier while bursting (> 1).
+  double burst_fraction = 0.1;  ///< Long-run fraction of time in burst phase.
+  double phase_mean = 1800.0;   ///< Mean dwell per phase visit (s).
+
+  // --- diurnal ---
+  double period = 86400.0;      ///< One load cycle (s).
+  double diurnal_depth = 0.8;   ///< Modulation depth in [0, 1).
+};
+
+/// One tenant's arrival process. `next_gap(now)` returns the time from `now`
+/// to the next submission; the caller advances its clock and asks again.
+class ArrivalProcess {
+ public:
+  ArrivalProcess(ArrivalConfig config, Rng rng);
+
+  SimTime next_gap(SimTime now);
+
+  const ArrivalConfig& config() const noexcept { return config_; }
+
+ private:
+  double diurnal_rate(SimTime t) const noexcept;
+
+  ArrivalConfig config_;
+  Rng rng_;
+  // Burst phase machine: absolute end of the current phase dwell.
+  bool bursting_ = false;
+  bool phase_started_ = false;
+  SimTime phase_end_ = 0.0;
+  double calm_rate_ = 0.0;
+  double burst_rate_ = 0.0;
+};
+
+}  // namespace hhc::service

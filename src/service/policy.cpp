@@ -1,0 +1,91 @@
+#include "service/policy.hpp"
+
+#include <stdexcept>
+
+namespace hhc::service {
+
+void InterWorkflowPolicy::set_weight(const std::string&, double) {}
+void InterWorkflowPolicy::on_launch(const std::string&, double) {}
+void InterWorkflowPolicy::on_complete(const std::string&, double, double) {}
+
+namespace {
+
+std::size_t earliest(const std::vector<Candidate>& candidates) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < candidates.size(); ++i)
+    if (candidates[i].head_seq < candidates[best].head_seq) best = i;
+  return best;
+}
+
+class FifoPolicy final : public InterWorkflowPolicy {
+ public:
+  const std::string& name() const noexcept override { return name_; }
+  std::size_t pick(const std::vector<Candidate>& candidates) override {
+    return earliest(candidates);
+  }
+
+ private:
+  std::string name_ = "fifo";
+};
+
+class FairSharePolicy final : public InterWorkflowPolicy {
+ public:
+  const std::string& name() const noexcept override { return name_; }
+
+  void set_weight(const std::string& tenant, double weight) override {
+    shares_.set_weight(tenant, weight);
+  }
+
+  std::size_t pick(const std::vector<Candidate>& candidates) override {
+    const auto it = shares_.pick_min(
+        candidates.begin(), candidates.end(),
+        [](const Candidate& c) -> const std::string& { return c.tenant; });
+    return static_cast<std::size_t>(it - candidates.begin());
+  }
+
+  void on_launch(const std::string& tenant, double estimated) override {
+    shares_.charge(tenant, estimated);
+  }
+
+  void on_complete(const std::string& tenant, double estimated,
+                   double actual) override {
+    // Swap the deficit for the measured consumption; charge() floors at 0,
+    // so a run that consumed less than estimated cannot drive usage negative.
+    shares_.charge(tenant, actual - estimated);
+  }
+
+ private:
+  std::string name_ = "fair-share";
+  FairShareLedger shares_;
+};
+
+class PriorityPolicy final : public InterWorkflowPolicy {
+ public:
+  const std::string& name() const noexcept override { return name_; }
+  std::size_t pick(const std::vector<Candidate>& candidates) override {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < candidates.size(); ++i) {
+      const Candidate& c = candidates[i];
+      const Candidate& b = candidates[best];
+      if (c.priority > b.priority ||
+          (c.priority == b.priority && c.head_seq < b.head_seq))
+        best = i;
+    }
+    return best;
+  }
+
+ private:
+  std::string name_ = "priority";
+};
+
+}  // namespace
+
+std::unique_ptr<InterWorkflowPolicy> make_policy(const std::string& name) {
+  if (name == "fifo") return std::make_unique<FifoPolicy>();
+  if (name == "fair-share") return std::make_unique<FairSharePolicy>();
+  if (name == "priority") return std::make_unique<PriorityPolicy>();
+  throw std::invalid_argument("unknown inter-workflow policy '" + name +
+                              "' (fifo, fair-share, priority)");
+}
+
+}  // namespace hhc::service

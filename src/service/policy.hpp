@@ -1,0 +1,67 @@
+// Pluggable inter-workflow scheduling policies for the multi-tenant service.
+//
+// The service keeps one FIFO queue per tenant and a bounded number of
+// concurrent run slots on the shared federation. Whenever a slot frees, the
+// policy picks WHICH tenant's head-of-queue launches next:
+//
+//   fifo        — global arrival order, tenant-blind (the baseline a heavy
+//                 tenant can starve).
+//   fair-share  — weighted fair share over consumed core-seconds, the same
+//                 FairShareLedger the JAWS site scheduler uses (DESIGN.md
+//                 §13). Estimated work is charged at launch (a deficit, so a
+//                 tenant cannot flood every slot before its first completion
+//                 reports back) and corrected to the actual consumption from
+//                 the run's CompositeReport when it settles.
+//   priority    — strict priority tiers, FIFO within a tier; combine with
+//                 per-tenant running quotas for the paper's priority+quota
+//                 mode.
+//
+// Policies are deterministic: candidates arrive in tenant-config order and
+// every tie-break is by arrival time then candidate order.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/fairshare.hpp"
+#include "support/units.hpp"
+
+namespace hhc::service {
+
+/// One launchable head-of-queue, in tenant-config order.
+struct Candidate {
+  std::string tenant;
+  SimTime head_enqueued = 0.0;  ///< When the head submission joined the queue.
+  std::size_t head_seq = 0;     ///< Global submission sequence of the head.
+  int priority = 0;             ///< Higher is served first (priority policy).
+};
+
+class InterWorkflowPolicy {
+ public:
+  virtual ~InterWorkflowPolicy() = default;
+  virtual const std::string& name() const noexcept = 0;
+
+  /// Index into `candidates` of the tenant to launch next. Never called with
+  /// an empty vector.
+  virtual std::size_t pick(const std::vector<Candidate>& candidates) = 0;
+
+  /// Tenant weight registration (fair-share uses it; others ignore).
+  virtual void set_weight(const std::string& tenant, double weight);
+
+  /// A run launched: `estimated_core_seconds` is the workflow's total work
+  /// (sum of runtime x cores), charged as a deficit until the run settles.
+  virtual void on_launch(const std::string& tenant,
+                         double estimated_core_seconds);
+
+  /// A run settled: replace the launch-time estimate with the actual
+  /// consumption from the run's report.
+  virtual void on_complete(const std::string& tenant,
+                           double estimated_core_seconds,
+                           double actual_core_seconds);
+};
+
+/// "fifo", "fair-share" or "priority"; throws std::invalid_argument otherwise.
+std::unique_ptr<InterWorkflowPolicy> make_policy(const std::string& name);
+
+}  // namespace hhc::service

@@ -1,0 +1,289 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "workflow/analysis.hpp"
+
+namespace hhc::service {
+
+namespace {
+
+double percentile95(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t idx =
+      static_cast<std::size_t>(std::ceil(0.95 * static_cast<double>(v.size())));
+  return v[std::min(v.size() - 1, idx == 0 ? 0 : idx - 1)];
+}
+
+double mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : v) sum += x;
+  return sum / static_cast<double>(v.size());
+}
+
+}  // namespace
+
+WorkflowService::WorkflowService(core::Toolkit& toolkit,
+                                 federation::Broker& broker,
+                                 ServiceConfig config)
+    : toolkit_(toolkit), broker_(broker), config_(std::move(config)),
+      policy_(make_policy(config_.policy)), admission_(config_.admission) {
+  if (config_.run_slots == 0)
+    throw std::invalid_argument("run_slots must be > 0");
+  const Rng root(config_.seed);
+  tenants_.reserve(config_.tenants.size());
+  for (const TenantConfig& tc : config_.tenants) {
+    if (tc.name.empty()) throw std::invalid_argument("tenant without a name");
+    for (const auto& existing : tenants_)
+      if (existing.config.name == tc.name)
+        throw std::invalid_argument("duplicate tenant '" + tc.name + "'");
+    policy_->set_weight(tc.name, tc.weight);
+    TenantState ten{tc,
+                    ArrivalProcess(tc.arrivals,
+                                   root.child("arrivals:" + tc.name)),
+                    root.child("workload:" + tc.name),
+                    {}, 0, {}, {}, {}};
+    ten.stats.tenant = tc.name;
+    tenants_.push_back(std::move(ten));
+  }
+  for (federation::SiteId s = 0; s < broker_.site_count(); ++s)
+    capacity_cores_ += broker_.site(s).total_cores();
+  if (!(capacity_cores_ > 0.0))
+    throw std::invalid_argument("broker sites have no cores");
+}
+
+wf::Workflow WorkflowService::generate_workflow(TenantState& ten,
+                                                std::size_t index) {
+  const WorkloadConfig& w = ten.config.workload;
+  if (w.shapes.empty()) throw std::invalid_argument("workload without shapes");
+  Rng rng = ten.workload_rng.child(static_cast<std::uint64_t>(index));
+  const std::string& shape = w.shapes[static_cast<std::size_t>(rng.uniform_int(
+      0, static_cast<std::int64_t>(w.shapes.size()) - 1))];
+  const std::size_t scale = std::max<std::size_t>(1, w.scale);
+  if (shape == "chain") return wf::make_chain(scale, rng, w.params);
+  if (shape == "fork-join") return wf::make_fork_join(scale, rng, w.params);
+  if (shape == "scatter-gather")
+    return wf::make_scatter_gather(2, scale, rng, w.params);
+  if (shape == "diamond") return wf::make_diamond(rng, w.params);
+  if (shape == "montage") return wf::make_montage_like(scale, rng, w.params);
+  if (shape == "pipeline")
+    return wf::make_pipeline_lanes(std::max<std::size_t>(2, scale / 2), 4, rng,
+                                   w.params);
+  if (shape == "layered")
+    return wf::make_random_layered(4, scale, rng, w.params);
+  throw std::invalid_argument("unknown workload shape '" + shape + "'");
+}
+
+double WorkflowService::backlog_seconds() const noexcept {
+  return (queued_work_ + running_work_) / capacity_cores_;
+}
+
+WorkflowService::TenantState& WorkflowService::tenant_of(
+    const Submission& sub) {
+  for (auto& ten : tenants_)
+    if (ten.config.name == sub.tenant) return ten;
+  throw std::logic_error("submission from unknown tenant '" + sub.tenant + "'");
+}
+
+void WorkflowService::schedule_next_arrival(std::size_t tenant) {
+  TenantState& ten = tenants_[tenant];
+  if (ten.config.max_submissions > 0 &&
+      ten.stats.submitted >= ten.config.max_submissions)
+    return;
+  sim::Simulation& sim = toolkit_.simulation();
+  const SimTime at = sim.now() + ten.arrivals.next_gap(sim.now());
+  if (at > config_.horizon) return;  // the stream closes at the horizon
+  sim.schedule_at(at, [this, tenant] { on_arrival(tenant); });
+}
+
+void WorkflowService::on_arrival(std::size_t tenant) {
+  TenantState& ten = tenants_[tenant];
+  sim::Simulation& sim = toolkit_.simulation();
+  obs::Observer& obs = toolkit_.observer();
+
+  const std::size_t index = ten.stats.submitted++;
+  const std::size_t seq = submissions_.size();
+  submissions_.emplace_back();
+  Submission& sub = submissions_.back();
+  sub.seq = seq;
+  sub.tenant = ten.config.name;
+  sub.workflow = generate_workflow(ten, index);
+  sub.arrived = sim.now();
+  sub.est_work = wf::total_work(sub.workflow);
+  const double cp = wf::critical_path(sub.workflow).length;
+  sub.ideal = std::max(cp, sub.est_work / capacity_cores_);
+  if (!(sub.ideal > 0.0)) sub.ideal = 1.0;  // degenerate zero-runtime graph
+  obs.count(sim.now(), "service.submitted", sub.tenant);
+
+  offer(seq);
+  schedule_next_arrival(tenant);
+}
+
+void WorkflowService::offer(std::size_t submission) {
+  Submission& sub = submissions_[submission];
+  TenantState& ten = tenant_of(sub);
+  sim::Simulation& sim = toolkit_.simulation();
+  obs::Observer& obs = toolkit_.observer();
+
+  const AdmissionDecision decision = admission_.admit(
+      ten.queue.size(), total_queued_, backlog_seconds(), sub.defers);
+  switch (decision) {
+    case AdmissionDecision::Shed:
+      sub.state = Submission::State::Shed;
+      ++ten.stats.shed;
+      obs.count(sim.now(), "service.shed", sub.tenant);
+      return;
+    case AdmissionDecision::Defer:
+      ++sub.defers;
+      ++ten.stats.defer_events;
+      obs.count(sim.now(), "service.deferred", sub.tenant);
+      sim.schedule_in(admission_.config().defer_delay,
+                      [this, submission] { offer(submission); });
+      return;
+    case AdmissionDecision::Accept:
+      break;
+  }
+
+  sub.state = Submission::State::Queued;
+  sub.enqueued = sim.now();
+  ++ten.stats.admitted;
+  ten.queue.push_back(submission);
+  ++total_queued_;
+  queued_work_ += sub.est_work;
+  ten.stats.max_queue_depth =
+      std::max(ten.stats.max_queue_depth, ten.queue.size());
+  obs.count(sim.now(), "service.admitted", sub.tenant);
+  obs.gauge_set(sim.now(), "service.queue_depth",
+                static_cast<double>(ten.queue.size()), sub.tenant);
+  obs.gauge_set(sim.now(), "service.backlog_seconds", backlog_seconds());
+  pump();
+}
+
+void WorkflowService::pump() {
+  // After the event queue drained, launching would start runs nothing
+  // drives; the wedged-federation settlement below must not trigger more.
+  if (draining_) return;
+  while (running_ < config_.run_slots) {
+    std::vector<Candidate> candidates;
+    std::vector<std::size_t> owners;
+    for (std::size_t i = 0; i < tenants_.size(); ++i) {
+      TenantState& ten = tenants_[i];
+      if (ten.queue.empty()) continue;
+      if (ten.config.max_running > 0 && ten.running >= ten.config.max_running)
+        continue;
+      const Submission& head = submissions_[ten.queue.front()];
+      candidates.push_back({ten.config.name, head.enqueued, head.seq,
+                            ten.config.priority});
+      owners.push_back(i);
+    }
+    if (candidates.empty()) return;
+    const std::size_t k = policy_->pick(candidates);
+    TenantState& ten = tenants_[owners.at(k)];
+    const std::size_t idx = ten.queue.front();
+    ten.queue.pop_front();
+    --total_queued_;
+    launch(idx);
+  }
+}
+
+void WorkflowService::launch(std::size_t submission) {
+  Submission& sub = submissions_[submission];
+  TenantState& ten = tenant_of(sub);
+  sim::Simulation& sim = toolkit_.simulation();
+  obs::Observer& obs = toolkit_.observer();
+
+  sub.state = Submission::State::Running;
+  sub.launched = sim.now();
+  ++ten.running;
+  ++running_;
+  queued_work_ -= sub.est_work;
+  running_work_ += sub.est_work;
+  policy_->on_launch(sub.tenant, sub.est_work);
+
+  const double queue_time = sub.launched - sub.arrived;
+  ten.queue_times.push_back(queue_time);
+  obs.observe("service.queue_time", queue_time, sub.tenant);
+  obs.gauge_set(sim.now(), "service.queue_depth",
+                static_cast<double>(ten.queue.size()), sub.tenant);
+  obs.gauge_set(sim.now(), "service.running", static_cast<double>(running_));
+
+  toolkit_.start_run(sub.workflow, broker_,
+                     [this, submission](const core::CompositeReport& report) {
+                       on_settled(submission, report);
+                     });
+}
+
+void WorkflowService::on_settled(std::size_t submission,
+                                 const core::CompositeReport& report) {
+  Submission& sub = submissions_[submission];
+  TenantState& ten = tenant_of(sub);
+  sim::Simulation& sim = toolkit_.simulation();
+  obs::Observer& obs = toolkit_.observer();
+
+  sub.finished = sim.now();
+  sub.state = report.success ? Submission::State::Completed
+                             : Submission::State::Failed;
+  double actual = 0.0;
+  for (const auto& env : report.environments) actual += env.busy_core_seconds;
+  sub.consumed_core_seconds = actual;
+
+  --ten.running;
+  --running_;
+  running_work_ -= sub.est_work;
+  policy_->on_complete(sub.tenant, sub.est_work, actual);
+
+  ten.stats.consumed_core_seconds += actual;
+  const double stretch = (sub.finished - sub.arrived) / sub.ideal;
+  ten.stretches.push_back(stretch);
+  obs.observe("service.stretch", stretch, sub.tenant);
+  if (report.success) {
+    ++ten.stats.completed;
+    ten.stats.goodput_core_seconds += actual;
+    obs.count(sim.now(), "service.completed", sub.tenant);
+    obs.count(sim.now(), "service.goodput_core_seconds", sub.tenant, actual);
+  } else {
+    ++ten.stats.failed;
+    obs.count(sim.now(), "service.failed", sub.tenant);
+  }
+  obs.gauge_set(sim.now(), "service.running", static_cast<double>(running_));
+  pump();
+}
+
+ServiceReport WorkflowService::run() {
+  if (ran_) throw std::logic_error("WorkflowService::run is one-shot");
+  ran_ = true;
+  sim::Simulation& sim = toolkit_.simulation();
+  const SimTime start = sim.now();
+
+  for (std::size_t i = 0; i < tenants_.size(); ++i) schedule_next_arrival(i);
+  sim.run();
+  // A drained queue with runs still pending is a wedged federation (chaos
+  // livelock); settle them as failed so every admitted submission reports.
+  draining_ = true;
+  toolkit_.fail_unsettled_runs();
+
+  ServiceReport report;
+  report.makespan = sim.now() - start;
+  for (TenantState& ten : tenants_) {
+    TenantReport& tr = ten.stats;
+    tr.shed_rate = tr.submitted > 0 ? static_cast<double>(tr.shed) /
+                                          static_cast<double>(tr.submitted)
+                                    : 0.0;
+    tr.queue_time_mean = mean(ten.queue_times);
+    tr.queue_time_p95 = percentile95(ten.queue_times);
+    tr.stretch_mean = mean(ten.stretches);
+    tr.stretch_p95 = percentile95(ten.stretches);
+    report.submitted += tr.submitted;
+    report.completed += tr.completed;
+    report.failed += tr.failed;
+    report.shed += tr.shed;
+    report.tenants.push_back(tr);
+  }
+  return report;
+}
+
+}  // namespace hhc::service

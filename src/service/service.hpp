@@ -1,0 +1,180 @@
+// Multi-tenant workflow service (DESIGN.md §13).
+//
+// The subsystems below core::Toolkit execute ONE workflow well; a facility
+// runs a stream of them, from many tenants, against one shared federation.
+// WorkflowService closes that gap: seeded stochastic arrival streams per
+// tenant (arrivals.hpp), per-tenant FIFO queues, a bounded number of
+// concurrent run slots scheduled by a pluggable inter-workflow policy
+// (policy.hpp), and admission control that keeps the service stable past
+// saturation (admission.hpp). Execution rides core::Toolkit::start_run — the
+// re-entrant multi-run path — so concurrent tenants genuinely contend for
+// the same sites, links and caches, and each run's CompositeReport feeds its
+// actual core-second consumption back into the fair-share ledger.
+//
+// Everything is deterministic in ServiceConfig::seed: same config, same
+// arrival times, same workflows, same schedule, same service.* metrics.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/toolkit.hpp"
+#include "federation/broker.hpp"
+#include "service/admission.hpp"
+#include "service/arrivals.hpp"
+#include "service/policy.hpp"
+#include "workflow/generators.hpp"
+
+namespace hhc::service {
+
+/// What a tenant submits: a deterministic mix over the generator corpus.
+struct WorkloadConfig {
+  /// Shapes drawn uniformly per submission: "chain", "fork-join",
+  /// "scatter-gather", "diamond", "montage", "pipeline", "layered".
+  std::vector<std::string> shapes = {"chain", "fork-join", "montage",
+                                     "layered"};
+  std::size_t scale = 8;  ///< Width/length parameter passed to the generator.
+  wf::GenParams params;
+};
+
+struct TenantConfig {
+  std::string name;
+  double weight = 1.0;          ///< Fair-share weight (> 0).
+  int priority = 0;             ///< Priority-policy tier; higher served first.
+  std::size_t max_running = 0;  ///< Concurrent-run quota; 0 = unlimited.
+  ArrivalConfig arrivals;
+  WorkloadConfig workload;
+  /// Stop this tenant's stream after this many submissions; 0 = only the
+  /// service horizon bounds it.
+  std::size_t max_submissions = 0;
+};
+
+struct ServiceConfig {
+  std::uint64_t seed = 42;
+  /// Arrival streams close at this simulation time; admitted work drains.
+  SimTime horizon = 4 * 3600.0;
+  /// Inter-workflow policy: "fifo", "fair-share" or "priority".
+  std::string policy = "fair-share";
+  /// Concurrent composite runs on the federation (the service's capacity
+  /// knob — queueing happens here, contention happens below).
+  std::size_t run_slots = 8;
+  AdmissionConfig admission;
+  std::vector<TenantConfig> tenants;
+};
+
+/// Full lifecycle record of one submission (exposed for tests and the
+/// saturation bench: serializing these is the run's canonical schedule).
+struct Submission {
+  enum class State { Offered, Queued, Running, Completed, Failed, Shed };
+  std::size_t seq = 0;  ///< Global arrival sequence number.
+  std::string tenant;
+  wf::Workflow workflow;
+  SimTime arrived = 0.0;   ///< Arrival-stream submission time.
+  SimTime enqueued = 0.0;  ///< When admission accepted it.
+  SimTime launched = 0.0;
+  SimTime finished = 0.0;
+  double est_work = 0.0;  ///< Total work (core-seconds) at submit.
+  /// Ideal lower-bound makespan: max(critical path, work / capacity).
+  double ideal = 0.0;
+  double consumed_core_seconds = 0.0;  ///< From the run's report.
+  std::size_t defers = 0;
+  State state = State::Offered;
+};
+
+/// Per-tenant SLO figures for one service run.
+struct TenantReport {
+  std::string tenant;
+  std::size_t submitted = 0;
+  std::size_t admitted = 0;
+  std::size_t shed = 0;
+  std::size_t defer_events = 0;  ///< Defer decisions (one submission can defer repeatedly).
+  std::size_t completed = 0;
+  std::size_t failed = 0;
+  std::size_t max_queue_depth = 0;
+  double shed_rate = 0.0;  ///< shed / submitted.
+  /// Queue time: arrival -> launch (defer delays included — the tenant waits
+  /// through them either way).
+  double queue_time_mean = 0.0;
+  double queue_time_p95 = 0.0;
+  /// Makespan stretch: (finish - arrival) / ideal lower bound.
+  double stretch_mean = 0.0;
+  double stretch_p95 = 0.0;
+  double consumed_core_seconds = 0.0;
+  double goodput_core_seconds = 0.0;  ///< Consumption by successful runs only.
+};
+
+struct ServiceReport {
+  SimTime makespan = 0.0;  ///< Until the last admitted run settled.
+  std::size_t submitted = 0;
+  std::size_t completed = 0;
+  std::size_t failed = 0;
+  std::size_t shed = 0;
+  std::vector<TenantReport> tenants;
+};
+
+class WorkflowService {
+ public:
+  /// The broker's sites must reference `toolkit`'s environments (same
+  /// contract as Toolkit::run(workflow, broker)).
+  WorkflowService(core::Toolkit& toolkit, federation::Broker& broker,
+                  ServiceConfig config);
+
+  /// Schedules every tenant's arrival stream, drives the simulation to
+  /// completion, settles stragglers, and returns per-tenant SLO reports.
+  /// One-shot: a second call throws.
+  ServiceReport run();
+
+  /// All submissions in arrival order (after run()): the canonical schedule.
+  const std::deque<Submission>& submissions() const noexcept {
+    return submissions_;
+  }
+
+  const AdmissionController& admission() const noexcept { return admission_; }
+
+ private:
+  struct TenantState {
+    TenantConfig config;
+    ArrivalProcess arrivals;
+    Rng workload_rng;
+    std::deque<std::size_t> queue;  ///< Indices into submissions_.
+    std::size_t running = 0;
+    TenantReport stats;
+    std::vector<double> queue_times;
+    std::vector<double> stretches;
+  };
+
+  void schedule_next_arrival(std::size_t tenant);
+  void on_arrival(std::size_t tenant);
+  /// Admission decision for a (possibly re-offered) submission.
+  void offer(std::size_t submission);
+  /// Fills free run slots according to the policy.
+  void pump();
+  void launch(std::size_t submission);
+  void on_settled(std::size_t submission, const core::CompositeReport& report);
+  wf::Workflow generate_workflow(TenantState& ten, std::size_t index);
+  double backlog_seconds() const noexcept;
+  TenantState& tenant_of(const Submission& sub);
+
+  core::Toolkit& toolkit_;
+  federation::Broker& broker_;
+  ServiceConfig config_;
+  std::unique_ptr<InterWorkflowPolicy> policy_;
+  AdmissionController admission_;
+  std::vector<TenantState> tenants_;
+  /// Deque for address stability: start_run holds references to
+  /// Submission::workflow until the run settles.
+  std::deque<Submission> submissions_;
+  double capacity_cores_ = 0.0;
+  std::size_t running_ = 0;
+  std::size_t total_queued_ = 0;
+  double queued_work_ = 0.0;   ///< Estimated core-seconds waiting in queues.
+  double running_work_ = 0.0;  ///< Estimated core-seconds in flight.
+  bool ran_ = false;
+  bool draining_ = false;  ///< Event queue drained; no further launches.
+};
+
+}  // namespace hhc::service

@@ -1,0 +1,37 @@
+#include "support/fairshare.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hhc {
+
+void FairShareLedger::set_weight(const std::string& key, double weight) {
+  if (!(weight > 0.0))
+    throw std::invalid_argument("fair-share weight for '" + key +
+                                "' must be > 0 (got " +
+                                std::to_string(weight) + ")");
+  weight_[key] = weight;
+}
+
+double FairShareLedger::weight_of(const std::string& key) const {
+  const auto it = weight_.find(key);
+  return it == weight_.end() ? 1.0 : it->second;
+}
+
+void FairShareLedger::charge(const std::string& key, double amount) {
+  double& u = usage_[key];
+  u = std::max(0.0, u + amount);
+}
+
+double FairShareLedger::usage(const std::string& key) const {
+  const auto it = usage_.find(key);
+  return it == usage_.end() ? 0.0 : it->second;
+}
+
+double FairShareLedger::normalized_usage(const std::string& key) const {
+  return usage(key) / weight_of(key);
+}
+
+void FairShareLedger::clear_usage() { usage_.clear(); }
+
+}  // namespace hhc

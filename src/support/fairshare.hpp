@@ -1,0 +1,72 @@
+// Weighted fair-share accounting, shared by the schedulers that implement
+// fair share at different layers of the stack:
+//
+//   jaws::FairShareScheduler        intra-site, cores currently held per user
+//                                   (paper §6.2's WMS-level fair share);
+//   service::FairSharePolicy        inter-workflow, consumed core-seconds per
+//                                   tenant fed back from CompositeReport.
+//
+// The ledger is the policy math both need: per-key usage, per-key weight,
+// and a deterministic "who goes next" pick — the candidate whose
+// usage/weight is smallest, ties broken by the caller's ordering. Keeping
+// it in one place stops the two layers from growing divergent notions of
+// fairness.
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace hhc {
+
+/// Per-key usage/weight ledger with a min-normalized-usage pick.
+///
+/// Keys are opaque strings (user names, tenant names). A key that was never
+/// charged has usage 0; a key that was never weighted has weight 1, so the
+/// default is plain (unweighted) fair share.
+class FairShareLedger {
+ public:
+  /// Sets a key's fair-share weight. Throws std::invalid_argument unless
+  /// weight > 0: a zero weight would make normalized usage infinite and a
+  /// negative one would invert the ordering.
+  void set_weight(const std::string& key, double weight);
+  double weight_of(const std::string& key) const;
+
+  /// Adds `amount` to the key's accumulated usage (cores held, core-seconds
+  /// consumed, ...). Negative amounts release usage; the total is floored
+  /// at zero so release-after-clear cannot drive a key negative and starve
+  /// everyone else.
+  void charge(const std::string& key, double amount);
+
+  double usage(const std::string& key) const;
+
+  /// usage / weight — the quantity fair share equalizes across keys.
+  double normalized_usage(const std::string& key) const;
+
+  /// Forgets all usage (weights persist). Schedulers that rebuild state
+  /// from scratch each cycle (jaws) call this instead of reallocating.
+  void clear_usage();
+
+  /// Picks the element of [first, last) whose key has the smallest
+  /// normalized usage. Ties keep the *earliest* element, so the caller's
+  /// ordering (queue order, tenant declaration order) is the deterministic
+  /// tie-break. Returns `last` when the range is empty.
+  template <typename Iter, typename KeyOf>
+  Iter pick_min(Iter first, Iter last, KeyOf&& key_of) const {
+    Iter best = last;
+    double best_usage = 0.0;
+    for (Iter it = first; it != last; ++it) {
+      const double n = normalized_usage(key_of(*it));
+      if (best == last || n < best_usage) {
+        best = it;
+        best_usage = n;
+      }
+    }
+    return best;
+  }
+
+ private:
+  std::map<std::string, double> usage_;
+  std::map<std::string, double> weight_;
+};
+
+}  // namespace hhc

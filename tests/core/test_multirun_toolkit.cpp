@@ -1,0 +1,145 @@
+// Re-entrant multi-run execution: any number of start_run() federated runs
+// share one simulation, one broker and one fabric, each settling through its
+// own done callback with per-run accounting. This is the substrate the
+// multi-tenant service (src/service/) is built on.
+#include "core/toolkit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+
+#include "workflow/generators.hpp"
+
+namespace hhc::core {
+namespace {
+
+struct Harness {
+  std::unique_ptr<Toolkit> toolkit;
+  std::unique_ptr<federation::Broker> broker;
+};
+
+Harness make_harness() {
+  Harness h;
+  h.toolkit = std::make_unique<Toolkit>();
+  (void)h.toolkit->add_hpc("alpha", cluster::homogeneous_cluster(2, 16, gib(64)));
+  (void)h.toolkit->add_hpc("beta", cluster::homogeneous_cluster(2, 16, gib(64)));
+  federation::BrokerConfig bc;
+  bc.policy = "heft-sites";
+  h.broker = std::make_unique<federation::Broker>(bc);
+  h.broker->add_site(h.toolkit->describe_environment(0));
+  h.broker->add_site(h.toolkit->describe_environment(1));
+  return h;
+}
+
+std::size_t env_tasks(const CompositeReport& r) {
+  std::size_t n = 0;
+  for (const EnvironmentReport& e : r.environments) n += e.tasks_run;
+  return n;
+}
+
+TEST(ToolkitMultiRun, ConcurrentStartRunsSettleIndependently) {
+  Harness h = make_harness();
+  const wf::Workflow w1 = wf::make_chain(5, Rng(1));
+  const wf::Workflow w2 = wf::make_fork_join(6, Rng(2));
+
+  std::optional<CompositeReport> r1, r2;
+  h.toolkit->start_run(w1, *h.broker,
+                       [&](const CompositeReport& r) { r1 = r; });
+  // The second run arrives while the first is mid-flight: both share the
+  // broker's sites, so its placement sees the first run's backlog.
+  h.toolkit->simulation().schedule_at(50.0, [&]() {
+    h.toolkit->start_run(w2, *h.broker,
+                         [&](const CompositeReport& r) { r2 = r; });
+  });
+  EXPECT_EQ(h.toolkit->active_run_count(), 1u);
+
+  h.toolkit->simulation().run();
+
+  ASSERT_TRUE(r1.has_value());
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_TRUE(r1->success) << r1->error;
+  EXPECT_TRUE(r2->success) << r2->error;
+  EXPECT_EQ(r1->tasks, w1.task_count());
+  EXPECT_EQ(r2->tasks, w2.task_count());
+  // Per-run environment accounting: each report tags exactly its own tasks,
+  // even though both runs executed interleaved on the same clusters.
+  EXPECT_EQ(env_tasks(*r1), w1.task_count());
+  EXPECT_EQ(env_tasks(*r2), w2.task_count());
+  EXPECT_GT(r1->makespan, 0.0);
+  EXPECT_GT(r2->makespan, 0.0);
+  // Everything released: no active runs anywhere.
+  EXPECT_EQ(h.toolkit->active_run_count(), 0u);
+  EXPECT_EQ(h.broker->active_runs(), 0u);
+}
+
+TEST(ToolkitMultiRun, StaggeredRunMeasuresMakespanFromItsOwnStart) {
+  Harness h = make_harness();
+  const wf::Workflow w = wf::make_chain(3, Rng(3));
+  std::optional<CompositeReport> early, late;
+  h.toolkit->start_run(w, *h.broker,
+                       [&](const CompositeReport& r) { early = r; });
+  h.toolkit->simulation().schedule_at(1000.0, [&]() {
+    h.toolkit->start_run(w, *h.broker,
+                         [&](const CompositeReport& r) { late = r; });
+  });
+  h.toolkit->simulation().run();
+  ASSERT_TRUE(early.has_value());
+  ASSERT_TRUE(late.has_value());
+  // The late run's makespan is relative to its arrival at t=1000, not to
+  // simulation time zero — a late submission is not penalised by the clock.
+  EXPECT_LT(late->makespan, 1000.0);
+  EXPECT_GT(late->makespan, 0.0);
+}
+
+TEST(ToolkitMultiRun, SynchronousRunStillWorksAfterAsyncRuns) {
+  Harness h = make_harness();
+  const wf::Workflow wa = wf::make_diamond(Rng(4));
+  std::optional<CompositeReport> ra;
+  h.toolkit->start_run(wa, *h.broker,
+                       [&](const CompositeReport& r) { ra = r; });
+  h.toolkit->simulation().run();
+  ASSERT_TRUE(ra.has_value());
+  EXPECT_TRUE(ra->success);
+
+  // The classic blocking overload keeps working on the same toolkit.
+  const wf::Workflow wb = wf::make_montage_like(8, Rng(5));
+  const CompositeReport rb = h.toolkit->run(wb, *h.broker);
+  EXPECT_TRUE(rb.success) << rb.error;
+  EXPECT_EQ(rb.tasks, wb.task_count());
+  EXPECT_EQ(h.broker->active_runs(), 0u);
+}
+
+TEST(ToolkitMultiRun, FailUnsettledRunsDeliversDeadlockReports) {
+  Harness h = make_harness();
+  const wf::Workflow w = wf::make_chain(4, Rng(6));
+  std::optional<CompositeReport> r;
+  h.toolkit->start_run(w, *h.broker,
+                       [&](const CompositeReport& rep) { r = rep; });
+  // The caller never drives the simulation: from the service's perspective
+  // the event queue drained with tasks still pending. fail_unsettled_runs
+  // settles the run as a deadlock instead of leaving its callback parked.
+  EXPECT_EQ(h.toolkit->fail_unsettled_runs(), 1u);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_FALSE(r->success);
+  EXPECT_NE(r->error.find("deadlock"), std::string::npos) << r->error;
+  EXPECT_EQ(h.toolkit->active_run_count(), 0u);
+  // Idempotent: nothing left to settle.
+  EXPECT_EQ(h.toolkit->fail_unsettled_runs(), 0u);
+}
+
+TEST(ToolkitMultiRun, EmptyWorkflowSettlesThroughTheEventLoop) {
+  Harness h = make_harness();
+  const wf::Workflow w("empty");
+  std::optional<CompositeReport> r;
+  h.toolkit->start_run(w, *h.broker,
+                       [&](const CompositeReport& rep) { r = rep; });
+  EXPECT_FALSE(r.has_value());  // delivery is always asynchronous
+  h.toolkit->simulation().run();
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(r->success);
+  EXPECT_EQ(r->tasks, 0u);
+}
+
+}  // namespace
+}  // namespace hhc::core

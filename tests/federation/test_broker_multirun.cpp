@@ -1,0 +1,171 @@
+// Keyed multi-run broker API: several workflows active at once on one
+// broker, per-run placement/backlog bookkeeping, and the legacy single-run
+// wrappers resolving (or refusing to resolve) the sole active run.
+#include "federation/broker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "support/units.hpp"
+
+namespace hhc::federation {
+namespace {
+
+SiteDescriptor make_site(const std::string& name, EnvironmentId env,
+                         std::size_t nodes = 4, double cores = 16.0) {
+  SiteDescriptor s;
+  s.name = name;
+  s.environment = env;
+  s.nodes = nodes;
+  s.cores_per_node = cores;
+  s.memory_per_node = gib(64);
+  s.location = "loc:" + name;
+  return s;
+}
+
+wf::Workflow one_task(const std::string& name, double runtime = 100.0) {
+  wf::Workflow w(name);
+  wf::TaskSpec spec;
+  spec.name = name + ":t0";
+  spec.base_runtime = runtime;
+  w.add_task(spec);
+  return w;
+}
+
+TEST(BrokerMultiRun, BacklogAggregatesAcrossRunsAndReleasesPerRun) {
+  Broker broker;
+  broker.add_site(make_site("solo", 0));
+  const wf::Workflow w1 = one_task("w1");
+  const wf::Workflow w2 = one_task("w2");
+
+  broker.begin_run(w1, 1);
+  broker.begin_run(w2, 2);
+  EXPECT_EQ(broker.active_runs(), 2u);
+
+  EXPECT_EQ(broker.place(1, 0, 0.0), 0u);
+  const double after_first = broker.backlog_estimate(0);
+  EXPECT_GT(after_first, 0.0);
+  EXPECT_EQ(broker.place(2, 0, 0.0), 0u);
+  // Identical tasks charge identical backlog: placement in run 2 sees run
+  // 1's outstanding work — the cross-run contention signal the service
+  // relies on.
+  EXPECT_DOUBLE_EQ(broker.backlog_estimate(0), 2.0 * after_first);
+
+  broker.end_run(1);  // releases only run 1's share
+  EXPECT_EQ(broker.active_runs(), 1u);
+  EXPECT_DOUBLE_EQ(broker.backlog_estimate(0), after_first);
+  broker.end_run(2);
+  EXPECT_EQ(broker.active_runs(), 0u);
+  EXPECT_DOUBLE_EQ(broker.backlog_estimate(0), 0.0);
+}
+
+TEST(BrokerMultiRun, TaskFinishedReleasesOnlyThatRunsCharge) {
+  Broker broker;
+  broker.add_site(make_site("solo", 0));
+  const wf::Workflow w1 = one_task("w1");
+  const wf::Workflow w2 = one_task("w2");
+  broker.begin_run(w1, 1);
+  broker.begin_run(w2, 2);
+  (void)broker.place(1, 0, 0.0);
+  const double one_share = broker.backlog_estimate(0);
+  (void)broker.place(2, 0, 0.0);
+
+  broker.task_finished(1, 0);
+  EXPECT_DOUBLE_EQ(broker.backlog_estimate(0), one_share);
+  broker.task_finished(2, 0);
+  EXPECT_DOUBLE_EQ(broker.backlog_estimate(0), 0.0);
+  broker.end_run(1);
+  broker.end_run(2);
+}
+
+TEST(BrokerMultiRun, PlacementIsKeyedPerRun) {
+  Broker broker;
+  broker.add_site(make_site("a", 0));
+  broker.add_site(make_site("b", 1));
+  const wf::Workflow w1 = one_task("w1");
+  const wf::Workflow w2 = one_task("w2");
+  broker.begin_run(w1, 10);
+  broker.begin_run(w2, 20);
+
+  (void)broker.place(10, 0, 0.0);
+  EXPECT_NE(broker.placement_of(10, 0), kInvalidSite);
+  // Same TaskId in the other run is a different task — still unplaced.
+  EXPECT_EQ(broker.placement_of(20, 0), kInvalidSite);
+}
+
+TEST(BrokerMultiRun, LegacyApiResolvesSoleRunOnly) {
+  Broker broker;
+  broker.add_site(make_site("solo", 0));
+  const wf::Workflow w1 = one_task("w1");
+  const wf::Workflow w2 = one_task("w2");
+
+  // No active run: the single-run wrappers refuse.
+  EXPECT_THROW(broker.place(0, 0.0), BrokerError);
+
+  broker.begin_run(w1, 1);
+  EXPECT_EQ(broker.place(0, 0.0), 0u);  // sole run resolves implicitly
+
+  broker.begin_run(w2, 2);
+  try {
+    (void)broker.place(0, 0.0);
+    FAIL() << "legacy place() must not guess among several active runs";
+  } catch (const BrokerError& e) {
+    EXPECT_NE(std::string(e.what()).find("ambiguous"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW(broker.end_run(), BrokerError);  // which one? ambiguous too
+
+  broker.end_run(2);
+  EXPECT_NO_THROW(broker.end_run());  // sole survivor again
+  EXPECT_EQ(broker.active_runs(), 0u);
+  EXPECT_NO_THROW(broker.end_run());  // idle end_run() is a no-op
+}
+
+TEST(BrokerMultiRun, TaskFinishedToleratesRetiredAndUnknownRuns) {
+  Broker broker;
+  broker.add_site(make_site("solo", 0));
+  const wf::Workflow w = one_task("w");
+  broker.begin_run(w, 7);
+  (void)broker.place(7, 0, 0.0);
+  broker.end_run(7);
+  // A straggling completion can land after its run ended; never throws.
+  EXPECT_NO_THROW(broker.task_finished(7, 0));
+  EXPECT_NO_THROW(broker.task_finished(99, 0));
+  EXPECT_DOUBLE_EQ(broker.backlog_estimate(0), 0.0);
+}
+
+TEST(BrokerMultiRun, RebeginningAnIdDropsItsStaleBacklog) {
+  Broker broker;
+  broker.add_site(make_site("solo", 0));
+  const wf::Workflow keeper = one_task("keeper");
+  const wf::Workflow rerun = one_task("rerun");
+  broker.begin_run(keeper, 1);
+  (void)broker.place(1, 0, 0.0);
+  const double keeper_share = broker.backlog_estimate(0);
+  broker.begin_run(rerun, 2);
+  (void)broker.place(2, 0, 0.0);
+
+  // Re-beginning id 2 releases its previous charges but must leave run 1's
+  // untouched.
+  broker.begin_run(rerun, 2);
+  EXPECT_DOUBLE_EQ(broker.backlog_estimate(0), keeper_share);
+  EXPECT_EQ(broker.active_runs(), 2u);
+}
+
+TEST(BrokerMultiRun, PlacingForAnUnknownRunThrows) {
+  Broker broker;
+  broker.add_site(make_site("solo", 0));
+  const wf::Workflow w = one_task("w");
+  broker.begin_run(w, 1);
+  try {
+    (void)broker.place(42, 0, 0.0);
+    FAIL() << "unknown workflow id must be rejected";
+  } catch (const BrokerError& e) {
+    EXPECT_NE(std::string(e.what()).find("no active run"), std::string::npos)
+        << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace hhc::federation

@@ -1,0 +1,84 @@
+#include "service/admission.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hhc::service {
+namespace {
+
+TEST(Admission, UnboundedConfigAcceptsEverything) {
+  AdmissionController ctl(AdmissionConfig{});
+  for (int i = 0; i < 100; ++i)
+    EXPECT_EQ(ctl.admit(1000, 100000, 1e9, 0), AdmissionDecision::Accept);
+}
+
+TEST(Admission, ShedsAtPerTenantBound) {
+  AdmissionConfig config;
+  config.max_queue_per_tenant = 4;
+  AdmissionController ctl(config);
+  EXPECT_EQ(ctl.admit(3, 3, 0.0, 0), AdmissionDecision::Accept);
+  EXPECT_EQ(ctl.admit(4, 4, 0.0, 0), AdmissionDecision::Shed);
+  EXPECT_EQ(ctl.admit(9, 9, 0.0, 0), AdmissionDecision::Shed);
+}
+
+TEST(Admission, ShedsAtTotalBound) {
+  AdmissionConfig config;
+  config.max_total_queue = 10;
+  AdmissionController ctl(config);
+  EXPECT_EQ(ctl.admit(0, 9, 0.0, 0), AdmissionDecision::Accept);
+  EXPECT_EQ(ctl.admit(0, 10, 0.0, 0), AdmissionDecision::Shed);
+}
+
+TEST(Admission, DeferAboveHighWatermarkWithHysteresis) {
+  AdmissionConfig config;
+  config.defer_high_watermark = 100.0;
+  config.defer_low_watermark = 50.0;
+  AdmissionController ctl(config);
+
+  EXPECT_EQ(ctl.admit(0, 0, 99.0, 0), AdmissionDecision::Accept);
+  EXPECT_EQ(ctl.admit(0, 0, 100.0, 0), AdmissionDecision::Defer);
+  EXPECT_TRUE(ctl.deferring());
+  // Between the watermarks the controller stays deferring (hysteresis)...
+  EXPECT_EQ(ctl.admit(0, 0, 75.0, 0), AdmissionDecision::Defer);
+  // ...and leaves only below the low watermark.
+  EXPECT_EQ(ctl.admit(0, 0, 50.0, 0), AdmissionDecision::Accept);
+  EXPECT_FALSE(ctl.deferring());
+  // Re-entry needs the high watermark again.
+  EXPECT_EQ(ctl.admit(0, 0, 75.0, 0), AdmissionDecision::Accept);
+}
+
+TEST(Admission, ExhaustedDefersBecomeShed) {
+  AdmissionConfig config;
+  config.defer_high_watermark = 10.0;
+  config.defer_low_watermark = 5.0;
+  config.max_defers = 2;
+  AdmissionController ctl(config);
+  EXPECT_EQ(ctl.admit(0, 0, 20.0, 0), AdmissionDecision::Defer);
+  EXPECT_EQ(ctl.admit(0, 0, 20.0, 1), AdmissionDecision::Defer);
+  EXPECT_EQ(ctl.admit(0, 0, 20.0, 2), AdmissionDecision::Shed);
+}
+
+TEST(Admission, DepthBoundTrumpsDeferral) {
+  AdmissionConfig config;
+  config.max_queue_per_tenant = 2;
+  config.defer_high_watermark = 10.0;
+  config.defer_low_watermark = 5.0;
+  AdmissionController ctl(config);
+  EXPECT_EQ(ctl.admit(2, 2, 20.0, 0), AdmissionDecision::Shed);
+}
+
+TEST(Admission, RejectsInvertedWatermarks) {
+  AdmissionConfig config;
+  config.defer_high_watermark = 10.0;
+  config.defer_low_watermark = 20.0;
+  EXPECT_THROW(AdmissionController{config}, std::invalid_argument);
+}
+
+TEST(Admission, RejectsZeroDeferDelay) {
+  AdmissionConfig config;
+  config.defer_high_watermark = 10.0;
+  config.defer_delay = 0.0;
+  EXPECT_THROW(AdmissionController{config}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hhc::service

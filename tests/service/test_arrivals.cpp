@@ -1,0 +1,147 @@
+#include "service/arrivals.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace hhc::service {
+namespace {
+
+std::vector<SimTime> arrival_times(const ArrivalConfig& config,
+                                   std::uint64_t seed, std::size_t n) {
+  ArrivalProcess p(config, Rng(seed));
+  std::vector<SimTime> times;
+  SimTime t = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    t += p.next_gap(t);
+    times.push_back(t);
+  }
+  return times;
+}
+
+TEST(Arrivals, GapsArePositiveAndStrictlyOrdered) {
+  for (ArrivalModel model :
+       {ArrivalModel::Poisson, ArrivalModel::Burst, ArrivalModel::Diurnal}) {
+    ArrivalConfig config;
+    config.model = model;
+    config.rate = 1.0 / 60.0;
+    const auto times = arrival_times(config, 7, 200);
+    SimTime prev = 0.0;
+    for (SimTime t : times) {
+      EXPECT_GT(t, prev);
+      prev = t;
+    }
+  }
+}
+
+TEST(Arrivals, SameSeedSameSchedule) {
+  for (ArrivalModel model :
+       {ArrivalModel::Poisson, ArrivalModel::Burst, ArrivalModel::Diurnal}) {
+    ArrivalConfig config;
+    config.model = model;
+    config.rate = 1.0 / 120.0;
+    const auto a = arrival_times(config, 42, 300);
+    const auto b = arrival_times(config, 42, 300);
+    EXPECT_EQ(a, b) << "model " << static_cast<int>(model);
+    const auto c = arrival_times(config, 43, 300);
+    EXPECT_NE(a, c) << "model " << static_cast<int>(model);
+  }
+}
+
+TEST(Arrivals, PoissonMeanGapApproximatesInverseRate) {
+  ArrivalConfig config;
+  config.rate = 0.05;  // mean gap 20s
+  const std::size_t n = 20000;
+  const auto times = arrival_times(config, 11, n);
+  const double mean_gap = times.back() / static_cast<double>(n);
+  EXPECT_NEAR(mean_gap, 20.0, 1.0);
+}
+
+TEST(Arrivals, BurstLongRunRateMatchesConfigured) {
+  ArrivalConfig config;
+  config.model = ArrivalModel::Burst;
+  config.rate = 0.05;
+  config.burst_factor = 6.0;
+  config.burst_fraction = 0.15;
+  config.phase_mean = 400.0;
+  const std::size_t n = 50000;
+  const auto times = arrival_times(config, 3, n);
+  const double observed_rate = static_cast<double>(n) / times.back();
+  EXPECT_NEAR(observed_rate, 0.05, 0.005);
+}
+
+TEST(Arrivals, BurstProducesHeavierTailThanPoisson) {
+  // The MMPP's gap variance exceeds the exponential's (coefficient of
+  // variation > 1) — that's the whole point of the burst model.
+  ArrivalConfig burst;
+  burst.model = ArrivalModel::Burst;
+  burst.rate = 0.05;
+  burst.burst_factor = 10.0;
+  burst.burst_fraction = 0.1;
+  burst.phase_mean = 2000.0;
+  const auto times = arrival_times(burst, 9, 30000);
+  double mean = 0.0, m2 = 0.0;
+  SimTime prev = 0.0;
+  std::vector<double> gaps;
+  for (SimTime t : times) {
+    gaps.push_back(t - prev);
+    prev = t;
+  }
+  for (double g : gaps) mean += g;
+  mean /= static_cast<double>(gaps.size());
+  for (double g : gaps) m2 += (g - mean) * (g - mean);
+  const double cv = std::sqrt(m2 / static_cast<double>(gaps.size())) / mean;
+  EXPECT_GT(cv, 1.15);
+}
+
+TEST(Arrivals, DiurnalLongRunRateMatchesConfigured) {
+  ArrivalConfig config;
+  config.model = ArrivalModel::Diurnal;
+  config.rate = 0.05;
+  config.period = 3600.0;
+  config.diurnal_depth = 0.8;
+  const std::size_t n = 50000;
+  const auto times = arrival_times(config, 5, n);
+  const double observed_rate = static_cast<double>(n) / times.back();
+  EXPECT_NEAR(observed_rate, 0.05, 0.005);
+}
+
+TEST(Arrivals, DiurnalPeakExceedsTrough) {
+  ArrivalConfig config;
+  config.model = ArrivalModel::Diurnal;
+  config.rate = 0.1;
+  config.period = 10000.0;
+  config.diurnal_depth = 0.9;
+  const auto times = arrival_times(config, 13, 40000);
+  // Bucket arrivals by phase: the sin-peak half-period must collect more
+  // than the trough half.
+  std::size_t peak = 0, trough = 0;
+  for (SimTime t : times) {
+    const double phase = std::fmod(t, config.period) / config.period;
+    if (phase < 0.5)
+      ++peak;  // sin positive half
+    else
+      ++trough;
+  }
+  EXPECT_GT(static_cast<double>(peak), 1.5 * static_cast<double>(trough));
+}
+
+TEST(Arrivals, RejectsInvalidConfigs) {
+  ArrivalConfig bad;
+  bad.rate = 0.0;
+  EXPECT_THROW(ArrivalProcess(bad, Rng(1)), std::invalid_argument);
+
+  ArrivalConfig burst;
+  burst.model = ArrivalModel::Burst;
+  burst.burst_factor = 0.5;
+  EXPECT_THROW(ArrivalProcess(burst, Rng(1)), std::invalid_argument);
+
+  ArrivalConfig diurnal;
+  diurnal.model = ArrivalModel::Diurnal;
+  diurnal.diurnal_depth = 1.5;
+  EXPECT_THROW(ArrivalProcess(diurnal, Rng(1)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hhc::service

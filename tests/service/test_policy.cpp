@@ -1,0 +1,86 @@
+#include "service/policy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hhc::service {
+namespace {
+
+Candidate cand(const std::string& tenant, std::size_t seq, int priority = 0) {
+  Candidate c;
+  c.tenant = tenant;
+  c.head_seq = seq;
+  c.head_enqueued = static_cast<SimTime>(seq);
+  c.priority = priority;
+  return c;
+}
+
+TEST(PolicyFactory, MakesAllThreeAndRejectsUnknown) {
+  EXPECT_EQ(make_policy("fifo")->name(), "fifo");
+  EXPECT_EQ(make_policy("fair-share")->name(), "fair-share");
+  EXPECT_EQ(make_policy("priority")->name(), "priority");
+  EXPECT_THROW(make_policy("round-robin"), std::invalid_argument);
+}
+
+TEST(FifoPolicy, PicksGloballyEarliestSubmission) {
+  auto p = make_policy("fifo");
+  const std::vector<Candidate> c = {cand("b", 7), cand("a", 3), cand("c", 5)};
+  EXPECT_EQ(p->pick(c), 1u);
+}
+
+TEST(FifoPolicy, IgnoresUsageFeedback) {
+  auto p = make_policy("fifo");
+  p->on_launch("a", 1e9);  // no-op for fifo
+  const std::vector<Candidate> c = {cand("a", 1), cand("b", 2)};
+  EXPECT_EQ(p->pick(c), 0u);
+}
+
+TEST(FairSharePolicy, PrefersTenantWithLeastConsumption) {
+  auto p = make_policy("fair-share");
+  p->on_launch("heavy", 1000.0);
+  p->on_launch("light", 10.0);
+  const std::vector<Candidate> c = {cand("heavy", 1), cand("light", 2)};
+  EXPECT_EQ(p->pick(c), 1u);
+}
+
+TEST(FairSharePolicy, CompletionCorrectsTheLaunchEstimate) {
+  auto p = make_policy("fair-share");
+  p->on_launch("a", 1000.0);  // estimate
+  p->on_launch("b", 400.0);
+  // a's run actually consumed only 100 core-seconds: after correction a is
+  // the lighter tenant again.
+  p->on_complete("a", 1000.0, 100.0);
+  const std::vector<Candidate> c = {cand("b", 1), cand("a", 2)};
+  EXPECT_EQ(p->pick(c), 1u);
+}
+
+TEST(FairSharePolicy, WeightsScaleEntitlement) {
+  auto p = make_policy("fair-share");
+  p->set_weight("paid", 4.0);
+  p->set_weight("free", 1.0);
+  p->on_launch("paid", 400.0);  // normalized 100
+  p->on_launch("free", 200.0);  // normalized 200
+  const std::vector<Candidate> c = {cand("free", 1), cand("paid", 2)};
+  EXPECT_EQ(p->pick(c), 1u);
+}
+
+TEST(FairSharePolicy, TieBreaksByCandidateOrder) {
+  auto p = make_policy("fair-share");
+  const std::vector<Candidate> c = {cand("z", 9), cand("a", 1)};
+  EXPECT_EQ(p->pick(c), 0u);  // equal usage: first candidate wins
+}
+
+TEST(PriorityPolicy, HigherTierAlwaysFirst) {
+  auto p = make_policy("priority");
+  const std::vector<Candidate> c = {cand("batch", 1, 0), cand("urgent", 9, 5)};
+  EXPECT_EQ(p->pick(c), 1u);
+}
+
+TEST(PriorityPolicy, FifoWithinTier) {
+  auto p = make_policy("priority");
+  const std::vector<Candidate> c = {cand("a", 4, 2), cand("b", 2, 2),
+                                    cand("c", 6, 2)};
+  EXPECT_EQ(p->pick(c), 1u);
+}
+
+}  // namespace
+}  // namespace hhc::service

@@ -1,0 +1,223 @@
+#include "service/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "obs/exporters.hpp"
+
+namespace hhc::service {
+namespace {
+
+struct Harness {
+  std::unique_ptr<core::Toolkit> toolkit;
+  std::unique_ptr<federation::Broker> broker;
+};
+
+Harness make_harness(std::uint64_t seed = 42) {
+  Harness h;
+  core::ToolkitConfig config;
+  config.seed = seed;
+  h.toolkit = std::make_unique<core::Toolkit>(config);
+  (void)h.toolkit->add_hpc("alpha", cluster::homogeneous_cluster(2, 16, gib(64)));
+  (void)h.toolkit->add_hpc("beta", cluster::homogeneous_cluster(2, 16, gib(64)));
+  federation::BrokerConfig bc;
+  bc.policy = "heft-sites";
+  h.broker = std::make_unique<federation::Broker>(bc);
+  h.broker->add_site(h.toolkit->describe_environment(0));
+  h.broker->add_site(h.toolkit->describe_environment(1));
+  return h;
+}
+
+TenantConfig small_tenant(const std::string& name, double rate,
+                          std::size_t max_submissions) {
+  TenantConfig tc;
+  tc.name = name;
+  tc.arrivals.rate = rate;
+  tc.workload.shapes = {"chain", "fork-join"};
+  tc.workload.scale = 3;
+  tc.workload.params.runtime_mean = 60.0;
+  tc.workload.params.data_mean = mib(16);
+  tc.max_submissions = max_submissions;
+  return tc;
+}
+
+ServiceConfig small_config() {
+  ServiceConfig config;
+  config.seed = 7;
+  config.horizon = 6 * 3600.0;
+  config.policy = "fair-share";
+  config.run_slots = 3;
+  config.tenants = {small_tenant("ana", 1.0 / 400.0, 6),
+                    small_tenant("bob", 1.0 / 500.0, 6)};
+  return config;
+}
+
+/// Metrics CSV with host wall-clock families removed: *_us histograms
+/// measure real microseconds (scheduler-pass profiling), not simulation
+/// time, so they vary run to run. Everything else must match bytewise.
+std::string sim_metrics_csv(const obs::MetricsSnapshot& snapshot) {
+  std::istringstream in(obs::metrics_csv(snapshot));
+  std::ostringstream out;
+  std::string line;
+  while (std::getline(in, line))
+    if (line.find("_us,") == std::string::npos) out << line << '\n';
+  return out.str();
+}
+
+/// Canonical textual schedule: one line per submission, every lifecycle
+/// timestamp included — byte-equality is the determinism contract.
+std::string schedule_string(const WorkflowService& service) {
+  std::ostringstream out;
+  out.precision(17);
+  for (const Submission& sub : service.submissions()) {
+    out << sub.seq << ' ' << sub.tenant << ' ' << sub.workflow.name() << ' '
+        << sub.workflow.task_count() << ' ' << static_cast<int>(sub.state)
+        << ' ' << sub.arrived << ' ' << sub.enqueued << ' ' << sub.launched
+        << ' ' << sub.finished << ' ' << sub.defers << ' '
+        << sub.consumed_core_seconds << '\n';
+  }
+  return out.str();
+}
+
+TEST(WorkflowService, RunsAllSubmissionsToCompletion) {
+  Harness h = make_harness();
+  WorkflowService service(*h.toolkit, *h.broker, small_config());
+  const ServiceReport report = service.run();
+
+  EXPECT_EQ(report.submitted, 12u);
+  EXPECT_EQ(report.completed, 12u);
+  EXPECT_EQ(report.failed, 0u);
+  EXPECT_EQ(report.shed, 0u);
+  EXPECT_GT(report.makespan, 0.0);
+  ASSERT_EQ(report.tenants.size(), 2u);
+  for (const TenantReport& tr : report.tenants) {
+    EXPECT_EQ(tr.completed, 6u);
+    EXPECT_GT(tr.consumed_core_seconds, 0.0);
+    EXPECT_DOUBLE_EQ(tr.goodput_core_seconds, tr.consumed_core_seconds);
+    EXPECT_GE(tr.stretch_p95, tr.stretch_mean * 0.99);
+    EXPECT_GE(tr.stretch_mean, 1.0);  // nothing beats the ideal lower bound
+  }
+  // Broker fully released: no runs, no stale backlog.
+  EXPECT_EQ(h.broker->active_runs(), 0u);
+  EXPECT_EQ(h.toolkit->active_run_count(), 0u);
+}
+
+TEST(WorkflowService, SameSeedByteIdenticalScheduleAndMetrics) {
+  Harness h1 = make_harness();
+  WorkflowService s1(*h1.toolkit, *h1.broker, small_config());
+  (void)s1.run();
+  const std::string sched1 = schedule_string(s1);
+  const std::string csv1 = sim_metrics_csv(h1.toolkit->observer().snapshot());
+
+  Harness h2 = make_harness();
+  WorkflowService s2(*h2.toolkit, *h2.broker, small_config());
+  (void)s2.run();
+
+  EXPECT_EQ(sched1, schedule_string(s2));
+  EXPECT_EQ(csv1, sim_metrics_csv(h2.toolkit->observer().snapshot()));
+  EXPECT_NE(sched1.find("ana"), std::string::npos);
+}
+
+TEST(WorkflowService, DifferentSeedDifferentSchedule) {
+  Harness h1 = make_harness();
+  WorkflowService s1(*h1.toolkit, *h1.broker, small_config());
+  (void)s1.run();
+
+  ServiceConfig other = small_config();
+  other.seed = 8;
+  Harness h2 = make_harness();
+  WorkflowService s2(*h2.toolkit, *h2.broker, other);
+  (void)s2.run();
+
+  EXPECT_NE(schedule_string(s1), schedule_string(s2));
+}
+
+TEST(WorkflowService, ExportsServiceMetricFamilies) {
+  Harness h = make_harness();
+  WorkflowService service(*h.toolkit, *h.broker, small_config());
+  (void)service.run();
+  const std::string csv = obs::metrics_csv(h.toolkit->observer().snapshot());
+  for (const char* family :
+       {"service.submitted", "service.admitted", "service.completed",
+        "service.queue_time", "service.stretch", "service.queue_depth",
+        "service.running"}) {
+    EXPECT_NE(csv.find(family), std::string::npos) << family;
+  }
+  // Per-tenant labels ride along.
+  EXPECT_NE(csv.find("ana"), std::string::npos);
+  EXPECT_NE(csv.find("bob"), std::string::npos);
+}
+
+TEST(WorkflowService, BoundedQueueShedsUnderOverload) {
+  Harness h = make_harness();
+  ServiceConfig config = small_config();
+  // Flood: one tenant submitting far faster than the slots drain.
+  config.tenants = {small_tenant("flood", 1.0 / 20.0, 40)};
+  config.run_slots = 1;
+  config.admission.max_queue_per_tenant = 3;
+  WorkflowService service(*h.toolkit, *h.broker, config);
+  const ServiceReport report = service.run();
+
+  ASSERT_EQ(report.tenants.size(), 1u);
+  const TenantReport& tr = report.tenants[0];
+  EXPECT_EQ(tr.submitted, 40u);
+  EXPECT_GT(tr.shed, 0u);
+  EXPECT_LE(tr.max_queue_depth, 3u);
+  EXPECT_NEAR(tr.shed_rate,
+              static_cast<double>(tr.shed) / static_cast<double>(tr.submitted),
+              1e-12);
+  EXPECT_EQ(tr.admitted + tr.shed, tr.submitted);
+}
+
+TEST(WorkflowService, DeferBackpressureDelaysAdmission) {
+  Harness h = make_harness();
+  ServiceConfig config = small_config();
+  config.tenants = {small_tenant("burst", 1.0 / 30.0, 20)};
+  config.run_slots = 1;
+  // Thresholds sized to the harness: 64 federation cores drain a ~200
+  // core-second workflow in ~3 backlog-seconds, so a 10s watermark trips
+  // once a handful of submissions stack up behind the single run slot.
+  config.admission.defer_high_watermark = 10.0;
+  config.admission.defer_low_watermark = 2.0;
+  config.admission.defer_delay = 300.0;
+  config.admission.max_defers = 100;  // defer, don't shed
+  WorkflowService service(*h.toolkit, *h.broker, config);
+  const ServiceReport report = service.run();
+
+  ASSERT_EQ(report.tenants.size(), 1u);
+  EXPECT_GT(report.tenants[0].defer_events, 0u);
+  EXPECT_EQ(report.tenants[0].shed, 0u);
+  EXPECT_EQ(report.tenants[0].completed + report.tenants[0].failed,
+            report.tenants[0].admitted);
+}
+
+TEST(WorkflowService, TenantQuotaCapsConcurrency) {
+  Harness h = make_harness();
+  ServiceConfig config = small_config();
+  config.policy = "priority";
+  config.run_slots = 4;
+  TenantConfig quota = small_tenant("capped", 1.0 / 30.0, 10);
+  quota.max_running = 1;
+  config.tenants = {quota};
+  WorkflowService service(*h.toolkit, *h.broker, config);
+  const ServiceReport report = service.run();
+
+  const TenantReport& tr = report.tenants.at(0);
+  EXPECT_EQ(tr.completed, 10u);
+  // With one running slot by quota and 4 service slots, queueing is forced:
+  // later submissions wait even though slots are free.
+  EXPECT_GT(tr.queue_time_p95, 0.0);
+}
+
+TEST(WorkflowService, RunIsOneShot) {
+  Harness h = make_harness();
+  WorkflowService service(*h.toolkit, *h.broker, small_config());
+  (void)service.run();
+  EXPECT_THROW(service.run(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace hhc::service

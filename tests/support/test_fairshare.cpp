@@ -1,0 +1,98 @@
+#include "support/fairshare.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace hhc {
+namespace {
+
+TEST(FairShareLedger, UsageAccumulatesAndFloorsAtZero) {
+  FairShareLedger shares;
+  EXPECT_DOUBLE_EQ(shares.usage("a"), 0.0);
+  shares.charge("a", 10.0);
+  shares.charge("a", 5.0);
+  EXPECT_DOUBLE_EQ(shares.usage("a"), 15.0);
+  shares.charge("a", -20.0);  // correction larger than usage floors at zero
+  EXPECT_DOUBLE_EQ(shares.usage("a"), 0.0);
+}
+
+TEST(FairShareLedger, DefaultWeightIsOne) {
+  FairShareLedger shares;
+  EXPECT_DOUBLE_EQ(shares.weight_of("anyone"), 1.0);
+  shares.charge("anyone", 8.0);
+  EXPECT_DOUBLE_EQ(shares.normalized_usage("anyone"), 8.0);
+}
+
+TEST(FairShareLedger, WeightDividesNormalizedUsage) {
+  FairShareLedger shares;
+  shares.set_weight("heavy", 4.0);
+  shares.charge("heavy", 8.0);
+  shares.charge("light", 4.0);
+  // heavy consumed twice as much but holds 4x the weight: it is the less
+  // loaded key in normalized terms.
+  EXPECT_DOUBLE_EQ(shares.normalized_usage("heavy"), 2.0);
+  EXPECT_DOUBLE_EQ(shares.normalized_usage("light"), 4.0);
+}
+
+TEST(FairShareLedger, RejectsNonPositiveWeight) {
+  FairShareLedger shares;
+  EXPECT_THROW(shares.set_weight("a", 0.0), std::invalid_argument);
+  EXPECT_THROW(shares.set_weight("a", -1.0), std::invalid_argument);
+}
+
+TEST(FairShareLedger, PickMinSelectsLeastLoadedKey) {
+  FairShareLedger shares;
+  shares.charge("a", 10.0);
+  shares.charge("b", 2.0);
+  shares.charge("c", 5.0);
+  const std::vector<std::string> queue = {"a", "b", "c"};
+  const auto it =
+      shares.pick_min(queue.begin(), queue.end(),
+                      [](const std::string& s) -> const std::string& { return s; });
+  ASSERT_NE(it, queue.end());
+  EXPECT_EQ(*it, "b");
+}
+
+TEST(FairShareLedger, PickMinTiesKeepEarliestElement) {
+  FairShareLedger shares;  // everyone at zero usage: all tied
+  const std::vector<std::string> queue = {"z", "m", "a"};
+  const auto it =
+      shares.pick_min(queue.begin(), queue.end(),
+                      [](const std::string& s) -> const std::string& { return s; });
+  ASSERT_NE(it, queue.end());
+  EXPECT_EQ(*it, "z");  // queue order, not key order, breaks the tie
+}
+
+TEST(FairShareLedger, PickMinEmptyRangeReturnsEnd) {
+  FairShareLedger shares;
+  const std::vector<std::string> queue;
+  EXPECT_EQ(shares.pick_min(queue.begin(), queue.end(),
+                            [](const std::string& s) { return s; }),
+            queue.end());
+}
+
+TEST(FairShareLedger, PickMinRespectsWeights) {
+  FairShareLedger shares;
+  shares.set_weight("heavy", 10.0);
+  shares.charge("heavy", 10.0);  // normalized 1.0
+  shares.charge("light", 2.0);   // normalized 2.0
+  const std::vector<std::string> queue = {"light", "heavy"};
+  const auto it =
+      shares.pick_min(queue.begin(), queue.end(),
+                      [](const std::string& s) -> const std::string& { return s; });
+  EXPECT_EQ(*it, "heavy");
+}
+
+TEST(FairShareLedger, ClearUsageResetsButKeepsWeights) {
+  FairShareLedger shares;
+  shares.set_weight("a", 2.0);
+  shares.charge("a", 6.0);
+  shares.clear_usage();
+  EXPECT_DOUBLE_EQ(shares.usage("a"), 0.0);
+  EXPECT_DOUBLE_EQ(shares.weight_of("a"), 2.0);
+}
+
+}  // namespace
+}  // namespace hhc
