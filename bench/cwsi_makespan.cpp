@@ -75,11 +75,18 @@ int main() {
   std::cout << "cluster: 4x (slow 0.6x / medium 1.0x / fast 1.6x), interleaved;\n"
                "3 concurrent workflow instances per case; baseline: fifo-fit\n\n";
 
-  const std::vector<std::string> shapes = {"chain", "forkjoin", "scattergather",
-                                           "montage", "lanes", "random"};
+  // HHC_BENCH_SMOKE: fewer shapes and one seed for CI latency; the full
+  // sweep is what reproduces the paper's 10.8% average.
+  const bool smoke = env_flag("HHC_BENCH_SMOKE");
+  const std::vector<std::string> shapes =
+      smoke ? std::vector<std::string>{"chain", "forkjoin", "random"}
+            : std::vector<std::string>{"chain",   "forkjoin", "scattergather",
+                                       "montage", "lanes",    "random"};
   const std::vector<std::string> strategies = {
       "cws-rank", "cws-filesize", "cws-heft", "cws-tarema", "cws-datalocality"};
-  const std::vector<std::uint64_t> seeds = {11, 23, 37};
+  const std::vector<std::uint64_t> seeds =
+      smoke ? std::vector<std::uint64_t>{11}
+            : std::vector<std::uint64_t>{11, 23, 37};
 
   struct Case {
     std::string shape, strategy;

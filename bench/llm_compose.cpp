@@ -6,6 +6,7 @@
 //   (b) token usage vs composed workflow length and where the budget breaks
 //       (limitation 2).
 #include <iostream>
+#include <vector>
 
 #include "llm/agents.hpp"
 #include "llm/conversation.hpp"
@@ -101,12 +102,17 @@ Rates measure(double miscall, double malformed, int trials) {
 int main() {
   std::cout << "=== E10: LLM-composed workflows (Phyloflow, paper section 2) ===\n\n";
 
-  std::cout << "--- (a) success rate vs injected model error rate (50 trials) ---\n";
+  // HHC_BENCH_SMOKE: fewer trials and shorter chains for CI latency.
+  const bool smoke = env_flag("HHC_BENCH_SMOKE");
+  const int trials = smoke ? 8 : 50;
+
+  std::cout << "--- (a) success rate vs injected model error rate ("
+            << trials << " trials) ---\n";
   TextTable t;
   t.header({"miscall p", "malformed p", "prototype (2.1)", "+error fwd",
             "agents (2.2)", "repairs/run"});
   for (double p : {0.0, 0.1, 0.2, 0.4}) {
-    const Rates r = measure(p, p / 2, 50);
+    const Rates r = measure(p, p / 2, trials);
     t.row({fmt_fixed(p, 2), fmt_fixed(p / 2, 2), fmt_pct(r.prototype),
            fmt_pct(r.forwarded), fmt_pct(r.agents),
            fmt_fixed(r.repairs_mean, 2)});
@@ -120,7 +126,10 @@ int main() {
   TextTable tokens;
   tokens.header({"chain steps", "peak prompt tokens", "fits 4k?", "fits 16k?"});
   std::size_t break4 = 0, break16 = 0;
-  for (std::size_t steps : {2u, 4u, 8u, 16u, 32u, 64u}) {
+  const std::vector<std::size_t> chain_steps =
+      smoke ? std::vector<std::size_t>{2, 4, 8, 16}
+            : std::vector<std::size_t>{2, 4, 8, 16, 32, 64};
+  for (std::size_t steps : chain_steps) {
     sim::Simulation sim;
     llm::FutureStore futures;
     llm::FunctionRegistry registry;
@@ -154,7 +163,10 @@ int main() {
   TextTable h;
   h.header({"chain steps", "flat peak tokens", "hierarchical peak (seg=8)",
             "hierarchical ok?"});
-  for (std::size_t steps : {16u, 32u, 64u, 128u}) {
+  const std::vector<std::size_t> deep_steps =
+      smoke ? std::vector<std::size_t>{16, 32}
+            : std::vector<std::size_t>{16, 32, 64, 128};
+  for (std::size_t steps : deep_steps) {
     // Flat peak (unbounded budget, measurement only).
     std::size_t flat_peak = 0;
     {

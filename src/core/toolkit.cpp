@@ -131,6 +131,44 @@ CompositeReport Toolkit::run(const wf::Workflow& workflow,
   return run_impl(workflow, nullptr, &broker);
 }
 
+namespace {
+void check_rewrites(const wf::Workflow& workflow,
+                    const wf::opt::RewriteLog& rewrites) {
+  if (rewrites.optimized_task_count() != workflow.task_count())
+    throw std::invalid_argument(
+        "rewrite log does not describe this workflow (" +
+        std::to_string(rewrites.optimized_task_count()) + " tasks vs " +
+        std::to_string(workflow.task_count()) + ")");
+}
+}  // namespace
+
+CompositeReport Toolkit::run(const wf::Workflow& workflow, EnvironmentId env,
+                             const wf::opt::RewriteLog& rewrites) {
+  return run(workflow, std::vector<EnvironmentId>(workflow.task_count(), env),
+             rewrites);
+}
+
+CompositeReport Toolkit::run(const wf::Workflow& workflow,
+                             const std::vector<EnvironmentId>& assignment,
+                             const wf::opt::RewriteLog& rewrites) {
+  workflow.validate();
+  check_rewrites(workflow, rewrites);
+  if (assignment.size() != workflow.task_count())
+    throw std::invalid_argument("assignment size != task count");
+  for (EnvironmentId e : assignment)
+    if (e >= envs_.size()) throw std::out_of_range("bad environment id");
+  return run_impl(workflow, &assignment, nullptr, &rewrites);
+}
+
+CompositeReport Toolkit::run(const wf::Workflow& workflow,
+                             federation::Broker& broker,
+                             const wf::opt::RewriteLog& rewrites) {
+  workflow.validate();
+  check_rewrites(workflow, rewrites);
+  bind_broker(broker);
+  return run_impl(workflow, nullptr, &broker, &rewrites);
+}
+
 Toolkit::RunState& Toolkit::make_run_state(
     const wf::Workflow& workflow, const std::vector<EnvironmentId>* assignment,
     federation::Broker* broker) {
@@ -185,9 +223,11 @@ void Toolkit::build_env_reports(RunState& state) {
 
 CompositeReport Toolkit::run_impl(const wf::Workflow& workflow,
                                   const std::vector<EnvironmentId>* assignment,
-                                  federation::Broker* broker) {
+                                  federation::Broker* broker,
+                                  const wf::opt::RewriteLog* rewrites) {
   HHC_PROF_SCOPE("toolkit.run");
   RunState& state = make_run_state(workflow, assignment, broker);
+  state.rewrites = rewrites;
   state.record_forensics = config_.forensics.enabled;
   const SimTime start = state.start;
   // Fresh fabric state per run: caches first (they unwind their catalog
@@ -660,6 +700,107 @@ void Toolkit::launch_hedge(RunState& state, wf::TaskId task) {
                });
 }
 
+wf::TaskId Toolkit::record_constituents(RunState& state, wf::TaskId task,
+                                        const cluster::JobRecord& rec,
+                                        const Environment& env) {
+  const wf::Workflow& orig = state.rewrites->original();
+  const std::vector<wf::TaskId>& members = state.rewrites->constituents(task);
+  const bool attempt_failed = rec.state != cluster::JobState::Completed;
+
+  // An attempt that never reached a node leaves one aggregate record, exactly
+  // like the plain path: there is no interval to apportion.
+  if (rec.allocation.empty()) {
+    cws::TaskProvenance p;
+    p.task_id = task;
+    p.task_name = rec.request.name;
+    p.kind = rec.request.kind;
+    p.input_bytes = rec.request.input_bytes;
+    p.output_bytes = rec.request.output_bytes;
+    p.submit_time = rec.submit_time;
+    p.start_time = rec.start_time;
+    p.finish_time = rec.finish_time;
+    p.node_speed = rec.speed;
+    p.failed = attempt_failed;
+    p.environment = env.name;
+    provenance_.record(p);
+    if (!p.failed) predictor_->observe(p);
+    return wf::kInvalidTask;
+  }
+  const std::string node_class =
+      env.cluster->node_class(rec.allocation.claims[0].node).name;
+
+  // Apportion the attempt interval by the constituents' base runtimes (equal
+  // shares when the originals carry none).
+  std::vector<double> weight;
+  weight.reserve(members.size());
+  double total = 0.0;
+  for (wf::TaskId c : members) {
+    weight.push_back(orig.task(c).base_runtime);
+    total += weight.back();
+  }
+  if (total <= 0.0) {
+    weight.assign(members.size(), 1.0);
+    total = static_cast<double>(members.size());
+  }
+
+  const auto record_one = [&](wf::TaskId c, SimTime start, SimTime finish,
+                              bool failed) {
+    const wf::TaskSpec& spec = orig.task(c);
+    cws::TaskProvenance p;
+    p.task_id = c;
+    p.task_name = spec.name;
+    p.kind = spec.kind;
+    p.input_bytes = orig.total_input_bytes(c);
+    p.output_bytes = spec.output_bytes;
+    p.submit_time = rec.submit_time;
+    p.start_time = start;
+    p.finish_time = finish;
+    p.node_speed = rec.speed;
+    p.failed = failed;
+    p.environment = env.name;
+    p.node_class = node_class;
+    provenance_.record(p);
+    if (!failed) predictor_->observe(p);
+  };
+
+  const double elapsed = rec.finish_time - rec.start_time;
+  if (!attempt_failed) {
+    // Completed: split the measured interval proportionally; the last
+    // boundary is exactly the job's finish time so the pieces tile it.
+    SimTime cursor = rec.start_time;
+    double cum = 0.0;
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      cum += weight[i];
+      const SimTime finish = (i + 1 == members.size())
+                                 ? rec.finish_time
+                                 : rec.start_time + elapsed * (cum / total);
+      record_one(members[i], cursor, finish, false);
+      cursor = finish;
+    }
+    return wf::kInvalidTask;
+  }
+
+  // Died mid-run: constituents are sequential, so walk their nominal
+  // durations at the attempt's node speed. Everything that fit inside the
+  // elapsed interval completed; the constituent holding the failure instant
+  // takes the blame; anything after it never started and leaves no record.
+  const double speed = rec.speed > 0.0 ? rec.speed : 1.0;
+  SimTime cursor = rec.start_time;
+  double cum = 0.0;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    const double d = weight[i] / speed;
+    if (cum + d <= elapsed && i + 1 < members.size()) {
+      record_one(members[i], cursor, cursor + d, false);
+      cursor += d;
+      cum += d;
+      continue;
+    }
+    record_one(members[i], cursor, rec.finish_time, true);
+    return members[i];
+  }
+  return members.back();  // unreachable: the loop always blames someone
+}
+
 void Toolkit::on_attempt_complete(RunState& state, wf::TaskId task,
                                   const cluster::JobRecord& rec, bool hedge) {
   HHC_PROF_SCOPE("toolkit.on_attempt_complete");
@@ -703,23 +844,32 @@ void Toolkit::on_attempt_complete(RunState& state, wf::TaskId task,
   const bool cancelled = rec.state == cluster::JobState::Cancelled;
   const bool superseded =
       cancelled && rec.failure_reason.find("superseded") != std::string::npos;
+  // When the attempt ran a fused/clustered task and failed, this names the
+  // constituent that was executing when the attempt died (blame target).
+  wf::TaskId blamed = wf::kInvalidTask;
   if (!cancelled) {
-    cws::TaskProvenance p;
-    p.task_id = task;
-    p.task_name = rec.request.name;
-    p.kind = rec.request.kind;
-    p.input_bytes = rec.request.input_bytes;
-    p.output_bytes = rec.request.output_bytes;
-    p.submit_time = rec.submit_time;
-    p.start_time = rec.start_time;
-    p.finish_time = rec.finish_time;
-    p.node_speed = rec.speed;
-    p.failed = rec.state != cluster::JobState::Completed;
-    p.environment = env.name;
-    if (!rec.allocation.empty())
-      p.node_class = env.cluster->node_class(rec.allocation.claims[0].node).name;
-    provenance_.record(p);
-    if (!p.failed) predictor_->observe(p);
+    if (state.rewrites && state.rewrites->fused(task)) {
+      blamed = record_constituents(state, task, rec, env);
+    } else {
+      cws::TaskProvenance p;
+      p.task_id = task;
+      p.task_name = rec.request.name;
+      p.kind = rec.request.kind;
+      p.input_bytes = rec.request.input_bytes;
+      p.output_bytes = rec.request.output_bytes;
+      p.submit_time = rec.submit_time;
+      p.start_time = rec.start_time;
+      p.finish_time = rec.finish_time;
+      p.node_speed = rec.speed;
+      p.failed = rec.state != cluster::JobState::Completed;
+      p.environment = env.name;
+      if (!rec.allocation.empty())
+        p.node_class =
+            env.cluster->node_class(rec.allocation.claims[0].node).name;
+      provenance_.record(p);
+      if (!p.failed) predictor_->observe(p);
+    }
+    const bool attempt_failed = rec.state != cluster::JobState::Completed;
 
     if (obs_.on()) {
       // Retroactive task span: the job record bounds the real interval.
@@ -729,8 +879,8 @@ void Toolkit::on_attempt_complete(RunState& state, wf::TaskId task,
       obs_.span_attr(span, "kind", rec.request.kind);
       obs_.span_attr(span, "env", env.name);
       obs_.end_span(rec.finish_time, span);
-      obs_.count(sim_.now(),
-                 p.failed ? "toolkit.tasks_failed" : "toolkit.tasks_completed");
+      obs_.count(sim_.now(), attempt_failed ? "toolkit.tasks_failed"
+                                            : "toolkit.tasks_completed");
     }
 
     if (state.broker) {
@@ -775,6 +925,19 @@ void Toolkit::on_attempt_complete(RunState& state, wf::TaskId task,
     }
   }
 
+  // A fused attempt that died mid-run is blamed on the constituent that was
+  // executing; the ledger detail and failure classification both carry it.
+  // Corrupt outputs are detected at stage-out, after every constituent ran,
+  // so they carry no constituent blame.
+  if (!success && !corrupt && blamed != wf::kInvalidTask) {
+    reason += " (constituent '" +
+              state.rewrites->original().task(blamed).name + "')";
+    ++state.report.constituent_failures;
+    if (obs_.on())
+      obs_.count(sim_.now(), "opt.constituent_failures",
+                 state.rewrites->original().task(blamed).kind);
+  }
+
   if (success) {
     if (state.completed[task]) {
       // Belt and braces: race already won. A completion that arrives after
@@ -783,6 +946,12 @@ void Toolkit::on_attempt_complete(RunState& state, wf::TaskId task,
       return;
     }
     settle_ledger(obs::forensics::AttemptOutcome::Completed, true, {});
+    if (state.rewrites && state.rewrites->fused(task)) {
+      ++state.report.fused_tasks_run;
+      state.report.constituents_completed +=
+          state.rewrites->constituents(task).size();
+      if (obs_.on()) obs_.count(sim_.now(), "opt.fused_attempts", env.name);
+    }
     const bool recompute = state.ever_completed[task] != 0;
     state.completed[task] = 1;
     state.ever_completed[task] = 1;

@@ -31,6 +31,7 @@
 #include "sim/simulation.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
+#include "workflow/opt/rewrite.hpp"
 #include "workflow/workflow.hpp"
 
 namespace hhc::core {
@@ -85,6 +86,16 @@ struct CompositeReport {
   std::size_t hedges_won = 0;
   std::size_t recovery_recomputed_tasks = 0;
   double wasted_core_seconds = 0.0;
+  /// DAG-optimizer accounting (run overloads taking a wf::opt::RewriteLog).
+  /// `fused_tasks_run` counts winning completions of multi-constituent
+  /// (fused/clustered) tasks; `constituents_completed` the original tasks
+  /// credited through them — each gets its own provenance record.
+  /// `constituent_failures` counts failed fused attempts where the blame
+  /// landed on a specific constituent (named in the failure reason and the
+  /// ledger detail). All zero when no rewrite log is in play.
+  std::size_t fused_tasks_run = 0;
+  std::size_t constituents_completed = 0;
+  std::size_t constituent_failures = 0;
   std::vector<EnvironmentReport> environments;
   /// Snapshot of every metric the run recorded (rm.*, cws.*, toolkit.*,
   /// sim.*). Additive across runs of the same Toolkit; MetricsSnapshot::merge
@@ -168,6 +179,25 @@ class Toolkit {
 
   /// Runs a workflow with every task on one environment.
   CompositeReport run(const wf::Workflow& workflow, EnvironmentId env);
+
+  /// Optimizer-aware overloads: run a DAG the wf::opt pipeline rewrote,
+  /// carrying its RewriteLog so fused/clustered tasks keep per-constituent
+  /// semantics through execution — one provenance record per original task
+  /// (intervals split across the fused attempt, predictor observations per
+  /// constituent kind), failures blamed on the constituent that was running
+  /// (named in the report error and the forensics ledger detail), and the
+  /// optimizer accounting fields of CompositeReport filled in. Retry,
+  /// hedging, chaos and lineage recovery all operate on the optimized DAG
+  /// unchanged. The log must describe `workflow` (optimized_task_count()
+  /// == task_count()). An identity log leaves behaviour byte-identical to
+  /// the plain overloads.
+  CompositeReport run(const wf::Workflow& workflow, EnvironmentId env,
+                      const wf::opt::RewriteLog& rewrites);
+  CompositeReport run(const wf::Workflow& workflow,
+                      const std::vector<EnvironmentId>& assignment,
+                      const wf::opt::RewriteLog& rewrites);
+  CompositeReport run(const wf::Workflow& workflow, federation::Broker& broker,
+                      const wf::opt::RewriteLog& rewrites);
 
   /// Runs a workflow with a per-task assignment (size = task_count).
   /// Cross-environment edges pay the WAN transfer before the consumer
@@ -294,6 +324,9 @@ class Toolkit {
     const wf::Workflow* workflow = nullptr;
     const std::vector<EnvironmentId>* assignment = nullptr;  ///< Static path.
     federation::Broker* broker = nullptr;                    ///< Federated path.
+    /// Optimizer rewrite log for this run (nullptr = plain run). Maps each
+    /// task to its original constituents for provenance and failure blame.
+    const wf::opt::RewriteLog* rewrites = nullptr;
     /// Where each task actually runs; filled at dispatch (static path copies
     /// the assignment, federated path records the broker's choice — which
     /// can change on re-broker).
@@ -345,7 +378,18 @@ class Toolkit {
 
   CompositeReport run_impl(const wf::Workflow& workflow,
                            const std::vector<EnvironmentId>* assignment,
-                           federation::Broker* broker);
+                           federation::Broker* broker,
+                           const wf::opt::RewriteLog* rewrites = nullptr);
+
+  /// Emits one provenance record per constituent of a fused task's settled
+  /// attempt, splitting the attempt's interval in proportion to constituent
+  /// base runtimes. For failed attempts, constituents that finished before
+  /// the failure are recorded as completed and the one executing at the
+  /// failure instant is returned (the blame target); wf::kInvalidTask when
+  /// the attempt completed or never held an allocation.
+  wf::TaskId record_constituents(RunState& state, wf::TaskId task,
+                                 const cluster::JobRecord& rec,
+                                 const Environment& env);
 
   /// Allocates a RunState (kept alive in runs_ — outstanding callbacks and
   /// watchdog events capture it by reference) and sizes its per-task and

@@ -60,6 +60,11 @@ class TransferScheduler {
   void set_origin(std::string location) { origin_ = std::move(location); }
   const std::string& origin() const noexcept { return origin_; }
 
+  /// The replica catalog this scheduler stages against — read access for
+  /// consumers that key decisions off registered dataset sizes (e.g. the
+  /// DAG optimizer's catalog-bound cost models).
+  const DataCatalog& catalog() const noexcept { return catalog_; }
+
   /// Attaches a cache for `location`. Staged replicas then insert through
   /// it (bounded, evicting) instead of growing the catalog without bound.
   /// The cache must outlive this scheduler.

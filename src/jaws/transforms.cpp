@@ -1,9 +1,8 @@
 #include "jaws/transforms.hpp"
 
-#include <algorithm>
-
 #include "support/strings.hpp"
 #include "jaws/wdl_parser.hpp"
+#include "workflow/opt/fuse_rules.hpp"
 
 // GCC 12's -Wrestrict fires a known false positive (PR 105329) on inlined
 // std::string assignments of short literals in this translation unit.
@@ -33,30 +32,38 @@ bool is_linear_chain(const Document& doc, const ScatterStmt& sc) {
   return true;
 }
 
-// Synthesizes the fused task from a chain of task definitions.
+// Synthesizes the fused task from a chain of task definitions. The attribute
+// arithmetic (runtime sums, cpu/memory maxima, container choice) lives in
+// wf::opt::FusedRollup, shared with the DAG-level ChainFusionPass, so the
+// two fusion paths cannot drift.
 TaskDef fuse_tasks(const Document& doc, const ScatterStmt& sc) {
-  TaskDef fused;
   std::vector<const TaskDef*> links;
   for (const auto& item : sc.body) links.push_back(doc.find_task(item.call->task_name));
 
-  fused.runtime.minutes = 0.0;  // clear the TaskDef default before summing
-  fused.runtime.cpu = 0.0;
-  fused.runtime.memory = "0";
-  fused.runtime.container.clear();
-  std::vector<std::string> names, commands;
+  wf::opt::FusedRollup roll;
+  std::vector<std::string> commands;
   for (const TaskDef* link : links) {
-    names.push_back(link->name);
     commands.push_back(link->command);
-    fused.runtime.minutes += link->runtime.minutes;
-    fused.runtime.minutes_per_gb += link->runtime.minutes_per_gb;
-    fused.runtime.cpu = std::max(fused.runtime.cpu, link->runtime.cpu);
-    if (link->runtime.memory_bytes() > fused.runtime.memory_bytes())
-      fused.runtime.memory = link->runtime.memory;
-    if (fused.runtime.container.empty())
-      fused.runtime.container = link->runtime.container;
+    roll.add(link->name, link->runtime.minutes, link->runtime.minutes_per_gb,
+             link->runtime.cpu, /*gpus=*/0, link->runtime.memory_bytes(),
+             !link->runtime.container.empty());
   }
-  fused.name = join(names, "_plus_");
+
+  TaskDef fused;
+  fused.name = roll.joined_name("_plus_");
   fused.command = join(commands, " && ");
+  fused.runtime.minutes = roll.runtime_sum;
+  fused.runtime.minutes_per_gb = roll.runtime_per_gb_sum;
+  fused.runtime.cpu = roll.cores_max;
+  // The rollup tracks WHICH link holds peak memory so the opaque WDL memory
+  // string ("4G", "512M") survives the fusion verbatim.
+  fused.runtime.memory = roll.memory_argmax == wf::opt::FusedRollup::npos
+                             ? "0"
+                             : links[roll.memory_argmax]->runtime.memory;
+  fused.runtime.container =
+      roll.container_first == wf::opt::FusedRollup::npos
+          ? std::string()
+          : links[roll.container_first]->runtime.container;
 
   // Interface: first link's inputs, last link's outputs.
   fused.inputs = links.front()->inputs;
@@ -83,11 +90,17 @@ Document fuse_linear_chains(const Document& doc, const std::string& workflow_nam
     item.scatter = std::make_shared<ScatterStmt>(*item.scatter);
     ScatterStmt& sc = *item.scatter;
 
-    local.calls_before += sc.body.size();
-    ++local.chains_fused;
+    wf::opt::Rewrite rw;
+    rw.kind = wf::opt::RewriteKind::FuseChain;
+    rw.pass = "jaws.fuse_linear_chains";
+    for (const auto& link : sc.body)
+      rw.before_names.push_back(link.call->effective_name());
 
     TaskDef fused = fuse_tasks(out, sc);
     const std::string fused_name = fused.name;
+    rw.after_names.push_back(fused_name);
+    rw.why = "linear scatter chain of " + std::to_string(sc.body.size()) +
+             " calls";
     // Register the fused task (skip if an identical fusion already ran).
     if (!out.find_task(fused_name)) out.tasks.push_back(std::move(fused));
 
@@ -103,7 +116,14 @@ Document fuse_linear_chains(const Document& doc, const std::string& workflow_nam
     WorkflowItem call_item;
     call_item.call = std::move(fused_call);
     sc.body.push_back(std::move(call_item));
-    local.calls_after += 1;
+    local.rewrites.push_back(std::move(rw));
+  }
+
+  // Single bookkeeping path: the counters fall out of the rewrite records.
+  local.chains_fused = local.rewrites.size();
+  for (const auto& rw : local.rewrites) {
+    local.calls_before += rw.before_names.size();
+    local.calls_after += rw.after_names.size();
   }
 
   if (report) *report = local;

@@ -4,8 +4,10 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "jaws/wdl_ast.hpp"
+#include "workflow/opt/rewrite.hpp"
 
 namespace hhc::jaws {
 
@@ -13,13 +15,17 @@ struct FusionReport {
   std::size_t chains_fused = 0;
   std::size_t calls_before = 0;   ///< Call statements in fused scatters (before).
   std::size_t calls_after = 0;
+  /// One record per fused scatter, in the shared optimizer vocabulary; the
+  /// counters above are derived from these.
+  std::vector<wf::opt::Rewrite> rewrites;
 };
 
 /// Fuses every scatter body that forms a linear call chain (each call after
 /// the first consumes the previous call's output) into a single synthesized
-/// task per scatter. Commands are concatenated with '&&'; runtimes are
-/// summed; cpu/memory take the maximum; the container of the first
-/// containerized link is kept. Returns the transformed document.
+/// task per scatter. Commands are concatenated with '&&'; the attribute
+/// rollup (runtimes sum, cpu/memory max, first container wins) is shared
+/// with the DAG-level optimizer via wf::opt::FusedRollup. Returns the
+/// transformed document.
 Document fuse_linear_chains(const Document& doc, const std::string& workflow_name,
                             FusionReport* report = nullptr);
 

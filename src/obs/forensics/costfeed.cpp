@@ -1,0 +1,30 @@
+#include "obs/forensics/costfeed.hpp"
+
+#include <algorithm>
+
+namespace hhc::obs::forensics {
+
+std::vector<TaskCostProfile> task_cost_profiles(const TaskLedger& ledger) {
+  std::vector<TaskCostProfile> profiles(ledger.task_count());
+  for (std::size_t t = 0; t < profiles.size(); ++t) profiles[t].task = t;
+  for (const AttemptRecord& rec : ledger.attempts()) {
+    if (rec.task >= profiles.size()) continue;
+    TaskCostProfile& p = profiles[rec.task];
+    ++p.attempts;
+    if (p.name.empty()) p.name = rec.name;
+    // Later winners overwrite earlier ones, so a lineage-recovered task
+    // reports the recompute that actually settled it.
+    if (!rec.winner || rec.outcome != AttemptOutcome::Completed) continue;
+    p.observed = true;
+    p.compute = rec.execution();
+    p.queue_wait = rec.queue_wait();
+    p.stage_in = rec.stage_in();
+    p.overhead = (rec.submitted >= 0 && rec.staged >= 0)
+                     ? std::max(0.0, rec.submitted - rec.staged)
+                     : 0.0;
+    p.staged_bytes = rec.staged_bytes;
+  }
+  return profiles;
+}
+
+}  // namespace hhc::obs::forensics

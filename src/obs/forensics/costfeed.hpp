@@ -1,0 +1,40 @@
+// Blame -> cost-model adapter: folds a run's TaskLedger into per-task cost
+// profiles the DAG optimizer (workflow/opt) can consume.
+//
+// The ledger records *attempts*; the optimizer reasons about *tasks of the
+// original DAG*. This adapter collapses each task's attempt history into one
+// profile taken from its winning attempt (the completion that settled the
+// task — the one whose phases a re-run would pay again), plus the attempt
+// count as a retry-pressure signal. Like the rest of the forensics layer it
+// depends only on support/ types, so workflow/opt can consume it without
+// obs:: learning about workflows.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "obs/forensics/ledger.hpp"
+#include "support/units.hpp"
+
+namespace hhc::obs::forensics {
+
+/// One task's measured phase costs, in simulated seconds.
+struct TaskCostProfile {
+  std::size_t task = kNoTask;
+  std::string name;
+  double compute = 0.0;     ///< Winning attempt's execution time.
+  double queue_wait = 0.0;  ///< Batch-queue wait (submission -> start).
+  double stage_in = 0.0;    ///< Cross-env input staging (dispatch -> resident).
+  double overhead = 0.0;    ///< Dispatch hop: inputs resident -> submission.
+  Bytes staged_bytes = 0;   ///< Cross-env bytes moved for the winning attempt.
+  std::size_t attempts = 0; ///< Attempts opened (retries/hedges/recoveries).
+  bool observed = false;    ///< A winning completion existed for this task.
+};
+
+/// Per-task profiles indexed by task id (size == ledger.task_count()).
+/// Tasks that never won an attempt keep observed == false and zero phases;
+/// when lineage recovery recomputed a task, the *last* winner is used.
+std::vector<TaskCostProfile> task_cost_profiles(const TaskLedger& ledger);
+
+}  // namespace hhc::obs::forensics

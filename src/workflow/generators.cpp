@@ -61,6 +61,26 @@ Workflow make_fork_join(std::size_t width, Rng rng, const GenParams& p) {
   return wf;
 }
 
+Workflow make_shared_input_fanout(std::size_t width, Bytes shared_bytes,
+                                  Rng rng, const GenParams& p) {
+  if (width == 0)
+    throw std::invalid_argument("make_shared_input_fanout: width must be >= 1");
+  Workflow wf("sharedfanout-" + std::to_string(width));
+  TaskSpec prep = make_task(rng, p, "prepare", "prepare", 0.5);
+  prep.output_bytes = shared_bytes;
+  const TaskId src = wf.add_task(prep);
+  const TaskId sink = wf.add_task(make_task(rng, p, "reduce", "reduce", 0.5));
+  for (std::size_t i = 0; i < width; ++i) {
+    const TaskId t =
+        wf.add_task(make_task(rng, p, "consume" + std::to_string(i), "consume"));
+    // Every consumer reads the SAME producer output: identical edge bytes
+    // make all in-edges resolve to one dataset (and one replica) at run time.
+    wf.add_dependency(src, t, shared_bytes);
+    wf.add_dependency(t, sink, sample_data(rng, p));
+  }
+  return wf;
+}
+
 Workflow make_scatter_gather(std::size_t stages, std::size_t width, Rng rng,
                              const GenParams& p) {
   if (stages == 0 || width == 0)

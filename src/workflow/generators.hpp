@@ -32,6 +32,13 @@ Workflow make_chain(std::size_t n, Rng rng, const GenParams& p = {});
 /// One source fanning out to `width` parallel tasks joined by one sink.
 Workflow make_fork_join(std::size_t width, Rng rng, const GenParams& p = {});
 
+/// One producer whose single large output (exactly `shared_bytes` on every
+/// out-edge, so all consumers stage the SAME dataset) fans out to `width`
+/// consumers joined by one sink — the shared-input shape the sibling
+/// clustering pass targets (E19).
+Workflow make_shared_input_fanout(std::size_t width, Bytes shared_bytes,
+                                  Rng rng, const GenParams& p = {});
+
 /// `stages` sequential scatter stages of `width` tasks with full barriers
 /// (gather task) between them — the EnTK PST shape (paper §4).
 Workflow make_scatter_gather(std::size_t stages, std::size_t width, Rng rng,

@@ -1,0 +1,47 @@
+#include "workflow/opt/cost_model.hpp"
+
+#include <algorithm>
+
+namespace hhc::wf::opt {
+
+Bytes CostModel::edge_size(const Workflow& wf, TaskId producer,
+                           Bytes edge_bytes) const {
+  if (catalog_ != nullptr && namer_) {
+    const fabric::DatasetId id = namer_(wf, producer, edge_bytes);
+    if (catalog_->known(id)) return catalog_->size_of(id);
+  }
+  return edge_bytes;
+}
+
+TaskCost StaticCostModel::cost(const Workflow& wf, TaskId t) const {
+  TaskCost c;
+  const TaskSpec& spec = wf.task(t);
+  const double speed = cfg_.reference_speed > 0.0 ? cfg_.reference_speed : 1.0;
+  c.compute = spec.base_runtime / speed;
+  c.queue_wait = cfg_.queue_wait;
+  c.overhead = cfg_.dispatch_overhead;
+  if (cfg_.stage_bandwidth > 0.0) {
+    for (TaskId p : wf.predecessors(t)) {
+      const Bytes bytes = edge_size(wf, p, wf.edge_bytes(p, t));
+      if (bytes == 0) continue;
+      c.stage_in +=
+          static_cast<double>(bytes) / cfg_.stage_bandwidth + cfg_.stage_latency;
+    }
+  }
+  return c;
+}
+
+TaskCost ForensicsCostModel::cost(const Workflow& wf, TaskId t) const {
+  if (t < profiles_.size() && profiles_[t].observed) {
+    const obs::forensics::TaskCostProfile& p = profiles_[t];
+    TaskCost c;
+    c.compute = p.compute;
+    c.queue_wait = p.queue_wait;
+    c.stage_in = p.stage_in;
+    c.overhead = p.overhead;
+    return c;
+  }
+  return fallback_.cost(wf, t);
+}
+
+}  // namespace hhc::wf::opt

@@ -1,0 +1,118 @@
+// Pluggable per-task cost estimates driving the DAG optimizer passes.
+//
+// Every pass decision — is this task overhead-dominated, is that input worth
+// amortizing, does this shard dwarf its stage — reduces to a TaskCost query.
+// Two implementations ship: StaticCostModel derives estimates from the DAG
+// annotations alone (base runtimes, edge bytes, configured per-attempt
+// overheads), and ForensicsCostModel replays a prior run's measured phase
+// profile (obs::forensics::task_cost_profiles over the TaskLedger) — the
+// "forensics-driven" mode where yesterday's blame decides today's rewrite.
+// Either model can bind the fabric DataCatalog as the authority for dataset
+// sizes, so clustering decisions see the catalog's registered size rather
+// than the DAG's edge annotation when the two disagree.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "fabric/catalog.hpp"
+#include "obs/forensics/costfeed.hpp"
+#include "support/units.hpp"
+#include "workflow/workflow.hpp"
+
+namespace hhc::wf::opt {
+
+/// Estimated cost of one task attempt, split the same way the forensics
+/// critical-path engine splits the makespan.
+struct TaskCost {
+  double compute = 0.0;     ///< Execution time.
+  double queue_wait = 0.0;  ///< Batch-queue / boot wait per attempt.
+  double stage_in = 0.0;    ///< Cross-env input staging.
+  double overhead = 0.0;    ///< Dispatch hop (scheduler, container, launch).
+
+  double total() const noexcept {
+    return compute + queue_wait + stage_in + overhead;
+  }
+  double non_compute() const noexcept { return queue_wait + stage_in + overhead; }
+  /// Fraction of the attempt NOT spent computing; 0 for a zero-cost task.
+  double non_compute_share() const noexcept {
+    const double t = total();
+    return t > 0.0 ? non_compute() / t : 0.0;
+  }
+};
+
+/// Maps (workflow, producer task, edge bytes) to the content address the run
+/// would use for that edge's dataset (cws::edge_dataset_id in the toolkit).
+using DatasetNamer =
+    std::function<fabric::DatasetId(const Workflow&, TaskId, Bytes)>;
+
+class CostModel {
+ public:
+  virtual ~CostModel() = default;
+
+  /// Estimated cost of task `t` of `wf` (ids are `wf`'s own).
+  virtual TaskCost cost(const Workflow& wf, TaskId t) const = 0;
+
+  /// Binds the fabric catalog as the size authority for edge datasets.
+  /// `namer` renders the content address a run would use for the edge
+  /// produced by `producer` with `bytes` payload.
+  void bind_catalog(const fabric::DataCatalog* catalog, DatasetNamer namer) {
+    catalog_ = catalog;
+    namer_ = std::move(namer);
+  }
+
+  /// Size of the dataset carried by an edge out of `producer` annotated with
+  /// `edge_bytes`: the catalog's registered size when bound and known, the
+  /// annotation otherwise.
+  Bytes edge_size(const Workflow& wf, TaskId producer, Bytes edge_bytes) const;
+
+ private:
+  const fabric::DataCatalog* catalog_ = nullptr;
+  DatasetNamer namer_;
+};
+
+/// Knobs for estimate-only costing (and the fallback inside the forensics
+/// model for tasks a prior run never completed).
+struct StaticCostConfig {
+  double reference_speed = 1.0;    ///< Node speed dividing base runtimes.
+  double dispatch_overhead = 0.0;  ///< Fixed per-attempt dispatch/launch cost.
+  double queue_wait = 0.0;         ///< Expected batch-queue wait per attempt.
+  double stage_bandwidth = 50e6;   ///< Bytes/s for cross-env stage estimates.
+  double stage_latency = 0.0;      ///< Per-input transfer setup latency.
+};
+
+/// Costs from DAG annotations alone: compute = base_runtime / speed,
+/// stage-in = in-edge dataset sizes over the configured bandwidth, overhead
+/// and queue-wait from the config. No execution history required.
+class StaticCostModel final : public CostModel {
+ public:
+  explicit StaticCostModel(StaticCostConfig cfg = {}) : cfg_(cfg) {}
+  TaskCost cost(const Workflow& wf, TaskId t) const override;
+  const StaticCostConfig& config() const noexcept { return cfg_; }
+
+ private:
+  StaticCostConfig cfg_;
+};
+
+/// Costs replayed from a prior run's ledger profile. `profiles` must be
+/// indexed by task id of the same workflow later handed to the optimizer
+/// (obs::forensics::task_cost_profiles output). Tasks the prior run never
+/// completed fall back to static estimates.
+class ForensicsCostModel final : public CostModel {
+ public:
+  explicit ForensicsCostModel(
+      std::vector<obs::forensics::TaskCostProfile> profiles,
+      StaticCostConfig fallback = {})
+      : profiles_(std::move(profiles)), fallback_(fallback) {}
+  TaskCost cost(const Workflow& wf, TaskId t) const override;
+
+  const std::vector<obs::forensics::TaskCostProfile>& profiles() const noexcept {
+    return profiles_;
+  }
+
+ private:
+  std::vector<obs::forensics::TaskCostProfile> profiles_;
+  StaticCostModel fallback_;
+};
+
+}  // namespace hhc::wf::opt

@@ -1,0 +1,30 @@
+#include "workflow/opt/fuse_rules.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "support/strings.hpp"
+
+namespace hhc::wf::opt {
+
+void FusedRollup::add(std::string name, double runtime, double runtime_per_gb,
+                      double cores, int gpus, Bytes memory,
+                      bool has_container) {
+  const std::size_t index = names_.size();
+  names_.push_back(std::move(name));
+  runtime_sum += runtime;
+  runtime_per_gb_sum += runtime_per_gb;
+  cores_max = std::max(cores_max, cores);
+  gpus_max = std::max(gpus_max, gpus);
+  if (memory > memory_max) {  // strict: ties keep the earliest link
+    memory_max = memory;
+    memory_argmax = index;
+  }
+  if (container_first == npos && has_container) container_first = index;
+}
+
+std::string FusedRollup::joined_name(std::string_view sep) const {
+  return join(names_, sep);
+}
+
+}  // namespace hhc::wf::opt

@@ -1,0 +1,43 @@
+// Shared fusion bookkeeping: how per-link scheduling attributes roll up into
+// one fused task. Both the wf-level ChainFusionPass and the JAWS WDL fusion
+// transform (jaws/transforms.cpp) express their arithmetic through this
+// rollup, so the two never drift: runtimes sum, cores/memory take the
+// maximum (memory remembering WHICH link won, so callers carrying an opaque
+// per-link attribute — the WDL memory string — can recover it), and the
+// first containerized link supplies the image.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/units.hpp"
+
+namespace hhc::wf::opt {
+
+struct FusedRollup {
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  double runtime_sum = 0.0;         ///< Link runtimes, summed (sequential).
+  double runtime_per_gb_sum = 0.0;  ///< Data-scaled runtime terms, summed.
+  double cores_max = 0.0;           ///< Peak simultaneous core demand.
+  int gpus_max = 0;
+  Bytes memory_max = 0;             ///< Peak resident memory.
+  std::size_t memory_argmax = npos;    ///< First link attaining memory_max.
+  std::size_t container_first = npos;  ///< First link with a container.
+
+  /// Folds one link in chain order.
+  void add(std::string name, double runtime, double runtime_per_gb,
+           double cores, int gpus, Bytes memory, bool has_container);
+
+  std::size_t size() const noexcept { return names_.size(); }
+  const std::vector<std::string>& names() const noexcept { return names_; }
+  /// Link names joined with `sep` ("_plus_" for WDL, "+" for wf DAGs).
+  std::string joined_name(std::string_view sep) const;
+
+ private:
+  std::vector<std::string> names_;
+};
+
+}  // namespace hhc::wf::opt

@@ -1,0 +1,30 @@
+#include "workflow/opt/optimizer.hpp"
+
+namespace hhc::wf::opt {
+
+OptimizeResult Optimizer::run(const Workflow& input,
+                              const CostModel& model) const {
+  OptimizeResult result;
+  result.workflow = input;
+  result.log.reset(input);
+  if (!cfg_.enabled) return result;
+
+  const auto apply = [&](const OptimizerPass& pass) {
+    const PassContext ctx(model, result.log);
+    PassOutput out = pass.run(result.workflow, ctx);
+    result.log.apply(out);
+    result.workflow = std::move(out.workflow);
+  };
+  if (cfg_.fuse_chains) apply(ChainFusionPass(cfg_.fusion));
+  if (cfg_.cluster_siblings) apply(SiblingClusteringPass(cfg_.cluster));
+  if (cfg_.split_shards) apply(ShardSplitPass(cfg_.split));
+  for (const std::unique_ptr<OptimizerPass>& pass : extra_) apply(*pass);
+  return result;
+}
+
+OptimizeResult optimize(const Workflow& input, const CostModel& model,
+                        const OptimizerConfig& config) {
+  return Optimizer(config).run(input, model);
+}
+
+}  // namespace hhc::wf::opt

@@ -1,0 +1,63 @@
+// The optimizer pipeline: chain fusion -> sibling clustering -> shard
+// splitting over one shared RewriteLog, plus any caller-registered passes.
+//
+// optimize() is the one-call entry point:
+//
+//   auto profiles = obs::forensics::task_cost_profiles(tk.ledger());
+//   wf::opt::ForensicsCostModel model(std::move(profiles));
+//   wf::opt::OptimizeResult opt = wf::opt::optimize(w, model);
+//   tk.run(opt.workflow, env, opt.log);   // constituent-aware execution
+//
+// With config.enabled == false (or when no pass finds a rewrite) the result
+// workflow reproduces the input exactly and the log is an identity mapping —
+// running it is byte-identical to running the input directly.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "workflow/opt/passes.hpp"
+
+namespace hhc::wf::opt {
+
+struct OptimizerConfig {
+  bool enabled = true;
+  bool fuse_chains = true;
+  bool cluster_siblings = true;
+  bool split_shards = true;
+  FusionConfig fusion;
+  ClusterConfig cluster;
+  SplitConfig split;
+};
+
+struct OptimizeResult {
+  Workflow workflow{std::string("workflow")};  ///< The rewritten DAG.
+  RewriteLog log;                              ///< How it maps back.
+
+  std::size_t tasks_before() const noexcept { return log.original_task_count(); }
+  std::size_t tasks_after() const noexcept { return workflow.task_count(); }
+};
+
+class Optimizer {
+ public:
+  explicit Optimizer(OptimizerConfig cfg = {}) : cfg_(std::move(cfg)) {}
+
+  /// Appends a custom pass after the standard three.
+  void add_pass(std::unique_ptr<OptimizerPass> pass) {
+    extra_.push_back(std::move(pass));
+  }
+
+  OptimizeResult run(const Workflow& input, const CostModel& model) const;
+
+  const OptimizerConfig& config() const noexcept { return cfg_; }
+
+ private:
+  OptimizerConfig cfg_;
+  std::vector<std::unique_ptr<OptimizerPass>> extra_;
+};
+
+/// Runs the standard pipeline with `config` over `input`.
+OptimizeResult optimize(const Workflow& input, const CostModel& model,
+                        const OptimizerConfig& config = {});
+
+}  // namespace hhc::wf::opt

@@ -1,0 +1,384 @@
+#include "workflow/opt/passes.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "support/strings.hpp"
+#include "workflow/analysis.hpp"
+#include "workflow/opt/fuse_rules.hpp"
+
+namespace hhc::wf::opt {
+
+bool divisible(const TaskSpec& spec) {
+  const auto it = spec.params.find(kDivisibleParam);
+  return it != spec.params.end() && it->second != "0" && !it->second.empty();
+}
+
+TaskCost PassContext::cost(const Workflow& /*current*/, TaskId t) const {
+  TaskCost sum;
+  for (TaskId orig : log_.constituents(t)) {
+    const TaskCost c = model_.cost(log_.original(), orig);
+    sum.compute += c.compute;
+    sum.queue_wait += c.queue_wait;
+    sum.stage_in += c.stage_in;
+    sum.overhead += c.overhead;
+  }
+  const ShardInfo s = log_.shard(t);
+  if (s.split()) {
+    // A shard carries 1/count of the original's compute and input slice but
+    // still pays full per-attempt overheads.
+    sum.compute /= static_cast<double>(s.count);
+    sum.stage_in /= static_cast<double>(s.count);
+  }
+  return sum;
+}
+
+Bytes PassContext::edge_size(const Workflow& current, TaskId from,
+                             TaskId to) const {
+  const Bytes bytes = current.edge_bytes(from, to);
+  // The last constituent of `from` is the original producer — the id under
+  // which a prior run registered the edge's dataset in the catalog.
+  const TaskId producer = log_.constituents(from).back();
+  return model_.edge_size(log_.original(), producer, bytes);
+}
+
+namespace {
+
+// One output task: an ordered run of input tasks (singleton = unchanged).
+struct Group {
+  std::vector<TaskId> members;
+};
+
+// Deterministic output order: groups sorted by their first member's id, so a
+// pass that rewrites nothing reproduces the input task order exactly.
+void sort_groups(std::vector<Group>& groups) {
+  std::sort(groups.begin(), groups.end(),
+            [](const Group& a, const Group& b) {
+              return a.members.front() < b.members.front();
+            });
+}
+
+// owner[input id] -> output id.
+std::vector<TaskId> owner_map(const std::vector<Group>& groups,
+                              std::size_t input_tasks) {
+  std::vector<TaskId> owner(input_tasks, kInvalidTask);
+  for (TaskId g = 0; g < groups.size(); ++g)
+    for (TaskId m : groups[g].members) owner[m] = g;
+  return owner;
+}
+
+// Synthesizes the spec of a multi-member group via the shared fusion rules.
+// `chain` selects chain semantics (outputs = last link's — intermediates are
+// never persisted) vs cluster semantics (every member's outputs persist).
+TaskSpec rollup_spec(const Workflow& in, const std::vector<TaskId>& members,
+                     bool chain) {
+  FusedRollup roll;
+  std::vector<std::string> kinds;
+  Bytes input_bytes = 0;
+  Bytes output_bytes = 0;
+  for (TaskId m : members) {
+    const TaskSpec& spec = in.task(m);
+    roll.add(spec.name, spec.base_runtime, 0.0, spec.resources.cores_per_node,
+             spec.resources.gpus_per_node, spec.resources.memory_per_node,
+             false);
+    if (kinds.empty() || kinds.back() != spec.kind) kinds.push_back(spec.kind);
+    input_bytes += spec.input_bytes;
+    output_bytes += spec.output_bytes;
+  }
+  TaskSpec fused;
+  fused.name = roll.joined_name("+");
+  fused.kind = kinds.size() == 1 ? kinds.front() : join(kinds, "+");
+  fused.resources.nodes = in.task(members.front()).resources.nodes;
+  fused.resources.cores_per_node = roll.cores_max;
+  fused.resources.gpus_per_node = roll.gpus_max;
+  fused.resources.memory_per_node = roll.memory_max;
+  fused.base_runtime = roll.runtime_sum;
+  fused.input_bytes = input_bytes;
+  fused.output_bytes = chain ? in.task(members.back()).output_bytes
+                             : output_bytes;
+  fused.params["opt.constituents"] = std::to_string(members.size());
+  return fused;
+}
+
+std::vector<std::string> names_of(const Workflow& in,
+                                  const std::vector<TaskId>& members) {
+  std::vector<std::string> names;
+  names.reserve(members.size());
+  for (TaskId m : members) names.push_back(in.task(m).name);
+  return names;
+}
+
+}  // namespace
+
+PassOutput ChainFusionPass::run(const Workflow& input,
+                                const PassContext& ctx) const {
+  const std::size_t n = input.task_count();
+  std::vector<bool> member(n, false);
+  for (TaskId t = 0; t < n; ++t)
+    member[t] =
+        ctx.cost(input, t).non_compute_share() >= cfg_.min_non_compute_share;
+
+  std::vector<bool> visited(n, false);
+  std::vector<Group> groups;
+  for (TaskId t : topological_order(input)) {
+    if (visited[t]) continue;
+    Group group;
+    group.members.push_back(t);
+    visited[t] = true;
+    if (member[t] && input.successors(t).size() == 1) {
+      double compute = ctx.cost(input, t).compute;
+      TaskId cur = t;
+      while (group.members.size() < cfg_.max_chain) {
+        const TaskId next = input.successors(cur).front();
+        if (visited[next]) break;
+        if (input.predecessors(next).size() != 1) break;
+        if (!member[next]) break;
+        if (input.task(next).resources.nodes != input.task(t).resources.nodes)
+          break;
+        const double next_compute = ctx.cost(input, next).compute;
+        if (compute + next_compute > cfg_.max_fused_compute) break;
+        compute += next_compute;
+        group.members.push_back(next);
+        visited[next] = true;
+        if (input.successors(next).size() != 1) break;
+        cur = next;
+      }
+    }
+    groups.push_back(std::move(group));
+  }
+  sort_groups(groups);
+  const std::vector<TaskId> owner = owner_map(groups, n);
+
+  PassOutput out;
+  out.workflow = Workflow(input.name());
+  for (const Group& g : groups) {
+    StageOrigin origin;
+    origin.from = g.members;
+    out.origins.push_back(origin);
+    if (g.members.size() == 1) {
+      out.workflow.add_task(input.task(g.members.front()));
+      continue;
+    }
+    out.workflow.add_task(rollup_spec(input, g.members, /*chain=*/true));
+    Rewrite r;
+    r.kind = RewriteKind::FuseChain;
+    r.pass = name();
+    r.before_names = names_of(input, g.members);
+    r.after_names = {out.workflow.task(out.workflow.task_count() - 1).name};
+    // One dispatch survives; the others' queue/stage/overhead are the win.
+    double gain = 0.0;
+    for (std::size_t i = 1; i < g.members.size(); ++i)
+      gain += ctx.cost(input, g.members[i]).non_compute();
+    r.est_gain_seconds = gain;
+    r.why = "linear run of " + std::to_string(g.members.size()) +
+            " overhead-dominated tasks";
+    out.rewrites.push_back(std::move(r));
+  }
+  for (const Edge& e : input.edges()) {
+    if (owner[e.from] == owner[e.to]) continue;  // now internal to a fusion
+    out.workflow.add_dependency(owner[e.from], owner[e.to], e.data_bytes);
+  }
+  out.workflow.validate();
+  return out;
+}
+
+PassOutput SiblingClusteringPass::run(const Workflow& input,
+                                      const PassContext& ctx) const {
+  const std::size_t n = input.task_count();
+  // Candidates share a sorted predecessor set + node count and carry enough
+  // amortizable (non-compute) cost plus a large-enough shared input.
+  std::map<std::pair<std::vector<TaskId>, int>, std::vector<TaskId>> buckets;
+  for (TaskId t = 0; t < n; ++t) {
+    const std::vector<TaskId>& preds = input.predecessors(t);
+    if (preds.empty()) continue;
+    const TaskCost c = ctx.cost(input, t);
+    if (c.non_compute_share() < cfg_.min_non_compute_share) continue;
+    Bytes largest = 0;
+    for (TaskId p : preds)
+      largest = std::max(largest, ctx.edge_size(input, p, t));
+    if (largest < cfg_.min_shared_bytes) continue;
+    std::vector<TaskId> key(preds);
+    std::sort(key.begin(), key.end());
+    buckets[{std::move(key), input.task(t).resources.nodes}].push_back(t);
+  }
+
+  std::vector<bool> clustered(n, false);
+  std::vector<Group> groups;
+  for (const auto& [key, siblings] : buckets) {
+    if (siblings.size() < 2) continue;
+    // Chunk id-sorted siblings into clusters of max_cluster; a trailing
+    // single sibling stays unchanged.
+    for (std::size_t i = 0; i + 1 < siblings.size(); i += cfg_.max_cluster) {
+      const std::size_t end = std::min(i + cfg_.max_cluster, siblings.size());
+      if (end - i < 2) break;
+      Group g;
+      g.members.assign(siblings.begin() + i, siblings.begin() + end);
+      for (TaskId m : g.members) clustered[m] = true;
+      groups.push_back(std::move(g));
+    }
+  }
+  for (TaskId t = 0; t < n; ++t)
+    if (!clustered[t]) groups.push_back(Group{{t}});
+  sort_groups(groups);
+  const std::vector<TaskId> owner = owner_map(groups, n);
+
+  PassOutput out;
+  out.workflow = Workflow(input.name());
+  for (const Group& g : groups) {
+    StageOrigin origin;
+    origin.from = g.members;
+    out.origins.push_back(origin);
+    if (g.members.size() == 1) {
+      out.workflow.add_task(input.task(g.members.front()));
+      continue;
+    }
+    out.workflow.add_task(rollup_spec(input, g.members, /*chain=*/false));
+    Rewrite r;
+    r.kind = RewriteKind::ClusterSiblings;
+    r.pass = name();
+    r.before_names = names_of(input, g.members);
+    r.after_names = {out.workflow.task(out.workflow.task_count() - 1).name};
+    double gain = 0.0;
+    for (std::size_t i = 1; i < g.members.size(); ++i)
+      gain += ctx.cost(input, g.members[i]).non_compute();
+    r.est_gain_seconds = gain;
+    r.why = "siblings share staged inputs; batch of " +
+            std::to_string(g.members.size()) + " amortizes stage-in";
+    out.rewrites.push_back(std::move(r));
+  }
+
+  // Rebuild edges. An in-edge shared by a whole cluster with identical bytes
+  // is one dataset — staged once, so it is added once, not summed; any other
+  // duplicate (several members feeding one consumer) merges by summation,
+  // which is Workflow::add_dependency's native behaviour.
+  std::set<std::pair<TaskId, TaskId>> cluster_in_done;
+  for (const Edge& e : input.edges()) {
+    const TaskId a = owner[e.from];
+    const TaskId b = owner[e.to];
+    const Group& target = groups[b];
+    if (target.members.size() == 1) {
+      out.workflow.add_dependency(a, b, e.data_bytes);
+      continue;
+    }
+    if (!cluster_in_done.insert({a, b}).second) continue;
+    // Total bytes the cluster pulls over (a -> b): per source task, either
+    // the single shared dataset (all members read the same bytes) or the
+    // per-member sum when they read distinct data.
+    Bytes total = 0;
+    const std::vector<TaskId>& sources = groups[a].members;
+    for (TaskId src : sources) {
+      Bytes first = input.edge_bytes(src, target.members.front());
+      bool all_equal = true;
+      Bytes sum = 0;
+      for (TaskId m : target.members) {
+        const Bytes bytes = input.edge_bytes(src, m);
+        sum += bytes;
+        if (bytes != first) all_equal = false;
+      }
+      total += all_equal ? first : sum;
+    }
+    out.workflow.add_dependency(a, b, total);
+  }
+  out.workflow.validate();
+  return out;
+}
+
+PassOutput ShardSplitPass::run(const Workflow& input,
+                               const PassContext& ctx) const {
+  const std::size_t n = input.task_count();
+  const std::vector<int> levels = task_levels(input);
+  std::vector<double> compute(n, 0.0);
+  for (TaskId t = 0; t < n; ++t) compute[t] = ctx.cost(input, t).compute;
+
+  // Lower median compute per DAG level — "the rest of the stage".
+  std::map<int, std::vector<double>> by_level;
+  for (TaskId t = 0; t < n; ++t) by_level[levels[t]].push_back(compute[t]);
+  std::map<int, double> median;
+  for (auto& [level, values] : by_level) {
+    std::sort(values.begin(), values.end());
+    median[level] = values[(values.size() - 1) / 2];
+  }
+
+  std::vector<std::size_t> shards(n, 1);
+  for (TaskId t = 0; t < n; ++t) {
+    if (!divisible(input.task(t))) continue;
+    if (by_level[levels[t]].size() < 2) continue;  // nothing to dwarf
+    const double peer = std::max(median[levels[t]], 1e-9);
+    if (compute[t] < cfg_.dominance_factor * peer) continue;
+    const double target = std::max(peer, cfg_.min_shard_compute);
+    std::size_t k = static_cast<std::size_t>(compute[t] / target);
+    k = std::min(k, cfg_.max_shards);
+    if (cfg_.min_shard_compute > 0.0)
+      k = std::min(k, static_cast<std::size_t>(
+                          compute[t] / cfg_.min_shard_compute));
+    if (k >= 2) shards[t] = k;
+  }
+
+  PassOutput out;
+  out.workflow = Workflow(input.name());
+  // new id of shard j of input task t
+  std::vector<TaskId> first_id(n, kInvalidTask);
+  for (TaskId t = 0; t < n; ++t) {
+    const TaskSpec& orig = input.task(t);
+    const std::size_t k = shards[t];
+    first_id[t] = static_cast<TaskId>(out.workflow.task_count());
+    if (k == 1) {
+      out.workflow.add_task(orig);
+      out.origins.push_back(StageOrigin{{t}, ShardInfo{}});
+      continue;
+    }
+    Rewrite r;
+    r.kind = RewriteKind::SplitShards;
+    r.pass = name();
+    r.before_names = {orig.name};
+    for (std::size_t j = 0; j < k; ++j) {
+      TaskSpec shard = orig;
+      shard.name =
+          orig.name + ".s" + std::to_string(j + 1) + "of" + std::to_string(k);
+      shard.kind = orig.kind + ".split";
+      shard.base_runtime = orig.base_runtime / static_cast<double>(k);
+      const Bytes in_slice = orig.input_bytes / k;
+      const Bytes out_slice = orig.output_bytes / k;
+      shard.input_bytes =
+          j + 1 == k ? orig.input_bytes - in_slice * (k - 1) : in_slice;
+      shard.output_bytes =
+          j + 1 == k ? orig.output_bytes - out_slice * (k - 1) : out_slice;
+      shard.params.erase(kDivisibleParam);  // a shard never re-splits
+      shard.params["opt.shard"] =
+          std::to_string(j + 1) + "/" + std::to_string(k);
+      out.workflow.add_task(shard);
+      out.origins.push_back(StageOrigin{{t}, ShardInfo{j, k}});
+      r.after_names.push_back(
+          out.workflow.task(out.workflow.task_count() - 1).name);
+    }
+    r.est_gain_seconds = compute[t] - compute[t] / static_cast<double>(k);
+    r.why = "compute " + fmt_duration(compute[t]) + " dwarfs level median " +
+            fmt_duration(median[levels[t]]);
+    out.rewrites.push_back(std::move(r));
+  }
+
+  // Slice every edge across the shard grid of its endpoints; the remainder
+  // byte lands on the last slice so totals are preserved exactly.
+  for (const Edge& e : input.edges()) {
+    const std::size_t kf = shards[e.from];
+    const std::size_t kt = shards[e.to];
+    const std::size_t cells = kf * kt;
+    const Bytes slice = e.data_bytes / cells;
+    for (std::size_t i = 0; i < kf; ++i) {
+      for (std::size_t j = 0; j < kt; ++j) {
+        const bool last = (i + 1 == kf && j + 1 == kt);
+        const Bytes bytes =
+            last ? e.data_bytes - slice * (cells - 1) : slice;
+        out.workflow.add_dependency(first_id[e.from] + static_cast<TaskId>(i),
+                                    first_id[e.to] + static_cast<TaskId>(j),
+                                    bytes);
+      }
+    }
+  }
+  out.workflow.validate();
+  return out;
+}
+
+}  // namespace hhc::wf::opt

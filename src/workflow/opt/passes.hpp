@@ -1,0 +1,130 @@
+// Optimizer passes: DAG-to-DAG rewrites over workflow::Workflow.
+//
+// A pass is a pure function from an input workflow to a PassOutput (the
+// rewritten DAG + origin mapping + rewrite records). Passes never mutate
+// their input — Workflow is append-only, so every pass rebuilds — and they
+// are deterministic: tasks are visited in topological/id order, groups are
+// emitted sorted by their first member, and edges are re-added in the input
+// workflow's stored edge order. A pass that finds nothing to do reproduces
+// its input exactly (same task order, same specs, same edges), which is what
+// makes the optimizer-off byte-identity gate in bench/dag_optimizer hold.
+//
+// Cost queries go through PassContext, which aggregates the CostModel's
+// per-ORIGINAL-task estimates through the RewriteLog so later passes see
+// the combined cost of already-rewritten tasks.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+
+#include "workflow/opt/cost_model.hpp"
+#include "workflow/opt/rewrite.hpp"
+
+namespace hhc::wf::opt {
+
+/// Param key marking a task safe to shard-split (embarrassingly divisible
+/// over its input, e.g. per-read alignment). Set it to "1".
+inline constexpr const char* kDivisibleParam = "opt.divisible";
+
+/// True when `spec` carries the divisibility marker.
+bool divisible(const TaskSpec& spec);
+
+/// Cost view over a pass's input workflow: maps current task ids through the
+/// rewrite log and aggregates the model's original-task costs (sums for
+/// fused groups, compute divided across shards).
+class PassContext {
+ public:
+  PassContext(const CostModel& model, const RewriteLog& log)
+      : model_(model), log_(log) {}
+
+  /// Aggregated cost of task `t` of `current` (a workflow whose mapping the
+  /// log currently describes).
+  TaskCost cost(const Workflow& current, TaskId t) const;
+
+  /// Catalog-aware size of the dataset on edge from->to of `current`. The
+  /// producing original task (the last constituent of `from`) keys the
+  /// catalog lookup, because that is the id a prior run's datasets carry.
+  Bytes edge_size(const Workflow& current, TaskId from, TaskId to) const;
+
+  const CostModel& model() const noexcept { return model_; }
+  const RewriteLog& log() const noexcept { return log_; }
+
+ private:
+  const CostModel& model_;
+  const RewriteLog& log_;
+};
+
+class OptimizerPass {
+ public:
+  virtual ~OptimizerPass() = default;
+  virtual const char* name() const noexcept = 0;
+  virtual PassOutput run(const Workflow& input, const PassContext& ctx) const = 0;
+};
+
+/// (a) Chain fusion: collapses maximal linear runs of tasks whose cost is
+/// dominated by per-attempt overhead (queue wait, dispatch, stage-in) into
+/// one task. Interior links must have exactly one predecessor and one
+/// successor; every link must agree on node count and clear the
+/// non-compute-share bar. Fused runtime is the sum, resources the max,
+/// intermediate edges become internal (their data is never persisted —
+/// the JAWS §6.1 shard-count win).
+struct FusionConfig {
+  double min_non_compute_share = 0.5;  ///< Overhead fraction to qualify.
+  std::size_t max_chain = 8;           ///< Longest run fused into one task.
+  double max_fused_compute =
+      std::numeric_limits<double>::infinity();  ///< Cap on summed compute.
+};
+
+class ChainFusionPass final : public OptimizerPass {
+ public:
+  explicit ChainFusionPass(FusionConfig cfg = {}) : cfg_(cfg) {}
+  const char* name() const noexcept override { return "chain-fusion"; }
+  PassOutput run(const Workflow& input, const PassContext& ctx) const override;
+
+ private:
+  FusionConfig cfg_;
+};
+
+/// (b) Sibling clustering: batches tasks that share the same predecessor set
+/// and a large common input (sized via the fabric DataCatalog when bound)
+/// into sequential clusters, amortizing stage-in and per-attempt overhead
+/// across the batch. A shared in-edge whose bytes agree across all members
+/// is staged once per cluster instead of once per member.
+struct ClusterConfig {
+  Bytes min_shared_bytes = 64ull << 20;  ///< Smallest input worth amortizing.
+  double min_non_compute_share = 0.3;    ///< Overhead fraction to qualify.
+  std::size_t max_cluster = 8;           ///< Members batched per cluster.
+};
+
+class SiblingClusteringPass final : public OptimizerPass {
+ public:
+  explicit SiblingClusteringPass(ClusterConfig cfg = {}) : cfg_(cfg) {}
+  const char* name() const noexcept override { return "sibling-clustering"; }
+  PassOutput run(const Workflow& input, const PassContext& ctx) const override;
+
+ private:
+  ClusterConfig cfg_;
+};
+
+/// (c) Shard splitting: divides an oversized task — marked divisible and
+/// whose per-attempt compute dwarfs the median of its DAG level — into
+/// parallel shards of roughly level-median size. In-edge datasets are
+/// sliced across shards; external input/output bytes split evenly with the
+/// remainder on the last shard.
+struct SplitConfig {
+  double dominance_factor = 4.0;  ///< compute >= factor x level median.
+  std::size_t max_shards = 8;
+  double min_shard_compute = 30.0;  ///< Never split below this shard size.
+};
+
+class ShardSplitPass final : public OptimizerPass {
+ public:
+  explicit ShardSplitPass(SplitConfig cfg = {}) : cfg_(cfg) {}
+  const char* name() const noexcept override { return "shard-split"; }
+  PassOutput run(const Workflow& input, const PassContext& ctx) const override;
+
+ private:
+  SplitConfig cfg_;
+};
+
+}  // namespace hhc::wf::opt

@@ -1,0 +1,81 @@
+#include "workflow/opt/rewrite.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+namespace hhc::wf::opt {
+
+const char* to_string(RewriteKind k) noexcept {
+  switch (k) {
+    case RewriteKind::FuseChain: return "fuse-chain";
+    case RewriteKind::ClusterSiblings: return "cluster-siblings";
+    case RewriteKind::SplitShards: return "split-shards";
+  }
+  return "?";
+}
+
+void RewriteLog::reset(const Workflow& original) {
+  original_ = original;
+  records_.clear();
+  constituents_.assign(original.task_count(), {});
+  shard_.assign(original.task_count(), ShardInfo{});
+  for (TaskId t = 0; t < original.task_count(); ++t)
+    constituents_[t] = {t};
+}
+
+void RewriteLog::apply(const PassOutput& stage) {
+  if (stage.origins.size() != stage.workflow.task_count())
+    throw std::invalid_argument("RewriteLog::apply: origins/task count mismatch");
+  std::vector<std::vector<TaskId>> next_constituents;
+  std::vector<ShardInfo> next_shard;
+  next_constituents.reserve(stage.origins.size());
+  next_shard.reserve(stage.origins.size());
+  for (const StageOrigin& origin : stage.origins) {
+    if (origin.from.empty())
+      throw std::invalid_argument("RewriteLog::apply: empty origin");
+    std::vector<TaskId> merged;
+    for (TaskId f : origin.from) {
+      if (f >= constituents_.size())
+        throw std::invalid_argument("RewriteLog::apply: origin id out of range");
+      merged.insert(merged.end(), constituents_[f].begin(),
+                    constituents_[f].end());
+    }
+    ShardInfo composed;
+    if (origin.shard.split()) {
+      // A shard of a task that was itself already a shard nests: the new
+      // split subdivides the old shard's slice of the original.
+      const ShardInfo base = shard_[origin.from.front()];
+      composed.count = base.count * origin.shard.count;
+      composed.index = base.index * origin.shard.count + origin.shard.index;
+    } else if (origin.from.size() == 1) {
+      composed = shard_[origin.from.front()];
+    }
+    next_constituents.push_back(std::move(merged));
+    next_shard.push_back(composed);
+  }
+  constituents_ = std::move(next_constituents);
+  shard_ = std::move(next_shard);
+  records_.insert(records_.end(), stage.rewrites.begin(), stage.rewrites.end());
+}
+
+std::size_t RewriteLog::count(RewriteKind k) const noexcept {
+  std::size_t n = 0;
+  for (const Rewrite& r : records_)
+    if (r.kind == k) ++n;
+  return n;
+}
+
+std::string RewriteLog::table() const {
+  TextTable t("DAG rewrites");
+  t.header({"pass", "kind", "before", "after", "est gain"});
+  for (const Rewrite& r : records_) {
+    t.row({r.pass, to_string(r.kind), join(r.before_names, " "),
+           join(r.after_names, " "), fmt_duration(r.est_gain_seconds)});
+  }
+  return t.render();
+}
+
+}  // namespace hhc::wf::opt

@@ -1,0 +1,126 @@
+// Reversible record of every DAG rewrite the optimizer performed.
+//
+// Each optimizer pass emits a PassOutput: the rewritten workflow plus, for
+// every task of that workflow, where it came from (StageOrigin). The
+// RewriteLog composes those stage mappings across the whole pipeline so that
+// after any number of passes it can still answer, for an optimized task id:
+// which *original* tasks execute inside it (constituents, in execution
+// order), and whether it is one shard of a split original. It also retains a
+// copy of the pre-optimization workflow, which makes every rewrite reversible
+// and gives core::Toolkit the original TaskSpecs it needs to emit
+// per-constituent provenance, preserve lineage recovery_cone semantics, and
+// classify failures down to the constituent that was running.
+//
+// Invariants (tested):
+//  - every original task id appears in exactly one optimized task's
+//    constituent list, or in every shard of exactly one split group;
+//  - constituent lists are in execution order (fusion is sequential);
+//  - an empty log (no rewrites) maps every task to itself, and running a
+//    workflow with such a log is byte-identical to running without one.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "workflow/workflow.hpp"
+
+namespace hhc::wf::opt {
+
+enum class RewriteKind {
+  FuseChain,        ///< Linear run of tasks collapsed into one.
+  ClusterSiblings,  ///< Siblings sharing a large input batched into one.
+  SplitShards       ///< Oversized task divided into parallel shards.
+};
+
+const char* to_string(RewriteKind k) noexcept;
+
+/// One rewrite, in terms of task names (stable across passes).
+struct Rewrite {
+  RewriteKind kind = RewriteKind::FuseChain;
+  std::string pass;                       ///< Pass that performed it.
+  std::vector<std::string> before_names;  ///< Tasks consumed by the rewrite.
+  std::vector<std::string> after_names;   ///< Tasks produced by the rewrite.
+  double est_gain_seconds = 0.0;          ///< Cost-model estimate of the win.
+  std::string why;                        ///< Human-readable justification.
+};
+
+/// Shard coordinates of a split task; count == 1 means "not a shard".
+struct ShardInfo {
+  std::size_t index = 0;
+  std::size_t count = 1;
+  bool split() const noexcept { return count > 1; }
+};
+
+/// Provenance of one task of a pass's output workflow, in terms of the
+/// pass's *input* workflow.
+struct StageOrigin {
+  std::vector<TaskId> from;  ///< Input-stage tasks, in execution order.
+  ShardInfo shard;           ///< Set when this task is one shard of from[0].
+};
+
+/// What one pass produced: the rewritten DAG plus its origin mapping
+/// (origins.size() == workflow.task_count()) and the rewrite records.
+struct PassOutput {
+  Workflow workflow{std::string("workflow")};
+  std::vector<StageOrigin> origins;
+  std::vector<Rewrite> rewrites;
+};
+
+class RewriteLog {
+ public:
+  RewriteLog() = default;
+  explicit RewriteLog(const Workflow& original) { reset(original); }
+
+  /// Starts a fresh log over `original` (identity mapping, no records).
+  void reset(const Workflow& original);
+
+  /// Composes one pass's output onto the log. Throws std::invalid_argument
+  /// when the stage mapping is malformed (size mismatch, bad ids).
+  void apply(const PassOutput& stage);
+
+  // --- mapping queries (optimized task id -> original workflow) ---
+  std::size_t optimized_task_count() const noexcept { return constituents_.size(); }
+  std::size_t original_task_count() const noexcept { return original_.task_count(); }
+  /// Original tasks executing inside optimized task `t`, execution order.
+  const std::vector<TaskId>& constituents(TaskId t) const {
+    return constituents_.at(t);
+  }
+  /// More than one constituent: a fused chain or a sibling cluster.
+  bool fused(TaskId t) const { return constituents_.at(t).size() > 1; }
+  ShardInfo shard(TaskId t) const { return shard_.at(t); }
+  /// The pre-optimization workflow — the reversibility anchor.
+  const Workflow& original() const noexcept { return original_; }
+  /// True when no rewrite was recorded (pure identity mapping).
+  bool identity() const noexcept { return records_.empty(); }
+
+  const std::vector<Rewrite>& records() const noexcept { return records_; }
+  std::size_t count(RewriteKind k) const noexcept;
+
+  /// Carries a per-task annotation (e.g. a static placement vector) from the
+  /// original workflow onto the optimized one: each optimized task inherits
+  /// the value of its first constituent. Requires values.size() ==
+  /// original_task_count().
+  template <typename T>
+  std::vector<T> map_per_task(const std::vector<T>& values) const {
+    if (values.size() != original_task_count())
+      throw std::invalid_argument("map_per_task: size mismatch");
+    std::vector<T> mapped;
+    mapped.reserve(constituents_.size());
+    for (const std::vector<TaskId>& group : constituents_)
+      mapped.push_back(values.at(group.front()));
+    return mapped;
+  }
+
+  /// Rendered rewrite table (pass, kind, before -> after, estimated gain).
+  std::string table() const;
+
+ private:
+  Workflow original_{std::string("workflow")};
+  std::vector<std::vector<TaskId>> constituents_;  ///< optimized -> originals
+  std::vector<ShardInfo> shard_;                   ///< optimized -> shard
+  std::vector<Rewrite> records_;
+};
+
+}  // namespace hhc::wf::opt

@@ -1,0 +1,71 @@
+#include "obs/forensics/costfeed.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hhc::obs::forensics {
+namespace {
+
+AttemptId record_attempt(TaskLedger& ledger, std::size_t task,
+                         const std::string& name, std::uint32_t attempt,
+                         SimTime ready, SimTime staged, SimTime submitted,
+                         SimTime started, SimTime finished,
+                         AttemptOutcome outcome, bool winner) {
+  const AttemptId id = ledger.open_attempt(
+      task, name, attempt, /*hedge=*/false,
+      Cause{CauseKind::RunStart, kNoAttempt, ready, 0.0}, ready, "env");
+  ledger.add_staged(id, mib(100));
+  ledger.staged(id, staged);
+  ledger.submitted(id, submitted);
+  ledger.started(id, started, 4.0);
+  TaskLedger::Settle s;
+  s.finish = finished;
+  s.outcome = outcome;
+  s.winner = winner;
+  s.ran = true;
+  ledger.close(id, s);
+  return id;
+}
+
+TEST(CostFeed, ProfilesWinningAttemptPhases) {
+  TaskLedger ledger;
+  ledger.begin_run(0.0, "wf", 3);
+  // Task 0: clean single attempt. ready 0, staged 8, submitted 10, started
+  // 40, finished 100 -> stage_in 8, overhead 2, queue_wait 30, compute 60.
+  record_attempt(ledger, 0, "a", 0, 0, 8, 10, 40, 100,
+                 AttemptOutcome::Completed, true);
+  // Task 1: a failed attempt, then the winning retry.
+  record_attempt(ledger, 1, "b", 0, 0, 1, 2, 5, 20, AttemptOutcome::Failed,
+                 false);
+  record_attempt(ledger, 1, "b", 1, 25, 26, 27, 30, 90,
+                 AttemptOutcome::Completed, true);
+  // Task 2: never settled with a win.
+  record_attempt(ledger, 2, "c", 0, 0, 1, 2, 3, 50, AttemptOutcome::Failed,
+                 false);
+  ledger.end_run(100.0, false);
+
+  const auto profiles = task_cost_profiles(ledger);
+  ASSERT_EQ(profiles.size(), 3u);
+
+  EXPECT_TRUE(profiles[0].observed);
+  EXPECT_EQ(profiles[0].name, "a");
+  EXPECT_DOUBLE_EQ(profiles[0].stage_in, 8.0);
+  EXPECT_DOUBLE_EQ(profiles[0].overhead, 2.0);
+  EXPECT_DOUBLE_EQ(profiles[0].queue_wait, 30.0);
+  EXPECT_DOUBLE_EQ(profiles[0].compute, 60.0);
+  EXPECT_EQ(profiles[0].staged_bytes, mib(100));
+  EXPECT_EQ(profiles[0].attempts, 1u);
+
+  // The retry's phases, not the failure's; both attempts counted.
+  EXPECT_TRUE(profiles[1].observed);
+  EXPECT_EQ(profiles[1].attempts, 2u);
+  EXPECT_DOUBLE_EQ(profiles[1].compute, 60.0);
+  EXPECT_DOUBLE_EQ(profiles[1].queue_wait, 3.0);
+
+  // Unobserved tasks stay zeroed but still report retry pressure.
+  EXPECT_FALSE(profiles[2].observed);
+  EXPECT_EQ(profiles[2].attempts, 1u);
+  EXPECT_DOUBLE_EQ(profiles[2].compute, 0.0);
+}
+
+}  // namespace
+}  // namespace hhc::obs::forensics

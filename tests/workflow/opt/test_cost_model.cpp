@@ -1,0 +1,97 @@
+#include "workflow/opt/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hhc::wf::opt {
+namespace {
+
+TaskSpec spec(const std::string& name, double runtime) {
+  TaskSpec t;
+  t.name = name;
+  t.kind = "step";
+  t.base_runtime = runtime;
+  return t;
+}
+
+TEST(StaticCostModel, DerivesPhasesFromAnnotations) {
+  Workflow w("pair");
+  const TaskId a = w.add_task(spec("a", 100.0));
+  const TaskId b = w.add_task(spec("b", 50.0));
+  w.add_dependency(a, b, Bytes{100} * 1000 * 1000);  // 100 MB
+
+  StaticCostConfig cfg;
+  cfg.reference_speed = 2.0;
+  cfg.dispatch_overhead = 5.0;
+  cfg.queue_wait = 7.0;
+  cfg.stage_bandwidth = 50e6;
+  cfg.stage_latency = 1.0;
+  const StaticCostModel model(cfg);
+
+  const TaskCost ca = model.cost(w, a);
+  EXPECT_DOUBLE_EQ(ca.compute, 50.0);  // 100 / speed 2
+  EXPECT_DOUBLE_EQ(ca.queue_wait, 7.0);
+  EXPECT_DOUBLE_EQ(ca.overhead, 5.0);
+  EXPECT_DOUBLE_EQ(ca.stage_in, 0.0);  // no in-edges
+
+  const TaskCost cb = model.cost(w, b);
+  EXPECT_DOUBLE_EQ(cb.compute, 25.0);
+  // 100 MB at 50 MB/s + 1 s latency.
+  EXPECT_DOUBLE_EQ(cb.stage_in, 3.0);
+  EXPECT_NEAR(cb.total(), 25.0 + 7.0 + 3.0 + 5.0, 1e-12);
+  EXPECT_NEAR(cb.non_compute_share(), 15.0 / 40.0, 1e-12);
+}
+
+TEST(CostModel, CatalogOverridesEdgeAnnotation) {
+  Workflow w("pair");
+  const TaskId a = w.add_task(spec("a", 10.0));
+  const TaskId b = w.add_task(spec("b", 10.0));
+  w.add_dependency(a, b, mib(1));
+
+  fabric::DataCatalog catalog;
+  StaticCostModel model;
+  // Without a catalog, the annotation is the size authority.
+  EXPECT_EQ(model.edge_size(w, a, mib(1)), mib(1));
+
+  const auto namer = [](const Workflow& wf, TaskId producer, Bytes bytes) {
+    return fabric::content_hash(wf.task(producer).name, bytes);
+  };
+  model.bind_catalog(&catalog, namer);
+  // Bound but unknown: still the annotation.
+  EXPECT_EQ(model.edge_size(w, a, mib(1)), mib(1));
+  catalog.register_dataset(fabric::content_hash("a", mib(1)), gib(2));
+  // Known: the catalog's registered size wins.
+  EXPECT_EQ(model.edge_size(w, a, mib(1)), gib(2));
+}
+
+TEST(ForensicsCostModel, ReplaysProfilesAndFallsBack) {
+  Workflow w("pair");
+  const TaskId a = w.add_task(spec("a", 100.0));
+  const TaskId b = w.add_task(spec("b", 40.0));
+  w.add_dependency(a, b, 0);
+
+  std::vector<obs::forensics::TaskCostProfile> profiles(2);
+  profiles[0].task = 0;
+  profiles[0].observed = true;
+  profiles[0].compute = 80.0;
+  profiles[0].queue_wait = 30.0;
+  profiles[0].stage_in = 10.0;
+  profiles[0].overhead = 2.0;
+  profiles[1].task = 1;  // never observed: falls back to static
+
+  StaticCostConfig fallback;
+  fallback.queue_wait = 99.0;
+  const ForensicsCostModel model(profiles, fallback);
+
+  const TaskCost ca = model.cost(w, a);
+  EXPECT_DOUBLE_EQ(ca.compute, 80.0);
+  EXPECT_DOUBLE_EQ(ca.queue_wait, 30.0);
+  EXPECT_DOUBLE_EQ(ca.stage_in, 10.0);
+  EXPECT_DOUBLE_EQ(ca.overhead, 2.0);
+
+  const TaskCost cb = model.cost(w, b);
+  EXPECT_DOUBLE_EQ(cb.compute, 40.0);      // static: base_runtime / 1.0
+  EXPECT_DOUBLE_EQ(cb.queue_wait, 99.0);   // static fallback config
+}
+
+}  // namespace
+}  // namespace hhc::wf::opt

@@ -1,0 +1,187 @@
+#include "workflow/opt/passes.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workflow/generators.hpp"
+#include "workflow/opt/optimizer.hpp"
+
+namespace hhc::wf::opt {
+namespace {
+
+TaskSpec spec(const std::string& name, double runtime,
+              const std::string& kind = "step") {
+  TaskSpec t;
+  t.name = name;
+  t.kind = kind;
+  t.base_runtime = runtime;
+  return t;
+}
+
+Workflow eight_chain() {
+  Workflow w("chain");
+  TaskId prev = kInvalidTask;
+  for (int i = 0; i < 8; ++i) {
+    const TaskId t = w.add_task(spec("t" + std::to_string(i), 10.0));
+    if (prev != kInvalidTask) w.add_dependency(prev, t, mib(16));
+    prev = t;
+  }
+  return w;
+}
+
+// dispatch_overhead 30 vs compute 10: non-compute share 0.75.
+StaticCostModel overhead_model() {
+  StaticCostConfig cfg;
+  cfg.dispatch_overhead = 30.0;
+  cfg.stage_bandwidth = 0.0;  // isolate the overhead signal
+  return StaticCostModel(cfg);
+}
+
+TEST(ChainFusionPass, FusesOverheadDominatedRuns) {
+  const Workflow w = eight_chain();
+  const StaticCostModel model = overhead_model();
+  RewriteLog log(w);
+  FusionConfig cfg;
+  cfg.max_chain = 4;
+  const PassOutput out = ChainFusionPass(cfg).run(w, PassContext(model, log));
+
+  ASSERT_EQ(out.workflow.task_count(), 2u);
+  EXPECT_EQ(out.workflow.task(0).name, "t0+t1+t2+t3");
+  EXPECT_EQ(out.workflow.task(1).name, "t4+t5+t6+t7");
+  EXPECT_DOUBLE_EQ(out.workflow.task(0).base_runtime, 40.0);
+  // Chain semantics: the fused task's outputs are the LAST link's.
+  EXPECT_EQ(out.workflow.task(0).output_bytes, w.task(3).output_bytes);
+  // Interior edges vanished; the t3 -> t4 edge survives between the fusions.
+  ASSERT_EQ(out.workflow.edge_count(), 1u);
+  EXPECT_EQ(out.workflow.edge_bytes(0, 1), mib(16));
+  ASSERT_EQ(out.rewrites.size(), 2u);
+  EXPECT_EQ(out.rewrites[0].kind, RewriteKind::FuseChain);
+  // One dispatch survives per fusion: 3 links' overhead each.
+  EXPECT_DOUBLE_EQ(out.rewrites[0].est_gain_seconds, 90.0);
+
+  log.apply(out);
+  EXPECT_EQ(log.constituents(1), (std::vector<TaskId>{4, 5, 6, 7}));
+}
+
+TEST(ChainFusionPass, NoOpReproducesInputExactly) {
+  const Workflow w = eight_chain();
+  const StaticCostModel model = overhead_model();
+  RewriteLog log(w);
+  FusionConfig cfg;
+  cfg.min_non_compute_share = 0.9;  // 0.75 share no longer qualifies
+  const PassOutput out = ChainFusionPass(cfg).run(w, PassContext(model, log));
+  EXPECT_TRUE(out.rewrites.empty());
+  EXPECT_EQ(out.workflow.dot(), w.dot());
+}
+
+TEST(SiblingClusteringPass, BatchesSharedInputConsumers) {
+  const Workflow w = make_shared_input_fanout(4, mib(256), Rng(7));
+  StaticCostConfig cfg;
+  cfg.queue_wait = 500.0;  // boot-dominated consumers
+  const StaticCostModel model(cfg);
+  RewriteLog log(w);
+  const PassOutput out =
+      SiblingClusteringPass().run(w, PassContext(model, log));
+
+  // prepare + reduce + one cluster of the four consumers.
+  ASSERT_EQ(out.workflow.task_count(), 3u);
+  ASSERT_EQ(out.rewrites.size(), 1u);
+  EXPECT_EQ(out.rewrites[0].kind, RewriteKind::ClusterSiblings);
+  log.apply(out);
+  TaskId cluster = kInvalidTask;
+  for (TaskId t = 0; t < 3; ++t)
+    if (log.fused(t)) cluster = t;
+  ASSERT_NE(cluster, kInvalidTask);
+  EXPECT_EQ(log.constituents(cluster).size(), 4u);
+
+  // The shared input is ONE dataset: the cluster's in-edge carries it once,
+  // not four times.
+  TaskId prepare = kInvalidTask;
+  for (TaskId t = 0; t < 3; ++t)
+    if (out.workflow.task(t).name == "prepare") prepare = t;
+  ASSERT_NE(prepare, kInvalidTask);
+  EXPECT_EQ(out.workflow.edge_bytes(prepare, cluster), mib(256));
+  // Cluster semantics: every member's outputs persist.
+  Bytes member_outputs = 0;
+  for (TaskId c : log.constituents(cluster))
+    member_outputs += w.task(c).output_bytes;
+  EXPECT_EQ(out.workflow.task(cluster).output_bytes, member_outputs);
+}
+
+TEST(ShardSplitPass, SplitsDominantDivisibleTask) {
+  Workflow w("forkjoin");
+  const TaskId src = w.add_task(spec("split", 10.0));
+  const TaskId sink = w.add_task(spec("merge", 10.0));
+  std::vector<TaskId> level;
+  for (int i = 0; i < 3; ++i)
+    level.push_back(w.add_task(spec("p" + std::to_string(i), 120.0, "work")));
+  TaskSpec whale = spec("whale", 1200.0, "work");
+  whale.params[kDivisibleParam] = "1";
+  whale.input_bytes = gib(1);
+  whale.output_bytes = gib(1);
+  level.push_back(w.add_task(whale));
+  for (TaskId t : level) {
+    w.add_dependency(src, t, mib(64));
+    w.add_dependency(t, sink, mib(8));
+  }
+
+  const StaticCostModel model;
+  RewriteLog log(w);
+  const PassOutput out = ShardSplitPass().run(w, PassContext(model, log));
+
+  // 1200 s vs level median 120 s: split into max_shards = 8.
+  ASSERT_EQ(out.workflow.task_count(), 2u + 3u + 8u);
+  ASSERT_EQ(out.rewrites.size(), 1u);
+  EXPECT_EQ(out.rewrites[0].kind, RewriteKind::SplitShards);
+  EXPECT_EQ(out.rewrites[0].after_names.size(), 8u);
+
+  log.apply(out);
+  double shard_runtime = 0.0;
+  Bytes shard_out = 0, in_edge = 0, out_edge = 0;
+  std::size_t shards_seen = 0;
+  const TaskId whale_id = level.back();
+  for (TaskId t = 0; t < out.workflow.task_count(); ++t) {
+    if (log.constituents(t).front() != whale_id || !log.shard(t).split())
+      continue;
+    ++shards_seen;
+    const TaskSpec& s = out.workflow.task(t);
+    EXPECT_EQ(s.kind, "work.split");
+    EXPECT_FALSE(divisible(s));  // a shard never re-splits
+    shard_runtime += s.base_runtime;
+    shard_out += s.output_bytes;
+    for (TaskId p : out.workflow.predecessors(t))
+      in_edge += out.workflow.edge_bytes(p, t);
+    for (TaskId su : out.workflow.successors(t))
+      out_edge += out.workflow.edge_bytes(t, su);
+  }
+  EXPECT_EQ(shards_seen, 8u);
+  // Conservation: runtimes and bytes are sliced, never created or lost.
+  EXPECT_NEAR(shard_runtime, 1200.0, 1e-9);
+  EXPECT_EQ(shard_out, gib(1));
+  EXPECT_EQ(in_edge, mib(64));
+  EXPECT_EQ(out_edge, mib(8));
+}
+
+TEST(Optimizer, PipelineFusesAndLogs) {
+  const Workflow w = eight_chain();
+  const StaticCostModel model = overhead_model();
+  OptimizerConfig cfg;
+  cfg.fusion.max_chain = 4;
+  const OptimizeResult res = optimize(w, model, cfg);
+  EXPECT_EQ(res.tasks_before(), 8u);
+  EXPECT_EQ(res.tasks_after(), 2u);
+  EXPECT_EQ(res.log.count(RewriteKind::FuseChain), 2u);
+  EXPECT_NO_THROW(res.workflow.validate());
+}
+
+TEST(Optimizer, DisabledIsIdentity) {
+  const Workflow w = eight_chain();
+  const StaticCostModel model = overhead_model();
+  OptimizerConfig cfg;
+  cfg.enabled = false;
+  const OptimizeResult res = optimize(w, model, cfg);
+  EXPECT_TRUE(res.log.identity());
+  EXPECT_EQ(res.workflow.dot(), w.dot());
+}
+
+}  // namespace
+}  // namespace hhc::wf::opt

@@ -1,0 +1,126 @@
+#include "workflow/opt/rewrite.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace hhc::wf::opt {
+namespace {
+
+TaskSpec spec(const std::string& name, double runtime = 10.0) {
+  TaskSpec t;
+  t.name = name;
+  t.kind = "step";
+  t.base_runtime = runtime;
+  return t;
+}
+
+Workflow three_chain() {
+  Workflow w("chain");
+  const TaskId a = w.add_task(spec("a"));
+  const TaskId b = w.add_task(spec("b"));
+  const TaskId c = w.add_task(spec("c"));
+  w.add_dependency(a, b, mib(1));
+  w.add_dependency(b, c, mib(1));
+  return w;
+}
+
+TEST(RewriteLog, IdentityMapsEveryTaskToItself) {
+  const Workflow w = three_chain();
+  RewriteLog log(w);
+  EXPECT_TRUE(log.identity());
+  EXPECT_EQ(log.optimized_task_count(), 3u);
+  EXPECT_EQ(log.original_task_count(), 3u);
+  for (TaskId t = 0; t < 3; ++t) {
+    EXPECT_EQ(log.constituents(t), std::vector<TaskId>{t});
+    EXPECT_FALSE(log.fused(t));
+    EXPECT_FALSE(log.shard(t).split());
+  }
+  EXPECT_EQ(log.original().task(1).name, "b");
+}
+
+PassOutput fuse_all_three(const Workflow& w) {
+  PassOutput out;
+  out.workflow = Workflow(w.name());
+  TaskSpec fused = spec("a+b+c", 30.0);
+  out.workflow.add_task(fused);
+  out.origins.push_back(StageOrigin{{0, 1, 2}, ShardInfo{}});
+  Rewrite r;
+  r.kind = RewriteKind::FuseChain;
+  r.before_names = {"a", "b", "c"};
+  r.after_names = {"a+b+c"};
+  out.rewrites.push_back(r);
+  return out;
+}
+
+TEST(RewriteLog, ComposesFusionThenSplit) {
+  const Workflow w = three_chain();
+  RewriteLog log(w);
+  log.apply(fuse_all_three(w));
+  ASSERT_EQ(log.optimized_task_count(), 1u);
+  EXPECT_TRUE(log.fused(0));
+  EXPECT_EQ(log.constituents(0), (std::vector<TaskId>{0, 1, 2}));
+  EXPECT_FALSE(log.identity());
+  EXPECT_EQ(log.count(RewriteKind::FuseChain), 1u);
+
+  // Second stage: split the fused task into two shards.
+  PassOutput split;
+  split.workflow = Workflow(w.name());
+  split.workflow.add_task(spec("a+b+c.s1of2", 15.0));
+  split.workflow.add_task(spec("a+b+c.s2of2", 15.0));
+  split.origins.push_back(StageOrigin{{0}, ShardInfo{0, 2}});
+  split.origins.push_back(StageOrigin{{0}, ShardInfo{1, 2}});
+  Rewrite r;
+  r.kind = RewriteKind::SplitShards;
+  split.rewrites.push_back(r);
+  log.apply(split);
+
+  ASSERT_EQ(log.optimized_task_count(), 2u);
+  // Both shards trace back to all three originals.
+  EXPECT_EQ(log.constituents(0), (std::vector<TaskId>{0, 1, 2}));
+  EXPECT_EQ(log.constituents(1), (std::vector<TaskId>{0, 1, 2}));
+  EXPECT_EQ(log.shard(0).index, 0u);
+  EXPECT_EQ(log.shard(1).index, 1u);
+  EXPECT_EQ(log.shard(1).count, 2u);
+  EXPECT_EQ(log.count(RewriteKind::SplitShards), 1u);
+  // The reversibility anchor still holds the pre-optimization DAG.
+  EXPECT_EQ(log.original().task_count(), 3u);
+  EXPECT_FALSE(log.table().empty());
+}
+
+TEST(RewriteLog, MapPerTaskInheritsFirstConstituent) {
+  const Workflow w = three_chain();
+  RewriteLog log(w);
+  log.apply(fuse_all_three(w));
+  const std::vector<int> assignment{7, 8, 9};
+  const std::vector<int> mapped = log.map_per_task(assignment);
+  ASSERT_EQ(mapped.size(), 1u);
+  EXPECT_EQ(mapped[0], 7);
+  EXPECT_THROW(log.map_per_task(std::vector<int>{1, 2}),
+               std::invalid_argument);
+}
+
+TEST(RewriteLog, RejectsMalformedStage) {
+  const Workflow w = three_chain();
+  RewriteLog log(w);
+  PassOutput bad;
+  bad.workflow = Workflow(w.name());
+  bad.workflow.add_task(spec("x"));
+  // origins.size() != workflow.task_count()
+  EXPECT_THROW(log.apply(bad), std::invalid_argument);
+  bad.origins.push_back(StageOrigin{{42}, ShardInfo{}});  // bad input id
+  EXPECT_THROW(log.apply(bad), std::invalid_argument);
+}
+
+TEST(RewriteLog, EveryOriginalAppearsExactlyOnce) {
+  const Workflow w = three_chain();
+  RewriteLog log(w);
+  log.apply(fuse_all_three(w));
+  std::vector<std::size_t> seen(log.original_task_count(), 0);
+  for (TaskId t = 0; t < log.optimized_task_count(); ++t)
+    for (TaskId c : log.constituents(t)) ++seen[c];
+  for (std::size_t count : seen) EXPECT_EQ(count, 1u);
+}
+
+}  // namespace
+}  // namespace hhc::wf::opt

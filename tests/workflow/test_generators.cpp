@@ -61,6 +61,22 @@ TEST(Generators, PipelineLanesShape) {
   EXPECT_EQ(w.task(5).kind, "step0");
 }
 
+TEST(Generators, SharedInputFanoutShape) {
+  const Workflow w = make_shared_input_fanout(16, gib(2), Rng(11));
+  EXPECT_EQ(w.task_count(), 18u);
+  EXPECT_EQ(w.edge_count(), 32u);
+  EXPECT_EQ(w.sources().size(), 1u);
+  EXPECT_EQ(w.sinks().size(), 1u);
+  EXPECT_NO_THROW(w.validate());
+  // All consumers read the SAME dataset: identical edge bytes everywhere,
+  // matching the producer's declared output.
+  const TaskId src = w.sources().front();
+  EXPECT_EQ(w.task(src).output_bytes, gib(2));
+  for (TaskId t : w.successors(src)) EXPECT_EQ(w.edge_bytes(src, t), gib(2));
+  EXPECT_THROW(make_shared_input_fanout(0, gib(1), Rng(11)),
+               std::invalid_argument);
+}
+
 TEST(Generators, RandomLayeredIsAcyclicAndConnectedDown) {
   for (std::uint64_t seed = 0; seed < 5; ++seed) {
     const Workflow w = make_random_layered(6, 10, Rng(seed));
