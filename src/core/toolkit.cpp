@@ -1,6 +1,7 @@
 #include "core/toolkit.hpp"
 
 #include <algorithm>
+#include <set>
 #include <stdexcept>
 
 #include "cws/strategies.hpp"
@@ -131,6 +132,43 @@ CompositeReport Toolkit::run(const wf::Workflow& workflow,
   return run_impl(workflow, nullptr, &broker);
 }
 
+CompositeReport Toolkit::run(const wf::Workflow& workflow,
+                             federation::Broker& broker,
+                             const RunOptions& options) {
+  workflow.validate();
+  if (options.resume_from) options.resume_from->validate_for(workflow);
+  bind_broker(broker);
+  return run_impl(workflow, nullptr, &broker, nullptr, &options);
+}
+
+CompositeReport Toolkit::run(const wf::Workflow& workflow,
+                             const std::vector<EnvironmentId>& assignment,
+                             const RunOptions& options) {
+  workflow.validate();
+  if (options.resume_from) options.resume_from->validate_for(workflow);
+  if (assignment.size() != workflow.task_count())
+    throw std::invalid_argument("assignment size != task count");
+  for (EnvironmentId e : assignment)
+    if (e >= envs_.size()) throw std::out_of_range("bad environment id");
+  return run_impl(workflow, &assignment, nullptr, nullptr, &options);
+}
+
+CompositeReport Toolkit::resume(const wf::Workflow& workflow,
+                                const resilience::RunCheckpoint& checkpoint,
+                                federation::Broker& broker) {
+  RunOptions options;
+  options.resume_from = &checkpoint;
+  return run(workflow, broker, options);
+}
+
+CompositeReport Toolkit::resume(const wf::Workflow& workflow,
+                                const resilience::RunCheckpoint& checkpoint,
+                                const std::vector<EnvironmentId>& assignment) {
+  RunOptions options;
+  options.resume_from = &checkpoint;
+  return run(workflow, assignment, options);
+}
+
 namespace {
 void check_rewrites(const wf::Workflow& workflow,
                     const wf::opt::RewriteLog& rewrites) {
@@ -174,6 +212,7 @@ Toolkit::RunState& Toolkit::make_run_state(
     federation::Broker* broker) {
   runs_.push_back(std::make_unique<RunState>());
   RunState& state = *runs_.back();
+  state.id = next_run_id_++;
   state.workflow = &workflow;
   state.assignment = assignment;
   state.broker = broker;
@@ -224,11 +263,17 @@ void Toolkit::build_env_reports(RunState& state) {
 CompositeReport Toolkit::run_impl(const wf::Workflow& workflow,
                                   const std::vector<EnvironmentId>* assignment,
                                   federation::Broker* broker,
-                                  const wf::opt::RewriteLog* rewrites) {
+                                  const wf::opt::RewriteLog* rewrites,
+                                  const RunOptions* options) {
   HHC_PROF_SCOPE("toolkit.run");
   RunState& state = make_run_state(workflow, assignment, broker);
   state.rewrites = rewrites;
   state.record_forensics = config_.forensics.enabled;
+  if (options) {
+    state.ckpt_policy = options->checkpoints;
+    state.on_checkpoint = options->on_checkpoint;
+    if (options->resume_from) state.resume_from = *options->resume_from;
+  }
   const SimTime start = state.start;
   // Fresh fabric state per run: caches first (they unwind their catalog
   // replicas), then any replicas registered outside a cache.
@@ -276,22 +321,9 @@ CompositeReport Toolkit::run_impl(const wf::Workflow& workflow,
     }
   }
 
-  if (chaos_) {
-    std::vector<resilience::ChaosTarget> targets;
-    for (EnvironmentId e = 0; e < envs_.size(); ++e)
-      targets.push_back({e, envs_[e].cluster->node_count(),
-                         envs_[e].kind == EnvironmentKind::Cloud});
-    std::vector<std::pair<std::string, std::string>> links;
-    for (EnvironmentId a = 0; a < envs_.size(); ++a)
-      for (EnvironmentId b = a + 1; b < envs_.size(); ++b)
-        links.emplace_back(env_location(a), env_location(b));
-    chaos_->arm(sim_, targets, links, obs_.on() ? &obs_ : nullptr);
-  }
+  arm_chaos();
 
-  for (wf::TaskId t : workflow.sources())
-    dispatch(state, t,
-             {obs::forensics::CauseKind::RunStart, obs::forensics::kNoAttempt,
-              start, 0.0});
+  launch_frontier(state);
   sim_.run();
   if (broker) broker->end_run(state.wf_id);
   if (advisory) monitor_.set_sink(nullptr);
@@ -334,16 +366,28 @@ CompositeReport Toolkit::run_impl(const wf::Workflow& workflow,
   return report;
 }
 
-void Toolkit::start_run(const wf::Workflow& workflow, federation::Broker& broker,
-                        std::function<void(const CompositeReport&)> done) {
+std::uint64_t Toolkit::start_run(const wf::Workflow& workflow,
+                                 federation::Broker& broker,
+                                 std::function<void(const CompositeReport&)> done) {
+  return start_run(workflow, broker, RunOptions{}, std::move(done));
+}
+
+std::uint64_t Toolkit::start_run(const wf::Workflow& workflow,
+                                 federation::Broker& broker,
+                                 const RunOptions& options,
+                                 std::function<void(const CompositeReport&)> done) {
   workflow.validate();
+  if (options.resume_from) options.resume_from->validate_for(workflow);
   bind_broker(broker);
   RunState& state = make_run_state(workflow, nullptr, &broker);
   state.async = true;
   state.done = std::move(done);
+  state.ckpt_policy = options.checkpoints;
+  state.on_checkpoint = options.on_checkpoint;
+  if (options.resume_from) state.resume_from = *options.resume_from;
   if (workflow.empty()) {
     settle_async(state);  // remaining == 0: delivers a success report
-    return;
+    return state.id;
   }
   state.wf_id = registry_.register_workflow(workflow);
   broker.begin_run(workflow, state.wf_id);
@@ -353,10 +397,8 @@ void Toolkit::start_run(const wf::Workflow& workflow, federation::Broker& broker
     obs_.span_attr(state.workflow_span, "tasks",
                    static_cast<std::int64_t>(workflow.task_count()));
   }
-  for (wf::TaskId t : workflow.sources())
-    dispatch(state, t,
-             {obs::forensics::CauseKind::RunStart, obs::forensics::kNoAttempt,
-              state.start, 0.0});
+  launch_frontier(state);
+  return state.id;
 }
 
 void Toolkit::settle_async(RunState& state) {
@@ -411,6 +453,249 @@ std::size_t Toolkit::active_run_count() const noexcept {
   for (const auto& run : runs_)
     if (run->async && !run->settled) ++n;
   return n;
+}
+
+Toolkit::RunState* Toolkit::find_run(std::uint64_t run_id) noexcept {
+  for (const auto& run : runs_)
+    if (run->id == run_id) return run.get();
+  return nullptr;
+}
+
+void Toolkit::launch_frontier(RunState& state) {
+  const wf::Workflow& workflow = *state.workflow;
+  if (state.resume_from) {
+    seed_from_checkpoint(state);
+    if (state.remaining == 0) {
+      // The checkpoint already covered the whole DAG: the run is done the
+      // moment it starts (sync callers fall straight through sim_.run()).
+      finish_run_observation(state);
+      settle_async(state);
+    } else {
+      for (wf::TaskId t = 0; t < workflow.task_count(); ++t)
+        if (!state.completed[t] && state.pending_preds[t] == 0)
+          dispatch(state, t,
+                   {obs::forensics::CauseKind::Resume,
+                    obs::forensics::kNoAttempt, state.start, 0.0});
+    }
+  } else {
+    for (wf::TaskId t : workflow.sources())
+      dispatch(state, t,
+               {obs::forensics::CauseKind::RunStart,
+                obs::forensics::kNoAttempt, state.start, 0.0});
+  }
+  if (state.ckpt_policy.trigger ==
+          resilience::CheckpointPolicy::Trigger::Interval &&
+      state.remaining > 0)
+    arm_checkpoint_timer(state);
+}
+
+void Toolkit::seed_from_checkpoint(RunState& state) {
+  const resilience::RunCheckpoint& ckpt = *state.resume_from;
+  const wf::Workflow& workflow = *state.workflow;
+  const std::size_t n = workflow.task_count();
+  std::size_t seeded = 0;
+  for (std::size_t t = 0; t < n; ++t) {
+    state.retries[t] = ckpt.retries[t];
+    if (ckpt.backoff_draws[t] > 0)
+      state.retry.restore(t, ckpt.backoff_draws[t], ckpt.backoff_prev[t]);
+    if (!ckpt.completed[t]) continue;
+    state.completed[t] = 1;
+    state.ever_completed[t] = 1;
+    if (ckpt.placement[t] < envs_.size()) state.placement[t] = ckpt.placement[t];
+    ++seeded;
+  }
+  // Dependency counts see only the surviving preds; the frontier is exactly
+  // the incomplete tasks this leaves at zero.
+  for (wf::TaskId t = 0; t < n; ++t) {
+    std::size_t pending = 0;
+    for (wf::TaskId p : workflow.predecessors(t))
+      if (!state.completed[p]) ++pending;
+    state.pending_preds[t] = pending;
+  }
+  state.remaining -= seeded;
+  state.report.resumed_tasks = seeded;
+  // Re-register the producers' pinned replicas under THIS run's workflow id
+  // (DatasetIds embed it). Only producer-side pins come back — consumer-side
+  // cache replicas are deliberately recomputed, so a resumed consumer pays
+  // the same transfer an uninterrupted run would and cross_env_cache_hits
+  // never double-counts.
+  for (const resilience::ReplicaRecord& r : ckpt.replicas)
+    staging_.publish(cws::edge_dataset_id(state.wf_id, r.producer, r.bytes),
+                     r.bytes, r.location);
+  if (obs_.on())
+    obs_.count(sim_.now(), "durable.tasks_resumed", {},
+               static_cast<double>(seeded));
+}
+
+resilience::RunCheckpoint Toolkit::build_checkpoint(
+    const RunState& state) const {
+  const wf::Workflow& workflow = *state.workflow;
+  const std::size_t n = workflow.task_count();
+  resilience::RunCheckpoint ckpt;
+  ckpt.workflow = workflow.name();
+  ckpt.task_count = n;
+  ckpt.taken_at = sim_.now();
+  ckpt.sequence = state.ckpt_seq + 1;
+  ckpt.completed.assign(n, 0);
+  ckpt.placement.assign(n, resilience::kNoEnvironment);
+  ckpt.retries.assign(n, 0);
+  ckpt.backoff_draws.assign(n, 0);
+  ckpt.backoff_prev.assign(n, 0.0);
+  for (std::size_t t = 0; t < n; ++t) {
+    ckpt.retries[t] = state.retries[t];
+    ckpt.backoff_draws[t] = state.retry.spent(t);
+    ckpt.backoff_prev[t] = state.retry.prev_delay(t);
+    if (!state.completed[t]) continue;
+    ckpt.completed[t] = 1;
+    if (state.placement[t] != kInvalidEnvironment)
+      ckpt.placement[t] = state.placement[t];
+  }
+  // Producer-side pins only: each completed task's out-edge datasets, at the
+  // winner's location, if the catalog still holds them (a site outage may
+  // have dropped the location). Same-sized scatter edges share one dataset,
+  // so dedup by size per producer.
+  for (std::size_t t = 0; t < n; ++t) {
+    if (!ckpt.completed[t] || state.placement[t] == kInvalidEnvironment)
+      continue;
+    const std::string loc = env_location(state.placement[t]);
+    std::set<Bytes> sizes;
+    for (wf::TaskId s : workflow.successors(static_cast<wf::TaskId>(t))) {
+      const Bytes bytes = workflow.edge_bytes(static_cast<wf::TaskId>(t), s);
+      if (bytes == 0 || !sizes.insert(bytes).second) continue;
+      if (catalog_.has_replica(
+              cws::edge_dataset_id(state.wf_id, static_cast<wf::TaskId>(t),
+                                   bytes),
+              loc))
+        ckpt.replicas.push_back({static_cast<wf::TaskId>(t), bytes, loc});
+    }
+  }
+  ckpt.ledger_high_water = ledger_.size();
+  for (double busy : state.env_busy_core_seconds)
+    ckpt.busy_core_seconds += busy;
+  return ckpt;
+}
+
+void Toolkit::take_checkpoint(RunState& state) {
+  if (state.settled || state.failed || state.remaining == 0) return;
+  const resilience::RunCheckpoint ckpt = build_checkpoint(state);
+  state.ckpt_seq = ckpt.sequence;
+  state.completions_since_ckpt = 0;
+  ++state.report.checkpoints_taken;
+  if (obs_.on()) obs_.count(sim_.now(), "durable.checkpoints");
+  if (state.on_checkpoint) state.on_checkpoint(ckpt);
+}
+
+void Toolkit::note_checkpoint_completion(RunState& state) {
+  ++state.completions_since_ckpt;
+  state.last_completion = sim_.now();
+  if (state.remaining == 0) return;
+  using Trigger = resilience::CheckpointPolicy::Trigger;
+  if (state.ckpt_policy.trigger == Trigger::EveryNCompletions) {
+    if (state.completions_since_ckpt >= state.ckpt_policy.every_n)
+      take_checkpoint(state);
+  } else if (state.ckpt_policy.trigger == Trigger::FrontierStability) {
+    // Re-arm on every completion; the snapshot fires only if the frontier
+    // stayed quiet for the whole window. Weak: a pending stability check
+    // after the last strong event must not stretch the makespan.
+    state.stability_check.cancel();
+    const SimTime marker = state.last_completion;
+    state.stability_check = sim_.schedule_weak_in(
+        state.ckpt_policy.stability_window, [this, &state, marker] {
+          if (state.settled || state.failed || state.remaining == 0) return;
+          if (state.last_completion != marker) return;  // frontier moved
+          if (state.completions_since_ckpt > 0) take_checkpoint(state);
+        });
+  }
+}
+
+void Toolkit::arm_checkpoint_timer(RunState& state) {
+  state.ckpt_timer =
+      sim_.schedule_weak_in(state.ckpt_policy.interval, [this, &state] {
+        if (state.settled || state.failed || state.remaining == 0) return;
+        if (state.completions_since_ckpt > 0) take_checkpoint(state);
+        arm_checkpoint_timer(state);
+      });
+}
+
+resilience::RunCheckpoint Toolkit::checkpoint_run(std::uint64_t run_id) {
+  RunState* state = find_run(run_id);
+  if (!state)
+    throw std::invalid_argument("checkpoint_run: unknown run id " +
+                                std::to_string(run_id));
+  if (state->settled)
+    throw std::logic_error("checkpoint_run: run already settled");
+  resilience::RunCheckpoint ckpt = build_checkpoint(*state);
+  state->ckpt_seq = ckpt.sequence;
+  state->completions_since_ckpt = 0;
+  ++state->report.checkpoints_taken;
+  if (obs_.on()) obs_.count(sim_.now(), "durable.checkpoints");
+  return ckpt;
+}
+
+CompositeReport Toolkit::abort_run(std::uint64_t run_id,
+                                   const std::string& reason) {
+  RunState* sp = find_run(run_id);
+  if (!sp)
+    throw std::invalid_argument("abort_run: unknown run id " +
+                                std::to_string(run_id));
+  RunState& state = *sp;
+  if (!state.async)
+    throw std::logic_error("abort_run: run was not started with start_run");
+  if (state.settled) throw std::logic_error("abort_run: run already settled");
+  // Settle FIRST: the kill callbacks below still book their partial
+  // execution into wasted_core_seconds (on_attempt_complete runs
+  // synchronously inside kill), but every re-dispatch/retry/settle path
+  // early-outs on the settled flag — including a settlement event already
+  // posted this tick, which is how a settle-during-crash resolves to
+  // "recovery resumes, settles exactly once".
+  state.settled = true;
+  state.aborted = true;
+  state.failed = true;
+  state.error = "aborted: " + reason;
+  state.done = nullptr;
+  state.ckpt_timer.cancel();
+  state.stability_check.cancel();
+  const std::size_t n = state.workflow->task_count();
+  for (wf::TaskId t = 0; t < n; ++t) {
+    state.hedge_check[t].cancel();
+    state.timeout_check[t].cancel();
+    state.hedge_timeout_check[t].cancel();
+    // Kill before releasing the registry id: the completion callbacks tell
+    // the broker task_finished under a still-valid wf_id.
+    if (state.job_of[t] != 0 && state.placement[t] != kInvalidEnvironment)
+      envs_[state.placement[t]].rm->kill(state.job_of[t], reason);
+    state.job_of[t] = 0;
+    if (state.hedge_job_of[t] != 0 &&
+        state.hedge_env[t] != kInvalidEnvironment)
+      envs_[state.hedge_env[t]].rm->kill(state.hedge_job_of[t], reason);
+    state.hedge_job_of[t] = 0;
+  }
+  if (state.wf_id >= 0) {
+    if (state.broker) state.broker->end_run(state.wf_id);
+    registry_.unregister_workflow(state.wf_id);
+    state.wf_id = -1;
+  }
+  if (obs_.on()) obs_.count(sim_.now(), "durable.runs_aborted");
+  finish_run_observation(state);
+  state.report.success = false;
+  state.report.error = state.error;
+  state.report.makespan = sim_.now() - state.start;
+  if (obs_.on()) state.report.metrics = obs_.snapshot();
+  build_env_reports(state);
+  return state.report;
+}
+
+void Toolkit::arm_chaos() {
+  if (!chaos_) return;
+  std::vector<resilience::ChaosTarget> targets;
+  for (EnvironmentId e = 0; e < envs_.size(); ++e)
+    targets.push_back({e, envs_[e].cluster->node_count(),
+                       envs_[e].kind == EnvironmentKind::Cloud});
+  std::vector<std::pair<std::string, std::string>> links;
+  for (EnvironmentId a = 0; a < envs_.size(); ++a)
+    for (EnvironmentId b = a + 1; b < envs_.size(); ++b)
+      links.emplace_back(env_location(a), env_location(b));
+  chaos_->arm(sim_, targets, links, obs_.on() ? &obs_ : nullptr);
 }
 
 void Toolkit::dispatch(RunState& state, wf::TaskId task,
@@ -530,6 +815,7 @@ void Toolkit::stage_inputs(RunState& state, wf::TaskId task,
 }
 
 void Toolkit::submit_task(RunState& state, wf::TaskId task) {
+  if (state.settled) return;  // aborted while this task's inputs staged
   if (state.broker &&
       !state.broker->available(state.site_of[task], sim_.now())) {
     // The site drained or crashed while this task's inputs were staging:
@@ -988,6 +1274,7 @@ void Toolkit::on_attempt_complete(RunState& state, wf::TaskId task,
     }
 
     --state.remaining;
+    if (state.ckpt_policy.enabled()) note_checkpoint_completion(state);
     if (state.remaining == 0) {
       finish_run_observation(state);
       settle_async(state);

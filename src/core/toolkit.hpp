@@ -26,6 +26,7 @@
 #include "obs/forensics/ledger.hpp"
 #include "obs/observer.hpp"
 #include "resilience/chaos.hpp"
+#include "resilience/durable/checkpoint.hpp"
 #include "resilience/hedging.hpp"
 #include "resilience/retry.hpp"
 #include "sim/simulation.hpp"
@@ -96,6 +97,11 @@ struct CompositeReport {
   std::size_t fused_tasks_run = 0;
   std::size_t constituents_completed = 0;
   std::size_t constituent_failures = 0;
+  /// Durability accounting (DESIGN.md §15). `resumed_tasks` counts tasks
+  /// seeded as already-complete from a resume checkpoint (they never
+  /// re-execute); `checkpoints_taken` the snapshots this run produced.
+  std::size_t resumed_tasks = 0;
+  std::size_t checkpoints_taken = 0;
   std::vector<EnvironmentReport> environments;
   /// Snapshot of every metric the run recorded (rm.*, cws.*, toolkit.*,
   /// sim.*). Additive across runs of the same Toolkit; MetricsSnapshot::merge
@@ -149,6 +155,24 @@ struct ToolkitConfig {
     bool enabled = true;
   };
   ForensicsConfig forensics;
+};
+
+/// Durability options for one run (DESIGN.md §15). Defaults preserve
+/// pre-durability behaviour exactly: no checkpoints, nothing resumed.
+struct RunOptions {
+  /// When to snapshot the run. Interval triggers use a weak self-
+  /// rescheduling timer, so checkpointing never extends the makespan.
+  resilience::CheckpointPolicy checkpoints;
+  /// Sink invoked (synchronously, inside the simulation) with each
+  /// checkpoint taken. The WorkflowService journals these.
+  std::function<void(const resilience::RunCheckpoint&)> on_checkpoint;
+  /// Resume from this snapshot: completed tasks are seeded (they never
+  /// re-execute), producer replicas re-registered, retry budgets restored,
+  /// and only the surviving frontier dispatches — with Cause::Resume edges
+  /// so forensics blame still tiles the makespan. Validated against the
+  /// workflow before the run starts; copied, so the pointee need not
+  /// outlive the call.
+  const resilience::RunCheckpoint* resume_from = nullptr;
 };
 
 /// The facade. One instance per experiment; not thread-safe (clone per
@@ -216,6 +240,27 @@ class Toolkit {
   /// reach for the assignment overload only to pin by hand.
   CompositeReport run(const wf::Workflow& workflow, federation::Broker& broker);
 
+  /// Durability-aware overloads: run with a checkpoint policy and/or resume
+  /// from a snapshot (RunOptions). Checkpointing is passive — a run with a
+  /// policy but no faults is behaviourally identical to one without.
+  CompositeReport run(const wf::Workflow& workflow, federation::Broker& broker,
+                      const RunOptions& options);
+  CompositeReport run(const wf::Workflow& workflow,
+                      const std::vector<EnvironmentId>& assignment,
+                      const RunOptions& options);
+
+  /// Resumes a checkpointed workflow: completed tasks and their published
+  /// replicas are seeded, retry budgets restored, and only the surviving
+  /// frontier re-executes. Synchronous, with full forensics — resumed runs'
+  /// blame closure still tiles the (post-resume) makespan. The checkpoint is
+  /// validated against `workflow` (task count + predecessor closure).
+  CompositeReport resume(const wf::Workflow& workflow,
+                         const resilience::RunCheckpoint& checkpoint,
+                         federation::Broker& broker);
+  CompositeReport resume(const wf::Workflow& workflow,
+                         const resilience::RunCheckpoint& checkpoint,
+                         const std::vector<EnvironmentId>& assignment);
+
   /// Starts a federated run WITHOUT driving the simulation — the caller owns
   /// the event loop (schedules arrivals, then calls simulation().run()). Any
   /// number of runs may be in flight at once; they share the broker's sites,
@@ -226,9 +271,39 @@ class Toolkit {
   /// makespan, tagged to this run only. `workflow` must stay alive until
   /// `done` fires. Global observation planes that assume one run at a time —
   /// utilization samplers, chaos arming, the forensics ledger — stay with the
-  /// synchronous run() overloads and are not engaged here.
-  void start_run(const wf::Workflow& workflow, federation::Broker& broker,
-                 std::function<void(const CompositeReport&)> done);
+  /// synchronous run() overloads and are not engaged here (the service layer
+  /// arms chaos itself via arm_chaos()). Returns the run's id, the handle
+  /// checkpoint_run()/abort_run() take.
+  std::uint64_t start_run(const wf::Workflow& workflow,
+                          federation::Broker& broker,
+                          std::function<void(const CompositeReport&)> done);
+  std::uint64_t start_run(const wf::Workflow& workflow,
+                          federation::Broker& broker, const RunOptions& options,
+                          std::function<void(const CompositeReport&)> done);
+
+  /// Snapshots a live run begun with start_run() on demand (brownout
+  /// suspension takes one right before abort_run). Advances the run's
+  /// checkpoint sequence but does NOT invoke the RunOptions sink. Throws
+  /// std::invalid_argument for unknown ids, std::logic_error once settled.
+  resilience::RunCheckpoint checkpoint_run(std::uint64_t run_id);
+
+  /// Tears down a live async run — the controller-crash/suspension path.
+  /// Outstanding jobs are killed (their partial execution lands in
+  /// wasted_core_seconds), watchdogs cancelled, the broker/registry released;
+  /// the run settles failed with error "aborted: <reason>" and its `done`
+  /// callback is NOT invoked (the caller owns what happens next). Returns the
+  /// final partial report. Throws std::invalid_argument for unknown ids,
+  /// std::logic_error for synchronous or already-settled runs.
+  CompositeReport abort_run(std::uint64_t run_id, const std::string& reason);
+
+  /// Arms the attached chaos engine against the current environment shape —
+  /// what run() does implicitly at run start, exposed for the async path
+  /// where the caller owns the event loop (WorkflowService campaigns). No-op
+  /// without an attached engine.
+  void arm_chaos();
+
+  /// The attached chaos engine (nullptr when none).
+  resilience::ChaosEngine* chaos() const noexcept { return chaos_; }
 
   /// Settles every still-active start_run() as failed after the caller's
   /// simulation().run() drained with tasks pending (livelock under chaos, or
@@ -370,6 +445,17 @@ class Toolkit {
     bool settle_pending = false;    ///< Async settlement event already posted.
     bool record_forensics = false;  ///< This run writes the shared ledger.
     std::function<void(const CompositeReport&)> done;  ///< Async completion.
+    /// Durability plane (DESIGN.md §15).
+    std::uint64_t id = 0;           ///< Handle for checkpoint_run/abort_run.
+    resilience::CheckpointPolicy ckpt_policy;
+    std::function<void(const resilience::RunCheckpoint&)> on_checkpoint;
+    std::optional<resilience::RunCheckpoint> resume_from;  ///< Seed on launch.
+    std::uint64_t ckpt_seq = 0;               ///< Checkpoints taken so far.
+    std::size_t completions_since_ckpt = 0;   ///< Progress since the last one.
+    SimTime last_completion = 0.0;            ///< Frontier-stability marker.
+    sim::EventHandle ckpt_timer;              ///< Interval trigger (weak).
+    sim::EventHandle stability_check;         ///< Stability trigger (weak).
+    bool aborted = false;           ///< Torn down via abort_run.
   };
 
   /// Registers the environment in the fabric: a location, a bounded replica
@@ -379,7 +465,28 @@ class Toolkit {
   CompositeReport run_impl(const wf::Workflow& workflow,
                            const std::vector<EnvironmentId>* assignment,
                            federation::Broker* broker,
-                           const wf::opt::RewriteLog* rewrites = nullptr);
+                           const wf::opt::RewriteLog* rewrites = nullptr,
+                           const RunOptions* options = nullptr);
+
+  RunState* find_run(std::uint64_t run_id) noexcept;
+  /// Dispatches the run's initial frontier: sources for a fresh run, or —
+  /// after seed_from_checkpoint — every incomplete task whose predecessors
+  /// all completed, with Cause::Resume edges. Arms the interval checkpoint
+  /// timer when configured.
+  void launch_frontier(RunState& state);
+  /// Seeds completed tasks, placements, retry budgets and producer replicas
+  /// from state.resume_from (already validated against the workflow).
+  void seed_from_checkpoint(RunState& state);
+  /// Snapshots the run's current durable state (pure read; no counters).
+  resilience::RunCheckpoint build_checkpoint(const RunState& state) const;
+  /// build_checkpoint + sequence/report accounting + the RunOptions sink.
+  void take_checkpoint(RunState& state);
+  /// Completion-driven triggers (EveryNCompletions / FrontierStability);
+  /// called on every winning completion while a policy is enabled.
+  void note_checkpoint_completion(RunState& state);
+  /// Self-rescheduling weak interval timer; only snapshots when the run made
+  /// progress since the last checkpoint.
+  void arm_checkpoint_timer(RunState& state);
 
   /// Emits one provenance record per constituent of a fused task's settled
   /// attempt, splitting the attempt's interval in proportion to constituent
@@ -471,6 +578,7 @@ class Toolkit {
   /// failed/deadlocked and async runs are kept for the toolkit's lifetime
   /// (straggler completions and parked callbacks hold references).
   std::vector<std::unique_ptr<RunState>> runs_;
+  std::uint64_t next_run_id_ = 1;
 };
 
 }  // namespace hhc::core

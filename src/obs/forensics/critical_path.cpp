@@ -177,8 +177,12 @@ BlameReport critical_path(const TaskLedger& ledger) {
            &rec);
     cursor = ct;
 
-    if (cause.kind == CauseKind::RunStart || cause.attempt == kNoAttempt ||
-        cause.attempt >= ledger.size()) {
+    // RunStart and Resume both anchor the walk: nothing inside this run's
+    // ledger released them (a Resume edge's "cause" completed in the
+    // pre-crash incarnation), so the remaining gap back to run start is
+    // overhead and the tiling closes exactly as for an uninterrupted run.
+    if (cause.kind == CauseKind::RunStart || cause.kind == CauseKind::Resume ||
+        cause.attempt == kNoAttempt || cause.attempt >= ledger.size()) {
       b.emit(start, cursor, BlamePhase::Overhead, nullptr);
       cursor = start;
       cur = kNoAttempt;

@@ -14,6 +14,7 @@ const char* to_string(CauseKind k) noexcept {
     case CauseKind::Reroute: return "reroute";
     case CauseKind::Hedge: return "hedge";
     case CauseKind::Recovery: return "recovery";
+    case CauseKind::Resume: return "resume";
   }
   return "?";
 }

@@ -39,8 +39,12 @@ enum class CauseKind {
   Retry,       ///< Re-dispatched after the linked attempt failed.
   Reroute,     ///< Re-brokered after the linked attempt's site went away.
   Hedge,       ///< Speculative copy raced against the linked (primary) attempt.
-  Recovery     ///< Lineage recompute triggered by the linked attempt's
+  Recovery,    ///< Lineage recompute triggered by the linked attempt's
                ///< staging failure (its inputs lost every live replica).
+  Resume       ///< Frontier task dispatched when a checkpointed run resumed.
+               ///< Like RunStart it carries no linked attempt: the work that
+               ///< released it happened before the resumed run began, so the
+               ///< blame walk terminates here and still tiles the makespan.
 };
 
 const char* to_string(CauseKind k) noexcept;

@@ -13,6 +13,7 @@ const char* to_string(ChaosKind k) noexcept {
     case ChaosKind::LinkPartition: return "link-partition";
     case ChaosKind::SiteOutage: return "site-outage";
     case ChaosKind::TransferAbort: return "transfer-abort";
+    case ChaosKind::ServiceCrash: return "service-crash";
   }
   return "?";
 }
@@ -158,6 +159,10 @@ void ChaosEngine::deliver(const ChaosEvent& ev, sim::Simulation& sim) {
     case ChaosKind::TransferAbort:
       if (!hooks_.abort_transfers) return;
       hooks_.abort_transfers();
+      break;
+    case ChaosKind::ServiceCrash:
+      if (!service_crash_) return;
+      service_crash_();
       break;
   }
   ++injected_;

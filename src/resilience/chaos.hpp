@@ -44,7 +44,8 @@ enum class ChaosKind {
   LinkDegrade,     ///< Link bandwidth scaled by `factor` for `duration`.
   LinkPartition,   ///< Link fully down for `duration` (factor 0).
   SiteOutage,      ///< Whole environment dark for `duration`.
-  TransferAbort    ///< Every in-flight fabric transfer killed.
+  TransferAbort,   ///< Every in-flight fabric transfer killed.
+  ServiceCrash     ///< The workflow controller/service process dies.
 };
 
 const char* to_string(ChaosKind k) noexcept;
@@ -132,6 +133,18 @@ class ChaosEngine {
   const ChaosConfig& config() const noexcept { return config_; }
   void set_hooks(ChaosHooks hooks) { hooks_ = std::move(hooks); }
 
+  /// Installs the ServiceCrash delivery target. Kept separate from
+  /// ChaosHooks on purpose: the Toolkit overwrites the hook set wholesale in
+  /// install_chaos_hooks(), and the crash callback belongs to the service
+  /// layer above it, so it must survive that. ServiceCrash events only come
+  /// from ChaosConfig::scheduled (never drawn stochastically) and are
+  /// delivered weakly like every other chaos event: a crash scheduled after
+  /// the campaign drains simply never fires, so it cannot stretch makespan
+  /// accounting for unaffected tenants.
+  void on_service_crash(std::function<void()> fn) {
+    service_crash_ = std::move(fn);
+  }
+
   /// Routes an environment's NodeCrash events through an existing
   /// FailureInjector (the §4.3 component) instead of the fail_node hook, so
   /// its injected() count and repair bookkeeping stay authoritative.
@@ -157,6 +170,7 @@ class ChaosEngine {
 
   ChaosConfig config_;
   ChaosHooks hooks_;
+  std::function<void()> service_crash_;
   ChaosPlan plan_;
   std::map<std::size_t, cluster::FailureInjector*> injectors_;
   std::map<ChaosKind, std::size_t> by_kind_;

@@ -1,0 +1,157 @@
+#include "resilience/durable/checkpoint.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hhc::resilience {
+
+std::size_t RunCheckpoint::completed_count() const noexcept {
+  return static_cast<std::size_t>(
+      std::count(completed.begin(), completed.end(), std::uint8_t{1}));
+}
+
+void RunCheckpoint::validate_for(const wf::Workflow& w) const {
+  if (task_count != w.task_count())
+    throw std::invalid_argument(
+        "checkpoint: task count " + std::to_string(task_count) +
+        " does not match workflow '" + w.name() + "' (" +
+        std::to_string(w.task_count()) + " tasks)");
+  const std::size_t n = task_count;
+  if (completed.size() != n || placement.size() != n || retries.size() != n ||
+      backoff_draws.size() != n || backoff_prev.size() != n)
+    throw std::invalid_argument("checkpoint: malformed per-task vectors");
+  for (std::size_t t = 0; t < n; ++t) {
+    if (!completed[t]) continue;
+    for (wf::TaskId p : w.predecessors(static_cast<wf::TaskId>(t)))
+      if (!completed[p])
+        throw std::invalid_argument(
+            "checkpoint: completed set not closed under predecessors (task " +
+            std::to_string(t) + " completed but predecessor " +
+            std::to_string(p) + " is not)");
+  }
+  for (const ReplicaRecord& r : replicas)
+    if (r.producer >= n)
+      throw std::invalid_argument("checkpoint: replica producer out of range");
+}
+
+Json RunCheckpoint::to_json() const {
+  Json j = Json::object();
+  j.set("schema", "hhc.run_checkpoint.v1");
+  j.set("workflow", workflow);
+  j.set("task_count", task_count);
+  j.set("taken_at", taken_at);
+  j.set("sequence", sequence);
+
+  // Sparse encodings: only completed tasks and tasks with retry state appear,
+  // so small checkpoints of big DAGs stay small.
+  Json done = Json::array();
+  Json where = Json::array();
+  for (std::size_t t = 0; t < task_count; ++t) {
+    if (!completed[t]) continue;
+    done.push_back(t);
+    where.push_back(placement[t] == kNoEnvironment
+                        ? Json(-1)
+                        : Json(placement[t]));
+  }
+  j.set("completed", std::move(done));
+  j.set("placement", std::move(where));
+
+  Json retry = Json::array();
+  for (std::size_t t = 0; t < task_count; ++t) {
+    if (retries[t] == 0 && backoff_draws[t] == 0) continue;
+    Json row = Json::array();
+    row.push_back(t);
+    row.push_back(static_cast<std::size_t>(retries[t]));
+    row.push_back(static_cast<std::size_t>(backoff_draws[t]));
+    row.push_back(backoff_prev[t]);
+    retry.push_back(std::move(row));
+  }
+  j.set("retry", std::move(retry));
+
+  Json reps = Json::array();
+  for (const ReplicaRecord& r : replicas) {
+    Json row = Json::array();
+    row.push_back(static_cast<std::size_t>(r.producer));
+    row.push_back(static_cast<std::size_t>(r.bytes));
+    row.push_back(r.location);
+    reps.push_back(std::move(row));
+  }
+  j.set("replicas", std::move(reps));
+
+  j.set("ledger_high_water", ledger_high_water);
+  j.set("busy_core_seconds", busy_core_seconds);
+  return j;
+}
+
+RunCheckpoint RunCheckpoint::from_json(const Json& j) {
+  if (const Json* s = j.find("schema");
+      !s || s->as_string() != "hhc.run_checkpoint.v1")
+    throw JsonError("checkpoint: missing or unknown schema tag");
+  RunCheckpoint c;
+  c.workflow = j.at("workflow").as_string();
+  c.task_count = static_cast<std::size_t>(j.at("task_count").as_int());
+  c.taken_at = j.at("taken_at").as_number();
+  c.sequence = static_cast<std::uint64_t>(j.at("sequence").as_int());
+
+  c.completed.assign(c.task_count, 0);
+  c.placement.assign(c.task_count, kNoEnvironment);
+  c.retries.assign(c.task_count, 0);
+  c.backoff_draws.assign(c.task_count, 0);
+  c.backoff_prev.assign(c.task_count, 0.0);
+
+  const JsonArray& done = j.at("completed").as_array();
+  const JsonArray& where = j.at("placement").as_array();
+  if (done.size() != where.size())
+    throw JsonError("checkpoint: completed/placement length mismatch");
+  for (std::size_t i = 0; i < done.size(); ++i) {
+    const auto t = static_cast<std::size_t>(done[i].as_int());
+    if (t >= c.task_count) throw JsonError("checkpoint: task id out of range");
+    c.completed[t] = 1;
+    const std::int64_t env = where[i].as_int();
+    c.placement[t] = env < 0 ? kNoEnvironment : static_cast<std::size_t>(env);
+  }
+  for (const Json& row : j.at("retry").as_array()) {
+    const JsonArray& r = row.as_array();
+    if (r.size() != 4) throw JsonError("checkpoint: malformed retry row");
+    const auto t = static_cast<std::size_t>(r[0].as_int());
+    if (t >= c.task_count) throw JsonError("checkpoint: retry task out of range");
+    c.retries[t] = static_cast<std::uint32_t>(r[1].as_int());
+    c.backoff_draws[t] = static_cast<std::uint64_t>(r[2].as_int());
+    c.backoff_prev[t] = r[3].as_number();
+  }
+  for (const Json& row : j.at("replicas").as_array()) {
+    const JsonArray& r = row.as_array();
+    if (r.size() != 3) throw JsonError("checkpoint: malformed replica row");
+    ReplicaRecord rec;
+    rec.producer = static_cast<wf::TaskId>(r[0].as_int());
+    rec.bytes = static_cast<Bytes>(r[1].as_int());
+    rec.location = r[2].as_string();
+    c.replicas.push_back(std::move(rec));
+  }
+  c.ledger_high_water =
+      static_cast<std::uint64_t>(j.at("ledger_high_water").as_int());
+  c.busy_core_seconds = j.at("busy_core_seconds").as_number();
+  return c;
+}
+
+bool operator==(const ReplicaRecord& a, const ReplicaRecord& b) {
+  return a.producer == b.producer && a.bytes == b.bytes &&
+         a.location == b.location;
+}
+
+bool operator==(const RunCheckpoint& a, const RunCheckpoint& b) {
+  return a.workflow == b.workflow && a.task_count == b.task_count &&
+         a.taken_at == b.taken_at && a.sequence == b.sequence &&
+         a.completed == b.completed && a.placement == b.placement &&
+         a.retries == b.retries && a.backoff_draws == b.backoff_draws &&
+         a.backoff_prev == b.backoff_prev &&
+         std::equal(a.replicas.begin(), a.replicas.end(), b.replicas.begin(),
+                    b.replicas.end(),
+                    [](const ReplicaRecord& x, const ReplicaRecord& y) {
+                      return x == y;
+                    }) &&
+         a.ledger_high_water == b.ledger_high_water &&
+         a.busy_core_seconds == b.busy_core_seconds;
+}
+
+}  // namespace hhc::resilience

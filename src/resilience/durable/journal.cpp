@@ -1,0 +1,174 @@
+#include "resilience/durable/journal.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace hhc::resilience {
+
+const char* to_string(JournalKind k) noexcept {
+  switch (k) {
+    case JournalKind::Submitted: return "submitted";
+    case JournalKind::Admitted: return "admitted";
+    case JournalKind::Deferred: return "deferred";
+    case JournalKind::Shed: return "shed";
+    case JournalKind::Launched: return "launched";
+    case JournalKind::Checkpoint: return "checkpoint";
+    case JournalKind::Settled: return "settled";
+    case JournalKind::Crash: return "crash";
+    case JournalKind::Recovered: return "recovered";
+    case JournalKind::Suspended: return "suspended";
+    case JournalKind::Resumed: return "resumed";
+    case JournalKind::BrownoutEnter: return "brownout-enter";
+    case JournalKind::BrownoutExit: return "brownout-exit";
+  }
+  return "?";
+}
+
+namespace {
+
+JournalKind kind_from_string(const std::string& s) {
+  static const std::map<std::string, JournalKind> table = {
+      {"submitted", JournalKind::Submitted},
+      {"admitted", JournalKind::Admitted},
+      {"deferred", JournalKind::Deferred},
+      {"shed", JournalKind::Shed},
+      {"launched", JournalKind::Launched},
+      {"checkpoint", JournalKind::Checkpoint},
+      {"settled", JournalKind::Settled},
+      {"crash", JournalKind::Crash},
+      {"recovered", JournalKind::Recovered},
+      {"suspended", JournalKind::Suspended},
+      {"resumed", JournalKind::Resumed},
+      {"brownout-enter", JournalKind::BrownoutEnter},
+      {"brownout-exit", JournalKind::BrownoutExit},
+  };
+  const auto it = table.find(s);
+  if (it == table.end()) throw JsonError("journal: unknown kind '" + s + "'");
+  return it->second;
+}
+
+}  // namespace
+
+Json JournalRecord::to_json() const {
+  Json j = Json::object();
+  j.set("lsn", static_cast<std::size_t>(lsn));
+  j.set("time", time);
+  j.set("kind", to_string(kind));
+  j.set("tenant", tenant);
+  j.set("seq", static_cast<std::size_t>(seq));
+  j.set("tenant_index", tenant_index);
+  j.set("est_work", est_work);
+  j.set("consumed", consumed);
+  j.set("success", success);
+  if (!payload.is_null()) j.set("payload", payload);
+  return j;
+}
+
+JournalRecord JournalRecord::from_json(const Json& j) {
+  JournalRecord r;
+  r.lsn = static_cast<std::uint64_t>(j.at("lsn").as_int());
+  r.time = j.at("time").as_number();
+  r.kind = kind_from_string(j.at("kind").as_string());
+  r.tenant = j.at("tenant").as_string();
+  r.seq = static_cast<std::uint64_t>(j.at("seq").as_int());
+  r.tenant_index = static_cast<std::size_t>(j.at("tenant_index").as_int());
+  r.est_work = j.at("est_work").as_number();
+  r.consumed = j.at("consumed").as_number();
+  r.success = j.at("success").as_bool();
+  if (const Json* p = j.find("payload")) r.payload = *p;
+  return r;
+}
+
+std::uint64_t ServiceJournal::append(JournalRecord record) {
+  record.lsn = next_lsn_++;
+  records_.push_back(std::move(record));
+  return records_.back().lsn;
+}
+
+void ServiceJournal::clear() {
+  records_.clear();
+  next_lsn_ = 1;
+}
+
+std::string ServiceJournal::dump_jsonl() const {
+  std::string out;
+  for (const JournalRecord& r : records_) {
+    out += r.to_json().dump();
+    out += '\n';
+  }
+  return out;
+}
+
+ServiceJournal ServiceJournal::parse_jsonl(const std::string& text) {
+  ServiceJournal journal;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    JournalRecord r = JournalRecord::from_json(Json::parse(line));
+    journal.next_lsn_ = std::max(journal.next_lsn_, r.lsn + 1);
+    journal.records_.push_back(std::move(r));
+  }
+  return journal;
+}
+
+std::vector<SubmissionImage> ServiceJournal::replay() const {
+  std::map<std::uint64_t, SubmissionImage> by_seq;
+  for (const JournalRecord& r : records_) {
+    switch (r.kind) {
+      case JournalKind::Crash:
+      case JournalKind::Recovered:
+      case JournalKind::BrownoutEnter:
+      case JournalKind::BrownoutExit:
+        continue;  // Service-level markers; no per-submission effect.
+      default:
+        break;
+    }
+    SubmissionImage& img = by_seq[r.seq];
+    switch (r.kind) {
+      case JournalKind::Submitted:
+        img.tenant = r.tenant;
+        img.seq = r.seq;
+        img.tenant_index = r.tenant_index;
+        img.est_work = r.est_work;
+        img.state = SubmissionImage::State::Offered;
+        break;
+      case JournalKind::Admitted:
+        img.state = SubmissionImage::State::Queued;
+        break;
+      case JournalKind::Deferred:
+        break;  // Still Offered; the live service re-offers after a delay.
+      case JournalKind::Shed:
+        img.state = SubmissionImage::State::Shed;
+        break;
+      case JournalKind::Launched:
+      case JournalKind::Resumed:
+        img.state = SubmissionImage::State::Running;
+        break;
+      case JournalKind::Checkpoint:
+        img.checkpoint = RunCheckpoint::from_json(r.payload);
+        break;
+      case JournalKind::Suspended:
+        img.state = SubmissionImage::State::Suspended;
+        img.consumed = r.consumed;
+        if (!r.payload.is_null())
+          img.checkpoint = RunCheckpoint::from_json(r.payload);
+        break;
+      case JournalKind::Settled:
+        img.state = SubmissionImage::State::Settled;
+        img.consumed = r.consumed;
+        img.success = r.success;
+        break;
+      default:
+        break;
+    }
+  }
+  std::vector<SubmissionImage> images;
+  images.reserve(by_seq.size());
+  for (auto& [seq, img] : by_seq) images.push_back(std::move(img));
+  return images;
+}
+
+}  // namespace hhc::resilience

@@ -1,0 +1,105 @@
+// ServiceJournal: the WorkflowService's write-ahead log.
+//
+// Every externally-visible state transition of a submission — arrival,
+// admission decision, launch, checkpoint, settle, suspension — is appended
+// as a replayable JournalRecord *before* the in-memory transition takes
+// effect (write-ahead discipline). After a controller crash,
+// WorkflowService::recover() replays the journal into per-submission images
+// (`replay()`), rebuilds tenant queues and fair-share ledgers from settled
+// history, and relaunches in-flight runs from their latest checkpoints.
+//
+// The journal is an in-memory vector with a JSONL wire format
+// (dump_jsonl/parse_jsonl) so tests and benches can round-trip it and
+// byte-diff two recoveries of the same seed. Appends assign monotonically
+// increasing LSNs; records are immutable once appended.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "resilience/durable/checkpoint.hpp"
+#include "support/json.hpp"
+#include "support/units.hpp"
+
+namespace hhc::resilience {
+
+enum class JournalKind {
+  Submitted,      ///< Arrival accepted at the front door (client-side log).
+  Admitted,       ///< Admission control queued the submission.
+  Deferred,       ///< Admission control pushed it back (will re-offer).
+  Shed,           ///< Admission control rejected it for good.
+  Launched,       ///< Run started on the toolkit.
+  Checkpoint,     ///< Run checkpoint taken (payload = RunCheckpoint json).
+  Settled,        ///< Run finished (success flag + consumed core-seconds).
+  Crash,          ///< Controller crashed (every in-flight run aborted).
+  Recovered,      ///< Controller rebuilt its state from this journal.
+  Suspended,      ///< Brownout checkpointed-and-suspended the run.
+  Resumed,        ///< Suspended/orphaned run relaunched from checkpoint.
+  BrownoutEnter,  ///< Service entered degraded mode.
+  BrownoutExit    ///< Service left degraded mode.
+};
+
+const char* to_string(JournalKind k) noexcept;
+
+struct JournalRecord {
+  std::uint64_t lsn = 0;   ///< Assigned by append(); monotone from 1.
+  SimTime time = 0.0;
+  JournalKind kind = JournalKind::Submitted;
+  std::string tenant;
+  std::uint64_t seq = 0;          ///< Global submission sequence number.
+  std::size_t tenant_index = 0;   ///< Per-tenant workload index (regeneration).
+  double est_work = 0.0;          ///< Estimated core-seconds at submission.
+  double consumed = 0.0;          ///< Actual core-seconds (Settled/Suspended).
+  bool success = false;           ///< Settled outcome.
+  Json payload;                   ///< Kind-specific extra (e.g. checkpoint).
+
+  Json to_json() const;
+  static JournalRecord from_json(const Json& j);
+};
+
+/// What replay() reconstructs for one submission.
+struct SubmissionImage {
+  enum class State { Offered, Queued, Running, Settled, Shed, Suspended };
+
+  std::string tenant;
+  std::uint64_t seq = 0;
+  std::size_t tenant_index = 0;
+  State state = State::Offered;
+  double est_work = 0.0;
+  double consumed = 0.0;
+  bool success = false;
+  /// Latest checkpoint journaled for the run (Checkpoint/Suspended records;
+  /// latest wins). Empty when the run never checkpointed.
+  std::optional<RunCheckpoint> checkpoint;
+};
+
+class ServiceJournal {
+ public:
+  /// Appends a record, assigning its LSN. Returns the assigned LSN.
+  std::uint64_t append(JournalRecord record);
+
+  const std::vector<JournalRecord>& records() const noexcept { return records_; }
+  std::size_t size() const noexcept { return records_.size(); }
+  bool empty() const noexcept { return records_.empty(); }
+  void clear();
+
+  /// One compact-JSON record per line, in LSN order. Deterministic: equal
+  /// journals dump byte-identically (object keys are sorted).
+  std::string dump_jsonl() const;
+  /// Parses dump_jsonl() output (blank lines ignored). Throws JsonError.
+  static ServiceJournal parse_jsonl(const std::string& text);
+
+  /// Folds the log into per-submission images, ordered by seq. The state
+  /// machine ignores service-level records (Crash/Recovered/Brownout*);
+  /// Checkpoint and Suspended records update the image's checkpoint
+  /// (latest LSN wins).
+  std::vector<SubmissionImage> replay() const;
+
+ private:
+  std::vector<JournalRecord> records_;
+  std::uint64_t next_lsn_ = 1;
+};
+
+}  // namespace hhc::resilience

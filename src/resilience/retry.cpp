@@ -74,4 +74,25 @@ SimTime RetryPolicy::next_delay(std::uint64_t key) {
 
 void RetryPolicy::reset(std::uint64_t key) { keys_.erase(key); }
 
+std::uint64_t RetryPolicy::spent(std::uint64_t key) const noexcept {
+  const auto it = keys_.find(key);
+  return it == keys_.end() ? 0 : it->second.draws;
+}
+
+SimTime RetryPolicy::prev_delay(std::uint64_t key) const noexcept {
+  const auto it = keys_.find(key);
+  return it == keys_.end() ? 0.0 : it->second.prev;
+}
+
+void RetryPolicy::restore(std::uint64_t key, std::uint64_t draws,
+                          SimTime prev) {
+  if (draws == 0) {
+    keys_.erase(key);
+    return;
+  }
+  KeyState& st = keys_[key];
+  st.draws = draws;
+  st.prev = prev;
+}
+
 }  // namespace hhc::resilience

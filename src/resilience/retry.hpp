@@ -83,6 +83,19 @@ class RetryPolicy {
   /// reused key restart from base_delay).
   void reset(std::uint64_t key);
 
+  // --- checkpoint support: backoff state is part of a run's durable state.
+  // Persisting (spent, prev_delay) and calling restore() on resume makes the
+  // resumed key continue the *same* decorrelated-jitter sequence an
+  // uninterrupted run would have drawn (the RNG stream is a pure function of
+  // seed, key and draw index).
+  /// Backoff draws already issued for `key` (0 for untouched keys).
+  std::uint64_t spent(std::uint64_t key) const noexcept;
+  /// Last delay handed out for `key` (0 before the first draw).
+  SimTime prev_delay(std::uint64_t key) const noexcept;
+  /// Reinstates a key's backoff position from a checkpoint. draws == 0
+  /// clears the key.
+  void restore(std::uint64_t key, std::uint64_t draws, SimTime prev);
+
   /// Total backoff seconds handed out (for resilience.backoff_seconds).
   double total_backoff() const noexcept { return total_backoff_; }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 #include "workflow/analysis.hpp"
 
@@ -23,6 +24,12 @@ double mean(const std::vector<double>& v) {
   double sum = 0.0;
   for (double x : v) sum += x;
   return sum / static_cast<double>(v.size());
+}
+
+double report_core_seconds(const core::CompositeReport& report) {
+  double actual = 0.0;
+  for (const auto& env : report.environments) actual += env.busy_core_seconds;
+  return actual;
 }
 
 }  // namespace
@@ -46,7 +53,7 @@ WorkflowService::WorkflowService(core::Toolkit& toolkit,
                     ArrivalProcess(tc.arrivals,
                                    root.child("arrivals:" + tc.name)),
                     root.child("workload:" + tc.name),
-                    {}, 0, {}, {}, {}};
+                    {}, 0, {}, {}, {}, false};
     ten.stats.tenant = tc.name;
     tenants_.push_back(std::move(ten));
   }
@@ -89,6 +96,33 @@ WorkflowService::TenantState& WorkflowService::tenant_of(
   throw std::logic_error("submission from unknown tenant '" + sub.tenant + "'");
 }
 
+void WorkflowService::journal_sub(resilience::JournalKind kind,
+                                  const Submission& sub, double consumed,
+                                  bool success, Json payload) {
+  if (!config_.durability.journal) return;
+  resilience::JournalRecord rec;
+  rec.time = toolkit_.simulation().now();
+  rec.kind = kind;
+  rec.tenant = sub.tenant;
+  rec.seq = sub.seq;
+  rec.tenant_index = sub.tenant_index;
+  rec.est_work = sub.est_work;
+  rec.consumed = consumed;
+  rec.success = success;
+  rec.payload = std::move(payload);
+  journal_.append(std::move(rec));
+}
+
+void WorkflowService::journal_service(resilience::JournalKind kind,
+                                      Json payload) {
+  if (!config_.durability.journal) return;
+  resilience::JournalRecord rec;
+  rec.time = toolkit_.simulation().now();
+  rec.kind = kind;
+  rec.payload = std::move(payload);
+  journal_.append(std::move(rec));
+}
+
 void WorkflowService::schedule_next_arrival(std::size_t tenant) {
   TenantState& ten = tenants_[tenant];
   if (ten.config.max_submissions > 0 &&
@@ -111,6 +145,7 @@ void WorkflowService::on_arrival(std::size_t tenant) {
   Submission& sub = submissions_.back();
   sub.seq = seq;
   sub.tenant = ten.config.name;
+  sub.tenant_index = index;
   sub.workflow = generate_workflow(ten, index);
   sub.arrived = sim.now();
   sub.est_work = wf::total_work(sub.workflow);
@@ -118,6 +153,10 @@ void WorkflowService::on_arrival(std::size_t tenant) {
   sub.ideal = std::max(cp, sub.est_work / capacity_cores_);
   if (!(sub.ideal > 0.0)) sub.ideal = 1.0;  // degenerate zero-runtime graph
   obs.count(sim.now(), "service.submitted", sub.tenant);
+  // The arrival exists client-side whether or not the controller is up —
+  // journaled first (write-ahead), so recovery can regenerate the workflow
+  // from (tenant, tenant_index) alone.
+  journal_sub(resilience::JournalKind::Submitted, sub);
 
   offer(seq);
   schedule_next_arrival(tenant);
@@ -125,19 +164,37 @@ void WorkflowService::on_arrival(std::size_t tenant) {
 
 void WorkflowService::offer(std::size_t submission) {
   Submission& sub = submissions_[submission];
-  TenantState& ten = tenant_of(sub);
   sim::Simulation& sim = toolkit_.simulation();
   obs::Observer& obs = toolkit_.observer();
+  if (crashed_) {
+    // Controller down: the client-side arrival (or a deferred re-offer)
+    // waits in the restart backlog; recover() drains it through offer().
+    downtime_arrivals_.push_back(submission);
+    return;
+  }
+  TenantState& ten = tenant_of(sub);
 
   const AdmissionDecision decision = admission_.admit(
       ten.queue.size(), total_queued_, backlog_seconds(), sub.defers);
   switch (decision) {
     case AdmissionDecision::Shed:
+      if (brownout_ && ten.suspended) {
+        // Degraded mode parks low-priority work instead of shedding it:
+        // re-offer after the defer delay without consuming the submission's
+        // defer budget, until the brownout lifts.
+        journal_sub(resilience::JournalKind::Deferred, sub);
+        obs.count(sim.now(), "service.brownout_parked", sub.tenant);
+        sim.schedule_in(admission_.config().defer_delay,
+                        [this, submission] { offer(submission); });
+        return;
+      }
+      journal_sub(resilience::JournalKind::Shed, sub);
       sub.state = Submission::State::Shed;
       ++ten.stats.shed;
       obs.count(sim.now(), "service.shed", sub.tenant);
       return;
     case AdmissionDecision::Defer:
+      journal_sub(resilience::JournalKind::Deferred, sub);
       ++sub.defers;
       ++ten.stats.defer_events;
       obs.count(sim.now(), "service.deferred", sub.tenant);
@@ -148,6 +205,7 @@ void WorkflowService::offer(std::size_t submission) {
       break;
   }
 
+  journal_sub(resilience::JournalKind::Admitted, sub);
   sub.state = Submission::State::Queued;
   sub.enqueued = sim.now();
   ++ten.stats.admitted;
@@ -160,19 +218,22 @@ void WorkflowService::offer(std::size_t submission) {
   obs.gauge_set(sim.now(), "service.queue_depth",
                 static_cast<double>(ten.queue.size()), sub.tenant);
   obs.gauge_set(sim.now(), "service.backlog_seconds", backlog_seconds());
+  evaluate_brownout();
   pump();
 }
 
 void WorkflowService::pump() {
   // After the event queue drained, launching would start runs nothing
   // drives; the wedged-federation settlement below must not trigger more.
-  if (draining_) return;
+  // While the controller is down there is nobody to schedule at all.
+  if (draining_ || crashed_) return;
   while (running_ < config_.run_slots) {
     std::vector<Candidate> candidates;
     std::vector<std::size_t> owners;
     for (std::size_t i = 0; i < tenants_.size(); ++i) {
       TenantState& ten = tenants_[i];
       if (ten.queue.empty()) continue;
+      if (ten.suspended) continue;  // brownout-parked: no launches
       if (ten.config.max_running > 0 && ten.running >= ten.config.max_running)
         continue;
       const Submission& head = submissions_[ten.queue.front()];
@@ -191,30 +252,68 @@ void WorkflowService::pump() {
 }
 
 void WorkflowService::launch(std::size_t submission) {
+  queued_work_ -= submissions_[submission].est_work;
+  begin_run(submission);
+}
+
+void WorkflowService::begin_run(std::size_t submission) {
   Submission& sub = submissions_[submission];
   TenantState& ten = tenant_of(sub);
   sim::Simulation& sim = toolkit_.simulation();
   obs::Observer& obs = toolkit_.observer();
 
+  // A staged entry marks a relaunch (crash orphan or brownout resume): it
+  // already counted its queue time, and journals Resumed instead of Launched.
+  auto staged = resume_ckpt_.find(submission);
+  const bool resuming = staged != resume_ckpt_.end();
+  journal_sub(resuming ? resilience::JournalKind::Resumed
+                       : resilience::JournalKind::Launched,
+              sub);
+
   sub.state = Submission::State::Running;
-  sub.launched = sim.now();
   ++ten.running;
   ++running_;
-  queued_work_ -= sub.est_work;
   running_work_ += sub.est_work;
   policy_->on_launch(sub.tenant, sub.est_work);
 
-  const double queue_time = sub.launched - sub.arrived;
-  ten.queue_times.push_back(queue_time);
-  obs.observe("service.queue_time", queue_time, sub.tenant);
+  if (resuming) {
+    ++resumed_runs_;
+    obs.count(sim.now(), "service.resumed", sub.tenant);
+  } else {
+    sub.launched = sim.now();
+    const double queue_time = sub.launched - sub.arrived;
+    ten.queue_times.push_back(queue_time);
+    obs.observe("service.queue_time", queue_time, sub.tenant);
+  }
   obs.gauge_set(sim.now(), "service.queue_depth",
                 static_cast<double>(ten.queue.size()), sub.tenant);
   obs.gauge_set(sim.now(), "service.running", static_cast<double>(running_));
 
-  toolkit_.start_run(sub.workflow, broker_,
-                     [this, submission](const core::CompositeReport& report) {
-                       on_settled(submission, report);
-                     });
+  core::RunOptions options;
+  options.checkpoints = config_.durability.checkpoints;
+  if (options.checkpoints.enabled())
+    options.on_checkpoint =
+        [this, submission](const resilience::RunCheckpoint& ck) {
+          on_run_checkpoint(submission, ck);
+        };
+  std::optional<resilience::RunCheckpoint> checkpoint;
+  if (resuming) {
+    checkpoint = std::move(staged->second);
+    resume_ckpt_.erase(staged);
+    if (checkpoint) options.resume_from = &*checkpoint;
+  }
+  const std::uint64_t id = toolkit_.start_run(
+      sub.workflow, broker_, options,
+      [this, submission](const core::CompositeReport& report) {
+        on_settled(submission, report);
+      });
+  run_of_[submission] = id;
+}
+
+void WorkflowService::on_run_checkpoint(
+    std::size_t submission, const resilience::RunCheckpoint& checkpoint) {
+  journal_sub(resilience::JournalKind::Checkpoint, submissions_[submission],
+              0.0, false, checkpoint.to_json());
 }
 
 void WorkflowService::on_settled(std::size_t submission,
@@ -224,12 +323,14 @@ void WorkflowService::on_settled(std::size_t submission,
   sim::Simulation& sim = toolkit_.simulation();
   obs::Observer& obs = toolkit_.observer();
 
+  const double actual = report_core_seconds(report);
+  journal_sub(resilience::JournalKind::Settled, sub, actual, report.success);
+  run_of_.erase(submission);
+
   sub.finished = sim.now();
   sub.state = report.success ? Submission::State::Completed
                              : Submission::State::Failed;
-  double actual = 0.0;
-  for (const auto& env : report.environments) actual += env.busy_core_seconds;
-  sub.consumed_core_seconds = actual;
+  sub.consumed_core_seconds += actual;
 
   --ten.running;
   --running_;
@@ -250,6 +351,244 @@ void WorkflowService::on_settled(std::size_t submission,
     obs.count(sim.now(), "service.failed", sub.tenant);
   }
   obs.gauge_set(sim.now(), "service.running", static_cast<double>(running_));
+  evaluate_brownout();
+  pump();
+}
+
+void WorkflowService::attach_chaos(resilience::ChaosEngine* chaos) {
+  chaos_ = chaos;
+  toolkit_.attach_chaos(chaos);
+  if (chaos) chaos->on_service_crash([this] { crash(); });
+}
+
+void WorkflowService::crash() {
+  if (!config_.durability.journal)
+    throw std::logic_error(
+        "WorkflowService::crash without durability.journal: unrecoverable");
+  if (crashed_ || draining_) return;
+  sim::Simulation& sim = toolkit_.simulation();
+  obs::Observer& obs = toolkit_.observer();
+
+  journal_service(resilience::JournalKind::Crash);
+  crashed_ = true;
+  ++crashes_;
+  obs.count(sim.now(), "service.crashes", {});
+
+  // Tear down every in-flight run. The submissions stay marked Running —
+  // orphaned — until recover() relaunches them from their latest journaled
+  // checkpoints; the partial work lands in each run's wasted accounting.
+  for (const auto& [submission, id] : run_of_) {
+    toolkit_.abort_run(id, "service crash");
+    Submission& sub = submissions_[submission];
+    TenantState& ten = tenant_of(sub);
+    --ten.running;
+    --running_;
+    running_work_ -= sub.est_work;
+  }
+  run_of_.clear();
+  // Brownout state dies with the controller; recovery re-evaluates.
+  brownout_ = false;
+  brownout_check_.cancel();
+  suspended_subs_.clear();
+  for (auto& ten : tenants_) ten.suspended = false;
+  obs.gauge_set(sim.now(), "service.running", static_cast<double>(running_));
+
+  if (config_.durability.auto_recover)
+    sim.schedule_in(config_.durability.restart_delay,
+                    [this] { recover(journal_); });
+}
+
+void WorkflowService::recover(const resilience::ServiceJournal& journal) {
+  if (&journal != &journal_) journal_ = journal;  // adopt the external log
+  sim::Simulation& sim = toolkit_.simulation();
+  obs::Observer& obs = toolkit_.observer();
+
+  // Rebuild the controller's scheduling state wholesale from the log: a
+  // fresh fair-share ledger charged with settled history, fresh queues.
+  policy_ = make_policy(config_.policy);
+  for (auto& ten : tenants_) {
+    policy_->set_weight(ten.config.name, ten.config.weight);
+    ten.queue.clear();
+    ten.running = 0;
+    ten.suspended = false;
+  }
+  running_ = 0;
+  total_queued_ = 0;
+  queued_work_ = 0.0;
+  running_work_ = 0.0;
+  run_of_.clear();
+  resume_ckpt_.clear();
+  suspended_subs_.clear();
+  brownout_ = false;
+  brownout_check_.cancel();
+
+  using Image = resilience::SubmissionImage;
+  const std::vector<Image> images = journal_.replay();
+  std::vector<std::size_t> relaunch;  ///< Held run slots at the crash.
+  std::vector<std::size_t> parked;    ///< Suspended: rejoin ahead of queued.
+  std::vector<std::size_t> queued;
+  for (const Image& img : images) {
+    const std::size_t s = static_cast<std::size_t>(img.seq);
+    if (s >= submissions_.size()) continue;  // log from a longer campaign
+    switch (img.state) {
+      case Image::State::Settled:
+        // Net the actual charge into the rebuilt fair-share ledger.
+        policy_->on_launch(img.tenant, img.est_work);
+        policy_->on_complete(img.tenant, img.est_work, img.consumed);
+        break;
+      case Image::State::Queued:
+        queued.push_back(s);
+        break;
+      case Image::State::Running:
+        resume_ckpt_[s] = img.checkpoint;
+        relaunch.push_back(s);
+        break;
+      case Image::State::Suspended:
+        resume_ckpt_[s] = img.checkpoint;
+        parked.push_back(s);
+        break;
+      case Image::State::Offered:
+      case Image::State::Shed:
+        break;  // nothing to rebuild
+    }
+  }
+  // Suspended runs rejoin ahead of never-launched work; seq order within
+  // each class keeps the rebuilt schedule deterministic.
+  for (const std::vector<std::size_t>* group : {&parked, &queued})
+    for (std::size_t s : *group) {
+      Submission& sub = submissions_[s];
+      sub.state = Submission::State::Queued;
+      tenant_of(sub).queue.push_back(s);
+      ++total_queued_;
+      queued_work_ += sub.est_work;
+    }
+
+  crashed_ = false;
+  ++recoveries_;
+  journal_service(resilience::JournalKind::Recovered);
+  obs.count(sim.now(), "service.recoveries", {});
+
+  // Orphaned runs held slots before the crash; they go straight back in.
+  for (std::size_t s : relaunch) begin_run(s);
+  // Arrivals and re-offers that landed while the controller was down.
+  std::vector<std::size_t> backlog;
+  backlog.swap(downtime_arrivals_);
+  for (std::size_t s : backlog)
+    if (submissions_[s].state == Submission::State::Offered) offer(s);
+  pump();
+  evaluate_brownout();
+}
+
+void WorkflowService::evaluate_brownout() {
+  const BrownoutConfig& bo = config_.durability.brownout;
+  if (!bo.enabled || crashed_ || draining_) return;
+  sim::Simulation& sim = toolkit_.simulation();
+  if (!brownout_) {
+    bool enter = false;
+    if (bo.enter_backlog_seconds > 0.0 &&
+        backlog_seconds() >= bo.enter_backlog_seconds)
+      enter = true;
+    if (bo.alert_threshold > 0 &&
+        toolkit_.alerts().size() - alerts_baseline_ >= bo.alert_threshold)
+      enter = true;
+    if (enter) enter_brownout();
+    return;
+  }
+  // Exit: dwell elapsed AND pressure gone (or nothing left running — parking
+  // work against idle capacity would wedge the campaign).
+  if (sim.now() - brownout_since_ < bo.min_dwell) return;
+  if (backlog_seconds() <= bo.exit_backlog_seconds || running_ == 0)
+    exit_brownout();
+}
+
+void WorkflowService::enter_brownout() {
+  const BrownoutConfig& bo = config_.durability.brownout;
+  sim::Simulation& sim = toolkit_.simulation();
+  obs::Observer& obs = toolkit_.observer();
+
+  journal_service(resilience::JournalKind::BrownoutEnter,
+                  Json(backlog_seconds()));
+  brownout_ = true;
+  brownout_since_ = sim.now();
+  ++brownout_entries_;
+  obs.count(sim.now(), "service.brownout_entries", {});
+  obs.gauge_set(sim.now(), "service.brownout", 1.0);
+
+  std::vector<std::size_t> victims;
+  for (auto& ten : tenants_) {
+    if (ten.config.priority >= bo.protect_priority) continue;
+    ten.suspended = true;
+    for (const auto& [s, id] : run_of_)
+      if (submissions_[s].tenant == ten.config.name) victims.push_back(s);
+  }
+  std::sort(victims.begin(), victims.end());
+  for (std::size_t s : victims) suspend_run(s);
+
+  arm_brownout_check();
+  pump();  // protected tenants take the freed slots
+}
+
+void WorkflowService::arm_brownout_check() {
+  brownout_check_ = toolkit_.simulation().schedule_in(
+      config_.durability.brownout.min_dwell, [this] {
+        if (!brownout_ || crashed_ || draining_) return;
+        evaluate_brownout();
+        if (brownout_) arm_brownout_check();  // still degraded: keep watching
+      });
+}
+
+void WorkflowService::suspend_run(std::size_t submission) {
+  Submission& sub = submissions_[submission];
+  TenantState& ten = tenant_of(sub);
+  sim::Simulation& sim = toolkit_.simulation();
+  obs::Observer& obs = toolkit_.observer();
+
+  const std::uint64_t id = run_of_.at(submission);
+  resilience::RunCheckpoint checkpoint = toolkit_.checkpoint_run(id);
+  const core::CompositeReport partial =
+      toolkit_.abort_run(id, "brownout suspension");
+  run_of_.erase(submission);
+  const double actual = report_core_seconds(partial);
+
+  journal_sub(resilience::JournalKind::Suspended, sub, actual, false,
+              checkpoint.to_json());
+  sub.state = Submission::State::Suspended;
+  sub.consumed_core_seconds += actual;
+  ten.stats.consumed_core_seconds += actual;
+  ++ten.stats.suspensions;
+  ++suspended_runs_;
+  --ten.running;
+  --running_;
+  running_work_ -= sub.est_work;
+  policy_->on_complete(sub.tenant, sub.est_work, actual);
+  resume_ckpt_[submission] = std::move(checkpoint);
+  suspended_subs_.push_back(submission);
+  obs.count(sim.now(), "service.suspended", sub.tenant);
+}
+
+void WorkflowService::exit_brownout() {
+  sim::Simulation& sim = toolkit_.simulation();
+  obs::Observer& obs = toolkit_.observer();
+
+  journal_service(resilience::JournalKind::BrownoutExit,
+                  Json(backlog_seconds()));
+  brownout_ = false;
+  brownout_check_.cancel();
+  alerts_baseline_ = toolkit_.alerts().size();
+  for (auto& ten : tenants_) ten.suspended = false;
+  obs.gauge_set(sim.now(), "service.brownout", 0.0);
+
+  // Suspended runs rejoin at the FRONT of their tenant queues, in the order
+  // they were suspended, so they relaunch before anything queued behind them.
+  std::vector<std::size_t> parked;
+  parked.swap(suspended_subs_);
+  for (auto it = parked.rbegin(); it != parked.rend(); ++it) {
+    Submission& sub = submissions_[*it];
+    sub.state = Submission::State::Queued;
+    tenant_of(sub).queue.push_front(*it);
+    ++total_queued_;
+    queued_work_ += sub.est_work;
+  }
   pump();
 }
 
@@ -259,15 +598,45 @@ ServiceReport WorkflowService::run() {
   sim::Simulation& sim = toolkit_.simulation();
   const SimTime start = sim.now();
 
+  if (chaos_) toolkit_.arm_chaos();
+  alerts_baseline_ = toolkit_.alerts().size();
+  const BrownoutConfig& bo = config_.durability.brownout;
+  if (bo.enabled && bo.alert_threshold > 0)
+    // Alert-pressure trigger: re-evaluate as its own event — alerts fire
+    // deep inside staging/queue callbacks where suspending runs would
+    // re-enter the toolkit mid-dispatch.
+    toolkit_.anomaly_monitor().set_sink([this](const obs::Alert&) {
+      if (alert_eval_pending_ || brownout_ || crashed_ || draining_) return;
+      alert_eval_pending_ = true;
+      toolkit_.simulation().post([this] {
+        alert_eval_pending_ = false;
+        evaluate_brownout();
+      });
+    });
+
   for (std::size_t i = 0; i < tenants_.size(); ++i) schedule_next_arrival(i);
   sim.run();
   // A drained queue with runs still pending is a wedged federation (chaos
   // livelock); settle them as failed so every admitted submission reports.
   draining_ = true;
   toolkit_.fail_unsettled_runs();
+  // Orphans no recovery picked up (crash with auto_recover off) settle as
+  // failed too, so every launched submission reports an outcome.
+  for (Submission& sub : submissions_)
+    if (sub.state == Submission::State::Running ||
+        sub.state == Submission::State::Suspended) {
+      sub.state = Submission::State::Failed;
+      sub.finished = sim.now();
+      ++tenant_of(sub).stats.failed;
+    }
 
   ServiceReport report;
   report.makespan = sim.now() - start;
+  report.crashes = crashes_;
+  report.recoveries = recoveries_;
+  report.suspended_runs = suspended_runs_;
+  report.resumed_runs = resumed_runs_;
+  report.brownout_entries = brownout_entries_;
   for (TenantState& ten : tenants_) {
     TenantReport& tr = ten.stats;
     tr.shed_rate = tr.submitted > 0 ? static_cast<double>(tr.shed) /

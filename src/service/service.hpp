@@ -1,4 +1,4 @@
-// Multi-tenant workflow service (DESIGN.md §13).
+// Multi-tenant workflow service (DESIGN.md §13, durability §15).
 //
 // The subsystems below core::Toolkit execute ONE workflow well; a facility
 // runs a stream of them, from many tenants, against one shared federation.
@@ -11,19 +11,34 @@
 // the same sites, links and caches, and each run's CompositeReport feeds its
 // actual core-second consumption back into the fair-share ledger.
 //
+// The durability plane (DurabilityConfig) adds three layers on top:
+//   - per-run checkpoints (resilience::CheckpointPolicy via core::RunOptions),
+//   - a write-ahead ServiceJournal: every externally visible submission
+//     transition is journaled before it takes effect, so crash() + recover()
+//     rebuild queues, fair-share ledgers and in-flight runs (from their
+//     latest checkpoints) bit-reproducibly per seed,
+//   - brownout degradation: under sustained backlog or anomaly-alert
+//     pressure the service checkpoints-and-suspends low-priority tenants
+//     instead of shedding their work, and resumes them when capacity
+//     returns.
+//
 // Everything is deterministic in ServiceConfig::seed: same config, same
-// arrival times, same workflows, same schedule, same service.* metrics.
+// arrival times, same workflows, same schedule, same service.* metrics —
+// and, with the journal on, the same journal bytes (dump_jsonl).
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/toolkit.hpp"
 #include "federation/broker.hpp"
+#include "resilience/durable/journal.hpp"
 #include "service/admission.hpp"
 #include "service/arrivals.hpp"
 #include "service/policy.hpp"
@@ -53,6 +68,43 @@ struct TenantConfig {
   std::size_t max_submissions = 0;
 };
 
+/// Degraded-mode policy: when the service is under sustained pressure it
+/// parks low-priority tenants (checkpoint + suspend their in-flight runs,
+/// stop launching and shedding their queued work) instead of dropping work
+/// on the floor, and resumes them when capacity returns.
+struct BrownoutConfig {
+  bool enabled = false;
+  /// Enter degraded mode when backlog_seconds() reaches this; 0 disables the
+  /// backlog trigger.
+  double enter_backlog_seconds = 0.0;
+  /// Leave degraded mode once backlog_seconds() has fallen back to this (or
+  /// nothing is running) and min_dwell has elapsed.
+  double exit_backlog_seconds = 0.0;
+  /// Minimum time in degraded mode — hysteresis against flapping.
+  SimTime min_dwell = 300.0;
+  /// Tenants with priority >= this are protected (never suspended).
+  int protect_priority = 1;
+  /// Also enter degraded mode after this many anomaly alerts fired since the
+  /// last exit (outage pressure, not just queue pressure); 0 disables.
+  std::size_t alert_threshold = 0;
+};
+
+/// The service's durability plane. Defaults preserve pre-durability
+/// behaviour exactly: no journal, no checkpoints, crash() throws.
+struct DurabilityConfig {
+  /// Write-ahead journal every submission transition; required for crash
+  /// recovery (crash() throws without it).
+  bool journal = false;
+  /// Checkpoint policy applied to every launched run (core::RunOptions).
+  resilience::CheckpointPolicy checkpoints;
+  /// Controller restart latency: recover() runs this long after crash().
+  SimTime restart_delay = 30.0;
+  /// Schedule recover() automatically after a crash. Off = the caller (or
+  /// nobody — the orphaned-run drain path) recovers by hand.
+  bool auto_recover = true;
+  BrownoutConfig brownout;
+};
+
 struct ServiceConfig {
   std::uint64_t seed = 42;
   /// Arrival streams close at this simulation time; admitted work drains.
@@ -63,15 +115,20 @@ struct ServiceConfig {
   /// knob — queueing happens here, contention happens below).
   std::size_t run_slots = 8;
   AdmissionConfig admission;
+  DurabilityConfig durability;
   std::vector<TenantConfig> tenants;
 };
 
 /// Full lifecycle record of one submission (exposed for tests and the
 /// saturation bench: serializing these is the run's canonical schedule).
 struct Submission {
-  enum class State { Offered, Queued, Running, Completed, Failed, Shed };
+  enum class State {
+    Offered, Queued, Running, Completed, Failed, Shed,
+    Suspended  ///< Brownout checkpointed-and-parked; resumes later.
+  };
   std::size_t seq = 0;  ///< Global arrival sequence number.
   std::string tenant;
+  std::size_t tenant_index = 0;  ///< Per-tenant workload index (regeneration).
   wf::Workflow workflow;
   SimTime arrived = 0.0;   ///< Arrival-stream submission time.
   SimTime enqueued = 0.0;  ///< When admission accepted it.
@@ -80,7 +137,9 @@ struct Submission {
   double est_work = 0.0;  ///< Total work (core-seconds) at submit.
   /// Ideal lower-bound makespan: max(critical path, work / capacity).
   double ideal = 0.0;
-  double consumed_core_seconds = 0.0;  ///< From the run's report.
+  /// Actual core-seconds from the run's report(s); a suspended-and-resumed
+  /// submission accumulates its pre-suspension partial work here too.
+  double consumed_core_seconds = 0.0;
   std::size_t defers = 0;
   State state = State::Offered;
 };
@@ -94,6 +153,7 @@ struct TenantReport {
   std::size_t defer_events = 0;  ///< Defer decisions (one submission can defer repeatedly).
   std::size_t completed = 0;
   std::size_t failed = 0;
+  std::size_t suspensions = 0;  ///< Runs brownout checkpointed-and-parked.
   std::size_t max_queue_depth = 0;
   double shed_rate = 0.0;  ///< shed / submitted.
   /// Queue time: arrival -> launch (defer delays included — the tenant waits
@@ -113,6 +173,12 @@ struct ServiceReport {
   std::size_t completed = 0;
   std::size_t failed = 0;
   std::size_t shed = 0;
+  /// Durability-plane accounting (zero without a DurabilityConfig).
+  std::size_t crashes = 0;
+  std::size_t recoveries = 0;
+  std::size_t suspended_runs = 0;  ///< Brownout suspensions taken.
+  std::size_t resumed_runs = 0;    ///< Relaunches from checkpoint/orphan state.
+  std::size_t brownout_entries = 0;
   std::vector<TenantReport> tenants;
 };
 
@@ -135,6 +201,34 @@ class WorkflowService {
 
   const AdmissionController& admission() const noexcept { return admission_; }
 
+  /// Arms `chaos` against the toolkit (attach_chaos) and routes its
+  /// service-crash events into crash(). run() arms the engine's plan.
+  void attach_chaos(resilience::ChaosEngine* chaos);
+
+  /// The write-ahead journal (empty unless DurabilityConfig::journal).
+  const resilience::ServiceJournal& journal() const noexcept {
+    return journal_;
+  }
+
+  /// Kills the controller mid-campaign: journals the crash, aborts every
+  /// in-flight run (their submissions stay marked Running — orphaned until
+  /// recovery), and freezes scheduling; arrivals keep landing client-side
+  /// and are buffered. With auto_recover, recover() is scheduled
+  /// restart_delay later. Throws std::logic_error without the journal
+  /// (nothing to recover from). Idempotent while already down.
+  void crash();
+
+  /// Rebuilds the controller from `journal`: fresh policy ledgers charged
+  /// with settled history, tenant queues re-filled from admitted-but-
+  /// unlaunched records, and orphaned runs relaunched from their latest
+  /// journaled checkpoints (from scratch when none was taken). Buffered
+  /// downtime arrivals are then offered and the pump restarts. Deterministic:
+  /// same journal, same rebuilt schedule.
+  void recover(const resilience::ServiceJournal& journal);
+
+  bool crashed() const noexcept { return crashed_; }
+  bool in_brownout() const noexcept { return brownout_; }
+
  private:
   struct TenantState {
     TenantConfig config;
@@ -145,6 +239,7 @@ class WorkflowService {
     TenantReport stats;
     std::vector<double> queue_times;
     std::vector<double> stretches;
+    bool suspended = false;  ///< Brownout-parked (launching paused).
   };
 
   void schedule_next_arrival(std::size_t tenant);
@@ -153,8 +248,31 @@ class WorkflowService {
   void offer(std::size_t submission);
   /// Fills free run slots according to the policy.
   void pump();
+  /// Pump path: pops queue accounting, then begin_run.
   void launch(std::size_t submission);
+  /// Starts (or resumes, when a checkpoint is staged in resume_ckpt_) the
+  /// submission's composite run and journals Launched/Resumed.
+  void begin_run(std::size_t submission);
   void on_settled(std::size_t submission, const core::CompositeReport& report);
+  /// Journals one Checkpoint record for a live run's snapshot.
+  void on_run_checkpoint(std::size_t submission,
+                         const resilience::RunCheckpoint& checkpoint);
+  /// Appends a submission-scoped journal record (no-op without the journal).
+  void journal_sub(resilience::JournalKind kind, const Submission& sub,
+                   double consumed = 0.0, bool success = false,
+                   Json payload = Json());
+  /// Appends a service-scoped record (Crash/Recovered/Brownout*).
+  void journal_service(resilience::JournalKind kind, Json payload = Json());
+  /// Brownout state machine: entry checks when normal, exit checks when
+  /// degraded. Called on settle, admission, alerts and the dwell timer.
+  void evaluate_brownout();
+  void enter_brownout();
+  void exit_brownout();
+  /// Strong self-re-arming dwell/exit re-check (a fully parked campaign has
+  /// no other events left to drive the exit).
+  void arm_brownout_check();
+  /// Checkpoints + aborts one in-flight run, parking it in suspended_subs_.
+  void suspend_run(std::size_t submission);
   wf::Workflow generate_workflow(TenantState& ten, std::size_t index);
   double backlog_seconds() const noexcept;
   TenantState& tenant_of(const Submission& sub);
@@ -175,6 +293,36 @@ class WorkflowService {
   double running_work_ = 0.0;  ///< Estimated core-seconds in flight.
   bool ran_ = false;
   bool draining_ = false;  ///< Event queue drained; no further launches.
+
+  // --- durability plane ---
+  resilience::ServiceJournal journal_;
+  resilience::ChaosEngine* chaos_ = nullptr;
+  bool crashed_ = false;
+  /// In-flight runs: submission seq -> toolkit run id (checkpoint/abort
+  /// handle). Erased on settle, cleared on crash.
+  std::map<std::size_t, std::uint64_t> run_of_;
+  /// Staged resume state per submission: present = the next begin_run is a
+  /// relaunch (journal Resumed); engaged = resume from this checkpoint,
+  /// nullopt = the orphaned run restarts from scratch.
+  std::map<std::size_t, std::optional<resilience::RunCheckpoint>> resume_ckpt_;
+  /// Submissions offered (arrival or deferred re-offer) while the
+  /// controller was down; drained through offer() at recovery.
+  std::vector<std::size_t> downtime_arrivals_;
+  /// Brownout-suspended submissions in suspension order; re-queued at the
+  /// front of their tenant queues on exit.
+  std::vector<std::size_t> suspended_subs_;
+  bool brownout_ = false;
+  SimTime brownout_since_ = 0.0;
+  /// Alerts already in the toolkit log when the current normal period began
+  /// (the alert_threshold trigger counts alerts since then).
+  std::size_t alerts_baseline_ = 0;
+  bool alert_eval_pending_ = false;  ///< Posted evaluate_brownout not yet run.
+  sim::EventHandle brownout_check_;  ///< Strong dwell/exit re-check.
+  std::size_t crashes_ = 0;
+  std::size_t recoveries_ = 0;
+  std::size_t suspended_runs_ = 0;
+  std::size_t resumed_runs_ = 0;
+  std::size_t brownout_entries_ = 0;
 };
 
 }  // namespace hhc::service

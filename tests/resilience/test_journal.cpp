@@ -1,0 +1,171 @@
+// ServiceJournal: write-ahead log mechanics — LSN assignment, the JSONL wire
+// format round-trip, and the replay() state machine recovery rebuilds from.
+#include "resilience/durable/journal.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hhc::resilience {
+namespace {
+
+JournalRecord rec(JournalKind kind, std::uint64_t seq,
+                  const std::string& tenant = "ana", double time = 0.0) {
+  JournalRecord r;
+  r.time = time;
+  r.kind = kind;
+  r.tenant = tenant;
+  r.seq = seq;
+  r.est_work = 100.0;
+  return r;
+}
+
+RunCheckpoint tiny_checkpoint(std::uint64_t sequence) {
+  RunCheckpoint ck;
+  ck.workflow = "w";
+  ck.task_count = 2;
+  ck.sequence = sequence;
+  ck.completed = {1, 0};
+  ck.placement = {0, kNoEnvironment};
+  ck.retries = {0, 0};
+  ck.backoff_draws = {0, 0};
+  ck.backoff_prev = {0.0, 0.0};
+  return ck;
+}
+
+TEST(ServiceJournal, AppendAssignsMonotonicLsns) {
+  ServiceJournal j;
+  EXPECT_TRUE(j.empty());
+  EXPECT_EQ(j.append(rec(JournalKind::Submitted, 0)), 1u);
+  EXPECT_EQ(j.append(rec(JournalKind::Admitted, 0)), 2u);
+  EXPECT_EQ(j.append(rec(JournalKind::Launched, 0)), 3u);
+  EXPECT_EQ(j.size(), 3u);
+  EXPECT_EQ(j.records()[2].lsn, 3u);
+  j.clear();
+  EXPECT_TRUE(j.empty());
+  EXPECT_EQ(j.append(rec(JournalKind::Submitted, 0)), 1u);  // LSNs restart
+}
+
+TEST(ServiceJournal, JsonlRoundTripIsByteIdentical) {
+  ServiceJournal j;
+  j.append(rec(JournalKind::Submitted, 0, "ana", 1.0));
+  j.append(rec(JournalKind::Admitted, 0, "ana", 1.0));
+  JournalRecord ck = rec(JournalKind::Checkpoint, 0, "ana", 40.0);
+  ck.payload = tiny_checkpoint(1).to_json();
+  j.append(std::move(ck));
+  JournalRecord settled = rec(JournalKind::Settled, 0, "ana", 90.0);
+  settled.consumed = 88.5;
+  settled.success = true;
+  j.append(std::move(settled));
+
+  const std::string text = j.dump_jsonl();
+  const ServiceJournal back = ServiceJournal::parse_jsonl(text);
+  ASSERT_EQ(back.size(), j.size());
+  EXPECT_EQ(back.dump_jsonl(), text);
+  // Parsing resumes LSN assignment after the highest parsed record.
+  ServiceJournal cont = ServiceJournal::parse_jsonl(text);
+  EXPECT_EQ(cont.append(rec(JournalKind::Crash, 0)), 5u);
+}
+
+TEST(ServiceJournal, ReplayFoldsLifecycles) {
+  ServiceJournal j;
+  // seq 0: full clean lifecycle.
+  j.append(rec(JournalKind::Submitted, 0));
+  j.append(rec(JournalKind::Admitted, 0));
+  j.append(rec(JournalKind::Launched, 0));
+  JournalRecord s0 = rec(JournalKind::Settled, 0);
+  s0.consumed = 42.0;
+  s0.success = true;
+  j.append(std::move(s0));
+  // seq 1: admitted, never launched (queued at the crash).
+  j.append(rec(JournalKind::Submitted, 1, "bob"));
+  j.append(rec(JournalKind::Admitted, 1, "bob"));
+  // seq 2: deferred then shed.
+  j.append(rec(JournalKind::Submitted, 2));
+  j.append(rec(JournalKind::Deferred, 2));
+  j.append(rec(JournalKind::Shed, 2));
+  // seq 3: running with a checkpoint at the crash.
+  j.append(rec(JournalKind::Submitted, 3, "bob"));
+  j.append(rec(JournalKind::Admitted, 3, "bob"));
+  j.append(rec(JournalKind::Launched, 3, "bob"));
+  JournalRecord c3 = rec(JournalKind::Checkpoint, 3, "bob");
+  c3.payload = tiny_checkpoint(1).to_json();
+  j.append(std::move(c3));
+  // Service-level markers must not perturb any image.
+  j.append(rec(JournalKind::Crash, 0, ""));
+  j.append(rec(JournalKind::Recovered, 0, ""));
+
+  const auto images = j.replay();
+  ASSERT_EQ(images.size(), 4u);
+  using State = SubmissionImage::State;
+
+  EXPECT_EQ(images[0].state, State::Settled);
+  EXPECT_TRUE(images[0].success);
+  EXPECT_DOUBLE_EQ(images[0].consumed, 42.0);
+  EXPECT_EQ(images[0].tenant, "ana");
+
+  EXPECT_EQ(images[1].state, State::Queued);
+  EXPECT_EQ(images[1].tenant, "bob");
+
+  EXPECT_EQ(images[2].state, State::Shed);
+
+  EXPECT_EQ(images[3].state, State::Running);
+  ASSERT_TRUE(images[3].checkpoint.has_value());
+  EXPECT_EQ(images[3].checkpoint->sequence, 1u);
+}
+
+TEST(ServiceJournal, LatestCheckpointWins) {
+  ServiceJournal j;
+  j.append(rec(JournalKind::Submitted, 0));
+  j.append(rec(JournalKind::Admitted, 0));
+  j.append(rec(JournalKind::Launched, 0));
+  for (std::uint64_t s = 1; s <= 3; ++s) {
+    JournalRecord c = rec(JournalKind::Checkpoint, 0);
+    c.payload = tiny_checkpoint(s).to_json();
+    j.append(std::move(c));
+  }
+  const auto images = j.replay();
+  ASSERT_EQ(images.size(), 1u);
+  ASSERT_TRUE(images[0].checkpoint.has_value());
+  EXPECT_EQ(images[0].checkpoint->sequence, 3u);
+}
+
+TEST(ServiceJournal, SuspendedCarriesCheckpointAndPartialWork) {
+  ServiceJournal j;
+  j.append(rec(JournalKind::Submitted, 0));
+  j.append(rec(JournalKind::Admitted, 0));
+  j.append(rec(JournalKind::Launched, 0));
+  JournalRecord sus = rec(JournalKind::Suspended, 0);
+  sus.consumed = 17.0;
+  sus.payload = tiny_checkpoint(2).to_json();
+  j.append(std::move(sus));
+
+  auto images = j.replay();
+  ASSERT_EQ(images.size(), 1u);
+  EXPECT_EQ(images[0].state, SubmissionImage::State::Suspended);
+  EXPECT_DOUBLE_EQ(images[0].consumed, 17.0);
+  ASSERT_TRUE(images[0].checkpoint.has_value());
+  EXPECT_EQ(images[0].checkpoint->sequence, 2u);
+
+  // Resumed + settled afterwards: the image moves on.
+  j.append(rec(JournalKind::Resumed, 0));
+  JournalRecord fin = rec(JournalKind::Settled, 0);
+  fin.consumed = 30.0;
+  fin.success = true;
+  j.append(std::move(fin));
+  images = j.replay();
+  EXPECT_EQ(images[0].state, SubmissionImage::State::Settled);
+  EXPECT_TRUE(images[0].success);
+}
+
+TEST(ServiceJournal, ParseRejectsGarbage) {
+  EXPECT_THROW(ServiceJournal::parse_jsonl("{not json"), JsonError);
+  EXPECT_THROW(ServiceJournal::parse_jsonl("{\"lsn\":1}"), JsonError);
+  ServiceJournal j;
+  JournalRecord bad = rec(JournalKind::Submitted, 0);
+  std::string line = bad.to_json().dump();
+  const auto pos = line.find("submitted");
+  line.replace(pos, 9, "exploded!");
+  EXPECT_THROW(ServiceJournal::parse_jsonl(line), JsonError);
+}
+
+}  // namespace
+}  // namespace hhc::resilience

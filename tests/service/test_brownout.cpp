@@ -1,0 +1,162 @@
+// Brownout degradation: under sustained backlog the service checkpoints and
+// parks low-priority tenants instead of shedding their work, keeps protected
+// tenants running, and resumes the parked work when capacity returns.
+#include "service/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+
+namespace hhc::service {
+namespace {
+
+struct Harness {
+  std::unique_ptr<core::Toolkit> toolkit;
+  std::unique_ptr<federation::Broker> broker;
+};
+
+Harness make_harness(std::uint64_t seed = 42) {
+  Harness h;
+  core::ToolkitConfig config;
+  config.seed = seed;
+  h.toolkit = std::make_unique<core::Toolkit>(config);
+  (void)h.toolkit->add_hpc("alpha", cluster::homogeneous_cluster(2, 16, gib(64)));
+  (void)h.toolkit->add_hpc("beta", cluster::homogeneous_cluster(2, 16, gib(64)));
+  federation::BrokerConfig bc;
+  bc.policy = "heft-sites";
+  h.broker = std::make_unique<federation::Broker>(bc);
+  h.broker->add_site(h.toolkit->describe_environment(0));
+  h.broker->add_site(h.toolkit->describe_environment(1));
+  return h;
+}
+
+TenantConfig tenant(const std::string& name, double rate, std::size_t subs,
+                    int priority) {
+  TenantConfig tc;
+  tc.name = name;
+  tc.priority = priority;
+  tc.arrivals.rate = rate;
+  tc.workload.shapes = {"chain"};
+  tc.workload.scale = 3;
+  tc.workload.params.runtime_mean = 60.0;
+  tc.workload.params.data_mean = mib(16);
+  tc.max_submissions = subs;
+  return tc;
+}
+
+/// A flooding low-priority tenant drives the backlog over the brownout
+/// watermark while a sparse protected tenant keeps arriving.
+ServiceConfig brownout_config() {
+  ServiceConfig config;
+  config.seed = 7;
+  config.horizon = 6 * 3600.0;
+  config.policy = "fair-share";
+  config.run_slots = 2;
+  config.tenants = {tenant("gold", 1.0 / 100.0, 5, 1),
+                    tenant("free", 1.0 / 20.0, 12, 0)};
+  config.durability.journal = true;
+  config.durability.brownout.enabled = true;
+  config.durability.brownout.enter_backlog_seconds = 10.0;
+  config.durability.brownout.exit_backlog_seconds = 3.0;
+  config.durability.brownout.min_dwell = 120.0;
+  config.durability.brownout.protect_priority = 1;
+  return config;
+}
+
+std::string schedule_string(const WorkflowService& service) {
+  std::ostringstream out;
+  out.precision(17);
+  for (const Submission& sub : service.submissions()) {
+    out << sub.seq << ' ' << sub.tenant << ' ' << sub.workflow.name() << ' '
+        << static_cast<int>(sub.state) << ' ' << sub.arrived << ' '
+        << sub.launched << ' ' << sub.finished << ' '
+        << sub.consumed_core_seconds << '\n';
+  }
+  return out.str();
+}
+
+TEST(Brownout, ParksLowPriorityWorkInsteadOfSheddingIt) {
+  Harness h = make_harness();
+  WorkflowService service(*h.toolkit, *h.broker, brownout_config());
+  const ServiceReport report = service.run();
+
+  EXPECT_GE(report.brownout_entries, 1u);
+  EXPECT_GE(report.suspended_runs, 1u);
+  EXPECT_GE(report.resumed_runs, report.suspended_runs);
+  EXPECT_FALSE(service.in_brownout());
+
+  // The whole point: degraded mode drops NOTHING. Every submission — parked,
+  // resumed or untouched — still completes.
+  EXPECT_EQ(report.shed, 0u);
+  EXPECT_EQ(report.failed, 0u);
+  EXPECT_EQ(report.completed, report.submitted);
+
+  ASSERT_EQ(report.tenants.size(), 2u);
+  const TenantReport& gold = report.tenants[0];
+  const TenantReport& free_tier = report.tenants[1];
+  // Protection boundary: only the low-priority tenant was ever suspended.
+  EXPECT_EQ(gold.suspensions, 0u);
+  EXPECT_GE(free_tier.suspensions, 1u);
+  EXPECT_EQ(gold.completed, 5u);
+  EXPECT_EQ(gold.failed, 0u);
+  EXPECT_EQ(free_tier.completed, 12u);
+
+  // The journal narrates the degraded periods and the parked lifecycles.
+  bool enter = false, exit_rec = false, suspended = false, resumed = false;
+  for (const resilience::JournalRecord& rec : service.journal().records()) {
+    using K = resilience::JournalKind;
+    enter |= rec.kind == K::BrownoutEnter;
+    exit_rec |= rec.kind == K::BrownoutExit;
+    suspended |= rec.kind == K::Suspended;
+    resumed |= rec.kind == K::Resumed;
+  }
+  EXPECT_TRUE(enter);
+  EXPECT_TRUE(exit_rec);
+  EXPECT_TRUE(suspended);
+  EXPECT_TRUE(resumed);
+}
+
+TEST(Brownout, SuspendResumeIsDeterministicPerSeed) {
+  Harness h1 = make_harness();
+  WorkflowService s1(*h1.toolkit, *h1.broker, brownout_config());
+  const ServiceReport r1 = s1.run();
+  Harness h2 = make_harness();
+  WorkflowService s2(*h2.toolkit, *h2.broker, brownout_config());
+  const ServiceReport r2 = s2.run();
+
+  EXPECT_EQ(r1.brownout_entries, r2.brownout_entries);
+  EXPECT_EQ(r1.suspended_runs, r2.suspended_runs);
+  EXPECT_EQ(schedule_string(s1), schedule_string(s2));
+  EXPECT_EQ(s1.journal().dump_jsonl(), s2.journal().dump_jsonl());
+}
+
+TEST(Brownout, WorksWithoutTheJournal) {
+  // Brownout is a scheduling behaviour, not a durability record: parking and
+  // resuming runs must not depend on write-ahead logging being on.
+  Harness h = make_harness();
+  ServiceConfig config = brownout_config();
+  config.durability.journal = false;
+  WorkflowService service(*h.toolkit, *h.broker, config);
+  const ServiceReport report = service.run();
+
+  EXPECT_TRUE(service.journal().empty());
+  EXPECT_GE(report.brownout_entries, 1u);
+  EXPECT_EQ(report.completed, report.submitted);
+  EXPECT_EQ(report.failed, 0u);
+}
+
+TEST(Brownout, StaysOffWhenDisabled) {
+  Harness h = make_harness();
+  ServiceConfig config = brownout_config();
+  config.durability.brownout.enabled = false;
+  WorkflowService service(*h.toolkit, *h.broker, config);
+  const ServiceReport report = service.run();
+  EXPECT_EQ(report.brownout_entries, 0u);
+  EXPECT_EQ(report.suspended_runs, 0u);
+  EXPECT_EQ(report.completed, report.submitted);
+}
+
+}  // namespace
+}  // namespace hhc::service
