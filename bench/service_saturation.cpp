@@ -14,6 +14,12 @@
 //       queue bounded at 1.2x saturation, where the unbounded run's queue
 //       grows with the horizon; excess arrivals are shed, admitted work
 //       completes.
+//   (c) windows: every run executes with the live telemetry plane attached;
+//       the per-window `service.stretch` series the hub folds must
+//       reconcile exactly with the TenantReport aggregates (window record
+//       counts sum to completed submissions, the count-weighted window mean
+//       equals stretch_mean, nothing dropped by retention) — the streaming
+//       view and the end-of-run report describe the same run.
 //
 // Offered load is calibrated, not guessed: a low-rate pre-pass through the
 // same service measures each tenant's mean per-workflow work (core-seconds)
@@ -23,6 +29,8 @@
 // twice and byte-diffs bench_results/service_saturation.csv. Results also
 // land in BENCH_service.json (committed at the repo root from a full run;
 // CI validates its schema and gate booleans via `--validate`).
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -41,7 +49,7 @@ using namespace hhc;
 
 namespace {
 
-constexpr int kSchemaVersion = 1;
+constexpr int kSchemaVersion = 2;
 constexpr double kCapacityCores = 64.0;  // 2 sites x 2 nodes x 16 cores
 constexpr std::size_t kQueueBound = 12;
 constexpr int kLoadsPct[] = {60, 90, 120};
@@ -114,6 +122,16 @@ std::map<std::string, double> calibrate_work(std::size_t samples) {
   return mean;
 }
 
+/// One materialised window of a tenant's stretch series, flattened for the
+/// windows CSV.
+struct WindowRow {
+  std::int64_t index = 0;
+  SimTime start = 0.0;
+  std::size_t records = 0;
+  double mean = 0.0;
+  double p95 = 0.0;
+};
+
 /// One per-tenant row of the sweep; the flattened unit of the CSV/JSON.
 struct Point {
   int load_pct = 0;
@@ -121,6 +139,11 @@ struct Point {
   bool admission = false;
   service::TenantReport tenant;
   SimTime service_makespan = 0.0;
+  // --- per-window stretch series from the telemetry store ---
+  std::vector<WindowRow> stretch_windows;
+  std::size_t window_records = 0;  ///< Sum of window counts.
+  double window_sum = 0.0;         ///< Sum of stretch values across windows.
+  std::size_t window_dropped = 0;  ///< Retention evictions (must be 0).
 };
 
 service::ServiceReport run_point(int load_pct, const std::string& policy,
@@ -134,6 +157,10 @@ service::ServiceReport run_point(int load_pct, const std::string& policy,
   cfg.policy = policy;
   cfg.run_slots = 64;  // cores bind, not slots: load is a core-work ratio
   if (bounded) cfg.admission.max_queue_per_tenant = kQueueBound;
+  // Telemetry plane on: inert to the simulation (E21's inertness gate), but
+  // the hub folds every service.stretch observation into sim-clock windows
+  // which claim (c) reconciles against the TenantReport below.
+  cfg.telemetry.enabled = true;
   const double offered =
       static_cast<double>(load_pct) / 100.0 * kCapacityCores;
   for (service::TenantConfig t : {heavy_tenant(), light_tenant()}) {
@@ -143,6 +170,7 @@ service::ServiceReport run_point(int load_pct, const std::string& policy,
   }
   service::WorkflowService svc(*h.toolkit, *h.broker, cfg);
   const service::ServiceReport report = svc.run();
+  const obs::telemetry::TimeSeriesStore& store = svc.telemetry()->store();
   for (const service::TenantReport& tr : report.tenants) {
     Point p;
     p.load_pct = load_pct;
@@ -150,6 +178,21 @@ service::ServiceReport run_point(int load_pct, const std::string& policy,
     p.admission = bounded;
     p.tenant = tr;
     p.service_makespan = report.makespan;
+    if (const obs::telemetry::WindowSeries* s = store.find(
+            obs::telemetry::SeriesKind::Value, "service.stretch", tr.tenant)) {
+      for (const obs::telemetry::Window& w : s->windows()) {
+        WindowRow row;
+        row.index = w.index;
+        row.start = static_cast<SimTime>(w.index) * s->spec().width;
+        row.records = w.count;
+        row.mean = w.mean();
+        row.p95 = w.hist ? w.hist->quantile(0.95) : 0.0;
+        p.stretch_windows.push_back(row);
+      }
+      p.window_records = s->total_count();
+      p.window_sum = s->total_sum();
+      p.window_dropped = s->dropped();
+    }
     out.push_back(std::move(p));
   }
   return report;
@@ -219,6 +262,50 @@ bool stability_gate(const std::vector<Point>& points) {
   return ok;
 }
 
+bool windows_gate(const std::vector<Point>& points) {
+  bool ok = true;
+  std::size_t windows = 0, records = 0;
+  for (const Point& p : points) {
+    const service::TenantReport& t = p.tenant;
+    const std::string label = p.policy + " @ " + std::to_string(p.load_pct) +
+                              "% " + (p.admission ? "bounded " : "open ") +
+                              t.tenant;
+    windows += p.stretch_windows.size();
+    records += p.window_records;
+    if (p.window_dropped != 0) {
+      std::fprintf(stderr,
+                   "FAIL: %s: telemetry retention dropped %zu stretch "
+                   "records — the windows no longer cover the run\n",
+                   label.c_str(), p.window_dropped);
+      ok = false;
+    }
+    if (p.window_records != t.completed) {
+      std::fprintf(stderr,
+                   "FAIL: %s: window record counts sum to %zu but the "
+                   "TenantReport completed %zu submissions\n",
+                   label.c_str(), p.window_records, t.completed);
+      ok = false;
+    }
+    if (t.completed > 0) {
+      const double window_mean =
+          p.window_sum / static_cast<double>(p.window_records);
+      if (std::abs(window_mean - t.stretch_mean) >
+          1e-9 * std::max(1.0, std::abs(t.stretch_mean))) {
+        std::fprintf(stderr,
+                     "FAIL: %s: count-weighted window stretch mean %.12f != "
+                     "TenantReport stretch_mean %.12f\n",
+                     label.c_str(), window_mean, t.stretch_mean);
+        ok = false;
+      }
+    }
+  }
+  std::printf(
+      "windows: %zu stretch windows over %zu records reconcile with the "
+      "tenant reports (counts match completed, means agree, 0 dropped)%s\n",
+      windows, records, ok ? "" : " -- FAILED");
+  return ok;
+}
+
 // --- output --------------------------------------------------------------
 
 std::string points_csv(const std::vector<Point>& points) {
@@ -241,8 +328,23 @@ std::string points_csv(const std::vector<Point>& points) {
   return out.str();
 }
 
+/// Per-window tenant stretch rows: the streaming (telemetry-store) view of
+/// the same sweep the points CSV summarises.
+std::string windows_csv(const std::vector<Point>& points) {
+  std::ostringstream out;
+  out << "load_pct,policy,admission,tenant,window_index,window_start,"
+         "records,stretch_mean,stretch_p95\n";
+  for (const Point& p : points)
+    for (const WindowRow& w : p.stretch_windows)
+      out << p.load_pct << ',' << p.policy << ','
+          << (p.admission ? "bounded" : "open") << ',' << p.tenant.tenant
+          << ',' << w.index << ',' << fmt_fixed(w.start, 0) << ',' << w.records
+          << ',' << fmt_fixed(w.mean, 4) << ',' << fmt_fixed(w.p95, 4) << '\n';
+  return out.str();
+}
+
 Json points_json(const std::vector<Point>& points, bool smoke,
-                 bool fairness_ok, bool stability_ok) {
+                 bool fairness_ok, bool stability_ok, bool windows_ok) {
   Json arr = Json::array();
   for (const Point& p : points) {
     const service::TenantReport& t = p.tenant;
@@ -263,11 +365,14 @@ Json points_json(const std::vector<Point>& points, bool smoke,
     o.set("stretch_p95", t.stretch_p95);
     o.set("goodput_core_seconds", t.goodput_core_seconds);
     o.set("service_makespan", p.service_makespan);
+    o.set("stretch_windows", static_cast<double>(p.stretch_windows.size()));
+    o.set("window_records", static_cast<double>(p.window_records));
     arr.push_back(std::move(o));
   }
   Json gates = Json::object();
   gates.set("fairshare_improves_light_p95", fairness_ok);
   gates.set("admission_bounds_queue", stability_ok);
+  gates.set("windows_reconcile_tenant_reports", windows_ok);
   Json doc = Json::object();
   doc.set("schema_version", static_cast<double>(kSchemaVersion));
   doc.set("bench", "service_saturation");
@@ -315,7 +420,8 @@ int validate(const std::string& path) {
   if (!doc.contains("gates") || !doc.at("gates").is_object())
     return fail("gates object missing");
   for (const char* gate :
-       {"fairshare_improves_light_p95", "admission_bounds_queue"}) {
+       {"fairshare_improves_light_p95", "admission_bounds_queue",
+        "windows_reconcile_tenant_reports"}) {
     if (!doc.at("gates").contains(gate) ||
         !doc.at("gates").at(gate).as_bool())
       return fail(std::string("gate '") + gate +
@@ -341,7 +447,8 @@ int validate(const std::string& path) {
   static const char* kKeys[] = {
       "submitted",      "admitted",        "shed",
       "completed",      "max_queue_depth", "queue_time_p95",
-      "stretch_p95",    "goodput_core_seconds"};
+      "stretch_p95",    "goodput_core_seconds",
+      "stretch_windows", "window_records"};
   auto check = [&](int load, const std::string& policy, bool admission,
                    const std::string& tenant) -> std::string {
     const std::string label = policy + " @ " + std::to_string(load) + "% " +
@@ -354,6 +461,10 @@ int validate(const std::string& path) {
     if (p->at("completed").as_number() > 0 &&
         p->at("stretch_p95").as_number() <= 0)
       return "point " + label + " completed work but has stretch_p95 <= 0";
+    if (p->at("window_records").as_number() != p->at("completed").as_number())
+      return "point " + label +
+             " window_records != completed — the streaming stretch windows "
+             "do not cover the run";
     return "";
   };
   for (const int load : kLoadsPct)
@@ -417,14 +528,19 @@ int main(int argc, char** argv) {
 
   const bool fairness_ok = fairness_gate(points);
   const bool stability_ok = stability_gate(points);
+  const bool windows_ok = windows_gate(points);
   std::cout << "\n";
 
   write_file("bench_results/service_saturation.csv", points_csv(points));
-  const std::string json =
-      points_json(points, smoke, fairness_ok, stability_ok).dump_pretty() +
-      "\n";
+  write_file("bench_results/service_saturation_windows.csv",
+             windows_csv(points));
+  const std::string json = points_json(points, smoke, fairness_ok,
+                                       stability_ok, windows_ok)
+                               .dump_pretty() +
+                           "\n";
   write_file("bench_results/BENCH_service.json", json);
   std::cout << "wrote bench_results/service_saturation.csv, "
+               "bench_results/service_saturation_windows.csv, "
                "bench_results/BENCH_service.json";
   if (!smoke) {
     // The committed per-tenant SLO snapshot at the repo root; CI validates.
@@ -433,7 +549,7 @@ int main(int argc, char** argv) {
   }
   std::cout << "\n";
 
-  if (!fairness_ok || !stability_ok) return 1;
-  std::cout << "PASS: fair-share and admission gates hold\n";
+  if (!fairness_ok || !stability_ok || !windows_ok) return 1;
+  std::cout << "PASS: fair-share, admission, and window-reconcile gates hold\n";
   return 0;
 }

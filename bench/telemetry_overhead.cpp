@@ -1,0 +1,659 @@
+// E21 — live telemetry plane: overhead, determinism, trace reconciliation
+// (bench/telemetry_overhead).
+//
+// Five claims about the telemetry plane, priced on the multi-tenant
+// service harness:
+//
+//   (a) overhead: attaching the TelemetryHub (windowed time-series + SLO
+//       evaluation + structured event log) costs < 2% wall-clock on the
+//       repo's heaviest single-simulation workload — the 7875-task ExaAM
+//       Stage 3 run on an 8000-node pilot, the same harness E16
+//       (bench/obs_overhead) prices the observer itself on. The observer
+//       is enabled in both configurations, so the delta is the hub alone;
+//       measured as alternated detached/attached minima so ambient machine
+//       noise hits both configurations equally (gate
+//       `overhead_under_2pct`, judged at full scale only);
+//   (b) inertness: on the multi-tenant service campaign, telemetry off vs
+//       on yields a byte-identical schedule and byte-identical Prometheus
+//       registry text — and the Stage 3 run completes the same tasks over
+//       the same event count — the plane observes, it never perturbs (gate
+//       `telemetry_off_byte_identical`);
+//   (c) determinism: two same-seed telemetry runs export byte-identical
+//       JSONL event logs and Prometheus text, windows included (gate
+//       `telemetry_deterministic`; CI re-runs the smoke mode and
+//       byte-diffs the written exports);
+//   (d) trace reconciliation: a synchronous federated run with a trace
+//       context produces a Perfetto submission timeline whose task slices
+//       match the forensics ledger one-for-one — same attempt count, same
+//       total execution time (gate `trace_reconciles_with_ledger`);
+//   (e) SLO actuation: the saturated campaign burns tenant SLOs and fires
+//       deterministic burn-rate alerts (gate `burn_alerts_fire`), and
+//       flipping the advisory switch — which caps the *other* tenants'
+//       queues while the offender's SLO burns — reduces the offending
+//       tenant's p95 makespan stretch (gate
+//       `advisory_reduces_offender_stretch`).
+//
+// Full runs write ./BENCH_telemetry.json (committed; CI validates schema +
+// gates via `--validate`).
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "core/toolkit.hpp"
+#include "entk/app_manager.hpp"
+#include "entk/exaam.hpp"
+#include "obs/telemetry/export.hpp"
+#include "service/service.hpp"
+#include "support/json.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+using namespace hhc;
+
+namespace {
+
+constexpr int kSchemaVersion = 1;
+constexpr double kOverheadBudgetPct = 2.0;
+
+struct Harness {
+  std::unique_ptr<core::Toolkit> toolkit;
+  std::unique_ptr<federation::Broker> broker;
+};
+
+Harness make_harness() {
+  Harness h;
+  h.toolkit = std::make_unique<core::Toolkit>();
+  (void)h.toolkit->add_hpc("alpha",
+                           cluster::homogeneous_cluster(2, 16, gib(64)));
+  (void)h.toolkit->add_hpc("beta",
+                           cluster::homogeneous_cluster(2, 16, gib(64)));
+  federation::BrokerConfig bc;
+  bc.policy = "heft-sites";
+  h.broker = std::make_unique<federation::Broker>(bc);
+  h.broker->add_site(h.toolkit->describe_environment(0));
+  h.broker->add_site(h.toolkit->describe_environment(1));
+  return h;
+}
+
+service::TenantConfig tenant(const std::string& name, double rate,
+                             std::size_t subs, std::size_t scale,
+                             double runtime_mean) {
+  service::TenantConfig tc;
+  tc.name = name;
+  tc.arrivals.rate = rate;
+  tc.workload.shapes = {"chain", "fork-join"};
+  tc.workload.scale = scale;
+  tc.workload.params.runtime_mean = runtime_mean;
+  tc.workload.params.data_mean = mib(16);
+  tc.max_submissions = subs;
+  return tc;
+}
+
+/// The overhead/inertness campaign: enough submissions that the simulation
+/// does real work per telemetry record, sized up at full scale so timing
+/// noise is small against the budget.
+service::ServiceConfig campaign_config(bool smoke) {
+  service::ServiceConfig cfg;
+  cfg.seed = 5;
+  cfg.horizon = 24 * 3600.0;
+  cfg.policy = "fair-share";
+  cfg.run_slots = 8;
+  const std::size_t subs = smoke ? 10 : 60;
+  cfg.tenants = {tenant("ana", 1.0 / 120.0, subs, 5, 90.0),
+                 tenant("bob", 1.0 / 150.0, subs, 4, 75.0),
+                 tenant("cyd", 1.0 / 180.0, subs, 3, 60.0)};
+  return cfg;
+}
+
+/// The SLO campaign: FIFO over one run slot, a heavy tenant flooding the
+/// queue ahead of a small light tenant whose SLO is the only one monitored.
+/// FIFO makes queue *depth* the offender's wait, so capping the heavy
+/// tenant's queue (the advisory response) directly shortens it.
+service::ServiceConfig saturated_config() {
+  service::ServiceConfig cfg;
+  cfg.seed = 11;
+  cfg.horizon = 3 * 3600.0;
+  cfg.policy = "fifo";
+  cfg.run_slots = 2;
+  // The flood keeps arriving through the whole horizon: advisory admission
+  // can only act on arrivals, so the offending backlog must be continuously
+  // replenished for the restriction to have anything to shed.
+  service::TenantConfig heavy = tenant("heavy", 1.0 / 60.0, 120, 4, 120.0);
+  service::TenantConfig light = tenant("light", 1.0 / 240.0, 30, 3, 60.0);
+  cfg.tenants = {heavy, light};
+  cfg.admission.max_queue_per_tenant = 24;
+  cfg.telemetry.enabled = true;
+  cfg.telemetry.window.width = 300.0;
+  cfg.telemetry.queue_time_objective = 30.0;
+  cfg.telemetry.stretch_objective = 2.0;
+  cfg.telemetry.slo_target = 0.5;
+  cfg.telemetry.burn_threshold = 1.5;
+  cfg.telemetry.slow_window = 1800.0;
+  cfg.telemetry.cooldown = 600.0;
+  cfg.telemetry.slos = {
+      service::default_tenant_slo("light", cfg.telemetry)};
+  return cfg;
+}
+
+/// Registry snapshot with host wall-clock families ("*_us": scheduler-pass
+/// and placement-decision latency in real microseconds) removed. Those are
+/// genuine perf metrics but nondeterministic by nature; every byte-equality
+/// claim below is about the sim-derived registry.
+obs::MetricsSnapshot sim_snapshot(const core::Toolkit& toolkit) {
+  obs::MetricsSnapshot s = toolkit.observer().metrics().snapshot();
+  s.histograms.erase(
+      std::remove_if(s.histograms.begin(), s.histograms.end(),
+                     [](const obs::HistogramEntry& h) {
+                       return ends_with(h.name, "_us");
+                     }),
+      s.histograms.end());
+  return s;
+}
+
+std::string schedule_string(const service::WorkflowService& svc) {
+  std::ostringstream out;
+  out.precision(17);
+  for (const service::Submission& sub : svc.submissions())
+    out << sub.seq << ' ' << sub.tenant << ' ' << static_cast<int>(sub.state)
+        << ' ' << sub.arrived << ' ' << sub.enqueued << ' ' << sub.launched
+        << ' ' << sub.finished << ' ' << sub.defers << '\n';
+  return out.str();
+}
+
+// --- (a)+(b) overhead and inertness --------------------------------------
+
+struct CampaignRun {
+  double wall_s = 0.0;
+  std::size_t records = 0;  ///< Hub records (0 when telemetry is off).
+  std::size_t events = 0;   ///< Hub event-log entries.
+  std::string schedule;
+  std::string registry_text;  ///< Prometheus text of the registry alone.
+  service::ServiceReport report;
+};
+
+CampaignRun run_campaign(bool telemetry, bool smoke) {
+  Harness h = make_harness();
+  service::ServiceConfig cfg = campaign_config(smoke);
+  cfg.telemetry.enabled = telemetry;
+  service::WorkflowService svc(*h.toolkit, *h.broker, cfg);
+  const auto wall0 = std::chrono::steady_clock::now();
+  CampaignRun r;
+  r.report = svc.run();
+  const auto wall1 = std::chrono::steady_clock::now();
+  r.wall_s = std::chrono::duration<double>(wall1 - wall0).count();
+  r.schedule = schedule_string(svc);
+  r.registry_text = obs::telemetry::prometheus_text(sim_snapshot(*h.toolkit));
+  if (svc.telemetry()) {
+    r.records = svc.telemetry()->records();
+    r.events = svc.telemetry()->event_count();
+  }
+  return r;
+}
+
+// --- (a) overhead: the hub priced on E16's harness -----------------------
+
+struct StageRun {
+  double wall_s = 0.0;
+  std::size_t completed = 0;
+  std::size_t events = 0;
+  std::size_t records = 0;
+};
+
+/// E16's workload (bench/obs_overhead): the 7875-task ExaAM Stage 3 run on
+/// a frontier-like pilot, the heaviest single simulation in the repo — so
+/// the wall-clock denominator reflects representative work per telemetry
+/// record. The observer is enabled in both configurations; the measured
+/// delta is the TelemetryHub alone.
+StageRun run_stage3(bool telemetry, bool smoke) {
+  sim::Simulation sim;
+  cluster::Cluster pilot(cluster::frontier_like(smoke ? 512 : 8000));
+  entk::EntkConfig cfg;
+  cfg.scheduling_rate = 269.0;
+  cfg.launching_rate = 51.0;
+  cfg.bootstrap_overhead = 85.0;
+  entk::ExaamScale scale;
+  scale.exaconstit_tasks = smoke ? 500 : 7875;
+  entk::AppManager app(sim, pilot, cfg, Rng(2023));
+  app.add_pipeline(entk::make_stage3(scale));
+  std::optional<obs::telemetry::TelemetryHub> hub;
+  if (telemetry) {
+    hub.emplace(obs::telemetry::HubConfig{}, sim);
+    hub->attach(app.observer());
+  }
+  const auto wall0 = std::chrono::steady_clock::now();
+  const entk::RunReport r = app.run();
+  const auto wall1 = std::chrono::steady_clock::now();
+  StageRun s;
+  s.wall_s = std::chrono::duration<double>(wall1 - wall0).count();
+  s.completed = r.tasks_completed;
+  s.events = sim.fired_events();
+  if (hub) s.records = hub->records();
+  return s;
+}
+
+/// Alternated minima: detached/attached pairs back to back, so thermal and
+/// scheduler noise lands on both configurations symmetrically.
+void stage3_alternated(int reps, bool smoke, StageRun& off, StageRun& on) {
+  off = run_stage3(false, smoke);
+  on = run_stage3(true, smoke);
+  for (int i = 1; i < reps; ++i) {
+    StageRun o = run_stage3(false, smoke);
+    if (o.wall_s < off.wall_s) off = o;
+    StageRun t = run_stage3(true, smoke);
+    if (t.wall_s < on.wall_s) on = t;
+  }
+}
+
+// --- (c)+(e) determinism and SLO actuation -------------------------------
+
+struct SloRun {
+  service::ServiceReport report;
+  std::string jsonl;
+  std::string prometheus;  ///< Registry + latest-window families.
+  std::string dashboard;
+  std::string first_offender;  ///< Tenant named by the first SLO alert.
+};
+
+SloRun run_slo_campaign(bool advisory) {
+  Harness h = make_harness();
+  service::ServiceConfig cfg = saturated_config();
+  cfg.telemetry.advisory = advisory;
+  cfg.telemetry.advisory_queue_cap = 2;
+  cfg.telemetry.advisory_hold = 1800.0;
+  service::WorkflowService svc(*h.toolkit, *h.broker, cfg);
+  SloRun r;
+  r.report = svc.run();
+  const obs::telemetry::TelemetryHub& hub = *svc.telemetry();
+  r.jsonl = obs::telemetry::jsonl_events(hub, /*alert_dedup_window=*/60.0);
+  r.prometheus =
+      obs::telemetry::prometheus_text(sim_snapshot(*h.toolkit), &hub.store());
+  r.dashboard = obs::telemetry::html_dashboard(hub, sim_snapshot(*h.toolkit),
+                                               "E21 saturated");
+  if (!hub.alerts().empty())
+    r.first_offender = hub.alerts().alerts().front().subject;
+  return r;
+}
+
+double tenant_stretch_p95(const service::ServiceReport& report,
+                          const std::string& tenant_name) {
+  for (const service::TenantReport& tr : report.tenants)
+    if (tr.tenant == tenant_name) return tr.stretch_p95;
+  return -1.0;
+}
+
+// --- (d) trace timeline vs forensics ledger ------------------------------
+
+/// Fixed layered DAG with cross-layer data deps (so the timeline carries
+/// transfer slices too). No RNG: same bytes every run.
+wf::Workflow traced_campaign(std::size_t layers, std::size_t width) {
+  wf::Workflow w("traced");
+  std::vector<wf::TaskId> prev, cur;
+  for (std::size_t l = 0; l < layers; ++l) {
+    cur.clear();
+    for (std::size_t i = 0; i < width; ++i) {
+      wf::TaskSpec t;
+      t.name = "l" + std::to_string(l) + "t" + std::to_string(i);
+      t.kind = "step";
+      t.base_runtime = 40.0 + static_cast<double>((l * width + i) * 11 % 60);
+      t.resources.cores_per_node = 1.0;
+      cur.push_back(w.add_task(t));
+    }
+    if (l > 0)
+      for (std::size_t i = 0; i < width; ++i)
+        w.add_dependency(prev[i], cur[i], mib(8 + 8 * (i % 3)));
+    prev = cur;
+  }
+  return w;
+}
+
+struct TraceCheck {
+  bool ok = false;
+  std::size_t task_slices = 0;
+  std::size_t ledger_attempts = 0;
+  double slice_exec_s = 0.0;   ///< Summed task-slice durations (sim s).
+  double ledger_exec_s = 0.0;  ///< Summed ledger execution time (sim s).
+  std::size_t flows = 0;
+  std::string timeline;
+};
+
+TraceCheck run_trace_check(bool smoke) {
+  Harness h = make_harness();
+  const wf::Workflow w = smoke ? traced_campaign(4, 6) : traced_campaign(8, 10);
+  core::RunOptions options;
+  options.trace.submission = 1;
+  const core::CompositeReport report =
+      h.toolkit->run(w, *h.broker, options);
+  TraceCheck c;
+  if (!report.success) {
+    std::fprintf(stderr, "FATAL: traced run failed: %s\n",
+                 report.error.c_str());
+    std::exit(1);
+  }
+  c.timeline = obs::telemetry::submission_timeline_json(
+      h.toolkit->observer().spans(), /*submission=*/1);
+
+  std::size_t workflow_slices = 0;
+  double slice_us = 0.0;
+  const Json parsed = Json::parse(c.timeline);
+  for (const Json& ev : parsed.at("traceEvents").as_array()) {
+    const Json* cat = ev.find("cat");
+    const Json* ph = ev.find("ph");
+    if (!cat || !ph) continue;
+    if (ph->as_string() == "X" && cat->as_string() == "task") {
+      ++c.task_slices;
+      slice_us += ev.at("dur").as_number();
+    }
+    if (ph->as_string() == "X" && cat->as_string() == "workflow")
+      ++workflow_slices;
+    if (ph->as_string() == "s") ++c.flows;
+  }
+  c.slice_exec_s = slice_us / 1e6;
+
+  for (const obs::forensics::AttemptRecord& a :
+       h.toolkit->ledger().attempts()) {
+    if (!a.ran) continue;
+    ++c.ledger_attempts;
+    c.ledger_exec_s += a.execution();
+  }
+  // One-for-one: every ran attempt has exactly one task slice, the summed
+  // execution time matches to sub-microsecond rounding, and the workflow
+  // span plus one flow per task made it into the export.
+  const double tol =
+      1e-6 * static_cast<double>(std::max<std::size_t>(c.ledger_attempts, 1));
+  c.ok = c.task_slices == c.ledger_attempts && workflow_slices == 1 &&
+         c.flows >= c.task_slices &&
+         std::fabs(c.slice_exec_s - c.ledger_exec_s) <= tol;
+  return c;
+}
+
+// --- output --------------------------------------------------------------
+
+Json doc_json(const StageRun& s_off, const StageRun& s_on,
+              const CampaignRun& on, double overhead_pct, const SloRun& a,
+              const SloRun& b, const SloRun& adv, const TraceCheck& trace,
+              bool smoke, bool overhead_ok, bool inert_ok,
+              bool deterministic_ok, bool alerts_ok, bool advisory_ok) {
+  Json overhead = Json::object();
+  overhead.set("off_wall_ms", s_off.wall_s * 1e3);
+  overhead.set("on_wall_ms", s_on.wall_s * 1e3);
+  overhead.set("overhead_pct", overhead_pct);
+  overhead.set("budget_pct", kOverheadBudgetPct);
+  overhead.set("tasks", static_cast<double>(s_on.completed));
+  overhead.set("records", static_cast<double>(s_on.records));
+  overhead.set("campaign_completed",
+               static_cast<double>(on.report.completed));
+  overhead.set("campaign_records", static_cast<double>(on.records));
+
+  Json determinism = Json::object();
+  determinism.set("jsonl_bytes", static_cast<double>(a.jsonl.size()));
+  determinism.set("prometheus_bytes",
+                  static_cast<double>(a.prometheus.size()));
+  determinism.set("alerts", static_cast<double>(a.report.slo_alerts));
+
+  Json trace_doc = Json::object();
+  trace_doc.set("task_slices", static_cast<double>(trace.task_slices));
+  trace_doc.set("ledger_attempts",
+                static_cast<double>(trace.ledger_attempts));
+  trace_doc.set("slice_exec_s", trace.slice_exec_s);
+  trace_doc.set("ledger_exec_s", trace.ledger_exec_s);
+  trace_doc.set("flows", static_cast<double>(trace.flows));
+
+  Json slo = Json::object();
+  slo.set("alerts", static_cast<double>(a.report.slo_alerts));
+  slo.set("offender", a.first_offender);
+  slo.set("offender_stretch_p95",
+          tenant_stretch_p95(a.report, a.first_offender));
+  slo.set("offender_stretch_p95_advisory",
+          tenant_stretch_p95(adv.report, a.first_offender));
+  slo.set("advisory_actions",
+          static_cast<double>(adv.report.advisory_actions));
+  slo.set("advisory_shed", static_cast<double>(adv.report.shed));
+  slo.set("baseline_shed", static_cast<double>(b.report.shed));
+
+  Json gates = Json::object();
+  gates.set("overhead_under_2pct", overhead_ok);
+  gates.set("telemetry_off_byte_identical", inert_ok);
+  gates.set("telemetry_deterministic", deterministic_ok);
+  gates.set("trace_reconciles_with_ledger", trace.ok);
+  gates.set("burn_alerts_fire", alerts_ok);
+  gates.set("advisory_reduces_offender_stretch", advisory_ok);
+
+  Json doc = Json::object();
+  doc.set("schema_version", static_cast<double>(kSchemaVersion));
+  doc.set("bench", "telemetry_overhead");
+  doc.set("mode", smoke ? "smoke" : "full");
+  doc.set("gates", std::move(gates));
+  doc.set("overhead", std::move(overhead));
+  doc.set("determinism", std::move(determinism));
+  doc.set("trace", std::move(trace_doc));
+  doc.set("slo", std::move(slo));
+  return doc;
+}
+
+std::string summary_csv(const StageRun& s_off, const StageRun& s_on,
+                        const CampaignRun& on, double overhead_pct,
+                        const SloRun& a, const SloRun& adv,
+                        const TraceCheck& trace) {
+  // Wall-clock timings are machine noise; everything else in this CSV is
+  // deterministic per seed.
+  std::ostringstream out;
+  out << "scenario,metric,value\n"
+      << "overhead,off_wall_ms," << fmt_fixed(s_off.wall_s * 1e3, 2) << '\n'
+      << "overhead,on_wall_ms," << fmt_fixed(s_on.wall_s * 1e3, 2) << '\n'
+      << "overhead,overhead_pct," << fmt_fixed(overhead_pct, 2) << '\n'
+      << "overhead,stage3_tasks," << s_on.completed << '\n'
+      << "overhead,stage3_records," << s_on.records << '\n'
+      << "campaign,completed," << on.report.completed << '\n'
+      << "slo,alerts," << a.report.slo_alerts << '\n'
+      << "slo,offender," << a.first_offender << '\n'
+      << "slo,offender_stretch_p95,"
+      << fmt_fixed(tenant_stretch_p95(a.report, a.first_offender), 4) << '\n'
+      << "slo,offender_stretch_p95_advisory,"
+      << fmt_fixed(tenant_stretch_p95(adv.report, a.first_offender), 4)
+      << '\n'
+      << "slo,advisory_actions," << adv.report.advisory_actions << '\n'
+      << "trace,task_slices," << trace.task_slices << '\n'
+      << "trace,ledger_attempts," << trace.ledger_attempts << '\n'
+      << "trace,slice_exec_s," << fmt_fixed(trace.slice_exec_s, 3) << '\n'
+      << "trace,ledger_exec_s," << fmt_fixed(trace.ledger_exec_s, 3) << '\n';
+  return out.str();
+}
+
+// --- --validate: CI schema check over the committed BENCH_telemetry.json --
+
+int validate(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "validate: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  Json doc;
+  try {
+    doc = Json::parse(buf.str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "validate: %s: %s\n", path.c_str(), e.what());
+    return 1;
+  }
+  auto fail = [&](const std::string& why) {
+    std::fprintf(stderr, "validate: %s: %s\n", path.c_str(), why.c_str());
+    return 1;
+  };
+  if (!doc.contains("schema_version") ||
+      static_cast<int>(doc.at("schema_version").as_number()) != kSchemaVersion)
+    return fail("schema_version missing or stale (expected " +
+                std::to_string(kSchemaVersion) +
+                ") — regenerate with a full run and commit the result");
+  if (!doc.contains("bench") ||
+      doc.at("bench").as_string() != "telemetry_overhead")
+    return fail("bench name mismatch");
+  if (!doc.contains("mode") || doc.at("mode").as_string() != "full")
+    return fail("committed results must come from a full run, not smoke");
+  if (!doc.contains("gates") || !doc.at("gates").is_object())
+    return fail("gates object missing");
+  for (const char* gate :
+       {"overhead_under_2pct", "telemetry_off_byte_identical",
+        "telemetry_deterministic", "trace_reconciles_with_ledger",
+        "burn_alerts_fire", "advisory_reduces_offender_stretch"}) {
+    if (!doc.at("gates").contains(gate) || !doc.at("gates").at(gate).as_bool())
+      return fail(std::string("gate '") + gate +
+                  "' missing or false — the committed run must pass every "
+                  "E21 acceptance gate");
+  }
+  struct Section {
+    const char* name;
+    std::vector<const char*> keys;
+  };
+  const std::vector<Section> sections = {
+      {"overhead", {"off_wall_ms", "on_wall_ms", "overhead_pct"}},
+      {"determinism", {"jsonl_bytes", "prometheus_bytes", "alerts"}},
+      {"trace",
+       {"task_slices", "ledger_attempts", "slice_exec_s", "ledger_exec_s"}},
+      {"slo",
+       {"alerts", "offender_stretch_p95", "offender_stretch_p95_advisory",
+        "advisory_actions"}},
+  };
+  for (const Section& s : sections) {
+    if (!doc.contains(s.name) || !doc.at(s.name).is_object())
+      return fail(std::string(s.name) + " object missing");
+    for (const char* key : s.keys)
+      if (!doc.at(s.name).contains(key) ||
+          !doc.at(s.name).at(key).is_number())
+        return fail(std::string(s.name) + " lacks numeric '" + key + "'");
+  }
+  if (doc.at("overhead").at("overhead_pct").as_number() >= kOverheadBudgetPct)
+    return fail("recorded overhead no longer under the 2% budget");
+  if (doc.at("trace").at("task_slices").as_number() !=
+      doc.at("trace").at("ledger_attempts").as_number())
+    return fail("timeline task slices no longer match ledger attempts");
+  if (doc.at("slo").at("alerts").as_number() <= 0)
+    return fail("committed run fired no SLO alerts");
+  std::printf("validate: %s OK (schema v%d, gates pass)\n", path.c_str(),
+              kSchemaVersion);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 3 && std::string(argv[1]) == "--validate")
+    return validate(argv[2]);
+  if (argc != 1) {
+    std::fprintf(stderr, "usage: %s [--validate BENCH_telemetry.json]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  const bool smoke = env_flag("HHC_BENCH_SMOKE");
+  const int reps = smoke ? 1 : 3;  // E16's rep count.
+
+  std::cout << "=== E21 telemetry plane: overhead, inertness, determinism, "
+               "trace reconciliation, SLO actuation ===\n\n";
+
+  // --- (a) overhead: hub attached vs detached on E16's Stage 3 harness ----
+  StageRun s_off, s_on;
+  stage3_alternated(reps, smoke, s_off, s_on);
+  const double overhead_pct = (s_on.wall_s / s_off.wall_s - 1.0) * 100.0;
+  // Smoke timings are single-rep noise; the budget is judged at full scale.
+  const bool overhead_ok = smoke || overhead_pct < kOverheadBudgetPct;
+
+  TextTable t("ExaAM Stage 3 wall-clock (E16 harness), best of " +
+              std::to_string(reps) + " alternated (budget < " +
+              fmt_fixed(kOverheadBudgetPct, 0) + "%)");
+  t.header({"configuration", "wall", "overhead", "tasks", "records"});
+  t.row({"hub detached", fmt_fixed(s_off.wall_s * 1e3, 1) + " ms", "-",
+         std::to_string(s_off.completed), "-"});
+  t.row({"hub attached", fmt_fixed(s_on.wall_s * 1e3, 1) + " ms",
+         fmt_fixed(overhead_pct, 2) + "%", std::to_string(s_on.completed),
+         std::to_string(s_on.records)});
+  std::cout << t.render() << "\n";
+  std::printf("gate: overhead %.2f%% (< %.0f%%, full scale only) — %s\n",
+              overhead_pct, kOverheadBudgetPct, overhead_ok ? "ok" : "FAIL");
+
+  // --- (b) inertness on the service campaign ------------------------------
+  const CampaignRun off = run_campaign(false, smoke);
+  const CampaignRun on = run_campaign(true, smoke);
+  const bool inert_ok =
+      off.schedule == on.schedule && off.registry_text == on.registry_text &&
+      s_off.completed == s_on.completed && s_off.events == s_on.events;
+  std::printf(
+      "gate: campaign schedule and registry byte-identical with telemetry "
+      "off (%zu submissions, %zu records); Stage 3 simulation unchanged — "
+      "%s\n",
+      on.report.completed, on.records, inert_ok ? "ok" : "FAIL");
+
+  // --- (c)+(e) determinism, burn alerts, advisory actuation ---------------
+  const SloRun slo_a = run_slo_campaign(/*advisory=*/false);
+  const SloRun slo_b = run_slo_campaign(/*advisory=*/false);
+  const SloRun advisory = run_slo_campaign(/*advisory=*/true);
+  const bool deterministic_ok =
+      slo_a.jsonl == slo_b.jsonl && slo_a.prometheus == slo_b.prometheus;
+  const bool alerts_ok = slo_a.report.slo_alerts > 0 &&
+                         slo_a.report.slo_alerts == slo_b.report.slo_alerts &&
+                         !slo_a.first_offender.empty();
+  const double base_p95 = tenant_stretch_p95(slo_a.report, slo_a.first_offender);
+  const double adv_p95 =
+      tenant_stretch_p95(advisory.report, slo_a.first_offender);
+  const bool advisory_ok = advisory.report.advisory_actions > 0 &&
+                           adv_p95 >= 0.0 && adv_p95 < base_p95;
+  std::printf(
+      "\nslo: %zu alerts (first offender '%s'); two same-seed runs "
+      "byte-identical JSONL (%zu B) and Prometheus (%zu B) — %s\n",
+      slo_a.report.slo_alerts, slo_a.first_offender.c_str(),
+      slo_a.jsonl.size(), slo_a.prometheus.size(),
+      deterministic_ok && alerts_ok ? "ok" : "FAIL");
+  std::printf(
+      "gate: advisory mode (%zu actions) cuts offender stretch p95 "
+      "%.2f -> %.2f — %s\n",
+      advisory.report.advisory_actions, base_p95, adv_p95,
+      advisory_ok ? "ok" : "FAIL");
+
+  // --- (d) trace timeline vs forensics ledger -----------------------------
+  const TraceCheck trace = run_trace_check(smoke);
+  std::printf(
+      "trace: %zu task slices vs %zu ledger attempts, execution %.3f s vs "
+      "%.3f s, %zu flows — %s\n\n",
+      trace.task_slices, trace.ledger_attempts, trace.slice_exec_s,
+      trace.ledger_exec_s, trace.flows, trace.ok ? "ok" : "FAIL");
+
+  write_file("bench_results/telemetry_overhead.csv",
+             summary_csv(s_off, s_on, on, overhead_pct, slo_a, advisory,
+                         trace));
+  write_file("bench_results/telemetry_events.jsonl", slo_a.jsonl);
+  write_file("bench_results/telemetry_prometheus.txt", slo_a.prometheus);
+  write_file("bench_results/telemetry_dashboard.html", slo_a.dashboard);
+  write_file("bench_results/telemetry_timeline.json", trace.timeline);
+  const std::string json =
+      doc_json(s_off, s_on, on, overhead_pct, slo_a, slo_b, advisory, trace,
+               smoke, overhead_ok, inert_ok, deterministic_ok, alerts_ok,
+               advisory_ok)
+          .dump_pretty() +
+      "\n";
+  write_file("bench_results/BENCH_telemetry.json", json);
+  std::cout << "wrote bench_results/telemetry_overhead.csv, "
+               "telemetry_events.jsonl, telemetry_prometheus.txt, "
+               "telemetry_dashboard.html, telemetry_timeline.json, "
+               "BENCH_telemetry.json";
+  if (!smoke) {
+    write_file("BENCH_telemetry.json", json);
+    std::cout << " and ./BENCH_telemetry.json";
+  }
+  std::cout << "\n";
+
+  if (!overhead_ok || !inert_ok || !deterministic_ok || !trace.ok ||
+      !alerts_ok || !advisory_ok)
+    return 1;
+  std::cout << "PASS: overhead, inertness, determinism, trace and SLO "
+               "gates hold\n";
+  return 0;
+}

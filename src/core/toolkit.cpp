@@ -273,6 +273,10 @@ CompositeReport Toolkit::run_impl(const wf::Workflow& workflow,
     state.ckpt_policy = options->checkpoints;
     state.on_checkpoint = options->on_checkpoint;
     if (options->resume_from) state.resume_from = *options->resume_from;
+    if (options->trace.active()) {
+      state.trace = options->trace;
+      state.trace.run = state.id;
+    }
   }
   const SimTime start = state.start;
   // Fresh fabric state per run: caches first (they unwind their catalog
@@ -310,6 +314,7 @@ CompositeReport Toolkit::run_impl(const wf::Workflow& workflow,
     state.workflow_span = obs_.begin_span(start, "workflow", workflow.name());
     obs_.span_attr(state.workflow_span, "tasks",
                    static_cast<std::int64_t>(workflow.task_count()));
+    stamp_trace(state, state.workflow_span);
     if (config_.sample_period > 0) {
       for (auto& env : envs_) {
         const cluster::Cluster* cl = env.cluster.get();
@@ -385,6 +390,10 @@ std::uint64_t Toolkit::start_run(const wf::Workflow& workflow,
   state.ckpt_policy = options.checkpoints;
   state.on_checkpoint = options.on_checkpoint;
   if (options.resume_from) state.resume_from = *options.resume_from;
+  if (options.trace.active()) {
+    state.trace = options.trace;
+    state.trace.run = state.id;
+  }
   if (workflow.empty()) {
     settle_async(state);  // remaining == 0: delivers a success report
     return state.id;
@@ -396,6 +405,7 @@ std::uint64_t Toolkit::start_run(const wf::Workflow& workflow,
         obs_.begin_span(state.start, "workflow", workflow.name());
     obs_.span_attr(state.workflow_span, "tasks",
                    static_cast<std::int64_t>(workflow.task_count()));
+    stamp_trace(state, state.workflow_span);
   }
   launch_frontier(state);
   return state.id;
@@ -784,10 +794,15 @@ void Toolkit::stage_inputs(RunState& state, wf::TaskId task,
 
   const std::string dest = env_location(env_id);
   const std::string& env_name = envs_[env_id].name;
+  const obs::TraceContext trace =
+      state.trace.active()
+          ? state.trace.for_attempt(static_cast<std::int64_t>(task),
+                                    static_cast<int>(state.retries[task]))
+          : obs::TraceContext{};
   for (const auto& [producer, bytes] : cross) {
     const auto id = cws::edge_dataset_id(state.wf_id, producer, bytes);
-    staging_.stage(id, dest, [this, &state, join, led,
-                              env_name](const fabric::StageResult& r) {
+    staging_.stage(id, dest, trace, [this, &state, join, led,
+                                     env_name](const fabric::StageResult& r) {
       if (!r.ok) {
         join->failed = true;
         if (join->error.empty()) join->error = r.error;
@@ -812,6 +827,19 @@ void Toolkit::stage_inputs(RunState& state, wf::TaskId task,
       if (--join->pending == 0) join->done(!join->failed, join->error);
     });
   }
+}
+
+void Toolkit::stamp_trace(const RunState& state, obs::SpanId span,
+                          std::int64_t task, int attempt, bool hedge) {
+  if (!state.trace.active() || span == obs::kNoSpan) return;
+  if (state.trace.submission != obs::kNoTraceId)
+    obs_.span_attr(span, "sub",
+                   static_cast<std::int64_t>(state.trace.submission));
+  obs_.span_attr(span, "run", static_cast<std::int64_t>(state.trace.run));
+  if (task >= 0) obs_.span_attr(span, "task", task);
+  if (attempt >= 0)
+    obs_.span_attr(span, "attempt", static_cast<std::int64_t>(attempt));
+  if (hedge) obs_.span_attr(span, "hedge", true);
 }
 
 void Toolkit::submit_task(RunState& state, wf::TaskId task) {
@@ -1164,6 +1192,8 @@ void Toolkit::on_attempt_complete(RunState& state, wf::TaskId task,
                           state.workflow_span);
       obs_.span_attr(span, "kind", rec.request.kind);
       obs_.span_attr(span, "env", env.name);
+      stamp_trace(state, span, static_cast<std::int64_t>(task),
+                  static_cast<int>(state.retries[task]), hedge);
       obs_.end_span(rec.finish_time, span);
       obs_.count(sim_.now(), attempt_failed ? "toolkit.tasks_failed"
                                             : "toolkit.tasks_completed");

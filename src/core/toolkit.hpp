@@ -25,6 +25,7 @@
 #include "obs/forensics/anomaly.hpp"
 #include "obs/forensics/ledger.hpp"
 #include "obs/observer.hpp"
+#include "obs/telemetry/trace_context.hpp"
 #include "resilience/chaos.hpp"
 #include "resilience/durable/checkpoint.hpp"
 #include "resilience/hedging.hpp"
@@ -173,6 +174,12 @@ struct RunOptions {
   /// workflow before the run starts; copied, so the pointee need not
   /// outlive the call.
   const resilience::RunCheckpoint* resume_from = nullptr;
+  /// Telemetry-plane correlation (DESIGN.md §16). When active, the run id
+  /// is filled in at launch and workflow/task/transfer spans carry the ids
+  /// as attributes ("sub"/"run"/"task"/"attempt"), so one submission's
+  /// cross-layer timeline can be extracted. Inactive (the default) stamps
+  /// nothing: untraced runs stay byte-identical.
+  obs::TraceContext trace;
 };
 
 /// The facade. One instance per experiment; not thread-safe (clone per
@@ -314,6 +321,11 @@ class Toolkit {
   /// Runs begun with start_run() whose report has not yet been delivered.
   std::size_t active_run_count() const noexcept;
 
+  /// The run id the NEXT run (run()/start_run()) will be assigned. Lets a
+  /// caller journal the submission -> run binding write-ahead (the service
+  /// WAL) before start_run() fires any event.
+  std::uint64_t next_run_id() const noexcept { return next_run_id_; }
+
   /// A broker-ready descriptor of one environment: capacity and speed from
   /// the cluster spec (per-node figures are the max across node classes, so
   /// capability matching answers "can any node host this"), fabric location
@@ -435,6 +447,9 @@ class Toolkit {
     std::string error;
     CompositeReport report;
     obs::SpanId workflow_span = obs::kNoSpan;
+    /// Trace-context for this run (inactive unless RunOptions carried one);
+    /// run id filled at launch. Attempt stamping is gated on active().
+    obs::TraceContext trace;
     /// Per-environment execution accounting for THIS run (indexed by
     /// EnvironmentId) — concurrent runs' reports stay independent.
     std::vector<std::size_t> env_tasks_run;
@@ -553,6 +568,13 @@ class Toolkit {
   std::size_t retry_budget(const RunState& state,
                            resilience::FailureClass cls) const;
   void install_chaos_hooks();
+
+  /// Stamps the run's trace-context ids onto a span ("sub"/"run", plus
+  /// "task"/"attempt"/"hedge" for attempt-level spans when provided).
+  /// No-op when the run carries no context — untraced runs stamp nothing.
+  void stamp_trace(const RunState& state, obs::SpanId span,
+                   std::int64_t task = -1, int attempt = -1,
+                   bool hedge = false);
 
   void finish_run_observation(RunState& state);
 

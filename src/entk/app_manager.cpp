@@ -50,13 +50,12 @@ void AppManager::start() {
     app_span_ = obs_->begin_span(sim_.now(), "app", "appmanager");
     obs_->span_attr(app_span_, "pipelines",
                     static_cast<std::int64_t>(pipelines_.size()));
-    obs::Registry& m = obs_->metrics();
-    ctr_scheduled_ = &m.counter("entk.tasks_scheduled");
-    ctr_launched_ = &m.counter("entk.tasks_launched");
-    ctr_completed_ = &m.counter("entk.tasks_completed");
-    ctr_failed_ = &m.counter("entk.task_failures");
-    g_sched_depth_ = &m.gauge("entk.launch_queue_depth");
-    g_executing_ = &m.gauge("entk.executing_tasks");
+    ctr_scheduled_ = obs_->counter_ref("entk.tasks_scheduled");
+    ctr_launched_ = obs_->counter_ref("entk.tasks_launched");
+    ctr_completed_ = obs_->counter_ref("entk.tasks_completed");
+    ctr_failed_ = obs_->counter_ref("entk.task_failures");
+    g_sched_depth_ = obs_->gauge_ref("entk.launch_queue_depth");
+    g_executing_ = obs_->gauge_ref("entk.executing_tasks");
     if (config_.sample_period > 0) {
       obs_->sample(sim_, kOccupancySampler, config_.sample_period, [this] {
         const double total = pilot_.total_cores();
@@ -132,8 +131,9 @@ void AppManager::pump_scheduler() {
     scheduled_level_.change(sim_.now(), 1.0);
     if (ctr_scheduled_ && obs_->on()) {
       // Fig 5's scheduling curve: cumulative tasks entering the launch queue.
-      ctr_scheduled_->add(sim_.now());
-      g_sched_depth_->set(sim_.now(), static_cast<double>(scheduled_.size()));
+      obs_->count(sim_.now(), ctr_scheduled_);
+      obs_->gauge_set(sim_.now(), g_sched_depth_,
+                      static_cast<double>(scheduled_.size()));
     }
     obs_->instant(sim_.now(), "task", rec.name, "scheduled",
                   stage_spans_[rec.pipeline]);
@@ -165,7 +165,8 @@ void AppManager::pump_launcher() {
   scheduled_.erase(scheduled_.begin() + static_cast<std::ptrdiff_t>(pick));
   scheduled_level_.change(sim_.now(), -1.0);
   if (g_sched_depth_ && obs_->on())
-    g_sched_depth_->set(sim_.now(), static_cast<double>(scheduled_.size()));
+    obs_->gauge_set(sim_.now(), g_sched_depth_,
+                    static_cast<double>(scheduled_.size()));
   pilot_.claim(*alloc);
 
   launcher_busy_ = true;
@@ -199,8 +200,8 @@ void AppManager::pump_launcher() {
     if (obs_->on()) {
       if (ctr_launched_) {
         // Fig 5's launching curve: cumulative tasks placed and exec'd.
-        ctr_launched_->add(sim_.now());
-        g_executing_->set(sim_.now(), executing_level_.level());
+        obs_->count(sim_.now(), ctr_launched_);
+        obs_->gauge_set(sim_.now(), g_executing_, executing_level_.level());
       }
       live.span = obs_->begin_span(sim_.now(), "task", rec.name,
                                    stage_spans_[rec.pipeline]);
@@ -239,7 +240,8 @@ void AppManager::on_task_end(std::size_t record_index, bool failed) {
   pilot_.release(live.allocation);
   last_exec_end_ = sim_.now();
   if (obs_->on()) {
-    if (g_executing_) g_executing_->set(sim_.now(), executing_level_.level());
+    if (g_executing_)
+      obs_->gauge_set(sim_.now(), g_executing_, executing_level_.level());
     obs_->span_attr(live.span, "failed", failed);
     obs_->end_span(sim_.now(), live.span);
   }
@@ -247,7 +249,7 @@ void AppManager::on_task_end(std::size_t record_index, bool failed) {
   if (failed) {
     ++failures_;
     rec.state = TaskState::Failed;
-    if (ctr_failed_ && obs_->on()) ctr_failed_->add(sim_.now());
+    if (ctr_failed_ && obs_->on()) obs_->count(sim_.now(), ctr_failed_);
     obs_->instant(sim_.now(), "task", rec.name, "failed", live.span);
     if (desc.terminal_failure) {
       // Paper §4.3: two last-step failures were accepted as good enough for
@@ -275,7 +277,7 @@ void AppManager::on_task_end(std::size_t record_index, bool failed) {
     rec.state = TaskState::Done;
     ++completed_;
     task_runtimes_.add(rec.end_time - rec.start_time);
-    if (ctr_completed_ && obs_->on()) ctr_completed_->add(sim_.now());
+    if (ctr_completed_ && obs_->on()) obs_->count(sim_.now(), ctr_completed_);
     obs_->instant(sim_.now(), "task", rec.name, "done", live.span);
     if (--stage_remaining_[rec.pipeline] == 0) stage_completed(rec.pipeline);
   }

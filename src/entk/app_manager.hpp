@@ -219,12 +219,14 @@ class AppManager {
   std::vector<obs::SpanId> stage_spans_;     ///< Current stage span, per pipeline.
   // Hot-path metric handles, resolved once at start() (registry lookups are
   // keyed by string; the launcher fires thousands of times per run).
-  obs::Counter* ctr_scheduled_ = nullptr;
-  obs::Counter* ctr_launched_ = nullptr;
-  obs::Counter* ctr_completed_ = nullptr;
-  obs::Counter* ctr_failed_ = nullptr;
-  obs::Gauge* g_sched_depth_ = nullptr;
-  obs::Gauge* g_executing_ = nullptr;
+  // Recording goes through the Observer's handle overloads so an attached
+  // metric tap (the telemetry plane) sees every record.
+  obs::CounterRef ctr_scheduled_;
+  obs::CounterRef ctr_launched_;
+  obs::CounterRef ctr_completed_;
+  obs::CounterRef ctr_failed_;
+  obs::GaugeRef g_sched_depth_;
+  obs::GaugeRef g_executing_;
   mutable sim::Trace trace_cache_;
   mutable std::uint64_t trace_cache_version_ = static_cast<std::uint64_t>(-1);
 };

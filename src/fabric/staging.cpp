@@ -64,6 +64,12 @@ void TransferScheduler::finish_local(const DatasetId& id, const std::string& des
 
 void TransferScheduler::stage(const DatasetId& id, const std::string& dest,
                               std::function<void(const StageResult&)> done) {
+  stage(id, dest, obs::TraceContext{}, std::move(done));
+}
+
+void TransferScheduler::stage(const DatasetId& id, const std::string& dest,
+                              const obs::TraceContext& trace,
+                              std::function<void(const StageResult&)> done) {
   HHC_PROF_SCOPE("fabric.stage");
   HHC_PROF_COUNT("fabric.stage_requests", 1);
   ++requests_;
@@ -129,6 +135,13 @@ void TransferScheduler::stage(const DatasetId& id, const std::string& dest,
     obs_->span_attr(span, "bytes", static_cast<double>(size));
     obs_->span_attr(span, "from", best_source);
     obs_->span_attr(span, "source", to_string(source_kind));
+    if (trace.active()) {
+      if (trace.submission != obs::kNoTraceId)
+        obs_->span_attr(span, "sub",
+                        static_cast<std::int64_t>(trace.submission));
+      obs_->span_attr(span, "run", static_cast<std::int64_t>(trace.run));
+      if (trace.task >= 0) obs_->span_attr(span, "task", trace.task);
+    }
     obs_->count(sim_.now(), "fabric.transfers", to_string(source_kind));
   }
 

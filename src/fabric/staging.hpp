@@ -26,6 +26,7 @@
 #include "fabric/cache.hpp"
 #include "fabric/catalog.hpp"
 #include "fabric/topology.hpp"
+#include "obs/telemetry/trace_context.hpp"
 #include "sim/simulation.hpp"
 
 namespace hhc::fabric {
@@ -82,6 +83,16 @@ class TransferScheduler {
   /// candidate link partitioned — `done` fires with `ok = false` so the
   /// caller can fail the task, reroute or retry rather than unwind the run.
   void stage(const DatasetId& id, const std::string& dest,
+             std::function<void(const StageResult&)> done);
+
+  /// Trace-carrying overload (telemetry plane): when `trace` is active and
+  /// this request initiates a real transfer, the transfer span is stamped
+  /// with the correlation ids ("sub"/"run"/"task"), so the flight shows up
+  /// in the submission's cross-layer timeline. Coalesced joiners ride the
+  /// initiator's span, as ever. Inactive contexts behave exactly like the
+  /// plain overload.
+  void stage(const DatasetId& id, const std::string& dest,
+             const obs::TraceContext& trace,
              std::function<void(const StageResult&)> done);
 
   /// Aborts every transfer currently in flight (chaos: WAN connection

@@ -1,0 +1,35 @@
+#include "obs/alerts.hpp"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+namespace hhc::obs {
+
+std::vector<Alert> sorted_alerts(const AlertLog& log) {
+  std::vector<Alert> out = log.alerts();
+  std::stable_sort(out.begin(), out.end(), [](const Alert& a, const Alert& b) {
+    return std::tie(a.time, a.detector, a.series, a.subject, a.message) <
+           std::tie(b.time, b.detector, b.series, b.subject, b.message);
+  });
+  return out;
+}
+
+std::vector<Alert> export_alerts(const AlertLog& log, SimTime dedup_window) {
+  std::vector<Alert> sorted = sorted_alerts(log);
+  if (dedup_window <= 0.0) return sorted;
+  std::vector<Alert> out;
+  out.reserve(sorted.size());
+  // Last kept firing time per (detector, series, subject) identity.
+  std::map<std::tuple<std::string, std::string, std::string>, SimTime> kept;
+  for (Alert& a : sorted) {
+    const auto key = std::make_tuple(a.detector, a.series, a.subject);
+    auto it = kept.find(key);
+    if (it != kept.end() && a.time - it->second < dedup_window) continue;
+    kept[key] = a.time;
+    out.push_back(std::move(a));
+  }
+  return out;
+}
+
+}  // namespace hhc::obs

@@ -62,4 +62,15 @@ class AlertLog {
   std::vector<Alert> alerts_;
 };
 
+/// Deterministic export order. Alerts raised within the same sim tick land
+/// in the log in firing order, which depends on detector registration
+/// order; exports instead sort by (time, detector/source, series/kind,
+/// subject, message) so two same-seed runs serialize identically.
+std::vector<Alert> sorted_alerts(const AlertLog& log);
+
+/// sorted_alerts() plus dedup: an alert identical to an already-kept one in
+/// (detector, series, subject) fired less than `dedup_window` sim-seconds
+/// after it is dropped as a repeat. `dedup_window <= 0` keeps everything.
+std::vector<Alert> export_alerts(const AlertLog& log, SimTime dedup_window);
+
 }  // namespace hhc::obs

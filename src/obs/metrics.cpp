@@ -188,6 +188,27 @@ LogHistogram& Registry::histogram(const std::string& name, const std::string& la
   return *slot;
 }
 
+CounterRef Registry::counter_ref(const std::string& name,
+                                 const std::string& label) {
+  auto it = counters_.try_emplace({name, label}).first;
+  if (!it->second) it->second = std::make_unique<Counter>();
+  return {it->second.get(), &it->first.first, &it->first.second};
+}
+
+GaugeRef Registry::gauge_ref(const std::string& name,
+                             const std::string& label) {
+  auto it = gauges_.try_emplace({name, label}).first;
+  if (!it->second) it->second = std::make_unique<Gauge>();
+  return {it->second.get(), &it->first.first, &it->first.second};
+}
+
+HistogramRef Registry::histogram_ref(const std::string& name,
+                                     const std::string& label) {
+  auto it = histograms_.try_emplace({name, label}).first;
+  if (!it->second) it->second = std::make_unique<LogHistogram>();
+  return {it->second.get(), &it->first.first, &it->first.second};
+}
+
 const Counter* Registry::find_counter(const std::string& name,
                                       const std::string& label) const {
   auto it = counters_.find({name, label});

@@ -102,6 +102,23 @@ class LogHistogram {
   double max_ = 0.0;
 };
 
+/// Pre-resolved handle to one Registry entry: the metric plus the
+/// registry-owned key strings. Node-based storage keeps all three pointers
+/// valid for the registry's lifetime, so hot paths resolve once and record
+/// through the handle — via the Observer overloads, which keep the metric
+/// tap in the loop (a cached raw Counter* incremented directly is
+/// invisible to the telemetry plane).
+template <typename Metric>
+struct MetricRef {
+  Metric* metric = nullptr;
+  const std::string* name = nullptr;
+  const std::string* label = nullptr;
+  explicit operator bool() const noexcept { return metric != nullptr; }
+};
+using CounterRef = MetricRef<Counter>;
+using GaugeRef = MetricRef<Gauge>;
+using HistogramRef = MetricRef<LogHistogram>;
+
 /// One metric in a snapshot: family name + optional label (family member).
 struct MetricEntry {
   std::string name;
@@ -148,6 +165,13 @@ class Registry {
   LogHistogram& histogram(const std::string& name, const std::string& label = {},
                           double lo = 1e-3, double hi = 1e6,
                           std::size_t per_decade = 4);
+
+  /// Accessor-plus-key-strings variants for cached hot-path handles.
+  CounterRef counter_ref(const std::string& name,
+                         const std::string& label = {});
+  GaugeRef gauge_ref(const std::string& name, const std::string& label = {});
+  HistogramRef histogram_ref(const std::string& name,
+                             const std::string& label = {});
 
   const Counter* find_counter(const std::string& name,
                               const std::string& label = {}) const;

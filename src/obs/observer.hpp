@@ -19,6 +19,30 @@ class Simulation;
 
 namespace hhc::obs {
 
+/// Streaming subscriber to an Observer's metric/instant records (the
+/// telemetry plane's TelemetryHub implements this). Unset by default: the
+/// tap adds one null-pointer check per instrumentation site, and behaviour
+/// with no tap attached is byte-identical to builds before taps existed.
+///
+/// `id` is the address of the Registry object the record just updated
+/// (Counter/Gauge/LogHistogram). The Registry keeps node-based storage, so
+/// the address is a stable, unique identity for the (family, name, label)
+/// series for the registry's lifetime — taps can key O(1) caches on it
+/// instead of re-hashing the strings on every record.
+struct MetricTap {
+  virtual ~MetricTap() = default;
+  virtual void on_count(SimTime t, const void* id, const std::string& name,
+                        const std::string& label, double delta) = 0;
+  virtual void on_gauge(SimTime t, const void* id, const std::string& name,
+                        const std::string& label, double value) = 0;
+  /// Histogram-style observation; carries no time (mirrors observe()).
+  virtual void on_value(const void* id, const std::string& name,
+                        const std::string& label, double value) = 0;
+  virtual void on_instant(SimTime t, const std::string& category,
+                          const std::string& subject,
+                          const std::string& state) = 0;
+};
+
 class Observer {
  public:
   Observer() = default;
@@ -28,6 +52,11 @@ class Observer {
   /// The master switch. Disabling stops new recordings; existing data stays.
   bool on() const noexcept { return enabled_; }
   void set_enabled(bool enabled) noexcept { enabled_ = enabled; }
+
+  /// Streaming tap (telemetry plane). Null by default; the observer does
+  /// not own it. The tap only sees records made while the observer is on.
+  void set_tap(MetricTap* tap) noexcept { tap_ = tap; }
+  MetricTap* tap() const noexcept { return tap_; }
 
   Registry& metrics() noexcept { return metrics_; }
   const Registry& metrics() const noexcept { return metrics_; }
@@ -42,21 +71,64 @@ class Observer {
              double delta = 1.0) {
     if (enabled_) {
       HHC_PROF_COUNT("obs.metric_records", 1);
-      metrics_.counter(name, label).add(t, delta);
+      Counter& c = metrics_.counter(name, label);
+      c.add(t, delta);
+      if (tap_) tap_->on_count(t, &c, name, label, delta);
     }
   }
   void gauge_set(SimTime t, const std::string& name, double value,
                  const std::string& label = {}) {
     if (enabled_) {
       HHC_PROF_COUNT("obs.metric_records", 1);
-      metrics_.gauge(name, label).set(t, value);
+      Gauge& g = metrics_.gauge(name, label);
+      g.set(t, value);
+      if (tap_) tap_->on_gauge(t, &g, name, label, value);
     }
   }
   void observe(const std::string& name, double value,
                const std::string& label = {}) {
     if (enabled_) {
       HHC_PROF_COUNT("obs.metric_records", 1);
-      metrics_.histogram(name, label).observe(value);
+      LogHistogram& h = metrics_.histogram(name, label);
+      h.observe(value);
+      if (tap_) tap_->on_value(&h, name, label, value);
+    }
+  }
+
+  // --- pre-resolved handle variants (cached hot paths) ---
+  // Resolve once with *_ref(), record through the handle thereafter; the
+  // tap still sees every record, which a cached raw Counter* would bypass.
+
+  CounterRef counter_ref(const std::string& name,
+                         const std::string& label = {}) {
+    return metrics_.counter_ref(name, label);
+  }
+  GaugeRef gauge_ref(const std::string& name, const std::string& label = {}) {
+    return metrics_.gauge_ref(name, label);
+  }
+  HistogramRef histogram_ref(const std::string& name,
+                             const std::string& label = {}) {
+    return metrics_.histogram_ref(name, label);
+  }
+  void count(SimTime t, const CounterRef& c, double delta = 1.0) {
+    if (enabled_) {
+      HHC_PROF_COUNT("obs.metric_records", 1);
+      c.metric->add(t, delta);
+      if (tap_) tap_->on_count(t, c.metric, *c.name, *c.label, delta);
+    }
+  }
+  void gauge_set(SimTime t, const GaugeRef& g, double value) {
+    if (enabled_) {
+      HHC_PROF_COUNT("obs.metric_records", 1);
+      g.metric->set(t, value);
+      if (tap_) tap_->on_gauge(t, g.metric, *g.name, *g.label, value);
+    }
+  }
+  void observe(const HistogramRef& h, double value) {
+    if (enabled_) {
+      HHC_PROF_COUNT("obs.metric_records", 1);
+      h.metric->observe(value);
+      if (tap_) tap_->on_value(h.metric, *h.name, *h.label, value);
     }
   }
   SpanId begin_span(SimTime t, std::string category, std::string name,
@@ -74,9 +146,11 @@ class Observer {
   }
   void instant(SimTime t, std::string category, std::string subject,
                std::string state, SpanId parent = kNoSpan) {
-    if (enabled_)
+    if (enabled_) {
+      if (tap_) tap_->on_instant(t, category, subject, state);
       spans_.instant(t, std::move(category), std::move(subject),
                      std::move(state), parent);
+    }
   }
   /// Starts a sampler when enabled; returns whether it was started.
   bool sample(sim::Simulation& sim, std::string name, SimTime period,
@@ -91,6 +165,7 @@ class Observer {
 
  private:
   bool enabled_ = true;
+  MetricTap* tap_ = nullptr;
   Registry metrics_;
   SpanTracker spans_;
   SamplerSet samplers_;

@@ -1,0 +1,533 @@
+#include "obs/telemetry/export.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "obs/alerts.hpp"
+#include "support/json.hpp"
+#include "support/strings.hpp"
+
+namespace hhc::obs::telemetry {
+
+namespace {
+
+/// Prometheus metric-name charset: [a-zA-Z_:][a-zA-Z0-9_:]*.
+std::string prom_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 4);
+  out += "hhc_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+/// Prometheus label-value escaping: backslash, double-quote, newline.
+std::string prom_label(std::string_view v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string prom_num(double v) {
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string prometheus_text(const MetricsSnapshot& snapshot,
+                            const TimeSeriesStore* store) {
+  std::ostringstream out;
+  auto labels = [&](std::initializer_list<std::pair<const char*, std::string>>
+                        kv) -> std::string {
+    std::string s;
+    for (const auto& [k, v] : kv) {
+      if (v.empty()) continue;
+      s += s.empty() ? "{" : ",";
+      s += std::string(k) + "=\"" + prom_label(v) + "\"";
+    }
+    if (!s.empty()) s += "}";
+    return s;
+  };
+
+  std::string last_family;
+  for (const auto& c : snapshot.counters) {
+    const std::string family = prom_name(c.name) + "_total";
+    if (family != last_family) {
+      out << "# TYPE " << family << " counter\n";
+      last_family = family;
+    }
+    out << family << labels({{"label", c.label}}) << ' ' << prom_num(c.value)
+        << '\n';
+  }
+  last_family.clear();
+  for (const auto& g : snapshot.gauges) {
+    const std::string family = prom_name(g.name);
+    if (family != last_family) {
+      out << "# TYPE " << family << " gauge\n";
+      last_family = family;
+    }
+    out << family << labels({{"label", g.label}}) << ' ' << prom_num(g.value)
+        << '\n';
+  }
+  last_family.clear();
+  for (const auto& h : snapshot.histograms) {
+    const std::string family = prom_name(h.name);
+    if (family != last_family) {
+      out << "# TYPE " << family << " summary\n";
+      last_family = family;
+    }
+    const std::pair<const char*, double> quantiles[] = {
+        {"0.5", h.p50}, {"0.95", h.p95}, {"0.99", h.p99}};
+    for (const auto& [q, v] : quantiles)
+      out << family << labels({{"label", h.label}, {"quantile", q}}) << ' '
+          << prom_num(v) << '\n';
+    out << family << "_sum" << labels({{"label", h.label}}) << ' '
+        << prom_num(h.sum) << '\n';
+    out << family << "_count" << labels({{"label", h.label}}) << ' '
+        << prom_num(static_cast<double>(h.total)) << '\n';
+  }
+
+  if (store && store->size()) {
+    out << "# TYPE hhc_window gauge\n";
+    for (const auto& [key, series] : store->all()) {
+      const Window* w = series.latest();
+      if (!w) continue;
+      const std::string name = std::get<1>(key);
+      const std::string label = std::get<2>(key);
+      const char* kind = to_string(series.kind());
+      auto emit = [&](const char* stat, double v) {
+        out << "hhc_window"
+            << labels({{"name", name},
+                       {"label", label},
+                       {"kind", kind},
+                       {"stat", stat}})
+            << ' ' << prom_num(v) << '\n';
+      };
+      emit("count", static_cast<double>(w->count));
+      emit("sum", w->sum);
+      emit("last", w->last);
+      if (series.kind() == SeriesKind::Counter) emit("rate", series.rate(*w));
+      if (w->hist) {
+        emit("p50", w->hist->quantile(0.5));
+        emit("p95", w->hist->quantile(0.95));
+      }
+    }
+  }
+  return out.str();
+}
+
+std::string jsonl_events(const TelemetryHub& hub, SimTime alert_dedup_window) {
+  std::string out;
+  auto line = [&](Json obj) {
+    out += obj.dump();
+    out += '\n';
+  };
+
+  {
+    Json meta = Json::object();
+    meta.set("kind", "meta");
+    meta.set("window_width", hub.store().spec().width);
+    meta.set("retention", static_cast<double>(hub.store().spec().retention));
+    meta.set("records", static_cast<double>(hub.records()));
+    meta.set("series", static_cast<double>(hub.store().size()));
+    meta.set("events_dropped", static_cast<double>(hub.events_dropped()));
+    meta.set("window_records_dropped",
+             static_cast<double>(hub.store().dropped()));
+    line(std::move(meta));
+  }
+
+  for (const HubEvent& e : hub.events()) {
+    Json o = Json::object();
+    o.set("t", e.time);
+    o.set("kind", e.kind);
+    o.set("name", e.name);
+    if (!e.label.empty()) o.set("label", e.label);
+    o.set("value", e.value);
+    if (!e.detail.empty()) o.set("detail", e.detail);
+    line(std::move(o));
+  }
+
+  for (const auto& [key, series] : hub.store().all()) {
+    for (const Window& w : series.windows()) {
+      Json o = Json::object();
+      o.set("kind", "window");
+      o.set("series_kind", to_string(series.kind()));
+      o.set("name", std::get<1>(key));
+      if (!std::get<2>(key).empty()) o.set("label", std::get<2>(key));
+      o.set("index", static_cast<double>(w.index));
+      o.set("start", static_cast<double>(w.index) * series.spec().width);
+      o.set("count", static_cast<double>(w.count));
+      o.set("sum", w.sum);
+      o.set("min", w.min);
+      o.set("max", w.max);
+      o.set("last", w.last);
+      if (series.kind() == SeriesKind::Counter)
+        o.set("rate", series.rate(w));
+      if (w.hist) {
+        o.set("p50", w.hist->quantile(0.5));
+        o.set("p95", w.hist->quantile(0.95));
+      }
+      line(std::move(o));
+    }
+  }
+
+  for (const Alert& a : export_alerts(hub.alerts(), alert_dedup_window)) {
+    Json o = Json::object();
+    o.set("kind", "alert");
+    o.set("t", a.time);
+    o.set("detector", a.detector);
+    o.set("series", a.series);
+    o.set("subject", a.subject);
+    o.set("value", a.value);
+    o.set("baseline", a.baseline);
+    o.set("score", a.score);
+    o.set("message", a.message);
+    line(std::move(o));
+  }
+  return out;
+}
+
+std::string html_dashboard(const TelemetryHub& hub,
+                           const MetricsSnapshot& snapshot,
+                           const std::string& title) {
+  std::ostringstream out;
+  auto esc = [](std::string_view s) {
+    std::string r;
+    for (char c : s) {
+      switch (c) {
+        case '&': r += "&amp;"; break;
+        case '<': r += "&lt;"; break;
+        case '>': r += "&gt;"; break;
+        case '"': r += "&quot;"; break;
+        default: r += c;
+      }
+    }
+    return r;
+  };
+
+  out << "<!doctype html>\n<html><head><meta charset=\"utf-8\">\n<title>"
+      << esc(title) << "</title>\n<style>\n"
+      << "body{font:14px/1.4 system-ui,sans-serif;margin:24px;"
+         "background:#fafafa;color:#222}\n"
+      << "h1{font-size:20px} h2{font-size:16px;margin-top:28px}\n"
+      << "table{border-collapse:collapse;background:#fff}\n"
+      << "td,th{border:1px solid #ddd;padding:3px 8px;text-align:right}\n"
+      << "td:first-child,th:first-child,td.l{text-align:left}\n"
+      << "svg{background:#fff;border:1px solid #ddd;vertical-align:middle}\n"
+      << ".alert{color:#b00020}\n"
+      << "</style></head><body>\n<h1>" << esc(title) << "</h1>\n";
+
+  // --- windowed series with sparklines ----------------------------------
+  out << "<h2>Windowed series (width " << fmt_duration(hub.store().spec().width)
+      << ")</h2>\n<table>\n<tr><th>series</th><th>label</th><th>kind</th>"
+         "<th>windows</th><th>total</th><th>latest</th><th>sparkline</th>"
+         "</tr>\n";
+  for (const auto& [key, series] : hub.store().all()) {
+    const auto& windows = series.windows();
+    if (windows.empty()) continue;
+    // Sparkline over per-window reduction: rate for counters, mean else.
+    std::vector<double> ys;
+    ys.reserve(windows.size());
+    for (const Window& w : windows)
+      ys.push_back(series.kind() == SeriesKind::Counter ? series.rate(w)
+                                                        : w.mean());
+    double lo = ys[0], hi = ys[0];
+    for (double y : ys) {
+      lo = std::min(lo, y);
+      hi = std::max(hi, y);
+    }
+    const double span = hi - lo > 1e-12 ? hi - lo : 1.0;
+    const int W = 160, H = 28;
+    std::ostringstream pts;
+    for (std::size_t i = 0; i < ys.size(); ++i) {
+      const double x =
+          ys.size() > 1 ? double(i) / double(ys.size() - 1) * (W - 4) + 2
+                        : W / 2.0;
+      const double y = (H - 4) - (ys[i] - lo) / span * (H - 8) + 2;
+      if (i) pts << ' ';
+      pts << fmt_fixed(x, 1) << ',' << fmt_fixed(y, 1);
+    }
+    const Window& last = windows.back();
+    out << "<tr><td class=\"l\">" << esc(std::get<1>(key)) << "</td><td "
+        << "class=\"l\">" << esc(std::get<2>(key)) << "</td><td class=\"l\">"
+        << to_string(series.kind()) << "</td><td>" << windows.size()
+        << "</td><td>" << fmt_fixed(series.total_sum(), 2) << "</td><td>"
+        << fmt_fixed(series.kind() == SeriesKind::Counter ? series.rate(last)
+                                                          : last.mean(),
+                     3)
+        << "</td><td><svg width=\"" << W << "\" height=\"" << H
+        << "\"><polyline fill=\"none\" stroke=\"#3367d6\" stroke-width=\"1.5\" "
+           "points=\""
+        << pts.str() << "\"/></svg></td></tr>\n";
+  }
+  out << "</table>\n";
+
+  // --- SLO burn rates ----------------------------------------------------
+  const std::vector<BurnSnapshot> burns = hub.slo().burns(hub.sim().now());
+  if (!burns.empty()) {
+    out << "<h2>SLO burn rates</h2>\n<table>\n<tr><th>tenant</th>"
+           "<th>objective</th><th>fast burn</th><th>slow burn</th>"
+           "<th>window obs</th><th>alerts</th></tr>\n";
+    for (const BurnSnapshot& b : burns)
+      out << "<tr><td class=\"l\">" << esc(b.tenant) << "</td><td class=\"l\">"
+          << esc(b.series) << "</td><td>" << fmt_fixed(b.fast_burn, 2)
+          << "x</td><td>" << fmt_fixed(b.slow_burn, 2) << "x</td><td>"
+          << b.observations << "</td><td" << (b.alerts ? " class=\"alert\"" : "")
+          << ">" << b.alerts << "</td></tr>\n";
+    out << "</table>\n";
+  }
+
+  // --- alerts -------------------------------------------------------------
+  const std::vector<Alert> alerts = sorted_alerts(hub.alerts());
+  out << "<h2>Alerts (" << alerts.size() << ")</h2>\n";
+  if (!alerts.empty()) {
+    out << "<table>\n<tr><th>time</th><th>detector</th><th>series</th>"
+           "<th>subject</th><th>message</th></tr>\n";
+    for (const Alert& a : alerts)
+      out << "<tr><td>" << fmt_duration(a.time) << "</td><td class=\"l\">"
+          << esc(a.detector) << "</td><td class=\"l\">" << esc(a.series)
+          << "</td><td class=\"l\">" << esc(a.subject)
+          << "</td><td class=\"l alert\">" << esc(a.message) << "</td></tr>\n";
+    out << "</table>\n";
+  }
+
+  // --- registry totals ----------------------------------------------------
+  out << "<h2>Registry totals</h2>\n<table>\n<tr><th>metric</th><th>label</th>"
+         "<th>value</th></tr>\n";
+  for (const auto& c : snapshot.counters)
+    out << "<tr><td class=\"l\">" << esc(c.name) << "</td><td class=\"l\">"
+        << esc(c.label) << "</td><td>" << fmt_fixed(c.value, 0)
+        << "</td></tr>\n";
+  for (const auto& g : snapshot.gauges)
+    out << "<tr><td class=\"l\">" << esc(g.name) << "</td><td class=\"l\">"
+        << esc(g.label) << "</td><td>" << fmt_fixed(g.value, 2)
+        << "</td></tr>\n";
+  out << "</table>\n</body></html>\n";
+  return out.str();
+}
+
+namespace {
+
+const AttrValue* span_attr(const Span& s, const char* key) {
+  for (const auto& [k, v] : s.attrs)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+bool attr_matches(const Span& s, const char* key, std::int64_t want) {
+  const AttrValue* v = span_attr(s, key);
+  if (!v) return false;
+  if (const auto* i = std::get_if<std::int64_t>(v)) return *i == want;
+  if (const auto* d = std::get_if<double>(v))
+    return static_cast<std::int64_t>(*d) == want;
+  return false;
+}
+
+Json attr_json(const AttrValue& v) {
+  if (const auto* s = std::get_if<std::string>(&v)) return Json(*s);
+  if (const auto* d = std::get_if<double>(&v)) return Json(*d);
+  if (const auto* i = std::get_if<std::int64_t>(&v)) return Json(*i);
+  return Json(std::get<bool>(v));
+}
+
+}  // namespace
+
+std::string submission_timeline_json(const SpanTracker& tracker,
+                                     TraceId submission) {
+  constexpr double kUs = 1e6;
+  const auto want = static_cast<std::int64_t>(submission);
+
+  // Every span stamped with this submission id, grouped by category. The
+  // category order fixes the track order: the operator reads top-down
+  // service -> workflow -> task -> transfer, then anything else.
+  std::vector<const Span*> picked;
+  SimTime t_max = 0.0;
+  for (const Span& s : tracker.spans()) {
+    if (!attr_matches(s, "sub", want)) continue;
+    picked.push_back(&s);
+    t_max = std::max(t_max, s.open() ? s.start : s.end);
+  }
+  auto category_rank = [](const std::string& c) {
+    if (c == "service") return 0;
+    if (c == "workflow") return 1;
+    if (c == "task") return 2;
+    if (c == "transfer") return 3;
+    return 4;
+  };
+  std::map<std::pair<int, std::string>, std::vector<const Span*>> by_category;
+  for (const Span* s : picked)
+    by_category[{category_rank(s->category), s->category}].push_back(s);
+
+  JsonArray events;
+  {
+    JsonObject meta;
+    meta["name"] = Json("process_name");
+    meta["ph"] = Json("M");
+    meta["pid"] = Json(1);
+    JsonObject args;
+    args["name"] = Json("submission " + std::to_string(submission));
+    meta["args"] = Json(std::move(args));
+    events.push_back(Json(std::move(meta)));
+  }
+  auto add_thread_meta = [&](int tid, const std::string& name) {
+    JsonObject meta;
+    meta["name"] = Json("thread_name");
+    meta["ph"] = Json("M");
+    meta["pid"] = Json(1);
+    meta["tid"] = Json(tid);
+    JsonObject args;
+    args["name"] = Json(name);
+    meta["args"] = Json(std::move(args));
+    events.push_back(Json(std::move(meta)));
+  };
+
+  // Lane-pack per category (Chrome needs non-overlapping X slices per tid),
+  // remembering each span's (tid, ts) so flow events can bind to slices.
+  std::map<SpanId, std::pair<int, double>> slice_of;  // span -> (tid, ts µs)
+  int next_tid = 1;
+  for (auto& [key, spans] : by_category) {
+    std::sort(spans.begin(), spans.end(), [](const Span* a, const Span* b) {
+      if (a->start != b->start) return a->start < b->start;
+      return a->id < b->id;
+    });
+    std::vector<double> lane_end, lane_end_us;
+    std::vector<std::vector<Json>> lane_events;
+    std::vector<std::vector<SpanId>> lane_ids;
+    for (const Span* s : spans) {
+      const double start = s->start;
+      const double end = s->open() ? std::max(t_max, s->start) : s->end;
+      std::size_t lane = lane_end.size();
+      for (std::size_t i = 0; i < lane_end.size(); ++i)
+        if (lane_end[i] <= start) {
+          lane = i;
+          break;
+        }
+      if (lane == lane_end.size()) {
+        lane_end.push_back(0.0);
+        lane_end_us.push_back(0.0);
+        lane_events.emplace_back();
+        lane_ids.emplace_back();
+      }
+      lane_end[lane] = end;
+      const double ts = std::max(start * kUs, lane_end_us[lane]);
+      const double dur = std::max(0.0, end * kUs - ts);
+      lane_end_us[lane] = ts + dur;
+
+      JsonObject ev;
+      ev["name"] = Json(s->name);
+      ev["cat"] = Json(s->category);
+      ev["ph"] = Json("X");
+      ev["ts"] = Json(ts);
+      ev["dur"] = Json(dur);
+      ev["pid"] = Json(1);
+      JsonObject args;
+      args["span_id"] = Json(static_cast<std::int64_t>(s->id));
+      for (const auto& [k, v] : s->attrs) args[k] = attr_json(v);
+      ev["args"] = Json(std::move(args));
+      lane_events[lane].push_back(Json(std::move(ev)));
+      lane_ids[lane].push_back(s->id);
+    }
+    for (std::size_t lane = 0; lane < lane_events.size(); ++lane) {
+      const int tid = next_tid++;
+      add_thread_meta(tid, lane == 0 ? key.second
+                                     : key.second + " #" +
+                                           std::to_string(lane + 1));
+      for (std::size_t i = 0; i < lane_events[lane].size(); ++i) {
+        lane_events[lane][i].set("tid", Json(tid));
+        slice_of[lane_ids[lane][i]] = {
+            tid, lane_events[lane][i].at("ts").as_number()};
+        events.push_back(std::move(lane_events[lane][i]));
+      }
+    }
+  }
+
+  // Flow arrows: parent span -> child span for picked parent/child pairs
+  // (service -> workflow -> task), plus transfer -> task for transfers
+  // stamped with the task they staged for ("task" attr + "run" match).
+  std::int64_t next_flow = 1;
+  auto flow = [&](const Span* from, const Span* to) {
+    auto fit = slice_of.find(from->id);
+    auto tit = slice_of.find(to->id);
+    if (fit == slice_of.end() || tit == slice_of.end()) return;
+    const std::int64_t id = next_flow++;
+    JsonObject s;
+    s["name"] = Json("flow");
+    s["cat"] = Json("flow");
+    s["ph"] = Json("s");
+    s["id"] = Json(id);
+    s["pid"] = Json(1);
+    s["tid"] = Json(fit->second.first);
+    // Bind inside the source slice: at the destination's start when the
+    // source is still running then, else at the source slice start.
+    const double dst_ts = tit->second.second;
+    s["ts"] = Json(std::max(fit->second.second, dst_ts));
+    events.push_back(Json(std::move(s)));
+    JsonObject f;
+    f["name"] = Json("flow");
+    f["cat"] = Json("flow");
+    f["ph"] = Json("f");
+    f["bp"] = Json("e");
+    f["id"] = Json(id);
+    f["pid"] = Json(1);
+    f["tid"] = Json(tit->second.first);
+    f["ts"] = Json(dst_ts);
+    events.push_back(Json(std::move(f)));
+  };
+  std::map<SpanId, const Span*> picked_by_id;
+  const Span* service_span = nullptr;
+  for (const Span* s : picked) {
+    picked_by_id[s->id] = s;
+    if (!service_span && s->category == "service") service_span = s;
+  }
+  for (const Span* s : picked) {
+    if (s->parent != kNoSpan) {
+      auto it = picked_by_id.find(s->parent);
+      if (it != picked_by_id.end()) flow(it->second, s);
+    } else if (service_span && s->category == "workflow") {
+      // The service span and the run's workflow span live in different
+      // layers and carry no parent link; the shared "sub" attr stitches.
+      flow(service_span, s);
+    }
+    if (s->category == "task") {
+      // Transfers that staged this task's inputs.
+      const AttrValue* run = span_attr(*s, "run");
+      const AttrValue* task = span_attr(*s, "task");
+      if (!run || !task) continue;
+      for (const Span* t : picked) {
+        if (t->category != "transfer") continue;
+        const AttrValue* trun = span_attr(*t, "run");
+        const AttrValue* ttask = span_attr(*t, "task");
+        if (trun && ttask && *trun == *run && *ttask == *task)
+          flow(t, s);
+      }
+    }
+  }
+
+  JsonObject top;
+  top["traceEvents"] = Json(std::move(events));
+  top["displayTimeUnit"] = Json("ms");
+  return Json(std::move(top)).dump();
+}
+
+}  // namespace hhc::obs::telemetry

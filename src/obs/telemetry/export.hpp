@@ -1,0 +1,51 @@
+// Telemetry-plane exporters: Prometheus text exposition, JSONL structured
+// event log, a self-contained HTML dashboard snapshot, and the per-
+// submission Perfetto timeline.
+//
+// All four are pure functions of already-recorded state and serialize in
+// deterministic order (sorted registries, firing-order event logs, sorted+
+// deduped alerts), so two same-seed runs produce byte-identical output —
+// CI diffs them.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/spans.hpp"
+#include "obs/telemetry/hub.hpp"
+#include "obs/telemetry/timeseries.hpp"
+#include "obs/telemetry/trace_context.hpp"
+
+namespace hhc::obs::telemetry {
+
+/// Prometheus text exposition (version 0.0.4) of a metrics snapshot.
+/// Counters become `hhc_<name>_total`, gauges `hhc_<name>`, histograms
+/// summaries with p50/p95/p99 quantile samples. When `store` is non-null,
+/// each series' latest window is exposed as the `hhc_window` family with
+/// name/label/kind/stat labels (stat in rate, count, sum, last, p50, p95).
+std::string prometheus_text(const MetricsSnapshot& snapshot,
+                            const TimeSeriesStore* store = nullptr);
+
+/// JSONL structured event log: one JSON object per line. A meta header,
+/// the hub's events in firing order, per-window reductions for every
+/// series in deterministic order, then the alert block sorted by (time,
+/// detector, series, subject) and deduped within `alert_dedup_window`.
+std::string jsonl_events(const TelemetryHub& hub,
+                         SimTime alert_dedup_window = 0.0);
+
+/// Self-contained HTML dashboard snapshot: inline CSS + SVG sparklines per
+/// windowed series, SLO burn-rate table, recent alerts. No external
+/// assets, opens from file://.
+std::string html_dashboard(const TelemetryHub& hub,
+                           const MetricsSnapshot& snapshot,
+                           const std::string& title = "hhc telemetry");
+
+/// Chrome/Perfetto trace of one submission's cross-layer timeline: every
+/// span stamped with trace attribute "sub" == `submission` (service span,
+/// workflow run, task attempts, fabric transfers), lane-packed per
+/// category, with flow events stitching service -> run, run -> attempt and
+/// transfer -> attempt.
+std::string submission_timeline_json(const SpanTracker& tracker,
+                                     TraceId submission);
+
+}  // namespace hhc::obs::telemetry

@@ -1,0 +1,130 @@
+#include "obs/telemetry/hub.hpp"
+
+namespace hhc::obs::telemetry {
+
+namespace {
+// Indexed by Route::kind / LogRecord::kind.
+constexpr const char* kEventKinds[] = {"count", "gauge", "value", "instant",
+                                       "alert"};
+constexpr std::uint8_t kCount = 0, kGauge = 1, kValue = 2, kInstant = 3,
+                       kAlert = 4;
+}  // namespace
+
+TelemetryHub::TelemetryHub(HubConfig config, const sim::Simulation& sim)
+    : config_(std::move(config)), sim_(&sim), store_(config_.window) {
+  for (const SloSpec& spec : config_.slos) slo_.add_spec(spec);
+  // Every SLO alert becomes a structured event, then flows to the optional
+  // downstream consumer (advisory admission) in the same firing order.
+  slo_.set_sink([this](const Alert& a) {
+    if (log_.size() >= event_capacity_) {
+      ++events_dropped_;
+    } else {
+      log_.push_back({a.time, a.value, intern(a.series), intern(a.subject),
+                      intern(a.message), kAlert});
+    }
+    if (alert_sink_) alert_sink_(a);
+  });
+}
+
+void TelemetryHub::attach(Observer& obs) { obs.set_tap(this); }
+
+void TelemetryHub::detach(Observer& obs) {
+  if (obs.tap() == this) obs.set_tap(nullptr);
+}
+
+TelemetryHub::Route& TelemetryHub::route(const void* id, SeriesKind kind,
+                                         std::uint8_t event_kind,
+                                         const std::string& name,
+                                         const std::string& label) {
+  std::size_t mask = slots_.size() - 1;
+  std::size_t i = hash_id(id) & mask;
+  while (slots_[i].id != id) {
+    if (slots_[i].id == nullptr) {
+      // Miss: build the route once. Keep the table under half full so the
+      // hot-path probe chain stays ~1; rehash before inserting.
+      if ((route_count_ + 1) * 2 > slots_.size()) {
+        std::vector<RouteSlot> grown(slots_.size() * 2);
+        const std::size_t gmask = grown.size() - 1;
+        for (const RouteSlot& s : slots_) {
+          if (!s.id) continue;
+          std::size_t j = hash_id(s.id) & gmask;
+          while (grown[j].id) j = (j + 1) & gmask;
+          grown[j] = s;
+        }
+        slots_ = std::move(grown);
+        mask = gmask;
+        i = hash_id(id) & mask;
+        while (slots_[i].id) i = (i + 1) & mask;
+      }
+      const TimeSeriesStore::Resolved res = store_.resolve(kind, name, label);
+      RouteSlot& slot = slots_[i];
+      slot.id = id;
+      slot.route.series = res.series;
+      slot.route.name = res.name;
+      slot.route.label = res.label;
+      slot.route.kind = event_kind;
+      slot.route.slo =
+          !slo_.empty() && !label.empty() && slo_.watches(name, label);
+      ++route_count_;
+      return slot.route;
+    }
+    i = (i + 1) & mask;
+  }
+  return slots_[i].route;
+}
+
+void TelemetryHub::on_count(SimTime t, const void* id, const std::string& name,
+                            const std::string& label, double delta) {
+  ++records_;
+  const Route& r = route(id, SeriesKind::Counter, kCount, name, label);
+  r.series->record(t, delta);
+  if (r.slo) slo_.event(name, label, t);
+  log_metric(t, r, delta);
+}
+
+void TelemetryHub::on_gauge(SimTime t, const void* id, const std::string& name,
+                            const std::string& label, double value) {
+  ++records_;
+  const Route& r = route(id, SeriesKind::Gauge, kGauge, name, label);
+  r.series->record(t, value);
+  log_metric(t, r, value);
+}
+
+void TelemetryHub::on_value(const void* id, const std::string& name,
+                            const std::string& label, double value) {
+  ++records_;
+  const SimTime now = sim_->now();
+  const Route& r = route(id, SeriesKind::Value, kValue, name, label);
+  r.series->record(now, value);
+  if (r.slo) slo_.observe(name, label, now, value);
+  log_metric(now, r, value);
+}
+
+void TelemetryHub::on_instant(SimTime t, const std::string& category,
+                              const std::string& subject,
+                              const std::string& state) {
+  if (log_.size() >= event_capacity_) {
+    ++events_dropped_;
+    return;
+  }
+  log_.push_back(
+      {t, 0.0, intern(category), intern(subject), intern(state), kInstant});
+}
+
+std::vector<HubEvent> TelemetryHub::events() const {
+  std::vector<HubEvent> out;
+  out.reserve(log_.size());
+  for (const LogRecord& rec : log_) {
+    HubEvent e;
+    e.time = rec.time;
+    e.kind = kEventKinds[rec.kind];
+    e.name = *rec.name;
+    e.label = *rec.label;
+    e.value = rec.value;
+    if (rec.detail) e.detail = *rec.detail;
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+}  // namespace hhc::obs::telemetry

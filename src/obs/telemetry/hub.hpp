@@ -1,0 +1,173 @@
+// TelemetryHub: the live subscriber that turns the Observer's record stream
+// into windowed time-series, SLO burn-rate evaluation, and a structured
+// event log — without any emission site knowing it exists.
+//
+// The hub implements obs::MetricTap and attaches to an Observer; every
+// counter add, gauge set, histogram observation and instant the observer
+// records while enabled is forwarded here in firing order. The hub:
+//
+//   * folds each record into its TimeSeriesStore (sim-clock windows);
+//   * routes service.* per-tenant records into the SloMonitor (the label
+//     carries the tenant), so burn rates are evaluated as the simulation
+//     runs, not post-hoc;
+//   * appends instants (chaos faults, durability events, brownout
+//     transitions) and SLO alerts to a structured event log, the source of
+//     the JSONL export.
+//
+// Detached (the default), nothing in the system references the hub and
+// runs are byte-identical to builds without telemetry. Everything the hub
+// stores is a pure function of the record stream, so two same-seed runs
+// export byte-identical JSONL/Prometheus text.
+//
+// The hot path is budgeted against bench/telemetry_overhead's < 2% gate:
+// the tap's `id` (the stable address of the Registry object the record
+// updated) keys a memoized route holding the pre-resolved WindowSeries,
+// interned name/label pointers, and whether any SLO objective watches the
+// series — so a steady-state record costs one pointer-hash lookup, one
+// window fold, and one POD append to the event log. SLO specs therefore
+// must all be registered at construction (via HubConfig); the memoized
+// watch flags are not recomputed. The attached observer's Registry must
+// outlive the hub (the routes point into it by identity).
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "obs/observer.hpp"
+#include "obs/telemetry/slo.hpp"
+#include "obs/telemetry/timeseries.hpp"
+#include "sim/simulation.hpp"
+
+namespace hhc::obs::telemetry {
+
+struct HubConfig {
+  WindowSpec window;            ///< Geometry for every series in the store.
+  std::vector<SloSpec> slos;    ///< Per-tenant SLO specs (may be empty).
+};
+
+/// One structured event for the JSONL log, in firing order.
+struct HubEvent {
+  SimTime time = 0.0;
+  std::string kind;     ///< "count" | "gauge" | "value" | "instant" | "alert".
+  std::string name;     ///< Metric name / instant category / alert series.
+  std::string label;    ///< Metric label / instant subject / alert subject.
+  double value = 0.0;
+  std::string detail;   ///< Instant state / alert message.
+};
+
+class TelemetryHub final : public MetricTap {
+ public:
+  /// `sim` supplies now() for histogram observations, which carry no
+  /// timestamp of their own; it must outlive the hub.
+  TelemetryHub(HubConfig config, const sim::Simulation& sim);
+
+  /// Subscribes to `obs` (replacing any previous tap). The hub does not
+  /// own the observer; call detach() (or destroy the hub) before the
+  /// observer outlives it.
+  void attach(Observer& obs);
+  void detach(Observer& obs);
+
+  // --- MetricTap ---------------------------------------------------------
+  void on_count(SimTime t, const void* id, const std::string& name,
+                const std::string& label, double delta) override;
+  void on_gauge(SimTime t, const void* id, const std::string& name,
+                const std::string& label, double value) override;
+  void on_value(const void* id, const std::string& name,
+                const std::string& label, double value) override;
+  void on_instant(SimTime t, const std::string& category,
+                  const std::string& subject,
+                  const std::string& state) override;
+
+  const TimeSeriesStore& store() const noexcept { return store_; }
+  TimeSeriesStore& store() noexcept { return store_; }
+  SloMonitor& slo() noexcept { return slo_; }
+  const SloMonitor& slo() const noexcept { return slo_; }
+  const AlertLog& alerts() const noexcept { return slo_.alerts(); }
+  /// Materialises the structured event log, in firing order. The log is
+  /// kept as compact interned records internally; this builds the
+  /// string-owning view on demand (export time, not record time).
+  std::vector<HubEvent> events() const;
+  std::size_t event_count() const noexcept { return log_.size(); }
+  const sim::Simulation& sim() const noexcept { return *sim_; }
+
+  /// Records counters/gauges/values forwarded since construction.
+  std::size_t records() const noexcept { return records_; }
+
+  /// Downstream alert consumer (e.g. the service's advisory admission
+  /// wiring). Chained after the hub's own event logging.
+  void set_alert_sink(AlertSink sink) { alert_sink_ = std::move(sink); }
+
+  /// Caps the event log (instants + metric events can be torrential); when
+  /// hit, further metric events are dropped from the *log* only — windows
+  /// and SLO state still update. Dropped count is queryable, never silent.
+  void set_event_capacity(std::size_t cap) { event_capacity_ = cap; }
+  std::size_t events_dropped() const noexcept { return events_dropped_; }
+
+ private:
+  /// Everything a metric record needs, resolved once per Registry object:
+  /// the target series, the store-owned name/label strings, the event-log
+  /// kind, and whether the SLO monitor watches (name, label) at all.
+  struct Route {
+    WindowSeries* series = nullptr;
+    const std::string* name = nullptr;
+    const std::string* label = nullptr;
+    std::uint8_t kind = 0;  ///< Index into the event-kind string table.
+    bool slo = false;
+  };
+  /// Compact event-log entry: no owned strings, all pointers interned
+  /// (store key strings for metrics, interned_ for instants/alerts).
+  struct LogRecord {
+    SimTime time = 0.0;
+    double value = 0.0;
+    const std::string* name = nullptr;
+    const std::string* label = nullptr;
+    const std::string* detail = nullptr;  ///< Null means empty.
+    std::uint8_t kind = 0;
+  };
+
+  /// Linear-probe slot of the open-addressed route table. The table is
+  /// sized a power of two and kept under half full; with one route per
+  /// distinct Registry object (dozens to a few hundred per run) the hot
+  /// lookup is one multiply-hash and almost always one probe.
+  struct RouteSlot {
+    const void* id = nullptr;
+    Route route;
+  };
+
+  Route& route(const void* id, SeriesKind kind, std::uint8_t event_kind,
+               const std::string& name, const std::string& label);
+  static std::size_t hash_id(const void* id) noexcept {
+    auto x = reinterpret_cast<std::uintptr_t>(id);
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    return static_cast<std::size_t>(x);
+  }
+  const std::string* intern(const std::string& s) {
+    return &*interned_.insert(s).first;
+  }
+  void log_metric(SimTime t, const Route& r, double value) {
+    if (log_.size() >= event_capacity_) {
+      ++events_dropped_;
+      return;
+    }
+    log_.push_back({t, value, r.name, r.label, nullptr, r.kind});
+  }
+
+  HubConfig config_;
+  const sim::Simulation* sim_;
+  TimeSeriesStore store_;
+  SloMonitor slo_;
+  std::vector<RouteSlot> slots_ = std::vector<RouteSlot>(256);
+  std::size_t route_count_ = 0;
+  std::vector<LogRecord> log_;
+  std::set<std::string> interned_;  ///< Node-stable pool for rare strings.
+  AlertSink alert_sink_;
+  std::size_t event_capacity_ = 200000;
+  std::size_t events_dropped_ = 0;
+  std::size_t records_ = 0;
+};
+
+}  // namespace hhc::obs::telemetry

@@ -1,0 +1,127 @@
+#include "obs/telemetry/slo.hpp"
+
+#include <algorithm>
+
+#include "support/strings.hpp"
+
+namespace hhc::obs::telemetry {
+
+void SloMonitor::add_spec(SloSpec spec) {
+  for (const SloObjective& objective : spec.objectives) {
+    State s;
+    s.spec = spec;
+    s.objective = objective;
+    states_.emplace(std::make_pair(spec.tenant, objective.series),
+                    std::move(s));
+    if (objective.is_ratio())
+      ratio_good_.emplace(std::make_pair(spec.tenant, objective.good_series),
+                          objective.series);
+  }
+}
+
+void SloMonitor::trim(State& s, SimTime now) {
+  const SimTime horizon = now - s.spec.slow_window;
+  while (!s.window.empty() && s.window.front().time < horizon) {
+    if (s.window.front().bad) --s.bad_in_window;
+    s.window.pop_front();
+  }
+}
+
+double SloMonitor::burn(const State& s, SimTime now, SimTime width) const {
+  const SimTime horizon = now - width;
+  std::size_t total = 0, bad = 0;
+  // The deque is time-ordered; scan back until we leave the window.
+  for (auto it = s.window.rbegin(); it != s.window.rend(); ++it) {
+    if (it->time < horizon) break;
+    ++total;
+    if (it->bad) ++bad;
+  }
+  if (total == 0) return 0.0;
+  const double bad_fraction = static_cast<double>(bad) / total;
+  return bad_fraction / s.objective.budget();
+}
+
+void SloMonitor::feed(State& s, SimTime now, bool bad) {
+  s.window.push_back({now, bad});
+  if (bad) ++s.bad_in_window;
+  trim(s, now);
+}
+
+void SloMonitor::evaluate(State& s, SimTime now, double value) {
+  const double fast = burn(s, now, s.spec.fast_window);
+  const double slow = burn(s, now, s.spec.slow_window);
+  if (fast < s.spec.burn_threshold || slow < s.spec.burn_threshold) return;
+  if (s.last_alert >= 0.0 && now - s.last_alert < s.spec.cooldown) return;
+  s.last_alert = now;
+  ++s.alert_count;
+
+  Alert a;
+  a.time = now;
+  a.detector = "slo-burn";
+  a.series = s.objective.series;
+  a.subject = s.spec.tenant;
+  a.value = fast;
+  a.baseline = s.objective.budget();
+  a.score = slow;
+  a.message = "slo-burn " + s.objective.series + " tenant=" + s.spec.tenant +
+              " fast=" + fmt_fixed(fast, 2) + "x slow=" + fmt_fixed(slow, 2) +
+              "x budget=" + fmt_fixed(s.objective.budget(), 4) +
+              (s.objective.is_ratio()
+                   ? ""
+                   : " value=" + fmt_fixed(value, 3));
+  alerts_.add(a);
+  if (sink_) sink_(a);
+}
+
+void SloMonitor::observe(const std::string& series, const std::string& tenant,
+                         SimTime now, double value) {
+  auto [lo, hi] = states_.equal_range({tenant, series});
+  for (auto it = lo; it != hi; ++it) {
+    State& s = it->second;
+    if (s.objective.is_ratio()) continue;
+    feed(s, now, value > s.objective.threshold);
+    evaluate(s, now, value);
+  }
+}
+
+void SloMonitor::event(const std::string& series, const std::string& tenant,
+                       SimTime now) {
+  // Bad events: objectives keyed directly on this series.
+  auto [lo, hi] = states_.equal_range({tenant, series});
+  for (auto it = lo; it != hi; ++it) {
+    State& s = it->second;
+    if (!s.objective.is_ratio()) continue;
+    feed(s, now, /*bad=*/true);
+    evaluate(s, now, 1.0);
+  }
+  // Good events: ratio objectives whose good_series matches.
+  auto [glo, ghi] = ratio_good_.equal_range({tenant, series});
+  for (auto git = glo; git != ghi; ++git) {
+    auto [blo, bhi] = states_.equal_range({tenant, git->second});
+    for (auto it = blo; it != bhi; ++it) {
+      State& s = it->second;
+      if (!s.objective.is_ratio() || s.objective.good_series != series)
+        continue;
+      feed(s, now, /*bad=*/false);
+      // Good events can only lower the burn; no need to evaluate.
+    }
+  }
+}
+
+std::vector<BurnSnapshot> SloMonitor::burns(SimTime now) const {
+  std::vector<BurnSnapshot> out;
+  out.reserve(states_.size());
+  for (const auto& [key, s] : states_) {
+    BurnSnapshot b;
+    b.tenant = s.spec.tenant;
+    b.series = s.objective.series;
+    b.fast_burn = burn(s, now, s.spec.fast_window);
+    b.slow_burn = burn(s, now, s.spec.slow_window);
+    b.observations = s.window.size();
+    b.alerts = s.alert_count;
+    out.push_back(std::move(b));
+  }
+  return out;
+}
+
+}  // namespace hhc::obs::telemetry

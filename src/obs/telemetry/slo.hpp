@@ -1,0 +1,126 @@
+// Per-tenant SLO burn-rate monitors (Google SRE multi-window style).
+//
+// An objective declares what "good" means for one telemetry series — a
+// queue-time observation under 300 s, a submission that was not shed — and
+// a target good-fraction. The monitor folds each observation into a sliding
+// record, computes the burn rate (observed bad fraction / error budget)
+// over a fast window (5 min style) and a slow window (1 h style), both in
+// simulated time, and raises a structured obs::Alert only when BOTH exceed
+// the burn threshold: the fast window supplies responsiveness, the slow
+// window suppresses blips. Cooldown stops a sustained breach from spamming.
+//
+// Two objective shapes:
+//   value objective — observations carry a value; bad when value > threshold
+//     (e.g. series "service.queue_time", threshold 300).
+//   ratio objective — observations are events; those on `series` are bad,
+//     those on `good_series` are good (e.g. shed-rate: bad "service.shed",
+//     good "service.admitted").
+//
+// Alerting is observation-only: consumers (admission advisory, tests,
+// exports) act on the AlertLog / sink explicitly, mirroring AnomalyMonitor.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/alerts.hpp"
+#include "support/units.hpp"
+
+namespace hhc::obs::telemetry {
+
+/// What "good" means for one series of one tenant.
+struct SloObjective {
+  std::string series;       ///< Observed series ("service.queue_time"), or
+                            ///< the *bad* event series for ratio objectives.
+  std::string good_series;  ///< Non-empty => ratio objective: good events.
+  double threshold = 0.0;   ///< Value objectives: bad when value > threshold.
+  double target = 0.95;     ///< Target good fraction; budget = 1 - target.
+
+  double budget() const noexcept {
+    const double b = 1.0 - target;
+    return b > 1e-9 ? b : 1e-9;
+  }
+  bool is_ratio() const noexcept { return !good_series.empty(); }
+};
+
+/// One tenant's SLO: objectives plus the shared burn-rate evaluation knobs.
+struct SloSpec {
+  std::string tenant;                  ///< Label/subject the spec watches.
+  std::vector<SloObjective> objectives;
+  SimTime fast_window = 300.0;         ///< "5 minute" window, sim seconds.
+  SimTime slow_window = 3600.0;        ///< "1 hour" window, sim seconds.
+  double burn_threshold = 2.0;         ///< Alert when both burns exceed this.
+  SimTime cooldown = 600.0;            ///< Min sim-time between repeat alerts.
+};
+
+/// Burn-rate snapshot for one (tenant, objective), exported in TenantReport.
+struct BurnSnapshot {
+  std::string tenant;
+  std::string series;
+  double fast_burn = 0.0;
+  double slow_burn = 0.0;
+  std::size_t observations = 0;  ///< Observations currently in the slow window.
+  std::size_t alerts = 0;        ///< Alerts this objective has raised.
+};
+
+class SloMonitor {
+ public:
+  void add_spec(SloSpec spec);
+  bool empty() const noexcept { return states_.empty(); }
+
+  /// Feeds a value observation (histogram-style series). Routed to every
+  /// value objective watching (series, tenant); others ignore it.
+  void observe(const std::string& series, const std::string& tenant,
+               SimTime now, double value);
+  /// Feeds a counter event. Bad for objectives whose `series` matches, good
+  /// for objectives whose `good_series` matches.
+  void event(const std::string& series, const std::string& tenant,
+             SimTime now);
+
+  /// Whether any objective would react to observe()/event() on
+  /// (series, tenant) — as a value observation, a bad event, or a good
+  /// ratio event. Lets callers skip the routing entirely for the (vastly
+  /// more common) series no spec watches; the answer is stable once every
+  /// spec is registered.
+  bool watches(const std::string& series, const std::string& tenant) const {
+    const std::pair<std::string, std::string> key{tenant, series};
+    return states_.count(key) > 0 || ratio_good_.count(key) > 0;
+  }
+
+  void set_sink(AlertSink sink) { sink_ = std::move(sink); }
+  const AlertLog& alerts() const noexcept { return alerts_; }
+
+  /// Current burn rates per (tenant, objective), deterministic order.
+  std::vector<BurnSnapshot> burns(SimTime now) const;
+
+ private:
+  struct Obs {
+    SimTime time = 0.0;
+    bool bad = false;
+  };
+  struct State {
+    SloSpec spec;           ///< Shared knobs (one copy per objective).
+    SloObjective objective;
+    std::deque<Obs> window; ///< Observations within the slow window.
+    std::size_t bad_in_window = 0;
+    SimTime last_alert = -1.0;
+    std::size_t alert_count = 0;
+  };
+
+  void feed(State& s, SimTime now, bool bad);
+  void evaluate(State& s, SimTime now, double value);
+  double burn(const State& s, SimTime now, SimTime width) const;
+  static void trim(State& s, SimTime now);
+
+  // Keyed (tenant, series) for deterministic iteration; multimap because a
+  // tenant may declare several objectives over the same series.
+  std::multimap<std::pair<std::string, std::string>, State> states_;
+  // (tenant, good_series) -> bad-event series, routing good ratio events.
+  std::multimap<std::pair<std::string, std::string>, std::string> ratio_good_;
+  AlertLog alerts_;
+  AlertSink sink_;
+};
+
+}  // namespace hhc::obs::telemetry

@@ -1,0 +1,111 @@
+#include "obs/telemetry/timeseries.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hhc::obs::telemetry {
+
+const char* to_string(SeriesKind kind) {
+  switch (kind) {
+    case SeriesKind::Counter: return "counter";
+    case SeriesKind::Gauge: return "gauge";
+    case SeriesKind::Value: return "value";
+  }
+  return "?";
+}
+
+Window& WindowSeries::window_for(std::int64_t index) {
+  // Hot path: the record lands in the newest window (monotone sim clock).
+  if (!windows_.empty() && windows_.back().index == index)
+    return windows_.back();
+  if (windows_.empty() || index > windows_.back().index) {
+    Window w;
+    w.index = index;
+    if (kind_ == SeriesKind::Value) w.hist.emplace();
+    windows_.push_back(std::move(w));
+    while (windows_.size() > spec_.retention) {
+      dropped_ += windows_.front().count;
+      total_count_ -= windows_.front().count;
+      total_sum_ -= windows_.front().sum;
+      windows_.pop_front();
+    }
+    return windows_.back();
+  }
+  // Rare: a record for an already-materialised (or gap) older window.
+  auto it = std::lower_bound(
+      windows_.begin(), windows_.end(), index,
+      [](const Window& w, std::int64_t i) { return w.index < i; });
+  if (it != windows_.end() && it->index == index) return *it;
+  Window w;
+  w.index = index;
+  if (kind_ == SeriesKind::Value) w.hist.emplace();
+  return *windows_.insert(it, std::move(w));
+}
+
+void WindowSeries::record(SimTime t, double value) {
+  const std::int64_t index =
+      static_cast<std::int64_t>(std::floor(t / spec_.width));
+  if (!windows_.empty() && index < windows_.front().index &&
+      windows_.size() >= spec_.retention) {
+    ++dropped_;  // Predates the ring; folding it in would resurrect a window.
+    return;
+  }
+  Window& w = window_for(index);
+  if (w.count == 0) {
+    w.min = w.max = value;
+  } else {
+    w.min = std::min(w.min, value);
+    w.max = std::max(w.max, value);
+  }
+  ++w.count;
+  w.sum += value;
+  w.last = value;
+  if (w.hist) w.hist->observe(value);
+  ++total_count_;
+  total_sum_ += value;
+}
+
+const Window* WindowSeries::window_at(SimTime t) const {
+  const std::int64_t index =
+      static_cast<std::int64_t>(std::floor(t / spec_.width));
+  auto it = std::lower_bound(
+      windows_.begin(), windows_.end(), index,
+      [](const Window& w, std::int64_t i) { return w.index < i; });
+  if (it != windows_.end() && it->index == index) return &*it;
+  return nullptr;
+}
+
+WindowSeries& TimeSeriesStore::series(SeriesKind kind, const std::string& name,
+                                      const std::string& label) {
+  const Key key{static_cast<int>(kind), name, label};
+  auto it = series_.find(key);
+  if (it == series_.end())
+    it = series_.emplace(key, WindowSeries(kind, spec_)).first;
+  return it->second;
+}
+
+TimeSeriesStore::Resolved TimeSeriesStore::resolve(SeriesKind kind,
+                                                   const std::string& name,
+                                                   const std::string& label) {
+  const Key key{static_cast<int>(kind), name, label};
+  auto it = series_.find(key);
+  if (it == series_.end())
+    it = series_.emplace(key, WindowSeries(kind, spec_)).first;
+  return {&it->second, &std::get<1>(it->first), &std::get<2>(it->first)};
+}
+
+const WindowSeries* TimeSeriesStore::find(SeriesKind kind,
+                                          const std::string& name,
+                                          const std::string& label) const {
+  const Key key{static_cast<int>(kind), name, label};
+  auto it = series_.find(key);
+  return it == series_.end() ? nullptr : &it->second;
+}
+
+std::size_t TimeSeriesStore::dropped() const {
+  std::size_t n = 0;
+  for (const auto& [key, s] : series_) n += s.dropped();
+  return n;
+}
+
+}  // namespace hhc::obs::telemetry

@@ -1,0 +1,157 @@
+// Windowed time-series: the streaming view of the telemetry plane.
+//
+// Where the metrics Registry accumulates over a whole run (one counter
+// value, one histogram per series), the TimeSeriesStore folds every record
+// into ring-buffered windows aligned to the simulated clock — floor(t /
+// width) — so operators (and the SLO burn-rate monitors) can ask "what was
+// the queue-time p95 in the last five minutes" instead of "since boot".
+//
+// Three reduction kinds mirror the Registry's families:
+//   Counter — per-window event count and sum of deltas; rate = sum / width.
+//   Gauge   — per-window last/min/max of an instantaneous value.
+//   Value   — per-window log-histogram of observations (p50/p95 per window).
+//
+// Windows are sparse: a series only materialises windows it actually
+// received records in (gap windows cost nothing). Retention is a ring —
+// when a series exceeds `retention` windows the oldest are dropped and the
+// drop is counted, never silent. Everything iterates in deterministic
+// (kind, name, label) order so exports are byte-stable per seed.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "support/units.hpp"
+
+namespace hhc::obs::telemetry {
+
+enum class SeriesKind { Counter, Gauge, Value };
+
+const char* to_string(SeriesKind kind);
+
+/// Window geometry shared by every series in a store.
+struct WindowSpec {
+  SimTime width = 300.0;       ///< Window width in simulated seconds.
+  std::size_t retention = 288; ///< Max windows kept per series (ring bound).
+};
+
+/// One materialised window of one series.
+struct Window {
+  std::int64_t index = 0;  ///< floor(start / width); start = index * width.
+  std::size_t count = 0;   ///< Records folded into this window.
+  double sum = 0.0;        ///< Counter: sum of deltas. Gauge/Value: sum of values.
+  double min = 0.0;
+  double max = 0.0;
+  double last = 0.0;       ///< Most recent value recorded in the window.
+  std::optional<LogHistogram> hist;  ///< Value kind only.
+
+  double mean() const noexcept {
+    return count ? sum / static_cast<double>(count) : 0.0;
+  }
+};
+
+/// Ring of sim-clock-aligned windows for one series.
+class WindowSeries {
+ public:
+  WindowSeries(SeriesKind kind, WindowSpec spec)
+      : kind_(kind), spec_(spec) {}
+
+  /// Folds one record. For Counter kind `value` is the delta; for Gauge and
+  /// Value kinds it is the observed value. Records are expected in
+  /// non-decreasing time order (the simulation clock is monotone); a record
+  /// older than the retained ring is counted in dropped() and skipped.
+  void record(SimTime t, double value);
+
+  SeriesKind kind() const noexcept { return kind_; }
+  const WindowSpec& spec() const noexcept { return spec_; }
+  const std::deque<Window>& windows() const noexcept { return windows_; }
+  bool empty() const noexcept { return windows_.empty(); }
+
+  /// Window covering time `t`, or nullptr when none was materialised.
+  const Window* window_at(SimTime t) const;
+  /// Most recent window, or nullptr when empty.
+  const Window* latest() const {
+    return windows_.empty() ? nullptr : &windows_.back();
+  }
+
+  /// Per-window rate for Counter kind: sum / width.
+  double rate(const Window& w) const noexcept { return w.sum / spec_.width; }
+
+  /// Totals across all *retained* windows (ring drops reduce these).
+  std::size_t total_count() const noexcept { return total_count_; }
+  double total_sum() const noexcept { return total_sum_; }
+
+  /// Records dropped because they predate the retained ring, plus windows
+  /// evicted by retention (each eviction adds the window's record count).
+  std::size_t dropped() const noexcept { return dropped_; }
+
+ private:
+  Window& window_for(std::int64_t index);
+
+  SeriesKind kind_;
+  WindowSpec spec_;
+  std::deque<Window> windows_;  ///< Ascending by index, sparse.
+  std::size_t total_count_ = 0;
+  double total_sum_ = 0.0;
+  std::size_t dropped_ = 0;
+};
+
+/// Deterministic (kind, name, label) -> WindowSeries map. Accessors create
+/// on first use, mirroring the Registry's contract; references stay valid
+/// for the store's lifetime.
+class TimeSeriesStore {
+ public:
+  explicit TimeSeriesStore(WindowSpec spec = {}) : spec_(spec) {}
+
+  const WindowSpec& spec() const noexcept { return spec_; }
+
+  WindowSeries& series(SeriesKind kind, const std::string& name,
+                       const std::string& label = {});
+  const WindowSeries* find(SeriesKind kind, const std::string& name,
+                           const std::string& label = {}) const;
+
+  /// series() plus pointers to the store-owned key strings. Both the series
+  /// and the strings live in map nodes, so the pointers stay valid for the
+  /// store's lifetime — callers (the hub) cache them to avoid rebuilding
+  /// string keys on every record.
+  struct Resolved {
+    WindowSeries* series = nullptr;
+    const std::string* name = nullptr;
+    const std::string* label = nullptr;
+  };
+  Resolved resolve(SeriesKind kind, const std::string& name,
+                   const std::string& label = {});
+
+  void record_counter(SimTime t, const std::string& name,
+                      const std::string& label, double delta) {
+    series(SeriesKind::Counter, name, label).record(t, delta);
+  }
+  void record_gauge(SimTime t, const std::string& name,
+                    const std::string& label, double value) {
+    series(SeriesKind::Gauge, name, label).record(t, value);
+  }
+  void record_value(SimTime t, const std::string& name,
+                    const std::string& label, double value) {
+    series(SeriesKind::Value, name, label).record(t, value);
+  }
+
+  /// All series in deterministic (kind, name, label) order.
+  using Key = std::tuple<int, std::string, std::string>;
+  const std::map<Key, WindowSeries>& all() const noexcept { return series_; }
+
+  std::size_t size() const noexcept { return series_.size(); }
+  /// Total records dropped across every series (retention evictions).
+  std::size_t dropped() const;
+
+ private:
+  WindowSpec spec_;
+  std::map<Key, WindowSeries> series_;
+};
+
+}  // namespace hhc::obs::telemetry

@@ -1,0 +1,65 @@
+// TraceContext: the cross-layer correlation key of the telemetry plane.
+//
+// A submission entering the WorkflowService mints a submission id; the
+// Toolkit fills in the run id when the workflow actually launches; task,
+// attempt and hedge are stamped per attempt. The context travels by value
+// through RunOptions -> RunState -> attempt dispatch -> TransferScheduler
+// flights and WAL records, and every span created along the way carries the
+// ids as attributes ("sub", "run", "task", "attempt"), so one Perfetto
+// export can stitch the full service -> run -> attempt -> transfer timeline
+// of any submission with flow events.
+//
+// A default-constructed context is inactive: instrumentation sites skip the
+// attribute stamping entirely, keeping untraced runs byte-identical.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hhc::obs {
+
+using TraceId = std::uint64_t;
+inline constexpr TraceId kNoTraceId = 0;
+
+/// Correlation ids threaded from service submission down to fabric flights.
+struct TraceContext {
+  TraceId submission = kNoTraceId;  ///< WorkflowService submission (1-based).
+  TraceId run = kNoTraceId;         ///< Toolkit run id (1-based).
+  std::int64_t task = -1;           ///< Task index within the run; -1 = none.
+  int attempt = -1;                 ///< Attempt number for `task`; -1 = none.
+  bool hedge = false;               ///< True for hedged duplicate attempts.
+
+  /// True when any correlation id is set; gates all attribute stamping.
+  bool active() const noexcept {
+    return submission != kNoTraceId || run != kNoTraceId;
+  }
+
+  /// Context for one attempt of one task: same submission/run ids.
+  TraceContext for_attempt(std::int64_t task_index, int attempt_no,
+                           bool hedged = false) const {
+    TraceContext c = *this;
+    c.task = task_index;
+    c.attempt = attempt_no;
+    c.hedge = hedged;
+    return c;
+  }
+
+  /// Compact human-readable form: "sub3/run2/t5#1" (present fields only).
+  std::string slug() const {
+    std::string out;
+    if (submission != kNoTraceId) out += "sub" + std::to_string(submission);
+    if (run != kNoTraceId) {
+      if (!out.empty()) out += '/';
+      out += "run" + std::to_string(run);
+    }
+    if (task >= 0) {
+      if (!out.empty()) out += '/';
+      out += "t" + std::to_string(task);
+      if (attempt >= 0) out += "#" + std::to_string(attempt);
+      if (hedge) out += "h";
+    }
+    return out.empty() ? "untraced" : out;
+  }
+};
+
+}  // namespace hhc::obs

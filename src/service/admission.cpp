@@ -1,5 +1,7 @@
 #include "service/admission.hpp"
 
+#include <algorithm>
+#include <iterator>
 #include <stdexcept>
 
 namespace hhc::service {
@@ -18,10 +20,58 @@ AdmissionDecision AdmissionController::admit(std::size_t tenant_queued,
                                              std::size_t total_queued,
                                              double backlog_seconds,
                                              std::size_t defers) {
+  return admit_bounded(config_.max_queue_per_tenant, tenant_queued,
+                       total_queued, backlog_seconds, defers);
+}
+
+AdmissionDecision AdmissionController::admit(const std::string& tenant,
+                                             SimTime now,
+                                             std::size_t tenant_queued,
+                                             std::size_t total_queued,
+                                             double backlog_seconds,
+                                             std::size_t defers) {
+  // Lazily drop expired restrictions so the map never grows past one entry
+  // per tenant ever restricted.
+  for (auto it = restrictions_.begin(); it != restrictions_.end();)
+    it = it->second.until <= now ? restrictions_.erase(it) : std::next(it);
+  return admit_bounded(tenant_bound(tenant, now), tenant_queued, total_queued,
+                       backlog_seconds, defers);
+}
+
+void AdmissionController::restrict_tenant(const std::string& tenant,
+                                          std::size_t cap, SimTime until) {
+  if (cap == 0) return;  // cap 0 would mean "unbounded", not "closed"
+  auto [it, inserted] = restrictions_.try_emplace(tenant, Restriction{cap, until});
+  if (!inserted) {
+    it->second.cap = std::min(it->second.cap, cap);
+    it->second.until = std::max(it->second.until, until);
+  }
+}
+
+std::size_t AdmissionController::tenant_bound(const std::string& tenant,
+                                              SimTime now) const {
+  std::size_t bound = config_.max_queue_per_tenant;
+  const auto it = restrictions_.find(tenant);
+  if (it != restrictions_.end() && it->second.until > now)
+    bound = bound == 0 ? it->second.cap : std::min(bound, it->second.cap);
+  return bound;
+}
+
+std::size_t AdmissionController::restricted_count(SimTime now) const {
+  std::size_t n = 0;
+  for (const auto& [tenant, r] : restrictions_)
+    if (r.until > now) ++n;
+  return n;
+}
+
+AdmissionDecision AdmissionController::admit_bounded(std::size_t tenant_bound,
+                                                     std::size_t tenant_queued,
+                                                     std::size_t total_queued,
+                                                     double backlog_seconds,
+                                                     std::size_t defers) {
   // Hard depth bounds first: a full queue sheds regardless of backpressure
   // state (deferring would only delay the same verdict).
-  if (config_.max_queue_per_tenant > 0 &&
-      tenant_queued >= config_.max_queue_per_tenant)
+  if (tenant_bound > 0 && tenant_queued >= tenant_bound)
     return AdmissionDecision::Shed;
   if (config_.max_total_queue > 0 && total_queued >= config_.max_total_queue)
     return AdmissionDecision::Shed;

@@ -20,6 +20,8 @@
 #pragma once
 
 #include <cstddef>
+#include <map>
+#include <string>
 
 #include "support/units.hpp"
 
@@ -52,14 +54,49 @@ class AdmissionController {
   AdmissionDecision admit(std::size_t tenant_queued, std::size_t total_queued,
                           double backlog_seconds, std::size_t defers);
 
+  /// Tenant-aware overload: identical to the above, except the per-tenant
+  /// depth bound is tenant_bound(tenant, now) — the configured bound
+  /// tightened by any active advisory restriction. With no restrictions it
+  /// makes exactly the same decisions as the plain overload.
+  AdmissionDecision admit(const std::string& tenant, SimTime now,
+                          std::size_t tenant_queued, std::size_t total_queued,
+                          double backlog_seconds, std::size_t defers);
+
+  /// Advisory restriction (telemetry SLO wiring): until `until`, `tenant`'s
+  /// effective queue bound is at most `cap`. Repeated calls keep the
+  /// tightest cap and the latest deadline. Only the tenant-aware admit
+  /// overload consults restrictions; nothing installs them unless a consumer
+  /// (e.g. WorkflowService advisory mode) opts in.
+  void restrict_tenant(const std::string& tenant, std::size_t cap,
+                       SimTime until);
+
+  /// Effective per-tenant queued-submission bound for `tenant` at `now`
+  /// (0 = unbounded): the configured bound, tightened by any restriction
+  /// still in force.
+  std::size_t tenant_bound(const std::string& tenant, SimTime now) const;
+
+  /// Advisory restrictions still in force at `now`.
+  std::size_t restricted_count(SimTime now) const;
+
   /// Currently pushing back (between the watermarks' hysteresis)?
   bool deferring() const noexcept { return deferring_; }
 
   const AdmissionConfig& config() const noexcept { return config_; }
 
  private:
+  struct Restriction {
+    std::size_t cap = 0;
+    SimTime until = 0.0;
+  };
+
+  AdmissionDecision admit_bounded(std::size_t tenant_bound,
+                                  std::size_t tenant_queued,
+                                  std::size_t total_queued,
+                                  double backlog_seconds, std::size_t defers);
+
   AdmissionConfig config_;
   bool deferring_ = false;
+  std::map<std::string, Restriction> restrictions_;
 };
 
 }  // namespace hhc::service

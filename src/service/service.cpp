@@ -34,6 +34,32 @@ double report_core_seconds(const core::CompositeReport& report) {
 
 }  // namespace
 
+obs::telemetry::SloSpec default_tenant_slo(const std::string& tenant,
+                                           const TelemetryConfig& t) {
+  obs::telemetry::SloSpec spec;
+  spec.tenant = tenant;
+  spec.fast_window = t.fast_window;
+  spec.slow_window = t.slow_window;
+  spec.burn_threshold = t.burn_threshold;
+  spec.cooldown = t.cooldown;
+  obs::telemetry::SloObjective queue_time;
+  queue_time.series = "service.queue_time";
+  queue_time.threshold = t.queue_time_objective;
+  queue_time.target = t.slo_target;
+  spec.objectives.push_back(queue_time);
+  obs::telemetry::SloObjective stretch;
+  stretch.series = "service.stretch";
+  stretch.threshold = t.stretch_objective;
+  stretch.target = t.slo_target;
+  spec.objectives.push_back(stretch);
+  obs::telemetry::SloObjective shed;
+  shed.series = "service.shed";
+  shed.good_series = "service.admitted";
+  shed.target = t.slo_target;
+  spec.objectives.push_back(shed);
+  return spec;
+}
+
 WorkflowService::WorkflowService(core::Toolkit& toolkit,
                                  federation::Broker& broker,
                                  ServiceConfig config)
@@ -61,6 +87,54 @@ WorkflowService::WorkflowService(core::Toolkit& toolkit,
     capacity_cores_ += broker_.site(s).total_cores();
   if (!(capacity_cores_ > 0.0))
     throw std::invalid_argument("broker sites have no cores");
+  if (config_.telemetry.enabled) setup_telemetry();
+}
+
+WorkflowService::~WorkflowService() {
+  if (hub_) hub_->detach(toolkit_.observer());
+}
+
+void WorkflowService::setup_telemetry() {
+  obs::telemetry::HubConfig hub_cfg;
+  hub_cfg.window = config_.telemetry.window;
+  hub_cfg.slos = config_.telemetry.slos;
+  if (hub_cfg.slos.empty())
+    for (const TenantConfig& tc : config_.tenants)
+      hub_cfg.slos.push_back(default_tenant_slo(tc.name, config_.telemetry));
+  hub_ = std::make_unique<obs::telemetry::TelemetryHub>(
+      std::move(hub_cfg), toolkit_.simulation());
+  hub_->set_alert_sink([this](const obs::Alert& a) { on_slo_alert(a); });
+  hub_->attach(toolkit_.observer());
+}
+
+void WorkflowService::on_slo_alert(const obs::Alert& alert) {
+  if (!config_.telemetry.advisory) return;
+  // The alert names the tenant whose SLO is burning; give its queued work a
+  // clearer path by tightening every OTHER tenant's effective queue bound
+  // for the hold period. Admission stays the sole actuator — nothing here
+  // touches queues or runs directly, so the loop cannot destabilize the
+  // pump. Restrictions expire on their own; repeated alerts extend them.
+  const SimTime now = toolkit_.simulation().now();
+  std::size_t restricted = 0;
+  for (const auto& ten : tenants_) {
+    if (ten.config.name == alert.subject) continue;
+    admission_.restrict_tenant(ten.config.name,
+                               config_.telemetry.advisory_queue_cap,
+                               now + config_.telemetry.advisory_hold);
+    ++restricted;
+  }
+  if (restricted > 0) {
+    ++advisory_actions_;
+    toolkit_.observer().count(now, "service.advisory_actions", alert.subject);
+  }
+}
+
+void WorkflowService::end_service_span(Submission& sub, const char* state) {
+  if (sub.span == obs::kNoSpan) return;
+  obs::Observer& obs = toolkit_.observer();
+  obs.span_attr(sub.span, "state", std::string(state));
+  obs.end_span(toolkit_.simulation().now(), sub.span);
+  sub.span = obs::kNoSpan;
 }
 
 wf::Workflow WorkflowService::generate_workflow(TenantState& ten,
@@ -153,6 +227,15 @@ void WorkflowService::on_arrival(std::size_t tenant) {
   sub.ideal = std::max(cp, sub.est_work / capacity_cores_);
   if (!(sub.ideal > 0.0)) sub.ideal = 1.0;  // degenerate zero-runtime graph
   obs.count(sim.now(), "service.submitted", sub.tenant);
+  if (hub_) {
+    // Root of the submission's cross-layer timeline: every span below
+    // (workflow, task attempts, transfers) carries the same "sub" id.
+    sub.span = obs.begin_span(sim.now(), "service",
+                              sub.tenant + "/" + std::to_string(index));
+    obs.span_attr(sub.span, "sub",
+                  static_cast<std::int64_t>(submission_trace_id(seq)));
+    obs.span_attr(sub.span, "tenant", sub.tenant);
+  }
   // The arrival exists client-side whether or not the controller is up —
   // journaled first (write-ahead), so recovery can regenerate the workflow
   // from (tenant, tenant_index) alone.
@@ -174,8 +257,11 @@ void WorkflowService::offer(std::size_t submission) {
   }
   TenantState& ten = tenant_of(sub);
 
-  const AdmissionDecision decision = admission_.admit(
-      ten.queue.size(), total_queued_, backlog_seconds(), sub.defers);
+  // Tenant-aware overload: identical decisions unless an advisory
+  // restriction (telemetry SLO wiring) is in force for this tenant.
+  const AdmissionDecision decision =
+      admission_.admit(sub.tenant, sim.now(), ten.queue.size(), total_queued_,
+                       backlog_seconds(), sub.defers);
   switch (decision) {
     case AdmissionDecision::Shed:
       if (brownout_ && ten.suspended) {
@@ -192,6 +278,7 @@ void WorkflowService::offer(std::size_t submission) {
       sub.state = Submission::State::Shed;
       ++ten.stats.shed;
       obs.count(sim.now(), "service.shed", sub.tenant);
+      end_service_span(sub, "shed");
       return;
     case AdmissionDecision::Defer:
       journal_sub(resilience::JournalKind::Deferred, sub);
@@ -266,9 +353,20 @@ void WorkflowService::begin_run(std::size_t submission) {
   // already counted its queue time, and journals Resumed instead of Launched.
   auto staged = resume_ckpt_.find(submission);
   const bool resuming = staged != resume_ckpt_.end();
+  // With telemetry on, the launch record carries the run id start_run() is
+  // about to assign — written ahead, like every other transition, so a
+  // post-hoc reader can join journal records to run/task/transfer spans.
+  Json launch_payload;
+  if (hub_) {
+    JsonObject ids;
+    ids.emplace("run", Json(static_cast<std::int64_t>(toolkit_.next_run_id())));
+    ids.emplace("sub", Json(static_cast<std::int64_t>(
+                           submission_trace_id(sub.seq))));
+    launch_payload = Json(std::move(ids));
+  }
   journal_sub(resuming ? resilience::JournalKind::Resumed
                        : resilience::JournalKind::Launched,
-              sub);
+              sub, 0.0, false, std::move(launch_payload));
 
   sub.state = Submission::State::Running;
   ++ten.running;
@@ -290,6 +388,7 @@ void WorkflowService::begin_run(std::size_t submission) {
   obs.gauge_set(sim.now(), "service.running", static_cast<double>(running_));
 
   core::RunOptions options;
+  if (hub_) options.trace.submission = submission_trace_id(sub.seq);
   options.checkpoints = config_.durability.checkpoints;
   if (options.checkpoints.enabled())
     options.on_checkpoint =
@@ -351,6 +450,7 @@ void WorkflowService::on_settled(std::size_t submission,
     obs.count(sim.now(), "service.failed", sub.tenant);
   }
   obs.gauge_set(sim.now(), "service.running", static_cast<double>(running_));
+  end_service_span(sub, report.success ? "completed" : "failed");
   evaluate_brownout();
   pump();
 }
@@ -629,6 +729,20 @@ ServiceReport WorkflowService::run() {
       sub.finished = sim.now();
       ++tenant_of(sub).stats.failed;
     }
+  // Close every service span still open (queued/offered stragglers and the
+  // wedged runs settled above) so the timeline export never sees a
+  // dangling root.
+  if (hub_)
+    for (Submission& sub : submissions_) {
+      const char* state = "queued";
+      switch (sub.state) {
+        case Submission::State::Offered: state = "offered"; break;
+        case Submission::State::Queued: state = "queued"; break;
+        case Submission::State::Failed: state = "failed"; break;
+        default: break;
+      }
+      end_service_span(sub, state);
+    }
 
   ServiceReport report;
   report.makespan = sim.now() - start;
@@ -637,6 +751,12 @@ ServiceReport WorkflowService::run() {
   report.suspended_runs = suspended_runs_;
   report.resumed_runs = resumed_runs_;
   report.brownout_entries = brownout_entries_;
+  std::vector<obs::telemetry::BurnSnapshot> burns;
+  if (hub_) {
+    burns = hub_->slo().burns(sim.now());
+    report.slo_alerts = hub_->alerts().size();
+    report.advisory_actions = advisory_actions_;
+  }
   for (TenantState& ten : tenants_) {
     TenantReport& tr = ten.stats;
     tr.shed_rate = tr.submitted > 0 ? static_cast<double>(tr.shed) /
@@ -646,6 +766,12 @@ ServiceReport WorkflowService::run() {
     tr.queue_time_p95 = percentile95(ten.queue_times);
     tr.stretch_mean = mean(ten.stretches);
     tr.stretch_p95 = percentile95(ten.stretches);
+    for (const obs::telemetry::BurnSnapshot& b : burns) {
+      if (b.tenant != tr.tenant) continue;
+      tr.slo_alerts += b.alerts;
+      tr.slo_fast_burn = std::max(tr.slo_fast_burn, b.fast_burn);
+      tr.slo_slow_burn = std::max(tr.slo_slow_burn, b.slow_burn);
+    }
     report.submitted += tr.submitted;
     report.completed += tr.completed;
     report.failed += tr.failed;

@@ -38,6 +38,7 @@
 
 #include "core/toolkit.hpp"
 #include "federation/broker.hpp"
+#include "obs/telemetry/hub.hpp"
 #include "resilience/durable/journal.hpp"
 #include "service/admission.hpp"
 #include "service/arrivals.hpp"
@@ -105,6 +106,40 @@ struct DurabilityConfig {
   BrownoutConfig brownout;
 };
 
+/// Live telemetry plane (DESIGN.md §16). Defaults keep the service
+/// byte-identical to pre-telemetry builds: no hub, no service spans, no
+/// trace stamping, unchanged journal bytes, and admission never advised.
+struct TelemetryConfig {
+  bool enabled = false;
+  /// Window geometry for every series the hub stores.
+  obs::telemetry::WindowSpec window;
+  /// Explicit per-tenant SLO specs. Empty (and enabled) => a default spec
+  /// per tenant, built by default_tenant_slo() from the knobs below.
+  std::vector<obs::telemetry::SloSpec> slos;
+  // --- default-spec knobs (ignored when `slos` is non-empty) ---
+  double queue_time_objective = 600.0;  ///< Good: queue time <= this (s).
+  double stretch_objective = 4.0;       ///< Good: stretch <= this.
+  double slo_target = 0.9;              ///< Target good fraction per objective.
+  double burn_threshold = 2.0;          ///< Alert when both burns exceed this.
+  SimTime fast_window = 300.0;          ///< Fast burn window (sim s).
+  SimTime slow_window = 3600.0;         ///< Slow burn window (sim s).
+  SimTime cooldown = 600.0;             ///< Min sim-time between repeat alerts.
+  /// Advisory control loop: a burn-rate alert for tenant X tightens every
+  /// OTHER tenant's effective queue bound to advisory_queue_cap for
+  /// advisory_hold sim-seconds, shedding competitors' excess so the burning
+  /// tenant's queued work reaches slots sooner. Off (default): alerts
+  /// observe, never actuate — mirroring BrokerConfig::advisory_alerts.
+  bool advisory = false;
+  std::size_t advisory_queue_cap = 2;
+  SimTime advisory_hold = 900.0;
+};
+
+/// Default SLO spec for one tenant: queue-time and stretch value objectives
+/// plus a shed-rate ratio objective (bad "service.shed", good
+/// "service.admitted"), all sharing `t`'s windows/threshold/cooldown.
+obs::telemetry::SloSpec default_tenant_slo(const std::string& tenant,
+                                           const TelemetryConfig& t);
+
 struct ServiceConfig {
   std::uint64_t seed = 42;
   /// Arrival streams close at this simulation time; admitted work drains.
@@ -116,6 +151,7 @@ struct ServiceConfig {
   std::size_t run_slots = 8;
   AdmissionConfig admission;
   DurabilityConfig durability;
+  TelemetryConfig telemetry;
   std::vector<TenantConfig> tenants;
 };
 
@@ -142,6 +178,9 @@ struct Submission {
   double consumed_core_seconds = 0.0;
   std::size_t defers = 0;
   State state = State::Offered;
+  /// "service" span covering arrival -> terminal state (telemetry only;
+  /// kNoSpan otherwise, and once ended).
+  obs::SpanId span = obs::kNoSpan;
 };
 
 /// Per-tenant SLO figures for one service run.
@@ -165,6 +204,10 @@ struct TenantReport {
   double stretch_p95 = 0.0;
   double consumed_core_seconds = 0.0;
   double goodput_core_seconds = 0.0;  ///< Consumption by successful runs only.
+  // --- telemetry plane (zero unless ServiceConfig::telemetry.enabled) ---
+  std::size_t slo_alerts = 0;  ///< Burn-rate alerts raised for this tenant.
+  double slo_fast_burn = 0.0;  ///< Max fast-window burn across objectives at drain.
+  double slo_slow_burn = 0.0;  ///< Max slow-window burn across objectives at drain.
 };
 
 struct ServiceReport {
@@ -179,6 +222,9 @@ struct ServiceReport {
   std::size_t suspended_runs = 0;  ///< Brownout suspensions taken.
   std::size_t resumed_runs = 0;    ///< Relaunches from checkpoint/orphan state.
   std::size_t brownout_entries = 0;
+  /// Telemetry plane (zero unless ServiceConfig::telemetry.enabled).
+  std::size_t slo_alerts = 0;        ///< Burn-rate alerts across all tenants.
+  std::size_t advisory_actions = 0;  ///< Advisory admission restrictions applied.
   std::vector<TenantReport> tenants;
 };
 
@@ -188,6 +234,10 @@ class WorkflowService {
   /// contract as Toolkit::run(workflow, broker)).
   WorkflowService(core::Toolkit& toolkit, federation::Broker& broker,
                   ServiceConfig config);
+
+  /// Detaches the telemetry hub from the toolkit's observer (no-op when
+  /// telemetry is off).
+  ~WorkflowService();
 
   /// Schedules every tenant's arrival stream, drives the simulation to
   /// completion, settles stragglers, and returns per-tenant SLO reports.
@@ -228,6 +278,19 @@ class WorkflowService {
 
   bool crashed() const noexcept { return crashed_; }
   bool in_brownout() const noexcept { return brownout_; }
+
+  /// The live telemetry hub (null unless ServiceConfig::telemetry.enabled).
+  /// Valid for export until the service is destroyed.
+  obs::telemetry::TelemetryHub* telemetry() noexcept { return hub_.get(); }
+  const obs::telemetry::TelemetryHub* telemetry() const noexcept {
+    return hub_.get();
+  }
+
+  /// The obs::TraceContext submission id a submission's spans carry: seq+1,
+  /// so seq 0 never collides with kNoTraceId.
+  static obs::TraceId submission_trace_id(std::size_t seq) noexcept {
+    return static_cast<obs::TraceId>(seq) + 1;
+  }
 
  private:
   struct TenantState {
@@ -276,6 +339,13 @@ class WorkflowService {
   wf::Workflow generate_workflow(TenantState& ten, std::size_t index);
   double backlog_seconds() const noexcept;
   TenantState& tenant_of(const Submission& sub);
+  /// Builds + attaches the TelemetryHub (ctor tail, telemetry.enabled only).
+  void setup_telemetry();
+  /// Hub alert sink: advisory admission tightening when advisory mode is on.
+  void on_slo_alert(const obs::Alert& alert);
+  /// Ends a submission's "service" span with a terminal-state attr (no-op
+  /// when no span is open).
+  void end_service_span(Submission& sub, const char* state);
 
   core::Toolkit& toolkit_;
   federation::Broker& broker_;
@@ -323,6 +393,12 @@ class WorkflowService {
   std::size_t suspended_runs_ = 0;
   std::size_t resumed_runs_ = 0;
   std::size_t brownout_entries_ = 0;
+
+  // --- telemetry plane ---
+  /// Live hub, attached to the toolkit's observer (null when telemetry is
+  /// off — the off path never touches it).
+  std::unique_ptr<obs::telemetry::TelemetryHub> hub_;
+  std::size_t advisory_actions_ = 0;
 };
 
 }  // namespace hhc::service

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "support/strings.hpp"
+
 namespace hhc {
 
 bool Json::as_bool() const {
@@ -80,23 +82,7 @@ namespace {
 
 void write_escaped(std::string& out, const std::string& s) {
   out += '"';
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
+  out += json_escape(s);
   out += '"';
 }
 

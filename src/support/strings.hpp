@@ -28,6 +28,13 @@ std::string join(const std::vector<std::string>& items, std::string_view sep);
 /// else passes through unchanged.
 std::string csv_escape(std::string_view field);
 
+/// RFC 8259 JSON string escaping of the *contents* (no surrounding quotes):
+/// `"` and `\` are backslash-escaped, control characters U+0000..U+001F use
+/// the \n \t \r \b \f shorthands where they exist and \u00XX otherwise.
+/// Bytes >= 0x20 — including UTF-8 multibyte sequences — pass through
+/// unchanged, which RFC 8259 permits for UTF-8 encoded documents.
+std::string json_escape(std::string_view s);
+
 /// True when environment variable `name` is set to a non-empty value other
 /// than "0". Benches use HHC_BENCH_SMOKE to shrink to CI-sized parameters.
 bool env_flag(const char* name);

@@ -1,0 +1,92 @@
+// Regression tests for deterministic alert export: stable (time, detector,
+// series, subject) ordering and within-window dedup of identical alerts.
+#include "obs/alerts.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hhc::obs {
+namespace {
+
+Alert make(SimTime time, const std::string& detector, const std::string& series,
+           const std::string& subject, const std::string& message = {}) {
+  Alert a;
+  a.time = time;
+  a.detector = detector;
+  a.series = series;
+  a.subject = subject;
+  a.message = message;
+  return a;
+}
+
+TEST(AlertExport, SortsByTimeThenDetectorSeriesSubject) {
+  AlertLog log;
+  // Deliberately insert out of export order; same-tick alerts land in
+  // detector-registration order in the raw log.
+  log.add(make(20.0, "slo-burn", "service.stretch", "bob"));
+  log.add(make(10.0, "sliding-zscore", "queue_wait", "site-b"));
+  log.add(make(10.0, "quantile-drift", "queue_wait", "site-b"));
+  log.add(make(10.0, "sliding-zscore", "queue_wait", "site-a"));
+
+  const std::vector<Alert> sorted = sorted_alerts(log);
+  ASSERT_EQ(sorted.size(), 4u);
+  EXPECT_EQ(sorted[0].detector, "quantile-drift");
+  EXPECT_EQ(sorted[1].subject, "site-a");
+  EXPECT_EQ(sorted[2].subject, "site-b");
+  EXPECT_EQ(sorted[2].detector, "sliding-zscore");
+  EXPECT_DOUBLE_EQ(sorted[3].time, 20.0);
+  // The raw log is untouched (export-side only).
+  EXPECT_EQ(log.alerts()[0].detector, "slo-burn");
+}
+
+TEST(AlertExport, SortIsStableForFullyIdenticalAlerts) {
+  AlertLog log;
+  Alert a = make(5.0, "d", "s", "x", "first");
+  Alert b = make(5.0, "d", "s", "x", "first");
+  a.value = 1.0;
+  b.value = 2.0;  // not a sort key: firing order must be preserved
+  log.add(a);
+  log.add(b);
+  const std::vector<Alert> sorted = sorted_alerts(log);
+  ASSERT_EQ(sorted.size(), 2u);
+  EXPECT_DOUBLE_EQ(sorted[0].value, 1.0);
+  EXPECT_DOUBLE_EQ(sorted[1].value, 2.0);
+}
+
+TEST(AlertExport, DedupDropsRepeatsWithinWindowOnly) {
+  AlertLog log;
+  log.add(make(0.0, "slo-burn", "service.queue_time", "ana"));
+  log.add(make(30.0, "slo-burn", "service.queue_time", "ana"));   // repeat
+  log.add(make(30.0, "slo-burn", "service.queue_time", "bob"));   // other key
+  log.add(make(100.0, "slo-burn", "service.queue_time", "ana"));  // past window
+
+  const std::vector<Alert> out = export_alerts(log, 60.0);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(out[0].time, 0.0);
+  EXPECT_EQ(out[1].subject, "bob");
+  EXPECT_DOUBLE_EQ(out[2].time, 100.0);
+  EXPECT_EQ(out[2].subject, "ana");
+}
+
+TEST(AlertExport, DedupWindowRestartsFromLastKeptAlert) {
+  AlertLog log;
+  // 0 kept, 40 dropped (within 60 of 0), 80 kept (80 - 0 >= 60: the window
+  // anchors on the last KEPT alert, so a steady drip cannot suppress forever).
+  log.add(make(0.0, "d", "s", "x"));
+  log.add(make(40.0, "d", "s", "x"));
+  log.add(make(80.0, "d", "s", "x"));
+  const std::vector<Alert> out = export_alerts(log, 60.0);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0].time, 0.0);
+  EXPECT_DOUBLE_EQ(out[1].time, 80.0);
+}
+
+TEST(AlertExport, NonPositiveWindowKeepsEverything) {
+  AlertLog log;
+  log.add(make(0.0, "d", "s", "x"));
+  log.add(make(0.0, "d", "s", "x"));
+  EXPECT_EQ(export_alerts(log, 0.0).size(), 2u);
+  EXPECT_EQ(export_alerts(log, -1.0).size(), 2u);
+}
+
+}  // namespace
+}  // namespace hhc::obs

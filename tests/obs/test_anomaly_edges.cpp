@@ -1,0 +1,127 @@
+// Edge-case pins for the streaming anomaly detectors: empty reference
+// histograms, degenerate one-sample windows, and checkpoint/restart resume
+// behaviour (no double-fire after reset_history()).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "obs/forensics/anomaly.hpp"
+
+namespace f = hhc::obs::forensics;
+using hhc::obs::Alert;
+using hhc::obs::LogHistogram;
+
+namespace {
+
+TEST(QuantileDriftEdges, EmptyReferenceHistogramNeverFires) {
+  // An empty reference has no quantile to drift from; the floor guard must
+  // keep the detector quiet rather than dividing by zero or alerting on
+  // every observation.
+  const LogHistogram empty_ref;
+  ASSERT_EQ(empty_ref.total(), 0u);
+  f::QuantileDrift::Config cfg;
+  cfg.window = 8;
+  cfg.min_samples = 4;
+  cfg.ratio = 2.0;
+  cfg.cooldown = 0.0;
+  f::QuantileDrift det(empty_ref, cfg);
+
+  Alert alert;
+  bool fired = false;
+  for (int i = 0; i < 64; ++i)
+    fired = det.observe(static_cast<double>(i), 1000.0, alert) || fired;
+  // Either contract is defensible (quiet, or fire once the recent window
+  // fills against the floor reference); what must never happen is a
+  // nonsensical baseline. Pin the current behaviour: the floor makes the
+  // reference quantile tiny but positive, so values drift "up" legally —
+  // but only after min_samples, and with a finite baseline.
+  if (fired) {
+    EXPECT_TRUE(std::isfinite(alert.baseline));
+    EXPECT_TRUE(std::isfinite(alert.score));
+    EXPECT_GT(det.samples(), cfg.min_samples - 1);
+  }
+  EXPECT_TRUE(std::isfinite(det.reference_quantile()));
+}
+
+TEST(SlidingZScoreEdges, SingleSampleWindowNeverDividesByZero) {
+  // window == 1: the stddev of one sample is 0; min_sigma must floor it and
+  // min_samples must gate verdicts, so no NaN/inf z-scores escape.
+  f::SlidingZScore::Config cfg;
+  cfg.window = 1;
+  cfg.min_samples = 1;
+  cfg.threshold = 3.0;
+  cfg.cooldown = 0.0;
+  f::SlidingZScore det(cfg);
+
+  Alert alert;
+  EXPECT_FALSE(det.observe(0.0, 10.0, alert));  // first: no history yet
+  // Constant series: z == 0 against the single-sample window.
+  EXPECT_FALSE(det.observe(1.0, 10.0, alert));
+  // A jump IS detectable against a one-sample window (sigma floored).
+  const bool fired = det.observe(2.0, 1e9, alert);
+  if (fired) {
+    EXPECT_TRUE(std::isfinite(alert.score));
+    EXPECT_DOUBLE_EQ(alert.value, 1e9);
+  }
+  EXPECT_TRUE(std::isfinite(det.mean()));
+  EXPECT_TRUE(std::isfinite(det.stddev()));
+}
+
+TEST(SlidingZScoreEdges, ConstantSeriesWithSigmaFloorStaysQuiet) {
+  f::SlidingZScore::Config cfg;
+  cfg.window = 8;
+  cfg.min_samples = 4;
+  cfg.threshold = 3.0;
+  cfg.cooldown = 0.0;
+  f::SlidingZScore det(cfg);
+  Alert alert;
+  for (int i = 0; i < 32; ++i)
+    EXPECT_FALSE(det.observe(static_cast<double>(i), 42.0, alert)) << i;
+}
+
+TEST(AnomalyMonitorEdges, ResumedRunDoesNotDoubleFireQuantileDrift) {
+  // Checkpoint/restart semantics: a resumed run replays its watch list with
+  // reset_history(), keeping detectors and configs but dropping window
+  // contents and alerts. Feeding the same post-restart stream must yield
+  // the same single alert — not one per life.
+  LogHistogram reference;
+  for (int i = 0; i < 256; ++i) reference.observe(10.0);
+
+  auto drive = [&](f::AnomalyMonitor& mon, double t0) {
+    // Drifted observations: 10x the reference quantile.
+    for (int i = 0; i < 64; ++i)
+      mon.observe("queue_wait", "site-a", t0 + i, 100.0);
+  };
+
+  f::QuantileDrift::Config cfg;
+  cfg.window = 16;
+  cfg.min_samples = 8;
+  cfg.ratio = 2.0;
+  cfg.cooldown = 1e9;  // at most one alert per life
+  f::AnomalyMonitor mon;
+  mon.watch_drift("queue_wait", "site-a", reference, cfg);
+
+  drive(mon, 0.0);
+  ASSERT_EQ(mon.alerts().size(), 1u);
+  const double first_baseline = mon.alerts().alerts()[0].baseline;
+
+  // "Crash": state is lost; "restart": same watch list, fresh history.
+  mon.reset_history();
+  EXPECT_TRUE(mon.alerts().empty());
+  EXPECT_TRUE(mon.watching("queue_wait", "site-a"));
+
+  drive(mon, 1000.0);
+  ASSERT_EQ(mon.alerts().size(), 1u);  // exactly one again, not two
+  // The reference distribution survived the restart: same baseline.
+  EXPECT_DOUBLE_EQ(mon.alerts().alerts()[0].baseline, first_baseline);
+  EXPECT_GE(mon.alerts().alerts()[0].time, 1000.0);
+}
+
+TEST(AnomalyMonitorEdges, UnwatchedSeriesIsIgnored) {
+  f::AnomalyMonitor mon;
+  mon.observe("nobody", "watches", 0.0, 1e12);
+  EXPECT_TRUE(mon.alerts().empty());
+  EXPECT_FALSE(mon.watching("nobody", "watches"));
+}
+
+}  // namespace

@@ -1,0 +1,154 @@
+// Unit tests for the per-tenant SLO burn-rate monitors.
+#include "obs/telemetry/slo.hpp"
+
+#include <gtest/gtest.h>
+
+namespace t = hhc::obs::telemetry;
+using hhc::obs::Alert;
+using hhc::SimTime;
+
+namespace {
+
+t::SloSpec queue_time_spec(const std::string& tenant, double threshold = 100.0,
+                           double target = 0.9) {
+  t::SloSpec spec;
+  spec.tenant = tenant;
+  spec.fast_window = 300.0;
+  spec.slow_window = 3600.0;
+  spec.burn_threshold = 2.0;
+  spec.cooldown = 600.0;
+  t::SloObjective obj;
+  obj.series = "service.queue_time";
+  obj.threshold = threshold;
+  obj.target = target;
+  spec.objectives.push_back(obj);
+  return spec;
+}
+
+TEST(SloMonitor, GoodObservationsNeverAlert) {
+  t::SloMonitor mon;
+  mon.add_spec(queue_time_spec("ana"));
+  for (int i = 0; i < 200; ++i)
+    mon.observe("service.queue_time", "ana", 10.0 * i, 50.0);  // under threshold
+  EXPECT_TRUE(mon.alerts().empty());
+  const auto burns = mon.burns(2000.0);
+  ASSERT_EQ(burns.size(), 1u);
+  EXPECT_DOUBLE_EQ(burns[0].fast_burn, 0.0);
+  EXPECT_DOUBLE_EQ(burns[0].slow_burn, 0.0);
+}
+
+TEST(SloMonitor, SustainedBadBurnsFireOnceThenCooldown) {
+  t::SloMonitor mon;
+  mon.add_spec(queue_time_spec("ana"));
+  int sink_fires = 0;
+  mon.set_sink([&](const Alert&) { ++sink_fires; });
+
+  // All-bad stream: burn = 1.0 / 0.1 budget = 10 >> threshold 2 in both
+  // windows, but only after the windows have content.
+  for (int i = 0; i < 60; ++i)
+    mon.observe("service.queue_time", "ana", 10.0 * i, 500.0);
+
+  ASSERT_FALSE(mon.alerts().empty());
+  // Cooldown 600s over 590s of stream: exactly one alert.
+  EXPECT_EQ(mon.alerts().size(), 1u);
+  EXPECT_EQ(sink_fires, 1);
+  const Alert& a = mon.alerts().alerts()[0];
+  EXPECT_EQ(a.detector, "slo-burn");
+  EXPECT_EQ(a.series, "service.queue_time");
+  EXPECT_EQ(a.subject, "ana");
+  EXPECT_GT(a.value, 2.0);  // fast burn
+
+  // Keep burning past the cooldown: a second alert may fire.
+  for (int i = 60; i < 200; ++i)
+    mon.observe("service.queue_time", "ana", 10.0 * i, 500.0);
+  EXPECT_GE(mon.alerts().size(), 2u);
+}
+
+TEST(SloMonitor, FastBlipWithoutSlowBurnStaysQuiet) {
+  t::SloMonitor mon;
+  t::SloSpec spec = queue_time_spec("ana", 100.0, 0.9);
+  spec.cooldown = 0.0;
+  mon.add_spec(spec);
+
+  // One hour of good observations fills the slow window...
+  for (int i = 0; i < 360; ++i)
+    mon.observe("service.queue_time", "ana", 10.0 * i, 1.0);
+  // ...then a short burst of bad ones. Fast burn spikes, but the slow
+  // window still holds ~360 good points, so slow burn stays low and the
+  // multi-window rule suppresses the blip.
+  for (int i = 0; i < 10; ++i)
+    mon.observe("service.queue_time", "ana", 3600.0 + i, 500.0);
+  EXPECT_TRUE(mon.alerts().empty());
+
+  const auto burns = mon.burns(3610.0);
+  ASSERT_EQ(burns.size(), 1u);
+  EXPECT_GT(burns[0].fast_burn, 2.0);
+  EXPECT_LT(burns[0].slow_burn, 2.0);
+}
+
+TEST(SloMonitor, RatioObjectiveCountsGoodAndBadEvents) {
+  t::SloMonitor mon;
+  t::SloSpec spec;
+  spec.tenant = "bob";
+  spec.fast_window = 300.0;
+  spec.slow_window = 3600.0;
+  spec.burn_threshold = 2.0;
+  spec.cooldown = 1e9;  // at most one alert
+  t::SloObjective shed;
+  shed.series = "service.shed";
+  shed.good_series = "service.admitted";
+  shed.target = 0.9;  // budget 0.1: >20% shed rate burns past threshold 2
+  spec.objectives.push_back(shed);
+  mon.add_spec(spec);
+
+  // 50/50 shed: burn = 0.5 / 0.1 = 5.
+  for (int i = 0; i < 100; ++i) {
+    mon.event("service.admitted", "bob", 10.0 * i);
+    mon.event("service.shed", "bob", 10.0 * i + 1.0);
+  }
+  EXPECT_EQ(mon.alerts().size(), 1u);
+  const auto burns = mon.burns(1000.0);
+  ASSERT_EQ(burns.size(), 1u);
+  EXPECT_NEAR(burns[0].fast_burn, 5.0, 0.5);
+  EXPECT_EQ(burns[0].alerts, 1u);
+}
+
+TEST(SloMonitor, TenantsAndSeriesAreIsolated) {
+  t::SloMonitor mon;
+  mon.add_spec(queue_time_spec("ana"));
+  mon.add_spec(queue_time_spec("bob"));
+
+  // Only bob misbehaves; an unrelated series is ignored entirely.
+  for (int i = 0; i < 60; ++i) {
+    mon.observe("service.queue_time", "ana", 10.0 * i, 1.0);
+    mon.observe("service.queue_time", "bob", 10.0 * i, 500.0);
+    mon.observe("service.stretch", "ana", 10.0 * i, 1e9);
+  }
+  ASSERT_EQ(mon.alerts().size(), 1u);
+  EXPECT_EQ(mon.alerts().alerts()[0].subject, "bob");
+
+  // burns() is deterministic: (tenant, series) sorted.
+  const auto burns = mon.burns(600.0);
+  ASSERT_EQ(burns.size(), 2u);
+  EXPECT_EQ(burns[0].tenant, "ana");
+  EXPECT_EQ(burns[1].tenant, "bob");
+}
+
+TEST(SloMonitor, ObservationsAgeOutOfTheSlowWindow) {
+  t::SloMonitor mon;
+  t::SloSpec spec = queue_time_spec("ana");
+  spec.cooldown = 1e9;
+  mon.add_spec(spec);
+  for (int i = 0; i < 30; ++i)
+    mon.observe("service.queue_time", "ana", 10.0 * i, 500.0);
+  ASSERT_EQ(mon.burns(300.0).size(), 1u);
+  EXPECT_GT(mon.burns(300.0)[0].observations, 0u);
+  // One good observation two slow-windows later: everything bad aged out.
+  mon.observe("service.queue_time", "ana", 300.0 + 2.0 * 3600.0, 1.0);
+  const auto burns = mon.burns(300.0 + 2.0 * 3600.0);
+  ASSERT_EQ(burns.size(), 1u);
+  EXPECT_EQ(burns[0].observations, 1u);
+  EXPECT_DOUBLE_EQ(burns[0].slow_burn, 0.0);
+}
+
+}  // namespace

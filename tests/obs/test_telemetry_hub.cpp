@@ -1,0 +1,190 @@
+// Unit tests for the TelemetryHub tap and the telemetry-plane exporters.
+#include "obs/telemetry/hub.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "obs/observer.hpp"
+#include "obs/telemetry/export.hpp"
+#include "support/json.hpp"
+
+namespace t = hhc::obs::telemetry;
+using hhc::obs::Observer;
+using hhc::sim::Simulation;
+
+namespace {
+
+t::HubConfig small_config() {
+  t::HubConfig cfg;
+  cfg.window.width = 60.0;
+  cfg.window.retention = 32;
+  return cfg;
+}
+
+TEST(TelemetryHub, TapReceivesEveryRecordKind) {
+  Simulation sim;
+  Observer obs;
+  t::TelemetryHub hub(small_config(), sim);
+  hub.attach(obs);
+  ASSERT_EQ(obs.tap(), &hub);
+
+  obs.count(1.0, "jobs", "ana", 2.0);
+  obs.gauge_set(2.0, "depth", 5.0, "ana");
+  obs.observe("wait", 30.0, "ana");
+  obs.instant(3.0, "chaos", "site-a", "fault");
+
+  EXPECT_EQ(hub.records(), 3u);  // instants are events, not metric records
+  ASSERT_EQ(hub.events().size(), 4u);
+  EXPECT_EQ(hub.events()[0].kind, "count");
+  EXPECT_EQ(hub.events()[1].kind, "gauge");
+  EXPECT_EQ(hub.events()[2].kind, "value");
+  EXPECT_EQ(hub.events()[3].kind, "instant");
+  EXPECT_EQ(hub.events()[3].detail, "fault");
+
+  const t::WindowSeries* counter =
+      hub.store().find(t::SeriesKind::Counter, "jobs", "ana");
+  ASSERT_NE(counter, nullptr);
+  EXPECT_DOUBLE_EQ(counter->total_sum(), 2.0);
+  EXPECT_NE(hub.store().find(t::SeriesKind::Gauge, "depth", "ana"), nullptr);
+  EXPECT_NE(hub.store().find(t::SeriesKind::Value, "wait", "ana"), nullptr);
+
+  hub.detach(obs);
+  EXPECT_EQ(obs.tap(), nullptr);
+  obs.count(4.0, "jobs", "ana");
+  EXPECT_EQ(hub.records(), 3u);  // detached: nothing arrives
+}
+
+TEST(TelemetryHub, DisabledObserverForwardsNothing) {
+  Simulation sim;
+  Observer obs;
+  t::TelemetryHub hub(small_config(), sim);
+  hub.attach(obs);
+  obs.set_enabled(false);
+  obs.count(1.0, "jobs", "ana");
+  obs.observe("wait", 5.0, "ana");
+  obs.instant(1.0, "chaos", "x", "y");
+  EXPECT_EQ(hub.records(), 0u);
+  EXPECT_TRUE(hub.events().empty());
+}
+
+TEST(TelemetryHub, EventCapDropsAreCountedAndStoreStillUpdates) {
+  Simulation sim;
+  Observer obs;
+  t::TelemetryHub hub(small_config(), sim);
+  hub.set_event_capacity(2);
+  hub.attach(obs);
+  for (int i = 0; i < 5; ++i) obs.count(1.0 * i, "jobs", "ana");
+  EXPECT_EQ(hub.events().size(), 2u);
+  EXPECT_EQ(hub.events_dropped(), 3u);
+  // The windows keep folding even when the log is full.
+  const t::WindowSeries* s =
+      hub.store().find(t::SeriesKind::Counter, "jobs", "ana");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->total_count(), 5u);
+}
+
+TEST(TelemetryHub, RoutesLabelledRecordsIntoSloAndChainsSink) {
+  Simulation sim;
+  Observer obs;
+  t::HubConfig cfg = small_config();
+  t::SloSpec spec;
+  spec.tenant = "ana";
+  spec.cooldown = 1e9;
+  t::SloObjective obj;
+  obj.series = "service.queue_time";
+  obj.threshold = 10.0;
+  obj.target = 0.9;
+  spec.objectives.push_back(obj);
+  cfg.slos.push_back(spec);
+  t::TelemetryHub hub(cfg, sim);
+  int sink_fires = 0;
+  hub.set_alert_sink([&](const hhc::obs::Alert& a) {
+    ++sink_fires;
+    EXPECT_EQ(a.subject, "ana");
+  });
+  hub.attach(obs);
+
+  for (int i = 0; i < 20; ++i) obs.observe("service.queue_time", 100.0, "ana");
+  EXPECT_EQ(hub.alerts().size(), 1u);
+  EXPECT_EQ(sink_fires, 1);
+  // The alert also lands in the event log.
+  bool saw_alert_event = false;
+  for (const t::HubEvent& e : hub.events())
+    if (e.kind == "alert") saw_alert_event = true;
+  EXPECT_TRUE(saw_alert_event);
+}
+
+TEST(TelemetryExport, PrometheusTextExposesRegistryAndWindows) {
+  Simulation sim;
+  Observer obs;
+  t::TelemetryHub hub(small_config(), sim);
+  hub.attach(obs);
+  obs.count(1.0, "service.admitted", "ana");
+  obs.gauge_set(2.0, "service.queue_depth", 3.0, "ana");
+  obs.observe("service.queue_time", 42.0, "ana");
+
+  const std::string text =
+      t::prometheus_text(obs.snapshot(), &hub.store());
+  EXPECT_NE(text.find("# TYPE hhc_service_admitted_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("hhc_service_admitted_total{label=\"ana\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("hhc_service_queue_depth{label=\"ana\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("hhc_service_queue_time{label=\"ana\",quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("hhc_window"), std::string::npos);
+  // Every line is either a comment or name{...} value.
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty());
+    if (line[0] == '#') continue;
+    EXPECT_NE(line.find(' '), std::string::npos) << line;
+  }
+}
+
+TEST(TelemetryExport, JsonlLinesAllParseAndAreDeterministic) {
+  auto run_once = [] {
+    Simulation sim;
+    Observer obs;
+    t::TelemetryHub hub(small_config(), sim);
+    hub.attach(obs);
+    obs.count(1.0, "jobs", "ana", 1.0);
+    obs.count(65.0, "jobs", "ana", 2.0);
+    obs.gauge_set(70.0, "depth", 4.0, "");
+    obs.observe("wait", 12.0, "ana");
+    obs.instant(80.0, "chaos", "site-a", "\"quoted\"\nnewline");
+    return t::jsonl_events(hub, 60.0);
+  };
+  const std::string a = run_once();
+  const std::string b = run_once();
+  EXPECT_EQ(a, b);
+
+  std::istringstream in(a);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    EXPECT_NO_THROW((void)hhc::Json::parse(line)) << line;
+  }
+  EXPECT_GE(lines, 5u);
+}
+
+TEST(TelemetryExport, HtmlDashboardIsSelfContained) {
+  Simulation sim;
+  Observer obs;
+  t::TelemetryHub hub(small_config(), sim);
+  hub.attach(obs);
+  for (int i = 0; i < 10; ++i)
+    obs.count(10.0 * i, "jobs", "ana");
+  const std::string html = t::html_dashboard(hub, obs.snapshot(), "test");
+  EXPECT_NE(html.find("<!doctype html>"), std::string::npos);
+  EXPECT_NE(html.find("<svg"), std::string::npos);
+  EXPECT_EQ(html.find("http://"), std::string::npos);   // no external assets
+  EXPECT_EQ(html.find("https://"), std::string::npos);
+}
+
+}  // namespace

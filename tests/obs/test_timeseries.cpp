@@ -1,0 +1,117 @@
+// Unit tests for the windowed time-series store (telemetry plane).
+#include "obs/telemetry/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+namespace t = hhc::obs::telemetry;
+
+namespace {
+
+TEST(WindowSeries, CounterFoldsDeltasIntoAlignedWindows) {
+  t::WindowSeries s(t::SeriesKind::Counter, {10.0, 100});
+  s.record(0.0, 1.0);
+  s.record(3.0, 2.0);
+  s.record(9.999, 1.0);   // still window 0
+  s.record(10.0, 5.0);    // window 1 starts exactly at width
+  s.record(35.0, 1.0);    // window 3; window 2 stays sparse
+
+  ASSERT_EQ(s.windows().size(), 3u);
+  const t::Window& w0 = s.windows()[0];
+  EXPECT_EQ(w0.index, 0);
+  EXPECT_EQ(w0.count, 3u);
+  EXPECT_DOUBLE_EQ(w0.sum, 4.0);
+  EXPECT_DOUBLE_EQ(s.rate(w0), 0.4);
+  EXPECT_EQ(s.windows()[1].index, 1);
+  EXPECT_DOUBLE_EQ(s.windows()[1].sum, 5.0);
+  EXPECT_EQ(s.windows()[2].index, 3);
+
+  EXPECT_EQ(s.total_count(), 5u);
+  EXPECT_DOUBLE_EQ(s.total_sum(), 10.0);
+  EXPECT_EQ(s.dropped(), 0u);
+}
+
+TEST(WindowSeries, WindowAtFindsCoveringWindowOnly) {
+  t::WindowSeries s(t::SeriesKind::Gauge, {10.0, 100});
+  s.record(5.0, 7.0);
+  s.record(25.0, 9.0);
+
+  ASSERT_NE(s.window_at(0.0), nullptr);
+  EXPECT_DOUBLE_EQ(s.window_at(9.0)->last, 7.0);
+  EXPECT_EQ(s.window_at(15.0), nullptr);  // sparse gap window
+  ASSERT_NE(s.window_at(29.0), nullptr);
+  EXPECT_DOUBLE_EQ(s.window_at(29.0)->last, 9.0);
+  ASSERT_NE(s.latest(), nullptr);
+  EXPECT_EQ(s.latest()->index, 2);
+}
+
+TEST(WindowSeries, GaugeTracksMinMaxLast) {
+  t::WindowSeries s(t::SeriesKind::Gauge, {60.0, 10});
+  s.record(1.0, 4.0);
+  s.record(2.0, 9.0);
+  s.record(3.0, 2.0);
+  const t::Window* w = s.window_at(0.0);
+  ASSERT_NE(w, nullptr);
+  EXPECT_DOUBLE_EQ(w->min, 2.0);
+  EXPECT_DOUBLE_EQ(w->max, 9.0);
+  EXPECT_DOUBLE_EQ(w->last, 2.0);
+  EXPECT_DOUBLE_EQ(w->mean(), 5.0);
+}
+
+TEST(WindowSeries, ValueKindKeepsPerWindowHistogram) {
+  t::WindowSeries s(t::SeriesKind::Value, {60.0, 10});
+  for (int i = 0; i < 100; ++i) s.record(1.0, 10.0);
+  const t::Window* w = s.window_at(0.0);
+  ASSERT_NE(w, nullptr);
+  ASSERT_TRUE(w->hist.has_value());
+  // Log-binned: the quantile lands in the bin containing 10.
+  EXPECT_NEAR(w->hist->quantile(0.5), 10.0, 10.0 * 0.8);
+  EXPECT_EQ(w->count, 100u);
+}
+
+TEST(WindowSeries, RetentionEvictsOldestAndCountsDrops) {
+  t::WindowSeries s(t::SeriesKind::Counter, {1.0, 3});
+  for (int i = 0; i < 6; ++i)
+    s.record(static_cast<hhc::SimTime>(i), 1.0);  // 6 windows, ring of 3
+
+  ASSERT_EQ(s.windows().size(), 3u);
+  EXPECT_EQ(s.windows().front().index, 3);
+  EXPECT_EQ(s.windows().back().index, 5);
+  EXPECT_EQ(s.dropped(), 3u);        // three evicted windows, one record each
+  EXPECT_EQ(s.total_count(), 3u);    // totals cover retained windows only
+  EXPECT_DOUBLE_EQ(s.total_sum(), 3.0);
+}
+
+TEST(WindowSeries, RecordPredatingRingAtCapacityIsDroppedNotInserted) {
+  t::WindowSeries s(t::SeriesKind::Counter, {1.0, 2});
+  s.record(10.0, 1.0);
+  s.record(11.0, 1.0);
+  const std::size_t before = s.dropped();
+  s.record(0.5, 1.0);  // older than the full ring
+  EXPECT_EQ(s.windows().size(), 2u);
+  EXPECT_EQ(s.dropped(), before + 1);
+  EXPECT_EQ(s.total_count(), 2u);
+}
+
+TEST(TimeSeriesStore, CreatesOnUseAndIteratesDeterministically) {
+  t::TimeSeriesStore store({30.0, 16});
+  store.record_counter(1.0, "b.count", "x", 1.0);
+  store.record_gauge(1.0, "a.gauge", "", 2.0);
+  store.record_counter(2.0, "a.count", "", 1.0);
+  store.record_value(3.0, "a.obs", "y", 4.0);
+
+  ASSERT_EQ(store.size(), 4u);
+  // (kind, name, label) order: counters first, names sorted within a kind.
+  std::vector<std::string> names;
+  for (const auto& [key, series] : store.all()) names.push_back(std::get<1>(key));
+  EXPECT_EQ(names,
+            (std::vector<std::string>{"a.count", "b.count", "a.gauge", "a.obs"}));
+
+  const t::WindowSeries* found =
+      store.find(t::SeriesKind::Counter, "b.count", "x");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->total_count(), 1u);
+  EXPECT_EQ(store.find(t::SeriesKind::Counter, "b.count", "zzz"), nullptr);
+  EXPECT_EQ(store.dropped(), 0u);
+}
+
+}  // namespace

@@ -80,5 +80,51 @@ TEST(Admission, RejectsZeroDeferDelay) {
   EXPECT_THROW(AdmissionController{config}, std::invalid_argument);
 }
 
+TEST(Admission, TenantAwareOverloadMatchesPlainWithoutRestrictions) {
+  AdmissionConfig config;
+  config.max_queue_per_tenant = 4;
+  AdmissionController ctl(config);
+  for (std::size_t q = 0; q < 8; ++q)
+    EXPECT_EQ(ctl.admit("ana", 100.0, q, q, 0.0, 0), ctl.admit(q, q, 0.0, 0));
+}
+
+TEST(Admission, RestrictionTightensOnlyTheNamedTenantUntilExpiry) {
+  AdmissionController ctl(AdmissionConfig{});  // unbounded by config
+  ctl.restrict_tenant("heavy", 2, 500.0);
+
+  EXPECT_EQ(ctl.tenant_bound("heavy", 100.0), 2u);
+  EXPECT_EQ(ctl.tenant_bound("light", 100.0), 0u);  // untouched: unbounded
+  EXPECT_EQ(ctl.restricted_count(100.0), 1u);
+
+  EXPECT_EQ(ctl.admit("heavy", 100.0, 2, 10, 0.0, 0), AdmissionDecision::Shed);
+  EXPECT_EQ(ctl.admit("heavy", 100.0, 1, 10, 0.0, 0),
+            AdmissionDecision::Accept);
+  EXPECT_EQ(ctl.admit("light", 100.0, 50, 50, 0.0, 0),
+            AdmissionDecision::Accept);
+
+  // Past the deadline the restriction lapses (and is pruned).
+  EXPECT_EQ(ctl.admit("heavy", 500.0, 10, 10, 0.0, 0),
+            AdmissionDecision::Accept);
+  EXPECT_EQ(ctl.tenant_bound("heavy", 500.0), 0u);
+  EXPECT_EQ(ctl.restricted_count(500.0), 0u);
+}
+
+TEST(Admission, RestrictionTightensConfiguredBoundNeverLoosens) {
+  AdmissionConfig config;
+  config.max_queue_per_tenant = 3;
+  AdmissionController ctl(config);
+  // A looser advisory cap cannot loosen the configured bound.
+  ctl.restrict_tenant("ana", 10, 1000.0);
+  EXPECT_EQ(ctl.tenant_bound("ana", 0.0), 3u);
+  // A tighter one wins; repeated calls keep the tightest cap and the
+  // latest deadline.
+  ctl.restrict_tenant("ana", 1, 500.0);
+  ctl.restrict_tenant("ana", 2, 2000.0);
+  EXPECT_EQ(ctl.tenant_bound("ana", 1500.0), 1u);
+  // Cap 0 is ignored (it would mean "unbounded", not "closed").
+  ctl.restrict_tenant("bob", 0, 1000.0);
+  EXPECT_EQ(ctl.tenant_bound("bob", 0.0), 3u);
+}
+
 }  // namespace
 }  // namespace hhc::service

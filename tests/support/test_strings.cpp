@@ -68,5 +68,44 @@ TEST(Strings, FmtBytes) {
   EXPECT_EQ(fmt_bytes(2.8e9), "2.6GB");
 }
 
+TEST(JsonEscape, PassesPlainTextThrough) {
+  EXPECT_EQ(json_escape(""), "");
+  EXPECT_EQ(json_escape("plain ascii 123 !@#"), "plain ascii 123 !@#");
+}
+
+TEST(JsonEscape, EscapesQuotesAndBackslashes) {
+  EXPECT_EQ(json_escape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(json_escape("C:\\path\\file"), "C:\\\\path\\\\file");
+  // A backslash before a quote must yield four characters then the quote
+  // escape, not collapse into an escaped quote.
+  EXPECT_EQ(json_escape("\\\""), "\\\\\\\"");
+}
+
+TEST(JsonEscape, EscapesShorthandControlCharacters) {
+  EXPECT_EQ(json_escape("a\nb"), "a\\nb");
+  EXPECT_EQ(json_escape("a\tb"), "a\\tb");
+  EXPECT_EQ(json_escape("a\rb"), "a\\rb");
+  EXPECT_EQ(json_escape("a\bb"), "a\\bb");
+  EXPECT_EQ(json_escape("a\fb"), "a\\fb");
+}
+
+TEST(JsonEscape, EscapesRemainingControlCharactersAsUnicode) {
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(json_escape(std::string(1, '\x1f')), "\\u001f");
+  EXPECT_EQ(json_escape(std::string{'a', '\0', 'b'}), "a\\u0000b");
+  // 0x7f (DEL) is not a JSON control character: RFC 8259 only requires
+  // escaping U+0000..U+001F.
+  EXPECT_EQ(json_escape("\x7f"), "\x7f");
+}
+
+TEST(JsonEscape, PreservesUtf8MultibyteSequences) {
+  // UTF-8 bytes are above 0x1f (and the high-bit bytes are not "negative
+  // control chars" — the unsigned comparison must hold): pass through.
+  EXPECT_EQ(json_escape("héllo wörld"), "héllo wörld");
+  EXPECT_EQ(json_escape("日本語"), "日本語");
+  EXPECT_EQ(json_escape("emoji \xF0\x9F\x98\x80 done"),
+            "emoji \xF0\x9F\x98\x80 done");
+}
+
 }  // namespace
 }  // namespace hhc
